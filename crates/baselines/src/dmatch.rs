@@ -1,0 +1,283 @@
+//! DMatch (Fu et al., VLDB Journal 2008) — duality-based subsequence
+//! matching, the DTW baseline of Table IV.
+//!
+//! The dual of FRM: the index stores the *disjoint* windows of the data
+//! (one per `w` positions — a much smaller tree), and the query side
+//! slides. If `D(S, Q) ≤ ε`, then **every** complete disjoint data window
+//! `D_k` inside `S`, aligned at relative offset `t = k·w − o`, satisfies
+//! the single-window envelope bound with the *full* budget `ε` (a
+//! sub-sum of the total cost). A hit `(k, t)` therefore yields the
+//! candidate offset `o = k·w − t`.
+//!
+//! Sliding the query produces `m − w + 1` rectangles; consecutive offsets
+//! are batched into one range query per `batch` offsets (the standard
+//! window-grouping optimization), with per-`t` rectangle refinement after
+//! the scan. Requires `m ≥ 2w − 1` so every alignment contains a complete
+//! data window.
+
+use std::time::Instant;
+
+use kvmatch_core::{CoreError, MatchResult, PreparedQuery, QuerySpec};
+use kvmatch_distance::envelope::keogh_envelope;
+use kvmatch_rtree::{Mbr, RTree, RTreeConfig};
+use kvmatch_timeseries::PrefixStats;
+
+use crate::frm::{TreeBuildInfo, TreeMatchStats};
+use crate::paa::disjoint_paa;
+
+/// Configuration of the DMatch index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DualConfig {
+    /// Disjoint window length `w` (64 in the paper, transformed to 4-d
+    /// points by PAA).
+    pub window: usize,
+    /// PAA dimensionality `f` (must divide `w`).
+    pub paa_dims: usize,
+    /// R-tree fanout.
+    pub fanout: usize,
+    /// Query offsets grouped per range query (0 ⇒ use `window`).
+    pub batch: usize,
+}
+
+impl Default for DualConfig {
+    fn default() -> Self {
+        Self { window: 64, paa_dims: 4, fanout: 64, batch: 0 }
+    }
+}
+
+/// The DMatch matcher.
+pub struct DualMatcher {
+    config: DualConfig,
+    tree: RTree,
+    /// PAA features of disjoint data window `k` (positions `k·w`).
+    features: Vec<Vec<f64>>,
+    n: usize,
+    build: TreeBuildInfo,
+}
+
+impl DualMatcher {
+    /// Builds the disjoint-window index over `xs`.
+    pub fn build(xs: &[f64], config: DualConfig) -> Self {
+        assert!(config.window > 0, "window must be positive");
+        assert!(
+            config.paa_dims > 0
+                && config.paa_dims <= config.window
+                && config.window.is_multiple_of(config.paa_dims),
+            "paa_dims must divide window"
+        );
+        let t0 = Instant::now();
+        let features = disjoint_paa(xs, config.window, config.paa_dims);
+        let points: Vec<(Vec<f64>, u64)> = features
+            .iter()
+            .enumerate()
+            .map(|(k, feat)| (feat.clone(), k as u64))
+            .collect();
+        let windows = points.len();
+        let tree = RTree::bulk_load(points, config.paa_dims, RTreeConfig { fanout: config.fanout });
+        let build = TreeBuildInfo {
+            nanos: t0.elapsed().as_nanos() as u64,
+            bytes: tree.size_bytes(),
+            windows,
+        };
+        Self { config, tree, features, n: xs.len(), build }
+    }
+
+    /// Build information (Fig. 8).
+    pub fn build_info(&self) -> TreeBuildInfo {
+        self.build
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DualConfig {
+        &self.config
+    }
+
+    /// Full query over `xs`. Supports RSM-ED and RSM-DTW.
+    pub fn search(
+        &self,
+        xs: &[f64],
+        spec: &QuerySpec,
+    ) -> Result<(Vec<MatchResult>, TreeMatchStats), CoreError> {
+        assert_eq!(xs.len(), self.n, "series mismatch");
+        spec.validate()?;
+        if spec.is_normalized() {
+            return Err(CoreError::InvalidQuery(
+                "DMatch cannot answer normalized (cNSM) queries".into(),
+            ));
+        }
+        let w = self.config.window;
+        let f = self.config.paa_dims;
+        let m = spec.query.len();
+        if m < 2 * w - 1 {
+            return Err(CoreError::QueryTooShort { query_len: m, window: 2 * w - 1 });
+        }
+        let mut stats = TreeMatchStats::default();
+        let t1 = Instant::now();
+
+        let rho = spec.measure.rho();
+        let (lower, upper) = keogh_envelope(&spec.query, rho);
+        let lp = PrefixStats::new(&lower);
+        let up = PrefixStats::new(&upper);
+        let seg = w / f;
+        let per_dim = spec.epsilon * (f as f64 / w as f64).sqrt();
+        let paa_env = |t: usize| -> (Vec<f64>, Vec<f64>) {
+            let lo: Vec<f64> = (0..f).map(|k| lp.range_mean(t + k * seg, seg)).collect();
+            let hi: Vec<f64> = (0..f).map(|k| up.range_mean(t + k * seg, seg)).collect();
+            (lo, hi)
+        };
+
+        let batch = if self.config.batch == 0 { w } else { self.config.batch };
+        let max_offset = self.n.saturating_sub(m);
+        let t_max = m - w; // inclusive
+        let mut candidates: Vec<usize> = Vec::new();
+        let mut t0_batch = 0usize;
+        while t0_batch <= t_max {
+            let t_end = (t0_batch + batch - 1).min(t_max);
+            let mut min = vec![f64::INFINITY; f];
+            let mut max = vec![f64::NEG_INFINITY; f];
+            let mut rects: Vec<(Vec<f64>, Vec<f64>)> = Vec::with_capacity(t_end - t0_batch + 1);
+            for t in t0_batch..=t_end {
+                let (lo, hi) = paa_env(t);
+                for d in 0..f {
+                    min[d] = min[d].min(lo[d] - per_dim);
+                    max[d] = max[d].max(hi[d] + per_dim);
+                }
+                rects.push((lo, hi));
+            }
+            let (hits, qs) = self.tree.range_query(&Mbr::new(min, max));
+            stats.range_queries += 1;
+            stats.node_accesses += qs.node_accesses;
+            stats.entries_tested += qs.entries_tested;
+            for k in hits {
+                let feat = &self.features[k as usize];
+                let pos = k as usize * w;
+                for (i, (lo, hi)) in rects.iter().enumerate() {
+                    let t = t0_batch + i;
+                    if pos < t {
+                        continue;
+                    }
+                    let o = pos - t;
+                    if o > max_offset {
+                        continue;
+                    }
+                    let inside = (0..f).all(|d| {
+                        feat[d] >= lo[d] - per_dim - 1e-12 && feat[d] <= hi[d] + per_dim + 1e-12
+                    });
+                    if inside {
+                        candidates.push(o);
+                    }
+                }
+            }
+            t0_batch = t_end + 1;
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        stats.candidates = candidates.len() as u64;
+        stats.phase1_nanos = t1.elapsed().as_nanos() as u64;
+
+        // Verification.
+        let t2 = Instant::now();
+        let prep = PreparedQuery::new(spec.clone())?;
+        let mut scratch = Vec::new();
+        let mut results = Vec::new();
+        for o in candidates {
+            let s = &xs[o..o + m];
+            if let Some(distance) =
+                prep.verify(s, 0.0, 0.0, &mut scratch, &mut stats.full_distance_computations)
+            {
+                results.push(MatchResult { offset: o, distance });
+            }
+        }
+        stats.matches = results.len() as u64;
+        stats.phase2_nanos = t2.elapsed().as_nanos() as u64;
+        Ok((results, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvmatch_core::naive_search;
+    use kvmatch_timeseries::generator::composite_series;
+
+    fn check(xs: &[f64], spec: &QuerySpec, config: DualConfig) -> TreeMatchStats {
+        let dm = DualMatcher::build(xs, config);
+        let (got, stats) = dm.search(xs, spec).unwrap();
+        let want = naive_search(xs, spec);
+        assert_eq!(
+            got.iter().map(|r| r.offset).collect::<Vec<_>>(),
+            want.iter().map(|r| r.offset).collect::<Vec<_>>(),
+            "result mismatch"
+        );
+        stats
+    }
+
+    #[test]
+    fn dmatch_rsm_dtw_matches_naive() {
+        let xs = composite_series(501, 2_500);
+        let q = xs[500..756].to_vec();
+        for eps in [2.0, 8.0, 25.0] {
+            check(&xs, &QuerySpec::rsm_dtw(q.clone(), eps, 8), DualConfig::default());
+        }
+    }
+
+    #[test]
+    fn dmatch_rsm_ed_matches_naive() {
+        let xs = composite_series(503, 3_000);
+        let q = xs[1200..1456].to_vec();
+        check(&xs, &QuerySpec::rsm_ed(q, 12.0), DualConfig::default());
+    }
+
+    #[test]
+    fn batching_does_not_change_results() {
+        let xs = composite_series(507, 2_000);
+        let q = xs[300..600].to_vec();
+        let spec = QuerySpec::rsm_dtw(q, 6.0, 5);
+        let full = DualMatcher::build(&xs, DualConfig { batch: 1, ..Default::default() });
+        let batched = DualMatcher::build(&xs, DualConfig { batch: 64, ..Default::default() });
+        let (a, sa) = full.search(&xs, &spec).unwrap();
+        let (b, sb) = batched.search(&xs, &spec).unwrap();
+        assert_eq!(a, b);
+        assert!(sb.range_queries < sa.range_queries);
+    }
+
+    #[test]
+    fn index_is_smaller_than_frm() {
+        use crate::frm::{FrmConfig, FrmMatcher};
+        let xs = composite_series(509, 10_000);
+        let frm = FrmMatcher::build(&xs, FrmConfig::default());
+        let dm = DualMatcher::build(&xs, DualConfig::default());
+        assert!(dm.build_info().bytes * 10 < frm.build_info().bytes);
+    }
+
+    #[test]
+    fn short_query_rejected() {
+        let xs = composite_series(511, 1_000);
+        let dm = DualMatcher::build(&xs, DualConfig::default());
+        assert!(matches!(
+            dm.search(&xs, &QuerySpec::rsm_ed(vec![0.0; 100], 1.0)),
+            Err(CoreError::QueryTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn cnsm_rejected() {
+        let xs = composite_series(513, 1_000);
+        let dm = DualMatcher::build(&xs, DualConfig::default());
+        let q = xs[0..200].to_vec();
+        assert!(matches!(
+            dm.search(&xs, &QuerySpec::cnsm_ed(q, 1.0, 2.0, 5.0)),
+            Err(CoreError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn self_match_found_dtw() {
+        let xs = composite_series(517, 2_000);
+        let off = 777;
+        let q = xs[off..off + 200].to_vec();
+        let dm = DualMatcher::build(&xs, DualConfig::default());
+        let (res, _) = dm.search(&xs, &QuerySpec::rsm_dtw(q, 0.5, 5)).unwrap();
+        assert!(res.iter().any(|r| r.offset == off));
+    }
+}

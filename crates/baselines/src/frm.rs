@@ -1,0 +1,363 @@
+//! FRM (Faloutsos et al., SIGMOD'94) and General Match (Moon et al.,
+//! SIGMOD'02) — the R-tree baselines for RSM queries.
+//!
+//! Data side: PAA features of the `J`-sliding windows of `X` in an STR
+//! R-tree (`J = 1` is FRM, the configuration of Table VII; General Match
+//! trades index size against candidate quality through `J`).
+//!
+//! Query side: `Q` is cut into `p'' = ⌊(m − J + 1)/w⌋` disjoint windows.
+//! If `D(S, Q) ≤ ε`, the windows of `S` aligned at the unknown phase
+//! `δ₀ ∈ [0, J)` are disjoint, so at least `p''` of them decompose the
+//! budget and every one satisfies its per-window bound with radius
+//! `ε/√p''`. Each slot therefore issues **one** range query whose
+//! rectangle covers all `J` phases, candidates are refined per phase with
+//! the exact feature-space ball, and the final candidate set is the
+//! **union** across slots (the structural difference from KV-match that
+//! Table VII measures).
+//!
+//! Supports RSM-ED and RSM-DTW (envelope rectangles); cNSM queries are
+//! rejected — these methods cannot index normalized subsequences, which is
+//! the paper's motivation.
+
+use std::time::Instant;
+
+use kvmatch_core::{CoreError, MatchResult, PreparedQuery, QuerySpec};
+use kvmatch_distance::envelope::keogh_envelope;
+use kvmatch_rtree::{Mbr, RTree, RTreeConfig};
+use kvmatch_timeseries::PrefixStats;
+
+use crate::paa::{paa_distance, sliding_paa};
+
+/// Configuration of the FRM / General Match index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrmConfig {
+    /// Window length `w` (the paper's DMatch/GMatch setup uses 64).
+    pub window: usize,
+    /// PAA feature dimensionality `f` (must divide `w`; 4 in the paper).
+    pub paa_dims: usize,
+    /// R-tree fanout.
+    pub fanout: usize,
+    /// Sliding stride `J` (1 = FRM).
+    pub j: usize,
+}
+
+impl Default for FrmConfig {
+    fn default() -> Self {
+        Self { window: 64, paa_dims: 4, fanout: 64, j: 1 }
+    }
+}
+
+/// Execution statistics of one tree-based query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TreeMatchStats {
+    /// Range queries issued.
+    pub range_queries: u64,
+    /// R-tree nodes visited (the paper's "#index accesses").
+    pub node_accesses: u64,
+    /// Leaf entries tested.
+    pub entries_tested: u64,
+    /// Distinct candidate offsets verified.
+    pub candidates: u64,
+    /// Per-window candidates before the union (Table VII's per-window
+    /// column), summed across windows.
+    pub window_candidates: u64,
+    /// Full distance computations.
+    pub full_distance_computations: u64,
+    /// Qualified results.
+    pub matches: u64,
+    /// Phase-1 (index) nanoseconds.
+    pub phase1_nanos: u64,
+    /// Phase-2 (verification) nanoseconds.
+    pub phase2_nanos: u64,
+}
+
+/// Index-build information.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TreeBuildInfo {
+    /// Wall-clock nanoseconds to build.
+    pub nanos: u64,
+    /// Approximate index bytes.
+    pub bytes: u64,
+    /// Indexed windows.
+    pub windows: usize,
+}
+
+/// The FRM / General Match matcher.
+pub struct FrmMatcher {
+    config: FrmConfig,
+    tree: RTree,
+    /// Feature vector of indexed window `k` (position `k·J`).
+    features: Vec<Vec<f64>>,
+    n: usize,
+    build: TreeBuildInfo,
+}
+
+impl FrmMatcher {
+    /// Builds the index over `xs`.
+    ///
+    /// # Panics
+    /// Panics on invalid configuration (`w == 0`, `f ∤ w`, `J == 0`).
+    pub fn build(xs: &[f64], config: FrmConfig) -> Self {
+        assert!(config.window > 0 && config.j > 0, "invalid FRM config");
+        assert!(
+            config.paa_dims > 0
+                && config.paa_dims <= config.window
+                && config.window.is_multiple_of(config.paa_dims),
+            "paa_dims must divide window"
+        );
+        let t0 = Instant::now();
+        let all = sliding_paa(xs, config.window, config.paa_dims);
+        let features: Vec<Vec<f64>> = all
+            .into_iter()
+            .step_by(config.j)
+            .collect();
+        let points: Vec<(Vec<f64>, u64)> = features
+            .iter()
+            .enumerate()
+            .map(|(k, feat)| (feat.clone(), (k * config.j) as u64))
+            .collect();
+        let windows = points.len();
+        let tree = RTree::bulk_load(points, config.paa_dims, RTreeConfig { fanout: config.fanout });
+        let build = TreeBuildInfo {
+            nanos: t0.elapsed().as_nanos() as u64,
+            bytes: tree.size_bytes(),
+            windows,
+        };
+        Self { config, tree, features, n: xs.len(), build }
+    }
+
+    /// Build information (time/size, for Fig. 8).
+    pub fn build_info(&self) -> TreeBuildInfo {
+        self.build
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FrmConfig {
+        &self.config
+    }
+
+    /// Per-slot candidate sets (offsets), before the union — exposed for
+    /// the Table VII experiment. Also returns the query statistics.
+    pub fn window_candidates(
+        &self,
+        spec: &QuerySpec,
+    ) -> Result<(Vec<Vec<usize>>, TreeMatchStats), CoreError> {
+        spec.validate()?;
+        if spec.is_normalized() {
+            return Err(CoreError::InvalidQuery(
+                "FRM/General Match cannot answer normalized (cNSM) queries".into(),
+            ));
+        }
+        let w = self.config.window;
+        let f = self.config.paa_dims;
+        let j = self.config.j;
+        let m = spec.query.len();
+        if m < w + j - 1 {
+            return Err(CoreError::QueryTooShort { query_len: m, window: w + j - 1 });
+        }
+        let mut stats = TreeMatchStats::default();
+        let p = (m - j + 1) / w;
+        debug_assert!(p >= 1);
+        let radius = spec.epsilon / (p as f64).sqrt();
+        let per_dim = radius * (f as f64 / w as f64).sqrt();
+
+        // Envelope for DTW rectangles (degenerates to Q for ED).
+        let rho = spec.measure.rho();
+        let (lower, upper) = keogh_envelope(&spec.query, rho);
+        let lp = PrefixStats::new(&lower);
+        let up = PrefixStats::new(&upper);
+        let seg = w / f;
+        let paa_env = |offset: usize| -> (Vec<f64>, Vec<f64>) {
+            let lo: Vec<f64> = (0..f).map(|k| lp.range_mean(offset + k * seg, seg)).collect();
+            let hi: Vec<f64> = (0..f).map(|k| up.range_mean(offset + k * seg, seg)).collect();
+            (lo, hi)
+        };
+
+        let is_ed = !spec.measure.is_dtw();
+        let max_offset = self.n.saturating_sub(m);
+        let mut sets = Vec::with_capacity(p);
+        for slot in 0..p {
+            // Rectangle covering every phase δ ∈ [0, J) of this slot.
+            let mut min = vec![f64::INFINITY; f];
+            let mut max = vec![f64::NEG_INFINITY; f];
+            let mut phase_rects: Vec<(Vec<f64>, Vec<f64>)> = Vec::with_capacity(j);
+            for delta in 0..j {
+                let off = slot * w + delta;
+                let (lo, hi) = paa_env(off);
+                for d in 0..f {
+                    min[d] = min[d].min(lo[d] - per_dim);
+                    max[d] = max[d].max(hi[d] + per_dim);
+                }
+                phase_rects.push((lo, hi));
+            }
+            let (hits, qs) = self.tree.range_query(&Mbr::new(min, max));
+            stats.range_queries += 1;
+            stats.node_accesses += qs.node_accesses;
+            stats.entries_tested += qs.entries_tested;
+
+            let mut slot_cands: Vec<usize> = Vec::new();
+            for pos in hits {
+                let feat = &self.features[pos as usize / j];
+                for (delta, (lo, hi)) in phase_rects.iter().enumerate() {
+                    let aligned = slot * w + delta;
+                    if (pos as usize) < aligned {
+                        continue;
+                    }
+                    let o = pos as usize - aligned;
+                    if o > max_offset {
+                        continue;
+                    }
+                    // Phase refinement: exact feature-space ball (ED) or
+                    // envelope rectangle (DTW) for this phase.
+                    let ok = if is_ed {
+                        paa_distance(feat, lo, w) <= radius + 1e-12
+                    } else {
+                        (0..f).all(|d| {
+                            feat[d] >= lo[d] - per_dim - 1e-12
+                                && feat[d] <= hi[d] + per_dim + 1e-12
+                        })
+                    };
+                    if ok {
+                        slot_cands.push(o);
+                    }
+                }
+            }
+            slot_cands.sort_unstable();
+            slot_cands.dedup();
+            stats.window_candidates += slot_cands.len() as u64;
+            sets.push(slot_cands);
+        }
+        Ok((sets, stats))
+    }
+
+    /// Full query: per-slot candidates, union, verification against `xs`.
+    pub fn search(
+        &self,
+        xs: &[f64],
+        spec: &QuerySpec,
+    ) -> Result<(Vec<MatchResult>, TreeMatchStats), CoreError> {
+        assert_eq!(xs.len(), self.n, "series mismatch");
+        let t1 = Instant::now();
+        let (sets, mut stats) = self.window_candidates(spec)?;
+        let mut all: Vec<usize> = sets.into_iter().flatten().collect();
+        all.sort_unstable();
+        all.dedup();
+        stats.candidates = all.len() as u64;
+        stats.phase1_nanos = t1.elapsed().as_nanos() as u64;
+
+        let t2 = Instant::now();
+        let prep = PreparedQuery::new(spec.clone())?;
+        let mut scratch = Vec::new();
+        let mut results = Vec::new();
+        for o in all {
+            let s = &xs[o..o + prep.m];
+            if let Some(distance) =
+                prep.verify(s, 0.0, 0.0, &mut scratch, &mut stats.full_distance_computations)
+            {
+                results.push(MatchResult { offset: o, distance });
+            }
+        }
+        stats.matches = results.len() as u64;
+        stats.phase2_nanos = t2.elapsed().as_nanos() as u64;
+        Ok((results, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvmatch_core::naive_search;
+    use kvmatch_timeseries::generator::composite_series;
+
+    fn check(xs: &[f64], spec: &QuerySpec, config: FrmConfig) -> TreeMatchStats {
+        let frm = FrmMatcher::build(xs, config);
+        let (got, stats) = frm.search(xs, spec).unwrap();
+        let want = naive_search(xs, spec);
+        assert_eq!(
+            got.iter().map(|r| r.offset).collect::<Vec<_>>(),
+            want.iter().map(|r| r.offset).collect::<Vec<_>>(),
+            "result mismatch"
+        );
+        stats
+    }
+
+    #[test]
+    fn frm_rsm_ed_matches_naive() {
+        let xs = composite_series(401, 4_000);
+        let q = xs[1000..1256].to_vec();
+        for eps in [1.0, 10.0, 40.0] {
+            check(&xs, &QuerySpec::rsm_ed(q.clone(), eps), FrmConfig::default());
+        }
+    }
+
+    #[test]
+    fn frm_rsm_dtw_matches_naive() {
+        let xs = composite_series(403, 2_000);
+        let q = xs[300..492].to_vec();
+        check(&xs, &QuerySpec::rsm_dtw(q, 5.0, 6), FrmConfig::default());
+    }
+
+    #[test]
+    fn general_match_j_greater_one_matches_naive() {
+        let xs = composite_series(407, 4_000);
+        let q = xs[500..900].to_vec();
+        for j in [2usize, 4, 8] {
+            let cfg = FrmConfig { j, ..Default::default() };
+            check(&xs, &QuerySpec::rsm_ed(q.clone(), 15.0), cfg);
+        }
+    }
+
+    #[test]
+    fn j_reduces_index_size() {
+        let xs = composite_series(409, 10_000);
+        let frm = FrmMatcher::build(&xs, FrmConfig::default());
+        let gm = FrmMatcher::build(&xs, FrmConfig { j: 8, ..Default::default() });
+        assert!(gm.build_info().bytes < frm.build_info().bytes / 4);
+        assert!(gm.build_info().windows < frm.build_info().windows / 7);
+    }
+
+    #[test]
+    fn cnsm_rejected() {
+        let xs = composite_series(411, 1_000);
+        let frm = FrmMatcher::build(&xs, FrmConfig::default());
+        let q = xs[100..300].to_vec();
+        assert!(matches!(
+            frm.search(&xs, &QuerySpec::cnsm_ed(q, 1.0, 1.5, 5.0)),
+            Err(CoreError::InvalidQuery(_))
+        ));
+    }
+
+    #[test]
+    fn too_short_query_rejected() {
+        let xs = composite_series(413, 1_000);
+        let frm = FrmMatcher::build(&xs, FrmConfig::default());
+        assert!(matches!(
+            frm.search(&xs, &QuerySpec::rsm_ed(vec![0.0; 32], 1.0)),
+            Err(CoreError::QueryTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn union_grows_with_windows() {
+        // Per-window candidate counts sum to ≥ the union size.
+        let xs = composite_series(417, 5_000);
+        let q = xs[2000..2512].to_vec();
+        let frm = FrmMatcher::build(&xs, FrmConfig::default());
+        let spec = QuerySpec::rsm_ed(q, 20.0);
+        let (sets, stats) = frm.window_candidates(&spec).unwrap();
+        assert_eq!(sets.len(), 512 / 64);
+        let union: std::collections::BTreeSet<usize> =
+            sets.iter().flatten().copied().collect();
+        assert!(stats.window_candidates >= union.len() as u64);
+    }
+
+    #[test]
+    fn self_match_found() {
+        let xs = composite_series(419, 3_000);
+        let off = 1234;
+        let q = xs[off..off + 128].to_vec();
+        let frm = FrmMatcher::build(&xs, FrmConfig::default());
+        let (res, _) = frm.search(&xs, &QuerySpec::rsm_ed(q, 1e-9)).unwrap();
+        assert!(res.iter().any(|r| r.offset == off));
+    }
+}

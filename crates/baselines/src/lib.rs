@@ -1,0 +1,35 @@
+//! # kvmatch-baselines — the comparison approaches of the evaluation
+//!
+//! From-scratch implementations of every method the paper compares against
+//! (§VIII-A.3), sharing the query vocabulary of `kvmatch-core` so results
+//! are directly comparable:
+//!
+//! * [`UcrSuite`] — the scan-based state of the art for normalized
+//!   matching (Rakthanmanon et al., KDD'12), altered to the ε-match
+//!   problem and with the cNSM constraints embedded, exactly as the paper
+//!   does for its head-to-head tables. Handles all four query types.
+//! * [`FastScan`] — FAST (Li et al., EDBT'17): UCR Suite plus extra
+//!   cheap lower-bound cascade stages (PAA-based) that reduce full
+//!   distance computations.
+//! * [`FrmMatcher`] — FRM (Faloutsos et al., SIGMOD'94): sliding data
+//!   windows → PAA features → R-tree; per-query-window range queries with
+//!   radius `ε/√p`; candidate set is the **union** across windows.
+//!   General Match with `J = 1` (the configuration of Table VII).
+//! * [`DualMatcher`] — DMatch (Fu et al., VLDBJ'08): the duality-based
+//!   DTW approach — *disjoint* data windows indexed, *sliding* query
+//!   envelope windows queried.
+//!
+//! Every matcher reports candidates, index accesses and timing in the same
+//! shape as `kvmatch-core`'s [`kvmatch_core::MatchStats`], which is what
+//! the benchmark harness tabulates.
+
+pub mod dmatch;
+pub mod fast;
+pub mod frm;
+pub mod paa;
+pub mod ucr;
+
+pub use dmatch::DualMatcher;
+pub use fast::FastScan;
+pub use frm::FrmMatcher;
+pub use ucr::{scan_series_store, UcrSuite};

@@ -1,0 +1,121 @@
+//! Piecewise Aggregate Approximation features.
+//!
+//! The tree-based baselines transform length-`w` windows into `f`
+//! segment-mean vectors. The contractive property
+//! `√(w/f) · ED(PAA(S), PAA(Q)) ≤ ED(S, Q)` guarantees that a feature-space
+//! range query with the scaled radius has no false dismissals.
+
+use kvmatch_timeseries::PrefixStats;
+
+/// PAA of one window: `f` equal segment means.
+///
+/// # Panics
+/// Panics if `f == 0` or `f > window.len()` or `window.len() % f != 0`
+/// (the baselines always use divisible configurations).
+pub fn paa(window: &[f64], f: usize) -> Vec<f64> {
+    assert!(f > 0 && f <= window.len(), "invalid PAA segment count");
+    assert!(window.len().is_multiple_of(f), "window length must divide into f segments");
+    let seg = window.len() / f;
+    window
+        .chunks_exact(seg)
+        .map(|c| c.iter().sum::<f64>() / seg as f64)
+        .collect()
+}
+
+/// PAA features for **all** sliding windows of width `w` over `xs`,
+/// computed in O(n·f) with prefix sums. Returns one `f`-vector per window
+/// position.
+pub fn sliding_paa(xs: &[f64], w: usize, f: usize) -> Vec<Vec<f64>> {
+    assert!(f > 0 && f <= w && w.is_multiple_of(f), "invalid PAA configuration");
+    if w > xs.len() {
+        return Vec::new();
+    }
+    let seg = w / f;
+    let ps = PrefixStats::new(xs);
+    (0..=xs.len() - w)
+        .map(|j| (0..f).map(|k| ps.range_mean(j + k * seg, seg)).collect())
+        .collect()
+}
+
+/// PAA features of the disjoint windows of width `w` (used by DMatch's
+/// data-side index). Window `k` covers `xs[k·w .. (k+1)·w]`.
+pub fn disjoint_paa(xs: &[f64], w: usize, f: usize) -> Vec<Vec<f64>> {
+    assert!(f > 0 && f <= w && w.is_multiple_of(f), "invalid PAA configuration");
+    xs.chunks_exact(w).map(|c| paa(c, f)).collect()
+}
+
+/// Weighted feature-space distance `√(w/f) · ED(a, b)` — the lower bound
+/// on the raw window distance.
+pub fn paa_distance(a: &[f64], b: &[f64], w: usize) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let f = a.len();
+    let sq: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum();
+    ((w as f64 / f as f64) * sq).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvmatch_distance::ed::ed;
+
+    #[test]
+    fn paa_known_values() {
+        assert_eq!(paa(&[1.0, 3.0, 5.0, 7.0], 2), vec![2.0, 6.0]);
+        assert_eq!(paa(&[2.0, 2.0], 1), vec![2.0]);
+        let id = paa(&[1.0, 2.0, 3.0], 3);
+        assert_eq!(id, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "divide")]
+    fn indivisible_panics() {
+        let _ = paa(&[1.0, 2.0, 3.0], 2);
+    }
+
+    #[test]
+    fn sliding_matches_per_window() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64 * 0.7).sin() * 2.0).collect();
+        let w = 8;
+        let f = 4;
+        let all = sliding_paa(&xs, w, f);
+        assert_eq!(all.len(), xs.len() - w + 1);
+        for (j, feat) in all.iter().enumerate() {
+            let direct = paa(&xs[j..j + w], f);
+            for (a, b) in feat.iter().zip(&direct) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_covers_full_chunks_only() {
+        let xs: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        let ws = disjoint_paa(&xs, 10, 2);
+        assert_eq!(ws.len(), 2); // the 5-sample tail is dropped
+        assert_eq!(ws[0], vec![2.0, 7.0]);
+        assert_eq!(ws[1], vec![12.0, 17.0]);
+    }
+
+    #[test]
+    fn paa_distance_lower_bounds_ed() {
+        let a: Vec<f64> = (0..32).map(|i| ((i * 13 % 7) as f64) - 3.0).collect();
+        let b: Vec<f64> = (0..32).map(|i| ((i * 11 % 9) as f64) * 0.5).collect();
+        for f in [1usize, 2, 4, 8, 16, 32] {
+            let lb = paa_distance(&paa(&a, f), &paa(&b, f), 32);
+            let exact = ed(&a, &b);
+            assert!(lb <= exact + 1e-9, "f={f}: {lb} > {exact}");
+        }
+    }
+
+    #[test]
+    fn window_longer_than_series_is_empty() {
+        assert!(sliding_paa(&[1.0, 2.0], 4, 2).is_empty());
+    }
+}

@@ -1,0 +1,411 @@
+//! UCR Suite (Rakthanmanon et al., KDD'12), altered to the ε-match
+//! problem with embedded cNSM constraints (paper §VIII-A.3).
+//!
+//! The scan visits every offset and applies the classic cascade:
+//! constraints (O(1) from prefix statistics) → LB_Kim-FL → LB_Keogh →
+//! early-abandoning full distance, with the normalized query's coordinates
+//! reordered by magnitude for faster abandonment. [`FastScan`]
+//! (`fast.rs`) reuses this scan with an extra PAA lower-bound stage —
+//! FAST's contribution — enabled.
+//!
+//! [`FastScan`]: crate::fast::FastScan
+
+use std::time::Instant;
+
+use kvmatch_core::{CoreError, MatchResult, QuerySpec};
+use kvmatch_distance::dtw::dtw_banded_early_abandon;
+use kvmatch_distance::ed::{
+    abandon_order, ed_early_abandon, ed_norm_early_abandon_ordered,
+};
+use kvmatch_distance::envelope::keogh_envelope;
+use kvmatch_distance::lower_bounds::{lb_keogh_sq_early_abandon, lb_kim_fl_sq, lb_paa_sq};
+use kvmatch_distance::normalize::{mean_std, z_normalized};
+use kvmatch_timeseries::PrefixStats;
+
+/// Statistics of one sequential scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Offsets visited (always `n − m + 1`).
+    pub offsets_scanned: u64,
+    /// Offsets rejected by the cNSM constraints alone.
+    pub pruned_constraint: u64,
+    /// Offsets rejected by LB_Kim-FL.
+    pub pruned_lb_kim: u64,
+    /// Offsets rejected by the PAA lower bound (FAST stage only).
+    pub pruned_lb_paa: u64,
+    /// Offsets rejected by LB_Keogh.
+    pub pruned_lb_keogh: u64,
+    /// Full distance computations executed.
+    pub full_distance_computations: u64,
+    /// Qualified results.
+    pub matches: u64,
+    /// Wall-clock nanoseconds.
+    pub nanos: u64,
+}
+
+/// The UCR Suite scanner. Holds the series and its prefix statistics
+/// (the equivalent of UCR's online running sums).
+pub struct UcrSuite<'a> {
+    xs: &'a [f64],
+    prefix: PrefixStats,
+}
+
+impl<'a> UcrSuite<'a> {
+    /// Prepares a scanner over `xs`.
+    pub fn new(xs: &'a [f64]) -> Self {
+        Self { xs, prefix: PrefixStats::new(xs) }
+    }
+
+    /// The underlying series.
+    pub fn series(&self) -> &[f64] {
+        self.xs
+    }
+
+    /// Runs the scan for any of the four query types.
+    pub fn search(&self, spec: &QuerySpec) -> Result<(Vec<MatchResult>, ScanStats), CoreError> {
+        scan_impl(self.xs, &self.prefix, spec, false)
+    }
+}
+
+/// Streaming UCR scan over a [`SeriesStore`] — the configuration of the
+/// paper's HBase experiments (§VIII-F), where UCR Suite itself reads the
+/// stored table. Fetches `chunk`-sample blocks (with `m − 1` overlap so no
+/// offset is lost) and scans each with the normal cascade; every fetch is
+/// accounted in the store's `IoStats`.
+///
+/// [`SeriesStore`]: kvmatch_storage::SeriesStore
+pub fn scan_series_store<D: kvmatch_storage::SeriesStore>(
+    store: &D,
+    spec: &QuerySpec,
+    chunk: usize,
+) -> Result<(Vec<MatchResult>, ScanStats), CoreError> {
+    spec.validate()?;
+    let m = spec.query.len();
+    let n = store.len();
+    let mut results = Vec::new();
+    let mut total = ScanStats::default();
+    if m > n {
+        return Ok((results, total));
+    }
+    let chunk = chunk.max(2 * m);
+    let mut start = 0usize;
+    while start + m <= n {
+        let len = chunk.min(n - start);
+        let buf = store.fetch(start, len)?;
+        let prefix = PrefixStats::new(&buf);
+        let (hits, stats) = scan_impl(&buf, &prefix, spec, false)?;
+        // Chunks overlap by m − 1 *samples* but their scanned offset
+        // ranges are disjoint: this chunk covers global offsets
+        // [start, start + len − m], the next starts at start + len − m + 1.
+        for h in hits {
+            results.push(MatchResult { offset: start + h.offset, distance: h.distance });
+        }
+        total.offsets_scanned += stats.offsets_scanned;
+        total.pruned_constraint += stats.pruned_constraint;
+        total.pruned_lb_kim += stats.pruned_lb_kim;
+        total.pruned_lb_keogh += stats.pruned_lb_keogh;
+        total.full_distance_computations += stats.full_distance_computations;
+        total.nanos += stats.nanos;
+        if start + len >= n {
+            break;
+        }
+        start += len - m + 1;
+    }
+    total.matches = results.len() as u64;
+    Ok((results, total))
+}
+
+/// Number of PAA segments used by the FAST stage.
+pub(crate) const FAST_PAA_SEGMENTS: usize = 8;
+
+/// The shared scan. `extra_paa_stage` enables FAST's additional PAA lower
+/// bound between the constraint check and LB_Keogh.
+pub(crate) fn scan_impl(
+    xs: &[f64],
+    prefix: &PrefixStats,
+    spec: &QuerySpec,
+    extra_paa_stage: bool,
+) -> Result<(Vec<MatchResult>, ScanStats), CoreError> {
+    spec.validate()?;
+    let t0 = Instant::now();
+    let m = spec.query.len();
+    let mut stats = ScanStats::default();
+    let mut results = Vec::new();
+    if m > xs.len() {
+        stats.nanos = t0.elapsed().as_nanos() as u64;
+        return Ok((results, stats));
+    }
+    let eps_sq = spec.epsilon * spec.epsilon;
+    let rho = spec.measure.rho();
+    let is_dtw = spec.measure.is_dtw();
+    let q = &spec.query;
+    let (mu_q, sigma_q) = mean_std(q);
+
+    // Normalized-query material (cNSM).
+    let q_norm = spec.is_normalized().then(|| z_normalized(q));
+    let order = q_norm.as_ref().map(|qn| abandon_order(qn));
+    // Envelopes: raw for RSM-DTW, normalized for cNSM-DTW.
+    let env_raw = (is_dtw && !spec.is_normalized()).then(|| keogh_envelope(q, rho));
+    let env_norm = match (&q_norm, is_dtw) {
+        (Some(qn), true) => Some(keogh_envelope(qn, rho)),
+        _ => None,
+    };
+
+    // PAA material for the FAST stage: segment layout + per-target PAA.
+    let seg = (m / FAST_PAA_SEGMENTS).max(1);
+    let f = m / seg;
+    let paa_of = |v: &[f64]| -> Vec<f64> {
+        (0..f)
+            .map(|k| v[k * seg..(k + 1) * seg].iter().sum::<f64>() / seg as f64)
+            .collect()
+    };
+    // The PAA target depends on the query type: raw Q / raw envelope /
+    // normalized Q / normalized envelope.
+    let paa_target: Option<(Vec<f64>, Vec<f64>)> = if extra_paa_stage {
+        Some(match (&q_norm, is_dtw) {
+            (None, false) => (paa_of(q), paa_of(q)),
+            (None, true) => {
+                let (l, u) = env_raw.as_ref().expect("raw envelope exists");
+                (paa_of(l), paa_of(u))
+            }
+            (Some(qn), false) => (paa_of(qn), paa_of(qn)),
+            (Some(qn), true) => {
+                let env = env_norm.as_ref().expect("normalized envelope exists");
+                let _ = qn;
+                (paa_of(&env.0), paa_of(&env.1))
+            }
+        })
+    } else {
+        None
+    };
+
+    let mut scratch: Vec<f64> = Vec::with_capacity(m);
+    let mut paa_s = vec![0.0; f];
+
+    for j in 0..=xs.len() - m {
+        stats.offsets_scanned += 1;
+        let s = &xs[j..j + m];
+        let (mu_s, sigma_s) = prefix.range_mean_std(j, m);
+
+        // Stage 0: cNSM constraints.
+        if let Some(c) = &spec.constraint {
+            if (mu_s - mu_q).abs() > c.beta
+                || sigma_s < sigma_q / c.alpha
+                || sigma_s > sigma_q * c.alpha
+            {
+                stats.pruned_constraint += 1;
+                continue;
+            }
+        }
+
+        // Stage 1: LB_Kim-FL (first/last points), on the comparison domain.
+        if spec.is_normalized() {
+            let qn = q_norm.as_ref().expect("normalized query exists");
+            if sigma_s > 0.0 {
+                let inv = 1.0 / sigma_s;
+                let d0 = (s[0] - mu_s) * inv - qn[0];
+                let dl = (s[m - 1] - mu_s) * inv - qn[m - 1];
+                if d0 * d0 + dl * dl > eps_sq {
+                    stats.pruned_lb_kim += 1;
+                    continue;
+                }
+            }
+        } else if lb_kim_fl_sq(s, q) > eps_sq {
+            stats.pruned_lb_kim += 1;
+            continue;
+        }
+
+        // Stage 2 (FAST only): PAA lower bound.
+        if let Some((paa_l, paa_u)) = &paa_target {
+            for (k, slot) in paa_s.iter_mut().enumerate() {
+                let mu = prefix.range_mean(j + k * seg, seg);
+                *slot = if spec.is_normalized() {
+                    if sigma_s > 0.0 { (mu - mu_s) / sigma_s } else { 0.0 }
+                } else {
+                    mu
+                };
+            }
+            if lb_paa_sq(&paa_s, paa_l, paa_u, seg) > eps_sq {
+                stats.pruned_lb_paa += 1;
+                continue;
+            }
+        }
+
+        // Stage 3 + full distance, per query type.
+        let hit: Option<f64> = match (&q_norm, is_dtw) {
+            (None, false) => {
+                stats.full_distance_computations += 1;
+                ed_early_abandon(s, q, eps_sq)
+            }
+            (None, true) => {
+                let (l, u) = env_raw.as_ref().expect("raw envelope exists");
+                if lb_keogh_sq_early_abandon(s, l, u, eps_sq).is_none() {
+                    stats.pruned_lb_keogh += 1;
+                    None
+                } else {
+                    stats.full_distance_computations += 1;
+                    dtw_banded_early_abandon(s, q, rho, eps_sq)
+                }
+            }
+            (Some(qn), false) => {
+                stats.full_distance_computations += 1;
+                let ord = order.as_ref().expect("order exists");
+                ed_norm_early_abandon_ordered(s, qn, ord, mu_s, sigma_s, eps_sq)
+            }
+            (Some(qn), true) => {
+                scratch.clear();
+                scratch.extend_from_slice(s);
+                kvmatch_distance::z_normalize(&mut scratch, mu_s, sigma_s);
+                let (l, u) = env_norm.as_ref().expect("normalized envelope exists");
+                if lb_keogh_sq_early_abandon(&scratch, l, u, eps_sq).is_none() {
+                    stats.pruned_lb_keogh += 1;
+                    None
+                } else {
+                    stats.full_distance_computations += 1;
+                    dtw_banded_early_abandon(&scratch, qn, rho, eps_sq)
+                }
+            }
+        };
+        if let Some(d_sq) = hit {
+            results.push(MatchResult { offset: j, distance: d_sq.sqrt() });
+        }
+    }
+    stats.matches = results.len() as u64;
+    stats.nanos = t0.elapsed().as_nanos() as u64;
+    Ok((results, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvmatch_core::naive_search;
+    use kvmatch_timeseries::generator::composite_series;
+
+    fn check(xs: &[f64], spec: &QuerySpec) -> ScanStats {
+        let ucr = UcrSuite::new(xs);
+        let (got, stats) = ucr.search(spec).unwrap();
+        let want = naive_search(xs, spec);
+        assert_eq!(
+            got.iter().map(|r| r.offset).collect::<Vec<_>>(),
+            want.iter().map(|r| r.offset).collect::<Vec<_>>()
+        );
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g.distance - w.distance).abs() < 1e-6);
+        }
+        stats
+    }
+
+    #[test]
+    fn rsm_ed_matches_naive() {
+        let xs = composite_series(201, 4_000);
+        let q = xs[700..900].to_vec();
+        for eps in [0.0, 5.0, 30.0] {
+            check(&xs, &QuerySpec::rsm_ed(q.clone(), eps));
+        }
+    }
+
+    #[test]
+    fn rsm_dtw_matches_naive() {
+        let xs = composite_series(203, 2_000);
+        let q = xs[300..420].to_vec();
+        check(&xs, &QuerySpec::rsm_dtw(q, 8.0, 6));
+    }
+
+    #[test]
+    fn cnsm_ed_matches_naive() {
+        let xs = composite_series(207, 4_000);
+        let q = xs[1500..1700].to_vec();
+        check(&xs, &QuerySpec::cnsm_ed(q, 2.0, 1.5, 3.0));
+    }
+
+    #[test]
+    fn cnsm_dtw_matches_naive() {
+        let xs = composite_series(209, 1_500);
+        let q = xs[200..350].to_vec();
+        check(&xs, &QuerySpec::cnsm_dtw(q, 2.5, 5, 1.5, 4.0));
+    }
+
+    #[test]
+    fn scan_visits_every_offset() {
+        let xs = composite_series(211, 1_000);
+        let q = xs[0..100].to_vec();
+        let stats = check(&xs, &QuerySpec::rsm_ed(q, 1.0));
+        assert_eq!(stats.offsets_scanned, 901);
+    }
+
+    #[test]
+    fn constraints_prune_before_distance() {
+        // A tight β on wandering data: most offsets die at the constraint
+        // stage, never reaching a distance kernel.
+        let xs = composite_series(213, 5_000);
+        let q = xs[2000..2200].to_vec();
+        let ucr = UcrSuite::new(&xs);
+        let (_, stats) = ucr
+            .search(&QuerySpec::cnsm_ed(q, 1.0, 1.1, 0.2))
+            .unwrap();
+        assert!(
+            stats.pruned_constraint > stats.offsets_scanned / 2,
+            "expected constraint pruning to dominate: {stats:?}"
+        );
+        assert!(stats.full_distance_computations < stats.offsets_scanned);
+    }
+
+    #[test]
+    fn lb_keogh_prunes_for_dtw() {
+        let xs = composite_series(217, 3_000);
+        let q = xs[100..300].to_vec();
+        let ucr = UcrSuite::new(&xs);
+        let (_, stats) = ucr.search(&QuerySpec::rsm_dtw(q, 2.0, 10)).unwrap();
+        assert!(stats.pruned_lb_keogh + stats.pruned_lb_kim > 0);
+        assert!(stats.full_distance_computations < stats.offsets_scanned);
+    }
+
+    #[test]
+    fn store_backed_scan_equals_in_memory() {
+        use kvmatch_storage::{BlockSeriesStore, SeriesStore};
+        let xs = composite_series(219, 5_000);
+        let q = xs[2_000..2_300].to_vec();
+        let store = BlockSeriesStore::from_series(&xs, 512);
+        for spec in [
+            QuerySpec::rsm_ed(q.clone(), 15.0),
+            QuerySpec::cnsm_ed(q.clone(), 2.0, 1.5, 3.0),
+            QuerySpec::rsm_dtw(q.clone(), 5.0, 10),
+        ] {
+            for chunk in [700usize, 4_096, 50_000] {
+                let (got, stats) = scan_series_store(&store, &spec, chunk).unwrap();
+                let want = naive_search(&xs, &spec);
+                assert_eq!(
+                    got.iter().map(|r| r.offset).collect::<Vec<_>>(),
+                    want.iter().map(|r| r.offset).collect::<Vec<_>>(),
+                    "chunk {chunk}"
+                );
+                assert_eq!(stats.offsets_scanned as usize, xs.len() - q.len() + 1);
+            }
+        }
+        assert!(store.io_stats().rows_read() > 0, "fetches went through the store");
+    }
+
+    #[test]
+    fn store_backed_scan_short_series() {
+        use kvmatch_storage::MemorySeriesStore;
+        let store = MemorySeriesStore::new(vec![1.0, 2.0]);
+        let (res, stats) =
+            scan_series_store(&store, &QuerySpec::rsm_ed(vec![0.0; 10], 5.0), 1024).unwrap();
+        assert!(res.is_empty());
+        assert_eq!(stats.offsets_scanned, 0);
+    }
+
+    #[test]
+    fn empty_when_query_longer_than_series() {
+        let ucr = UcrSuite::new(&[1.0, 2.0]);
+        let (res, stats) = ucr.search(&QuerySpec::rsm_ed(vec![0.0; 10], 5.0)).unwrap();
+        assert!(res.is_empty());
+        assert_eq!(stats.offsets_scanned, 0);
+    }
+
+    #[test]
+    fn invalid_spec_rejected() {
+        let ucr = UcrSuite::new(&[1.0, 2.0, 3.0]);
+        assert!(ucr.search(&QuerySpec::rsm_ed(vec![], 1.0)).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Microbenchmarks of the distance kernels and lower bounds — the
+//! verification-phase cost model shared by KV-match and the baselines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kvmatch_bench::make_series;
+use kvmatch_distance::dtw::dtw_banded_early_abandon;
+use kvmatch_distance::ed::{ed_early_abandon, ed_norm_early_abandon};
+use kvmatch_distance::envelope::keogh_envelope;
+use kvmatch_distance::lower_bounds::{lb_keogh_sq, lb_paa_sq};
+use kvmatch_distance::normalize::{mean_std, z_normalized};
+
+fn bench_kernels(c: &mut Criterion) {
+    let xs = make_series(20_000, 7);
+    let mut group = c.benchmark_group("distance");
+    group.sample_size(30);
+    for m in [256usize, 1024] {
+        let a = &xs[0..m];
+        let b = &xs[5_000..5_000 + m];
+        let b_norm = z_normalized(b);
+        let (mu, sigma) = mean_std(a);
+        let rho = m / 20;
+        let (lo, hi) = keogh_envelope(b, rho);
+
+        group.bench_with_input(BenchmarkId::new("ed_early_abandon", m), &m, |bch, _| {
+            bch.iter(|| ed_early_abandon(black_box(a), black_box(b), 1e12))
+        });
+        group.bench_with_input(BenchmarkId::new("ed_norm_early_abandon", m), &m, |bch, _| {
+            bch.iter(|| ed_norm_early_abandon(black_box(a), black_box(&b_norm), mu, sigma, 1e12))
+        });
+        group.bench_with_input(BenchmarkId::new("lb_keogh", m), &m, |bch, _| {
+            bch.iter(|| lb_keogh_sq(black_box(a), black_box(&lo), black_box(&hi)))
+        });
+        let seg = m / 8;
+        let paa = |v: &[f64]| -> Vec<f64> {
+            (0..8).map(|k| v[k * seg..(k + 1) * seg].iter().sum::<f64>() / seg as f64).collect()
+        };
+        let (pa, pl, pu) = (paa(a), paa(&lo), paa(&hi));
+        group.bench_with_input(BenchmarkId::new("lb_paa", m), &m, |bch, _| {
+            bch.iter(|| lb_paa_sq(black_box(&pa), black_box(&pl), black_box(&pu), seg))
+        });
+        group.bench_with_input(BenchmarkId::new("dtw_banded_5pct", m), &m, |bch, _| {
+            bch.iter(|| dtw_banded_early_abandon(black_box(a), black_box(b), rho, f64::INFINITY))
+        });
+        group.bench_with_input(BenchmarkId::new("envelope", m), &m, |bch, _| {
+            bch.iter(|| keogh_envelope(black_box(b), rho))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Fig. 10 at reduced scale: KV-match_DP vs single-window KV-match across
+//! query lengths, plus the DP segmentation overhead itself and the
+//! §VI-C probe-order ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kvmatch_bench::{make_series, sample_queries};
+use kvmatch_core::{
+    DpMatcher, DpOptions, IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher, MultiIndex,
+    PreparedQuery, QuerySpec,
+};
+use kvmatch_storage::memory::MemoryKvStoreBuilder;
+use kvmatch_storage::{MemoryKvStore, MemorySeriesStore};
+
+const N: usize = 50_000;
+
+fn bench_dp_vs_single(c: &mut Criterion) {
+    let xs = make_series(N, 19);
+    let data = MemorySeriesStore::new(xs.clone());
+    let multi = MultiIndex::<MemoryKvStore>::build_with::<MemoryKvStoreBuilder, _>(
+        &xs,
+        IndexSetConfig::default(),
+        |_| MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    let singles: Vec<(usize, KvIndex<MemoryKvStore>)> = [25usize, 100, 400]
+        .into_iter()
+        .map(|w| {
+            (
+                w,
+                KvIndex::<MemoryKvStore>::build_into(
+                    &xs,
+                    IndexBuildConfig::new(w),
+                    MemoryKvStoreBuilder::new(),
+                )
+                .unwrap()
+                .0,
+            )
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("fig10_dp_vs_single");
+    group.sample_size(15);
+    for m in [128usize, 1024, 4096] {
+        let q = sample_queries(&xs, m, 1, 0.05, m as u64).pop().unwrap();
+        let spec = QuerySpec::rsm_ed(q, 10.0);
+        for (w, idx) in &singles {
+            if *w > m {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(format!("kvm_w{w}"), m),
+                &spec,
+                |b, spec| {
+                    let matcher = KvMatcher::new(idx, &data).unwrap();
+                    b.iter(|| matcher.execute(black_box(spec)).unwrap())
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("kvm_dp", m), &spec, |b, spec| {
+            let matcher = DpMatcher::new(&multi, &data).unwrap();
+            b.iter(|| matcher.execute(black_box(spec)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_segmentation_only(c: &mut Criterion) {
+    // The Eq. 9 DP itself (meta-table only, no I/O).
+    let xs = make_series(N, 23);
+    let multi = MultiIndex::<MemoryKvStore>::build_with::<MemoryKvStoreBuilder, _>(
+        &xs,
+        IndexSetConfig::default(),
+        |_| MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    let mut group = c.benchmark_group("dp_segmentation_eq9");
+    group.sample_size(20);
+    for m in [512usize, 2048, 8192] {
+        let q = sample_queries(&xs, m.min(N / 4), 1, 0.05, m as u64).pop().unwrap();
+        let prep = PreparedQuery::new(QuerySpec::rsm_ed(q, 10.0)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &prep, |b, prep| {
+            b.iter(|| multi.segment_query(black_box(prep)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_probe_order_ablation(c: &mut Criterion) {
+    // §VI-C optimization 2: ascending-cost probe order vs query order.
+    let xs = make_series(N, 29);
+    let data = MemorySeriesStore::new(xs.clone());
+    let multi = MultiIndex::<MemoryKvStore>::build_with::<MemoryKvStoreBuilder, _>(
+        &xs,
+        IndexSetConfig::default(),
+        |_| MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    let q = sample_queries(&xs, 2048, 1, 0.05, 31).pop().unwrap();
+    let spec = QuerySpec::rsm_ed(q, 25.0);
+    let mut group = c.benchmark_group("probe_order_ablation");
+    group.sample_size(15);
+    for (name, opts) in [
+        ("reordered", DpOptions { reorder_by_cost: true, max_windows: None }),
+        ("query_order", DpOptions { reorder_by_cost: false, max_windows: None }),
+        ("first_two_only", DpOptions { reorder_by_cost: true, max_windows: Some(2) }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &opts, |b, &opts| {
+            let matcher = DpMatcher::new(&multi, &data).unwrap().with_options(opts);
+            b.iter(|| matcher.execute(black_box(&spec)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dp_vs_single,
+    bench_segmentation_only,
+    bench_probe_order_ablation
+);
+criterion_main!(benches);

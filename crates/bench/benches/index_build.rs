@@ -1,0 +1,101 @@
+//! Index-construction benches (Table VIII / Fig. 8 at reduced scale) plus
+//! the DESIGN.md ablations: window width, merge threshold γ, sequential vs
+//! parallel build, KV-index vs the baselines' R-tree builds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use kvmatch_baselines::dmatch::{DualConfig, DualMatcher};
+use kvmatch_baselines::frm::{FrmConfig, FrmMatcher};
+use kvmatch_bench::make_series;
+use kvmatch_core::build::{build_rows, build_rows_parallel};
+use kvmatch_core::{IndexAppender, IndexBuildConfig, KvIndex};
+use kvmatch_storage::memory::MemoryKvStoreBuilder;
+use kvmatch_storage::MemoryKvStore;
+
+fn bench_window_width(c: &mut Criterion) {
+    // Table VIII: build time decreases with w.
+    let xs = make_series(100_000, 11);
+    let mut group = c.benchmark_group("table8_build_vs_w");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(xs.len() as u64));
+    for w in [25usize, 50, 100, 200, 400] {
+        group.bench_with_input(BenchmarkId::from_parameter(w), &w, |b, &w| {
+            b.iter(|| build_rows(black_box(&xs), IndexBuildConfig::new(w)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_vs_n(c: &mut Criterion) {
+    // Fig. 8: KV-index vs DMatch R-tree vs FRM R-tree build time.
+    let mut group = c.benchmark_group("fig8_build_vs_n");
+    group.sample_size(10);
+    for n in [10_000usize, 50_000, 100_000] {
+        let xs = make_series(n, 13);
+        group.bench_with_input(BenchmarkId::new("kvindex_w50", n), &n, |b, _| {
+            b.iter(|| build_rows(black_box(&xs), IndexBuildConfig::new(50)))
+        });
+        group.bench_with_input(BenchmarkId::new("dmatch_rtree", n), &n, |b, _| {
+            b.iter(|| DualMatcher::build(black_box(&xs), DualConfig::default()))
+        });
+        group.bench_with_input(BenchmarkId::new("frm_rtree", n), &n, |b, _| {
+            b.iter(|| FrmMatcher::build(black_box(&xs), FrmConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let xs = make_series(200_000, 17);
+    let mut group = c.benchmark_group("build_ablations");
+    group.sample_size(10);
+    // γ ablation: merge disabled vs default vs aggressive.
+    for gamma in [0.0f64, 0.8, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("gamma", format!("{gamma}")),
+            &gamma,
+            |b, &g| {
+                b.iter(|| build_rows(black_box(&xs), IndexBuildConfig::new(50).with_gamma(g)))
+            },
+        );
+    }
+    // Parallel build ablation.
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| build_rows_parallel(black_box(&xs), IndexBuildConfig::new(50), t))
+        });
+    }
+    group.finish();
+}
+
+
+fn bench_append_vs_rebuild(c: &mut Criterion) {
+    // Incremental maintenance ablation: extending an index by a batch vs
+    // rebuilding from scratch, as the covered prefix grows.
+    let n = 200_000;
+    let batch = 20_000;
+    let xs = make_series(n + batch, 13);
+    let w = 50;
+    let cfg = IndexBuildConfig::new(w);
+    let (base, _) = KvIndex::<MemoryKvStore>::build_into(&xs[..n], cfg, MemoryKvStoreBuilder::new()).unwrap();
+    let mut group = c.benchmark_group("append_vs_rebuild_20k_batch");
+    group.sample_size(10);
+    group.bench_function("incremental_append", |b| {
+        b.iter(|| {
+            let mut app = IndexAppender::from_index(&base, &xs[n - (w - 1)..n]).unwrap();
+            app.push_chunk(black_box(&xs[n..]));
+            app.finish_into(MemoryKvStoreBuilder::new()).unwrap()
+        })
+    });
+    group.bench_function("full_rebuild", |b| {
+        b.iter(|| {
+            KvIndex::<MemoryKvStore>::build_into(black_box(&xs), cfg, MemoryKvStoreBuilder::new())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_width, bench_build_vs_n, bench_ablations, bench_append_vs_rebuild);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! LSM-engine microbenches: write path (WAL + memtable + flush),
+//! point reads across levels, range scans, and the sorted bulk-ingest
+//! path used by index building.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use kvmatch_lsm::{LsmDb, LsmKvStore, LsmKvStoreBuilder, LsmOptions};
+use kvmatch_storage::KvStore;
+
+fn key(i: usize) -> Vec<u8> {
+    format!("key-{i:010}").into_bytes()
+}
+
+fn value(i: usize) -> Vec<u8> {
+    format!("value-{:032}", i * 31).into_bytes()
+}
+
+fn populated_db(dir: &std::path::Path, n: usize) -> LsmDb {
+    let db = LsmDb::open(dir, LsmOptions { memtable_bytes: 256 << 10, ..LsmOptions::default() })
+        .unwrap();
+    for i in 0..n {
+        db.put(&key(i), &value(i)).unwrap();
+    }
+    db.flush().unwrap();
+    db
+}
+
+fn bench_write_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsm_put");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("10k_puts_with_flushes", |b| {
+        b.iter_with_setup(|| tempfile::tempdir().unwrap(), |dir| {
+            let db = LsmDb::open(
+                dir.path(),
+                LsmOptions { memtable_bytes: 64 << 10, ..LsmOptions::default() },
+            )
+            .unwrap();
+            for i in 0..10_000 {
+                db.put(black_box(&key(i)), black_box(&value(i))).unwrap();
+            }
+            db.flush().unwrap();
+        })
+    });
+    group.finish();
+}
+
+fn bench_reads(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let n = 50_000;
+    let db = populated_db(dir.path(), n);
+
+    let mut group = c.benchmark_group("lsm_read");
+    group.sample_size(20);
+    group.bench_function("point_get_hit", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i * 7 + 13) % n;
+            db.get(black_box(&key(i))).unwrap().expect("present")
+        })
+    });
+    group.bench_function("point_get_miss_bloom_filtered", |b| {
+        b.iter(|| db.get(black_box(b"zzz-absent")).unwrap())
+    });
+    group.bench_function("range_scan_1k_rows", |b| {
+        b.iter(|| {
+            let rows = db.scan(black_box(&key(20_000)), black_box(&key(21_000))).unwrap();
+            assert_eq!(rows.len(), 1_000);
+            rows
+        })
+    });
+    group.finish();
+}
+
+fn bench_bulk_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lsm_bulk_ingest");
+    group.sample_size(10);
+    let n = 50_000;
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("sorted_50k_rows", |b| {
+        b.iter_with_setup(|| tempfile::tempdir().unwrap(), |dir| {
+            let mut builder =
+                LsmKvStoreBuilder::create(dir.path(), LsmOptions::default()).unwrap();
+            for i in 0..n {
+                kvmatch_storage::KvStoreBuilder::append(&mut builder, &key(i), &value(i))
+                    .unwrap();
+            }
+            let store = kvmatch_storage::KvStoreBuilder::finish(builder).unwrap();
+            assert_eq!(store.row_count(), n);
+        })
+    });
+    group.finish();
+}
+
+fn bench_reopen(c: &mut Criterion) {
+    let dir = tempfile::tempdir().unwrap();
+    let _db = populated_db(dir.path(), 50_000);
+    drop(_db);
+    let mut group = c.benchmark_group("lsm_open");
+    group.sample_size(20);
+    group.bench_function("reopen_50k_rows", |b| {
+        b.iter(|| {
+            let store = LsmKvStore::open(dir.path(), LsmOptions::default()).unwrap();
+            black_box(store.row_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_write_path, bench_reads, bench_bulk_ingest, bench_reopen);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Query benchmarks mirroring Tables III–VI at reduced scale: every
+//! approach × query type on the same calibrated workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kvmatch_baselines::dmatch::{DualConfig, DualMatcher};
+use kvmatch_baselines::frm::{FrmConfig, FrmMatcher};
+use kvmatch_baselines::{FastScan, UcrSuite};
+use kvmatch_bench::{calibrate_epsilon, make_series, sample_queries, CalibrationTarget};
+use kvmatch_core::{DpMatcher, IndexSetConfig, MultiIndex, QuerySpec};
+use kvmatch_storage::memory::MemoryKvStoreBuilder;
+use kvmatch_storage::{MemoryKvStore, MemorySeriesStore};
+
+const N: usize = 50_000;
+const M: usize = 512;
+
+struct Setup {
+    xs: Vec<f64>,
+    multi: MultiIndex<MemoryKvStore>,
+    data: MemorySeriesStore,
+    query: Vec<f64>,
+    eps_rsm: f64,
+    eps_cnsm: f64,
+    beta: f64,
+}
+
+fn setup() -> Setup {
+    let xs = make_series(N, 42);
+    let multi = MultiIndex::<MemoryKvStore>::build_with::<MemoryKvStoreBuilder, _>(
+        &xs,
+        IndexSetConfig::default(),
+        |_| MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    let data = MemorySeriesStore::new(xs.clone());
+    let query = sample_queries(&xs, M, 1, 0.05, 7).pop().unwrap();
+    let target = CalibrationTarget { matches: 20, ..Default::default() };
+    let (eps_rsm, _) = calibrate_epsilon(&xs, |e| QuerySpec::rsm_ed(query.clone(), e), target);
+    let range = {
+        let (lo, hi) = xs.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+        hi - lo
+    };
+    let beta = range * 0.05;
+    let (eps_cnsm, _) = calibrate_epsilon(
+        &xs,
+        |e| QuerySpec::cnsm_ed(query.clone(), e, 1.5, beta),
+        target,
+    );
+    Setup { xs, multi, data, query, eps_rsm, eps_cnsm, beta }
+}
+
+fn bench_rsm_ed(c: &mut Criterion) {
+    let s = setup();
+    let spec = QuerySpec::rsm_ed(s.query.clone(), s.eps_rsm);
+    let gmatch = FrmMatcher::build(&s.xs, FrmConfig::default());
+    let mut group = c.benchmark_group("table3_rsm_ed");
+    group.sample_size(20);
+    group.bench_function("kvm_dp", |b| {
+        let m = DpMatcher::new(&s.multi, &s.data).unwrap();
+        b.iter(|| m.execute(black_box(&spec)).unwrap())
+    });
+    group.bench_function("gmatch", |b| {
+        b.iter(|| gmatch.search(&s.xs, black_box(&spec)).unwrap())
+    });
+    group.bench_function("ucr", |b| {
+        let u = UcrSuite::new(&s.xs);
+        b.iter(|| u.search(black_box(&spec)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_rsm_dtw(c: &mut Criterion) {
+    let s = setup();
+    let spec = QuerySpec::rsm_dtw(s.query.clone(), s.eps_rsm, M / 20);
+    let dmatch = DualMatcher::build(&s.xs, DualConfig::default());
+    let mut group = c.benchmark_group("table4_rsm_dtw");
+    group.sample_size(10);
+    group.bench_function("kvm_dp", |b| {
+        let m = DpMatcher::new(&s.multi, &s.data).unwrap();
+        b.iter(|| m.execute(black_box(&spec)).unwrap())
+    });
+    group.bench_function("dmatch", |b| {
+        b.iter(|| dmatch.search(&s.xs, black_box(&spec)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_cnsm_ed(c: &mut Criterion) {
+    let s = setup();
+    let spec = QuerySpec::cnsm_ed(s.query.clone(), s.eps_cnsm, 1.5, s.beta);
+    let mut group = c.benchmark_group("table5_cnsm_ed");
+    group.sample_size(20);
+    group.bench_function("kvm_dp", |b| {
+        let m = DpMatcher::new(&s.multi, &s.data).unwrap();
+        b.iter(|| m.execute(black_box(&spec)).unwrap())
+    });
+    group.bench_function("ucr", |b| {
+        let u = UcrSuite::new(&s.xs);
+        b.iter(|| u.search(black_box(&spec)).unwrap())
+    });
+    group.bench_function("fast", |b| {
+        let f = FastScan::new(&s.xs);
+        b.iter(|| f.search(black_box(&spec)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_cnsm_dtw(c: &mut Criterion) {
+    let s = setup();
+    let spec = QuerySpec::cnsm_dtw(s.query.clone(), s.eps_cnsm, M / 20, 1.5, s.beta);
+    let mut group = c.benchmark_group("table6_cnsm_dtw");
+    group.sample_size(10);
+    group.bench_function("kvm_dp", |b| {
+        let m = DpMatcher::new(&s.multi, &s.data).unwrap();
+        b.iter(|| m.execute(black_box(&spec)).unwrap())
+    });
+    group.bench_function("ucr", |b| {
+        let u = UcrSuite::new(&s.xs);
+        b.iter(|| u.search(black_box(&spec)).unwrap())
+    });
+    group.bench_function("fast", |b| {
+        let f = FastScan::new(&s.xs);
+        b.iter(|| f.search(black_box(&spec)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_constraint_tightness(c: &mut Criterion) {
+    // Ablation: the cNSM knob — looser (α, β) ⇒ wider ranges ⇒ more work.
+    let s = setup();
+    let mut group = c.benchmark_group("cnsm_constraint_knob");
+    group.sample_size(20);
+    for (alpha, bp) in [(1.1, 0.01), (1.5, 0.05), (2.0, 0.10)] {
+        let spec = QuerySpec::cnsm_ed(s.query.clone(), s.eps_cnsm, alpha, s.beta / 0.05 * bp);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("a{alpha}_b{bp}")),
+            &spec,
+            |b, spec| {
+                let m = DpMatcher::new(&s.multi, &s.data).unwrap();
+                b.iter(|| m.execute(black_box(spec)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rsm_ed,
+    bench_rsm_dtw,
+    bench_cnsm_ed,
+    bench_cnsm_dtw,
+    bench_constraint_tightness
+);
+criterion_main!(benches);

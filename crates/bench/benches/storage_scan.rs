@@ -1,0 +1,100 @@
+//! Storage-substrate benches: scan throughput of the three KvStore
+//! backends and fetch cost of the series stores (Fig. 9's deployment
+//! dimension), plus file-store open (meta load) cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use kvmatch_bench::make_series;
+use kvmatch_core::{IndexBuildConfig, KvIndex};
+use kvmatch_storage::memory::MemoryKvStoreBuilder;
+use kvmatch_storage::sharded::{ShardedKvStoreBuilder, ShardingConfig};
+use kvmatch_lsm::{LsmKvStore, LsmKvStoreBuilder, LsmOptions};
+use kvmatch_storage::{
+    encode_f64, BlockSeriesStore, FileKvStore, FileKvStoreBuilder, KvStore, MemoryKvStore,
+    MemorySeriesStore, SeriesStore, ShardedKvStore,
+};
+
+const N: usize = 100_000;
+
+fn bench_kv_scans(c: &mut Criterion) {
+    let xs = make_series(N, 37);
+    let cfg = IndexBuildConfig::new(50);
+
+    let (mem_idx, _) =
+        KvIndex::<MemoryKvStore>::build_into(&xs, cfg, MemoryKvStoreBuilder::new()).unwrap();
+    let dir = tempfile::tempdir().unwrap();
+    let (file_idx, _) = KvIndex::<FileKvStore>::build_into(
+        &xs,
+        cfg,
+        FileKvStoreBuilder::create(dir.path().join("kv.idx")).unwrap(),
+    )
+    .unwrap();
+    let (shard_idx, _) = KvIndex::<ShardedKvStore>::build_into(
+        &xs,
+        cfg,
+        ShardedKvStoreBuilder::new(ShardingConfig::default()),
+    )
+    .unwrap();
+    let (lsm_idx, _) = KvIndex::<LsmKvStore>::build_into(
+        &xs,
+        cfg,
+        LsmKvStoreBuilder::create(&dir.path().join("lsm"), LsmOptions::default()).unwrap(),
+    )
+    .unwrap();
+
+    let lo = encode_f64(-2.0);
+    let hi = encode_f64(2.0);
+    let mut group = c.benchmark_group("kvstore_scan");
+    group.sample_size(30);
+    group.bench_function("memory", |b| {
+        b.iter(|| mem_idx.store().scan(black_box(&lo), black_box(&hi)).unwrap())
+    });
+    group.bench_function("file", |b| {
+        b.iter(|| file_idx.store().scan(black_box(&lo), black_box(&hi)).unwrap())
+    });
+    group.bench_function("sharded", |b| {
+        b.iter(|| shard_idx.store().scan(black_box(&lo), black_box(&hi)).unwrap())
+    });
+    group.bench_function("lsm", |b| {
+        b.iter(|| lsm_idx.store().scan(black_box(&lo), black_box(&hi)).unwrap())
+    });
+    group.finish();
+
+    let mut open_group = c.benchmark_group("filestore_open");
+    open_group.sample_size(20);
+    let path = dir.path().join("kv.idx");
+    open_group.bench_function("open_and_load_meta", |b| {
+        b.iter(|| {
+            let store = FileKvStore::open(black_box(&path)).unwrap();
+            KvIndex::open(store).unwrap()
+        })
+    });
+    open_group.finish();
+}
+
+fn bench_series_fetch(c: &mut Criterion) {
+    let xs = make_series(N, 41);
+    let mem = MemorySeriesStore::new(xs.clone());
+    let block = BlockSeriesStore::from_series(&xs, BlockSeriesStore::DEFAULT_BLOCK);
+    let dir = tempfile::tempdir().unwrap();
+    let path = dir.path().join("xs.bin");
+    kvmatch_timeseries::io::write_series(&path, &xs).unwrap();
+    let file = kvmatch_storage::FileSeriesStore::open(&path).unwrap();
+
+    let mut group = c.benchmark_group("series_fetch_4k");
+    group.sample_size(30);
+    for (name, store) in [
+        ("memory", &mem as &dyn SeriesStore),
+        ("block1024", &block as &dyn SeriesStore),
+        ("file", &file as &dyn SeriesStore),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &store, |b, store| {
+            b.iter(|| store.fetch(black_box(31_234), 4096).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kv_scans, bench_series_fetch);
+criterion_main!(benches);

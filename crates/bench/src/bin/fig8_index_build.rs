@@ -1,0 +1,91 @@
+//! Fig. 8 — index size and building time vs data length: DMatch vs
+//! KV-match_DP (all 5 indexes), with the raw data size for reference.
+//!
+//! Paper setup: data lengths 10⁶…10⁹, local-file version. Expected shape:
+//! both index families sit near ~10% of the data size, KVM-DP slightly
+//! larger in total (it is *five* indexes; each single KV-index is much
+//! smaller than DMatch's R-tree), and KVM-DP builds much faster (O(n)
+//! streaming vs R-tree construction).
+
+use kvmatch_baselines::dmatch::{DualConfig, DualMatcher};
+use kvmatch_baselines::frm::{FrmConfig, FrmMatcher};
+use kvmatch_bench::{harness::time_ms, make_series, ExperimentEnv, Row, Table};
+use kvmatch_core::{IndexSetConfig, KvIndex, MultiIndex};
+use kvmatch_storage::{FileKvStore, FileKvStoreBuilder};
+
+fn main() {
+    let env = ExperimentEnv::from_env(1_000_000, 1);
+    env.announce(
+        "Fig. 8: index size & build time vs data length — DMatch vs KVM-DP",
+        "n = 1e6..1e9, local files; KVM-DP = 5 KV-indexes (Σ = 25..400)",
+    );
+    let dir = std::env::temp_dir().join(format!("kvmatch-fig8-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    let mut table = Table::new(&[
+        "n", "data (MB)", "DMatch size (MB)", "DMatch build (s)", "FRM size (MB)",
+        "FRM build (s)", "KVM-DP size (MB)", "KVM-DP build (s)",
+    ]);
+    let mut n = 10_000usize;
+    let mut series = Vec::new();
+    while n <= env.n {
+        let xs = make_series(n, env.seed);
+        let data_mb = (n * 8) as f64 / 1e6;
+
+        let (dm, dm_ms) = time_ms(|| DualMatcher::build(&xs, DualConfig::default()));
+        let dm_mb = dm.build_info().bytes as f64 / 1e6;
+        // FRM indexes every *sliding* window — the R-tree cost the paper's
+        // build-time comparison is actually about.
+        let (frm, frm_ms) = time_ms(|| FrmMatcher::build(&xs, FrmConfig::default()));
+        let frm_mb = frm.build_info().bytes as f64 / 1e6;
+
+        let cfg = IndexSetConfig::default();
+        let (total_bytes, kv_ms) = time_ms(|| {
+            let mut total = 0u64;
+            for w in cfg.window_lengths() {
+                let path = dir.join(format!("n{n}-w{w}.idx"));
+                let _ = KvIndex::<FileKvStore>::build_into(
+                    &xs,
+                    cfg.build_config(w),
+                    FileKvStoreBuilder::create(&path).expect("create file"),
+                )
+                .expect("build");
+                total += std::fs::metadata(&path).expect("stat").len();
+            }
+            total
+        });
+        let kv_mb = total_bytes as f64 / 1e6;
+        series.push((n, dm_mb, kv_mb));
+        table.push(Row::new(vec![
+            n.into(),
+            data_mb.into(),
+            dm_mb.into(),
+            (dm_ms / 1e3).into(),
+            frm_mb.into(),
+            (frm_ms / 1e3).into(),
+            kv_mb.into(),
+            (kv_ms / 1e3).into(),
+        ]));
+        n *= 10;
+    }
+    table.print();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Sanity print of the MultiIndex in-memory equivalent for the largest n.
+    let xs = make_series(env.n, env.seed);
+    let (_, kv_mem_ms) = time_ms(|| {
+        MultiIndex::<kvmatch_storage::MemoryKvStore>::build_with::<
+            kvmatch_storage::memory::MemoryKvStoreBuilder,
+            _,
+        >(&xs, IndexSetConfig::default(), |_| {
+            kvmatch_storage::memory::MemoryKvStoreBuilder::new()
+        })
+        .unwrap()
+    });
+    println!("(in-memory 5-index build at n = {}: {:.1} s)", env.n, kv_mem_ms / 1e3);
+    println!("paper shape: index families ~10% of data; KVM-DP total slightly larger than");
+    println!("DMatch's (five indexes; each single one is smaller); KV-index builds much");
+    println!("faster than the sliding-window R-tree (FRM). Note: our DMatch indexes only");
+    println!("n/w disjoint windows with a bulk load, so its absolute build time is small —");
+    println!("see EXPERIMENTS.md for the discrepancy discussion.");
+}

@@ -1,0 +1,165 @@
+//! Fig. 9 — scalability of cNSM queries: UCR Suite vs KV-match_DP under
+//! both ED and DTW, data and index on the simulated HBase deployment.
+//!
+//! Paper setup: synthetic series of length 10⁹…10¹², HBase tables on an
+//! 8-node cluster, α = 1.5, β′ = 1.0, selectivity 10⁻⁷. Expected shape:
+//! UCR's runtime grows linearly with n (it scans the whole stored table),
+//! KVM-DP grows far more slowly — orders of magnitude faster at scale.
+//!
+//! Substitutions (DESIGN.md §5): `ShardedKvStore` (7 range-partitioned
+//! regions) for the index, `BlockSeriesStore` (1024-point rows) for the
+//! data, and a *modelled* RPC cost per storage operation (0.5 ms default,
+//! `KVM_RPC_US` to override, in µs) added to the measured CPU time — both
+//! approaches read through the same stores, exactly like the paper's HBase
+//! runs. The workload plants 12 noisy recurrences of the query pattern
+//! (the recurring-pattern regime of concatenated UCR-archive data), so
+//! queries are selective as in the paper.
+
+use kvmatch_baselines::scan_series_store;
+use kvmatch_bench::{
+    calibrate_epsilon, env_f64, harness::time_ms, make_series, CalibrationTarget, ExperimentEnv,
+    Row, Table,
+};
+use kvmatch_core::{DpMatcher, IndexSetConfig, MultiIndex, QuerySpec};
+use kvmatch_storage::sharded::{ShardedKvStoreBuilder, ShardingConfig};
+use kvmatch_storage::{BlockSeriesStore, KvStore, SeriesStore, ShardedKvStore};
+use kvmatch_timeseries::generator::gaussian;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One RPC per index scan; data-side RPCs are one per chunk fetch (the
+/// block store reads whole block ranges per `fetch`).
+fn index_ops(multi: &MultiIndex<ShardedKvStore>) -> u64 {
+    multi.indexes().iter().map(|i| i.store().io_stats().scans()).sum()
+}
+
+fn main() {
+    let env = ExperimentEnv::from_env(1_000_000, 3);
+    env.announce(
+        "Fig. 9: cNSM scalability — UCR vs KVM-DP (ED & DTW) on the sharded store",
+        "n = 1e9..1e12 on HBase (8 nodes), α = 1.5, β′ = 1.0, selectivity 1e-7",
+    );
+    let m = 512;
+    let rho = m / 20;
+    let rpc_ms = env_f64("KVM_RPC_US", 500.0) / 1000.0;
+    let chunk = 65_536usize;
+    println!("modelled RPC cost: {rpc_ms:.3} ms per storage operation\n");
+
+    let mut table = Table::new(&[
+        "n", "UCR ED (ms)", "KVM ED (ms)", "UCR DTW (ms)", "KVM DTW (ms)", "speedup ED",
+        "speedup DTW",
+    ]);
+    let mut n = 10_000usize;
+    while n <= env.n {
+        let mut xs = make_series(n, env.seed);
+        // Plant 12 noisy recurrences of a *distinctive* pattern (an
+        // EOG-style gust riding at an uncommon level), spread over the
+        // series — the paper's motivating queries are such domain
+        // patterns, not background look-alikes.
+        let mut rng = StdRng::seed_from_u64(env.seed ^ n as u64);
+        let (bg_lo, bg_hi) =
+            xs.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+        // Ride the gust at the 75%-of-range level: present in the data's
+        // value range but rarely *sustained* by the background.
+        let base = bg_lo + 0.75 * (bg_hi - bg_lo);
+        let template: Vec<f64> =
+            kvmatch_timeseries::patterns::eog_profile(m, base, 0.1 * (bg_hi - bg_lo));
+        let (mu_t, sd_t) = kvmatch_distance::mean_std(&template);
+        let spacing = n / 13;
+        for k in 0..12 {
+            let off = k * spacing + rng.random_range(0..spacing.saturating_sub(m).max(1));
+            let scale = rng.random_range(0.97..1.03);
+            let shift = rng.random_range(-0.2..0.2);
+            for (i, &tv) in template.iter().enumerate() {
+                xs[off + i] =
+                    (tv - mu_t) * scale + mu_t + shift + 0.02 * sd_t * gaussian(&mut rng);
+            }
+        }
+        let value_range = {
+            let (lo, hi) =
+                xs.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+            hi - lo
+        };
+        let beta = value_range * 0.01;
+
+        let multi = MultiIndex::<ShardedKvStore>::build_with::<ShardedKvStoreBuilder, _>(
+            &xs,
+            IndexSetConfig::default(),
+            |_| ShardedKvStoreBuilder::new(ShardingConfig::default()),
+        )
+        .unwrap();
+        let data = BlockSeriesStore::from_series(&xs, BlockSeriesStore::DEFAULT_BLOCK);
+        let queries: Vec<Vec<f64>> = (0..env.queries)
+            .map(|_| {
+                template
+                    .iter()
+                    .map(|&v| v + 0.02 * sd_t * gaussian(&mut rng))
+                    .collect()
+            })
+            .collect();
+
+        let matches = 10usize;
+        let mut t = [0.0f64; 4]; // ucr-ed, kvm-ed, ucr-dtw, kvm-dtw
+        for q in &queries {
+            let (eps, _) = calibrate_epsilon(
+                &xs,
+                |e| QuerySpec::cnsm_ed(q.clone(), e, 1.5, beta),
+                CalibrationTarget { matches, ..Default::default() },
+            );
+            let spec_ed = QuerySpec::cnsm_ed(q.clone(), eps, 1.5, beta);
+            let spec_dtw = QuerySpec::cnsm_dtw(q.clone(), eps, rho, 1.5, beta);
+            let matcher = DpMatcher::new(&multi, &data).unwrap();
+
+            // UCR reads the stored table in chunk RPCs.
+            let before = data.io_stats().snapshot();
+            let ((res_u, _), t_u_ed) =
+                time_ms(|| scan_series_store(&data, &spec_ed, chunk).unwrap());
+            let rpcs = data.io_stats().snapshot().since(&before).seeks.max(
+                data.io_stats().snapshot().since(&before).rows_read
+                    / (chunk / BlockSeriesStore::DEFAULT_BLOCK) as u64,
+            );
+            t[0] += t_u_ed + rpcs as f64 * rpc_ms;
+
+            // KVM-DP: index scans + per-candidate-interval data fetches.
+            let io_before = index_ops(&multi);
+            let d_before = data.io_stats().snapshot();
+            let ((res_k, sk), t_k_ed) = time_ms(|| matcher.execute(&spec_ed).unwrap());
+            let kvm_rpcs = (index_ops(&multi) - io_before) + sk.candidate_intervals.max(
+                data.io_stats().snapshot().since(&d_before).seeks,
+            );
+            t[1] += t_k_ed + kvm_rpcs as f64 * rpc_ms;
+
+            assert_eq!(
+                res_u.iter().map(|r| r.offset).collect::<Vec<_>>(),
+                res_k.iter().map(|r| r.offset).collect::<Vec<_>>(),
+                "UCR and KVM-DP disagree (ED)"
+            );
+
+            let before = data.io_stats().snapshot();
+            let ((_, _), t_u_dtw) =
+                time_ms(|| scan_series_store(&data, &spec_dtw, chunk).unwrap());
+            let rpcs = data.io_stats().snapshot().since(&before).rows_read
+                / (chunk / BlockSeriesStore::DEFAULT_BLOCK) as u64;
+            t[2] += t_u_dtw + rpcs as f64 * rpc_ms;
+
+            let io_before = index_ops(&multi);
+            let ((_, sk), t_k_dtw) = time_ms(|| matcher.execute(&spec_dtw).unwrap());
+            let kvm_rpcs = (index_ops(&multi) - io_before) + sk.candidate_intervals;
+            t[3] += t_k_dtw + kvm_rpcs as f64 * rpc_ms;
+        }
+        let nq = queries.len() as f64;
+        table.push(Row::new(vec![
+            n.into(),
+            (t[0] / nq).into(),
+            (t[1] / nq).into(),
+            (t[2] / nq).into(),
+            (t[3] / nq).into(),
+            (t[0] / t[1].max(1e-9)).into(),
+            (t[2] / t[3].max(1e-9)).into(),
+        ]));
+        n *= 10;
+    }
+    table.print();
+    println!("paper shape: UCR grows linearly in n (full table scan); KVM-DP sub-linear;");
+    println!("speedup widens with n (paper: 2-3 orders of magnitude at n = 1e12).");
+}

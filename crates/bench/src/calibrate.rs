@@ -1,0 +1,127 @@
+//! Selectivity calibration: find the `ε` that yields a target number of
+//! matches.
+//!
+//! The paper holds *selectivity* (`|result| / (n − m + 1)`) fixed per table
+//! row by choosing `ε`. We reproduce that with a bracketed binary search
+//! over `ε`, counting matches with the UCR scan (exact, with pruning).
+//! Because our series is shorter than the paper's 10⁹, the harness targets
+//! equal match *counts* (`sel × n`), which keeps phase-2 workloads
+//! comparable in shape (DESIGN.md §5).
+
+use kvmatch_baselines::UcrSuite;
+use kvmatch_core::QuerySpec;
+
+/// What to calibrate for.
+#[derive(Clone, Copy, Debug)]
+pub struct CalibrationTarget {
+    /// Desired number of matches.
+    pub matches: usize,
+    /// Acceptable relative slack (e.g. 0.5 accepts `[m/2, 2m]`).
+    pub slack: f64,
+    /// Binary-search iterations.
+    pub max_iters: usize,
+}
+
+impl Default for CalibrationTarget {
+    fn default() -> Self {
+        Self { matches: 10, slack: 0.5, max_iters: 24 }
+    }
+}
+
+/// Returns `ε` such that `spec_for(ε)` yields approximately
+/// `target.matches` matches on `xs` (at least one), by doubling then
+/// bisecting. `spec_for` receives the candidate `ε` and must return the
+/// fully-formed query spec.
+pub fn calibrate_epsilon<F>(xs: &[f64], spec_for: F, target: CalibrationTarget) -> (f64, usize)
+where
+    F: Fn(f64) -> QuerySpec,
+{
+    let ucr = UcrSuite::new(xs);
+    let count = |eps: f64| -> usize {
+        let (res, _) = ucr.search(&spec_for(eps)).expect("calibration query invalid");
+        res.len()
+    };
+    let want = target.matches.max(1);
+    let lo_ok = |c: usize| (c as f64) >= want as f64 * (1.0 - target.slack);
+    let hi_ok = |c: usize| (c as f64) <= want as f64 * (1.0 + target.slack);
+
+    // Bracket: double ε until the count reaches the target.
+    let mut lo = 0.0f64;
+    let mut hi = 1e-3f64;
+    let mut c_hi = count(hi);
+    let mut doubles = 0;
+    while c_hi < want && doubles < 60 {
+        lo = hi;
+        hi *= 2.0;
+        c_hi = count(hi);
+        doubles += 1;
+    }
+    if lo_ok(c_hi) && hi_ok(c_hi) {
+        return (hi, c_hi);
+    }
+    // Bisect inside [lo, hi].
+    let mut best = (hi, c_hi);
+    for _ in 0..target.max_iters {
+        let mid = 0.5 * (lo + hi);
+        let c = count(mid);
+        // Prefer the closest count seen so far.
+        if (c as i64 - want as i64).unsigned_abs() < (best.1 as i64 - want as i64).unsigned_abs()
+            && c >= 1
+        {
+            best = (mid, c);
+        }
+        if lo_ok(c) && hi_ok(c) && c >= 1 {
+            return (mid, c);
+        }
+        if c < want {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    if best.1 == 0 {
+        // Guarantee at least one match (the query itself, for near-copies).
+        (hi, c_hi.max(1))
+    } else {
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{make_series, sample_queries};
+
+    #[test]
+    fn calibrates_rsm_ed_to_target() {
+        let xs = make_series(20_000, 7);
+        let q = sample_queries(&xs, 256, 1, 0.05, 1).pop().unwrap();
+        for want in [1usize, 20, 200] {
+            let (eps, got) = calibrate_epsilon(
+                &xs,
+                |e| QuerySpec::rsm_ed(q.clone(), e),
+                CalibrationTarget { matches: want, ..Default::default() },
+            );
+            assert!(eps > 0.0);
+            assert!(got >= 1);
+            let lo = (want as f64 * 0.5) as usize;
+            let hi = (want as f64 * 2.0).ceil() as usize;
+            assert!(
+                (lo..=hi.max(2)).contains(&got),
+                "target {want}, got {got} at eps {eps}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibrates_cnsm_ed() {
+        let xs = make_series(20_000, 9);
+        let q = sample_queries(&xs, 200, 1, 0.02, 3).pop().unwrap();
+        let (eps, got) = calibrate_epsilon(
+            &xs,
+            |e| QuerySpec::cnsm_ed(q.clone(), e, 1.5, 5.0),
+            CalibrationTarget { matches: 10, ..Default::default() },
+        );
+        assert!(eps > 0.0 && got >= 1, "eps {eps}, got {got}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Output formatting, environment knobs and small numeric helpers shared
+//! by the experiment binaries.
+
+use std::time::Instant;
+
+use serde::Serialize;
+
+/// Reads a `usize` experiment knob from the environment.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Reads an `f64` experiment knob from the environment.
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Geometric mean (ignores non-positive entries).
+pub fn geo_mean(xs: &[f64]) -> f64 {
+    let logs: Vec<f64> = xs.iter().filter(|&&v| v > 0.0).map(|v| v.ln()).collect();
+    if logs.is_empty() {
+        return 0.0;
+    }
+    (logs.iter().sum::<f64>() / logs.len() as f64).exp()
+}
+
+/// Shared experiment environment, announced at startup.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentEnv {
+    /// Series length `n`.
+    pub n: usize,
+    /// Queries per measurement point.
+    pub queries: usize,
+    /// Data/query seed.
+    pub seed: u64,
+}
+
+impl ExperimentEnv {
+    /// Reads `KVM_N`, `KVM_QUERIES`, `KVM_SEED` with the given defaults.
+    pub fn from_env(default_n: usize, default_queries: usize) -> Self {
+        Self {
+            n: env_usize("KVM_N", default_n),
+            queries: env_usize("KVM_QUERIES", default_queries),
+            seed: env_usize("KVM_SEED", 42) as u64,
+        }
+    }
+
+    /// Prints the banner line.
+    pub fn announce(&self, experiment: &str, paper_setup: &str) {
+        println!("=== {experiment} ===");
+        println!("paper setup : {paper_setup}");
+        println!(
+            "this run    : n = {}, {} queries/point, seed {}  (override: KVM_N / KVM_QUERIES / KVM_SEED)",
+            self.n, self.queries, self.seed
+        );
+        println!();
+    }
+}
+
+/// One output cell.
+#[derive(Clone, Debug, Serialize)]
+#[serde(untagged)]
+pub enum Cell {
+    /// Text cell.
+    Text(String),
+    /// Numeric cell.
+    Num(f64),
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Self {
+        Cell::Text(s.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Self {
+        Cell::Text(s)
+    }
+}
+impl From<f64> for Cell {
+    fn from(v: f64) -> Self {
+        Cell::Num(v)
+    }
+}
+impl From<usize> for Cell {
+    fn from(v: usize) -> Self {
+        Cell::Num(v as f64)
+    }
+}
+impl From<u64> for Cell {
+    fn from(v: u64) -> Self {
+        Cell::Num(v as f64)
+    }
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Text(s) => s.clone(),
+            Cell::Num(v) => {
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    format!("{}", *v as i64)
+                } else if v.abs() >= 1000.0 {
+                    format!("{v:.1}")
+                } else {
+                    format!("{v:.3}")
+                }
+            }
+        }
+    }
+}
+
+/// One table row (label + cells), also emitted as a JSON object.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Row cells, aligned with the table headers.
+    pub cells: Vec<Cell>,
+}
+
+impl Row {
+    /// Builds a row from anything cell-convertible.
+    pub fn new(cells: Vec<Cell>) -> Self {
+        Self { cells }
+    }
+}
+
+/// An aligned text table with a JSON sidecar.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Row>,
+}
+
+impl Table {
+    /// New table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn push(&mut self, row: Row) {
+        assert_eq!(row.cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Prints the aligned table followed by one JSON line per row.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.cells.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let cols: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect();
+            println!("  {}", cols.join("  "));
+        };
+        line(&self.headers.clone());
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        println!("  {}", "-".repeat(total));
+        for row in &rendered {
+            line(row);
+        }
+        println!();
+        for (r, rendered_row) in self.rows.iter().zip(&rendered) {
+            let obj: serde_json::Map<String, serde_json::Value> = self
+                .headers
+                .iter()
+                .zip(r.cells.iter().zip(rendered_row))
+                .map(|(h, (c, s))| {
+                    let v = match c {
+                        Cell::Num(v) => serde_json::json!(v),
+                        Cell::Text(_) => serde_json::json!(s),
+                    };
+                    (h.clone(), v)
+                })
+                .collect();
+            println!("JSON {}", serde_json::Value::Object(obj));
+        }
+        println!();
+    }
+}
+
+/// Times a closure, returning (result, milliseconds).
+pub fn time_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t = Instant::now();
+    let out = f();
+    (out, t.elapsed().as_secs_f64() * 1e3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_basics() {
+        assert!((geo_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert_eq!(geo_mean(&[]), 0.0);
+        assert_eq!(geo_mean(&[0.0, -5.0]), 0.0);
+        assert!((geo_mean(&[7.0]) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn env_fallbacks() {
+        assert_eq!(env_usize("KVM_SURELY_UNSET_VAR", 13), 13);
+        assert_eq!(env_f64("KVM_SURELY_UNSET_VAR", 2.5), 2.5);
+    }
+
+    #[test]
+    fn table_renders_without_panic() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push(Row::new(vec![Cell::from("x"), Cell::from(1.5)]));
+        t.push(Row::new(vec![Cell::from(12u64), Cell::from(3usize)]));
+        t.print();
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.push(Row::new(vec![Cell::from("x")]));
+    }
+
+    #[test]
+    fn time_ms_returns_result() {
+        let (v, ms) = time_ms(|| 6 * 7);
+        assert_eq!(v, 42);
+        assert!(ms >= 0.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! Workload generation: data series and query sampling.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use kvmatch_timeseries::generator::composite_series;
+
+/// The experiment data series: the paper's §VIII-A.2 composite generator.
+pub fn make_series(n: usize, seed: u64) -> Vec<f64> {
+    composite_series(seed, n)
+}
+
+/// Draws `count` queries of length `m` from `xs` at random offsets with a
+/// small amount of additive Gaussian noise (`noise_std`, relative to the
+/// query's own std) so queries are near-copies, the regime the paper's
+/// selectivity axis explores.
+pub fn sample_queries(
+    xs: &[f64],
+    m: usize,
+    count: usize,
+    noise_std: f64,
+    seed: u64,
+) -> Vec<Vec<f64>> {
+    assert!(m <= xs.len(), "query longer than the series");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD_EF01);
+    (0..count)
+        .map(|_| {
+            let off = rng.random_range(0..=xs.len() - m);
+            let mut q = xs[off..off + m].to_vec();
+            if noise_std > 0.0 {
+                let (_, sigma) = kvmatch_distance::mean_std(&q);
+                let scale = sigma.max(1e-9) * noise_std;
+                for v in &mut q {
+                    *v += scale * kvmatch_timeseries::generator::gaussian(&mut rng);
+                }
+            }
+            q
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_deterministic() {
+        assert_eq!(make_series(1000, 5), make_series(1000, 5));
+    }
+
+    #[test]
+    fn queries_have_requested_shape() {
+        let xs = make_series(5_000, 1);
+        let qs = sample_queries(&xs, 256, 7, 0.05, 2);
+        assert_eq!(qs.len(), 7);
+        assert!(qs.iter().all(|q| q.len() == 256));
+        // Noise keeps queries close to some data subsequence but not equal.
+        assert!(qs.iter().all(|q| q.iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn zero_noise_queries_are_subsequences() {
+        let xs = make_series(3_000, 3);
+        let qs = sample_queries(&xs, 100, 5, 0.0, 4);
+        for q in qs {
+            let found = xs.windows(100).any(|w| w == &q[..]);
+            assert!(found, "noiseless query must be a literal subsequence");
+        }
+    }
+}

@@ -1,0 +1,366 @@
+//! Incremental index maintenance: extend a KV-index as the series grows.
+//!
+//! Time series are append-only in every deployment the paper targets
+//! (data centers, IoT); rebuilding a KV-index from scratch on every batch
+//! of new points would waste the O(n) build. [`IndexAppender`] instead
+//! decodes the existing rows once, streams the new samples through the
+//! same rolling-mean bucketing, and writes an updated index:
+//!
+//! * a new window position whose mean falls inside an existing row's
+//!   `[low, up)` range is appended to that row's interval set (positions
+//!   arrive in ascending order, so this is an O(1) tail extension);
+//! * a mean falling in a gap between rows opens a fresh equal-width grid
+//!   row `[k·d, (k+1)·d)`, clipped against its neighbours so rows stay
+//!   disjoint.
+//!
+//! The γ-merge is **not** re-run over old rows (mirroring how LSM-style
+//! stores avoid global reorganization on ingest), so an appended index is
+//! not guaranteed byte-identical to a fresh rebuild — but it satisfies the
+//! same partition invariant and therefore answers every query with the
+//! same no-false-dismissal guarantee. Tests verify result-set equality
+//! against fresh rebuilds and the brute-force scan.
+
+use kvmatch_storage::{KvStore, KvStoreBuilder};
+use kvmatch_timeseries::RollingStats;
+
+use crate::build::{BuildStats, IndexBuildConfig, IndexRow};
+use crate::index::{decode_row, KvIndex, META_KEY};
+use crate::query::CoreError;
+
+/// Streaming extension of an existing (or empty) KV-index.
+#[derive(Debug)]
+pub struct IndexAppender {
+    config: IndexBuildConfig,
+    rows: Vec<IndexRow>,
+    rolling: RollingStats,
+    next_position: u64,
+    series_len: usize,
+}
+
+impl IndexAppender {
+    /// Starts from an existing index. `tail` must be the last
+    /// `min(w − 1, series_len)` samples of the already-indexed series —
+    /// they seed the rolling window so the first new sample completes the
+    /// first new sliding window.
+    pub fn from_index<S: KvStore>(index: &KvIndex<S>, tail: &[f64]) -> Result<Self, CoreError> {
+        let params = *index.meta().params();
+        let w = params.window;
+        let expected_tail = (w - 1).min(params.series_len);
+        if tail.len() != expected_tail {
+            return Err(CoreError::InvalidQuery(format!(
+                "append tail must hold the last {expected_tail} samples, got {}",
+                tail.len()
+            )));
+        }
+        let config = IndexBuildConfig {
+            window: w,
+            width_d: params.width_d,
+            merge_gamma: params.merge_gamma,
+            ..IndexBuildConfig::new(w)
+        };
+
+        // Decode every row (one full scan — the cost a rebuild would pay
+        // per *sample*, paid here once per append session).
+        let mut rows = Vec::with_capacity(index.meta().row_count());
+        let scanned = index.store().scan_all()?;
+        let mut entries = index.meta().entries().iter();
+        for kv in &scanned {
+            if kv.key.as_ref() == META_KEY {
+                continue;
+            }
+            let entry = entries.next().ok_or_else(|| {
+                CoreError::CorruptIndex("store holds more rows than the meta table".into())
+            })?;
+            rows.push(IndexRow {
+                low: entry.low,
+                up: entry.up,
+                intervals: decode_row(&kv.value)?,
+            });
+        }
+        if entries.next().is_some() {
+            return Err(CoreError::CorruptIndex(
+                "meta table holds more rows than the store".into(),
+            ));
+        }
+
+        let mut rolling = RollingStats::new(w);
+        for &v in tail {
+            rolling.push(v);
+        }
+        let next_position = (params.series_len + 1).saturating_sub(w) as u64;
+        Ok(Self { config, rows, rolling, next_position, series_len: params.series_len })
+    }
+
+    /// Starts from nothing (equivalent to building fresh, but through the
+    /// append path — useful for uniform ingestion pipelines).
+    pub fn new(config: IndexBuildConfig) -> Self {
+        Self {
+            rolling: RollingStats::new(config.window),
+            config,
+            rows: Vec::new(),
+            next_position: 0,
+            series_len: 0,
+        }
+    }
+
+    /// Total series length covered after the appends so far.
+    pub fn series_len(&self) -> usize {
+        self.series_len
+    }
+
+    /// Current number of rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, v: f64) {
+        self.rolling.push(v);
+        self.series_len += 1;
+        if let Some(mu) = self.rolling.mean() {
+            let pos = self.next_position;
+            self.next_position += 1;
+            self.insert_position(mu, pos);
+        }
+    }
+
+    /// Appends a chunk of samples.
+    pub fn push_chunk(&mut self, xs: &[f64]) {
+        for &v in xs {
+            self.push(v);
+        }
+    }
+
+    fn insert_position(&mut self, mu: f64, pos: u64) {
+        // First row whose range could contain or follow `mu`.
+        let idx = self.rows.partition_point(|r| r.up <= mu);
+        if let Some(row) = self.rows.get_mut(idx) {
+            if row.low <= mu && mu < row.up {
+                row.intervals.extend_or_open(pos);
+                return;
+            }
+        }
+        // Gap: open a grid row clipped against the neighbours.
+        let d = self.config.width_d;
+        let k = (mu / d).floor();
+        let mut low = k * d;
+        let mut up = (k + 1.0) * d;
+        if idx > 0 {
+            low = low.max(self.rows[idx - 1].up);
+        }
+        if let Some(next) = self.rows.get(idx) {
+            up = up.min(next.low);
+        }
+        debug_assert!(low <= mu && mu < up, "clipped row [{low}, {up}) must contain {mu}");
+        let mut intervals = crate::interval::IntervalSet::new();
+        intervals.extend_or_open(pos);
+        self.rows.insert(idx, IndexRow { low, up, intervals });
+    }
+
+    /// Persists the extended index. Returns the index plus build-style
+    /// statistics over the final rows.
+    pub fn finish_into<B>(self, builder: B) -> Result<(KvIndex<B::Store>, BuildStats), CoreError>
+    where
+        B: KvStoreBuilder,
+    {
+        let stats = BuildStats {
+            rows_fixed_width: self.rows.len(),
+            rows_merged: self.rows.len(),
+            total_intervals: self.rows.iter().map(|r| r.intervals.num_intervals() as u64).sum(),
+            total_positions: self.rows.iter().map(|r| r.intervals.num_positions()).sum(),
+        };
+        let index = KvIndex::<B::Store>::persist_rows(
+            self.rows,
+            self.config,
+            self.series_len,
+            builder,
+        )?;
+        Ok((index, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::KvMatcher;
+    use crate::naive::naive_search;
+    use crate::query::QuerySpec;
+    use kvmatch_storage::memory::MemoryKvStoreBuilder;
+    use kvmatch_storage::{MemoryKvStore, MemorySeriesStore};
+    use kvmatch_timeseries::generator::composite_series;
+    use kvmatch_timeseries::rolling::sliding_means;
+
+    fn build_fresh(xs: &[f64], w: usize) -> KvIndex<MemoryKvStore> {
+        KvIndex::<MemoryKvStore>::build_into(
+            xs,
+            IndexBuildConfig::new(w),
+            MemoryKvStoreBuilder::new(),
+        )
+        .unwrap()
+        .0
+    }
+
+    fn append_to(
+        idx: &KvIndex<MemoryKvStore>,
+        old: &[f64],
+        new: &[f64],
+    ) -> KvIndex<MemoryKvStore> {
+        let w = idx.window();
+        let tail_len = (w - 1).min(old.len());
+        let mut app = IndexAppender::from_index(idx, &old[old.len() - tail_len..]).unwrap();
+        app.push_chunk(new);
+        app.finish_into(MemoryKvStoreBuilder::new()).unwrap().0
+    }
+
+    /// Partition invariant: every window position appears in exactly one
+    /// row, and that row's range contains its mean.
+    fn assert_partition(idx: &KvIndex<MemoryKvStore>, xs: &[f64]) {
+        let w = idx.window();
+        let means = sliding_means(xs, w);
+        assert_eq!(idx.meta().total_positions() as usize, means.len());
+        let (all, _) = idx.probe(f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        assert_eq!(all.num_positions() as usize, means.len());
+        for (j, &mu) in means.iter().enumerate() {
+            let (si, ei) = idx.meta().rows_overlapping(mu, mu);
+            assert!(si < ei, "no row covers mean {mu} of position {j}");
+        }
+    }
+
+    #[test]
+    fn appended_index_answers_like_fresh_rebuild() {
+        let full = composite_series(601, 8_000);
+        let (old, new) = full.split_at(5_000);
+        let w = 50;
+        let idx_old = build_fresh(old, w);
+        let appended = append_to(&idx_old, old, new);
+        assert_eq!(appended.series_len(), full.len());
+        assert_partition(&appended, &full);
+
+        let fresh = build_fresh(&full, w);
+        let data = MemorySeriesStore::new(full.clone());
+        let q = full[5_100..5_400].to_vec(); // spans the append boundary region
+        for spec in [
+            QuerySpec::rsm_ed(q.clone(), 10.0),
+            QuerySpec::rsm_dtw(q.clone(), 6.0, 8),
+            QuerySpec::cnsm_ed(q.clone(), 2.0, 1.5, 4.0),
+            QuerySpec::cnsm_dtw(q.clone(), 2.0, 8, 1.5, 4.0),
+        ] {
+            let (a, _) = KvMatcher::new(&appended, &data).unwrap().execute(&spec).unwrap();
+            let (f, _) = KvMatcher::new(&fresh, &data).unwrap().execute(&spec).unwrap();
+            let want = naive_search(&full, &spec);
+            let a_off: Vec<usize> = a.iter().map(|r| r.offset).collect();
+            let f_off: Vec<usize> = f.iter().map(|r| r.offset).collect();
+            let w_off: Vec<usize> = want.iter().map(|r| r.offset).collect();
+            assert_eq!(a_off, w_off, "appended ≠ naive");
+            assert_eq!(f_off, w_off, "fresh ≠ naive");
+        }
+    }
+
+    #[test]
+    fn matches_spanning_the_boundary_are_found() {
+        let full = composite_series(603, 6_000);
+        let (old, new) = full.split_at(3_000);
+        let idx_old = build_fresh(old, 50);
+        let appended = append_to(&idx_old, old, new);
+        let data = MemorySeriesStore::new(full.clone());
+        // Query drawn right across the old/new boundary.
+        let q = full[2_900..3_150].to_vec();
+        let (res, _) = KvMatcher::new(&appended, &data)
+            .unwrap()
+            .execute(&QuerySpec::rsm_ed(q, 1e-9))
+            .unwrap();
+        assert!(res.iter().any(|r| r.offset == 2_900), "boundary self-match lost");
+    }
+
+    #[test]
+    fn chunked_appends_equal_single_append() {
+        let full = composite_series(605, 7_000);
+        let (old, new) = full.split_at(4_000);
+        let w = 40;
+        let idx_old = build_fresh(old, w);
+
+        let one_shot = append_to(&idx_old, old, new);
+
+        let mut app = IndexAppender::from_index(&idx_old, &old[old.len() - (w - 1)..]).unwrap();
+        for chunk in new.chunks(137) {
+            app.push_chunk(chunk);
+        }
+        let (chunked, _) = app.finish_into(MemoryKvStoreBuilder::new()).unwrap();
+
+        assert_eq!(one_shot.meta(), chunked.meta());
+        let (a, _) = one_shot.probe(f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        let (b, _) = chunked.probe(f64::NEG_INFINITY, f64::INFINITY).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn repeated_appends_compose() {
+        let full = composite_series(607, 9_000);
+        let w = 50;
+        let mut idx = build_fresh(&full[..3_000], w);
+        let mut covered = 3_000usize;
+        for next in [5_000usize, 6_500, 9_000] {
+            idx = append_to(&idx, &full[..covered], &full[covered..next]);
+            covered = next;
+            assert_eq!(idx.series_len(), covered);
+            assert_partition(&idx, &full[..covered]);
+        }
+        let data = MemorySeriesStore::new(full.clone());
+        let q = full[7_000..7_300].to_vec();
+        let spec = QuerySpec::rsm_ed(q, 12.0);
+        let (got, _) = KvMatcher::new(&idx, &data).unwrap().execute(&spec).unwrap();
+        let want = naive_search(&full, &spec);
+        assert_eq!(
+            got.iter().map(|r| r.offset).collect::<Vec<_>>(),
+            want.iter().map(|r| r.offset).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn append_path_from_empty_equals_fresh_build() {
+        let xs = composite_series(609, 4_000);
+        let w = 25;
+        let mut app = IndexAppender::new(IndexBuildConfig::new(w));
+        app.push_chunk(&xs);
+        let (via_append, _) = app.finish_into(MemoryKvStoreBuilder::new()).unwrap();
+        assert_partition(&via_append, &xs);
+        // Semantically equal to the fresh build (row boundaries may differ
+        // because the append path never γ-merges).
+        let fresh = build_fresh(&xs, w);
+        let data = MemorySeriesStore::new(xs.clone());
+        let spec = QuerySpec::rsm_ed(xs[100..400].to_vec(), 8.0);
+        let (a, _) = KvMatcher::new(&via_append, &data).unwrap().execute(&spec).unwrap();
+        let (b, _) = KvMatcher::new(&fresh, &data).unwrap().execute(&spec).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wrong_tail_length_rejected() {
+        let xs = composite_series(611, 2_000);
+        let idx = build_fresh(&xs, 50);
+        assert!(IndexAppender::from_index(&idx, &xs[xs.len() - 10..]).is_err());
+        assert!(IndexAppender::from_index(&idx, &[]).is_err());
+    }
+
+    #[test]
+    fn short_old_series_appends_correctly() {
+        // Old series shorter than w: no windows existed yet.
+        let full = composite_series(613, 1_000);
+        let w = 50;
+        let old = &full[..30];
+        let idx_old = build_fresh(old, w);
+        assert_eq!(idx_old.meta().row_count(), 0);
+        let mut app = IndexAppender::from_index(&idx_old, old).unwrap(); // tail = whole series
+        app.push_chunk(&full[30..]);
+        let (idx, _) = app.finish_into(MemoryKvStoreBuilder::new()).unwrap();
+        assert_partition(&idx, &full);
+    }
+
+    #[test]
+    fn empty_append_is_identity() {
+        let xs = composite_series(615, 3_000);
+        let idx = build_fresh(&xs, 50);
+        let appended = append_to(&idx, &xs, &[]);
+        assert_eq!(idx.meta(), appended.meta());
+    }
+}

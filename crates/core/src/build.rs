@@ -1,0 +1,471 @@
+//! KV-index construction (paper §IV-B).
+//!
+//! Two steps:
+//!
+//! 1. **Equal-width bucketing** — stream the series once, maintain the
+//!    rolling window mean, and append each window position `j` to the
+//!    bucket `⌊µ/d⌋`, extending the bucket's last interval when `j` directly
+//!    follows it (the data-locality property that makes rows compact).
+//! 2. **Greedy merge** — walk adjacent rows and merge while
+//!    `nI(V_i ∪ V_{i+1}) / (nI(V_i) + nI(V_{i+1})) < γ`, coalescing
+//!    neighbouring intervals.
+//!
+//! Both steps are O(n). A parallel segment build (crossbeam scoped threads)
+//! is provided for large in-memory series, and a streaming accumulator for
+//! out-of-core chunked input.
+
+use std::collections::BTreeMap;
+
+use kvmatch_timeseries::RollingStats;
+
+use crate::interval::{IntervalSet, WindowInterval};
+use crate::meta::{IndexParams, MetaEntry, MetaTable};
+
+/// Index-build configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IndexBuildConfig {
+    /// Disjoint/sliding window width `w`.
+    pub window: usize,
+    /// Initial equal-width range `d` (default 0.5, §VIII-A.4).
+    pub width_d: f64,
+    /// Merge threshold γ (default 0.8).
+    pub merge_gamma: f64,
+    /// Maximum width of a merged row, in multiples of `d` (default 8).
+    ///
+    /// The greedy γ-merge is meant to coalesce zigzag rows; without a cap
+    /// it can cascade until rows span the whole key space on oscillating
+    /// data, destroying probe selectivity. The cap bounds the key-range
+    /// granularity a scan can lose.
+    pub max_merge_buckets: usize,
+}
+
+impl IndexBuildConfig {
+    /// Paper defaults for a given window width.
+    pub fn new(window: usize) -> Self {
+        Self { window, width_d: 0.5, merge_gamma: 0.8, max_merge_buckets: 2 }
+    }
+
+    /// Overrides the initial bucket width `d`.
+    pub fn with_width(mut self, d: f64) -> Self {
+        self.width_d = d;
+        self
+    }
+
+    /// Overrides the merge threshold γ.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.merge_gamma = gamma;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(self.window > 0, "window must be positive");
+        assert!(self.max_merge_buckets >= 1, "max_merge_buckets must be ≥ 1");
+        assert!(
+            self.width_d.is_finite() && self.width_d > 0.0,
+            "bucket width d must be positive"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.merge_gamma),
+            "merge threshold γ must be in [0, 1]"
+        );
+    }
+}
+
+/// One logical index row: key range `[low, up)` and its interval set.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexRow {
+    /// Left endpoint of the mean-value range (inclusive).
+    pub low: f64,
+    /// Right endpoint (exclusive).
+    pub up: f64,
+    /// Sorted window intervals whose window means fall in `[low, up)`.
+    pub intervals: IntervalSet,
+}
+
+/// Build statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BuildStats {
+    /// Rows produced by the equal-width step.
+    pub rows_fixed_width: usize,
+    /// Rows after the greedy merge.
+    pub rows_merged: usize,
+    /// Total window intervals after merge.
+    pub total_intervals: u64,
+    /// Total window positions (must equal `n − w + 1`).
+    pub total_positions: u64,
+}
+
+/// Streaming accumulator: push samples, read rows at the end. Used both by
+/// the in-memory builder and the chunked out-of-core path.
+#[derive(Debug)]
+pub struct RowAccumulator {
+    config: IndexBuildConfig,
+    rolling: RollingStats,
+    buckets: BTreeMap<i64, IntervalSet>,
+    next_position: u64,
+    samples: usize,
+}
+
+impl RowAccumulator {
+    /// Fresh accumulator.
+    pub fn new(config: IndexBuildConfig) -> Self {
+        config.validate();
+        Self {
+            rolling: RollingStats::new(config.window),
+            config,
+            buckets: BTreeMap::new(),
+            next_position: 0,
+            samples: 0,
+        }
+    }
+
+    /// Pushes one sample.
+    pub fn push(&mut self, v: f64) {
+        self.rolling.push(v);
+        self.samples += 1;
+        if let Some(mu) = self.rolling.mean() {
+            let k = (mu / self.config.width_d).floor() as i64;
+            self.buckets
+                .entry(k)
+                .or_default()
+                .extend_or_open(self.next_position);
+            self.next_position += 1;
+        }
+    }
+
+    /// Pushes a chunk of samples.
+    pub fn push_chunk(&mut self, xs: &[f64]) {
+        for &v in xs {
+            self.push(v);
+        }
+    }
+
+    /// Number of samples consumed.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// Finalizes: runs the greedy merge and returns `(rows, stats)`.
+    pub fn finish(self) -> (Vec<IndexRow>, BuildStats) {
+        let d = self.config.width_d;
+        let fixed: Vec<IndexRow> = self
+            .buckets
+            .into_iter()
+            .map(|(k, intervals)| IndexRow {
+                low: k as f64 * d,
+                up: (k + 1) as f64 * d,
+                intervals,
+            })
+            .collect();
+        finish_rows(fixed, self.config)
+    }
+}
+
+fn finish_rows(fixed: Vec<IndexRow>, config: IndexBuildConfig) -> (Vec<IndexRow>, BuildStats) {
+    let rows_fixed_width = fixed.len();
+    let merged = merge_rows(fixed, config.merge_gamma, config.width_d * config.max_merge_buckets as f64);
+    let stats = BuildStats {
+        rows_fixed_width,
+        rows_merged: merged.len(),
+        total_intervals: merged.iter().map(|r| r.intervals.num_intervals() as u64).sum(),
+        total_positions: merged.iter().map(|r| r.intervals.num_positions()).sum(),
+    };
+    (merged, stats)
+}
+
+/// Greedy adjacent-row merge (§IV-B step 2). Merges the running row with
+/// the next one while the fraction of intervals surviving the union is
+/// below γ — i.e. while many intervals are neighbouring across the rows.
+fn merge_rows(rows: Vec<IndexRow>, gamma: f64, max_width: f64) -> Vec<IndexRow> {
+    let mut out: Vec<IndexRow> = Vec::with_capacity(rows.len());
+    for row in rows {
+        match out.last_mut() {
+            Some(cur) if cur.up == row.low && row.up - cur.low <= max_width + 1e-12 => {
+                let union = cur.intervals.union(&row.intervals);
+                let before = cur.intervals.num_intervals() + row.intervals.num_intervals();
+                // before == 0 cannot happen: empty buckets are never created.
+                let ratio = union.num_intervals() as f64 / before as f64;
+                if ratio < gamma {
+                    cur.up = row.up;
+                    cur.intervals = union;
+                } else {
+                    out.push(row);
+                }
+            }
+            _ => out.push(row),
+        }
+    }
+    out
+}
+
+/// In-memory build: equal-width bucketing + merge over a slice.
+pub fn build_rows(xs: &[f64], config: IndexBuildConfig) -> (Vec<IndexRow>, BuildStats) {
+    let mut acc = RowAccumulator::new(config);
+    acc.push_chunk(xs);
+    acc.finish()
+}
+
+/// Parallel build over `threads` segments (crossbeam scoped threads). Each
+/// segment covers a contiguous range of window positions (segments overlap
+/// by `w − 1` samples so no window is lost); per-segment bucket maps are
+/// merged, then the greedy merge runs once globally. Results are identical
+/// to [`build_rows`].
+pub fn build_rows_parallel(
+    xs: &[f64],
+    config: IndexBuildConfig,
+    threads: usize,
+) -> (Vec<IndexRow>, BuildStats) {
+    config.validate();
+    let w = config.window;
+    let threads = threads.max(1);
+    if xs.len() < w || threads == 1 || xs.len() < 4 * w * threads {
+        return build_rows(xs, config);
+    }
+    let n_windows = xs.len() - w + 1;
+    let per = n_windows.div_ceil(threads);
+    // Each task t owns window positions [t*per, min((t+1)*per, n_windows)).
+    let mut partials: Vec<BTreeMap<i64, Vec<WindowInterval>>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let lo = t * per;
+            if lo >= n_windows {
+                break;
+            }
+            let hi = ((t + 1) * per).min(n_windows);
+            let slice = &xs[lo..hi + w - 1];
+            let d = config.width_d;
+            handles.push(scope.spawn(move |_| {
+                let mut local: BTreeMap<i64, Vec<WindowInterval>> = BTreeMap::new();
+                let mut sum: f64 = slice[..w].iter().sum();
+                let mut record = |pos: u64, mu: f64| {
+                    let k = (mu / d).floor() as i64;
+                    let entry = local.entry(k).or_default();
+                    match entry.last_mut() {
+                        Some(last) if last.right + 1 == pos => last.right = pos,
+                        _ => entry.push(WindowInterval::new(pos, pos)),
+                    }
+                };
+                record(lo as u64, sum / w as f64);
+                for (i, j) in (w..slice.len()).enumerate() {
+                    sum += slice[j] - slice[j - w];
+                    record((lo + i + 1) as u64, sum / w as f64);
+                }
+                local
+            }));
+        }
+        for h in handles {
+            partials.push(h.join().expect("index build worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    // Merge per-segment maps. Segments are position-ordered, so per-bucket
+    // concatenation stays sorted; boundary intervals may touch and are
+    // coalesced by from_unsorted.
+    let mut buckets: BTreeMap<i64, Vec<WindowInterval>> = BTreeMap::new();
+    for partial in partials {
+        for (k, ivs) in partial {
+            buckets.entry(k).or_default().extend(ivs);
+        }
+    }
+    let d = config.width_d;
+    let fixed: Vec<IndexRow> = buckets
+        .into_iter()
+        .map(|(k, ivs)| IndexRow {
+            low: k as f64 * d,
+            up: (k + 1) as f64 * d,
+            intervals: IntervalSet::from_unsorted(ivs),
+        })
+        .collect();
+    finish_rows(fixed, config)
+}
+
+/// Builds the meta table for a set of rows.
+pub fn meta_for_rows(rows: &[IndexRow], config: IndexBuildConfig, series_len: usize) -> MetaTable {
+    let entries = rows
+        .iter()
+        .map(|r| MetaEntry {
+            low: r.low,
+            up: r.up,
+            n_intervals: r.intervals.num_intervals() as u64,
+            n_positions: r.intervals.num_positions(),
+        })
+        .collect();
+    MetaTable::new(
+        IndexParams {
+            window: config.window,
+            series_len,
+            width_d: config.width_d,
+            merge_gamma: config.merge_gamma,
+        },
+        entries,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvmatch_timeseries::generator::{composite_series, random_walk};
+    use kvmatch_timeseries::rolling::sliding_means;
+
+    fn cfg(w: usize) -> IndexBuildConfig {
+        IndexBuildConfig::new(w)
+    }
+
+    /// Every window position appears in exactly one row, and in the row
+    /// whose range contains its mean (before merge widens ranges).
+    #[test]
+    fn rows_partition_all_window_positions() {
+        let xs = composite_series(3, 5_000);
+        let w = 32;
+        let (rows, stats) = build_rows(&xs, cfg(w));
+        assert_eq!(stats.total_positions as usize, xs.len() - w + 1);
+        let means = sliding_means(&xs, w);
+        // Position -> row containment check.
+        for (j, &mu) in means.iter().enumerate() {
+            let holder: Vec<&IndexRow> = rows
+                .iter()
+                .filter(|r| r.intervals.contains(j as u64))
+                .collect();
+            assert_eq!(holder.len(), 1, "position {j} appears in {} rows", holder.len());
+            let r = holder[0];
+            assert!(
+                r.low <= mu && mu < r.up,
+                "position {j} with mean {mu} stored in row [{}, {})",
+                r.low,
+                r.up
+            );
+        }
+    }
+
+    #[test]
+    fn rows_are_sorted_and_disjoint() {
+        let xs = composite_series(5, 4_000);
+        let (rows, _) = build_rows(&xs, cfg(25));
+        assert!(rows.windows(2).all(|r| r[0].up <= r[1].low));
+        assert!(rows.iter().all(|r| r.low < r.up));
+    }
+
+    #[test]
+    fn merge_reduces_or_keeps_rows() {
+        let xs = random_walk(7, 20_000);
+        let (rows_no_merge, s0) = build_rows(&xs, cfg(50).with_gamma(0.0));
+        let (rows_merged, s1) = build_rows(&xs, cfg(50).with_gamma(0.8));
+        assert_eq!(s0.rows_fixed_width, s1.rows_fixed_width);
+        assert!(rows_merged.len() <= rows_no_merge.len());
+        // γ = 0 means never merge.
+        assert_eq!(rows_no_merge.len(), s0.rows_fixed_width);
+        // Positions preserved either way.
+        assert_eq!(s0.total_positions, s1.total_positions);
+    }
+
+    #[test]
+    fn gamma_one_merges_aggressively() {
+        // γ = 1: merge whenever rows are key-adjacent (ratio < 1 is almost
+        // always true, = 1 only when no intervals coalesce).
+        let xs = random_walk(11, 10_000);
+        let (merged, _) = build_rows(&xs, cfg(25).with_gamma(1.0));
+        let (unmerged, _) = build_rows(&xs, cfg(25).with_gamma(0.0));
+        assert!(merged.len() <= unmerged.len());
+    }
+
+    #[test]
+    fn series_shorter_than_window_yields_no_rows() {
+        let (rows, stats) = build_rows(&[1.0, 2.0, 3.0], cfg(10));
+        assert!(rows.is_empty());
+        assert_eq!(stats.total_positions, 0);
+    }
+
+    #[test]
+    fn single_window_series() {
+        let (rows, stats) = build_rows(&[1.0, 2.0, 3.0, 4.0], cfg(4));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(stats.total_positions, 1);
+        assert!(rows[0].intervals.contains(0));
+        // mean = 2.5 ⇒ bucket [2.5, 3.0) for d = 0.5.
+        assert!(rows[0].low <= 2.5 && 2.5 < rows[0].up);
+    }
+
+    #[test]
+    fn negative_means_bucket_correctly() {
+        let xs = vec![-3.3; 100];
+        let (rows, _) = build_rows(&xs, cfg(10));
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].low <= -3.3 && -3.3 < rows[0].up);
+        assert!((rows[0].low - (-3.5)).abs() < 1e-12, "low {}", rows[0].low);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let xs = composite_series(9, 30_000);
+        for w in [25usize, 50, 128] {
+            let (seq, s_seq) = build_rows(&xs, cfg(w));
+            for threads in [2usize, 3, 8] {
+                let (par, s_par) = build_rows_parallel(&xs, cfg(w), threads);
+                assert_eq!(seq, par, "w={w} threads={threads}");
+                assert_eq!(s_seq, s_par);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_small_input_falls_back() {
+        let xs = composite_series(2, 500);
+        let (seq, _) = build_rows(&xs, cfg(25));
+        let (par, _) = build_rows_parallel(&xs, cfg(25), 8);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn streaming_chunked_equals_bulk() {
+        let xs = composite_series(13, 7_777);
+        let cfg = cfg(40);
+        let (bulk, _) = build_rows(&xs, cfg);
+        let mut acc = RowAccumulator::new(cfg);
+        for chunk in xs.chunks(111) {
+            acc.push_chunk(chunk);
+        }
+        let (streamed, _) = acc.finish();
+        assert_eq!(bulk, streamed);
+    }
+
+    #[test]
+    fn meta_counts_match_rows() {
+        let xs = composite_series(17, 6_000);
+        let config = cfg(50);
+        let (rows, stats) = build_rows(&xs, config);
+        let meta = meta_for_rows(&rows, config, xs.len());
+        assert_eq!(meta.row_count(), rows.len());
+        assert_eq!(meta.total_positions(), stats.total_positions);
+        assert_eq!(meta.total_intervals(), stats.total_intervals);
+        assert_eq!(meta.params().window, 50);
+        assert_eq!(meta.params().series_len, xs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        let _ = build_rows(&[1.0], IndexBuildConfig::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn zero_width_rejected() {
+        let _ = build_rows(&[1.0], IndexBuildConfig::new(2).with_width(0.0));
+    }
+
+    #[test]
+    fn smooth_series_produces_long_intervals() {
+        // A slow ramp keeps adjacent window means in the same bucket, so the
+        // number of intervals must be far below the number of positions.
+        let xs: Vec<f64> = (0..10_000).map(|i| i as f64 * 1e-4).collect();
+        let (_, stats) = build_rows(&xs, cfg(100));
+        assert!(
+            stats.total_intervals * 20 < stats.total_positions,
+            "expected locality: {} intervals for {} positions",
+            stats.total_intervals,
+            stats.total_positions
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Index-row cache — §VI-C optimization 1.
+//!
+//! "To reduce the duplicate index visit, we can cache the index rows
+//! already fetched. Then for each new RList, if partial of it is already in
+//! the cache, we only need to fetch the rest part from KV-index."
+//!
+//! A [`RowCache`] holds decoded interval sets keyed by `(window width,
+//! row index)`, shared across queries (and across the member indexes of a
+//! KV-match_DP multi-index — the window width disambiguates). Rows are
+//! immutable once built, so cached entries never go stale for a given
+//! index; eviction is LRU by a monotonically increasing touch generation.
+//!
+//! Exploratory workloads — the paper's motivating scenario of a user
+//! re-issuing near-identical queries with tweaked `ε`, `α`, `β` — hit the
+//! same key ranges repeatedly; the cache turns those re-probes into pure
+//! in-memory unions with **zero** storage scans.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::interval::IntervalSet;
+
+/// Cache key: `(index window width, row index)`.
+pub type RowKey = (usize, usize);
+
+/// Hit/miss/eviction counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RowCacheStats {
+    /// Rows served from the cache.
+    pub hits: u64,
+    /// Rows that had to be fetched from the store.
+    pub misses: u64,
+    /// Rows evicted to stay within capacity.
+    pub evictions: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<RowKey, (Arc<IntervalSet>, u64)>,
+    recency: BTreeMap<u64, RowKey>,
+    next_gen: u64,
+    stats: RowCacheStats,
+}
+
+/// A shared, thread-safe LRU cache of decoded index rows.
+#[derive(Debug)]
+pub struct RowCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl RowCache {
+    /// A cache holding at most `capacity` rows (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), inner: Mutex::new(Inner::default()) }
+    }
+
+    /// Maximum rows held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rows currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RowCacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Drops every entry (counters survive).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.recency.clear();
+    }
+
+    /// Looks up one row, refreshing its recency. Counts a hit or miss.
+    pub fn get(&self, key: RowKey) -> Option<Arc<IntervalSet>> {
+        let mut inner = self.inner.lock();
+        let next = inner.next_gen;
+        match inner.map.get_mut(&key) {
+            Some((set, generation)) => {
+                let set = Arc::clone(set);
+                let old = std::mem::replace(generation, next);
+                inner.recency.remove(&old);
+                inner.recency.insert(next, key);
+                inner.next_gen += 1;
+                inner.stats.hits += 1;
+                Some(set)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) one row, evicting the least recently used
+    /// entries beyond capacity.
+    pub fn insert(&self, key: RowKey, set: Arc<IntervalSet>) {
+        let mut inner = self.inner.lock();
+        let generation = inner.next_gen;
+        inner.next_gen += 1;
+        if let Some((_, old)) = inner.map.insert(key, (set, generation)) {
+            inner.recency.remove(&old);
+        }
+        inner.recency.insert(generation, key);
+        while inner.map.len() > self.capacity {
+            let (&oldest, &victim) = inner.recency.iter().next().expect("map non-empty");
+            inner.recency.remove(&oldest);
+            inner.map.remove(&victim);
+            inner.stats.evictions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::WindowInterval;
+
+    fn set(l: u64, r: u64) -> Arc<IntervalSet> {
+        Arc::new(IntervalSet::from_sorted(vec![WindowInterval::new(l, r)]))
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_counters() {
+        let cache = RowCache::new(4);
+        assert!(cache.get((50, 0)).is_none());
+        cache.insert((50, 0), set(1, 5));
+        let got = cache.get((50, 0)).expect("cached");
+        assert_eq!(got.num_positions(), 5);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let cache = RowCache::new(2);
+        cache.insert((50, 0), set(0, 0));
+        cache.insert((50, 1), set(1, 1));
+        // Touch row 0 so row 1 is the LRU victim.
+        assert!(cache.get((50, 0)).is_some());
+        cache.insert((50, 2), set(2, 2));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get((50, 0)).is_some(), "recently touched survives");
+        assert!(cache.get((50, 1)).is_none(), "LRU victim evicted");
+        assert!(cache.get((50, 2)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn window_width_disambiguates() {
+        let cache = RowCache::new(8);
+        cache.insert((25, 3), set(10, 10));
+        cache.insert((50, 3), set(20, 20));
+        assert_eq!(cache.get((25, 3)).unwrap().positions().next(), Some(10));
+        assert_eq!(cache.get((50, 3)).unwrap().positions().next(), Some(20));
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growth() {
+        let cache = RowCache::new(3);
+        for i in 0..3 {
+            cache.insert((50, i), set(i as u64, i as u64));
+        }
+        cache.insert((50, 0), set(99, 99)); // overwrite
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.get((50, 0)).unwrap().positions().next(), Some(99));
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn clear_keeps_counters() {
+        let cache = RowCache::new(2);
+        cache.insert((50, 0), set(0, 0));
+        cache.get((50, 0));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn capacity_minimum_is_one() {
+        let cache = RowCache::new(0);
+        assert_eq!(cache.capacity(), 1);
+        cache.insert((50, 0), set(0, 0));
+        cache.insert((50, 1), set(1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let cache = std::sync::Arc::new(RowCache::new(64));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..500usize {
+                        let key = (50, (t * 131 + i) % 100);
+                        match cache.get(key) {
+                            Some(_) => {}
+                            None => cache.insert(key, set(i as u64, i as u64 + 1)),
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= 64);
+        let s = cache.stats();
+        assert_eq!(s.hits + s.misses, 2_000);
+    }
+}

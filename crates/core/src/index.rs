@@ -1,0 +1,469 @@
+//! The persisted KV-index (paper §IV).
+//!
+//! Logically: ordered rows `⟨K_i = [low_i, up_i), V_i = window intervals⟩`
+//! plus the meta table. Physically: any [`KvStore`]. Row keys are the
+//! order-preserving encoding of `low_i`; the meta table is stored under a
+//! reserved one-byte key that sorts below every encoded `f64`.
+//!
+//! Row payload layout (little-endian):
+//!
+//! ```text
+//! count: u32 │ first_left: u64 │ len_0: u32 │ (gap_i: u32, len_i: u32)*
+//! ```
+//!
+//! `gap_i = left_i − right_{i−1}` (≥ 2 because rows store non-adjacent
+//! intervals), `len_i = right_i − left_i + 1`. Series up to 2³² window
+//! positions are supported; longer gaps/lengths are rejected at build time.
+
+use kvmatch_storage::{encode_f64, KvStore, KvStoreBuilder};
+
+use crate::build::{self, BuildStats, IndexBuildConfig, IndexRow};
+use crate::interval::{IntervalSet, WindowInterval};
+use crate::meta::MetaTable;
+use crate::cache::RowCache;
+use crate::query::CoreError;
+
+/// Reserved key of the meta-table row (sorts before every encoded `f64`).
+pub const META_KEY: &[u8] = &[0x00];
+
+/// Encodes a row's interval set into the payload layout above.
+pub fn encode_row(intervals: &IntervalSet) -> Result<Vec<u8>, CoreError> {
+    let ivs = intervals.intervals();
+    let mut out = Vec::with_capacity(4 + 8 + ivs.len() * 8);
+    out.extend_from_slice(&(ivs.len() as u32).to_le_bytes());
+    if ivs.is_empty() {
+        return Ok(out);
+    }
+    out.extend_from_slice(&ivs[0].left.to_le_bytes());
+    let to_u32 = |v: u64, what: &str| -> Result<u32, CoreError> {
+        u32::try_from(v).map_err(|_| {
+            CoreError::InvalidQuery(format!(
+                "{what} {v} exceeds the u32 row-encoding limit (series too long)"
+            ))
+        })
+    };
+    out.extend_from_slice(&to_u32(ivs[0].size(), "interval length")?.to_le_bytes());
+    for k in 1..ivs.len() {
+        let gap = ivs[k].left - ivs[k - 1].right;
+        out.extend_from_slice(&to_u32(gap, "interval gap")?.to_le_bytes());
+        out.extend_from_slice(&to_u32(ivs[k].size(), "interval length")?.to_le_bytes());
+    }
+    Ok(out)
+}
+
+/// Decodes a row payload.
+pub fn decode_row(bytes: &[u8]) -> Result<IntervalSet, CoreError> {
+    let corrupt = |msg: &str| CoreError::CorruptIndex(msg.to_string());
+    if bytes.len() < 4 {
+        return Err(corrupt("row shorter than header"));
+    }
+    let count = u32::from_le_bytes(bytes[0..4].try_into().expect("4 bytes")) as usize;
+    if count == 0 {
+        if bytes.len() != 4 {
+            return Err(corrupt("empty row with trailing bytes"));
+        }
+        return Ok(IntervalSet::new());
+    }
+    let expected = 4 + 8 + 4 + (count - 1) * 8;
+    if bytes.len() != expected {
+        return Err(corrupt("row length mismatch"));
+    }
+    let mut p = 4usize;
+    let first_left = u64::from_le_bytes(bytes[p..p + 8].try_into().expect("8 bytes"));
+    p += 8;
+    let len0 = u32::from_le_bytes(bytes[p..p + 4].try_into().expect("4 bytes")) as u64;
+    p += 4;
+    if len0 == 0 {
+        return Err(corrupt("zero-length interval"));
+    }
+    let mut out = Vec::with_capacity(count);
+    out.push(WindowInterval::new(first_left, first_left + len0 - 1));
+    for _ in 1..count {
+        let gap = u32::from_le_bytes(bytes[p..p + 4].try_into().expect("4 bytes")) as u64;
+        p += 4;
+        let len = u32::from_le_bytes(bytes[p..p + 4].try_into().expect("4 bytes")) as u64;
+        p += 4;
+        if gap < 2 || len == 0 {
+            return Err(corrupt("invalid gap or length"));
+        }
+        let prev_right = out.last().expect("non-empty").right;
+        let left = prev_right + gap;
+        out.push(WindowInterval::new(left, left + len - 1));
+    }
+    Ok(IntervalSet::from_sorted(out))
+}
+
+/// Information recorded while probing the index for one query window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanInfo {
+    /// Rows returned by the scan.
+    pub rows: u64,
+    /// Window intervals collected.
+    pub intervals: u64,
+    /// Window positions covered.
+    pub positions: u64,
+    /// Store scan operations issued (1 for an uncached probe; 0..k for a
+    /// cached probe that fetched k missing row spans).
+    pub scans: u64,
+    /// Rows served from the [`RowCache`](crate::cache::RowCache) instead
+    /// of the store.
+    pub rows_from_cache: u64,
+}
+
+/// A KV-index bound to a [`KvStore`].
+#[derive(Debug)]
+pub struct KvIndex<S: KvStore> {
+    store: S,
+    meta: MetaTable,
+}
+
+impl<S: KvStore> KvIndex<S> {
+    /// Builds an index over `xs` and persists it through `builder`.
+    pub fn build_into<B>(
+        xs: &[f64],
+        config: IndexBuildConfig,
+        builder: B,
+    ) -> Result<(KvIndex<B::Store>, BuildStats), CoreError>
+    where
+        B: KvStoreBuilder,
+    {
+        let (rows, stats) = build::build_rows(xs, config);
+        let index = Self::persist_rows(rows, config, xs.len(), builder)?;
+        Ok((index, stats))
+    }
+
+    /// Builds in parallel (identical rows to [`KvIndex::build_into`]).
+    pub fn build_into_parallel<B>(
+        xs: &[f64],
+        config: IndexBuildConfig,
+        builder: B,
+        threads: usize,
+    ) -> Result<(KvIndex<B::Store>, BuildStats), CoreError>
+    where
+        B: KvStoreBuilder,
+    {
+        let (rows, stats) = build::build_rows_parallel(xs, config, threads);
+        let index = Self::persist_rows(rows, config, xs.len(), builder)?;
+        Ok((index, stats))
+    }
+
+    /// Persists pre-built rows (used by the out-of-core streaming path —
+    /// feed a [`build::RowAccumulator`], then persist here).
+    pub fn persist_rows<B>(
+        rows: Vec<IndexRow>,
+        config: IndexBuildConfig,
+        series_len: usize,
+        mut builder: B,
+    ) -> Result<KvIndex<B::Store>, CoreError>
+    where
+        B: KvStoreBuilder,
+    {
+        let meta = build::meta_for_rows(&rows, config, series_len);
+        builder.append(META_KEY, &meta.to_bytes())?;
+        for row in &rows {
+            builder.append(&encode_f64(row.low), &encode_row(&row.intervals)?)?;
+        }
+        let store = builder.finish()?;
+        Ok(KvIndex { store, meta })
+    }
+
+    /// Opens an index from an existing store, loading and validating the
+    /// meta table.
+    pub fn open(store: S) -> Result<Self, CoreError> {
+        let meta_bytes = store
+            .get(META_KEY)?
+            .ok_or_else(|| CoreError::CorruptIndex("missing meta row".into()))?;
+        let meta = MetaTable::from_bytes(&meta_bytes)?;
+        if store.row_count() != meta.row_count() + 1 {
+            return Err(CoreError::CorruptIndex(format!(
+                "store has {} rows, meta expects {}",
+                store.row_count(),
+                meta.row_count() + 1
+            )));
+        }
+        Ok(Self { store, meta })
+    }
+
+    /// The meta table.
+    pub fn meta(&self) -> &MetaTable {
+        &self.meta
+    }
+
+    /// The window width `w` of this index.
+    pub fn window(&self) -> usize {
+        self.meta.params().window
+    }
+
+    /// Length of the indexed series.
+    pub fn series_len(&self) -> usize {
+        self.meta.params().series_len
+    }
+
+    /// The underlying store (for I/O statistics).
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// Phase-1 probe for one query window: a single scan over the rows
+    /// overlapping `[lr, ur]`, returning the union of their interval sets
+    /// (`IS_i`, sorted and coalesced) plus scan accounting.
+    pub fn probe(&self, lr: f64, ur: f64) -> Result<(IntervalSet, ScanInfo), CoreError> {
+        let (si, ei) = self.meta.rows_overlapping(lr, ur);
+        if si >= ei {
+            // Still issue a (degenerate) scan so access counting matches
+            // the algorithm: one index access per query window.
+            self.store.io_stats().record_scan();
+            return Ok((IntervalSet::new(), ScanInfo { scans: 1, ..ScanInfo::default() }));
+        }
+        let sets = self.scan_row_sets(si, ei)?;
+        let mut is = IntervalSet::new();
+        let mut info = ScanInfo { scans: 1, ..ScanInfo::default() };
+        for set in &sets {
+            info.rows += 1;
+            is = is.union(set);
+        }
+        info.intervals = is.num_intervals() as u64;
+        info.positions = is.num_positions();
+        Ok((is, info))
+    }
+
+    /// Cached phase-1 probe — §VI-C optimization 1. Rows already in
+    /// `cache` are reused; each maximal span of missing rows costs one
+    /// store scan (zero scans on a full hit).
+    pub fn probe_cached(
+        &self,
+        lr: f64,
+        ur: f64,
+        cache: &RowCache,
+    ) -> Result<(IntervalSet, ScanInfo), CoreError> {
+        let (si, ei) = self.meta.rows_overlapping(lr, ur);
+        let mut info = ScanInfo::default();
+        if si >= ei {
+            return Ok((IntervalSet::new(), info));
+        }
+        let w = self.window();
+        let mut sets: Vec<Option<std::sync::Arc<IntervalSet>>> =
+            (si..ei).map(|r| cache.get((w, r))).collect();
+        info.rows_from_cache = sets.iter().flatten().count() as u64;
+
+        // Fetch every maximal contiguous span of missing rows with one
+        // scan each ("we only need to fetch the rest part").
+        let mut k = 0usize;
+        while k < sets.len() {
+            if sets[k].is_some() {
+                k += 1;
+                continue;
+            }
+            let span_start = k;
+            while k < sets.len() && sets[k].is_none() {
+                k += 1;
+            }
+            let fetched = self.scan_row_sets(si + span_start, si + k)?;
+            info.scans += 1;
+            for (offset, set) in fetched.into_iter().enumerate() {
+                let row = si + span_start + offset;
+                let set = std::sync::Arc::new(set);
+                cache.insert((w, row), std::sync::Arc::clone(&set));
+                sets[span_start + offset] = Some(set);
+            }
+        }
+
+        let mut is = IntervalSet::new();
+        let mut touched = 0u64;
+        for set in sets.iter().flatten() {
+            touched += 1;
+            is = is.union(set);
+        }
+        // `rows` counts store-fetched rows only; cached rows are reported
+        // separately so `rows + rows_from_cache` is the total touched.
+        info.rows = touched - info.rows_from_cache;
+        info.intervals = is.num_intervals() as u64;
+        info.positions = is.num_positions();
+        Ok((is, info))
+    }
+
+    /// Fetches and decodes rows `si..ei` (meta-table row indexes) with one
+    /// store scan, in row order.
+    fn scan_row_sets(&self, si: usize, ei: usize) -> Result<Vec<IntervalSet>, CoreError> {
+        debug_assert!(si < ei);
+        let entries = self.meta.entries();
+        let start_key = encode_f64(entries[si].low);
+        // End key: just past the last row's low key. Encoding of `low` of
+        // the row after `ei−1` if present, else the exclusive upper bound
+        // `up` of the final row.
+        let end_key = if ei < entries.len() {
+            encode_f64(entries[ei].low)
+        } else {
+            encode_f64(entries[ei - 1].up)
+        };
+        let rows = self.store.scan(&start_key, &end_key)?;
+        if rows.len() != ei - si {
+            return Err(CoreError::CorruptIndex(format!(
+                "scan of rows {si}..{ei} returned {} rows",
+                rows.len()
+            )));
+        }
+        rows.iter().map(|row| decode_row(&row.value)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kvmatch_storage::memory::MemoryKvStoreBuilder;
+    use kvmatch_storage::{FileKvStore, FileKvStoreBuilder, MemoryKvStore};
+    use kvmatch_timeseries::generator::composite_series;
+    use kvmatch_timeseries::rolling::sliding_means;
+
+    fn iv(l: u64, r: u64) -> WindowInterval {
+        WindowInterval::new(l, r)
+    }
+
+    #[test]
+    fn row_encoding_round_trip() {
+        let cases = vec![
+            IntervalSet::new(),
+            IntervalSet::from_sorted(vec![iv(0, 0)]),
+            IntervalSet::from_sorted(vec![iv(5, 9)]),
+            IntervalSet::from_sorted(vec![iv(0, 3), iv(10, 10), iv(100, 250)]),
+            IntervalSet::from_sorted(vec![iv(1000, 1002), iv(49_999, 50_000)]),
+        ];
+        for set in cases {
+            let bytes = encode_row(&set).unwrap();
+            let back = decode_row(&bytes).unwrap();
+            assert_eq!(set, back);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_row(&[]).is_err());
+        assert!(decode_row(&[1, 0, 0]).is_err());
+        // count = 1 but truncated body.
+        assert!(decode_row(&[1, 0, 0, 0, 5, 0]).is_err());
+        // count = 0 with trailing junk.
+        assert!(decode_row(&[0, 0, 0, 0, 9]).is_err());
+        // zero-length interval.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&1u32.to_le_bytes());
+        bad.extend_from_slice(&7u64.to_le_bytes());
+        bad.extend_from_slice(&0u32.to_le_bytes());
+        assert!(decode_row(&bad).is_err());
+    }
+
+    fn build_memory(xs: &[f64], w: usize) -> KvIndex<MemoryKvStore> {
+        let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+            xs,
+            IndexBuildConfig::new(w),
+            MemoryKvStoreBuilder::new(),
+        )
+        .unwrap();
+        idx
+    }
+
+    #[test]
+    fn build_and_probe_memory() {
+        let xs = composite_series(21, 8_000);
+        let w = 50;
+        let idx = build_memory(&xs, w);
+        assert_eq!(idx.window(), w);
+        assert_eq!(idx.series_len(), xs.len());
+        assert_eq!(idx.meta().total_positions() as usize, xs.len() - w + 1);
+
+        // Probe a range and cross-check against brute force over means.
+        let means = sliding_means(&xs, w);
+        for (lr, ur) in [(-1.0, 1.0), (0.0, 0.25), (-100.0, 100.0), (50.0, 60.0)] {
+            let (is, info) = idx.probe(lr, ur).unwrap();
+            // Soundness: every window whose mean is in [lr, ur] is found.
+            for (j, &mu) in means.iter().enumerate() {
+                if lr <= mu && mu <= ur {
+                    assert!(is.contains(j as u64), "missing window {j} (mean {mu})");
+                }
+            }
+            // Coverage never exceeds the widened row boundaries: every
+            // found window's mean falls inside some overlapping row range.
+            let (si, ei) = idx.meta().rows_overlapping(lr, ur);
+            if si < ei {
+                let low = idx.meta().entries()[si].low;
+                let up = idx.meta().entries()[ei - 1].up;
+                for j in is.positions() {
+                    let mu = means[j as usize];
+                    assert!(low <= mu && mu < up, "window {j} mean {mu} outside rows");
+                }
+            } else {
+                assert!(is.is_empty());
+            }
+            assert_eq!(info.positions, is.num_positions());
+        }
+    }
+
+    #[test]
+    fn probe_counts_one_scan_per_call() {
+        let xs = composite_series(22, 2_000);
+        let idx = build_memory(&xs, 25);
+        let before = idx.store().io_stats().scans();
+        idx.probe(-0.5, 0.5).unwrap();
+        idx.probe(1e9, 2e9).unwrap(); // empty range still counts as an access
+        assert_eq!(idx.store().io_stats().scans() - before, 2);
+    }
+
+    #[test]
+    fn file_backed_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("kv.idx");
+        let xs = composite_series(23, 6_000);
+        let w = 40;
+        let (built, _) = KvIndex::<FileKvStore>::build_into(
+            &xs,
+            IndexBuildConfig::new(w),
+            FileKvStoreBuilder::create(&path).unwrap(),
+        )
+        .unwrap();
+
+        // Reopen from disk and compare probes.
+        let reopened = KvIndex::open(FileKvStore::open(&path).unwrap()).unwrap();
+        assert_eq!(built.meta(), reopened.meta());
+        let (is_a, _) = built.probe(-2.0, 2.0).unwrap();
+        let (is_b, _) = reopened.probe(-2.0, 2.0).unwrap();
+        assert_eq!(is_a, is_b);
+    }
+
+    #[test]
+    fn open_rejects_store_without_meta() {
+        let store = MemoryKvStore::new();
+        store.insert(encode_f64(0.0).to_vec(), vec![0u8, 0, 0, 0]);
+        assert!(matches!(
+            KvIndex::open(store),
+            Err(CoreError::CorruptIndex(_))
+        ));
+    }
+
+    #[test]
+    fn parallel_build_identical_index() {
+        let xs = composite_series(29, 25_000);
+        let (a, sa) = KvIndex::<MemoryKvStore>::build_into(
+            &xs,
+            IndexBuildConfig::new(64),
+            MemoryKvStoreBuilder::new(),
+        )
+        .unwrap();
+        let (b, sb) = KvIndex::<MemoryKvStore>::build_into_parallel(
+            &xs,
+            IndexBuildConfig::new(64),
+            MemoryKvStoreBuilder::new(),
+            4,
+        )
+        .unwrap();
+        assert_eq!(sa, sb);
+        assert_eq!(a.meta(), b.meta());
+    }
+
+    #[test]
+    fn empty_series_builds_empty_index() {
+        let idx = build_memory(&[], 25);
+        assert_eq!(idx.meta().row_count(), 0);
+        let (is, info) = idx.probe(-1.0, 1.0).unwrap();
+        assert!(is.is_empty());
+        assert_eq!(info, ScanInfo { scans: 1, ..ScanInfo::default() });
+    }
+}

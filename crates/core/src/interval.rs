@@ -1,0 +1,394 @@
+//! Window intervals and ordered interval-set algebra (paper §IV-A, §V-C).
+//!
+//! A [`WindowInterval`] `[l, r]` denotes the set of sliding-window positions
+//! `{l, l+1, …, r}` (Definition 1). Index rows, `IS_i`, `CS_i` and the final
+//! candidate set `CS` are all [`IntervalSet`]s: sorted, pairwise-disjoint,
+//! non-adjacent intervals. Union, intersection and shifting are single
+//! merge-style passes, O(nI) — the property the paper's Algorithm 1 relies
+//! on for its merge-sort-like intersection.
+
+/// An inclusive range `[l, r]` of window positions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WindowInterval {
+    /// Left boundary `WI.l` (inclusive).
+    pub left: u64,
+    /// Right boundary `WI.r` (inclusive).
+    pub right: u64,
+}
+
+impl WindowInterval {
+    /// Creates `[l, r]`.
+    ///
+    /// # Panics
+    /// Panics if `l > r`.
+    pub fn new(left: u64, right: u64) -> Self {
+        assert!(left <= right, "interval [{left}, {right}] is inverted");
+        Self { left, right }
+    }
+
+    /// Number of window positions `|WI| = r − l + 1`.
+    #[inline]
+    pub fn size(&self) -> u64 {
+        self.right - self.left + 1
+    }
+
+    /// True if position `j` lies inside.
+    #[inline]
+    pub fn contains(&self, j: u64) -> bool {
+        self.left <= j && j <= self.right
+    }
+}
+
+/// A sorted sequence of disjoint, non-adjacent window intervals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    intervals: Vec<WindowInterval>,
+}
+
+impl IntervalSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from intervals already sorted, disjoint and non-adjacent.
+    ///
+    /// # Panics
+    /// Debug-panics when the invariant is violated.
+    pub fn from_sorted(intervals: Vec<WindowInterval>) -> Self {
+        debug_assert!(
+            intervals.windows(2).all(|w| w[0].right + 1 < w[1].left),
+            "intervals not sorted/disjoint/non-adjacent"
+        );
+        Self { intervals }
+    }
+
+    /// Builds from arbitrary intervals: sorts and coalesces overlapping or
+    /// adjacent ones.
+    pub fn from_unsorted(mut intervals: Vec<WindowInterval>) -> Self {
+        intervals.sort_unstable();
+        let mut out: Vec<WindowInterval> = Vec::with_capacity(intervals.len());
+        for iv in intervals {
+            match out.last_mut() {
+                Some(last) if iv.left <= last.right.saturating_add(1) => {
+                    last.right = last.right.max(iv.right);
+                }
+                _ => out.push(iv),
+            }
+        }
+        Self { intervals: out }
+    }
+
+    /// A set holding the single position `j`.
+    pub fn singleton(j: u64) -> Self {
+        Self { intervals: vec![WindowInterval::new(j, j)] }
+    }
+
+    /// The intervals, sorted.
+    pub fn intervals(&self) -> &[WindowInterval] {
+        &self.intervals
+    }
+
+    /// Number of intervals `nI` (Eq. 6).
+    pub fn num_intervals(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Number of window positions `nP` (Eq. 7).
+    pub fn num_positions(&self) -> u64 {
+        self.intervals.iter().map(WindowInterval::size).sum()
+    }
+
+    /// True when no interval is present.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Membership test for one position (binary search).
+    pub fn contains(&self, j: u64) -> bool {
+        match self.intervals.binary_search_by(|iv| iv.left.cmp(&j)) {
+            Ok(_) => true,
+            Err(0) => false,
+            Err(k) => self.intervals[k - 1].contains(j),
+        }
+    }
+
+    /// Appends an interval that starts after everything already present,
+    /// coalescing when adjacent or overlapping. Used by streaming builders.
+    pub fn push_coalescing(&mut self, iv: WindowInterval) {
+        match self.intervals.last_mut() {
+            Some(last) if iv.left <= last.right.saturating_add(1) => {
+                debug_assert!(iv.left >= last.left, "push_coalescing went backwards");
+                last.right = last.right.max(iv.right);
+            }
+            _ => self.intervals.push(iv),
+        }
+    }
+
+    /// Extends the last interval to cover position `j` when `j` directly
+    /// follows it; otherwise opens a new `[j, j]` interval. This is the
+    /// index builder's inner loop (§IV-B).
+    pub fn extend_or_open(&mut self, j: u64) {
+        self.push_coalescing(WindowInterval::new(j, j));
+    }
+
+    /// Set union (coalescing adjacency) — merge of two sorted sequences,
+    /// O(nI(a) + nI(b)).
+    pub fn union(&self, other: &IntervalSet) -> IntervalSet {
+        let (a, b) = (&self.intervals, &other.intervals);
+        let mut out = IntervalSet { intervals: Vec::with_capacity(a.len() + b.len()) };
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            let take_a = j >= b.len() || (i < a.len() && a[i].left <= b[j].left);
+            let iv = if take_a {
+                let iv = a[i];
+                i += 1;
+                iv
+            } else {
+                let iv = b[j];
+                j += 1;
+                iv
+            };
+            out.push_coalescing(iv);
+        }
+        out
+    }
+
+    /// Set intersection — merge of two sorted sequences, O(nI(a) + nI(b)).
+    pub fn intersect(&self, other: &IntervalSet) -> IntervalSet {
+        let (a, b) = (&self.intervals, &other.intervals);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let l = a[i].left.max(b[j].left);
+            let r = a[i].right.min(b[j].right);
+            if l <= r {
+                out.push(WindowInterval::new(l, r));
+            }
+            if a[i].right < b[j].right {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        IntervalSet::from_sorted(out)
+    }
+
+    /// Shifts every position left by `delta`, dropping positions below
+    /// `delta` (a window at position `j < delta` cannot be the `i`-th
+    /// disjoint window of any subsequence). This implements
+    /// `CS_i = { j − (i−1)·w | j ∈ IS_i }` (§V-C).
+    pub fn shift_left(&self, delta: u64) -> IntervalSet {
+        let mut out = Vec::with_capacity(self.intervals.len());
+        for iv in &self.intervals {
+            if iv.right < delta {
+                continue;
+            }
+            let l = iv.left.max(delta) - delta;
+            let r = iv.right - delta;
+            out.push(WindowInterval::new(l, r));
+        }
+        IntervalSet::from_sorted(out)
+    }
+
+    /// Clamps all positions to `≤ max_pos`, truncating or dropping
+    /// intervals. Candidate starts must satisfy `j ≤ n − m`.
+    pub fn clamp_max(&self, max_pos: u64) -> IntervalSet {
+        let mut out = Vec::with_capacity(self.intervals.len());
+        for iv in &self.intervals {
+            if iv.left > max_pos {
+                break;
+            }
+            out.push(WindowInterval::new(iv.left, iv.right.min(max_pos)));
+        }
+        IntervalSet::from_sorted(out)
+    }
+
+    /// Iterator over all positions (use only on small sets — tests).
+    pub fn positions(&self) -> impl Iterator<Item = u64> + '_ {
+        self.intervals.iter().flat_map(|iv| iv.left..=iv.right)
+    }
+}
+
+impl FromIterator<WindowInterval> for IntervalSet {
+    fn from_iter<T: IntoIterator<Item = WindowInterval>>(iter: T) -> Self {
+        Self::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ivs: &[(u64, u64)]) -> IntervalSet {
+        IntervalSet::from_unsorted(ivs.iter().map(|&(l, r)| WindowInterval::new(l, r)).collect())
+    }
+
+    #[test]
+    fn interval_size_and_contains() {
+        let iv = WindowInterval::new(5, 9);
+        assert_eq!(iv.size(), 5);
+        assert!(iv.contains(5) && iv.contains(9));
+        assert!(!iv.contains(4) && !iv.contains(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_interval_panics() {
+        let _ = WindowInterval::new(3, 2);
+    }
+
+    #[test]
+    fn from_unsorted_coalesces() {
+        let s = set(&[(10, 12), (1, 3), (4, 6), (20, 20), (11, 15)]);
+        assert_eq!(
+            s.intervals(),
+            &[
+                WindowInterval::new(1, 6),
+                WindowInterval::new(10, 15),
+                WindowInterval::new(20, 20)
+            ]
+        );
+        assert_eq!(s.num_intervals(), 3);
+        assert_eq!(s.num_positions(), 6 + 6 + 1);
+    }
+
+    #[test]
+    fn union_basic() {
+        let a = set(&[(1, 3), (10, 12)]);
+        let b = set(&[(4, 5), (11, 20), (30, 31)]);
+        let u = a.union(&b);
+        assert_eq!(
+            u.intervals(),
+            &[
+                WindowInterval::new(1, 5),
+                WindowInterval::new(10, 20),
+                WindowInterval::new(30, 31)
+            ]
+        );
+    }
+
+    #[test]
+    fn union_with_empty() {
+        let a = set(&[(1, 2)]);
+        assert_eq!(a.union(&IntervalSet::new()), a);
+        assert_eq!(IntervalSet::new().union(&a), a);
+    }
+
+    #[test]
+    fn intersect_basic() {
+        let a = set(&[(1, 10), (20, 30)]);
+        let b = set(&[(5, 25)]);
+        let i = a.intersect(&b);
+        assert_eq!(
+            i.intervals(),
+            &[WindowInterval::new(5, 10), WindowInterval::new(20, 25)]
+        );
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = set(&[(1, 5)]);
+        let b = set(&[(6, 9)]);
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn shift_left_drops_and_clamps() {
+        let a = set(&[(0, 2), (5, 9), (100, 100)]);
+        let s = a.shift_left(4);
+        assert_eq!(
+            s.intervals(),
+            &[WindowInterval::new(1, 5), WindowInterval::new(96, 96)]
+        );
+        // interval entirely below delta is dropped; [5,9] becomes [1,5];
+        // the straddling part of [0,2] is gone entirely (right < delta).
+    }
+
+    #[test]
+    fn shift_left_zero_is_identity() {
+        let a = set(&[(3, 7)]);
+        assert_eq!(a.shift_left(0), a);
+    }
+
+    #[test]
+    fn shift_straddling_interval() {
+        let a = set(&[(2, 8)]);
+        let s = a.shift_left(5);
+        assert_eq!(s.intervals(), &[WindowInterval::new(0, 3)]);
+    }
+
+    #[test]
+    fn clamp_max_truncates() {
+        let a = set(&[(0, 5), (10, 20), (30, 40)]);
+        let c = a.clamp_max(15);
+        assert_eq!(
+            c.intervals(),
+            &[WindowInterval::new(0, 5), WindowInterval::new(10, 15)]
+        );
+    }
+
+    #[test]
+    fn contains_membership() {
+        let a = set(&[(2, 4), (8, 8), (100, 200)]);
+        for j in [2, 3, 4, 8, 100, 150, 200] {
+            assert!(a.contains(j), "{j}");
+        }
+        for j in [0, 1, 5, 7, 9, 99, 201] {
+            assert!(!a.contains(j), "{j}");
+        }
+    }
+
+    #[test]
+    fn extend_or_open_builder_pattern() {
+        let mut s = IntervalSet::new();
+        for j in [1u64, 2, 3, 7, 8, 12] {
+            s.extend_or_open(j);
+        }
+        assert_eq!(
+            s.intervals(),
+            &[
+                WindowInterval::new(1, 3),
+                WindowInterval::new(7, 8),
+                WindowInterval::new(12, 12)
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_iterator() {
+        let s = set(&[(1, 3), (6, 6)]);
+        let ps: Vec<u64> = s.positions().collect();
+        assert_eq!(ps, vec![1, 2, 3, 6]);
+    }
+
+    #[test]
+    fn set_ops_match_naive_model() {
+        // Cross-check against a bitset model over a small universe.
+        let universe = 64u64;
+        for seed in 0..50u64 {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+            let mut rand_bits = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state
+            };
+            let bits_a = rand_bits() & rand_bits();
+            let bits_b = rand_bits() & rand_bits();
+            let to_set = |bits: u64| -> IntervalSet {
+                (0..universe)
+                    .filter(|j| bits >> j & 1 == 1)
+                    .map(|j| WindowInterval::new(j, j))
+                    .collect()
+            };
+            let a = to_set(bits_a);
+            let b = to_set(bits_b);
+            let mut got_u: Vec<u64> = a.union(&b).positions().collect();
+            got_u.sort_unstable();
+            let want_u: Vec<u64> = (0..universe).filter(|j| (bits_a | bits_b) >> j & 1 == 1).collect();
+            assert_eq!(got_u, want_u, "union mismatch seed {seed}");
+            let got_i: Vec<u64> = a.intersect(&b).positions().collect();
+            let want_i: Vec<u64> = (0..universe).filter(|j| (bits_a & bits_b) >> j & 1 == 1).collect();
+            assert_eq!(got_i, want_i, "intersect mismatch seed {seed}");
+        }
+    }
+}

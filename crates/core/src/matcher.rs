@@ -1,0 +1,581 @@
+//! KV-match — Algorithm 1 of the paper.
+//!
+//! Phase 1 (index probing): for each disjoint query window `Q_i`, compute
+//! the lemma range `[LR_i, UR_i]`, scan the index once, union the returned
+//! interval sets into `IS_i`, left-shift by `i·w` into `CS_i`, and
+//! intersect into the running candidate set `CS`.
+//!
+//! Phase 2 (post-processing): fetch `X(WI.l, WI.r − WI.l + |Q|)` for every
+//! candidate interval and verify each of its `|WI|` subsequences with the
+//! appropriate distance kernel, guarded by the same cascading lower bounds
+//! UCR Suite uses (so the head-to-head comparison is fair).
+
+use std::time::Instant;
+
+use kvmatch_distance::dtw::dtw_banded_early_abandon;
+use kvmatch_distance::ed::{
+    abandon_order, ed_early_abandon, ed_norm_early_abandon_ordered,
+};
+use kvmatch_distance::envelope::keogh_envelope;
+use kvmatch_distance::lower_bounds::{lb_keogh_sq_early_abandon, lb_kim_fl_sq};
+use kvmatch_distance::lp::{lp_norm_pow_early_abandon, lp_pow_early_abandon};
+use kvmatch_distance::normalize::{mean_std, z_normalized};
+use kvmatch_distance::LpExponent;
+use kvmatch_storage::{KvStore, SeriesStore};
+use kvmatch_timeseries::PrefixStats;
+
+use crate::cache::RowCache;
+use crate::index::KvIndex;
+use crate::interval::IntervalSet;
+use crate::query::{Constraint, CoreError, MatchResult, MatchStats, QuerySpec};
+use crate::query::Measure;
+use crate::ranges::{
+    cnsm_dtw_range, cnsm_ed_range, cnsm_lp_range, rsm_dtw_range, rsm_ed_range, rsm_lp_range,
+    MeanRange,
+};
+
+/// A query pre-processed for matching: global statistics, normalized form,
+/// envelopes and their prefix statistics. Shared by the basic matcher and
+/// KV-match_DP.
+pub struct PreparedQuery {
+    /// The original specification.
+    pub spec: QuerySpec,
+    /// `|Q|`.
+    pub m: usize,
+    /// Global query mean `µ^Q`.
+    pub mu_q: f64,
+    /// Global query std `σ^Q`.
+    pub sigma_q: f64,
+    q_stats: PrefixStats,
+    /// Raw Keogh envelope (DTW only): `(L, U, stats(L), stats(U))`.
+    envelope: Option<EnvelopeData>,
+    /// Normalized query (cNSM only).
+    q_norm: Vec<f64>,
+    /// Early-abandon coordinate order over `q_norm` (cNSM-ED).
+    order: Vec<usize>,
+    /// Envelope of the normalized query (cNSM-DTW verification).
+    env_norm: Option<(Vec<f64>, Vec<f64>)>,
+}
+
+struct EnvelopeData {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    l_stats: PrefixStats,
+    u_stats: PrefixStats,
+}
+
+impl PreparedQuery {
+    /// Validates and pre-processes a query.
+    pub fn new(spec: QuerySpec) -> Result<Self, CoreError> {
+        spec.validate()?;
+        let m = spec.query.len();
+        let (mu_q, sigma_q) = mean_std(&spec.query);
+        let q_stats = PrefixStats::new(&spec.query);
+        let envelope = if spec.measure.is_dtw() {
+            let (lower, upper) = keogh_envelope(&spec.query, spec.measure.rho());
+            let l_stats = PrefixStats::new(&lower);
+            let u_stats = PrefixStats::new(&upper);
+            Some(EnvelopeData { lower, upper, l_stats, u_stats })
+        } else {
+            None
+        };
+        let (q_norm, order, env_norm) = if spec.is_normalized() {
+            let q_norm = z_normalized(&spec.query);
+            let order = abandon_order(&q_norm);
+            let env_norm = spec
+                .measure
+                .is_dtw()
+                .then(|| keogh_envelope(&q_norm, spec.measure.rho()));
+            (q_norm, order, env_norm)
+        } else {
+            (Vec::new(), Vec::new(), None)
+        };
+        Ok(Self { spec, m, mu_q, sigma_q, q_stats, envelope, q_norm, order, env_norm })
+    }
+
+    /// The lemma range `[LR, UR]` for the query window `Q(offset, w)`.
+    ///
+    /// Dispatches to Lemma 1/2/3/4 according to the query type. Window
+    /// widths other than a fixed `w` are allowed — the lemmas hold per
+    /// window (the property KV-match_DP exploits, §VI-A).
+    pub fn window_range(&self, offset: usize, w: usize) -> MeanRange {
+        let eps = self.spec.epsilon;
+        match (&self.spec.constraint, &self.envelope) {
+            (None, None) => match self.spec.measure {
+                Measure::Lp { p } => {
+                    rsm_lp_range(self.q_stats.range_mean(offset, w), eps, w, p)
+                }
+                _ => rsm_ed_range(self.q_stats.range_mean(offset, w), eps, w),
+            },
+            (None, Some(env)) => rsm_dtw_range(
+                env.l_stats.range_mean(offset, w),
+                env.u_stats.range_mean(offset, w),
+                eps,
+                w,
+            ),
+            (Some(c), None) => match self.spec.measure {
+                Measure::Lp { p } => cnsm_lp_range(
+                    self.q_stats.range_mean(offset, w),
+                    self.mu_q,
+                    self.sigma_q,
+                    eps,
+                    c.alpha,
+                    c.beta,
+                    w,
+                    p,
+                ),
+                _ => cnsm_ed_range(
+                    self.q_stats.range_mean(offset, w),
+                    self.mu_q,
+                    self.sigma_q,
+                    eps,
+                    c.alpha,
+                    c.beta,
+                    w,
+                ),
+            },
+            (Some(c), Some(env)) => cnsm_dtw_range(
+                env.l_stats.range_mean(offset, w),
+                env.u_stats.range_mean(offset, w),
+                self.mu_q,
+                self.sigma_q,
+                eps,
+                c.alpha,
+                c.beta,
+                w,
+            ),
+        }
+    }
+
+    #[inline]
+    fn constraint_ok(&self, c: &Constraint, mu_s: f64, sigma_s: f64) -> bool {
+        (mu_s - self.mu_q).abs() <= c.beta
+            && sigma_s >= self.sigma_q / c.alpha
+            && sigma_s <= self.sigma_q * c.alpha
+    }
+
+    /// Verifies one candidate subsequence `s` (with its statistics) against
+    /// the query; returns the achieved distance when it qualifies. Updates
+    /// `full_distances` when the final distance kernel actually runs.
+    pub fn verify(
+        &self,
+        s: &[f64],
+        mu_s: f64,
+        sigma_s: f64,
+        scratch: &mut Vec<f64>,
+        full_distances: &mut u64,
+    ) -> Option<f64> {
+        let eps_sq = self.spec.epsilon * self.spec.epsilon;
+        let rho = self.spec.measure.rho();
+        if let Measure::Lp { p } = self.spec.measure {
+            return self.verify_lp(s, mu_s, sigma_s, p, full_distances);
+        }
+        match (&self.spec.constraint, self.spec.measure.is_dtw()) {
+            (None, false) => {
+                *full_distances += 1;
+                ed_early_abandon(s, &self.spec.query, eps_sq).map(f64::sqrt)
+            }
+            (None, true) => {
+                let env = self.envelope.as_ref().expect("RSM-DTW has an envelope");
+                if lb_kim_fl_sq(s, &self.spec.query) > eps_sq {
+                    return None;
+                }
+                lb_keogh_sq_early_abandon(s, &env.lower, &env.upper, eps_sq)?;
+                *full_distances += 1;
+                dtw_banded_early_abandon(s, &self.spec.query, rho, eps_sq).map(f64::sqrt)
+            }
+            (Some(c), false) => {
+                if !self.constraint_ok(c, mu_s, sigma_s) {
+                    return None;
+                }
+                *full_distances += 1;
+                ed_norm_early_abandon_ordered(s, &self.q_norm, &self.order, mu_s, sigma_s, eps_sq)
+                    .map(f64::sqrt)
+            }
+            (Some(c), true) => {
+                if !self.constraint_ok(c, mu_s, sigma_s) {
+                    return None;
+                }
+                // Materialize Ŝ once, reuse for LB and DTW.
+                scratch.clear();
+                scratch.extend_from_slice(s);
+                kvmatch_distance::z_normalize(scratch, mu_s, sigma_s);
+                let (ln, un) = self.env_norm.as_ref().expect("cNSM-DTW has an envelope");
+                lb_keogh_sq_early_abandon(scratch, ln, un, eps_sq)?;
+                *full_distances += 1;
+                dtw_banded_early_abandon(scratch, &self.q_norm, rho, eps_sq).map(f64::sqrt)
+            }
+        }
+    }
+
+    /// Lp verification (RSM-Lp / cNSM-Lp), in the p-th-power domain.
+    fn verify_lp(
+        &self,
+        s: &[f64],
+        mu_s: f64,
+        sigma_s: f64,
+        p: LpExponent,
+        full_distances: &mut u64,
+    ) -> Option<f64> {
+        let bound_pow = p.pow(self.spec.epsilon);
+        match &self.spec.constraint {
+            None => {
+                *full_distances += 1;
+                lp_pow_early_abandon(s, &self.spec.query, p, bound_pow).map(|acc| p.root(acc))
+            }
+            Some(c) => {
+                if !self.constraint_ok(c, mu_s, sigma_s) {
+                    return None;
+                }
+                *full_distances += 1;
+                lp_norm_pow_early_abandon(s, &self.q_norm, mu_s, sigma_s, p, bound_pow)
+                    .map(|acc| p.root(acc))
+            }
+        }
+    }
+}
+
+/// Verifies every candidate interval of `cs` against the series store.
+/// Shared by [`KvMatcher`] and the DP matcher.
+pub(crate) fn verify_candidates<D: SeriesStore>(
+    data: &D,
+    prep: &PreparedQuery,
+    cs: &IntervalSet,
+    stats: &mut MatchStats,
+) -> Result<Vec<MatchResult>, CoreError> {
+    let m = prep.m;
+    let mut results = Vec::new();
+    let mut scratch = Vec::with_capacity(m);
+    for wi in cs.intervals() {
+        let l = wi.left as usize;
+        let count = wi.size() as usize;
+        let fetch_len = count - 1 + m;
+        let buf = data.fetch(l, fetch_len)?;
+        stats.points_fetched += fetch_len as u64;
+        // O(1) per-candidate statistics over the fetched block.
+        let ps = prep.spec.is_normalized().then(|| PrefixStats::new(&buf));
+        for k in 0..count {
+            let s = &buf[k..k + m];
+            let (mu_s, sigma_s) = match &ps {
+                Some(ps) => ps.range_mean_std(k, m),
+                None => (0.0, 0.0),
+            };
+            if let Some(distance) = prep.verify(
+                s,
+                mu_s,
+                sigma_s,
+                &mut scratch,
+                &mut stats.full_distance_computations,
+            ) {
+                results.push(MatchResult { offset: l + k, distance });
+            }
+        }
+    }
+    stats.matches = results.len() as u64;
+    Ok(results)
+}
+
+/// The basic fixed-window KV-match matcher.
+pub struct KvMatcher<'a, S: KvStore, D: SeriesStore> {
+    index: &'a KvIndex<S>,
+    data: &'a D,
+    row_cache: Option<&'a RowCache>,
+}
+
+impl<'a, S: KvStore, D: SeriesStore> KvMatcher<'a, S, D> {
+    /// Binds an index to its data store. Fails when the index was built
+    /// over a series of a different length.
+    pub fn new(index: &'a KvIndex<S>, data: &'a D) -> Result<Self, CoreError> {
+        if index.series_len() != data.len() {
+            return Err(CoreError::CorruptIndex(format!(
+                "index covers a series of length {}, data store has {}",
+                index.series_len(),
+                data.len()
+            )));
+        }
+        Ok(Self { index, data, row_cache: None })
+    }
+
+    /// Reuses index rows across queries through `cache` (§VI-C
+    /// optimization 1). Results are identical; repeated or overlapping
+    /// probes skip the store.
+    pub fn with_row_cache(mut self, cache: &'a RowCache) -> Self {
+        self.row_cache = Some(cache);
+        self
+    }
+
+    fn probe(&self, lr: f64, ur: f64) -> Result<(IntervalSet, crate::index::ScanInfo), CoreError> {
+        match self.row_cache {
+            Some(cache) => self.index.probe_cached(lr, ur, cache),
+            None => self.index.probe(lr, ur),
+        }
+    }
+
+    /// Phase-1 only: the per-window candidate sets `CS_i` (already
+    /// left-shifted) and their running intersection `CS` — the quantities
+    /// Table VII compares against FRM. Unlike [`KvMatcher::execute`], every
+    /// window is probed even when the intersection empties early.
+    pub fn window_candidate_sets(
+        &self,
+        spec: &QuerySpec,
+    ) -> Result<(Vec<IntervalSet>, IntervalSet), CoreError> {
+        let prep = PreparedQuery::new(spec.clone())?;
+        let w = self.index.window();
+        let m = prep.m;
+        if m < w {
+            return Err(CoreError::QueryTooShort { query_len: m, window: w });
+        }
+        let n = self.data.len();
+        if m > n {
+            return Ok((Vec::new(), IntervalSet::new()));
+        }
+        let p = m / w;
+        let max_start = (n - m) as u64;
+        let mut sets = Vec::with_capacity(p);
+        for i in 0..p {
+            let range = prep.window_range(i * w, w);
+            let (is, _) = self.probe(range.lower, range.upper)?;
+            sets.push(is.shift_left((i * w) as u64).clamp_max(max_start));
+        }
+        let mut cs = sets[0].clone();
+        for s in &sets[1..] {
+            cs = cs.intersect(s);
+        }
+        Ok((sets, cs))
+    }
+
+    /// Executes Algorithm 1, returning qualified subsequences (ordered by
+    /// offset) and execution statistics.
+    pub fn execute(&self, spec: &QuerySpec) -> Result<(Vec<MatchResult>, MatchStats), CoreError> {
+        let prep = PreparedQuery::new(spec.clone())?;
+        let w = self.index.window();
+        let m = prep.m;
+        if m < w {
+            return Err(CoreError::QueryTooShort { query_len: m, window: w });
+        }
+        let n = self.data.len();
+        let mut stats = MatchStats::default();
+        if m > n {
+            return Ok((Vec::new(), stats));
+        }
+
+        // Phase 1: index probing (Lines 2–12).
+        let t1 = Instant::now();
+        let p = m / w;
+        let mut cs: Option<IntervalSet> = None;
+        for i in 0..p {
+            let range = prep.window_range(i * w, w);
+            let (is, info) = self.probe(range.lower, range.upper)?;
+            stats.index_accesses += info.scans;
+            stats.rows_scanned += info.rows;
+            stats.rows_from_cache += info.rows_from_cache;
+            stats.intervals_collected += info.intervals;
+            let csi = is.shift_left((i * w) as u64);
+            cs = Some(match cs {
+                None => csi,
+                Some(prev) => prev.intersect(&csi),
+            });
+            if cs.as_ref().expect("just set").is_empty() {
+                break;
+            }
+        }
+        let cs = cs
+            .expect("p ≥ 1 because m ≥ w")
+            .clamp_max((n - m) as u64);
+        stats.candidates = cs.num_positions();
+        stats.candidate_intervals = cs.num_intervals() as u64;
+        stats.phase1_nanos = t1.elapsed().as_nanos() as u64;
+
+        // Phase 2: verification (Lines 13–18).
+        let t2 = Instant::now();
+        let results = verify_candidates(self.data, &prep, &cs, &mut stats)?;
+        stats.phase2_nanos = t2.elapsed().as_nanos() as u64;
+        Ok((results, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexBuildConfig;
+    use crate::naive::naive_search;
+    use kvmatch_storage::memory::MemoryKvStoreBuilder;
+    use kvmatch_storage::{MemoryKvStore, MemorySeriesStore};
+    use kvmatch_timeseries::generator::composite_series;
+
+    fn build_index(xs: &[f64], w: usize) -> KvIndex<MemoryKvStore> {
+        let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+            xs,
+            IndexBuildConfig::new(w),
+            MemoryKvStoreBuilder::new(),
+        )
+        .unwrap();
+        idx
+    }
+
+    fn check_equals_naive(xs: &[f64], w: usize, spec: &QuerySpec) -> MatchStats {
+        let idx = build_index(xs, w);
+        let data = MemorySeriesStore::new(xs.to_vec());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let (got, stats) = matcher.execute(spec).unwrap();
+        let want = naive_search(xs, spec);
+        let got_offsets: Vec<usize> = got.iter().map(|r| r.offset).collect();
+        let want_offsets: Vec<usize> = want.iter().map(|r| r.offset).collect();
+        assert_eq!(got_offsets, want_offsets, "offset sets differ");
+        for (g, w_) in got.iter().zip(&want) {
+            assert!(
+                (g.distance - w_.distance).abs() < 1e-6,
+                "distance mismatch at {}: {} vs {}",
+                g.offset,
+                g.distance,
+                w_.distance
+            );
+        }
+        stats
+    }
+
+    #[test]
+    fn rsm_ed_equals_naive() {
+        let xs = composite_series(31, 6_000);
+        let q = xs[1000..1160].to_vec();
+        for eps in [0.0, 1.0, 5.0, 20.0, 60.0] {
+            let stats = check_equals_naive(&xs, 50, &QuerySpec::rsm_ed(q.clone(), eps));
+            assert_eq!(stats.index_accesses, 3, "p = 160/50 = 3 probes");
+        }
+    }
+
+    #[test]
+    fn rsm_dtw_equals_naive() {
+        let xs = composite_series(37, 3_000);
+        let q = xs[500..650].to_vec();
+        for eps in [1.0, 8.0, 30.0] {
+            check_equals_naive(&xs, 50, &QuerySpec::rsm_dtw(q.clone(), eps, 7));
+        }
+    }
+
+    #[test]
+    fn cnsm_ed_equals_naive() {
+        let xs = composite_series(41, 6_000);
+        let q = xs[2000..2200].to_vec();
+        for (eps, alpha, beta) in [(0.5, 1.1, 0.5), (2.0, 1.5, 2.0), (5.0, 2.0, 10.0)] {
+            check_equals_naive(&xs, 50, &QuerySpec::cnsm_ed(q.clone(), eps, alpha, beta));
+        }
+    }
+
+    #[test]
+    fn cnsm_dtw_equals_naive() {
+        let xs = composite_series(43, 2_500);
+        let q = xs[700..860].to_vec();
+        for (eps, alpha, beta) in [(1.0, 1.2, 1.0), (4.0, 2.0, 5.0)] {
+            check_equals_naive(&xs, 40, &QuerySpec::cnsm_dtw(q.clone(), eps, 5, alpha, beta));
+        }
+    }
+
+    #[test]
+    fn query_not_multiple_of_window_keeps_prefix() {
+        // |Q| = 130, w = 50 ⇒ p = 2 windows; the 30-sample tail is ignored
+        // by phase 1 but fully verified in phase 2.
+        let xs = composite_series(47, 4_000);
+        let q = xs[100..230].to_vec();
+        check_equals_naive(&xs, 50, &QuerySpec::rsm_ed(q, 10.0));
+    }
+
+    #[test]
+    fn query_shorter_than_window_errors() {
+        let xs = composite_series(51, 1_000);
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let err = matcher.execute(&QuerySpec::rsm_ed(vec![0.0; 20], 1.0)).unwrap_err();
+        assert!(matches!(err, CoreError::QueryTooShort { query_len: 20, window: 50 }));
+    }
+
+    #[test]
+    fn mismatched_series_length_rejected() {
+        let xs = composite_series(53, 1_000);
+        let idx = build_index(&xs, 25);
+        let other = MemorySeriesStore::new(vec![0.0; 500]);
+        assert!(KvMatcher::new(&idx, &other).is_err());
+    }
+
+    #[test]
+    fn self_match_is_always_found() {
+        // Pull queries straight from the data: offset must be reported
+        // with distance 0 for RSM-ED and cNSM-ED.
+        let xs = composite_series(59, 5_000);
+        for off in [0usize, 1234, 4800 - 200] {
+            let q = xs[off..off + 200].to_vec();
+            let idx = build_index(&xs, 50);
+            let data = MemorySeriesStore::new(xs.clone());
+            let matcher = KvMatcher::new(&idx, &data).unwrap();
+            let (res, _) = matcher.execute(&QuerySpec::rsm_ed(q.clone(), 1e-9)).unwrap();
+            assert!(res.iter().any(|r| r.offset == off), "RSM self-match at {off}");
+            let (res, _) = matcher
+                .execute(&QuerySpec::cnsm_ed(q, 1e-9, 1.0001, 0.001))
+                .unwrap();
+            assert!(res.iter().any(|r| r.offset == off), "cNSM self-match at {off}");
+        }
+    }
+
+    #[test]
+    fn empty_result_on_far_query() {
+        let xs = vec![0.0; 2_000];
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs);
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let q = vec![1e6; 100];
+        let (res, stats) = matcher.execute(&QuerySpec::rsm_ed(q, 1.0)).unwrap();
+        assert!(res.is_empty());
+        assert_eq!(stats.candidates, 0);
+        // Early exit: the first empty intersection stops probing.
+        assert!(stats.index_accesses <= 2);
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let xs = composite_series(61, 4_000);
+        let q = xs[100..400].to_vec();
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let (res, stats) = matcher.execute(&QuerySpec::rsm_ed(q, 15.0)).unwrap();
+        assert_eq!(stats.matches as usize, res.len());
+        assert!(stats.candidates >= stats.matches);
+        assert!(stats.candidate_intervals <= stats.candidates);
+        assert!(stats.points_fetched >= stats.candidates);
+        assert_eq!(stats.index_accesses, 6);
+    }
+
+    #[test]
+    fn window_candidate_sets_intersect_to_cs() {
+        let xs = composite_series(63, 4_000);
+        let q = xs[500..800].to_vec();
+        let spec = QuerySpec::rsm_ed(q, 12.0);
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let (sets, cs) = matcher.window_candidate_sets(&spec).unwrap();
+        assert_eq!(sets.len(), 6);
+        // CS ⊆ every CS_i, and every true match is in CS.
+        for r in naive_search(&xs, &spec) {
+            assert!(cs.contains(r.offset as u64), "match {} missing from CS", r.offset);
+            for (i, s) in sets.iter().enumerate() {
+                assert!(s.contains(r.offset as u64), "match {} missing from CS_{i}", r.offset);
+            }
+        }
+        let (_, stats) = matcher.execute(&spec).unwrap();
+        assert_eq!(stats.candidates, cs.num_positions());
+    }
+
+    #[test]
+    fn query_longer_than_series_is_empty_ok() {
+        let xs = composite_series(67, 500);
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let (res, _) = matcher
+            .execute(&QuerySpec::rsm_ed(vec![0.0; 1000], 5.0))
+            .unwrap();
+        assert!(res.is_empty());
+    }
+}

@@ -1,0 +1,281 @@
+//! The index meta table (paper §IV-A).
+//!
+//! One quadruple `⟨K_i, pos_i, nI(V_i), nP(V_i)⟩` per row. Loaded into
+//! memory before matching; used (a) to locate the row range a scan must
+//! cover by binary search, and (b) by KV-match_DP to estimate `nI(IS)`
+//! without touching the index (the `C_{i−ϕ+1,ϕ}` of Eq. 9).
+//!
+//! In this implementation the physical row offset is owned by the
+//! underlying [`kvmatch_storage::KvStore`]; the meta table keeps the key
+//! range and the counts, plus the index parameters needed to validate a
+//! query against the index.
+
+use kvmatch_storage::StorageError;
+
+/// Binary-format version of the serialized meta table.
+const META_VERSION: u32 = 1;
+
+/// Per-row meta entry.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetaEntry {
+    /// Left endpoint of the row's mean-value range `[low, up)`.
+    pub low: f64,
+    /// Right endpoint (exclusive).
+    pub up: f64,
+    /// Number of window intervals in the row, `nI(V_i)`.
+    pub n_intervals: u64,
+    /// Number of window positions in the row, `nP(V_i)`.
+    pub n_positions: u64,
+}
+
+/// Index-wide parameters persisted with the meta table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IndexParams {
+    /// Window width `w` the index was built with.
+    pub window: usize,
+    /// Length `n` of the indexed series.
+    pub series_len: usize,
+    /// Initial equal-width bucket width `d`.
+    pub width_d: f64,
+    /// Merge threshold γ.
+    pub merge_gamma: f64,
+}
+
+/// The in-memory meta table.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetaTable {
+    params: IndexParams,
+    entries: Vec<MetaEntry>,
+}
+
+impl MetaTable {
+    /// Assembles a meta table; entries must be sorted by `low` with
+    /// non-overlapping ranges.
+    pub fn new(params: IndexParams, entries: Vec<MetaEntry>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].up <= w[1].low),
+            "meta entries overlap or are unsorted"
+        );
+        Self { params, entries }
+    }
+
+    /// Index parameters.
+    pub fn params(&self) -> &IndexParams {
+        &self.params
+    }
+
+    /// All entries, sorted by key range.
+    pub fn entries(&self) -> &[MetaEntry] {
+        &self.entries
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total window positions across rows (should equal `n − w + 1`).
+    pub fn total_positions(&self) -> u64 {
+        self.entries.iter().map(|e| e.n_positions).sum()
+    }
+
+    /// Total intervals across rows.
+    pub fn total_intervals(&self) -> u64 {
+        self.entries.iter().map(|e| e.n_intervals).sum()
+    }
+
+    /// The half-open row-index range `[si, ei)` of rows whose key range
+    /// intersects `[lr, ur]` (§V-B: the scan may cover extra mean values at
+    /// the boundary rows — never misses any).
+    pub fn rows_overlapping(&self, lr: f64, ur: f64) -> (usize, usize) {
+        if lr > ur || self.entries.is_empty() {
+            return (0, 0);
+        }
+        // First row with up > lr.
+        let si = self.entries.partition_point(|e| e.up <= lr);
+        // First row with low > ur.
+        let ei = self.entries.partition_point(|e| e.low <= ur);
+        (si, ei.max(si))
+    }
+
+    /// Estimated `nI(IS)` for a window whose mean range is `[lr, ur]` —
+    /// the sum of `nI(V_i)` over the overlapping rows, read from meta only.
+    pub fn estimate_intervals(&self, lr: f64, ur: f64) -> u64 {
+        let (si, ei) = self.rows_overlapping(lr, ur);
+        self.entries[si..ei].iter().map(|e| e.n_intervals).sum()
+    }
+
+    /// Estimated `nP(IS)` over the overlapping rows.
+    pub fn estimate_positions(&self, lr: f64, ur: f64) -> u64 {
+        let (si, ei) = self.rows_overlapping(lr, ur);
+        self.entries[si..ei].iter().map(|e| e.n_positions).sum()
+    }
+
+    /// Serializes to the compact binary layout stored as the index's meta
+    /// row.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 8 * 4 + self.entries.len() * 32);
+        out.extend_from_slice(&META_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.params.window as u64).to_le_bytes());
+        out.extend_from_slice(&(self.params.series_len as u64).to_le_bytes());
+        out.extend_from_slice(&self.params.width_d.to_le_bytes());
+        out.extend_from_slice(&self.params.merge_gamma.to_le_bytes());
+        out.extend_from_slice(&(self.entries.len() as u64).to_le_bytes());
+        for e in &self.entries {
+            out.extend_from_slice(&e.low.to_le_bytes());
+            out.extend_from_slice(&e.up.to_le_bytes());
+            out.extend_from_slice(&e.n_intervals.to_le_bytes());
+            out.extend_from_slice(&e.n_positions.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses the binary layout produced by [`MetaTable::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StorageError> {
+        let mut p = 0usize;
+        let take = |p: &mut usize, n: usize| -> Result<&[u8], StorageError> {
+            if *p + n > bytes.len() {
+                return Err(StorageError::Corrupt("truncated meta table".into()));
+            }
+            let s = &bytes[*p..*p + n];
+            *p += n;
+            Ok(s)
+        };
+        let version = u32::from_le_bytes(take(&mut p, 4)?.try_into().expect("4 bytes"));
+        if version != META_VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "unsupported meta version {version}"
+            )));
+        }
+        let window = u64::from_le_bytes(take(&mut p, 8)?.try_into().expect("8")) as usize;
+        let series_len = u64::from_le_bytes(take(&mut p, 8)?.try_into().expect("8")) as usize;
+        let width_d = f64::from_le_bytes(take(&mut p, 8)?.try_into().expect("8"));
+        let merge_gamma = f64::from_le_bytes(take(&mut p, 8)?.try_into().expect("8"));
+        let count = u64::from_le_bytes(take(&mut p, 8)?.try_into().expect("8")) as usize;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let low = f64::from_le_bytes(take(&mut p, 8)?.try_into().expect("8"));
+            let up = f64::from_le_bytes(take(&mut p, 8)?.try_into().expect("8"));
+            let n_intervals = u64::from_le_bytes(take(&mut p, 8)?.try_into().expect("8"));
+            let n_positions = u64::from_le_bytes(take(&mut p, 8)?.try_into().expect("8"));
+            if low >= up {
+                return Err(StorageError::Corrupt("meta entry with low ≥ up".into()));
+            }
+            if let Some(prev) = entries.last() {
+                let prev: &MetaEntry = prev;
+                if low < prev.up {
+                    return Err(StorageError::Corrupt("meta entries overlap".into()));
+                }
+            }
+            entries.push(MetaEntry { low, up, n_intervals, n_positions });
+        }
+        Ok(Self {
+            params: IndexParams { window, series_len, width_d, merge_gamma },
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetaTable {
+        MetaTable::new(
+            IndexParams { window: 50, series_len: 10_000, width_d: 0.5, merge_gamma: 0.8 },
+            vec![
+                MetaEntry { low: -1.0, up: -0.5, n_intervals: 3, n_positions: 10 },
+                MetaEntry { low: -0.5, up: 0.5, n_intervals: 5, n_positions: 40 },
+                MetaEntry { low: 1.0, up: 1.5, n_intervals: 2, n_positions: 7 }, // gap before
+            ],
+        )
+    }
+
+    #[test]
+    fn rows_overlapping_hits_boundaries() {
+        let m = sample();
+        // Entirely inside the middle row.
+        assert_eq!(m.rows_overlapping(-0.2, 0.2), (1, 2));
+        // Touching low endpoint (inclusive on row ranges' low side).
+        assert_eq!(m.rows_overlapping(-0.5, -0.5), (1, 2));
+        // up is exclusive: lr = -0.5 must not include row 0.
+        assert_eq!(m.rows_overlapping(-0.5, 0.0).0, 1);
+        // Spanning the gap selects both neighbours.
+        assert_eq!(m.rows_overlapping(0.4, 1.1), (1, 3));
+        // Entirely inside the gap selects nothing.
+        assert_eq!(m.rows_overlapping(0.6, 0.9), (2, 2));
+        // Covering everything.
+        assert_eq!(m.rows_overlapping(-10.0, 10.0), (0, 3));
+        // Entirely below / above.
+        assert_eq!(m.rows_overlapping(-10.0, -2.0), (0, 0));
+        let (si, ei) = m.rows_overlapping(5.0, 6.0);
+        assert_eq!(si, ei);
+        // Inverted range.
+        assert_eq!(m.rows_overlapping(1.0, -1.0), (0, 0));
+    }
+
+    #[test]
+    fn estimates_sum_over_overlap() {
+        let m = sample();
+        assert_eq!(m.estimate_intervals(-0.7, 0.0), 3 + 5);
+        assert_eq!(m.estimate_positions(-0.7, 0.0), 10 + 40);
+        assert_eq!(m.estimate_intervals(0.6, 0.9), 0);
+        assert_eq!(m.estimate_intervals(-100.0, 100.0), 10);
+    }
+
+    #[test]
+    fn totals() {
+        let m = sample();
+        assert_eq!(m.total_positions(), 57);
+        assert_eq!(m.total_intervals(), 10);
+        assert_eq!(m.row_count(), 3);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let m = sample();
+        let bytes = m.to_bytes();
+        let back = MetaTable::from_bytes(&bytes).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn truncated_bytes_rejected() {
+        let m = sample();
+        let bytes = m.to_bytes();
+        for cut in [0, 3, 10, bytes.len() - 1] {
+            assert!(MetaTable::from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let m = sample();
+        let mut bytes = m.to_bytes();
+        bytes[0] = 99;
+        assert!(MetaTable::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn overlapping_entries_rejected() {
+        let m = MetaTable {
+            params: IndexParams { window: 1, series_len: 1, width_d: 0.5, merge_gamma: 0.8 },
+            entries: vec![
+                MetaEntry { low: 0.0, up: 1.0, n_intervals: 1, n_positions: 1 },
+                MetaEntry { low: 0.5, up: 2.0, n_intervals: 1, n_positions: 1 },
+            ],
+        };
+        assert!(MetaTable::from_bytes(&m.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let m = MetaTable::new(
+            IndexParams { window: 25, series_len: 0, width_d: 0.5, merge_gamma: 0.8 },
+            vec![],
+        );
+        let back = MetaTable::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back.row_count(), 0);
+        assert_eq!(back.rows_overlapping(0.0, 1.0), (0, 0));
+    }
+}

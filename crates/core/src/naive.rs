@@ -1,0 +1,159 @@
+//! Reference (index-free) implementations of all four query types.
+//!
+//! A direct realization of the problem statements in §II-A: scan every
+//! offset, compute the exact distance (and the cNSM constraints), keep
+//! qualifying subsequences. No pruning beyond exact early abandoning, no
+//! index — this is the ground truth the matcher and the baselines are
+//! tested against, and the tool the benchmark harness uses to calibrate
+//! selectivities.
+
+use kvmatch_distance::dtw::dtw_banded_early_abandon;
+use kvmatch_distance::ed::{ed_early_abandon, ed_norm_early_abandon};
+use kvmatch_distance::lp::{lp_norm_pow_early_abandon, lp_pow_early_abandon};
+use kvmatch_distance::normalize::{mean_std, z_normalized};
+use kvmatch_timeseries::PrefixStats;
+
+use crate::query::{MatchResult, Measure, QuerySpec};
+
+/// Exhaustive scan returning every subsequence that satisfies `spec`.
+///
+/// Results are ordered by offset. Time complexity O(n·m) for ED and
+/// O(n·m·ρ) for DTW; use only where that is affordable (tests,
+/// calibration, moderate `n`).
+pub fn naive_search(xs: &[f64], spec: &QuerySpec) -> Vec<MatchResult> {
+    spec.validate().expect("invalid query spec");
+    let m = spec.query.len();
+    if m > xs.len() {
+        return Vec::new();
+    }
+    let eps_sq = spec.epsilon * spec.epsilon;
+    let rho = spec.measure.rho();
+    let stats = PrefixStats::new(xs);
+    let mut out = Vec::new();
+
+    match &spec.constraint {
+        None => {
+            // RSM: raw distances.
+            for j in 0..=xs.len() - m {
+                let s = &xs[j..j + m];
+                let hit = match spec.measure {
+                    Measure::Dtw { .. } => dtw_banded_early_abandon(s, &spec.query, rho, eps_sq)
+                        .map(|d_sq| d_sq.sqrt()),
+                    Measure::Ed => {
+                        ed_early_abandon(s, &spec.query, eps_sq).map(|d_sq| d_sq.sqrt())
+                    }
+                    Measure::Lp { p } => {
+                        lp_pow_early_abandon(s, &spec.query, p, p.pow(spec.epsilon))
+                            .map(|acc| p.root(acc))
+                    }
+                };
+                if let Some(distance) = hit {
+                    out.push(MatchResult { offset: j, distance });
+                }
+            }
+        }
+        Some(c) => {
+            // cNSM: normalized distances plus the (α, β) constraints.
+            let (mu_q, sigma_q) = mean_std(&spec.query);
+            let q_norm = z_normalized(&spec.query);
+            for j in 0..=xs.len() - m {
+                let (mu_s, sigma_s) = stats.range_mean_std(j, m);
+                if (mu_s - mu_q).abs() > c.beta {
+                    continue;
+                }
+                if sigma_s < sigma_q / c.alpha || sigma_s > sigma_q * c.alpha {
+                    continue;
+                }
+                let s = &xs[j..j + m];
+                let hit = match spec.measure {
+                    Measure::Dtw { .. } => {
+                        let mut s_norm = s.to_vec();
+                        kvmatch_distance::z_normalize(&mut s_norm, mu_s, sigma_s);
+                        dtw_banded_early_abandon(&s_norm, &q_norm, rho, eps_sq)
+                            .map(|d_sq| d_sq.sqrt())
+                    }
+                    Measure::Ed => ed_norm_early_abandon(s, &q_norm, mu_s, sigma_s, eps_sq)
+                        .map(|d_sq| d_sq.sqrt()),
+                    Measure::Lp { p } => lp_norm_pow_early_abandon(
+                        s,
+                        &q_norm,
+                        mu_s,
+                        sigma_s,
+                        p,
+                        p.pow(spec.epsilon),
+                    )
+                    .map(|acc| p.root(acc)),
+                };
+                if let Some(distance) = hit {
+                    out.push(MatchResult { offset: j, distance });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Count of matches only (cheaper interface for selectivity calibration).
+pub fn naive_count(xs: &[f64], spec: &QuerySpec) -> usize {
+    naive_search(xs, spec).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QuerySpec;
+
+    #[test]
+    fn exact_copy_is_found_at_distance_zero() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64 * 0.2).sin() * 3.0).collect();
+        let q = xs[40..56].to_vec();
+        let res = naive_search(&xs, &QuerySpec::rsm_ed(q, 0.0));
+        assert!(res.iter().any(|r| r.offset == 40 && r.distance == 0.0));
+    }
+
+    #[test]
+    fn query_longer_than_series_is_empty() {
+        let res = naive_search(&[1.0, 2.0], &QuerySpec::rsm_ed(vec![0.0; 5], 10.0));
+        assert!(res.is_empty());
+    }
+
+    #[test]
+    fn cnsm_finds_shifted_scaled_copy_within_constraints() {
+        let base: Vec<f64> = (0..32).map(|i| (i as f64 * 0.5).sin()).collect();
+        let mut xs = vec![0.0; 200];
+        // Plant a scaled (×1.5) + shifted (+2) copy at offset 100.
+        for (i, &v) in base.iter().enumerate() {
+            xs[100 + i] = v * 1.5 + 2.0;
+        }
+        let spec = QuerySpec::cnsm_ed(base.clone(), 0.5, 2.0, 3.0);
+        let res = naive_search(&xs, &spec);
+        assert!(res.iter().any(|r| r.offset == 100), "{res:?}");
+
+        // With a tight β the shifted copy must be rejected.
+        let spec_tight = QuerySpec::cnsm_ed(base, 0.5, 2.0, 0.5);
+        let res_tight = naive_search(&xs, &spec_tight);
+        assert!(!res_tight.iter().any(|r| r.offset == 100));
+    }
+
+    #[test]
+    fn dtw_rsm_at_least_as_permissive_as_ed() {
+        let xs: Vec<f64> = (0..300).map(|i| (i as f64 * 0.11).sin() * 2.0).collect();
+        let q = xs[50..90].to_vec();
+        let eps = 1.5;
+        let ed = naive_search(&xs, &QuerySpec::rsm_ed(q.clone(), eps));
+        let dtw = naive_search(&xs, &QuerySpec::rsm_dtw(q, eps, 4));
+        let ed_offsets: Vec<usize> = ed.iter().map(|r| r.offset).collect();
+        let dtw_offsets: Vec<usize> = dtw.iter().map(|r| r.offset).collect();
+        for o in &ed_offsets {
+            assert!(dtw_offsets.contains(o), "DTW lost ED match at {o}");
+        }
+        assert!(dtw_offsets.len() >= ed_offsets.len());
+    }
+
+    #[test]
+    fn count_matches_search_len() {
+        let xs: Vec<f64> = (0..200).map(|i| ((i % 17) as f64) - 8.0).collect();
+        let spec = QuerySpec::rsm_ed(xs[10..42].to_vec(), 5.0);
+        assert_eq!(naive_count(&xs, &spec), naive_search(&xs, &spec).len());
+    }
+}

@@ -1,0 +1,221 @@
+//! The filtering-range lemmas (paper §III).
+//!
+//! For each disjoint query window `Q_i` the lemmas give an interval
+//! `[LR_i, UR_i]` that the window mean `µ_i^S` of any qualified subsequence
+//! must fall into. All four query types share this format — the property
+//! that lets one index serve RSM-ED, cNSM-ED, RSM-DTW and cNSM-DTW.
+
+use kvmatch_distance::LpExponent;
+
+/// A per-window mean-value range `[LR_i, UR_i]` (inclusive).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeanRange {
+    /// Lower bound `LR_i`.
+    pub lower: f64,
+    /// Upper bound `UR_i`.
+    pub upper: f64,
+}
+
+impl MeanRange {
+    /// True if `mu` satisfies the range.
+    #[inline]
+    pub fn contains(&self, mu: f64) -> bool {
+        self.lower <= mu && mu <= self.upper
+    }
+
+    /// Width of the range.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+}
+
+/// Lemma 1 (RSM-ED): `µ_i^S ∈ [µ_i^Q − ε/√w, µ_i^Q + ε/√w]`.
+#[inline]
+pub fn rsm_ed_range(mu_qi: f64, epsilon: f64, w: usize) -> MeanRange {
+    let slack = epsilon / (w as f64).sqrt();
+    MeanRange { lower: mu_qi - slack, upper: mu_qi + slack }
+}
+
+/// Lemma 3 (RSM-DTW): `µ_i^S ∈ [µ_i^L − ε/√w, µ_i^U + ε/√w]`, where
+/// `µ_i^L`/`µ_i^U` are the means of the `i`-th disjoint windows of the
+/// query's lower/upper Keogh envelope.
+#[inline]
+pub fn rsm_dtw_range(mu_li: f64, mu_ui: f64, epsilon: f64, w: usize) -> MeanRange {
+    let slack = epsilon / (w as f64).sqrt();
+    MeanRange { lower: mu_li - slack, upper: mu_ui + slack }
+}
+
+/// Lp generalization of Lemma 1 (RSM-Lp): by the power-mean inequality,
+/// `Σ_{j∈window} |s_j − q_j|^p ≥ w · |µ_i^S − µ_i^Q|^p` for finite `p ≥ 1`,
+/// so `µ_i^S ∈ [µ_i^Q − ε/w^(1/p), µ_i^Q + ε/w^(1/p)]`. For `L∞` the mean
+/// deviation is bounded by the max deviation: slack `ε`.
+#[inline]
+pub fn rsm_lp_range(mu_qi: f64, epsilon: f64, w: usize, p: LpExponent) -> MeanRange {
+    let slack = epsilon / p.root_w(w);
+    MeanRange { lower: mu_qi - slack, upper: mu_qi + slack }
+}
+
+/// Lp generalization of Lemma 2 (cNSM-Lp): Lemma 2's proof only uses the
+/// per-window corollary, so replacing `ε·σ^Q/√w` by `ε·σ^Q/w^(1/p)` and
+/// re-running the (a, b) corner analysis yields the range.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors the lemma parameter list
+pub fn cnsm_lp_range(
+    mu_qi: f64,
+    mu_q: f64,
+    sigma_q: f64,
+    epsilon: f64,
+    alpha: f64,
+    beta: f64,
+    w: usize,
+    p: LpExponent,
+) -> MeanRange {
+    let slack = epsilon * sigma_q / p.root_w(w);
+    scaled_shifted_range(mu_qi - mu_q - slack, mu_qi - mu_q + slack, mu_q, alpha, beta)
+}
+
+/// Lemma 2 (cNSM-ED).
+///
+/// With `A = µ_i^Q − µ^Q − ε·σ^Q/√w` and `B = µ_i^Q − µ^Q + ε·σ^Q/√w`:
+/// `v_min = min(αA, A/α)`, `v_max = max(αB, B/α)`, and
+/// `µ_i^S ∈ [v_min + µ^Q − β, v_max + µ^Q + β]`.
+#[inline]
+pub fn cnsm_ed_range(
+    mu_qi: f64,
+    mu_q: f64,
+    sigma_q: f64,
+    epsilon: f64,
+    alpha: f64,
+    beta: f64,
+    w: usize,
+) -> MeanRange {
+    let slack = epsilon * sigma_q / (w as f64).sqrt();
+    scaled_shifted_range(mu_qi - mu_q - slack, mu_qi - mu_q + slack, mu_q, alpha, beta)
+}
+
+/// Lemma 4 (cNSM-DTW): the envelope version of Lemma 2, with
+/// `A = µ_i^L − µ^Q − ε·σ^Q/√w` and `B = µ_i^U − µ^Q + ε·σ^Q/√w`.
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors Lemma 4's parameter list
+pub fn cnsm_dtw_range(
+    mu_li: f64,
+    mu_ui: f64,
+    mu_q: f64,
+    sigma_q: f64,
+    epsilon: f64,
+    alpha: f64,
+    beta: f64,
+    w: usize,
+) -> MeanRange {
+    let slack = epsilon * sigma_q / (w as f64).sqrt();
+    scaled_shifted_range(mu_li - mu_q - slack, mu_ui - mu_q + slack, mu_q, alpha, beta)
+}
+
+/// Shared corner analysis of Lemmas 2/4: minimize `A·a + b + µ^Q` and
+/// maximize `B·a + b + µ^Q` over `a ∈ [1/α, α]`, `b ∈ [−β, β]`. Both are
+/// monotone in `b`; in `a` the extremum sits at a corner whose side depends
+/// on the sign of `A` (resp. `B`) — the points p1..p4 of Fig. 5.
+#[inline]
+fn scaled_shifted_range(a_term: f64, b_term: f64, mu_q: f64, alpha: f64, beta: f64) -> MeanRange {
+    let v_min = (alpha * a_term).min(a_term / alpha);
+    let v_max = (alpha * b_term).max(b_term / alpha);
+    MeanRange { lower: v_min + mu_q - beta, upper: v_max + mu_q + beta }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rsm_ed_symmetric_around_window_mean() {
+        let r = rsm_ed_range(3.0, 10.0, 25);
+        assert_eq!(r.lower, 3.0 - 2.0);
+        assert_eq!(r.upper, 3.0 + 2.0);
+        assert!(r.contains(3.0) && r.contains(1.0) && r.contains(5.0));
+        assert!(!r.contains(0.999) && !r.contains(5.001));
+    }
+
+    #[test]
+    fn rsm_ed_zero_epsilon_is_point() {
+        let r = rsm_ed_range(1.5, 0.0, 16);
+        assert_eq!(r.lower, r.upper);
+        assert!(r.contains(1.5));
+    }
+
+    #[test]
+    fn rsm_dtw_extends_envelope() {
+        let r = rsm_dtw_range(1.0, 4.0, 6.0, 9);
+        assert_eq!(r.lower, 1.0 - 2.0);
+        assert_eq!(r.upper, 4.0 + 2.0);
+    }
+
+    #[test]
+    fn rsm_dtw_degenerate_envelope_equals_ed() {
+        // With L = U = Q (ρ = 0 envelope), Lemma 3 reduces to Lemma 1.
+        let ed = rsm_ed_range(2.5, 3.0, 4);
+        let dtw = rsm_dtw_range(2.5, 2.5, 3.0, 4);
+        assert_eq!(ed, dtw);
+    }
+
+    #[test]
+    fn cnsm_paper_example() {
+        // §III-B worked example: Q = (1,1,−1,−1), w = 2, (α, β) = (2, 1),
+        // ε = 0. µ_1^Q = 1, µ^Q = 0, σ^Q ≈ 1.1547... (population: 1.0).
+        // With ε = 0, A = B = µ_1^Q − µ^Q = 1 > 0, so v_min = 1/α = 0.5,
+        // v_max = α = 2. Range = [0.5 − 1, 2 + 1] = [−0.5, 3].
+        // µ_1^S = 4 must be excluded — the paper's point.
+        let r = cnsm_ed_range(1.0, 0.0, 1.0, 0.0, 2.0, 1.0, 2);
+        assert!((r.lower - (-0.5)).abs() < 1e-12);
+        assert!((r.upper - 3.0).abs() < 1e-12);
+        assert!(!r.contains(4.0));
+        assert!(r.contains(1.0));
+    }
+
+    #[test]
+    fn cnsm_negative_a_branch() {
+        // A < 0 ⇒ v_min = α·A (Fig. 5 point p4).
+        let r = cnsm_ed_range(-2.0, 0.0, 1.0, 0.0, 2.0, 0.0, 4);
+        // A = B = −2; v_min = min(−4, −1) = −4; v_max = max(−4, −1) = −1.
+        assert!((r.lower - (-4.0)).abs() < 1e-12);
+        assert!((r.upper - (-1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cnsm_mixed_sign_a_b() {
+        // ε large enough that A < 0 < B.
+        let r = cnsm_ed_range(0.5, 0.0, 1.0, 4.0, 2.0, 0.0, 4);
+        // slack = 4·1/2 = 2 ⇒ A = −1.5, B = 2.5.
+        // v_min = min(−3, −0.75) = −3; v_max = max(5, 1.25) = 5.
+        assert!((r.lower - (-3.0)).abs() < 1e-12);
+        assert!((r.upper - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_one_beta_zero_reduces_to_normalized_point_range() {
+        // α = 1, β = 0: no scaling/shifting slack; the range is exactly
+        // [µ_i^Q − εσ/√w, µ_i^Q + εσ/√w].
+        let r = cnsm_ed_range(2.0, 1.0, 3.0, 2.0, 1.0, 0.0, 9);
+        let slack = 2.0 * 3.0 / 3.0;
+        assert!((r.lower - (2.0 - slack)).abs() < 1e-12);
+        assert!((r.upper - (2.0 + slack)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn looser_constraints_widen_ranges() {
+        let tight = cnsm_ed_range(1.0, 0.2, 1.5, 2.0, 1.1, 0.5, 8);
+        let looser_alpha = cnsm_ed_range(1.0, 0.2, 1.5, 2.0, 2.0, 0.5, 8);
+        let looser_beta = cnsm_ed_range(1.0, 0.2, 1.5, 2.0, 1.1, 5.0, 8);
+        assert!(looser_alpha.lower <= tight.lower && looser_alpha.upper >= tight.upper);
+        assert!(looser_beta.lower <= tight.lower && looser_beta.upper >= tight.upper);
+        assert!(looser_beta.width() > tight.width());
+    }
+
+    #[test]
+    fn cnsm_dtw_wider_than_cnsm_ed() {
+        // Envelope means straddle the window mean ⇒ DTW range ⊇ ED range.
+        let ed = cnsm_ed_range(1.0, 0.0, 1.0, 2.0, 1.5, 1.0, 4);
+        let dtw = cnsm_dtw_range(0.5, 1.5, 0.0, 1.0, 2.0, 1.5, 1.0, 4);
+        assert!(dtw.lower <= ed.lower);
+        assert!(dtw.upper >= ed.upper);
+    }
+}

@@ -1,0 +1,127 @@
+//! Keogh query envelopes.
+//!
+//! For a query `Q` and band radius `ρ`, the envelope is the pair of series
+//! `lᵢ = min_{|r| ≤ ρ} q_{i+r}` and `uᵢ = max_{|r| ≤ ρ} q_{i+r}` (§III-C).
+//! Computed with a monotonic deque (Lemire's streaming min/max), O(m)
+//! regardless of ρ.
+
+use std::collections::VecDeque;
+
+/// Computes the lower and upper envelope `(L, U)` of `q` for band radius
+/// `rho`. Indices near the boundary clamp the window to the series.
+pub fn keogh_envelope(q: &[f64], rho: usize) -> (Vec<f64>, Vec<f64>) {
+    let m = q.len();
+    let mut lower = vec![0.0; m];
+    let mut upper = vec![0.0; m];
+    if m == 0 {
+        return (lower, upper);
+    }
+    // Window for index i is [i-rho, i+rho] ∩ [0, m-1].
+    let mut min_dq: VecDeque<usize> = VecDeque::new();
+    let mut max_dq: VecDeque<usize> = VecDeque::new();
+    // `t` walks the right edge; when the right edge reaches i+rho the
+    // window for i is complete.
+    let mut t = 0usize;
+    for i in 0..m {
+        let right = (i + rho).min(m - 1);
+        while t <= right {
+            while let Some(&b) = min_dq.back() {
+                if q[b] >= q[t] {
+                    min_dq.pop_back();
+                } else {
+                    break;
+                }
+            }
+            min_dq.push_back(t);
+            while let Some(&b) = max_dq.back() {
+                if q[b] <= q[t] {
+                    max_dq.pop_back();
+                } else {
+                    break;
+                }
+            }
+            max_dq.push_back(t);
+            t += 1;
+        }
+        let left = i.saturating_sub(rho);
+        while let Some(&f) = min_dq.front() {
+            if f < left {
+                min_dq.pop_front();
+            } else {
+                break;
+            }
+        }
+        while let Some(&f) = max_dq.front() {
+            if f < left {
+                max_dq.pop_front();
+            } else {
+                break;
+            }
+        }
+        lower[i] = q[*min_dq.front().expect("window non-empty")];
+        upper[i] = q[*max_dq.front().expect("window non-empty")];
+    }
+    (lower, upper)
+}
+
+/// Naive O(m·ρ) reference envelope for validation.
+pub fn keogh_envelope_reference(q: &[f64], rho: usize) -> (Vec<f64>, Vec<f64>) {
+    let m = q.len();
+    let mut lower = vec![0.0; m];
+    let mut upper = vec![0.0; m];
+    for i in 0..m {
+        let lo = i.saturating_sub(rho);
+        let hi = (i + rho).min(m.saturating_sub(1));
+        let win = &q[lo..=hi];
+        lower[i] = win.iter().cloned().fold(f64::INFINITY, f64::min);
+        upper[i] = win.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    }
+    (lower, upper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_zero_is_identity() {
+        let q = [3.0, 1.0, 4.0, 1.0, 5.0];
+        let (l, u) = keogh_envelope(&q, 0);
+        assert_eq!(l, q.to_vec());
+        assert_eq!(u, q.to_vec());
+    }
+
+    #[test]
+    fn empty_query() {
+        let (l, u) = keogh_envelope(&[], 3);
+        assert!(l.is_empty() && u.is_empty());
+    }
+
+    #[test]
+    fn envelope_matches_reference() {
+        let q: Vec<f64> = (0..97).map(|i| (((i * 37) % 23) as f64) * 0.7 - 8.0).collect();
+        for rho in [0usize, 1, 2, 5, 11, 48, 96, 200] {
+            let (lf, uf) = keogh_envelope(&q, rho);
+            let (lr, ur) = keogh_envelope_reference(&q, rho);
+            assert_eq!(lf, lr, "lower mismatch rho={rho}");
+            assert_eq!(uf, ur, "upper mismatch rho={rho}");
+        }
+    }
+
+    #[test]
+    fn envelope_brackets_query() {
+        let q: Vec<f64> = (0..50).map(|i| (i as f64 * 0.31).sin() * 4.0).collect();
+        let (l, u) = keogh_envelope(&q, 5);
+        for i in 0..q.len() {
+            assert!(l[i] <= q[i] && q[i] <= u[i]);
+        }
+    }
+
+    #[test]
+    fn huge_rho_is_global_min_max() {
+        let q = [3.0, -1.0, 4.0, 1.5];
+        let (l, u) = keogh_envelope(&q, 100);
+        assert!(l.iter().all(|&v| v == -1.0));
+        assert!(u.iter().all(|&v| v == 4.0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Generalized DTW (GDTW) — band-constrained DTW over an arbitrary
+//! point-to-point cost, after Neamtu et al. (ICDE 2018, the paper's
+//! reference [21]) and the "more distance measures" future work of §X.
+//!
+//! The warping recurrence is cost-agnostic: only the per-cell term
+//! `point(a_i, b_j)` changes. Accumulated costs are returned in the raw
+//! (un-rooted) domain; callers that want a metric-style value apply the
+//! appropriate root themselves (e.g. `sqrt` for squared-ED points).
+
+/// Banded DTW with a caller-supplied point cost; returns the accumulated
+/// cost along the optimal path.
+///
+/// `point` must be non-negative for early abandoning in
+/// [`gdtw_banded_early_abandon`] to be sound; this unbounded entry point
+/// only requires it to be finite.
+///
+/// # Panics
+/// Panics if `a.len() != b.len()`.
+pub fn gdtw_banded<F>(a: &[f64], b: &[f64], rho: usize, point: F) -> f64
+where
+    F: Fn(f64, f64) -> f64,
+{
+    gdtw_banded_early_abandon(a, b, rho, f64::INFINITY, point)
+        .expect("unbounded GDTW cannot abandon")
+}
+
+/// Early-abandoning banded GDTW: `Some(cost)` iff the accumulated cost is
+/// `≤ threshold`; abandons once every cell of a row exceeds it (sound
+/// because non-negative point costs make paths monotone).
+#[allow(clippy::needless_range_loop)] // band-relative indexing reads clearer with explicit i/j
+pub fn gdtw_banded_early_abandon<F>(
+    a: &[f64],
+    b: &[f64],
+    rho: usize,
+    threshold: f64,
+    point: F,
+) -> Option<f64>
+where
+    F: Fn(f64, f64) -> f64,
+{
+    assert_eq!(a.len(), b.len(), "GDTW over unequal lengths");
+    let m = a.len();
+    if m == 0 {
+        return (0.0 <= threshold).then_some(0.0);
+    }
+    let band = rho.min(m - 1);
+    let width = 2 * band + 1;
+    let inf = f64::INFINITY;
+    let mut prev = vec![inf; width + 2];
+    let mut curr = vec![inf; width + 2];
+
+    for i in 0..m {
+        let j_lo = i.saturating_sub(band);
+        let j_hi = (i + band).min(m - 1);
+        let mut row_min = inf;
+        curr.iter_mut().for_each(|c| *c = inf);
+        for j in j_lo..=j_hi {
+            let k = j + band - i;
+            let d = point(a[i], b[j]);
+            debug_assert!(d >= 0.0, "negative point cost breaks early abandoning");
+            let best_prev = if i == 0 && j == 0 {
+                0.0
+            } else {
+                let up = if i > 0 && k + 1 < width + 1 { prev[k + 1] } else { inf };
+                let diag = if i > 0 && j > 0 { prev[k] } else { inf };
+                let left = if j > 0 && k > 0 { curr[k - 1] } else { inf };
+                up.min(diag).min(left)
+            };
+            let cost = best_prev + d;
+            curr[k] = cost;
+            if cost < row_min {
+                row_min = cost;
+            }
+        }
+        if row_min > threshold {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    let total = prev[band];
+    (total <= threshold).then_some(total)
+}
+
+/// L1 (Manhattan) point cost.
+#[inline]
+pub fn point_l1(a: f64, b: f64) -> f64 {
+    (a - b).abs()
+}
+
+/// Squared-Euclidean point cost (the classic DTW term).
+#[inline]
+pub fn point_l2_sq(a: f64, b: f64) -> f64 {
+    let d = a - b;
+    d * d
+}
+
+/// Binary (edit-style) point cost: 0 within `tol`, 1 otherwise — the ERP/
+/// EDR-flavoured cost GDTW subsumes.
+#[inline]
+pub fn point_binary(tol: f64) -> impl Fn(f64, f64) -> f64 {
+    move |a, b| if (a - b).abs() <= tol { 0.0 } else { 1.0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::dtw_banded;
+
+    fn series_a() -> Vec<f64> {
+        (0..40).map(|i| (i as f64 * 0.31).sin() * 2.0).collect()
+    }
+    fn series_b() -> Vec<f64> {
+        (0..40).map(|i| (i as f64 * 0.29).cos() * 2.0).collect()
+    }
+
+    #[test]
+    fn l2_sq_point_cost_reproduces_classic_dtw() {
+        let (a, b) = (series_a(), series_b());
+        for rho in [0usize, 1, 4, 10] {
+            let classic = dtw_banded(&a, &b, rho);
+            let generic = gdtw_banded(&a, &b, rho, point_l2_sq).sqrt();
+            assert!(
+                (classic - generic).abs() < 1e-9,
+                "rho={rho}: classic {classic} vs generic {generic}"
+            );
+        }
+    }
+
+    #[test]
+    fn l1_dtw_on_known_example() {
+        // a = (0, 2, 0), b = (0, 0, 2): with ρ ≥ 1 the optimal path
+        // ((1,1)·(1,2)·(2,3)·(3,3)) aligns the 2s for free but must still
+        // pay |a_3 − b_3| = 2 at the mandatory end-point alignment.
+        let a = [0.0, 2.0, 0.0];
+        let b = [0.0, 0.0, 2.0];
+        assert_eq!(gdtw_banded(&a, &b, 1, point_l1), 2.0);
+        // ρ = 0 forces the diagonal: |2−0| + |0−2| = 4.
+        assert_eq!(gdtw_banded(&a, &b, 0, point_l1), 4.0);
+    }
+
+    #[test]
+    fn binary_cost_counts_mismatches() {
+        let a = [1.0, 5.0, 1.0, 1.0];
+        let b = [1.0, 1.0, 1.0, 1.0];
+        // Diagonal only: exactly one point differs beyond tol.
+        assert_eq!(gdtw_banded(&a, &b, 0, point_binary(0.5)), 1.0);
+        assert_eq!(gdtw_banded(&a, &a, 0, point_binary(0.0)), 0.0);
+    }
+
+    #[test]
+    fn early_abandon_consistency() {
+        let (a, b) = (series_a(), series_b());
+        let exact = gdtw_banded(&a, &b, 5, point_l1);
+        assert_eq!(
+            gdtw_banded_early_abandon(&a, &b, 5, exact + 1e-9, point_l1),
+            Some(exact)
+        );
+        assert!(gdtw_banded_early_abandon(&a, &b, 5, exact * 0.99, point_l1).is_none());
+    }
+
+    #[test]
+    fn wider_band_never_increases_cost() {
+        let (a, b) = (series_a(), series_b());
+        let mut last = f64::INFINITY;
+        for rho in 0..8 {
+            let c = gdtw_banded(&a, &b, rho, point_l1);
+            assert!(c <= last + 1e-12);
+            last = c;
+        }
+    }
+
+    #[test]
+    fn empty_inputs_cost_zero() {
+        assert_eq!(gdtw_banded(&[], &[], 3, point_l1), 0.0);
+    }
+}

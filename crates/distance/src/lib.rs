@@ -1,0 +1,39 @@
+//! Distance measures and lower bounds for subsequence matching.
+//!
+//! Implements everything the matching layer and the baselines need:
+//!
+//! * [`ed`] — Euclidean distance, plain / squared / early-abandoning /
+//!   normalize-on-the-fly variants (the UCR Suite verification kernels),
+//! * [`dtw`] — Sakoe–Chiba band-constrained Dynamic Time Warping with
+//!   early abandoning (`ρ = 0` degenerates to ED, Definition §II-A),
+//! * [`envelope`] — Keogh query envelopes `L`/`U` computed with a
+//!   monotonic-deque sliding min/max (O(m) regardless of ρ),
+//! * [`lower_bounds`] — LB_Kim-FL, LB_Keogh and LB_PAA (Eq. 3), the
+//!   cascading filters used during verification,
+//! * [`lp`] — Lp-norm kernels (Manhattan, general finite p, Chebyshev)
+//!   with early abandoning, the "more distance measures" of §X,
+//! * [`gdtw`] — generalized DTW over arbitrary point costs (GDTW [21]),
+//! * [`normalize`] — z-normalization kernels, self-contained so this crate
+//!   has no dependencies.
+//!
+//! # Conventions
+//!
+//! All *thresholds* passed into early-abandoning kernels are **squared**
+//! distances (`ε²`), because every kernel accumulates squared terms; public
+//! entry points returning a distance always return the *unsquared* value.
+
+pub mod dtw;
+pub mod ed;
+pub mod envelope;
+pub mod gdtw;
+pub mod lower_bounds;
+pub mod lp;
+pub mod normalize;
+
+pub use dtw::{dtw_banded, dtw_banded_early_abandon};
+pub use ed::{ed, ed_early_abandon, ed_sq};
+pub use envelope::keogh_envelope;
+pub use gdtw::{gdtw_banded, gdtw_banded_early_abandon};
+pub use lp::{lp_distance, lp_pow, LpExponent};
+pub use lower_bounds::{lb_keogh_sq, lb_kim_fl_sq, lb_paa_sq};
+pub use normalize::{mean_std, z_normalize, z_normalized};

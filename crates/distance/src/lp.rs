@@ -1,0 +1,247 @@
+//! Lp-norm distances — the "more distance measures" of the paper's future
+//! work (§X), backed by Yi & Faloutsos' arbitrary-Lp-norm indexing result
+//! (the corollary cited as [11] generalizes beyond L2).
+//!
+//! # Threshold conventions
+//!
+//! Early-abandoning kernels for a finite exponent `p` accumulate and
+//! compare in the **p-th-power domain** (mirroring the squared-domain
+//! convention of the ED kernels): pass `ε^p`, get `Σ|s_i − q_i|^p` back.
+//! Chebyshev (`L∞`) kernels work directly in the distance domain.
+
+/// The exponent of an Lp norm: finite `p ≥ 1`, or `∞` (Chebyshev).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LpExponent {
+    /// Finite `p ≥ 1`. `Finite(2)` is Euclidean, `Finite(1)` Manhattan.
+    Finite(u32),
+    /// The Chebyshev / maximum norm.
+    Infinity,
+}
+
+impl LpExponent {
+    /// `w^(1/p)` — the per-window slack denominator of the Lp analogue of
+    /// Lemma 1 (power-mean inequality: `Σ|a_i|^p ≥ w·|mean(a)|^p`, so the
+    /// window-mean deviation is bounded by `ε / w^(1/p)`; for `L∞` the
+    /// mean deviation is bounded by `ε` itself).
+    #[inline]
+    pub fn root_w(&self, w: usize) -> f64 {
+        match self {
+            LpExponent::Finite(p) => (w as f64).powf(1.0 / *p as f64),
+            LpExponent::Infinity => 1.0,
+        }
+    }
+
+    /// Maps a distance threshold into the kernel's accumulation domain
+    /// (`ε^p` for finite `p`, `ε` for `∞`).
+    #[inline]
+    pub fn pow(&self, epsilon: f64) -> f64 {
+        match self {
+            LpExponent::Finite(p) => epsilon.powi(*p as i32),
+            LpExponent::Infinity => epsilon,
+        }
+    }
+
+    /// Maps an accumulated value back to the distance domain.
+    #[inline]
+    pub fn root(&self, accumulated: f64) -> f64 {
+        match self {
+            LpExponent::Finite(1) => accumulated,
+            LpExponent::Finite(2) => accumulated.sqrt(),
+            LpExponent::Finite(p) => accumulated.powf(1.0 / *p as f64),
+            LpExponent::Infinity => accumulated,
+        }
+    }
+}
+
+#[inline]
+fn term(diff: f64, p: u32) -> f64 {
+    match p {
+        1 => diff.abs(),
+        2 => diff * diff,
+        _ => diff.abs().powi(p as i32),
+    }
+}
+
+/// `Σ|s_i − q_i|^p` (the accumulated form), or the max for `L∞`.
+pub fn lp_pow(s: &[f64], q: &[f64], exp: LpExponent) -> f64 {
+    debug_assert_eq!(s.len(), q.len());
+    match exp {
+        LpExponent::Finite(p) => s.iter().zip(q).map(|(a, b)| term(a - b, p)).sum(),
+        LpExponent::Infinity => s
+            .iter()
+            .zip(q)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max),
+    }
+}
+
+/// The Lp distance `(Σ|s_i − q_i|^p)^(1/p)` (max for `L∞`).
+pub fn lp_distance(s: &[f64], q: &[f64], exp: LpExponent) -> f64 {
+    exp.root(lp_pow(s, q, exp))
+}
+
+/// Early-abandoning accumulated Lp: returns `Some(accumulated)` iff it
+/// stays `≤ bound_pow` (which must be in the accumulation domain).
+pub fn lp_pow_early_abandon(s: &[f64], q: &[f64], exp: LpExponent, bound_pow: f64) -> Option<f64> {
+    debug_assert_eq!(s.len(), q.len());
+    match exp {
+        LpExponent::Finite(p) => {
+            let mut acc = 0.0;
+            for (a, b) in s.iter().zip(q) {
+                acc += term(a - b, p);
+                if acc > bound_pow {
+                    return None;
+                }
+            }
+            Some(acc)
+        }
+        LpExponent::Infinity => {
+            let mut acc = 0.0f64;
+            for (a, b) in s.iter().zip(q) {
+                let d = (a - b).abs();
+                if d > bound_pow {
+                    return None;
+                }
+                acc = acc.max(d);
+            }
+            Some(acc)
+        }
+    }
+}
+
+/// Early-abandoning accumulated Lp between the *z-normalized* `s` (with
+/// statistics `mu_s`, `sigma_s`) and an already-normalized query — the
+/// cNSM-Lp verification kernel.
+pub fn lp_norm_pow_early_abandon(
+    s: &[f64],
+    q_norm: &[f64],
+    mu_s: f64,
+    sigma_s: f64,
+    exp: LpExponent,
+    bound_pow: f64,
+) -> Option<f64> {
+    debug_assert_eq!(s.len(), q_norm.len());
+    debug_assert!(sigma_s > 0.0);
+    let inv = 1.0 / sigma_s;
+    match exp {
+        LpExponent::Finite(p) => {
+            let mut acc = 0.0;
+            for (a, b) in s.iter().zip(q_norm) {
+                acc += term((a - mu_s) * inv - b, p);
+                if acc > bound_pow {
+                    return None;
+                }
+            }
+            Some(acc)
+        }
+        LpExponent::Infinity => {
+            let mut acc = 0.0f64;
+            for (a, b) in s.iter().zip(q_norm) {
+                let d = ((a - mu_s) * inv - b).abs();
+                if d > bound_pow {
+                    return None;
+                }
+                acc = acc.max(d);
+            }
+            Some(acc)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ed::ed_sq;
+    use crate::normalize::{mean_std, z_normalized};
+
+    const S: [f64; 4] = [1.0, -2.0, 0.5, 3.0];
+    const Q: [f64; 4] = [0.0, 1.0, 0.5, -1.0];
+
+    #[test]
+    fn p1_is_manhattan() {
+        let exp = LpExponent::Finite(1);
+        let want = 1.0 + 3.0 + 0.0 + 4.0;
+        assert_eq!(lp_pow(&S, &Q, exp), want);
+        assert_eq!(lp_distance(&S, &Q, exp), want);
+    }
+
+    #[test]
+    fn p2_matches_euclidean() {
+        let exp = LpExponent::Finite(2);
+        assert!((lp_pow(&S, &Q, exp) - ed_sq(&S, &Q)).abs() < 1e-12);
+        assert!((lp_distance(&S, &Q, exp) - ed_sq(&S, &Q).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p3_accumulates_cubes() {
+        let exp = LpExponent::Finite(3);
+        let want = 1.0 + 27.0 + 0.0 + 64.0;
+        assert!((lp_pow(&S, &Q, exp) - want).abs() < 1e-12);
+        assert!((lp_distance(&S, &Q, exp) - want.powf(1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinity_is_chebyshev() {
+        let exp = LpExponent::Infinity;
+        assert_eq!(lp_pow(&S, &Q, exp), 4.0);
+        assert_eq!(lp_distance(&S, &Q, exp), 4.0);
+    }
+
+    #[test]
+    fn early_abandon_agrees_with_full() {
+        for exp in [
+            LpExponent::Finite(1),
+            LpExponent::Finite(2),
+            LpExponent::Finite(4),
+            LpExponent::Infinity,
+        ] {
+            let full = lp_pow(&S, &Q, exp);
+            assert_eq!(lp_pow_early_abandon(&S, &Q, exp, full), Some(full), "{exp:?}");
+            assert_eq!(lp_pow_early_abandon(&S, &Q, exp, full * 2.0), Some(full));
+            assert_eq!(lp_pow_early_abandon(&S, &Q, exp, full * 0.99), None);
+        }
+    }
+
+    #[test]
+    fn normalized_kernel_matches_explicit_normalization() {
+        let s: Vec<f64> = (0..32).map(|i| (i as f64 * 0.3).sin() * 2.0 + 5.0).collect();
+        let q: Vec<f64> = (0..32).map(|i| (i as f64 * 0.31).cos()).collect();
+        let (mu_s, sigma_s) = mean_std(&s);
+        let s_norm = z_normalized(&s);
+        let q_norm = z_normalized(&q);
+        for exp in [LpExponent::Finite(1), LpExponent::Finite(3), LpExponent::Infinity] {
+            let want = lp_pow(&s_norm, &q_norm, exp);
+            let got = lp_norm_pow_early_abandon(&s, &q_norm, mu_s, sigma_s, exp, want + 1e-9)
+                .expect("bound equals value");
+            assert!((got - want).abs() < 1e-9, "{exp:?}: {got} vs {want}");
+            assert!(
+                lp_norm_pow_early_abandon(&s, &q_norm, mu_s, sigma_s, exp, want * 0.9).is_none()
+            );
+        }
+    }
+
+    #[test]
+    fn root_w_and_pow_round_trip() {
+        assert!((LpExponent::Finite(2).root_w(25) - 5.0).abs() < 1e-12);
+        assert!((LpExponent::Finite(1).root_w(25) - 25.0).abs() < 1e-12);
+        assert_eq!(LpExponent::Infinity.root_w(25), 1.0);
+        for exp in [LpExponent::Finite(1), LpExponent::Finite(3), LpExponent::Infinity] {
+            let eps = 2.5;
+            assert!((exp.root(exp.pow(eps)) - eps).abs() < 1e-12, "{exp:?}");
+        }
+    }
+
+    #[test]
+    fn lp_norms_are_monotone_in_p_on_unit_scale() {
+        // For |diffs| ≤ 1 the Lp distance decreases as p grows; L∞ is the
+        // limit. (Standard norm-ordering sanity check.)
+        let a = [0.9, -0.5, 0.3, 0.0, 0.7];
+        let b = [0.0; 5];
+        let d1 = lp_distance(&a, &b, LpExponent::Finite(1));
+        let d2 = lp_distance(&a, &b, LpExponent::Finite(2));
+        let d4 = lp_distance(&a, &b, LpExponent::Finite(4));
+        let dinf = lp_distance(&a, &b, LpExponent::Infinity);
+        assert!(d1 >= d2 && d2 >= d4 && d4 >= dinf);
+        assert_eq!(dinf, 0.9);
+    }
+}

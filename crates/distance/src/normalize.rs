@@ -1,0 +1,84 @@
+//! Z-normalization kernels.
+//!
+//! Kept dependency-free on purpose: the distance crate is usable on its own
+//! (e.g. by the baselines) without pulling in the time-series container.
+
+/// Mean and population standard deviation in one pass.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mut s = 0.0;
+    let mut sq = 0.0;
+    for &v in xs {
+        s += v;
+        sq += v * v;
+    }
+    let mu = s / n;
+    ((mu), ((sq / n - mu * mu).max(0.0)).sqrt())
+}
+
+/// Z-normalizes `xs` in place given precomputed statistics.
+///
+/// With `sigma == 0` (constant input) the output is all-zero, matching the
+/// UCR Suite convention so that two constant sequences are identical after
+/// normalization.
+pub fn z_normalize(xs: &mut [f64], mu: f64, sigma: f64) {
+    if sigma == 0.0 {
+        xs.iter_mut().for_each(|v| *v = 0.0);
+    } else {
+        let inv = 1.0 / sigma;
+        xs.iter_mut().for_each(|v| *v = (*v - mu) * inv);
+    }
+}
+
+/// Returns the z-normalized copy of `xs` (statistics computed internally).
+pub fn z_normalized(xs: &[f64]) -> Vec<f64> {
+    let (mu, sigma) = mean_std(xs);
+    let mut out = xs.to_vec();
+    z_normalize(&mut out, mu, sigma);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_matches_formula() {
+        let (mu, sigma) = mean_std(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((mu - 5.0).abs() < 1e-12);
+        assert!((sigma - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert!(z_normalized(&[]).is_empty());
+    }
+
+    #[test]
+    fn constant_normalizes_to_zero() {
+        assert_eq!(z_normalized(&[3.0, 3.0, 3.0]), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalized_stats() {
+        let out = z_normalized(&[1.0, -2.0, 7.5, 0.25, 3.0]);
+        let (mu, sigma) = mean_std(&out);
+        assert!(mu.abs() < 1e-12);
+        assert!((sigma - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_and_scale_invariance() {
+        let xs = [1.0, 5.0, 2.0, 8.0, -3.0];
+        let shifted: Vec<f64> = xs.iter().map(|v| v * 3.5 - 100.0).collect();
+        let a = z_normalized(&xs);
+        let b = z_normalized(&shifted);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests of the distance kernels: the banded DTW against the
+//! quadratic reference, envelope against the naive window min/max, and
+//! the lower-bound ordering chain.
+
+use proptest::prelude::*;
+
+use kvmatch_distance::dtw::{dtw_banded, dtw_banded_early_abandon, dtw_banded_reference};
+use kvmatch_distance::ed::{ed, ed_early_abandon, ed_norm_early_abandon};
+use kvmatch_distance::envelope::{keogh_envelope, keogh_envelope_reference};
+use kvmatch_distance::lower_bounds::{lb_keogh_sq, lb_kim_fl_sq, lb_paa_sq};
+use kvmatch_distance::normalize::{mean_std, z_normalized};
+
+fn series(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn banded_dtw_equals_reference(
+        pair in (2usize..40).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        rho in 0usize..12,
+    ) {
+        let (a, b) = pair;
+        let fast = dtw_banded(&a, &b, rho);
+        let slow = dtw_banded_reference(&a, &b, rho);
+        prop_assert!((fast - slow).abs() < 1e-6, "fast {fast} vs reference {slow}");
+    }
+
+    #[test]
+    fn dtw_early_abandon_never_lies(
+        pair in (2usize..30).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        rho in 0usize..8,
+        frac in 0.0f64..2.0,
+    ) {
+        let (a, b) = pair;
+        let exact = dtw_banded(&a, &b, rho);
+        let thr_sq = (exact * frac) * (exact * frac);
+        match dtw_banded_early_abandon(&a, &b, rho, thr_sq) {
+            Some(d_sq) => {
+                prop_assert!((d_sq.sqrt() - exact).abs() < 1e-6);
+                prop_assert!(d_sq <= thr_sq + 1e-9);
+            }
+            None => prop_assert!(exact * exact > thr_sq - 1e-9),
+        }
+    }
+
+    #[test]
+    fn dtw_never_exceeds_ed(
+        pair in (2usize..40).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        rho in 0usize..10,
+    ) {
+        let (a, b) = pair;
+        prop_assert!(dtw_banded(&a, &b, rho) <= ed(&a, &b) + 1e-9);
+    }
+
+    #[test]
+    fn envelope_equals_reference(q in series(1..80), rho in 0usize..20) {
+        let (lf, uf) = keogh_envelope(&q, rho);
+        let (lr, ur) = keogh_envelope_reference(&q, rho);
+        prop_assert_eq!(lf, lr);
+        prop_assert_eq!(uf, ur);
+    }
+
+    #[test]
+    fn lower_bound_chain_holds(
+        pair in (8usize..48).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        rho in 0usize..6,
+    ) {
+        let (s, q) = pair;
+        let d_sq = {
+            let d = dtw_banded(&s, &q, rho);
+            d * d
+        };
+        let (lo, hi) = keogh_envelope(&q, rho);
+        let kim = lb_kim_fl_sq(&s, &q);
+        let keogh = lb_keogh_sq(&s, &lo, &hi);
+        prop_assert!(kim <= d_sq + 1e-9, "LB_Kim {kim} > DTW² {d_sq}");
+        prop_assert!(keogh <= d_sq + 1e-9, "LB_Keogh {keogh} > DTW² {d_sq}");
+        // LB_PAA over complete segments.
+        let w = 4;
+        let f = s.len() / w;
+        if f >= 1 {
+            let paa = |v: &[f64]| -> Vec<f64> {
+                (0..f).map(|k| v[k * w..(k + 1) * w].iter().sum::<f64>() / w as f64).collect()
+            };
+            let lb = lb_paa_sq(&paa(&s), &paa(&lo), &paa(&hi), w);
+            prop_assert!(lb <= d_sq + 1e-9, "LB_PAA {lb} > DTW² {d_sq}");
+            prop_assert!(lb <= keogh + 1e-9, "LB_PAA {lb} > LB_Keogh {keogh}");
+        }
+    }
+
+    #[test]
+    fn ed_early_abandon_never_lies(
+        pair in (1usize..60).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        frac in 0.0f64..2.0,
+    ) {
+        let (a, b) = pair;
+        let exact_sq = {
+            let d = ed(&a, &b);
+            d * d
+        };
+        let thr = exact_sq * frac;
+        match ed_early_abandon(&a, &b, thr) {
+            Some(d_sq) => prop_assert!((d_sq - exact_sq).abs() < 1e-9),
+            None => prop_assert!(exact_sq > thr - 1e-9),
+        }
+    }
+
+    #[test]
+    fn normalized_ed_matches_materialized(
+        pair in (2usize..50).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+    ) {
+        let (s, q) = pair;
+        let q_norm = z_normalized(&q);
+        let s_norm = z_normalized(&s);
+        let exact_sq = {
+            let d = ed(&s_norm, &q_norm);
+            d * d
+        };
+        let (mu, sigma) = mean_std(&s);
+        let got = ed_norm_early_abandon(&s, &q_norm, mu, sigma, f64::INFINITY).expect("no bound");
+        prop_assert!((got - exact_sq).abs() < 1e-6, "{got} vs {exact_sq}");
+    }
+}

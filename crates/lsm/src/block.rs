@@ -1,0 +1,348 @@
+//! SSTable data block: prefix-compressed sorted entries with restart points.
+//!
+//! Entry layout (little-endian):
+//!
+//! ```text
+//! shared: u16 │ non_shared: u16 │ val_len: u32 │ key_suffix │ value
+//! ```
+//!
+//! `val_len == u32::MAX` marks a tombstone (no value bytes follow). Every
+//! `RESTART_INTERVAL`-th entry is a restart point: `shared = 0`, so iteration
+//! can begin there without context. The block trailer is the restart offset
+//! array plus its length:
+//!
+//! ```text
+//! entries… │ restart_0: u32 … restart_{r−1}: u32 │ r: u32
+//! ```
+
+use bytes::Bytes;
+use kvmatch_storage::StorageError;
+
+/// New restart point every this many entries.
+pub const RESTART_INTERVAL: usize = 16;
+
+const TOMBSTONE_LEN: u32 = u32::MAX;
+
+fn corrupt(msg: &str) -> StorageError {
+    StorageError::Corrupt(format!("block: {msg}"))
+}
+
+/// Serializer for one block.
+#[derive(Debug, Default)]
+pub struct BlockBuilder {
+    buf: Vec<u8>,
+    restarts: Vec<u32>,
+    last_key: Vec<u8>,
+    count: usize,
+}
+
+impl BlockBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an entry; keys must arrive in strictly ascending order.
+    /// `value = None` writes a tombstone.
+    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) -> Result<(), StorageError> {
+        if self.count > 0 && key <= self.last_key.as_slice() {
+            return Err(StorageError::KeyOrder { key: key.to_vec() });
+        }
+        let shared = if self.count.is_multiple_of(RESTART_INTERVAL) {
+            self.restarts.push(self.buf.len() as u32);
+            0
+        } else {
+            common_prefix(&self.last_key, key).min(u16::MAX as usize)
+        };
+        let non_shared = key.len() - shared;
+        if non_shared > u16::MAX as usize {
+            return Err(corrupt("key longer than 64 KiB"));
+        }
+        self.buf.extend_from_slice(&(shared as u16).to_le_bytes());
+        self.buf.extend_from_slice(&(non_shared as u16).to_le_bytes());
+        match value {
+            Some(v) => {
+                if v.len() as u64 >= TOMBSTONE_LEN as u64 {
+                    return Err(corrupt("value too large"));
+                }
+                self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                self.buf.extend_from_slice(&key[shared..]);
+                self.buf.extend_from_slice(v);
+            }
+            None => {
+                self.buf.extend_from_slice(&TOMBSTONE_LEN.to_le_bytes());
+                self.buf.extend_from_slice(&key[shared..]);
+            }
+        }
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Current serialized size including the trailer-to-be.
+    pub fn size_estimate(&self) -> usize {
+        self.buf.len() + self.restarts.len() * 4 + 4
+    }
+
+    /// Number of entries added.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// True when nothing was added.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The last key added (for index-block separators).
+    pub fn last_key(&self) -> &[u8] {
+        &self.last_key
+    }
+
+    /// Finalizes into the serialized block and resets the builder.
+    pub fn finish(&mut self) -> Vec<u8> {
+        let mut out = std::mem::take(&mut self.buf);
+        for r in &self.restarts {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.restarts.len() as u32).to_le_bytes());
+        self.restarts.clear();
+        self.last_key.clear();
+        self.count = 0;
+        out
+    }
+}
+
+fn common_prefix(a: &[u8], b: &[u8]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// A decoded entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Full (decompressed) key.
+    pub key: Bytes,
+    /// Value, or `None` for a tombstone.
+    pub value: Option<Bytes>,
+}
+
+/// Sequential reader over one serialized block.
+#[derive(Debug)]
+pub struct BlockIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    key: Vec<u8>,
+}
+
+impl<'a> BlockIter<'a> {
+    /// Wraps a serialized block, validating the trailer.
+    pub fn new(block: &'a [u8]) -> Result<Self, StorageError> {
+        if block.len() < 4 {
+            return Err(corrupt("shorter than trailer"));
+        }
+        let r =
+            u32::from_le_bytes(block[block.len() - 4..].try_into().expect("4 bytes")) as usize;
+        let trailer = r
+            .checked_mul(4)
+            .and_then(|b| b.checked_add(4))
+            .ok_or_else(|| corrupt("restart count overflow"))?;
+        if trailer > block.len() {
+            return Err(corrupt("restart array exceeds block"));
+        }
+        let data = &block[..block.len() - trailer];
+        Ok(Self { data, pos: 0, key: Vec::new() })
+    }
+
+    /// Decodes the next entry, or `None` at end of block.
+    #[allow(clippy::should_implement_trait)] // fallible, lifetime-bound iteration
+    pub fn next(&mut self) -> Result<Option<BlockEntry>, StorageError> {
+        if self.pos >= self.data.len() {
+            return Ok(None);
+        }
+        if self.data.len() - self.pos < 8 {
+            return Err(corrupt("truncated entry header"));
+        }
+        let p = self.pos;
+        let shared =
+            u16::from_le_bytes(self.data[p..p + 2].try_into().expect("2 bytes")) as usize;
+        let non_shared =
+            u16::from_le_bytes(self.data[p + 2..p + 4].try_into().expect("2 bytes")) as usize;
+        let vlen_raw = u32::from_le_bytes(self.data[p + 4..p + 8].try_into().expect("4 bytes"));
+        let mut q = p + 8;
+        if shared > self.key.len() {
+            return Err(corrupt("shared prefix longer than previous key"));
+        }
+        if self.data.len() - q < non_shared {
+            return Err(corrupt("truncated key suffix"));
+        }
+        self.key.truncate(shared);
+        self.key.extend_from_slice(&self.data[q..q + non_shared]);
+        q += non_shared;
+        let value = if vlen_raw == TOMBSTONE_LEN {
+            None
+        } else {
+            let vlen = vlen_raw as usize;
+            if self.data.len() - q < vlen {
+                return Err(corrupt("truncated value"));
+            }
+            let v = Bytes::copy_from_slice(&self.data[q..q + vlen]);
+            q += vlen;
+            Some(v)
+        };
+        self.pos = q;
+        Ok(Some(BlockEntry { key: Bytes::copy_from_slice(&self.key), value }))
+    }
+
+    /// Advances until the next entry's key is `≥ target`; the following
+    /// [`BlockIter::next`] returns the first such entry. (Linear within the
+    /// block — blocks are small; the table-level index narrows to one block.)
+    pub fn seek(&mut self, target: &[u8]) -> Result<(), StorageError> {
+        loop {
+            let save_pos = self.pos;
+            let save_key_len = self.key.len();
+            match self.next()? {
+                None => return Ok(()),
+                Some(e) if e.key >= target => {
+                    // Step back so the caller sees this entry from next().
+                    self.pos = save_pos;
+                    self.key.truncate(save_key_len);
+                    return Ok(());
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        (0..n)
+            .map(|i| {
+                let key = format!("prefix-{i:06}").into_bytes();
+                let value = if i % 7 == 3 {
+                    None
+                } else {
+                    Some(format!("value-{i}").into_bytes())
+                };
+                (key, value)
+            })
+            .collect()
+    }
+
+    fn build(entries: &[(Vec<u8>, Option<Vec<u8>>)]) -> Vec<u8> {
+        let mut b = BlockBuilder::new();
+        for (k, v) in entries {
+            b.add(k, v.as_deref()).unwrap();
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn round_trip_with_tombstones() {
+        let entries = sample(100);
+        let block = build(&entries);
+        let mut it = BlockIter::new(&block).unwrap();
+        for (k, v) in &entries {
+            let e = it.next().unwrap().expect("entry present");
+            assert_eq!(&e.key[..], &k[..]);
+            assert_eq!(e.value.as_deref(), v.as_deref());
+        }
+        assert!(it.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn prefix_compression_saves_space() {
+        let entries = sample(256);
+        let block = build(&entries);
+        let raw: usize = entries
+            .iter()
+            .map(|(k, v)| k.len() + v.as_ref().map_or(0, |v| v.len()) + 8)
+            .sum();
+        assert!(block.len() < raw, "compressed {} ≥ raw {}", block.len(), raw);
+    }
+
+    #[test]
+    fn seek_lands_on_first_ge() {
+        let entries = sample(64);
+        let block = build(&entries);
+        // Exact hit.
+        let mut it = BlockIter::new(&block).unwrap();
+        it.seek(b"prefix-000031").unwrap();
+        assert_eq!(&it.next().unwrap().unwrap().key[..], b"prefix-000031");
+        // Between keys.
+        let mut it = BlockIter::new(&block).unwrap();
+        it.seek(b"prefix-000031x").unwrap();
+        assert_eq!(&it.next().unwrap().unwrap().key[..], b"prefix-000032");
+        // Before everything.
+        let mut it = BlockIter::new(&block).unwrap();
+        it.seek(b"a").unwrap();
+        assert_eq!(&it.next().unwrap().unwrap().key[..], b"prefix-000000");
+        // Past everything.
+        let mut it = BlockIter::new(&block).unwrap();
+        it.seek(b"zzz").unwrap();
+        assert!(it.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn builder_rejects_out_of_order() {
+        let mut b = BlockBuilder::new();
+        b.add(b"b", Some(b"1")).unwrap();
+        assert!(matches!(b.add(b"a", Some(b"2")), Err(StorageError::KeyOrder { .. })));
+        assert!(matches!(b.add(b"b", Some(b"2")), Err(StorageError::KeyOrder { .. })));
+    }
+
+    #[test]
+    fn iter_rejects_garbage() {
+        assert!(BlockIter::new(&[]).is_err());
+        assert!(BlockIter::new(&[9, 0, 0, 0]).is_err(), "restart count too large");
+        // Valid trailer but truncated entry.
+        let entries = sample(4);
+        let mut block = build(&entries);
+        let trailer_len = 4 + 4; // one restart + count
+        let cut = block.len() - trailer_len - 3;
+        let tail: Vec<u8> = block[block.len() - trailer_len..].to_vec();
+        block.truncate(cut);
+        block.extend_from_slice(&tail);
+        let mut it = BlockIter::new(&block).unwrap();
+        let mut saw_err = false;
+        for _ in 0..entries.len() + 1 {
+            match it.next() {
+                Err(_) => {
+                    saw_err = true;
+                    break;
+                }
+                Ok(None) => break,
+                Ok(Some(_)) => {}
+            }
+        }
+        assert!(saw_err, "corruption must surface as an error");
+    }
+
+    #[test]
+    fn empty_block_iterates_empty() {
+        let mut b = BlockBuilder::new();
+        let block = b.finish();
+        let mut it = BlockIter::new(&block).unwrap();
+        assert!(it.next().unwrap().is_none());
+    }
+
+    #[test]
+    fn restart_points_reset_prefix() {
+        // More entries than one restart interval; keys share long prefixes.
+        let entries: Vec<_> = (0..3 * RESTART_INTERVAL)
+            .map(|i| (format!("shared-long-prefix-{i:05}").into_bytes(), Some(vec![i as u8])))
+            .collect();
+        let block = build(&entries);
+        let mut it = BlockIter::new(&block).unwrap();
+        let mut n = 0;
+        while let Some(e) = it.next().unwrap() {
+            assert_eq!(&e.key[..], &entries[n].0[..]);
+            n += 1;
+        }
+        assert_eq!(n, entries.len());
+    }
+}

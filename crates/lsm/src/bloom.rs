@@ -1,0 +1,151 @@
+//! Bloom filter over SSTable keys.
+//!
+//! One filter per table, sized by a bits-per-key budget. Uses the standard
+//! double-hashing scheme: two 32-bit halves of a 64-bit mix of the key feed
+//! `k` synthetic hash functions `h1 + i·h2`.
+
+/// A serializable bloom filter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BloomFilter {
+    bits: Vec<u8>,
+    k: u8,
+}
+
+/// 64-bit mix (splitmix64 finalizer) of an FNV-1a pass over the key.
+#[inline]
+fn hash64(key: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+impl BloomFilter {
+    /// Builds a filter holding every key in `keys`, with roughly
+    /// `bits_per_key` bits of budget per key (clamped to ≥ 1 key to keep
+    /// the filter non-degenerate).
+    pub fn build<'a>(keys: impl ExactSizeIterator<Item = &'a [u8]>, bits_per_key: usize) -> Self {
+        let n = keys.len().max(1);
+        let nbits = (n * bits_per_key).max(64);
+        let nbytes = nbits.div_ceil(8);
+        // Optimal k ≈ bits_per_key · ln 2; clamp to a sane range.
+        let k = ((bits_per_key as f64 * 0.69) as u8).clamp(1, 30);
+        let mut bits = vec![0u8; nbytes];
+        let nbits = nbytes * 8;
+        for key in keys {
+            let h = hash64(key);
+            let h1 = (h & 0xFFFF_FFFF) as u32;
+            let h2 = (h >> 32) as u32;
+            for i in 0..k {
+                let pos = h1.wrapping_add((i as u32).wrapping_mul(h2)) as usize % nbits;
+                bits[pos / 8] |= 1 << (pos % 8);
+            }
+        }
+        Self { bits, k }
+    }
+
+    /// Whether `key` may be present (false ⇒ definitely absent).
+    pub fn may_contain(&self, key: &[u8]) -> bool {
+        if self.bits.is_empty() {
+            return true;
+        }
+        let nbits = self.bits.len() * 8;
+        let h = hash64(key);
+        let h1 = (h & 0xFFFF_FFFF) as u32;
+        let h2 = (h >> 32) as u32;
+        for i in 0..self.k {
+            let pos = h1.wrapping_add((i as u32).wrapping_mul(h2)) as usize % nbits;
+            if self.bits[pos / 8] & (1 << (pos % 8)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Serializes as `[k: u8][bits…]`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.bits.len());
+        out.push(self.k);
+        out.extend_from_slice(&self.bits);
+        out
+    }
+
+    /// Parses the serialized form.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let (&k, bits) = bytes.split_first()?;
+        if k == 0 || k > 30 {
+            return None;
+        }
+        Some(Self { bits: bits.to_vec(), k })
+    }
+
+    /// Size of the bit array in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("key-{i:08}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let ks = keys(2_000);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 10);
+        for k in &ks {
+            assert!(f.may_contain(k), "false negative for {k:?}");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low() {
+        let ks = keys(2_000);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 10);
+        let mut fp = 0usize;
+        let probes = 10_000usize;
+        for i in 0..probes {
+            let k = format!("absent-{i:08}").into_bytes();
+            if f.may_contain(&k) {
+                fp += 1;
+            }
+        }
+        // 10 bits/key ⇒ theoretical ~1%; allow generous slack.
+        assert!(fp < probes / 20, "false-positive rate too high: {fp}/{probes}");
+    }
+
+    #[test]
+    fn round_trip() {
+        let ks = keys(100);
+        let f = BloomFilter::build(ks.iter().map(|k| k.as_slice()), 8);
+        let back = BloomFilter::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(f, back);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(BloomFilter::from_bytes(&[]).is_none());
+        assert!(BloomFilter::from_bytes(&[0, 1, 2]).is_none());
+        assert!(BloomFilter::from_bytes(&[255, 1, 2]).is_none());
+    }
+
+    #[test]
+    fn empty_key_set_builds() {
+        let f = BloomFilter::build(std::iter::empty(), 10);
+        // Degenerate filter must not report false negatives for anything
+        // later inserted — it is only ever built over the actual key set,
+        // so here we just require it parses and answers.
+        let _ = f.may_contain(b"whatever");
+        assert!(BloomFilter::from_bytes(&f.to_bytes()).is_some());
+    }
+}

@@ -1,0 +1,797 @@
+//! The LSM database: memtable + WAL in front of leveled SSTable runs.
+//!
+//! Writes go to the WAL then the memtable; a full memtable is flushed as a
+//! new level-0 table. Level 0 may hold overlapping tables (newest first);
+//! levels ≥ 1 are single sorted runs partitioned into non-overlapping
+//! tables. Compaction merges level 0 into level 1 when level 0 grows past
+//! a table-count trigger, and level *i* into level *i+1* when its byte size
+//! exceeds `level_base_bytes · multiplier^(i−1)`. Tombstones are dropped
+//! only when the compaction output is the deepest populated level.
+//!
+//! All operations are synchronous — no background threads — which keeps
+//! behaviour deterministic for the experiment harness.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use kvmatch_storage::{IoStats, StorageError};
+use parking_lot::RwLock;
+
+use crate::block::BlockEntry;
+use crate::manifest::{self, Manifest, TableEntry};
+use crate::memtable::MemTable;
+use crate::merge::{drop_tombstones, merge_runs};
+use crate::sstable::{TableBuilder, TableReader};
+use crate::wal::{self, Wal, WalOp};
+
+/// Tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct LsmOptions {
+    /// Memtable flush threshold in approximate bytes.
+    pub memtable_bytes: usize,
+    /// Target data-block payload size.
+    pub block_bytes: usize,
+    /// Bloom-filter budget per key.
+    pub bloom_bits_per_key: usize,
+    /// Level-0 table count that triggers compaction into level 1.
+    pub l0_compaction_trigger: usize,
+    /// Byte budget of level 1; level *i* gets `· multiplier^(i−1)`.
+    pub level_base_bytes: u64,
+    /// Growth factor between levels.
+    pub level_multiplier: u64,
+    /// Split compaction output tables at roughly this many bytes.
+    pub table_target_bytes: u64,
+    /// Fsync the WAL on every write.
+    pub sync_wal: bool,
+}
+
+impl Default for LsmOptions {
+    fn default() -> Self {
+        Self {
+            memtable_bytes: 4 << 20,
+            block_bytes: 4 << 10,
+            bloom_bits_per_key: 10,
+            l0_compaction_trigger: 4,
+            level_base_bytes: 8 << 20,
+            level_multiplier: 10,
+            table_target_bytes: 2 << 20,
+            sync_wal: false,
+        }
+    }
+}
+
+impl LsmOptions {
+    /// Small thresholds that force frequent flush/compaction — test use.
+    pub fn tiny() -> Self {
+        Self {
+            memtable_bytes: 4 << 10,
+            block_bytes: 512,
+            bloom_bits_per_key: 10,
+            l0_compaction_trigger: 2,
+            level_base_bytes: 16 << 10,
+            level_multiplier: 4,
+            table_target_bytes: 8 << 10,
+            sync_wal: false,
+        }
+    }
+}
+
+struct TableHandle {
+    entry: TableEntry,
+    reader: Arc<TableReader>,
+}
+
+struct Inner {
+    mem: MemTable,
+    wal: Wal,
+    manifest: Manifest,
+    manifest_num: u64,
+    /// Parallel to `manifest.levels`.
+    tables: Vec<Vec<TableHandle>>,
+}
+
+/// A single-directory LSM store.
+pub struct LsmDb {
+    dir: PathBuf,
+    opts: LsmOptions,
+    inner: RwLock<Inner>,
+    stats: IoStats,
+}
+
+/// Counters describing the physical shape of the store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LsmShape {
+    /// Tables per level, level 0 first.
+    pub l0_tables: usize,
+    /// Total tables across all levels.
+    pub total_tables: usize,
+    /// Number of levels with at least one table.
+    pub populated_levels: usize,
+    /// Entries buffered in the memtable.
+    pub memtable_entries: usize,
+    /// Bytes across all table files.
+    pub table_bytes: u64,
+}
+
+impl LsmDb {
+    /// Opens (or creates) a store in `dir`, recovering WAL contents and
+    /// garbage-collecting files a crash may have left behind.
+    pub fn open(dir: &Path, opts: LsmOptions) -> Result<Self, StorageError> {
+        fs::create_dir_all(dir)?;
+        let stats = IoStats::new();
+        let (manifest, manifest_num) = match manifest::load_current(dir)? {
+            Some((m, num)) => (m, num),
+            None => {
+                let m = Manifest { next_file_num: 3, wal_num: 1, levels: Vec::new() };
+                manifest::commit(dir, &m, 2)?;
+                (m, 2)
+            }
+        };
+        manifest::gc_unreferenced(dir, &manifest, manifest_num)?;
+
+        let mut tables = Vec::with_capacity(manifest.levels.len());
+        for level in &manifest.levels {
+            let mut handles = Vec::with_capacity(level.len());
+            for entry in level {
+                let reader = TableReader::open(
+                    &manifest::sst_path(dir, entry.file_num),
+                    stats.clone(),
+                )?;
+                handles.push(TableHandle { entry: entry.clone(), reader: Arc::new(reader) });
+            }
+            tables.push(handles);
+        }
+
+        // Recover the live WAL (create it if a bulk load skipped it).
+        let wal_file = manifest::wal_path(dir, manifest.wal_num);
+        let mut mem = MemTable::new();
+        let wal = if wal_file.exists() {
+            let replayed = wal::replay(&wal_file)?;
+            if replayed.truncated_tail {
+                wal::truncate_to(&wal_file, replayed.valid_bytes)?;
+            }
+            for op in replayed.ops {
+                match op {
+                    WalOp::Put(k, v) => mem.put(k, v),
+                    WalOp::Delete(k) => mem.delete(k),
+                }
+            }
+            Wal::open_for_append(&wal_file, opts.sync_wal)?
+        } else {
+            Wal::create(&wal_file, opts.sync_wal)?
+        };
+
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            opts,
+            inner: RwLock::new(Inner { mem, wal, manifest, manifest_num, tables }),
+            stats,
+        })
+    }
+
+    /// Directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Shared I/O counters (seeks = data-block reads, scans, rows, bytes).
+    pub fn io_stats(&self) -> IoStats {
+        self.stats.clone()
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        let k = Bytes::copy_from_slice(key);
+        let v = Bytes::copy_from_slice(value);
+        inner.wal.append(&WalOp::Put(k.clone(), v.clone()))?;
+        inner.mem.put(k, v);
+        if inner.mem.approx_bytes() >= self.opts.memtable_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Deletes `key` (writes a tombstone).
+    pub fn delete(&self, key: &[u8]) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        let k = Bytes::copy_from_slice(key);
+        inner.wal.append(&WalOp::Delete(k.clone()))?;
+        inner.mem.delete(k);
+        if inner.mem.approx_bytes() >= self.opts.memtable_bytes {
+            self.flush_locked(&mut inner)?;
+        }
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Bytes>, StorageError> {
+        let inner = self.inner.read();
+        if let Some(entry) = inner.mem.get(key) {
+            if let Some(v) = entry {
+                self.stats.record_read(1, (key.len() + v.len()) as u64);
+            }
+            return Ok(entry.clone());
+        }
+        // Level 0 newest-first, then deeper levels (one candidate each).
+        for (li, level) in inner.tables.iter().enumerate() {
+            let candidates: Vec<&TableHandle> = if li == 0 {
+                level.iter().collect()
+            } else {
+                let pos = level.partition_point(|t| &t.entry.largest[..] < key);
+                level
+                    .get(pos)
+                    .filter(|t| &t.entry.smallest[..] <= key)
+                    .into_iter()
+                    .collect()
+            };
+            for t in candidates {
+                if key < &t.entry.smallest[..] || key > &t.entry.largest[..] {
+                    continue;
+                }
+                if let Some(found) = t.reader.get(key)? {
+                    if let Some(v) = &found {
+                        self.stats.record_read(1, (key.len() + v.len()) as u64);
+                    }
+                    return Ok(found);
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// All live `(key, value)` pairs with `start ≤ key < end`, in key order.
+    pub fn scan(&self, start: &[u8], end: &[u8]) -> Result<Vec<(Bytes, Bytes)>, StorageError> {
+        self.stats.record_scan();
+        if start >= end {
+            return Ok(Vec::new());
+        }
+        let inner = self.inner.read();
+        let merged = self.merged_range(&inner, start, Some(end))?;
+        let live = drop_tombstones(merged);
+        let mut bytes = 0u64;
+        let out: Vec<(Bytes, Bytes)> = live
+            .into_iter()
+            .map(|e| {
+                let v = e.value.expect("tombstones dropped");
+                bytes += (e.key.len() + v.len()) as u64;
+                (e.key, v)
+            })
+            .collect();
+        self.stats.record_read(out.len() as u64, bytes);
+        Ok(out)
+    }
+
+    /// Every live pair in key order.
+    pub fn scan_all(&self) -> Result<Vec<(Bytes, Bytes)>, StorageError> {
+        self.stats.record_scan();
+        let inner = self.inner.read();
+        let merged = self.merged_range(&inner, &[], None)?;
+        let live = drop_tombstones(merged);
+        let mut bytes = 0u64;
+        let out: Vec<(Bytes, Bytes)> = live
+            .into_iter()
+            .map(|e| {
+                let v = e.value.expect("tombstones dropped");
+                bytes += (e.key.len() + v.len()) as u64;
+                (e.key, v)
+            })
+            .collect();
+        self.stats.record_read(out.len() as u64, bytes);
+        Ok(out)
+    }
+
+    /// Exact number of live keys (full merge — O(n), used for audits and
+    /// the `KvStore::row_count` contract, not on hot paths).
+    pub fn live_keys(&self) -> Result<usize, StorageError> {
+        let inner = self.inner.read();
+        let merged = self.merged_range(&inner, &[], None)?;
+        Ok(merged.iter().filter(|e| e.value.is_some()).count())
+    }
+
+    /// Forces the memtable to disk (no-op when empty).
+    pub fn flush(&self) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        self.flush_locked(&mut inner)
+    }
+
+    /// Merges every level fully (maximum read amplification repair).
+    pub fn compact_all(&self) -> Result<(), StorageError> {
+        let mut inner = self.inner.write();
+        self.flush_locked(&mut inner)?;
+        let depth = inner.tables.len();
+        for li in 0..depth.saturating_sub(1) {
+            if !inner.tables[li].is_empty() {
+                self.compact_level_locked(&mut inner, li)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Physical shape snapshot.
+    pub fn shape(&self) -> LsmShape {
+        let inner = self.inner.read();
+        LsmShape {
+            l0_tables: inner.tables.first().map_or(0, Vec::len),
+            total_tables: inner.tables.iter().map(Vec::len).sum(),
+            populated_levels: inner.tables.iter().filter(|l| !l.is_empty()).count(),
+            memtable_entries: inner.mem.len(),
+            table_bytes: inner
+                .manifest
+                .levels
+                .iter()
+                .flatten()
+                .map(|t| t.file_bytes)
+                .sum(),
+        }
+    }
+
+    /// Collects the merged (newest-wins) entries in `[start, end)`;
+    /// `end = None` means unbounded. Tombstones included.
+    fn merged_range(
+        &self,
+        inner: &Inner,
+        start: &[u8],
+        end: Option<&[u8]>,
+    ) -> Result<Vec<BlockEntry>, StorageError> {
+        let in_range = |k: &[u8]| k >= start && end.is_none_or(|e| k < e);
+        let mut runs: Vec<Vec<BlockEntry>> = Vec::new();
+        let mem_run: Vec<BlockEntry> = match end {
+            Some(e) => inner
+                .mem
+                .range(start, e)
+                .map(|(k, v)| BlockEntry { key: k.clone(), value: v.clone() })
+                .collect(),
+            None => inner
+                .mem
+                .iter()
+                .filter(|(k, _)| &k[..] >= start)
+                .map(|(k, v)| BlockEntry { key: k.clone(), value: v.clone() })
+                .collect(),
+        };
+        runs.push(mem_run);
+        for (li, level) in inner.tables.iter().enumerate() {
+            if li == 0 {
+                // Overlapping tables: one run each, newest first.
+                for t in level {
+                    if !table_intersects(&t.entry, start, end) {
+                        continue;
+                    }
+                    let mut run = Vec::new();
+                    match end {
+                        Some(e) => t.reader.scan_into(start, e, &mut run)?,
+                        None => {
+                            run = t.reader.scan_all()?;
+                            run.retain(|x| in_range(&x.key));
+                        }
+                    }
+                    runs.push(run);
+                }
+            } else {
+                // Non-overlapping sorted run: concatenate in table order.
+                let mut run = Vec::new();
+                for t in level {
+                    if !table_intersects(&t.entry, start, end) {
+                        continue;
+                    }
+                    match end {
+                        Some(e) => t.reader.scan_into(start, e, &mut run)?,
+                        None => {
+                            let mut part = t.reader.scan_all()?;
+                            part.retain(|x| in_range(&x.key));
+                            run.extend(part);
+                        }
+                    }
+                }
+                runs.push(run);
+            }
+        }
+        Ok(merge_runs(runs))
+    }
+
+    fn alloc_file_num(inner: &mut Inner) -> u64 {
+        let n = inner.manifest.next_file_num;
+        inner.manifest.next_file_num += 1;
+        n
+    }
+
+    fn commit_locked(&self, inner: &mut Inner) -> Result<(), StorageError> {
+        let mnum = Self::alloc_file_num(inner);
+        manifest::commit(&self.dir, &inner.manifest, mnum)?;
+        let old = inner.manifest_num;
+        inner.manifest_num = mnum;
+        let _ = fs::remove_file(self.dir.join(format!("MANIFEST-{old:06}")));
+        Ok(())
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> Result<(), StorageError> {
+        if inner.mem.is_empty() {
+            return Ok(());
+        }
+        let file_num = Self::alloc_file_num(inner);
+        let path = manifest::sst_path(&self.dir, file_num);
+        let mut builder =
+            TableBuilder::create(&path, self.opts.block_bytes, self.opts.bloom_bits_per_key)?;
+        for (k, v) in inner.mem.iter() {
+            builder.add(k, v.as_deref())?;
+        }
+        let meta = builder.finish()?;
+        let entry = TableEntry {
+            file_num,
+            entries: meta.entries,
+            file_bytes: meta.file_bytes,
+            smallest: meta.smallest,
+            largest: meta.largest,
+        };
+        let reader = Arc::new(TableReader::open(&path, self.stats.clone())?);
+        if inner.tables.is_empty() {
+            inner.tables.push(Vec::new());
+            inner.manifest.levels.push(Vec::new());
+        }
+        inner.tables[0].insert(0, TableHandle { entry: entry.clone(), reader });
+        inner.manifest.levels[0].insert(0, entry);
+
+        // Rotate the WAL: the flushed data is durable in the table.
+        let new_wal = Self::alloc_file_num(inner);
+        inner.wal = Wal::create(&manifest::wal_path(&self.dir, new_wal), self.opts.sync_wal)?;
+        let old_wal = inner.manifest.wal_num;
+        inner.manifest.wal_num = new_wal;
+        self.commit_locked(inner)?;
+        let _ = fs::remove_file(manifest::wal_path(&self.dir, old_wal));
+        inner.mem = MemTable::new();
+
+        self.maybe_compact_locked(inner)
+    }
+
+    fn level_byte_budget(&self, level: usize) -> u64 {
+        debug_assert!(level >= 1);
+        self.opts.level_base_bytes * self.opts.level_multiplier.pow(level as u32 - 1)
+    }
+
+    fn maybe_compact_locked(&self, inner: &mut Inner) -> Result<(), StorageError> {
+        loop {
+            if !inner.tables.is_empty()
+                && inner.tables[0].len() >= self.opts.l0_compaction_trigger
+            {
+                self.compact_level_locked(inner, 0)?;
+                continue;
+            }
+            let mut compacted = false;
+            for li in 1..inner.tables.len() {
+                let bytes: u64 = inner.manifest.levels[li].iter().map(|t| t.file_bytes).sum();
+                if bytes > self.level_byte_budget(li) {
+                    self.compact_level_locked(inner, li)?;
+                    compacted = true;
+                    break;
+                }
+            }
+            if !compacted {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Merges every table of `level` and `level + 1` into a fresh sorted
+    /// run at `level + 1`.
+    fn compact_level_locked(&self, inner: &mut Inner, level: usize) -> Result<(), StorageError> {
+        let target = level + 1;
+        if inner.tables.len() <= target {
+            inner.tables.push(Vec::new());
+            inner.manifest.levels.push(Vec::new());
+        }
+
+        let mut runs: Vec<Vec<BlockEntry>> = Vec::new();
+        if level == 0 {
+            for t in &inner.tables[0] {
+                runs.push(t.reader.scan_all()?);
+            }
+        } else {
+            let mut run = Vec::new();
+            for t in &inner.tables[level] {
+                run.extend(t.reader.scan_all()?);
+            }
+            runs.push(run);
+        }
+        let mut lower = Vec::new();
+        for t in &inner.tables[target] {
+            lower.extend(t.reader.scan_all()?);
+        }
+        runs.push(lower);
+
+        let mut merged = merge_runs(runs);
+        // Dropping tombstones is safe only at the deepest populated level.
+        let deepest = inner.tables[target + 1..].iter().all(Vec::is_empty);
+        if deepest {
+            merged = drop_tombstones(merged);
+        }
+
+        // Write the new run, split into target-size tables.
+        let mut new_handles = Vec::new();
+        let mut new_entries = Vec::new();
+        let mut it = merged.into_iter().peekable();
+        while it.peek().is_some() {
+            let file_num = Self::alloc_file_num(inner);
+            let path = manifest::sst_path(&self.dir, file_num);
+            let mut builder = TableBuilder::create(
+                &path,
+                self.opts.block_bytes,
+                self.opts.bloom_bits_per_key,
+            )?;
+            for e in it.by_ref() {
+                builder.add(&e.key, e.value.as_deref())?;
+                if builder.file_size_estimate() >= self.opts.table_target_bytes {
+                    break;
+                }
+            }
+            let meta = builder.finish()?;
+            let entry = TableEntry {
+                file_num,
+                entries: meta.entries,
+                file_bytes: meta.file_bytes,
+                smallest: meta.smallest,
+                largest: meta.largest,
+            };
+            let reader = Arc::new(TableReader::open(&path, self.stats.clone())?);
+            new_handles.push(TableHandle { entry: entry.clone(), reader });
+            new_entries.push(entry);
+        }
+
+        let dropped: Vec<u64> = inner.manifest.levels[level]
+            .iter()
+            .chain(&inner.manifest.levels[target])
+            .map(|t| t.file_num)
+            .collect();
+        inner.tables[level].clear();
+        inner.manifest.levels[level].clear();
+        inner.tables[target] = new_handles;
+        inner.manifest.levels[target] = new_entries;
+        self.commit_locked(inner)?;
+        for num in dropped {
+            let _ = fs::remove_file(manifest::sst_path(&self.dir, num));
+        }
+        Ok(())
+    }
+}
+
+fn table_intersects(entry: &TableEntry, start: &[u8], end: Option<&[u8]>) -> bool {
+    if entry.entries == 0 {
+        return false;
+    }
+    let after_start = &entry.largest[..] >= start;
+    let before_end = end.is_none_or(|e| &entry.smallest[..] < e);
+    after_start && before_end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn kv(i: usize) -> (Vec<u8>, Vec<u8>) {
+        (format!("key-{i:06}").into_bytes(), format!("value-{i}").into_bytes())
+    }
+
+    fn open_tiny(dir: &Path) -> LsmDb {
+        LsmDb::open(dir, LsmOptions::tiny()).unwrap()
+    }
+
+    #[test]
+    fn put_get_scan_small() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = open_tiny(dir.path());
+        for i in 0..100 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        let (k5, v5) = kv(5);
+        assert_eq!(db.get(&k5).unwrap().as_deref(), Some(&v5[..]));
+        assert!(db.get(b"absent").unwrap().is_none());
+        let rows = db.scan(b"key-000010", b"key-000020").unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(&rows[0].0[..], b"key-000010");
+        assert_eq!(db.live_keys().unwrap(), 100);
+    }
+
+    #[test]
+    fn flush_and_compaction_keep_data() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = open_tiny(dir.path());
+        let n = 3_000;
+        for i in 0..n {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        let shape = db.shape();
+        assert!(shape.total_tables >= 1, "tiny thresholds must have flushed: {shape:?}");
+        let all = db.scan_all().unwrap();
+        assert_eq!(all.len(), n);
+        for (i, (k, v)) in all.iter().enumerate() {
+            let (wk, wv) = kv(i);
+            assert_eq!(&k[..], &wk[..]);
+            assert_eq!(&v[..], &wv[..]);
+        }
+    }
+
+    #[test]
+    fn overwrites_and_deletes_respected_across_levels() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = open_tiny(dir.path());
+        for i in 0..500 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        db.flush().unwrap();
+        // Overwrite a slice, delete another slice — both end up shadowing
+        // older table data.
+        for i in 100..200 {
+            let (k, _) = kv(i);
+            db.put(&k, b"NEW").unwrap();
+        }
+        for i in 300..400 {
+            let (k, _) = kv(i);
+            db.delete(&k).unwrap();
+        }
+        db.flush().unwrap();
+        db.compact_all().unwrap();
+        assert_eq!(db.live_keys().unwrap(), 400);
+        let (k150, _) = kv(150);
+        assert_eq!(db.get(&k150).unwrap().as_deref(), Some(b"NEW" as &[u8]));
+        let (k350, _) = kv(350);
+        assert!(db.get(&k350).unwrap().is_none());
+        let rows = db.scan(b"key-000290", b"key-000410").unwrap();
+        let keys: Vec<String> =
+            rows.iter().map(|(k, _)| String::from_utf8(k.to_vec()).unwrap()).collect();
+        assert_eq!(keys.len(), 20, "only 290..300 and 400..410 survive: {keys:?}");
+    }
+
+    #[test]
+    fn reopen_recovers_wal_and_tables() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let db = open_tiny(dir.path());
+            for i in 0..1_000 {
+                let (k, v) = kv(i);
+                db.put(&k, &v).unwrap();
+            }
+            // Drop without explicit flush: the tail lives only in the WAL.
+        }
+        let db = open_tiny(dir.path());
+        assert_eq!(db.live_keys().unwrap(), 1_000);
+        let (k999, v999) = kv(999);
+        assert_eq!(db.get(&k999).unwrap().as_deref(), Some(&v999[..]));
+    }
+
+    #[test]
+    fn reopen_after_torn_wal_keeps_prefix() {
+        let dir = tempfile::tempdir().unwrap();
+        let wal_num;
+        {
+            let db = open_tiny(dir.path());
+            // Stay below the flush threshold so everything is in the WAL.
+            for i in 0..20 {
+                let (k, v) = kv(i);
+                db.put(&k, &v).unwrap();
+            }
+            wal_num = db.inner.read().manifest.wal_num;
+        }
+        let wal_file = manifest::wal_path(dir.path(), wal_num);
+        let len = fs::metadata(&wal_file).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&wal_file).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+        let db = open_tiny(dir.path());
+        let live = db.live_keys().unwrap();
+        assert_eq!(live, 19, "exactly the torn record is lost");
+        // The store accepts writes again after truncation.
+        db.put(b"zzz", b"tail").unwrap();
+        assert_eq!(db.live_keys().unwrap(), 20);
+    }
+
+    #[test]
+    fn matches_btreemap_model_under_mixed_ops() {
+        use rand::prelude::*;
+        let dir = tempfile::tempdir().unwrap();
+        let db = open_tiny(dir.path());
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for step in 0..4_000 {
+            let i = rng.random_range(0..400usize);
+            let (k, _) = kv(i);
+            if rng.random_bool(0.25) {
+                db.delete(&k).unwrap();
+                model.remove(&k);
+            } else {
+                let v = format!("v{step}").into_bytes();
+                db.put(&k, &v).unwrap();
+                model.insert(k, v);
+            }
+        }
+        let got = db.scan_all().unwrap();
+        assert_eq!(got.len(), model.len());
+        for ((gk, gv), (mk, mv)) in got.iter().zip(&model) {
+            assert_eq!(&gk[..], &mk[..]);
+            assert_eq!(&gv[..], &mv[..]);
+        }
+        // Sub-range agreement too.
+        let rows = db.scan(b"key-000100", b"key-000200").unwrap();
+        let want: Vec<_> = model
+            .range(b"key-000100".to_vec()..b"key-000200".to_vec())
+            .collect();
+        assert_eq!(rows.len(), want.len());
+    }
+
+    #[test]
+    fn scan_sees_unflushed_and_flushed_consistently() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = open_tiny(dir.path());
+        for i in (0..100).step_by(2) {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        db.flush().unwrap();
+        for i in (1..100).step_by(2) {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        // No flush: odd keys only in memtable.
+        let rows = db.scan(b"key-000000", b"key-000100").unwrap();
+        assert_eq!(rows.len(), 100);
+        for (i, (k, _)) in rows.iter().enumerate() {
+            let (wk, _) = kv(i);
+            assert_eq!(&k[..], &wk[..]);
+        }
+    }
+
+    #[test]
+    fn io_stats_count_scans() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = open_tiny(dir.path());
+        for i in 0..50 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        db.flush().unwrap();
+        let before = db.io_stats().snapshot();
+        db.scan(b"key-000000", b"key-000025").unwrap();
+        let delta = db.io_stats().snapshot().since(&before);
+        assert_eq!(delta.scans, 1);
+        assert_eq!(delta.rows_read, 25);
+        assert!(delta.seeks >= 1, "at least one data block read");
+    }
+
+    #[test]
+    fn empty_db_behaves() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = open_tiny(dir.path());
+        assert!(db.get(b"k").unwrap().is_none());
+        assert!(db.scan(b"a", b"z").unwrap().is_empty());
+        assert!(db.scan(b"z", b"a").unwrap().is_empty());
+        assert_eq!(db.live_keys().unwrap(), 0);
+        db.flush().unwrap(); // no-op
+        db.compact_all().unwrap(); // no-op
+    }
+
+    #[test]
+    fn deep_levels_form_and_stay_sorted() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = open_tiny(dir.path());
+        let n = 20_000;
+        for i in 0..n {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        let shape = db.shape();
+        assert!(shape.populated_levels >= 2, "expected a deep store: {shape:?}");
+        // Non-overlapping invariant on levels ≥ 1.
+        let inner = db.inner.read();
+        for level in inner.tables.iter().skip(1) {
+            for pair in level.windows(2) {
+                assert!(pair[0].entry.largest < pair[1].entry.smallest);
+            }
+        }
+        drop(inner);
+        assert_eq!(db.live_keys().unwrap(), n);
+    }
+}

@@ -1,0 +1,47 @@
+//! # kvmatch-lsm — a from-scratch LSM-tree key-value engine
+//!
+//! The paper's §VII-C argues KV-index runs on any storage system offering
+//! an ordered range **scan** — its Table II lists HBase, LevelDB and
+//! Cassandra. This crate substantiates that claim with a complete
+//! log-structured merge-tree engine written from scratch:
+//!
+//! * [`MemTable`] — sorted in-memory write buffer with tombstones,
+//! * [`wal`] — checksummed write-ahead log tolerating torn tails,
+//! * [`block`] / [`sstable`] — prefix-compressed blocks inside bloom-
+//!   filtered, checksummed sorted-string tables,
+//! * [`merge`] — newest-wins k-way merge across runs,
+//! * [`manifest`] — atomic version commits (`CURRENT` → `MANIFEST-N`)
+//!   with crash-leftover garbage collection,
+//! * [`LsmDb`] — the leveled engine (synchronous flush/compaction, so
+//!   experiments stay deterministic),
+//! * [`LsmKvStore`] / [`LsmKvStoreBuilder`] — the `kvmatch-storage`
+//!   [`KvStore`](kvmatch_storage::KvStore) adapter plus a LevelDB-style
+//!   sorted bulk-ingest path used by index building.
+//!
+//! ```
+//! use kvmatch_lsm::{LsmDb, LsmOptions};
+//! let dir = tempfile::tempdir().unwrap();
+//! let db = LsmDb::open(dir.path(), LsmOptions::default()).unwrap();
+//! db.put(b"series/42", b"\x01\x02").unwrap();
+//! assert_eq!(db.get(b"series/42").unwrap().as_deref(), Some(&b"\x01\x02"[..]));
+//! assert_eq!(db.scan(b"series/", b"series0").unwrap().len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod block;
+pub mod bloom;
+pub mod crc;
+pub mod db;
+pub mod manifest;
+pub mod memtable;
+pub mod merge;
+pub mod sstable;
+pub mod store;
+pub mod wal;
+
+pub use block::BlockEntry;
+pub use bloom::BloomFilter;
+pub use db::{LsmDb, LsmOptions, LsmShape};
+pub use memtable::MemTable;
+pub use store::{LsmKvStore, LsmKvStoreBuilder};

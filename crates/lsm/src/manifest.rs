@@ -1,0 +1,327 @@
+//! Manifest: the durable record of which table files make up each level.
+//!
+//! A manifest file is written whole on every version change (flush or
+//! compaction) as `MANIFEST-NNNNNN`, then `CURRENT` is atomically replaced
+//! (write temp + rename) to point at it. Stale manifests, tables and WALs
+//! are garbage-collected on open.
+//!
+//! Layout (little-endian), crc32 over everything before the trailing crc:
+//!
+//! ```text
+//! magic: u64 │ next_file_num: u64 │ wal_num: u64 │ num_levels: u32
+//! per level: num_tables: u32
+//!   per table: file_num: u64 │ entries: u64 │ file_bytes: u64
+//!              smallest_len: u32 │ smallest │ largest_len: u32 │ largest
+//! crc: u32
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use kvmatch_storage::StorageError;
+
+use crate::crc::crc32;
+
+const MAGIC: u64 = 0x6B76_6D5F_6D66_7374; // "kvm_mfst"
+
+fn corrupt(msg: impl Into<String>) -> StorageError {
+    StorageError::Corrupt(format!("manifest: {}", msg.into()))
+}
+
+/// Descriptor of one table file as recorded in the manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableEntry {
+    /// File number (`NNNNNN.sst`).
+    pub file_num: u64,
+    /// Entries in the table (tombstones included).
+    pub entries: u64,
+    /// File size in bytes.
+    pub file_bytes: u64,
+    /// Smallest key.
+    pub smallest: Bytes,
+    /// Largest key.
+    pub largest: Bytes,
+}
+
+/// A complete version of the store.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Manifest {
+    /// Next file number to allocate.
+    pub next_file_num: u64,
+    /// File number of the live WAL.
+    pub wal_num: u64,
+    /// Tables per level. Level 0 is newest-first and may overlap; levels
+    /// ≥ 1 are sorted by smallest key and non-overlapping.
+    pub levels: Vec<Vec<TableEntry>>,
+}
+
+impl Manifest {
+    /// Serializes with a trailing crc.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.next_file_num.to_le_bytes());
+        out.extend_from_slice(&self.wal_num.to_le_bytes());
+        out.extend_from_slice(&(self.levels.len() as u32).to_le_bytes());
+        for level in &self.levels {
+            out.extend_from_slice(&(level.len() as u32).to_le_bytes());
+            for t in level {
+                out.extend_from_slice(&t.file_num.to_le_bytes());
+                out.extend_from_slice(&t.entries.to_le_bytes());
+                out.extend_from_slice(&t.file_bytes.to_le_bytes());
+                out.extend_from_slice(&(t.smallest.len() as u32).to_le_bytes());
+                out.extend_from_slice(&t.smallest);
+                out.extend_from_slice(&(t.largest.len() as u32).to_le_bytes());
+                out.extend_from_slice(&t.largest);
+            }
+        }
+        out.extend_from_slice(&crc32(&out).to_le_bytes());
+        out
+    }
+
+    /// Parses and validates a serialized manifest.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, StorageError> {
+        if bytes.len() < 4 {
+            return Err(corrupt("too short"));
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(body) != stored {
+            return Err(corrupt("checksum mismatch"));
+        }
+        let mut p = Cursor { buf: body, pos: 0 };
+        if p.u64()? != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let next_file_num = p.u64()?;
+        let wal_num = p.u64()?;
+        let num_levels = p.u32()? as usize;
+        if num_levels > 64 {
+            return Err(corrupt("implausible level count"));
+        }
+        let mut levels = Vec::with_capacity(num_levels);
+        for _ in 0..num_levels {
+            let nt = p.u32()? as usize;
+            let mut level = Vec::with_capacity(nt);
+            for _ in 0..nt {
+                let file_num = p.u64()?;
+                let entries = p.u64()?;
+                let file_bytes = p.u64()?;
+                let sl = p.u32()? as usize;
+                let smallest = Bytes::copy_from_slice(p.take(sl)?);
+                let ll = p.u32()? as usize;
+                let largest = Bytes::copy_from_slice(p.take(ll)?);
+                level.push(TableEntry { file_num, entries, file_bytes, smallest, largest });
+            }
+            levels.push(level);
+        }
+        if p.pos != body.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok(Self { next_file_num, wal_num, levels })
+    }
+
+    /// All table file numbers referenced.
+    pub fn referenced_tables(&self) -> Vec<u64> {
+        self.levels.iter().flatten().map(|t| t.file_num).collect()
+    }
+
+    /// Total live entries recorded (upper bound on live keys — duplicates
+    /// across levels and tombstones inflate it).
+    pub fn total_entries(&self) -> u64 {
+        self.levels.iter().flatten().map(|t| t.entries).sum()
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
+        if self.buf.len() - self.pos < n {
+            return Err(corrupt("truncated"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, StorageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, StorageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+/// File-name helpers.
+pub fn sst_path(dir: &Path, file_num: u64) -> PathBuf {
+    dir.join(format!("{file_num:06}.sst"))
+}
+/// WAL path for `file_num`.
+pub fn wal_path(dir: &Path, file_num: u64) -> PathBuf {
+    dir.join(format!("{file_num:06}.wal"))
+}
+fn manifest_path(dir: &Path, file_num: u64) -> PathBuf {
+    dir.join(format!("MANIFEST-{file_num:06}"))
+}
+
+/// Persists `manifest` under a fresh manifest number and atomically points
+/// `CURRENT` at it. Returns the manifest file number used.
+pub fn commit(dir: &Path, manifest: &Manifest, manifest_num: u64) -> Result<(), StorageError> {
+    let mpath = manifest_path(dir, manifest_num);
+    fs::write(&mpath, manifest.to_bytes())?;
+    let tmp = dir.join("CURRENT.tmp");
+    fs::write(&tmp, format!("MANIFEST-{manifest_num:06}\n"))?;
+    fs::rename(&tmp, dir.join("CURRENT"))?;
+    Ok(())
+}
+
+/// Loads the manifest `CURRENT` points at, or `None` for a fresh directory.
+pub fn load_current(dir: &Path) -> Result<Option<(Manifest, u64)>, StorageError> {
+    let current = dir.join("CURRENT");
+    if !current.exists() {
+        return Ok(None);
+    }
+    let name = fs::read_to_string(&current)?;
+    let name = name.trim();
+    let num: u64 = name
+        .strip_prefix("MANIFEST-")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| corrupt(format!("CURRENT points at {name:?}")))?;
+    let bytes = fs::read(dir.join(name))?;
+    Ok(Some((Manifest::from_bytes(&bytes)?, num)))
+}
+
+/// Deletes table/WAL/manifest files not referenced by `manifest`
+/// (crash-leftover garbage collection).
+pub fn gc_unreferenced(
+    dir: &Path,
+    manifest: &Manifest,
+    manifest_num: u64,
+) -> Result<Vec<PathBuf>, StorageError> {
+    let live_tables: std::collections::HashSet<u64> =
+        manifest.referenced_tables().into_iter().collect();
+    let mut removed = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
+        let stale = if let Some(stem) = name.strip_suffix(".sst") {
+            stem.parse::<u64>().map(|n| !live_tables.contains(&n)).unwrap_or(false)
+        } else if let Some(stem) = name.strip_suffix(".wal") {
+            stem.parse::<u64>().map(|n| n != manifest.wal_num).unwrap_or(false)
+        } else if let Some(stem) = name.strip_prefix("MANIFEST-") {
+            stem.parse::<u64>().map(|n| n != manifest_num).unwrap_or(false)
+        } else {
+            false
+        };
+        if stale {
+            fs::remove_file(&path)?;
+            removed.push(path);
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            next_file_num: 42,
+            wal_num: 40,
+            levels: vec![
+                vec![TableEntry {
+                    file_num: 7,
+                    entries: 100,
+                    file_bytes: 4096,
+                    smallest: Bytes::from_static(b"a"),
+                    largest: Bytes::from_static(b"m"),
+                }],
+                vec![
+                    TableEntry {
+                        file_num: 3,
+                        entries: 500,
+                        file_bytes: 9999,
+                        smallest: Bytes::from_static(b""),
+                        largest: Bytes::from_static(b"g"),
+                    },
+                    TableEntry {
+                        file_num: 5,
+                        entries: 300,
+                        file_bytes: 1234,
+                        smallest: Bytes::from_static(b"h"),
+                        largest: Bytes::from_static(b"zz"),
+                    },
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let m = sample();
+        let back = Manifest::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(m, back);
+        assert_eq!(m.referenced_tables(), vec![7, 3, 5]);
+        assert_eq!(m.total_entries(), 900);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = sample().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        assert!(Manifest::from_bytes(&bytes).is_err());
+        assert!(Manifest::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        assert!(Manifest::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn commit_and_load_current() {
+        let dir = tempfile::tempdir().unwrap();
+        let m = sample();
+        commit(dir.path(), &m, 41).unwrap();
+        let (loaded, num) = load_current(dir.path()).unwrap().expect("present");
+        assert_eq!(loaded, m);
+        assert_eq!(num, 41);
+        // Re-commit under a newer number; CURRENT follows.
+        let mut m2 = m.clone();
+        m2.next_file_num = 50;
+        commit(dir.path(), &m2, 43).unwrap();
+        let (loaded, num) = load_current(dir.path()).unwrap().expect("present");
+        assert_eq!(loaded, m2);
+        assert_eq!(num, 43);
+    }
+
+    #[test]
+    fn load_fresh_dir_is_none() {
+        let dir = tempfile::tempdir().unwrap();
+        assert!(load_current(dir.path()).unwrap().is_none());
+    }
+
+    #[test]
+    fn gc_removes_only_unreferenced() {
+        let dir = tempfile::tempdir().unwrap();
+        let m = sample(); // references 3, 5, 7; wal 40
+        for n in [3u64, 5, 7, 9] {
+            fs::write(sst_path(dir.path(), n), b"x").unwrap();
+        }
+        fs::write(wal_path(dir.path(), 40), b"x").unwrap();
+        fs::write(wal_path(dir.path(), 39), b"x").unwrap();
+        commit(dir.path(), &m, 41).unwrap();
+        fs::write(dir.path().join("MANIFEST-000040"), b"old").unwrap();
+        fs::write(dir.path().join("unrelated.txt"), b"keep me").unwrap();
+        let removed = gc_unreferenced(dir.path(), &m, 41).unwrap();
+        assert_eq!(removed.len(), 3);
+        assert!(!sst_path(dir.path(), 9).exists());
+        assert!(!wal_path(dir.path(), 39).exists());
+        assert!(!dir.path().join("MANIFEST-000040").exists());
+        assert!(sst_path(dir.path(), 3).exists());
+        assert!(wal_path(dir.path(), 40).exists());
+        assert!(dir.path().join("unrelated.txt").exists());
+    }
+}

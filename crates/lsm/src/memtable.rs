@@ -1,0 +1,127 @@
+//! In-memory write buffer: a sorted map from key to value-or-tombstone.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use bytes::Bytes;
+
+/// A value in the LSM key-space: present or deleted.
+pub type Entry = Option<Bytes>;
+
+/// Sorted write buffer. Not thread-safe by itself — the database serializes
+/// writers around it.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    map: BTreeMap<Bytes, Entry>,
+    approx_bytes: usize,
+}
+
+impl MemTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn put(&mut self, key: Bytes, value: Bytes) {
+        self.approx_bytes += key.len() + value.len() + 32;
+        self.map.insert(key, Some(value));
+    }
+
+    /// Records a deletion of `key` (a tombstone that must shadow any older
+    /// value living in deeper levels).
+    pub fn delete(&mut self, key: Bytes) {
+        self.approx_bytes += key.len() + 32;
+        self.map.insert(key, None);
+    }
+
+    /// Point lookup. `None` = key unknown here; `Some(None)` = tombstoned.
+    pub fn get(&self, key: &[u8]) -> Option<&Entry> {
+        self.map.get(key)
+    }
+
+    /// Entries with `start ≤ key < end`, in key order, tombstones included.
+    /// An inverted or empty range yields nothing.
+    pub fn range(&self, start: &[u8], end: &[u8]) -> impl Iterator<Item = (&Bytes, &Entry)> {
+        let bounds = (start < end).then(|| {
+            (
+                Bound::Included(Bytes::copy_from_slice(start)),
+                Bound::Excluded(Bytes::copy_from_slice(end)),
+            )
+        });
+        bounds
+            .map(|b| self.map.range::<Bytes, _>(b))
+            .into_iter()
+            .flatten()
+    }
+
+    /// Every entry in key order, tombstones included.
+    pub fn iter(&self) -> impl Iterator<Item = (&Bytes, &Entry)> {
+        self.map.iter()
+    }
+
+    /// Number of entries (tombstones included).
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Rough heap footprint used for the flush trigger.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn put_get_overwrite() {
+        let mut m = MemTable::new();
+        m.put(b("k"), b("v1"));
+        m.put(b("k"), b("v2"));
+        assert_eq!(m.get(b"k"), Some(&Some(b("v2"))));
+        assert_eq!(m.len(), 1);
+        assert!(m.get(b"absent").is_none());
+    }
+
+    #[test]
+    fn delete_leaves_tombstone() {
+        let mut m = MemTable::new();
+        m.put(b("k"), b("v"));
+        m.delete(b("k"));
+        assert_eq!(m.get(b"k"), Some(&None));
+        assert_eq!(m.len(), 1, "tombstone occupies the slot");
+    }
+
+    #[test]
+    fn range_is_half_open_and_sorted() {
+        let mut m = MemTable::new();
+        for k in ["d", "a", "c", "b"] {
+            m.put(b(k), b(k));
+        }
+        let got: Vec<&Bytes> = m.range(b"b", b"d").map(|(k, _)| k).collect();
+        assert_eq!(got, vec![&b("b"), &b("c")]);
+        assert_eq!(m.range(b"x", b"a").count(), 0);
+    }
+
+    #[test]
+    fn approx_bytes_grows() {
+        let mut m = MemTable::new();
+        assert_eq!(m.approx_bytes(), 0);
+        m.put(b("key"), b("value"));
+        let after_put = m.approx_bytes();
+        assert!(after_put > 0);
+        m.delete(b("key2"));
+        assert!(m.approx_bytes() > after_put);
+    }
+}

@@ -1,0 +1,175 @@
+//! K-way merge of sorted entry runs with source priority.
+//!
+//! Sources are ordered newest-first (priority 0 shadows priority 1, …).
+//! For equal keys the newest source wins and older duplicates are skipped.
+//! Tombstones are preserved in the output; the caller decides whether to
+//! drop them (live scans) or keep them (compaction into a non-final level).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use bytes::Bytes;
+
+use crate::block::BlockEntry;
+
+struct HeapItem {
+    key: Bytes,
+    value: Option<Bytes>,
+    /// Lower = newer = wins ties.
+    priority: usize,
+    /// Cursor into its source run.
+    source: usize,
+    pos: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key && self.priority == other.priority
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for min-by-(key, priority).
+        other
+            .key
+            .cmp(&self.key)
+            .then_with(|| other.priority.cmp(&self.priority))
+    }
+}
+
+/// Merges sorted runs (each strictly ascending by key) into one strictly
+/// ascending run; among duplicate keys the run with the smallest index in
+/// `runs` wins. Tombstones are kept.
+pub fn merge_runs(runs: Vec<Vec<BlockEntry>>) -> Vec<BlockEntry> {
+    let mut heap = BinaryHeap::with_capacity(runs.len());
+    for (si, run) in runs.iter().enumerate() {
+        if let Some(e) = run.first() {
+            heap.push(HeapItem {
+                key: e.key.clone(),
+                value: e.value.clone(),
+                priority: si,
+                source: si,
+                pos: 0,
+            });
+        }
+    }
+    let mut out = Vec::with_capacity(runs.iter().map(Vec::len).sum());
+    let mut last_key: Option<Bytes> = None;
+    while let Some(item) = heap.pop() {
+        let is_dup = last_key.as_ref() == Some(&item.key);
+        if !is_dup {
+            last_key = Some(item.key.clone());
+            out.push(BlockEntry { key: item.key, value: item.value });
+        }
+        let next_pos = item.pos + 1;
+        if let Some(e) = runs[item.source].get(next_pos) {
+            heap.push(HeapItem {
+                key: e.key.clone(),
+                value: e.value.clone(),
+                priority: item.priority,
+                source: item.source,
+                pos: next_pos,
+            });
+        }
+    }
+    out
+}
+
+/// Drops tombstones from a merged run (final-level compaction or live scan).
+pub fn drop_tombstones(run: Vec<BlockEntry>) -> Vec<BlockEntry> {
+    run.into_iter().filter(|e| e.value.is_some()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(k: &str, v: Option<&str>) -> BlockEntry {
+        BlockEntry {
+            key: Bytes::copy_from_slice(k.as_bytes()),
+            value: v.map(|v| Bytes::copy_from_slice(v.as_bytes())),
+        }
+    }
+
+    #[test]
+    fn merges_disjoint_runs() {
+        let merged = merge_runs(vec![
+            vec![e("a", Some("1")), e("c", Some("3"))],
+            vec![e("b", Some("2")), e("d", Some("4"))],
+        ]);
+        let keys: Vec<&[u8]> = merged.iter().map(|x| &x.key[..]).collect();
+        assert_eq!(keys, vec![b"a" as &[u8], b"b", b"c", b"d"]);
+    }
+
+    #[test]
+    fn newest_source_wins_duplicates() {
+        let merged = merge_runs(vec![
+            vec![e("k", Some("new"))],
+            vec![e("k", Some("old")), e("z", Some("zz"))],
+        ]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(merged[0].value.as_deref(), Some(b"new" as &[u8]));
+    }
+
+    #[test]
+    fn tombstone_shadows_older_value() {
+        let merged = merge_runs(vec![
+            vec![e("k", None)],
+            vec![e("k", Some("old"))],
+        ]);
+        assert_eq!(merged.len(), 1);
+        assert!(merged[0].value.is_none());
+        assert!(drop_tombstones(merged).is_empty());
+    }
+
+    #[test]
+    fn three_way_with_interleaved_duplicates() {
+        let merged = merge_runs(vec![
+            vec![e("b", Some("b0")), e("d", None)],
+            vec![e("a", Some("a1")), e("b", Some("b1"))],
+            vec![e("b", Some("b2")), e("c", Some("c2")), e("d", Some("d2"))],
+        ]);
+        let got: Vec<(&[u8], Option<&[u8]>)> =
+            merged.iter().map(|x| (&x.key[..], x.value.as_deref())).collect();
+        assert_eq!(
+            got,
+            vec![
+                (b"a" as &[u8], Some(b"a1" as &[u8])),
+                (b"b", Some(b"b0")),
+                (b"c", Some(b"c2")),
+                (b"d", None),
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(merge_runs(vec![]).is_empty());
+        assert!(merge_runs(vec![vec![], vec![]]).is_empty());
+        let one = merge_runs(vec![vec![], vec![e("x", Some("y"))]]);
+        assert_eq!(one.len(), 1);
+    }
+
+    #[test]
+    fn output_is_strictly_sorted() {
+        // Random-ish overlapping runs.
+        let runs: Vec<Vec<BlockEntry>> = (0..5)
+            .map(|s| {
+                (0..50)
+                    .filter(|i| (i + s) % 3 != 0)
+                    .map(|i| e(&format!("k{i:03}"), Some(&format!("v{s}"))))
+                    .collect()
+            })
+            .collect();
+        let merged = merge_runs(runs);
+        for w in merged.windows(2) {
+            assert!(w[0].key < w[1].key);
+        }
+    }
+}

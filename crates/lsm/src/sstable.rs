@@ -1,0 +1,490 @@
+//! Sorted-string table: the immutable on-disk run format.
+//!
+//! File layout:
+//!
+//! ```text
+//! [data block │ crc: u32]*
+//! [filter block │ crc: u32]          (bloom filter over all keys)
+//! [index block │ crc: u32]           (last_key_of_block → BlockHandle)
+//! footer (40 bytes):
+//!   index_off: u64 │ index_len: u32 │ filter_off: u64 │ filter_len: u32
+//!   entry_count: u64 │ magic: u64
+//! ```
+//!
+//! Index-block values encode a [`BlockHandle`] as `offset: u64 │ len: u32`.
+//! Block `len` excludes the trailing crc. The reader keeps the index block
+//! and bloom filter in memory and reads data blocks on demand with
+//! positioned reads.
+
+use std::fs::File;
+use std::io::Write;
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use kvmatch_storage::{IoStats, StorageError};
+
+use crate::block::{BlockBuilder, BlockEntry, BlockIter};
+use crate::bloom::BloomFilter;
+use crate::crc::crc32;
+
+const MAGIC: u64 = 0x6B76_6D5F_6C73_6D31; // "kvm_lsm1"
+const FOOTER_LEN: usize = 40;
+
+fn corrupt(msg: impl Into<String>) -> StorageError {
+    StorageError::Corrupt(format!("sstable: {}", msg.into()))
+}
+
+/// Location of one block inside the table file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockHandle {
+    /// Byte offset of the block payload.
+    pub offset: u64,
+    /// Payload length (crc excluded).
+    pub len: u32,
+}
+
+impl BlockHandle {
+    fn encode(&self) -> [u8; 12] {
+        let mut out = [0u8; 12];
+        out[..8].copy_from_slice(&self.offset.to_le_bytes());
+        out[8..].copy_from_slice(&self.len.to_le_bytes());
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, StorageError> {
+        if bytes.len() != 12 {
+            return Err(corrupt("bad block handle"));
+        }
+        Ok(Self {
+            offset: u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes")),
+            len: u32::from_le_bytes(bytes[8..].try_into().expect("4 bytes")),
+        })
+    }
+}
+
+/// Streaming writer producing one table file from ascending-key entries.
+pub struct TableBuilder {
+    file: File,
+    path: PathBuf,
+    block: BlockBuilder,
+    index: Vec<(Vec<u8>, BlockHandle)>,
+    keys: Vec<Vec<u8>>,
+    offset: u64,
+    entry_count: u64,
+    target_block_bytes: usize,
+    bloom_bits_per_key: usize,
+    smallest: Option<Vec<u8>>,
+    last_key: Vec<u8>,
+}
+
+impl TableBuilder {
+    /// Creates `path` (truncating) and starts a table.
+    pub fn create(
+        path: &Path,
+        target_block_bytes: usize,
+        bloom_bits_per_key: usize,
+    ) -> Result<Self, StorageError> {
+        let file = File::create(path)?;
+        Ok(Self {
+            file,
+            path: path.to_path_buf(),
+            block: BlockBuilder::new(),
+            index: Vec::new(),
+            keys: Vec::new(),
+            offset: 0,
+            entry_count: 0,
+            target_block_bytes: target_block_bytes.max(128),
+            bloom_bits_per_key,
+            smallest: None,
+            last_key: Vec::new(),
+        })
+    }
+
+    /// Appends one entry; keys strictly ascending. `None` = tombstone.
+    pub fn add(&mut self, key: &[u8], value: Option<&[u8]>) -> Result<(), StorageError> {
+        if self.entry_count > 0 && key <= self.last_key.as_slice() {
+            return Err(StorageError::KeyOrder { key: key.to_vec() });
+        }
+        if self.smallest.is_none() {
+            self.smallest = Some(key.to_vec());
+        }
+        self.block.add(key, value)?;
+        self.keys.push(key.to_vec());
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.entry_count += 1;
+        if self.block.size_estimate() >= self.target_block_bytes {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Entries added so far.
+    pub fn entry_count(&self) -> u64 {
+        self.entry_count
+    }
+
+    /// Estimated file size so far (flushed blocks only).
+    pub fn file_size_estimate(&self) -> u64 {
+        self.offset + self.block.size_estimate() as u64
+    }
+
+    fn write_block(&mut self, payload: &[u8]) -> Result<BlockHandle, StorageError> {
+        let handle = BlockHandle { offset: self.offset, len: payload.len() as u32 };
+        self.file.write_all(payload)?;
+        self.file.write_all(&crc32(payload).to_le_bytes())?;
+        self.offset += payload.len() as u64 + 4;
+        Ok(handle)
+    }
+
+    fn flush_block(&mut self) -> Result<(), StorageError> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let last_key = self.block.last_key().to_vec();
+        let payload = self.block.finish();
+        let handle = self.write_block(&payload)?;
+        self.index.push((last_key, handle));
+        Ok(())
+    }
+
+    /// Finalizes the table; returns its metadata. An empty table (no
+    /// entries) is legal and produces a file with an empty index.
+    pub fn finish(mut self) -> Result<TableMeta, StorageError> {
+        self.flush_block()?;
+
+        let filter = BloomFilter::build(
+            self.keys.iter().map(|k| k.as_slice()),
+            self.bloom_bits_per_key,
+        );
+        let filter_bytes = filter.to_bytes();
+        let filter_handle = self.write_block(&filter_bytes)?;
+
+        let mut index_block = BlockBuilder::new();
+        for (key, handle) in &self.index {
+            index_block.add(key, Some(&handle.encode()))?;
+        }
+        let index_payload = index_block.finish();
+        let index_handle = self.write_block(&index_payload)?;
+
+        let mut footer = Vec::with_capacity(FOOTER_LEN);
+        footer.extend_from_slice(&index_handle.offset.to_le_bytes());
+        footer.extend_from_slice(&index_handle.len.to_le_bytes());
+        footer.extend_from_slice(&filter_handle.offset.to_le_bytes());
+        footer.extend_from_slice(&filter_handle.len.to_le_bytes());
+        footer.extend_from_slice(&self.entry_count.to_le_bytes());
+        footer.extend_from_slice(&MAGIC.to_le_bytes());
+        self.file.write_all(&footer)?;
+        self.file.sync_all()?;
+
+        Ok(TableMeta {
+            path: self.path,
+            entries: self.entry_count,
+            smallest: Bytes::from(self.smallest.unwrap_or_default()),
+            largest: Bytes::copy_from_slice(&self.last_key),
+            file_bytes: self.offset + FOOTER_LEN as u64,
+        })
+    }
+}
+
+/// Metadata of a finished table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableMeta {
+    /// File path.
+    pub path: PathBuf,
+    /// Total entries (tombstones included).
+    pub entries: u64,
+    /// Smallest key (empty for an empty table).
+    pub smallest: Bytes,
+    /// Largest key.
+    pub largest: Bytes,
+    /// File size in bytes.
+    pub file_bytes: u64,
+}
+
+/// Random-access reader over one table file.
+#[derive(Debug)]
+pub struct TableReader {
+    file: File,
+    index: Vec<(Bytes, BlockHandle)>,
+    filter: BloomFilter,
+    entries: u64,
+    stats: IoStats,
+}
+
+impl TableReader {
+    /// Opens and validates `path`, loading index and filter into memory.
+    pub fn open(path: &Path, stats: IoStats) -> Result<Self, StorageError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < FOOTER_LEN as u64 {
+            return Err(corrupt("file shorter than footer"));
+        }
+        let mut footer = [0u8; FOOTER_LEN];
+        file.read_exact_at(&mut footer, file_len - FOOTER_LEN as u64)?;
+        let magic = u64::from_le_bytes(footer[32..40].try_into().expect("8 bytes"));
+        if magic != MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        let index_handle = BlockHandle {
+            offset: u64::from_le_bytes(footer[0..8].try_into().expect("8 bytes")),
+            len: u32::from_le_bytes(footer[8..12].try_into().expect("4 bytes")),
+        };
+        let filter_handle = BlockHandle {
+            offset: u64::from_le_bytes(footer[12..20].try_into().expect("8 bytes")),
+            len: u32::from_le_bytes(footer[20..24].try_into().expect("4 bytes")),
+        };
+        let entries = u64::from_le_bytes(footer[24..32].try_into().expect("8 bytes"));
+
+        let filter_bytes = read_block_at(&file, filter_handle, file_len)?;
+        let filter =
+            BloomFilter::from_bytes(&filter_bytes).ok_or_else(|| corrupt("bad bloom filter"))?;
+
+        let index_bytes = read_block_at(&file, index_handle, file_len)?;
+        let mut index = Vec::new();
+        let mut it = BlockIter::new(&index_bytes)?;
+        while let Some(BlockEntry { key, value }) = it.next()? {
+            let value = value.ok_or_else(|| corrupt("tombstone in index block"))?;
+            index.push((key, BlockHandle::decode(&value)?));
+        }
+        Ok(Self { file, index, filter, entries, stats })
+    }
+
+    /// Total entries (tombstones included).
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Smallest key covered (from the index), if non-empty.
+    pub fn first_block_key(&self) -> Option<&Bytes> {
+        self.index.first().map(|(k, _)| k)
+    }
+
+    /// Largest key covered.
+    pub fn last_key(&self) -> Option<&Bytes> {
+        self.index.last().map(|(k, _)| k)
+    }
+
+    fn read_block(&self, handle: BlockHandle) -> Result<Vec<u8>, StorageError> {
+        self.stats.record_seek();
+        let file_len = self.file.metadata()?.len();
+        read_block_at(&self.file, handle, file_len)
+    }
+
+    /// Index position of the first block whose last key is `≥ target`.
+    fn block_for(&self, target: &[u8]) -> usize {
+        self.index.partition_point(|(last, _)| &last[..] < target)
+    }
+
+    /// Point lookup. `Ok(None)` = not in this table; `Ok(Some(None))` =
+    /// tombstoned here.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Option<Bytes>>, StorageError> {
+        if !self.filter.may_contain(key) {
+            return Ok(None);
+        }
+        let bi = self.block_for(key);
+        if bi >= self.index.len() {
+            return Ok(None);
+        }
+        let block = self.read_block(self.index[bi].1)?;
+        let mut it = BlockIter::new(&block)?;
+        it.seek(key)?;
+        match it.next()? {
+            Some(e) if &e.key[..] == key => Ok(Some(e.value)),
+            _ => Ok(None),
+        }
+    }
+
+    /// All entries with `start ≤ key < end`, tombstones included, pushed to
+    /// `out` in key order.
+    pub fn scan_into(
+        &self,
+        start: &[u8],
+        end: &[u8],
+        out: &mut Vec<BlockEntry>,
+    ) -> Result<(), StorageError> {
+        if start >= end {
+            return Ok(());
+        }
+        let mut bi = self.block_for(start);
+        'blocks: while bi < self.index.len() {
+            let block = self.read_block(self.index[bi].1)?;
+            let mut it = BlockIter::new(&block)?;
+            if bi == self.block_for(start) {
+                it.seek(start)?;
+            }
+            while let Some(e) = it.next()? {
+                if &e.key[..] >= end {
+                    break 'blocks;
+                }
+                out.push(e);
+            }
+            bi += 1;
+        }
+        Ok(())
+    }
+
+    /// Every entry in the table, in key order (compaction input).
+    pub fn scan_all(&self) -> Result<Vec<BlockEntry>, StorageError> {
+        let mut out = Vec::with_capacity(self.entries as usize);
+        for (_, handle) in &self.index {
+            let block = self.read_block(*handle)?;
+            let mut it = BlockIter::new(&block)?;
+            while let Some(e) = it.next()? {
+                out.push(e);
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn read_block_at(file: &File, handle: BlockHandle, file_len: u64) -> Result<Vec<u8>, StorageError> {
+    let end = handle
+        .offset
+        .checked_add(handle.len as u64 + 4)
+        .ok_or_else(|| corrupt("block handle overflow"))?;
+    if end > file_len {
+        return Err(corrupt("block handle out of bounds"));
+    }
+    let mut buf = vec![0u8; handle.len as usize + 4];
+    file.read_exact_at(&mut buf, handle.offset)?;
+    let crc_stored =
+        u32::from_le_bytes(buf[handle.len as usize..].try_into().expect("4 bytes"));
+    buf.truncate(handle.len as usize);
+    if crc32(&buf) != crc_stored {
+        return Err(corrupt("block checksum mismatch"));
+    }
+    Ok(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entries(n: usize) -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        (0..n)
+            .map(|i| {
+                let k = format!("user-{i:07}").into_bytes();
+                let v = if i % 11 == 5 { None } else { Some(vec![(i % 251) as u8; 1 + i % 40]) };
+                (k, v)
+            })
+            .collect()
+    }
+
+    fn build_table(dir: &Path, es: &[(Vec<u8>, Option<Vec<u8>>)]) -> (TableMeta, TableReader) {
+        let path = dir.join("t.sst");
+        let mut b = TableBuilder::create(&path, 1024, 10).unwrap();
+        for (k, v) in es {
+            b.add(k, v.as_deref()).unwrap();
+        }
+        let meta = b.finish().unwrap();
+        let reader = TableReader::open(&path, IoStats::new()).unwrap();
+        (meta, reader)
+    }
+
+    #[test]
+    fn build_and_scan_all() {
+        let dir = tempfile::tempdir().unwrap();
+        let es = entries(5_000);
+        let (meta, reader) = build_table(dir.path(), &es);
+        assert_eq!(meta.entries, es.len() as u64);
+        assert_eq!(&meta.smallest[..], &es[0].0[..]);
+        assert_eq!(&meta.largest[..], &es.last().unwrap().0[..]);
+        let got = reader.scan_all().unwrap();
+        assert_eq!(got.len(), es.len());
+        for (g, (k, v)) in got.iter().zip(&es) {
+            assert_eq!(&g.key[..], &k[..]);
+            assert_eq!(g.value.as_deref(), v.as_deref());
+        }
+    }
+
+    #[test]
+    fn point_gets() {
+        let dir = tempfile::tempdir().unwrap();
+        let es = entries(2_000);
+        let (_, reader) = build_table(dir.path(), &es);
+        // Present keys (values and tombstones).
+        for (k, v) in es.iter().step_by(97) {
+            let got = reader.get(k).unwrap().expect("present in table");
+            assert_eq!(got.as_deref(), v.as_deref());
+        }
+        // Absent keys.
+        assert!(reader.get(b"user-9999999x").unwrap().is_none());
+        assert!(reader.get(b"aaa").unwrap().is_none());
+    }
+
+    #[test]
+    fn range_scan_matches_model() {
+        let dir = tempfile::tempdir().unwrap();
+        let es = entries(3_000);
+        let (_, reader) = build_table(dir.path(), &es);
+        let cases: Vec<(&[u8], &[u8])> = vec![
+            (b"user-0000100", b"user-0000200"),
+            (b"a", b"z"),
+            (b"user-0002990", b"zzz"),
+            (b"user-0000150x", b"user-0000151x"),
+            (b"z", b"a"),
+        ];
+        for (s, e) in cases {
+            let mut got = Vec::new();
+            reader.scan_into(s, e, &mut got).unwrap();
+            let want: Vec<_> =
+                es.iter().filter(|(k, _)| &k[..] >= s && &k[..] < e).collect();
+            assert_eq!(got.len(), want.len(), "range {s:?}..{e:?}");
+            for (g, (k, v)) in got.iter().zip(&want) {
+                assert_eq!(&g.key[..], &k[..]);
+                assert_eq!(g.value.as_deref(), v.as_deref());
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_block_detected() {
+        let dir = tempfile::tempdir().unwrap();
+        let es = entries(1_000);
+        let path = dir.path().join("t.sst");
+        let mut b = TableBuilder::create(&path, 512, 10).unwrap();
+        for (k, v) in &es {
+            b.add(k, v.as_deref()).unwrap();
+        }
+        b.finish().unwrap();
+        // Flip one byte in the first data block.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[10] ^= 0x55;
+        std::fs::write(&path, &raw).unwrap();
+        let reader = TableReader::open(&path, IoStats::new()).unwrap();
+        assert!(matches!(reader.scan_all(), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("t.sst");
+        std::fs::write(&path, b"tiny").unwrap();
+        assert!(TableReader::open(&path, IoStats::new()).is_err());
+        std::fs::write(&path, vec![0u8; 100]).unwrap();
+        assert!(TableReader::open(&path, IoStats::new()).is_err(), "bad magic");
+    }
+
+    #[test]
+    fn empty_table_is_legal() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("empty.sst");
+        let b = TableBuilder::create(&path, 1024, 10).unwrap();
+        let meta = b.finish().unwrap();
+        assert_eq!(meta.entries, 0);
+        let reader = TableReader::open(&path, IoStats::new()).unwrap();
+        assert!(reader.scan_all().unwrap().is_empty());
+        assert!(reader.get(b"anything").unwrap().is_none());
+    }
+
+    #[test]
+    fn builder_rejects_unordered_keys() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("t.sst");
+        let mut b = TableBuilder::create(&path, 1024, 10).unwrap();
+        b.add(b"m", Some(b"1")).unwrap();
+        assert!(b.add(b"a", Some(b"2")).is_err());
+    }
+}

@@ -1,0 +1,231 @@
+//! [`KvStore`] adapter: KV-index rows on the LSM engine.
+//!
+//! Two construction paths:
+//! * [`LsmKvStoreBuilder`] — the sorted bulk-ingest path used by index
+//!   building. Rows stream straight into level-1 tables (non-overlapping by
+//!   construction), skipping the WAL and memtable entirely, exactly like
+//!   LevelDB/RocksDB external-file ingestion.
+//! * [`LsmKvStore::open`] — reopen a previously built store directory.
+//!
+//! The adapter is read-only through the [`KvStore`] trait (that is all
+//! KV-match needs, §VII-C); mutation goes through [`LsmDb`] directly.
+
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use kvmatch_storage::kv::Row;
+use kvmatch_storage::{IoStats, KvStore, KvStoreBuilder, StorageError};
+
+use crate::db::{LsmDb, LsmOptions};
+use crate::manifest::{self, Manifest, TableEntry};
+use crate::sstable::TableBuilder;
+
+/// An LSM-backed, scan-capable key-value store.
+pub struct LsmKvStore {
+    db: LsmDb,
+    row_count: usize,
+}
+
+impl LsmKvStore {
+    /// Opens an existing store directory, counting live rows once.
+    pub fn open(dir: &Path, opts: LsmOptions) -> Result<Self, StorageError> {
+        let db = LsmDb::open(dir, opts)?;
+        let row_count = db.live_keys()?;
+        Ok(Self { db, row_count })
+    }
+
+    /// Wraps a database whose live-key count is already known.
+    pub fn from_db(db: LsmDb) -> Result<Self, StorageError> {
+        let row_count = db.live_keys()?;
+        Ok(Self { db, row_count })
+    }
+
+    /// The underlying engine.
+    pub fn db(&self) -> &LsmDb {
+        &self.db
+    }
+}
+
+impl KvStore for LsmKvStore {
+    fn scan(&self, start: &[u8], end: &[u8]) -> Result<Vec<Row>, StorageError> {
+        let rows = self.db.scan(start, end)?;
+        Ok(rows.into_iter().map(|(key, value)| Row { key, value }).collect())
+    }
+
+    fn scan_all(&self) -> Result<Vec<Row>, StorageError> {
+        let rows = self.db.scan_all()?;
+        Ok(rows.into_iter().map(|(key, value)| Row { key, value }).collect())
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>, StorageError> {
+        self.db.get(key)
+    }
+
+    fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.db.io_stats()
+    }
+}
+
+/// Sorted bulk-ingest builder producing an [`LsmKvStore`].
+pub struct LsmKvStoreBuilder {
+    dir: PathBuf,
+    opts: LsmOptions,
+    builder: Option<TableBuilder>,
+    tables: Vec<TableEntry>,
+    next_file_num: u64,
+    last_key: Option<Vec<u8>>,
+    rows: usize,
+}
+
+impl LsmKvStoreBuilder {
+    /// Starts a bulk load into `dir` (created if missing; must not already
+    /// hold a store).
+    pub fn create(dir: &Path, opts: LsmOptions) -> Result<Self, StorageError> {
+        std::fs::create_dir_all(dir)?;
+        if dir.join("CURRENT").exists() {
+            return Err(StorageError::Corrupt(format!(
+                "refusing bulk load into existing store at {}",
+                dir.display()
+            )));
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            opts,
+            builder: None,
+            tables: Vec::new(),
+            next_file_num: 3,
+            last_key: None,
+            rows: 0,
+        })
+    }
+
+    fn cut_table(&mut self) -> Result<(), StorageError> {
+        if let Some(builder) = self.builder.take() {
+            let meta = builder.finish()?;
+            self.tables.push(TableEntry {
+                file_num: self.next_file_num,
+                entries: meta.entries,
+                file_bytes: meta.file_bytes,
+                smallest: meta.smallest,
+                largest: meta.largest,
+            });
+            self.next_file_num += 1;
+        }
+        Ok(())
+    }
+}
+
+impl KvStoreBuilder for LsmKvStoreBuilder {
+    type Store = LsmKvStore;
+
+    fn append(&mut self, key: &[u8], value: &[u8]) -> Result<(), StorageError> {
+        if let Some(last) = &self.last_key {
+            if key <= last.as_slice() {
+                return Err(StorageError::KeyOrder { key: key.to_vec() });
+            }
+        }
+        if self.builder.is_none() {
+            let path = manifest::sst_path(&self.dir, self.next_file_num);
+            self.builder = Some(TableBuilder::create(
+                &path,
+                self.opts.block_bytes,
+                self.opts.bloom_bits_per_key,
+            )?);
+        }
+        let builder = self.builder.as_mut().expect("just ensured");
+        builder.add(key, Some(value))?;
+        self.last_key = Some(key.to_vec());
+        self.rows += 1;
+        if builder.file_size_estimate() >= self.opts.table_target_bytes {
+            self.cut_table()?;
+        }
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<LsmKvStore, StorageError> {
+        self.cut_table()?;
+        let wal_num = self.next_file_num;
+        let manifest = Manifest {
+            next_file_num: wal_num + 1,
+            wal_num,
+            levels: vec![Vec::new(), self.tables],
+        };
+        manifest::commit(&self.dir, &manifest, wal_num + 1)?;
+        // `LsmDb::open` creates the (empty) WAL and validates the tables.
+        let db = LsmDb::open(&self.dir, self.opts)?;
+        Ok(LsmKvStore { db, row_count: self.rows })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bulk(dir: &Path, n: usize) -> LsmKvStore {
+        let mut opts = LsmOptions::tiny();
+        opts.table_target_bytes = 4 << 10;
+        let mut b = LsmKvStoreBuilder::create(dir, opts).unwrap();
+        for i in 0..n {
+            let k = format!("row-{i:08}");
+            let v = format!("payload-{i}");
+            b.append(k.as_bytes(), v.as_bytes()).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn bulk_load_and_scan() {
+        let dir = tempfile::tempdir().unwrap();
+        let store = bulk(dir.path(), 5_000);
+        assert_eq!(store.row_count(), 5_000);
+        let rows = store.scan(b"row-00001000", b"row-00001010").unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(&rows[0].key[..], b"row-00001000");
+        assert_eq!(store.scan_all().unwrap().len(), 5_000);
+        // Bulk load splits into multiple non-overlapping level-1 tables.
+        assert!(store.db().shape().total_tables > 1);
+    }
+
+    #[test]
+    fn bulk_load_reopens() {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            bulk(dir.path(), 1_000);
+        }
+        let store = LsmKvStore::open(dir.path(), LsmOptions::tiny()).unwrap();
+        assert_eq!(store.row_count(), 1_000);
+        assert_eq!(
+            store.get(b"row-00000999").unwrap().as_deref(),
+            Some(b"payload-999" as &[u8])
+        );
+    }
+
+    #[test]
+    fn builder_enforces_order_and_uniqueness() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut b = LsmKvStoreBuilder::create(dir.path(), LsmOptions::tiny()).unwrap();
+        b.append(b"b", b"1").unwrap();
+        assert!(matches!(b.append(b"a", b"2"), Err(StorageError::KeyOrder { .. })));
+        assert!(matches!(b.append(b"b", b"2"), Err(StorageError::KeyOrder { .. })));
+    }
+
+    #[test]
+    fn refuses_double_bulk_load() {
+        let dir = tempfile::tempdir().unwrap();
+        bulk(dir.path(), 10);
+        assert!(LsmKvStoreBuilder::create(dir.path(), LsmOptions::tiny()).is_err());
+    }
+
+    #[test]
+    fn empty_bulk_load_is_legal() {
+        let dir = tempfile::tempdir().unwrap();
+        let b = LsmKvStoreBuilder::create(dir.path(), LsmOptions::tiny()).unwrap();
+        let store = b.finish().unwrap();
+        assert_eq!(store.row_count(), 0);
+        assert!(store.scan_all().unwrap().is_empty());
+    }
+}

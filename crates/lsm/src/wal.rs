@@ -1,0 +1,265 @@
+//! Write-ahead log.
+//!
+//! Record layout (little-endian):
+//!
+//! ```text
+//! crc: u32 │ len: u32 │ payload
+//! payload = tag: u8 │ key_len: u32 │ key │ [val_len: u32 │ value]   (tag = PUT)
+//!         = tag: u8 │ key_len: u32 │ key                            (tag = DEL)
+//! ```
+//!
+//! `crc` covers `payload`. Replay stops at the first corrupt or truncated
+//! record (a torn tail from a crash) and reports how many bytes were valid,
+//! so the caller can truncate the file and keep appending.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use bytes::Bytes;
+use kvmatch_storage::StorageError;
+
+use crate::crc::crc32;
+
+const TAG_PUT: u8 = 1;
+const TAG_DEL: u8 = 2;
+
+/// One replayed WAL operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalOp {
+    /// Insert/overwrite.
+    Put(Bytes, Bytes),
+    /// Tombstone.
+    Delete(Bytes),
+}
+
+/// Append handle for one log file.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    sync: bool,
+    buf: Vec<u8>,
+}
+
+impl Wal {
+    /// Creates (truncating) a new log at `path`.
+    pub fn create(path: &Path, sync: bool) -> Result<Self, StorageError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Self { file, sync, buf: Vec::new() })
+    }
+
+    /// Opens an existing log for appending (after replay + truncation).
+    pub fn open_for_append(path: &Path, sync: bool) -> Result<Self, StorageError> {
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Self { file, sync, buf: Vec::new() })
+    }
+
+    /// Appends one operation, optionally fsyncing.
+    pub fn append(&mut self, op: &WalOp) -> Result<(), StorageError> {
+        self.buf.clear();
+        match op {
+            WalOp::Put(k, v) => {
+                self.buf.push(TAG_PUT);
+                self.buf.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                self.buf.extend_from_slice(k);
+                self.buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                self.buf.extend_from_slice(v);
+            }
+            WalOp::Delete(k) => {
+                self.buf.push(TAG_DEL);
+                self.buf.extend_from_slice(&(k.len() as u32).to_le_bytes());
+                self.buf.extend_from_slice(k);
+            }
+        }
+        let crc = crc32(&self.buf);
+        self.file.write_all(&crc.to_le_bytes())?;
+        self.file.write_all(&(self.buf.len() as u32).to_le_bytes())?;
+        self.file.write_all(&self.buf)?;
+        if self.sync {
+            self.file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Forces buffered records to stable storage.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+}
+
+/// Result of replaying a log file.
+#[derive(Debug)]
+pub struct WalReplay {
+    /// Operations recovered, in append order.
+    pub ops: Vec<WalOp>,
+    /// Length of the valid prefix in bytes; anything beyond is torn/corrupt.
+    pub valid_bytes: u64,
+    /// Whether a torn/corrupt tail was detected (and dropped).
+    pub truncated_tail: bool,
+}
+
+/// Replays `path`, tolerating a torn tail.
+pub fn replay(path: &Path) -> Result<WalReplay, StorageError> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    let mut ops = Vec::new();
+    let mut pos = 0usize;
+    let mut truncated = false;
+    while pos < raw.len() {
+        if raw.len() - pos < 8 {
+            truncated = true;
+            break;
+        }
+        let crc = u32::from_le_bytes(raw[pos..pos + 4].try_into().expect("4 bytes"));
+        let len = u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().expect("4 bytes")) as usize;
+        if raw.len() - pos - 8 < len {
+            truncated = true;
+            break;
+        }
+        let payload = &raw[pos + 8..pos + 8 + len];
+        if crc32(payload) != crc {
+            truncated = true;
+            break;
+        }
+        match parse_payload(payload) {
+            Some(op) => ops.push(op),
+            None => {
+                truncated = true;
+                break;
+            }
+        }
+        pos += 8 + len;
+    }
+    Ok(WalReplay { ops, valid_bytes: pos as u64, truncated_tail: truncated })
+}
+
+/// Truncates `path` to its valid prefix so appends resume cleanly.
+pub fn truncate_to(path: &Path, valid_bytes: u64) -> Result<(), StorageError> {
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(valid_bytes)?;
+    file.sync_all()?;
+    Ok(())
+}
+
+fn parse_payload(payload: &[u8]) -> Option<WalOp> {
+    let (&tag, rest) = payload.split_first()?;
+    if rest.len() < 4 {
+        return None;
+    }
+    let klen = u32::from_le_bytes(rest[0..4].try_into().ok()?) as usize;
+    let rest = &rest[4..];
+    if rest.len() < klen {
+        return None;
+    }
+    let key = Bytes::copy_from_slice(&rest[..klen]);
+    let rest = &rest[klen..];
+    match tag {
+        TAG_DEL if rest.is_empty() => Some(WalOp::Delete(key)),
+        TAG_PUT if rest.len() >= 4 => {
+            let vlen = u32::from_le_bytes(rest[0..4].try_into().ok()?) as usize;
+            let rest = &rest[4..];
+            if rest.len() != vlen {
+                return None;
+            }
+            Some(WalOp::Put(key, Bytes::copy_from_slice(rest)))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    fn b(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    fn ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Put(b("alpha"), b("1")),
+            WalOp::Put(b("beta"), b("two")),
+            WalOp::Delete(b("alpha")),
+            WalOp::Put(b(""), b("empty key is legal")),
+            WalOp::Put(b("gamma"), b("")),
+        ]
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal");
+        let mut wal = Wal::create(&path, false).unwrap();
+        for op in &ops() {
+            wal.append(op).unwrap();
+        }
+        drop(wal);
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.ops, ops());
+        assert!(!replayed.truncated_tail);
+        assert_eq!(replayed.valid_bytes, fs::metadata(&path).unwrap().len());
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal");
+        let mut wal = Wal::create(&path, false).unwrap();
+        for op in &ops() {
+            wal.append(op).unwrap();
+        }
+        drop(wal);
+        let full = fs::metadata(&path).unwrap().len();
+        // Cut 3 bytes off the last record: prefix must replay cleanly.
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(full - 3).unwrap();
+        drop(f);
+        let replayed = replay(&path).unwrap();
+        assert_eq!(replayed.ops, ops()[..ops().len() - 1].to_vec());
+        assert!(replayed.truncated_tail);
+        // Truncate and append again: log stays consistent.
+        truncate_to(&path, replayed.valid_bytes).unwrap();
+        let mut wal = Wal::open_for_append(&path, false).unwrap();
+        wal.append(&WalOp::Put(b("delta"), b("4"))).unwrap();
+        drop(wal);
+        let replayed = replay(&path).unwrap();
+        assert!(!replayed.truncated_tail);
+        assert_eq!(replayed.ops.last(), Some(&WalOp::Put(b("delta"), b("4"))));
+    }
+
+    #[test]
+    fn corrupt_middle_stops_replay() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal");
+        let mut wal = Wal::create(&path, false).unwrap();
+        for op in &ops() {
+            wal.append(op).unwrap();
+        }
+        drop(wal);
+        let mut raw = fs::read(&path).unwrap();
+        let mid = raw.len() / 2;
+        raw[mid] ^= 0xFF;
+        fs::write(&path, &raw).unwrap();
+        let replayed = replay(&path).unwrap();
+        assert!(replayed.truncated_tail);
+        assert!(replayed.ops.len() < ops().len());
+        // Whatever was recovered is a strict prefix.
+        assert_eq!(replayed.ops[..], ops()[..replayed.ops.len()]);
+    }
+
+    #[test]
+    fn empty_log_replays_empty() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("wal");
+        Wal::create(&path, false).unwrap();
+        let replayed = replay(&path).unwrap();
+        assert!(replayed.ops.is_empty());
+        assert!(!replayed.truncated_tail);
+    }
+}

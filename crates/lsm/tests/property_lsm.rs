@@ -1,0 +1,101 @@
+//! Property tests: the LSM engine agrees with a `BTreeMap` model under
+//! arbitrary interleavings of puts, deletes, flushes, compactions, scans
+//! and reopens.
+
+use std::collections::BTreeMap;
+
+use kvmatch_lsm::{LsmDb, LsmOptions};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Put(u16, u8),
+    Delete(u16),
+    Flush,
+    CompactAll,
+    Reopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u16..300, any::<u8>()).prop_map(|(k, v)| Op::Put(k, v)),
+        2 => (0u16..300).prop_map(Op::Delete),
+        1 => Just(Op::Flush),
+        1 => Just(Op::CompactAll),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+fn key(k: u16) -> Vec<u8> {
+    format!("k{k:05}").into_bytes()
+}
+
+fn value(v: u8) -> Vec<u8> {
+    vec![v; 1 + (v as usize % 17)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn lsm_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let dir = tempfile::tempdir().unwrap();
+        let mut db = LsmDb::open(dir.path(), LsmOptions::tiny()).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    db.put(&key(*k), &value(*v)).unwrap();
+                    model.insert(key(*k), value(*v));
+                }
+                Op::Delete(k) => {
+                    db.delete(&key(*k)).unwrap();
+                    model.remove(&key(*k));
+                }
+                Op::Flush => db.flush().unwrap(),
+                Op::CompactAll => db.compact_all().unwrap(),
+                Op::Reopen => {
+                    drop(db);
+                    db = LsmDb::open(dir.path(), LsmOptions::tiny()).unwrap();
+                }
+            }
+        }
+        // Full-scan agreement.
+        let got = db.scan_all().unwrap();
+        prop_assert_eq!(got.len(), model.len());
+        for ((gk, gv), (mk, mv)) in got.iter().zip(&model) {
+            prop_assert_eq!(&gk[..], &mk[..]);
+            prop_assert_eq!(&gv[..], &mv[..]);
+        }
+        // Range-scan agreement on a few cuts.
+        for (s, e) in [(0u16, 100u16), (50, 250), (299, 300), (120, 120)] {
+            let rows = db.scan(&key(s), &key(e)).unwrap();
+            let want: Vec<_> = model.range(key(s)..key(e)).collect();
+            prop_assert_eq!(rows.len(), want.len(), "range {}..{}", s, e);
+        }
+        // Point-lookup agreement on every key in the domain.
+        for k in 0..300u16 {
+            let got = db.get(&key(k)).unwrap();
+            let want = model.get(&key(k));
+            prop_assert_eq!(got.as_deref(), want.map(|v| &v[..]), "key {}", k);
+        }
+    }
+
+    #[test]
+    fn reopen_preserves_everything(kvs in proptest::collection::btree_map(0u16..500, any::<u8>(), 1..200)) {
+        let dir = tempfile::tempdir().unwrap();
+        {
+            let db = LsmDb::open(dir.path(), LsmOptions::tiny()).unwrap();
+            for (k, v) in &kvs {
+                db.put(&key(*k), &value(*v)).unwrap();
+            }
+            // No flush: a mix of WAL-resident and flushed state.
+        }
+        let db = LsmDb::open(dir.path(), LsmOptions::tiny()).unwrap();
+        prop_assert_eq!(db.live_keys().unwrap(), kvs.len());
+        for (k, v) in &kvs {
+            let got = db.get(&key(*k)).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(&value(*v)[..]));
+        }
+    }
+}

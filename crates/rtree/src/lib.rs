@@ -1,0 +1,18 @@
+//! # kvmatch-rtree — a bulk-loaded R-tree with access accounting
+//!
+//! Substrate for the tree-based subsequence-matching baselines (FRM,
+//! General Match, DMatch). Those methods transform windows into
+//! low-dimensional points (PAA/DFT features), store them in an R-tree, and
+//! answer range queries; the paper attributes their slowdown to the *many
+//! random node accesses* this incurs, so the tree counts every node visit.
+//!
+//! The tree is static and bulk-loaded with the Sort-Tile-Recursive (STR)
+//! packing algorithm (Leutenegger et al.), which yields near-100% node
+//! utilization — a *favourable* configuration for the baselines, keeping
+//! the comparison honest.
+
+pub mod mbr;
+pub mod tree;
+
+pub use mbr::Mbr;
+pub use tree::{RTree, RTreeConfig, RangeQueryStats};

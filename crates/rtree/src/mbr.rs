@@ -1,0 +1,134 @@
+//! Minimum bounding rectangles.
+
+/// An axis-aligned minimum bounding rectangle in `d` dimensions.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Mbr {
+    /// Per-dimension lower bounds.
+    pub min: Vec<f64>,
+    /// Per-dimension upper bounds.
+    pub max: Vec<f64>,
+}
+
+impl Mbr {
+    /// A degenerate MBR covering a single point.
+    pub fn point(p: &[f64]) -> Self {
+        Self { min: p.to_vec(), max: p.to_vec() }
+    }
+
+    /// An MBR from explicit bounds.
+    ///
+    /// # Panics
+    /// Panics if dimensions mismatch or any `min > max`.
+    pub fn new(min: Vec<f64>, max: Vec<f64>) -> Self {
+        assert_eq!(min.len(), max.len(), "MBR dimension mismatch");
+        assert!(
+            min.iter().zip(&max).all(|(a, b)| a <= b),
+            "MBR with min > max"
+        );
+        Self { min, max }
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Grows to cover `other`.
+    pub fn expand(&mut self, other: &Mbr) {
+        debug_assert_eq!(self.dims(), other.dims());
+        for d in 0..self.min.len() {
+            if other.min[d] < self.min[d] {
+                self.min[d] = other.min[d];
+            }
+            if other.max[d] > self.max[d] {
+                self.max[d] = other.max[d];
+            }
+        }
+    }
+
+    /// Grows to cover a point.
+    pub fn expand_point(&mut self, p: &[f64]) {
+        debug_assert_eq!(self.dims(), p.len());
+        for (d, &v) in p.iter().enumerate() {
+            if v < self.min[d] {
+                self.min[d] = v;
+            }
+            if v > self.max[d] {
+                self.max[d] = v;
+            }
+        }
+    }
+
+    /// True when the rectangles overlap (closed bounds).
+    #[inline]
+    pub fn intersects(&self, other: &Mbr) -> bool {
+        debug_assert_eq!(self.dims(), other.dims());
+        self.min
+            .iter()
+            .zip(&self.max)
+            .zip(other.min.iter().zip(&other.max))
+            .all(|((amin, amax), (bmin, bmax))| amin <= bmax && bmin <= amax)
+    }
+
+    /// True when the point lies inside (closed bounds).
+    #[inline]
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(self.dims(), p.len());
+        p.iter()
+            .zip(self.min.iter().zip(&self.max))
+            .all(|(v, (lo, hi))| lo <= v && v <= hi)
+    }
+
+    /// Center coordinate in dimension `d` (used by STR tiling).
+    #[inline]
+    pub fn center(&self, d: usize) -> f64 {
+        (self.min[d] + self.max[d]) * 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_mbr() {
+        let m = Mbr::point(&[1.0, 2.0]);
+        assert!(m.contains_point(&[1.0, 2.0]));
+        assert!(!m.contains_point(&[1.0, 2.1]));
+        assert_eq!(m.dims(), 2);
+    }
+
+    #[test]
+    fn expand_covers_both() {
+        let mut a = Mbr::point(&[0.0, 0.0]);
+        a.expand(&Mbr::point(&[2.0, -1.0]));
+        assert_eq!(a, Mbr::new(vec![0.0, -1.0], vec![2.0, 0.0]));
+        a.expand_point(&[-5.0, 5.0]);
+        assert!(a.contains_point(&[-5.0, 5.0]));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Mbr::new(vec![0.0, 0.0], vec![2.0, 2.0]);
+        let b = Mbr::new(vec![1.0, 1.0], vec![3.0, 3.0]);
+        let c = Mbr::new(vec![2.0, 2.0], vec![4.0, 4.0]); // touching corner
+        let d = Mbr::new(vec![2.1, 0.0], vec![3.0, 1.0]); // disjoint in x
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(a.intersects(&c), "closed bounds touch");
+        assert!(!a.intersects(&d));
+    }
+
+    #[test]
+    #[should_panic(expected = "min > max")]
+    fn inverted_bounds_panic() {
+        let _ = Mbr::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn center_midpoint() {
+        let m = Mbr::new(vec![0.0, 10.0], vec![4.0, 20.0]);
+        assert_eq!(m.center(0), 2.0);
+        assert_eq!(m.center(1), 15.0);
+    }
+}

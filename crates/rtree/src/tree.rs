@@ -1,0 +1,399 @@
+//! STR bulk loading and range queries.
+
+use crate::mbr::Mbr;
+
+/// R-tree configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RTreeConfig {
+    /// Maximum entries per node (page fanout). A 4 KiB page with
+    /// 4-dimensional `f64` MBRs holds ~60 entries; 64 is the default.
+    pub fanout: usize,
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        Self { fanout: 64 }
+    }
+}
+
+/// Statistics of one range query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RangeQueryStats {
+    /// Nodes visited (the baselines' "#index accesses").
+    pub node_accesses: u64,
+    /// Leaf entries tested against the query rectangle.
+    pub entries_tested: u64,
+}
+
+enum Node {
+    Leaf {
+        mbr: Mbr,
+        /// `(point, id)` — id is the window position in the series.
+        entries: Vec<(Vec<f64>, u64)>,
+    },
+    Inner {
+        mbr: Mbr,
+        children: Vec<usize>,
+    },
+}
+
+impl Node {
+    fn mbr(&self) -> &Mbr {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Inner { mbr, .. } => mbr,
+        }
+    }
+}
+
+/// A static, STR-packed R-tree over `d`-dimensional points.
+pub struct RTree {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    dims: usize,
+    config: RTreeConfig,
+    height: usize,
+    len: usize,
+}
+
+impl std::fmt::Debug for RTree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RTree")
+            .field("points", &self.len)
+            .field("dims", &self.dims)
+            .field("height", &self.height)
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+impl RTree {
+    /// Bulk-loads `points` (all of dimension `dims`) with ids.
+    ///
+    /// # Panics
+    /// Panics when `dims == 0`, `fanout < 2`, or a point has the wrong
+    /// dimension.
+    pub fn bulk_load(points: Vec<(Vec<f64>, u64)>, dims: usize, config: RTreeConfig) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        assert!(config.fanout >= 2, "fanout must be ≥ 2");
+        assert!(
+            points.iter().all(|(p, _)| p.len() == dims),
+            "point dimension mismatch"
+        );
+        let len = points.len();
+        let mut tree = Self {
+            nodes: Vec::new(),
+            root: None,
+            dims,
+            config,
+            height: 0,
+            len,
+        };
+        if points.is_empty() {
+            return tree;
+        }
+
+        // Level 0: tile points into leaves.
+        let groups = str_tile(points, dims, config.fanout, |p| p.0.clone());
+        let mut level: Vec<usize> = groups
+            .into_iter()
+            .map(|entries| {
+                let mut mbr = Mbr::point(&entries[0].0);
+                for (p, _) in &entries[1..] {
+                    mbr.expand_point(p);
+                }
+                tree.nodes.push(Node::Leaf { mbr, entries });
+                tree.nodes.len() - 1
+            })
+            .collect();
+        tree.height = 1;
+
+        // Upper levels: tile child MBR centers.
+        while level.len() > 1 {
+            let items: Vec<(Vec<f64>, usize)> = level
+                .iter()
+                .map(|&id| {
+                    let center: Vec<f64> =
+                        (0..dims).map(|d| tree.nodes[id].mbr().center(d)).collect();
+                    (center, id)
+                })
+                .collect();
+            let groups = str_tile(items, dims, config.fanout, |it| it.0.clone());
+            level = groups
+                .into_iter()
+                .map(|group| {
+                    let children: Vec<usize> = group.into_iter().map(|(_, id)| id).collect();
+                    let mut mbr = tree.nodes[children[0]].mbr().clone();
+                    for &c in &children[1..] {
+                        let child_mbr = tree.nodes[c].mbr().clone();
+                        mbr.expand(&child_mbr);
+                    }
+                    tree.nodes.push(Node::Inner { mbr, children });
+                    tree.nodes.len() - 1
+                })
+                .collect();
+            tree.height += 1;
+        }
+        tree.root = Some(level[0]);
+        tree
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> RTreeConfig {
+        self.config
+    }
+
+    /// Total node count.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate serialized size in bytes: per node one MBR (2·d·8
+    /// bytes) plus per leaf entry point+id ((d+1)·8) or per child pointer
+    /// 8 — mirrors the cost model used for the index-size experiment.
+    pub fn size_bytes(&self) -> u64 {
+        let mbr = (2 * self.dims * 8) as u64;
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Leaf { entries, .. } => {
+                    mbr + entries.len() as u64 * ((self.dims + 1) * 8) as u64
+                }
+                Node::Inner { children, .. } => mbr + children.len() as u64 * 8,
+            })
+            .sum()
+    }
+
+    /// Returns the ids of all points inside `query` (closed bounds), plus
+    /// access statistics.
+    pub fn range_query(&self, query: &Mbr) -> (Vec<u64>, RangeQueryStats) {
+        assert_eq!(query.dims(), self.dims, "query dimension mismatch");
+        let mut out = Vec::new();
+        let mut stats = RangeQueryStats::default();
+        let Some(root) = self.root else {
+            return (out, stats);
+        };
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            stats.node_accesses += 1;
+            match &self.nodes[id] {
+                Node::Leaf { entries, .. } => {
+                    for (p, pid) in entries {
+                        stats.entries_tested += 1;
+                        if query.contains_point(p) {
+                            out.push(*pid);
+                        }
+                    }
+                }
+                Node::Inner { children, .. } => {
+                    for &c in children {
+                        if self.nodes[c].mbr().intersects(query) {
+                            stack.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        (out, stats)
+    }
+}
+
+/// Generalized Sort-Tile-Recursive grouping: partitions `items` into groups
+/// of at most `fanout`, tiling one dimension at a time.
+fn str_tile<T, F>(items: Vec<T>, dims: usize, fanout: usize, key: F) -> Vec<Vec<T>>
+where
+    F: Fn(&T) -> Vec<f64> + Copy,
+{
+    fn recurse<T, F>(mut items: Vec<T>, dim: usize, dims: usize, fanout: usize, key: F, out: &mut Vec<Vec<T>>)
+    where
+        F: Fn(&T) -> Vec<f64> + Copy,
+    {
+        if items.len() <= fanout {
+            if !items.is_empty() {
+                out.push(items);
+            }
+            return;
+        }
+        let groups_needed = items.len().div_ceil(fanout);
+        if dim + 1 >= dims {
+            // Last dimension: sort and chunk.
+            items.sort_by(|a, b| {
+                key(a)[dim]
+                    .partial_cmp(&key(b)[dim])
+                    .expect("non-finite coordinate")
+            });
+            let per = items.len().div_ceil(groups_needed);
+            let mut rest = items;
+            while !rest.is_empty() {
+                let take = per.min(rest.len());
+                let tail = rest.split_off(take);
+                out.push(rest);
+                rest = tail;
+            }
+            return;
+        }
+        // Slab count for this dimension: the (dims−dim)-th root of the
+        // group count, rounded up.
+        let slabs = (groups_needed as f64)
+            .powf(1.0 / (dims - dim) as f64)
+            .ceil() as usize;
+        let slabs = slabs.max(1);
+        items.sort_by(|a, b| {
+            key(a)[dim]
+                .partial_cmp(&key(b)[dim])
+                .expect("non-finite coordinate")
+        });
+        let per_slab = items.len().div_ceil(slabs);
+        let mut rest = items;
+        while !rest.is_empty() {
+            let take = per_slab.min(rest.len());
+            let tail = rest.split_off(take);
+            recurse(rest, dim + 1, dims, fanout, key, out);
+            rest = tail;
+        }
+    }
+    let mut out = Vec::new();
+    recurse(items, 0, dims, fanout, key, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(nx: usize, ny: usize) -> Vec<(Vec<f64>, u64)> {
+        let mut out = Vec::new();
+        for x in 0..nx {
+            for y in 0..ny {
+                out.push((vec![x as f64, y as f64], (x * ny + y) as u64));
+            }
+        }
+        out
+    }
+
+    fn naive_range(points: &[(Vec<f64>, u64)], q: &Mbr) -> Vec<u64> {
+        let mut v: Vec<u64> = points
+            .iter()
+            .filter(|(p, _)| q.contains_point(p))
+            .map(|(_, id)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = RTree::bulk_load(vec![], 3, RTreeConfig::default());
+        assert!(t.is_empty());
+        let (ids, stats) = t.range_query(&Mbr::new(vec![0.0; 3], vec![1.0; 3]));
+        assert!(ids.is_empty());
+        assert_eq!(stats.node_accesses, 0);
+    }
+
+    #[test]
+    fn single_point() {
+        let t = RTree::bulk_load(vec![(vec![1.0, 2.0], 7)], 2, RTreeConfig::default());
+        assert_eq!(t.height(), 1);
+        let (ids, _) = t.range_query(&Mbr::new(vec![0.0, 0.0], vec![5.0, 5.0]));
+        assert_eq!(ids, vec![7]);
+        let (ids, _) = t.range_query(&Mbr::new(vec![3.0, 3.0], vec![5.0, 5.0]));
+        assert!(ids.is_empty());
+    }
+
+    #[test]
+    fn range_queries_match_naive_2d() {
+        let points = grid_points(40, 40);
+        let t = RTree::bulk_load(points.clone(), 2, RTreeConfig { fanout: 16 });
+        assert_eq!(t.len(), 1600);
+        assert!(t.height() >= 2);
+        for q in [
+            Mbr::new(vec![0.0, 0.0], vec![39.0, 39.0]),
+            Mbr::new(vec![5.5, 5.5], vec![10.5, 7.5]),
+            Mbr::new(vec![-10.0, -10.0], vec![-1.0, -1.0]),
+            Mbr::new(vec![12.0, 0.0], vec![12.0, 39.0]),
+        ] {
+            let (mut ids, _) = t.range_query(&q);
+            ids.sort_unstable();
+            assert_eq!(ids, naive_range(&points, &q));
+        }
+    }
+
+    #[test]
+    fn range_queries_match_naive_4d() {
+        // Deterministic pseudo-random 4-d points.
+        let mut state = 88172645463325252u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 100.0
+        };
+        let points: Vec<(Vec<f64>, u64)> = (0..5000)
+            .map(|i| ((0..4).map(|_| rnd()).collect(), i as u64))
+            .collect();
+        let t = RTree::bulk_load(points.clone(), 4, RTreeConfig { fanout: 32 });
+        for lo in [0.0, 2.0, 5.0] {
+            let q = Mbr::new(vec![lo; 4], vec![lo + 3.0; 4]);
+            let (mut ids, stats) = t.range_query(&q);
+            ids.sort_unstable();
+            assert_eq!(ids, naive_range(&points, &q));
+            assert!(stats.node_accesses > 0);
+        }
+    }
+
+    #[test]
+    fn selective_query_touches_fewer_nodes() {
+        let points = grid_points(64, 64);
+        let t = RTree::bulk_load(points, 2, RTreeConfig { fanout: 16 });
+        let (_, tiny) = t.range_query(&Mbr::new(vec![3.0, 3.0], vec![4.0, 4.0]));
+        let (_, huge) = t.range_query(&Mbr::new(vec![0.0, 0.0], vec![63.0, 63.0]));
+        assert!(
+            tiny.node_accesses * 4 < huge.node_accesses,
+            "tiny {} vs huge {}",
+            tiny.node_accesses,
+            huge.node_accesses
+        );
+    }
+
+    #[test]
+    fn node_utilization_is_high() {
+        // STR packing should need close to ceil(N/fanout) leaves.
+        let points = grid_points(50, 50);
+        let t = RTree::bulk_load(points, 2, RTreeConfig { fanout: 25 });
+        let min_leaves = 2500usize.div_ceil(25);
+        assert!(
+            t.node_count() <= min_leaves * 2,
+            "too many nodes: {}",
+            t.node_count()
+        );
+    }
+
+    #[test]
+    fn size_bytes_positive_and_monotone() {
+        let small = RTree::bulk_load(grid_points(10, 10), 2, RTreeConfig::default());
+        let large = RTree::bulk_load(grid_points(40, 40), 2, RTreeConfig::default());
+        assert!(small.size_bytes() > 0);
+        assert!(large.size_bytes() > small.size_bytes());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn query_dim_mismatch_panics() {
+        let t = RTree::bulk_load(vec![(vec![0.0, 0.0], 0)], 2, RTreeConfig::default());
+        let _ = t.range_query(&Mbr::new(vec![0.0], vec![1.0]));
+    }
+}

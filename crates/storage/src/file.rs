@@ -1,0 +1,362 @@
+//! The local-file key-value store (paper §VII-A).
+//!
+//! Layout:
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────┐
+//! │ row 0 payload │ row 1 payload │ …            │  values, contiguous
+//! ├──────────────────────────────────────────────┤
+//! │ meta entry 0 │ meta entry 1 │ …              │  footer meta table
+//! ├──────────────────────────────────────────────┤
+//! │ meta_offset: u64 │ row_count: u64 │ magic(8) │  fixed 24-byte trailer
+//! └──────────────────────────────────────────────┘
+//! meta entry = key_len: u32 │ key bytes │ value_offset: u64 │ value_len: u64
+//! ```
+//!
+//! "The offset of each row is recorded in meta data, stored at the footer
+//! of the file. The meta data will be retrieved first before processing
+//! the query. The start offset and length of each sequential read can be
+//! inferred by binary search on the meta data, and then a seek operation
+//! will be used to fetch data from file."
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::kv::{KvStore, KvStoreBuilder, Row, StorageError};
+use crate::stats::IoStats;
+
+const MAGIC: &[u8; 8] = b"KVMATCH1";
+const TRAILER_LEN: u64 = 8 + 8 + 8;
+
+/// Sorted-append builder writing the §VII-A file layout.
+pub struct FileKvStoreBuilder {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    meta: Vec<(Vec<u8>, u64, u64)>,
+    cursor: u64,
+    last_key: Option<Vec<u8>>,
+}
+
+impl FileKvStoreBuilder {
+    /// Creates (truncates) the file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> crate::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let writer = BufWriter::new(File::create(&path)?);
+        Ok(Self {
+            path,
+            writer,
+            meta: Vec::new(),
+            cursor: 0,
+            last_key: None,
+        })
+    }
+}
+
+impl KvStoreBuilder for FileKvStoreBuilder {
+    type Store = FileKvStore;
+
+    fn append(&mut self, key: &[u8], value: &[u8]) -> crate::Result<()> {
+        if let Some(last) = &self.last_key {
+            if key <= &last[..] {
+                return Err(StorageError::KeyOrder { key: key.to_vec() });
+            }
+        }
+        self.writer.write_all(value)?;
+        self.meta.push((key.to_vec(), self.cursor, value.len() as u64));
+        self.cursor += value.len() as u64;
+        self.last_key = Some(key.to_vec());
+        Ok(())
+    }
+
+    fn finish(mut self) -> crate::Result<FileKvStore> {
+        let meta_offset = self.cursor;
+        for (key, off, len) in &self.meta {
+            self.writer.write_all(&(key.len() as u32).to_le_bytes())?;
+            self.writer.write_all(key)?;
+            self.writer.write_all(&off.to_le_bytes())?;
+            self.writer.write_all(&len.to_le_bytes())?;
+        }
+        self.writer.write_all(&meta_offset.to_le_bytes())?;
+        self.writer.write_all(&(self.meta.len() as u64).to_le_bytes())?;
+        self.writer.write_all(MAGIC)?;
+        self.writer.flush()?;
+        drop(self.writer);
+        FileKvStore::open(&self.path)
+    }
+}
+
+/// Read side of the local-file store. The meta table is loaded into memory
+/// on open; scans binary-search it and issue one positioned sequential read.
+pub struct FileKvStore {
+    file: Mutex<File>,
+    /// `(key, value_offset, value_len)` sorted by key.
+    meta: Vec<(Vec<u8>, u64, u64)>,
+    stats: IoStats,
+}
+
+impl std::fmt::Debug for FileKvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileKvStore")
+            .field("rows", &self.meta.len())
+            .finish()
+    }
+}
+
+impl FileKvStore {
+    /// Opens an existing store file, validating the trailer and loading the
+    /// meta table.
+    pub fn open<P: AsRef<Path>>(path: P) -> crate::Result<Self> {
+        let mut file = File::open(&path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < TRAILER_LEN {
+            return Err(StorageError::Corrupt("file shorter than trailer".into()));
+        }
+        file.seek(SeekFrom::End(-(TRAILER_LEN as i64)))?;
+        let mut trailer = [0u8; TRAILER_LEN as usize];
+        file.read_exact(&mut trailer)?;
+        if &trailer[16..24] != MAGIC {
+            return Err(StorageError::Corrupt("bad magic".into()));
+        }
+        let meta_offset = u64::from_le_bytes(trailer[0..8].try_into().expect("8 bytes"));
+        let row_count = u64::from_le_bytes(trailer[8..16].try_into().expect("8 bytes"));
+        if meta_offset > file_len - TRAILER_LEN {
+            return Err(StorageError::Corrupt("meta offset beyond file".into()));
+        }
+        file.seek(SeekFrom::Start(meta_offset))?;
+        let meta_bytes_len = (file_len - TRAILER_LEN - meta_offset) as usize;
+        let mut meta_bytes = vec![0u8; meta_bytes_len];
+        file.read_exact(&mut meta_bytes)?;
+        let mut meta = Vec::with_capacity(row_count as usize);
+        let mut p = 0usize;
+        for _ in 0..row_count {
+            if p + 4 > meta_bytes.len() {
+                return Err(StorageError::Corrupt("truncated meta entry".into()));
+            }
+            let klen =
+                u32::from_le_bytes(meta_bytes[p..p + 4].try_into().expect("4 bytes")) as usize;
+            p += 4;
+            if p + klen + 16 > meta_bytes.len() {
+                return Err(StorageError::Corrupt("truncated meta entry".into()));
+            }
+            let key = meta_bytes[p..p + klen].to_vec();
+            p += klen;
+            let off = u64::from_le_bytes(meta_bytes[p..p + 8].try_into().expect("8 bytes"));
+            p += 8;
+            let len = u64::from_le_bytes(meta_bytes[p..p + 8].try_into().expect("8 bytes"));
+            p += 8;
+            if off + len > meta_offset {
+                return Err(StorageError::Corrupt("row extends into meta".into()));
+            }
+            if let Some((prev, _, _)) = meta.last() {
+                if &key <= prev {
+                    return Err(StorageError::Corrupt("meta keys not ascending".into()));
+                }
+            }
+            meta.push((key, off, len));
+        }
+        Ok(Self {
+            file: Mutex::new(file),
+            meta,
+            stats: IoStats::new(),
+        })
+    }
+
+    /// Total bytes of the on-disk representation (values + meta + trailer).
+    pub fn file_bytes(&self) -> u64 {
+        let values: u64 = self.meta.iter().map(|(_, _, l)| l).sum();
+        let meta: u64 = self
+            .meta
+            .iter()
+            .map(|(k, _, _)| 4 + k.len() as u64 + 16)
+            .sum();
+        values + meta + TRAILER_LEN
+    }
+
+    /// First row index with key ≥ `key`.
+    fn lower_bound(&self, key: &[u8]) -> usize {
+        self.meta.partition_point(|(k, _, _)| k.as_slice() < key)
+    }
+
+    fn read_rows(&self, lo: usize, hi: usize) -> crate::Result<Vec<Row>> {
+        if lo >= hi {
+            return Ok(Vec::new());
+        }
+        // All row payloads in [lo, hi) are contiguous: one seek, one read.
+        let start = self.meta[lo].1;
+        let end = self.meta[hi - 1].1 + self.meta[hi - 1].2;
+        let mut buf = vec![0u8; (end - start) as usize];
+        {
+            let mut f = self.file.lock();
+            f.seek(SeekFrom::Start(start))?;
+            self.stats.record_seek();
+            f.read_exact(&mut buf)?;
+        }
+        let mut out = Vec::with_capacity(hi - lo);
+        for (key, off, len) in &self.meta[lo..hi] {
+            let rel = (off - start) as usize;
+            out.push(Row {
+                key: Bytes::copy_from_slice(key),
+                value: Bytes::copy_from_slice(&buf[rel..rel + *len as usize]),
+            });
+        }
+        self.stats.record_read(out.len() as u64, (end - start) + out.len() as u64 * 8);
+        Ok(out)
+    }
+}
+
+impl KvStore for FileKvStore {
+    fn scan(&self, start: &[u8], end: &[u8]) -> crate::Result<Vec<Row>> {
+        self.stats.record_scan();
+        if start >= end {
+            return Ok(Vec::new());
+        }
+        let lo = self.lower_bound(start);
+        let hi = self.lower_bound(end);
+        self.read_rows(lo, hi)
+    }
+
+    fn scan_all(&self) -> crate::Result<Vec<Row>> {
+        self.stats.record_scan();
+        self.read_rows(0, self.meta.len())
+    }
+
+    fn get(&self, key: &[u8]) -> crate::Result<Option<Bytes>> {
+        let i = self.lower_bound(key);
+        if i < self.meta.len() && self.meta[i].0 == key {
+            let rows = self.read_rows(i, i + 1)?;
+            Ok(rows.into_iter().next().map(|r| r.value))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn row_count(&self) -> usize {
+        self.meta.len()
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(dir: &tempfile::TempDir, rows: &[(&[u8], &[u8])]) -> FileKvStore {
+        let mut b = FileKvStoreBuilder::create(dir.path().join("kv.idx")).unwrap();
+        for (k, v) in rows {
+            b.append(k, v).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_and_scan() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = build(
+            &dir,
+            &[(b"aa", b"v0"), (b"bb", b"value-1"), (b"cc", b""), (b"dd", b"v3")],
+        );
+        assert_eq!(s.row_count(), 4);
+        let rows = s.scan(b"bb", b"dd").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(&rows[0].value[..], b"value-1");
+        assert_eq!(&rows[1].value[..], b"");
+        let all = s.scan_all().unwrap();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn scan_bounds_outside_keyspace() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = build(&dir, &[(b"m", b"1")]);
+        assert_eq!(s.scan(b"a", b"z").unwrap().len(), 1);
+        assert!(s.scan(b"n", b"z").unwrap().is_empty());
+        assert!(s.scan(b"a", b"m").unwrap().is_empty(), "end is exclusive");
+    }
+
+    #[test]
+    fn get_exact() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = build(&dir, &[(b"k1", b"v1"), (b"k3", b"v3")]);
+        assert_eq!(&s.get(b"k1").unwrap().unwrap()[..], b"v1");
+        assert!(s.get(b"k2").unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_store() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = build(&dir, &[]);
+        assert_eq!(s.row_count(), 0);
+        assert!(s.scan(b"a", b"z").unwrap().is_empty());
+        assert!(s.scan_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn builder_rejects_unordered() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut b = FileKvStoreBuilder::create(dir.path().join("kv.idx")).unwrap();
+        b.append(b"b", b"1").unwrap();
+        assert!(b.append(b"a", b"2").is_err());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("bad.idx");
+        std::fs::write(&path, b"definitely-not-a-kv-file-with-enough-bytes").unwrap();
+        assert!(matches!(
+            FileKvStore::open(&path),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("tiny.idx");
+        std::fs::write(&path, b"short").unwrap();
+        assert!(FileKvStore::open(&path).is_err());
+    }
+
+    #[test]
+    fn stats_track_seeks_and_scans() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = build(&dir, &[(b"a", b"1"), (b"b", b"2")]);
+        s.scan(b"a", b"z").unwrap();
+        let st = s.io_stats();
+        assert_eq!(st.scans(), 1);
+        assert_eq!(st.seeks(), 1);
+        assert_eq!(st.rows_read(), 2);
+    }
+
+    #[test]
+    fn file_bytes_accounts_layout() {
+        let dir = tempfile::tempdir().unwrap();
+        let s = build(&dir, &[(b"a", b"12345")]);
+        let on_disk = std::fs::metadata(dir.path().join("kv.idx")).unwrap().len();
+        assert_eq!(s.file_bytes(), on_disk);
+    }
+
+    #[test]
+    fn binary_keys_with_f64_encoding() {
+        use crate::kv::encode_f64;
+        let dir = tempfile::tempdir().unwrap();
+        let mut b = FileKvStoreBuilder::create(dir.path().join("kv.idx")).unwrap();
+        for v in [-10.0, -1.5, 0.0, 2.25, 100.0] {
+            b.append(&encode_f64(v), format!("{v}").as_bytes()).unwrap();
+        }
+        let s = b.finish().unwrap();
+        let rows = s.scan(&encode_f64(-2.0), &encode_f64(50.0)).unwrap();
+        let vals: Vec<&str> = rows
+            .iter()
+            .map(|r| std::str::from_utf8(&r.value).unwrap())
+            .collect();
+        assert_eq!(vals, vec!["-1.5", "0", "2.25"]);
+    }
+}

@@ -1,0 +1,178 @@
+//! The key-value abstraction and key encoding.
+
+use std::fmt;
+use std::io;
+
+use bytes::Bytes;
+
+use crate::stats::IoStats;
+
+/// Errors from the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A persisted structure failed validation.
+    Corrupt(String),
+    /// Keys were appended out of order to a sorted builder.
+    KeyOrder {
+        /// The key that violated the ordering.
+        key: Vec<u8>,
+    },
+    /// A fetch exceeded the stored series bounds.
+    OutOfBounds {
+        /// Requested offset.
+        offset: usize,
+        /// Requested length.
+        len: usize,
+        /// Available length.
+        available: usize,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StorageError::KeyOrder { key } => {
+                write!(f, "key appended out of order: {key:02x?}")
+            }
+            StorageError::OutOfBounds { offset, len, available } => write!(
+                f,
+                "range {offset}..{} out of bounds (len {available})",
+                offset + len
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// One key-value row returned by a scan.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Row key (lexicographically ordered).
+    pub key: Bytes,
+    /// Row payload.
+    pub value: Bytes,
+}
+
+/// Ordered key-value store with range scans — the only capability KV-match
+/// requires of its storage backend (paper §VII-C, Table II).
+pub trait KvStore {
+    /// Returns all rows with `start ≤ key < end`, in key order, recording
+    /// one scan operation in the I/O statistics.
+    fn scan(&self, start: &[u8], end: &[u8]) -> crate::Result<Vec<Row>>;
+
+    /// Returns every row in key order.
+    fn scan_all(&self) -> crate::Result<Vec<Row>>;
+
+    /// Point lookup (used by the meta-table row of the HBase layout).
+    fn get(&self, key: &[u8]) -> crate::Result<Option<Bytes>>;
+
+    /// Number of rows stored.
+    fn row_count(&self) -> usize;
+
+    /// Shared I/O statistics for this store.
+    fn io_stats(&self) -> IoStats;
+}
+
+/// Sorted-append construction of a [`KvStore`]. Index building emits rows in
+/// ascending key order; builders enforce that invariant.
+pub trait KvStoreBuilder {
+    /// The store produced by [`KvStoreBuilder::finish`].
+    type Store: KvStore;
+
+    /// Appends a row; `key` must be strictly greater than the previous key.
+    fn append(&mut self, key: &[u8], value: &[u8]) -> crate::Result<()>;
+
+    /// Finalizes the store.
+    fn finish(self) -> crate::Result<Self::Store>;
+}
+
+/// Order-preserving big-endian encoding of `f64`: for all finite `a < b`,
+/// `encode_f64(a) < encode_f64(b)` lexicographically.
+///
+/// Positive values get their sign bit flipped; negative values are fully
+/// complemented. This is the standard index-key trick for floats.
+#[inline]
+pub fn encode_f64(v: f64) -> [u8; 8] {
+    let b = v.to_bits();
+    let m = if b >> 63 == 1 { !b } else { b ^ (1u64 << 63) };
+    m.to_be_bytes()
+}
+
+/// Inverse of [`encode_f64`].
+#[inline]
+pub fn decode_f64(bytes: [u8; 8]) -> f64 {
+    let m = u64::from_be_bytes(bytes);
+    let b = if m >> 63 == 1 { m ^ (1u64 << 63) } else { !m };
+    f64::from_bits(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_encoding_preserves_order() {
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e300,
+            -2.5,
+            -1.0,
+            -f64::MIN_POSITIVE,
+            0.0,
+            f64::MIN_POSITIVE,
+            0.5,
+            1.0,
+            3.25,
+            1e300,
+            f64::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(
+                encode_f64(w[0]) < encode_f64(w[1]),
+                "{} should encode below {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn f64_encoding_round_trips() {
+        for v in [-123.456, 0.0, 1.5e-300, 7.25, f64::INFINITY, f64::NEG_INFINITY] {
+            assert_eq!(decode_f64(encode_f64(v)), v);
+        }
+    }
+
+    #[test]
+    fn negative_zero_encodes_adjacent_to_zero() {
+        // -0.0 sorts just below +0.0; both round-trip.
+        assert!(encode_f64(-0.0) < encode_f64(0.0));
+        assert_eq!(decode_f64(encode_f64(-0.0)), 0.0);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = StorageError::OutOfBounds { offset: 10, len: 5, available: 12 };
+        assert_eq!(e.to_string(), "range 10..15 out of bounds (len 12)");
+        let e = StorageError::Corrupt("bad magic".into());
+        assert!(e.to_string().contains("bad magic"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Storage substrates for the KV-match reproduction.
+//!
+//! The paper's thesis (§VII, Table II) is that KV-index runs on *any*
+//! storage system providing an ordered `scan(start_key, end_key)`; it ships
+//! a local-file version and an HBase version. This crate provides:
+//!
+//! * [`KvStore`] — the ordered scan abstraction, plus the sorted-append
+//!   [`KvStoreBuilder`] used by index construction,
+//! * [`MemoryKvStore`] — `BTreeMap`-backed store for tests and small data,
+//! * [`FileKvStore`] — the §VII-A local-file layout: contiguous rows, a
+//!   meta-table footer, binary-searched positioned reads,
+//! * [`ShardedKvStore`] — a simulated HBase deployment: range-partitioned
+//!   regions with per-region accounting and optional latency modelling,
+//! * [`SeriesStore`] — sequential access to the raw data file for phase-2
+//!   verification ([`MemorySeriesStore`], [`FileSeriesStore`], and the
+//!   HBase-like [`BlockSeriesStore`] with 1024-point rows, §VII-B),
+//! * [`IoStats`] — shared atomic counters so experiments can report index
+//!   accesses and bytes moved exactly like the paper's tables.
+//!
+//! Keys are raw byte strings ordered lexicographically; [`kv::encode_f64`]
+//! provides the order-preserving encoding of `f64` mean values used by the
+//! index layer.
+
+pub mod file;
+pub mod kv;
+pub mod memory;
+pub mod series_store;
+pub mod sharded;
+pub mod stats;
+
+pub use file::{FileKvStore, FileKvStoreBuilder};
+pub use kv::{decode_f64, encode_f64, KvStore, KvStoreBuilder, StorageError};
+pub use memory::MemoryKvStore;
+pub use series_store::{BlockSeriesStore, FileSeriesStore, MemorySeriesStore, SeriesStore};
+pub use sharded::{ShardedKvStore, ShardedKvStoreBuilder, ShardingConfig};
+pub use stats::IoStats;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,200 @@
+//! In-memory key-value store.
+
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::kv::{KvStore, KvStoreBuilder, Row, StorageError};
+use crate::stats::IoStats;
+
+/// `BTreeMap`-backed [`KvStore`]. Used for tests, small datasets, and as
+/// the per-region store of the simulated HBase deployment.
+#[derive(Debug, Default)]
+pub struct MemoryKvStore {
+    map: RwLock<BTreeMap<Bytes, Bytes>>,
+    stats: IoStats,
+}
+
+impl MemoryKvStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a row (no ordering requirement; the map sorts).
+    pub fn insert(&self, key: impl Into<Bytes>, value: impl Into<Bytes>) {
+        self.map.write().insert(key.into(), value.into());
+    }
+
+    /// Approximate payload bytes held.
+    pub fn payload_bytes(&self) -> usize {
+        self.map
+            .read()
+            .iter()
+            .map(|(k, v)| k.len() + v.len())
+            .sum()
+    }
+}
+
+impl KvStore for MemoryKvStore {
+    fn scan(&self, start: &[u8], end: &[u8]) -> crate::Result<Vec<Row>> {
+        self.stats.record_scan();
+        if start >= end {
+            return Ok(Vec::new());
+        }
+        let map = self.map.read();
+        let mut out = Vec::new();
+        let mut bytes = 0u64;
+        let range = (
+            Bound::Included(Bytes::copy_from_slice(start)),
+            Bound::Excluded(Bytes::copy_from_slice(end)),
+        );
+        for (k, v) in map.range::<Bytes, _>(range) {
+            bytes += (k.len() + v.len()) as u64;
+            out.push(Row { key: k.clone(), value: v.clone() });
+        }
+        self.stats.record_read(out.len() as u64, bytes);
+        Ok(out)
+    }
+
+    fn scan_all(&self) -> crate::Result<Vec<Row>> {
+        self.stats.record_scan();
+        let map = self.map.read();
+        let mut bytes = 0u64;
+        let out: Vec<Row> = map
+            .iter()
+            .map(|(k, v)| {
+                bytes += (k.len() + v.len()) as u64;
+                Row { key: k.clone(), value: v.clone() }
+            })
+            .collect();
+        self.stats.record_read(out.len() as u64, bytes);
+        Ok(out)
+    }
+
+    fn get(&self, key: &[u8]) -> crate::Result<Option<Bytes>> {
+        let map = self.map.read();
+        let hit = map.get(key).cloned();
+        if let Some(v) = &hit {
+            self.stats.record_read(1, v.len() as u64);
+        }
+        Ok(hit)
+    }
+
+    fn row_count(&self) -> usize {
+        self.map.read().len()
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats.clone()
+    }
+}
+
+/// Sorted-append builder producing a [`MemoryKvStore`].
+#[derive(Debug, Default)]
+pub struct MemoryKvStoreBuilder {
+    store: MemoryKvStore,
+    last_key: Option<Bytes>,
+}
+
+impl MemoryKvStoreBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl KvStoreBuilder for MemoryKvStoreBuilder {
+    type Store = MemoryKvStore;
+
+    fn append(&mut self, key: &[u8], value: &[u8]) -> crate::Result<()> {
+        if let Some(last) = &self.last_key {
+            if key <= &last[..] {
+                return Err(StorageError::KeyOrder { key: key.to_vec() });
+            }
+        }
+        let key = Bytes::copy_from_slice(key);
+        self.last_key = Some(key.clone());
+        self.store.insert(key, Bytes::copy_from_slice(value));
+        Ok(())
+    }
+
+    fn finish(self) -> crate::Result<MemoryKvStore> {
+        Ok(self.store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(keys: &[&[u8]]) -> MemoryKvStore {
+        let s = MemoryKvStore::new();
+        for (i, k) in keys.iter().enumerate() {
+            s.insert(Bytes::copy_from_slice(k), Bytes::from(vec![i as u8]));
+        }
+        s
+    }
+
+    #[test]
+    fn scan_half_open_range() {
+        let s = store_with(&[b"a", b"b", b"c", b"d"]);
+        let rows = s.scan(b"b", b"d").unwrap();
+        let keys: Vec<&[u8]> = rows.iter().map(|r| &r.key[..]).collect();
+        assert_eq!(keys, vec![b"b" as &[u8], b"c"]);
+    }
+
+    #[test]
+    fn scan_empty_and_inverted_ranges() {
+        let s = store_with(&[b"a", b"b"]);
+        assert!(s.scan(b"b", b"b").unwrap().is_empty());
+        assert!(s.scan(b"z", b"a").unwrap().is_empty());
+        assert!(s.scan(b"x", b"z").unwrap().is_empty());
+    }
+
+    #[test]
+    fn stats_count_scans_and_rows() {
+        let s = store_with(&[b"a", b"b", b"c"]);
+        s.scan(b"a", b"z").unwrap();
+        s.scan(b"a", b"b").unwrap();
+        let st = s.io_stats();
+        assert_eq!(st.scans(), 2);
+        assert_eq!(st.rows_read(), 4);
+    }
+
+    #[test]
+    fn get_point_lookup() {
+        let s = store_with(&[b"k1", b"k2"]);
+        assert!(s.get(b"k1").unwrap().is_some());
+        assert!(s.get(b"nope").unwrap().is_none());
+    }
+
+    #[test]
+    fn builder_enforces_order() {
+        let mut b = MemoryKvStoreBuilder::new();
+        b.append(b"a", b"1").unwrap();
+        b.append(b"c", b"2").unwrap();
+        assert!(matches!(
+            b.append(b"b", b"3"),
+            Err(StorageError::KeyOrder { .. })
+        ));
+        assert!(matches!(
+            b.append(b"c", b"3"),
+            Err(StorageError::KeyOrder { .. })
+        ));
+        let s = b.finish().unwrap();
+        assert_eq!(s.row_count(), 2);
+    }
+
+    #[test]
+    fn scan_all_returns_sorted() {
+        let s = MemoryKvStore::new();
+        s.insert(Bytes::from_static(b"b"), Bytes::from_static(b"2"));
+        s.insert(Bytes::from_static(b"a"), Bytes::from_static(b"1"));
+        let rows = s.scan_all().unwrap();
+        assert_eq!(&rows[0].key[..], b"a");
+        assert_eq!(&rows[1].key[..], b"b");
+    }
+}

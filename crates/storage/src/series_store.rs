@@ -1,0 +1,294 @@
+//! Access to the raw time-series data during phase-2 verification.
+//!
+//! Matching fetches candidate ranges `X(l, len)`; the three backends mirror
+//! the index backends: in-memory, local binary file (§VII-A), and the
+//! HBase-like block table of §VII-B ("time series is split into
+//! equal-length (1024 by default) disjoint windows, and each one is stored
+//! as a row").
+
+use std::fs::File;
+use std::path::Path;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use crate::kv::{KvStore, StorageError};
+use crate::memory::MemoryKvStore;
+use crate::stats::IoStats;
+
+/// Sequential access to a stored series.
+pub trait SeriesStore {
+    /// Total number of samples.
+    fn len(&self) -> usize;
+
+    /// True when the series is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetches `x[offset .. offset+len]`, recording the read.
+    fn fetch(&self, offset: usize, len: usize) -> crate::Result<Vec<f64>>;
+
+    /// Shared I/O statistics.
+    fn io_stats(&self) -> IoStats;
+}
+
+/// In-memory series (tests, small data, and queries).
+#[derive(Debug)]
+pub struct MemorySeriesStore {
+    data: Vec<f64>,
+    stats: IoStats,
+}
+
+impl MemorySeriesStore {
+    /// Wraps a vector of samples.
+    pub fn new(data: Vec<f64>) -> Self {
+        Self { data, stats: IoStats::new() }
+    }
+
+    /// Borrow the full series (does not count as a fetch).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+}
+
+impl SeriesStore for MemorySeriesStore {
+    fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    fn fetch(&self, offset: usize, len: usize) -> crate::Result<Vec<f64>> {
+        let end = offset.checked_add(len).ok_or(StorageError::OutOfBounds {
+            offset,
+            len,
+            available: self.data.len(),
+        })?;
+        let slice = self.data.get(offset..end).ok_or(StorageError::OutOfBounds {
+            offset,
+            len,
+            available: self.data.len(),
+        })?;
+        self.stats.record_read(1, (len * 8) as u64);
+        Ok(slice.to_vec())
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats.clone()
+    }
+}
+
+/// Local binary file series (§VII-A): consecutive little-endian `f64`s.
+pub struct FileSeriesStore {
+    file: Mutex<File>,
+    len: usize,
+    stats: IoStats,
+}
+
+impl std::fmt::Debug for FileSeriesStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FileSeriesStore").field("len", &self.len).finish()
+    }
+}
+
+impl FileSeriesStore {
+    /// Opens an existing series file written by
+    /// [`kvmatch_timeseries::io::write_series`].
+    pub fn open<P: AsRef<Path>>(path: P) -> crate::Result<Self> {
+        let file = File::open(path)?;
+        let bytes = file.metadata()?.len();
+        if bytes % 8 != 0 {
+            return Err(StorageError::Corrupt(
+                "series file length not a multiple of 8".into(),
+            ));
+        }
+        Ok(Self {
+            file: Mutex::new(file),
+            len: (bytes / 8) as usize,
+            stats: IoStats::new(),
+        })
+    }
+}
+
+impl SeriesStore for FileSeriesStore {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn fetch(&self, offset: usize, len: usize) -> crate::Result<Vec<f64>> {
+        let end = offset.checked_add(len).ok_or(StorageError::OutOfBounds {
+            offset,
+            len,
+            available: self.len,
+        })?;
+        if end > self.len {
+            return Err(StorageError::OutOfBounds { offset, len, available: self.len });
+        }
+        self.stats.record_seek();
+        let mut f = self.file.lock();
+        let out = kvmatch_timeseries::io::read_range_from(&mut f, offset, len)?;
+        self.stats.record_read(1, (len * 8) as u64);
+        Ok(out)
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats.clone()
+    }
+}
+
+/// Block-row series table (§VII-B): the series is chunked into fixed-size
+/// blocks, each stored as one row of a [`KvStore`] keyed by the big-endian
+/// block index. This is how the HBase deployment stores data; here it runs
+/// over [`MemoryKvStore`], preserving the access pattern (fetch = scan of
+/// the covering block range).
+#[derive(Debug)]
+pub struct BlockSeriesStore {
+    store: MemoryKvStore,
+    block: usize,
+    len: usize,
+    stats: IoStats,
+}
+
+impl BlockSeriesStore {
+    /// Default block size used by the paper.
+    pub const DEFAULT_BLOCK: usize = 1024;
+
+    /// Chunks `data` into rows of `block` samples.
+    ///
+    /// # Panics
+    /// Panics if `block == 0`.
+    pub fn from_series(data: &[f64], block: usize) -> Self {
+        assert!(block > 0, "block size must be positive");
+        let store = MemoryKvStore::new();
+        for (bi, chunk) in data.chunks(block).enumerate() {
+            let mut payload = Vec::with_capacity(chunk.len() * 8);
+            for &v in chunk {
+                payload.extend_from_slice(&v.to_le_bytes());
+            }
+            store.insert(
+                Bytes::copy_from_slice(&(bi as u64).to_be_bytes()),
+                Bytes::from(payload),
+            );
+        }
+        Self { store, block, len: data.len(), stats: IoStats::new() }
+    }
+
+    /// The block size.
+    pub fn block_size(&self) -> usize {
+        self.block
+    }
+}
+
+impl SeriesStore for BlockSeriesStore {
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn fetch(&self, offset: usize, len: usize) -> crate::Result<Vec<f64>> {
+        let end = offset.checked_add(len).ok_or(StorageError::OutOfBounds {
+            offset,
+            len,
+            available: self.len,
+        })?;
+        if end > self.len {
+            return Err(StorageError::OutOfBounds { offset, len, available: self.len });
+        }
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let first_block = offset / self.block;
+        let last_block = (end - 1) / self.block;
+        let rows = self.store.scan(
+            &(first_block as u64).to_be_bytes(),
+            &((last_block + 1) as u64).to_be_bytes(),
+        )?;
+        if rows.len() != last_block - first_block + 1 {
+            return Err(StorageError::Corrupt(format!(
+                "expected {} blocks, got {}",
+                last_block - first_block + 1,
+                rows.len()
+            )));
+        }
+        let mut all = Vec::with_capacity(rows.len() * self.block);
+        for row in &rows {
+            for chunk in row.value.chunks_exact(8) {
+                all.push(f64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+            }
+        }
+        let rel = offset - first_block * self.block;
+        self.stats.record_read(rows.len() as u64, (all.len() * 8) as u64);
+        Ok(all[rel..rel + len].to_vec())
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64 * 0.5 - 3.0).collect()
+    }
+
+    #[test]
+    fn memory_fetch_and_bounds() {
+        let s = MemorySeriesStore::new(sample(100));
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.fetch(10, 3).unwrap(), vec![2.0, 2.5, 3.0]);
+        assert!(matches!(
+            s.fetch(99, 2),
+            Err(StorageError::OutOfBounds { .. })
+        ));
+        assert!(s.fetch(usize::MAX, 2).is_err());
+        assert_eq!(s.fetch(100, 0).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn file_store_matches_memory() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("xs.bin");
+        let data = sample(500);
+        kvmatch_timeseries::io::write_series(&path, &data).unwrap();
+        let fs = FileSeriesStore::open(&path).unwrap();
+        assert_eq!(fs.len(), 500);
+        for (off, len) in [(0, 10), (495, 5), (123, 77)] {
+            assert_eq!(fs.fetch(off, len).unwrap(), data[off..off + len].to_vec());
+        }
+        assert!(fs.fetch(496, 5).is_err());
+    }
+
+    #[test]
+    fn block_store_cross_block_fetch() {
+        let data = sample(2500);
+        let bs = BlockSeriesStore::from_series(&data, 1000);
+        assert_eq!(bs.len(), 2500);
+        // Fetch spanning blocks 0-2.
+        assert_eq!(bs.fetch(990, 1020).unwrap(), data[990..2010].to_vec());
+        // Single block interior.
+        assert_eq!(bs.fetch(1500, 10).unwrap(), data[1500..1510].to_vec());
+        // Tail partial block.
+        assert_eq!(bs.fetch(2400, 100).unwrap(), data[2400..2500].to_vec());
+        assert!(bs.fetch(2400, 101).is_err());
+    }
+
+    #[test]
+    fn block_store_records_block_reads() {
+        let data = sample(4096);
+        let bs = BlockSeriesStore::from_series(&data, 1024);
+        bs.fetch(0, 4096).unwrap();
+        assert_eq!(bs.io_stats().rows_read(), 4);
+    }
+
+    #[test]
+    fn block_store_default_block_constant() {
+        assert_eq!(BlockSeriesStore::DEFAULT_BLOCK, 1024);
+    }
+
+    #[test]
+    fn zero_len_fetch_is_empty() {
+        let bs = BlockSeriesStore::from_series(&sample(10), 4);
+        assert!(bs.fetch(5, 0).unwrap().is_empty());
+    }
+}

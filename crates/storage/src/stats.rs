@@ -1,0 +1,185 @@
+//! Shared I/O statistics.
+//!
+//! The paper's tables report *#index accesses* (scan operations) alongside
+//! candidates and runtime; [`IoStats`] is the cloneable, thread-safe counter
+//! bundle every store updates and every experiment reads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Inner {
+    scans: AtomicU64,
+    rows_read: AtomicU64,
+    bytes_read: AtomicU64,
+    seeks: AtomicU64,
+    simulated_latency_ns: AtomicU64,
+}
+
+/// Cloneable handle to a set of atomic I/O counters. Clones share counts.
+#[derive(Clone, Debug, Default)]
+pub struct IoStats {
+    inner: Arc<Inner>,
+}
+
+impl IoStats {
+    /// Fresh counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one scan operation (an "index access" in the paper's tables).
+    pub fn record_scan(&self) {
+        self.inner.scans.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records rows and payload bytes returned by a scan or fetch.
+    pub fn record_read(&self, rows: u64, bytes: u64) {
+        self.inner.rows_read.fetch_add(rows, Ordering::Relaxed);
+        self.inner.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one positioned read (file seek).
+    pub fn record_seek(&self) {
+        self.inner.seeks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds simulated network/storage latency (used by the sharded store to
+    /// model an HBase deployment without sleeping).
+    pub fn record_simulated_latency(&self, ns: u64) {
+        self.inner.simulated_latency_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Number of scan operations.
+    pub fn scans(&self) -> u64 {
+        self.inner.scans.load(Ordering::Relaxed)
+    }
+
+    /// Number of rows returned across all scans.
+    pub fn rows_read(&self) -> u64 {
+        self.inner.rows_read.load(Ordering::Relaxed)
+    }
+
+    /// Payload bytes returned across all reads.
+    pub fn bytes_read(&self) -> u64 {
+        self.inner.bytes_read.load(Ordering::Relaxed)
+    }
+
+    /// Positioned reads issued.
+    pub fn seeks(&self) -> u64 {
+        self.inner.seeks.load(Ordering::Relaxed)
+    }
+
+    /// Accumulated simulated latency in nanoseconds.
+    pub fn simulated_latency_ns(&self) -> u64 {
+        self.inner.simulated_latency_ns.load(Ordering::Relaxed)
+    }
+
+    /// Resets every counter to zero (shared across clones).
+    pub fn reset(&self) {
+        self.inner.scans.store(0, Ordering::Relaxed);
+        self.inner.rows_read.store(0, Ordering::Relaxed);
+        self.inner.bytes_read.store(0, Ordering::Relaxed);
+        self.inner.seeks.store(0, Ordering::Relaxed);
+        self.inner.simulated_latency_ns.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of all counters, for diffing before/after a query.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            scans: self.scans(),
+            rows_read: self.rows_read(),
+            bytes_read: self.bytes_read(),
+            seeks: self.seeks(),
+            simulated_latency_ns: self.simulated_latency_ns(),
+        }
+    }
+}
+
+/// Immutable snapshot of [`IoStats`] counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Scan operations.
+    pub scans: u64,
+    /// Rows returned.
+    pub rows_read: u64,
+    /// Bytes returned.
+    pub bytes_read: u64,
+    /// Positioned reads.
+    pub seeks: u64,
+    /// Simulated latency accumulated, nanoseconds.
+    pub simulated_latency_ns: u64,
+}
+
+impl IoSnapshot {
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            scans: self.scans.saturating_sub(earlier.scans),
+            rows_read: self.rows_read.saturating_sub(earlier.rows_read),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            seeks: self.seeks.saturating_sub(earlier.seeks),
+            simulated_latency_ns: self
+                .simulated_latency_ns
+                .saturating_sub(earlier.simulated_latency_ns),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_counters() {
+        let a = IoStats::new();
+        let b = a.clone();
+        a.record_scan();
+        b.record_read(3, 100);
+        assert_eq!(b.scans(), 1);
+        assert_eq!(a.rows_read(), 3);
+        assert_eq!(a.bytes_read(), 100);
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let s = IoStats::new();
+        s.record_scan();
+        s.record_read(2, 10);
+        let before = s.snapshot();
+        s.record_scan();
+        s.record_seek();
+        s.record_read(1, 5);
+        let delta = s.snapshot().since(&before);
+        assert_eq!(delta.scans, 1);
+        assert_eq!(delta.rows_read, 1);
+        assert_eq!(delta.bytes_read, 5);
+        assert_eq!(delta.seeks, 1);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let s = IoStats::new();
+        s.record_scan();
+        s.record_seek();
+        s.record_simulated_latency(42);
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn concurrent_updates() {
+        let s = IoStats::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_scan();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.scans(), 4000);
+    }
+}

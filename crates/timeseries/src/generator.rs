@@ -1,0 +1,253 @@
+//! Synthetic time-series generation (paper §VIII-A.2).
+//!
+//! The paper's scalability experiments generate data by repeatedly choosing
+//! a segment *type* — random walk, Gaussian, or mixed sine — a segment
+//! length, and type parameters, then appending the generated segment until
+//! the target length is reached. [`CompositeGenerator`] reproduces exactly
+//! that construction; the three segment kinds are also exposed individually.
+//!
+//! `rand_distr` is not available offline, so Gaussian samples are produced
+//! with a Box–Muller transform (see [`gaussian_pair`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draws a pair of independent standard-normal samples via Box–Muller.
+pub fn gaussian_pair<R: Rng + ?Sized>(rng: &mut R) -> (f64, f64) {
+    // Avoid ln(0): u1 in (0, 1].
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Draws one standard-normal sample (discards the pair's second member).
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    gaussian_pair(rng).0
+}
+
+/// The three segment types of §VIII-A.2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SegmentKind {
+    /// Random walk: start in `[-5, 5]`, step in `[-1, 1]`.
+    RandomWalk,
+    /// I.i.d. Gaussian: mean in `[-5, 5]`, std in `[0, 2]`.
+    Gaussian,
+    /// Mixture of sine waves: period, amplitude in `[2, 10]`, mean in `[-5, 5]`.
+    MixedSine,
+}
+
+/// Configuration of the composite generator.
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Minimum length of one segment before a new regime is drawn.
+    pub min_segment: usize,
+    /// Maximum length of one segment.
+    pub max_segment: usize,
+    /// Number of sine components mixed in a `MixedSine` segment.
+    pub sine_components: usize,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            min_segment: 512,
+            max_segment: 4096,
+            sine_components: 3,
+        }
+    }
+}
+
+/// Regime-switching composite generator (the paper's synthetic workload).
+///
+/// ```
+/// use kvmatch_timeseries::CompositeGenerator;
+/// let xs = CompositeGenerator::with_seed(42).generate(10_000);
+/// assert_eq!(xs.len(), 10_000);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompositeGenerator {
+    rng: StdRng,
+    config: GeneratorConfig,
+}
+
+impl CompositeGenerator {
+    /// Deterministic generator from a seed, default configuration.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            config: GeneratorConfig::default(),
+        }
+    }
+
+    /// Deterministic generator with a custom configuration.
+    pub fn with_config(seed: u64, config: GeneratorConfig) -> Self {
+        assert!(
+            config.min_segment > 0 && config.min_segment <= config.max_segment,
+            "invalid segment length bounds"
+        );
+        assert!(config.sine_components > 0, "need at least one sine component");
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            config,
+        }
+    }
+
+    /// Generates exactly `n` samples.
+    pub fn generate(&mut self, n: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(n);
+        while out.len() < n {
+            let remaining = n - out.len();
+            let seg_len = self
+                .rng
+                .random_range(self.config.min_segment..=self.config.max_segment)
+                .min(remaining);
+            let kind = match self.rng.random_range(0..3u32) {
+                0 => SegmentKind::RandomWalk,
+                1 => SegmentKind::Gaussian,
+                _ => SegmentKind::MixedSine,
+            };
+            self.append_segment(kind, seg_len, &mut out);
+        }
+        debug_assert_eq!(out.len(), n);
+        out
+    }
+
+    /// Generates a single segment of the given kind (mainly for tests and
+    /// the domain examples).
+    pub fn generate_segment(&mut self, kind: SegmentKind, len: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(len);
+        self.append_segment(kind, len, &mut out);
+        out
+    }
+
+    fn append_segment(&mut self, kind: SegmentKind, len: usize, out: &mut Vec<f64>) {
+        match kind {
+            SegmentKind::RandomWalk => {
+                let mut v = self.rng.random_range(-5.0..5.0);
+                for _ in 0..len {
+                    v += self.rng.random_range(-1.0..1.0);
+                    out.push(v);
+                }
+            }
+            SegmentKind::Gaussian => {
+                let mu = self.rng.random_range(-5.0..5.0);
+                let sigma = self.rng.random_range(0.0..2.0);
+                for _ in 0..len {
+                    out.push(mu + sigma * gaussian(&mut self.rng));
+                }
+            }
+            SegmentKind::MixedSine => {
+                let k = self.config.sine_components;
+                let mut periods = Vec::with_capacity(k);
+                let mut amps = Vec::with_capacity(k);
+                let mut phases = Vec::with_capacity(k);
+                for _ in 0..k {
+                    periods.push(self.rng.random_range(2.0..10.0));
+                    amps.push(self.rng.random_range(2.0..10.0));
+                    phases.push(self.rng.random_range(0.0..std::f64::consts::TAU));
+                }
+                let mean = self.rng.random_range(-5.0..5.0);
+                for t in 0..len {
+                    let mut v = mean;
+                    for i in 0..k {
+                        v += amps[i]
+                            * ((t as f64 * std::f64::consts::TAU / periods[i]) + phases[i]).sin()
+                            / k as f64;
+                    }
+                    out.push(v);
+                }
+            }
+        }
+    }
+}
+
+/// Convenience: a seeded composite series of length `n`.
+pub fn composite_series(seed: u64, n: usize) -> Vec<f64> {
+    CompositeGenerator::with_seed(seed).generate(n)
+}
+
+/// Convenience: a pure random walk of length `n` (smooth mean structure,
+/// useful for index-locality tests).
+pub fn random_walk(seed: u64, n: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut v = rng.random_range(-5.0..5.0);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        v += rng.random_range(-1.0..1.0);
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::mean_std;
+
+    #[test]
+    fn generates_exact_length() {
+        for n in [0, 1, 100, 5000] {
+            assert_eq!(composite_series(1, n).len(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(composite_series(7, 2048), composite_series(7, 2048));
+        assert_ne!(composite_series(7, 2048), composite_series(8, 2048));
+    }
+
+    #[test]
+    fn gaussian_segment_has_requested_moments() {
+        let mut g = CompositeGenerator::with_seed(3);
+        // Draw many segments and check each stays within loose bounds around
+        // its regime parameters (we can't observe the parameters directly,
+        // but std must stay below ~2 + noise and mean within [-6, 6]).
+        for _ in 0..10 {
+            let seg = g.generate_segment(SegmentKind::Gaussian, 4000);
+            let (mu, sigma) = mean_std(&seg);
+            assert!(mu.abs() < 6.0, "mean {mu}");
+            assert!(sigma < 2.5, "std {sigma}");
+        }
+    }
+
+    #[test]
+    fn random_walk_steps_bounded() {
+        let xs = random_walk(11, 10_000);
+        for w in xs.windows(2) {
+            assert!((w[1] - w[0]).abs() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn mixed_sine_is_bounded() {
+        let mut g = CompositeGenerator::with_seed(5);
+        let seg = g.generate_segment(SegmentKind::MixedSine, 1000);
+        // mean in [-5,5], total amplitude ≤ 10 ⇒ |v| ≤ 15.
+        assert!(seg.iter().all(|v| v.abs() <= 15.0 + 1e-9));
+    }
+
+    #[test]
+    fn box_muller_moments() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let xs: Vec<f64> = (0..20_000).map(|_| gaussian(&mut rng)).collect();
+        let (mu, sigma) = mean_std(&xs);
+        assert!(mu.abs() < 0.05, "mean {mu}");
+        assert!((sigma - 1.0).abs() < 0.05, "std {sigma}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid segment length bounds")]
+    fn bad_config_panics() {
+        let _ = CompositeGenerator::with_config(
+            0,
+            GeneratorConfig {
+                min_segment: 10,
+                max_segment: 5,
+                sine_components: 1,
+            },
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Binary series files (paper §VII-A).
+//!
+//! "All time series values are stored one by one in binary format, and
+//! their offsets are omitted because they can be easily inferred from
+//! bytes' length." We use little-endian `f64`, 8 bytes per sample, no
+//! header — offset `j` lives at byte `8·j`.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// Writes `xs` to `path` as consecutive little-endian `f64`s.
+pub fn write_series<P: AsRef<Path>>(path: P, xs: &[f64]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for &v in xs {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads an entire series file.
+pub fn read_series<P: AsRef<Path>>(path: P) -> io::Result<Vec<f64>> {
+    let mut f = File::open(path)?;
+    let len_bytes = f.metadata()?.len();
+    if len_bytes % 8 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("series file length {len_bytes} is not a multiple of 8"),
+        ));
+    }
+    let n = (len_bytes / 8) as usize;
+    let mut out = Vec::with_capacity(n);
+    let mut reader = BufReader::new(&mut f);
+    let mut buf = [0u8; 8];
+    for _ in 0..n {
+        reader.read_exact(&mut buf)?;
+        out.push(f64::from_le_bytes(buf));
+    }
+    Ok(out)
+}
+
+/// Reads `len` samples starting at sample offset `offset`.
+pub fn read_range<P: AsRef<Path>>(path: P, offset: usize, len: usize) -> io::Result<Vec<f64>> {
+    let mut f = File::open(path)?;
+    read_range_from(&mut f, offset, len)
+}
+
+/// Reads a sample range from an already-open file.
+pub fn read_range_from(f: &mut File, offset: usize, len: usize) -> io::Result<Vec<f64>> {
+    f.seek(SeekFrom::Start((offset as u64) * 8))?;
+    let mut bytes = vec![0u8; len * 8];
+    f.read_exact(&mut bytes)?;
+    let mut out = Vec::with_capacity(len);
+    for chunk in bytes.chunks_exact(8) {
+        out.push(f64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+    }
+    Ok(out)
+}
+
+/// Streaming reader that yields the series in fixed-size chunks — the
+/// out-of-core index-building path reads data this way.
+pub struct ChunkedReader {
+    reader: BufReader<File>,
+    chunk: usize,
+    remaining: usize,
+}
+
+impl ChunkedReader {
+    /// Opens `path` for chunked reading with `chunk` samples per call.
+    pub fn open<P: AsRef<Path>>(path: P, chunk: usize) -> io::Result<Self> {
+        assert!(chunk > 0, "chunk size must be positive");
+        let f = File::open(path)?;
+        let len_bytes = f.metadata()?.len();
+        if len_bytes % 8 != 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "series file length is not a multiple of 8",
+            ));
+        }
+        Ok(Self {
+            reader: BufReader::with_capacity(1 << 20, f),
+            chunk,
+            remaining: (len_bytes / 8) as usize,
+        })
+    }
+
+    /// Total samples still unread.
+    pub fn remaining(&self) -> usize {
+        self.remaining
+    }
+
+    /// Reads the next chunk into `buf` (cleared first); returns the number
+    /// of samples read, 0 at EOF.
+    pub fn next_chunk(&mut self, buf: &mut Vec<f64>) -> io::Result<usize> {
+        buf.clear();
+        let take = self.chunk.min(self.remaining);
+        let mut bytes = vec![0u8; take * 8];
+        self.reader.read_exact(&mut bytes)?;
+        for chunk in bytes.chunks_exact(8) {
+            buf.push(f64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        self.remaining -= take;
+        Ok(take)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("xs.bin");
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 5.0).collect();
+        write_series(&path, &xs).unwrap();
+        let back = read_series(&path).unwrap();
+        assert_eq!(xs, back);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("empty.bin");
+        write_series(&path, &[]).unwrap();
+        assert!(read_series(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn range_read() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("xs.bin");
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        write_series(&path, &xs).unwrap();
+        assert_eq!(read_range(&path, 10, 5).unwrap(), vec![10.0, 11.0, 12.0, 13.0, 14.0]);
+        assert_eq!(read_range(&path, 95, 5).unwrap(), vec![95.0, 96.0, 97.0, 98.0, 99.0]);
+        assert!(read_range(&path, 98, 5).is_err(), "read past EOF must fail");
+    }
+
+    #[test]
+    fn corrupt_length_rejected() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("bad.bin");
+        std::fs::write(&path, [0u8; 12]).unwrap();
+        assert!(read_series(&path).is_err());
+    }
+
+    #[test]
+    fn chunked_reader_covers_everything() {
+        let dir = tempfile::tempdir().unwrap();
+        let path = dir.path().join("xs.bin");
+        let xs: Vec<f64> = (0..2_500).map(|i| i as f64 * 0.25).collect();
+        write_series(&path, &xs).unwrap();
+        let mut r = ChunkedReader::open(&path, 999).unwrap();
+        assert_eq!(r.remaining(), 2500);
+        let mut all = Vec::new();
+        let mut buf = Vec::new();
+        loop {
+            let got = r.next_chunk(&mut buf).unwrap();
+            if got == 0 {
+                break;
+            }
+            all.extend_from_slice(&buf);
+        }
+        assert_eq!(all, xs);
+    }
+}

@@ -1,0 +1,34 @@
+//! Time-series container, statistics, synthetic data generators and binary
+//! I/O for the [KV-match](https://arxiv.org/abs/1710.00560) reproduction.
+//!
+//! This crate is the lowest layer of the workspace. It knows nothing about
+//! indexing or matching; it provides:
+//!
+//! * [`TimeSeries`] — an owned `f64` sequence with subsequence views,
+//! * [`PrefixStats`] — O(1) mean / standard deviation of any range,
+//! * [`RollingStats`] — streaming window statistics for index building,
+//! * [`generator`] — the paper's §VIII-A.2 synthetic workload generator
+//!   (random walk, Gaussian, mixed sine, and the regime-switching composite),
+//! * [`patterns`] — domain patterns for the motivating applications
+//!   (EOG wind gusts, bridge-strain truck crossings, activity monitoring),
+//! * [`io`] — the little-endian binary data-file format of §VII-A.
+//!
+//! # Conventions
+//!
+//! All offsets are **0-based** (the paper is 1-based). A *sliding window*
+//! at position `j` with width `w` covers `x[j .. j + w]` (half-open). A
+//! length-`m` query has `p = ⌊m / w⌋` *disjoint windows*; the `i`-th
+//! (0-based) covers `q[i*w .. (i+1)*w]`.
+
+pub mod generator;
+pub mod io;
+pub mod patterns;
+pub mod rolling;
+pub mod series;
+pub mod stats;
+
+pub use generator::{CompositeGenerator, GeneratorConfig, SegmentKind};
+pub use io::{read_series, write_series, ChunkedReader};
+pub use rolling::RollingStats;
+pub use series::TimeSeries;
+pub use stats::PrefixStats;

@@ -1,0 +1,260 @@
+//! Domain patterns for the paper's motivating applications (§I).
+//!
+//! Three scenarios drive the examples and the cNSM-focused tests:
+//!
+//! * **EOG wind gusts** — the Extreme Operating Gust profile from wind
+//!   energy (IEC 61400-1): a short dip, a steep rise to a peak, and a dip
+//!   back to the base wind speed. All real occurrences share the shape but
+//!   have bounded amplitude, which is exactly the cNSM use case.
+//! * **Bridge strain** — a truck crossing produces a bump whose height is
+//!   proportional to the truck's weight; searching for trucks of a weight
+//!   class is a cNSM query with a mean-value constraint.
+//! * **Activity monitoring** — a PAMAP-like accelerometer stream where each
+//!   activity is a regime with its own baseline and variance (Example 1 of
+//!   the paper: NSM confuses lying / sitting; cNSM does not).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generator::gaussian;
+
+/// The IEC-style Extreme Operating Gust profile of length `len`, with base
+/// level `base` and gust magnitude `magnitude`.
+///
+/// `v(t) = base − 0.37·magnitude·sin(3πt/T)·(1 − cos(2πt/T))` — dip, spike,
+/// dip, returning to `base` (the classic "Mexican hat" of Fig. 2).
+pub fn eog_profile(len: usize, base: f64, magnitude: f64) -> Vec<f64> {
+    let t_total = len.max(1) as f64;
+    (0..len)
+        .map(|t| {
+            let x = t as f64 / t_total;
+            base - 0.37
+                * magnitude
+                * (3.0 * std::f64::consts::PI * x).sin()
+                * (1.0 - (2.0 * std::f64::consts::PI * x).cos())
+        })
+        .collect()
+}
+
+/// A truck-crossing strain bump of length `len`: a raised-cosine pulse of
+/// height `weight` over baseline `baseline`.
+pub fn strain_bump(len: usize, baseline: f64, weight: f64) -> Vec<f64> {
+    let t_total = len.max(1) as f64;
+    (0..len)
+        .map(|t| {
+            let x = t as f64 / t_total;
+            baseline + weight * 0.5 * (1.0 - (std::f64::consts::TAU * x).cos())
+        })
+        .collect()
+}
+
+/// Description of one embedded pattern occurrence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Occurrence {
+    /// Start offset in the host series.
+    pub offset: usize,
+    /// Length of the occurrence.
+    pub len: usize,
+    /// Scale factor relative to the template (amplitude / weight).
+    pub scale: f64,
+    /// Additive offset applied to the template.
+    pub shift: f64,
+}
+
+/// Embeds scaled/shifted copies of `template` into `host` at well-separated
+/// random offsets, adding i.i.d. Gaussian noise of std `noise`.
+///
+/// Returns the occurrences actually embedded (at most `count`; fewer if the
+/// host is too short to separate them). Each occurrence is placed at least
+/// `template.len()` away from the previous one.
+pub fn embed_occurrences(
+    host: &mut [f64],
+    template: &[f64],
+    count: usize,
+    scale_range: (f64, f64),
+    shift_range: (f64, f64),
+    noise: f64,
+    seed: u64,
+) -> Vec<Occurrence> {
+    let m = template.len();
+    if m == 0 || host.len() < m {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let slots = host.len() / (2 * m);
+    let n_emb = count.min(slots);
+    let mut occs = Vec::with_capacity(n_emb);
+    for k in 0..n_emb {
+        // Slot k owns [2km, 2km + 2m); place the copy at a jittered offset
+        // inside the slot so starts aren't perfectly periodic.
+        let jitter = rng.random_range(0..m);
+        let offset = 2 * k * m + jitter;
+        let scale = rng.random_range(scale_range.0..=scale_range.1);
+        let shift = rng.random_range(shift_range.0..=shift_range.1);
+        for (i, &tv) in template.iter().enumerate() {
+            host[offset + i] = tv * scale + shift + noise * gaussian(&mut rng);
+        }
+        occs.push(Occurrence {
+            offset,
+            len: m,
+            scale,
+            shift,
+        });
+    }
+    occs
+}
+
+/// One activity regime for the PAMAP-like stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Activity {
+    /// Human-readable label.
+    pub name: &'static str,
+    /// Baseline accelerometer level.
+    pub baseline: f64,
+    /// Oscillation amplitude (running is large, lying is tiny).
+    pub amplitude: f64,
+    /// Oscillation period in samples.
+    pub period: f64,
+    /// Noise std.
+    pub noise: f64,
+}
+
+/// The activity catalogue used by the activity-monitoring example: labels
+/// and parameters chosen so that *normalized* shapes of `lying`, `sitting`
+/// and `breaking` are near-identical while their baselines differ — the
+/// paper's Example 1 failure mode for plain NSM.
+pub const ACTIVITIES: &[Activity] = &[
+    Activity { name: "lying", baseline: 9.6, amplitude: 0.005, period: 180.0, noise: 0.03 },
+    Activity { name: "sitting", baseline: 5.0, amplitude: 0.005, period: 180.0, noise: 0.03 },
+    Activity { name: "standing", baseline: 1.0, amplitude: 0.008, period: 160.0, noise: 0.035 },
+    Activity { name: "breaking", baseline: 3.0, amplitude: 0.006, period: 200.0, noise: 0.03 },
+    Activity { name: "walking", baseline: 0.0, amplitude: 2.0, period: 35.0, noise: 0.3 },
+    Activity { name: "running", baseline: -1.0, amplitude: 5.0, period: 18.0, noise: 0.6 },
+];
+
+/// A segment of the generated activity stream.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ActivitySegment {
+    /// Index into [`ACTIVITIES`].
+    pub activity: usize,
+    /// Start offset.
+    pub offset: usize,
+    /// Length.
+    pub len: usize,
+}
+
+/// Generates a PAMAP-like stream: activities alternate, each lasting
+/// `segment_len` samples, in a seeded random order.
+pub fn activity_stream(
+    total_len: usize,
+    segment_len: usize,
+    seed: u64,
+) -> (Vec<f64>, Vec<ActivitySegment>) {
+    assert!(segment_len > 0, "segment_len must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(total_len);
+    let mut segs = Vec::new();
+    while xs.len() < total_len {
+        let idx = rng.random_range(0..ACTIVITIES.len());
+        let a = ACTIVITIES[idx];
+        let len = segment_len.min(total_len - xs.len());
+        let offset = xs.len();
+        let phase = rng.random_range(0.0..std::f64::consts::TAU);
+        for t in 0..len {
+            let v = a.baseline
+                + a.amplitude * ((t as f64 * std::f64::consts::TAU / a.period) + phase).sin()
+                + a.noise * gaussian(&mut rng);
+            xs.push(v);
+        }
+        segs.push(ActivitySegment { activity: idx, offset, len });
+    }
+    (xs, segs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::mean_std;
+
+    #[test]
+    fn eog_returns_to_base() {
+        let p = eog_profile(200, 600.0, 100.0);
+        assert_eq!(p.len(), 200);
+        assert!((p[0] - 600.0).abs() < 1.0);
+        // Peak is well above base (the 1.37ish factor at x=~0.55).
+        let peak = p.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(peak > 640.0, "peak {peak}");
+        // Has a dip below base too.
+        let trough = p.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(trough < 590.0, "trough {trough}");
+    }
+
+    #[test]
+    fn strain_bump_height_tracks_weight() {
+        let light = strain_bump(100, 10.0, 5.0);
+        let heavy = strain_bump(100, 10.0, 20.0);
+        let max_l = light.iter().cloned().fold(f64::MIN, f64::max);
+        let max_h = heavy.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((max_l - 15.0).abs() < 0.1);
+        assert!((max_h - 30.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn embed_occurrences_places_and_reports() {
+        let template = eog_profile(64, 0.0, 10.0);
+        let mut host = vec![0.0; 4096];
+        let occs = embed_occurrences(&mut host, &template, 5, (0.8, 1.2), (-1.0, 1.0), 0.0, 9);
+        assert_eq!(occs.len(), 5);
+        for o in &occs {
+            assert!(o.offset + o.len <= host.len());
+            // The embedded copy equals template*scale+shift exactly (no noise).
+            for i in 0..o.len {
+                let want = template[i] * o.scale + o.shift;
+                assert!((host[o.offset + i] - want).abs() < 1e-9);
+            }
+        }
+        // Occurrences are disjoint and ordered.
+        for pair in occs.windows(2) {
+            assert!(pair[0].offset + pair[0].len <= pair[1].offset);
+        }
+    }
+
+    #[test]
+    fn embed_too_small_host() {
+        let template = vec![1.0; 100];
+        let mut host = vec![0.0; 50];
+        assert!(embed_occurrences(&mut host, &template, 3, (1.0, 1.0), (0.0, 0.0), 0.0, 1)
+            .is_empty());
+    }
+
+    #[test]
+    fn activity_stream_covers_and_labels() {
+        let (xs, segs) = activity_stream(10_000, 1500, 4);
+        assert_eq!(xs.len(), 10_000);
+        let total: usize = segs.iter().map(|s| s.len).sum();
+        assert_eq!(total, 10_000);
+        // Segment means should be near the activity baseline for the calm ones.
+        for s in &segs {
+            let a = ACTIVITIES[s.activity];
+            if a.amplitude < 0.5 && s.len > 200 {
+                let (mu, _) = mean_std(&xs[s.offset..s.offset + s.len]);
+                assert!(
+                    (mu - a.baseline).abs() < 0.5,
+                    "{}: mean {mu} vs baseline {}",
+                    a.name,
+                    a.baseline
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lying_and_sitting_normalize_alike_but_differ_in_mean() {
+        // The core claim of Example 1: after normalization the shapes are
+        // close, but the raw means are far apart.
+        let lying = ACTIVITIES[0];
+        let sitting = ACTIVITIES[1];
+        assert!((lying.amplitude - sitting.amplitude).abs() < 1e-9);
+        assert!((lying.baseline - sitting.baseline).abs() > 3.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Streaming window statistics.
+//!
+//! The index builder (§IV-B) reads the series once and maintains the mean of
+//! the current length-`w` sliding window "on the fly". [`RollingStats`] is
+//! that primitive: push samples one by one; once `w` samples have been seen
+//! the window mean (and std) of the most recent `w` samples is available and
+//! updated in O(1) per push.
+
+/// Incremental rolling mean / std over the last `w` pushed samples.
+///
+/// Uses running sums with a circular buffer. To bound floating-point drift
+/// over very long streams, the sums are recomputed from the buffer every
+/// `RECOMPUTE_PERIOD` pushes (a full pass over only `w` elements).
+#[derive(Clone, Debug)]
+pub struct RollingStats {
+    window: usize,
+    buf: Vec<f64>,
+    head: usize,
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+    since_recompute: u32,
+}
+
+const RECOMPUTE_PERIOD: u32 = 1 << 16;
+
+impl RollingStats {
+    /// Creates a rolling accumulator over windows of width `window`.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "rolling window must be positive");
+        Self {
+            window,
+            buf: vec![0.0; window],
+            head: 0,
+            count: 0,
+            sum: 0.0,
+            sum_sq: 0.0,
+            since_recompute: 0,
+        }
+    }
+
+    /// The window width `w`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Number of samples pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True once at least `w` samples have been pushed.
+    pub fn is_full(&self) -> bool {
+        self.count >= self.window as u64
+    }
+
+    /// Pushes a sample, evicting the sample `w` positions back if full.
+    pub fn push(&mut self, v: f64) {
+        if self.is_full() {
+            let old = self.buf[self.head];
+            self.sum -= old;
+            self.sum_sq -= old * old;
+        }
+        self.buf[self.head] = v;
+        self.sum += v;
+        self.sum_sq += v * v;
+        self.head = (self.head + 1) % self.window;
+        self.count += 1;
+        self.since_recompute += 1;
+        if self.since_recompute >= RECOMPUTE_PERIOD {
+            self.recompute();
+        }
+    }
+
+    fn recompute(&mut self) {
+        self.since_recompute = 0;
+        let filled = (self.count as usize).min(self.window);
+        let mut s = 0.0;
+        let mut sq = 0.0;
+        for &v in &self.buf[..filled] {
+            s += v;
+            sq += v * v;
+        }
+        self.sum = s;
+        self.sum_sq = sq;
+    }
+
+    /// Mean of the current window; `None` until the window is full.
+    pub fn mean(&self) -> Option<f64> {
+        self.is_full().then(|| self.sum / self.window as f64)
+    }
+
+    /// Population std of the current window; `None` until full.
+    pub fn std(&self) -> Option<f64> {
+        self.is_full().then(|| {
+            let n = self.window as f64;
+            let mu = self.sum / n;
+            ((self.sum_sq / n) - mu * mu).max(0.0).sqrt()
+        })
+    }
+}
+
+/// Computes the means of *all* length-`w` sliding windows of `xs` in one
+/// pass. Returns an empty vector when `w == 0` or `w > xs.len()`.
+///
+/// This is the bulk form used by tests and by in-memory index builds; the
+/// streaming form above is used when the series does not fit in memory.
+pub fn sliding_means(xs: &[f64], w: usize) -> Vec<f64> {
+    if w == 0 || w > xs.len() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(xs.len() - w + 1);
+    let mut sum: f64 = xs[..w].iter().sum();
+    out.push(sum / w as f64);
+    for j in w..xs.len() {
+        sum += xs[j] - xs[j - w];
+        out.push(sum / w as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::mean;
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        let _ = RollingStats::new(0);
+    }
+
+    #[test]
+    fn not_full_returns_none() {
+        let mut r = RollingStats::new(3);
+        r.push(1.0);
+        r.push(2.0);
+        assert_eq!(r.mean(), None);
+        assert_eq!(r.std(), None);
+        assert!(!r.is_full());
+    }
+
+    #[test]
+    fn rolling_matches_naive() {
+        let xs: Vec<f64> = (0..200).map(|i| ((i * 31) % 17) as f64 * 0.5 - 4.0).collect();
+        let w = 7;
+        let mut r = RollingStats::new(w);
+        let mut got = Vec::new();
+        for &v in &xs {
+            r.push(v);
+            if let Some(m) = r.mean() {
+                got.push(m);
+            }
+        }
+        let want = sliding_means(&xs, w);
+        assert_eq!(got.len(), want.len());
+        for (g, w_) in got.iter().zip(&want) {
+            assert!((g - w_).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rolling_std_matches_naive() {
+        let xs: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 3.0).collect();
+        let w = 5;
+        let mut r = RollingStats::new(w);
+        for (j, &v) in xs.iter().enumerate() {
+            r.push(v);
+            if j + 1 >= w {
+                let window = &xs[j + 1 - w..j + 1];
+                let naive = crate::stats::std(window);
+                assert!((r.std().unwrap() - naive).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn window_of_one() {
+        let mut r = RollingStats::new(1);
+        r.push(42.0);
+        assert_eq!(r.mean(), Some(42.0));
+        assert_eq!(r.std(), Some(0.0));
+        r.push(-1.0);
+        assert_eq!(r.mean(), Some(-1.0));
+    }
+
+    #[test]
+    fn sliding_means_edges() {
+        assert!(sliding_means(&[1.0, 2.0], 3).is_empty());
+        assert!(sliding_means(&[1.0, 2.0], 0).is_empty());
+        assert_eq!(sliding_means(&[1.0, 2.0], 2), vec![1.5]);
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(sliding_means(&xs, 1), xs.to_vec());
+    }
+
+    #[test]
+    fn periodic_recompute_keeps_accuracy() {
+        // Push more than RECOMPUTE_PERIOD samples and check drift is bounded.
+        let w = 16;
+        let n = (1 << 16) + 123;
+        let mut r = RollingStats::new(w);
+        let xs: Vec<f64> = (0..n).map(|i| 1e6 + ((i % 97) as f64) * 0.001).collect();
+        for &v in &xs {
+            r.push(v);
+        }
+        let naive = mean(&xs[n - w..]);
+        assert!((r.mean().unwrap() - naive).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,236 @@
+//! The [`TimeSeries`] container.
+
+use std::fmt;
+use std::ops::Index;
+
+/// An owned, in-memory time series of `f64` samples.
+///
+/// This is a thin wrapper around `Vec<f64>` that carries the domain
+/// vocabulary of the paper: subsequences `X(i, l)`, length `n = |X|`, and
+/// z-normalization. Large on-disk series are accessed through
+/// `kvmatch-storage`'s `SeriesStore` instead; `TimeSeries` is used for
+/// queries, for moderate data sets, and as the decoded form of fetched
+/// candidate ranges.
+#[derive(Clone, PartialEq, Default)]
+pub struct TimeSeries {
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from raw samples.
+    pub fn new(values: Vec<f64>) -> Self {
+        Self { values }
+    }
+
+    /// An empty series.
+    pub fn empty() -> Self {
+        Self { values: Vec::new() }
+    }
+
+    /// Length `n = |X|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the series contains no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw samples.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the series, returning the raw samples.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// The subsequence `X(i, l)` = `x[i..i+l]`, 0-based.
+    ///
+    /// Returns `None` when the range exceeds the series bounds.
+    pub fn subsequence(&self, offset: usize, len: usize) -> Option<&[f64]> {
+        let end = offset.checked_add(len)?;
+        self.values.get(offset..end)
+    }
+
+    /// Number of length-`l` subsequences, `n - l + 1` (0 when `l > n` or `l == 0`).
+    pub fn num_subsequences(&self, l: usize) -> usize {
+        if l == 0 || l > self.len() {
+            0
+        } else {
+            self.len() - l + 1
+        }
+    }
+
+    /// Mean value `µ` of the whole series. Returns 0.0 for an empty series.
+    pub fn mean(&self) -> f64 {
+        crate::stats::mean(&self.values)
+    }
+
+    /// Population standard deviation `σ` of the whole series.
+    pub fn std(&self) -> f64 {
+        crate::stats::std(&self.values)
+    }
+
+    /// The z-normalized series `X̂ = (x - µ) / σ`.
+    ///
+    /// A constant series (σ = 0) normalizes to all-zeros, matching the UCR
+    /// Suite convention.
+    pub fn normalized(&self) -> TimeSeries {
+        let mut out = self.values.clone();
+        crate::stats::normalize_in_place(&mut out);
+        TimeSeries::new(out)
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, v: f64) {
+        self.values.push(v);
+    }
+
+    /// Appends all samples of `other`.
+    pub fn extend_from(&mut self, other: &[f64]) {
+        self.values.extend_from_slice(other);
+    }
+
+    /// Iterator over samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, f64> {
+        self.values.iter()
+    }
+
+    /// Global min and max; `None` for an empty series.
+    pub fn min_max(&self) -> Option<(f64, f64)> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &v in &self.values {
+            if v < lo {
+                lo = v;
+            }
+            if v > hi {
+                hi = v;
+            }
+        }
+        Some((lo, hi))
+    }
+
+    /// The value range `max - min`, used for the paper's relative offset
+    /// threshold `β = (max(X) − min(X)) · β′%` (§VIII-D).
+    pub fn value_range(&self) -> f64 {
+        self.min_max().map(|(lo, hi)| hi - lo).unwrap_or(0.0)
+    }
+}
+
+impl From<Vec<f64>> for TimeSeries {
+    fn from(values: Vec<f64>) -> Self {
+        Self::new(values)
+    }
+}
+
+impl From<&[f64]> for TimeSeries {
+    fn from(values: &[f64]) -> Self {
+        Self::new(values.to_vec())
+    }
+}
+
+impl Index<usize> for TimeSeries {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.values[i]
+    }
+}
+
+impl fmt::Debug for TimeSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() <= 8 {
+            write!(f, "TimeSeries({:?})", self.values)
+        } else {
+            write!(
+                f,
+                "TimeSeries(len={}, head={:?}..)",
+                self.len(),
+                &self.values[..4]
+            )
+        }
+    }
+}
+
+impl FromIterator<f64> for TimeSeries {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subsequence_basics() {
+        let ts = TimeSeries::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(ts.subsequence(0, 2), Some(&[1.0, 2.0][..]));
+        assert_eq!(ts.subsequence(2, 2), Some(&[3.0, 4.0][..]));
+        assert_eq!(ts.subsequence(3, 2), None);
+        assert_eq!(ts.subsequence(0, 5), None);
+        assert_eq!(ts.subsequence(4, 0), Some(&[][..]));
+    }
+
+    #[test]
+    fn subsequence_overflow_is_none() {
+        let ts = TimeSeries::new(vec![0.0; 4]);
+        assert_eq!(ts.subsequence(usize::MAX, 2), None);
+    }
+
+    #[test]
+    fn num_subsequences_counts() {
+        let ts = TimeSeries::new(vec![0.0; 10]);
+        assert_eq!(ts.num_subsequences(1), 10);
+        assert_eq!(ts.num_subsequences(10), 1);
+        assert_eq!(ts.num_subsequences(11), 0);
+        assert_eq!(ts.num_subsequences(0), 0);
+    }
+
+    #[test]
+    fn mean_and_std() {
+        let ts = TimeSeries::new(vec![2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((ts.mean() - 5.0).abs() < 1e-12);
+        assert!((ts.std() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_has_zero_mean_unit_std() {
+        let ts = TimeSeries::new(vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        let nz = ts.normalized();
+        assert!(nz.mean().abs() < 1e-12);
+        assert!((nz.std() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_constant_series_is_zero() {
+        let ts = TimeSeries::new(vec![5.0; 16]);
+        let nz = ts.normalized();
+        assert!(nz.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn min_max_and_range() {
+        let ts = TimeSeries::new(vec![-3.0, 7.0, 0.5]);
+        assert_eq!(ts.min_max(), Some((-3.0, 7.0)));
+        assert_eq!(ts.value_range(), 10.0);
+        assert_eq!(TimeSeries::empty().min_max(), None);
+        assert_eq!(TimeSeries::empty().value_range(), 0.0);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let ts: TimeSeries = (0..5).map(|i| i as f64).collect();
+        assert_eq!(ts.len(), 5);
+        assert_eq!(ts[4], 4.0);
+    }
+}

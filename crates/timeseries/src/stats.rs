@@ -1,0 +1,228 @@
+//! Subsequence statistics.
+//!
+//! [`PrefixStats`] precomputes prefix sums of values and squared values so
+//! that the mean and standard deviation of *any* subsequence are O(1). This
+//! is the statistic substrate for index building (window means) and for the
+//! cNSM constraint checks (`µS`, `σS` of candidates).
+
+/// Mean of a slice (0.0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation of a slice (0.0 for empty input).
+///
+/// The paper (and the UCR Suite) use the population variant
+/// `σ² = E[x²] − E[x]²`.
+pub fn std(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let s: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|v| v * v).sum();
+    let var = (sq / n - (s / n) * (s / n)).max(0.0);
+    var.sqrt()
+}
+
+/// Mean and population std in one pass.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mut s = 0.0;
+    let mut sq = 0.0;
+    for &v in xs {
+        s += v;
+        sq += v * v;
+    }
+    let mu = s / n;
+    let var = (sq / n - mu * mu).max(0.0);
+    (mu, var.sqrt())
+}
+
+/// Z-normalizes a slice in place. A constant slice (σ = 0) becomes all-zero.
+pub fn normalize_in_place(xs: &mut [f64]) {
+    let (mu, sigma) = mean_std(xs);
+    if sigma == 0.0 {
+        xs.iter_mut().for_each(|v| *v = 0.0);
+    } else {
+        let inv = 1.0 / sigma;
+        xs.iter_mut().for_each(|v| *v = (*v - mu) * inv);
+    }
+}
+
+/// Returns the z-normalized copy of a slice.
+pub fn normalized(xs: &[f64]) -> Vec<f64> {
+    let mut out = xs.to_vec();
+    normalize_in_place(&mut out);
+    out
+}
+
+/// Prefix-sum statistics over a series: O(n) to build, O(1) per range query.
+///
+/// ```
+/// use kvmatch_timeseries::PrefixStats;
+/// let ps = PrefixStats::new(&[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(ps.range_mean(1, 2), 2.5);          // mean of [2, 3]
+/// assert!((ps.range_std(0, 4) - 1.118033988749895).abs() < 1e-12);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PrefixStats {
+    /// `sum[i]` = sum of `x[0..i]`; length `n + 1`.
+    sum: Vec<f64>,
+    /// `sum_sq[i]` = sum of `x[0..i]²`; length `n + 1`.
+    sum_sq: Vec<f64>,
+}
+
+impl PrefixStats {
+    /// Builds prefix sums for `xs`.
+    pub fn new(xs: &[f64]) -> Self {
+        let mut sum = Vec::with_capacity(xs.len() + 1);
+        let mut sum_sq = Vec::with_capacity(xs.len() + 1);
+        sum.push(0.0);
+        sum_sq.push(0.0);
+        let mut s = 0.0;
+        let mut sq = 0.0;
+        for &v in xs {
+            s += v;
+            sq += v * v;
+            sum.push(s);
+            sum_sq.push(sq);
+        }
+        Self { sum, sum_sq }
+    }
+
+    /// Length of the underlying series.
+    pub fn len(&self) -> usize {
+        self.sum.len() - 1
+    }
+
+    /// True for an empty underlying series.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of `x[offset .. offset+len]`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    #[inline]
+    pub fn range_sum(&self, offset: usize, len: usize) -> f64 {
+        self.sum[offset + len] - self.sum[offset]
+    }
+
+    /// Sum of squares over `x[offset .. offset+len]`.
+    #[inline]
+    pub fn range_sum_sq(&self, offset: usize, len: usize) -> f64 {
+        self.sum_sq[offset + len] - self.sum_sq[offset]
+    }
+
+    /// Mean `µ` of `x[offset .. offset+len]` (0.0 for `len == 0`).
+    #[inline]
+    pub fn range_mean(&self, offset: usize, len: usize) -> f64 {
+        if len == 0 {
+            return 0.0;
+        }
+        self.range_sum(offset, len) / len as f64
+    }
+
+    /// Population std `σ` of `x[offset .. offset+len]` (0.0 for `len == 0`).
+    ///
+    /// Floating-point cancellation can make the raw variance slightly
+    /// negative for near-constant ranges; it is clamped at zero.
+    #[inline]
+    pub fn range_std(&self, offset: usize, len: usize) -> f64 {
+        if len == 0 {
+            return 0.0;
+        }
+        let n = len as f64;
+        let mu = self.range_sum(offset, len) / n;
+        let var = (self.range_sum_sq(offset, len) / n - mu * mu).max(0.0);
+        var.sqrt()
+    }
+
+    /// Mean and std in one call.
+    #[inline]
+    pub fn range_mean_std(&self, offset: usize, len: usize) -> (f64, f64) {
+        (self.range_mean(offset, len), self.range_std(offset, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_mean_std(xs: &[f64]) -> (f64, f64) {
+        let mu = mean(xs);
+        let var = xs.iter().map(|v| (v - mu) * (v - mu)).sum::<f64>() / xs.len() as f64;
+        (mu, var.sqrt())
+    }
+
+    #[test]
+    fn empty_slice_stats() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std(&[]), 0.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn single_value_stats() {
+        assert_eq!(mean(&[7.0]), 7.0);
+        assert_eq!(std(&[7.0]), 0.0);
+    }
+
+    #[test]
+    fn prefix_matches_naive() {
+        let xs: Vec<f64> = (0..64).map(|i| ((i * 37) % 19) as f64 - 9.0).collect();
+        let ps = PrefixStats::new(&xs);
+        for off in 0..xs.len() {
+            for len in 1..=(xs.len() - off).min(17) {
+                let (m1, s1) = ps.range_mean_std(off, len);
+                let (m2, s2) = naive_mean_std(&xs[off..off + len]);
+                assert!((m1 - m2).abs() < 1e-9, "mean mismatch at {off}+{len}");
+                assert!((s1 - s2).abs() < 1e-9, "std mismatch at {off}+{len}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_zero_len_range() {
+        let ps = PrefixStats::new(&[1.0, 2.0]);
+        assert_eq!(ps.range_mean(1, 0), 0.0);
+        assert_eq!(ps.range_std(1, 0), 0.0);
+        assert_eq!(ps.range_sum(2, 0), 0.0);
+    }
+
+    #[test]
+    fn prefix_len() {
+        assert_eq!(PrefixStats::new(&[]).len(), 0);
+        assert!(PrefixStats::new(&[]).is_empty());
+        assert_eq!(PrefixStats::new(&[1.0, 2.0, 3.0]).len(), 3);
+    }
+
+    #[test]
+    fn near_constant_std_clamped() {
+        // Large offset + tiny jitter stresses the cancellation path. The
+        // E[x²]−E[x]² form loses ~eps·µ² of precision, so only tightness
+        // proportional to the offset can be asserted — but never NaN from a
+        // negative variance.
+        let xs = vec![1e6 + 0.25; 1000];
+        let ps = PrefixStats::new(&xs);
+        let s = ps.range_std(0, 1000);
+        assert!(s.is_finite() && (0.0..0.1).contains(&s), "std {s} should be ~0");
+    }
+
+    #[test]
+    fn normalize_round_trip_properties() {
+        let xs = vec![5.0, -1.0, 2.5, 8.0, 0.0];
+        let nz = normalized(&xs);
+        let (mu, sigma) = mean_std(&nz);
+        assert!(mu.abs() < 1e-12);
+        assert!((sigma - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Wind-energy application (paper §I): find Extreme Operating Gust (EOG)
+//! occurrences in a LIDAR wind-speed history with a cNSM query.
+//!
+//! All EOG occurrences share the dip–spike–dip shape, but their amplitude
+//! is physically bounded — the cNSM constraints express exactly that. A
+//! plain NSM-style search (very loose constraints) also surfaces shape-alike
+//! but physically implausible fluctuations; the constraint knob filters
+//! them.
+//!
+//! ```sh
+//! cargo run --release --example eog_gust_search
+//! ```
+
+use kvmatch::prelude::*;
+use kvmatch::timeseries::generator::CompositeGenerator;
+use kvmatch::timeseries::patterns::{embed_occurrences, eog_profile};
+
+fn main() {
+    let n = 300_000;
+    let gust_len = 400;
+
+    // Wind-speed-like background around 600 (arbitrary LIDAR units).
+    let mut gen = CompositeGenerator::with_seed(99);
+    let mut xs: Vec<f64> = gen
+        .generate(n)
+        .into_iter()
+        .map(|v| 600.0 + v * 4.0)
+        .collect();
+
+    // Plant 12 genuine EOG gusts: same shape, bounded magnitude (±20%),
+    // small baseline drift.
+    let template = eog_profile(gust_len, 0.0, 60.0);
+    let occurrences = embed_occurrences(
+        &mut xs[..],
+        &template,
+        12,
+        (0.8, 1.2),   // physical amplitude range
+        (590.0, 610.0), // baseline wind speed
+        0.4,
+        2024,
+    );
+    // Plant 3 "imposters": the same shape at 8x amplitude — meteorologically
+    // implausible, exactly what NSM would wrongly return.
+    let imposter_start = n - 5 * gust_len * 2;
+    let imposters = embed_occurrences(
+        &mut xs[imposter_start..],
+        &template,
+        3,
+        (8.0, 9.0),
+        (590.0, 610.0),
+        0.4,
+        2025,
+    );
+    println!(
+        "planted {} genuine EOG gusts and {} implausible imposters in {n} points",
+        occurrences.len(),
+        imposters.len()
+    );
+
+    let (index, _) = KvIndex::<MemoryKvStore>::build_into(
+        &xs,
+        IndexBuildConfig::new(50),
+        MemoryKvStoreBuilder::new(),
+    )
+    .expect("index build");
+    let data = MemorySeriesStore::new(xs.clone());
+    let matcher = KvMatcher::new(&index, &data).expect("matcher");
+
+    // The query: one genuine occurrence.
+    let q_off = occurrences[0].offset;
+    let q = xs[q_off..q_off + gust_len].to_vec();
+
+    // cNSM with the physical knob: amplitude within 2x, baseline within ±30.
+    let constrained = QuerySpec::cnsm_ed(q.clone(), 3.0, 2.0, 30.0);
+    let (hits, stats) = matcher.execute(&constrained).expect("query");
+    let found = count_found(&hits, &occurrences);
+    let found_imposters = count_found_at(&hits, &imposters, imposter_start);
+    println!(
+        "cNSM (α = 2, β = 30): {found}/{} genuine gusts, {found_imposters}/{} imposters, \
+         {} candidates verified, {:.1} ms",
+        occurrences.len(),
+        imposters.len(),
+        stats.candidates,
+        stats.total_nanos() as f64 / 1e6
+    );
+    assert_eq!(found, occurrences.len(), "cNSM must find every genuine gust");
+    assert_eq!(found_imposters, 0, "cNSM must reject the 8x-amplitude imposters");
+
+    // Loose constraints ≈ NSM: the imposters come back.
+    let loose = QuerySpec::cnsm_ed(q, 3.0, 32.0, 1e6);
+    let (hits_loose, _) = matcher.execute(&loose).expect("query");
+    let loose_imposters = count_found_at(&hits_loose, &imposters, imposter_start);
+    println!(
+        "NSM-like (α = 32, β = ∞): {} matches total, imposters now included: {loose_imposters}/{}",
+        hits_loose.len(),
+        imposters.len()
+    );
+    assert!(loose_imposters > 0, "without constraints the imposters match");
+    println!("\nthe cNSM knob separated physically plausible gusts from shape-alikes.");
+}
+
+fn count_found(
+    hits: &[kvmatch::core::MatchResult],
+    occs: &[kvmatch::timeseries::patterns::Occurrence],
+) -> usize {
+    count_found_at(hits, occs, 0)
+}
+
+fn count_found_at(
+    hits: &[kvmatch::core::MatchResult],
+    occs: &[kvmatch::timeseries::patterns::Occurrence],
+    base: usize,
+) -> usize {
+    occs.iter()
+        .filter(|o| {
+            hits.iter()
+                .any(|h| (h.offset as i64 - (base + o.offset) as i64).abs() < o.len as i64 / 4)
+        })
+        .count()
+}

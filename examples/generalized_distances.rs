@@ -1,0 +1,73 @@
+//! The §X future-work extension in action: one KV-index answering queries
+//! under Manhattan (L1), Euclidean (L2), L4, Chebyshev (L∞) — and, at
+//! verification level, generalized DTW with arbitrary point costs.
+//!
+//! ```sh
+//! cargo run --release --example generalized_distances
+//! ```
+
+use kvmatch::distance::gdtw::{gdtw_banded, point_binary, point_l1, point_l2_sq};
+use kvmatch::prelude::*;
+use kvmatch::timeseries::generator::composite_series;
+
+fn main() {
+    let n = 100_000;
+    let xs = composite_series(1234, n);
+    let (index, _) = KvIndex::<MemoryKvStore>::build_into(
+        &xs,
+        IndexBuildConfig::new(50),
+        MemoryKvStoreBuilder::new(),
+    )
+    .expect("build");
+    let data = MemorySeriesStore::new(xs.clone());
+    let matcher = KvMatcher::new(&index, &data).expect("matcher");
+
+    // A noisy copy of a data subsequence as the query.
+    let m = 400;
+    let off = 33_333;
+    let mut q = xs[off..off + m].to_vec();
+    for (i, v) in q.iter_mut().enumerate() {
+        *v += 0.02 * ((i * 7) as f64 * 0.13).sin();
+    }
+
+    println!("RSM under four norms, same index, |Q| = {m}:");
+    let norms: Vec<(&str, LpExponent, f64)> = vec![
+        ("L1 (Manhattan)", LpExponent::Finite(1), 40.0),
+        ("L2 (Euclidean)", LpExponent::Finite(2), 4.0),
+        ("L4            ", LpExponent::Finite(4), 1.0),
+        ("L∞ (Chebyshev)", LpExponent::Infinity, 0.4),
+    ];
+    for (name, p, eps) in norms {
+        let spec = QuerySpec::rsm_lp(q.clone(), eps, p);
+        let (hits, stats) = matcher.execute(&spec).expect("query");
+        let found = hits.iter().any(|h| h.offset == off);
+        println!(
+            "  {name} ε = {eps:5.1}: {:3} matches (self-match found: {found}) | \
+             {:6} candidates | {} scans",
+            hits.len(),
+            stats.candidates,
+            stats.index_accesses,
+        );
+    }
+
+    // cNSM under L1: normalized matching with drift bounds, non-Euclidean.
+    let spec = QuerySpec::cnsm_lp(q.clone(), 30.0, LpExponent::Finite(1), 1.5, 2.0);
+    let (hits, stats) = matcher.execute(&spec).expect("cnsm-l1");
+    println!(
+        "cNSM-L1 (α = 1.5, β = 2): {} matches, {} candidates",
+        hits.len(),
+        stats.candidates
+    );
+
+    // Generalized DTW at the distance level: same warping recurrence,
+    // swappable point costs (Neamtu et al., the paper's reference [21]).
+    let a = &xs[off..off + 200];
+    let b = &xs[off + 3..off + 203]; // slightly shifted window
+    println!("\nGDTW on a 3-step-shifted pair (ρ = 5):");
+    println!("  squared-L2 points: {:.4}", gdtw_banded(a, b, 5, point_l2_sq).sqrt());
+    println!("  L1 points:         {:.4}", gdtw_banded(a, b, 5, point_l1));
+    println!(
+        "  binary(tol=0.05):  {:.0} mismatching alignments",
+        gdtw_banded(a, b, 5, point_binary(0.05))
+    );
+}

@@ -1,0 +1,353 @@
+//! `kvmatch` — command-line front end for the local-file deployment.
+//!
+//! ```text
+//! kvmatch generate  --n 1000000 --seed 42 --out series.bin
+//! kvmatch build     --data series.bin --window 50 --out w50.idx
+//! kvmatch build-set --data series.bin --out-dir idx/ [--wu 25 --levels 5]
+//! kvmatch append    --data series.bin --index w50.idx --from 1000000 --out w50v2.idx
+//! kvmatch info      --index w50.idx
+//! kvmatch query     --data series.bin --index w50.idx \
+//!                   --query-offset 1000 --query-len 500 --epsilon 2.5 \
+//!                   [--rho 25] [--alpha 1.5 --beta 5.0] [--limit 20]
+//! kvmatch query-dp  --data series.bin --index-dir idx/ … (same query flags)
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency set identical to the library's.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use kvmatch::core::{
+    DpMatcher, IndexAppender, IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher, MatchResult,
+    MatchStats, MultiIndex, QuerySpec,
+};
+use kvmatch::distance::LpExponent;
+use kvmatch::storage::{FileKvStore, FileKvStoreBuilder, FileSeriesStore, SeriesStore};
+use kvmatch::timeseries::generator::composite_series;
+use kvmatch::timeseries::io::{read_range, write_series};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "build" => cmd_build(&flags),
+        "build-set" => cmd_build_set(&flags),
+        "append" => cmd_append(&flags),
+        "info" => cmd_info(&flags),
+        "query" => cmd_query(&flags),
+        "query-dp" => cmd_query_dp(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+kvmatch — KV-match subsequence matching (local-file deployment)
+
+USAGE:
+  kvmatch generate  --n <len> --out <file> [--seed <u64>]
+  kvmatch build     --data <file> --out <file> [--window 50] [--d 0.5] [--gamma 0.8]
+  kvmatch build-set --data <file> --out-dir <dir> [--wu 25] [--levels 5]
+  kvmatch append    --data <file> --index <file> --from <offset> --out <file>
+                    (extends the index with data[from..] without a rebuild;
+                     the index must currently cover exactly `from` samples)
+  kvmatch info      --index <file>
+  kvmatch query     --data <file> --index <file>    <query flags>
+  kvmatch query-dp  --data <file> --index-dir <dir> <query flags>
+
+QUERY FLAGS:
+  --query-offset <j> --query-len <m>   take Q = X(j, m) from the data, or
+  --query-file <file>                  read Q from a binary f64 file
+  --epsilon <e>                        distance threshold (required)
+  --rho <r>                            DTW band radius (omit for ED)
+  --p <p|inf>                          Lp norm instead of ED (1 = Manhattan,
+                                       inf = Chebyshev; incompatible with --rho)
+  --alpha <a> --beta <b>               cNSM constraints (omit for RSM)
+  --limit <k>                          print at most k matches (default 20)";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(rest: &[String]) -> Result<Flags, String> {
+    let mut out = HashMap::new();
+    let mut it = rest.iter();
+    while let Some(key) = it.next() {
+        let Some(name) = key.strip_prefix("--") else {
+            return Err(format!("expected --flag, got `{key}`"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+        out.insert(name.to_string(), value.clone());
+    }
+    Ok(out)
+}
+
+fn req<'a>(flags: &'a Flags, name: &str) -> Result<&'a str, String> {
+    flags.get(name).map(String::as_str).ok_or_else(|| format!("missing --{name}"))
+}
+
+fn parse<T: std::str::FromStr>(flags: &Flags, name: &str, default: T) -> Result<T, String> {
+    match flags.get(name) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{name}: cannot parse `{v}`")),
+    }
+}
+
+fn parse_req<T: std::str::FromStr>(flags: &Flags, name: &str) -> Result<T, String> {
+    req(flags, name)?.parse().map_err(|_| format!("--{name}: cannot parse value"))
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    let n: usize = parse_req(flags, "n")?;
+    let seed: u64 = parse(flags, "seed", 42)?;
+    let out = req(flags, "out")?;
+    let xs = composite_series(seed, n);
+    write_series(out, &xs).map_err(|e| e.to_string())?;
+    println!("wrote {n} samples ({} MB) to {out}", n * 8 / 1_000_000);
+    Ok(())
+}
+
+fn cmd_build(flags: &Flags) -> Result<(), String> {
+    let data = req(flags, "data")?;
+    let out = req(flags, "out")?;
+    let window: usize = parse(flags, "window", 50)?;
+    let d: f64 = parse(flags, "d", 0.5)?;
+    let gamma: f64 = parse(flags, "gamma", 0.8)?;
+    let xs = kvmatch::timeseries::io::read_series(data).map_err(|e| e.to_string())?;
+    let config = IndexBuildConfig::new(window).with_width(d).with_gamma(gamma);
+    let t = std::time::Instant::now();
+    let (index, stats) = KvIndex::<FileKvStore>::build_into(
+        &xs,
+        config,
+        FileKvStoreBuilder::create(out).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    println!(
+        "built {out}: w = {window}, {} rows, {} intervals over {} positions in {:.2} s",
+        index.meta().row_count(),
+        stats.total_intervals,
+        stats.total_positions,
+        t.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_build_set(flags: &Flags) -> Result<(), String> {
+    let data = req(flags, "data")?;
+    let out_dir = PathBuf::from(req(flags, "out-dir")?);
+    let wu: usize = parse(flags, "wu", 25)?;
+    let levels: usize = parse(flags, "levels", 5)?;
+    std::fs::create_dir_all(&out_dir).map_err(|e| e.to_string())?;
+    let xs = kvmatch::timeseries::io::read_series(data).map_err(|e| e.to_string())?;
+    let cfg = IndexSetConfig { wu, levels, ..Default::default() };
+    for w in cfg.window_lengths() {
+        let path = out_dir.join(format!("w{w}.idx"));
+        let t = std::time::Instant::now();
+        KvIndex::<FileKvStore>::build_into(
+            &xs,
+            cfg.build_config(w),
+            FileKvStoreBuilder::create(&path).map_err(|e| e.to_string())?,
+        )
+        .map_err(|e| e.to_string())?;
+        println!("built {} in {:.2} s", path.display(), t.elapsed().as_secs_f64());
+    }
+    Ok(())
+}
+
+fn cmd_append(flags: &Flags) -> Result<(), String> {
+    let data = req(flags, "data")?;
+    let index_path = req(flags, "index")?;
+    let out = req(flags, "out")?;
+    let from: usize = parse_req(flags, "from")?;
+    let index = KvIndex::open(FileKvStore::open(index_path).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    if index.series_len() != from {
+        return Err(format!(
+            "--from {from} does not match the index coverage ({} samples)",
+            index.series_len()
+        ));
+    }
+    let xs = kvmatch::timeseries::io::read_series(data).map_err(|e| e.to_string())?;
+    if xs.len() < from {
+        return Err(format!("data holds {} samples, fewer than --from {from}", xs.len()));
+    }
+    let w = index.window();
+    let tail_len = (w - 1).min(from);
+    let t = std::time::Instant::now();
+    let mut appender =
+        IndexAppender::from_index(&index, &xs[from - tail_len..from]).map_err(|e| e.to_string())?;
+    appender.push_chunk(&xs[from..]);
+    let (extended, stats) = appender
+        .finish_into(FileKvStoreBuilder::create(out).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "extended to {out}: {} -> {} samples, {} rows, {} intervals in {:.2} s",
+        from,
+        extended.series_len(),
+        extended.meta().row_count(),
+        stats.total_intervals,
+        t.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn cmd_info(flags: &Flags) -> Result<(), String> {
+    let path = req(flags, "index")?;
+    let index =
+        KvIndex::open(FileKvStore::open(path).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+    let p = index.meta().params();
+    println!("index       : {path}");
+    println!("window w    : {}", p.window);
+    println!("series len  : {}", p.series_len);
+    println!("bucket d    : {}", p.width_d);
+    println!("merge gamma : {}", p.merge_gamma);
+    println!("rows        : {}", index.meta().row_count());
+    println!("intervals   : {}", index.meta().total_intervals());
+    println!("positions   : {}", index.meta().total_positions());
+    Ok(())
+}
+
+fn load_query(flags: &Flags, data_path: &str) -> Result<Vec<f64>, String> {
+    if let Some(qf) = flags.get("query-file") {
+        return kvmatch::timeseries::io::read_series(qf).map_err(|e| e.to_string());
+    }
+    let off: usize = parse_req(flags, "query-offset")?;
+    let len: usize = parse_req(flags, "query-len")?;
+    read_range(Path::new(data_path), off, len).map_err(|e| e.to_string())
+}
+
+fn build_spec(flags: &Flags, query: Vec<f64>) -> Result<QuerySpec, String> {
+    let epsilon: f64 = parse_req(flags, "epsilon")?;
+    let rho: Option<usize> = flags
+        .get("rho")
+        .map(|v| v.parse().map_err(|_| "--rho: cannot parse".to_string()))
+        .transpose()?;
+    let alpha: Option<f64> = flags
+        .get("alpha")
+        .map(|v| v.parse().map_err(|_| "--alpha: cannot parse".to_string()))
+        .transpose()?;
+    let beta: Option<f64> = flags
+        .get("beta")
+        .map(|v| v.parse().map_err(|_| "--beta: cannot parse".to_string()))
+        .transpose()?;
+    let p: Option<LpExponent> = flags
+        .get("p")
+        .map(|v| {
+            if v == "inf" || v == "oo" {
+                Ok(LpExponent::Infinity)
+            } else {
+                v.parse::<u32>()
+                    .map(LpExponent::Finite)
+                    .map_err(|_| "--p: expected an integer ≥ 1 or `inf`".to_string())
+            }
+        })
+        .transpose()?;
+    if p.is_some() && rho.is_some() {
+        return Err("--p and --rho are mutually exclusive".into());
+    }
+    let spec = match (p, rho, alpha, beta) {
+        (Some(p), None, None, None) => QuerySpec::rsm_lp(query, epsilon, p),
+        (Some(p), None, Some(a), Some(b)) => QuerySpec::cnsm_lp(query, epsilon, p, a, b),
+        (None, None, None, None) => QuerySpec::rsm_ed(query, epsilon),
+        (None, Some(r), None, None) => QuerySpec::rsm_dtw(query, epsilon, r),
+        (None, None, Some(a), Some(b)) => QuerySpec::cnsm_ed(query, epsilon, a, b),
+        (None, Some(r), Some(a), Some(b)) => QuerySpec::cnsm_dtw(query, epsilon, r, a, b),
+        _ => return Err("--alpha and --beta must be given together".into()),
+    };
+    spec.validate().map_err(|e| e.to_string())?;
+    Ok(spec)
+}
+
+fn print_results(results: &[MatchResult], stats: &MatchStats, limit: usize) {
+    println!(
+        "{} matches | {} candidates in {} intervals | {} index scans | {:.2} ms",
+        results.len(),
+        stats.candidates,
+        stats.candidate_intervals,
+        stats.index_accesses,
+        stats.total_nanos() as f64 / 1e6
+    );
+    for r in results.iter().take(limit) {
+        println!("  offset {:>12}  distance {:.6}", r.offset, r.distance);
+    }
+    if results.len() > limit {
+        println!("  … {} more (raise --limit)", results.len() - limit);
+    }
+}
+
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    let data_path = req(flags, "data")?;
+    let index_path = req(flags, "index")?;
+    let limit: usize = parse(flags, "limit", 20)?;
+    let query = load_query(flags, data_path)?;
+    let spec = build_spec(flags, query)?;
+    let index = KvIndex::open(FileKvStore::open(index_path).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let data = FileSeriesStore::open(data_path).map_err(|e| e.to_string())?;
+    let matcher = KvMatcher::new(&index, &data).map_err(|e| e.to_string())?;
+    let (results, stats) = matcher.execute(&spec).map_err(|e| e.to_string())?;
+    print_results(&results, &stats, limit);
+    Ok(())
+}
+
+fn cmd_query_dp(flags: &Flags) -> Result<(), String> {
+    let data_path = req(flags, "data")?;
+    let index_dir = PathBuf::from(req(flags, "index-dir")?);
+    let limit: usize = parse(flags, "limit", 20)?;
+    let query = load_query(flags, data_path)?;
+    let spec = build_spec(flags, query)?;
+    // Open every wN.idx in the directory, ascending N.
+    let mut widths: Vec<usize> = std::fs::read_dir(&index_dir)
+        .map_err(|e| e.to_string())?
+        .filter_map(|e| {
+            let name = e.ok()?.file_name().into_string().ok()?;
+            name.strip_prefix('w')?.strip_suffix(".idx")?.parse().ok()
+        })
+        .collect();
+    widths.sort_unstable();
+    if widths.is_empty() {
+        return Err(format!("no wN.idx files in {}", index_dir.display()));
+    }
+    let indexes: Result<Vec<_>, String> = widths
+        .iter()
+        .map(|w| {
+            KvIndex::open(
+                FileKvStore::open(index_dir.join(format!("w{w}.idx")))
+                    .map_err(|e| e.to_string())?,
+            )
+            .map_err(|e| e.to_string())
+        })
+        .collect();
+    let multi = MultiIndex::new(indexes?).map_err(|e| e.to_string())?;
+    let data = FileSeriesStore::open(data_path).map_err(|e| e.to_string())?;
+    let matcher = DpMatcher::new(&multi, &data).map_err(|e| e.to_string())?;
+    let (results, stats, segments) = matcher.execute_traced(&spec).map_err(|e| e.to_string())?;
+    println!(
+        "segmentation: {:?}",
+        segments.iter().map(|s| s.window).collect::<Vec<_>>()
+    );
+    print_results(&results, &stats, limit);
+    let _ = data.len();
+    Ok(())
+}

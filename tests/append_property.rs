@@ -1,0 +1,70 @@
+//! Property tests for incremental index maintenance: for random series,
+//! split points and batch partitions, the appended index answers every
+//! query type exactly like a fresh rebuild and the naive scan.
+
+use proptest::prelude::*;
+
+use kvmatch::core::{
+    naive_search, IndexAppender, IndexBuildConfig, KvIndex, KvMatcher, QuerySpec,
+};
+use kvmatch::storage::memory::MemoryKvStoreBuilder;
+use kvmatch::storage::{MemoryKvStore, MemorySeriesStore};
+use kvmatch::timeseries::generator::composite_series;
+
+fn build_fresh(xs: &[f64], w: usize) -> KvIndex<MemoryKvStore> {
+    KvIndex::<MemoryKvStore>::build_into(
+        xs,
+        IndexBuildConfig::new(w),
+        MemoryKvStoreBuilder::new(),
+    )
+    .unwrap()
+    .0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn appended_equals_rebuild_and_naive(
+        seed in 0u64..500,
+        n in 600usize..2_500,
+        split_frac in 0.1f64..0.9,
+        chunk in 1usize..400,
+        eps in 0.0f64..20.0,
+    ) {
+        let w = 40;
+        let xs = composite_series(seed, n);
+        let split = ((n as f64 * split_frac) as usize).max(1).min(n - 1);
+
+        // Build over the prefix, append the rest in `chunk`-sized batches.
+        let idx_old = build_fresh(&xs[..split], w);
+        let tail_len = (w - 1).min(split);
+        let mut app = IndexAppender::from_index(&idx_old, &xs[split - tail_len..split]).unwrap();
+        for batch in xs[split..].chunks(chunk) {
+            app.push_chunk(batch);
+        }
+        let (appended, _) = app.finish_into(MemoryKvStoreBuilder::new()).unwrap();
+        prop_assert_eq!(appended.series_len(), n);
+
+        // A query reaching across the split point when possible.
+        let m = 120.min(n / 2);
+        let q_off = split.saturating_sub(m / 2).min(n - m);
+        let q = xs[q_off..q_off + m].to_vec();
+        let data = MemorySeriesStore::new(xs.clone());
+
+        for spec in [
+            QuerySpec::rsm_ed(q.clone(), eps),
+            QuerySpec::cnsm_ed(q.clone(), (eps / 10.0).max(0.1), 1.5, 3.0),
+        ] {
+            if spec.validate().is_err() {
+                continue;
+            }
+            let (got, _) = KvMatcher::new(&appended, &data).unwrap().execute(&spec).unwrap();
+            let want = naive_search(&xs, &spec);
+            prop_assert_eq!(
+                got.iter().map(|r| r.offset).collect::<Vec<_>>(),
+                want.iter().map(|r| r.offset).collect::<Vec<_>>()
+            );
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Cross-approach agreement: every implemented approach must return the
+//! same result set on the same query — KV-match, KV-match_DP, UCR Suite,
+//! FAST, FRM, General Match, DMatch and the naive reference.
+
+use kvmatch::baselines::dmatch::{DualConfig, DualMatcher};
+use kvmatch::baselines::frm::{FrmConfig, FrmMatcher};
+use kvmatch::baselines::{FastScan, UcrSuite};
+use kvmatch::core::{
+    naive_search, DpMatcher, IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher, MultiIndex,
+    QuerySpec,
+};
+use kvmatch::storage::memory::MemoryKvStoreBuilder;
+use kvmatch::storage::{MemoryKvStore, MemorySeriesStore};
+use kvmatch::timeseries::generator::composite_series;
+
+fn offsets(rs: &[kvmatch::core::MatchResult]) -> Vec<usize> {
+    rs.iter().map(|r| r.offset).collect()
+}
+
+struct Rig {
+    xs: Vec<f64>,
+    data: MemorySeriesStore,
+    index64: KvIndex<MemoryKvStore>,
+    multi: MultiIndex<MemoryKvStore>,
+    frm: FrmMatcher,
+    gmatch: FrmMatcher,
+    dmatch: DualMatcher,
+}
+
+fn rig(seed: u64, n: usize) -> Rig {
+    let xs = composite_series(seed, n);
+    let data = MemorySeriesStore::new(xs.clone());
+    let (index64, _) = KvIndex::<MemoryKvStore>::build_into(
+        &xs,
+        IndexBuildConfig::new(64),
+        MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    let multi = MultiIndex::<MemoryKvStore>::build_with::<MemoryKvStoreBuilder, _>(
+        &xs,
+        IndexSetConfig { wu: 25, levels: 4, ..Default::default() },
+        |_| MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    let frm = FrmMatcher::build(&xs, FrmConfig::default());
+    let gmatch = FrmMatcher::build(&xs, FrmConfig { j: 4, ..Default::default() });
+    let dmatch = DualMatcher::build(&xs, DualConfig::default());
+    Rig { xs, data, index64, multi, frm, gmatch, dmatch }
+}
+
+#[test]
+fn rsm_ed_all_approaches_agree() {
+    let r = rig(3001, 12_000);
+    let q = r.xs[5_000..5_256].to_vec();
+    for eps in [1.0, 10.0, 35.0] {
+        let spec = QuerySpec::rsm_ed(q.clone(), eps);
+        let want = offsets(&naive_search(&r.xs, &spec));
+
+        let kv = KvMatcher::new(&r.index64, &r.data).unwrap();
+        assert_eq!(offsets(&kv.execute(&spec).unwrap().0), want, "KvMatcher eps={eps}");
+        let dp = DpMatcher::new(&r.multi, &r.data).unwrap();
+        assert_eq!(offsets(&dp.execute(&spec).unwrap().0), want, "DpMatcher eps={eps}");
+        let ucr = UcrSuite::new(&r.xs);
+        assert_eq!(offsets(&ucr.search(&spec).unwrap().0), want, "UCR eps={eps}");
+        let fast = FastScan::new(&r.xs);
+        assert_eq!(offsets(&fast.search(&spec).unwrap().0), want, "FAST eps={eps}");
+        assert_eq!(offsets(&r.frm.search(&r.xs, &spec).unwrap().0), want, "FRM eps={eps}");
+        assert_eq!(
+            offsets(&r.gmatch.search(&r.xs, &spec).unwrap().0),
+            want,
+            "GMatch J=4 eps={eps}"
+        );
+        assert_eq!(offsets(&r.dmatch.search(&r.xs, &spec).unwrap().0), want, "DMatch eps={eps}");
+    }
+}
+
+#[test]
+fn rsm_dtw_all_approaches_agree() {
+    let r = rig(3003, 6_000);
+    let q = r.xs[2_000..2_200].to_vec();
+    let spec = QuerySpec::rsm_dtw(q, 6.0, 10);
+    let want = offsets(&naive_search(&r.xs, &spec));
+    let kv = KvMatcher::new(&r.index64, &r.data).unwrap();
+    assert_eq!(offsets(&kv.execute(&spec).unwrap().0), want, "KvMatcher");
+    let dp = DpMatcher::new(&r.multi, &r.data).unwrap();
+    assert_eq!(offsets(&dp.execute(&spec).unwrap().0), want, "DpMatcher");
+    let ucr = UcrSuite::new(&r.xs);
+    assert_eq!(offsets(&ucr.search(&spec).unwrap().0), want, "UCR");
+    let fast = FastScan::new(&r.xs);
+    assert_eq!(offsets(&fast.search(&spec).unwrap().0), want, "FAST");
+    assert_eq!(offsets(&r.frm.search(&r.xs, &spec).unwrap().0), want, "FRM");
+    assert_eq!(offsets(&r.dmatch.search(&r.xs, &spec).unwrap().0), want, "DMatch");
+}
+
+#[test]
+fn cnsm_approaches_agree() {
+    // Only KV-match{,_DP}, UCR and FAST support cNSM — the paper's point.
+    let r = rig(3007, 12_000);
+    let q = r.xs[8_000..8_300].to_vec();
+    for (eps, alpha, beta) in [(1.0, 1.1, 1.0), (3.0, 1.5, 5.0), (6.0, 2.0, 10.0)] {
+        for rho in [None, Some(15usize)] {
+            let spec = match rho {
+                None => QuerySpec::cnsm_ed(q.clone(), eps, alpha, beta),
+                Some(rho) => QuerySpec::cnsm_dtw(q.clone(), eps, rho, alpha, beta),
+            };
+            let want = offsets(&naive_search(&r.xs, &spec));
+            let kv = KvMatcher::new(&r.index64, &r.data).unwrap();
+            assert_eq!(offsets(&kv.execute(&spec).unwrap().0), want);
+            let dp = DpMatcher::new(&r.multi, &r.data).unwrap();
+            assert_eq!(offsets(&dp.execute(&spec).unwrap().0), want);
+            let ucr = UcrSuite::new(&r.xs);
+            assert_eq!(offsets(&ucr.search(&spec).unwrap().0), want);
+            let fast = FastScan::new(&r.xs);
+            assert_eq!(offsets(&fast.search(&spec).unwrap().0), want);
+        }
+    }
+}
+
+#[test]
+fn distances_agree_numerically() {
+    let r = rig(3011, 8_000);
+    let q = r.xs[1_000..1_200].to_vec();
+    let spec = QuerySpec::cnsm_ed(q, 4.0, 1.5, 5.0);
+    let want = naive_search(&r.xs, &spec);
+    let dp = DpMatcher::new(&r.multi, &r.data).unwrap();
+    let (got, _) = dp.execute(&spec).unwrap();
+    let ucr = UcrSuite::new(&r.xs);
+    let (got_ucr, _) = ucr.search(&spec).unwrap();
+    for ((a, b), c) in got.iter().zip(&want).zip(&got_ucr) {
+        assert!((a.distance - b.distance).abs() < 1e-6);
+        assert!((a.distance - c.distance).abs() < 1e-6);
+    }
+}

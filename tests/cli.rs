@@ -1,0 +1,163 @@
+//! End-to-end test of the `kvmatch` CLI binary: generate → build →
+//! build-set → info → query → query-dp, checking outputs and exit codes.
+
+use std::process::Command;
+
+fn kvmatch(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_kvmatch"))
+        .args(args)
+        .output()
+        .expect("spawn kvmatch binary");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+    )
+}
+
+#[test]
+fn full_cli_pipeline() {
+    let dir = tempfile::tempdir().unwrap();
+    let data = dir.path().join("series.bin");
+    let idx = dir.path().join("w50.idx");
+    let idx_dir = dir.path().join("indexes");
+    let data_s = data.to_str().unwrap();
+    let idx_s = idx.to_str().unwrap();
+    let idx_dir_s = idx_dir.to_str().unwrap();
+
+    // generate
+    let (ok, stdout, stderr) =
+        kvmatch(&["generate", "--n", "20000", "--seed", "7", "--out", data_s]);
+    assert!(ok, "generate failed: {stderr}");
+    assert!(stdout.contains("20000 samples"));
+
+    // build single index
+    let (ok, stdout, stderr) =
+        kvmatch(&["build", "--data", data_s, "--out", idx_s, "--window", "50"]);
+    assert!(ok, "build failed: {stderr}");
+    assert!(stdout.contains("w = 50"));
+
+    // info
+    let (ok, stdout, _) = kvmatch(&["info", "--index", idx_s]);
+    assert!(ok);
+    assert!(stdout.contains("window w    : 50"));
+    assert!(stdout.contains("series len  : 20000"));
+
+    // RSM-ED self-query: must find the query's own offset at distance 0.
+    let (ok, stdout, stderr) = kvmatch(&[
+        "query", "--data", data_s, "--index", idx_s, "--query-offset", "5000", "--query-len",
+        "300", "--epsilon", "0.0001",
+    ]);
+    assert!(ok, "query failed: {stderr}");
+    assert!(stdout.contains("offset         5000"), "{stdout}");
+
+    // cNSM-ED query.
+    let (ok, stdout, stderr) = kvmatch(&[
+        "query", "--data", data_s, "--index", idx_s, "--query-offset", "5000", "--query-len",
+        "300", "--epsilon", "1.5", "--alpha", "1.5", "--beta", "3.0",
+    ]);
+    assert!(ok, "cNSM query failed: {stderr}");
+    assert!(stdout.contains("matches"));
+
+    // build-set + query-dp (small Σ to keep the test quick).
+    let (ok, _, stderr) = kvmatch(&[
+        "build-set", "--data", data_s, "--out-dir", idx_dir_s, "--wu", "25", "--levels", "3",
+    ]);
+    assert!(ok, "build-set failed: {stderr}");
+    let (ok, stdout, stderr) = kvmatch(&[
+        "query-dp", "--data", data_s, "--index-dir", idx_dir_s, "--query-offset", "8000",
+        "--query-len", "400", "--epsilon", "2.0", "--rho", "20",
+    ]);
+    assert!(ok, "query-dp failed: {stderr}");
+    assert!(stdout.contains("segmentation:"), "{stdout}");
+    assert!(stdout.contains("offset         8000"), "{stdout}");
+
+    // Lp queries: Manhattan and Chebyshev self-queries.
+    let (ok, stdout, stderr) = kvmatch(&[
+        "query", "--data", data_s, "--index", idx_s, "--query-offset", "5000", "--query-len",
+        "300", "--epsilon", "0.0001", "--p", "1",
+    ]);
+    assert!(ok, "L1 query failed: {stderr}");
+    assert!(stdout.contains("offset         5000"), "{stdout}");
+    let (ok, stdout, stderr) = kvmatch(&[
+        "query", "--data", data_s, "--index", idx_s, "--query-offset", "5000", "--query-len",
+        "300", "--epsilon", "0.0001", "--p", "inf",
+    ]);
+    assert!(ok, "L∞ query failed: {stderr}");
+    assert!(stdout.contains("offset         5000"), "{stdout}");
+}
+
+#[test]
+fn cli_append_extends_index() {
+    let dir = tempfile::tempdir().unwrap();
+    let data = dir.path().join("series.bin");
+    let prefix = dir.path().join("prefix.bin");
+    let idx_old = dir.path().join("old.idx");
+    let idx_new = dir.path().join("new.idx");
+    let data_s = data.to_str().unwrap();
+
+    kvmatch(&["generate", "--n", "20000", "--seed", "11", "--out", data_s]);
+    // Build over the first 15000 samples only.
+    let full = std::fs::read(&data).unwrap();
+    std::fs::write(&prefix, &full[..15_000 * 8]).unwrap();
+    let (ok, _, stderr) = kvmatch(&[
+        "build", "--data", prefix.to_str().unwrap(), "--out", idx_old.to_str().unwrap(),
+    ]);
+    assert!(ok, "build failed: {stderr}");
+
+    // Wrong --from is rejected.
+    let (ok, _, stderr) = kvmatch(&[
+        "append", "--data", data_s, "--index", idx_old.to_str().unwrap(), "--from", "14000",
+        "--out", idx_new.to_str().unwrap(),
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("does not match"), "{stderr}");
+
+    // Correct append covers the full series.
+    let (ok, stdout, stderr) = kvmatch(&[
+        "append", "--data", data_s, "--index", idx_old.to_str().unwrap(), "--from", "15000",
+        "--out", idx_new.to_str().unwrap(),
+    ]);
+    assert!(ok, "append failed: {stderr}");
+    assert!(stdout.contains("15000 -> 20000 samples"), "{stdout}");
+
+    // A self-query beyond the old coverage succeeds on the extended index.
+    let (ok, stdout, stderr) = kvmatch(&[
+        "query", "--data", data_s, "--index", idx_new.to_str().unwrap(), "--query-offset",
+        "18000", "--query-len", "300", "--epsilon", "0.0001",
+    ]);
+    assert!(ok, "query on appended index failed: {stderr}");
+    assert!(stdout.contains("offset        18000"), "{stdout}");
+}
+
+#[test]
+fn cli_rejects_bad_usage() {
+    let (ok, _, stderr) = kvmatch(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("USAGE"));
+
+    let (ok, _, stderr) = kvmatch(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+
+    let (ok, _, stderr) = kvmatch(&["generate", "--n"]);
+    assert!(!ok);
+    assert!(stderr.contains("needs a value"));
+
+    let (ok, _, stderr) = kvmatch(&["generate", "--out", "/tmp/x.bin"]);
+    assert!(!ok, "missing --n must fail");
+    assert!(stderr.contains("missing --n"));
+
+    // alpha without beta
+    let dir = tempfile::tempdir().unwrap();
+    let data = dir.path().join("d.bin");
+    let idx = dir.path().join("i.idx");
+    kvmatch(&["generate", "--n", "2000", "--out", data.to_str().unwrap()]);
+    kvmatch(&["build", "--data", data.to_str().unwrap(), "--out", idx.to_str().unwrap()]);
+    let (ok, _, stderr) = kvmatch(&[
+        "query", "--data", data.to_str().unwrap(), "--index", idx.to_str().unwrap(),
+        "--query-offset", "0", "--query-len", "100", "--epsilon", "1.0", "--alpha", "1.5",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("--alpha and --beta"));
+}

@@ -1,0 +1,139 @@
+//! End-to-end integration: the paper's "local file version" (§VII-A) —
+//! series file on disk, index file on disk, full query pipeline through
+//! `FileSeriesStore` + `FileKvStore`.
+
+use kvmatch::core::{
+    naive_search, DpMatcher, IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher, MultiIndex,
+    QuerySpec,
+};
+use kvmatch::storage::{FileKvStore, FileKvStoreBuilder, FileSeriesStore, KvStore, SeriesStore};
+use kvmatch::timeseries::generator::composite_series;
+use kvmatch::timeseries::io::write_series;
+
+fn offsets(rs: &[kvmatch::core::MatchResult]) -> Vec<usize> {
+    rs.iter().map(|r| r.offset).collect()
+}
+
+#[test]
+fn file_backed_single_index_pipeline() {
+    let dir = tempfile::tempdir().unwrap();
+    let xs = composite_series(1001, 20_000);
+    let data_path = dir.path().join("series.bin");
+    write_series(&data_path, &xs).unwrap();
+
+    // Build the index to disk, then drop everything and reopen cold.
+    let idx_path = dir.path().join("kv_w50.idx");
+    {
+        let (_, stats) = KvIndex::<FileKvStore>::build_into(
+            &xs,
+            IndexBuildConfig::new(50),
+            FileKvStoreBuilder::create(&idx_path).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(stats.total_positions as usize, xs.len() - 50 + 1);
+    }
+
+    let index = KvIndex::open(FileKvStore::open(&idx_path).unwrap()).unwrap();
+    let data = FileSeriesStore::open(&data_path).unwrap();
+    assert_eq!(data.len(), xs.len());
+    let matcher = KvMatcher::new(&index, &data).unwrap();
+
+    let q = xs[4_000..4_400].to_vec();
+    for spec in [
+        QuerySpec::rsm_ed(q.clone(), 8.0),
+        QuerySpec::rsm_dtw(q.clone(), 4.0, 10),
+        QuerySpec::cnsm_ed(q.clone(), 2.0, 1.5, 3.0),
+        QuerySpec::cnsm_dtw(q.clone(), 1.5, 10, 1.5, 3.0),
+    ] {
+        let (got, stats) = matcher.execute(&spec).unwrap();
+        let want = naive_search(&xs, &spec);
+        assert_eq!(offsets(&got), offsets(&want), "query {:?}", spec.measure);
+        assert!(stats.index_accesses >= 1);
+        // The file store actually performed seeks for the scans.
+        assert!(index.store().io_stats().seeks() > 0);
+    }
+    // Data store registered phase-2 fetches.
+    assert!(data.io_stats().bytes_read() > 0);
+}
+
+#[test]
+fn file_backed_multi_index_dp_pipeline() {
+    let dir = tempfile::tempdir().unwrap();
+    let xs = composite_series(1003, 15_000);
+    let data_path = dir.path().join("series.bin");
+    write_series(&data_path, &xs).unwrap();
+
+    let cfg = IndexSetConfig { wu: 25, levels: 4, ..Default::default() };
+    // Build each index into its own file.
+    let mut paths = Vec::new();
+    for w in cfg.window_lengths() {
+        let p = dir.path().join(format!("kv_w{w}.idx"));
+        KvIndex::<FileKvStore>::build_into(
+            &xs,
+            cfg.build_config(w),
+            FileKvStoreBuilder::create(&p).unwrap(),
+        )
+        .unwrap();
+        paths.push(p);
+    }
+    // Cold open all indexes.
+    let indexes: Vec<KvIndex<FileKvStore>> = paths
+        .iter()
+        .map(|p| KvIndex::open(FileKvStore::open(p).unwrap()).unwrap())
+        .collect();
+    let multi = MultiIndex::new(indexes).unwrap();
+    let data = FileSeriesStore::open(&data_path).unwrap();
+    let dp = DpMatcher::new(&multi, &data).unwrap();
+
+    let q = xs[2_000..2_333].to_vec();
+    let spec = QuerySpec::cnsm_ed(q, 3.0, 1.5, 4.0);
+    let (got, stats, segments) = dp.execute_traced(&spec).unwrap();
+    let want = naive_search(&xs, &spec);
+    assert_eq!(offsets(&got), offsets(&want));
+    assert!(!segments.is_empty());
+    assert!(segments.iter().all(|s| [25, 50, 100, 200].contains(&s.window)));
+    assert_eq!(stats.matches as usize, got.len());
+}
+
+#[test]
+fn index_files_are_reusable_across_processes_simulation() {
+    // Build, reopen twice, make sure repeated cold opens agree and the
+    // meta table survives byte-for-byte.
+    let dir = tempfile::tempdir().unwrap();
+    let xs = composite_series(1007, 8_000);
+    let idx_path = dir.path().join("kv.idx");
+    let (built, _) = KvIndex::<FileKvStore>::build_into(
+        &xs,
+        IndexBuildConfig::new(25),
+        FileKvStoreBuilder::create(&idx_path).unwrap(),
+    )
+    .unwrap();
+    let again = KvIndex::open(FileKvStore::open(&idx_path).unwrap()).unwrap();
+    let thrice = KvIndex::open(FileKvStore::open(&idx_path).unwrap()).unwrap();
+    assert_eq!(built.meta(), again.meta());
+    assert_eq!(again.meta(), thrice.meta());
+    assert_eq!(
+        again.store().scan_all().unwrap().len(),
+        built.store().scan_all().unwrap().len()
+    );
+}
+
+#[test]
+fn corrupted_index_file_fails_loudly() {
+    let dir = tempfile::tempdir().unwrap();
+    let xs = composite_series(1009, 4_000);
+    let idx_path = dir.path().join("kv.idx");
+    KvIndex::<FileKvStore>::build_into(
+        &xs,
+        IndexBuildConfig::new(50),
+        FileKvStoreBuilder::create(&idx_path).unwrap(),
+    )
+    .unwrap();
+    // Truncate the file: open must fail with a corruption error, not UB.
+    let bytes = std::fs::read(&idx_path).unwrap();
+    std::fs::write(&idx_path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(FileKvStore::open(&idx_path).is_err() || {
+        // If the trailer happened to survive (it cannot, but be thorough):
+        KvIndex::open(FileKvStore::open(&idx_path).unwrap()).is_err()
+    });
+}

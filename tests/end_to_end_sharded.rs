@@ -1,0 +1,77 @@
+//! End-to-end integration on the simulated HBase deployment (§VII-B
+//! substitution): sharded index store + block-row series table.
+
+use kvmatch::core::{
+    naive_search, DpMatcher, IndexSetConfig, MultiIndex, QuerySpec,
+};
+use kvmatch::storage::sharded::{ShardedKvStoreBuilder, ShardingConfig};
+use kvmatch::storage::{BlockSeriesStore, KvStore, SeriesStore, ShardedKvStore};
+use kvmatch::timeseries::generator::composite_series;
+
+#[test]
+fn sharded_pipeline_matches_naive_all_query_types() {
+    let xs = composite_series(2001, 20_000);
+    let cfg = IndexSetConfig { wu: 25, levels: 4, ..Default::default() };
+    let multi = MultiIndex::<ShardedKvStore>::build_with::<ShardedKvStoreBuilder, _>(
+        &xs,
+        cfg,
+        |_| ShardedKvStoreBuilder::new(ShardingConfig { regions: 7, latency_per_scan_ns: 1000 }),
+    )
+    .unwrap();
+    let data = BlockSeriesStore::from_series(&xs, BlockSeriesStore::DEFAULT_BLOCK);
+    let dp = DpMatcher::new(&multi, &data).unwrap();
+
+    let q = xs[7_000..7_400].to_vec();
+    for spec in [
+        QuerySpec::rsm_ed(q.clone(), 10.0),
+        QuerySpec::rsm_dtw(q.clone(), 5.0, 20),
+        QuerySpec::cnsm_ed(q.clone(), 2.5, 1.5, 5.0),
+        QuerySpec::cnsm_dtw(q.clone(), 2.0, 20, 2.0, 5.0),
+    ] {
+        let (got, _) = dp.execute(&spec).unwrap();
+        let want = naive_search(&xs, &spec);
+        assert_eq!(
+            got.iter().map(|r| r.offset).collect::<Vec<_>>(),
+            want.iter().map(|r| r.offset).collect::<Vec<_>>(),
+            "query {:?} constraint {:?}",
+            spec.measure,
+            spec.constraint
+        );
+    }
+}
+
+#[test]
+fn sharded_store_accounts_region_latency() {
+    let xs = composite_series(2003, 10_000);
+    let cfg = IndexSetConfig { wu: 25, levels: 2, ..Default::default() };
+    let multi = MultiIndex::<ShardedKvStore>::build_with::<ShardedKvStoreBuilder, _>(
+        &xs,
+        cfg,
+        |_| {
+            ShardedKvStoreBuilder::new(ShardingConfig { regions: 5, latency_per_scan_ns: 777 })
+        },
+    )
+    .unwrap();
+    let data = BlockSeriesStore::from_series(&xs, 512);
+    let dp = DpMatcher::new(&multi, &data).unwrap();
+    let q = xs[100..400].to_vec();
+    let (_, stats) = dp.execute(&QuerySpec::rsm_ed(q, 5.0)).unwrap();
+    assert!(stats.index_accesses >= 1);
+    let total_latency: u64 = multi
+        .indexes()
+        .iter()
+        .map(|i| i.store().io_stats().simulated_latency_ns())
+        .sum();
+    assert!(total_latency >= 777, "modelled RPC latency must accumulate");
+    // Block store fetched whole 512-sample rows.
+    assert!(data.io_stats().rows_read() > 0);
+}
+
+#[test]
+fn block_store_and_memory_store_agree() {
+    let xs = composite_series(2007, 6_000);
+    let block = BlockSeriesStore::from_series(&xs, 100);
+    for (off, len) in [(0, 100), (57, 333), (5_900, 100), (0, 6_000)] {
+        assert_eq!(block.fetch(off, len).unwrap(), xs[off..off + len].to_vec());
+    }
+}

@@ -1,0 +1,139 @@
+//! Lp-norm query types (the §X future-work extension): the KV-index
+//! answers RSM-Lp and cNSM-Lp with no false dismissals, for Manhattan,
+//! higher finite exponents, and Chebyshev.
+
+use kvmatch::core::{DpMatcher, IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher, MultiIndex, QuerySpec};
+use kvmatch::distance::LpExponent;
+use kvmatch::prelude::{MemoryKvStore, MemoryKvStoreBuilder, MemorySeriesStore};
+use kvmatch::timeseries::generator::composite_series;
+
+use kvmatch::core::naive::naive_search;
+
+fn check_equals_naive(xs: &[f64], w: usize, spec: &QuerySpec) {
+    let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+        xs,
+        IndexBuildConfig::new(w),
+        MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    let data = MemorySeriesStore::new(xs.to_vec());
+    let matcher = KvMatcher::new(&idx, &data).unwrap();
+    let (got, _) = matcher.execute(spec).unwrap();
+    let want = naive_search(xs, spec);
+    assert_eq!(
+        got.iter().map(|r| r.offset).collect::<Vec<_>>(),
+        want.iter().map(|r| r.offset).collect::<Vec<_>>(),
+        "offsets differ"
+    );
+    for (g, w_) in got.iter().zip(&want) {
+        assert!((g.distance - w_.distance).abs() < 1e-6, "distance mismatch at {}", g.offset);
+    }
+}
+
+#[test]
+fn rsm_l1_equals_naive() {
+    let xs = composite_series(501, 6_000);
+    let q = xs[1200..1400].to_vec();
+    for eps in [5.0, 40.0, 200.0] {
+        check_equals_naive(&xs, 50, &QuerySpec::rsm_lp(q.clone(), eps, LpExponent::Finite(1)));
+    }
+}
+
+#[test]
+fn rsm_l4_equals_naive() {
+    // p > 2 is the regime where reusing the ED range would lose matches —
+    // the dedicated Lp range must not.
+    let xs = composite_series(503, 6_000);
+    let q = xs[2500..2700].to_vec();
+    for eps in [1.0, 4.0, 10.0] {
+        check_equals_naive(&xs, 50, &QuerySpec::rsm_lp(q.clone(), eps, LpExponent::Finite(4)));
+    }
+}
+
+#[test]
+fn rsm_linf_equals_naive() {
+    let xs = composite_series(505, 6_000);
+    let q = xs[800..1000].to_vec();
+    for eps in [0.2, 0.8, 2.0] {
+        check_equals_naive(&xs, 50, &QuerySpec::rsm_lp(q.clone(), eps, LpExponent::Infinity));
+    }
+}
+
+#[test]
+fn cnsm_l1_and_linf_equal_naive() {
+    let xs = composite_series(507, 5_000);
+    let q = xs[2000..2200].to_vec();
+    check_equals_naive(
+        &xs,
+        50,
+        &QuerySpec::cnsm_lp(q.clone(), 20.0, LpExponent::Finite(1), 1.5, 4.0),
+    );
+    check_equals_naive(&xs, 50, &QuerySpec::cnsm_lp(q, 0.6, LpExponent::Infinity, 1.5, 4.0));
+}
+
+#[test]
+fn p2_lp_equals_ed_results() {
+    let xs = composite_series(509, 5_000);
+    let q = xs[1000..1250].to_vec();
+    let eps = 12.0;
+    let lp = naive_search(&xs, &QuerySpec::rsm_lp(q.clone(), eps, LpExponent::Finite(2)));
+    let ed = naive_search(&xs, &QuerySpec::rsm_ed(q, eps));
+    assert_eq!(lp.len(), ed.len());
+    for (a, b) in lp.iter().zip(&ed) {
+        assert_eq!(a.offset, b.offset);
+        assert!((a.distance - b.distance).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn dp_matcher_supports_lp() {
+    let xs = composite_series(511, 8_000);
+    let q = xs[3000..3400].to_vec();
+    let multi = MultiIndex::<MemoryKvStore>::build_with::<MemoryKvStoreBuilder, _>(
+        &xs,
+        IndexSetConfig { wu: 25, levels: 4, ..Default::default() },
+        |_| MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    let data = MemorySeriesStore::new(xs.clone());
+    let dp = DpMatcher::new(&multi, &data).unwrap();
+    for spec in [
+        QuerySpec::rsm_lp(q.clone(), 60.0, LpExponent::Finite(1)),
+        QuerySpec::rsm_lp(q.clone(), 1.2, LpExponent::Infinity),
+        QuerySpec::cnsm_lp(q.clone(), 30.0, LpExponent::Finite(1), 1.5, 5.0),
+    ] {
+        let (got, _) = dp.execute(&spec).unwrap();
+        let want = naive_search(&xs, &spec);
+        assert_eq!(
+            got.iter().map(|r| r.offset).collect::<Vec<_>>(),
+            want.iter().map(|r| r.offset).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn self_match_found_under_every_exponent() {
+    let xs = composite_series(513, 4_000);
+    let off = 1111;
+    let q = xs[off..off + 200].to_vec();
+    for p in [LpExponent::Finite(1), LpExponent::Finite(3), LpExponent::Infinity] {
+        check_equals_naive(&xs, 50, &QuerySpec::rsm_lp(q.clone(), 1e-9, p));
+        let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+            &xs,
+            IndexBuildConfig::new(50),
+            MemoryKvStoreBuilder::new(),
+        )
+        .unwrap();
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let (res, _) = matcher.execute(&QuerySpec::rsm_lp(q.clone(), 1e-9, p)).unwrap();
+        assert!(res.iter().any(|r| r.offset == off), "{p:?} lost the self-match");
+    }
+}
+
+#[test]
+fn invalid_lp_exponent_rejected() {
+    let q = vec![1.0, 2.0, 3.0];
+    let spec = QuerySpec::rsm_lp(q, 1.0, LpExponent::Finite(0));
+    assert!(spec.validate().is_err());
+}

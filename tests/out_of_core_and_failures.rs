@@ -1,0 +1,175 @@
+//! Out-of-core index building (chunked streaming) and failure injection:
+//! storage errors must surface as typed errors, never as panics or wrong
+//! results.
+
+use kvmatch::core::{
+    naive_search, CoreError, IndexBuildConfig, KvIndex, KvMatcher, QuerySpec, RowAccumulator,
+};
+use kvmatch::storage::memory::MemoryKvStoreBuilder;
+use kvmatch::storage::{IoStats, MemoryKvStore, MemorySeriesStore, SeriesStore, StorageError};
+use kvmatch::timeseries::generator::composite_series;
+use kvmatch::timeseries::io::{write_series, ChunkedReader};
+
+#[test]
+fn out_of_core_build_equals_in_memory() {
+    // Stream the series from disk in small chunks through RowAccumulator —
+    // the path a series too large for memory would take — and compare the
+    // persisted index against the bulk build.
+    let dir = tempfile::tempdir().unwrap();
+    let xs = composite_series(4001, 30_000);
+    let path = dir.path().join("series.bin");
+    write_series(&path, &xs).unwrap();
+
+    let config = IndexBuildConfig::new(50);
+    let mut acc = RowAccumulator::new(config);
+    let mut reader = ChunkedReader::open(&path, 1_111).unwrap();
+    let mut buf = Vec::new();
+    while reader.next_chunk(&mut buf).unwrap() > 0 {
+        acc.push_chunk(&buf);
+    }
+    assert_eq!(acc.samples(), xs.len());
+    let (rows, stats) = acc.finish();
+    assert_eq!(stats.total_positions as usize, xs.len() - 50 + 1);
+
+    let streamed = KvIndex::<MemoryKvStore>::persist_rows(
+        rows,
+        config,
+        xs.len(),
+        MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    let (bulk, _) =
+        KvIndex::<MemoryKvStore>::build_into(&xs, config, MemoryKvStoreBuilder::new()).unwrap();
+    assert_eq!(streamed.meta(), bulk.meta());
+
+    // And it answers queries correctly end to end.
+    let data = MemorySeriesStore::new(xs.clone());
+    let matcher = KvMatcher::new(&streamed, &data).unwrap();
+    let q = xs[10_000..10_300].to_vec();
+    let spec = QuerySpec::cnsm_ed(q, 2.0, 1.5, 3.0);
+    let (got, _) = matcher.execute(&spec).unwrap();
+    assert_eq!(
+        got.iter().map(|r| r.offset).collect::<Vec<_>>(),
+        naive_search(&xs, &spec).iter().map(|r| r.offset).collect::<Vec<_>>()
+    );
+}
+
+/// A series store that fails after a configurable number of fetches.
+struct FlakySeriesStore {
+    inner: MemorySeriesStore,
+    allowed: std::sync::atomic::AtomicU64,
+}
+
+impl FlakySeriesStore {
+    fn new(data: Vec<f64>, allowed: u64) -> Self {
+        Self {
+            inner: MemorySeriesStore::new(data),
+            allowed: std::sync::atomic::AtomicU64::new(allowed),
+        }
+    }
+}
+
+impl SeriesStore for FlakySeriesStore {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn fetch(&self, offset: usize, len: usize) -> Result<Vec<f64>, StorageError> {
+        use std::sync::atomic::Ordering;
+        if self.allowed.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_err()
+        {
+            return Err(StorageError::Io(std::io::Error::other("injected fetch failure")));
+        }
+        self.inner.fetch(offset, len)
+    }
+    fn io_stats(&self) -> IoStats {
+        self.inner.io_stats()
+    }
+}
+
+#[test]
+fn fetch_failure_surfaces_as_error() {
+    let xs = composite_series(4003, 8_000);
+    let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+        &xs,
+        IndexBuildConfig::new(50),
+        MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    // Wide query ⇒ several candidate intervals ⇒ several fetches.
+    let q = xs[1_000..1_200].to_vec();
+    let spec = QuerySpec::rsm_ed(q, 50.0);
+
+    // Sanity: with unlimited fetches the query succeeds and needs > 1 fetch.
+    let healthy = FlakySeriesStore::new(xs.clone(), u64::MAX);
+    let matcher = KvMatcher::new(&idx, &healthy).unwrap();
+    let (res, stats) = matcher.execute(&spec).unwrap();
+    assert!(!res.is_empty());
+    assert!(stats.candidate_intervals >= 1);
+
+    // Zero fetch budget: the error must propagate as CoreError::Storage.
+    let broken = FlakySeriesStore::new(xs.clone(), 0);
+    let matcher = KvMatcher::new(&idx, &broken).unwrap();
+    match matcher.execute(&spec) {
+        Err(CoreError::Storage(StorageError::Io(e))) => {
+            assert!(e.to_string().contains("injected"));
+        }
+        other => panic!("expected storage error, got {other:?}"),
+    }
+
+    // Partial budget: still an error (fails mid-phase-2), never a wrong
+    // silent result.
+    if stats.candidate_intervals > 1 {
+        let partial = FlakySeriesStore::new(xs, 1);
+        let matcher = KvMatcher::new(&idx, &partial).unwrap();
+        assert!(matches!(matcher.execute(&spec), Err(CoreError::Storage(_))));
+    }
+}
+
+#[test]
+fn zero_epsilon_exact_search() {
+    // ε = 0 must return exactly the literal occurrences.
+    let mut xs = composite_series(4007, 5_000);
+    let q = xs[100..200].to_vec();
+    // Plant an exact duplicate far away.
+    xs.splice(4_000..4_100, q.iter().copied());
+    let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+        &xs,
+        IndexBuildConfig::new(50),
+        MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    let data = MemorySeriesStore::new(xs.clone());
+    let matcher = KvMatcher::new(&idx, &data).unwrap();
+    let (res, _) = matcher.execute(&QuerySpec::rsm_ed(q, 0.0)).unwrap();
+    let offsets: Vec<usize> = res.iter().map(|r| r.offset).collect();
+    assert!(offsets.contains(&100) && offsets.contains(&4_000));
+    assert!(res.iter().all(|r| r.distance == 0.0));
+}
+
+#[test]
+fn alpha_near_one_is_pure_shift_constraint() {
+    // α ≈ 1 forbids any real amplitude scaling: a 2x-scaled copy must be
+    // rejected even at generous ε/β, while a pure shift passes. (Exactly
+    // α = 1 demands bit-exact σ equality — a measure-zero constraint that
+    // floating-point prefix sums cannot honour, so we allow 1 + 1e-9.)
+    let base: Vec<f64> = (0..64).map(|i| (i as f64 * 0.4).sin() * 2.0).collect();
+    let mut xs = vec![0.0; 4_096];
+    for (i, &v) in base.iter().enumerate() {
+        xs[1_000 + i] = v + 3.0; // shifted copy
+        xs[2_000 + i] = v * 2.0; // scaled copy
+    }
+    let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+        &xs,
+        IndexBuildConfig::new(32),
+        MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    let data = MemorySeriesStore::new(xs.clone());
+    let matcher = KvMatcher::new(&idx, &data).unwrap();
+    let spec = QuerySpec::cnsm_ed(base, 0.05, 1.0 + 1e-9, 10.0);
+    let (res, _) = matcher.execute(&spec).unwrap();
+    let offsets: Vec<usize> = res.iter().map(|r| r.offset).collect();
+    assert!(offsets.contains(&1_000), "pure shift must match at α = 1");
+    assert!(!offsets.contains(&2_000), "scaling must be rejected at α = 1");
+}

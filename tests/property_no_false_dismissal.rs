@@ -1,0 +1,211 @@
+//! Property-based tests of the paper's central correctness claims:
+//!
+//! * **No false dismissals** (Lemmas 1–4): for random series, queries and
+//!   parameters, the result set of KV-match equals the naive scan for all
+//!   four query types.
+//! * The lemma ranges themselves never exclude a true match's window mean.
+//! * KV-match_DP agrees with basic KV-match under arbitrary Σ choices.
+
+use proptest::prelude::*;
+
+use kvmatch::core::{
+    naive_search, DpMatcher, IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher, MultiIndex,
+    PreparedQuery, QuerySpec,
+};
+use kvmatch::storage::memory::MemoryKvStoreBuilder;
+use kvmatch::storage::{MemoryKvStore, MemorySeriesStore};
+use kvmatch::timeseries::generator::composite_series;
+use kvmatch::timeseries::PrefixStats;
+
+fn offsets(rs: &[kvmatch::core::MatchResult]) -> Vec<usize> {
+    rs.iter().map(|r| r.offset).collect()
+}
+
+/// Strategy: a seeded composite series (keeps shrinking meaningful while
+/// staying realistic) plus query geometry.
+fn series_and_query() -> impl Strategy<Value = (Vec<f64>, usize, usize)> {
+    (0u64..1000, 400usize..2000).prop_flat_map(|(seed, n)| {
+        let xs = composite_series(seed, n);
+        let max_m = n / 2;
+        (Just(xs), 60usize..max_m.max(61), 0usize..n)
+            .prop_map(|(xs, m, off_raw)| {
+                let off = off_raw % (xs.len() - m);
+                (xs, m, off)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn kvmatch_equals_naive_rsm_ed(
+        (xs, m, off) in series_and_query(),
+        eps in 0.0f64..30.0,
+        w_choice in 0usize..3,
+    ) {
+        let w = [25, 40, 50][w_choice];
+        prop_assume!(m >= w);
+        let q = xs[off..off + m].to_vec();
+        let spec = QuerySpec::rsm_ed(q, eps);
+        let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+            &xs, IndexBuildConfig::new(w), MemoryKvStoreBuilder::new()).unwrap();
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let (got, _) = matcher.execute(&spec).unwrap();
+        prop_assert_eq!(offsets(&got), offsets(&naive_search(&xs, &spec)));
+    }
+
+    #[test]
+    fn kvmatch_equals_naive_rsm_lp(
+        (xs, m, off) in series_and_query(),
+        eps in 0.0f64..60.0,
+        p_choice in 0usize..4,
+    ) {
+        use kvmatch::distance::LpExponent;
+        let w = 40;
+        prop_assume!(m >= w);
+        let p = [LpExponent::Finite(1), LpExponent::Finite(2),
+                 LpExponent::Finite(3), LpExponent::Infinity][p_choice];
+        // Scale ε sensibly per norm (L∞ thresholds live on a smaller scale).
+        let eps = if p == LpExponent::Infinity { eps / 20.0 } else { eps };
+        let q = xs[off..off + m].to_vec();
+        let spec = QuerySpec::rsm_lp(q, eps, p);
+        let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+            &xs, IndexBuildConfig::new(w), MemoryKvStoreBuilder::new()).unwrap();
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let (got, _) = matcher.execute(&spec).unwrap();
+        prop_assert_eq!(offsets(&got), offsets(&naive_search(&xs, &spec)));
+    }
+
+    #[test]
+    fn kvmatch_equals_naive_cnsm_lp(
+        (xs, m, off) in series_and_query(),
+        eps in 0.0f64..25.0,
+        alpha in 1.0f64..2.5,
+        beta in 0.0f64..8.0,
+        p_choice in 0usize..2,
+    ) {
+        use kvmatch::distance::LpExponent;
+        let w = 40;
+        prop_assume!(m >= w);
+        let p = [LpExponent::Finite(1), LpExponent::Infinity][p_choice];
+        let eps = if p == LpExponent::Infinity { eps / 10.0 } else { eps };
+        let q = xs[off..off + m].to_vec();
+        let spec = QuerySpec::cnsm_lp(q, eps, p, alpha, beta);
+        prop_assume!(spec.validate().is_ok());
+        let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+            &xs, IndexBuildConfig::new(w), MemoryKvStoreBuilder::new()).unwrap();
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let (got, _) = matcher.execute(&spec).unwrap();
+        prop_assert_eq!(offsets(&got), offsets(&naive_search(&xs, &spec)));
+    }
+
+    #[test]
+    fn kvmatch_equals_naive_cnsm_ed(
+        (xs, m, off) in series_and_query(),
+        eps in 0.01f64..8.0,
+        alpha in 1.0f64..3.0,
+        beta in 0.0f64..10.0,
+    ) {
+        let w = 30;
+        prop_assume!(m >= w);
+        let q = xs[off..off + m].to_vec();
+        let (_, sigma) = kvmatch::distance::mean_std(&q);
+        prop_assume!(sigma > 0.0);
+        let spec = QuerySpec::cnsm_ed(q, eps, alpha, beta);
+        let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+            &xs, IndexBuildConfig::new(w), MemoryKvStoreBuilder::new()).unwrap();
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let (got, _) = matcher.execute(&spec).unwrap();
+        prop_assert_eq!(offsets(&got), offsets(&naive_search(&xs, &spec)));
+    }
+
+    #[test]
+    fn kvmatch_equals_naive_dtw(
+        (xs, m, off) in series_and_query(),
+        eps in 0.01f64..10.0,
+        rho_frac in 0usize..3,
+        constrained in proptest::bool::ANY,
+    ) {
+        let w = 40;
+        prop_assume!(m >= w && m <= 600); // keep DTW affordable
+        let rho = [0, m / 40, m / 10][rho_frac];
+        let q = xs[off..off + m].to_vec();
+        let (_, sigma) = kvmatch::distance::mean_std(&q);
+        prop_assume!(sigma > 0.0);
+        let spec = if constrained {
+            QuerySpec::cnsm_dtw(q, eps, rho, 1.6, 6.0)
+        } else {
+            QuerySpec::rsm_dtw(q, eps, rho)
+        };
+        let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+            &xs, IndexBuildConfig::new(w), MemoryKvStoreBuilder::new()).unwrap();
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let (got, _) = matcher.execute(&spec).unwrap();
+        prop_assert_eq!(offsets(&got), offsets(&naive_search(&xs, &spec)));
+    }
+
+    #[test]
+    fn dp_matcher_equals_basic(
+        (xs, m, off) in series_and_query(),
+        eps in 0.0f64..20.0,
+    ) {
+        let wu = 25;
+        prop_assume!(m >= wu);
+        let q = xs[off..off + m].to_vec();
+        let spec = QuerySpec::rsm_ed(q, eps);
+        let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+            &xs, IndexBuildConfig::new(wu), MemoryKvStoreBuilder::new()).unwrap();
+        let multi = MultiIndex::<MemoryKvStore>::build_with::<MemoryKvStoreBuilder, _>(
+            &xs,
+            IndexSetConfig { wu, levels: 3, ..Default::default() },
+            |_| MemoryKvStoreBuilder::new(),
+        ).unwrap();
+        let data = MemorySeriesStore::new(xs.clone());
+        let basic = KvMatcher::new(&idx, &data).unwrap();
+        let dp = DpMatcher::new(&multi, &data).unwrap();
+        let (a, _) = basic.execute(&spec).unwrap();
+        let (b, _) = dp.execute(&spec).unwrap();
+        prop_assert_eq!(offsets(&a), offsets(&b));
+    }
+
+    /// The lemma ranges are *necessary conditions*: every true match's
+    /// window means fall inside every computed `[LR_i, UR_i]`.
+    #[test]
+    fn lemma_ranges_never_exclude_matches(
+        (xs, m, off) in series_and_query(),
+        eps in 0.01f64..10.0,
+        kind in 0usize..4,
+    ) {
+        let w = 25;
+        prop_assume!(m >= w && (kind < 2 || m <= 500));
+        let q = xs[off..off + m].to_vec();
+        let (_, sigma) = kvmatch::distance::mean_std(&q);
+        prop_assume!(sigma > 0.0);
+        let spec = match kind {
+            0 => QuerySpec::rsm_ed(q, eps),
+            1 => QuerySpec::cnsm_ed(q, eps, 1.5, 5.0),
+            2 => QuerySpec::rsm_dtw(q, eps, m / 20),
+            _ => QuerySpec::cnsm_dtw(q, eps, m / 20, 1.5, 5.0),
+        };
+        let prep = PreparedQuery::new(spec.clone()).unwrap();
+        let ps = PrefixStats::new(&xs);
+        let p = m / w;
+        for r in naive_search(&xs, &spec) {
+            for i in 0..p {
+                let range = prep.window_range(i * w, w);
+                let mu = ps.range_mean(r.offset + i * w, w);
+                prop_assert!(
+                    range.lower - 1e-9 <= mu && mu <= range.upper + 1e-9,
+                    "match {} window {i}: mean {mu} outside [{}, {}] (kind {kind})",
+                    r.offset, range.lower, range.upper
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the substrates: storage round trips, interval
+//! algebra against a model, index row encoding, and store-backend
+//! equivalence.
+
+use proptest::prelude::*;
+
+use kvmatch::core::index::{decode_row, encode_row};
+use kvmatch::core::{IndexBuildConfig, IntervalSet, KvIndex, WindowInterval};
+use kvmatch::storage::memory::MemoryKvStoreBuilder;
+use kvmatch::storage::sharded::{ShardedKvStoreBuilder, ShardingConfig};
+use kvmatch::storage::{
+    FileKvStore, FileKvStoreBuilder, KvStore, KvStoreBuilder, MemoryKvStore, ShardedKvStore,
+};
+
+/// Strategy: a set of positions in a small universe, as singleton
+/// intervals (from_unsorted coalesces them).
+fn position_set(max: u64) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::btree_set(0u64..max, 0..40).prop_map(|s| s.into_iter().collect())
+}
+
+fn to_set(positions: &[u64]) -> IntervalSet {
+    IntervalSet::from_unsorted(
+        positions.iter().map(|&p| WindowInterval::new(p, p)).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn interval_union_intersect_model(a in position_set(200), b in position_set(200)) {
+        use std::collections::BTreeSet;
+        let sa: BTreeSet<u64> = a.iter().copied().collect();
+        let sb: BTreeSet<u64> = b.iter().copied().collect();
+        let ia = to_set(&a);
+        let ib = to_set(&b);
+        let union: Vec<u64> = ia.union(&ib).positions().collect();
+        let want_union: Vec<u64> = sa.union(&sb).copied().collect();
+        prop_assert_eq!(union, want_union);
+        let inter: Vec<u64> = ia.intersect(&ib).positions().collect();
+        let want_inter: Vec<u64> = sa.intersection(&sb).copied().collect();
+        prop_assert_eq!(inter, want_inter);
+        // nP is consistent.
+        prop_assert_eq!(ia.num_positions() as usize, sa.len());
+    }
+
+    #[test]
+    fn interval_shift_model(a in position_set(200), delta in 0u64..60) {
+        use std::collections::BTreeSet;
+        let sa: BTreeSet<u64> = a.iter().copied().collect();
+        let shifted: Vec<u64> = to_set(&a).shift_left(delta).positions().collect();
+        let want: Vec<u64> = sa.iter().filter(|&&p| p >= delta).map(|p| p - delta).collect();
+        prop_assert_eq!(shifted, want);
+    }
+
+    #[test]
+    fn row_encoding_round_trips(a in position_set(100_000)) {
+        let set = to_set(&a);
+        let bytes = encode_row(&set).unwrap();
+        let back = decode_row(&bytes).unwrap();
+        prop_assert_eq!(set, back);
+    }
+
+    #[test]
+    fn kv_stores_agree_on_scans(
+        rows in proptest::collection::btree_map(
+            proptest::collection::vec(0u8..255, 1..8),
+            proptest::collection::vec(proptest::num::u8::ANY, 0..16),
+            0..30,
+        ),
+        probe_lo in proptest::collection::vec(0u8..255, 0..6),
+        probe_hi in proptest::collection::vec(0u8..255, 0..6),
+    ) {
+        let mut mem = MemoryKvStoreBuilder::new();
+        let mut shard = ShardedKvStoreBuilder::new(ShardingConfig { regions: 3, latency_per_scan_ns: 0 });
+        let dir = tempfile::tempdir().unwrap();
+        let mut file = FileKvStoreBuilder::create(dir.path().join("p.idx")).unwrap();
+        for (k, v) in &rows {
+            mem.append(k, v).unwrap();
+            shard.append(k, v).unwrap();
+            file.append(k, v).unwrap();
+        }
+        let mem: MemoryKvStore = mem.finish().unwrap();
+        let shard: ShardedKvStore = shard.finish().unwrap();
+        let file: FileKvStore = file.finish().unwrap();
+        let (lo, hi) = (probe_lo, probe_hi);
+        let a = mem.scan(&lo, &hi).unwrap();
+        let b = shard.scan(&lo, &hi).unwrap();
+        let c = file.scan(&lo, &hi).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+        prop_assert_eq!(mem.scan_all().unwrap().len(), rows.len());
+        prop_assert_eq!(file.scan_all().unwrap().len(), rows.len());
+    }
+
+    #[test]
+    fn index_identical_on_all_backends(seed in 0u64..200, n in 200usize..1500) {
+        let xs = kvmatch::timeseries::generator::composite_series(seed, n);
+        let cfg = IndexBuildConfig::new(25);
+        let (mem_idx, _) = KvIndex::<MemoryKvStore>::build_into(
+            &xs, cfg, MemoryKvStoreBuilder::new()).unwrap();
+        let dir = tempfile::tempdir().unwrap();
+        let (file_idx, _) = KvIndex::<FileKvStore>::build_into(
+            &xs, cfg, FileKvStoreBuilder::create(dir.path().join("i.idx")).unwrap()).unwrap();
+        let (shard_idx, _) = KvIndex::<ShardedKvStore>::build_into(
+            &xs, cfg, ShardedKvStoreBuilder::new(ShardingConfig::default())).unwrap();
+        prop_assert_eq!(mem_idx.meta(), file_idx.meta());
+        prop_assert_eq!(mem_idx.meta(), shard_idx.meta());
+        // Same probe result everywhere.
+        let (a, _) = mem_idx.probe(-1.0, 1.0).unwrap();
+        let (b, _) = file_idx.probe(-1.0, 1.0).unwrap();
+        let (c, _) = shard_idx.probe(-1.0, 1.0).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &c);
+    }
+
+    #[test]
+    fn meta_positions_always_complete(seed in 0u64..300, n in 50usize..2000, w_idx in 0usize..3) {
+        let w = [10usize, 25, 50][w_idx];
+        let xs = kvmatch::timeseries::generator::composite_series(seed, n);
+        let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+            &xs, IndexBuildConfig::new(w), MemoryKvStoreBuilder::new()).unwrap();
+        let expect = if n >= w { (n - w + 1) as u64 } else { 0 };
+        prop_assert_eq!(idx.meta().total_positions(), expect);
+    }
+}

@@ -1,0 +1,155 @@
+//! §VI-C optimization 1 — the index-row cache.
+//!
+//! Correctness: cached execution returns exactly the uncached result set
+//! for all four query types. Effectiveness: repeating a query through a
+//! warm cache issues zero store scans; overlapping queries fetch only the
+//! missing row spans.
+
+use kvmatch::core::{
+    DpMatcher, IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher, MultiIndex, QuerySpec,
+    RowCache,
+};
+use kvmatch::prelude::{KvStore as _, MemoryKvStore, MemoryKvStoreBuilder, MemorySeriesStore};
+use kvmatch::timeseries::generator::composite_series;
+
+fn build(xs: &[f64], w: usize) -> KvIndex<MemoryKvStore> {
+    let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+        xs,
+        IndexBuildConfig::new(w),
+        MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    idx
+}
+
+fn all_specs(xs: &[f64]) -> Vec<QuerySpec> {
+    let q = xs[1000..1300].to_vec();
+    vec![
+        QuerySpec::rsm_ed(q.clone(), 12.0),
+        QuerySpec::rsm_dtw(q.clone(), 8.0, 10),
+        QuerySpec::cnsm_ed(q.clone(), 2.0, 1.5, 4.0),
+        QuerySpec::cnsm_dtw(q, 2.0, 10, 1.5, 4.0),
+    ]
+}
+
+#[test]
+fn cached_results_identical_for_all_query_types() {
+    let xs = composite_series(401, 8_000);
+    let idx = build(&xs, 50);
+    let data = MemorySeriesStore::new(xs.clone());
+    let cache = RowCache::new(10_000);
+    for spec in all_specs(&xs) {
+        let plain = KvMatcher::new(&idx, &data).unwrap();
+        let (want, _) = plain.execute(&spec).unwrap();
+        let cached = KvMatcher::new(&idx, &data).unwrap().with_row_cache(&cache);
+        // Run twice: cold then warm.
+        let (got_cold, _) = cached.execute(&spec).unwrap();
+        let (got_warm, _) = cached.execute(&spec).unwrap();
+        assert_eq!(got_cold, want);
+        assert_eq!(got_warm, want);
+    }
+}
+
+#[test]
+fn warm_cache_issues_zero_store_scans() {
+    let xs = composite_series(403, 10_000);
+    let idx = build(&xs, 50);
+    let data = MemorySeriesStore::new(xs.clone());
+    let cache = RowCache::new(10_000);
+    let spec = QuerySpec::rsm_ed(xs[2000..2400].to_vec(), 15.0);
+    let matcher = KvMatcher::new(&idx, &data).unwrap().with_row_cache(&cache);
+
+    let (_, cold) = matcher.execute(&spec).unwrap();
+    assert!(cold.index_accesses >= 1, "cold run must hit the store");
+    let scans_before = idx.store().io_stats().scans();
+    let (_, warm) = matcher.execute(&spec).unwrap();
+    assert_eq!(warm.index_accesses, 0, "warm run re-probes from cache only");
+    assert_eq!(idx.store().io_stats().scans(), scans_before);
+    assert_eq!(warm.rows_from_cache, cold.rows_scanned + cold.rows_from_cache);
+    // Candidate statistics are unaffected by the cache.
+    assert_eq!(warm.candidates, cold.candidates);
+}
+
+#[test]
+fn overlapping_query_fetches_only_missing_rows() {
+    let xs = composite_series(405, 10_000);
+    let idx = build(&xs, 50);
+    let data = MemorySeriesStore::new(xs.clone());
+    let cache = RowCache::new(10_000);
+    let matcher = KvMatcher::new(&idx, &data).unwrap().with_row_cache(&cache);
+
+    // Same query window means, wider ε ⇒ row ranges are supersets.
+    let q = xs[3000..3400].to_vec();
+    let (_, narrow) = matcher.execute(&QuerySpec::rsm_ed(q.clone(), 5.0)).unwrap();
+    let (_, wide) = matcher.execute(&QuerySpec::rsm_ed(q, 8.0)).unwrap();
+    assert!(
+        wide.rows_from_cache >= narrow.rows_scanned,
+        "every row the narrow query fetched is reused: {} cached vs {} fetched",
+        wide.rows_from_cache,
+        narrow.rows_scanned,
+    );
+}
+
+#[test]
+fn tiny_cache_still_correct_under_eviction_pressure() {
+    let xs = composite_series(407, 8_000);
+    let idx = build(&xs, 50);
+    let data = MemorySeriesStore::new(xs.clone());
+    let cache = RowCache::new(2); // pathological: near-permanent eviction
+    for spec in all_specs(&xs) {
+        let plain = KvMatcher::new(&idx, &data).unwrap();
+        let (want, _) = plain.execute(&spec).unwrap();
+        let cached = KvMatcher::new(&idx, &data).unwrap().with_row_cache(&cache);
+        let (got, _) = cached.execute(&spec).unwrap();
+        assert_eq!(got, want);
+    }
+    assert!(cache.stats().evictions > 0, "capacity 2 must evict");
+}
+
+#[test]
+fn dp_matcher_shares_cache_across_window_widths() {
+    let xs = composite_series(409, 12_000);
+    let cfg = IndexSetConfig { wu: 25, levels: 4, ..Default::default() };
+    let multi = MultiIndex::<MemoryKvStore>::build_with::<MemoryKvStoreBuilder, _>(
+        &xs,
+        cfg,
+        |_| MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    let data = MemorySeriesStore::new(xs.clone());
+    let cache = RowCache::new(10_000);
+    let spec = QuerySpec::cnsm_ed(xs[4000..4400].to_vec(), 2.0, 1.5, 4.0);
+
+    let plain = DpMatcher::new(&multi, &data).unwrap();
+    let (want, _) = plain.execute(&spec).unwrap();
+
+    let cached = DpMatcher::new(&multi, &data).unwrap().with_row_cache(&cache);
+    let (cold, cold_stats) = cached.execute(&spec).unwrap();
+    let (warm, warm_stats) = cached.execute(&spec).unwrap();
+    assert_eq!(cold, want);
+    assert_eq!(warm, want);
+    assert!(cold_stats.index_accesses >= 1);
+    assert_eq!(warm_stats.index_accesses, 0, "all widths served from cache");
+}
+
+#[test]
+fn cache_hit_rate_grows_over_an_exploratory_session() {
+    // The paper's interactive scenario: a user sweeps ε on the same query.
+    let xs = composite_series(411, 10_000);
+    let idx = build(&xs, 50);
+    let data = MemorySeriesStore::new(xs.clone());
+    let cache = RowCache::new(10_000);
+    let matcher = KvMatcher::new(&idx, &data).unwrap().with_row_cache(&cache);
+    let q = xs[5000..5500].to_vec();
+    let mut total_scans = Vec::new();
+    for eps in [4.0, 4.5, 5.0, 5.5, 6.0] {
+        let (_, stats) = matcher.execute(&QuerySpec::rsm_ed(q.clone(), eps)).unwrap();
+        total_scans.push(stats.index_accesses);
+    }
+    let first = total_scans[0];
+    let later: u64 = total_scans[1..].iter().sum();
+    assert!(
+        later <= first * 4,
+        "later probes mostly cached: first {first}, later {total_scans:?}"
+    );
+}
