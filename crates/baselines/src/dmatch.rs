@@ -67,11 +67,8 @@ impl DualMatcher {
         );
         let t0 = Instant::now();
         let features = disjoint_paa(xs, config.window, config.paa_dims);
-        let points: Vec<(Vec<f64>, u64)> = features
-            .iter()
-            .enumerate()
-            .map(|(k, feat)| (feat.clone(), k as u64))
-            .collect();
+        let points: Vec<(Vec<f64>, u64)> =
+            features.iter().enumerate().map(|(k, feat)| (feat.clone(), k as u64)).collect();
         let windows = points.len();
         let tree = RTree::bulk_load(points, config.paa_dims, RTreeConfig { fanout: config.fanout });
         let build = TreeBuildInfo {

@@ -107,10 +107,7 @@ impl FrmMatcher {
         );
         let t0 = Instant::now();
         let all = sliding_paa(xs, config.window, config.paa_dims);
-        let features: Vec<Vec<f64>> = all
-            .into_iter()
-            .step_by(config.j)
-            .collect();
+        let features: Vec<Vec<f64>> = all.into_iter().step_by(config.j).collect();
         let points: Vec<(Vec<f64>, u64)> = features
             .iter()
             .enumerate()
@@ -213,8 +210,7 @@ impl FrmMatcher {
                         paa_distance(feat, lo, w) <= radius + 1e-12
                     } else {
                         (0..f).all(|d| {
-                            feat[d] >= lo[d] - per_dim - 1e-12
-                                && feat[d] <= hi[d] + per_dim + 1e-12
+                            feat[d] >= lo[d] - per_dim - 1e-12 && feat[d] <= hi[d] + per_dim + 1e-12
                         })
                     };
                     if ok {
@@ -346,8 +342,7 @@ mod tests {
         let spec = QuerySpec::rsm_ed(q, 20.0);
         let (sets, stats) = frm.window_candidates(&spec).unwrap();
         assert_eq!(sets.len(), 512 / 64);
-        let union: std::collections::BTreeSet<usize> =
-            sets.iter().flatten().copied().collect();
+        let union: std::collections::BTreeSet<usize> = sets.iter().flatten().copied().collect();
         assert!(stats.window_candidates >= union.len() as u64);
     }
 

@@ -16,10 +16,7 @@ pub fn paa(window: &[f64], f: usize) -> Vec<f64> {
     assert!(f > 0 && f <= window.len(), "invalid PAA segment count");
     assert!(window.len().is_multiple_of(f), "window length must divide into f segments");
     let seg = window.len() / f;
-    window
-        .chunks_exact(seg)
-        .map(|c| c.iter().sum::<f64>() / seg as f64)
-        .collect()
+    window.chunks_exact(seg).map(|c| c.iter().sum::<f64>() / seg as f64).collect()
 }
 
 /// PAA features for **all** sliding windows of width `w` over `xs`,
@@ -32,9 +29,7 @@ pub fn sliding_paa(xs: &[f64], w: usize, f: usize) -> Vec<Vec<f64>> {
     }
     let seg = w / f;
     let ps = PrefixStats::new(xs);
-    (0..=xs.len() - w)
-        .map(|j| (0..f).map(|k| ps.range_mean(j + k * seg, seg)).collect())
-        .collect()
+    (0..=xs.len() - w).map(|j| (0..f).map(|k| ps.range_mean(j + k * seg, seg)).collect()).collect()
 }
 
 /// PAA features of the disjoint windows of width `w` (used by DMatch's

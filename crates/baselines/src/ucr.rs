@@ -14,9 +14,7 @@ use std::time::Instant;
 
 use kvmatch_core::{CoreError, MatchResult, QuerySpec};
 use kvmatch_distance::dtw::dtw_banded_early_abandon;
-use kvmatch_distance::ed::{
-    abandon_order, ed_early_abandon, ed_norm_early_abandon_ordered,
-};
+use kvmatch_distance::ed::{abandon_order, ed_early_abandon, ed_norm_early_abandon_ordered};
 use kvmatch_distance::envelope::keogh_envelope;
 use kvmatch_distance::lower_bounds::{lb_keogh_sq_early_abandon, lb_kim_fl_sq, lb_paa_sq};
 use kvmatch_distance::normalize::{mean_std, z_normalized};
@@ -155,9 +153,7 @@ pub(crate) fn scan_impl(
     let seg = (m / FAST_PAA_SEGMENTS).max(1);
     let f = m / seg;
     let paa_of = |v: &[f64]| -> Vec<f64> {
-        (0..f)
-            .map(|k| v[k * seg..(k + 1) * seg].iter().sum::<f64>() / seg as f64)
-            .collect()
+        (0..f).map(|k| v[k * seg..(k + 1) * seg].iter().sum::<f64>() / seg as f64).collect()
     };
     // The PAA target depends on the query type: raw Q / raw envelope /
     // normalized Q / normalized envelope.
@@ -220,7 +216,11 @@ pub(crate) fn scan_impl(
             for (k, slot) in paa_s.iter_mut().enumerate() {
                 let mu = prefix.range_mean(j + k * seg, seg);
                 *slot = if spec.is_normalized() {
-                    if sigma_s > 0.0 { (mu - mu_s) / sigma_s } else { 0.0 }
+                    if sigma_s > 0.0 {
+                        (mu - mu_s) / sigma_s
+                    } else {
+                        0.0
+                    }
                 } else {
                     mu
                 };
@@ -340,9 +340,7 @@ mod tests {
         let xs = composite_series(213, 5_000);
         let q = xs[2000..2200].to_vec();
         let ucr = UcrSuite::new(&xs);
-        let (_, stats) = ucr
-            .search(&QuerySpec::cnsm_ed(q, 1.0, 1.1, 0.2))
-            .unwrap();
+        let (_, stats) = ucr.search(&QuerySpec::cnsm_ed(q, 1.0, 1.1, 0.2)).unwrap();
         assert!(
             stats.pruned_constraint > stats.offsets_scanned / 2,
             "expected constraint pruning to dominate: {stats:?}"

@@ -49,14 +49,10 @@ fn bench_dp_vs_single(c: &mut Criterion) {
             if *w > m {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(format!("kvm_w{w}"), m),
-                &spec,
-                |b, spec| {
-                    let matcher = KvMatcher::new(idx, &data).unwrap();
-                    b.iter(|| matcher.execute(black_box(spec)).unwrap())
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("kvm_w{w}"), m), &spec, |b, spec| {
+                let matcher = KvMatcher::new(idx, &data).unwrap();
+                b.iter(|| matcher.execute(black_box(spec)).unwrap())
+            });
         }
         group.bench_with_input(BenchmarkId::new("kvm_dp", m), &spec, |b, spec| {
             let matcher = DpMatcher::new(&multi, &data).unwrap();
@@ -114,10 +110,5 @@ fn bench_probe_order_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_dp_vs_single,
-    bench_segmentation_only,
-    bench_probe_order_ablation
-);
+criterion_group!(benches, bench_dp_vs_single, bench_segmentation_only, bench_probe_order_ablation);
 criterion_main!(benches);

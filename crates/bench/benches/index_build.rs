@@ -52,13 +52,9 @@ fn bench_ablations(c: &mut Criterion) {
     group.sample_size(10);
     // γ ablation: merge disabled vs default vs aggressive.
     for gamma in [0.0f64, 0.8, 1.0] {
-        group.bench_with_input(
-            BenchmarkId::new("gamma", format!("{gamma}")),
-            &gamma,
-            |b, &g| {
-                b.iter(|| build_rows(black_box(&xs), IndexBuildConfig::new(50).with_gamma(g)))
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("gamma", format!("{gamma}")), &gamma, |b, &g| {
+            b.iter(|| build_rows(black_box(&xs), IndexBuildConfig::new(50).with_gamma(g)))
+        });
     }
     // Parallel build ablation.
     for threads in [1usize, 2, 4, 8] {
@@ -69,7 +65,6 @@ fn bench_ablations(c: &mut Criterion) {
     group.finish();
 }
 
-
 fn bench_append_vs_rebuild(c: &mut Criterion) {
     // Incremental maintenance ablation: extending an index by a batch vs
     // rebuilding from scratch, as the covered prefix grows.
@@ -78,7 +73,8 @@ fn bench_append_vs_rebuild(c: &mut Criterion) {
     let xs = make_series(n + batch, 13);
     let w = 50;
     let cfg = IndexBuildConfig::new(w);
-    let (base, _) = KvIndex::<MemoryKvStore>::build_into(&xs[..n], cfg, MemoryKvStoreBuilder::new()).unwrap();
+    let (base, _) =
+        KvIndex::<MemoryKvStore>::build_into(&xs[..n], cfg, MemoryKvStoreBuilder::new()).unwrap();
     let mut group = c.benchmark_group("append_vs_rebuild_20k_batch");
     group.sample_size(10);
     group.bench_function("incremental_append", |b| {
@@ -97,5 +93,11 @@ fn bench_append_vs_rebuild(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_window_width, bench_build_vs_n, bench_ablations, bench_append_vs_rebuild);
+criterion_group!(
+    benches,
+    bench_window_width,
+    bench_build_vs_n,
+    bench_ablations,
+    bench_append_vs_rebuild
+);
 criterion_main!(benches);

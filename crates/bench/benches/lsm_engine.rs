@@ -31,17 +31,20 @@ fn bench_write_path(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(10_000));
     group.bench_function("10k_puts_with_flushes", |b| {
-        b.iter_with_setup(|| tempfile::tempdir().unwrap(), |dir| {
-            let db = LsmDb::open(
-                dir.path(),
-                LsmOptions { memtable_bytes: 64 << 10, ..LsmOptions::default() },
-            )
-            .unwrap();
-            for i in 0..10_000 {
-                db.put(black_box(&key(i)), black_box(&value(i))).unwrap();
-            }
-            db.flush().unwrap();
-        })
+        b.iter_with_setup(
+            || tempfile::tempdir().unwrap(),
+            |dir| {
+                let db = LsmDb::open(
+                    dir.path(),
+                    LsmOptions { memtable_bytes: 64 << 10, ..LsmOptions::default() },
+                )
+                .unwrap();
+                for i in 0..10_000 {
+                    db.put(black_box(&key(i)), black_box(&value(i))).unwrap();
+                }
+                db.flush().unwrap();
+            },
+        )
     });
     group.finish();
 }
@@ -79,16 +82,19 @@ fn bench_bulk_ingest(c: &mut Criterion) {
     let n = 50_000;
     group.throughput(Throughput::Elements(n as u64));
     group.bench_function("sorted_50k_rows", |b| {
-        b.iter_with_setup(|| tempfile::tempdir().unwrap(), |dir| {
-            let mut builder =
-                LsmKvStoreBuilder::create(dir.path(), LsmOptions::default()).unwrap();
-            for i in 0..n {
-                kvmatch_storage::KvStoreBuilder::append(&mut builder, &key(i), &value(i))
-                    .unwrap();
-            }
-            let store = kvmatch_storage::KvStoreBuilder::finish(builder).unwrap();
-            assert_eq!(store.row_count(), n);
-        })
+        b.iter_with_setup(
+            || tempfile::tempdir().unwrap(),
+            |dir| {
+                let mut builder =
+                    LsmKvStoreBuilder::create(dir.path(), LsmOptions::default()).unwrap();
+                for i in 0..n {
+                    kvmatch_storage::KvStoreBuilder::append(&mut builder, &key(i), &value(i))
+                        .unwrap();
+                }
+                let store = kvmatch_storage::KvStoreBuilder::finish(builder).unwrap();
+                assert_eq!(store.row_count(), n);
+            },
+        )
     });
     group.finish();
 }

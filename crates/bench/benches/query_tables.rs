@@ -42,11 +42,8 @@ fn setup() -> Setup {
         hi - lo
     };
     let beta = range * 0.05;
-    let (eps_cnsm, _) = calibrate_epsilon(
-        &xs,
-        |e| QuerySpec::cnsm_ed(query.clone(), e, 1.5, beta),
-        target,
-    );
+    let (eps_cnsm, _) =
+        calibrate_epsilon(&xs, |e| QuerySpec::cnsm_ed(query.clone(), e, 1.5, beta), target);
     Setup { xs, multi, data, query, eps_rsm, eps_cnsm, beta }
 }
 
@@ -60,9 +57,7 @@ fn bench_rsm_ed(c: &mut Criterion) {
         let m = DpMatcher::new(&s.multi, &s.data).unwrap();
         b.iter(|| m.execute(black_box(&spec)).unwrap())
     });
-    group.bench_function("gmatch", |b| {
-        b.iter(|| gmatch.search(&s.xs, black_box(&spec)).unwrap())
-    });
+    group.bench_function("gmatch", |b| b.iter(|| gmatch.search(&s.xs, black_box(&spec)).unwrap()));
     group.bench_function("ucr", |b| {
         let u = UcrSuite::new(&s.xs);
         b.iter(|| u.search(black_box(&spec)).unwrap())
@@ -80,9 +75,7 @@ fn bench_rsm_dtw(c: &mut Criterion) {
         let m = DpMatcher::new(&s.multi, &s.data).unwrap();
         b.iter(|| m.execute(black_box(&spec)).unwrap())
     });
-    group.bench_function("dmatch", |b| {
-        b.iter(|| dmatch.search(&s.xs, black_box(&spec)).unwrap())
-    });
+    group.bench_function("dmatch", |b| b.iter(|| dmatch.search(&s.xs, black_box(&spec)).unwrap()));
     group.finish();
 }
 

@@ -7,9 +7,9 @@ use std::hint::black_box;
 
 use kvmatch_bench::make_series;
 use kvmatch_core::{IndexBuildConfig, KvIndex};
+use kvmatch_lsm::{LsmKvStore, LsmKvStoreBuilder, LsmOptions};
 use kvmatch_storage::memory::MemoryKvStoreBuilder;
 use kvmatch_storage::sharded::{ShardedKvStoreBuilder, ShardingConfig};
-use kvmatch_lsm::{LsmKvStore, LsmKvStoreBuilder, LsmOptions};
 use kvmatch_storage::{
     encode_f64, BlockSeriesStore, FileKvStore, FileKvStoreBuilder, KvStore, MemoryKvStore,
     MemorySeriesStore, SeriesStore, ShardedKvStore,

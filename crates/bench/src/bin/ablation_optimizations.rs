@@ -109,8 +109,7 @@ fn main() {
             for &eps in &eps_sweep {
                 let spec = QuerySpec::rsm_ed(q.clone(), eps);
                 let matcher = DpMatcher::new(&multi, &data).unwrap().with_options(cfg.options);
-                let matcher =
-                    if cfg.cache { matcher.with_row_cache(&cache) } else { matcher };
+                let matcher = if cfg.cache { matcher.with_row_cache(&cache) } else { matcher };
                 let ((results, stats), t) = time_ms(|| matcher.execute(&spec).unwrap());
                 scans += stats.index_accesses;
                 fetched += stats.rows_scanned;
@@ -126,11 +125,9 @@ fn main() {
         }
         match &reference {
             None => reference = Some(offsets),
-            Some(want) => assert_eq!(
-                &offsets, want,
-                "optimization {:?} changed the result set",
-                cfg.name
-            ),
+            Some(want) => {
+                assert_eq!(&offsets, want, "optimization {:?} changed the result set", cfg.name)
+            }
         }
         table.push(Row::new(vec![
             cfg.name.into(),

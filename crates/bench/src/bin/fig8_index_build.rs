@@ -23,8 +23,14 @@ fn main() {
     std::fs::create_dir_all(&dir).expect("create temp dir");
 
     let mut table = Table::new(&[
-        "n", "data (MB)", "DMatch size (MB)", "DMatch build (s)", "FRM size (MB)",
-        "FRM build (s)", "KVM-DP size (MB)", "KVM-DP build (s)",
+        "n",
+        "data (MB)",
+        "DMatch size (MB)",
+        "DMatch build (s)",
+        "FRM size (MB)",
+        "FRM build (s)",
+        "KVM-DP size (MB)",
+        "KVM-DP build (s)",
     ]);
     let mut n = 10_000usize;
     let mut series = Vec::new();

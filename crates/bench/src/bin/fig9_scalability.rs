@@ -46,7 +46,12 @@ fn main() {
     println!("modelled RPC cost: {rpc_ms:.3} ms per storage operation\n");
 
     let mut table = Table::new(&[
-        "n", "UCR ED (ms)", "KVM ED (ms)", "UCR DTW (ms)", "KVM DTW (ms)", "speedup ED",
+        "n",
+        "UCR ED (ms)",
+        "KVM ED (ms)",
+        "UCR DTW (ms)",
+        "KVM DTW (ms)",
+        "speedup ED",
         "speedup DTW",
     ]);
     let mut n = 10_000usize;
@@ -71,13 +76,11 @@ fn main() {
             let scale = rng.random_range(0.97..1.03);
             let shift = rng.random_range(-0.2..0.2);
             for (i, &tv) in template.iter().enumerate() {
-                xs[off + i] =
-                    (tv - mu_t) * scale + mu_t + shift + 0.02 * sd_t * gaussian(&mut rng);
+                xs[off + i] = (tv - mu_t) * scale + mu_t + shift + 0.02 * sd_t * gaussian(&mut rng);
             }
         }
         let value_range = {
-            let (lo, hi) =
-                xs.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
+            let (lo, hi) = xs.iter().fold((f64::MAX, f64::MIN), |(a, b), &v| (a.min(v), b.max(v)));
             hi - lo
         };
         let beta = value_range * 0.01;
@@ -90,12 +93,7 @@ fn main() {
         .unwrap();
         let data = BlockSeriesStore::from_series(&xs, BlockSeriesStore::DEFAULT_BLOCK);
         let queries: Vec<Vec<f64>> = (0..env.queries)
-            .map(|_| {
-                template
-                    .iter()
-                    .map(|&v| v + 0.02 * sd_t * gaussian(&mut rng))
-                    .collect()
-            })
+            .map(|_| template.iter().map(|&v| v + 0.02 * sd_t * gaussian(&mut rng)).collect())
             .collect();
 
         let matches = 10usize;
@@ -124,9 +122,8 @@ fn main() {
             let io_before = index_ops(&multi);
             let d_before = data.io_stats().snapshot();
             let ((res_k, sk), t_k_ed) = time_ms(|| matcher.execute(&spec_ed).unwrap());
-            let kvm_rpcs = (index_ops(&multi) - io_before) + sk.candidate_intervals.max(
-                data.io_stats().snapshot().since(&d_before).seeks,
-            );
+            let kvm_rpcs = (index_ops(&multi) - io_before)
+                + sk.candidate_intervals.max(data.io_stats().snapshot().since(&d_before).seeks);
             t[1] += t_k_ed + kvm_rpcs as f64 * rpc_ms;
 
             assert_eq!(
@@ -136,8 +133,7 @@ fn main() {
             );
 
             let before = data.io_stats().snapshot();
-            let ((_, _), t_u_dtw) =
-                time_ms(|| scan_series_store(&data, &spec_dtw, chunk).unwrap());
+            let ((_, _), t_u_dtw) = time_ms(|| scan_series_store(&data, &spec_dtw, chunk).unwrap());
             let rpcs = data.io_stats().snapshot().since(&before).rows_read
                 / (chunk / BlockSeriesStore::DEFAULT_BLOCK) as u64;
             t[2] += t_u_dtw + rpcs as f64 * rpc_ms;

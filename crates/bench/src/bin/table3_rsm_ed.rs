@@ -42,16 +42,17 @@ fn main() {
     let queries = sample_queries(&xs, m, env.queries, 0.05, env.seed + 1);
 
     let mut table = Table::new(&[
-        "selectivity", "approach", "#candidates", "#index-acc", "time(ms)", "#matches",
+        "selectivity",
+        "approach",
+        "#candidates",
+        "#index-acc",
+        "time(ms)",
+        "#matches",
     ]);
     // Paper selectivity s at n=1e9 gives s·1e9 matches; same counts here.
-    for (label, matches) in [
-        ("1e-9", 1usize),
-        ("1e-8", 10),
-        ("1e-7", 100),
-        ("1e-6", 1_000),
-        ("1e-5", 10_000),
-    ] {
+    for (label, matches) in
+        [("1e-9", 1usize), ("1e-8", 10), ("1e-7", 100), ("1e-6", 1_000), ("1e-5", 10_000)]
+    {
         let matches = matches.min(env.n / 20);
         let mut gm = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
         let mut kv = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
@@ -101,5 +102,7 @@ fn main() {
         ]));
     }
     table.print();
-    println!("paper shape: GMatch index accesses 20-30x KVM-DP; KVM-DP ~10x faster at high selectivity.");
+    println!(
+        "paper shape: GMatch index accesses 20-30x KVM-DP; KVM-DP ~10x faster at high selectivity."
+    );
 }

@@ -42,15 +42,16 @@ fn main() {
     let queries = sample_queries(&xs, m, env.queries, 0.05, env.seed + 2);
 
     let mut table = Table::new(&[
-        "selectivity", "approach", "#candidates", "#index-acc", "time(ms)", "#matches",
+        "selectivity",
+        "approach",
+        "#candidates",
+        "#index-acc",
+        "time(ms)",
+        "#matches",
     ]);
-    for (label, matches) in [
-        ("1e-9", 1usize),
-        ("1e-8", 10),
-        ("1e-7", 100),
-        ("1e-6", 1_000),
-        ("1e-5", 10_000),
-    ] {
+    for (label, matches) in
+        [("1e-9", 1usize), ("1e-8", 10), ("1e-7", 100), ("1e-6", 1_000), ("1e-5", 10_000)]
+    {
         let matches = matches.min(env.n / 20);
         let mut dm = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
         let mut kv = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
@@ -100,5 +101,7 @@ fn main() {
         ]));
     }
     table.print();
-    println!("paper shape: DMatch candidates 1-2 orders larger; KVM-DP faster at every selectivity.");
+    println!(
+        "paper shape: DMatch candidates 1-2 orders larger; KVM-DP faster at every selectivity."
+    );
 }

@@ -47,8 +47,13 @@ fn main() {
     let queries = sample_queries(&xs, m, env.queries, 0.05, env.seed + 3);
 
     let mut table = Table::new(&[
-        "selectivity", "alpha", "kvm b'=1 (ms)", "kvm b'=5 (ms)", "kvm b'=10 (ms)",
-        "UCR avg (ms)", "FAST avg (ms)",
+        "selectivity",
+        "alpha",
+        "kvm b'=1 (ms)",
+        "kvm b'=5 (ms)",
+        "kvm b'=10 (ms)",
+        "UCR avg (ms)",
+        "FAST avg (ms)",
     ]);
     for (label, matches) in
         [("1e-9", 1usize), ("1e-8", 10), ("1e-7", 100), ("1e-6", 1_000), ("1e-5", 10_000)]
@@ -80,8 +85,7 @@ fn main() {
         let nq = queries.len() as f64;
 
         for alpha in ALPHAS {
-            let mut cells: Vec<kvmatch_bench::harness::Cell> =
-                vec![label.into(), alpha.into()];
+            let mut cells: Vec<kvmatch_bench::harness::Cell> = vec![label.into(), alpha.into()];
             for bp in BETA_PRIMES {
                 let beta = value_range * bp / 100.0;
                 let mut t_kv = 0.0;

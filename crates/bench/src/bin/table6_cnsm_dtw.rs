@@ -46,8 +46,13 @@ fn main() {
     let queries = sample_queries(&xs, m, env.queries, 0.05, env.seed + 4);
 
     let mut table = Table::new(&[
-        "selectivity", "alpha", "kvm b'=1 (ms)", "kvm b'=5 (ms)", "kvm b'=10 (ms)",
-        "UCR avg (ms)", "FAST avg (ms)",
+        "selectivity",
+        "alpha",
+        "kvm b'=1 (ms)",
+        "kvm b'=5 (ms)",
+        "kvm b'=10 (ms)",
+        "UCR avg (ms)",
+        "FAST avg (ms)",
     ]);
     for (label, matches) in [("1e-9", 1usize), ("1e-8", 10), ("1e-7", 100), ("1e-6", 1_000)] {
         let matches = matches.min(env.n / 20);
@@ -77,8 +82,7 @@ fn main() {
         let nq = queries.len() as f64;
 
         for alpha in ALPHAS {
-            let mut cells: Vec<kvmatch_bench::harness::Cell> =
-                vec![label.into(), alpha.into()];
+            let mut cells: Vec<kvmatch_bench::harness::Cell> = vec![label.into(), alpha.into()];
             for bp in BETA_PRIMES {
                 let beta = value_range * bp / 100.0;
                 let mut t_kv = 0.0;

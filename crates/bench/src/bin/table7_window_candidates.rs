@@ -44,9 +44,7 @@ fn main() {
         .collect();
     let frm_indexes: Vec<FrmMatcher> = WINDOWS
         .iter()
-        .map(|&w| {
-            FrmMatcher::build(&xs, FrmConfig { window: w, paa_dims: 5, fanout: 64, j: 1 })
-        })
+        .map(|&w| FrmMatcher::build(&xs, FrmConfig { window: w, paa_dims: 5, fanout: 64, j: 1 }))
         .collect();
 
     let mut header = vec!["selectivity".to_string(), "|Q|".to_string()];
@@ -77,10 +75,7 @@ fn main() {
                 for (wi, _) in WINDOWS.iter().enumerate() {
                     let matcher = KvMatcher::new(&kv_indexes[wi], &data).unwrap();
                     let (kv_sets, kv_cs) = matcher.window_candidate_sets(&spec).unwrap();
-                    let kv_per_win = kv_sets
-                        .iter()
-                        .map(|s| s.num_positions() as f64)
-                        .sum::<f64>()
+                    let kv_per_win = kv_sets.iter().map(|s| s.num_positions() as f64).sum::<f64>()
                         / kv_sets.len() as f64;
                     let (frm_sets, _) = frm_indexes[wi].window_candidates(&spec).unwrap();
                     let frm_per_win = frm_sets.iter().map(|s| s.len() as f64).sum::<f64>()

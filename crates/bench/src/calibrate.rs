@@ -106,10 +106,7 @@ mod tests {
             assert!(got >= 1);
             let lo = (want as f64 * 0.5) as usize;
             let hi = (want as f64 * 2.0).ceil() as usize;
-            assert!(
-                (lo..=hi.max(2)).contains(&got),
-                "target {want}, got {got} at eps {eps}"
-            );
+            assert!((lo..=hi.max(2)).contains(&got), "target {want}, got {got} at eps {eps}");
         }
     }
 

@@ -71,11 +71,7 @@ impl IndexAppender {
             let entry = entries.next().ok_or_else(|| {
                 CoreError::CorruptIndex("store holds more rows than the meta table".into())
             })?;
-            rows.push(IndexRow {
-                low: entry.low,
-                up: entry.up,
-                intervals: decode_row(&kv.value)?,
-            });
+            rows.push(IndexRow { low: entry.low, up: entry.up, intervals: decode_row(&kv.value)? });
         }
         if entries.next().is_some() {
             return Err(CoreError::CorruptIndex(
@@ -169,12 +165,8 @@ impl IndexAppender {
             total_intervals: self.rows.iter().map(|r| r.intervals.num_intervals() as u64).sum(),
             total_positions: self.rows.iter().map(|r| r.intervals.num_positions()).sum(),
         };
-        let index = KvIndex::<B::Store>::persist_rows(
-            self.rows,
-            self.config,
-            self.series_len,
-            builder,
-        )?;
+        let index =
+            KvIndex::<B::Store>::persist_rows(self.rows, self.config, self.series_len, builder)?;
         Ok((index, stats))
     }
 }
@@ -200,11 +192,7 @@ mod tests {
         .0
     }
 
-    fn append_to(
-        idx: &KvIndex<MemoryKvStore>,
-        old: &[f64],
-        new: &[f64],
-    ) -> KvIndex<MemoryKvStore> {
+    fn append_to(idx: &KvIndex<MemoryKvStore>, old: &[f64], new: &[f64]) -> KvIndex<MemoryKvStore> {
         let w = idx.window();
         let tail_len = (w - 1).min(old.len());
         let mut app = IndexAppender::from_index(idx, &old[old.len() - tail_len..]).unwrap();
@@ -265,10 +253,8 @@ mod tests {
         let data = MemorySeriesStore::new(full.clone());
         // Query drawn right across the old/new boundary.
         let q = full[2_900..3_150].to_vec();
-        let (res, _) = KvMatcher::new(&appended, &data)
-            .unwrap()
-            .execute(&QuerySpec::rsm_ed(q, 1e-9))
-            .unwrap();
+        let (res, _) =
+            KvMatcher::new(&appended, &data).unwrap().execute(&QuerySpec::rsm_ed(q, 1e-9)).unwrap();
         assert!(res.iter().any(|r| r.offset == 2_900), "boundary self-match lost");
     }
 

@@ -10,7 +10,7 @@
 //!    `nI(V_i ∪ V_{i+1}) / (nI(V_i) + nI(V_{i+1})) < γ`, coalescing
 //!    neighbouring intervals.
 //!
-//! Both steps are O(n). A parallel segment build (crossbeam scoped threads)
+//! Both steps are O(n). A parallel segment build (std scoped threads)
 //! is provided for large in-memory series, and a streaming accumulator for
 //! out-of-core chunked input.
 
@@ -60,14 +60,8 @@ impl IndexBuildConfig {
     fn validate(&self) {
         assert!(self.window > 0, "window must be positive");
         assert!(self.max_merge_buckets >= 1, "max_merge_buckets must be ≥ 1");
-        assert!(
-            self.width_d.is_finite() && self.width_d > 0.0,
-            "bucket width d must be positive"
-        );
-        assert!(
-            (0.0..=1.0).contains(&self.merge_gamma),
-            "merge threshold γ must be in [0, 1]"
-        );
+        assert!(self.width_d.is_finite() && self.width_d > 0.0, "bucket width d must be positive");
+        assert!((0.0..=1.0).contains(&self.merge_gamma), "merge threshold γ must be in [0, 1]");
     }
 }
 
@@ -125,10 +119,7 @@ impl RowAccumulator {
         self.samples += 1;
         if let Some(mu) = self.rolling.mean() {
             let k = (mu / self.config.width_d).floor() as i64;
-            self.buckets
-                .entry(k)
-                .or_default()
-                .extend_or_open(self.next_position);
+            self.buckets.entry(k).or_default().extend_or_open(self.next_position);
             self.next_position += 1;
         }
     }
@@ -151,11 +142,7 @@ impl RowAccumulator {
         let fixed: Vec<IndexRow> = self
             .buckets
             .into_iter()
-            .map(|(k, intervals)| IndexRow {
-                low: k as f64 * d,
-                up: (k + 1) as f64 * d,
-                intervals,
-            })
+            .map(|(k, intervals)| IndexRow { low: k as f64 * d, up: (k + 1) as f64 * d, intervals })
             .collect();
         finish_rows(fixed, self.config)
     }
@@ -163,7 +150,8 @@ impl RowAccumulator {
 
 fn finish_rows(fixed: Vec<IndexRow>, config: IndexBuildConfig) -> (Vec<IndexRow>, BuildStats) {
     let rows_fixed_width = fixed.len();
-    let merged = merge_rows(fixed, config.merge_gamma, config.width_d * config.max_merge_buckets as f64);
+    let merged =
+        merge_rows(fixed, config.merge_gamma, config.width_d * config.max_merge_buckets as f64);
     let stats = BuildStats {
         rows_fixed_width,
         rows_merged: merged.len(),
@@ -205,7 +193,7 @@ pub fn build_rows(xs: &[f64], config: IndexBuildConfig) -> (Vec<IndexRow>, Build
     acc.finish()
 }
 
-/// Parallel build over `threads` segments (crossbeam scoped threads). Each
+/// Parallel build over `threads` segments (std scoped threads). Each
 /// segment covers a contiguous range of window positions (segments overlap
 /// by `w − 1` samples so no window is lost); per-segment bucket maps are
 /// merged, then the greedy merge runs once globally. Results are identical
@@ -225,7 +213,7 @@ pub fn build_rows_parallel(
     let per = n_windows.div_ceil(threads);
     // Each task t owns window positions [t*per, min((t+1)*per, n_windows)).
     let mut partials: Vec<BTreeMap<i64, Vec<WindowInterval>>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..threads {
             let lo = t * per;
@@ -235,7 +223,7 @@ pub fn build_rows_parallel(
             let hi = ((t + 1) * per).min(n_windows);
             let slice = &xs[lo..hi + w - 1];
             let d = config.width_d;
-            handles.push(scope.spawn(move |_| {
+            handles.push(scope.spawn(move || {
                 let mut local: BTreeMap<i64, Vec<WindowInterval>> = BTreeMap::new();
                 let mut sum: f64 = slice[..w].iter().sum();
                 let mut record = |pos: u64, mu: f64| {
@@ -257,8 +245,7 @@ pub fn build_rows_parallel(
         for h in handles {
             partials.push(h.join().expect("index build worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
 
     // Merge per-segment maps. Segments are position-ordered, so per-bucket
     // concatenation stays sorted; boundary intervals may touch and are
@@ -324,10 +311,8 @@ mod tests {
         let means = sliding_means(&xs, w);
         // Position -> row containment check.
         for (j, &mu) in means.iter().enumerate() {
-            let holder: Vec<&IndexRow> = rows
-                .iter()
-                .filter(|r| r.intervals.contains(j as u64))
-                .collect();
+            let holder: Vec<&IndexRow> =
+                rows.iter().filter(|r| r.intervals.contains(j as u64)).collect();
             assert_eq!(holder.len(), 1, "position {j} appears in {} rows", holder.len());
             let r = holder[0];
             assert!(

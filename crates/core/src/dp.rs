@@ -180,17 +180,15 @@ impl<S: KvStore> MultiIndex<S> {
                 (0..m_prime.saturating_sub(phi - 1))
                     .map(|start| {
                         let range = prep.window_range(start * wu, w);
-                        let c = self.indexes[level]
-                            .meta()
-                            .estimate_intervals(range.lower, range.upper);
+                        let c =
+                            self.indexes[level].meta().estimate_intervals(range.lower, range.upper);
                         (c as f64).max(0.5).ln()
                     })
                     .collect()
             })
             .collect();
-        let ln_cost = |start: usize, phi: usize| -> f64 {
-            cost_table[phi.trailing_zeros() as usize][start]
-        };
+        let ln_cost =
+            |start: usize, phi: usize| -> f64 { cost_table[phi.trailing_zeros() as usize][start] };
 
         // v[i][j] = ln of the Eq. 9 sub-state; P[i][j] = chosen ϕ.
         let dim = m_prime + 1;
@@ -356,9 +354,7 @@ impl<'a, S: KvStore, D: SeriesStore> DpMatcher<'a, S, D> {
                 break;
             }
         }
-        let cs = cs
-            .expect("segmentation yields ≥ 1 window")
-            .clamp_max((n - prep.m) as u64);
+        let cs = cs.expect("segmentation yields ≥ 1 window").clamp_max((n - prep.m) as u64);
         stats.candidates = cs.num_positions();
         stats.candidate_intervals = cs.num_intervals() as u64;
         stats.phase1_nanos = t1.elapsed().as_nanos() as u64;
@@ -432,10 +428,7 @@ mod tests {
         let xs = composite_series(79, 2_000);
         let multi = build_multi(&xs, small_cfg());
         let prep = PreparedQuery::new(QuerySpec::rsm_ed(vec![1.0; 10], 5.0)).unwrap();
-        assert!(matches!(
-            multi.segment_query(&prep),
-            Err(CoreError::QueryTooShort { .. })
-        ));
+        assert!(matches!(multi.segment_query(&prep), Err(CoreError::QueryTooShort { .. })));
     }
 
     fn check_dp_equals_naive(xs: &[f64], spec: &QuerySpec) {

@@ -18,9 +18,9 @@
 use kvmatch_storage::{encode_f64, KvStore, KvStoreBuilder};
 
 use crate::build::{self, BuildStats, IndexBuildConfig, IndexRow};
+use crate::cache::RowCache;
 use crate::interval::{IntervalSet, WindowInterval};
 use crate::meta::MetaTable;
-use crate::cache::RowCache;
 use crate::query::CoreError;
 
 /// Reserved key of the meta-table row (sorts before every encoded `f64`).
@@ -432,10 +432,7 @@ mod tests {
     fn open_rejects_store_without_meta() {
         let store = MemoryKvStore::new();
         store.insert(encode_f64(0.0).to_vec(), vec![0u8, 0, 0, 0]);
-        assert!(matches!(
-            KvIndex::open(store),
-            Err(CoreError::CorruptIndex(_))
-        ));
+        assert!(matches!(KvIndex::open(store), Err(CoreError::CorruptIndex(_))));
     }
 
     #[test]

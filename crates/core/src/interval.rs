@@ -243,11 +243,7 @@ mod tests {
         let s = set(&[(10, 12), (1, 3), (4, 6), (20, 20), (11, 15)]);
         assert_eq!(
             s.intervals(),
-            &[
-                WindowInterval::new(1, 6),
-                WindowInterval::new(10, 15),
-                WindowInterval::new(20, 20)
-            ]
+            &[WindowInterval::new(1, 6), WindowInterval::new(10, 15), WindowInterval::new(20, 20)]
         );
         assert_eq!(s.num_intervals(), 3);
         assert_eq!(s.num_positions(), 6 + 6 + 1);
@@ -260,11 +256,7 @@ mod tests {
         let u = a.union(&b);
         assert_eq!(
             u.intervals(),
-            &[
-                WindowInterval::new(1, 5),
-                WindowInterval::new(10, 20),
-                WindowInterval::new(30, 31)
-            ]
+            &[WindowInterval::new(1, 5), WindowInterval::new(10, 20), WindowInterval::new(30, 31)]
         );
     }
 
@@ -280,10 +272,7 @@ mod tests {
         let a = set(&[(1, 10), (20, 30)]);
         let b = set(&[(5, 25)]);
         let i = a.intersect(&b);
-        assert_eq!(
-            i.intervals(),
-            &[WindowInterval::new(5, 10), WindowInterval::new(20, 25)]
-        );
+        assert_eq!(i.intervals(), &[WindowInterval::new(5, 10), WindowInterval::new(20, 25)]);
     }
 
     #[test]
@@ -297,10 +286,7 @@ mod tests {
     fn shift_left_drops_and_clamps() {
         let a = set(&[(0, 2), (5, 9), (100, 100)]);
         let s = a.shift_left(4);
-        assert_eq!(
-            s.intervals(),
-            &[WindowInterval::new(1, 5), WindowInterval::new(96, 96)]
-        );
+        assert_eq!(s.intervals(), &[WindowInterval::new(1, 5), WindowInterval::new(96, 96)]);
         // interval entirely below delta is dropped; [5,9] becomes [1,5];
         // the straddling part of [0,2] is gone entirely (right < delta).
     }
@@ -322,10 +308,7 @@ mod tests {
     fn clamp_max_truncates() {
         let a = set(&[(0, 5), (10, 20), (30, 40)]);
         let c = a.clamp_max(15);
-        assert_eq!(
-            c.intervals(),
-            &[WindowInterval::new(0, 5), WindowInterval::new(10, 15)]
-        );
+        assert_eq!(c.intervals(), &[WindowInterval::new(0, 5), WindowInterval::new(10, 15)]);
     }
 
     #[test]
@@ -347,11 +330,7 @@ mod tests {
         }
         assert_eq!(
             s.intervals(),
-            &[
-                WindowInterval::new(1, 3),
-                WindowInterval::new(7, 8),
-                WindowInterval::new(12, 12)
-            ]
+            &[WindowInterval::new(1, 3), WindowInterval::new(7, 8), WindowInterval::new(12, 12)]
         );
     }
 
@@ -384,10 +363,12 @@ mod tests {
             let b = to_set(bits_b);
             let mut got_u: Vec<u64> = a.union(&b).positions().collect();
             got_u.sort_unstable();
-            let want_u: Vec<u64> = (0..universe).filter(|j| (bits_a | bits_b) >> j & 1 == 1).collect();
+            let want_u: Vec<u64> =
+                (0..universe).filter(|j| (bits_a | bits_b) >> j & 1 == 1).collect();
             assert_eq!(got_u, want_u, "union mismatch seed {seed}");
             let got_i: Vec<u64> = a.intersect(&b).positions().collect();
-            let want_i: Vec<u64> = (0..universe).filter(|j| (bits_a & bits_b) >> j & 1 == 1).collect();
+            let want_i: Vec<u64> =
+                (0..universe).filter(|j| (bits_a & bits_b) >> j & 1 == 1).collect();
             assert_eq!(got_i, want_i, "intersect mismatch seed {seed}");
         }
     }

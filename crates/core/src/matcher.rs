@@ -13,9 +13,7 @@
 use std::time::Instant;
 
 use kvmatch_distance::dtw::dtw_banded_early_abandon;
-use kvmatch_distance::ed::{
-    abandon_order, ed_early_abandon, ed_norm_early_abandon_ordered,
-};
+use kvmatch_distance::ed::{abandon_order, ed_early_abandon, ed_norm_early_abandon_ordered};
 use kvmatch_distance::envelope::keogh_envelope;
 use kvmatch_distance::lower_bounds::{lb_keogh_sq_early_abandon, lb_kim_fl_sq};
 use kvmatch_distance::lp::{lp_norm_pow_early_abandon, lp_pow_early_abandon};
@@ -27,8 +25,8 @@ use kvmatch_timeseries::PrefixStats;
 use crate::cache::RowCache;
 use crate::index::KvIndex;
 use crate::interval::IntervalSet;
-use crate::query::{Constraint, CoreError, MatchResult, MatchStats, QuerySpec};
 use crate::query::Measure;
+use crate::query::{Constraint, CoreError, MatchResult, MatchStats, QuerySpec};
 use crate::ranges::{
     cnsm_dtw_range, cnsm_ed_range, cnsm_lp_range, rsm_dtw_range, rsm_ed_range, rsm_lp_range,
     MeanRange,
@@ -82,10 +80,8 @@ impl PreparedQuery {
         let (q_norm, order, env_norm) = if spec.is_normalized() {
             let q_norm = z_normalized(&spec.query);
             let order = abandon_order(&q_norm);
-            let env_norm = spec
-                .measure
-                .is_dtw()
-                .then(|| keogh_envelope(&q_norm, spec.measure.rho()));
+            let env_norm =
+                spec.measure.is_dtw().then(|| keogh_envelope(&q_norm, spec.measure.rho()));
             (q_norm, order, env_norm)
         } else {
             (Vec::new(), Vec::new(), None)
@@ -102,9 +98,7 @@ impl PreparedQuery {
         let eps = self.spec.epsilon;
         match (&self.spec.constraint, &self.envelope) {
             (None, None) => match self.spec.measure {
-                Measure::Lp { p } => {
-                    rsm_lp_range(self.q_stats.range_mean(offset, w), eps, w, p)
-                }
+                Measure::Lp { p } => rsm_lp_range(self.q_stats.range_mean(offset, w), eps, w, p),
                 _ => rsm_ed_range(self.q_stats.range_mean(offset, w), eps, w),
             },
             (None, Some(env)) => rsm_dtw_range(
@@ -260,13 +254,9 @@ pub(crate) fn verify_candidates<D: SeriesStore>(
                 Some(ps) => ps.range_mean_std(k, m),
                 None => (0.0, 0.0),
             };
-            if let Some(distance) = prep.verify(
-                s,
-                mu_s,
-                sigma_s,
-                &mut scratch,
-                &mut stats.full_distance_computations,
-            ) {
+            if let Some(distance) =
+                prep.verify(s, mu_s, sigma_s, &mut scratch, &mut stats.full_distance_computations)
+            {
                 results.push(MatchResult { offset: l + k, distance });
             }
         }
@@ -379,9 +369,7 @@ impl<'a, S: KvStore, D: SeriesStore> KvMatcher<'a, S, D> {
                 break;
             }
         }
-        let cs = cs
-            .expect("p ≥ 1 because m ≥ w")
-            .clamp_max((n - m) as u64);
+        let cs = cs.expect("p ≥ 1 because m ≥ w").clamp_max((n - m) as u64);
         stats.candidates = cs.num_positions();
         stats.candidate_intervals = cs.num_intervals() as u64;
         stats.phase1_nanos = t1.elapsed().as_nanos() as u64;
@@ -510,9 +498,7 @@ mod tests {
             let matcher = KvMatcher::new(&idx, &data).unwrap();
             let (res, _) = matcher.execute(&QuerySpec::rsm_ed(q.clone(), 1e-9)).unwrap();
             assert!(res.iter().any(|r| r.offset == off), "RSM self-match at {off}");
-            let (res, _) = matcher
-                .execute(&QuerySpec::cnsm_ed(q, 1e-9, 1.0001, 0.001))
-                .unwrap();
+            let (res, _) = matcher.execute(&QuerySpec::cnsm_ed(q, 1e-9, 1.0001, 0.001)).unwrap();
             assert!(res.iter().any(|r| r.offset == off), "cNSM self-match at {off}");
         }
     }
@@ -573,9 +559,7 @@ mod tests {
         let idx = build_index(&xs, 50);
         let data = MemorySeriesStore::new(xs.clone());
         let matcher = KvMatcher::new(&idx, &data).unwrap();
-        let (res, _) = matcher
-            .execute(&QuerySpec::rsm_ed(vec![0.0; 1000], 5.0))
-            .unwrap();
+        let (res, _) = matcher.execute(&QuerySpec::rsm_ed(vec![0.0; 1000], 5.0)).unwrap();
         assert!(res.is_empty());
     }
 }

@@ -143,9 +143,7 @@ impl MetaTable {
         };
         let version = u32::from_le_bytes(take(&mut p, 4)?.try_into().expect("4 bytes"));
         if version != META_VERSION {
-            return Err(StorageError::Corrupt(format!(
-                "unsupported meta version {version}"
-            )));
+            return Err(StorageError::Corrupt(format!("unsupported meta version {version}")));
         }
         let window = u64::from_le_bytes(take(&mut p, 8)?.try_into().expect("8")) as usize;
         let series_len = u64::from_le_bytes(take(&mut p, 8)?.try_into().expect("8")) as usize;
@@ -169,10 +167,7 @@ impl MetaTable {
             }
             entries.push(MetaEntry { low, up, n_intervals, n_positions });
         }
-        Ok(Self {
-            params: IndexParams { window, series_len, width_d, merge_gamma },
-            entries,
-        })
+        Ok(Self { params: IndexParams { window, series_len, width_d, merge_gamma }, entries })
     }
 }
 

@@ -39,9 +39,7 @@ pub fn naive_search(xs: &[f64], spec: &QuerySpec) -> Vec<MatchResult> {
                 let hit = match spec.measure {
                     Measure::Dtw { .. } => dtw_banded_early_abandon(s, &spec.query, rho, eps_sq)
                         .map(|d_sq| d_sq.sqrt()),
-                    Measure::Ed => {
-                        ed_early_abandon(s, &spec.query, eps_sq).map(|d_sq| d_sq.sqrt())
-                    }
+                    Measure::Ed => ed_early_abandon(s, &spec.query, eps_sq).map(|d_sq| d_sq.sqrt()),
                     Measure::Lp { p } => {
                         lp_pow_early_abandon(s, &spec.query, p, p.pow(spec.epsilon))
                             .map(|acc| p.root(acc))
@@ -74,15 +72,10 @@ pub fn naive_search(xs: &[f64], spec: &QuerySpec) -> Vec<MatchResult> {
                     }
                     Measure::Ed => ed_norm_early_abandon(s, &q_norm, mu_s, sigma_s, eps_sq)
                         .map(|d_sq| d_sq.sqrt()),
-                    Measure::Lp { p } => lp_norm_pow_early_abandon(
-                        s,
-                        &q_norm,
-                        mu_s,
-                        sigma_s,
-                        p,
-                        p.pow(spec.epsilon),
-                    )
-                    .map(|acc| p.root(acc)),
+                    Measure::Lp { p } => {
+                        lp_norm_pow_early_abandon(s, &q_norm, mu_s, sigma_s, p, p.pow(spec.epsilon))
+                            .map(|acc| p.root(acc))
+                    }
                 };
                 if let Some(distance) = hit {
                     out.push(MatchResult { offset: j, distance });

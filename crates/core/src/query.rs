@@ -76,12 +76,7 @@ impl QuerySpec {
 
     /// cNSM-ED query.
     pub fn cnsm_ed(query: Vec<f64>, epsilon: f64, alpha: f64, beta: f64) -> Self {
-        Self {
-            query,
-            epsilon,
-            measure: Measure::Ed,
-            constraint: Some(Constraint { alpha, beta }),
-        }
+        Self { query, epsilon, measure: Measure::Ed, constraint: Some(Constraint { alpha, beta }) }
     }
 
     /// cNSM-DTW query.
@@ -132,16 +127,10 @@ impl QuerySpec {
         }
         if let Some(c) = &self.constraint {
             if c.alpha.is_nan() || c.alpha < 1.0 {
-                return Err(CoreError::InvalidQuery(format!(
-                    "alpha must be ≥ 1, got {}",
-                    c.alpha
-                )));
+                return Err(CoreError::InvalidQuery(format!("alpha must be ≥ 1, got {}", c.alpha)));
             }
             if c.beta.is_nan() || c.beta < 0.0 {
-                return Err(CoreError::InvalidQuery(format!(
-                    "beta must be ≥ 0, got {}",
-                    c.beta
-                )));
+                return Err(CoreError::InvalidQuery(format!("beta must be ≥ 0, got {}", c.beta)));
             }
             let (_, sigma) = kvmatch_distance::mean_std(&self.query);
             if sigma == 0.0 {
@@ -226,10 +215,9 @@ impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
-            CoreError::QueryTooShort { query_len, window } => write!(
-                f,
-                "query length {query_len} is shorter than the index window {window}"
-            ),
+            CoreError::QueryTooShort { query_len, window } => {
+                write!(f, "query length {query_len} is shorter than the index window {window}")
+            }
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
             CoreError::CorruptIndex(msg) => write!(f, "corrupt index: {msg}"),
         }

@@ -10,9 +10,7 @@
 /// when both inputs are non-empty but no path exists (cannot happen for
 /// equal lengths and ρ ≥ 0) — for empty inputs it returns 0.
 pub fn dtw_banded(a: &[f64], b: &[f64], rho: usize) -> f64 {
-    dtw_banded_early_abandon(a, b, rho, f64::INFINITY)
-        .expect("unbounded DTW cannot abandon")
-        .sqrt()
+    dtw_banded_early_abandon(a, b, rho, f64::INFINITY).expect("unbounded DTW cannot abandon").sqrt()
 }
 
 /// Early-abandoning banded DTW on **squared** threshold.
@@ -150,10 +148,7 @@ mod tests {
         for rho in [0usize, 1, 2, 5, 12, 39, 100] {
             let fast = dtw_banded(&a, &b, rho);
             let slow = dtw_banded_reference(&a, &b, rho);
-            assert!(
-                (fast - slow).abs() < 1e-9,
-                "rho={rho}: fast {fast} vs reference {slow}"
-            );
+            assert!((fast - slow).abs() < 1e-9, "rho={rho}: fast {fast} vs reference {slow}");
         }
     }
 

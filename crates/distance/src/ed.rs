@@ -114,10 +114,7 @@ pub fn ed_norm_early_abandon_ordered(
 pub fn abandon_order(q_norm: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..q_norm.len()).collect();
     order.sort_by(|&a, &b| {
-        q_norm[b]
-            .abs()
-            .partial_cmp(&q_norm[a].abs())
-            .expect("normalized query contains NaN")
+        q_norm[b].abs().partial_cmp(&q_norm[a].abs()).expect("normalized query contains NaN")
     });
     order
 }
@@ -175,8 +172,7 @@ mod tests {
         let (mu, sigma) = mean_std(&s);
         let order = abandon_order(&q_norm);
         let plain = ed_norm_early_abandon(&s, &q_norm, mu, sigma, 1e18).unwrap();
-        let ordered =
-            ed_norm_early_abandon_ordered(&s, &q_norm, &order, mu, sigma, 1e18).unwrap();
+        let ordered = ed_norm_early_abandon_ordered(&s, &q_norm, &order, mu, sigma, 1e18).unwrap();
         assert!((plain - ordered).abs() < 1e-9);
     }
 

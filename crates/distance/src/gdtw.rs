@@ -151,10 +151,7 @@ mod tests {
     fn early_abandon_consistency() {
         let (a, b) = (series_a(), series_b());
         let exact = gdtw_banded(&a, &b, 5, point_l1);
-        assert_eq!(
-            gdtw_banded_early_abandon(&a, &b, 5, exact + 1e-9, point_l1),
-            Some(exact)
-        );
+        assert_eq!(gdtw_banded_early_abandon(&a, &b, 5, exact + 1e-9, point_l1), Some(exact));
         assert!(gdtw_banded_early_abandon(&a, &b, 5, exact * 0.99, point_l1).is_none());
     }
 

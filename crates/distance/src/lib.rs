@@ -34,6 +34,6 @@ pub use dtw::{dtw_banded, dtw_banded_early_abandon};
 pub use ed::{ed, ed_early_abandon, ed_sq};
 pub use envelope::keogh_envelope;
 pub use gdtw::{gdtw_banded, gdtw_banded_early_abandon};
-pub use lp::{lp_distance, lp_pow, LpExponent};
 pub use lower_bounds::{lb_keogh_sq, lb_kim_fl_sq, lb_paa_sq};
+pub use lp::{lp_distance, lp_pow, LpExponent};
 pub use normalize::{mean_std, z_normalize, z_normalized};

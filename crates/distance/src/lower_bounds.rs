@@ -146,11 +146,7 @@ mod tests {
                         w,
                     );
                     let d = dtw_banded(&s, &q, rho);
-                    assert!(
-                        lb <= d * d + 1e-9,
-                        "LB_PAA {lb} > DTW² {} (rho={rho}, w={w})",
-                        d * d
-                    );
+                    assert!(lb <= d * d + 1e-9, "LB_PAA {lb} > DTW² {} (rho={rho}, w={w})", d * d);
                 }
             }
         }
@@ -173,10 +169,7 @@ mod tests {
         let q = pseudo(64, 53, 23);
         let (l, u) = keogh_envelope(&q, 3);
         let exact = lb_keogh_sq(&s, &l, &u);
-        assert_eq!(
-            lb_keogh_sq_early_abandon(&s, &l, &u, exact + 1e-9),
-            Some(exact)
-        );
+        assert_eq!(lb_keogh_sq_early_abandon(&s, &l, &u, exact + 1e-9), Some(exact));
         assert_eq!(lb_keogh_sq_early_abandon(&s, &l, &u, exact * 0.5), None);
     }
 

@@ -67,11 +67,7 @@ pub fn lp_pow(s: &[f64], q: &[f64], exp: LpExponent) -> f64 {
     debug_assert_eq!(s.len(), q.len());
     match exp {
         LpExponent::Finite(p) => s.iter().zip(q).map(|(a, b)| term(a - b, p)).sum(),
-        LpExponent::Infinity => s
-            .iter()
-            .zip(q)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max),
+        LpExponent::Infinity => s.iter().zip(q).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max),
     }
 }
 

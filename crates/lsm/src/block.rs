@@ -141,8 +141,7 @@ impl<'a> BlockIter<'a> {
         if block.len() < 4 {
             return Err(corrupt("shorter than trailer"));
         }
-        let r =
-            u32::from_le_bytes(block[block.len() - 4..].try_into().expect("4 bytes")) as usize;
+        let r = u32::from_le_bytes(block[block.len() - 4..].try_into().expect("4 bytes")) as usize;
         let trailer = r
             .checked_mul(4)
             .and_then(|b| b.checked_add(4))
@@ -164,8 +163,7 @@ impl<'a> BlockIter<'a> {
             return Err(corrupt("truncated entry header"));
         }
         let p = self.pos;
-        let shared =
-            u16::from_le_bytes(self.data[p..p + 2].try_into().expect("2 bytes")) as usize;
+        let shared = u16::from_le_bytes(self.data[p..p + 2].try_into().expect("2 bytes")) as usize;
         let non_shared =
             u16::from_le_bytes(self.data[p + 2..p + 4].try_into().expect("2 bytes")) as usize;
         let vlen_raw = u32::from_le_bytes(self.data[p + 4..p + 8].try_into().expect("4 bytes"));
@@ -223,11 +221,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 let key = format!("prefix-{i:06}").into_bytes();
-                let value = if i % 7 == 3 {
-                    None
-                } else {
-                    Some(format!("value-{i}").into_bytes())
-                };
+                let value = if i % 7 == 3 { None } else { Some(format!("value-{i}").into_bytes()) };
                 (key, value)
             })
             .collect()
@@ -258,10 +252,8 @@ mod tests {
     fn prefix_compression_saves_space() {
         let entries = sample(256);
         let block = build(&entries);
-        let raw: usize = entries
-            .iter()
-            .map(|(k, v)| k.len() + v.as_ref().map_or(0, |v| v.len()) + 8)
-            .sum();
+        let raw: usize =
+            entries.iter().map(|(k, v)| k.len() + v.as_ref().map_or(0, |v| v.len()) + 8).sum();
         assert!(block.len() < raw, "compressed {} ≥ raw {}", block.len(), raw);
     }
 

@@ -135,10 +135,8 @@ impl LsmDb {
         for level in &manifest.levels {
             let mut handles = Vec::with_capacity(level.len());
             for entry in level {
-                let reader = TableReader::open(
-                    &manifest::sst_path(dir, entry.file_num),
-                    stats.clone(),
-                )?;
+                let reader =
+                    TableReader::open(&manifest::sst_path(dir, entry.file_num), stats.clone())?;
                 handles.push(TableHandle { entry: entry.clone(), reader: Arc::new(reader) });
             }
             tables.push(handles);
@@ -221,11 +219,7 @@ impl LsmDb {
                 level.iter().collect()
             } else {
                 let pos = level.partition_point(|t| &t.entry.largest[..] < key);
-                level
-                    .get(pos)
-                    .filter(|t| &t.entry.smallest[..] <= key)
-                    .into_iter()
-                    .collect()
+                level.get(pos).filter(|t| &t.entry.smallest[..] <= key).into_iter().collect()
             };
             for t in candidates {
                 if key < &t.entry.smallest[..] || key > &t.entry.largest[..] {
@@ -318,13 +312,7 @@ impl LsmDb {
             total_tables: inner.tables.iter().map(Vec::len).sum(),
             populated_levels: inner.tables.iter().filter(|l| !l.is_empty()).count(),
             memtable_entries: inner.mem.len(),
-            table_bytes: inner
-                .manifest
-                .levels
-                .iter()
-                .flatten()
-                .map(|t| t.file_bytes)
-                .sum(),
+            table_bytes: inner.manifest.levels.iter().flatten().map(|t| t.file_bytes).sum(),
         }
     }
 
@@ -452,8 +440,7 @@ impl LsmDb {
 
     fn maybe_compact_locked(&self, inner: &mut Inner) -> Result<(), StorageError> {
         loop {
-            if !inner.tables.is_empty()
-                && inner.tables[0].len() >= self.opts.l0_compaction_trigger
+            if !inner.tables.is_empty() && inner.tables[0].len() >= self.opts.l0_compaction_trigger
             {
                 self.compact_level_locked(inner, 0)?;
                 continue;
@@ -514,11 +501,8 @@ impl LsmDb {
         while it.peek().is_some() {
             let file_num = Self::alloc_file_num(inner);
             let path = manifest::sst_path(&self.dir, file_num);
-            let mut builder = TableBuilder::create(
-                &path,
-                self.opts.block_bytes,
-                self.opts.bloom_bits_per_key,
-            )?;
+            let mut builder =
+                TableBuilder::create(&path, self.opts.block_bytes, self.opts.bloom_bits_per_key)?;
             for e in it.by_ref() {
                 builder.add(&e.key, e.value.as_deref())?;
                 if builder.file_size_estimate() >= self.opts.table_target_bytes {
@@ -716,9 +700,7 @@ mod tests {
         }
         // Sub-range agreement too.
         let rows = db.scan(b"key-000100", b"key-000200").unwrap();
-        let want: Vec<_> = model
-            .range(b"key-000100".to_vec()..b"key-000200".to_vec())
-            .collect();
+        let want: Vec<_> = model.range(b"key-000100".to_vec()..b"key-000200".to_vec()).collect();
         assert_eq!(rows.len(), want.len());
     }
 

@@ -49,10 +49,7 @@ impl MemTable {
                 Bound::Excluded(Bytes::copy_from_slice(end)),
             )
         });
-        bounds
-            .map(|b| self.map.range::<Bytes, _>(b))
-            .into_iter()
-            .flatten()
+        bounds.map(|b| self.map.range::<Bytes, _>(b)).into_iter().flatten()
     }
 
     /// Every entry in key order, tombstones included.

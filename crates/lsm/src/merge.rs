@@ -36,10 +36,7 @@ impl PartialOrd for HeapItem {
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert for min-by-(key, priority).
-        other
-            .key
-            .cmp(&self.key)
-            .then_with(|| other.priority.cmp(&self.priority))
+        other.key.cmp(&self.key).then_with(|| other.priority.cmp(&self.priority))
     }
 }
 
@@ -119,10 +116,7 @@ mod tests {
 
     #[test]
     fn tombstone_shadows_older_value() {
-        let merged = merge_runs(vec![
-            vec![e("k", None)],
-            vec![e("k", Some("old"))],
-        ]);
+        let merged = merge_runs(vec![vec![e("k", None)], vec![e("k", Some("old"))]]);
         assert_eq!(merged.len(), 1);
         assert!(merged[0].value.is_none());
         assert!(drop_tombstones(merged).is_empty());

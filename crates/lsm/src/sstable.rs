@@ -154,10 +154,8 @@ impl TableBuilder {
     pub fn finish(mut self) -> Result<TableMeta, StorageError> {
         self.flush_block()?;
 
-        let filter = BloomFilter::build(
-            self.keys.iter().map(|k| k.as_slice()),
-            self.bloom_bits_per_key,
-        );
+        let filter =
+            BloomFilter::build(self.keys.iter().map(|k| k.as_slice()), self.bloom_bits_per_key);
         let filter_bytes = filter.to_bytes();
         let filter_handle = self.write_block(&filter_bytes)?;
 
@@ -349,8 +347,7 @@ fn read_block_at(file: &File, handle: BlockHandle, file_len: u64) -> Result<Vec<
     }
     let mut buf = vec![0u8; handle.len as usize + 4];
     file.read_exact_at(&mut buf, handle.offset)?;
-    let crc_stored =
-        u32::from_le_bytes(buf[handle.len as usize..].try_into().expect("4 bytes"));
+    let crc_stored = u32::from_le_bytes(buf[handle.len as usize..].try_into().expect("4 bytes"));
     buf.truncate(handle.len as usize);
     if crc32(&buf) != crc_stored {
         return Err(corrupt("block checksum mismatch"));
@@ -429,8 +426,7 @@ mod tests {
         for (s, e) in cases {
             let mut got = Vec::new();
             reader.scan_into(s, e, &mut got).unwrap();
-            let want: Vec<_> =
-                es.iter().filter(|(k, _)| &k[..] >= s && &k[..] < e).collect();
+            let want: Vec<_> = es.iter().filter(|(k, _)| &k[..] >= s && &k[..] < e).collect();
             assert_eq!(got.len(), want.len(), "range {s:?}..{e:?}");
             for (g, (k, v)) in got.iter().zip(&want) {
                 assert_eq!(&g.key[..], &k[..]);

@@ -149,11 +149,8 @@ impl KvStoreBuilder for LsmKvStoreBuilder {
     fn finish(mut self) -> Result<LsmKvStore, StorageError> {
         self.cut_table()?;
         let wal_num = self.next_file_num;
-        let manifest = Manifest {
-            next_file_num: wal_num + 1,
-            wal_num,
-            levels: vec![Vec::new(), self.tables],
-        };
+        let manifest =
+            Manifest { next_file_num: wal_num + 1, wal_num, levels: vec![Vec::new(), self.tables] };
         manifest::commit(&self.dir, &manifest, wal_num + 1)?;
         // `LsmDb::open` creates the (empty) WAL and validates the tables.
         let db = LsmDb::open(&self.dir, self.opts)?;
@@ -198,10 +195,7 @@ mod tests {
         }
         let store = LsmKvStore::open(dir.path(), LsmOptions::tiny()).unwrap();
         assert_eq!(store.row_count(), 1_000);
-        assert_eq!(
-            store.get(b"row-00000999").unwrap().as_deref(),
-            Some(b"payload-999" as &[u8])
-        );
+        assert_eq!(store.get(b"row-00000999").unwrap().as_deref(), Some(b"payload-999" as &[u8]));
     }
 
     #[test]

@@ -44,11 +44,7 @@ pub struct Wal {
 impl Wal {
     /// Creates (truncating) a new log at `path`.
     pub fn create(path: &Path, sync: bool) -> Result<Self, StorageError> {
-        let file = OpenOptions::new()
-            .create(true)
-            .write(true)
-            .truncate(true)
-            .open(path)?;
+        let file = OpenOptions::new().create(true).write(true).truncate(true).open(path)?;
         Ok(Self { file, sync, buf: Vec::new() })
     }
 

@@ -21,10 +21,7 @@ impl Mbr {
     /// Panics if dimensions mismatch or any `min > max`.
     pub fn new(min: Vec<f64>, max: Vec<f64>) -> Self {
         assert_eq!(min.len(), max.len(), "MBR dimension mismatch");
-        assert!(
-            min.iter().zip(&max).all(|(a, b)| a <= b),
-            "MBR with min > max"
-        );
+        assert!(min.iter().zip(&max).all(|(a, b)| a <= b), "MBR with min > max");
         Self { min, max }
     }
 
@@ -74,9 +71,7 @@ impl Mbr {
     #[inline]
     pub fn contains_point(&self, p: &[f64]) -> bool {
         debug_assert_eq!(self.dims(), p.len());
-        p.iter()
-            .zip(self.min.iter().zip(&self.max))
-            .all(|(v, (lo, hi))| lo <= v && v <= hi)
+        p.iter().zip(self.min.iter().zip(&self.max)).all(|(v, (lo, hi))| lo <= v && v <= hi)
     }
 
     /// Center coordinate in dimension `d` (used by STR tiling).

@@ -75,19 +75,9 @@ impl RTree {
     pub fn bulk_load(points: Vec<(Vec<f64>, u64)>, dims: usize, config: RTreeConfig) -> Self {
         assert!(dims > 0, "dims must be positive");
         assert!(config.fanout >= 2, "fanout must be ≥ 2");
-        assert!(
-            points.iter().all(|(p, _)| p.len() == dims),
-            "point dimension mismatch"
-        );
+        assert!(points.iter().all(|(p, _)| p.len() == dims), "point dimension mismatch");
         let len = points.len();
-        let mut tree = Self {
-            nodes: Vec::new(),
-            root: None,
-            dims,
-            config,
-            height: 0,
-            len,
-        };
+        let mut tree = Self { nodes: Vec::new(), root: None, dims, config, height: 0, len };
         if points.is_empty() {
             return tree;
         }
@@ -218,8 +208,14 @@ fn str_tile<T, F>(items: Vec<T>, dims: usize, fanout: usize, key: F) -> Vec<Vec<
 where
     F: Fn(&T) -> Vec<f64> + Copy,
 {
-    fn recurse<T, F>(mut items: Vec<T>, dim: usize, dims: usize, fanout: usize, key: F, out: &mut Vec<Vec<T>>)
-    where
+    fn recurse<T, F>(
+        mut items: Vec<T>,
+        dim: usize,
+        dims: usize,
+        fanout: usize,
+        key: F,
+        out: &mut Vec<Vec<T>>,
+    ) where
         F: Fn(&T) -> Vec<f64> + Copy,
     {
         if items.len() <= fanout {
@@ -232,9 +228,7 @@ where
         if dim + 1 >= dims {
             // Last dimension: sort and chunk.
             items.sort_by(|a, b| {
-                key(a)[dim]
-                    .partial_cmp(&key(b)[dim])
-                    .expect("non-finite coordinate")
+                key(a)[dim].partial_cmp(&key(b)[dim]).expect("non-finite coordinate")
             });
             let per = items.len().div_ceil(groups_needed);
             let mut rest = items;
@@ -248,15 +242,9 @@ where
         }
         // Slab count for this dimension: the (dims−dim)-th root of the
         // group count, rounded up.
-        let slabs = (groups_needed as f64)
-            .powf(1.0 / (dims - dim) as f64)
-            .ceil() as usize;
+        let slabs = (groups_needed as f64).powf(1.0 / (dims - dim) as f64).ceil() as usize;
         let slabs = slabs.max(1);
-        items.sort_by(|a, b| {
-            key(a)[dim]
-                .partial_cmp(&key(b)[dim])
-                .expect("non-finite coordinate")
-        });
+        items.sort_by(|a, b| key(a)[dim].partial_cmp(&key(b)[dim]).expect("non-finite coordinate"));
         let per_slab = items.len().div_ceil(slabs);
         let mut rest = items;
         while !rest.is_empty() {
@@ -286,11 +274,8 @@ mod tests {
     }
 
     fn naive_range(points: &[(Vec<f64>, u64)], q: &Mbr) -> Vec<u64> {
-        let mut v: Vec<u64> = points
-            .iter()
-            .filter(|(p, _)| q.contains_point(p))
-            .map(|(_, id)| *id)
-            .collect();
+        let mut v: Vec<u64> =
+            points.iter().filter(|(p, _)| q.contains_point(p)).map(|(_, id)| *id).collect();
         v.sort_unstable();
         v
     }
@@ -342,9 +327,8 @@ mod tests {
             state ^= state << 17;
             (state % 1000) as f64 / 100.0
         };
-        let points: Vec<(Vec<f64>, u64)> = (0..5000)
-            .map(|i| ((0..4).map(|_| rnd()).collect(), i as u64))
-            .collect();
+        let points: Vec<(Vec<f64>, u64)> =
+            (0..5000).map(|i| ((0..4).map(|_| rnd()).collect(), i as u64)).collect();
         let t = RTree::bulk_load(points.clone(), 4, RTreeConfig { fanout: 32 });
         for lo in [0.0, 2.0, 5.0] {
             let q = Mbr::new(vec![lo; 4], vec![lo + 3.0; 4]);
@@ -375,11 +359,7 @@ mod tests {
         let points = grid_points(50, 50);
         let t = RTree::bulk_load(points, 2, RTreeConfig { fanout: 25 });
         let min_leaves = 2500usize.div_ceil(25);
-        assert!(
-            t.node_count() <= min_leaves * 2,
-            "too many nodes: {}",
-            t.node_count()
-        );
+        assert!(t.node_count() <= min_leaves * 2, "too many nodes: {}", t.node_count());
     }
 
     #[test]

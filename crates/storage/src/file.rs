@@ -46,13 +46,7 @@ impl FileKvStoreBuilder {
     pub fn create<P: AsRef<Path>>(path: P) -> crate::Result<Self> {
         let path = path.as_ref().to_path_buf();
         let writer = BufWriter::new(File::create(&path)?);
-        Ok(Self {
-            path,
-            writer,
-            meta: Vec::new(),
-            cursor: 0,
-            last_key: None,
-        })
+        Ok(Self { path, writer, meta: Vec::new(), cursor: 0, last_key: None })
     }
 }
 
@@ -100,9 +94,7 @@ pub struct FileKvStore {
 
 impl std::fmt::Debug for FileKvStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FileKvStore")
-            .field("rows", &self.meta.len())
-            .finish()
+        f.debug_struct("FileKvStore").field("rows", &self.meta.len()).finish()
     }
 }
 
@@ -158,21 +150,13 @@ impl FileKvStore {
             }
             meta.push((key, off, len));
         }
-        Ok(Self {
-            file: Mutex::new(file),
-            meta,
-            stats: IoStats::new(),
-        })
+        Ok(Self { file: Mutex::new(file), meta, stats: IoStats::new() })
     }
 
     /// Total bytes of the on-disk representation (values + meta + trailer).
     pub fn file_bytes(&self) -> u64 {
         let values: u64 = self.meta.iter().map(|(_, _, l)| l).sum();
-        let meta: u64 = self
-            .meta
-            .iter()
-            .map(|(k, _, _)| 4 + k.len() as u64 + 16)
-            .sum();
+        let meta: u64 = self.meta.iter().map(|(k, _, _)| 4 + k.len() as u64 + 16).sum();
         values + meta + TRAILER_LEN
     }
 
@@ -258,10 +242,7 @@ mod tests {
     #[test]
     fn round_trip_and_scan() {
         let dir = tempfile::tempdir().unwrap();
-        let s = build(
-            &dir,
-            &[(b"aa", b"v0"), (b"bb", b"value-1"), (b"cc", b""), (b"dd", b"v3")],
-        );
+        let s = build(&dir, &[(b"aa", b"v0"), (b"bb", b"value-1"), (b"cc", b""), (b"dd", b"v3")]);
         assert_eq!(s.row_count(), 4);
         let rows = s.scan(b"bb", b"dd").unwrap();
         assert_eq!(rows.len(), 2);
@@ -310,10 +291,7 @@ mod tests {
         let dir = tempfile::tempdir().unwrap();
         let path = dir.path().join("bad.idx");
         std::fs::write(&path, b"definitely-not-a-kv-file-with-enough-bytes").unwrap();
-        assert!(matches!(
-            FileKvStore::open(&path),
-            Err(StorageError::Corrupt(_))
-        ));
+        assert!(matches!(FileKvStore::open(&path), Err(StorageError::Corrupt(_))));
     }
 
     #[test]
@@ -353,10 +331,7 @@ mod tests {
         }
         let s = b.finish().unwrap();
         let rows = s.scan(&encode_f64(-2.0), &encode_f64(50.0)).unwrap();
-        let vals: Vec<&str> = rows
-            .iter()
-            .map(|r| std::str::from_utf8(&r.value).unwrap())
-            .collect();
+        let vals: Vec<&str> = rows.iter().map(|r| std::str::from_utf8(&r.value).unwrap()).collect();
         assert_eq!(vals, vec!["-1.5", "0", "2.25"]);
     }
 }

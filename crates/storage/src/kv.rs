@@ -38,11 +38,9 @@ impl fmt::Display for StorageError {
             StorageError::KeyOrder { key } => {
                 write!(f, "key appended out of order: {key:02x?}")
             }
-            StorageError::OutOfBounds { offset, len, available } => write!(
-                f,
-                "range {offset}..{} out of bounds (len {available})",
-                offset + len
-            ),
+            StorageError::OutOfBounds { offset, len, available } => {
+                write!(f, "range {offset}..{} out of bounds (len {available})", offset + len)
+            }
         }
     }
 }
@@ -145,12 +143,7 @@ mod tests {
             f64::INFINITY,
         ];
         for w in vals.windows(2) {
-            assert!(
-                encode_f64(w[0]) < encode_f64(w[1]),
-                "{} should encode below {}",
-                w[0],
-                w[1]
-            );
+            assert!(encode_f64(w[0]) < encode_f64(w[1]), "{} should encode below {}", w[0], w[1]);
         }
     }
 

@@ -30,11 +30,7 @@ impl MemoryKvStore {
 
     /// Approximate payload bytes held.
     pub fn payload_bytes(&self) -> usize {
-        self.map
-            .read()
-            .iter()
-            .map(|(k, v)| k.len() + v.len())
-            .sum()
+        self.map.read().iter().map(|(k, v)| k.len() + v.len()).sum()
     }
 }
 
@@ -176,14 +172,8 @@ mod tests {
         let mut b = MemoryKvStoreBuilder::new();
         b.append(b"a", b"1").unwrap();
         b.append(b"c", b"2").unwrap();
-        assert!(matches!(
-            b.append(b"b", b"3"),
-            Err(StorageError::KeyOrder { .. })
-        ));
-        assert!(matches!(
-            b.append(b"c", b"3"),
-            Err(StorageError::KeyOrder { .. })
-        ));
+        assert!(matches!(b.append(b"b", b"3"), Err(StorageError::KeyOrder { .. })));
+        assert!(matches!(b.append(b"c", b"3"), Err(StorageError::KeyOrder { .. })));
         let s = b.finish().unwrap();
         assert_eq!(s.row_count(), 2);
     }

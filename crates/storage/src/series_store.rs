@@ -97,15 +97,9 @@ impl FileSeriesStore {
         let file = File::open(path)?;
         let bytes = file.metadata()?.len();
         if bytes % 8 != 0 {
-            return Err(StorageError::Corrupt(
-                "series file length not a multiple of 8".into(),
-            ));
+            return Err(StorageError::Corrupt("series file length not a multiple of 8".into()));
         }
-        Ok(Self {
-            file: Mutex::new(file),
-            len: (bytes / 8) as usize,
-            stats: IoStats::new(),
-        })
+        Ok(Self { file: Mutex::new(file), len: (bytes / 8) as usize, stats: IoStats::new() })
     }
 }
 
@@ -164,10 +158,7 @@ impl BlockSeriesStore {
             for &v in chunk {
                 payload.extend_from_slice(&v.to_le_bytes());
             }
-            store.insert(
-                Bytes::copy_from_slice(&(bi as u64).to_be_bytes()),
-                Bytes::from(payload),
-            );
+            store.insert(Bytes::copy_from_slice(&(bi as u64).to_be_bytes()), Bytes::from(payload));
         }
         Self { store, block, len: data.len(), stats: IoStats::new() }
     }
@@ -197,10 +188,9 @@ impl SeriesStore for BlockSeriesStore {
         }
         let first_block = offset / self.block;
         let last_block = (end - 1) / self.block;
-        let rows = self.store.scan(
-            &(first_block as u64).to_be_bytes(),
-            &((last_block + 1) as u64).to_be_bytes(),
-        )?;
+        let rows = self
+            .store
+            .scan(&(first_block as u64).to_be_bytes(), &((last_block + 1) as u64).to_be_bytes())?;
         if rows.len() != last_block - first_block + 1 {
             return Err(StorageError::Corrupt(format!(
                 "expected {} blocks, got {}",
@@ -237,10 +227,7 @@ mod tests {
         let s = MemorySeriesStore::new(sample(100));
         assert_eq!(s.len(), 100);
         assert_eq!(s.fetch(10, 3).unwrap(), vec![2.0, 2.5, 3.0]);
-        assert!(matches!(
-            s.fetch(99, 2),
-            Err(StorageError::OutOfBounds { .. })
-        ));
+        assert!(matches!(s.fetch(99, 2), Err(StorageError::OutOfBounds { .. })));
         assert!(s.fetch(usize::MAX, 2).is_err());
         assert_eq!(s.fetch(100, 0).unwrap(), Vec::<f64>::new());
     }

@@ -76,8 +76,7 @@ impl KvStore for ShardedKvStore {
         let last = self.region_of(end); // end exclusive, but touching its region is harmless
         let mut out = Vec::new();
         for r in first..=last.min(self.regions.len() - 1) {
-            self.stats
-                .record_simulated_latency(self.config.latency_per_scan_ns);
+            self.stats.record_simulated_latency(self.config.latency_per_scan_ns);
             let rows = self.regions[r].scan(start, end)?;
             out.extend(rows);
         }
@@ -92,8 +91,7 @@ impl KvStore for ShardedKvStore {
         self.stats.record_scan();
         let mut out = Vec::new();
         for r in &self.regions {
-            self.stats
-                .record_simulated_latency(self.config.latency_per_scan_ns);
+            self.stats.record_simulated_latency(self.config.latency_per_scan_ns);
             out.extend(r.scan_all()?);
         }
         let bytes: u64 = out.iter().map(|r| (r.key.len() + r.value.len()) as u64).sum();
@@ -163,23 +161,14 @@ impl KvStoreBuilder for ShardedKvStoreBuilder {
             } else if chunk_idx > 0 {
                 // Empty tail region: give it an unreachable split key just
                 // above the last real key so region_of stays well-defined.
-                let mut k = self
-                    .rows
-                    .last()
-                    .map(|(k, _)| k.clone())
-                    .unwrap_or_default();
+                let mut k = self.rows.last().map(|(k, _)| k.clone()).unwrap_or_default();
                 k.push(0xFF);
                 k.push(chunk_idx as u8);
                 split_keys.push(k);
             }
             regions.push(region);
         }
-        Ok(ShardedKvStore {
-            split_keys,
-            regions,
-            config: self.config,
-            stats: IoStats::new(),
-        })
+        Ok(ShardedKvStore { split_keys, regions, config: self.config, stats: IoStats::new() })
     }
 }
 
@@ -188,10 +177,8 @@ mod tests {
     use super::*;
 
     fn build(n_rows: usize, regions: usize) -> ShardedKvStore {
-        let mut b = ShardedKvStoreBuilder::new(ShardingConfig {
-            regions,
-            latency_per_scan_ns: 1_000,
-        });
+        let mut b =
+            ShardedKvStoreBuilder::new(ShardingConfig { regions, latency_per_scan_ns: 1_000 });
         for i in 0..n_rows {
             let k = format!("k{i:05}");
             b.append(k.as_bytes(), format!("v{i}").as_bytes()).unwrap();

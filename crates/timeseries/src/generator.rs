@@ -51,11 +51,7 @@ pub struct GeneratorConfig {
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        Self {
-            min_segment: 512,
-            max_segment: 4096,
-            sine_components: 3,
-        }
+        Self { min_segment: 512, max_segment: 4096, sine_components: 3 }
     }
 }
 
@@ -75,10 +71,7 @@ pub struct CompositeGenerator {
 impl CompositeGenerator {
     /// Deterministic generator from a seed, default configuration.
     pub fn with_seed(seed: u64) -> Self {
-        Self {
-            rng: StdRng::seed_from_u64(seed),
-            config: GeneratorConfig::default(),
-        }
+        Self { rng: StdRng::seed_from_u64(seed), config: GeneratorConfig::default() }
     }
 
     /// Deterministic generator with a custom configuration.
@@ -88,10 +81,7 @@ impl CompositeGenerator {
             "invalid segment length bounds"
         );
         assert!(config.sine_components > 0, "need at least one sine component");
-        Self {
-            rng: StdRng::seed_from_u64(seed),
-            config,
-        }
+        Self { rng: StdRng::seed_from_u64(seed), config }
     }
 
     /// Generates exactly `n` samples.
@@ -243,11 +233,7 @@ mod tests {
     fn bad_config_panics() {
         let _ = CompositeGenerator::with_config(
             0,
-            GeneratorConfig {
-                min_segment: 10,
-                max_segment: 5,
-                sine_components: 1,
-            },
+            GeneratorConfig { min_segment: 10, max_segment: 5, sine_components: 1 },
         );
     }
 }

@@ -94,12 +94,7 @@ pub fn embed_occurrences(
         for (i, &tv) in template.iter().enumerate() {
             host[offset + i] = tv * scale + shift + noise * gaussian(&mut rng);
         }
-        occs.push(Occurrence {
-            offset,
-            len: m,
-            scale,
-            shift,
-        });
+        occs.push(Occurrence { offset, len: m, scale, shift });
     }
     occs
 }
@@ -223,8 +218,9 @@ mod tests {
     fn embed_too_small_host() {
         let template = vec![1.0; 100];
         let mut host = vec![0.0; 50];
-        assert!(embed_occurrences(&mut host, &template, 3, (1.0, 1.0), (0.0, 0.0), 0.0, 1)
-            .is_empty());
+        assert!(
+            embed_occurrences(&mut host, &template, 3, (1.0, 1.0), (0.0, 0.0), 0.0, 1).is_empty()
+        );
     }
 
     #[test]

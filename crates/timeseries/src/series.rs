@@ -151,12 +151,7 @@ impl fmt::Debug for TimeSeries {
         if self.len() <= 8 {
             write!(f, "TimeSeries({:?})", self.values)
         } else {
-            write!(
-                f,
-                "TimeSeries(len={}, head={:?}..)",
-                self.len(),
-                &self.values[..4]
-            )
+            write!(f, "TimeSeries(len={}, head={:?}..)", self.len(), &self.values[..4])
         }
     }
 }

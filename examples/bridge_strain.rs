@@ -26,11 +26,7 @@ fn main() {
 
     // Strain baseline with sensor noise.
     let mut gen = CompositeGenerator::with_seed(5);
-    let mut xs: Vec<f64> = gen
-        .generate(n)
-        .into_iter()
-        .map(|v| baseline + v * 0.05)
-        .collect();
+    let mut xs: Vec<f64> = gen.generate(n).into_iter().map(|v| baseline + v * 0.05).collect();
 
     // Trucks of three weight classes cross the bridge.
     let mut crossings: Vec<Crossing> = Vec::new();
@@ -71,8 +67,7 @@ fn main() {
     let mut found_weights: Vec<f64> = crossings
         .iter()
         .filter(|c| {
-            hits.iter()
-                .any(|h| (h.offset as i64 - c.offset as i64).abs() < bump_len as i64 / 4)
+            hits.iter().any(|h| (h.offset as i64 - c.offset as i64).abs() < bump_len as i64 / 4)
         })
         .map(|c| c.weight)
         .collect();
@@ -100,7 +95,10 @@ fn main() {
                 .any(|h| (h.offset as i64 - c.offset as i64).abs() < bump_len as i64 / 4)
         })
         .count();
-    println!("NSM-like (no constraint): {loose_count}/{} crossings match — weight info lost", crossings.len());
+    println!(
+        "NSM-like (no constraint): {loose_count}/{} crossings match — weight info lost",
+        crossings.len()
+    );
     assert!(loose_count > heavy_class.len());
     println!("\nthe β knob turned a shape query into a weight-class query.");
 }

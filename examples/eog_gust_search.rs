@@ -21,11 +21,7 @@ fn main() {
 
     // Wind-speed-like background around 600 (arbitrary LIDAR units).
     let mut gen = CompositeGenerator::with_seed(99);
-    let mut xs: Vec<f64> = gen
-        .generate(n)
-        .into_iter()
-        .map(|v| 600.0 + v * 4.0)
-        .collect();
+    let mut xs: Vec<f64> = gen.generate(n).into_iter().map(|v| 600.0 + v * 4.0).collect();
 
     // Plant 12 genuine EOG gusts: same shape, bounded magnitude (±20%),
     // small baseline drift.
@@ -34,7 +30,7 @@ fn main() {
         &mut xs[..],
         &template,
         12,
-        (0.8, 1.2),   // physical amplitude range
+        (0.8, 1.2),     // physical amplitude range
         (590.0, 610.0), // baseline wind speed
         0.4,
         2024,

@@ -53,11 +53,7 @@ fn main() {
     // cNSM under L1: normalized matching with drift bounds, non-Euclidean.
     let spec = QuerySpec::cnsm_lp(q.clone(), 30.0, LpExponent::Finite(1), 1.5, 2.0);
     let (hits, stats) = matcher.execute(&spec).expect("cnsm-l1");
-    println!(
-        "cNSM-L1 (α = 1.5, β = 2): {} matches, {} candidates",
-        hits.len(),
-        stats.candidates
-    );
+    println!("cNSM-L1 (α = 1.5, β = 2): {} matches, {} candidates", hits.len(), stats.candidates);
 
     // Generalized DTW at the distance level: same warping recurrence,
     // swappable point costs (Neamtu et al., the paper's reference [21]).

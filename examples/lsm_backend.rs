@@ -66,11 +66,9 @@ fn main() {
     // 3. Exercise the full write path on a scratch store: WAL + memtable
     //    flushes + leveled compaction, then scan it back.
     let scratch = dir.join("scratch");
-    let db = LsmDb::open(
-        &scratch,
-        LsmOptions { memtable_bytes: 64 << 10, ..LsmOptions::default() },
-    )
-    .expect("open scratch");
+    let db =
+        LsmDb::open(&scratch, LsmOptions { memtable_bytes: 64 << 10, ..LsmOptions::default() })
+            .expect("open scratch");
     let t = std::time::Instant::now();
     let writes = 50_000;
     for i in 0..writes {
@@ -101,9 +99,7 @@ fn main() {
     let store = LsmKvStore::open(&dir, LsmOptions::default()).expect("reopen");
     let index = KvIndex::open(store).expect("reopen index");
     let matcher = KvMatcher::new(&index, &data).expect("matcher");
-    let (results, _) = matcher
-        .execute(&QuerySpec::rsm_ed(q, 8.0))
-        .expect("query after reopen");
+    let (results, _) = matcher.execute(&QuerySpec::rsm_ed(q, 8.0)).expect("query after reopen");
     println!(
         "reopened from disk in {:.0} ms; RSM-ED still finds {} matches",
         t.elapsed().as_secs_f64() * 1e3,

@@ -12,8 +12,8 @@
 //! cargo run --release --example motif_stats
 //! ```
 
-use kvmatch::prelude::*;
 use kvmatch::distance::normalize::z_normalized;
+use kvmatch::prelude::*;
 use kvmatch::timeseries::generator::composite_series;
 use kvmatch::timeseries::PrefixStats;
 
@@ -69,12 +69,8 @@ fn main() {
         .expect("index");
         let data = MemorySeriesStore::new(xs.clone());
         let matcher = KvMatcher::new(&index, &data).expect("matcher");
-        let spec = QuerySpec::cnsm_ed(
-            xs[a..a + m].to_vec(),
-            dist * 1.05 + 1e-6,
-            2.0,
-            (hi - lo) * 0.05,
-        );
+        let spec =
+            QuerySpec::cnsm_ed(xs[a..a + m].to_vec(), dist * 1.05 + 1e-6, 2.0, (hi - lo) * 0.05);
         let (hits, _) = matcher.execute(&spec).expect("query");
         assert!(
             hits.iter().any(|h| (h.offset as i64 - b as i64).abs() < m as i64 / 8),

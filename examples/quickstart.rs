@@ -60,10 +60,7 @@ fn main() {
             stats.index_accesses,
             stats.total_nanos() as f64 / 1e6,
         );
-        assert!(
-            results.iter().any(|r| r.offset == offset),
-            "{name} must find the planted offset"
-        );
+        assert!(results.iter().any(|r| r.offset == offset), "{name} must find the planted offset");
     }
     println!("\nall four query types found the planted subsequence at offset {offset}.");
 }

@@ -49,9 +49,8 @@ fn main() {
         let tail = &full[covered - (w - 1)..covered];
         let mut appender = IndexAppender::from_index(&index, tail).expect("appender");
         appender.push_chunk(&full[covered..next]);
-        let (new_index, _) = appender
-            .finish_into(MemoryKvStoreBuilder::new())
-            .expect("append finish");
+        let (new_index, _) =
+            appender.finish_into(MemoryKvStoreBuilder::new()).expect("append finish");
         let append_ms = t.elapsed().as_secs_f64() * 1e3;
         append_total_ms += append_ms;
 
@@ -74,12 +73,9 @@ fn main() {
         // (new index ⇒ new cache here, to keep the demo honest).
         let fresh_cache = RowCache::new(100_000);
         let data = MemorySeriesStore::new(full[..covered].to_vec());
-        let matcher = KvMatcher::new(&index, &data)
-            .expect("matcher")
-            .with_row_cache(&fresh_cache);
-        let (hits, stats) = matcher
-            .execute(&QuerySpec::cnsm_ed(query.clone(), 1.0, 1.5, 2.0))
-            .expect("query");
+        let matcher = KvMatcher::new(&index, &data).expect("matcher").with_row_cache(&fresh_cache);
+        let (hits, stats) =
+            matcher.execute(&QuerySpec::cnsm_ed(query.clone(), 1.0, 1.5, 2.0)).expect("query");
         println!(
             "covered {covered:7} points | append {append_ms:7.1} ms vs rebuild {rebuild_ms:7.1} ms | \
              cNSM-ED: {} hits, {} candidates, {} index scans",

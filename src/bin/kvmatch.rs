@@ -214,8 +214,8 @@ fn cmd_append(flags: &Flags) -> Result<(), String> {
 
 fn cmd_info(flags: &Flags) -> Result<(), String> {
     let path = req(flags, "index")?;
-    let index =
-        KvIndex::open(FileKvStore::open(path).map_err(|e| e.to_string())?).map_err(|e| e.to_string())?;
+    let index = KvIndex::open(FileKvStore::open(path).map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
     let p = index.meta().params();
     println!("index       : {path}");
     println!("window w    : {}", p.window);
@@ -343,10 +343,7 @@ fn cmd_query_dp(flags: &Flags) -> Result<(), String> {
     let data = FileSeriesStore::open(data_path).map_err(|e| e.to_string())?;
     let matcher = DpMatcher::new(&multi, &data).map_err(|e| e.to_string())?;
     let (results, stats, segments) = matcher.execute_traced(&spec).map_err(|e| e.to_string())?;
-    println!(
-        "segmentation: {:?}",
-        segments.iter().map(|s| s.window).collect::<Vec<_>>()
-    );
+    println!("segmentation: {:?}", segments.iter().map(|s| s.window).collect::<Vec<_>>());
     print_results(&results, &stats, limit);
     let _ = data.len();
     Ok(())

@@ -4,21 +4,15 @@
 
 use proptest::prelude::*;
 
-use kvmatch::core::{
-    naive_search, IndexAppender, IndexBuildConfig, KvIndex, KvMatcher, QuerySpec,
-};
+use kvmatch::core::{naive_search, IndexAppender, IndexBuildConfig, KvIndex, KvMatcher, QuerySpec};
 use kvmatch::storage::memory::MemoryKvStoreBuilder;
 use kvmatch::storage::{MemoryKvStore, MemorySeriesStore};
 use kvmatch::timeseries::generator::composite_series;
 
 fn build_fresh(xs: &[f64], w: usize) -> KvIndex<MemoryKvStore> {
-    KvIndex::<MemoryKvStore>::build_into(
-        xs,
-        IndexBuildConfig::new(w),
-        MemoryKvStoreBuilder::new(),
-    )
-    .unwrap()
-    .0
+    KvIndex::<MemoryKvStore>::build_into(xs, IndexBuildConfig::new(w), MemoryKvStoreBuilder::new())
+        .unwrap()
+        .0
 }
 
 proptest! {

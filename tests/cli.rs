@@ -45,28 +45,69 @@ fn full_cli_pipeline() {
 
     // RSM-ED self-query: must find the query's own offset at distance 0.
     let (ok, stdout, stderr) = kvmatch(&[
-        "query", "--data", data_s, "--index", idx_s, "--query-offset", "5000", "--query-len",
-        "300", "--epsilon", "0.0001",
+        "query",
+        "--data",
+        data_s,
+        "--index",
+        idx_s,
+        "--query-offset",
+        "5000",
+        "--query-len",
+        "300",
+        "--epsilon",
+        "0.0001",
     ]);
     assert!(ok, "query failed: {stderr}");
     assert!(stdout.contains("offset         5000"), "{stdout}");
 
     // cNSM-ED query.
     let (ok, stdout, stderr) = kvmatch(&[
-        "query", "--data", data_s, "--index", idx_s, "--query-offset", "5000", "--query-len",
-        "300", "--epsilon", "1.5", "--alpha", "1.5", "--beta", "3.0",
+        "query",
+        "--data",
+        data_s,
+        "--index",
+        idx_s,
+        "--query-offset",
+        "5000",
+        "--query-len",
+        "300",
+        "--epsilon",
+        "1.5",
+        "--alpha",
+        "1.5",
+        "--beta",
+        "3.0",
     ]);
     assert!(ok, "cNSM query failed: {stderr}");
     assert!(stdout.contains("matches"));
 
     // build-set + query-dp (small Σ to keep the test quick).
     let (ok, _, stderr) = kvmatch(&[
-        "build-set", "--data", data_s, "--out-dir", idx_dir_s, "--wu", "25", "--levels", "3",
+        "build-set",
+        "--data",
+        data_s,
+        "--out-dir",
+        idx_dir_s,
+        "--wu",
+        "25",
+        "--levels",
+        "3",
     ]);
     assert!(ok, "build-set failed: {stderr}");
     let (ok, stdout, stderr) = kvmatch(&[
-        "query-dp", "--data", data_s, "--index-dir", idx_dir_s, "--query-offset", "8000",
-        "--query-len", "400", "--epsilon", "2.0", "--rho", "20",
+        "query-dp",
+        "--data",
+        data_s,
+        "--index-dir",
+        idx_dir_s,
+        "--query-offset",
+        "8000",
+        "--query-len",
+        "400",
+        "--epsilon",
+        "2.0",
+        "--rho",
+        "20",
     ]);
     assert!(ok, "query-dp failed: {stderr}");
     assert!(stdout.contains("segmentation:"), "{stdout}");
@@ -74,14 +115,36 @@ fn full_cli_pipeline() {
 
     // Lp queries: Manhattan and Chebyshev self-queries.
     let (ok, stdout, stderr) = kvmatch(&[
-        "query", "--data", data_s, "--index", idx_s, "--query-offset", "5000", "--query-len",
-        "300", "--epsilon", "0.0001", "--p", "1",
+        "query",
+        "--data",
+        data_s,
+        "--index",
+        idx_s,
+        "--query-offset",
+        "5000",
+        "--query-len",
+        "300",
+        "--epsilon",
+        "0.0001",
+        "--p",
+        "1",
     ]);
     assert!(ok, "L1 query failed: {stderr}");
     assert!(stdout.contains("offset         5000"), "{stdout}");
     let (ok, stdout, stderr) = kvmatch(&[
-        "query", "--data", data_s, "--index", idx_s, "--query-offset", "5000", "--query-len",
-        "300", "--epsilon", "0.0001", "--p", "inf",
+        "query",
+        "--data",
+        data_s,
+        "--index",
+        idx_s,
+        "--query-offset",
+        "5000",
+        "--query-len",
+        "300",
+        "--epsilon",
+        "0.0001",
+        "--p",
+        "inf",
     ]);
     assert!(ok, "L∞ query failed: {stderr}");
     assert!(stdout.contains("offset         5000"), "{stdout}");
@@ -100,31 +163,53 @@ fn cli_append_extends_index() {
     // Build over the first 15000 samples only.
     let full = std::fs::read(&data).unwrap();
     std::fs::write(&prefix, &full[..15_000 * 8]).unwrap();
-    let (ok, _, stderr) = kvmatch(&[
-        "build", "--data", prefix.to_str().unwrap(), "--out", idx_old.to_str().unwrap(),
-    ]);
+    let (ok, _, stderr) =
+        kvmatch(&["build", "--data", prefix.to_str().unwrap(), "--out", idx_old.to_str().unwrap()]);
     assert!(ok, "build failed: {stderr}");
 
     // Wrong --from is rejected.
     let (ok, _, stderr) = kvmatch(&[
-        "append", "--data", data_s, "--index", idx_old.to_str().unwrap(), "--from", "14000",
-        "--out", idx_new.to_str().unwrap(),
+        "append",
+        "--data",
+        data_s,
+        "--index",
+        idx_old.to_str().unwrap(),
+        "--from",
+        "14000",
+        "--out",
+        idx_new.to_str().unwrap(),
     ]);
     assert!(!ok);
     assert!(stderr.contains("does not match"), "{stderr}");
 
     // Correct append covers the full series.
     let (ok, stdout, stderr) = kvmatch(&[
-        "append", "--data", data_s, "--index", idx_old.to_str().unwrap(), "--from", "15000",
-        "--out", idx_new.to_str().unwrap(),
+        "append",
+        "--data",
+        data_s,
+        "--index",
+        idx_old.to_str().unwrap(),
+        "--from",
+        "15000",
+        "--out",
+        idx_new.to_str().unwrap(),
     ]);
     assert!(ok, "append failed: {stderr}");
     assert!(stdout.contains("15000 -> 20000 samples"), "{stdout}");
 
     // A self-query beyond the old coverage succeeds on the extended index.
     let (ok, stdout, stderr) = kvmatch(&[
-        "query", "--data", data_s, "--index", idx_new.to_str().unwrap(), "--query-offset",
-        "18000", "--query-len", "300", "--epsilon", "0.0001",
+        "query",
+        "--data",
+        data_s,
+        "--index",
+        idx_new.to_str().unwrap(),
+        "--query-offset",
+        "18000",
+        "--query-len",
+        "300",
+        "--epsilon",
+        "0.0001",
     ]);
     assert!(ok, "query on appended index failed: {stderr}");
     assert!(stdout.contains("offset        18000"), "{stdout}");
@@ -155,8 +240,19 @@ fn cli_rejects_bad_usage() {
     kvmatch(&["generate", "--n", "2000", "--out", data.to_str().unwrap()]);
     kvmatch(&["build", "--data", data.to_str().unwrap(), "--out", idx.to_str().unwrap()]);
     let (ok, _, stderr) = kvmatch(&[
-        "query", "--data", data.to_str().unwrap(), "--index", idx.to_str().unwrap(),
-        "--query-offset", "0", "--query-len", "100", "--epsilon", "1.0", "--alpha", "1.5",
+        "query",
+        "--data",
+        data.to_str().unwrap(),
+        "--index",
+        idx.to_str().unwrap(),
+        "--query-offset",
+        "0",
+        "--query-len",
+        "100",
+        "--epsilon",
+        "1.0",
+        "--alpha",
+        "1.5",
     ]);
     assert!(!ok);
     assert!(stderr.contains("--alpha and --beta"));

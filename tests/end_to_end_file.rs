@@ -77,10 +77,8 @@ fn file_backed_multi_index_dp_pipeline() {
         paths.push(p);
     }
     // Cold open all indexes.
-    let indexes: Vec<KvIndex<FileKvStore>> = paths
-        .iter()
-        .map(|p| KvIndex::open(FileKvStore::open(p).unwrap()).unwrap())
-        .collect();
+    let indexes: Vec<KvIndex<FileKvStore>> =
+        paths.iter().map(|p| KvIndex::open(FileKvStore::open(p).unwrap()).unwrap()).collect();
     let multi = MultiIndex::new(indexes).unwrap();
     let data = FileSeriesStore::open(&data_path).unwrap();
     let dp = DpMatcher::new(&multi, &data).unwrap();
@@ -112,10 +110,7 @@ fn index_files_are_reusable_across_processes_simulation() {
     let thrice = KvIndex::open(FileKvStore::open(&idx_path).unwrap()).unwrap();
     assert_eq!(built.meta(), again.meta());
     assert_eq!(again.meta(), thrice.meta());
-    assert_eq!(
-        again.store().scan_all().unwrap().len(),
-        built.store().scan_all().unwrap().len()
-    );
+    assert_eq!(again.store().scan_all().unwrap().len(), built.store().scan_all().unwrap().len());
 }
 
 #[test]
@@ -132,8 +127,10 @@ fn corrupted_index_file_fails_loudly() {
     // Truncate the file: open must fail with a corruption error, not UB.
     let bytes = std::fs::read(&idx_path).unwrap();
     std::fs::write(&idx_path, &bytes[..bytes.len() / 2]).unwrap();
-    assert!(FileKvStore::open(&idx_path).is_err() || {
-        // If the trailer happened to survive (it cannot, but be thorough):
-        KvIndex::open(FileKvStore::open(&idx_path).unwrap()).is_err()
-    });
+    assert!(
+        FileKvStore::open(&idx_path).is_err() || {
+            // If the trailer happened to survive (it cannot, but be thorough):
+            KvIndex::open(FileKvStore::open(&idx_path).unwrap()).is_err()
+        }
+    );
 }

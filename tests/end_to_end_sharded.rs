@@ -1,9 +1,7 @@
 //! End-to-end integration on the simulated HBase deployment (§VII-B
 //! substitution): sharded index store + block-row series table.
 
-use kvmatch::core::{
-    naive_search, DpMatcher, IndexSetConfig, MultiIndex, QuerySpec,
-};
+use kvmatch::core::{naive_search, DpMatcher, IndexSetConfig, MultiIndex, QuerySpec};
 use kvmatch::storage::sharded::{ShardedKvStoreBuilder, ShardingConfig};
 use kvmatch::storage::{BlockSeriesStore, KvStore, SeriesStore, ShardedKvStore};
 use kvmatch::timeseries::generator::composite_series;
@@ -12,12 +10,11 @@ use kvmatch::timeseries::generator::composite_series;
 fn sharded_pipeline_matches_naive_all_query_types() {
     let xs = composite_series(2001, 20_000);
     let cfg = IndexSetConfig { wu: 25, levels: 4, ..Default::default() };
-    let multi = MultiIndex::<ShardedKvStore>::build_with::<ShardedKvStoreBuilder, _>(
-        &xs,
-        cfg,
-        |_| ShardedKvStoreBuilder::new(ShardingConfig { regions: 7, latency_per_scan_ns: 1000 }),
-    )
-    .unwrap();
+    let multi =
+        MultiIndex::<ShardedKvStore>::build_with::<ShardedKvStoreBuilder, _>(&xs, cfg, |_| {
+            ShardedKvStoreBuilder::new(ShardingConfig { regions: 7, latency_per_scan_ns: 1000 })
+        })
+        .unwrap();
     let data = BlockSeriesStore::from_series(&xs, BlockSeriesStore::DEFAULT_BLOCK);
     let dp = DpMatcher::new(&multi, &data).unwrap();
 
@@ -44,24 +41,18 @@ fn sharded_pipeline_matches_naive_all_query_types() {
 fn sharded_store_accounts_region_latency() {
     let xs = composite_series(2003, 10_000);
     let cfg = IndexSetConfig { wu: 25, levels: 2, ..Default::default() };
-    let multi = MultiIndex::<ShardedKvStore>::build_with::<ShardedKvStoreBuilder, _>(
-        &xs,
-        cfg,
-        |_| {
+    let multi =
+        MultiIndex::<ShardedKvStore>::build_with::<ShardedKvStoreBuilder, _>(&xs, cfg, |_| {
             ShardedKvStoreBuilder::new(ShardingConfig { regions: 5, latency_per_scan_ns: 777 })
-        },
-    )
-    .unwrap();
+        })
+        .unwrap();
     let data = BlockSeriesStore::from_series(&xs, 512);
     let dp = DpMatcher::new(&multi, &data).unwrap();
     let q = xs[100..400].to_vec();
     let (_, stats) = dp.execute(&QuerySpec::rsm_ed(q, 5.0)).unwrap();
     assert!(stats.index_accesses >= 1);
-    let total_latency: u64 = multi
-        .indexes()
-        .iter()
-        .map(|i| i.store().io_stats().simulated_latency_ns())
-        .sum();
+    let total_latency: u64 =
+        multi.indexes().iter().map(|i| i.store().io_stats().simulated_latency_ns()).sum();
     assert!(total_latency >= 777, "modelled RPC latency must accumulate");
     // Block store fetched whole 512-sample rows.
     assert!(data.io_stats().rows_read() > 0);

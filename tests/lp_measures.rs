@@ -2,7 +2,9 @@
 //! answers RSM-Lp and cNSM-Lp with no false dismissals, for Manhattan,
 //! higher finite exponents, and Chebyshev.
 
-use kvmatch::core::{DpMatcher, IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher, MultiIndex, QuerySpec};
+use kvmatch::core::{
+    DpMatcher, IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher, MultiIndex, QuerySpec,
+};
 use kvmatch::distance::LpExponent;
 use kvmatch::prelude::{MemoryKvStore, MemoryKvStoreBuilder, MemorySeriesStore};
 use kvmatch::timeseries::generator::composite_series;

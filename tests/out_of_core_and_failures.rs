@@ -31,13 +31,9 @@ fn out_of_core_build_equals_in_memory() {
     let (rows, stats) = acc.finish();
     assert_eq!(stats.total_positions as usize, xs.len() - 50 + 1);
 
-    let streamed = KvIndex::<MemoryKvStore>::persist_rows(
-        rows,
-        config,
-        xs.len(),
-        MemoryKvStoreBuilder::new(),
-    )
-    .unwrap();
+    let streamed =
+        KvIndex::<MemoryKvStore>::persist_rows(rows, config, xs.len(), MemoryKvStoreBuilder::new())
+            .unwrap();
     let (bulk, _) =
         KvIndex::<MemoryKvStore>::build_into(&xs, config, MemoryKvStoreBuilder::new()).unwrap();
     assert_eq!(streamed.meta(), bulk.meta());
@@ -75,7 +71,9 @@ impl SeriesStore for FlakySeriesStore {
     }
     fn fetch(&self, offset: usize, len: usize) -> Result<Vec<f64>, StorageError> {
         use std::sync::atomic::Ordering;
-        if self.allowed.fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+        if self
+            .allowed
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
             .is_err()
         {
             return Err(StorageError::Io(std::io::Error::other("injected fetch failure")));

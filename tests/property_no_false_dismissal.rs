@@ -27,11 +27,10 @@ fn series_and_query() -> impl Strategy<Value = (Vec<f64>, usize, usize)> {
     (0u64..1000, 400usize..2000).prop_flat_map(|(seed, n)| {
         let xs = composite_series(seed, n);
         let max_m = n / 2;
-        (Just(xs), 60usize..max_m.max(61), 0usize..n)
-            .prop_map(|(xs, m, off_raw)| {
-                let off = off_raw % (xs.len() - m);
-                (xs, m, off)
-            })
+        (Just(xs), 60usize..max_m.max(61), 0usize..n).prop_map(|(xs, m, off_raw)| {
+            let off = off_raw % (xs.len() - m);
+            (xs, m, off)
+        })
     })
 }
 

@@ -19,9 +19,7 @@ fn position_set(max: u64) -> impl Strategy<Value = Vec<u64>> {
 }
 
 fn to_set(positions: &[u64]) -> IntervalSet {
-    IntervalSet::from_unsorted(
-        positions.iter().map(|&p| WindowInterval::new(p, p)).collect(),
-    )
+    IntervalSet::from_unsorted(positions.iter().map(|&p| WindowInterval::new(p, p)).collect())
 }
 
 proptest! {

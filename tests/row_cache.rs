@@ -110,12 +110,11 @@ fn tiny_cache_still_correct_under_eviction_pressure() {
 fn dp_matcher_shares_cache_across_window_widths() {
     let xs = composite_series(409, 12_000);
     let cfg = IndexSetConfig { wu: 25, levels: 4, ..Default::default() };
-    let multi = MultiIndex::<MemoryKvStore>::build_with::<MemoryKvStoreBuilder, _>(
-        &xs,
-        cfg,
-        |_| MemoryKvStoreBuilder::new(),
-    )
-    .unwrap();
+    let multi =
+        MultiIndex::<MemoryKvStore>::build_with::<MemoryKvStoreBuilder, _>(&xs, cfg, |_| {
+            MemoryKvStoreBuilder::new()
+        })
+        .unwrap();
     let data = MemorySeriesStore::new(xs.clone());
     let cache = RowCache::new(10_000);
     let spec = QuerySpec::cnsm_ed(xs[4000..4400].to_vec(), 2.0, 1.5, 4.0);
@@ -148,8 +147,5 @@ fn cache_hit_rate_grows_over_an_exploratory_session() {
     }
     let first = total_scans[0];
     let later: u64 = total_scans[1..].iter().sum();
-    assert!(
-        later <= first * 4,
-        "later probes mostly cached: first {first}, later {total_scans:?}"
-    );
+    assert!(later <= first * 4, "later probes mostly cached: first {first}, later {total_scans:?}");
 }

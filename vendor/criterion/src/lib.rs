@@ -1,0 +1,206 @@
+//! Offline shim for `criterion`: enough of the API for the workspace's
+//! benches to compile and run. Each `Bencher::iter` call times a small
+//! fixed number of iterations and reports the mean; there is no warm-up,
+//! outlier analysis or statistics. `--test` (passed by `cargo test`) runs
+//! every routine once so benches double as smoke tests.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const MEASURE_ITERS: u64 = 10;
+
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+/// Throughput annotation (recorded, rendered alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// Just the parameter (group name supplies the rest).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed over by benchmark routines.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh un-timed `setup` product per iteration.
+    pub fn iter_with_setup<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim's iteration count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark routine.
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let iters = if self.criterion.test_mode { 1 } else { MEASURE_ITERS };
+        let mut bencher = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut bencher);
+        let mean = bencher.elapsed.as_secs_f64() / iters as f64;
+        let label = format!("{}/{}", self.name, id);
+        if self.criterion.test_mode {
+            println!("test {label} ... ok");
+        } else {
+            match self.throughput {
+                Some(Throughput::Elements(n)) if mean > 0.0 => println!(
+                    "{label:<50} {:>12.3} ms/iter  {:>14.0} elem/s",
+                    mean * 1e3,
+                    n as f64 / mean
+                ),
+                Some(Throughput::Bytes(n)) if mean > 0.0 => println!(
+                    "{label:<50} {:>12.3} ms/iter  {:>14.0} B/s",
+                    mean * 1e3,
+                    n as f64 / mean
+                ),
+                _ => println!("{label:<50} {:>12.3} ms/iter", mean * 1e3),
+            }
+        }
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { test_mode: test_mode() }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        if !self.test_mode {
+            println!("== group {name}");
+        }
+        BenchmarkGroup { name, criterion: self, throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let id = id.to_string();
+        self.benchmark_group(id.clone()).bench_function("", f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

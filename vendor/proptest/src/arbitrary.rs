@@ -1,0 +1,83 @@
+//! `any::<T>()` — strategies for "any value of a primitive type".
+
+use std::marker::PhantomData;
+
+use rand::{Rng, RngCore};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite values only, spanning a wide magnitude range.
+        let mag = rng.random_range(-300.0f64..300.0);
+        let sign = if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 };
+        sign * mag.exp2()
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        <f64 as Arbitrary>::arbitrary(rng) as f32
+    }
+}
+
+/// The strategy returned by [`any`]; also the type of the `ANY` consts.
+pub struct AnyStrategy<T> {
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T> AnyStrategy<T> {
+    /// Const instance (usable in `const` contexts like the `ANY` items).
+    pub const NEW: Self = Self { _marker: PhantomData };
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy::NEW
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_draws_values() {
+        let mut rng = TestRng::from_seed(3);
+        let bytes: Vec<u8> = (0..64).map(|_| any::<u8>().generate(&mut rng)).collect();
+        assert!(bytes.iter().any(|&b| b != bytes[0]), "not constant");
+        for _ in 0..100 {
+            assert!(any::<f64>().generate(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`'s derive macros. The workspace only uses
+//! `#[derive(Serialize)]` as an annotation (JSON is rendered by hand via
+//! the `serde_json` shim), so the derives expand to nothing while still
+//! accepting `#[serde(...)]` helper attributes.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

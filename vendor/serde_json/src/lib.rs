@@ -1,0 +1,225 @@
+//! Offline shim for `serde_json`: a JSON [`Value`] tree, an
+//! insertion-ordered [`Map`], the [`json!`] macro for scalar conversions,
+//! and a `Display` impl emitting compact JSON.
+
+use std::fmt;
+
+/// An insertion-ordered string-keyed map (mirrors `serde_json::Map` with
+/// the default `preserve_order`-like behaviour).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Map<K = String, V = Value> {
+    entries: Vec<(K, V)>,
+}
+
+impl<V> Map<String, V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self { entries: Vec::new() }
+    }
+
+    /// Inserts, replacing any existing entry with the same key.
+    pub fn insert(&mut self, key: String, value: V) -> Option<V> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&V> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &V)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl<V> FromIterator<(String, V)> for Map<String, V> {
+    fn from_iter<I: IntoIterator<Item = (String, V)>>(iter: I) -> Self {
+        let mut map = Self::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+impl<V> IntoIterator for Map<String, V> {
+    type Item = (String, V);
+    type IntoIter = std::vec::IntoIter<(String, V)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.into_iter()
+    }
+}
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite number (rendered like serde_json: integers without `.0`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(v)
+    }
+}
+impl From<&f64> for Value {
+    fn from(v: &f64) -> Self {
+        Value::Number(*v)
+    }
+}
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::Number(v as f64)
+    }
+}
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::Number(v as f64) }
+        }
+    )*};
+}
+impl_from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+impl From<&String> for Value {
+    fn from(v: &String) -> Self {
+        Value::String(v.clone())
+    }
+}
+
+fn escape_into(s: &str, out: &mut fmt::Formatter<'_>) -> fmt::Result {
+    write!(out, "\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => write!(out, "\\\"")?,
+            '\\' => write!(out, "\\\\")?,
+            '\n' => write!(out, "\\n")?,
+            '\r' => write!(out, "\\r")?,
+            '\t' => write!(out, "\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    write!(out, "\"")
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(v) => {
+                if !v.is_finite() {
+                    write!(f, "null")
+                } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+                    write!(f, "{}", *v as i64)
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::String(s) => escape_into(s, f),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Object(map) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    escape_into(k, f)?;
+                    write!(f, ":{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+/// Builds a [`Value`] from a scalar expression (the only `json!` forms the
+/// workspace uses; arrays/objects literals are not supported by the shim).
+#[macro_export]
+macro_rules! json {
+    (null) => {
+        $crate::Value::Null
+    };
+    ($e:expr) => {
+        $crate::Value::from($e)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_json() {
+        let mut map = Map::new();
+        map.insert("n".to_string(), json!(3.0));
+        map.insert("x".to_string(), json!(2.75));
+        map.insert("s".to_string(), json!("a\"b"));
+        assert_eq!(Value::Object(map).to_string(), r#"{"n":3,"x":2.75,"s":"a\"b"}"#);
+        assert_eq!(json!(null).to_string(), "null");
+        assert_eq!(Value::Array(vec![json!(1u8), json!(true)]).to_string(), "[1,true]");
+    }
+
+    #[test]
+    fn map_preserves_insertion_order_and_replaces() {
+        let m: Map<String, Value> =
+            [("b".to_string(), json!(1u8)), ("a".to_string(), json!(2u8))].into_iter().collect();
+        let keys: Vec<&String> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["b", "a"]);
+        let mut m = m;
+        assert!(m.insert("b".to_string(), json!(9u8)).is_some());
+        assert_eq!(m.get("b"), Some(&json!(9u8)));
+        assert_eq!(m.len(), 2);
+    }
+}

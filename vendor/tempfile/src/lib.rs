@@ -1,0 +1,79 @@
+//! Offline shim for `tempfile`: [`tempdir`] and [`TempDir`], a uniquely
+//! named directory under `std::env::temp_dir()` removed on drop.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+use std::{fs, io};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory deleted (recursively) when the handle is dropped.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates a fresh temporary directory (same as [`tempdir`]).
+    pub fn new() -> io::Result<Self> {
+        tempdir()
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Persists the directory (no removal on drop) and returns its path.
+    pub fn keep(self) -> PathBuf {
+        let path = self.path.clone();
+        std::mem::forget(self);
+        path
+    }
+
+    /// Removes the directory eagerly, reporting errors.
+    pub fn close(self) -> io::Result<()> {
+        let res = fs::remove_dir_all(&self.path);
+        std::mem::forget(self);
+        res
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.path);
+    }
+}
+
+/// Creates a uniquely named temporary directory.
+pub fn tempdir() -> io::Result<TempDir> {
+    let base = std::env::temp_dir();
+    let pid = std::process::id();
+    let nanos = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.subsec_nanos()).unwrap_or(0);
+    for _ in 0..1024 {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = base.join(format!(".kvmatch-tmp-{pid}-{nanos:x}-{n}"));
+        match fs::create_dir(&path) {
+            Ok(()) => return Ok(TempDir { path }),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Err(io::Error::new(io::ErrorKind::AlreadyExists, "could not create unique temp dir"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let d = tempdir().unwrap();
+        let p = d.path().to_path_buf();
+        assert!(p.is_dir());
+        std::fs::write(p.join("f"), b"x").unwrap();
+        drop(d);
+        assert!(!p.exists());
+    }
+}
