@@ -177,14 +177,14 @@ impl DualMatcher {
         let prep = PreparedQuery::new(spec.clone())?;
         let mut scratch = Vec::new();
         let mut results = Vec::new();
+        let mut cstats = kvmatch_distance::CascadeStats::default();
         for o in candidates {
             let s = &xs[o..o + m];
-            if let Some(distance) =
-                prep.verify(s, 0.0, 0.0, &mut scratch, &mut stats.full_distance_computations)
-            {
+            if let Some(distance) = prep.verify(s, 0.0, 0.0, &mut scratch, &mut cstats) {
                 results.push(MatchResult { offset: o, distance });
             }
         }
+        stats.full_distance_computations += cstats.full_distance_computations;
         stats.matches = results.len() as u64;
         stats.phase2_nanos = t2.elapsed().as_nanos() as u64;
         Ok((results, stats))

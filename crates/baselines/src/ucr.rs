@@ -13,10 +13,9 @@
 use std::time::Instant;
 
 use kvmatch_core::{CoreError, MatchResult, QuerySpec};
-use kvmatch_distance::dtw::dtw_banded_early_abandon;
+use kvmatch_distance::cascade::{CascadeStats, LbCascade};
 use kvmatch_distance::ed::{abandon_order, ed_early_abandon, ed_norm_early_abandon_ordered};
-use kvmatch_distance::envelope::keogh_envelope;
-use kvmatch_distance::lower_bounds::{lb_keogh_sq_early_abandon, lb_kim_fl_sq, lb_paa_sq};
+use kvmatch_distance::lower_bounds::{lb_kim_fl_sq, lb_paa_sq};
 use kvmatch_distance::normalize::{mean_std, z_normalized};
 use kvmatch_timeseries::PrefixStats;
 
@@ -142,12 +141,14 @@ pub(crate) fn scan_impl(
     // Normalized-query material (cNSM).
     let q_norm = spec.is_normalized().then(|| z_normalized(q));
     let order = q_norm.as_ref().map(|qn| abandon_order(qn));
-    // Envelopes: raw for RSM-DTW, normalized for cNSM-DTW.
-    let env_raw = (is_dtw && !spec.is_normalized()).then(|| keogh_envelope(q, rho));
-    let env_norm = match (&q_norm, is_dtw) {
-        (Some(qn), true) => Some(keogh_envelope(qn, rho)),
+    // Shared verification cascades: raw for RSM-DTW, normalized for
+    // cNSM-DTW — the same LB_Keogh → DTW chain the KV-matcher runs.
+    let cascade_raw = (is_dtw && !spec.is_normalized()).then(|| LbCascade::new(q.clone(), rho));
+    let cascade_norm = match (&q_norm, is_dtw) {
+        (Some(qn), true) => Some(LbCascade::new(qn.clone(), rho)),
         _ => None,
     };
+    let mut cstats = CascadeStats::default();
 
     // PAA material for the FAST stage: segment layout + per-target PAA.
     let seg = (m / FAST_PAA_SEGMENTS).max(1);
@@ -161,14 +162,13 @@ pub(crate) fn scan_impl(
         Some(match (&q_norm, is_dtw) {
             (None, false) => (paa_of(q), paa_of(q)),
             (None, true) => {
-                let (l, u) = env_raw.as_ref().expect("raw envelope exists");
-                (paa_of(l), paa_of(u))
+                let c = cascade_raw.as_ref().expect("raw cascade exists");
+                (paa_of(c.lower()), paa_of(c.upper()))
             }
             (Some(qn), false) => (paa_of(qn), paa_of(qn)),
-            (Some(qn), true) => {
-                let env = env_norm.as_ref().expect("normalized envelope exists");
-                let _ = qn;
-                (paa_of(&env.0), paa_of(&env.1))
+            (Some(_), true) => {
+                let c = cascade_norm.as_ref().expect("normalized cascade exists");
+                (paa_of(c.lower()), paa_of(c.upper()))
             }
         })
     } else {
@@ -231,45 +231,36 @@ pub(crate) fn scan_impl(
             }
         }
 
-        // Stage 3 + full distance, per query type.
+        // Stages 3+ (LB_Keogh → full distance): DTW types go through the
+        // shared cascade (kim already ran above, so it is skipped).
         let hit: Option<f64> = match (&q_norm, is_dtw) {
             (None, false) => {
                 stats.full_distance_computations += 1;
                 ed_early_abandon(s, q, eps_sq)
             }
             (None, true) => {
-                let (l, u) = env_raw.as_ref().expect("raw envelope exists");
-                if lb_keogh_sq_early_abandon(s, l, u, eps_sq).is_none() {
-                    stats.pruned_lb_keogh += 1;
-                    None
-                } else {
-                    stats.full_distance_computations += 1;
-                    dtw_banded_early_abandon(s, q, rho, eps_sq)
-                }
+                let c = cascade_raw.as_ref().expect("raw cascade exists");
+                c.verify_skip_kim(s, eps_sq, &mut cstats)
             }
             (Some(qn), false) => {
                 stats.full_distance_computations += 1;
                 let ord = order.as_ref().expect("order exists");
                 ed_norm_early_abandon_ordered(s, qn, ord, mu_s, sigma_s, eps_sq)
             }
-            (Some(qn), true) => {
+            (Some(_), true) => {
                 scratch.clear();
                 scratch.extend_from_slice(s);
                 kvmatch_distance::z_normalize(&mut scratch, mu_s, sigma_s);
-                let (l, u) = env_norm.as_ref().expect("normalized envelope exists");
-                if lb_keogh_sq_early_abandon(&scratch, l, u, eps_sq).is_none() {
-                    stats.pruned_lb_keogh += 1;
-                    None
-                } else {
-                    stats.full_distance_computations += 1;
-                    dtw_banded_early_abandon(&scratch, qn, rho, eps_sq)
-                }
+                let c = cascade_norm.as_ref().expect("normalized cascade exists");
+                c.verify_skip_kim(&scratch, eps_sq, &mut cstats)
             }
         };
         if let Some(d_sq) = hit {
             results.push(MatchResult { offset: j, distance: d_sq.sqrt() });
         }
     }
+    stats.pruned_lb_keogh += cstats.pruned_lb_keogh;
+    stats.full_distance_computations += cstats.full_distance_computations;
     stats.matches = results.len() as u64;
     stats.nanos = t0.elapsed().as_nanos() as u64;
     Ok((results, stats))

@@ -1,0 +1,83 @@
+//! `bench_report` — the perf-trajectory reporter and CI smoke gate.
+//!
+//! Runs every harness workload through the sequential `KvMatcher` and the
+//! batched `QueryExecutor`, prints the comparison table, and writes
+//! `BENCH_exec.json` (override with `KVM_BENCH_OUT`).
+//!
+//! Knobs: `KVM_N`, `KVM_W`, `KVM_QUERIES`, `KVM_SEED`, `KVM_THREADS`
+//! (0 = auto), `KVM_REPEAT` (best-of timing). With `KVM_BENCH_ENFORCE=1`
+//! the process exits non-zero when the batched executor is slower than the
+//! sequential matcher overall — the CI `bench-smoke` gate.
+
+use kvmatch_bench::harness::{env_usize, Row, Table};
+use kvmatch_bench::report::{run_report, to_json, ReportEnv};
+
+fn main() {
+    let env = ReportEnv::from_env();
+    let out_path = std::env::var("KVM_BENCH_OUT").unwrap_or_else(|_| "BENCH_exec.json".to_string());
+    let enforce = env_usize("KVM_BENCH_ENFORCE", 0) == 1;
+
+    println!("=== bench_report: batched executor vs sequential matcher ===");
+    println!(
+        "n = {}, w = {}, {} queries/workload, seed {}, threads {} (0 = auto), best of {}",
+        env.n, env.w, env.queries, env.seed, env.threads, env.repeat
+    );
+    println!();
+
+    let report = run_report(env);
+
+    let mut table = Table::new(&[
+        "workload",
+        "m",
+        "eps",
+        "matches",
+        "candidates",
+        "pruned_con",
+        "pruned_kim",
+        "pruned_keogh",
+        "full_dist",
+        "seq_scans",
+        "batch_scans",
+        "seq_ms",
+        "batch_ms",
+        "speedup",
+    ]);
+    for wl in &report.workloads {
+        table.push(Row::new(vec![
+            wl.name.as_str().into(),
+            wl.m.into(),
+            wl.epsilon.into(),
+            wl.matches.into(),
+            wl.candidates.into(),
+            wl.pruned_constraint.into(),
+            wl.pruned_lb_kim.into(),
+            wl.pruned_lb_keogh.into(),
+            wl.full_distance_computations.into(),
+            wl.sequential_index_scans.into(),
+            wl.batched_index_scans.into(),
+            wl.sequential_ms.into(),
+            wl.batched_ms.into(),
+            wl.speedup.into(),
+        ]));
+    }
+    table.print();
+    println!(
+        "total: sequential {:.1} ms, batched {:.1} ms ({} threads), speedup {:.2}x",
+        report.total_sequential_ms,
+        report.total_batched_ms,
+        report.threads_resolved,
+        report.overall_speedup
+    );
+
+    std::fs::write(&out_path, to_json(&report)).expect("write bench report");
+    println!("wrote {out_path}");
+
+    if enforce && !report.batched_not_slower() {
+        eprintln!(
+            "FAIL: batched executor slower than sequential matcher \
+             ({:.1} ms > {:.1} ms)",
+            report.total_batched_ms, report.total_sequential_ms
+        );
+        std::process::exit(1);
+    }
+}

@@ -16,6 +16,7 @@
 //! | `fig8_index_build` | Fig. 8 — size & build time vs data length (DMatch vs KVM-DP) |
 //! | `fig9_scalability` | Fig. 9 — cNSM scalability (UCR vs KVM, ED & DTW) |
 //! | `fig10_dp_vs_basic` | Fig. 10 — KV-match_DP vs single-`w` KV-match |
+//! | `bench_report` | perf trajectory — batched executor vs sequential (`BENCH_exec.json`) |
 //!
 //! Scale knobs (environment variables): `KVM_N` (series length),
 //! `KVM_QUERIES` (queries per point), `KVM_SEED`. The paper's selectivity
@@ -23,8 +24,10 @@
 
 pub mod calibrate;
 pub mod harness;
+pub mod report;
 pub mod workload;
 
 pub use calibrate::{calibrate_epsilon, CalibrationTarget};
 pub use harness::{env_f64, env_usize, geo_mean, ExperimentEnv, Row, Table};
+pub use report::{run_report, BenchReport, ReportEnv, WorkloadReport};
 pub use workload::{make_series, sample_queries};

@@ -1,0 +1,341 @@
+//! The bench-report pipeline: batched executor vs sequential matcher.
+//!
+//! [`run_report`] builds one index over the harness series, runs a fixed
+//! set of workloads (all four query types) through both the sequential
+//! [`KvMatcher`] and the batched [`QueryExecutor`], checks the results are
+//! identical, and returns a [`BenchReport`] — per-workload wall time,
+//! per-cascade-stage pruning counts, probe-sharing numbers and the
+//! batched-vs-sequential speedup. Serialized to `BENCH_exec.json`, this is
+//! the machine-readable perf-trajectory point CI uploads on every run and
+//! gates on (`batched ≥ sequential` on the smoke workload).
+
+use std::time::Instant;
+
+use serde_json::{Map, Value};
+
+use kvmatch_core::{
+    ExecutorConfig, IndexBuildConfig, KvIndex, KvMatcher, MatchResult, MatchStats, QueryExecutor,
+    QuerySpec,
+};
+use kvmatch_storage::memory::MemoryKvStoreBuilder;
+use kvmatch_storage::{MemoryKvStore, MemorySeriesStore};
+
+use crate::workload::{make_series, sample_queries};
+
+/// Scale knobs of one report run.
+#[derive(Clone, Copy, Debug)]
+pub struct ReportEnv {
+    /// Series length `n`.
+    pub n: usize,
+    /// Index window width `w`.
+    pub w: usize,
+    /// Queries per workload.
+    pub queries: usize,
+    /// Data/query seed.
+    pub seed: u64,
+    /// Verification worker threads (`0` = auto).
+    pub threads: usize,
+    /// Timing repetitions (best-of).
+    pub repeat: usize,
+}
+
+impl ReportEnv {
+    /// Reads `KVM_N`, `KVM_W`, `KVM_QUERIES`, `KVM_SEED`, `KVM_THREADS`,
+    /// `KVM_REPEAT` with report defaults.
+    pub fn from_env() -> Self {
+        Self {
+            n: crate::harness::env_usize("KVM_N", 120_000),
+            w: crate::harness::env_usize("KVM_W", 50),
+            queries: crate::harness::env_usize("KVM_QUERIES", 8),
+            seed: crate::harness::env_usize("KVM_SEED", 42) as u64,
+            threads: crate::harness::env_usize("KVM_THREADS", 0),
+            repeat: crate::harness::env_usize("KVM_REPEAT", 1).max(1),
+        }
+    }
+}
+
+/// One workload's comparison row.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Workload name (query type).
+    pub name: String,
+    /// Query length `m`.
+    pub m: usize,
+    /// Distance threshold ε.
+    pub epsilon: f64,
+    /// Queries executed.
+    pub queries: usize,
+    /// Total matches (identical for both executions).
+    pub matches: u64,
+    /// Phase-2 candidates verified.
+    pub candidates: u64,
+    /// Candidates rejected by the cNSM constraint pre-stage.
+    pub pruned_constraint: u64,
+    /// Candidates rejected by LB_Kim-FL.
+    pub pruned_lb_kim: u64,
+    /// Candidates rejected by LB_Keogh.
+    pub pruned_lb_keogh: u64,
+    /// Candidates that reached the full distance kernel.
+    pub full_distance_computations: u64,
+    /// Store scans issued by the sequential run.
+    pub sequential_index_scans: u64,
+    /// Store scans issued by the batched run (shared probes removed).
+    pub batched_index_scans: u64,
+    /// Batched probes served entirely from the row cache.
+    pub probe_cache_hits: u64,
+    /// Sequential wall time (best of `repeat`), milliseconds.
+    pub sequential_ms: f64,
+    /// Batched wall time (best of `repeat`), milliseconds.
+    pub batched_ms: f64,
+    /// `sequential_ms / batched_ms`.
+    pub speedup: f64,
+}
+
+/// The full report written to `BENCH_exec.json`.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    /// Report format tag.
+    pub schema: String,
+    /// Scale knobs of this run.
+    pub env: ReportEnv,
+    /// Resolved verification thread count.
+    pub threads_resolved: usize,
+    /// Per-workload rows.
+    pub workloads: Vec<WorkloadReport>,
+    /// Total sequential milliseconds across workloads.
+    pub total_sequential_ms: f64,
+    /// Total batched milliseconds across workloads.
+    pub total_batched_ms: f64,
+    /// `total_sequential_ms / total_batched_ms`.
+    pub overall_speedup: f64,
+}
+
+impl BenchReport {
+    /// True when the batched executor was at least as fast as the
+    /// sequential matcher overall — the CI smoke gate.
+    pub fn batched_not_slower(&self) -> bool {
+        self.total_batched_ms <= self.total_sequential_ms
+    }
+
+    /// The report as a JSON value tree (the `serde_json` shim renders it;
+    /// the real crate would too).
+    pub fn to_value(&self) -> Value {
+        let mut root = Map::new();
+        let ins = |m: &mut Map, k: &str, v: Value| {
+            m.insert(k.to_string(), v);
+        };
+        ins(&mut root, "schema", Value::from(self.schema.as_str()));
+        let mut env = Map::new();
+        ins(&mut env, "n", Value::from(self.env.n));
+        ins(&mut env, "w", Value::from(self.env.w));
+        ins(&mut env, "queries", Value::from(self.env.queries));
+        ins(&mut env, "seed", Value::from(self.env.seed));
+        ins(&mut env, "threads", Value::from(self.env.threads));
+        ins(&mut env, "repeat", Value::from(self.env.repeat));
+        ins(&mut root, "env", Value::Object(env));
+        ins(&mut root, "threads_resolved", Value::from(self.threads_resolved));
+        let workloads = self
+            .workloads
+            .iter()
+            .map(|wl| {
+                let mut row = Map::new();
+                ins(&mut row, "name", Value::from(wl.name.as_str()));
+                ins(&mut row, "m", Value::from(wl.m));
+                ins(&mut row, "epsilon", Value::from(wl.epsilon));
+                ins(&mut row, "queries", Value::from(wl.queries));
+                ins(&mut row, "matches", Value::from(wl.matches));
+                ins(&mut row, "candidates", Value::from(wl.candidates));
+                ins(&mut row, "pruned_constraint", Value::from(wl.pruned_constraint));
+                ins(&mut row, "pruned_lb_kim", Value::from(wl.pruned_lb_kim));
+                ins(&mut row, "pruned_lb_keogh", Value::from(wl.pruned_lb_keogh));
+                ins(
+                    &mut row,
+                    "full_distance_computations",
+                    Value::from(wl.full_distance_computations),
+                );
+                ins(&mut row, "sequential_index_scans", Value::from(wl.sequential_index_scans));
+                ins(&mut row, "batched_index_scans", Value::from(wl.batched_index_scans));
+                ins(&mut row, "probe_cache_hits", Value::from(wl.probe_cache_hits));
+                ins(&mut row, "sequential_ms", Value::from(wl.sequential_ms));
+                ins(&mut row, "batched_ms", Value::from(wl.batched_ms));
+                ins(&mut row, "speedup", Value::from(wl.speedup));
+                Value::Object(row)
+            })
+            .collect();
+        ins(&mut root, "workloads", Value::Array(workloads));
+        ins(&mut root, "total_sequential_ms", Value::from(self.total_sequential_ms));
+        ins(&mut root, "total_batched_ms", Value::from(self.total_batched_ms));
+        ins(&mut root, "overall_speedup", Value::from(self.overall_speedup));
+        Value::Object(root)
+    }
+}
+
+/// The fixed workload set over `xs`: every query type, verification-heavy
+/// ε, a distinct query seed per workload.
+fn workload_specs(xs: &[f64], env: &ReportEnv) -> Vec<(String, usize, f64, Vec<QuerySpec>)> {
+    let mut out = Vec::new();
+    let mut mk = |name: &str, m: usize, eps: f64, f: &dyn Fn(Vec<f64>) -> QuerySpec| {
+        let seed = env.seed ^ (out.len() as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let queries = sample_queries(xs, m, env.queries, 0.05, seed);
+        out.push((name.to_string(), m, eps, queries.into_iter().map(f).collect::<Vec<_>>()));
+    };
+    mk("rsm_ed", 256, 20.0, &|q| QuerySpec::rsm_ed(q, 20.0));
+    mk("rsm_dtw", 192, 10.0, &|q| QuerySpec::rsm_dtw(q, 10.0, 8));
+    mk("cnsm_ed", 256, 3.0, &|q| QuerySpec::cnsm_ed(q, 3.0, 1.5, 5.0));
+    mk("cnsm_dtw", 160, 2.5, &|q| QuerySpec::cnsm_dtw(q, 2.5, 5, 1.5, 5.0));
+    out
+}
+
+fn sum_stats(stats: &[MatchStats]) -> (u64, u64, u64, u64, u64, u64, u64) {
+    let mut t = (0, 0, 0, 0, 0, 0, 0);
+    for s in stats {
+        t.0 += s.matches;
+        t.1 += s.candidates;
+        t.2 += s.pruned_constraint;
+        t.3 += s.pruned_lb_kim;
+        t.4 += s.pruned_lb_keogh;
+        t.5 += s.full_distance_computations;
+        t.6 += s.index_accesses;
+    }
+    t
+}
+
+/// Runs the comparison and assembles the report.
+///
+/// # Panics
+/// Panics when batched and sequential results ever disagree — the report
+/// must never publish numbers for diverging executions.
+pub fn run_report(env: ReportEnv) -> BenchReport {
+    let xs = make_series(env.n, env.seed);
+    let specs_by_workload = workload_specs(&xs, &env);
+    let (index, _) = KvIndex::<MemoryKvStore>::build_into(
+        &xs,
+        IndexBuildConfig::new(env.w),
+        MemoryKvStoreBuilder::new(),
+    )
+    .expect("index build");
+    let data = MemorySeriesStore::new(xs);
+    let matcher = KvMatcher::new(&index, &data).expect("matcher binds");
+
+    let mut workloads = Vec::new();
+    let mut total_seq = 0.0;
+    let mut total_batch = 0.0;
+    let mut threads_resolved = 0;
+    for (name, m, epsilon, specs) in specs_by_workload {
+        let mut best_seq = f64::INFINITY;
+        let mut best_batch = f64::INFINITY;
+        let mut seq_out: Vec<(Vec<MatchResult>, MatchStats)> = Vec::new();
+        let mut batch_out = None;
+        for _ in 0..env.repeat {
+            // Sequential: one matcher call per query, no sharing.
+            let t = Instant::now();
+            let out: Vec<_> =
+                specs.iter().map(|s| matcher.execute(s).expect("sequential query")).collect();
+            best_seq = best_seq.min(t.elapsed().as_secs_f64() * 1e3);
+            seq_out = out;
+
+            // Batched: fresh executor per repetition so each timing pays
+            // its own cache warm-up, exactly like the sequential run.
+            let exec = QueryExecutor::with_config(
+                &index,
+                &data,
+                ExecutorConfig { threads: env.threads, ..ExecutorConfig::default() },
+            )
+            .expect("executor binds");
+            threads_resolved = exec.threads();
+            let t = Instant::now();
+            let batch = exec.execute_batch(&specs).expect("batched query");
+            best_batch = best_batch.min(t.elapsed().as_secs_f64() * 1e3);
+            batch_out = Some(batch);
+        }
+        let batch = batch_out.expect("repeat ≥ 1");
+
+        // The report is only valid if both executions agree exactly.
+        for (i, ((seq_res, _), out)) in seq_out.iter().zip(&batch.outputs).enumerate() {
+            assert_eq!(seq_res, &out.results, "{name} query {i}: batched diverged from sequential");
+        }
+
+        let seq_stats: Vec<MatchStats> = seq_out.iter().map(|(_, s)| *s).collect();
+        let batch_stats: Vec<MatchStats> = batch.outputs.iter().map(|o| o.stats).collect();
+        let (matches, candidates, p_con, p_kim, p_keogh, full, seq_scans) = sum_stats(&seq_stats);
+        let (_, _, _, _, _, _, batch_scans) = sum_stats(&batch_stats);
+        total_seq += best_seq;
+        total_batch += best_batch;
+        workloads.push(WorkloadReport {
+            name,
+            m,
+            epsilon,
+            queries: specs.len(),
+            matches,
+            candidates,
+            pruned_constraint: p_con,
+            pruned_lb_kim: p_kim,
+            pruned_lb_keogh: p_keogh,
+            full_distance_computations: full,
+            sequential_index_scans: seq_scans,
+            batched_index_scans: batch_scans,
+            probe_cache_hits: batch.stats.probe_cache_hits,
+            sequential_ms: best_seq,
+            batched_ms: best_batch,
+            speedup: best_seq / best_batch.max(1e-9),
+        });
+    }
+
+    BenchReport {
+        schema: "kvmatch-bench-exec/v1".to_string(),
+        env,
+        threads_resolved,
+        workloads,
+        total_sequential_ms: total_seq,
+        total_batched_ms: total_batch,
+        overall_speedup: total_seq / total_batch.max(1e-9),
+    }
+}
+
+/// Serializes a report to JSON (one trailing newline).
+pub fn to_json(report: &BenchReport) -> String {
+    format!("{}\n", report.to_value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_env() -> ReportEnv {
+        ReportEnv { n: 8_000, w: 50, queries: 2, seed: 7, threads: 2, repeat: 1 }
+    }
+
+    #[test]
+    fn report_runs_and_serializes() {
+        let report = run_report(tiny_env());
+        assert_eq!(report.workloads.len(), 4);
+        for wl in &report.workloads {
+            assert_eq!(wl.queries, 2);
+            assert!(wl.sequential_ms > 0.0 && wl.batched_ms > 0.0);
+            assert!(wl.speedup > 0.0);
+            assert!(wl.batched_index_scans <= wl.sequential_index_scans);
+        }
+        assert!(report.total_sequential_ms > 0.0);
+        let value = report.to_value();
+        let Value::Object(root) = &value else { panic!("report is an object") };
+        assert_eq!(root.get("schema"), Some(&Value::from("kvmatch-bench-exec/v1")));
+        let Some(Value::Array(rows)) = root.get("workloads") else { panic!("workloads array") };
+        assert_eq!(rows.len(), 4);
+        let Value::Object(first) = &rows[0] else { panic!("workload row is an object") };
+        assert!(matches!(first.get("speedup"), Some(Value::Number(v)) if *v > 0.0));
+        let json = to_json(&report);
+        assert!(json.contains("\"total_batched_ms\""));
+        assert!(json.ends_with('\n'));
+    }
+
+    #[test]
+    fn workloads_produce_matches() {
+        // Queries are near-copies of data subsequences; each workload must
+        // find at least its own originals.
+        let report = run_report(tiny_env());
+        for wl in &report.workloads {
+            assert!(wl.matches > 0, "{} found no matches", wl.name);
+            assert!(wl.candidates >= wl.matches);
+        }
+    }
+}

@@ -36,6 +36,18 @@ pub struct RowCacheStats {
     pub evictions: u64,
 }
 
+impl RowCacheStats {
+    /// The counter movement since an `earlier` snapshot — how a batch (or
+    /// any delimited phase) used the cache, independent of prior traffic.
+    pub fn since(&self, earlier: &RowCacheStats) -> RowCacheStats {
+        RowCacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
 #[derive(Debug, Default)]
 struct Inner {
     map: HashMap<RowKey, (Arc<IntervalSet>, u64)>,
@@ -188,6 +200,21 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn stats_since_subtracts_snapshot() {
+        let cache = RowCache::new(4);
+        cache.get((50, 0)); // miss
+        let snap = cache.stats();
+        cache.insert((50, 0), set(0, 0));
+        cache.get((50, 0)); // hit
+        cache.get((50, 1)); // miss
+        let delta = cache.stats().since(&snap);
+        assert_eq!((delta.hits, delta.misses, delta.evictions), (1, 1, 0));
+        // A fresh snapshot against itself is zero.
+        let s = cache.stats();
+        assert_eq!(s.since(&s), RowCacheStats::default());
     }
 
     #[test]

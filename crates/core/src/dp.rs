@@ -341,10 +341,7 @@ impl<'a, S: KvStore, D: SeriesStore> DpMatcher<'a, S, D> {
                 Some(cache) => idx.probe_cached(range.lower, range.upper, cache)?,
                 None => idx.probe(range.lower, range.upper)?,
             };
-            stats.index_accesses += info.scans;
-            stats.rows_scanned += info.rows;
-            stats.rows_from_cache += info.rows_from_cache;
-            stats.intervals_collected += info.intervals;
+            stats.absorb_probe(&info);
             let csi = is.shift_left(seg.offset as u64);
             cs = Some(match cs {
                 None => csi,

@@ -1,0 +1,473 @@
+//! Batched, multi-threaded query execution.
+//!
+//! [`QueryExecutor`] takes a *batch* of ED/DTW queries against one index
+//! and answers all of them with less total work than running
+//! [`KvMatcher`](crate::matcher::KvMatcher) once per query. The batching
+//! model has three layers:
+//!
+//! 1. **Planning once.** Every query is validated and pre-processed
+//!    ([`PreparedQuery`]) up front: window segmentation (`p = ⌊m/w⌋`
+//!    windows at offsets `i·w`), lemma ranges, envelopes and cascade
+//!    material are computed exactly once per query before any I/O starts.
+//! 2. **Shared probing.** Phase 1 runs on the calling thread, routing
+//!    every window probe through one [`RowCache`]. Queries whose lemma
+//!    ranges overlap — the common case for related queries over the same
+//!    series — hit rows another query already fetched, so each distinct
+//!    row span costs one store scan for the *whole batch*. Probe
+//!    accounting keeps real scans ([`MatchStats::index_accesses`]) and
+//!    cache-served probes ([`MatchStats::probe_cache_hits`]) distinct.
+//! 3. **Fanned-out verification.** Phase 2 flattens every (query,
+//!    candidate-interval) pair into a work list and drains it from a
+//!    [`std::thread::scope`] worker pool. Each work item runs the same
+//!    per-interval verification routine (and the same shared
+//!    [`LbCascade`](kvmatch_distance::LbCascade) stages) the sequential
+//!    matcher runs, so batched results are **bit-identical** to
+//!    per-query [`KvMatcher`](crate::matcher::KvMatcher) output — the
+//!    equivalence tests assert exact equality, including distances.
+//!
+//! Worker results are merged back in deterministic (query, interval)
+//! order; per-query statistics report the same candidate counts as
+//! sequential execution, while [`BatchStats`] carries the batch-level
+//! numbers (wall time per phase, shared-probe savings, row-cache delta).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use kvmatch_storage::{KvStore, SeriesStore};
+
+use crate::cache::{RowCache, RowCacheStats};
+use crate::index::KvIndex;
+use crate::interval::{IntervalSet, WindowInterval};
+use crate::matcher::{verify_interval, PreparedQuery};
+use crate::query::{CoreError, MatchResult, MatchStats, QuerySpec};
+
+/// Tuning knobs for a [`QueryExecutor`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutorConfig {
+    /// Verification worker threads; `0` resolves to the machine's
+    /// available parallelism.
+    pub threads: usize,
+    /// Row-cache capacity (decoded index rows kept for probe sharing).
+    pub cache_capacity: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self { threads: 0, cache_capacity: 4096 }
+    }
+}
+
+/// One query's answer: the same `(results, stats)` pair
+/// [`KvMatcher::execute`](crate::matcher::KvMatcher::execute) returns.
+#[derive(Clone, Debug)]
+pub struct QueryOutput {
+    /// Qualified subsequences, ordered by offset.
+    pub results: Vec<MatchResult>,
+    /// Per-query execution statistics.
+    pub stats: MatchStats,
+}
+
+/// Batch-level statistics: where the shared work went.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BatchStats {
+    /// Queries in the batch.
+    pub queries: u64,
+    /// Wall-clock nanoseconds of the (sequential) probe phase.
+    pub probe_nanos: u64,
+    /// Wall-clock nanoseconds of the (parallel) verification phase.
+    pub verify_nanos: u64,
+    /// Window probes issued across the batch.
+    pub probes: u64,
+    /// Probes served without any store scan (shared via the row cache).
+    pub probe_cache_hits: u64,
+    /// Real store scans issued.
+    pub store_scans: u64,
+    /// Verification work items (candidate intervals) executed.
+    pub work_items: u64,
+    /// Worker threads used for verification.
+    pub threads: u64,
+    /// Row-cache counter movement over this batch.
+    pub row_cache: RowCacheStats,
+}
+
+/// The whole batch's answers plus batch statistics.
+#[derive(Clone, Debug)]
+pub struct BatchOutput {
+    /// Per-query outputs, in input order.
+    pub outputs: Vec<QueryOutput>,
+    /// Batch-level statistics.
+    pub stats: BatchStats,
+}
+
+/// A per-query execution plan produced by phase 1.
+struct Plan {
+    prep: PreparedQuery,
+    cs: IntervalSet,
+    stats: MatchStats,
+}
+
+/// One unit of phase-2 work: a candidate interval of one query.
+#[derive(Clone, Copy)]
+struct WorkItem {
+    query: usize,
+    interval: WindowInterval,
+}
+
+/// What a worker produced for one [`WorkItem`].
+struct WorkOutput {
+    item_idx: usize,
+    nanos: u64,
+    verification: Result<crate::matcher::IntervalVerification, CoreError>,
+}
+
+/// Batched multi-threaded executor over one index + data store.
+pub struct QueryExecutor<'a, S: KvStore, D: SeriesStore> {
+    index: &'a KvIndex<S>,
+    data: &'a D,
+    cache: RowCache,
+    config: ExecutorConfig,
+}
+
+impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
+    /// Binds an executor to an index and its data store (with default
+    /// configuration). Fails when the index covers a series of a
+    /// different length.
+    pub fn new(index: &'a KvIndex<S>, data: &'a D) -> Result<Self, CoreError> {
+        Self::with_config(index, data, ExecutorConfig::default())
+    }
+
+    /// Binds with explicit configuration.
+    pub fn with_config(
+        index: &'a KvIndex<S>,
+        data: &'a D,
+        config: ExecutorConfig,
+    ) -> Result<Self, CoreError> {
+        if index.series_len() != data.len() {
+            return Err(CoreError::CorruptIndex(format!(
+                "index covers a series of length {}, data store has {}",
+                index.series_len(),
+                data.len()
+            )));
+        }
+        let cache = RowCache::new(config.cache_capacity);
+        Ok(Self { index, data, cache, config })
+    }
+
+    /// The executor's row cache (persists across batches, so repeated
+    /// batches keep sharing probe work).
+    pub fn cache(&self) -> &RowCache {
+        &self.cache
+    }
+
+    /// The resolved verification thread count.
+    pub fn threads(&self) -> usize {
+        if self.config.threads > 0 {
+            self.config.threads
+        } else {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        }
+    }
+
+    /// Executes a batch of queries. Per-query results are bit-identical to
+    /// running [`KvMatcher::execute`](crate::matcher::KvMatcher::execute)
+    /// on each spec in isolation; any invalid query or storage error fails
+    /// the whole batch.
+    pub fn execute_batch(&self, specs: &[QuerySpec]) -> Result<BatchOutput, CoreError>
+    where
+        D: Sync,
+    {
+        let cache_before = self.cache.stats();
+        let mut batch = BatchStats { queries: specs.len() as u64, ..BatchStats::default() };
+
+        // Phase 0: plan every query before any I/O.
+        let w = self.index.window();
+        let n = self.data.len();
+        let mut plans = Vec::with_capacity(specs.len());
+        for spec in specs {
+            let prep = PreparedQuery::new(spec.clone())?;
+            if prep.m < w {
+                return Err(CoreError::QueryTooShort { query_len: prep.m, window: w });
+            }
+            plans.push(Plan { prep, cs: IntervalSet::new(), stats: MatchStats::default() });
+        }
+
+        // Phase 1: probe through the shared row cache, sequentially.
+        let t_probe = Instant::now();
+        for plan in &mut plans {
+            let t1 = Instant::now();
+            let m = plan.prep.m;
+            if m > n {
+                continue; // no window fits; empty candidate set
+            }
+            let p = m / w;
+            let mut cs: Option<IntervalSet> = None;
+            for i in 0..p {
+                let range = plan.prep.window_range(i * w, w);
+                let (is, info) = self.index.probe_cached(range.lower, range.upper, &self.cache)?;
+                plan.stats.absorb_probe(&info);
+                batch.probes += 1;
+                batch.store_scans += info.scans;
+                if info.is_cache_hit() {
+                    batch.probe_cache_hits += 1;
+                }
+                let csi = is.shift_left((i * w) as u64);
+                cs = Some(match cs {
+                    None => csi,
+                    Some(prev) => prev.intersect(&csi),
+                });
+                if cs.as_ref().expect("just set").is_empty() {
+                    break;
+                }
+            }
+            plan.cs = cs.expect("p ≥ 1 because m ≥ w").clamp_max((n - m) as u64);
+            plan.stats.candidates = plan.cs.num_positions();
+            plan.stats.candidate_intervals = plan.cs.num_intervals() as u64;
+            plan.stats.phase1_nanos = t1.elapsed().as_nanos() as u64;
+        }
+        batch.probe_nanos = t_probe.elapsed().as_nanos() as u64;
+
+        // Phase 2: flatten (query, interval) work items and fan out.
+        let items: Vec<WorkItem> = plans
+            .iter()
+            .enumerate()
+            .flat_map(|(query, plan)| {
+                plan.cs.intervals().iter().map(move |&interval| WorkItem { query, interval })
+            })
+            .collect();
+        batch.work_items = items.len() as u64;
+
+        let threads = self.threads().min(items.len()).max(1);
+        batch.threads = threads as u64;
+        let t_verify = Instant::now();
+        let mut outputs: Vec<WorkOutput> = if items.is_empty() {
+            Vec::new()
+        } else if threads == 1 {
+            // Single worker: run inline, skipping thread spawn/join cost.
+            let mut produced = Vec::with_capacity(items.len());
+            let mut scratch: Vec<f64> = Vec::new();
+            for (item_idx, item) in items.iter().enumerate() {
+                let t = Instant::now();
+                let verification = verify_interval(
+                    self.data,
+                    &plans[item.query].prep,
+                    item.interval,
+                    &mut scratch,
+                );
+                produced.push(WorkOutput {
+                    item_idx,
+                    nanos: t.elapsed().as_nanos() as u64,
+                    verification,
+                });
+            }
+            produced
+        } else {
+            let next = AtomicUsize::new(0);
+            let next_ref = &next;
+            let plans_ref = &plans;
+            let items_ref = &items;
+            let data = self.data;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|_| {
+                        scope.spawn(move || {
+                            let mut produced = Vec::new();
+                            let mut scratch: Vec<f64> = Vec::new();
+                            loop {
+                                let item_idx = next_ref.fetch_add(1, Ordering::Relaxed);
+                                if item_idx >= items_ref.len() {
+                                    break;
+                                }
+                                let item = items_ref[item_idx];
+                                let t = Instant::now();
+                                let verification = verify_interval(
+                                    data,
+                                    &plans_ref[item.query].prep,
+                                    item.interval,
+                                    &mut scratch,
+                                );
+                                produced.push(WorkOutput {
+                                    item_idx,
+                                    nanos: t.elapsed().as_nanos() as u64,
+                                    verification,
+                                });
+                            }
+                            produced
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("verification worker panicked"))
+                    .collect()
+            })
+        };
+        batch.verify_nanos = t_verify.elapsed().as_nanos() as u64;
+
+        // Merge in deterministic (query, interval) order. Items were
+        // created query-by-query over already-sorted interval sets, so
+        // ascending item index reproduces the sequential append order.
+        outputs.sort_unstable_by_key(|o| o.item_idx);
+        let mut merged: Vec<Vec<MatchResult>> = plans.iter().map(|_| Vec::new()).collect();
+        for out in outputs {
+            let query = items[out.item_idx].query;
+            let plan = &mut plans[query];
+            let iv = out.verification?;
+            plan.stats.points_fetched += iv.points_fetched;
+            plan.stats.absorb_cascade(&iv.cascade);
+            plan.stats.phase2_nanos += out.nanos;
+            merged[query].extend(iv.results);
+        }
+
+        batch.row_cache = self.cache.stats().since(&cache_before);
+        let outputs = plans
+            .into_iter()
+            .zip(merged)
+            .map(|(mut plan, results)| {
+                plan.stats.matches = results.len() as u64;
+                QueryOutput { results, stats: plan.stats }
+            })
+            .collect();
+        Ok(BatchOutput { outputs, stats: batch })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexBuildConfig;
+    use crate::matcher::KvMatcher;
+    use kvmatch_storage::memory::MemoryKvStoreBuilder;
+    use kvmatch_storage::{MemoryKvStore, MemorySeriesStore};
+    use kvmatch_timeseries::generator::composite_series;
+
+    fn build_index(xs: &[f64], w: usize) -> KvIndex<MemoryKvStore> {
+        let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+            xs,
+            IndexBuildConfig::new(w),
+            MemoryKvStoreBuilder::new(),
+        )
+        .unwrap();
+        idx
+    }
+
+    #[test]
+    fn batch_equals_sequential_matcher() {
+        let xs = composite_series(71, 6_000);
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let specs = vec![
+            QuerySpec::rsm_ed(xs[100..300].to_vec(), 12.0),
+            QuerySpec::rsm_dtw(xs[900..1100].to_vec(), 6.0, 5),
+            QuerySpec::cnsm_ed(xs[2500..2700].to_vec(), 2.0, 1.5, 3.0),
+            QuerySpec::cnsm_dtw(xs[4000..4160].to_vec(), 2.0, 5, 1.5, 3.0),
+        ];
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let exec = QueryExecutor::with_config(
+            &idx,
+            &data,
+            ExecutorConfig { threads: 3, ..ExecutorConfig::default() },
+        )
+        .unwrap();
+        let batch = exec.execute_batch(&specs).unwrap();
+        assert_eq!(batch.outputs.len(), specs.len());
+        for (spec, out) in specs.iter().zip(&batch.outputs) {
+            let (want, want_stats) = matcher.execute(spec).unwrap();
+            assert_eq!(out.results, want, "batched results must be bit-identical");
+            assert_eq!(out.stats.candidates, want_stats.candidates);
+            assert_eq!(out.stats.candidate_intervals, want_stats.candidate_intervals);
+            assert_eq!(out.stats.matches, want_stats.matches);
+            assert_eq!(out.stats.points_fetched, want_stats.points_fetched);
+        }
+    }
+
+    #[test]
+    fn overlapping_queries_share_probes() {
+        let xs = composite_series(73, 8_000);
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        // The same query repeated: after the first, every probe is a hit.
+        let q = xs[1000..1300].to_vec();
+        let specs = vec![QuerySpec::rsm_ed(q, 10.0); 4];
+        let exec = QueryExecutor::new(&idx, &data).unwrap();
+        let batch = exec.execute_batch(&specs).unwrap();
+        assert!(batch.stats.probe_cache_hits >= 3 * (300 / 50) - 3, "{:?}", batch.stats);
+        assert!(batch.stats.row_cache.hits > 0);
+        // Repeated queries' stats show the cache serving their rows.
+        let repeat = &batch.outputs[1].stats;
+        assert_eq!(repeat.index_accesses, 0, "fully cache-served probes issue no scans");
+        assert!(repeat.probe_cache_hits > 0);
+        assert!(repeat.rows_from_cache > 0);
+    }
+
+    #[test]
+    fn cache_persists_across_batches() {
+        let xs = composite_series(79, 4_000);
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let exec = QueryExecutor::new(&idx, &data).unwrap();
+        let specs = vec![QuerySpec::rsm_ed(xs[500..700].to_vec(), 8.0)];
+        let first = exec.execute_batch(&specs).unwrap();
+        let second = exec.execute_batch(&specs).unwrap();
+        assert_eq!(first.outputs[0].results, second.outputs[0].results);
+        assert_eq!(second.stats.store_scans, 0, "second batch fully cache-served");
+        assert_eq!(second.stats.probe_cache_hits, second.stats.probes);
+    }
+
+    #[test]
+    fn empty_batch_and_long_query() {
+        let xs = composite_series(83, 1_000);
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let exec = QueryExecutor::new(&idx, &data).unwrap();
+        let empty = exec.execute_batch(&[]).unwrap();
+        assert!(empty.outputs.is_empty());
+        // A query longer than the series yields an empty result, like the
+        // sequential matcher.
+        let batch = exec.execute_batch(&[QuerySpec::rsm_ed(vec![0.0; 2_000], 5.0)]).unwrap();
+        assert!(batch.outputs[0].results.is_empty());
+        assert_eq!(batch.outputs[0].stats.candidates, 0);
+    }
+
+    #[test]
+    fn invalid_query_fails_whole_batch() {
+        let xs = composite_series(89, 1_000);
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let exec = QueryExecutor::new(&idx, &data).unwrap();
+        let specs = vec![
+            QuerySpec::rsm_ed(xs[0..100].to_vec(), 5.0),
+            QuerySpec::rsm_ed(vec![0.0; 20], 1.0),
+        ];
+        assert!(matches!(
+            exec.execute_batch(&specs),
+            Err(CoreError::QueryTooShort { query_len: 20, window: 50 })
+        ));
+    }
+
+    #[test]
+    fn mismatched_series_length_rejected() {
+        let xs = composite_series(97, 1_000);
+        let idx = build_index(&xs, 25);
+        let other = MemorySeriesStore::new(vec![0.0; 500]);
+        assert!(QueryExecutor::new(&idx, &other).is_err());
+    }
+
+    #[test]
+    fn single_thread_config_still_correct() {
+        let xs = composite_series(101, 3_000);
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let exec = QueryExecutor::with_config(
+            &idx,
+            &data,
+            ExecutorConfig { threads: 1, cache_capacity: 8 },
+        )
+        .unwrap();
+        let spec = QuerySpec::rsm_dtw(xs[700..900].to_vec(), 8.0, 6);
+        let batch = exec.execute_batch(std::slice::from_ref(&spec)).unwrap();
+        let (want, _) = matcher.execute(&spec).unwrap();
+        assert_eq!(batch.outputs[0].results, want);
+        assert_eq!(batch.stats.threads, 1);
+    }
+}

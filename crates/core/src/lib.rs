@@ -46,6 +46,7 @@
 //! | [`meta`] | §IV-A | the meta table |
 //! | [`index`] | §IV | persisted index over a `KvStore` |
 //! | [`matcher`] | §V | KV-match, Algorithm 1 |
+//! | [`exec`] | — | batched multi-threaded query executor |
 //! | [`dp`] | §VI | KV-match_DP: multi-index + Eq. 9 segmentation |
 //! | [`naive`] | §II | exhaustive reference implementation |
 //! | [`query`] | §II | query specs, results, statistics, errors |
@@ -54,6 +55,7 @@ pub mod append;
 pub mod build;
 pub mod cache;
 pub mod dp;
+pub mod exec;
 pub mod index;
 pub mod interval;
 pub mod matcher;
@@ -66,6 +68,7 @@ pub use append::IndexAppender;
 pub use build::{BuildStats, IndexBuildConfig, IndexRow, RowAccumulator};
 pub use cache::{RowCache, RowCacheStats};
 pub use dp::{DpMatcher, DpOptions, IndexSetConfig, MultiIndex, Segment};
+pub use exec::{BatchOutput, BatchStats, ExecutorConfig, QueryExecutor, QueryOutput};
 pub use index::{KvIndex, ScanInfo};
 pub use interval::{IntervalSet, WindowInterval};
 pub use matcher::{KvMatcher, PreparedQuery};

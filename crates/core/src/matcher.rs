@@ -12,10 +12,8 @@
 
 use std::time::Instant;
 
-use kvmatch_distance::dtw::dtw_banded_early_abandon;
+use kvmatch_distance::cascade::{CascadeStats, LbCascade};
 use kvmatch_distance::ed::{abandon_order, ed_early_abandon, ed_norm_early_abandon_ordered};
-use kvmatch_distance::envelope::keogh_envelope;
-use kvmatch_distance::lower_bounds::{lb_keogh_sq_early_abandon, lb_kim_fl_sq};
 use kvmatch_distance::lp::{lp_norm_pow_early_abandon, lp_pow_early_abandon};
 use kvmatch_distance::normalize::{mean_std, z_normalized};
 use kvmatch_distance::LpExponent;
@@ -24,7 +22,7 @@ use kvmatch_timeseries::PrefixStats;
 
 use crate::cache::RowCache;
 use crate::index::KvIndex;
-use crate::interval::IntervalSet;
+use crate::interval::{IntervalSet, WindowInterval};
 use crate::query::Measure;
 use crate::query::{Constraint, CoreError, MatchResult, MatchStats, QuerySpec};
 use crate::ranges::{
@@ -33,8 +31,10 @@ use crate::ranges::{
 };
 
 /// A query pre-processed for matching: global statistics, normalized form,
-/// envelopes and their prefix statistics. Shared by the basic matcher and
-/// KV-match_DP.
+/// verification cascades and envelope prefix statistics. Shared by the
+/// basic matcher, KV-match_DP and the batched [`QueryExecutor`].
+///
+/// [`QueryExecutor`]: crate::exec::QueryExecutor
 pub struct PreparedQuery {
     /// The original specification.
     pub spec: QuerySpec,
@@ -45,19 +45,19 @@ pub struct PreparedQuery {
     /// Global query std `σ^Q`.
     pub sigma_q: f64,
     q_stats: PrefixStats,
-    /// Raw Keogh envelope (DTW only): `(L, U, stats(L), stats(U))`.
-    envelope: Option<EnvelopeData>,
+    /// Raw-domain cascade (DTW only) plus its envelope prefix statistics
+    /// (the latter feed the Lemma-2/4 window ranges).
+    cascade: Option<CascadeData>,
     /// Normalized query (cNSM only).
     q_norm: Vec<f64>,
     /// Early-abandon coordinate order over `q_norm` (cNSM-ED).
     order: Vec<usize>,
-    /// Envelope of the normalized query (cNSM-DTW verification).
-    env_norm: Option<(Vec<f64>, Vec<f64>)>,
+    /// Normalized-domain cascade (cNSM-DTW verification).
+    cascade_norm: Option<LbCascade>,
 }
 
-struct EnvelopeData {
-    lower: Vec<f64>,
-    upper: Vec<f64>,
+struct CascadeData {
+    cascade: LbCascade,
     l_stats: PrefixStats,
     u_stats: PrefixStats,
 }
@@ -69,24 +69,24 @@ impl PreparedQuery {
         let m = spec.query.len();
         let (mu_q, sigma_q) = mean_std(&spec.query);
         let q_stats = PrefixStats::new(&spec.query);
-        let envelope = if spec.measure.is_dtw() {
-            let (lower, upper) = keogh_envelope(&spec.query, spec.measure.rho());
-            let l_stats = PrefixStats::new(&lower);
-            let u_stats = PrefixStats::new(&upper);
-            Some(EnvelopeData { lower, upper, l_stats, u_stats })
+        let cascade = if spec.measure.is_dtw() {
+            let cascade = LbCascade::new(spec.query.clone(), spec.measure.rho());
+            let l_stats = PrefixStats::new(cascade.lower());
+            let u_stats = PrefixStats::new(cascade.upper());
+            Some(CascadeData { cascade, l_stats, u_stats })
         } else {
             None
         };
-        let (q_norm, order, env_norm) = if spec.is_normalized() {
+        let (q_norm, order, cascade_norm) = if spec.is_normalized() {
             let q_norm = z_normalized(&spec.query);
             let order = abandon_order(&q_norm);
-            let env_norm =
-                spec.measure.is_dtw().then(|| keogh_envelope(&q_norm, spec.measure.rho()));
-            (q_norm, order, env_norm)
+            let cascade_norm =
+                spec.measure.is_dtw().then(|| LbCascade::new(q_norm.clone(), spec.measure.rho()));
+            (q_norm, order, cascade_norm)
         } else {
             (Vec::new(), Vec::new(), None)
         };
-        Ok(Self { spec, m, mu_q, sigma_q, q_stats, envelope, q_norm, order, env_norm })
+        Ok(Self { spec, m, mu_q, sigma_q, q_stats, cascade, q_norm, order, cascade_norm })
     }
 
     /// The lemma range `[LR, UR]` for the query window `Q(offset, w)`.
@@ -96,7 +96,7 @@ impl PreparedQuery {
     /// window (the property KV-match_DP exploits, §VI-A).
     pub fn window_range(&self, offset: usize, w: usize) -> MeanRange {
         let eps = self.spec.epsilon;
-        match (&self.spec.constraint, &self.envelope) {
+        match (&self.spec.constraint, &self.cascade) {
             (None, None) => match self.spec.measure {
                 Measure::Lp { p } => rsm_lp_range(self.q_stats.range_mean(offset, w), eps, w, p),
                 _ => rsm_ed_range(self.q_stats.range_mean(offset, w), eps, w),
@@ -149,55 +149,50 @@ impl PreparedQuery {
     }
 
     /// Verifies one candidate subsequence `s` (with its statistics) against
-    /// the query; returns the achieved distance when it qualifies. Updates
-    /// `full_distances` when the final distance kernel actually runs.
+    /// the query; returns the achieved distance when it qualifies. DTW
+    /// candidates run the shared [`LbCascade`]; every stage outcome is
+    /// recorded in `stats`.
     pub fn verify(
         &self,
         s: &[f64],
         mu_s: f64,
         sigma_s: f64,
         scratch: &mut Vec<f64>,
-        full_distances: &mut u64,
+        stats: &mut CascadeStats,
     ) -> Option<f64> {
         let eps_sq = self.spec.epsilon * self.spec.epsilon;
-        let rho = self.spec.measure.rho();
         if let Measure::Lp { p } = self.spec.measure {
-            return self.verify_lp(s, mu_s, sigma_s, p, full_distances);
+            return self.verify_lp(s, mu_s, sigma_s, p, stats);
         }
         match (&self.spec.constraint, self.spec.measure.is_dtw()) {
             (None, false) => {
-                *full_distances += 1;
+                stats.full_distance_computations += 1;
                 ed_early_abandon(s, &self.spec.query, eps_sq).map(f64::sqrt)
             }
             (None, true) => {
-                let env = self.envelope.as_ref().expect("RSM-DTW has an envelope");
-                if lb_kim_fl_sq(s, &self.spec.query) > eps_sq {
-                    return None;
-                }
-                lb_keogh_sq_early_abandon(s, &env.lower, &env.upper, eps_sq)?;
-                *full_distances += 1;
-                dtw_banded_early_abandon(s, &self.spec.query, rho, eps_sq).map(f64::sqrt)
+                let cascade = &self.cascade.as_ref().expect("RSM-DTW has a cascade").cascade;
+                cascade.verify(s, eps_sq, stats).map(f64::sqrt)
             }
             (Some(c), false) => {
                 if !self.constraint_ok(c, mu_s, sigma_s) {
+                    stats.pruned_constraint += 1;
                     return None;
                 }
-                *full_distances += 1;
+                stats.full_distance_computations += 1;
                 ed_norm_early_abandon_ordered(s, &self.q_norm, &self.order, mu_s, sigma_s, eps_sq)
                     .map(f64::sqrt)
             }
             (Some(c), true) => {
                 if !self.constraint_ok(c, mu_s, sigma_s) {
+                    stats.pruned_constraint += 1;
                     return None;
                 }
-                // Materialize Ŝ once, reuse for LB and DTW.
+                // Materialize Ŝ once, reuse for every cascade stage.
                 scratch.clear();
                 scratch.extend_from_slice(s);
                 kvmatch_distance::z_normalize(scratch, mu_s, sigma_s);
-                let (ln, un) = self.env_norm.as_ref().expect("cNSM-DTW has an envelope");
-                lb_keogh_sq_early_abandon(scratch, ln, un, eps_sq)?;
-                *full_distances += 1;
-                dtw_banded_early_abandon(scratch, &self.q_norm, rho, eps_sq).map(f64::sqrt)
+                let cascade = self.cascade_norm.as_ref().expect("cNSM-DTW has a cascade");
+                cascade.verify(scratch, eps_sq, stats).map(f64::sqrt)
             }
         }
     }
@@ -209,24 +204,69 @@ impl PreparedQuery {
         mu_s: f64,
         sigma_s: f64,
         p: LpExponent,
-        full_distances: &mut u64,
+        stats: &mut CascadeStats,
     ) -> Option<f64> {
         let bound_pow = p.pow(self.spec.epsilon);
         match &self.spec.constraint {
             None => {
-                *full_distances += 1;
+                stats.full_distance_computations += 1;
                 lp_pow_early_abandon(s, &self.spec.query, p, bound_pow).map(|acc| p.root(acc))
             }
             Some(c) => {
                 if !self.constraint_ok(c, mu_s, sigma_s) {
+                    stats.pruned_constraint += 1;
                     return None;
                 }
-                *full_distances += 1;
+                stats.full_distance_computations += 1;
                 lp_norm_pow_early_abandon(s, &self.q_norm, mu_s, sigma_s, p, bound_pow)
                     .map(|acc| p.root(acc))
             }
         }
     }
+}
+
+/// Everything phase 2 produced for one candidate interval.
+pub(crate) struct IntervalVerification {
+    /// Qualified subsequences, in offset order.
+    pub results: Vec<MatchResult>,
+    /// Data points fetched for this interval.
+    pub points_fetched: u64,
+    /// Per-cascade-stage pruning counts.
+    pub cascade: CascadeStats,
+}
+
+/// Verifies every subsequence of one candidate interval `wi` against the
+/// series store. The single verification routine behind the sequential
+/// matchers and each [`QueryExecutor`] work item — batched and sequential
+/// execution produce bit-identical results because they both run this.
+///
+/// [`QueryExecutor`]: crate::exec::QueryExecutor
+pub(crate) fn verify_interval<D: SeriesStore>(
+    data: &D,
+    prep: &PreparedQuery,
+    wi: WindowInterval,
+    scratch: &mut Vec<f64>,
+) -> Result<IntervalVerification, CoreError> {
+    let m = prep.m;
+    let l = wi.left as usize;
+    let count = wi.size() as usize;
+    let fetch_len = count - 1 + m;
+    let buf = data.fetch(l, fetch_len)?;
+    // O(1) per-candidate statistics over the fetched block.
+    let ps = prep.spec.is_normalized().then(|| PrefixStats::new(&buf));
+    let mut results = Vec::new();
+    let mut cascade = CascadeStats::default();
+    for k in 0..count {
+        let s = &buf[k..k + m];
+        let (mu_s, sigma_s) = match &ps {
+            Some(ps) => ps.range_mean_std(k, m),
+            None => (0.0, 0.0),
+        };
+        if let Some(distance) = prep.verify(s, mu_s, sigma_s, scratch, &mut cascade) {
+            results.push(MatchResult { offset: l + k, distance });
+        }
+    }
+    Ok(IntervalVerification { results, points_fetched: fetch_len as u64, cascade })
 }
 
 /// Verifies every candidate interval of `cs` against the series store.
@@ -237,29 +277,13 @@ pub(crate) fn verify_candidates<D: SeriesStore>(
     cs: &IntervalSet,
     stats: &mut MatchStats,
 ) -> Result<Vec<MatchResult>, CoreError> {
-    let m = prep.m;
     let mut results = Vec::new();
-    let mut scratch = Vec::with_capacity(m);
+    let mut scratch = Vec::with_capacity(prep.m);
     for wi in cs.intervals() {
-        let l = wi.left as usize;
-        let count = wi.size() as usize;
-        let fetch_len = count - 1 + m;
-        let buf = data.fetch(l, fetch_len)?;
-        stats.points_fetched += fetch_len as u64;
-        // O(1) per-candidate statistics over the fetched block.
-        let ps = prep.spec.is_normalized().then(|| PrefixStats::new(&buf));
-        for k in 0..count {
-            let s = &buf[k..k + m];
-            let (mu_s, sigma_s) = match &ps {
-                Some(ps) => ps.range_mean_std(k, m),
-                None => (0.0, 0.0),
-            };
-            if let Some(distance) =
-                prep.verify(s, mu_s, sigma_s, &mut scratch, &mut stats.full_distance_computations)
-            {
-                results.push(MatchResult { offset: l + k, distance });
-            }
-        }
+        let iv = verify_interval(data, prep, *wi, &mut scratch)?;
+        stats.points_fetched += iv.points_fetched;
+        stats.absorb_cascade(&iv.cascade);
+        results.extend(iv.results);
     }
     stats.matches = results.len() as u64;
     Ok(results)
@@ -356,10 +380,7 @@ impl<'a, S: KvStore, D: SeriesStore> KvMatcher<'a, S, D> {
         for i in 0..p {
             let range = prep.window_range(i * w, w);
             let (is, info) = self.probe(range.lower, range.upper)?;
-            stats.index_accesses += info.scans;
-            stats.rows_scanned += info.rows;
-            stats.rows_from_cache += info.rows_from_cache;
-            stats.intervals_collected += info.intervals;
+            stats.absorb_probe(&info);
             let csi = is.shift_left((i * w) as u64);
             cs = Some(match cs {
                 None => csi,

@@ -173,8 +173,16 @@ pub struct MatchStats {
     pub rows_from_cache: u64,
     /// Window intervals collected across all `IS_i`.
     pub intervals_collected: u64,
+    /// Index probes answered entirely from the row cache (no store scan).
+    pub probe_cache_hits: u64,
     /// Data points fetched from the series store in phase 2.
     pub points_fetched: u64,
+    /// Candidates rejected by the cNSM constraint pre-stage.
+    pub pruned_constraint: u64,
+    /// Candidates rejected by LB_Kim-FL.
+    pub pruned_lb_kim: u64,
+    /// Candidates rejected by LB_Keogh.
+    pub pruned_lb_keogh: u64,
     /// Candidates that survived all lower bounds and required a full
     /// distance computation.
     pub full_distance_computations: u64,
@@ -182,7 +190,9 @@ pub struct MatchStats {
     pub matches: u64,
     /// Wall-clock nanoseconds in phase 1 (index probing).
     pub phase1_nanos: u64,
-    /// Wall-clock nanoseconds in phase 2 (verification).
+    /// Wall-clock nanoseconds in phase 2 (verification). Under batched
+    /// execution this is the summed per-interval worker time attributed to
+    /// the query, not wall-clock.
     pub phase2_nanos: u64,
 }
 
@@ -190,6 +200,26 @@ impl MatchStats {
     /// Total query nanoseconds (both phases).
     pub fn total_nanos(&self) -> u64 {
         self.phase1_nanos + self.phase2_nanos
+    }
+
+    /// Folds one phase-1 probe's accounting into the query statistics,
+    /// keeping real store scans and cache-served work distinct.
+    pub fn absorb_probe(&mut self, info: &crate::index::ScanInfo) {
+        self.index_accesses += info.scans;
+        self.rows_scanned += info.rows;
+        self.rows_from_cache += info.rows_from_cache;
+        self.intervals_collected += info.intervals;
+        if info.is_cache_hit() {
+            self.probe_cache_hits += 1;
+        }
+    }
+
+    /// Folds phase-2 cascade accounting into the query statistics.
+    pub fn absorb_cascade(&mut self, cascade: &kvmatch_distance::CascadeStats) {
+        self.pruned_constraint += cascade.pruned_constraint;
+        self.pruned_lb_kim += cascade.pruned_lb_kim;
+        self.pruned_lb_keogh += cascade.pruned_lb_keogh;
+        self.full_distance_computations += cascade.full_distance_computations;
     }
 }
 

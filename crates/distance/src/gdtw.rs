@@ -1,6 +1,6 @@
 //! Generalized DTW (GDTW) — band-constrained DTW over an arbitrary
 //! point-to-point cost, after Neamtu et al. (ICDE 2018, the paper's
-//! reference [21]) and the "more distance measures" future work of §X.
+//! reference \[21\]) and the "more distance measures" future work of §X.
 //!
 //! The warping recurrence is cost-agnostic: only the per-cell term
 //! `point(a_i, b_j)` changes. Accumulated costs are returned in the raw

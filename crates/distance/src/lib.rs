@@ -2,7 +2,7 @@
 //!
 //! Implements everything the matching layer and the baselines need:
 //!
-//! * [`ed`] — Euclidean distance, plain / squared / early-abandoning /
+//! * [`ed`](mod@ed) — Euclidean distance, plain / squared / early-abandoning /
 //!   normalize-on-the-fly variants (the UCR Suite verification kernels),
 //! * [`dtw`] — Sakoe–Chiba band-constrained Dynamic Time Warping with
 //!   early abandoning (`ρ = 0` degenerates to ED, Definition §II-A),
@@ -10,9 +10,12 @@
 //!   monotonic-deque sliding min/max (O(m) regardless of ρ),
 //! * [`lower_bounds`] — LB_Kim-FL, LB_Keogh and LB_PAA (Eq. 3), the
 //!   cascading filters used during verification,
+//! * [`cascade`] — the shared verification cascade (LB_Kim-FL → LB_Keogh →
+//!   early-abandoning banded DTW) with per-stage pruning statistics and
+//!   best-so-far threshold threading for top-k queries,
 //! * [`lp`] — Lp-norm kernels (Manhattan, general finite p, Chebyshev)
 //!   with early abandoning, the "more distance measures" of §X,
-//! * [`gdtw`] — generalized DTW over arbitrary point costs (GDTW [21]),
+//! * [`gdtw`] — generalized DTW over arbitrary point costs (GDTW \[21\]),
 //! * [`normalize`] — z-normalization kernels, self-contained so this crate
 //!   has no dependencies.
 //!
@@ -22,6 +25,7 @@
 //! distances (`ε²`), because every kernel accumulates squared terms; public
 //! entry points returning a distance always return the *unsquared* value.
 
+pub mod cascade;
 pub mod dtw;
 pub mod ed;
 pub mod envelope;
@@ -30,6 +34,7 @@ pub mod lower_bounds;
 pub mod lp;
 pub mod normalize;
 
+pub use cascade::{BestSoFar, CascadeStats, LbCascade};
 pub use dtw::{dtw_banded, dtw_banded_early_abandon};
 pub use ed::{ed, ed_early_abandon, ed_sq};
 pub use envelope::keogh_envelope;

@@ -1,6 +1,6 @@
 //! Lp-norm distances — the "more distance measures" of the paper's future
 //! work (§X), backed by Yi & Faloutsos' arbitrary-Lp-norm indexing result
-//! (the corollary cited as [11] generalizes beyond L2).
+//! (the corollary cited as \[11\] generalizes beyond L2).
 //!
 //! # Threshold conventions
 //!

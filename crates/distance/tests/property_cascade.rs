@@ -1,0 +1,122 @@
+//! Property tests of the shared lower-bound cascade: every stage is
+//! admissible (never exceeds the true squared DTW/ED distance, so pruning
+//! can never lose a match), the stage chain is monotone in tightness where
+//! containment holds exactly (ρ = 0, where the envelope degenerates to the
+//! query), and the cascade as a whole never lies — mirroring
+//! `dtw_early_abandon_never_lies`.
+
+use proptest::prelude::*;
+
+use kvmatch_distance::cascade::{BestSoFar, CascadeStats, LbCascade};
+use kvmatch_distance::dtw::dtw_banded;
+use kvmatch_distance::ed::ed;
+use kvmatch_distance::lower_bounds::{lb_keogh_sq, lb_kim_fl_sq};
+
+fn series(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn every_stage_is_admissible(
+        pair in (4usize..40).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        rho in 0usize..10,
+    ) {
+        let (s, q) = pair;
+        let cascade = LbCascade::new(q.clone(), rho);
+        let d_sq = {
+            let d = dtw_banded(&s, &q, rho);
+            d * d
+        };
+        let kim = lb_kim_fl_sq(&s, &q);
+        let keogh = lb_keogh_sq(&s, cascade.lower(), cascade.upper());
+        prop_assert!(kim <= d_sq + 1e-9, "LB_Kim-FL {kim} > DTW² {d_sq}");
+        prop_assert!(keogh <= d_sq + 1e-9, "LB_Keogh {keogh} > DTW² {d_sq}");
+    }
+
+    #[test]
+    fn stage_chain_monotone_in_tightness_rho0(
+        pair in (4usize..40).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+    ) {
+        // At ρ = 0 the envelope equals the query, so the containment chain
+        // LB_Kim-FL ≤ LB_Keogh ≤ DTW² = ED² is exact, stage by stage.
+        let (s, q) = pair;
+        let cascade = LbCascade::new(q.clone(), 0);
+        let kim = lb_kim_fl_sq(&s, &q);
+        let keogh = lb_keogh_sq(&s, cascade.lower(), cascade.upper());
+        let d = ed(&s, &q);
+        prop_assert!(kim <= keogh + 1e-9, "LB_Kim-FL {kim} > LB_Keogh {keogh}");
+        prop_assert!(keogh <= d * d + 1e-9, "LB_Keogh {keogh} > ED² {}", d * d);
+    }
+
+    #[test]
+    fn cascade_never_lies(
+        pair in (2usize..30).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        rho in 0usize..8,
+        frac in 0.0f64..2.0,
+    ) {
+        // Mirror of dtw_early_abandon_never_lies, through the full cascade:
+        // acceptance returns the exact squared distance within threshold;
+        // pruning (at any stage) implies the exact distance exceeds it.
+        let (s, q) = pair;
+        let cascade = LbCascade::new(q.clone(), rho);
+        let exact = dtw_banded(&s, &q, rho);
+        let thr_sq = (exact * frac) * (exact * frac);
+        let mut stats = CascadeStats::default();
+        match cascade.verify(&s, thr_sq, &mut stats) {
+            Some(d_sq) => {
+                prop_assert!((d_sq.sqrt() - exact).abs() < 1e-6);
+                prop_assert!(d_sq <= thr_sq + 1e-9);
+            }
+            None => prop_assert!(exact * exact > thr_sq - 1e-9),
+        }
+        // Exactly one terminal stage accounted for this candidate.
+        prop_assert_eq!(
+            stats.pruned_lb_kim + stats.pruned_lb_keogh + stats.full_distance_computations,
+            1
+        );
+    }
+
+    #[test]
+    fn skip_kim_agrees_with_full_cascade_when_kim_passes(
+        pair in (2usize..30).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        rho in 0usize..8,
+        frac in 0.5f64..2.0,
+    ) {
+        let (s, q) = pair;
+        let cascade = LbCascade::new(q.clone(), rho);
+        let exact = dtw_banded(&s, &q, rho);
+        let thr_sq = (exact * frac) * (exact * frac);
+        let mut a = CascadeStats::default();
+        if !cascade.prune_kim(&s, thr_sq, &mut a) {
+            let mut b = CascadeStats::default();
+            prop_assert_eq!(
+                cascade.verify(&s, thr_sq, &mut a),
+                cascade.verify_skip_kim(&s, thr_sq, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn best_so_far_threshold_never_widens(
+        distances in proptest::collection::vec(0.0f64..100.0, 1..40),
+        k in 1usize..6,
+    ) {
+        // Threading candidates through BestSoFar only ever tightens the
+        // effective threshold, and the kept set is exactly the k smallest.
+        let mut best = BestSoFar::new(k, f64::INFINITY);
+        let mut last_thr = best.threshold_sq();
+        for &d in &distances {
+            best.offer(d);
+            let thr = best.threshold_sq();
+            prop_assert!(thr <= last_thr + 1e-12, "threshold widened: {last_thr} → {thr}");
+            last_thr = thr;
+        }
+        let mut sorted = distances.clone();
+        sorted.sort_by(f64::total_cmp);
+        sorted.truncate(k);
+        prop_assert_eq!(best.kept_sq(), sorted);
+    }
+}

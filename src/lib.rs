@@ -58,9 +58,9 @@ pub use kvmatch_timeseries as timeseries;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use kvmatch_core::{
-        Constraint, CoreError, DpMatcher, DpOptions, IndexAppender, IndexBuildConfig,
-        IndexSetConfig, KvIndex, KvMatcher, MatchResult, MatchStats, Measure, MultiIndex,
-        QuerySpec, RowCache,
+        Constraint, CoreError, DpMatcher, DpOptions, ExecutorConfig, IndexAppender,
+        IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher, MatchResult, MatchStats, Measure,
+        MultiIndex, QueryExecutor, QuerySpec, RowCache,
     };
     pub use kvmatch_distance::LpExponent;
     pub use kvmatch_lsm::{LsmKvStore, LsmKvStoreBuilder, LsmOptions};

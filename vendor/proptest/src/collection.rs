@@ -45,7 +45,7 @@ impl From<RangeInclusive<usize>> for SizeRange {
     }
 }
 
-/// Strategy for `Vec<T>` (see [`vec`]).
+/// Strategy for `Vec<T>` (see [`vec()`]).
 pub struct VecStrategy<S> {
     elem: S,
     size: SizeRange,
