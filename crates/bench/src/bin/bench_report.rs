@@ -1,16 +1,19 @@
 //! `bench_report` — the perf-trajectory reporter and CI smoke gate.
 //!
 //! Runs every harness workload through the sequential `KvMatcher` and the
-//! batched `QueryExecutor`, prints the comparison table, and writes
-//! `BENCH_exec.json` (override with `KVM_BENCH_OUT`).
+//! batched `QueryExecutor` on the memory *and* sharded backends, runs the
+//! multi-series catalog ingest+query workload, prints the comparison
+//! tables, validates the report schema, and writes `BENCH_exec.json`
+//! (override with `KVM_BENCH_OUT`).
 //!
 //! Knobs: `KVM_N`, `KVM_W`, `KVM_QUERIES`, `KVM_SEED`, `KVM_THREADS`
-//! (0 = auto), `KVM_REPEAT` (best-of timing). With `KVM_BENCH_ENFORCE=1`
-//! the process exits non-zero when the batched executor is slower than the
-//! sequential matcher overall — the CI `bench-smoke` gate.
+//! (0 = auto), `KVM_REPEAT` (best-of timing), `KVM_SERIES` (catalog
+//! series). With `KVM_BENCH_ENFORCE=1` the process exits non-zero when
+//! the batched executor is slower than the sequential matcher overall —
+//! the CI `bench-smoke` gate.
 
 use kvmatch_bench::harness::{env_usize, Row, Table};
-use kvmatch_bench::report::{run_report, to_json, ReportEnv};
+use kvmatch_bench::report::{run_report, to_json, validate_schema, ReportEnv};
 
 fn main() {
     let env = ReportEnv::from_env();
@@ -19,14 +22,16 @@ fn main() {
 
     println!("=== bench_report: batched executor vs sequential matcher ===");
     println!(
-        "n = {}, w = {}, {} queries/workload, seed {}, threads {} (0 = auto), best of {}",
-        env.n, env.w, env.queries, env.seed, env.threads, env.repeat
+        "n = {}, w = {}, {} queries/workload, seed {}, threads {} (0 = auto), best of {}, \
+         {} catalog series",
+        env.n, env.w, env.queries, env.seed, env.threads, env.repeat, env.series
     );
     println!();
 
     let report = run_report(env);
 
     let mut table = Table::new(&[
+        "backend",
         "workload",
         "m",
         "eps",
@@ -44,6 +49,7 @@ fn main() {
     ]);
     for wl in &report.workloads {
         table.push(Row::new(vec![
+            wl.backend.as_str().into(),
             wl.name.as_str().into(),
             wl.m.into(),
             wl.epsilon.into(),
@@ -69,6 +75,57 @@ fn main() {
         report.overall_speedup
     );
 
+    let ms = &report.multi_series;
+    println!();
+    println!("=== multi-series catalog: streaming ingest + mixed batch ===");
+    println!(
+        "{} series × {} points: ingested {} points in {:.1} ms ({:.0} points/s)",
+        ms.series, ms.n_per_series, ms.ingest_points, ms.ingest_ms, ms.ingest_points_per_sec
+    );
+    println!(
+        "mixed batch: {} queries, {} matches, cold {:.1} ms ({} probes: {} cached / {} scans), \
+         warm {:.1} ms ({} cached / {} scans)",
+        ms.queries,
+        ms.matches,
+        ms.batch_ms,
+        ms.probes,
+        ms.probe_cache_hits,
+        ms.store_scans,
+        ms.warm_batch_ms,
+        ms.warm_probe_cache_hits,
+        ms.warm_store_scans,
+    );
+    let mut table = Table::new(&[
+        "series",
+        "points",
+        "queries",
+        "matches",
+        "probe_ms",
+        "verify_ms",
+        "probes",
+        "cache_hits",
+        "scans",
+    ]);
+    for s in &ms.per_series {
+        table.push(Row::new(vec![
+            s.series.into(),
+            s.points.into(),
+            s.queries.into(),
+            s.matches.into(),
+            s.probe_ms.into(),
+            s.verify_ms.into(),
+            s.probes.into(),
+            s.probe_cache_hits.into(),
+            s.store_scans.into(),
+        ]));
+    }
+    table.print();
+
+    let value = report.to_value();
+    if let Err(msg) = validate_schema(&value) {
+        eprintln!("FAIL: BENCH_exec.json schema violation: {msg}");
+        std::process::exit(1);
+    }
     std::fs::write(&out_path, to_json(&report)).expect("write bench report");
     println!("wrote {out_path}");
 

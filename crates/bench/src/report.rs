@@ -1,35 +1,53 @@
-//! The bench-report pipeline: batched executor vs sequential matcher.
+//! The bench-report pipeline: batched executor vs sequential matcher,
+//! across storage backends, plus the multi-series ingest+query workload.
 //!
-//! [`run_report`] builds one index over the harness series, runs a fixed
-//! set of workloads (all four query types) through both the sequential
-//! [`KvMatcher`] and the batched [`QueryExecutor`], checks the results are
-//! identical, and returns a [`BenchReport`] — per-workload wall time,
-//! per-cascade-stage pruning counts, probe-sharing numbers and the
-//! batched-vs-sequential speedup. Serialized to `BENCH_exec.json`, this is
-//! the machine-readable perf-trajectory point CI uploads on every run and
-//! gates on (`batched ≥ sequential` on the smoke workload).
+//! [`run_report`] produces the `BENCH_exec.json` trajectory point CI
+//! uploads and gates on. Three sections:
+//!
+//! 1. **Memory backend workloads** — the PR-2 comparison: all four query
+//!    types through both the sequential [`KvMatcher`] and the batched
+//!    [`QueryExecutor`] over a [`MemoryKvStore`] index, asserting
+//!    bit-identical results and reporting wall time, per-cascade-stage
+//!    pruning and probe sharing.
+//! 2. **Sharded backend workloads** — the same specs over the simulated
+//!    HBase deployment: [`ShardedKvStore`] index regions plus 1024-point
+//!    [`BlockSeriesStore`] data rows.
+//! 3. **Multi-series workload** — a [`Catalog`] ingests several series
+//!    through the streaming append path (reporting ingest throughput),
+//!    then answers one mixed cross-series batch (reporting per-series
+//!    wall time and the cache-hit split), validated per query against a
+//!    dedicated single-series matcher.
+//!
+//! The JSON schema is versioned (`kvmatch-bench-exec/v2`) and
+//! machine-checked: [`validate_schema`] fails when any required field is
+//! dropped or renamed, and a bench-crate test enforces it on every
+//! `cargo test` run.
 
 use std::time::Instant;
 
 use serde_json::{Map, Value};
 
+use kvmatch_core::catalog::{Catalog, MemoryCatalogBackend};
 use kvmatch_core::{
-    ExecutorConfig, IndexBuildConfig, KvIndex, KvMatcher, MatchResult, MatchStats, QueryExecutor,
-    QuerySpec,
+    ExecutorConfig, IndexAppender, IndexBuildConfig, KvIndex, KvMatcher, MatchResult, MatchStats,
+    QueryExecutor, QuerySpec, SeriesId,
 };
 use kvmatch_storage::memory::MemoryKvStoreBuilder;
-use kvmatch_storage::{MemoryKvStore, MemorySeriesStore};
+use kvmatch_storage::{
+    BlockSeriesStore, KvStore, MemoryKvStore, MemorySeriesStore, SeriesStore, ShardedKvStore,
+    ShardedKvStoreBuilder, ShardingConfig,
+};
 
 use crate::workload::{make_series, sample_queries};
 
 /// Scale knobs of one report run.
 #[derive(Clone, Copy, Debug)]
 pub struct ReportEnv {
-    /// Series length `n`.
+    /// Series length `n` (single-series workloads).
     pub n: usize,
     /// Index window width `w`.
     pub w: usize,
-    /// Queries per workload.
+    /// Queries per workload (and per catalog series).
     pub queries: usize,
     /// Data/query seed.
     pub seed: u64,
@@ -37,11 +55,13 @@ pub struct ReportEnv {
     pub threads: usize,
     /// Timing repetitions (best-of).
     pub repeat: usize,
+    /// Catalog series in the multi-series workload.
+    pub series: usize,
 }
 
 impl ReportEnv {
     /// Reads `KVM_N`, `KVM_W`, `KVM_QUERIES`, `KVM_SEED`, `KVM_THREADS`,
-    /// `KVM_REPEAT` with report defaults.
+    /// `KVM_REPEAT`, `KVM_SERIES` with report defaults.
     pub fn from_env() -> Self {
         Self {
             n: crate::harness::env_usize("KVM_N", 120_000),
@@ -50,6 +70,7 @@ impl ReportEnv {
             seed: crate::harness::env_usize("KVM_SEED", 42) as u64,
             threads: crate::harness::env_usize("KVM_THREADS", 0),
             repeat: crate::harness::env_usize("KVM_REPEAT", 1).max(1),
+            series: crate::harness::env_usize("KVM_SERIES", 4).max(1),
         }
     }
 }
@@ -57,6 +78,8 @@ impl ReportEnv {
 /// One workload's comparison row.
 #[derive(Clone, Debug)]
 pub struct WorkloadReport {
+    /// Storage backend the workload ran on (`memory` or `sharded`).
+    pub backend: String,
     /// Workload name (query type).
     pub name: String,
     /// Query length `m`.
@@ -91,6 +114,64 @@ pub struct WorkloadReport {
     pub speedup: f64,
 }
 
+/// One catalog series' share of the mixed batch.
+#[derive(Clone, Copy, Debug)]
+pub struct SeriesReport {
+    /// Raw series id.
+    pub series: u64,
+    /// Points this series holds.
+    pub points: u64,
+    /// Queries routed to it.
+    pub queries: u64,
+    /// Matches across those queries.
+    pub matches: u64,
+    /// Phase-1 wall milliseconds attributed to the series.
+    pub probe_ms: f64,
+    /// Phase-2 worker milliseconds attributed to the series.
+    pub verify_ms: f64,
+    /// Window probes issued.
+    pub probes: u64,
+    /// Probes served from the series' row cache.
+    pub probe_cache_hits: u64,
+    /// Real store scans.
+    pub store_scans: u64,
+}
+
+/// The multi-series ingest+query section.
+#[derive(Clone, Debug)]
+pub struct MultiSeriesReport {
+    /// Catalog series count.
+    pub series: usize,
+    /// Points per series.
+    pub n_per_series: usize,
+    /// Total points ingested through the streaming append path.
+    pub ingest_points: u64,
+    /// Wall milliseconds spent ingesting (append + first materialize).
+    pub ingest_ms: f64,
+    /// `ingest_points / (ingest_ms / 1000)`.
+    pub ingest_points_per_sec: f64,
+    /// Queries in the mixed batch.
+    pub queries: usize,
+    /// Total matches.
+    pub matches: u64,
+    /// Cold mixed-batch wall milliseconds.
+    pub batch_ms: f64,
+    /// Repeat mixed-batch wall milliseconds (warm per-series caches).
+    pub warm_batch_ms: f64,
+    /// Cold-batch window probes.
+    pub probes: u64,
+    /// Cold-batch probes served from caches.
+    pub probe_cache_hits: u64,
+    /// Cold-batch real store scans.
+    pub store_scans: u64,
+    /// Warm-batch probes served from caches.
+    pub warm_probe_cache_hits: u64,
+    /// Warm-batch real store scans.
+    pub warm_store_scans: u64,
+    /// Per-series split of the cold batch.
+    pub per_series: Vec<SeriesReport>,
+}
+
 /// The full report written to `BENCH_exec.json`.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
@@ -100,14 +181,134 @@ pub struct BenchReport {
     pub env: ReportEnv,
     /// Resolved verification thread count.
     pub threads_resolved: usize,
-    /// Per-workload rows.
+    /// Per-workload rows (memory and sharded backends).
     pub workloads: Vec<WorkloadReport>,
+    /// The multi-series ingest+query section.
+    pub multi_series: MultiSeriesReport,
     /// Total sequential milliseconds across workloads.
     pub total_sequential_ms: f64,
     /// Total batched milliseconds across workloads.
     pub total_batched_ms: f64,
     /// `total_sequential_ms / total_batched_ms`.
     pub overall_speedup: f64,
+}
+
+/// Schema tag of the current report format.
+pub const SCHEMA: &str = "kvmatch-bench-exec/v2";
+
+/// Required top-level fields of `BENCH_exec.json`.
+pub const ROOT_FIELDS: &[&str] = &[
+    "schema",
+    "env",
+    "threads_resolved",
+    "workloads",
+    "multi_series",
+    "total_sequential_ms",
+    "total_batched_ms",
+    "overall_speedup",
+];
+
+/// Required fields of every `env` object.
+pub const ENV_FIELDS: &[&str] = &["n", "w", "queries", "seed", "threads", "repeat", "series"];
+
+/// Required fields of every workload row.
+pub const WORKLOAD_FIELDS: &[&str] = &[
+    "backend",
+    "name",
+    "m",
+    "epsilon",
+    "queries",
+    "matches",
+    "candidates",
+    "pruned_constraint",
+    "pruned_lb_kim",
+    "pruned_lb_keogh",
+    "full_distance_computations",
+    "sequential_index_scans",
+    "batched_index_scans",
+    "probe_cache_hits",
+    "sequential_ms",
+    "batched_ms",
+    "speedup",
+];
+
+/// Required fields of the `multi_series` object.
+pub const MULTI_SERIES_FIELDS: &[&str] = &[
+    "series",
+    "n_per_series",
+    "ingest_points",
+    "ingest_ms",
+    "ingest_points_per_sec",
+    "queries",
+    "matches",
+    "batch_ms",
+    "warm_batch_ms",
+    "probes",
+    "probe_cache_hits",
+    "store_scans",
+    "warm_probe_cache_hits",
+    "warm_store_scans",
+    "per_series",
+];
+
+/// Required fields of every `multi_series.per_series` row.
+pub const SERIES_FIELDS: &[&str] = &[
+    "series",
+    "points",
+    "queries",
+    "matches",
+    "probe_ms",
+    "verify_ms",
+    "probes",
+    "probe_cache_hits",
+    "store_scans",
+];
+
+/// Checks a rendered report against the required field lists above.
+/// Returns the first missing field as `Err` — consumers (CI, the
+/// bench-crate schema test) fail when a field is dropped or renamed.
+pub fn validate_schema(value: &Value) -> Result<(), String> {
+    let obj = |v: &Value, what: &str| -> Result<Map, String> {
+        match v {
+            Value::Object(m) => Ok(m.clone()),
+            _ => Err(format!("{what} is not an object")),
+        }
+    };
+    let need = |m: &Map, fields: &[&str], what: &str| -> Result<(), String> {
+        for f in fields {
+            if m.get(f).is_none() {
+                return Err(format!("{what} is missing required field `{f}`"));
+            }
+        }
+        Ok(())
+    };
+    let root = obj(value, "report")?;
+    need(&root, ROOT_FIELDS, "report")?;
+    if root.get("schema") != Some(&Value::from(SCHEMA)) {
+        return Err(format!("schema tag is not {SCHEMA:?}"));
+    }
+    need(&obj(root.get("env").expect("checked"), "env")?, ENV_FIELDS, "env")?;
+    let Some(Value::Array(rows)) = root.get("workloads") else {
+        return Err("workloads is not an array".into());
+    };
+    if rows.is_empty() {
+        return Err("workloads is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        need(&obj(row, "workload row")?, WORKLOAD_FIELDS, &format!("workload[{i}]"))?;
+    }
+    let ms = obj(root.get("multi_series").expect("checked"), "multi_series")?;
+    need(&ms, MULTI_SERIES_FIELDS, "multi_series")?;
+    let Some(Value::Array(rows)) = ms.get("per_series") else {
+        return Err("multi_series.per_series is not an array".into());
+    };
+    if rows.is_empty() {
+        return Err("multi_series.per_series is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        need(&obj(row, "per-series row")?, SERIES_FIELDS, &format!("per_series[{i}]"))?;
+    }
+    Ok(())
 }
 
 impl BenchReport {
@@ -132,6 +333,7 @@ impl BenchReport {
         ins(&mut env, "seed", Value::from(self.env.seed));
         ins(&mut env, "threads", Value::from(self.env.threads));
         ins(&mut env, "repeat", Value::from(self.env.repeat));
+        ins(&mut env, "series", Value::from(self.env.series));
         ins(&mut root, "env", Value::Object(env));
         ins(&mut root, "threads_resolved", Value::from(self.threads_resolved));
         let workloads = self
@@ -139,6 +341,7 @@ impl BenchReport {
             .iter()
             .map(|wl| {
                 let mut row = Map::new();
+                ins(&mut row, "backend", Value::from(wl.backend.as_str()));
                 ins(&mut row, "name", Value::from(wl.name.as_str()));
                 ins(&mut row, "m", Value::from(wl.m));
                 ins(&mut row, "epsilon", Value::from(wl.epsilon));
@@ -163,6 +366,43 @@ impl BenchReport {
             })
             .collect();
         ins(&mut root, "workloads", Value::Array(workloads));
+
+        let msr = &self.multi_series;
+        let mut msm = Map::new();
+        ins(&mut msm, "series", Value::from(msr.series));
+        ins(&mut msm, "n_per_series", Value::from(msr.n_per_series));
+        ins(&mut msm, "ingest_points", Value::from(msr.ingest_points));
+        ins(&mut msm, "ingest_ms", Value::from(msr.ingest_ms));
+        ins(&mut msm, "ingest_points_per_sec", Value::from(msr.ingest_points_per_sec));
+        ins(&mut msm, "queries", Value::from(msr.queries));
+        ins(&mut msm, "matches", Value::from(msr.matches));
+        ins(&mut msm, "batch_ms", Value::from(msr.batch_ms));
+        ins(&mut msm, "warm_batch_ms", Value::from(msr.warm_batch_ms));
+        ins(&mut msm, "probes", Value::from(msr.probes));
+        ins(&mut msm, "probe_cache_hits", Value::from(msr.probe_cache_hits));
+        ins(&mut msm, "store_scans", Value::from(msr.store_scans));
+        ins(&mut msm, "warm_probe_cache_hits", Value::from(msr.warm_probe_cache_hits));
+        ins(&mut msm, "warm_store_scans", Value::from(msr.warm_store_scans));
+        let series_rows = msr
+            .per_series
+            .iter()
+            .map(|s| {
+                let mut row = Map::new();
+                ins(&mut row, "series", Value::from(s.series));
+                ins(&mut row, "points", Value::from(s.points));
+                ins(&mut row, "queries", Value::from(s.queries));
+                ins(&mut row, "matches", Value::from(s.matches));
+                ins(&mut row, "probe_ms", Value::from(s.probe_ms));
+                ins(&mut row, "verify_ms", Value::from(s.verify_ms));
+                ins(&mut row, "probes", Value::from(s.probes));
+                ins(&mut row, "probe_cache_hits", Value::from(s.probe_cache_hits));
+                ins(&mut row, "store_scans", Value::from(s.store_scans));
+                Value::Object(row)
+            })
+            .collect();
+        ins(&mut msm, "per_series", Value::Array(series_rows));
+        ins(&mut root, "multi_series", Value::Object(msm));
+
         ins(&mut root, "total_sequential_ms", Value::from(self.total_sequential_ms));
         ins(&mut root, "total_batched_ms", Value::from(self.total_batched_ms));
         ins(&mut root, "overall_speedup", Value::from(self.overall_speedup));
@@ -200,27 +440,28 @@ fn sum_stats(stats: &[MatchStats]) -> (u64, u64, u64, u64, u64, u64, u64) {
     t
 }
 
-/// Runs the comparison and assembles the report.
+/// Runs every workload over one backend's (index, data) pair, comparing
+/// sequential and batched execution.
 ///
 /// # Panics
 /// Panics when batched and sequential results ever disagree — the report
 /// must never publish numbers for diverging executions.
-pub fn run_report(env: ReportEnv) -> BenchReport {
-    let xs = make_series(env.n, env.seed);
-    let specs_by_workload = workload_specs(&xs, &env);
-    let (index, _) = KvIndex::<MemoryKvStore>::build_into(
-        &xs,
-        IndexBuildConfig::new(env.w),
-        MemoryKvStoreBuilder::new(),
-    )
-    .expect("index build");
-    let data = MemorySeriesStore::new(xs);
-    let matcher = KvMatcher::new(&index, &data).expect("matcher binds");
-
+fn run_backend_workloads<S, D>(
+    backend: &str,
+    index: &KvIndex<S>,
+    data: &D,
+    specs_by_workload: &[(String, usize, f64, Vec<QuerySpec>)],
+    env: &ReportEnv,
+    threads_resolved: &mut usize,
+) -> (Vec<WorkloadReport>, f64, f64)
+where
+    S: KvStore,
+    D: SeriesStore + Sync,
+{
+    let matcher = KvMatcher::new(index, data).expect("matcher binds");
     let mut workloads = Vec::new();
     let mut total_seq = 0.0;
     let mut total_batch = 0.0;
-    let mut threads_resolved = 0;
     for (name, m, epsilon, specs) in specs_by_workload {
         let mut best_seq = f64::INFINITY;
         let mut best_batch = f64::INFINITY;
@@ -237,14 +478,14 @@ pub fn run_report(env: ReportEnv) -> BenchReport {
             // Batched: fresh executor per repetition so each timing pays
             // its own cache warm-up, exactly like the sequential run.
             let exec = QueryExecutor::with_config(
-                &index,
-                &data,
+                index,
+                data,
                 ExecutorConfig { threads: env.threads, ..ExecutorConfig::default() },
             )
             .expect("executor binds");
-            threads_resolved = exec.threads();
+            *threads_resolved = exec.threads();
             let t = Instant::now();
-            let batch = exec.execute_batch(&specs).expect("batched query");
+            let batch = exec.execute_batch(specs).expect("batched query");
             best_batch = best_batch.min(t.elapsed().as_secs_f64() * 1e3);
             batch_out = Some(batch);
         }
@@ -252,7 +493,10 @@ pub fn run_report(env: ReportEnv) -> BenchReport {
 
         // The report is only valid if both executions agree exactly.
         for (i, ((seq_res, _), out)) in seq_out.iter().zip(&batch.outputs).enumerate() {
-            assert_eq!(seq_res, &out.results, "{name} query {i}: batched diverged from sequential");
+            assert_eq!(
+                seq_res, &out.results,
+                "{backend}/{name} query {i}: batched diverged from sequential"
+            );
         }
 
         let seq_stats: Vec<MatchStats> = seq_out.iter().map(|(_, s)| *s).collect();
@@ -262,9 +506,10 @@ pub fn run_report(env: ReportEnv) -> BenchReport {
         total_seq += best_seq;
         total_batch += best_batch;
         workloads.push(WorkloadReport {
-            name,
-            m,
-            epsilon,
+            backend: backend.to_string(),
+            name: name.clone(),
+            m: *m,
+            epsilon: *epsilon,
             queries: specs.len(),
             matches,
             candidates,
@@ -280,12 +525,190 @@ pub fn run_report(env: ReportEnv) -> BenchReport {
             speedup: best_seq / best_batch.max(1e-9),
         });
     }
+    (workloads, total_seq, total_batch)
+}
+
+/// The multi-series ingest+query workload over a memory-backed
+/// [`Catalog`]: streaming ingestion, one mixed cold batch, one warm
+/// repeat, per-query validation against dedicated single-series matchers.
+///
+/// # Panics
+/// Panics when any catalog answer diverges from its dedicated matcher.
+fn run_multi_series(env: &ReportEnv) -> MultiSeriesReport {
+    let n_per_series = (env.n / env.series).max(env.w * 20);
+    let ids: Vec<SeriesId> = (0..env.series).map(|i| SeriesId::new(i as u64 + 1)).collect();
+    let data: Vec<Vec<f64>> = (0..env.series)
+        .map(|i| make_series(n_per_series, env.seed.wrapping_add(7_919 * (i as u64 + 1))))
+        .collect();
+
+    // Streaming ingestion through the append path, in bursty chunks.
+    let mut cat = Catalog::with_exec_config(
+        MemoryCatalogBackend,
+        ExecutorConfig { threads: env.threads, ..ExecutorConfig::default() },
+    );
+    for id in &ids {
+        cat.create_series(*id, IndexBuildConfig::new(env.w)).unwrap();
+    }
+    let t_ingest = Instant::now();
+    for (id, xs) in ids.iter().zip(&data) {
+        for chunk in xs.chunks(4_096) {
+            cat.append(*id, chunk).expect("append");
+        }
+    }
+    cat.materialize().expect("materialize");
+    let ingest_ms = t_ingest.elapsed().as_secs_f64() * 1e3;
+    let ingest_points = cat.stats().points_ingested;
+
+    // One mixed batch: every series contributes `queries` specs of
+    // alternating types, interleaved so no series' queries are adjacent.
+    let m = 192.min(n_per_series / 2);
+    let mut per_series_specs: Vec<Vec<QuerySpec>> = Vec::new();
+    for (i, (id, xs)) in ids.iter().zip(&data).enumerate() {
+        let qs = sample_queries(xs, m, env.queries, 0.05, env.seed ^ (0xC0FFEE + i as u64));
+        per_series_specs.push(
+            qs.into_iter()
+                .enumerate()
+                .map(|(k, q)| {
+                    if k % 2 == 0 {
+                        QuerySpec::rsm_ed(q, 12.0).with_series(*id)
+                    } else {
+                        QuerySpec::cnsm_ed(q, 3.0, 1.5, 5.0).with_series(*id)
+                    }
+                })
+                .collect(),
+        );
+    }
+    let specs: Vec<QuerySpec> = (0..env.queries)
+        .flat_map(|k| per_series_specs.iter().filter_map(move |qs| qs.get(k).cloned()))
+        .collect();
+
+    let t_cold = Instant::now();
+    let cold = cat.execute_batch(&specs).expect("cold mixed batch");
+    let batch_ms = t_cold.elapsed().as_secs_f64() * 1e3;
+    let t_warm = Instant::now();
+    let warm = cat.execute_batch(&specs).expect("warm mixed batch");
+    let warm_batch_ms = t_warm.elapsed().as_secs_f64() * 1e3;
+
+    // Validation: the catalog's answers must be bit-identical to a
+    // dedicated single-series pipeline (appender-built index, same data).
+    for (i, (id, xs)) in ids.iter().zip(&data).enumerate() {
+        let mut app = IndexAppender::new(IndexBuildConfig::new(env.w));
+        app.push_chunk(xs);
+        let (solo, _) = app.finish_into(MemoryKvStoreBuilder::new()).expect("solo index");
+        let store = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&solo, &store).expect("solo matcher");
+        for (spec, out) in specs.iter().zip(&cold.outputs) {
+            if spec.series != *id {
+                continue;
+            }
+            let (want, _) = matcher.execute(spec).expect("solo query");
+            assert_eq!(
+                out.results, want,
+                "multi-series workload: series {i} diverged from its dedicated matcher"
+            );
+        }
+    }
+    for (a, b) in cold.outputs.iter().zip(&warm.outputs) {
+        assert_eq!(a.results, b.results, "warm batch diverged from cold batch");
+    }
+
+    let per_series = cold
+        .per_series
+        .iter()
+        .map(|s| SeriesReport {
+            series: s.series.raw(),
+            points: cat.series_len(s.series).unwrap_or(0) as u64,
+            queries: s.queries,
+            matches: s.matches,
+            probe_ms: s.probe_nanos as f64 / 1e6,
+            verify_ms: s.verify_nanos as f64 / 1e6,
+            probes: s.probes,
+            probe_cache_hits: s.probe_cache_hits,
+            store_scans: s.store_scans,
+        })
+        .collect();
+
+    MultiSeriesReport {
+        series: env.series,
+        n_per_series,
+        ingest_points,
+        ingest_ms,
+        ingest_points_per_sec: ingest_points as f64 / (ingest_ms / 1e3).max(1e-9),
+        queries: specs.len(),
+        matches: cold.outputs.iter().map(|o| o.stats.matches).sum(),
+        batch_ms,
+        warm_batch_ms,
+        probes: cold.stats.probes,
+        probe_cache_hits: cold.stats.probe_cache_hits,
+        store_scans: cold.stats.store_scans,
+        warm_probe_cache_hits: warm.stats.probe_cache_hits,
+        warm_store_scans: warm.stats.store_scans,
+        per_series,
+    }
+}
+
+/// Runs the comparison across backends plus the multi-series workload
+/// and assembles the report.
+///
+/// # Panics
+/// Panics when batched and sequential results ever disagree — the report
+/// must never publish numbers for diverging executions.
+pub fn run_report(env: ReportEnv) -> BenchReport {
+    let xs = make_series(env.n, env.seed);
+    let specs_by_workload = workload_specs(&xs, &env);
+    let mut threads_resolved = 0;
+    let mut workloads = Vec::new();
+    let mut total_seq = 0.0;
+    let mut total_batch = 0.0;
+
+    // Backend 1: memory index + memory data.
+    let (mem_index, _) = KvIndex::<MemoryKvStore>::build_into(
+        &xs,
+        IndexBuildConfig::new(env.w),
+        MemoryKvStoreBuilder::new(),
+    )
+    .expect("index build");
+    let mem_data = MemorySeriesStore::new(xs.clone());
+    let (rows, seq, batch) = run_backend_workloads(
+        "memory",
+        &mem_index,
+        &mem_data,
+        &specs_by_workload,
+        &env,
+        &mut threads_resolved,
+    );
+    workloads.extend(rows);
+    total_seq += seq;
+    total_batch += batch;
+
+    // Backend 2: simulated-HBase sharded index + 1024-point block data.
+    let (sharded_index, _) = KvIndex::<ShardedKvStore>::build_into(
+        &xs,
+        IndexBuildConfig::new(env.w),
+        ShardedKvStoreBuilder::new(ShardingConfig::default()),
+    )
+    .expect("sharded index build");
+    let block_data = BlockSeriesStore::from_series(&xs, BlockSeriesStore::DEFAULT_BLOCK);
+    let (rows, seq, batch) = run_backend_workloads(
+        "sharded",
+        &sharded_index,
+        &block_data,
+        &specs_by_workload,
+        &env,
+        &mut threads_resolved,
+    );
+    workloads.extend(rows);
+    total_seq += seq;
+    total_batch += batch;
+
+    let multi_series = run_multi_series(&env);
 
     BenchReport {
-        schema: "kvmatch-bench-exec/v1".to_string(),
+        schema: SCHEMA.to_string(),
         env,
         threads_resolved,
         workloads,
+        multi_series,
         total_sequential_ms: total_seq,
         total_batched_ms: total_batch,
         overall_speedup: total_seq / total_batch.max(1e-9),
@@ -302,29 +725,37 @@ mod tests {
     use super::*;
 
     fn tiny_env() -> ReportEnv {
-        ReportEnv { n: 8_000, w: 50, queries: 2, seed: 7, threads: 2, repeat: 1 }
+        ReportEnv { n: 8_000, w: 50, queries: 2, seed: 7, threads: 2, repeat: 1, series: 3 }
     }
 
     #[test]
     fn report_runs_and_serializes() {
         let report = run_report(tiny_env());
-        assert_eq!(report.workloads.len(), 4);
+        assert_eq!(report.workloads.len(), 8, "4 workloads × 2 backends");
         for wl in &report.workloads {
             assert_eq!(wl.queries, 2);
             assert!(wl.sequential_ms > 0.0 && wl.batched_ms > 0.0);
             assert!(wl.speedup > 0.0);
             assert!(wl.batched_index_scans <= wl.sequential_index_scans);
         }
+        // Memory and sharded backends agree on what the answers are.
+        for (mem, sh) in report.workloads.iter().zip(&report.workloads[4..]) {
+            assert_eq!(mem.name, sh.name);
+            assert_eq!(mem.backend, "memory");
+            assert_eq!(sh.backend, "sharded");
+            assert_eq!(mem.matches, sh.matches, "{}: backends disagree", mem.name);
+        }
         assert!(report.total_sequential_ms > 0.0);
         let value = report.to_value();
         let Value::Object(root) = &value else { panic!("report is an object") };
-        assert_eq!(root.get("schema"), Some(&Value::from("kvmatch-bench-exec/v1")));
+        assert_eq!(root.get("schema"), Some(&Value::from(SCHEMA)));
         let Some(Value::Array(rows)) = root.get("workloads") else { panic!("workloads array") };
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 8);
         let Value::Object(first) = &rows[0] else { panic!("workload row is an object") };
         assert!(matches!(first.get("speedup"), Some(Value::Number(v)) if *v > 0.0));
         let json = to_json(&report);
         assert!(json.contains("\"total_batched_ms\""));
+        assert!(json.contains("\"multi_series\""));
         assert!(json.ends_with('\n'));
     }
 
@@ -334,8 +765,60 @@ mod tests {
         // find at least its own originals.
         let report = run_report(tiny_env());
         for wl in &report.workloads {
-            assert!(wl.matches > 0, "{} found no matches", wl.name);
+            assert!(wl.matches > 0, "{}/{} found no matches", wl.backend, wl.name);
             assert!(wl.candidates >= wl.matches);
         }
+    }
+
+    #[test]
+    fn multi_series_section_reports_ingest_and_split() {
+        let report = run_report(tiny_env());
+        let ms = &report.multi_series;
+        assert_eq!(ms.series, 3);
+        assert_eq!(ms.per_series.len(), 3);
+        assert_eq!(ms.ingest_points, (ms.n_per_series * 3) as u64);
+        assert!(ms.ingest_points_per_sec > 0.0);
+        assert!(ms.queries > 0 && ms.matches > 0);
+        assert_eq!(ms.per_series.iter().map(|s| s.queries).sum::<u64>(), ms.queries as u64);
+        assert_eq!(ms.per_series.iter().map(|s| s.matches).sum::<u64>(), ms.matches);
+        // Warm repeat is fully cache-served: the split must show it.
+        assert_eq!(ms.warm_store_scans, 0);
+        assert!(ms.warm_probe_cache_hits >= ms.probe_cache_hits);
+    }
+
+    /// The satellite gate: dropping or renaming any reported field fails.
+    #[test]
+    fn schema_validation_catches_dropped_fields() {
+        let report = run_report(tiny_env());
+        let value = report.to_value();
+        validate_schema(&value).expect("current report satisfies its schema");
+
+        // Remove one required field at every level; each must fail.
+        let Value::Object(root) = &value else { panic!() };
+        let mut broken = root.clone();
+        broken.remove("multi_series");
+        assert!(validate_schema(&Value::Object(broken)).is_err());
+
+        let mut broken = root.clone();
+        let Some(Value::Array(rows)) = broken.get("workloads") else { panic!() };
+        let mut rows = rows.clone();
+        let Value::Object(first) = &rows[0] else { panic!() };
+        let mut first = first.clone();
+        first.remove("backend");
+        rows[0] = Value::Object(first);
+        broken.insert("workloads".into(), Value::Array(rows));
+        assert!(validate_schema(&Value::Object(broken)).is_err());
+
+        let mut broken = root.clone();
+        let Some(Value::Object(ms)) = broken.get("multi_series") else { panic!() };
+        let mut ms = ms.clone();
+        ms.remove("ingest_points_per_sec");
+        broken.insert("multi_series".into(), Value::Object(ms));
+        assert!(validate_schema(&Value::Object(broken)).is_err());
+
+        // A renamed schema tag fails too.
+        let mut broken = root.clone();
+        broken.insert("schema".into(), Value::from("kvmatch-bench-exec/v1"));
+        assert!(validate_schema(&Value::Object(broken)).is_err());
     }
 }

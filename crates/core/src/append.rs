@@ -109,6 +109,19 @@ impl IndexAppender {
         self.rows.len()
     }
 
+    /// The build configuration (window width, bucket width, γ).
+    pub fn config(&self) -> IndexBuildConfig {
+        self.config
+    }
+
+    /// The current rows, sorted by `low` — a consistent snapshot the
+    /// catalog persists (via
+    /// [`KvIndex::append_series_rows`]) without consuming the appender,
+    /// so ingestion continues across materializations.
+    pub fn rows(&self) -> &[IndexRow] {
+        &self.rows
+    }
+
     /// Appends one sample.
     pub fn push(&mut self, v: f64) {
         self.rolling.push(v);
@@ -348,5 +361,117 @@ mod tests {
         let idx = build_fresh(&xs, 50);
         let appended = append_to(&idx, &xs, &[]);
         assert_eq!(idx.meta(), appended.meta());
+    }
+
+    #[test]
+    fn empty_chunks_interleaved_are_noops() {
+        let xs = composite_series(617, 4_000);
+        let w = 40;
+        let mut plain = IndexAppender::new(IndexBuildConfig::new(w));
+        let mut interleaved = IndexAppender::new(IndexBuildConfig::new(w));
+        for chunk in xs.chunks(251) {
+            plain.push_chunk(chunk);
+            interleaved.push_chunk(&[]);
+            interleaved.push_chunk(chunk);
+            interleaved.push_chunk(&[]);
+        }
+        assert_eq!(plain.series_len(), interleaved.series_len());
+        assert_eq!(plain.rows(), interleaved.rows());
+        let (a, _) = plain.finish_into(MemoryKvStoreBuilder::new()).unwrap();
+        let (b, _) = interleaved.finish_into(MemoryKvStoreBuilder::new()).unwrap();
+        assert_eq!(a.meta(), b.meta());
+    }
+
+    #[test]
+    fn single_point_batches_equal_one_shot() {
+        let xs = composite_series(619, 2_000);
+        let w = 25;
+        let mut one_at_a_time = IndexAppender::new(IndexBuildConfig::new(w));
+        for &v in &xs {
+            one_at_a_time.push_chunk(std::slice::from_ref(&v));
+        }
+        let mut one_shot = IndexAppender::new(IndexBuildConfig::new(w));
+        one_shot.push_chunk(&xs);
+        assert_eq!(one_at_a_time.rows(), one_shot.rows());
+        let (a, _) = one_at_a_time.finish_into(MemoryKvStoreBuilder::new()).unwrap();
+        assert_partition(&a, &xs);
+    }
+
+    /// The gap-row path: appended means beyond every existing row open
+    /// fresh grid rows, the index stays a disjoint partition, and
+    /// queries over the grown range answer exactly like the naive scan.
+    #[test]
+    fn appended_gap_means_open_rows() {
+        let w = 10;
+        // Old data: one tight mean cluster around 0 (no transitions, so
+        // the mean range away from 0 is genuinely uncovered).
+        let old: Vec<f64> = (0..300).map(|i| if i % 2 == 0 { 0.4 } else { -0.4 }).collect();
+        let config = IndexBuildConfig { width_d: 0.5, ..IndexBuildConfig::new(w) };
+        let mut base = IndexAppender::new(config);
+        base.push_chunk(&old);
+        let (idx_old, _) = base.finish_into(MemoryKvStoreBuilder::new()).unwrap();
+        let old_rows = idx_old.meta().row_count();
+
+        // Appended points around 10: the boundary windows sweep the mean
+        // from 0 to 10, opening a ladder of fresh gap rows.
+        let new: Vec<f64> = (0..150).map(|i| 10.0 + if i % 2 == 0 { 0.3 } else { -0.3 }).collect();
+        let mut app = IndexAppender::from_index(&idx_old, &old[old.len() - (w - 1)..]).unwrap();
+        app.push_chunk(&new);
+        assert!(app.row_count() > old_rows, "gap rows were opened");
+        let (appended, _) = app.finish_into(MemoryKvStoreBuilder::new()).unwrap();
+
+        let full: Vec<f64> = old.iter().chain(&new).copied().collect();
+        assert_partition(&appended, &full);
+        for pair in appended.meta().entries().windows(2) {
+            assert!(pair[0].up <= pair[1].low, "rows overlap: {pair:?}");
+        }
+        // Queries across the boundary answer exactly like the naive scan.
+        let data = MemorySeriesStore::new(full.clone());
+        let q = full[old.len() - 20..old.len() + 30].to_vec();
+        let spec = QuerySpec::rsm_ed(q, 2.0);
+        let (got, _) = KvMatcher::new(&appended, &data).unwrap().execute(&spec).unwrap();
+        let want = naive_search(&full, &spec);
+        assert_eq!(
+            got.iter().map(|r| r.offset).collect::<Vec<_>>(),
+            want.iter().map(|r| r.offset).collect::<Vec<_>>()
+        );
+    }
+
+    /// The gap-row *clipping* path. Grid-built rows are always aligned to
+    /// multiples of `d`, so a fresh grid cell never overlaps them — the
+    /// clip exists for stores whose rows moved off the grid (external
+    /// compaction, future row-splitting). Hand-craft such an index and
+    /// verify a gap mean opens a row clipped against *both* neighbours.
+    #[test]
+    fn gap_row_clips_against_non_aligned_neighbours() {
+        use crate::interval::{IntervalSet, WindowInterval};
+        let w = 4;
+        let config = IndexBuildConfig { width_d: 1.0, ..IndexBuildConfig::new(w) };
+        let iv = |l: u64, r: u64| IntervalSet::from_sorted(vec![WindowInterval::new(l, r)]);
+        // Two non-grid-aligned rows inside the d = 1 cell [0, 1).
+        let rows = vec![
+            IndexRow { low: 0.0, up: 0.3, intervals: iv(0, 1) },
+            IndexRow { low: 0.7, up: 1.0, intervals: iv(2, 2) },
+        ];
+        let idx =
+            KvIndex::<MemoryKvStore>::persist_rows(rows, config, 6, MemoryKvStoreBuilder::new())
+                .unwrap();
+
+        // Push one sample completing a window with mean 0.5 — inside the
+        // gap, and inside the grid cell both neighbours intrude into.
+        let mut app = IndexAppender::from_index(&idx, &[0.5, 0.5, 0.5]).unwrap();
+        app.push(0.5);
+        assert_eq!(app.row_count(), 3, "a fresh gap row was opened");
+        let (appended, _) = app.finish_into(MemoryKvStoreBuilder::new()).unwrap();
+        let entries = appended.meta().entries();
+        // The new row is clipped to [0.3, 0.7) — both clips applied —
+        // and holds the new window position 3.
+        assert_eq!((entries[1].low, entries[1].up), (0.3, 0.7));
+        assert_eq!(entries[1].n_positions, 1);
+        let (is, _) = appended.probe(0.5, 0.5).unwrap();
+        assert!(is.contains(3));
+        for pair in entries.windows(2) {
+            assert!(pair[0].up <= pair[1].low, "rows overlap: {pair:?}");
+        }
     }
 }

@@ -22,8 +22,8 @@ use parking_lot::Mutex;
 
 use crate::interval::IntervalSet;
 
-/// Cache key: `(index window width, row index)`.
-pub type RowKey = (usize, usize);
+/// Cache key: `(raw series id, index window width, row index)`.
+pub type RowKey = (u64, usize, usize);
 
 /// Hit/miss/eviction counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -148,9 +148,9 @@ mod tests {
     #[test]
     fn get_insert_roundtrip_and_counters() {
         let cache = RowCache::new(4);
-        assert!(cache.get((50, 0)).is_none());
-        cache.insert((50, 0), set(1, 5));
-        let got = cache.get((50, 0)).expect("cached");
+        assert!(cache.get((0, 50, 0)).is_none());
+        cache.insert((0, 50, 0), set(1, 5));
+        let got = cache.get((0, 50, 0)).expect("cached");
         assert_eq!(got.num_positions(), 5);
         let s = cache.stats();
         assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
@@ -159,44 +159,46 @@ mod tests {
     #[test]
     fn lru_evicts_oldest() {
         let cache = RowCache::new(2);
-        cache.insert((50, 0), set(0, 0));
-        cache.insert((50, 1), set(1, 1));
+        cache.insert((0, 50, 0), set(0, 0));
+        cache.insert((0, 50, 1), set(1, 1));
         // Touch row 0 so row 1 is the LRU victim.
-        assert!(cache.get((50, 0)).is_some());
-        cache.insert((50, 2), set(2, 2));
+        assert!(cache.get((0, 50, 0)).is_some());
+        cache.insert((0, 50, 2), set(2, 2));
         assert_eq!(cache.len(), 2);
-        assert!(cache.get((50, 0)).is_some(), "recently touched survives");
-        assert!(cache.get((50, 1)).is_none(), "LRU victim evicted");
-        assert!(cache.get((50, 2)).is_some());
+        assert!(cache.get((0, 50, 0)).is_some(), "recently touched survives");
+        assert!(cache.get((0, 50, 1)).is_none(), "LRU victim evicted");
+        assert!(cache.get((0, 50, 2)).is_some());
         assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]
-    fn window_width_disambiguates() {
+    fn window_width_and_series_disambiguate() {
         let cache = RowCache::new(8);
-        cache.insert((25, 3), set(10, 10));
-        cache.insert((50, 3), set(20, 20));
-        assert_eq!(cache.get((25, 3)).unwrap().positions().next(), Some(10));
-        assert_eq!(cache.get((50, 3)).unwrap().positions().next(), Some(20));
+        cache.insert((0, 25, 3), set(10, 10));
+        cache.insert((0, 50, 3), set(20, 20));
+        cache.insert((7, 50, 3), set(30, 30));
+        assert_eq!(cache.get((0, 25, 3)).unwrap().positions().next(), Some(10));
+        assert_eq!(cache.get((0, 50, 3)).unwrap().positions().next(), Some(20));
+        assert_eq!(cache.get((7, 50, 3)).unwrap().positions().next(), Some(30));
     }
 
     #[test]
     fn reinsert_refreshes_without_growth() {
         let cache = RowCache::new(3);
         for i in 0..3 {
-            cache.insert((50, i), set(i as u64, i as u64));
+            cache.insert((0, 50, i), set(i as u64, i as u64));
         }
-        cache.insert((50, 0), set(99, 99)); // overwrite
+        cache.insert((0, 50, 0), set(99, 99)); // overwrite
         assert_eq!(cache.len(), 3);
-        assert_eq!(cache.get((50, 0)).unwrap().positions().next(), Some(99));
+        assert_eq!(cache.get((0, 50, 0)).unwrap().positions().next(), Some(99));
         assert_eq!(cache.stats().evictions, 0);
     }
 
     #[test]
     fn clear_keeps_counters() {
         let cache = RowCache::new(2);
-        cache.insert((50, 0), set(0, 0));
-        cache.get((50, 0));
+        cache.insert((0, 50, 0), set(0, 0));
+        cache.get((0, 50, 0));
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.stats().hits, 1);
@@ -205,11 +207,11 @@ mod tests {
     #[test]
     fn stats_since_subtracts_snapshot() {
         let cache = RowCache::new(4);
-        cache.get((50, 0)); // miss
+        cache.get((0, 50, 0)); // miss
         let snap = cache.stats();
-        cache.insert((50, 0), set(0, 0));
-        cache.get((50, 0)); // hit
-        cache.get((50, 1)); // miss
+        cache.insert((0, 50, 0), set(0, 0));
+        cache.get((0, 50, 0)); // hit
+        cache.get((0, 50, 1)); // miss
         let delta = cache.stats().since(&snap);
         assert_eq!((delta.hits, delta.misses, delta.evictions), (1, 1, 0));
         // A fresh snapshot against itself is zero.
@@ -221,8 +223,8 @@ mod tests {
     fn capacity_minimum_is_one() {
         let cache = RowCache::new(0);
         assert_eq!(cache.capacity(), 1);
-        cache.insert((50, 0), set(0, 0));
-        cache.insert((50, 1), set(1, 1));
+        cache.insert((0, 50, 0), set(0, 0));
+        cache.insert((0, 50, 1), set(1, 1));
         assert_eq!(cache.len(), 1);
     }
 
@@ -234,7 +236,7 @@ mod tests {
                 let cache = std::sync::Arc::clone(&cache);
                 scope.spawn(move || {
                     for i in 0..500usize {
-                        let key = (50, (t * 131 + i) % 100);
+                        let key = (0, 50, (t * 131 + i) % 100);
                         match cache.get(key) {
                             Some(_) => {}
                             None => cache.insert(key, set(i as u64, i as u64 + 1)),

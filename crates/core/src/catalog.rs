@@ -1,0 +1,553 @@
+//! Multi-series catalog: many append-only series behind one store.
+//!
+//! The paper's deployment target (§VII: data-center and IoT monitoring)
+//! serves *many* append-only series concurrently from one HBase table.
+//! [`Catalog`] is that layer: it owns one [`IndexAppender`] + data buffer
+//! per series, persists every series' index rows into **one** physical
+//! [`KvStore`] using the [`SeriesId`]-prefixed key encoding
+//! ([`KvIndex::append_series_rows`]), and serves mixed query batches
+//! through the multi-target [`QueryExecutor`].
+//!
+//! ## Ingestion model
+//!
+//! [`Catalog::append`] streams live points through the series'
+//! [`IndexAppender`] (rolling-mean bucketing, O(1) per point) and hands
+//! them to the backend's durability hook ([`CatalogBackend::
+//! persist_points`] — the LSM backend routes them through its WAL +
+//! memtable). Appended data is immediately queryable: the next executor
+//! (or [`Catalog::execute_batch`]) call re-materializes the shared store
+//! from the current appender rows. Materialization is O(total rows) —
+//! the cost one bulk index build pays — and *clean* series keep their row
+//! caches: their rows and row indexes are unchanged by the rebuild, so
+//! only dirty series pay cold probes afterwards.
+//!
+//! ## Backends
+//!
+//! [`CatalogBackend`] abstracts the substrate exactly like the paper's
+//! "any ordered store" claim: [`MemoryCatalogBackend`] (tests, small
+//! data), [`ShardedCatalogBackend`] (the simulated HBase cluster +
+//! 1024-point block data rows), and `LsmCatalogBackend` in the
+//! `kvmatch-lsm` crate (bulk-ingested SSTables + WAL-durable points).
+//!
+//! Equivalence guarantee, enforced by randomized tests: a catalog answers
+//! every series' queries **bit-identically** to a dedicated single-series
+//! [`KvMatcher`](crate::matcher::KvMatcher) over the same data.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use kvmatch_storage::{
+    BlockSeriesStore, KvStore, KvStoreBuilder, MemoryKvStore, MemorySeriesStore, SeriesId,
+    SeriesStore, ShardedKvStore, ShardedKvStoreBuilder, ShardingConfig,
+};
+
+use kvmatch_storage::memory::MemoryKvStoreBuilder;
+
+use crate::append::IndexAppender;
+use crate::build::IndexBuildConfig;
+use crate::cache::RowCache;
+use crate::exec::{BatchOutput, ExecutorConfig, QueryExecutor};
+use crate::index::KvIndex;
+use crate::query::{CoreError, QuerySpec};
+
+/// Storage substrate of a [`Catalog`]: where index rows are persisted,
+/// where phase-2 verification reads series data from, and (optionally)
+/// where freshly ingested points go for durability.
+pub trait CatalogBackend {
+    /// The physical store hosting every series' index rows.
+    type Store: KvStore;
+    /// Builder used by each materialization.
+    type Builder: KvStoreBuilder<Store = Self::Store>;
+    /// Per-series data store serving phase-2 fetches.
+    type Data: SeriesStore + Sync;
+
+    /// A fresh builder for one materialization of the whole catalog
+    /// (every series' rows stream through it in ascending id order).
+    fn index_builder(&mut self) -> Result<Self::Builder, CoreError>;
+
+    /// A data store over the series' current points.
+    fn data_store(&mut self, series: SeriesId, xs: &[f64]) -> Result<Self::Data, CoreError>;
+
+    /// Durability hook invoked for every appended chunk *before* it is
+    /// acknowledged; `start` is the series offset of `points[0]`. The
+    /// default is a no-op (volatile backends).
+    fn persist_points(
+        &mut self,
+        series: SeriesId,
+        start: u64,
+        points: &[f64],
+    ) -> Result<(), CoreError> {
+        let _ = (series, start, points);
+        Ok(())
+    }
+
+    /// Invoked after a materialization has committed and every series
+    /// view was reopened on the new store — the first point where any
+    /// previously-live store is provably superseded. Backends with
+    /// on-disk generations reclaim them here. Default: no-op.
+    fn retire_superseded(&mut self) -> Result<(), CoreError> {
+        Ok(())
+    }
+}
+
+/// `BTreeMap`-store backend: everything in memory. The default for tests
+/// and moderate data sizes.
+#[derive(Debug, Default)]
+pub struct MemoryCatalogBackend;
+
+impl CatalogBackend for MemoryCatalogBackend {
+    type Store = MemoryKvStore;
+    type Builder = MemoryKvStoreBuilder;
+    type Data = MemorySeriesStore;
+
+    fn index_builder(&mut self) -> Result<Self::Builder, CoreError> {
+        Ok(MemoryKvStoreBuilder::new())
+    }
+
+    fn data_store(&mut self, _series: SeriesId, xs: &[f64]) -> Result<Self::Data, CoreError> {
+        Ok(MemorySeriesStore::new(xs.to_vec()))
+    }
+}
+
+/// Simulated-HBase backend: index rows range-partitioned over
+/// [`ShardedKvStore`] regions, data served from 1024-point
+/// [`BlockSeriesStore`] rows (§VII-B).
+#[derive(Clone, Debug)]
+pub struct ShardedCatalogBackend {
+    /// Cluster shape and modelled per-region scan latency.
+    pub sharding: ShardingConfig,
+    /// Data block size (the paper's default is 1024).
+    pub block: usize,
+}
+
+impl Default for ShardedCatalogBackend {
+    fn default() -> Self {
+        Self { sharding: ShardingConfig::default(), block: BlockSeriesStore::DEFAULT_BLOCK }
+    }
+}
+
+impl CatalogBackend for ShardedCatalogBackend {
+    type Store = ShardedKvStore;
+    type Builder = ShardedKvStoreBuilder;
+    type Data = BlockSeriesStore;
+
+    fn index_builder(&mut self) -> Result<Self::Builder, CoreError> {
+        Ok(ShardedKvStoreBuilder::new(self.sharding.clone()))
+    }
+
+    fn data_store(&mut self, _series: SeriesId, xs: &[f64]) -> Result<Self::Data, CoreError> {
+        Ok(BlockSeriesStore::from_series(xs, self.block))
+    }
+}
+
+/// One series' live state inside the catalog.
+struct SeriesEntry<B: CatalogBackend> {
+    appender: IndexAppender,
+    buffer: Vec<f64>,
+    index: Option<KvIndex<Arc<B::Store>>>,
+    data: Option<B::Data>,
+    cache: Arc<RowCache>,
+    dirty: bool,
+}
+
+/// Ingestion/materialization counters of a [`Catalog`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Points accepted by [`Catalog::append`] over the catalog's life.
+    pub points_ingested: u64,
+    /// Append calls served.
+    pub append_calls: u64,
+    /// Shared-store materializations performed.
+    pub materializations: u64,
+}
+
+/// A set of append-only series sharing one physical index store, served
+/// by one batched executor. See the module docs for the model.
+pub struct Catalog<B: CatalogBackend> {
+    backend: B,
+    entries: BTreeMap<u64, SeriesEntry<B>>,
+    shared: Option<Arc<B::Store>>,
+    exec_config: ExecutorConfig,
+    stats: CatalogStats,
+}
+
+impl<B: CatalogBackend> Catalog<B> {
+    /// An empty catalog over `backend` with default executor settings.
+    pub fn new(backend: B) -> Self {
+        Self::with_exec_config(backend, ExecutorConfig::default())
+    }
+
+    /// An empty catalog with explicit executor settings (verification
+    /// threads, per-series cache capacity).
+    pub fn with_exec_config(backend: B, exec_config: ExecutorConfig) -> Self {
+        Self {
+            backend,
+            entries: BTreeMap::new(),
+            shared: None,
+            exec_config,
+            stats: CatalogStats::default(),
+        }
+    }
+
+    /// Registers an empty series with its own index configuration
+    /// (window width may differ per series). Fails on duplicate ids.
+    pub fn create_series(
+        &mut self,
+        series: SeriesId,
+        config: IndexBuildConfig,
+    ) -> Result<(), CoreError> {
+        if self.entries.contains_key(&series.raw()) {
+            return Err(CoreError::InvalidQuery(format!("{series} already exists")));
+        }
+        self.entries.insert(
+            series.raw(),
+            SeriesEntry {
+                appender: IndexAppender::new(config),
+                buffer: Vec::new(),
+                index: None,
+                data: None,
+                cache: Arc::new(RowCache::new(self.exec_config.cache_capacity)),
+                dirty: true,
+            },
+        );
+        Ok(())
+    }
+
+    /// Registers a series and bulk-loads its initial points through the
+    /// append path (one create + append convenience).
+    pub fn create_series_with(
+        &mut self,
+        series: SeriesId,
+        config: IndexBuildConfig,
+        points: &[f64],
+    ) -> Result<(), CoreError> {
+        self.create_series(series, config)?;
+        self.append(series, points)
+    }
+
+    /// Streams live points into a series: the backend durability hook
+    /// first, then rolling-mean index maintenance via the series'
+    /// [`IndexAppender`]. The points are visible to the next
+    /// executor/batch call. On a durability failure nothing is ingested
+    /// — the catalog never serves points it could not persist, and a
+    /// retried append does not double-ingest.
+    pub fn append(&mut self, series: SeriesId, points: &[f64]) -> Result<(), CoreError> {
+        let entry = self.entries.get_mut(&series.raw()).ok_or(CoreError::UnknownSeries(series))?;
+        self.stats.append_calls += 1;
+        if points.is_empty() {
+            return Ok(());
+        }
+        let start = entry.buffer.len() as u64;
+        self.backend.persist_points(series, start, points)?;
+        entry.appender.push_chunk(points);
+        entry.buffer.extend_from_slice(points);
+        entry.dirty = true;
+        self.stats.points_ingested += points.len() as u64;
+        Ok(())
+    }
+
+    /// Registered series, ascending.
+    pub fn series(&self) -> Vec<SeriesId> {
+        self.entries.keys().map(|&raw| SeriesId::new(raw)).collect()
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no series is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Current length of one series (including unmaterialized appends).
+    pub fn series_len(&self, series: SeriesId) -> Option<usize> {
+        self.entries.get(&series.raw()).map(|e| e.buffer.len())
+    }
+
+    /// Ingestion counters.
+    pub fn stats(&self) -> CatalogStats {
+        self.stats
+    }
+
+    /// The backend (e.g. to reach its durability store).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// True when some series has appends the shared store has not yet
+    /// absorbed.
+    pub fn needs_materialize(&self) -> bool {
+        self.shared.is_none() || self.entries.values().any(|e| e.dirty)
+    }
+
+    /// Rebuilds the shared store from every series' current appender
+    /// rows (no-op when nothing changed). Dirty series get fresh data
+    /// stores and cleared row caches; clean series' caches stay warm —
+    /// their rows and row indexes are unchanged by the rebuild.
+    pub fn materialize(&mut self) -> Result<(), CoreError> {
+        if !self.needs_materialize() {
+            return Ok(());
+        }
+        let mut builder = self.backend.index_builder()?;
+        for (&raw, entry) in &self.entries {
+            KvIndex::<B::Store>::append_series_rows(
+                &mut builder,
+                SeriesId::new(raw),
+                entry.appender.rows(),
+                entry.appender.config(),
+                entry.appender.series_len(),
+            )?;
+        }
+        let store = Arc::new(builder.finish()?);
+        for (&raw, entry) in self.entries.iter_mut() {
+            entry.index = Some(KvIndex::open_series(Arc::clone(&store), SeriesId::new(raw))?);
+            if entry.dirty || entry.data.is_none() {
+                entry.data = Some(self.backend.data_store(SeriesId::new(raw), &entry.buffer)?);
+            }
+            if entry.dirty {
+                entry.cache.clear();
+                entry.dirty = false;
+            }
+        }
+        self.shared = Some(store);
+        self.stats.materializations += 1;
+        // Every view now serves the new store; earlier generations are
+        // provably superseded and safe for the backend to reclaim.
+        self.backend.retire_superseded()?;
+        Ok(())
+    }
+
+    /// The materialized index view of one series (None before the first
+    /// materialization or for unknown ids).
+    pub fn index(&self, series: SeriesId) -> Option<&KvIndex<Arc<B::Store>>> {
+        self.entries.get(&series.raw()).and_then(|e| e.index.as_ref())
+    }
+
+    /// The materialized data store of one series.
+    pub fn data(&self, series: SeriesId) -> Option<&B::Data> {
+        self.entries.get(&series.raw()).and_then(|e| e.data.as_ref())
+    }
+
+    /// The shared physical store (after materialization).
+    pub fn shared_store(&self) -> Option<&Arc<B::Store>> {
+        self.shared.as_ref()
+    }
+
+    /// Materializes (if needed) and binds a batched executor over every
+    /// series. The executor borrows the catalog, so run the batches you
+    /// need, then drop it before appending again.
+    pub fn executor(&mut self) -> Result<QueryExecutor<'_, Arc<B::Store>, B::Data>, CoreError> {
+        self.materialize()?;
+        if self.entries.is_empty() {
+            return Err(CoreError::InvalidQuery("catalog has no series".into()));
+        }
+        let config = self.exec_config;
+        QueryExecutor::multi(
+            self.entries.iter().map(|(&raw, e)| {
+                (
+                    SeriesId::new(raw),
+                    e.index.as_ref().expect("materialized"),
+                    e.data.as_ref().expect("materialized"),
+                    Arc::clone(&e.cache),
+                )
+            }),
+            config,
+        )
+    }
+
+    /// One-shot convenience: materialize, bind an executor, run `specs`.
+    /// Per-series row caches live in the catalog, so repeated calls keep
+    /// sharing probe work across batches.
+    pub fn execute_batch(&mut self, specs: &[QuerySpec]) -> Result<BatchOutput, CoreError>
+    where
+        B::Data: Sync,
+    {
+        self.executor()?.execute_batch(specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::KvMatcher;
+    use crate::query::QuerySpec;
+    use kvmatch_timeseries::generator::composite_series;
+
+    fn ids() -> [SeriesId; 3] {
+        [SeriesId::new(1), SeriesId::new(2), SeriesId::new(7)]
+    }
+
+    fn seeded(seed: u64, n: usize) -> Vec<f64> {
+        composite_series(seed, n)
+    }
+
+    #[test]
+    fn catalog_serves_each_series_like_a_dedicated_matcher() {
+        let mut cat = Catalog::new(MemoryCatalogBackend);
+        let data: Vec<Vec<f64>> = vec![seeded(1, 5_000), seeded(2, 4_000), seeded(3, 6_000)];
+        for (id, xs) in ids().iter().zip(&data) {
+            cat.create_series_with(*id, IndexBuildConfig::new(50), xs).unwrap();
+        }
+        let mut specs = Vec::new();
+        for (id, xs) in ids().iter().zip(&data) {
+            specs.push(QuerySpec::rsm_ed(xs[200..450].to_vec(), 9.0).with_series(*id));
+            specs.push(
+                QuerySpec::cnsm_dtw(xs[1000..1200].to_vec(), 2.0, 5, 1.5, 3.0).with_series(*id),
+            );
+        }
+        let batch = cat.execute_batch(&specs).unwrap();
+        for (spec, out) in specs.iter().zip(&batch.outputs) {
+            let i = ids().iter().position(|id| *id == spec.series).unwrap();
+            // Dedicated single-series pipeline over the same points. The
+            // catalog builds through the append path, so compare against
+            // an appender-built index (row boundaries differ from a
+            // γ-merged bulk build, results must not).
+            let mut app = IndexAppender::new(IndexBuildConfig::new(50));
+            app.push_chunk(&data[i]);
+            let (solo, _) =
+                app.finish_into(kvmatch_storage::memory::MemoryKvStoreBuilder::new()).unwrap();
+            let store = MemorySeriesStore::new(data[i].clone());
+            let (want, _) = KvMatcher::new(&solo, &store).unwrap().execute(spec).unwrap();
+            assert_eq!(out.results, want, "{} diverged from dedicated matcher", spec.series);
+        }
+        assert_eq!(batch.stats.series_touched, 3);
+        assert_eq!(cat.stats().materializations, 1);
+    }
+
+    #[test]
+    fn streaming_appends_are_immediately_queryable() {
+        let mut cat = Catalog::new(MemoryCatalogBackend);
+        let id = SeriesId::new(3);
+        let xs = seeded(11, 6_000);
+        cat.create_series(id, IndexBuildConfig::new(25)).unwrap();
+        // Ingest in uneven chunks.
+        let mut fed = 0usize;
+        for chunk in xs.chunks(613) {
+            cat.append(id, chunk).unwrap();
+            fed += chunk.len();
+            assert_eq!(cat.series_len(id), Some(fed));
+        }
+        // Query spans the whole stream, including the final chunk.
+        let spec = QuerySpec::rsm_ed(xs[5_700..5_950].to_vec(), 1e-9).with_series(id);
+        let batch = cat.execute_batch(std::slice::from_ref(&spec)).unwrap();
+        assert!(
+            batch.outputs[0].results.iter().any(|r| r.offset == 5_700),
+            "self-match over freshly appended points not found"
+        );
+        assert_eq!(cat.stats().points_ingested, xs.len() as u64);
+
+        // Append more; the next batch sees it without explicit rebuild.
+        let more = seeded(13, 500);
+        cat.append(id, &more).unwrap();
+        assert!(cat.needs_materialize());
+        let spec2 = QuerySpec::rsm_ed(more[100..350].to_vec(), 1e-9).with_series(id);
+        let batch2 = cat.execute_batch(std::slice::from_ref(&spec2)).unwrap();
+        assert!(batch2.outputs[0].results.iter().any(|r| r.offset == 6_100));
+        assert_eq!(cat.stats().materializations, 2);
+    }
+
+    #[test]
+    fn clean_series_caches_survive_other_series_appends() {
+        let mut cat = Catalog::new(MemoryCatalogBackend);
+        let a = SeriesId::new(1);
+        let b = SeriesId::new(2);
+        let xa = seeded(21, 4_000);
+        let xb = seeded(22, 4_000);
+        cat.create_series_with(a, IndexBuildConfig::new(50), &xa).unwrap();
+        cat.create_series_with(b, IndexBuildConfig::new(50), &xb).unwrap();
+        let spec_a = QuerySpec::rsm_ed(xa[500..750].to_vec(), 6.0).with_series(a);
+        cat.execute_batch(std::slice::from_ref(&spec_a)).unwrap();
+
+        // Appending to b re-materializes but must keep a's cache warm.
+        cat.append(b, &seeded(23, 300)).unwrap();
+        let batch = cat.execute_batch(std::slice::from_ref(&spec_a)).unwrap();
+        assert_eq!(batch.stats.store_scans, 0, "a's probes should be fully cache-served");
+        assert_eq!(batch.stats.probe_cache_hits, batch.stats.probes);
+    }
+
+    #[test]
+    fn sharded_backend_matches_memory_backend() {
+        let data: Vec<Vec<f64>> = vec![seeded(31, 3_000), seeded(32, 2_500)];
+        let sid = [SeriesId::new(4), SeriesId::new(9)];
+        let mut mem = Catalog::new(MemoryCatalogBackend);
+        let mut sharded = Catalog::new(ShardedCatalogBackend {
+            sharding: ShardingConfig { regions: 5, latency_per_scan_ns: 1_000 },
+            block: 256,
+        });
+        for (id, xs) in sid.iter().zip(&data) {
+            mem.create_series_with(*id, IndexBuildConfig::new(40), xs).unwrap();
+            sharded.create_series_with(*id, IndexBuildConfig::new(40), xs).unwrap();
+        }
+        let specs: Vec<QuerySpec> = sid
+            .iter()
+            .zip(&data)
+            .map(|(id, xs)| QuerySpec::rsm_dtw(xs[700..900].to_vec(), 4.0, 6).with_series(*id))
+            .collect();
+        let from_mem = mem.execute_batch(&specs).unwrap();
+        let from_sharded = sharded.execute_batch(&specs).unwrap();
+        for (x, y) in from_mem.outputs.iter().zip(&from_sharded.outputs) {
+            assert_eq!(x.results, y.results, "backends must agree bit-identically");
+        }
+        // The sharded store really is one multi-series store.
+        let store = sharded.shared_store().unwrap();
+        assert!(store.row_count() > 0);
+        assert_eq!(store.region_row_counts().len(), 5);
+    }
+
+    #[test]
+    fn unknown_and_duplicate_series_rejected() {
+        let mut cat = Catalog::new(MemoryCatalogBackend);
+        let id = SeriesId::new(1);
+        cat.create_series(id, IndexBuildConfig::new(25)).unwrap();
+        assert!(cat.create_series(id, IndexBuildConfig::new(25)).is_err());
+        assert!(matches!(cat.append(SeriesId::new(2), &[1.0]), Err(CoreError::UnknownSeries(_))));
+        // Batch routed at an unregistered series fails up front.
+        cat.append(id, &seeded(41, 500)).unwrap();
+        let stray = QuerySpec::rsm_ed(vec![0.0; 30], 1.0).with_series(SeriesId::new(99));
+        assert!(matches!(
+            cat.execute_batch(std::slice::from_ref(&stray)),
+            Err(CoreError::UnknownSeries(_))
+        ));
+        // Empty catalogs cannot build executors.
+        let mut empty = Catalog::new(MemoryCatalogBackend);
+        assert!(empty.executor().is_err());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn empty_appends_do_not_dirty_or_ingest() {
+        let mut cat = Catalog::new(MemoryCatalogBackend);
+        let id = SeriesId::new(5);
+        cat.create_series_with(id, IndexBuildConfig::new(25), &seeded(51, 1_000)).unwrap();
+        cat.materialize().unwrap();
+        assert!(!cat.needs_materialize());
+        cat.append(id, &[]).unwrap();
+        assert!(!cat.needs_materialize(), "empty append must not force a rebuild");
+        let stats = cat.stats();
+        assert_eq!(stats.points_ingested, 1_000);
+        assert_eq!(stats.append_calls, 2);
+    }
+
+    #[test]
+    fn per_series_windows_may_differ() {
+        let mut cat = Catalog::new(MemoryCatalogBackend);
+        let a = SeriesId::new(1);
+        let b = SeriesId::new(2);
+        let xa = seeded(61, 3_000);
+        let xb = seeded(62, 3_000);
+        cat.create_series_with(a, IndexBuildConfig::new(25), &xa).unwrap();
+        cat.create_series_with(b, IndexBuildConfig::new(100), &xb).unwrap();
+        cat.materialize().unwrap();
+        assert_eq!(cat.index(a).unwrap().window(), 25);
+        assert_eq!(cat.index(b).unwrap().window(), 100);
+        // A query long enough for a but not b fails only when routed at b.
+        let q = xa[100..150].to_vec();
+        assert!(cat.execute_batch(&[QuerySpec::rsm_ed(q.clone(), 5.0).with_series(a)]).is_ok());
+        assert!(matches!(
+            cat.execute_batch(&[QuerySpec::rsm_ed(q, 5.0).with_series(b)]),
+            Err(CoreError::QueryTooShort { window: 100, .. })
+        ));
+    }
+}

@@ -1,39 +1,48 @@
-//! Batched, multi-threaded query execution.
+//! Batched, multi-threaded query execution across one or many series.
 //!
-//! [`QueryExecutor`] takes a *batch* of ED/DTW queries against one index
-//! and answers all of them with less total work than running
-//! [`KvMatcher`](crate::matcher::KvMatcher) once per query. The batching
-//! model has three layers:
+//! [`QueryExecutor`] takes a *batch* of ED/DTW queries — possibly
+//! targeting different series of a catalog — and answers all of them with
+//! less total work than running [`KvMatcher`](crate::matcher::KvMatcher)
+//! once per query. The batching model has three layers:
 //!
 //! 1. **Planning once.** Every query is validated and pre-processed
 //!    ([`PreparedQuery`]) up front: window segmentation (`p = ⌊m/w⌋`
 //!    windows at offsets `i·w`), lemma ranges, envelopes and cascade
-//!    material are computed exactly once per query before any I/O starts.
+//!    material are computed exactly once per query before any I/O starts,
+//!    and each query is routed to its target series (an
+//!    [`UnknownSeries`](crate::query::CoreError::UnknownSeries) routing
+//!    error fails the batch before any work runs).
 //! 2. **Shared probing.** Phase 1 runs on the calling thread, routing
-//!    every window probe through one [`RowCache`]. Queries whose lemma
-//!    ranges overlap — the common case for related queries over the same
-//!    series — hit rows another query already fetched, so each distinct
-//!    row span costs one store scan for the *whole batch*. Probe
-//!    accounting keeps real scans ([`MatchStats::index_accesses`]) and
-//!    cache-served probes ([`MatchStats::probe_cache_hits`]) distinct.
+//!    every window probe through the target series' [`RowCache`]. Queries
+//!    whose lemma ranges overlap — the common case for related queries
+//!    over the same series — hit rows another query already fetched, so
+//!    each distinct row span costs one store scan for the *whole batch*.
+//!    Caches are **per series**: same-window rows of different series
+//!    never alias. Probe accounting keeps real scans
+//!    ([`MatchStats::index_accesses`]) and cache-served probes
+//!    ([`MatchStats::probe_cache_hits`]) distinct.
 //! 3. **Fanned-out verification.** Phase 2 flattens every (query,
-//!    candidate-interval) pair into a work list and drains it from a
-//!    [`std::thread::scope`] worker pool. Each work item runs the same
-//!    per-interval verification routine (and the same shared
-//!    [`LbCascade`](kvmatch_distance::LbCascade) stages) the sequential
-//!    matcher runs, so batched results are **bit-identical** to
-//!    per-query [`KvMatcher`](crate::matcher::KvMatcher) output — the
-//!    equivalence tests assert exact equality, including distances.
+//!    candidate-interval) pair — across *all* series — into one work list
+//!    and drains it from a [`std::thread::scope`] worker pool. Each work
+//!    item runs the same per-interval verification routine (and the same
+//!    shared [`LbCascade`](kvmatch_distance::LbCascade) stages) the
+//!    sequential matcher runs, so batched results are **bit-identical**
+//!    per series to per-query [`KvMatcher`](crate::matcher::KvMatcher)
+//!    output — the equivalence tests assert exact equality, including
+//!    distances.
 //!
 //! Worker results are merged back in deterministic (query, interval)
 //! order; per-query statistics report the same candidate counts as
 //! sequential execution, while [`BatchStats`] carries the batch-level
-//! numbers (wall time per phase, shared-probe savings, row-cache delta).
+//! numbers and [`BatchOutput::per_series`] the per-series split (wall
+//! time, probe sharing, matches) the bench report publishes.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-use kvmatch_storage::{KvStore, SeriesStore};
+use kvmatch_storage::{KvStore, SeriesId, SeriesStore};
 
 use crate::cache::{RowCache, RowCacheStats};
 use crate::index::KvIndex;
@@ -47,7 +56,8 @@ pub struct ExecutorConfig {
     /// Verification worker threads; `0` resolves to the machine's
     /// available parallelism.
     pub threads: usize,
-    /// Row-cache capacity (decoded index rows kept for probe sharing).
+    /// Row-cache capacity (decoded index rows kept for probe sharing),
+    /// per series.
     pub cache_capacity: usize,
 }
 
@@ -72,6 +82,8 @@ pub struct QueryOutput {
 pub struct BatchStats {
     /// Queries in the batch.
     pub queries: u64,
+    /// Distinct series the batch touched.
+    pub series_touched: u64,
     /// Wall-clock nanoseconds of the (sequential) probe phase.
     pub probe_nanos: u64,
     /// Wall-clock nanoseconds of the (parallel) verification phase.
@@ -86,8 +98,35 @@ pub struct BatchStats {
     pub work_items: u64,
     /// Worker threads used for verification.
     pub threads: u64,
-    /// Row-cache counter movement over this batch.
+    /// Row-cache counter movement over this batch, summed across the
+    /// per-series caches.
     pub row_cache: RowCacheStats,
+}
+
+/// One series' share of a batch — the split the bench report publishes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SeriesBatchStats {
+    /// The series.
+    pub series: SeriesId,
+    /// Queries routed to this series.
+    pub queries: u64,
+    /// Summed phase-1 nanoseconds of those queries (probing is
+    /// sequential, so this is attributable wall time).
+    pub probe_nanos: u64,
+    /// Summed per-interval verification worker nanoseconds attributed to
+    /// this series (CPU time, not wall time — verification interleaves
+    /// across series on the shared pool).
+    pub verify_nanos: u64,
+    /// Window probes issued for this series.
+    pub probes: u64,
+    /// Probes served entirely from this series' row cache.
+    pub probe_cache_hits: u64,
+    /// Real store scans issued for this series.
+    pub store_scans: u64,
+    /// Verification work items of this series.
+    pub work_items: u64,
+    /// Qualified results across this series' queries.
+    pub matches: u64,
 }
 
 /// The whole batch's answers plus batch statistics.
@@ -97,11 +136,16 @@ pub struct BatchOutput {
     pub outputs: Vec<QueryOutput>,
     /// Batch-level statistics.
     pub stats: BatchStats,
+    /// Per-series split, ordered by series id (only series that received
+    /// at least one query appear).
+    pub per_series: Vec<SeriesBatchStats>,
 }
 
 /// A per-query execution plan produced by phase 1.
 struct Plan {
     prep: PreparedQuery,
+    target: usize,
+    probes: u64,
     cs: IntervalSet,
     stats: MatchStats,
 }
@@ -120,43 +164,89 @@ struct WorkOutput {
     verification: Result<crate::matcher::IntervalVerification, CoreError>,
 }
 
-/// Batched multi-threaded executor over one index + data store.
-pub struct QueryExecutor<'a, S: KvStore, D: SeriesStore> {
+/// One series served by a [`QueryExecutor`]: its index view, its data
+/// store, and its private row cache.
+struct ExecTarget<'a, S: KvStore, D: SeriesStore> {
+    series: SeriesId,
     index: &'a KvIndex<S>,
     data: &'a D,
-    cache: RowCache,
+    cache: Arc<RowCache>,
+}
+
+/// Batched multi-threaded executor over one or more (index, data store)
+/// pairs — one per series.
+pub struct QueryExecutor<'a, S: KvStore, D: SeriesStore> {
+    targets: Vec<ExecTarget<'a, S, D>>,
+    by_series: HashMap<u64, usize>,
     config: ExecutorConfig,
 }
 
 impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
-    /// Binds an executor to an index and its data store (with default
-    /// configuration). Fails when the index covers a series of a
-    /// different length.
+    /// Binds an executor to one index and its data store (with default
+    /// configuration). The target series is the index's own
+    /// ([`SeriesId::DEFAULT`] for single-series indexes, so specs built
+    /// by the plain constructors route here). Fails when the index
+    /// covers a series of a different length.
     pub fn new(index: &'a KvIndex<S>, data: &'a D) -> Result<Self, CoreError> {
         Self::with_config(index, data, ExecutorConfig::default())
     }
 
-    /// Binds with explicit configuration.
+    /// Binds a single-series executor with explicit configuration.
     pub fn with_config(
         index: &'a KvIndex<S>,
         data: &'a D,
         config: ExecutorConfig,
     ) -> Result<Self, CoreError> {
-        if index.series_len() != data.len() {
-            return Err(CoreError::CorruptIndex(format!(
-                "index covers a series of length {}, data store has {}",
-                index.series_len(),
-                data.len()
-            )));
-        }
-        let cache = RowCache::new(config.cache_capacity);
-        Ok(Self { index, data, cache, config })
+        let series = index.series();
+        let cache = Arc::new(RowCache::new(config.cache_capacity));
+        Self::multi([(series, index, data, cache)], config)
     }
 
-    /// The executor's row cache (persists across batches, so repeated
-    /// batches keep sharing probe work).
+    /// Binds an executor over many series. Each target brings its own
+    /// row cache (the catalog passes long-lived caches in, so probe
+    /// sharing survives across batches and materializations keep clean
+    /// series' caches warm). Series ids must be unique and every index
+    /// must match its data store's length.
+    pub fn multi(
+        targets: impl IntoIterator<Item = (SeriesId, &'a KvIndex<S>, &'a D, Arc<RowCache>)>,
+        config: ExecutorConfig,
+    ) -> Result<Self, CoreError> {
+        let mut resolved = Vec::new();
+        let mut by_series = HashMap::new();
+        for (series, index, data, cache) in targets {
+            if index.series_len() != data.len() {
+                return Err(CoreError::CorruptIndex(format!(
+                    "{series}: index covers a series of length {}, data store has {}",
+                    index.series_len(),
+                    data.len()
+                )));
+            }
+            if by_series.insert(series.raw(), resolved.len()).is_some() {
+                return Err(CoreError::InvalidQuery(format!("duplicate executor target {series}")));
+            }
+            resolved.push(ExecTarget { series, index, data, cache });
+        }
+        if resolved.is_empty() {
+            return Err(CoreError::InvalidQuery("executor needs at least one target".into()));
+        }
+        Ok(Self { targets: resolved, by_series, config })
+    }
+
+    /// The series this executor serves, in target order.
+    pub fn series(&self) -> Vec<SeriesId> {
+        self.targets.iter().map(|t| t.series).collect()
+    }
+
+    /// The first target's row cache (the only one for single-series
+    /// executors). Persists across batches, so repeated batches keep
+    /// sharing probe work.
     pub fn cache(&self) -> &RowCache {
-        &self.cache
+        &self.targets[0].cache
+    }
+
+    /// The row cache serving `series`, if the executor has that target.
+    pub fn cache_for(&self, series: SeriesId) -> Option<&RowCache> {
+        self.by_series.get(&series.raw()).map(|&i| &*self.targets[i].cache)
     }
 
     /// The resolved verification thread count.
@@ -168,33 +258,54 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
         }
     }
 
-    /// Executes a batch of queries. Per-query results are bit-identical to
-    /// running [`KvMatcher::execute`](crate::matcher::KvMatcher::execute)
-    /// on each spec in isolation; any invalid query or storage error fails
-    /// the whole batch.
+    /// Executes a batch of queries, each routed to its target series.
+    /// Per-query results are bit-identical to running
+    /// [`KvMatcher::execute`](crate::matcher::KvMatcher::execute) on each
+    /// spec against its own series in isolation; any invalid or
+    /// unroutable query or storage error fails the whole batch.
     pub fn execute_batch(&self, specs: &[QuerySpec]) -> Result<BatchOutput, CoreError>
     where
         D: Sync,
     {
-        let cache_before = self.cache.stats();
+        let cache_before: Vec<RowCacheStats> =
+            self.targets.iter().map(|t| t.cache.stats()).collect();
         let mut batch = BatchStats { queries: specs.len() as u64, ..BatchStats::default() };
 
-        // Phase 0: plan every query before any I/O.
-        let w = self.index.window();
-        let n = self.data.len();
+        // Phase 0: route and plan every query before any I/O.
         let mut plans = Vec::with_capacity(specs.len());
         for spec in specs {
+            let target = *self
+                .by_series
+                .get(&spec.series.raw())
+                .ok_or(CoreError::UnknownSeries(spec.series))?;
             let prep = PreparedQuery::new(spec.clone())?;
+            let w = self.targets[target].index.window();
             if prep.m < w {
                 return Err(CoreError::QueryTooShort { query_len: prep.m, window: w });
             }
-            plans.push(Plan { prep, cs: IntervalSet::new(), stats: MatchStats::default() });
+            plans.push(Plan {
+                prep,
+                target,
+                probes: 0,
+                cs: IntervalSet::new(),
+                stats: MatchStats::default(),
+            });
         }
+        batch.series_touched = {
+            let mut touched: Vec<usize> = plans.iter().map(|p| p.target).collect();
+            touched.sort_unstable();
+            touched.dedup();
+            touched.len() as u64
+        };
 
-        // Phase 1: probe through the shared row cache, sequentially.
+        // Phase 1: probe through each series' shared row cache,
+        // sequentially.
         let t_probe = Instant::now();
         for plan in &mut plans {
             let t1 = Instant::now();
+            let target = &self.targets[plan.target];
+            let w = target.index.window();
+            let n = target.data.len();
             let m = plan.prep.m;
             if m > n {
                 continue; // no window fits; empty candidate set
@@ -203,8 +314,10 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
             let mut cs: Option<IntervalSet> = None;
             for i in 0..p {
                 let range = plan.prep.window_range(i * w, w);
-                let (is, info) = self.index.probe_cached(range.lower, range.upper, &self.cache)?;
+                let (is, info) =
+                    target.index.probe_cached(range.lower, range.upper, &target.cache)?;
                 plan.stats.absorb_probe(&info);
+                plan.probes += 1;
                 batch.probes += 1;
                 batch.store_scans += info.scans;
                 if info.is_cache_hit() {
@@ -226,7 +339,8 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
         }
         batch.probe_nanos = t_probe.elapsed().as_nanos() as u64;
 
-        // Phase 2: flatten (query, interval) work items and fan out.
+        // Phase 2: flatten (query, interval) work items across every
+        // series and fan out over one worker pool.
         let items: Vec<WorkItem> = plans
             .iter()
             .enumerate()
@@ -236,6 +350,10 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
             .collect();
         batch.work_items = items.len() as u64;
 
+        // Workers only need each plan's data store; collecting the refs
+        // here keeps the spawned closures independent of the store type
+        // `S` (only `D: Sync` is required).
+        let data_refs: Vec<&D> = self.targets.iter().map(|t| t.data).collect();
         let threads = self.threads().min(items.len()).max(1);
         batch.threads = threads as u64;
         let t_verify = Instant::now();
@@ -246,10 +364,11 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
             let mut produced = Vec::with_capacity(items.len());
             let mut scratch: Vec<f64> = Vec::new();
             for (item_idx, item) in items.iter().enumerate() {
+                let plan = &plans[item.query];
                 let t = Instant::now();
                 let verification = verify_interval(
-                    self.data,
-                    &plans[item.query].prep,
+                    data_refs[plan.target],
+                    &plan.prep,
                     item.interval,
                     &mut scratch,
                 );
@@ -265,7 +384,7 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
             let next_ref = &next;
             let plans_ref = &plans;
             let items_ref = &items;
-            let data = self.data;
+            let data_ref = &data_refs;
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..threads)
                     .map(|_| {
@@ -278,10 +397,11 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
                                     break;
                                 }
                                 let item = items_ref[item_idx];
+                                let plan = &plans_ref[item.query];
                                 let t = Instant::now();
                                 let verification = verify_interval(
-                                    data,
-                                    &plans_ref[item.query].prep,
+                                    data_ref[plan.target],
+                                    &plan.prep,
                                     item.interval,
                                     &mut scratch,
                                 );
@@ -318,16 +438,40 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
             merged[query].extend(iv.results);
         }
 
-        batch.row_cache = self.cache.stats().since(&cache_before);
-        let outputs = plans
+        for (target, before) in self.targets.iter().zip(&cache_before) {
+            let delta = target.cache.stats().since(before);
+            batch.row_cache.hits += delta.hits;
+            batch.row_cache.misses += delta.misses;
+            batch.row_cache.evictions += delta.evictions;
+        }
+
+        // Per-series split plus final per-query outputs.
+        let mut per_target: Vec<SeriesBatchStats> = self
+            .targets
+            .iter()
+            .map(|t| SeriesBatchStats { series: t.series, ..SeriesBatchStats::default() })
+            .collect();
+        let outputs: Vec<QueryOutput> = plans
             .into_iter()
             .zip(merged)
             .map(|(mut plan, results)| {
                 plan.stats.matches = results.len() as u64;
+                let s = &mut per_target[plan.target];
+                s.queries += 1;
+                s.probe_nanos += plan.stats.phase1_nanos;
+                s.verify_nanos += plan.stats.phase2_nanos;
+                s.probes += plan.probes;
+                s.probe_cache_hits += plan.stats.probe_cache_hits;
+                s.store_scans += plan.stats.index_accesses;
+                s.work_items += plan.stats.candidate_intervals;
+                s.matches += plan.stats.matches;
                 QueryOutput { results, stats: plan.stats }
             })
             .collect();
-        Ok(BatchOutput { outputs, stats: batch })
+        let mut per_series: Vec<SeriesBatchStats> =
+            per_target.into_iter().filter(|s| s.queries > 0).collect();
+        per_series.sort_by_key(|s| s.series);
+        Ok(BatchOutput { outputs, stats: batch, per_series })
     }
 }
 
@@ -337,7 +481,7 @@ mod tests {
     use crate::build::IndexBuildConfig;
     use crate::matcher::KvMatcher;
     use kvmatch_storage::memory::MemoryKvStoreBuilder;
-    use kvmatch_storage::{MemoryKvStore, MemorySeriesStore};
+    use kvmatch_storage::{KvStoreBuilder, MemoryKvStore, MemorySeriesStore};
     use kvmatch_timeseries::generator::composite_series;
 
     fn build_index(xs: &[f64], w: usize) -> KvIndex<MemoryKvStore> {
@@ -378,6 +522,9 @@ mod tests {
             assert_eq!(out.stats.matches, want_stats.matches);
             assert_eq!(out.stats.points_fetched, want_stats.points_fetched);
         }
+        assert_eq!(batch.stats.series_touched, 1);
+        assert_eq!(batch.per_series.len(), 1);
+        assert_eq!(batch.per_series[0].queries, specs.len() as u64);
     }
 
     #[test]
@@ -421,6 +568,7 @@ mod tests {
         let exec = QueryExecutor::new(&idx, &data).unwrap();
         let empty = exec.execute_batch(&[]).unwrap();
         assert!(empty.outputs.is_empty());
+        assert!(empty.per_series.is_empty());
         // A query longer than the series yields an empty result, like the
         // sequential matcher.
         let batch = exec.execute_batch(&[QuerySpec::rsm_ed(vec![0.0; 2_000], 5.0)]).unwrap();
@@ -469,5 +617,134 @@ mod tests {
         let (want, _) = matcher.execute(&spec).unwrap();
         assert_eq!(batch.outputs[0].results, want);
         assert_eq!(batch.stats.threads, 1);
+    }
+
+    /// Three single-series indexes served by one executor: a mixed batch
+    /// routes each query to its series and stays bit-identical to
+    /// dedicated sequential matchers.
+    #[test]
+    fn mixed_series_batch_routes_and_matches() {
+        let ids = [SeriesId::new(1), SeriesId::new(2), SeriesId::new(5)];
+        let series: Vec<Vec<f64>> = [111u64, 222, 333]
+            .iter()
+            .map(|&seed| composite_series(seed, 4_000 + (seed as usize % 7) * 500))
+            .collect();
+        // Build each series into one shared store via the prefix layout.
+        let mut builder = MemoryKvStoreBuilder::new();
+        for (id, xs) in ids.iter().zip(&series) {
+            let (rows, _) = crate::build::build_rows(xs, IndexBuildConfig::new(50));
+            KvIndex::<MemoryKvStore>::append_series_rows(
+                &mut builder,
+                *id,
+                &rows,
+                IndexBuildConfig::new(50),
+                xs.len(),
+            )
+            .unwrap();
+        }
+        let store = std::sync::Arc::new(builder.finish().unwrap());
+        let views: Vec<KvIndex<std::sync::Arc<MemoryKvStore>>> = ids
+            .iter()
+            .map(|id| KvIndex::open_series(std::sync::Arc::clone(&store), *id).unwrap())
+            .collect();
+        let stores: Vec<MemorySeriesStore> =
+            series.iter().map(|xs| MemorySeriesStore::new(xs.clone())).collect();
+
+        let exec = QueryExecutor::multi(
+            ids.iter()
+                .zip(&views)
+                .zip(&stores)
+                .map(|((id, v), d)| (*id, v, d, Arc::new(RowCache::new(1024)))),
+            ExecutorConfig { threads: 4, ..ExecutorConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(exec.series(), ids.to_vec());
+
+        // A mixed, interleaved batch: every query type, every series.
+        let mut specs = Vec::new();
+        for (i, (id, xs)) in ids.iter().zip(&series).enumerate() {
+            let at = 300 + i * 157;
+            specs.push(QuerySpec::rsm_ed(xs[at..at + 200].to_vec(), 10.0).with_series(*id));
+            specs.push(QuerySpec::rsm_dtw(xs[at + 50..at + 250].to_vec(), 5.0, 6).with_series(*id));
+            specs.push(
+                QuerySpec::cnsm_ed(xs[at + 100..at + 300].to_vec(), 2.0, 1.5, 3.0).with_series(*id),
+            );
+        }
+        // Interleave so no series' queries are contiguous.
+        let interleaved: Vec<QuerySpec> =
+            (0..3).flat_map(|k| specs.iter().skip(k).step_by(3).cloned()).collect();
+
+        let batch = exec.execute_batch(&interleaved).unwrap();
+        assert_eq!(batch.stats.series_touched, 3);
+        assert_eq!(batch.per_series.len(), 3);
+        for (spec, out) in interleaved.iter().zip(&batch.outputs) {
+            let i = ids.iter().position(|id| *id == spec.series).unwrap();
+            let solo_idx = build_index(&series[i], 50);
+            let matcher = KvMatcher::new(&solo_idx, &stores[i]).unwrap();
+            let (want, _) = matcher.execute(spec).unwrap();
+            assert_eq!(out.results, want, "{} diverged", spec.series);
+        }
+        // The per-series split accounts for every query and match.
+        assert_eq!(batch.per_series.iter().map(|s| s.queries).sum::<u64>(), 9);
+        let total_matches: u64 = batch.outputs.iter().map(|o| o.stats.matches).sum();
+        assert_eq!(batch.per_series.iter().map(|s| s.matches).sum::<u64>(), total_matches);
+    }
+
+    /// A spec targeting a series the executor doesn't serve fails the
+    /// batch up front.
+    #[test]
+    fn unknown_series_rejected() {
+        let xs = composite_series(103, 1_000);
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let exec = QueryExecutor::new(&idx, &data).unwrap();
+        let spec = QuerySpec::rsm_ed(xs[0..100].to_vec(), 5.0).with_series(SeriesId::new(42));
+        assert!(matches!(
+            exec.execute_batch(std::slice::from_ref(&spec)),
+            Err(CoreError::UnknownSeries(id)) if id == SeriesId::new(42)
+        ));
+        assert!(exec.cache_for(SeriesId::new(42)).is_none());
+        assert!(exec.cache_for(SeriesId::DEFAULT).is_some());
+    }
+
+    /// Same-window series must not alias in the caches: repeated mixed
+    /// batches stay correct and the second run is fully cache-served.
+    #[test]
+    fn per_series_caches_do_not_alias() {
+        let a = composite_series(107, 3_000);
+        let b = composite_series(109, 3_000);
+        let idx_a = build_index(&a, 50);
+        let idx_b = build_index(&b, 50);
+        let da = MemorySeriesStore::new(a.clone());
+        let db = MemorySeriesStore::new(b.clone());
+        let ida = SeriesId::new(1);
+        let idb = SeriesId::new(2);
+        // Rebind the single-series indexes as two catalog targets. The
+        // indexes themselves are series 0 views, so probe keys would
+        // collide if the executor shared one cache — each target's
+        // private cache keeps them apart.
+        let exec = QueryExecutor::multi(
+            [
+                (ida, &idx_a, &da, Arc::new(RowCache::new(512))),
+                (idb, &idx_b, &db, Arc::new(RowCache::new(512))),
+            ],
+            ExecutorConfig { threads: 2, ..ExecutorConfig::default() },
+        )
+        .unwrap();
+        let specs = vec![
+            QuerySpec::rsm_ed(a[100..350].to_vec(), 8.0).with_series(ida),
+            QuerySpec::rsm_ed(b[100..350].to_vec(), 8.0).with_series(idb),
+        ];
+        let first = exec.execute_batch(&specs).unwrap();
+        let second = exec.execute_batch(&specs).unwrap();
+        for (x, y) in first.outputs.iter().zip(&second.outputs) {
+            assert_eq!(x.results, y.results);
+        }
+        assert_eq!(second.stats.store_scans, 0, "warm mixed batch is fully cache-served");
+        // And each series' answers equal its dedicated matcher's.
+        let (want_a, _) = KvMatcher::new(&idx_a, &da).unwrap().execute(&specs[0]).unwrap();
+        let (want_b, _) = KvMatcher::new(&idx_b, &db).unwrap().execute(&specs[1]).unwrap();
+        assert_eq!(first.outputs[0].results, want_a);
+        assert_eq!(first.outputs[1].results, want_b);
     }
 }

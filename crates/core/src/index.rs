@@ -15,7 +15,7 @@
 //! intervals), `len_i = right_i − left_i + 1`. Series up to 2³² window
 //! positions are supported; longer gaps/lengths are rejected at build time.
 
-use kvmatch_storage::{encode_f64, KvStore, KvStoreBuilder};
+use kvmatch_storage::{encode_f64, KvStore, KvStoreBuilder, SeriesId};
 
 use crate::build::{self, BuildStats, IndexBuildConfig, IndexRow};
 use crate::cache::RowCache;
@@ -23,7 +23,8 @@ use crate::interval::{IntervalSet, WindowInterval};
 use crate::meta::MetaTable;
 use crate::query::CoreError;
 
-/// Reserved key of the meta-table row (sorts before every encoded `f64`).
+/// Reserved key suffix of the meta-table row (sorts before every encoded
+/// `f64`, and — being shorter — before every prefixed row key too).
 pub const META_KEY: &[u8] = &[0x00];
 
 /// Encodes a row's interval set into the payload layout above.
@@ -120,10 +121,19 @@ impl ScanInfo {
 }
 
 /// A KV-index bound to a [`KvStore`].
+///
+/// Single-series indexes (the original layout) use an empty key prefix;
+/// series-scoped views built by the catalog prefix every key with the
+/// big-endian [`SeriesId`], so one physical store hosts the index rows of
+/// many series without their key ranges interleaving.
 #[derive(Debug)]
 pub struct KvIndex<S: KvStore> {
     store: S,
     meta: MetaTable,
+    series: SeriesId,
+    /// Key prefix of this index's rows: empty for the single-series
+    /// layout, `series.encode()` for catalog members.
+    prefix: Vec<u8>,
 }
 
 impl<S: KvStore> KvIndex<S> {
@@ -167,17 +177,55 @@ impl<S: KvStore> KvIndex<S> {
     where
         B: KvStoreBuilder,
     {
-        let meta = build::meta_for_rows(&rows, config, series_len);
-        builder.append(META_KEY, &meta.to_bytes())?;
-        for row in &rows {
-            builder.append(&encode_f64(row.low), &encode_row(&row.intervals)?)?;
-        }
+        let meta = Self::append_rows_prefixed(&mut builder, &[], &rows, config, series_len)?;
         let store = builder.finish()?;
-        Ok(KvIndex { store, meta })
+        Ok(KvIndex { store, meta, series: SeriesId::DEFAULT, prefix: Vec::new() })
     }
 
-    /// Opens an index from an existing store, loading and validating the
-    /// meta table.
+    /// Appends one series' meta row and index rows to a shared builder
+    /// **without finishing it** — the multi-series bulk-build path. Call
+    /// once per series in ascending [`SeriesId`] order (the prefix keeps
+    /// the overall stream sorted), then
+    /// [`finish`](KvStoreBuilder::finish) the builder and reopen each
+    /// series with [`KvIndex::open_series`].
+    pub fn append_series_rows<B>(
+        builder: &mut B,
+        series: SeriesId,
+        rows: &[IndexRow],
+        config: IndexBuildConfig,
+        series_len: usize,
+    ) -> Result<MetaTable, CoreError>
+    where
+        B: KvStoreBuilder,
+    {
+        Self::append_rows_prefixed(builder, &series.encode(), rows, config, series_len)
+    }
+
+    fn append_rows_prefixed<B>(
+        builder: &mut B,
+        prefix: &[u8],
+        rows: &[IndexRow],
+        config: IndexBuildConfig,
+        series_len: usize,
+    ) -> Result<MetaTable, CoreError>
+    where
+        B: KvStoreBuilder,
+    {
+        let meta = build::meta_for_rows(rows, config, series_len);
+        let mut key = Vec::with_capacity(prefix.len() + 8);
+        key.extend_from_slice(prefix);
+        key.extend_from_slice(META_KEY);
+        builder.append(&key, &meta.to_bytes())?;
+        for row in rows {
+            key.truncate(prefix.len());
+            key.extend_from_slice(&encode_f64(row.low));
+            builder.append(&key, &encode_row(&row.intervals)?)?;
+        }
+        Ok(meta)
+    }
+
+    /// Opens a single-series index from an existing store, loading and
+    /// validating the meta table.
     pub fn open(store: S) -> Result<Self, CoreError> {
         let meta_bytes = store
             .get(META_KEY)?
@@ -190,7 +238,30 @@ impl<S: KvStore> KvIndex<S> {
                 meta.row_count() + 1
             )));
         }
-        Ok(Self { store, meta })
+        Ok(Self { store, meta, series: SeriesId::DEFAULT, prefix: Vec::new() })
+    }
+
+    /// Opens the view of one series inside a multi-series store written by
+    /// [`KvIndex::append_series_rows`], validating this series' meta row.
+    /// Other series' rows are invisible to the view. Unlike
+    /// [`KvIndex::open`], no row-count scan runs here — the catalog
+    /// reopens every series after every materialization, and a full
+    /// range scan would double that cost; [`KvIndex::probe`]'s per-range
+    /// count check still catches missing rows at query time.
+    pub fn open_series(store: S, series: SeriesId) -> Result<Self, CoreError> {
+        let prefix = series.encode().to_vec();
+        let meta_key = series.key(META_KEY);
+        let meta_bytes = store
+            .get(&meta_key)?
+            .ok_or_else(|| CoreError::CorruptIndex(format!("missing meta row for {series}")))?;
+        let meta = MetaTable::from_bytes(&meta_bytes)?;
+        Ok(Self { store, meta, series, prefix })
+    }
+
+    /// The series this index view is scoped to ([`SeriesId::DEFAULT`] for
+    /// single-series indexes).
+    pub fn series(&self) -> SeriesId {
+        self.series
     }
 
     /// The meta table.
@@ -255,8 +326,9 @@ impl<S: KvStore> KvIndex<S> {
             return Ok((IntervalSet::new(), ScanInfo { scans: 1, ..ScanInfo::default() }));
         }
         let w = self.window();
+        let sid = self.series.raw();
         let mut sets: Vec<Option<std::sync::Arc<IntervalSet>>> =
-            (si..ei).map(|r| cache.get((w, r))).collect();
+            (si..ei).map(|r| cache.get((sid, w, r))).collect();
         info.rows_from_cache = sets.iter().flatten().count() as u64;
 
         // Fetch every maximal contiguous span of missing rows with one
@@ -276,7 +348,7 @@ impl<S: KvStore> KvIndex<S> {
             for (offset, set) in fetched.into_iter().enumerate() {
                 let row = si + span_start + offset;
                 let set = std::sync::Arc::new(set);
-                cache.insert((w, row), std::sync::Arc::clone(&set));
+                cache.insert((sid, w, row), std::sync::Arc::clone(&set));
                 sets[span_start + offset] = Some(set);
             }
         }
@@ -300,15 +372,18 @@ impl<S: KvStore> KvIndex<S> {
     fn scan_row_sets(&self, si: usize, ei: usize) -> Result<Vec<IntervalSet>, CoreError> {
         debug_assert!(si < ei);
         let entries = self.meta.entries();
-        let start_key = encode_f64(entries[si].low);
+        let key_of = |low: f64| {
+            let mut key = Vec::with_capacity(self.prefix.len() + 8);
+            key.extend_from_slice(&self.prefix);
+            key.extend_from_slice(&encode_f64(low));
+            key
+        };
+        let start_key = key_of(entries[si].low);
         // End key: just past the last row's low key. Encoding of `low` of
         // the row after `ei−1` if present, else the exclusive upper bound
         // `up` of the final row.
-        let end_key = if ei < entries.len() {
-            encode_f64(entries[ei].low)
-        } else {
-            encode_f64(entries[ei - 1].up)
-        };
+        let end_key =
+            if ei < entries.len() { key_of(entries[ei].low) } else { key_of(entries[ei - 1].up) };
         let rows = self.store.scan(&start_key, &end_key)?;
         if rows.len() != ei - si {
             return Err(CoreError::CorruptIndex(format!(
@@ -498,6 +573,58 @@ mod tests {
         .unwrap();
         assert_eq!(sa, sb);
         assert_eq!(a.meta(), b.meta());
+    }
+
+    #[test]
+    fn shared_store_hosts_many_series() {
+        use kvmatch_storage::SeriesId;
+        // Three series with different data and windows in ONE store.
+        let series: Vec<(SeriesId, Vec<f64>, usize)> = vec![
+            (SeriesId::new(1), composite_series(31, 4_000), 50),
+            (SeriesId::new(2), composite_series(37, 3_000), 25),
+            (SeriesId::new(9), composite_series(41, 5_000), 50),
+        ];
+        let mut builder = MemoryKvStoreBuilder::new();
+        for (id, xs, w) in &series {
+            let (rows, _) = build::build_rows(xs, IndexBuildConfig::new(*w));
+            KvIndex::<MemoryKvStore>::append_series_rows(
+                &mut builder,
+                *id,
+                &rows,
+                IndexBuildConfig::new(*w),
+                xs.len(),
+            )
+            .unwrap();
+        }
+        let store = std::sync::Arc::new(builder.finish().unwrap());
+
+        for (id, xs, w) in &series {
+            let view = KvIndex::open_series(std::sync::Arc::clone(&store), *id).unwrap();
+            assert_eq!(view.series(), *id);
+            assert_eq!(view.window(), *w);
+            assert_eq!(view.series_len(), xs.len());
+            // Probes through the shared store equal a dedicated
+            // single-series index over the same data.
+            let solo = build_memory(xs, *w);
+            for (lr, ur) in [(-2.0, 2.0), (0.1, 0.6), (f64::NEG_INFINITY, f64::INFINITY)] {
+                let (got, _) = view.probe(lr, ur).unwrap();
+                let (want, _) = solo.probe(lr, ur).unwrap();
+                assert_eq!(got, want, "{id} probe [{lr}, {ur}] diverged");
+            }
+        }
+
+        // Unknown series is rejected; cached probes keep series apart.
+        assert!(KvIndex::open_series(std::sync::Arc::clone(&store), SeriesId::new(3)).is_err());
+        let cache = crate::cache::RowCache::new(4096);
+        let a = KvIndex::open_series(std::sync::Arc::clone(&store), SeriesId::new(1)).unwrap();
+        let b = KvIndex::open_series(std::sync::Arc::clone(&store), SeriesId::new(9)).unwrap();
+        let (ia, _) = a.probe_cached(-1.0, 1.0, &cache).unwrap();
+        let (ib, _) = b.probe_cached(-1.0, 1.0, &cache).unwrap();
+        let (ia_warm, wa) = a.probe_cached(-1.0, 1.0, &cache).unwrap();
+        let (ib_warm, wb) = b.probe_cached(-1.0, 1.0, &cache).unwrap();
+        assert_eq!(ia, ia_warm);
+        assert_eq!(ib, ib_warm);
+        assert!(wa.is_cache_hit() && wb.is_cache_hit());
     }
 
     #[test]

@@ -46,7 +46,8 @@
 //! | [`meta`] | §IV-A | the meta table |
 //! | [`index`] | §IV | persisted index over a `KvStore` |
 //! | [`matcher`] | §V | KV-match, Algorithm 1 |
-//! | [`exec`] | — | batched multi-threaded query executor |
+//! | [`exec`] | — | batched multi-threaded query executor (multi-series routing) |
+//! | [`catalog`] | §VII | multi-series catalog + streaming ingestion |
 //! | [`dp`] | §VI | KV-match_DP: multi-index + Eq. 9 segmentation |
 //! | [`naive`] | §II | exhaustive reference implementation |
 //! | [`query`] | §II | query specs, results, statistics, errors |
@@ -54,6 +55,7 @@
 pub mod append;
 pub mod build;
 pub mod cache;
+pub mod catalog;
 pub mod dp;
 pub mod exec;
 pub mod index;
@@ -67,10 +69,16 @@ pub mod ranges;
 pub use append::IndexAppender;
 pub use build::{BuildStats, IndexBuildConfig, IndexRow, RowAccumulator};
 pub use cache::{RowCache, RowCacheStats};
+pub use catalog::{
+    Catalog, CatalogBackend, CatalogStats, MemoryCatalogBackend, ShardedCatalogBackend,
+};
 pub use dp::{DpMatcher, DpOptions, IndexSetConfig, MultiIndex, Segment};
-pub use exec::{BatchOutput, BatchStats, ExecutorConfig, QueryExecutor, QueryOutput};
+pub use exec::{
+    BatchOutput, BatchStats, ExecutorConfig, QueryExecutor, QueryOutput, SeriesBatchStats,
+};
 pub use index::{KvIndex, ScanInfo};
 pub use interval::{IntervalSet, WindowInterval};
+pub use kvmatch_storage::SeriesId;
 pub use matcher::{KvMatcher, PreparedQuery};
 pub use meta::{IndexParams, MetaEntry, MetaTable};
 pub use naive::{naive_count, naive_search};

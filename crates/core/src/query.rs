@@ -3,7 +3,7 @@
 use std::fmt;
 
 use kvmatch_distance::LpExponent;
-use kvmatch_storage::StorageError;
+use kvmatch_storage::{SeriesId, StorageError};
 
 /// Distance measure of a query (§II-A, extended per the §X future work).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,8 +50,15 @@ pub struct Constraint {
 
 /// A fully-specified subsequence-matching query: one of RSM-ED, RSM-DTW,
 /// cNSM-ED, cNSM-DTW depending on `measure` and `constraint`.
+///
+/// `series` routes the query inside a multi-series batch; the constructors
+/// default it to [`SeriesId::DEFAULT`], which is what single-series
+/// matchers and executors serve. Use [`QuerySpec::with_series`] to target
+/// a catalog member.
 #[derive(Clone, Debug)]
 pub struct QuerySpec {
+    /// The series this query runs against.
+    pub series: SeriesId,
     /// The query sequence `Q`.
     pub query: Vec<f64>,
     /// Distance threshold `ε ≥ 0`. For cNSM queries this bounds
@@ -66,22 +73,35 @@ pub struct QuerySpec {
 impl QuerySpec {
     /// RSM-ED query.
     pub fn rsm_ed(query: Vec<f64>, epsilon: f64) -> Self {
-        Self { query, epsilon, measure: Measure::Ed, constraint: None }
+        Self { series: SeriesId::DEFAULT, query, epsilon, measure: Measure::Ed, constraint: None }
     }
 
     /// RSM-DTW query.
     pub fn rsm_dtw(query: Vec<f64>, epsilon: f64, rho: usize) -> Self {
-        Self { query, epsilon, measure: Measure::Dtw { rho }, constraint: None }
+        Self {
+            series: SeriesId::DEFAULT,
+            query,
+            epsilon,
+            measure: Measure::Dtw { rho },
+            constraint: None,
+        }
     }
 
     /// cNSM-ED query.
     pub fn cnsm_ed(query: Vec<f64>, epsilon: f64, alpha: f64, beta: f64) -> Self {
-        Self { query, epsilon, measure: Measure::Ed, constraint: Some(Constraint { alpha, beta }) }
+        Self {
+            series: SeriesId::DEFAULT,
+            query,
+            epsilon,
+            measure: Measure::Ed,
+            constraint: Some(Constraint { alpha, beta }),
+        }
     }
 
     /// cNSM-DTW query.
     pub fn cnsm_dtw(query: Vec<f64>, epsilon: f64, rho: usize, alpha: f64, beta: f64) -> Self {
         Self {
+            series: SeriesId::DEFAULT,
             query,
             epsilon,
             measure: Measure::Dtw { rho },
@@ -92,12 +112,19 @@ impl QuerySpec {
     /// RSM query under an Lp norm (§X future work; `LpExponent::Finite(1)`
     /// = Manhattan, `LpExponent::Infinity` = Chebyshev).
     pub fn rsm_lp(query: Vec<f64>, epsilon: f64, p: LpExponent) -> Self {
-        Self { query, epsilon, measure: Measure::Lp { p }, constraint: None }
+        Self {
+            series: SeriesId::DEFAULT,
+            query,
+            epsilon,
+            measure: Measure::Lp { p },
+            constraint: None,
+        }
     }
 
     /// cNSM query under an Lp norm.
     pub fn cnsm_lp(query: Vec<f64>, epsilon: f64, p: LpExponent, alpha: f64, beta: f64) -> Self {
         Self {
+            series: SeriesId::DEFAULT,
             query,
             epsilon,
             measure: Measure::Lp { p },
@@ -140,6 +167,12 @@ impl QuerySpec {
             }
         }
         Ok(())
+    }
+
+    /// Targets the query at a catalog series (builder style).
+    pub fn with_series(mut self, series: SeriesId) -> Self {
+        self.series = series;
+        self
     }
 
     /// True for cNSM queries.
@@ -235,6 +268,8 @@ pub enum CoreError {
         /// Index window width.
         window: usize,
     },
+    /// A batch query referenced a series its executor does not serve.
+    UnknownSeries(SeriesId),
     /// Storage failure.
     Storage(StorageError),
     /// Persisted index failed validation.
@@ -247,6 +282,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             CoreError::QueryTooShort { query_len, window } => {
                 write!(f, "query length {query_len} is shorter than the index window {window}")
+            }
+            CoreError::UnknownSeries(id) => {
+                write!(f, "query routed to unknown {id}")
             }
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
             CoreError::CorruptIndex(msg) => write!(f, "corrupt index: {msg}"),
@@ -294,6 +332,18 @@ mod tests {
         assert!(QuerySpec::cnsm_ed(vec![2.0; 8], 1.0, 1.5, 1.0).validate().is_err());
         assert!(QuerySpec::cnsm_ed(q.clone(), 1.0, 1.0, 0.0).validate().is_ok());
         assert!(QuerySpec::rsm_ed(q, 0.0).validate().is_ok());
+    }
+
+    #[test]
+    fn with_series_routes() {
+        let q = QuerySpec::rsm_ed(vec![1.0, 2.0], 1.0);
+        assert_eq!(q.series, SeriesId::DEFAULT);
+        let q = q.with_series(SeriesId::new(9));
+        assert_eq!(q.series, SeriesId::new(9));
+        assert_eq!(
+            CoreError::UnknownSeries(SeriesId::new(9)).to_string(),
+            "query routed to unknown series#9"
+        );
     }
 
     #[test]

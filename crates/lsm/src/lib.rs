@@ -16,7 +16,10 @@
 //!   experiments stay deterministic),
 //! * [`LsmKvStore`] / [`LsmKvStoreBuilder`] — the `kvmatch-storage`
 //!   [`KvStore`](kvmatch_storage::KvStore) adapter plus a LevelDB-style
-//!   sorted bulk-ingest path used by index building.
+//!   sorted bulk-ingest path used by index building,
+//! * [`LsmCatalogBackend`] — the `kvmatch-core` catalog substrate:
+//!   WAL-durable point ingestion plus bulk-ingested multi-series index
+//!   generations.
 //!
 //! ```
 //! use kvmatch_lsm::{LsmDb, LsmOptions};
@@ -31,6 +34,7 @@
 
 pub mod block;
 pub mod bloom;
+pub mod catalog_backend;
 pub mod crc;
 pub mod db;
 pub mod manifest;
@@ -42,6 +46,7 @@ pub mod wal;
 
 pub use block::BlockEntry;
 pub use bloom::BloomFilter;
+pub use catalog_backend::LsmCatalogBackend;
 pub use db::{LsmDb, LsmOptions, LsmShape};
 pub use memtable::MemTable;
 pub use store::{LsmKvStore, LsmKvStoreBuilder};

@@ -89,6 +89,46 @@ pub trait KvStore {
     fn io_stats(&self) -> IoStats;
 }
 
+/// Shared references scan through to the underlying store, so several
+/// per-series index views can hold the same physical store.
+impl<S: KvStore + ?Sized> KvStore for &S {
+    fn scan(&self, start: &[u8], end: &[u8]) -> crate::Result<Vec<Row>> {
+        (**self).scan(start, end)
+    }
+    fn scan_all(&self) -> crate::Result<Vec<Row>> {
+        (**self).scan_all()
+    }
+    fn get(&self, key: &[u8]) -> crate::Result<Option<Bytes>> {
+        (**self).get(key)
+    }
+    fn row_count(&self) -> usize {
+        (**self).row_count()
+    }
+    fn io_stats(&self) -> IoStats {
+        (**self).io_stats()
+    }
+}
+
+/// [`Arc`](std::sync::Arc)-shared stores: the multi-series catalog hands
+/// each series' index view a clone of one physical store.
+impl<S: KvStore + ?Sized> KvStore for std::sync::Arc<S> {
+    fn scan(&self, start: &[u8], end: &[u8]) -> crate::Result<Vec<Row>> {
+        (**self).scan(start, end)
+    }
+    fn scan_all(&self) -> crate::Result<Vec<Row>> {
+        (**self).scan_all()
+    }
+    fn get(&self, key: &[u8]) -> crate::Result<Option<Bytes>> {
+        (**self).get(key)
+    }
+    fn row_count(&self) -> usize {
+        (**self).row_count()
+    }
+    fn io_stats(&self) -> IoStats {
+        (**self).io_stats()
+    }
+}
+
 /// Sorted-append construction of a [`KvStore`]. Index building emits rows in
 /// ascending key order; builders enforce that invariant.
 pub trait KvStoreBuilder {
@@ -100,6 +140,76 @@ pub trait KvStoreBuilder {
 
     /// Finalizes the store.
     fn finish(self) -> crate::Result<Self::Store>;
+}
+
+/// Identifier of one time series inside a multi-series [`KvStore`].
+///
+/// The catalog layout (paper §VII: many append-only series served from one
+/// HBase table) prefixes every index row key with the series id in
+/// big-endian so that (a) all of a series' rows are one contiguous key
+/// range and (b) series sort by numeric id. Row keys become
+/// `series.encode() ++ suffix`; the single-series layout is the degenerate
+/// empty prefix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeriesId(pub u64);
+
+impl SeriesId {
+    /// The id used by single-series stores and legacy callers.
+    pub const DEFAULT: SeriesId = SeriesId(0);
+
+    /// Wraps a raw id.
+    pub const fn new(id: u64) -> Self {
+        Self(id)
+    }
+
+    /// The raw id.
+    pub const fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Big-endian key prefix: ids compare numerically under the store's
+    /// lexicographic key order.
+    pub fn encode(&self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Inverse of [`SeriesId::encode`].
+    pub fn decode(bytes: [u8; 8]) -> Self {
+        Self(u64::from_be_bytes(bytes))
+    }
+
+    /// `self.encode() ++ suffix` — the full row key of `suffix` within this
+    /// series' key range.
+    pub fn key(&self, suffix: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + suffix.len());
+        out.extend_from_slice(&self.encode());
+        out.extend_from_slice(suffix);
+        out
+    }
+
+    /// An exclusive upper bound on every key of this series: the next
+    /// id's prefix, or — for the saturated id — a key longer than any
+    /// real suffix this crate writes (row suffixes are at most 8 bytes).
+    /// `scan(series.key(&[]), series.range_end())` covers exactly this
+    /// series' rows.
+    pub fn range_end(&self) -> Vec<u8> {
+        match self.0.checked_add(1) {
+            Some(next) => SeriesId(next).encode().to_vec(),
+            None => self.key(&[0xFF; 9]),
+        }
+    }
+}
+
+impl fmt::Display for SeriesId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "series#{}", self.0)
+    }
+}
+
+impl From<u64> for SeriesId {
+    fn from(id: u64) -> Self {
+        Self(id)
+    }
 }
 
 /// Order-preserving big-endian encoding of `f64`: for all finite `a < b`,
@@ -159,6 +269,44 @@ mod tests {
         // -0.0 sorts just below +0.0; both round-trip.
         assert!(encode_f64(-0.0) < encode_f64(0.0));
         assert_eq!(decode_f64(encode_f64(-0.0)), 0.0);
+    }
+
+    #[test]
+    fn series_id_prefix_preserves_order() {
+        // Row keys of distinct series never interleave: every key of
+        // series a sorts below every key of series b when a < b.
+        let lo = SeriesId::new(3);
+        let hi = SeriesId::new(4);
+        let biggest_lo = lo.key(&encode_f64(f64::INFINITY));
+        let smallest_hi = hi.key(&[]);
+        assert!(biggest_lo < smallest_hi);
+        // Within a series, suffix order is preserved.
+        assert!(lo.key(&encode_f64(-1.0)) < lo.key(&encode_f64(2.0)));
+        // The meta suffix (one 0x00 byte) sorts below every encoded f64.
+        assert!(lo.key(&[0x00]) < lo.key(&encode_f64(f64::NEG_INFINITY)));
+    }
+
+    #[test]
+    fn series_id_round_trips() {
+        for raw in [0u64, 1, 42, u64::MAX] {
+            let id = SeriesId::from(raw);
+            assert_eq!(SeriesId::decode(id.encode()), id);
+            assert_eq!(id.raw(), raw);
+        }
+        assert_eq!(SeriesId::DEFAULT, SeriesId::new(0));
+        assert_eq!(SeriesId::new(7).to_string(), "series#7");
+    }
+
+    #[test]
+    fn shared_store_views_scan_through() {
+        use crate::memory::MemoryKvStore;
+        let store = std::sync::Arc::new(MemoryKvStore::new());
+        store.insert(b"a".to_vec(), b"1".to_vec());
+        let by_arc: &dyn KvStore = &store;
+        assert_eq!(by_arc.row_count(), 1);
+        let by_ref = &*store;
+        assert_eq!(KvStore::scan(&by_ref, b"a", b"z").unwrap().len(), 1);
+        assert_eq!(store.scan_all().unwrap().len(), 1);
     }
 
     #[test]

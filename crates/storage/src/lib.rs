@@ -29,7 +29,7 @@ pub mod sharded;
 pub mod stats;
 
 pub use file::{FileKvStore, FileKvStoreBuilder};
-pub use kv::{decode_f64, encode_f64, KvStore, KvStoreBuilder, StorageError};
+pub use kv::{decode_f64, encode_f64, KvStore, KvStoreBuilder, SeriesId, StorageError};
 pub use memory::MemoryKvStore;
 pub use series_store::{BlockSeriesStore, FileSeriesStore, MemorySeriesStore, SeriesStore};
 pub use sharded::{ShardedKvStore, ShardedKvStoreBuilder, ShardingConfig};

@@ -33,6 +33,33 @@ pub trait SeriesStore {
     fn io_stats(&self) -> IoStats;
 }
 
+/// Shared references fetch through to the underlying series store.
+impl<D: SeriesStore + ?Sized> SeriesStore for &D {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn fetch(&self, offset: usize, len: usize) -> crate::Result<Vec<f64>> {
+        (**self).fetch(offset, len)
+    }
+    fn io_stats(&self) -> IoStats {
+        (**self).io_stats()
+    }
+}
+
+/// [`Arc`](std::sync::Arc)-shared series stores (catalog entries hand the
+/// executor shared data views).
+impl<D: SeriesStore + ?Sized> SeriesStore for std::sync::Arc<D> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn fetch(&self, offset: usize, len: usize) -> crate::Result<Vec<f64>> {
+        (**self).fetch(offset, len)
+    }
+    fn io_stats(&self) -> IoStats {
+        (**self).io_stats()
+    }
+}
+
 /// In-memory series (tests, small data, and queries).
 #[derive(Debug)]
 pub struct MemorySeriesStore {

@@ -58,12 +58,13 @@ pub use kvmatch_timeseries as timeseries;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use kvmatch_core::{
-        Constraint, CoreError, DpMatcher, DpOptions, ExecutorConfig, IndexAppender,
-        IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher, MatchResult, MatchStats, Measure,
-        MultiIndex, QueryExecutor, QuerySpec, RowCache,
+        Catalog, CatalogBackend, Constraint, CoreError, DpMatcher, DpOptions, ExecutorConfig,
+        IndexAppender, IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher, MatchResult,
+        MatchStats, Measure, MemoryCatalogBackend, MultiIndex, QueryExecutor, QuerySpec, RowCache,
+        SeriesId, ShardedCatalogBackend,
     };
     pub use kvmatch_distance::LpExponent;
-    pub use kvmatch_lsm::{LsmKvStore, LsmKvStoreBuilder, LsmOptions};
+    pub use kvmatch_lsm::{LsmCatalogBackend, LsmKvStore, LsmKvStoreBuilder, LsmOptions};
     pub use kvmatch_storage::memory::MemoryKvStoreBuilder;
     pub use kvmatch_storage::{
         FileKvStore, FileKvStoreBuilder, FileSeriesStore, KvStore, MemoryKvStore,

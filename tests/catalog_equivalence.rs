@@ -1,0 +1,141 @@
+//! The multi-series acceptance gate: a catalog serving N ≥ 3 series —
+//! one of them built via streaming `append`, and an LSM-backed catalog
+//! alongside the memory one — answers every series' queries
+//! **bit-identically** (offsets and distances) to a dedicated
+//! single-series `KvMatcher` over the same points, across randomized
+//! data, chunkings and thresholds.
+
+use proptest::prelude::*;
+
+use kvmatch::core::catalog::{Catalog, MemoryCatalogBackend};
+use kvmatch::core::{
+    IndexAppender, IndexBuildConfig, KvIndex, KvMatcher, MatchResult, QuerySpec, SeriesId,
+};
+use kvmatch::lsm::{LsmCatalogBackend, LsmOptions};
+use kvmatch::storage::memory::MemoryKvStoreBuilder;
+use kvmatch::storage::{MemoryKvStore, MemorySeriesStore};
+use kvmatch::timeseries::generator::composite_series;
+
+/// Dedicated single-series reference: an appender-built index (the same
+/// ingestion pipeline the catalog runs, so candidate-interval layouts —
+/// and therefore cNSM distances, which accumulate µ/σ from each
+/// interval's left edge — are bit-identical) and a sequential matcher
+/// over the series' own store.
+fn dedicated_answers(xs: &[f64], w: usize, spec: &QuerySpec) -> Vec<MatchResult> {
+    let mut app = IndexAppender::new(IndexBuildConfig::new(w));
+    app.push_chunk(xs);
+    let (idx, _) = app.finish_into(MemoryKvStoreBuilder::new()).unwrap();
+    let data = MemorySeriesStore::new(xs.to_vec());
+    // The spec's routing id is irrelevant to the single-series matcher.
+    KvMatcher::new(&idx, &data).unwrap().execute(spec).unwrap().0
+}
+
+/// Offsets of a fresh γ-merged bulk build — a second, layout-independent
+/// reference for the result *set*.
+fn bulk_offsets(xs: &[f64], w: usize, spec: &QuerySpec) -> Vec<usize> {
+    let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+        xs,
+        IndexBuildConfig::new(w),
+        MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    let data = MemorySeriesStore::new(xs.to_vec());
+    let (res, _) = KvMatcher::new(&idx, &data).unwrap().execute(spec).unwrap();
+    res.iter().map(|r| r.offset).collect()
+}
+
+fn specs_for(id: SeriesId, xs: &[f64], m: usize, eps: f64) -> Vec<QuerySpec> {
+    let a = xs.len() / 4;
+    let b = xs.len() / 2;
+    vec![
+        QuerySpec::rsm_ed(xs[a..a + m].to_vec(), eps).with_series(id),
+        QuerySpec::rsm_dtw(xs[b..b + m].to_vec(), eps / 2.0, 4).with_series(id),
+        QuerySpec::cnsm_ed(xs[a + m / 2..a + m / 2 + m].to_vec(), (eps / 6.0).max(0.2), 1.5, 3.0)
+            .with_series(id),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn catalog_equals_dedicated_single_series_matchers(
+        seed in 0u64..10_000,
+        n in 1_200usize..3_000,
+        chunk in 1usize..700,
+        eps in 0.5f64..12.0,
+    ) {
+        let w = 25;
+        let ids = [SeriesId::new(2), SeriesId::new(3), SeriesId::new(11)];
+        let data: Vec<Vec<f64>> = (0..3)
+            .map(|i| composite_series(seed.wrapping_add(31 * i as u64 + 1), n + 137 * i))
+            .collect();
+        let m = 100.min(n / 3);
+
+        // Memory-backed catalog: series 0 bulk-appended, series 1
+        // STREAMED in randomized chunks (queries run between chunks so
+        // materialization churn is exercised), series 2 bulk-appended.
+        let mut cat = Catalog::new(MemoryCatalogBackend);
+        cat.create_series_with(ids[0], IndexBuildConfig::new(w), &data[0]).unwrap();
+        cat.create_series(ids[1], IndexBuildConfig::new(w)).unwrap();
+        cat.create_series_with(ids[2], IndexBuildConfig::new(w), &data[2]).unwrap();
+        for (k, piece) in data[1].chunks(chunk).enumerate() {
+            cat.append(ids[1], piece).unwrap();
+            if k == 1 {
+                // Query mid-stream: the catalog must stay consistent.
+                let partial = cat.series_len(ids[1]).unwrap();
+                let spec = QuerySpec::rsm_ed(data[0][..m].to_vec(), eps).with_series(ids[0]);
+                let batch = cat.execute_batch(std::slice::from_ref(&spec)).unwrap();
+                prop_assert_eq!(&batch.outputs[0].results, &dedicated_answers(&data[0], w, &spec));
+                prop_assert_eq!(cat.series_len(ids[1]).unwrap(), partial);
+            }
+        }
+
+        // One mixed batch across all three series, interleaved.
+        let mut specs = Vec::new();
+        for k in 0..3 {
+            for (id, xs) in ids.iter().zip(&data) {
+                if let Some(s) = specs_for(*id, xs, m, eps).into_iter().nth(k) {
+                    specs.push(s);
+                }
+            }
+        }
+        let batch = cat.execute_batch(&specs).unwrap();
+        for (spec, out) in specs.iter().zip(&batch.outputs) {
+            let i = ids.iter().position(|id| *id == spec.series).unwrap();
+            let want = dedicated_answers(&data[i], w, spec);
+            // Bit-identical: offsets AND distances.
+            prop_assert_eq!(&out.results, &want, "memory catalog diverged on {}", spec.series);
+            // And the result *set* also equals a γ-merged bulk build's.
+            prop_assert_eq!(
+                out.results.iter().map(|r| r.offset).collect::<Vec<_>>(),
+                bulk_offsets(&data[i], w, spec)
+            );
+        }
+        prop_assert_eq!(batch.stats.series_touched, 3);
+
+        // LSM-backed catalog over the same points: one bulk series, one
+        // streamed series. Same bit-identical guarantee, plus WAL
+        // durability of everything ingested.
+        let dir = tempfile::tempdir().unwrap();
+        let backend = LsmCatalogBackend::open(dir.path(), LsmOptions::tiny()).unwrap();
+        let mut lsm_cat = Catalog::new(backend);
+        lsm_cat.create_series_with(ids[0], IndexBuildConfig::new(w), &data[0]).unwrap();
+        lsm_cat.create_series(ids[1], IndexBuildConfig::new(w)).unwrap();
+        for piece in data[1].chunks(chunk) {
+            lsm_cat.append(ids[1], piece).unwrap();
+        }
+        let lsm_specs: Vec<QuerySpec> = specs
+            .iter()
+            .filter(|s| s.series != ids[2])
+            .cloned()
+            .collect();
+        let lsm_batch = lsm_cat.execute_batch(&lsm_specs).unwrap();
+        for (spec, out) in lsm_specs.iter().zip(&lsm_batch.outputs) {
+            let i = ids.iter().position(|id| *id == spec.series).unwrap();
+            let want = dedicated_answers(&data[i], w, spec);
+            prop_assert_eq!(&out.results, &want, "LSM catalog diverged on {}", spec.series);
+        }
+        prop_assert_eq!(lsm_cat.backend().recover_points(ids[1]).unwrap(), data[1].clone());
+    }
+}

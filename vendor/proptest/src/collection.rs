@@ -51,11 +51,42 @@ pub struct VecStrategy<S> {
     size: SizeRange,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         let n = self.size.sample(rng);
         (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    /// Shrinks the vector's *length* toward the minimum (prefix of
+    /// minimal length, then halving, then dropping one element), and —
+    /// once the length is minimal — shrinks individual elements.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let len = value.len();
+        let mut out: Vec<Self::Value> = Vec::new();
+        if len > self.size.lo {
+            let mut push_prefix = |n: usize| {
+                if n >= self.size.lo && n < len && !out.iter().any(|c| c.len() == n) {
+                    out.push(value[..n].to_vec());
+                }
+            };
+            push_prefix(self.size.lo);
+            push_prefix(len / 2);
+            push_prefix(len - 1);
+        } else {
+            // Length is minimal: try shrinking each element in place.
+            for (i, v) in value.iter().enumerate() {
+                for cand in self.elem.shrink(v) {
+                    let mut next = value.clone();
+                    next[i] = cand;
+                    out.push(next);
+                }
+            }
+        }
+        out
     }
 }
 

@@ -1,10 +1,14 @@
 //! Offline shim for `proptest`: random property testing with the same
-//! macro/strategy surface the workspace uses, minus shrinking.
+//! macro/strategy surface the workspace uses, plus minimal shrinking.
 //!
 //! Each `proptest!`-generated test runs `ProptestConfig::cases` random
 //! cases from a deterministic per-test seed (override with the
-//! `PROPTEST_SEED` environment variable); a failing case panics with the
-//! per-case seed so it can be replayed.
+//! `PROPTEST_SEED` environment variable). A failing case is first
+//! *shrunk* — integer strategies bisect toward their range start, `vec`
+//! strategies cut their length toward the minimum (then shrink
+//! elements), tuples shrink one component at a time — and the panic
+//! message reports the minimized inputs alongside the per-case seed for
+//! replay.
 
 pub mod arbitrary;
 pub mod collection;
@@ -68,6 +72,14 @@ macro_rules! __proptest_impl {
                 let mut seed = $crate::test_runner::seed_for(concat!(
                     module_path!(), "::", stringify!($name)
                 ));
+                // One combined tuple strategy over every argument, so a
+                // failing case can be shrunk as a unit (each component
+                // shrinks with the others held fixed).
+                let __strat = ( $( $strat, )+ );
+                let mut __run_case = $crate::test_runner::bind_runner(&__strat, |( $($arg,)+ )| {
+                    $body
+                    ::std::result::Result::Ok(())
+                });
                 let mut passed: u32 = 0;
                 let mut rejected: u32 = 0;
                 while passed < config.cases {
@@ -76,14 +88,8 @@ macro_rules! __proptest_impl {
                     let case_seed = seed;
                     seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
                     let mut rng = $crate::test_runner::TestRng::from_seed(case_seed);
-                    $(
-                        let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);
-                    )+
-                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
+                    let __case = $crate::strategy::Strategy::generate(&__strat, &mut rng);
+                    let outcome = __run_case(::std::clone::Clone::clone(&__case));
                     match outcome {
                         ::std::result::Result::Ok(()) => passed += 1,
                         ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {
@@ -94,9 +100,17 @@ macro_rules! __proptest_impl {
                             );
                         }
                         ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            let (__min, __min_msg, __steps) = $crate::test_runner::shrink_case(
+                                &__strat,
+                                __case,
+                                msg,
+                                &mut __run_case,
+                                config.max_shrink_iters,
+                            );
                             ::std::panic!(
-                                "property `{}` failed: {}\n(case {} of {}, replay with PROPTEST_SEED={:#x})",
-                                stringify!($name), msg, passed + 1, config.cases, case_seed
+                                "property `{}` failed: {}\n(case {} of {}, minimized in {} shrink step(s) to: {:?}, replay original with PROPTEST_SEED={:#x})",
+                                stringify!($name), __min_msg, passed + 1, config.cases,
+                                __steps, __min, case_seed
                             );
                         }
                     }

@@ -14,6 +14,16 @@ pub trait Strategy {
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
 
+    /// Proposes strictly simpler candidates derived from a failing
+    /// `value`, simplest first. The runner keeps any candidate that
+    /// still fails and recurses, so a few good candidates per step are
+    /// enough. The default — no candidates — disables shrinking for
+    /// strategies whose generation is not invertible (`prop_map`,
+    /// `prop_flat_map`, unions).
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+
     /// Maps generated values through `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
@@ -60,12 +70,18 @@ impl<S: Strategy + ?Sized> Strategy for Box<S> {
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
     }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
     fn generate(&self, rng: &mut TestRng) -> Self::Value {
         (**self).generate(rng)
+    }
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(value)
     }
 }
 
@@ -171,7 +187,56 @@ impl<T> Strategy for Union<T> {
     }
 }
 
-macro_rules! impl_range_strategy {
+// Integer shrink candidates toward the range start: the start itself,
+// the midpoint, and the predecessor — classic bisection, so a failing
+// bound is reached in O(log range) steps.
+macro_rules! shrink_int_toward {
+    ($lo:expr, $v:expr) => {{
+        let lo = $lo;
+        let v = $v;
+        if v <= lo {
+            Vec::new()
+        } else {
+            let mut out = vec![lo];
+            let mid = lo + (v - lo) / 2;
+            if mid > lo && mid < v {
+                out.push(mid);
+            }
+            let pred = v - 1;
+            if pred > lo && pred != mid {
+                out.push(pred);
+            }
+            out
+        }
+    }};
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward!(self.start, *value)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                shrink_int_toward!(*self.start(), *value)
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// Float ranges generate but do not shrink (no exact bisection lattice).
+macro_rules! impl_float_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {
             type Value = $t;
@@ -187,31 +252,126 @@ macro_rules! impl_range_strategy {
         }
     )*};
 }
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+impl_float_range_strategy!(f32, f64);
 
 macro_rules! impl_tuple_strategy {
-    ($($name:ident),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
             #[allow(non_snake_case)]
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 let ($($name,)+) = self;
                 ($($name.generate(rng),)+)
             }
+            /// Shrinks one component at a time, cloning the others.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
         }
     };
 }
-impl_tuple_strategy!(A);
-impl_tuple_strategy!(A, B);
-impl_tuple_strategy!(A, B, C);
-impl_tuple_strategy!(A, B, C, D);
-impl_tuple_strategy!(A, B, C, D, E);
-impl_tuple_strategy!(A, B, C, D, E, G);
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, G: 5);
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_runner::TestRng;
+    use crate::test_runner::{shrink_case, TestCaseError, TestRng};
+
+    #[test]
+    fn integer_ranges_shrink_toward_start() {
+        let strat = 3usize..100;
+        let cands = strat.shrink(&50);
+        assert!(cands.contains(&3), "range start proposed");
+        assert!(cands.contains(&(3 + (50 - 3) / 2)), "midpoint proposed");
+        assert!(cands.contains(&49), "predecessor proposed");
+        assert!(cands.iter().all(|&c| (3..50).contains(&c)), "{cands:?}");
+        assert!(strat.shrink(&3).is_empty(), "minimum has no candidates");
+        let incl = 5u32..=10;
+        assert!(incl.shrink(&5).is_empty());
+        assert!(incl.shrink(&9).contains(&5));
+    }
+
+    #[test]
+    fn vec_strategy_shrinks_length_then_elements() {
+        let strat = crate::collection::vec(0usize..100, 2..6);
+        let v = vec![7, 8, 9, 10, 11];
+        let cands = strat.shrink(&v);
+        assert!(cands.iter().any(|c| c.len() == 2), "minimum length proposed");
+        assert!(cands.iter().any(|c| c.len() == 4), "len-1 proposed");
+        assert!(cands.iter().all(|c| c.len() < v.len()));
+        // Prefixes, not resampled contents.
+        for c in &cands {
+            assert_eq!(&v[..c.len()], &c[..]);
+        }
+        // At minimal length, elements shrink in place.
+        let at_min = vec![7, 8];
+        let cands = strat.shrink(&at_min);
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|c| c.len() == 2));
+        assert!(cands.contains(&vec![0, 8]) && cands.contains(&vec![7, 0]));
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let strat = (0usize..10, 0usize..10);
+        let cands = strat.shrink(&(4, 6));
+        assert!(cands.contains(&(0, 6)));
+        assert!(cands.contains(&(4, 0)));
+        assert!(cands.iter().all(|&(a, b)| (a, b) != (4, 6)));
+    }
+
+    #[test]
+    fn shrink_case_minimizes_failures() {
+        // Property: v < 10. The minimal counterexample in 0..100 is 10;
+        // bisection must land exactly there.
+        let strat = 0usize..100;
+        let run = |v: usize| {
+            if v < 10 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("{v} not < 10")))
+            }
+        };
+        let (min, msg, steps) = shrink_case(&strat, 97, "97 not < 10".to_string(), run, 512);
+        assert_eq!(min, 10, "after {steps} steps, message {msg}");
+        assert!(msg.contains("10"));
+        assert!(steps > 0);
+
+        // Vec lengths shrink too: property "len < 3" minimizes to a
+        // 3-prefix of the original failing vector.
+        let vstrat = crate::collection::vec(0u8..=255, 0..20);
+        let original: Vec<u8> = (0..17).collect();
+        let vrun = |v: Vec<u8>| {
+            if v.len() < 3 {
+                Ok(())
+            } else {
+                Err(TestCaseError::fail(format!("len {} not < 3", v.len())))
+            }
+        };
+        let (min, _, _) = shrink_case(&vstrat, original.clone(), "seed".into(), vrun, 512);
+        assert_eq!(min, original[..3].to_vec());
+
+        // The step budget caps accepted shrinks.
+        let (capped, _, steps) = shrink_case(&strat, 97, "m".into(), run, 1);
+        assert_eq!(steps, 1);
+        assert!(capped >= 10);
+    }
 
     #[test]
     fn combinators_compose() {

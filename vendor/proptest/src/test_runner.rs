@@ -3,12 +3,13 @@
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
-/// Runner configuration (only `cases` is consulted by the shim).
+/// Runner configuration (`cases` and `max_shrink_iters` are consulted by
+/// the shim).
 #[derive(Clone, Debug)]
 pub struct ProptestConfig {
     /// Number of passing cases required per property.
     pub cases: u32,
-    /// Accepted for compatibility; the shim never shrinks.
+    /// Upper bound on accepted shrink steps after a failure.
     pub max_shrink_iters: u32,
     /// Accepted for compatibility.
     pub max_global_rejects: u32,
@@ -16,7 +17,7 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        Self { cases: 256, max_shrink_iters: 0, max_global_rejects: 65536 }
+        Self { cases: 256, max_shrink_iters: 512, max_global_rejects: 65536 }
     }
 }
 
@@ -52,6 +53,52 @@ impl RngCore for TestRng {
     fn next_u64(&mut self) -> u64 {
         self.inner.next_u64()
     }
+}
+
+/// Ties a case-runner closure's argument type to a strategy's value
+/// type, so the `proptest!` macro's unannotated tuple-pattern closure
+/// gets a concrete signature at its definition site (macro support).
+pub fn bind_runner<S, F>(_strat: &S, f: F) -> F
+where
+    S: crate::strategy::Strategy + ?Sized,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    f
+}
+
+/// Greedily minimizes a failing case: repeatedly asks the strategy for
+/// simpler candidates ([`Strategy::shrink`]), keeps the first candidate
+/// that still fails, and stops when no candidate fails or
+/// `max_shrink_iters` accepted steps were taken. `Reject`ed candidates
+/// (failed `prop_assume!`) are treated as passing. Returns the minimal
+/// failing value, its failure message, and the accepted step count.
+///
+/// [`Strategy::shrink`]: crate::strategy::Strategy::shrink
+pub fn shrink_case<S, F>(
+    strat: &S,
+    mut value: S::Value,
+    mut msg: String,
+    mut run: F,
+    max_shrink_iters: u32,
+) -> (S::Value, String, u32)
+where
+    S: crate::strategy::Strategy + ?Sized,
+    S::Value: Clone,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut steps = 0u32;
+    'outer: while steps < max_shrink_iters {
+        for candidate in strat.shrink(&value) {
+            if let Err(TestCaseError::Fail(m)) = run(candidate.clone()) {
+                value = candidate;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break; // no simpler candidate still fails: minimal
+    }
+    (value, msg, steps)
 }
 
 /// Deterministic base seed for a test, from its full path; `PROPTEST_SEED`

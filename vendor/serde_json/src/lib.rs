@@ -33,6 +33,12 @@ impl<V> Map<String, V> {
         self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
     }
 
+    /// Removes a key, returning its value when present.
+    pub fn remove(&mut self, key: &str) -> Option<V> {
+        let pos = self.entries.iter().position(|(k, _)| k == key)?;
+        Some(self.entries.remove(pos).1)
+    }
+
     /// Number of entries.
     pub fn len(&self) -> usize {
         self.entries.len()
