@@ -2,20 +2,32 @@
 //!
 //! Runs every harness workload through the sequential `KvMatcher` and the
 //! batched `QueryExecutor` on the memory *and* sharded backends, runs the
-//! multi-series catalog ingest+query workload, prints the comparison
-//! tables, validates the report schema, and writes `BENCH_exec.json`
-//! (override with `KVM_BENCH_OUT`).
+//! multi-series catalog ingest+query workload and the concurrent serving
+//! workload, prints the comparison tables, validates the report schema,
+//! and writes `BENCH_exec.json` (override with `KVM_BENCH_OUT`).
 //!
 //! Knobs: `KVM_N`, `KVM_W`, `KVM_QUERIES`, `KVM_SEED`, `KVM_THREADS`
 //! (0 = auto), `KVM_REPEAT` (best-of timing), `KVM_SERIES` (catalog
-//! series). With `KVM_BENCH_ENFORCE=1` the process exits non-zero when
-//! the batched executor is slower than the sequential matcher overall —
-//! the CI `bench-smoke` gate.
+//! series), `KVM_SUBMITTERS` (serving-workload client threads). With
+//! `KVM_BENCH_ENFORCE=1` the process exits non-zero when the batched
+//! executor is slower than the sequential matcher overall — the CI
+//! `bench-smoke` gate.
+//!
+//! Every failure path — schema violation, unwritable output, gate breach
+//! — exits non-zero with a `FAIL:` line naming the cause, so CI failures
+//! are actionable from the log alone.
 
 use kvmatch_bench::harness::{env_usize, Row, Table};
 use kvmatch_bench::report::{run_report, to_json, validate_schema, ReportEnv};
 
 fn main() {
+    if let Err(message) = run() {
+        eprintln!("FAIL: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let env = ReportEnv::from_env();
     let out_path = std::env::var("KVM_BENCH_OUT").unwrap_or_else(|_| "BENCH_exec.json".to_string());
     let enforce = env_usize("KVM_BENCH_ENFORCE", 0) == 1;
@@ -23,8 +35,8 @@ fn main() {
     println!("=== bench_report: batched executor vs sequential matcher ===");
     println!(
         "n = {}, w = {}, {} queries/workload, seed {}, threads {} (0 = auto), best of {}, \
-         {} catalog series",
-        env.n, env.w, env.queries, env.seed, env.threads, env.repeat, env.series
+         {} catalog series, {} submitters",
+        env.n, env.w, env.queries, env.seed, env.threads, env.repeat, env.series, env.submitters
     );
     println!();
 
@@ -121,20 +133,47 @@ fn main() {
     }
     table.print();
 
+    let sv = &report.serving;
+    println!();
+    println!("=== serving: micro-batched query service under concurrent load ===");
+    println!(
+        "{} submitters over {} series, queue capacity {}, max batch {}",
+        sv.submitters, sv.series, sv.queue_capacity, sv.max_batch
+    );
+    println!(
+        "offered {} requests ({} top-k) at {:.0} req/s, served {} at {:.0} req/s in {:.1} ms",
+        sv.offered_requests,
+        sv.topk_requests,
+        sv.offered_rps,
+        sv.served_requests,
+        sv.served_rps,
+        sv.wall_ms
+    );
+    println!(
+        "backpressure: {} rejections, {} expired; {} batches, occupancy avg {:.1} / max {}",
+        sv.rejected_requests,
+        sv.expired_requests,
+        sv.batches,
+        sv.avg_batch_occupancy,
+        sv.max_batch_occupancy
+    );
+    println!(
+        "latency: p50 {} µs, p95 {} µs, p99 {} µs, max {} µs",
+        sv.latency_p50_us, sv.latency_p95_us, sv.latency_p99_us, sv.latency_max_us
+    );
+
     let value = report.to_value();
-    if let Err(msg) = validate_schema(&value) {
-        eprintln!("FAIL: BENCH_exec.json schema violation: {msg}");
-        std::process::exit(1);
-    }
-    std::fs::write(&out_path, to_json(&report)).expect("write bench report");
+    validate_schema(&value).map_err(|msg| format!("BENCH_exec.json schema violation: {msg}"))?;
+    std::fs::write(&out_path, to_json(&report))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!();
     println!("wrote {out_path}");
 
     if enforce && !report.batched_not_slower() {
-        eprintln!(
-            "FAIL: batched executor slower than sequential matcher \
-             ({:.1} ms > {:.1} ms)",
+        return Err(format!(
+            "batched executor slower than sequential matcher ({:.1} ms > {:.1} ms)",
             report.total_batched_ms, report.total_sequential_ms
-        );
-        std::process::exit(1);
+        ));
     }
+    Ok(())
 }

@@ -17,8 +17,15 @@
 //!    then answers one mixed cross-series batch (reporting per-series
 //!    wall time and the cache-hit split), validated per query against a
 //!    dedicated single-series matcher.
+//! 4. **Serving workload** — concurrent submitter threads drive a mixed
+//!    range + top-k request stream through a
+//!    [`QueryService`](kvmatch_serve::QueryService) under a bounded
+//!    admission queue: offered vs served throughput, rejected/expired
+//!    request counts, batch occupancy and p50/p95/p99 latency — every
+//!    response validated bit-identically against a dedicated sequential
+//!    matcher.
 //!
-//! The JSON schema is versioned (`kvmatch-bench-exec/v2`) and
+//! The JSON schema is versioned (`kvmatch-bench-exec/v3`) and
 //! machine-checked: [`validate_schema`] fails when any required field is
 //! dropped or renamed, and a bench-crate test enforces it on every
 //! `cargo test` run.
@@ -57,11 +64,13 @@ pub struct ReportEnv {
     pub repeat: usize,
     /// Catalog series in the multi-series workload.
     pub series: usize,
+    /// Concurrent submitter threads in the serving workload.
+    pub submitters: usize,
 }
 
 impl ReportEnv {
     /// Reads `KVM_N`, `KVM_W`, `KVM_QUERIES`, `KVM_SEED`, `KVM_THREADS`,
-    /// `KVM_REPEAT`, `KVM_SERIES` with report defaults.
+    /// `KVM_REPEAT`, `KVM_SERIES`, `KVM_SUBMITTERS` with report defaults.
     pub fn from_env() -> Self {
         Self {
             n: crate::harness::env_usize("KVM_N", 120_000),
@@ -71,6 +80,7 @@ impl ReportEnv {
             threads: crate::harness::env_usize("KVM_THREADS", 0),
             repeat: crate::harness::env_usize("KVM_REPEAT", 1).max(1),
             series: crate::harness::env_usize("KVM_SERIES", 4).max(1),
+            submitters: crate::harness::env_usize("KVM_SUBMITTERS", 8).max(1),
         }
     }
 }
@@ -172,6 +182,52 @@ pub struct MultiSeriesReport {
     pub per_series: Vec<SeriesReport>,
 }
 
+/// The serving workload: offered load vs served throughput under
+/// admission control, with latency percentiles.
+#[derive(Clone, Copy, Debug)]
+pub struct ServingReport {
+    /// Catalog series served.
+    pub series: usize,
+    /// Concurrent submitter threads.
+    pub submitters: usize,
+    /// Admission-queue capacity.
+    pub queue_capacity: usize,
+    /// Scheduler batch-size flush trigger.
+    pub max_batch: usize,
+    /// Requests the submitters ran end-to-end.
+    pub offered_requests: u64,
+    /// Requests answered successfully (must equal offered — every retry
+    /// loop converges).
+    pub served_requests: u64,
+    /// Top-k requests among them.
+    pub topk_requests: u64,
+    /// Backpressure events: submissions turned away by the bounded queue
+    /// before eventually being admitted on retry.
+    pub rejected_requests: u64,
+    /// Admitted requests whose deadline expired before dispatch.
+    pub expired_requests: u64,
+    /// Executor batches the scheduler dispatched.
+    pub batches: u64,
+    /// Mean queries per dispatched batch (micro-batching effectiveness).
+    pub avg_batch_occupancy: f64,
+    /// Largest dispatched batch.
+    pub max_batch_occupancy: u64,
+    /// Wall milliseconds of the whole serving run.
+    pub wall_ms: f64,
+    /// `offered_requests / wall` — offered load, requests/s.
+    pub offered_rps: f64,
+    /// `served_requests / wall` — served throughput, requests/s.
+    pub served_rps: f64,
+    /// Median submit→response latency, microseconds.
+    pub latency_p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub latency_p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub latency_p99_us: u64,
+    /// Worst latency, microseconds.
+    pub latency_max_us: u64,
+}
+
 /// The full report written to `BENCH_exec.json`.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
@@ -185,6 +241,8 @@ pub struct BenchReport {
     pub workloads: Vec<WorkloadReport>,
     /// The multi-series ingest+query section.
     pub multi_series: MultiSeriesReport,
+    /// The serving workload section.
+    pub serving: ServingReport,
     /// Total sequential milliseconds across workloads.
     pub total_sequential_ms: f64,
     /// Total batched milliseconds across workloads.
@@ -194,7 +252,7 @@ pub struct BenchReport {
 }
 
 /// Schema tag of the current report format.
-pub const SCHEMA: &str = "kvmatch-bench-exec/v2";
+pub const SCHEMA: &str = "kvmatch-bench-exec/v3";
 
 /// Required top-level fields of `BENCH_exec.json`.
 pub const ROOT_FIELDS: &[&str] = &[
@@ -203,13 +261,15 @@ pub const ROOT_FIELDS: &[&str] = &[
     "threads_resolved",
     "workloads",
     "multi_series",
+    "serving",
     "total_sequential_ms",
     "total_batched_ms",
     "overall_speedup",
 ];
 
 /// Required fields of every `env` object.
-pub const ENV_FIELDS: &[&str] = &["n", "w", "queries", "seed", "threads", "repeat", "series"];
+pub const ENV_FIELDS: &[&str] =
+    &["n", "w", "queries", "seed", "threads", "repeat", "series", "submitters"];
 
 /// Required fields of every workload row.
 pub const WORKLOAD_FIELDS: &[&str] = &[
@@ -249,6 +309,29 @@ pub const MULTI_SERIES_FIELDS: &[&str] = &[
     "warm_probe_cache_hits",
     "warm_store_scans",
     "per_series",
+];
+
+/// Required fields of the `serving` object.
+pub const SERVING_FIELDS: &[&str] = &[
+    "series",
+    "submitters",
+    "queue_capacity",
+    "max_batch",
+    "offered_requests",
+    "served_requests",
+    "topk_requests",
+    "rejected_requests",
+    "expired_requests",
+    "batches",
+    "avg_batch_occupancy",
+    "max_batch_occupancy",
+    "wall_ms",
+    "offered_rps",
+    "served_rps",
+    "latency_p50_us",
+    "latency_p95_us",
+    "latency_p99_us",
+    "latency_max_us",
 ];
 
 /// Required fields of every `multi_series.per_series` row.
@@ -308,6 +391,7 @@ pub fn validate_schema(value: &Value) -> Result<(), String> {
     for (i, row) in rows.iter().enumerate() {
         need(&obj(row, "per-series row")?, SERIES_FIELDS, &format!("per_series[{i}]"))?;
     }
+    need(&obj(root.get("serving").expect("checked"), "serving")?, SERVING_FIELDS, "serving")?;
     Ok(())
 }
 
@@ -334,6 +418,7 @@ impl BenchReport {
         ins(&mut env, "threads", Value::from(self.env.threads));
         ins(&mut env, "repeat", Value::from(self.env.repeat));
         ins(&mut env, "series", Value::from(self.env.series));
+        ins(&mut env, "submitters", Value::from(self.env.submitters));
         ins(&mut root, "env", Value::Object(env));
         ins(&mut root, "threads_resolved", Value::from(self.threads_resolved));
         let workloads = self
@@ -402,6 +487,29 @@ impl BenchReport {
             .collect();
         ins(&mut msm, "per_series", Value::Array(series_rows));
         ins(&mut root, "multi_series", Value::Object(msm));
+
+        let sv = &self.serving;
+        let mut svm = Map::new();
+        ins(&mut svm, "series", Value::from(sv.series));
+        ins(&mut svm, "submitters", Value::from(sv.submitters));
+        ins(&mut svm, "queue_capacity", Value::from(sv.queue_capacity));
+        ins(&mut svm, "max_batch", Value::from(sv.max_batch));
+        ins(&mut svm, "offered_requests", Value::from(sv.offered_requests));
+        ins(&mut svm, "served_requests", Value::from(sv.served_requests));
+        ins(&mut svm, "topk_requests", Value::from(sv.topk_requests));
+        ins(&mut svm, "rejected_requests", Value::from(sv.rejected_requests));
+        ins(&mut svm, "expired_requests", Value::from(sv.expired_requests));
+        ins(&mut svm, "batches", Value::from(sv.batches));
+        ins(&mut svm, "avg_batch_occupancy", Value::from(sv.avg_batch_occupancy));
+        ins(&mut svm, "max_batch_occupancy", Value::from(sv.max_batch_occupancy));
+        ins(&mut svm, "wall_ms", Value::from(sv.wall_ms));
+        ins(&mut svm, "offered_rps", Value::from(sv.offered_rps));
+        ins(&mut svm, "served_rps", Value::from(sv.served_rps));
+        ins(&mut svm, "latency_p50_us", Value::from(sv.latency_p50_us));
+        ins(&mut svm, "latency_p95_us", Value::from(sv.latency_p95_us));
+        ins(&mut svm, "latency_p99_us", Value::from(sv.latency_p99_us));
+        ins(&mut svm, "latency_max_us", Value::from(sv.latency_max_us));
+        ins(&mut root, "serving", Value::Object(svm));
 
         ins(&mut root, "total_sequential_ms", Value::from(self.total_sequential_ms));
         ins(&mut root, "total_batched_ms", Value::from(self.total_batched_ms));
@@ -647,6 +755,140 @@ fn run_multi_series(env: &ReportEnv) -> MultiSeriesReport {
     }
 }
 
+/// The serving workload: `env.submitters` threads drive a mixed range +
+/// top-k request stream over an `env.series`-series catalog through a
+/// [`QueryService`](kvmatch_serve::QueryService) with a deliberately
+/// small admission queue, so the report captures backpressure behaviour
+/// alongside throughput and latency percentiles.
+///
+/// # Panics
+/// Panics when any served response diverges from its dedicated
+/// sequential matcher — serving numbers are only publishable for correct
+/// answers.
+fn run_serving(env: &ReportEnv) -> ServingReport {
+    use kvmatch_serve::{QueryRequest, QueryService, ServeConfig, Submit};
+
+    let n_per_series = (env.n / env.series).max(env.w * 20).min(20_000);
+    let ids: Vec<SeriesId> = (0..env.series).map(|i| SeriesId::new(i as u64 + 1)).collect();
+    let data: Vec<Vec<f64>> = (0..env.series)
+        .map(|i| make_series(n_per_series, env.seed.wrapping_add(104_729 * (i as u64 + 1))))
+        .collect();
+    let mut catalog = Catalog::with_exec_config(
+        MemoryCatalogBackend,
+        ExecutorConfig { threads: env.threads, ..ExecutorConfig::default() },
+    );
+    for (id, xs) in ids.iter().zip(&data) {
+        catalog.create_series(*id, IndexBuildConfig::new(env.w)).unwrap();
+        catalog.append(*id, xs).unwrap();
+    }
+    catalog.materialize().expect("materialize");
+
+    // The request pool: per series, alternating range / top-k queries.
+    let m = 192.min(n_per_series / 2);
+    let mut pool: Vec<QueryRequest> = Vec::new();
+    for (i, (id, xs)) in ids.iter().zip(&data).enumerate() {
+        let qs = sample_queries(xs, m, env.queries, 0.05, env.seed ^ (0x5E47E_u64 + i as u64));
+        for (k, q) in qs.into_iter().enumerate() {
+            let spec = QuerySpec::rsm_ed(q, 12.0).with_series(*id);
+            pool.push(if k % 2 == 0 {
+                QueryRequest::range(spec)
+            } else {
+                QueryRequest::top_k(spec, 1 + k % 7)
+            });
+        }
+    }
+    let topk_in_pool = pool.iter().filter(|r| r.spec.limit.is_some()).count() as u64;
+
+    // Ground truth per pool entry (appender-built layout, like the
+    // catalog's).
+    let expected: Vec<Vec<MatchResult>> = pool
+        .iter()
+        .map(|req| {
+            let i = ids.iter().position(|id| *id == req.spec.series).unwrap();
+            let mut app = IndexAppender::new(IndexBuildConfig::new(env.w));
+            app.push_chunk(&data[i]);
+            let (solo, _) = app.finish_into(MemoryKvStoreBuilder::new()).expect("solo index");
+            let store = MemorySeriesStore::new(data[i].clone());
+            let (want, _) =
+                KvMatcher::new(&solo, &store).expect("solo matcher").execute(&req.spec).unwrap();
+            want
+        })
+        .collect();
+
+    let config = ServeConfig {
+        queue_capacity: (env.submitters * 2).max(4),
+        max_batch: 16,
+        max_batch_delay: std::time::Duration::from_millis(1),
+        default_deadline: None,
+    };
+    let queue_capacity = config.queue_capacity;
+    let max_batch = config.max_batch;
+    let service = QueryService::spawn(catalog, config);
+    let rounds = 3usize; // each submitter cycles the pool this many times
+    let per_thread = pool.len() * rounds;
+
+    let t_serve = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..env.submitters {
+            let service = &service;
+            let pool = &pool;
+            let expected = &expected;
+            scope.spawn(move || {
+                for r in 0..per_thread {
+                    let which = (t * 11 + r) % pool.len();
+                    let mut request = pool[which].clone();
+                    // Non-blocking first (counts backpressure), then
+                    // bounded-wait retries until admitted.
+                    let handle = loop {
+                        match service.submit(request) {
+                            Submit::Accepted(h) => break h,
+                            Submit::Rejected(back) | Submit::Closed(back) => request = back,
+                        }
+                        match service.submit_timeout(request, std::time::Duration::from_millis(20))
+                        {
+                            Submit::Accepted(h) => break h,
+                            Submit::Rejected(back) | Submit::Closed(back) => request = back,
+                        }
+                    };
+                    let response = handle.wait().expect("admitted request served");
+                    assert_eq!(
+                        response.results, expected[which],
+                        "serving workload: response diverged from the sequential matcher"
+                    );
+                }
+            });
+        }
+    });
+    let wall_ms = t_serve.elapsed().as_secs_f64() * 1e3;
+    let metrics = service.metrics();
+    service.shutdown();
+
+    let offered = (env.submitters * per_thread) as u64;
+    assert_eq!(metrics.completed, offered, "every offered request must be served");
+    ServingReport {
+        series: env.series,
+        submitters: env.submitters,
+        queue_capacity,
+        max_batch,
+        offered_requests: offered,
+        served_requests: metrics.completed,
+        // Each submitter cycles the whole pool `rounds` times.
+        topk_requests: topk_in_pool * rounds as u64 * env.submitters as u64,
+        rejected_requests: metrics.rejected,
+        expired_requests: metrics.expired,
+        batches: metrics.batches,
+        avg_batch_occupancy: metrics.avg_batch_occupancy,
+        max_batch_occupancy: metrics.max_batch_occupancy,
+        wall_ms,
+        offered_rps: offered as f64 / (wall_ms / 1e3).max(1e-9),
+        served_rps: metrics.completed as f64 / (wall_ms / 1e3).max(1e-9),
+        latency_p50_us: metrics.latency_p50_us,
+        latency_p95_us: metrics.latency_p95_us,
+        latency_p99_us: metrics.latency_p99_us,
+        latency_max_us: metrics.latency_max_us,
+    }
+}
+
 /// Runs the comparison across backends plus the multi-series workload
 /// and assembles the report.
 ///
@@ -702,6 +944,7 @@ pub fn run_report(env: ReportEnv) -> BenchReport {
     total_batch += batch;
 
     let multi_series = run_multi_series(&env);
+    let serving = run_serving(&env);
 
     BenchReport {
         schema: SCHEMA.to_string(),
@@ -709,6 +952,7 @@ pub fn run_report(env: ReportEnv) -> BenchReport {
         threads_resolved,
         workloads,
         multi_series,
+        serving,
         total_sequential_ms: total_seq,
         total_batched_ms: total_batch,
         overall_speedup: total_seq / total_batch.max(1e-9),
@@ -725,7 +969,16 @@ mod tests {
     use super::*;
 
     fn tiny_env() -> ReportEnv {
-        ReportEnv { n: 8_000, w: 50, queries: 2, seed: 7, threads: 2, repeat: 1, series: 3 }
+        ReportEnv {
+            n: 8_000,
+            w: 50,
+            queries: 2,
+            seed: 7,
+            threads: 2,
+            repeat: 1,
+            series: 3,
+            submitters: 4,
+        }
     }
 
     #[test]
@@ -786,6 +1039,27 @@ mod tests {
         assert!(ms.warm_probe_cache_hits >= ms.probe_cache_hits);
     }
 
+    #[test]
+    fn serving_section_reports_load_and_latency() {
+        let report = run_report(tiny_env());
+        let sv = &report.serving;
+        assert_eq!(sv.series, 3);
+        assert_eq!(sv.submitters, 4);
+        // 4 submitters × 3 rounds × (3 series × 2 queries) = 72 requests.
+        assert_eq!(sv.offered_requests, 72);
+        assert_eq!(sv.served_requests, 72, "every offered request is served");
+        assert_eq!(sv.topk_requests, 36);
+        assert_eq!(sv.expired_requests, 0);
+        assert!(sv.batches >= 1);
+        assert!(sv.avg_batch_occupancy >= 1.0);
+        assert!(sv.max_batch_occupancy as usize <= sv.max_batch);
+        assert!(sv.wall_ms > 0.0 && sv.served_rps > 0.0);
+        assert!(sv.offered_rps >= sv.served_rps * 0.99, "offered ≥ served");
+        assert!(sv.latency_p50_us <= sv.latency_p95_us);
+        assert!(sv.latency_p95_us <= sv.latency_p99_us);
+        assert!(sv.latency_p99_us <= sv.latency_max_us.max(sv.latency_p99_us));
+    }
+
     /// The satellite gate: dropping or renaming any reported field fails.
     #[test]
     fn schema_validation_catches_dropped_fields() {
@@ -816,9 +1090,21 @@ mod tests {
         broken.insert("multi_series".into(), Value::Object(ms));
         assert!(validate_schema(&Value::Object(broken)).is_err());
 
-        // A renamed schema tag fails too.
+        // A dropped serving field fails (the v3 section is load-bearing).
         let mut broken = root.clone();
-        broken.insert("schema".into(), Value::from("kvmatch-bench-exec/v1"));
+        let Some(Value::Object(sv)) = broken.get("serving") else { panic!() };
+        let mut sv = sv.clone();
+        sv.remove("latency_p99_us");
+        broken.insert("serving".into(), Value::Object(sv));
+        assert!(validate_schema(&Value::Object(broken)).is_err());
+
+        let mut broken = root.clone();
+        broken.remove("serving");
+        assert!(validate_schema(&Value::Object(broken)).is_err());
+
+        // A renamed schema tag fails too (v2 reports are not v3 reports).
+        let mut broken = root.clone();
+        broken.insert("schema".into(), Value::from("kvmatch-bench-exec/v2"));
         assert!(validate_schema(&Value::Object(broken)).is_err());
     }
 }

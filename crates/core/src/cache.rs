@@ -53,25 +53,53 @@ struct Inner {
     map: HashMap<RowKey, (Arc<IntervalSet>, u64)>,
     recency: BTreeMap<u64, RowKey>,
     next_gen: u64,
+    /// Total intervals held across every cached row — the memory proxy
+    /// the interval budget bounds (rows hold wildly different interval
+    /// counts, so an entry cap alone does not bound memory).
+    intervals_held: u64,
     stats: RowCacheStats,
 }
 
 /// A shared, thread-safe LRU cache of decoded index rows.
+///
+/// Two independent bounds keep long-running serving from growing without
+/// limit: an entry cap (`capacity` rows) and an optional *interval
+/// budget* — the summed interval count across cached rows, a proxy for
+/// resident memory. Exceeding either evicts LRU entries (the freshly
+/// inserted row is never its own victim).
 #[derive(Debug)]
 pub struct RowCache {
     capacity: usize,
+    interval_budget: u64,
     inner: Mutex<Inner>,
 }
 
 impl RowCache {
-    /// A cache holding at most `capacity` rows (≥ 1).
+    /// A cache holding at most `capacity` rows (≥ 1), with no interval
+    /// budget.
     pub fn new(capacity: usize) -> Self {
-        Self { capacity: capacity.max(1), inner: Mutex::new(Inner::default()) }
+        Self::with_interval_budget(capacity, 0)
+    }
+
+    /// A cache bounded by both an entry cap and a total-interval budget
+    /// (`0` = unbounded intervals).
+    pub fn with_interval_budget(capacity: usize, interval_budget: u64) -> Self {
+        Self { capacity: capacity.max(1), interval_budget, inner: Mutex::new(Inner::default()) }
     }
 
     /// Maximum rows held.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The total-interval budget (`0` = unbounded).
+    pub fn interval_budget(&self) -> u64 {
+        self.interval_budget
+    }
+
+    /// Total intervals currently held across every cached row.
+    pub fn intervals_held(&self) -> u64 {
+        self.inner.lock().intervals_held
     }
 
     /// Rows currently held.
@@ -94,6 +122,7 @@ impl RowCache {
         let mut inner = self.inner.lock();
         inner.map.clear();
         inner.recency.clear();
+        inner.intervals_held = 0;
     }
 
     /// Looks up one row, refreshing its recency. Counts a hit or miss.
@@ -117,22 +146,39 @@ impl RowCache {
         }
     }
 
-    /// Inserts (or refreshes) one row, evicting the least recently used
-    /// entries beyond capacity.
-    pub fn insert(&self, key: RowKey, set: Arc<IntervalSet>) {
+    /// Inserts (or refreshes) one row, evicting least-recently-used
+    /// entries until both the entry cap and the interval budget hold
+    /// again. Returns how many rows were evicted (so probe accounting can
+    /// attribute eviction pressure to the query that caused it). The row
+    /// just inserted is never evicted, even when it alone exceeds the
+    /// budget — evicting it immediately would make every probe of a large
+    /// row thrash.
+    pub fn insert(&self, key: RowKey, set: Arc<IntervalSet>) -> u64 {
         let mut inner = self.inner.lock();
         let generation = inner.next_gen;
         inner.next_gen += 1;
-        if let Some((_, old)) = inner.map.insert(key, (set, generation)) {
+        inner.intervals_held += set.num_intervals() as u64;
+        if let Some((old_set, old)) = inner.map.insert(key, (set, generation)) {
             inner.recency.remove(&old);
+            inner.intervals_held -= old_set.num_intervals() as u64;
         }
         inner.recency.insert(generation, key);
-        while inner.map.len() > self.capacity {
+        let mut evicted = 0u64;
+        let over_budget = |inner: &Inner| {
+            inner.map.len() > self.capacity
+                || (self.interval_budget > 0
+                    && inner.intervals_held > self.interval_budget
+                    && inner.map.len() > 1)
+        };
+        while over_budget(&inner) {
             let (&oldest, &victim) = inner.recency.iter().next().expect("map non-empty");
             inner.recency.remove(&oldest);
-            inner.map.remove(&victim);
+            let (victim_set, _) = inner.map.remove(&victim).expect("recency tracks map");
+            inner.intervals_held -= victim_set.num_intervals() as u64;
             inner.stats.evictions += 1;
+            evicted += 1;
         }
+        evicted
     }
 }
 
@@ -229,6 +275,35 @@ mod tests {
     }
 
     #[test]
+    fn interval_budget_bounds_memory() {
+        // Entry cap alone would admit all of these; the interval budget
+        // evicts down to ≤ 6 held intervals.
+        let cache = RowCache::new(100);
+        assert_eq!(cache.interval_budget(), 0, "plain caches are unbudgeted");
+        let cache = RowCache::with_interval_budget(100, 6);
+        let wide = |n: usize| {
+            Arc::new(IntervalSet::from_sorted(
+                (0..n).map(|i| WindowInterval::new(10 * i as u64, 10 * i as u64 + 1)).collect(),
+            ))
+        };
+        assert_eq!(cache.insert((0, 50, 0), wide(3)), 0);
+        assert_eq!(cache.insert((0, 50, 1), wide(3)), 0);
+        assert_eq!(cache.intervals_held(), 6);
+        // Third row pushes past the budget: the LRU row goes.
+        assert_eq!(cache.insert((0, 50, 2), wide(3)), 1);
+        assert_eq!(cache.intervals_held(), 6);
+        assert!(cache.get((0, 50, 0)).is_none(), "LRU victim evicted");
+        assert_eq!(cache.stats().evictions, 1);
+        // A single row larger than the whole budget is kept (never its
+        // own victim) but evicts everything else.
+        assert_eq!(cache.insert((0, 50, 3), wide(50)), 2);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.intervals_held(), 50);
+        cache.clear();
+        assert_eq!(cache.intervals_held(), 0);
+    }
+
+    #[test]
     fn concurrent_access_is_safe() {
         let cache = std::sync::Arc::new(RowCache::new(64));
         std::thread::scope(|scope| {
@@ -237,9 +312,8 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..500usize {
                         let key = (0, 50, (t * 131 + i) % 100);
-                        match cache.get(key) {
-                            Some(_) => {}
-                            None => cache.insert(key, set(i as u64, i as u64 + 1)),
+                        if cache.get(key).is_none() {
+                            cache.insert(key, set(i as u64, i as u64 + 1));
                         }
                     }
                 });

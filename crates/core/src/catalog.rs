@@ -88,6 +88,28 @@ pub trait CatalogBackend {
     fn retire_superseded(&mut self) -> Result<(), CoreError> {
         Ok(())
     }
+
+    /// Durability hook for a newly registered series' index
+    /// configuration, so a restarted catalog can rebuild the series'
+    /// appender with the same windowing. Default: no-op (volatile
+    /// backends).
+    fn persist_series_config(
+        &mut self,
+        series: SeriesId,
+        config: &IndexBuildConfig,
+    ) -> Result<(), CoreError> {
+        let _ = (series, config);
+        Ok(())
+    }
+
+    /// Replays everything a previous life persisted: each series'
+    /// (id, index configuration, points), in ascending id order.
+    /// [`Catalog::open`] feeds these straight back through the appenders
+    /// so the caller never replays manually. Default: nothing to recover
+    /// (volatile backends).
+    fn recover_series(&mut self) -> Result<Vec<(SeriesId, IndexBuildConfig, Vec<f64>)>, CoreError> {
+        Ok(Vec::new())
+    }
 }
 
 /// `BTreeMap`-store backend: everything in memory. The default for tests
@@ -159,6 +181,11 @@ pub struct CatalogStats {
     pub append_calls: u64,
     /// Shared-store materializations performed.
     pub materializations: u64,
+    /// Series replayed by [`Catalog::open`] from a durable backend.
+    pub series_recovered: u64,
+    /// Points those replays restored (not double-counted as ingested —
+    /// they were counted in the life that appended them).
+    pub points_recovered: u64,
 }
 
 /// A set of append-only series sharing one physical index store, served
@@ -189,8 +216,52 @@ impl<B: CatalogBackend> Catalog<B> {
         }
     }
 
+    /// Opens a catalog over a (possibly pre-existing) durable backend,
+    /// **automatically replaying** every series a previous life
+    /// persisted — ids, index configurations and WAL-durable points all
+    /// come back through [`CatalogBackend::recover_series`] without the
+    /// caller touching `recover_points` manually. Over a fresh backend
+    /// (or a volatile one) this is simply an empty catalog.
+    pub fn open(backend: B) -> Result<Self, CoreError> {
+        Self::open_with_exec_config(backend, ExecutorConfig::default())
+    }
+
+    /// [`Catalog::open`] with explicit executor settings.
+    pub fn open_with_exec_config(
+        mut backend: B,
+        exec_config: ExecutorConfig,
+    ) -> Result<Self, CoreError> {
+        let recovered = backend.recover_series()?;
+        let mut catalog = Self::with_exec_config(backend, exec_config);
+        for (series, config, points) in recovered {
+            if catalog.entries.contains_key(&series.raw()) {
+                return Err(CoreError::CorruptIndex(format!("backend recovered {series} twice")));
+            }
+            // Feed the replayed points straight through the appender —
+            // the same path live ingestion takes — but skip the persist
+            // hooks: the backend already holds these durably.
+            let mut entry = SeriesEntry {
+                appender: IndexAppender::new(config),
+                buffer: Vec::new(),
+                index: None,
+                data: None,
+                cache: Arc::new(catalog.exec_config.new_cache()),
+                dirty: true,
+            };
+            entry.appender.push_chunk(&points);
+            catalog.stats.points_recovered += points.len() as u64;
+            catalog.stats.series_recovered += 1;
+            entry.buffer = points;
+            catalog.entries.insert(series.raw(), entry);
+        }
+        Ok(catalog)
+    }
+
     /// Registers an empty series with its own index configuration
-    /// (window width may differ per series). Fails on duplicate ids.
+    /// (window width may differ per series). The configuration is handed
+    /// to the backend's durability hook before the series exists, so a
+    /// restart can rebuild the appender identically. Fails on duplicate
+    /// ids.
     pub fn create_series(
         &mut self,
         series: SeriesId,
@@ -199,6 +270,7 @@ impl<B: CatalogBackend> Catalog<B> {
         if self.entries.contains_key(&series.raw()) {
             return Err(CoreError::InvalidQuery(format!("{series} already exists")));
         }
+        self.backend.persist_series_config(series, &config)?;
         self.entries.insert(
             series.raw(),
             SeriesEntry {
@@ -206,7 +278,7 @@ impl<B: CatalogBackend> Catalog<B> {
                 buffer: Vec::new(),
                 index: None,
                 data: None,
-                cache: Arc::new(RowCache::new(self.exec_config.cache_capacity)),
+                cache: Arc::new(self.exec_config.new_cache()),
                 dirty: true,
             },
         );

@@ -44,11 +44,14 @@ use std::time::Instant;
 
 use kvmatch_storage::{KvStore, SeriesId, SeriesStore};
 
+use kvmatch_distance::BestSoFar;
+use parking_lot::Mutex;
+
 use crate::cache::{RowCache, RowCacheStats};
 use crate::index::KvIndex;
 use crate::interval::{IntervalSet, WindowInterval};
 use crate::matcher::{verify_interval, PreparedQuery};
-use crate::query::{CoreError, MatchResult, MatchStats, QuerySpec};
+use crate::query::{select_top_k, CoreError, MatchResult, MatchStats, QuerySpec};
 
 /// Tuning knobs for a [`QueryExecutor`].
 #[derive(Clone, Copy, Debug)]
@@ -59,11 +62,23 @@ pub struct ExecutorConfig {
     /// Row-cache capacity (decoded index rows kept for probe sharing),
     /// per series.
     pub cache_capacity: usize,
+    /// Row-cache *interval* budget per series (`0` = unbounded): caps the
+    /// summed interval count across cached rows, so long-running serving
+    /// bounds cache memory even when individual rows are huge. Evictions
+    /// it forces surface in [`MatchStats::cache_evictions`].
+    pub cache_interval_budget: u64,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        Self { threads: 0, cache_capacity: 4096 }
+        Self { threads: 0, cache_capacity: 4096, cache_interval_budget: 0 }
+    }
+}
+
+impl ExecutorConfig {
+    /// A fresh per-series row cache honouring this config's bounds.
+    pub(crate) fn new_cache(&self) -> RowCache {
+        RowCache::with_interval_budget(self.cache_capacity, self.cache_interval_budget)
     }
 }
 
@@ -148,6 +163,11 @@ struct Plan {
     probes: u64,
     cs: IntervalSet,
     stats: MatchStats,
+    /// Top-k only: the query's shared best-so-far threshold. Workers
+    /// verifying *any* of this query's intervals — potentially on
+    /// different threads — tighten and read the same bound, so a good
+    /// match found in one interval abandons candidates in every other.
+    best: Option<Mutex<BestSoFar>>,
 }
 
 /// One unit of phase-2 work: a candidate interval of one query.
@@ -198,7 +218,7 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
         config: ExecutorConfig,
     ) -> Result<Self, CoreError> {
         let series = index.series();
-        let cache = Arc::new(RowCache::new(config.cache_capacity));
+        let cache = Arc::new(config.new_cache());
         Self::multi([(series, index, data, cache)], config)
     }
 
@@ -283,12 +303,14 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
             if prep.m < w {
                 return Err(CoreError::QueryTooShort { query_len: prep.m, window: w });
             }
+            let best = prep.best_so_far();
             plans.push(Plan {
                 prep,
                 target,
                 probes: 0,
                 cs: IntervalSet::new(),
                 stats: MatchStats::default(),
+                best,
             });
         }
         batch.series_touched = {
@@ -371,6 +393,7 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
                     &plan.prep,
                     item.interval,
                     &mut scratch,
+                    plan.best.as_ref(),
                 );
                 produced.push(WorkOutput {
                     item_idx,
@@ -404,6 +427,7 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
                                     &plan.prep,
                                     item.interval,
                                     &mut scratch,
+                                    plan.best.as_ref(),
                                 );
                                 produced.push(WorkOutput {
                                     item_idx,
@@ -426,7 +450,11 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
         // Merge in deterministic (query, interval) order. Items were
         // created query-by-query over already-sorted interval sets, so
         // ascending item index reproduces the sequential append order.
-        outputs.sort_unstable_by_key(|o| o.item_idx);
+        // The inline (single-worker) path produced them in that order
+        // already.
+        if threads > 1 {
+            outputs.sort_unstable_by_key(|o| o.item_idx);
+        }
         let mut merged: Vec<Vec<MatchResult>> = plans.iter().map(|_| Vec::new()).collect();
         for out in outputs {
             let query = items[out.item_idx].query;
@@ -454,7 +482,17 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
         let outputs: Vec<QueryOutput> = plans
             .into_iter()
             .zip(merged)
-            .map(|(mut plan, results)| {
+            .map(|(mut plan, mut results)| {
+                // Top-k: reduce the accumulated survivors (still carrying
+                // comparison-domain values) to the final k with the same
+                // deterministic selection the sequential matcher applies,
+                // then root the distances — worker interleaving only
+                // affects which *excess* candidates were kept along the
+                // way, never the selected set.
+                if let Some(k) = plan.prep.spec.limit {
+                    select_top_k(&mut results, k);
+                    crate::matcher::finish_topk_distances(&plan.prep, &mut results);
+                }
                 plan.stats.matches = results.len() as u64;
                 let s = &mut per_target[plan.target];
                 s.queries += 1;
@@ -609,7 +647,7 @@ mod tests {
         let exec = QueryExecutor::with_config(
             &idx,
             &data,
-            ExecutorConfig { threads: 1, cache_capacity: 8 },
+            ExecutorConfig { threads: 1, cache_capacity: 8, ..ExecutorConfig::default() },
         )
         .unwrap();
         let spec = QuerySpec::rsm_dtw(xs[700..900].to_vec(), 8.0, 6);
@@ -688,6 +726,43 @@ mod tests {
         assert_eq!(batch.per_series.iter().map(|s| s.queries).sum::<u64>(), 9);
         let total_matches: u64 = batch.outputs.iter().map(|o| o.stats.matches).sum();
         assert_eq!(batch.per_series.iter().map(|s| s.matches).sum::<u64>(), total_matches);
+    }
+
+    /// Batched top-k — with its shared, cross-worker threshold tightening
+    /// — must stay bit-identical to the sequential matcher's top-k, for
+    /// every query type and any thread count.
+    #[test]
+    fn batched_topk_equals_sequential_topk() {
+        let mut xs = composite_series(113, 6_000);
+        let q = xs[800..1000].to_vec();
+        xs[4000..4200].copy_from_slice(&q); // exact tie for determinism stress
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let specs = vec![
+            QuerySpec::rsm_ed(q.clone(), 40.0).top_k(3),
+            QuerySpec::rsm_dtw(xs[1500..1700].to_vec(), 12.0, 6).top_k(4),
+            QuerySpec::cnsm_ed(xs[2500..2700].to_vec(), 3.0, 1.5, 4.0).top_k(2),
+            QuerySpec::cnsm_dtw(xs[3200..3360].to_vec(), 2.5, 5, 1.5, 4.0).top_k(2),
+            // A mixed batch: range queries ride along unchanged.
+            QuerySpec::rsm_ed(q, 10.0),
+        ];
+        for threads in [1usize, 4] {
+            let exec = QueryExecutor::with_config(
+                &idx,
+                &data,
+                ExecutorConfig { threads, ..ExecutorConfig::default() },
+            )
+            .unwrap();
+            let batch = exec.execute_batch(&specs).unwrap();
+            for (spec, out) in specs.iter().zip(&batch.outputs) {
+                let (want, _) = matcher.execute(spec).unwrap();
+                assert_eq!(out.results, want, "threads={threads} diverged for {spec:?}");
+                if let Some(k) = spec.limit {
+                    assert!(out.results.len() <= k);
+                }
+            }
+        }
     }
 
     /// A spec targeting a series the executor doesn't serve fails the

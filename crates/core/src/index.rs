@@ -108,6 +108,9 @@ pub struct ScanInfo {
     pub scans: u64,
     /// Rows served from the [`RowCache`] instead of the store.
     pub rows_from_cache: u64,
+    /// Rows this probe's cache inserts evicted to stay within the cache's
+    /// entry/interval budgets.
+    pub evictions: u64,
 }
 
 impl ScanInfo {
@@ -348,7 +351,7 @@ impl<S: KvStore> KvIndex<S> {
             for (offset, set) in fetched.into_iter().enumerate() {
                 let row = si + span_start + offset;
                 let set = std::sync::Arc::new(set);
-                cache.insert((sid, w, row), std::sync::Arc::clone(&set));
+                info.evictions += cache.insert((sid, w, row), std::sync::Arc::clone(&set));
                 sets[span_start + offset] = Some(set);
             }
         }

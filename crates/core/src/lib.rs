@@ -82,5 +82,5 @@ pub use kvmatch_storage::SeriesId;
 pub use matcher::{KvMatcher, PreparedQuery};
 pub use meta::{IndexParams, MetaEntry, MetaTable};
 pub use naive::{naive_count, naive_search};
-pub use query::{Constraint, CoreError, MatchResult, MatchStats, Measure, QuerySpec};
+pub use query::{select_top_k, Constraint, CoreError, MatchResult, MatchStats, Measure, QuerySpec};
 pub use ranges::MeanRange;

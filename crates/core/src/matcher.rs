@@ -12,7 +12,9 @@
 
 use std::time::Instant;
 
-use kvmatch_distance::cascade::{CascadeStats, LbCascade};
+use parking_lot::Mutex;
+
+use kvmatch_distance::cascade::{BestSoFar, CascadeStats, LbCascade};
 use kvmatch_distance::ed::{abandon_order, ed_early_abandon, ed_norm_early_abandon_ordered};
 use kvmatch_distance::lp::{lp_norm_pow_early_abandon, lp_pow_early_abandon};
 use kvmatch_distance::normalize::{mean_std, z_normalized};
@@ -24,7 +26,7 @@ use crate::cache::RowCache;
 use crate::index::KvIndex;
 use crate::interval::{IntervalSet, WindowInterval};
 use crate::query::Measure;
-use crate::query::{Constraint, CoreError, MatchResult, MatchStats, QuerySpec};
+use crate::query::{select_top_k, Constraint, CoreError, MatchResult, MatchStats, QuerySpec};
 use crate::ranges::{
     cnsm_dtw_range, cnsm_ed_range, cnsm_lp_range, rsm_dtw_range, rsm_ed_range, rsm_lp_range,
     MeanRange,
@@ -148,6 +150,27 @@ impl PreparedQuery {
             && sigma_s <= self.sigma_q * c.alpha
     }
 
+    /// The query's comparison-domain bound: distances are compared (and
+    /// early-abandoned) in squared space for ED/DTW and in p-th-power
+    /// space for Lp, so this is `ε²` or `pow_p(ε)` respectively. Top-k
+    /// verification starts from this ceiling and tightens it as results
+    /// accumulate ([`BestSoFar`]).
+    pub fn threshold_ceiling(&self) -> f64 {
+        match self.spec.measure {
+            Measure::Lp { p } => p.pow(self.spec.epsilon),
+            _ => self.spec.epsilon * self.spec.epsilon,
+        }
+    }
+
+    /// Maps a comparison-domain value back to the reported distance —
+    /// `sqrt` for ED/DTW, the p-th root for Lp.
+    pub fn distance_of(&self, comparison: f64) -> f64 {
+        match self.spec.measure {
+            Measure::Lp { p } => p.root(comparison),
+            _ => comparison.sqrt(),
+        }
+    }
+
     /// Verifies one candidate subsequence `s` (with its statistics) against
     /// the query; returns the achieved distance when it qualifies. DTW
     /// candidates run the shared [`LbCascade`]; every stage outcome is
@@ -160,18 +183,41 @@ impl PreparedQuery {
         scratch: &mut Vec<f64>,
         stats: &mut CascadeStats,
     ) -> Option<f64> {
-        let eps_sq = self.spec.epsilon * self.spec.epsilon;
+        self.verify_within(s, mu_s, sigma_s, self.threshold_ceiling(), scratch, stats)
+            .map(|raw| self.distance_of(raw))
+    }
+
+    /// [`PreparedQuery::verify`] against an explicit comparison-domain
+    /// bound instead of the spec's ε — the top-k path, where the bound is
+    /// the best-so-far threshold (≤ the ceiling, shrinking as results
+    /// accumulate). Returns the qualifying value **in the comparison
+    /// domain** (the kernel's native squared / p-th-power accumulator):
+    /// top-k thresholding must stay in that domain end-to-end, because
+    /// rooting and re-squaring can round a threshold *below* the exact
+    /// value it came from and wrongly abandon tied candidates. Any
+    /// returned value is exact (early abandoning only ever rejects), so a
+    /// candidate inside the final top-k produces the same bits no matter
+    /// how tight the bound was when it ran.
+    pub fn verify_within(
+        &self,
+        s: &[f64],
+        mu_s: f64,
+        sigma_s: f64,
+        bound: f64,
+        scratch: &mut Vec<f64>,
+        stats: &mut CascadeStats,
+    ) -> Option<f64> {
         if let Measure::Lp { p } = self.spec.measure {
-            return self.verify_lp(s, mu_s, sigma_s, p, stats);
+            return self.verify_lp(s, mu_s, sigma_s, p, bound, stats);
         }
         match (&self.spec.constraint, self.spec.measure.is_dtw()) {
             (None, false) => {
                 stats.full_distance_computations += 1;
-                ed_early_abandon(s, &self.spec.query, eps_sq).map(f64::sqrt)
+                ed_early_abandon(s, &self.spec.query, bound)
             }
             (None, true) => {
                 let cascade = &self.cascade.as_ref().expect("RSM-DTW has a cascade").cascade;
-                cascade.verify(s, eps_sq, stats).map(f64::sqrt)
+                cascade.verify(s, bound, stats)
             }
             (Some(c), false) => {
                 if !self.constraint_ok(c, mu_s, sigma_s) {
@@ -179,8 +225,7 @@ impl PreparedQuery {
                     return None;
                 }
                 stats.full_distance_computations += 1;
-                ed_norm_early_abandon_ordered(s, &self.q_norm, &self.order, mu_s, sigma_s, eps_sq)
-                    .map(f64::sqrt)
+                ed_norm_early_abandon_ordered(s, &self.q_norm, &self.order, mu_s, sigma_s, bound)
             }
             (Some(c), true) => {
                 if !self.constraint_ok(c, mu_s, sigma_s) {
@@ -192,7 +237,7 @@ impl PreparedQuery {
                 scratch.extend_from_slice(s);
                 kvmatch_distance::z_normalize(scratch, mu_s, sigma_s);
                 let cascade = self.cascade_norm.as_ref().expect("cNSM-DTW has a cascade");
-                cascade.verify(scratch, eps_sq, stats).map(f64::sqrt)
+                cascade.verify(scratch, bound, stats)
             }
         }
     }
@@ -204,13 +249,13 @@ impl PreparedQuery {
         mu_s: f64,
         sigma_s: f64,
         p: LpExponent,
+        bound_pow: f64,
         stats: &mut CascadeStats,
     ) -> Option<f64> {
-        let bound_pow = p.pow(self.spec.epsilon);
         match &self.spec.constraint {
             None => {
                 stats.full_distance_computations += 1;
-                lp_pow_early_abandon(s, &self.spec.query, p, bound_pow).map(|acc| p.root(acc))
+                lp_pow_early_abandon(s, &self.spec.query, p, bound_pow)
             }
             Some(c) => {
                 if !self.constraint_ok(c, mu_s, sigma_s) {
@@ -219,15 +264,26 @@ impl PreparedQuery {
                 }
                 stats.full_distance_computations += 1;
                 lp_norm_pow_early_abandon(s, &self.q_norm, mu_s, sigma_s, p, bound_pow)
-                    .map(|acc| p.root(acc))
             }
         }
+    }
+
+    /// A best-so-far tracker for this query's top-k execution, or `None`
+    /// for plain range queries. The tracker lives behind a mutex so
+    /// parallel verification workers tighten one shared threshold.
+    pub(crate) fn best_so_far(&self) -> Option<Mutex<BestSoFar>> {
+        self.spec.limit.map(|k| Mutex::new(BestSoFar::new(k, self.threshold_ceiling())))
     }
 }
 
 /// Everything phase 2 produced for one candidate interval.
 pub(crate) struct IntervalVerification {
-    /// Qualified subsequences, in offset order.
+    /// Qualified subsequences, in offset order. For top-k queries the
+    /// `distance` field holds the **comparison-domain** value (squared /
+    /// p-th-power) until the final [`select_top_k`] +
+    /// [`finish_topk_distances`] pass — selection and thresholding must
+    /// share the kernels' exact domain, so rooting happens only at the
+    /// very end.
     pub results: Vec<MatchResult>,
     /// Data points fetched for this interval.
     pub points_fetched: u64,
@@ -240,12 +296,21 @@ pub(crate) struct IntervalVerification {
 /// matchers and each [`QueryExecutor`] work item — batched and sequential
 /// execution produce bit-identical results because they both run this.
 ///
+/// For top-k queries `best` carries the query's shared [`BestSoFar`]:
+/// each candidate is verified against the tracker's current threshold
+/// (≤ ε, shrinking as results accumulate — cross-candidate tightening
+/// across *all* of the query's intervals, even when they run on different
+/// worker threads), and every qualifying distance is offered back.
+/// Candidates the tracker rejects are provably outside the final top-k
+/// (the threshold only shrinks), so dropping them preserves exactness.
+///
 /// [`QueryExecutor`]: crate::exec::QueryExecutor
 pub(crate) fn verify_interval<D: SeriesStore>(
     data: &D,
     prep: &PreparedQuery,
     wi: WindowInterval,
     scratch: &mut Vec<f64>,
+    best: Option<&Mutex<BestSoFar>>,
 ) -> Result<IntervalVerification, CoreError> {
     let m = prep.m;
     let l = wi.left as usize;
@@ -254,6 +319,7 @@ pub(crate) fn verify_interval<D: SeriesStore>(
     let buf = data.fetch(l, fetch_len)?;
     // O(1) per-candidate statistics over the fetched block.
     let ps = prep.spec.is_normalized().then(|| PrefixStats::new(&buf));
+    let ceiling = prep.threshold_ceiling();
     let mut results = Vec::new();
     let mut cascade = CascadeStats::default();
     for k in 0..count {
@@ -262,28 +328,65 @@ pub(crate) fn verify_interval<D: SeriesStore>(
             Some(ps) => ps.range_mean_std(k, m),
             None => (0.0, 0.0),
         };
-        if let Some(distance) = prep.verify(s, mu_s, sigma_s, scratch, &mut cascade) {
-            results.push(MatchResult { offset: l + k, distance });
+        // A stale (looser) threshold read is always safe; the offer below
+        // re-checks against the freshest one.
+        let bound = match best {
+            Some(b) => b.lock().threshold_sq(),
+            None => ceiling,
+        };
+        if let Some(raw) = prep.verify_within(s, mu_s, sigma_s, bound, scratch, &mut cascade) {
+            match best {
+                Some(b) => {
+                    // Offer the kernel's exact comparison-domain value —
+                    // never a rooted-and-resquared copy, which can round
+                    // below `raw` and make the shared threshold wrongly
+                    // abandon exact ties.
+                    if !b.lock().offer(raw) {
+                        continue; // strictly worse than the current k-th best
+                    }
+                    results.push(MatchResult { offset: l + k, distance: raw });
+                }
+                None => {
+                    results.push(MatchResult { offset: l + k, distance: prep.distance_of(raw) });
+                }
+            }
         }
     }
     Ok(IntervalVerification { results, points_fetched: fetch_len as u64, cascade })
 }
 
+/// Converts a top-k result set's comparison-domain values into reported
+/// distances — the final step after [`select_top_k`], shared by every
+/// execution path.
+pub(crate) fn finish_topk_distances(prep: &PreparedQuery, results: &mut [MatchResult]) {
+    for r in results {
+        r.distance = prep.distance_of(r.distance);
+    }
+}
+
 /// Verifies every candidate interval of `cs` against the series store.
-/// Shared by [`KvMatcher`] and the DP matcher.
+/// Shared by [`KvMatcher`] and the DP matcher. Top-k specs thread a
+/// [`BestSoFar`] across the intervals and reduce the survivors with
+/// [`select_top_k`] — the same selection the batched executor applies, so
+/// both paths stay bit-identical.
 pub(crate) fn verify_candidates<D: SeriesStore>(
     data: &D,
     prep: &PreparedQuery,
     cs: &IntervalSet,
     stats: &mut MatchStats,
 ) -> Result<Vec<MatchResult>, CoreError> {
+    let best = prep.best_so_far();
     let mut results = Vec::new();
     let mut scratch = Vec::with_capacity(prep.m);
     for wi in cs.intervals() {
-        let iv = verify_interval(data, prep, *wi, &mut scratch)?;
+        let iv = verify_interval(data, prep, *wi, &mut scratch, best.as_ref())?;
         stats.points_fetched += iv.points_fetched;
         stats.absorb_cascade(&iv.cascade);
         results.extend(iv.results);
+    }
+    if let Some(k) = prep.spec.limit {
+        select_top_k(&mut results, k);
+        finish_topk_distances(prep, &mut results);
     }
     stats.matches = results.len() as u64;
     Ok(results)
@@ -572,6 +675,51 @@ mod tests {
         }
         let (_, stats) = matcher.execute(&spec).unwrap();
         assert_eq!(stats.candidates, cs.num_positions());
+    }
+
+    #[test]
+    fn topk_returns_k_nearest_with_deterministic_ties() {
+        let mut xs = composite_series(71, 4_000);
+        // Plant the exact query at three offsets: three distance-0 ties.
+        let q = xs[500..650].to_vec();
+        xs[1200..1350].copy_from_slice(&q);
+        xs[3000..3150].copy_from_slice(&q);
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let spec = QuerySpec::rsm_ed(q, 25.0).top_k(2);
+        let (got, stats) = matcher.execute(&spec).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(stats.matches, 2);
+        // Ties break by lower offset: 500 and 1200 win over 3000.
+        assert_eq!(got[0], MatchResult { offset: 500, distance: 0.0 });
+        assert_eq!(got[1], MatchResult { offset: 1200, distance: 0.0 });
+        // The oracle agrees bit-identically (same ED kernel, raw slices).
+        assert_eq!(got, naive_search(&xs, &spec));
+        // Nearest-first ordering on non-tied data too.
+        let spec = QuerySpec::rsm_ed(xs[2000..2150].to_vec(), 30.0).top_k(5);
+        let (got, _) = matcher.execute(&spec).unwrap();
+        assert_eq!(got, naive_search(&xs, &spec));
+        for pair in got.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance, "not nearest-first: {got:?}");
+        }
+    }
+
+    #[test]
+    fn topk_respects_epsilon_ceiling() {
+        let xs = composite_series(73, 3_000);
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let q = xs[700..900].to_vec();
+        // ε = 0 keeps only the self-match even though k = 10 slots exist.
+        let (got, _) = matcher.execute(&QuerySpec::rsm_ed(q.clone(), 0.0).top_k(10)).unwrap();
+        assert_eq!(got, vec![MatchResult { offset: 700, distance: 0.0 }]);
+        // k = 0 is rejected up front.
+        assert!(matches!(
+            matcher.execute(&QuerySpec::rsm_ed(q, 1.0).top_k(0)),
+            Err(CoreError::InvalidQuery(_))
+        ));
     }
 
     #[test]

@@ -17,9 +17,11 @@ use crate::query::{MatchResult, Measure, QuerySpec};
 
 /// Exhaustive scan returning every subsequence that satisfies `spec`.
 ///
-/// Results are ordered by offset. Time complexity O(n·m) for ED and
-/// O(n·m·ρ) for DTW; use only where that is affordable (tests,
-/// calibration, moderate `n`).
+/// Results are ordered by offset; top-k specs (`spec.limit`) are reduced
+/// with the same deterministic [`select_top_k`](crate::query::select_top_k)
+/// selection the matchers apply (nearest-first, ties by lower offset).
+/// Time complexity O(n·m) for ED and O(n·m·ρ) for DTW; use only where
+/// that is affordable (tests, calibration, moderate `n`).
 pub fn naive_search(xs: &[f64], spec: &QuerySpec) -> Vec<MatchResult> {
     spec.validate().expect("invalid query spec");
     let m = spec.query.len();
@@ -29,6 +31,9 @@ pub fn naive_search(xs: &[f64], spec: &QuerySpec) -> Vec<MatchResult> {
     let eps_sq = spec.epsilon * spec.epsilon;
     let rho = spec.measure.rho();
     let stats = PrefixStats::new(xs);
+    // Accumulate in the kernels' comparison domain (squared / p-th
+    // power); top-k selection happens there too — the same domain the
+    // matchers threshold in — and distances root only at the very end.
     let mut out = Vec::new();
 
     match &spec.constraint {
@@ -37,12 +42,10 @@ pub fn naive_search(xs: &[f64], spec: &QuerySpec) -> Vec<MatchResult> {
             for j in 0..=xs.len() - m {
                 let s = &xs[j..j + m];
                 let hit = match spec.measure {
-                    Measure::Dtw { .. } => dtw_banded_early_abandon(s, &spec.query, rho, eps_sq)
-                        .map(|d_sq| d_sq.sqrt()),
-                    Measure::Ed => ed_early_abandon(s, &spec.query, eps_sq).map(|d_sq| d_sq.sqrt()),
+                    Measure::Dtw { .. } => dtw_banded_early_abandon(s, &spec.query, rho, eps_sq),
+                    Measure::Ed => ed_early_abandon(s, &spec.query, eps_sq),
                     Measure::Lp { p } => {
                         lp_pow_early_abandon(s, &spec.query, p, p.pow(spec.epsilon))
-                            .map(|acc| p.root(acc))
                     }
                 };
                 if let Some(distance) = hit {
@@ -68,13 +71,10 @@ pub fn naive_search(xs: &[f64], spec: &QuerySpec) -> Vec<MatchResult> {
                         let mut s_norm = s.to_vec();
                         kvmatch_distance::z_normalize(&mut s_norm, mu_s, sigma_s);
                         dtw_banded_early_abandon(&s_norm, &q_norm, rho, eps_sq)
-                            .map(|d_sq| d_sq.sqrt())
                     }
-                    Measure::Ed => ed_norm_early_abandon(s, &q_norm, mu_s, sigma_s, eps_sq)
-                        .map(|d_sq| d_sq.sqrt()),
+                    Measure::Ed => ed_norm_early_abandon(s, &q_norm, mu_s, sigma_s, eps_sq),
                     Measure::Lp { p } => {
                         lp_norm_pow_early_abandon(s, &q_norm, mu_s, sigma_s, p, p.pow(spec.epsilon))
-                            .map(|acc| p.root(acc))
                     }
                 };
                 if let Some(distance) = hit {
@@ -82,6 +82,15 @@ pub fn naive_search(xs: &[f64], spec: &QuerySpec) -> Vec<MatchResult> {
                 }
             }
         }
+    }
+    if let Some(k) = spec.limit {
+        crate::query::select_top_k(&mut out, k);
+    }
+    for r in &mut out {
+        r.distance = match spec.measure {
+            Measure::Lp { p } => p.root(r.distance),
+            _ => r.distance.sqrt(),
+        };
     }
     out
 }

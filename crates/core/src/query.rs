@@ -62,18 +62,32 @@ pub struct QuerySpec {
     /// The query sequence `Q`.
     pub query: Vec<f64>,
     /// Distance threshold `ε ≥ 0`. For cNSM queries this bounds
-    /// `D(Ŝ, Q̂)`; for RSM it bounds `D(S, Q)`.
+    /// `D(Ŝ, Q̂)`; for RSM it bounds `D(S, Q)`. Top-k queries keep ε as a
+    /// ceiling: only subsequences within ε compete for the k slots
+    /// (`f64::INFINITY` turns that ceiling off).
     pub epsilon: f64,
     /// ED or banded DTW.
     pub measure: Measure,
     /// `Some` makes this a cNSM query; `None` is RSM.
     pub constraint: Option<Constraint>,
+    /// `Some(k)` makes this a top-k query: instead of *every* subsequence
+    /// within ε, only the `k` nearest are returned (distance ties broken
+    /// by lower offset), ordered nearest-first. `None` is the plain range
+    /// semantics. Set via [`QuerySpec::top_k`].
+    pub limit: Option<usize>,
 }
 
 impl QuerySpec {
     /// RSM-ED query.
     pub fn rsm_ed(query: Vec<f64>, epsilon: f64) -> Self {
-        Self { series: SeriesId::DEFAULT, query, epsilon, measure: Measure::Ed, constraint: None }
+        Self {
+            series: SeriesId::DEFAULT,
+            query,
+            epsilon,
+            measure: Measure::Ed,
+            constraint: None,
+            limit: None,
+        }
     }
 
     /// RSM-DTW query.
@@ -84,6 +98,7 @@ impl QuerySpec {
             epsilon,
             measure: Measure::Dtw { rho },
             constraint: None,
+            limit: None,
         }
     }
 
@@ -95,6 +110,7 @@ impl QuerySpec {
             epsilon,
             measure: Measure::Ed,
             constraint: Some(Constraint { alpha, beta }),
+            limit: None,
         }
     }
 
@@ -106,6 +122,7 @@ impl QuerySpec {
             epsilon,
             measure: Measure::Dtw { rho },
             constraint: Some(Constraint { alpha, beta }),
+            limit: None,
         }
     }
 
@@ -118,6 +135,7 @@ impl QuerySpec {
             epsilon,
             measure: Measure::Lp { p },
             constraint: None,
+            limit: None,
         }
     }
 
@@ -129,6 +147,7 @@ impl QuerySpec {
             epsilon,
             measure: Measure::Lp { p },
             constraint: Some(Constraint { alpha, beta }),
+            limit: None,
         }
     }
 
@@ -151,6 +170,9 @@ impl QuerySpec {
             if p == 0 {
                 return Err(CoreError::InvalidQuery("Lp exponent must be ≥ 1".into()));
             }
+        }
+        if self.limit == Some(0) {
+            return Err(CoreError::InvalidQuery("top-k with k = 0".into()));
         }
         if let Some(c) = &self.constraint {
             if c.alpha.is_nan() || c.alpha < 1.0 {
@@ -175,10 +197,34 @@ impl QuerySpec {
         self
     }
 
+    /// Turns the query into a top-k query (builder style): the `k`
+    /// nearest subsequences within ε, nearest-first, distance ties broken
+    /// by lower offset. Raise ε (up to `f64::INFINITY`) to widen the pool
+    /// the k winners are drawn from — a looser ceiling trades index
+    /// pruning for recall beyond ε.
+    pub fn top_k(mut self, k: usize) -> Self {
+        self.limit = Some(k);
+        self
+    }
+
     /// True for cNSM queries.
     pub fn is_normalized(&self) -> bool {
         self.constraint.is_some()
     }
+}
+
+/// Deterministic top-k selection over verified results: keeps the `k`
+/// nearest, breaking distance ties by lower offset, ordered
+/// nearest-first. Every execution path (sequential matcher, batched
+/// executor, naive oracle) funnels its qualified results through this one
+/// function so top-k answers are bit-identical across them — and every
+/// internal path calls it while `distance` still holds the kernel's
+/// comparison-domain value (squared / p-th-power), the same domain the
+/// best-so-far threshold prunes in, so selection and pruning can never
+/// disagree about a tie.
+pub fn select_top_k(results: &mut Vec<MatchResult>, k: usize) {
+    results.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.offset.cmp(&b.offset)));
+    results.truncate(k);
 }
 
 /// One qualified subsequence.
@@ -208,6 +254,10 @@ pub struct MatchStats {
     pub intervals_collected: u64,
     /// Index probes answered entirely from the row cache (no store scan).
     pub probe_cache_hits: u64,
+    /// Rows this query's probes evicted from the row cache to stay within
+    /// its entry/interval budgets (long-running serving keeps cache memory
+    /// bounded; this is where that cost shows up).
+    pub cache_evictions: u64,
     /// Data points fetched from the series store in phase 2.
     pub points_fetched: u64,
     /// Candidates rejected by the cNSM constraint pre-stage.
@@ -242,6 +292,7 @@ impl MatchStats {
         self.rows_scanned += info.rows;
         self.rows_from_cache += info.rows_from_cache;
         self.intervals_collected += info.intervals;
+        self.cache_evictions += info.evictions;
         if info.is_cache_hit() {
             self.probe_cache_hits += 1;
         }

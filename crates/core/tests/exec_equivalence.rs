@@ -59,9 +59,12 @@ fn assert_batch_equals_sequential(seed: u64, n: usize, w: usize, threads: usize,
     let data = MemorySeriesStore::new(xs.clone());
     let specs = random_specs(&xs, queries, seed.wrapping_mul(7919));
     let matcher = KvMatcher::new(&idx, &data).unwrap();
-    let exec =
-        QueryExecutor::with_config(&idx, &data, ExecutorConfig { threads, cache_capacity: 512 })
-            .unwrap();
+    let exec = QueryExecutor::with_config(
+        &idx,
+        &data,
+        ExecutorConfig { threads, cache_capacity: 512, ..ExecutorConfig::default() },
+    )
+    .unwrap();
     let batch = exec.execute_batch(&specs).unwrap();
     assert_eq!(batch.outputs.len(), specs.len());
     let mut total_matches = 0u64;

@@ -12,15 +12,27 @@
 //!   the series-prefixed key encoding (level-1 SSTables, no WAL — the
 //!   rows are derived data, rebuildable from `points/`). Superseded
 //!   generations are deleted once the new store is committed.
+//! * `series.conf` — one line per registered series recording its index
+//!   configuration (float fields as exact bit patterns), rewritten
+//!   atomically on every
+//!   [`Catalog::create_series`](kvmatch_core::Catalog::create_series).
+//!   Together with `points/` it makes restart fully automatic:
+//!   [`Catalog::open`](kvmatch_core::Catalog::open) replays every series
+//!   through [`CatalogBackend::recover_series`] with the caller doing
+//!   nothing.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use kvmatch_core::catalog::CatalogBackend;
-use kvmatch_core::CoreError;
+use kvmatch_core::{CoreError, IndexBuildConfig};
 use kvmatch_storage::{MemorySeriesStore, SeriesId, StorageError};
 
 use crate::db::{LsmDb, LsmOptions};
 use crate::store::{LsmKvStore, LsmKvStoreBuilder};
+
+/// File recording every registered series' index configuration.
+const SERIES_CONF: &str = "series.conf";
 
 /// Catalog substrate over the LSM engine. See the module docs.
 pub struct LsmCatalogBackend {
@@ -28,12 +40,13 @@ pub struct LsmCatalogBackend {
     opts: LsmOptions,
     points: LsmDb,
     generation: u64,
+    configs: BTreeMap<u64, IndexBuildConfig>,
 }
 
 impl LsmCatalogBackend {
     /// Opens (or creates) the backend under `root`. Reopening an existing
-    /// root recovers the `points/` WAL; index generations restart at the
-    /// next unused number.
+    /// root recovers the `points/` WAL and the series-configuration
+    /// manifest; index generations restart at the next unused number.
     pub fn open(root: &Path, opts: LsmOptions) -> Result<Self, StorageError> {
         std::fs::create_dir_all(root)?;
         let points = LsmDb::open(&root.join("points"), opts)?;
@@ -47,7 +60,42 @@ impl LsmCatalogBackend {
                 }
             }
         }
-        Ok(Self { root: root.to_path_buf(), opts, points, generation })
+        let configs = read_series_configs(&root.join(SERIES_CONF))?;
+        Ok(Self { root: root.to_path_buf(), opts, points, generation, configs })
+    }
+
+    /// The registered series and their index configurations (ascending).
+    pub fn series_configs(&self) -> impl Iterator<Item = (SeriesId, &IndexBuildConfig)> {
+        self.configs.iter().map(|(&raw, c)| (SeriesId::new(raw), c))
+    }
+
+    /// Atomically and durably rewrites `series.conf`: write-to-temp,
+    /// fsync the temp file, rename, fsync the directory — so a crash at
+    /// any point leaves either the previous manifest or the new one, and
+    /// a manifest entry is never *less* durable than the fsynced points
+    /// WAL it describes (otherwise a power loss could strand durable
+    /// points behind a missing series registration).
+    fn write_series_configs(&self) -> Result<(), StorageError> {
+        use std::io::Write;
+        let mut out = String::new();
+        for (raw, c) in &self.configs {
+            out.push_str(&format!(
+                "series={raw} window={} width_d={:016x} gamma={:016x} max_merge={}\n",
+                c.window,
+                c.width_d.to_bits(),
+                c.merge_gamma.to_bits(),
+                c.max_merge_buckets
+            ));
+        }
+        let tmp = self.root.join(format!("{SERIES_CONF}.tmp"));
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(out.as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, self.root.join(SERIES_CONF))?;
+        // Persist the rename itself (directory metadata).
+        std::fs::File::open(&self.root)?.sync_all()?;
+        Ok(())
     }
 
     /// The durability store receiving appended chunks.
@@ -97,6 +145,41 @@ impl LsmCatalogBackend {
     fn generation_dir(&self, generation: u64) -> PathBuf {
         self.root.join(format!("index-{generation}"))
     }
+}
+
+/// Parses `series.conf`. A missing file is an empty manifest; a
+/// malformed line is corruption (the manifest is always written whole).
+fn read_series_configs(path: &Path) -> Result<BTreeMap<u64, IndexBuildConfig>, StorageError> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(BTreeMap::new()),
+        Err(e) => return Err(e.into()),
+    };
+    let corrupt = |line: &str| StorageError::Corrupt(format!("bad series.conf line: {line:?}"));
+    let mut out = BTreeMap::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let mut fields = BTreeMap::new();
+        for part in line.split_whitespace() {
+            let (key, value) = part.split_once('=').ok_or_else(|| corrupt(line))?;
+            fields.insert(key.to_string(), value.to_string());
+        }
+        let take = |k: &str| fields.get(k).cloned().ok_or_else(|| corrupt(line));
+        let series: u64 = take("series")?.parse().map_err(|_| corrupt(line))?;
+        let window: usize = take("window")?.parse().map_err(|_| corrupt(line))?;
+        let width_bits = u64::from_str_radix(&take("width_d")?, 16).map_err(|_| corrupt(line))?;
+        let gamma_bits = u64::from_str_radix(&take("gamma")?, 16).map_err(|_| corrupt(line))?;
+        let max_merge: usize = take("max_merge")?.parse().map_err(|_| corrupt(line))?;
+        let config = IndexBuildConfig {
+            window,
+            width_d: f64::from_bits(width_bits),
+            merge_gamma: f64::from_bits(gamma_bits),
+            max_merge_buckets: max_merge,
+        };
+        if out.insert(series, config).is_some() {
+            return Err(StorageError::Corrupt(format!("duplicate series {series} in manifest")));
+        }
+    }
+    Ok(out)
 }
 
 impl CatalogBackend for LsmCatalogBackend {
@@ -149,6 +232,55 @@ impl CatalogBackend for LsmCatalogBackend {
             value.extend_from_slice(&v.to_le_bytes());
         }
         self.points.put(&key, &value).map_err(CoreError::from)
+    }
+
+    fn persist_series_config(
+        &mut self,
+        series: SeriesId,
+        config: &IndexBuildConfig,
+    ) -> Result<(), CoreError> {
+        let previous = self.configs.insert(series.raw(), *config);
+        if let Err(e) = self.write_series_configs() {
+            // Roll the in-memory manifest back: a failed create_series
+            // must not leave a phantom entry that the next successful
+            // rewrite would durably persist.
+            match previous {
+                Some(prev) => self.configs.insert(series.raw(), prev),
+                None => self.configs.remove(&series.raw()),
+            };
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    fn recover_series(&mut self) -> Result<Vec<(SeriesId, IndexBuildConfig, Vec<f64>)>, CoreError> {
+        // Refuse to silently drop WAL points whose series has no
+        // manifest entry (e.g. a root written before series.conf
+        // existed, or a torn manifest). Dropping them would let the
+        // operator re-create the series and append from offset 0 over
+        // surviving stale chunks — the next recovery would then splice
+        // old and new data into one corrupt series with no error.
+        let full_start: Vec<u8> = Vec::new();
+        let full_end = vec![0xFF; 17]; // longer than any 16-byte point key
+        for (key, _) in self.points.scan(&full_start, &full_end)? {
+            if key.len() >= 8 {
+                let raw = u64::from_be_bytes(key[0..8].try_into().expect("8 bytes"));
+                if !self.configs.contains_key(&raw) {
+                    return Err(CoreError::CorruptIndex(format!(
+                        "points store holds data for series {raw} but series.conf has no \
+                         entry for it — refusing to recover (re-register the series in the \
+                         manifest or remove its points before opening)"
+                    )));
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(self.configs.len());
+        for (&raw, config) in &self.configs {
+            let series = SeriesId::new(raw);
+            let points = self.recover_points(series)?;
+            out.push((series, *config, points));
+        }
+        Ok(out)
     }
 }
 
@@ -246,6 +378,102 @@ mod tests {
             full,
             "recovery must survive a recover-and-reingest cycle"
         );
+    }
+
+    /// The ROADMAP follow-up: a restarted catalog replays its series
+    /// automatically — `Catalog::open` over an existing root brings back
+    /// every id, configuration and point without the caller touching
+    /// `recover_points`.
+    #[test]
+    fn restarted_catalog_recovers_automatically() {
+        let dir = tempfile::tempdir().unwrap();
+        let a = SeriesId::new(3);
+        let b = SeriesId::new(8);
+        let xa = wave(11, 2_400);
+        let xb = wave(12, 1_800);
+        let cfg_a = IndexBuildConfig::new(50);
+        let cfg_b = IndexBuildConfig::new(30).with_width(0.25).with_gamma(0.7);
+        {
+            let backend = LsmCatalogBackend::open(dir.path(), LsmOptions::tiny()).unwrap();
+            let mut cat = Catalog::open(backend).unwrap();
+            assert!(cat.is_empty(), "fresh root recovers nothing");
+            cat.create_series(a, cfg_a).unwrap();
+            cat.create_series(b, cfg_b).unwrap();
+            for chunk in xa.chunks(700) {
+                cat.append(a, chunk).unwrap();
+            }
+            cat.append(b, &xb).unwrap();
+            // Drop without materializing: only WAL + manifest persist.
+        }
+
+        // Second life: everything is back without manual replay.
+        let backend = LsmCatalogBackend::open(dir.path(), LsmOptions::tiny()).unwrap();
+        let mut cat = Catalog::open(backend).unwrap();
+        assert_eq!(cat.series(), vec![a, b]);
+        assert_eq!(cat.series_len(a), Some(xa.len()));
+        assert_eq!(cat.series_len(b), Some(xb.len()));
+        assert_eq!(cat.stats().series_recovered, 2);
+        assert_eq!(cat.stats().points_recovered, (xa.len() + xb.len()) as u64);
+        assert_eq!(cat.stats().points_ingested, 0, "recovery is not re-ingestion");
+        cat.materialize().unwrap();
+        // Per-series configurations survive exactly (bit-level floats).
+        assert_eq!(cat.index(a).unwrap().window(), 50);
+        assert_eq!(cat.index(b).unwrap().window(), 30);
+
+        // Queries over the recovered catalog are bit-identical to a
+        // dedicated appender-built matcher over the original points.
+        let specs = vec![
+            QuerySpec::rsm_ed(xa[900..1_150].to_vec(), 4.0).with_series(a),
+            QuerySpec::rsm_ed(xb[200..420].to_vec(), 1e-9).with_series(b).top_k(2),
+        ];
+        let batch = cat.execute_batch(&specs).unwrap();
+        for (spec, out, (xs, cfg)) in [
+            (&specs[0], &batch.outputs[0], (&xa, cfg_a)),
+            (&specs[1], &batch.outputs[1], (&xb, cfg_b)),
+        ]
+        .map(|(s, o, d)| (s, o, d))
+        {
+            let mut app = kvmatch_core::IndexAppender::new(cfg);
+            app.push_chunk(xs);
+            let (solo, _) =
+                app.finish_into(kvmatch_storage::memory::MemoryKvStoreBuilder::new()).unwrap();
+            let store = kvmatch_storage::MemorySeriesStore::new(xs.to_vec());
+            let (want, _) =
+                kvmatch_core::KvMatcher::new(&solo, &store).unwrap().execute(spec).unwrap();
+            assert_eq!(&out.results, &want, "recovered catalog diverged for {}", spec.series);
+        }
+
+        // Third life: appends from the second life survive too.
+        let more = wave(13, 500);
+        cat.append(a, &more).unwrap();
+        drop(cat);
+        let backend = LsmCatalogBackend::open(dir.path(), LsmOptions::tiny()).unwrap();
+        let cat = Catalog::open(backend).unwrap();
+        assert_eq!(cat.series_len(a), Some(xa.len() + more.len()));
+    }
+
+    /// WAL points with no manifest entry (pre-manifest roots, torn
+    /// manifests) must refuse recovery rather than silently dropping the
+    /// series — re-creating it would append from offset 0 over the stale
+    /// chunks and corrupt the next recovery.
+    #[test]
+    fn recovery_refuses_unmanifested_points() {
+        let dir = tempfile::tempdir().unwrap();
+        let id = SeriesId::new(4);
+        {
+            let backend = LsmCatalogBackend::open(dir.path(), LsmOptions::tiny()).unwrap();
+            let mut cat = Catalog::new(backend);
+            cat.create_series(id, IndexBuildConfig::new(25)).unwrap();
+            cat.append(id, &wave(9, 600)).unwrap();
+        }
+        // Simulate a root from before the manifest existed.
+        std::fs::remove_file(dir.path().join("series.conf")).unwrap();
+        let backend = LsmCatalogBackend::open(dir.path(), LsmOptions::tiny()).unwrap();
+        let err = match Catalog::open(backend) {
+            Err(e) => e,
+            Ok(_) => panic!("unmanifested points must not vanish"),
+        };
+        assert!(err.to_string().contains("series.conf has no entry"), "unexpected error: {err}");
     }
 
     #[test]

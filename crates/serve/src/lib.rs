@@ -1,0 +1,83 @@
+//! # kvmatch-serve — the query-serving front door
+//!
+//! The paper's deployment target (§VII: data-center / IoT monitoring)
+//! has *many clients* firing subsequence-matching queries concurrently
+//! against live-ingesting series. The layers below this crate already
+//! batch well — [`QueryExecutor`](kvmatch_core::QueryExecutor) amortizes
+//! index probes and fans verification out over a thread pool — but they
+//! expose a synchronous "hand me a `Vec<QuerySpec>`" interface. This
+//! crate turns that into a service:
+//!
+//! * **Submission handles.** Clients submit individual
+//!   [`QueryRequest`]s (range or top-k, per-series, optional deadline)
+//!   to a [`QueryService`] from any number of threads and get a
+//!   [`ResponseHandle`] — a one-shot future resolved by the scheduler.
+//! * **Micro-batching scheduler.** A dedicated thread owns the
+//!   [`Catalog`](kvmatch_core::Catalog) and drains the submission queue
+//!   into batches, flushing on **batch size or deadline, whichever
+//!   first** ([`ServeConfig::max_batch`] /
+//!   [`ServeConfig::max_batch_delay`]); formed batches run on the
+//!   existing executor, so concurrent requests share probe work exactly
+//!   like a hand-assembled batch, and per-request identity is preserved
+//!   in the fan-back.
+//! * **Backpressure.** Admission control is a bounded queue: a full
+//!   queue answers [`Submit::Rejected`] immediately (or after a bounded
+//!   wait via [`QueryService::submit_timeout`]) instead of buffering
+//!   without limit. Per-request deadlines expire queued work that waited
+//!   too long.
+//! * **Metrics.** A registry records queue depth, batch occupancy,
+//!   admission/completion counters and latency percentiles
+//!   (p50/p95/p99) — [`QueryService::metrics`].
+//!
+//! The build environment has no tokio, so the async surface is built on
+//! `std::thread` + in-crate channel primitives ([`sync`]), mirroring the
+//! workspace's `std::thread::scope` idiom.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use kvmatch_core::{Catalog, IndexBuildConfig, MemoryCatalogBackend, QuerySpec, SeriesId};
+//! use kvmatch_serve::{QueryRequest, QueryService, ServeConfig, Submit};
+//!
+//! // A catalog with one series.
+//! let id = SeriesId::new(1);
+//! let xs: Vec<f64> = (0..3000).map(|i| (i as f64 * 0.05).sin() * 2.0).collect();
+//! let mut catalog = Catalog::new(MemoryCatalogBackend);
+//! catalog.create_series_with(id, IndexBuildConfig::new(50), &xs).unwrap();
+//!
+//! // Serve it. The scheduler thread now owns the catalog.
+//! let service = QueryService::spawn(catalog, ServeConfig::default());
+//!
+//! // Top-3 nearest subsequences to a pattern, plus a plain range query.
+//! let topk = QueryRequest::top_k(QuerySpec::rsm_ed(xs[300..500].to_vec(), 5.0).with_series(id), 3);
+//! let range = QueryRequest::range(QuerySpec::rsm_ed(xs[900..1100].to_vec(), 1e-6).with_series(id));
+//! let topk = service.submit(topk).expect_accepted();
+//! let range = service.submit(range).expect_accepted();
+//!
+//! let response = topk.wait().unwrap();
+//! assert_eq!(response.results[0].offset, 300, "nearest-first: the self-match leads");
+//! assert!(response.results.len() <= 3);
+//! assert_eq!(range.wait().unwrap().results[0].offset, 900);
+//!
+//! // Live ingestion goes through the same queue (ordered w.r.t. queries).
+//! let more: Vec<f64> = (0..500).map(|i| (i as f64 * 0.05).cos()).collect();
+//! service.append(id, more, std::time::Duration::from_secs(1)).unwrap().wait().unwrap();
+//!
+//! let m = service.metrics();
+//! assert_eq!(m.completed, 2);
+//! assert!(m.latency_p99_us >= m.latency_p50_us);
+//!
+//! // Graceful shutdown returns the catalog (with the appended points).
+//! let catalog = service.shutdown();
+//! assert_eq!(catalog.series_len(id), Some(3500));
+//! ```
+
+pub mod metrics;
+pub mod service;
+pub mod sync;
+
+pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
+pub use service::{
+    AppendHandle, QueryKind, QueryRequest, QueryResponse, QueryService, RejectedAppend,
+    ResponseHandle, ServeConfig, ServeError, Submit,
+};

@@ -1,0 +1,509 @@
+//! The query service: submission handles, micro-batching scheduler,
+//! admission control and fan-back.
+//!
+//! ```text
+//!  clients                    scheduler thread (owns the Catalog)
+//!  ───────                    ──────────────────────────────────
+//!  submit ──► BoundedQueue ──► drain (flush on batch-size OR deadline)
+//!    │            │                │
+//!    │       full? Rejected        ├─ expire jobs past their deadline
+//!    │      (backpressure)         ├─ QueryExecutor::execute_batch
+//!    │                             │    (shared probes, fanned verify,
+//!    ▼                             │     per-query top-k tightening)
+//!  ResponseHandle ◄── oneshot ─────┴─ fan results back per request
+//! ```
+//!
+//! Identity is preserved end-to-end: each request owns a oneshot channel,
+//! the scheduler forms batches in submission order, and
+//! `execute_batch` returns outputs in input order, so the zip back onto
+//! the per-request senders can never cross wires.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use kvmatch_core::catalog::{Catalog, CatalogBackend};
+use kvmatch_core::exec::QueryOutput;
+use kvmatch_core::{CoreError, MatchResult, MatchStats, QuerySpec, SeriesId};
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::sync::{oneshot, BoundedQueue, PushError};
+
+/// Tuning knobs of a [`QueryService`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Admission-control bound: requests queued at once. A full queue
+    /// rejects ([`Submit::Rejected`]) — that rejection *is* the
+    /// backpressure signal.
+    pub queue_capacity: usize,
+    /// Scheduler flush trigger 1: dispatch once this many commands are
+    /// drained into the forming batch.
+    pub max_batch: usize,
+    /// Scheduler flush trigger 2: dispatch at latest this long after the
+    /// batch's first command arrived, full or not — bounds the latency
+    /// cost of waiting for batchmates.
+    pub max_batch_delay: Duration,
+    /// Deadline applied to requests that don't carry their own (`None` =
+    /// no default deadline).
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 256,
+            max_batch: 32,
+            max_batch_delay: Duration::from_millis(2),
+            default_deadline: None,
+        }
+    }
+}
+
+/// What a request asks for — derived from
+/// [`QuerySpec::limit`](kvmatch_core::QuerySpec) but named explicitly at
+/// the serving surface.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Every subsequence within ε, offset order.
+    Range,
+    /// The k nearest subsequences within ε, nearest-first.
+    TopK(usize),
+}
+
+/// One client request: a routed query spec plus an optional per-request
+/// deadline (measured from submission; expired requests are answered
+/// with [`ServeError::DeadlineExceeded`] instead of being executed).
+#[derive(Clone, Debug)]
+pub struct QueryRequest {
+    /// The query, already routed at a series via
+    /// [`QuerySpec::with_series`](kvmatch_core::QuerySpec::with_series).
+    pub spec: QuerySpec,
+    /// Per-request deadline; `None` falls back to
+    /// [`ServeConfig::default_deadline`].
+    pub deadline: Option<Duration>,
+}
+
+impl QueryRequest {
+    /// A range request (clears any top-k limit on the spec).
+    pub fn range(mut spec: QuerySpec) -> Self {
+        spec.limit = None;
+        Self { spec, deadline: None }
+    }
+
+    /// A top-k request: the `k` nearest subsequences within the spec's ε.
+    pub fn top_k(spec: QuerySpec, k: usize) -> Self {
+        Self { spec: spec.top_k(k), deadline: None }
+    }
+
+    /// The request's kind.
+    pub fn kind(&self) -> QueryKind {
+        match self.spec.limit {
+            Some(k) => QueryKind::TopK(k),
+            None => QueryKind::Range,
+        }
+    }
+
+    /// Attaches a deadline (builder style).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// A served answer.
+#[derive(Clone, Debug)]
+pub struct QueryResponse {
+    /// Range: qualified subsequences in offset order. Top-k: the k
+    /// nearest, nearest-first (ties by lower offset).
+    pub results: Vec<MatchResult>,
+    /// The executor's per-query statistics.
+    pub stats: MatchStats,
+    /// Submit→response latency as measured by the service.
+    pub latency: Duration,
+}
+
+/// Serving-layer failures, delivered through the response channel.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Admission control turned the command away (queue full for the
+    /// whole wait).
+    Rejected,
+    /// The request's deadline passed while it was still queued.
+    DeadlineExceeded,
+    /// The service shut down before producing a response.
+    ShutDown,
+    /// The query itself failed.
+    Query(CoreError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Rejected => write!(f, "rejected by admission control (queue full)"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before dispatch"),
+            ServeError::ShutDown => write!(f, "service shut down"),
+            ServeError::Query(e) => write!(f, "query failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Query(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Admission-control outcome of a submission.
+#[must_use = "a rejected submission must be handled (retry, shed, or back off)"]
+pub enum Submit {
+    /// Admitted — await the response on the handle.
+    Accepted(ResponseHandle),
+    /// Bounded queue full: explicit backpressure. The request is handed
+    /// back untouched for retry/shedding.
+    Rejected(QueryRequest),
+    /// The service is shutting down; the request is handed back.
+    Closed(QueryRequest),
+}
+
+impl Submit {
+    /// Unwraps the accepted handle.
+    ///
+    /// # Panics
+    /// Panics when the submission was rejected or the service closed.
+    pub fn expect_accepted(self) -> ResponseHandle {
+        match self {
+            Submit::Accepted(h) => h,
+            Submit::Rejected(_) => panic!("submission rejected (queue full)"),
+            Submit::Closed(_) => panic!("service closed"),
+        }
+    }
+
+    /// True for [`Submit::Accepted`].
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Submit::Accepted(_))
+    }
+}
+
+/// The client's future: one response, delivered exactly once.
+pub struct ResponseHandle {
+    rx: oneshot::Receiver<Result<QueryResponse, ServeError>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Result<QueryResponse, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShutDown))
+    }
+
+    /// Blocks up to `timeout`; `None` means "not ready yet" (the handle
+    /// stays usable).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<QueryResponse, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(oneshot::RecvTimeoutError::Timeout) => None,
+            Err(oneshot::RecvTimeoutError::Disconnected) => Some(Err(ServeError::ShutDown)),
+        }
+    }
+}
+
+/// Acknowledgement future of an [`QueryService::append`] command.
+pub struct AppendHandle {
+    rx: oneshot::Receiver<Result<(), ServeError>>,
+}
+
+impl AppendHandle {
+    /// Blocks until the append was applied (durably, for durable
+    /// backends) or failed.
+    pub fn wait(self) -> Result<(), ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShutDown))
+    }
+}
+
+/// A turned-away append: the error plus the caller's points, handed back
+/// untouched so they can be retried — the same contract as
+/// [`Submit::Rejected`] for queries.
+#[derive(Debug)]
+pub struct RejectedAppend {
+    /// Why the append was not admitted ([`ServeError::Rejected`] or
+    /// [`ServeError::ShutDown`]).
+    pub error: ServeError,
+    /// The points, returned unconsumed.
+    pub points: Vec<f64>,
+}
+
+/// One queued command.
+enum Command {
+    Query(Job),
+    Append { series: SeriesId, points: Vec<f64>, tx: oneshot::Sender<Result<(), ServeError>> },
+}
+
+struct Job {
+    spec: QuerySpec,
+    deadline: Option<Duration>,
+    submitted: Instant,
+    tx: oneshot::Sender<Result<QueryResponse, ServeError>>,
+}
+
+impl Job {
+    /// Whether the job's effective deadline — its own, falling back to
+    /// the service default — passed before `now`.
+    fn expired(&self, now: Instant, default_deadline: Option<Duration>) -> bool {
+        self.deadline.or(default_deadline).is_some_and(|d| now.duration_since(self.submitted) > d)
+    }
+}
+
+struct Shared {
+    queue: BoundedQueue<Command>,
+    metrics: Metrics,
+    config: ServeConfig,
+}
+
+/// The serving front door over a [`Catalog`]: spawn it with the catalog,
+/// submit [`QueryRequest`]s from any number of threads, receive
+/// [`ResponseHandle`]s. See the [crate docs](crate) for the quick-start.
+pub struct QueryService<B: CatalogBackend> {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<Catalog<B>>>,
+}
+
+impl<B> QueryService<B>
+where
+    B: CatalogBackend + Send + 'static,
+    B::Store: Send + Sync + 'static,
+    B::Data: Send + Sync + 'static,
+{
+    /// Takes ownership of `catalog` and starts the scheduler thread.
+    /// [`QueryService::shutdown`] hands the catalog back.
+    pub fn spawn(catalog: Catalog<B>, config: ServeConfig) -> Self {
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            metrics: Metrics::default(),
+            config,
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("kvmatch-serve-scheduler".into())
+            .spawn(move || scheduler(catalog, worker_shared))
+            .expect("spawn scheduler thread");
+        Self { shared, worker: Some(worker) }
+    }
+
+    /// Non-blocking submission: admitted or immediately
+    /// [`Submit::Rejected`] when the bounded queue is full.
+    pub fn submit(&self, request: QueryRequest) -> Submit {
+        self.submit_inner(request, None)
+    }
+
+    /// Blocking submission: waits up to `wait` for queue space before
+    /// giving up with [`Submit::Rejected`].
+    pub fn submit_timeout(&self, request: QueryRequest, wait: Duration) -> Submit {
+        self.submit_inner(request, Some(wait))
+    }
+
+    fn submit_inner(&self, request: QueryRequest, wait: Option<Duration>) -> Submit {
+        let (tx, rx) = oneshot::channel();
+        let job = Command::Query(Job {
+            spec: request.spec,
+            // Keep the request's own deadline (the service default is
+            // applied at dispatch) so a rejected submission hands the
+            // request back truly untouched.
+            deadline: request.deadline,
+            submitted: Instant::now(),
+            tx,
+        });
+        let pushed = match wait {
+            None => self.shared.queue.try_push(job),
+            Some(d) => self.shared.queue.push_timeout(job, d),
+        };
+        match pushed {
+            Ok(()) => {
+                let m = &self.shared.metrics;
+                m.submitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                m.queue_depth_peak.fetch_max(
+                    self.shared.queue.len() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+                Submit::Accepted(ResponseHandle { rx })
+            }
+            Err(PushError::Full(cmd)) => {
+                self.shared.metrics.rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Submit::Rejected(recover_request(cmd))
+            }
+            Err(PushError::Closed(cmd)) => Submit::Closed(recover_request(cmd)),
+        }
+    }
+
+    /// Enqueues a streaming append; it executes in submission order
+    /// relative to queries (queries submitted after the append see the
+    /// new points). Shares the bounded queue — and therefore the
+    /// backpressure — with queries; a turned-away append hands the
+    /// points back ([`RejectedAppend`]) so the caller can retry.
+    pub fn append(
+        &self,
+        series: SeriesId,
+        points: Vec<f64>,
+        wait: Duration,
+    ) -> Result<AppendHandle, RejectedAppend> {
+        let (tx, rx) = oneshot::channel();
+        match self.shared.queue.push_timeout(Command::Append { series, points, tx }, wait) {
+            Ok(()) => Ok(AppendHandle { rx }),
+            Err(PushError::Full(Command::Append { points, .. })) => {
+                self.shared.metrics.rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                Err(RejectedAppend { error: ServeError::Rejected, points })
+            }
+            Err(PushError::Closed(Command::Append { points, .. })) => {
+                Err(RejectedAppend { error: ServeError::ShutDown, points })
+            }
+            Err(PushError::Full(_) | PushError::Closed(_)) => {
+                unreachable!("append pushes come back as appends")
+            }
+        }
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot(self.shared.queue.len())
+    }
+
+    /// Graceful shutdown: stops admissions, serves everything already
+    /// queued, joins the scheduler and hands the catalog back.
+    pub fn shutdown(mut self) -> Catalog<B> {
+        self.shared.queue.close();
+        self.worker.take().expect("shutdown runs once").join().expect("scheduler panicked")
+    }
+}
+
+impl<B: CatalogBackend> Drop for QueryService<B> {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            self.shared.queue.close();
+            let _ = worker.join();
+        }
+    }
+}
+
+fn recover_request(cmd: Command) -> QueryRequest {
+    match cmd {
+        Command::Query(job) => QueryRequest { spec: job.spec, deadline: job.deadline },
+        Command::Append { .. } => unreachable!("submissions only enqueue queries"),
+    }
+}
+
+/// The scheduler loop: drain → (expire, batch, dispatch) → fan back.
+fn scheduler<B>(mut catalog: Catalog<B>, shared: Arc<Shared>) -> Catalog<B>
+where
+    B: CatalogBackend,
+    B::Data: Sync,
+{
+    while let Some(first) = shared.queue.pop_wait() {
+        // Micro-batch formation: the first command opens the batch; keep
+        // draining until it is full or its flush deadline passes,
+        // whichever comes first.
+        let mut commands = vec![first];
+        let flush_at = Instant::now() + shared.config.max_batch_delay;
+        while commands.len() < shared.config.max_batch {
+            match shared.queue.pop_before(flush_at) {
+                Some(cmd) => commands.push(cmd),
+                None => break,
+            }
+        }
+
+        // Process in submission order; maximal runs of consecutive
+        // queries form one executor batch, appends are barriers (a query
+        // submitted after an append must see its points).
+        let mut run: Vec<Job> = Vec::new();
+        for cmd in commands {
+            match cmd {
+                Command::Query(job) => run.push(job),
+                Command::Append { series, points, tx } => {
+                    dispatch(&mut catalog, std::mem::take(&mut run), &shared);
+                    let outcome = catalog.append(series, &points).map_err(ServeError::Query);
+                    shared.metrics.appends.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let _ = tx.send(outcome);
+                }
+            }
+        }
+        dispatch(&mut catalog, run, &shared);
+    }
+    catalog
+}
+
+/// Executes one run of queries as a single batch and fans the results
+/// back onto each job's channel.
+fn dispatch<B>(catalog: &mut Catalog<B>, run: Vec<Job>, shared: &Shared)
+where
+    B: CatalogBackend,
+    B::Data: Sync,
+{
+    use std::sync::atomic::Ordering::Relaxed;
+    let metrics = &shared.metrics;
+    if run.is_empty() {
+        return;
+    }
+    // Per-request deadlines are enforced at dispatch: an expired job is
+    // answered without being executed (execution itself is not
+    // interruptible — the deadline bounds *queueing*, the dominant delay
+    // under load).
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(run.len());
+    for job in run {
+        if job.expired(now, shared.config.default_deadline) {
+            metrics.expired.fetch_add(1, Relaxed);
+            let _ = job.tx.send(Err(ServeError::DeadlineExceeded));
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    metrics.note_batch(live.len());
+    // Move the specs out of the jobs instead of deep-cloning every query
+    // vector on the (single) scheduler thread — the batch and the jobs
+    // stay index-aligned, so the fan-back zips them straight together.
+    let (specs, clients): (Vec<QuerySpec>, Vec<JobClient>) = live
+        .into_iter()
+        .map(|job| (job.spec, JobClient { submitted: job.submitted, tx: job.tx }))
+        .unzip();
+    match catalog.execute_batch(&specs) {
+        Ok(batch) => {
+            debug_assert_eq!(batch.outputs.len(), clients.len());
+            for (client, out) in clients.into_iter().zip(batch.outputs) {
+                respond(client, out, metrics);
+            }
+        }
+        // A batch fails as a unit (e.g. one invalid or misrouted spec).
+        // Isolate: re-run each request alone so only the offender fails.
+        Err(_) => {
+            for (spec, client) in specs.iter().zip(clients) {
+                match catalog.execute_batch(std::slice::from_ref(spec)) {
+                    Ok(mut batch) => {
+                        let out = batch.outputs.pop().expect("one spec yields one output");
+                        respond(client, out, metrics);
+                    }
+                    Err(e) => {
+                        metrics.failed.fetch_add(1, Relaxed);
+                        let _ = client.tx.send(Err(ServeError::Query(e)));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The part of a [`Job`] needed to answer it once its spec has been
+/// moved into the executor batch.
+struct JobClient {
+    submitted: Instant,
+    tx: oneshot::Sender<Result<QueryResponse, ServeError>>,
+}
+
+fn respond(client: JobClient, out: QueryOutput, metrics: &Metrics) {
+    let latency = client.submitted.elapsed();
+    metrics.latency.record(latency);
+    metrics.completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let _ = client.tx.send(Ok(QueryResponse { results: out.results, stats: out.stats, latency }));
+}

@@ -1,0 +1,368 @@
+//! Minimal channel primitives for the serving layer.
+//!
+//! The build environment has no tokio (or crossbeam), so the async
+//! surface of [`QueryService`](crate::QueryService) is built on
+//! `std::thread` plus the two primitives here, mirroring the workspace's
+//! existing `std::thread::scope` idiom:
+//!
+//! * [`oneshot`] — a single-value channel carrying one response from the
+//!   scheduler back to the submitting client (the "future" a submission
+//!   returns);
+//! * [`BoundedQueue`] — a multi-producer bounded FIFO with blocking,
+//!   timed and non-blocking pushes. Its bounded capacity *is* the
+//!   admission-control mechanism: a full queue is backpressure.
+//!
+//! Both are Mutex + Condvar underneath; no spinning, no unsafe.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// One-value, one-use channel: the scheduler's side of a submitted
+/// request.
+pub mod oneshot {
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::Duration;
+
+    enum Slot<T> {
+        /// Nothing sent yet, sender alive.
+        Empty,
+        /// Value delivered, not yet taken.
+        Value(T),
+        /// Sender dropped without sending.
+        Closed,
+        /// Value already consumed by the receiver.
+        Taken,
+    }
+
+    struct Inner<T> {
+        slot: Mutex<Slot<T>>,
+        ready: Condvar,
+    }
+
+    /// Sending half; consumed by [`Sender::send`]. Dropping it unsent
+    /// wakes the receiver with a disconnect.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// Receiving half.
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    /// The sender was dropped without sending.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a timed receive.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No value within the timeout; the sender may still deliver.
+        Timeout,
+        /// The sender was dropped without sending.
+        Disconnected,
+    }
+
+    /// A fresh channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner { slot: Mutex::new(Slot::Empty), ready: Condvar::new() });
+        (Sender(Arc::clone(&inner)), Receiver(inner))
+    }
+
+    impl<T> Sender<T> {
+        /// Delivers the value, waking the receiver. Returns the value
+        /// back when the receiver is already gone.
+        pub fn send(self, value: T) -> Result<(), T> {
+            let mut slot = self.0.slot.lock().expect("oneshot mutex poisoned");
+            match *slot {
+                Slot::Empty => {
+                    *slot = Slot::Value(value);
+                    drop(slot);
+                    self.0.ready.notify_one();
+                    // The normal Drop sees a non-Empty slot and leaves it.
+                    Ok(())
+                }
+                _ => Err(value),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut slot = self.0.slot.lock().expect("oneshot mutex poisoned");
+            if matches!(*slot, Slot::Empty) {
+                *slot = Slot::Closed;
+                drop(slot);
+                self.0.ready.notify_one();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until the value arrives (or the sender is dropped).
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut slot = self.0.slot.lock().expect("oneshot mutex poisoned");
+            loop {
+                match std::mem::replace(&mut *slot, Slot::Taken) {
+                    Slot::Value(v) => return Ok(v),
+                    Slot::Closed => {
+                        *slot = Slot::Closed;
+                        return Err(RecvError);
+                    }
+                    Slot::Taken => return Err(RecvError),
+                    Slot::Empty => {
+                        *slot = Slot::Empty;
+                        slot = self.0.ready.wait(slot).expect("oneshot mutex poisoned");
+                    }
+                }
+            }
+        }
+
+        /// Blocks up to `timeout` for the value.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut slot = self.0.slot.lock().expect("oneshot mutex poisoned");
+            loop {
+                match std::mem::replace(&mut *slot, Slot::Taken) {
+                    Slot::Value(v) => return Ok(v),
+                    Slot::Closed => {
+                        *slot = Slot::Closed;
+                        return Err(RecvTimeoutError::Disconnected);
+                    }
+                    Slot::Taken => return Err(RecvTimeoutError::Disconnected),
+                    Slot::Empty => {
+                        *slot = Slot::Empty;
+                        let now = std::time::Instant::now();
+                        if now >= deadline {
+                            return Err(RecvTimeoutError::Timeout);
+                        }
+                        let (guard, _) = self
+                            .0
+                            .ready
+                            .wait_timeout(slot, deadline - now)
+                            .expect("oneshot mutex poisoned");
+                        slot = guard;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Failed push: the item is handed back so the caller can retry or
+/// surface the rejection.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity (and stayed there for the whole wait).
+    Full(T),
+    /// The queue was closed; no further items are accepted.
+    Closed(T),
+}
+
+struct QueueInner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A multi-producer bounded FIFO. Producers see explicit backpressure
+/// ([`PushError::Full`]); the (single) consumer drains with blocking or
+/// deadline-bounded pops. [`BoundedQueue::close`] stops admissions while
+/// letting the consumer drain what was already accepted.
+pub struct BoundedQueue<T> {
+    capacity: usize,
+    inner: Mutex<QueueInner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `capacity` items (≥ 1) at a time.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(QueueInner { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Maximum queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue mutex poisoned").items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking push; `Full` is the backpressure signal.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        inner.items.push_back(item);
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: waits up to `timeout` for space, then gives up with
+    /// `Full`.
+    pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), PushError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed(item));
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(PushError::Full(item));
+            }
+            let (guard, _) =
+                self.not_full.wait_timeout(inner, deadline - now).expect("queue mutex poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Blocks until an item is available. Returns `None` only when the
+    /// queue is closed *and* fully drained — the consumer's exit signal.
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.not_empty.wait(inner).expect("queue mutex poisoned");
+        }
+    }
+
+    /// Blocks until an item is available or `deadline` passes. `None`
+    /// means "nothing by the deadline" (or closed-and-drained) — the
+    /// micro-batch flush signal.
+    pub fn pop_before(&self, deadline: Instant) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                drop(inner);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if inner.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) =
+                self.not_empty.wait_timeout(inner, deadline - now).expect("queue mutex poisoned");
+            inner = guard;
+        }
+    }
+
+    /// Stops admissions (pushes fail with `Closed`) and wakes everyone.
+    /// Already-queued items stay poppable so a graceful shutdown serves
+    /// what it admitted.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue mutex poisoned").closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oneshot_delivers_once() {
+        let (tx, rx) = oneshot::channel();
+        tx.send(7usize).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(oneshot::RecvError), "second recv is a disconnect");
+    }
+
+    #[test]
+    fn oneshot_disconnects_on_sender_drop() {
+        let (tx, rx) = oneshot::channel::<usize>();
+        drop(tx);
+        assert_eq!(rx.recv(), Err(oneshot::RecvError));
+        let (tx, rx) = oneshot::channel::<usize>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(oneshot::RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(oneshot::RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn oneshot_crosses_threads() {
+        let (tx, rx) = oneshot::channel();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send(42u64).unwrap();
+            });
+            assert_eq!(rx.recv(), Ok(42));
+        });
+    }
+
+    #[test]
+    fn queue_backpressure_and_fifo() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(matches!(q.try_push(3), Err(PushError::Full(3))), "capacity enforced");
+        assert!(matches!(q.push_timeout(3, Duration::from_millis(5)), Err(PushError::Full(3))));
+        assert_eq!(q.pop_wait(), Some(1));
+        assert_eq!(q.pop_wait(), Some(2));
+        assert_eq!(q.pop_before(Instant::now() + Duration::from_millis(5)), None);
+    }
+
+    #[test]
+    fn close_rejects_pushes_but_drains() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert!(matches!(q.try_push(2), Err(PushError::Closed(2))));
+        assert_eq!(q.pop_wait(), Some(1), "admitted items survive close");
+        assert_eq!(q.pop_wait(), None, "drained + closed ends the consumer");
+    }
+
+    #[test]
+    fn blocked_push_wakes_when_space_frees() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                assert_eq!(q.pop_wait(), Some(1));
+            });
+            q.push_timeout(2, Duration::from_secs(5)).unwrap();
+        });
+        assert_eq!(q.pop_wait(), Some(2));
+    }
+}

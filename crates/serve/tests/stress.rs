@@ -1,0 +1,211 @@
+//! The acceptance stress test: ≥ 8 concurrent submitter threads drive a
+//! mixed range + top-k workload over multiple series through one
+//! [`QueryService`], under a deliberately undersized admission queue.
+//!
+//! Asserts, for every single request:
+//! * the served result is **bit-identical** to a direct sequential
+//!   [`KvMatcher`] run over the same (appender-built) layout;
+//! * nothing deadlocks (the test finishes — every retry loop converges);
+//! * bounded-queue rejection is observed and counted once offered load
+//!   exceeds capacity, and the service's rejection counter agrees with
+//!   the submitters' own tally.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use kvmatch_core::{
+    Catalog, IndexAppender, IndexBuildConfig, KvMatcher, MatchResult, MemoryCatalogBackend,
+    QuerySpec, SeriesId,
+};
+use kvmatch_serve::{QueryRequest, QueryService, ServeConfig, Submit};
+use kvmatch_storage::memory::MemoryKvStoreBuilder;
+use kvmatch_storage::MemorySeriesStore;
+use kvmatch_timeseries::generator::composite_series;
+
+const SUBMITTERS: usize = 8;
+const REQUESTS_PER_THREAD: usize = 24;
+
+#[test]
+fn eight_submitters_mixed_workload_bit_identical_with_backpressure() {
+    // Three series of different lengths and content.
+    let ids = [SeriesId::new(1), SeriesId::new(4), SeriesId::new(9)];
+    let series: Vec<Vec<f64>> = vec![
+        composite_series(101, 6_000),
+        composite_series(102, 5_000),
+        composite_series(103, 7_000),
+    ];
+
+    let mut catalog = Catalog::new(MemoryCatalogBackend);
+    for (id, xs) in ids.iter().zip(&series) {
+        catalog.create_series_with(*id, IndexBuildConfig::new(50), xs).unwrap();
+    }
+
+    // The request pool: per series, a rotation of range-ED, top-k-ED,
+    // range-DTW, top-k-cNSM — with a planted duplicate so top-k tie
+    // handling is exercised under concurrency.
+    let mut pool: Vec<QueryRequest> = Vec::new();
+    for (i, (id, xs)) in ids.iter().zip(&series).enumerate() {
+        for k in 0..4usize {
+            let at = 400 + 911 * k + 137 * i;
+            let q = xs[at..at + 200].to_vec();
+            let req = match k % 4 {
+                0 => QueryRequest::range(QuerySpec::rsm_ed(q, 10.0).with_series(*id)),
+                1 => QueryRequest::top_k(QuerySpec::rsm_ed(q, 50.0).with_series(*id), 3),
+                2 => QueryRequest::range(QuerySpec::rsm_dtw(q, 6.0, 5).with_series(*id)),
+                _ => QueryRequest::top_k(QuerySpec::cnsm_ed(q, 3.0, 1.5, 4.0).with_series(*id), 4),
+            };
+            pool.push(req);
+        }
+    }
+
+    // Ground truth: a dedicated sequential matcher per series, over the
+    // same appender-built index layout the catalog materializes.
+    let expected: Vec<Vec<MatchResult>> = pool
+        .iter()
+        .map(|req| {
+            let i = ids.iter().position(|id| *id == req.spec.series).unwrap();
+            let mut app = IndexAppender::new(IndexBuildConfig::new(50));
+            app.push_chunk(&series[i]);
+            let (idx, _) = app.finish_into(MemoryKvStoreBuilder::new()).unwrap();
+            let data = MemorySeriesStore::new(series[i].clone());
+            let (want, _) = KvMatcher::new(&idx, &data).unwrap().execute(&req.spec).unwrap();
+            want
+        })
+        .collect();
+
+    // Undersized queue: 8 threads × 24 requests against 4 slots — the
+    // non-blocking first attempt must hit a full queue somewhere.
+    let service = QueryService::spawn(
+        catalog,
+        ServeConfig {
+            queue_capacity: 4,
+            max_batch: 8,
+            max_batch_delay: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+
+    let local_rejections = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..SUBMITTERS {
+            let service = &service;
+            let pool = &pool;
+            let expected = &expected;
+            let local_rejections = &local_rejections;
+            scope.spawn(move || {
+                for r in 0..REQUESTS_PER_THREAD {
+                    let which = (t * 7 + r) % pool.len();
+                    // Submit with retry: the non-blocking attempt counts
+                    // rejections, the timed fallback loops until admitted
+                    // (convergence doubles as the deadlock check).
+                    let mut request = pool[which].clone();
+                    let handle = loop {
+                        match service.submit(request) {
+                            Submit::Accepted(h) => break h,
+                            Submit::Rejected(returned) => {
+                                local_rejections.fetch_add(1, Ordering::Relaxed);
+                                request = returned;
+                            }
+                            Submit::Closed(_) => panic!("service closed mid-test"),
+                        }
+                        match service.submit_timeout(request, Duration::from_millis(50)) {
+                            Submit::Accepted(h) => break h,
+                            Submit::Rejected(returned) => {
+                                local_rejections.fetch_add(1, Ordering::Relaxed);
+                                request = returned;
+                            }
+                            Submit::Closed(_) => panic!("service closed mid-test"),
+                        }
+                    };
+                    let response = handle.wait().expect("admitted requests are served");
+                    assert_eq!(
+                        response.results, expected[which],
+                        "thread {t} request {r} (pool #{which}) diverged from the \
+                         sequential matcher"
+                    );
+                }
+            });
+        }
+    });
+
+    let m = service.metrics();
+    let offered = (SUBMITTERS * REQUESTS_PER_THREAD) as u64;
+    assert_eq!(m.completed, offered, "every request must be answered exactly once");
+    assert_eq!(m.submitted, offered, "retries are not double-admitted");
+    assert!(
+        m.rejected > 0,
+        "offered load over a 4-slot queue must trip admission control at least once"
+    );
+    assert_eq!(
+        m.rejected,
+        local_rejections.load(Ordering::Relaxed),
+        "service rejection counter must agree with the submitters' tally"
+    );
+    assert!(m.batches >= 1 && m.avg_batch_occupancy >= 1.0);
+    assert!(m.max_batch_occupancy <= 8, "scheduler must honour max_batch");
+    assert_eq!(m.failed, 0);
+    assert_eq!(m.expired, 0);
+    assert!(m.latency_p50_us <= m.latency_p95_us && m.latency_p95_us <= m.latency_p99_us);
+    service.shutdown();
+}
+
+/// Concurrent submitters and live appends: streamed points become
+/// queryable and never corrupt concurrent answers.
+#[test]
+fn concurrent_appends_and_queries_stay_consistent() {
+    let id = SeriesId::new(2);
+    let base = composite_series(201, 4_000);
+    let tail = composite_series(202, 2_000);
+    let mut catalog = Catalog::new(MemoryCatalogBackend);
+    catalog.create_series_with(id, IndexBuildConfig::new(50), &base).unwrap();
+    let service =
+        QueryService::spawn(catalog, ServeConfig { queue_capacity: 64, ..ServeConfig::default() });
+
+    // The probe targets base data only: its answer must be a superset-
+    // stable prefix regardless of how much of the tail has landed. Use a
+    // query whose matches all live in the base region.
+    let probe_spec = QuerySpec::rsm_ed(base[1_000..1_200].to_vec(), 1e-9).with_series(id);
+
+    std::thread::scope(|scope| {
+        // One appender streams the tail in chunks.
+        let svc = &service;
+        let tail_ref = &tail;
+        scope.spawn(move || {
+            for chunk in tail_ref.chunks(250) {
+                svc.append(id, chunk.to_vec(), Duration::from_secs(5))
+                    .expect("append admitted")
+                    .wait()
+                    .expect("append applied");
+            }
+        });
+        // Eight query threads hammer the self-match probe throughout.
+        for _ in 0..8 {
+            let svc = &service;
+            let spec = probe_spec.clone();
+            scope.spawn(move || {
+                for _ in 0..10 {
+                    let resp = svc
+                        .submit_timeout(QueryRequest::range(spec.clone()), Duration::from_secs(5))
+                        .expect_accepted()
+                        .wait()
+                        .expect("query served");
+                    assert!(
+                        resp.results.iter().any(|r| r.offset == 1_000),
+                        "self-match lost during concurrent ingestion"
+                    );
+                }
+            });
+        }
+    });
+
+    // After shutdown the handed-back catalog holds the full stream, and
+    // the tail is queryable.
+    let mut catalog = service.shutdown();
+    assert_eq!(catalog.series_len(id), Some(6_000));
+    let tail_probe = QuerySpec::rsm_ed(tail[500..700].to_vec(), 1e-9).with_series(id);
+    let batch = catalog.execute_batch(std::slice::from_ref(&tail_probe)).unwrap();
+    assert!(
+        batch.outputs[0].results.iter().any(|r| r.offset == 4_500),
+        "appended tail must be queryable after shutdown"
+    );
+}

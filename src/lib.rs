@@ -17,7 +17,8 @@
 //!
 //! | module | crate | contents |
 //! |---|---|---|
-//! | [`core`] | `kvmatch-core` | KV-index, KV-match, KV-match_DP |
+//! | [`core`] | `kvmatch-core` | KV-index, KV-match, KV-match_DP, catalog, top-k |
+//! | [`serve`] | `kvmatch-serve` | query service: micro-batching scheduler, backpressure, metrics |
 //! | [`timeseries`] | `kvmatch-timeseries` | series container, statistics, generators |
 //! | [`distance`] | `kvmatch-distance` | ED, banded DTW, envelopes, lower bounds |
 //! | [`storage`] | `kvmatch-storage` | file/memory/sharded KV stores, series stores |
@@ -52,19 +53,24 @@ pub use kvmatch_core as core;
 pub use kvmatch_distance as distance;
 pub use kvmatch_lsm as lsm;
 pub use kvmatch_rtree as rtree;
+pub use kvmatch_serve as serve;
 pub use kvmatch_storage as storage;
 pub use kvmatch_timeseries as timeseries;
 
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use kvmatch_core::{
-        Catalog, CatalogBackend, Constraint, CoreError, DpMatcher, DpOptions, ExecutorConfig,
-        IndexAppender, IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher, MatchResult,
-        MatchStats, Measure, MemoryCatalogBackend, MultiIndex, QueryExecutor, QuerySpec, RowCache,
-        SeriesId, ShardedCatalogBackend,
+        select_top_k, Catalog, CatalogBackend, Constraint, CoreError, DpMatcher, DpOptions,
+        ExecutorConfig, IndexAppender, IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher,
+        MatchResult, MatchStats, Measure, MemoryCatalogBackend, MultiIndex, QueryExecutor,
+        QuerySpec, RowCache, SeriesId, ShardedCatalogBackend,
     };
     pub use kvmatch_distance::LpExponent;
     pub use kvmatch_lsm::{LsmCatalogBackend, LsmKvStore, LsmKvStoreBuilder, LsmOptions};
+    pub use kvmatch_serve::{
+        QueryKind, QueryRequest, QueryResponse, QueryService, ResponseHandle, ServeConfig,
+        ServeError, Submit,
+    };
     pub use kvmatch_storage::memory::MemoryKvStoreBuilder;
     pub use kvmatch_storage::{
         FileKvStore, FileKvStoreBuilder, FileSeriesStore, KvStore, MemoryKvStore,

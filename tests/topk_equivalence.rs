@@ -1,0 +1,282 @@
+//! Randomized top-k equivalence suite: the service-facing top-k path
+//! (sequential matcher, DP matcher, batched executor, query service)
+//! against a brute-force full-scan oracle, across query types, with tie
+//! handling pinned down.
+//!
+//! Exactness tiers, matching the verification kernels:
+//!
+//! * **RSM (ED/DTW/Lp)** — the oracle runs the *same* raw-domain kernels
+//!   over the same slices, so results are compared **bit-identically**.
+//! * **cNSM** — candidate µ/σ come from prefix sums anchored differently
+//!   (whole-series oracle vs per-interval matcher), so distances can
+//!   differ at the ~1e-13 level; the comparison tolerates boundary
+//!   near-ties at the k-th slot but nothing else.
+//! * **Any execution path vs any other** (matcher / executor / service)
+//!   — always bit-identical, no tolerance.
+
+use kvmatch::core::naive::naive_search;
+use kvmatch::prelude::*;
+use kvmatch::timeseries::generator::composite_series;
+use kvmatch_serve::{QueryRequest, QueryService, ServeConfig};
+use kvmatch_storage::memory::MemoryKvStoreBuilder;
+
+fn build(xs: &[f64], w: usize) -> KvIndex<MemoryKvStore> {
+    let (idx, _) = KvIndex::<MemoryKvStore>::build_into(
+        xs,
+        IndexBuildConfig::new(w),
+        MemoryKvStoreBuilder::new(),
+    )
+    .unwrap();
+    idx
+}
+
+/// cNSM comparison: same cardinality, pointwise-close distance
+/// sequences, and any offset disagreement confined to near-ties at the
+/// boundary distance.
+fn assert_topk_equiv(got: &[MatchResult], oracle: &[MatchResult], what: &str) {
+    assert_eq!(got.len(), oracle.len(), "{what}: cardinality differs");
+    let tol = 1e-9;
+    for (g, o) in got.iter().zip(oracle) {
+        assert!(
+            (g.distance - o.distance).abs() <= tol * g.distance.abs().max(1.0),
+            "{what}: sorted distance sequences diverge: {g:?} vs {o:?}"
+        );
+    }
+    let boundary = oracle.last().map(|r| r.distance).unwrap_or(0.0);
+    for g in got {
+        if !oracle.iter().any(|o| o.offset == g.offset) {
+            assert!(
+                (g.distance - boundary).abs() <= tol * boundary.abs().max(1.0),
+                "{what}: non-boundary offset {} ({}) not in oracle top-k",
+                g.offset,
+                g.distance
+            );
+        }
+    }
+}
+
+/// Raw-domain queries: matcher vs oracle is bit-identical, and every
+/// execution path agrees bit-identically with every other.
+#[test]
+fn randomized_rsm_topk_is_bit_identical_to_oracle() {
+    for seed in [7u64, 19, 45] {
+        let xs = composite_series(seed, 5_000);
+        let idx = build(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let exec = QueryExecutor::with_config(
+            &idx,
+            &data,
+            ExecutorConfig { threads: 4, ..ExecutorConfig::default() },
+        )
+        .unwrap();
+        let mut specs = Vec::new();
+        for (i, (m, k)) in [(150usize, 1usize), (200, 3), (250, 7), (160, 25)].iter().enumerate() {
+            let at = 300 + seed as usize * 13 + i * 823;
+            let q = xs[at..at + m].to_vec();
+            specs.push(QuerySpec::rsm_ed(q.clone(), 15.0).top_k(*k));
+            specs.push(QuerySpec::rsm_dtw(q.clone(), 8.0, 6).top_k(*k));
+            specs.push(QuerySpec::rsm_lp(q, 20.0, LpExponent::Finite(1)).top_k(*k));
+        }
+        let batch = exec.execute_batch(&specs).unwrap();
+        for (spec, out) in specs.iter().zip(&batch.outputs) {
+            let oracle = naive_search(&xs, spec);
+            let (seq, stats) = matcher.execute(spec).unwrap();
+            assert_eq!(seq, oracle, "seed {seed}: matcher != oracle for {spec:?}");
+            assert_eq!(out.results, seq, "seed {seed}: executor != matcher for {spec:?}");
+            assert_eq!(stats.matches as usize, seq.len());
+            assert!(seq.len() <= spec.limit.unwrap());
+        }
+    }
+}
+
+/// Normalized queries: tolerance against the oracle (different prefix
+/// anchoring), bit-identical across execution paths.
+#[test]
+fn randomized_cnsm_topk_matches_oracle_modulo_boundary_ties() {
+    for seed in [11u64, 29] {
+        let xs = composite_series(seed, 4_000);
+        let idx = build(&xs, 40);
+        let data = MemorySeriesStore::new(xs.clone());
+        let matcher = KvMatcher::new(&idx, &data).unwrap();
+        let exec = QueryExecutor::with_config(
+            &idx,
+            &data,
+            ExecutorConfig { threads: 3, ..ExecutorConfig::default() },
+        )
+        .unwrap();
+        let mut specs = Vec::new();
+        for (i, k) in [2usize, 5, 12].iter().enumerate() {
+            let at = 500 + seed as usize * 17 + i * 731;
+            let q = xs[at..at + 160].to_vec();
+            specs.push(QuerySpec::cnsm_ed(q.clone(), 4.0, 1.6, 5.0).top_k(*k));
+            specs.push(QuerySpec::cnsm_dtw(q, 3.0, 5, 1.6, 5.0).top_k(*k));
+        }
+        let batch = exec.execute_batch(&specs).unwrap();
+        for (spec, out) in specs.iter().zip(&batch.outputs) {
+            let oracle = naive_search(&xs, spec);
+            let (seq, _) = matcher.execute(spec).unwrap();
+            assert_topk_equiv(&seq, &oracle, &format!("seed {seed} {spec:?}"));
+            assert_eq!(out.results, seq, "seed {seed}: executor != matcher for {spec:?}");
+        }
+    }
+}
+
+/// Exact distance ties (planted duplicates) resolve deterministically to
+/// the lowest offsets, everywhere.
+#[test]
+fn tie_handling_keeps_lowest_offsets() {
+    let mut xs = composite_series(77, 6_000);
+    let q = xs[1_000..1_150].to_vec();
+    for at in [2_500usize, 4_000, 5_500] {
+        xs[at..at + 150].copy_from_slice(&q); // four exact copies in total
+    }
+    let idx = build(&xs, 50);
+    let data = MemorySeriesStore::new(xs.clone());
+    let matcher = KvMatcher::new(&idx, &data).unwrap();
+    for k in 1..=5usize {
+        let spec = QuerySpec::rsm_ed(q.clone(), 20.0).top_k(k);
+        let oracle = naive_search(&xs, &spec);
+        let (got, _) = matcher.execute(&spec).unwrap();
+        assert_eq!(got, oracle, "k = {k}");
+        // The zero-distance ties fill the first slots in offset order.
+        let expect_zeros = k.min(4);
+        for (i, want_at) in [1_000usize, 2_500, 4_000, 5_500][..expect_zeros].iter().enumerate() {
+            assert_eq!(got[i].offset, *want_at, "k = {k}: tie order broken");
+            assert_eq!(got[i].distance, 0.0);
+        }
+    }
+    // k beyond the match count returns everything within ε.
+    let spec = QuerySpec::rsm_ed(q, 1e-9).top_k(100);
+    let (got, _) = matcher.execute(&spec).unwrap();
+    assert_eq!(got.len(), 4);
+}
+
+/// Regression: exact ties at a NON-zero distance whose squared value
+/// does not round-trip through sqrt (`fl(sqrt(x))² < x`, e.g. x = 1.5).
+/// Thresholding must stay in the kernel's squared domain, or the shared
+/// best-so-far bound lands strictly below the tie value and abandons
+/// the remaining tied candidates — which showed up as batched results
+/// diverging from sequential depending on worker interleaving.
+#[test]
+fn nonzero_distance_ties_survive_threshold_round_trip() {
+    let xs_base = composite_series(91, 6_000);
+    let q = xs_base[200..350].to_vec();
+    // Plant q shifted by a constant +0.1 at three offsets: each has the
+    // exact same squared ED of 150 · 0.01 = 1.5, and sqrt(1.5)² < 1.5
+    // in f64.
+    let shifted: Vec<f64> = q.iter().map(|v| v + 0.1).collect();
+    let mut xs = xs_base;
+    // Push the extraction site far away so the planted ties are the only
+    // subsequences within ε (no distance-0 self-match outranking them).
+    for v in &mut xs[200..350] {
+        *v += 50.0;
+    }
+    for at in [1_000usize, 2_600, 4_200] {
+        xs[at..at + 150].copy_from_slice(&shifted);
+    }
+    assert!(1.5f64.sqrt().powi(2) < 1.5, "the pivot case this test exists for");
+    let idx = build(&xs, 50);
+    let data = MemorySeriesStore::new(xs.clone());
+    let matcher = KvMatcher::new(&idx, &data).unwrap();
+    // ε between the planted distance and anything else nearby keeps the
+    // contest to the three exact ties.
+    for k in [1usize, 2, 3] {
+        let spec = QuerySpec::rsm_ed(q.clone(), 1.3).top_k(k);
+        let (seq, _) = matcher.execute(&spec).unwrap();
+        assert_eq!(seq, naive_search(&xs, &spec), "k = {k}: matcher vs oracle");
+        assert_eq!(seq.len(), k);
+        for (i, want_at) in [1_000usize, 2_600, 4_200][..k].iter().enumerate() {
+            assert_eq!(seq[i].offset, *want_at, "k = {k}: tie order broken");
+            // All three sites share the same subtraction sequence, so
+            // their distances are bit-equal (≈ sqrt(1.5), up to per-term
+            // rounding of the +0.1 shift).
+            assert_eq!(seq[i].distance, seq[0].distance, "k = {k}: ties must be bit-equal");
+            assert!((seq[i].distance - 1.5f64.sqrt()).abs() < 1e-6);
+        }
+        // The parallel executor must agree under any interleaving —
+        // repeat to give the scheduler chances to reorder the ties.
+        for round in 0..10 {
+            let exec = QueryExecutor::with_config(
+                &idx,
+                &data,
+                ExecutorConfig { threads: 4, ..ExecutorConfig::default() },
+            )
+            .unwrap();
+            let batch = exec.execute_batch(std::slice::from_ref(&spec)).unwrap();
+            assert_eq!(batch.outputs[0].results, seq, "k = {k}, round {round}");
+        }
+    }
+}
+
+/// The DP matcher funnels through the same verification path, so its
+/// top-k equals the basic matcher's bit-identically.
+#[test]
+fn dp_matcher_topk_equals_basic_matcher() {
+    let xs = composite_series(31, 5_000);
+    let data = MemorySeriesStore::new(xs.clone());
+    let windows = [25usize, 50, 100];
+    let indexes: Vec<KvIndex<MemoryKvStore>> = windows.iter().map(|w| build(&xs, *w)).collect();
+    let multi = MultiIndex::new(indexes).unwrap();
+    let dp = DpMatcher::new(&multi, &data).unwrap();
+    let solo = build(&xs, 50);
+    let matcher = KvMatcher::new(&solo, &data).unwrap();
+    for k in [1usize, 4, 9] {
+        let spec = QuerySpec::rsm_ed(xs[700..1_000].to_vec(), 12.0).top_k(k);
+        let (a, _) = dp.execute(&spec).unwrap();
+        let (b, _) = matcher.execute(&spec).unwrap();
+        assert_eq!(a, b, "k = {k}");
+        assert_eq!(a, naive_search(&xs, &spec), "k = {k} vs oracle");
+    }
+}
+
+/// ε = ∞ turns the ceiling off: pure k-nearest over the whole series,
+/// still equal to the oracle (phase 1 degenerates to a full-range probe).
+#[test]
+fn infinite_epsilon_is_pure_nearest_neighbour() {
+    let xs = composite_series(53, 2_000);
+    let idx = build(&xs, 50);
+    let data = MemorySeriesStore::new(xs.clone());
+    let matcher = KvMatcher::new(&idx, &data).unwrap();
+    let spec = QuerySpec::rsm_ed(xs[400..600].to_vec(), f64::INFINITY).top_k(5);
+    let (got, stats) = matcher.execute(&spec).unwrap();
+    assert_eq!(got, naive_search(&xs, &spec));
+    assert_eq!(got.len(), 5);
+    assert_eq!(got[0].offset, 400, "self-match is the 1-NN");
+    assert_eq!(stats.candidates, (xs.len() - 200 + 1) as u64, "no pruning at ε = ∞");
+}
+
+/// End-to-end through the serving layer: concurrent top-k requests over
+/// a multi-series catalog answer bit-identically to dedicated sequential
+/// matchers.
+#[test]
+fn service_topk_is_bit_identical_end_to_end() {
+    let ids = [SeriesId::new(1), SeriesId::new(6)];
+    let series: Vec<Vec<f64>> = vec![composite_series(61, 4_000), composite_series(62, 5_000)];
+    let mut catalog = Catalog::new(MemoryCatalogBackend);
+    for (id, xs) in ids.iter().zip(&series) {
+        catalog.create_series_with(*id, IndexBuildConfig::new(50), xs).unwrap();
+    }
+    let service = QueryService::spawn(catalog, ServeConfig::default());
+    let mut requests = Vec::new();
+    for (id, xs) in ids.iter().zip(&series) {
+        for (i, k) in [1usize, 3, 8].iter().enumerate() {
+            let at = 200 + i * 977;
+            let spec = QuerySpec::rsm_ed(xs[at..at + 180].to_vec(), 25.0).with_series(*id);
+            requests.push(QueryRequest::top_k(spec, *k));
+        }
+    }
+    let handles: Vec<_> =
+        requests.iter().map(|r| service.submit(r.clone()).expect_accepted()).collect();
+    for (req, handle) in requests.iter().zip(handles) {
+        let resp = handle.wait().unwrap();
+        let i = ids.iter().position(|id| *id == req.spec.series).unwrap();
+        let mut app = IndexAppender::new(IndexBuildConfig::new(50));
+        app.push_chunk(&series[i]);
+        let (solo, _) = app.finish_into(MemoryKvStoreBuilder::new()).unwrap();
+        let store = MemorySeriesStore::new(series[i].clone());
+        let (want, _) = KvMatcher::new(&solo, &store).unwrap().execute(&req.spec).unwrap();
+        assert_eq!(resp.results, want, "service top-k diverged for {:?}", req.spec.series);
+    }
+    service.shutdown();
+}
