@@ -3,22 +3,35 @@
 //! Runs every harness workload through the sequential `KvMatcher` and the
 //! batched `QueryExecutor` on the memory *and* sharded backends, runs the
 //! multi-series catalog ingest+query workload and the concurrent serving
-//! workload, prints the comparison tables, validates the report schema,
-//! and writes `BENCH_exec.json` (override with `KVM_BENCH_OUT`).
+//! workload (headline run plus the workers = 1/2/4 scaling table), prints
+//! the comparison tables, validates the report schema, and writes
+//! `BENCH_exec.json` (override with `KVM_BENCH_OUT`).
 //!
 //! Knobs: `KVM_N`, `KVM_W`, `KVM_QUERIES`, `KVM_SEED`, `KVM_THREADS`
 //! (0 = auto), `KVM_REPEAT` (best-of timing), `KVM_SERIES` (catalog
-//! series), `KVM_SUBMITTERS` (serving-workload client threads). With
+//! series), `KVM_SUBMITTERS` (serving-workload client threads),
+//! `KVM_WORKERS` (headline serving dispatch workers). With
 //! `KVM_BENCH_ENFORCE=1` the process exits non-zero when the batched
-//! executor is slower than the sequential matcher overall — the CI
-//! `bench-smoke` gate.
+//! executor is slower than the sequential matcher overall **or** when
+//! serving throughput fails to scale (served_rps at workers = 4 below
+//! workers = 1) — the CI `bench-smoke` gates.
 //!
-//! Every failure path — schema violation, unwritable output, gate breach
-//! — exits non-zero with a `FAIL:` line naming the cause, so CI failures
-//! are actionable from the log alone.
+//! `--compare <baseline.json>` additionally diffs this run's per-workload
+//! batched wall times against a committed trajectory point (the baseline
+//! is read *before* the new report overwrites it), prints the deltas,
+//! writes `BENCH_delta.json` (override with `KVM_BENCH_DELTA_OUT`), and
+//! exits non-zero when any workload — or the total — regressed by more
+//! than 25%.
+//!
+//! Every failure path — schema violation, unwritable output, gate breach,
+//! wall-time regression — exits non-zero with a `FAIL:` line naming the
+//! cause, so CI failures are actionable from the log alone.
 
 use kvmatch_bench::harness::{env_usize, Row, Table};
-use kvmatch_bench::report::{run_report, to_json, validate_schema, ReportEnv};
+use kvmatch_bench::report::{compare_to_baseline, run_report, to_json, validate_schema, ReportEnv};
+
+/// Per-workload wall-time regression tolerated by `--compare`, percent.
+const REGRESSION_THRESHOLD_PCT: f64 = 25.0;
 
 fn main() {
     if let Err(message) = run() {
@@ -27,16 +40,52 @@ fn main() {
     }
 }
 
+/// Parses the one supported flag: `--compare <path>`.
+fn compare_path_from_args() -> Result<Option<String>, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [] => Ok(None),
+        [flag, path] if flag == "--compare" => Ok(Some(path.clone())),
+        _ => Err(format!(
+            "unrecognized arguments {args:?}; usage: bench_report [--compare <baseline.json>]"
+        )),
+    }
+}
+
 fn run() -> Result<(), String> {
     let env = ReportEnv::from_env();
     let out_path = std::env::var("KVM_BENCH_OUT").unwrap_or_else(|_| "BENCH_exec.json".to_string());
+    let delta_path =
+        std::env::var("KVM_BENCH_DELTA_OUT").unwrap_or_else(|_| "BENCH_delta.json".to_string());
     let enforce = env_usize("KVM_BENCH_ENFORCE", 0) == 1;
+
+    // Read the baseline *before* running: the default output path is the
+    // committed baseline itself, and the new report must not clobber it
+    // before the comparison has its numbers.
+    let baseline = match compare_path_from_args()? {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read baseline {path}: {e}"))?;
+            let value = serde_json::from_str(&text)
+                .map_err(|e| format!("baseline {path} is not valid JSON: {e}"))?;
+            Some((path, value))
+        }
+    };
 
     println!("=== bench_report: batched executor vs sequential matcher ===");
     println!(
         "n = {}, w = {}, {} queries/workload, seed {}, threads {} (0 = auto), best of {}, \
-         {} catalog series, {} submitters",
-        env.n, env.w, env.queries, env.seed, env.threads, env.repeat, env.series, env.submitters
+         {} catalog series, {} submitters, {} serving workers",
+        env.n,
+        env.w,
+        env.queries,
+        env.seed,
+        env.threads,
+        env.repeat,
+        env.series,
+        env.submitters,
+        env.workers
     );
     println!();
 
@@ -135,10 +184,10 @@ fn run() -> Result<(), String> {
 
     let sv = &report.serving;
     println!();
-    println!("=== serving: micro-batched query service under concurrent load ===");
+    println!("=== serving: multi-worker query service under concurrent load ===");
     println!(
-        "{} submitters over {} series, queue capacity {}, max batch {}",
-        sv.submitters, sv.series, sv.queue_capacity, sv.max_batch
+        "{} submitters over {} series, {} workers, queue capacity {}, max batch {}",
+        sv.submitters, sv.series, sv.workers, sv.queue_capacity, sv.max_batch
     );
     println!(
         "offered {} requests ({} top-k) at {:.0} req/s, served {} at {:.0} req/s in {:.1} ms",
@@ -150,9 +199,11 @@ fn run() -> Result<(), String> {
         sv.wall_ms
     );
     println!(
-        "backpressure: {} rejections, {} expired; {} batches, occupancy avg {:.1} / max {}",
+        "backpressure: {} rejections, {} expired in queue, {} expired in execution; \
+         {} batches, occupancy avg {:.1} / max {}",
         sv.rejected_requests,
         sv.expired_requests,
+        sv.expired_exec_requests,
         sv.batches,
         sv.avg_batch_occupancy,
         sv.max_batch_occupancy
@@ -162,6 +213,23 @@ fn run() -> Result<(), String> {
         sv.latency_p50_us, sv.latency_p95_us, sv.latency_p99_us, sv.latency_max_us
     );
 
+    println!();
+    println!("=== serving scaling: identical workload at workers = 1/2/4 ===");
+    let mut table =
+        Table::new(&["workers", "served", "wall_ms", "served_rps", "p50_us", "p95_us", "p99_us"]);
+    for row in &sv.scaling {
+        table.push(Row::new(vec![
+            row.workers.into(),
+            row.served_requests.into(),
+            row.wall_ms.into(),
+            row.served_rps.into(),
+            row.latency_p50_us.into(),
+            row.latency_p95_us.into(),
+            row.latency_p99_us.into(),
+        ]));
+    }
+    table.print();
+
     let value = report.to_value();
     validate_schema(&value).map_err(|msg| format!("BENCH_exec.json schema violation: {msg}"))?;
     std::fs::write(&out_path, to_json(&report))
@@ -169,10 +237,65 @@ fn run() -> Result<(), String> {
     println!();
     println!("wrote {out_path}");
 
+    // Baseline comparison (--compare): print the per-workload deltas,
+    // persist the delta report, and gate on the regression threshold.
+    if let Some((baseline_path, baseline)) = baseline {
+        let cmp = compare_to_baseline(&report, &baseline, REGRESSION_THRESHOLD_PCT)
+            .map_err(|e| format!("cannot compare against {baseline_path}: {e}"))?;
+        println!();
+        println!("=== baseline comparison vs {baseline_path} ===");
+        let mut table =
+            Table::new(&["backend", "workload", "baseline_ms", "current_ms", "delta_%"]);
+        for row in &cmp.rows {
+            table.push(Row::new(vec![
+                row.backend.as_str().into(),
+                row.name.as_str().into(),
+                row.baseline_ms.into(),
+                row.current_ms.into(),
+                row.delta_pct.into(),
+            ]));
+        }
+        table.print();
+        println!(
+            "total: {:.1} ms -> {:.1} ms ({:+.1}%)",
+            cmp.total_baseline_ms, cmp.total_current_ms, cmp.total_delta_pct
+        );
+        for name in &cmp.unmatched {
+            println!("note: workload {name} has no baseline row (new since the trajectory point)");
+        }
+        for diff in &cmp.env_mismatch {
+            println!(
+                "warning: baseline env differs — {diff}; deltas mix workload-size effects \
+                 with perf movement"
+            );
+        }
+        std::fs::write(&delta_path, format!("{}\n", cmp.to_value(&baseline_path)))
+            .map_err(|e| format!("cannot write {delta_path}: {e}"))?;
+        println!("wrote {delta_path}");
+        let regressions = cmp.regressions();
+        if !regressions.is_empty() {
+            return Err(format!(
+                "wall-time regression over {REGRESSION_THRESHOLD_PCT}% vs {baseline_path}: {}",
+                regressions.join("; ")
+            ));
+        }
+    }
+
     if enforce && !report.batched_not_slower() {
         return Err(format!(
             "batched executor slower than sequential matcher ({:.1} ms > {:.1} ms)",
             report.total_batched_ms, report.total_sequential_ms
+        ));
+    }
+    if enforce && !report.serving_scaling_ok() {
+        let rps = |w: usize| {
+            sv.scaling.iter().find(|row| row.workers == w).map_or(0.0, |row| row.served_rps)
+        };
+        return Err(format!(
+            "serving throughput does not scale: served_rps(workers=4) = {:.0} < \
+             served_rps(workers=1) = {:.0}",
+            rps(4),
+            rps(1)
         ));
     }
     Ok(())

@@ -21,11 +21,14 @@
 //!    range + top-k request stream through a
 //!    [`QueryService`](kvmatch_serve::QueryService) under a bounded
 //!    admission queue: offered vs served throughput, rejected/expired
-//!    request counts, batch occupancy and p50/p95/p99 latency — every
-//!    response validated bit-identically against a dedicated sequential
-//!    matcher.
+//!    request counts (queue-expired and execution-expired separately),
+//!    batch occupancy and p50/p95/p99 latency — every response validated
+//!    bit-identically against a dedicated sequential matcher. The
+//!    section carries a **scaling table**: the identical workload rerun
+//!    at 1, 2 and 4 dispatch workers, whose served_rps rows back the CI
+//!    throughput-scaling gate.
 //!
-//! The JSON schema is versioned (`kvmatch-bench-exec/v3`) and
+//! The JSON schema is versioned (`kvmatch-bench-exec/v4`) and
 //! machine-checked: [`validate_schema`] fails when any required field is
 //! dropped or renamed, and a bench-crate test enforces it on every
 //! `cargo test` run.
@@ -66,11 +69,15 @@ pub struct ReportEnv {
     pub series: usize,
     /// Concurrent submitter threads in the serving workload.
     pub submitters: usize,
+    /// Executor workers in the serving workload's dispatch pool (the
+    /// headline serving run; the scaling table always covers 1/2/4).
+    pub workers: usize,
 }
 
 impl ReportEnv {
     /// Reads `KVM_N`, `KVM_W`, `KVM_QUERIES`, `KVM_SEED`, `KVM_THREADS`,
-    /// `KVM_REPEAT`, `KVM_SERIES`, `KVM_SUBMITTERS` with report defaults.
+    /// `KVM_REPEAT`, `KVM_SERIES`, `KVM_SUBMITTERS`, `KVM_WORKERS` with
+    /// report defaults.
     pub fn from_env() -> Self {
         Self {
             n: crate::harness::env_usize("KVM_N", 120_000),
@@ -81,6 +88,7 @@ impl ReportEnv {
             repeat: crate::harness::env_usize("KVM_REPEAT", 1).max(1),
             series: crate::harness::env_usize("KVM_SERIES", 4).max(1),
             submitters: crate::harness::env_usize("KVM_SUBMITTERS", 8).max(1),
+            workers: crate::harness::env_usize("KVM_WORKERS", 2).max(1),
         }
     }
 }
@@ -182,14 +190,43 @@ pub struct MultiSeriesReport {
     pub per_series: Vec<SeriesReport>,
 }
 
-/// The serving workload: offered load vs served throughput under
-/// admission control, with latency percentiles.
+/// One row of the serving scaling table: the identical serving workload
+/// rerun at a fixed executor-worker count (single-thread verification
+/// per worker, so the row isolates dispatch-level parallelism). Each
+/// run re-validates every response bit-identically against the
+/// sequential matcher, so rows are comparable *and* correct.
 #[derive(Clone, Copy, Debug)]
+pub struct ServingScalingRow {
+    /// Executor workers in the dispatch pool.
+    pub workers: usize,
+    /// Requests driven end-to-end.
+    pub offered_requests: u64,
+    /// Requests answered successfully (equal to offered — retry loops
+    /// converge).
+    pub served_requests: u64,
+    /// Wall milliseconds of the run (best of `KVM_REPEAT`).
+    pub wall_ms: f64,
+    /// `served_requests / wall` — the scaling gate's metric.
+    pub served_rps: f64,
+    /// Median submit→response latency, microseconds.
+    pub latency_p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub latency_p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub latency_p99_us: u64,
+}
+
+/// The serving workload: offered load vs served throughput under
+/// admission control, with latency percentiles and the per-worker-count
+/// scaling table.
+#[derive(Clone, Debug)]
 pub struct ServingReport {
     /// Catalog series served.
     pub series: usize,
     /// Concurrent submitter threads.
     pub submitters: usize,
+    /// Executor workers in the headline run's dispatch pool.
+    pub workers: usize,
     /// Admission-queue capacity.
     pub queue_capacity: usize,
     /// Scheduler batch-size flush trigger.
@@ -206,7 +243,10 @@ pub struct ServingReport {
     pub rejected_requests: u64,
     /// Admitted requests whose deadline expired before dispatch.
     pub expired_requests: u64,
-    /// Executor batches the scheduler dispatched.
+    /// Requests whose deadline expired *during* execution — work done
+    /// but delivered too late, reported separately from served.
+    pub expired_exec_requests: u64,
+    /// Executor shard batches dispatched across the worker pool.
     pub batches: u64,
     /// Mean queries per dispatched batch (micro-batching effectiveness).
     pub avg_batch_occupancy: f64,
@@ -226,6 +266,8 @@ pub struct ServingReport {
     pub latency_p99_us: u64,
     /// Worst latency, microseconds.
     pub latency_max_us: u64,
+    /// The per-worker-count scaling table (workers = 1, 2, 4).
+    pub scaling: Vec<ServingScalingRow>,
 }
 
 /// The full report written to `BENCH_exec.json`.
@@ -252,7 +294,7 @@ pub struct BenchReport {
 }
 
 /// Schema tag of the current report format.
-pub const SCHEMA: &str = "kvmatch-bench-exec/v3";
+pub const SCHEMA: &str = "kvmatch-bench-exec/v4";
 
 /// Required top-level fields of `BENCH_exec.json`.
 pub const ROOT_FIELDS: &[&str] = &[
@@ -269,7 +311,7 @@ pub const ROOT_FIELDS: &[&str] = &[
 
 /// Required fields of every `env` object.
 pub const ENV_FIELDS: &[&str] =
-    &["n", "w", "queries", "seed", "threads", "repeat", "series", "submitters"];
+    &["n", "w", "queries", "seed", "threads", "repeat", "series", "submitters", "workers"];
 
 /// Required fields of every workload row.
 pub const WORKLOAD_FIELDS: &[&str] = &[
@@ -315,6 +357,7 @@ pub const MULTI_SERIES_FIELDS: &[&str] = &[
 pub const SERVING_FIELDS: &[&str] = &[
     "series",
     "submitters",
+    "workers",
     "queue_capacity",
     "max_batch",
     "offered_requests",
@@ -322,6 +365,7 @@ pub const SERVING_FIELDS: &[&str] = &[
     "topk_requests",
     "rejected_requests",
     "expired_requests",
+    "expired_exec_requests",
     "batches",
     "avg_batch_occupancy",
     "max_batch_occupancy",
@@ -332,7 +376,23 @@ pub const SERVING_FIELDS: &[&str] = &[
     "latency_p95_us",
     "latency_p99_us",
     "latency_max_us",
+    "scaling",
 ];
+
+/// Required fields of every `serving.scaling` row.
+pub const SCALING_FIELDS: &[&str] = &[
+    "workers",
+    "offered_requests",
+    "served_requests",
+    "wall_ms",
+    "served_rps",
+    "latency_p50_us",
+    "latency_p95_us",
+    "latency_p99_us",
+];
+
+/// Worker counts the scaling table must cover.
+pub const SCALING_WORKER_COUNTS: &[usize] = &[1, 2, 4];
 
 /// Required fields of every `multi_series.per_series` row.
 pub const SERIES_FIELDS: &[&str] = &[
@@ -391,7 +451,26 @@ pub fn validate_schema(value: &Value) -> Result<(), String> {
     for (i, row) in rows.iter().enumerate() {
         need(&obj(row, "per-series row")?, SERIES_FIELDS, &format!("per_series[{i}]"))?;
     }
-    need(&obj(root.get("serving").expect("checked"), "serving")?, SERVING_FIELDS, "serving")?;
+    let serving = obj(root.get("serving").expect("checked"), "serving")?;
+    need(&serving, SERVING_FIELDS, "serving")?;
+    let Some(Value::Array(rows)) = serving.get("scaling") else {
+        return Err("serving.scaling is not an array".into());
+    };
+    if rows.is_empty() {
+        return Err("serving.scaling is empty".into());
+    }
+    for (i, row) in rows.iter().enumerate() {
+        need(&obj(row, "scaling row")?, SCALING_FIELDS, &format!("scaling[{i}]"))?;
+    }
+    for want in SCALING_WORKER_COUNTS {
+        let covered = rows.iter().any(|row| {
+            matches!(row, Value::Object(m)
+                if matches!(m.get("workers"), Some(Value::Number(v)) if *v == *want as f64))
+        });
+        if !covered {
+            return Err(format!("serving.scaling is missing the workers={want} row"));
+        }
+    }
     Ok(())
 }
 
@@ -400,6 +479,20 @@ impl BenchReport {
     /// sequential matcher overall — the CI smoke gate.
     pub fn batched_not_slower(&self) -> bool {
         self.total_batched_ms <= self.total_sequential_ms
+    }
+
+    /// True when serving throughput scales: served_rps at workers = 4 is
+    /// at least served_rps at workers = 1 in the scaling table — the CI
+    /// scaling gate (enforced with `KVM_BENCH_ENFORCE=1`; informative on
+    /// boxes without enough cores to scale).
+    pub fn serving_scaling_ok(&self) -> bool {
+        let rps = |w: usize| {
+            self.serving.scaling.iter().find(|row| row.workers == w).map(|row| row.served_rps)
+        };
+        match (rps(1), rps(4)) {
+            (Some(one), Some(four)) => four >= one,
+            _ => false,
+        }
     }
 
     /// The report as a JSON value tree (the `serde_json` shim renders it;
@@ -419,6 +512,7 @@ impl BenchReport {
         ins(&mut env, "repeat", Value::from(self.env.repeat));
         ins(&mut env, "series", Value::from(self.env.series));
         ins(&mut env, "submitters", Value::from(self.env.submitters));
+        ins(&mut env, "workers", Value::from(self.env.workers));
         ins(&mut root, "env", Value::Object(env));
         ins(&mut root, "threads_resolved", Value::from(self.threads_resolved));
         let workloads = self
@@ -492,6 +586,7 @@ impl BenchReport {
         let mut svm = Map::new();
         ins(&mut svm, "series", Value::from(sv.series));
         ins(&mut svm, "submitters", Value::from(sv.submitters));
+        ins(&mut svm, "workers", Value::from(sv.workers));
         ins(&mut svm, "queue_capacity", Value::from(sv.queue_capacity));
         ins(&mut svm, "max_batch", Value::from(sv.max_batch));
         ins(&mut svm, "offered_requests", Value::from(sv.offered_requests));
@@ -499,6 +594,7 @@ impl BenchReport {
         ins(&mut svm, "topk_requests", Value::from(sv.topk_requests));
         ins(&mut svm, "rejected_requests", Value::from(sv.rejected_requests));
         ins(&mut svm, "expired_requests", Value::from(sv.expired_requests));
+        ins(&mut svm, "expired_exec_requests", Value::from(sv.expired_exec_requests));
         ins(&mut svm, "batches", Value::from(sv.batches));
         ins(&mut svm, "avg_batch_occupancy", Value::from(sv.avg_batch_occupancy));
         ins(&mut svm, "max_batch_occupancy", Value::from(sv.max_batch_occupancy));
@@ -509,6 +605,23 @@ impl BenchReport {
         ins(&mut svm, "latency_p95_us", Value::from(sv.latency_p95_us));
         ins(&mut svm, "latency_p99_us", Value::from(sv.latency_p99_us));
         ins(&mut svm, "latency_max_us", Value::from(sv.latency_max_us));
+        let scaling_rows = sv
+            .scaling
+            .iter()
+            .map(|row| {
+                let mut r = Map::new();
+                ins(&mut r, "workers", Value::from(row.workers));
+                ins(&mut r, "offered_requests", Value::from(row.offered_requests));
+                ins(&mut r, "served_requests", Value::from(row.served_requests));
+                ins(&mut r, "wall_ms", Value::from(row.wall_ms));
+                ins(&mut r, "served_rps", Value::from(row.served_rps));
+                ins(&mut r, "latency_p50_us", Value::from(row.latency_p50_us));
+                ins(&mut r, "latency_p95_us", Value::from(row.latency_p95_us));
+                ins(&mut r, "latency_p99_us", Value::from(row.latency_p99_us));
+                Value::Object(r)
+            })
+            .collect();
+        ins(&mut svm, "scaling", Value::Array(scaling_rows));
         ins(&mut root, "serving", Value::Object(svm));
 
         ins(&mut root, "total_sequential_ms", Value::from(self.total_sequential_ms));
@@ -516,6 +629,199 @@ impl BenchReport {
         ins(&mut root, "overall_speedup", Value::from(self.overall_speedup));
         Value::Object(root)
     }
+}
+
+/// One workload's wall-time delta against the committed baseline.
+#[derive(Clone, Debug)]
+pub struct WorkloadDelta {
+    /// Storage backend of the row.
+    pub backend: String,
+    /// Workload name.
+    pub name: String,
+    /// Baseline batched wall milliseconds.
+    pub baseline_ms: f64,
+    /// This run's batched wall milliseconds.
+    pub current_ms: f64,
+    /// `(current - baseline) / baseline`, percent (negative = faster).
+    pub delta_pct: f64,
+}
+
+impl WorkloadDelta {
+    /// Whether this row breaches `threshold_pct`.
+    pub fn regressed(&self, threshold_pct: f64) -> bool {
+        self.delta_pct > threshold_pct
+    }
+}
+
+/// The baseline comparison `bench_report --compare` produces: per-matched
+/// workload wall-time deltas plus the total, written to
+/// `BENCH_delta.json` and gated at a regression threshold.
+#[derive(Clone, Debug)]
+pub struct BaselineComparison {
+    /// Rows matched by `(backend, name)` between baseline and current.
+    pub rows: Vec<WorkloadDelta>,
+    /// Current workloads with no baseline row (new since the trajectory
+    /// point was committed — informational, never a regression).
+    pub unmatched: Vec<String>,
+    /// Scale knobs that differ between the baseline's env and this
+    /// run's (e.g. the CI smoke workload vs a full-scale trajectory
+    /// point). Non-empty means the deltas mix workload-size effects
+    /// with real perf movement — read them as a loose upper bound, not
+    /// a measurement.
+    pub env_mismatch: Vec<String>,
+    /// Baseline `total_batched_ms`.
+    pub total_baseline_ms: f64,
+    /// Current `total_batched_ms`.
+    pub total_current_ms: f64,
+    /// Total wall-time delta, percent.
+    pub total_delta_pct: f64,
+    /// The regression threshold the comparison gates at, percent.
+    pub threshold_pct: f64,
+}
+
+impl BaselineComparison {
+    /// Rows (plus the total) breaching the threshold.
+    pub fn regressions(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .rows
+            .iter()
+            .filter(|row| row.regressed(self.threshold_pct))
+            .map(|row| {
+                format!(
+                    "{}/{}: {:.1} ms -> {:.1} ms (+{:.1}%)",
+                    row.backend, row.name, row.baseline_ms, row.current_ms, row.delta_pct
+                )
+            })
+            .collect();
+        if self.total_delta_pct > self.threshold_pct {
+            out.push(format!(
+                "total: {:.1} ms -> {:.1} ms (+{:.1}%)",
+                self.total_baseline_ms, self.total_current_ms, self.total_delta_pct
+            ));
+        }
+        out
+    }
+
+    /// The delta report as a JSON tree (`kvmatch-bench-delta/v1`).
+    pub fn to_value(&self, baseline_path: &str) -> Value {
+        let mut root = Map::new();
+        root.insert("schema".into(), Value::from("kvmatch-bench-delta/v1"));
+        root.insert("baseline".into(), Value::from(baseline_path));
+        root.insert("threshold_pct".into(), Value::from(self.threshold_pct));
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut r = Map::new();
+                r.insert("backend".into(), Value::from(row.backend.as_str()));
+                r.insert("name".into(), Value::from(row.name.as_str()));
+                r.insert("baseline_ms".into(), Value::from(row.baseline_ms));
+                r.insert("current_ms".into(), Value::from(row.current_ms));
+                r.insert("delta_pct".into(), Value::from(row.delta_pct));
+                r.insert("regressed".into(), Value::from(row.regressed(self.threshold_pct)));
+                Value::Object(r)
+            })
+            .collect();
+        root.insert("rows".into(), Value::Array(rows));
+        root.insert(
+            "unmatched".into(),
+            Value::Array(self.unmatched.iter().map(|s| Value::from(s.as_str())).collect()),
+        );
+        root.insert(
+            "env_mismatch".into(),
+            Value::Array(self.env_mismatch.iter().map(|s| Value::from(s.as_str())).collect()),
+        );
+        root.insert("total_baseline_ms".into(), Value::from(self.total_baseline_ms));
+        root.insert("total_current_ms".into(), Value::from(self.total_current_ms));
+        root.insert("total_delta_pct".into(), Value::from(self.total_delta_pct));
+        root.insert("regressions".into(), Value::from(self.regressions().len()));
+        Value::Object(root)
+    }
+}
+
+fn pct_delta(baseline: f64, current: f64) -> f64 {
+    (current - baseline) / baseline.max(1e-9) * 100.0
+}
+
+/// Compares this run's per-workload batched wall times against a
+/// baseline `BENCH_exec.json` tree (v3 or later — only
+/// `workloads[].{backend,name,batched_ms}` and `total_batched_ms` are
+/// read, so older trajectory points stay comparable).
+pub fn compare_to_baseline(
+    current: &BenchReport,
+    baseline: &Value,
+    threshold_pct: f64,
+) -> Result<BaselineComparison, String> {
+    let Value::Object(root) = baseline else {
+        return Err("baseline report is not a JSON object".into());
+    };
+    let Some(Value::Array(rows)) = root.get("workloads") else {
+        return Err("baseline report has no `workloads` array".into());
+    };
+    let mut baseline_ms: Vec<(String, String, f64)> = Vec::new();
+    for row in rows {
+        let Value::Object(m) = row else {
+            return Err("baseline workload row is not an object".into());
+        };
+        match (m.get("backend"), m.get("name"), m.get("batched_ms")) {
+            (Some(Value::String(backend)), Some(Value::String(name)), Some(Value::Number(ms))) => {
+                baseline_ms.push((backend.clone(), name.clone(), *ms))
+            }
+            _ => return Err("baseline workload row lacks backend/name/batched_ms".into()),
+        }
+    }
+    let Some(Value::Number(total_baseline_ms)) = root.get("total_batched_ms") else {
+        return Err("baseline report has no `total_batched_ms`".into());
+    };
+
+    // Scale knobs that change per-workload wall time: when the baseline
+    // ran at a different scale (committed full-size trajectory point vs
+    // the CI smoke workload), flag every difference so the deltas are
+    // read as cross-configuration, not same-workload, movement.
+    let mut env_mismatch = Vec::new();
+    if let Some(Value::Object(benv)) = root.get("env") {
+        let current = [
+            ("n", current.env.n as f64),
+            ("w", current.env.w as f64),
+            ("queries", current.env.queries as f64),
+            ("seed", current.env.seed as f64),
+            ("repeat", current.env.repeat as f64),
+        ];
+        for (key, cur) in current {
+            if let Some(Value::Number(base)) = benv.get(key) {
+                if *base != cur {
+                    env_mismatch.push(format!("{key}: baseline {base} vs current {cur}"));
+                }
+            }
+        }
+    }
+
+    let mut deltas = Vec::new();
+    let mut unmatched = Vec::new();
+    for wl in &current.workloads {
+        match baseline_ms.iter().find(|(b, n, _)| *b == wl.backend && *n == wl.name) {
+            Some((_, _, base)) => deltas.push(WorkloadDelta {
+                backend: wl.backend.clone(),
+                name: wl.name.clone(),
+                baseline_ms: *base,
+                current_ms: wl.batched_ms,
+                delta_pct: pct_delta(*base, wl.batched_ms),
+            }),
+            None => unmatched.push(format!("{}/{}", wl.backend, wl.name)),
+        }
+    }
+    if deltas.is_empty() {
+        return Err("no workload of this run matches the baseline".into());
+    }
+    Ok(BaselineComparison {
+        rows: deltas,
+        unmatched,
+        env_mismatch,
+        total_baseline_ms: *total_baseline_ms,
+        total_current_ms: current.total_batched_ms,
+        total_delta_pct: pct_delta(*total_baseline_ms, current.total_batched_ms),
+        threshold_pct,
+    })
 }
 
 /// The fixed workload set over `xs`: every query type, verification-heavy
@@ -755,33 +1061,26 @@ fn run_multi_series(env: &ReportEnv) -> MultiSeriesReport {
     }
 }
 
-/// The serving workload: `env.submitters` threads drive a mixed range +
-/// top-k request stream over an `env.series`-series catalog through a
-/// [`QueryService`](kvmatch_serve::QueryService) with a deliberately
-/// small admission queue, so the report captures backpressure behaviour
-/// alongside throughput and latency percentiles.
-///
-/// # Panics
-/// Panics when any served response diverges from its dedicated
-/// sequential matcher — serving numbers are only publishable for correct
-/// answers.
-fn run_serving(env: &ReportEnv) -> ServingReport {
-    use kvmatch_serve::{QueryRequest, QueryService, ServeConfig, Submit};
+/// The shared material of every serving run: series data, the request
+/// pool, and per-entry ground truth from a dedicated sequential matcher.
+struct ServingFixture {
+    ids: Vec<SeriesId>,
+    data: Vec<Vec<f64>>,
+    pool: Vec<kvmatch_serve::QueryRequest>,
+    expected: Vec<Vec<MatchResult>>,
+    topk_in_pool: u64,
+    /// Each submitter cycles the pool this many times per run.
+    rounds: usize,
+}
+
+fn serving_fixture(env: &ReportEnv) -> ServingFixture {
+    use kvmatch_serve::QueryRequest;
 
     let n_per_series = (env.n / env.series).max(env.w * 20).min(20_000);
     let ids: Vec<SeriesId> = (0..env.series).map(|i| SeriesId::new(i as u64 + 1)).collect();
     let data: Vec<Vec<f64>> = (0..env.series)
         .map(|i| make_series(n_per_series, env.seed.wrapping_add(104_729 * (i as u64 + 1))))
         .collect();
-    let mut catalog = Catalog::with_exec_config(
-        MemoryCatalogBackend,
-        ExecutorConfig { threads: env.threads, ..ExecutorConfig::default() },
-    );
-    for (id, xs) in ids.iter().zip(&data) {
-        catalog.create_series(*id, IndexBuildConfig::new(env.w)).unwrap();
-        catalog.append(*id, xs).unwrap();
-    }
-    catalog.materialize().expect("materialize");
 
     // The request pool: per series, alternating range / top-k queries.
     let m = 192.min(n_per_series / 2);
@@ -815,24 +1114,60 @@ fn run_serving(env: &ReportEnv) -> ServingReport {
         })
         .collect();
 
+    ServingFixture { ids, data, pool, expected, topk_in_pool, rounds: 3 }
+}
+
+/// One full serving run: a fresh catalog + service at the given worker
+/// and verification-thread counts, `env.submitters` submitter threads
+/// cycling the pool, every response validated bit-identically.
+struct ServingDrive {
+    metrics: kvmatch_serve::MetricsSnapshot,
+    wall_ms: f64,
+    offered: u64,
+    queue_capacity: usize,
+    max_batch: usize,
+}
+
+/// # Panics
+/// Panics when any served response diverges from its dedicated
+/// sequential matcher — serving numbers are only publishable for correct
+/// answers.
+fn drive_serving(
+    env: &ReportEnv,
+    fx: &ServingFixture,
+    workers: usize,
+    threads: usize,
+) -> ServingDrive {
+    use kvmatch_serve::{QueryService, ServeConfig, Submit};
+
+    let mut catalog = Catalog::with_exec_config(
+        MemoryCatalogBackend,
+        ExecutorConfig { threads, ..ExecutorConfig::default() },
+    );
+    for (id, xs) in fx.ids.iter().zip(&fx.data) {
+        catalog.create_series(*id, IndexBuildConfig::new(env.w)).unwrap();
+        catalog.append(*id, xs).unwrap();
+    }
+    catalog.materialize().expect("materialize");
+
     let config = ServeConfig {
         queue_capacity: (env.submitters * 2).max(4),
         max_batch: 16,
         max_batch_delay: std::time::Duration::from_millis(1),
         default_deadline: None,
+        workers,
     };
     let queue_capacity = config.queue_capacity;
     let max_batch = config.max_batch;
     let service = QueryService::spawn(catalog, config);
-    let rounds = 3usize; // each submitter cycles the pool this many times
-    let per_thread = pool.len() * rounds;
+    let per_thread = fx.pool.len() * fx.rounds;
 
     let t_serve = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..env.submitters {
             let service = &service;
-            let pool = &pool;
-            let expected = &expected;
+            let pool = &fx.pool;
+            let expected = &fx.expected;
             scope.spawn(move || {
                 for r in 0..per_thread {
                     let which = (t * 11 + r) % pool.len();
@@ -853,7 +1188,8 @@ fn run_serving(env: &ReportEnv) -> ServingReport {
                     let response = handle.wait().expect("admitted request served");
                     assert_eq!(
                         response.results, expected[which],
-                        "serving workload: response diverged from the sequential matcher"
+                        "serving workload (workers={workers}): response diverged from the \
+                         sequential matcher"
                     );
                 }
             });
@@ -865,27 +1201,73 @@ fn run_serving(env: &ReportEnv) -> ServingReport {
 
     let offered = (env.submitters * per_thread) as u64;
     assert_eq!(metrics.completed, offered, "every offered request must be served");
+    ServingDrive { metrics, wall_ms, offered, queue_capacity, max_batch }
+}
+
+/// The serving workload: `env.submitters` threads drive a mixed range +
+/// top-k request stream over an `env.series`-series catalog through a
+/// [`QueryService`](kvmatch_serve::QueryService) with a deliberately
+/// small admission queue, so the report captures backpressure behaviour
+/// alongside throughput and latency percentiles. The headline run uses
+/// `env.workers` dispatch workers; the scaling table then reruns the
+/// identical workload at workers = 1, 2, 4 (single-thread verification
+/// per worker, best of `env.repeat`), so the report shows — and CI can
+/// gate on — how served throughput scales with the pool. Every run
+/// validates every response bit-identically, so the scaling rows double
+/// as a cross-worker-count equivalence proof.
+fn run_serving(env: &ReportEnv) -> ServingReport {
+    let fx = serving_fixture(env);
+
+    let head = drive_serving(env, &fx, env.workers.max(1), env.threads);
+    let scaling = SCALING_WORKER_COUNTS
+        .iter()
+        .map(|&workers| {
+            let mut best: Option<ServingScalingRow> = None;
+            for _ in 0..env.repeat {
+                let run = drive_serving(env, &fx, workers, 1);
+                let row = ServingScalingRow {
+                    workers,
+                    offered_requests: run.offered,
+                    served_requests: run.metrics.completed,
+                    wall_ms: run.wall_ms,
+                    served_rps: run.metrics.completed as f64 / (run.wall_ms / 1e3).max(1e-9),
+                    latency_p50_us: run.metrics.latency_p50_us,
+                    latency_p95_us: run.metrics.latency_p95_us,
+                    latency_p99_us: run.metrics.latency_p99_us,
+                };
+                if best.as_ref().is_none_or(|b| row.served_rps > b.served_rps) {
+                    best = Some(row);
+                }
+            }
+            best.expect("repeat ≥ 1")
+        })
+        .collect();
+
+    let metrics = head.metrics;
     ServingReport {
         series: env.series,
         submitters: env.submitters,
-        queue_capacity,
-        max_batch,
-        offered_requests: offered,
+        workers: env.workers.max(1),
+        queue_capacity: head.queue_capacity,
+        max_batch: head.max_batch,
+        offered_requests: head.offered,
         served_requests: metrics.completed,
         // Each submitter cycles the whole pool `rounds` times.
-        topk_requests: topk_in_pool * rounds as u64 * env.submitters as u64,
+        topk_requests: fx.topk_in_pool * fx.rounds as u64 * env.submitters as u64,
         rejected_requests: metrics.rejected,
         expired_requests: metrics.expired,
+        expired_exec_requests: metrics.expired_exec,
         batches: metrics.batches,
         avg_batch_occupancy: metrics.avg_batch_occupancy,
         max_batch_occupancy: metrics.max_batch_occupancy,
-        wall_ms,
-        offered_rps: offered as f64 / (wall_ms / 1e3).max(1e-9),
-        served_rps: metrics.completed as f64 / (wall_ms / 1e3).max(1e-9),
+        wall_ms: head.wall_ms,
+        offered_rps: head.offered as f64 / (head.wall_ms / 1e3).max(1e-9),
+        served_rps: metrics.completed as f64 / (head.wall_ms / 1e3).max(1e-9),
         latency_p50_us: metrics.latency_p50_us,
         latency_p95_us: metrics.latency_p95_us,
         latency_p99_us: metrics.latency_p99_us,
         latency_max_us: metrics.latency_max_us,
+        scaling,
     }
 }
 
@@ -978,6 +1360,7 @@ mod tests {
             repeat: 1,
             series: 3,
             submitters: 4,
+            workers: 2,
         }
     }
 
@@ -1045,11 +1428,13 @@ mod tests {
         let sv = &report.serving;
         assert_eq!(sv.series, 3);
         assert_eq!(sv.submitters, 4);
+        assert_eq!(sv.workers, 2);
         // 4 submitters × 3 rounds × (3 series × 2 queries) = 72 requests.
         assert_eq!(sv.offered_requests, 72);
         assert_eq!(sv.served_requests, 72, "every offered request is served");
         assert_eq!(sv.topk_requests, 36);
         assert_eq!(sv.expired_requests, 0);
+        assert_eq!(sv.expired_exec_requests, 0);
         assert!(sv.batches >= 1);
         assert!(sv.avg_batch_occupancy >= 1.0);
         assert!(sv.max_batch_occupancy as usize <= sv.max_batch);
@@ -1058,6 +1443,88 @@ mod tests {
         assert!(sv.latency_p50_us <= sv.latency_p95_us);
         assert!(sv.latency_p95_us <= sv.latency_p99_us);
         assert!(sv.latency_p99_us <= sv.latency_max_us.max(sv.latency_p99_us));
+    }
+
+    /// The scaling table covers workers = 1/2/4 and every row served its
+    /// whole (identical, bit-validated) workload. The rps inequality
+    /// itself is the CI gate, not a test assertion — a single-core test
+    /// box cannot scale and must not flake.
+    #[test]
+    fn serving_scaling_table_covers_worker_counts() {
+        let report = run_report(tiny_env());
+        let scaling = &report.serving.scaling;
+        assert_eq!(scaling.len(), SCALING_WORKER_COUNTS.len());
+        for (row, want) in scaling.iter().zip(SCALING_WORKER_COUNTS) {
+            assert_eq!(row.workers, *want);
+            assert_eq!(row.offered_requests, 72);
+            assert_eq!(row.served_requests, 72, "workers={}: all served", row.workers);
+            assert!(row.wall_ms > 0.0 && row.served_rps > 0.0);
+            assert!(row.latency_p50_us <= row.latency_p95_us);
+            assert!(row.latency_p95_us <= row.latency_p99_us);
+        }
+        // The gate helper reads the table (whether it passes depends on
+        // the machine's parallelism; here only exercise the plumbing).
+        let _ = report.serving_scaling_ok();
+    }
+
+    /// `--compare` semantics: self-comparison is clean, a slowdown past
+    /// the threshold is a regression, and added workloads are reported
+    /// as unmatched rather than failing the comparison.
+    #[test]
+    fn baseline_comparison_flags_regressions_only() {
+        let report = run_report(tiny_env());
+        let baseline = report.to_value();
+
+        // Against itself: zero deltas, nothing regresses, same env.
+        let cmp = compare_to_baseline(&report, &baseline, 25.0).unwrap();
+        assert_eq!(cmp.rows.len(), report.workloads.len());
+        assert!(cmp.unmatched.is_empty());
+        assert!(cmp.env_mismatch.is_empty());
+        assert!(cmp.rows.iter().all(|row| row.delta_pct.abs() < 1e-9));
+        assert!(cmp.regressions().is_empty());
+
+        // A baseline from a different scale gets its knobs flagged.
+        let Value::Object(mut scaled) = baseline.clone() else { panic!() };
+        let Some(Value::Object(benv)) = scaled.get("env") else { panic!() };
+        let mut benv = benv.clone();
+        benv.insert("n".into(), Value::from(16_000u64));
+        benv.insert("repeat".into(), Value::from(5u64));
+        scaled.insert("env".into(), Value::Object(benv));
+        let cmp = compare_to_baseline(&report, &Value::Object(scaled), 25.0).unwrap();
+        assert_eq!(cmp.env_mismatch.len(), 2, "{:?}", cmp.env_mismatch);
+        assert!(cmp.env_mismatch[0].contains("n: baseline 16000 vs current 8000"));
+
+        // A baseline that was 10x faster everywhere: every row (and the
+        // total) breaches 25%.
+        let mut fast = report.clone();
+        for wl in &mut fast.workloads {
+            wl.batched_ms /= 10.0;
+        }
+        fast.total_batched_ms /= 10.0;
+        let cmp = compare_to_baseline(&report, &fast.to_value(), 25.0).unwrap();
+        assert_eq!(cmp.regressions().len(), report.workloads.len() + 1, "rows + total");
+        assert!(cmp.rows.iter().all(|row| row.regressed(25.0)));
+        assert!(cmp.total_delta_pct > 25.0);
+
+        // A baseline missing one workload: unmatched, not a failure.
+        let Value::Object(mut root) = baseline.clone() else { panic!() };
+        let Some(Value::Array(rows)) = root.get("workloads") else { panic!() };
+        let mut rows = rows.clone();
+        rows.pop();
+        root.insert("workloads".into(), Value::Array(rows));
+        let cmp = compare_to_baseline(&report, &Value::Object(root), 25.0).unwrap();
+        assert_eq!(cmp.unmatched.len(), 1);
+        assert_eq!(cmp.rows.len(), report.workloads.len() - 1);
+        assert!(cmp.regressions().is_empty());
+
+        // The delta report round-trips through the JSON parser.
+        let delta = cmp.to_value("BENCH_exec.json");
+        let reparsed = serde_json::from_str(&delta.to_string()).unwrap();
+        assert_eq!(reparsed, delta);
+
+        // Garbage baselines fail loudly.
+        assert!(compare_to_baseline(&report, &Value::from(3u8), 25.0).is_err());
+        assert!(compare_to_baseline(&report, &Value::Object(Map::new()), 25.0).is_err());
     }
 
     /// The satellite gate: dropping or renaming any reported field fails.
@@ -1090,7 +1557,8 @@ mod tests {
         broken.insert("multi_series".into(), Value::Object(ms));
         assert!(validate_schema(&Value::Object(broken)).is_err());
 
-        // A dropped serving field fails (the v3 section is load-bearing).
+        // A dropped serving field fails (the serving section is
+        // load-bearing).
         let mut broken = root.clone();
         let Some(Value::Object(sv)) = broken.get("serving") else { panic!() };
         let mut sv = sv.clone();
@@ -1102,9 +1570,34 @@ mod tests {
         broken.remove("serving");
         assert!(validate_schema(&Value::Object(broken)).is_err());
 
-        // A renamed schema tag fails too (v2 reports are not v3 reports).
+        // A missing scaling table — or one without the workers=4 row —
+        // fails: the CI scaling gate depends on both.
         let mut broken = root.clone();
-        broken.insert("schema".into(), Value::from("kvmatch-bench-exec/v2"));
+        let Some(Value::Object(sv)) = broken.get("serving") else { panic!() };
+        let mut sv = sv.clone();
+        sv.remove("scaling");
+        broken.insert("serving".into(), Value::Object(sv));
+        assert!(validate_schema(&Value::Object(broken)).is_err());
+
+        let mut broken = root.clone();
+        let Some(Value::Object(sv)) = broken.get("serving") else { panic!() };
+        let mut sv = sv.clone();
+        let Some(Value::Array(rows)) = sv.get("scaling") else { panic!() };
+        let trimmed: Vec<Value> = rows
+            .iter()
+            .filter(|row| {
+                !matches!(row, Value::Object(m)
+                    if matches!(m.get("workers"), Some(Value::Number(v)) if *v == 4.0))
+            })
+            .cloned()
+            .collect();
+        sv.insert("scaling".into(), Value::Array(trimmed));
+        broken.insert("serving".into(), Value::Object(sv));
+        assert!(validate_schema(&Value::Object(broken)).is_err());
+
+        // A renamed schema tag fails too (v3 reports are not v4 reports).
+        let mut broken = root.clone();
+        broken.insert("schema".into(), Value::from("kvmatch-bench-exec/v3"));
         assert!(validate_schema(&Value::Object(broken)).is_err());
     }
 }

@@ -412,6 +412,20 @@ impl<B: CatalogBackend> Catalog<B> {
     /// need, then drop it before appending again.
     pub fn executor(&mut self) -> Result<QueryExecutor<'_, Arc<B::Store>, B::Data>, CoreError> {
         self.materialize()?;
+        self.executor_shared()
+    }
+
+    /// Binds a batched executor over the **already-materialized** state
+    /// through a shared (`&self`) borrow — the read path of concurrent
+    /// serving, where many executor workers hold read guards on one
+    /// catalog while a dedicated ingest lane owns the write side. Fails
+    /// with [`CoreError::Unmaterialized`] when any series has appends the
+    /// shared store has not absorbed: the caller (not this method) must
+    /// run [`Catalog::materialize`] under its exclusive borrow first.
+    pub fn executor_shared(&self) -> Result<QueryExecutor<'_, Arc<B::Store>, B::Data>, CoreError> {
+        if self.needs_materialize() {
+            return Err(CoreError::Unmaterialized);
+        }
         if self.entries.is_empty() {
             return Err(CoreError::InvalidQuery("catalog has no series".into()));
         }
@@ -427,6 +441,18 @@ impl<B: CatalogBackend> Catalog<B> {
             }),
             config,
         )
+    }
+
+    /// One-shot shared-borrow convenience: bind a read-path executor
+    /// ([`Catalog::executor_shared`]) and run `specs`. Safe to call from
+    /// many threads at once (per-series row caches are thread-safe), as
+    /// long as the catalog is materialized and no appender runs
+    /// concurrently — exactly what an `RwLock` read guard provides.
+    pub fn execute_batch_shared(&self, specs: &[QuerySpec]) -> Result<BatchOutput, CoreError>
+    where
+        B::Data: Sync,
+    {
+        self.executor_shared()?.execute_batch(specs)
     }
 
     /// One-shot convenience: materialize, bind an executor, run `specs`.
@@ -586,6 +612,46 @@ mod tests {
         let mut empty = Catalog::new(MemoryCatalogBackend);
         assert!(empty.executor().is_err());
         assert!(empty.is_empty());
+    }
+
+    /// The read path: a materialized catalog answers through `&self`
+    /// (concurrently), and refuses while appends are pending.
+    #[test]
+    fn shared_executor_serves_materialized_state_only() {
+        let mut cat = Catalog::new(MemoryCatalogBackend);
+        let id = SeriesId::new(1);
+        let xs = seeded(71, 4_000);
+        cat.create_series_with(id, IndexBuildConfig::new(50), &xs).unwrap();
+        let spec = QuerySpec::rsm_ed(xs[300..550].to_vec(), 7.0).with_series(id);
+
+        // Dirty catalog: the shared borrow must refuse, not materialize.
+        assert!(matches!(
+            cat.execute_batch_shared(std::slice::from_ref(&spec)),
+            Err(CoreError::Unmaterialized)
+        ));
+        cat.materialize().unwrap();
+
+        // Clean catalog: &self batches from many threads agree with the
+        // exclusive-borrow path.
+        let want =
+            cat.execute_batch(std::slice::from_ref(&spec)).unwrap().outputs[0].results.clone();
+        let cat_ref = &cat;
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let spec = spec.clone();
+                let want = want.clone();
+                scope.spawn(move || {
+                    let batch = cat_ref.execute_batch_shared(std::slice::from_ref(&spec)).unwrap();
+                    assert_eq!(batch.outputs[0].results, want);
+                });
+            }
+        });
+
+        // A new append dirties the read path again until materialized.
+        cat.append(id, &seeded(72, 200)).unwrap();
+        assert!(matches!(cat.executor_shared(), Err(CoreError::Unmaterialized)));
+        cat.materialize().unwrap();
+        assert!(cat.executor_shared().is_ok());
     }
 
     #[test]

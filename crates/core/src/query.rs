@@ -321,6 +321,10 @@ pub enum CoreError {
     },
     /// A batch query referenced a series its executor does not serve.
     UnknownSeries(SeriesId),
+    /// A shared-borrow (read-path) executor was requested while some
+    /// series still has unmaterialized appends — the caller must run
+    /// `Catalog::materialize` under an exclusive borrow first.
+    Unmaterialized,
     /// Storage failure.
     Storage(StorageError),
     /// Persisted index failed validation.
@@ -336,6 +340,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::UnknownSeries(id) => {
                 write!(f, "query routed to unknown {id}")
+            }
+            CoreError::Unmaterialized => {
+                write!(f, "catalog has unmaterialized appends; materialize() first")
             }
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
             CoreError::CorruptIndex(msg) => write!(f, "corrupt index: {msg}"),

@@ -11,23 +11,37 @@
 //! * **Submission handles.** Clients submit individual
 //!   [`QueryRequest`]s (range or top-k, per-series, optional deadline)
 //!   to a [`QueryService`] from any number of threads and get a
-//!   [`ResponseHandle`] — a one-shot future resolved by the scheduler.
-//! * **Micro-batching scheduler.** A dedicated thread owns the
-//!   [`Catalog`](kvmatch_core::Catalog) and drains the submission queue
-//!   into batches, flushing on **batch size or deadline, whichever
-//!   first** ([`ServeConfig::max_batch`] /
-//!   [`ServeConfig::max_batch_delay`]); formed batches run on the
-//!   existing executor, so concurrent requests share probe work exactly
-//!   like a hand-assembled batch, and per-request identity is preserved
-//!   in the fan-back.
+//!   [`ResponseHandle`] — a one-shot future resolved by the pipeline.
+//! * **Micro-batching front scheduler + worker pool.** A front
+//!   scheduler drains the submission queue into batches, flushing on
+//!   **batch size or deadline, whichever first**
+//!   ([`ServeConfig::max_batch`] / [`ServeConfig::max_batch_delay`]),
+//!   then **partitions each batch by series** and hands the shards to
+//!   [`ServeConfig::workers`] executor workers. Each worker serves its
+//!   shard from a read guard on the shared
+//!   [`Catalog`](kvmatch_core::Catalog), so shards of different series
+//!   execute concurrently while concurrent requests on one series still
+//!   share probe work exactly like a hand-assembled batch; per-request
+//!   identity is preserved in the fan-back.
+//! * **Dedicated ingest lane.** Appends bypass the worker pool and run
+//!   on the catalog's write side in their own lane. An append is an
+//!   ordering barrier *for its own series only* (per-series epochs):
+//!   queries submitted after it see its points, queries on other series
+//!   keep flowing during ingestion.
 //! * **Backpressure.** Admission control is a bounded queue: a full
 //!   queue answers [`Submit::Rejected`] immediately (or after a bounded
 //!   wait via [`QueryService::submit_timeout`]) instead of buffering
-//!   without limit. Per-request deadlines expire queued work that waited
-//!   too long.
-//! * **Metrics.** A registry records queue depth, batch occupancy,
-//!   admission/completion counters and latency percentiles
-//!   (p50/p95/p99) — [`QueryService::metrics`].
+//!   without limit — and the scheduler hands shards only to *idle*
+//!   workers, so the query pipeline cannot buffer past
+//!   `queue_capacity + max_batch` either (the ingest lane's own bounded
+//!   queue adds at most `queue_capacity` admitted appends). Per-request
+//!   deadlines expire queued work that waited too long (checked at
+//!   dispatch and again after execution).
+//! * **Metrics.** A registry records queue and ingest-lane depth, batch
+//!   occupancy, admission/completion counters (expired-in-queue vs
+//!   expired-in-execution kept separate), per-worker dispatch counters
+//!   ([`WorkerSnapshot`]) and latency percentiles (p50/p95/p99) —
+//!   [`QueryService::metrics`].
 //!
 //! The build environment has no tokio, so the async surface is built on
 //! `std::thread` + in-crate channel primitives ([`sync`]), mirroring the
@@ -76,7 +90,7 @@ pub mod metrics;
 pub mod service;
 pub mod sync;
 
-pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot};
+pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot, WorkerSnapshot};
 pub use service::{
     AppendHandle, QueryKind, QueryRequest, QueryResponse, QueryService, RejectedAppend,
     ResponseHandle, ServeConfig, ServeError, Submit,

@@ -88,12 +88,33 @@ impl LatencyHistogram {
     }
 }
 
+/// Live counters of one executor worker in the dispatch pool.
+#[derive(Debug, Default)]
+pub struct WorkerMetrics {
+    pub(crate) batches: AtomicU64,
+    pub(crate) queries: AtomicU64,
+    pub(crate) busy_nanos: AtomicU64,
+}
+
+impl WorkerMetrics {
+    pub(crate) fn note_shard(&self, occupancy: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.queries.fetch_add(occupancy as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_busy(&self, busy: std::time::Duration) {
+        self.busy_nanos
+            .fetch_add(busy.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+    }
+}
+
 /// Live counters of one [`QueryService`](crate::QueryService).
 #[derive(Debug, Default)]
 pub struct Metrics {
     pub(crate) submitted: AtomicU64,
     pub(crate) rejected: AtomicU64,
     pub(crate) expired: AtomicU64,
+    pub(crate) expired_exec: AtomicU64,
     pub(crate) completed: AtomicU64,
     pub(crate) failed: AtomicU64,
     pub(crate) appends: AtomicU64,
@@ -101,23 +122,37 @@ pub struct Metrics {
     pub(crate) batched_queries: AtomicU64,
     pub(crate) max_batch_occupancy: AtomicU64,
     pub(crate) queue_depth_peak: AtomicU64,
+    pub(crate) ingest_depth_peak: AtomicU64,
+    pub(crate) workers: Vec<WorkerMetrics>,
     pub(crate) latency: LatencyHistogram,
 }
 
 impl Metrics {
-    pub(crate) fn note_batch(&self, occupancy: usize) {
+    /// A registry tracking `workers` executor workers.
+    pub(crate) fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: (0..workers).map(|_| WorkerMetrics::default()).collect(),
+            ..Self::default()
+        }
+    }
+
+    pub(crate) fn note_batch(&self, worker: usize, occupancy: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         self.batched_queries.fetch_add(occupancy as u64, Ordering::Relaxed);
         self.max_batch_occupancy.fetch_max(occupancy as u64, Ordering::Relaxed);
+        if let Some(w) = self.workers.get(worker) {
+            w.note_shard(occupancy);
+        }
     }
 
-    pub(crate) fn snapshot(&self, queue_depth: usize) -> MetricsSnapshot {
+    pub(crate) fn snapshot(&self, queue_depth: usize, ingest_depth: usize) -> MetricsSnapshot {
         let batches = self.batches.load(Ordering::Relaxed);
         let batched_queries = self.batched_queries.load(Ordering::Relaxed);
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            expired_exec: self.expired_exec.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             appends: self.appends.load(Ordering::Relaxed),
@@ -131,6 +166,17 @@ impl Metrics {
             max_batch_occupancy: self.max_batch_occupancy.load(Ordering::Relaxed),
             queue_depth,
             queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            ingest_depth,
+            ingest_depth_peak: self.ingest_depth_peak.load(Ordering::Relaxed),
+            workers: self
+                .workers
+                .iter()
+                .map(|w| WorkerSnapshot {
+                    batches: w.batches.load(Ordering::Relaxed),
+                    queries: w.queries.load(Ordering::Relaxed),
+                    busy_us: w.busy_nanos.load(Ordering::Relaxed) / 1_000,
+                })
+                .collect(),
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p95_us: self.latency.quantile_us(0.95),
             latency_p99_us: self.latency.quantile_us(0.99),
@@ -139,8 +185,20 @@ impl Metrics {
     }
 }
 
+/// One executor worker's share of the dispatched load.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerSnapshot {
+    /// Shard batches this worker executed.
+    pub batches: u64,
+    /// Queries summed across those shards.
+    pub queries: u64,
+    /// Microseconds the worker spent executing (not parked idle, not
+    /// waiting on an ingest barrier).
+    pub busy_us: u64,
+}
+
 /// A point-in-time copy of every serving metric.
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MetricsSnapshot {
     /// Requests admitted into the queue.
     pub submitted: u64,
@@ -148,13 +206,16 @@ pub struct MetricsSnapshot {
     pub rejected: u64,
     /// Admitted requests whose deadline passed before dispatch.
     pub expired: u64,
+    /// Requests whose deadline passed *during* execution — answered
+    /// `DeadlineExceeded`, counted separately from served requests.
+    pub expired_exec: u64,
     /// Requests answered successfully.
     pub completed: u64,
     /// Requests answered with a query error.
     pub failed: u64,
-    /// Append commands applied.
+    /// Append commands applied by the ingest lane.
     pub appends: u64,
-    /// Executor batches dispatched.
+    /// Executor shard batches dispatched across the worker pool.
     pub batches: u64,
     /// Queries summed across those batches.
     pub batched_queries: u64,
@@ -166,6 +227,12 @@ pub struct MetricsSnapshot {
     pub queue_depth: usize,
     /// Deepest the queue has been.
     pub queue_depth_peak: u64,
+    /// Appends waiting in the ingest lane right now.
+    pub ingest_depth: usize,
+    /// Deepest the ingest lane has been.
+    pub ingest_depth_peak: u64,
+    /// Per-worker split of the dispatched load, indexed by worker id.
+    pub workers: Vec<WorkerSnapshot>,
     /// Median submit→response latency, microseconds.
     pub latency_p50_us: u64,
     /// 95th-percentile latency, microseconds.
@@ -218,15 +285,26 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_derives_occupancy() {
-        let m = Metrics::default();
-        m.note_batch(4);
-        m.note_batch(8);
-        let s = m.snapshot(3);
-        assert_eq!(s.batches, 2);
-        assert_eq!(s.batched_queries, 12);
-        assert!((s.avg_batch_occupancy - 6.0).abs() < 1e-12);
+    fn snapshot_derives_occupancy_and_worker_split() {
+        let m = Metrics::with_workers(2);
+        m.note_batch(0, 4);
+        m.note_batch(1, 8);
+        m.note_batch(1, 2);
+        m.workers[1].note_busy(Duration::from_micros(1_500));
+        let s = m.snapshot(3, 1);
+        assert_eq!(s.batches, 3);
+        assert_eq!(s.batched_queries, 14);
+        assert!((s.avg_batch_occupancy - 14.0 / 3.0).abs() < 1e-12);
         assert_eq!(s.max_batch_occupancy, 8);
         assert_eq!(s.queue_depth, 3);
+        assert_eq!(s.ingest_depth, 1);
+        assert_eq!(s.workers.len(), 2);
+        assert_eq!(s.workers[0], WorkerSnapshot { batches: 1, queries: 4, busy_us: 0 });
+        assert_eq!(s.workers[1].batches, 2);
+        assert_eq!(s.workers[1].queries, 10);
+        assert_eq!(s.workers[1].busy_us, 1_500);
+        // The per-worker split accounts for every dispatched shard.
+        assert_eq!(s.workers.iter().map(|w| w.batches).sum::<u64>(), s.batches);
+        assert_eq!(s.workers.iter().map(|w| w.queries).sum::<u64>(), s.batched_queries);
     }
 }

@@ -1,23 +1,43 @@
-//! The query service: submission handles, micro-batching scheduler,
-//! admission control and fan-back.
+//! The query service: submission handles, micro-batching front
+//! scheduler, series-partitioned worker dispatch, a dedicated ingest
+//! lane, admission control and fan-back.
 //!
 //! ```text
-//!  clients                    scheduler thread (owns the Catalog)
-//!  ───────                    ──────────────────────────────────
-//!  submit ──► BoundedQueue ──► drain (flush on batch-size OR deadline)
-//!    │            │                │
-//!    │       full? Rejected        ├─ expire jobs past their deadline
-//!    │      (backpressure)         ├─ QueryExecutor::execute_batch
-//!    │                             │    (shared probes, fanned verify,
-//!    ▼                             │     per-query top-k tightening)
-//!  ResponseHandle ◄── oneshot ─────┴─ fan results back per request
+//!  clients              front scheduler                 executor workers
+//!  ───────              ───────────────                 ────────────────
+//!  submit ──► BoundedQueue ──► drain micro-batch        ┌─► worker 0 ─┐
+//!    │            │            partition by SeriesId ───┼─► worker 1  ├─► Catalog
+//!    │       full? Rejected    (rendezvous hand-off:    └─► worker N ─┘   (RwLock
+//!    │      (backpressure)      waits for an idle            read side)    read)
+//!    │                          worker — never buffers)
+//!    │                              │
+//!    │                              └─ appends ──► ingest lane ──► Catalog
+//!    ▼                                 (per-series epoch barrier)  (write side)
+//!  ResponseHandle ◄─────── oneshot per request ◄── fan-back (input order)
 //! ```
 //!
+//! The front scheduler drains the bounded submission queue into
+//! micro-batches exactly like the single-threaded PR-4 scheduler did,
+//! but instead of executing inline it **partitions each batch by
+//! [`SeriesId`]** and hands the shards to a pool of executor workers.
+//! Each worker serves its shard from a read guard on the shared
+//! [`Catalog`] — index probes and verification for different series are
+//! embarrassingly parallel, so shards of one batch (and of consecutive
+//! batches) execute concurrently.
+//!
+//! Appends never touch the worker pool: they are routed to a **dedicated
+//! ingest lane** that owns the catalog's write side. An append acts as an
+//! ordering barrier *for its own series only* — the scheduler stamps
+//! every append with a per-series epoch and every query shard with the
+//! epoch it must observe, so a query submitted after an append waits for
+//! exactly that append while queries on other series keep flowing.
+//!
 //! Identity is preserved end-to-end: each request owns a oneshot channel,
-//! the scheduler forms batches in submission order, and
-//! `execute_batch` returns outputs in input order, so the zip back onto
-//! the per-request senders can never cross wires.
+//! shards keep their jobs in submission order, and `execute_batch`
+//! returns outputs in input order, so the zip back onto the per-request
+//! senders can never cross wires.
 
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -25,9 +45,10 @@ use std::time::{Duration, Instant};
 use kvmatch_core::catalog::{Catalog, CatalogBackend};
 use kvmatch_core::exec::QueryOutput;
 use kvmatch_core::{CoreError, MatchResult, MatchStats, QuerySpec, SeriesId};
+use parking_lot::RwLock;
 
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::sync::{oneshot, BoundedQueue, PushError};
+use crate::sync::{oneshot, BoundedQueue, Handoff, PushError};
 
 /// Tuning knobs of a [`QueryService`].
 #[derive(Clone, Copy, Debug)]
@@ -46,6 +67,14 @@ pub struct ServeConfig {
     /// Deadline applied to requests that don't carry their own (`None` =
     /// no default deadline).
     pub default_deadline: Option<Duration>,
+    /// Executor workers in the dispatch pool (min 1). Shards of one
+    /// micro-batch — one per `(series, ingest epoch)` — run on distinct
+    /// workers concurrently; the front scheduler hands a shard only to
+    /// an *idle* worker, so query-side buffering stays bounded at
+    /// `queue_capacity + max_batch` regardless of the pool size (the
+    /// ingest lane's own bounded queue adds at most `queue_capacity`
+    /// admitted appends on top).
+    pub workers: usize,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +84,7 @@ impl Default for ServeConfig {
             max_batch: 32,
             max_batch_delay: Duration::from_millis(2),
             default_deadline: None,
+            workers: 2,
         }
     }
 }
@@ -72,7 +102,7 @@ pub enum QueryKind {
 
 /// One client request: a routed query spec plus an optional per-request
 /// deadline (measured from submission; expired requests are answered
-/// with [`ServeError::DeadlineExceeded`] instead of being executed).
+/// with [`ServeError::DeadlineExceeded`] instead of their results).
 #[derive(Clone, Debug)]
 pub struct QueryRequest {
     /// The query, already routed at a series via
@@ -128,7 +158,8 @@ pub enum ServeError {
     /// Admission control turned the command away (queue full for the
     /// whole wait).
     Rejected,
-    /// The request's deadline passed while it was still queued.
+    /// The request's deadline passed — before dispatch (the queueing
+    /// bound) or during execution (checked again before fan-back).
     DeadlineExceeded,
     /// The service shut down before producing a response.
     ShutDown,
@@ -140,7 +171,7 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Rejected => write!(f, "rejected by admission control (queue full)"),
-            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before dispatch"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServeError::ShutDown => write!(f, "service shut down"),
             ServeError::Query(e) => write!(f, "query failed: {e}"),
         }
@@ -247,16 +278,73 @@ struct Job {
     tx: oneshot::Sender<Result<QueryResponse, ServeError>>,
 }
 
-impl Job {
-    /// Whether the job's effective deadline — its own, falling back to
-    /// the service default — passed before `now`.
-    fn expired(&self, now: Instant, default_deadline: Option<Duration>) -> bool {
-        self.deadline.or(default_deadline).is_some_and(|d| now.duration_since(self.submitted) > d)
+/// Whether an effective deadline — the job's own, falling back to the
+/// service default — passed before `now`.
+fn deadline_expired(
+    submitted: Instant,
+    deadline: Option<Duration>,
+    now: Instant,
+    default_deadline: Option<Duration>,
+) -> bool {
+    deadline.or(default_deadline).is_some_and(|d| now.duration_since(submitted) > d)
+}
+
+/// One unit of worker dispatch: a maximal run of queries on one series
+/// that must observe the same ingest epoch, in submission order.
+struct Shard {
+    /// Raw id of the series every job in the shard targets.
+    series: u64,
+    /// Ingest epoch the shard must wait for (0 = no append ordered
+    /// before it on this series).
+    epoch: u64,
+    jobs: Vec<Job>,
+}
+
+/// One append travelling down the ingest lane.
+struct IngestJob {
+    series: SeriesId,
+    points: Vec<f64>,
+    tx: oneshot::Sender<Result<(), ServeError>>,
+    /// This append's position in its series' append order.
+    epoch: u64,
+}
+
+/// The per-series ordering barrier between the ingest lane and the
+/// worker pool: the lane publishes each completed (and materialized)
+/// append's epoch; workers wait for the epochs their shards require.
+#[derive(Default)]
+struct IngestGate {
+    completed: std::sync::Mutex<HashMap<u64, u64>>,
+    advanced: std::sync::Condvar,
+}
+
+impl IngestGate {
+    fn publish(&self, series: u64, epoch: u64) {
+        let mut completed = self.completed.lock().expect("ingest gate poisoned");
+        let e = completed.entry(series).or_insert(0);
+        if epoch > *e {
+            *e = epoch;
+        }
+        drop(completed);
+        self.advanced.notify_all();
+    }
+
+    fn wait_for(&self, series: u64, epoch: u64) {
+        let mut completed = self.completed.lock().expect("ingest gate poisoned");
+        while completed.get(&series).copied().unwrap_or(0) < epoch {
+            completed = self.advanced.wait(completed).expect("ingest gate poisoned");
+        }
     }
 }
 
 struct Shared {
+    /// The bounded submission queue — the admission-control surface.
     queue: BoundedQueue<Command>,
+    /// The dedicated ingest lane's own bounded queue; a saturated lane
+    /// back-pressures the front scheduler, which in turn fills the
+    /// submission queue.
+    ingest: BoundedQueue<IngestJob>,
+    gate: IngestGate,
     metrics: Metrics,
     config: ServeConfig,
 }
@@ -266,29 +354,36 @@ struct Shared {
 /// [`ResponseHandle`]s. See the [crate docs](crate) for the quick-start.
 pub struct QueryService<B: CatalogBackend> {
     shared: Arc<Shared>,
-    worker: Option<JoinHandle<Catalog<B>>>,
+    catalog: Option<Arc<RwLock<Catalog<B>>>>,
+    scheduler: Option<JoinHandle<()>>,
 }
 
 impl<B> QueryService<B>
 where
-    B: CatalogBackend + Send + 'static,
+    B: CatalogBackend + Send + Sync + 'static,
     B::Store: Send + Sync + 'static,
     B::Data: Send + Sync + 'static,
 {
-    /// Takes ownership of `catalog` and starts the scheduler thread.
-    /// [`QueryService::shutdown`] hands the catalog back.
+    /// Takes ownership of `catalog` and starts the serving pipeline: the
+    /// front scheduler, `config.workers` executor workers and the ingest
+    /// lane. [`QueryService::shutdown`] hands the catalog back.
     pub fn spawn(catalog: Catalog<B>, config: ServeConfig) -> Self {
+        let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
-            metrics: Metrics::default(),
+            ingest: BoundedQueue::new(config.queue_capacity),
+            gate: IngestGate::default(),
+            metrics: Metrics::with_workers(workers),
             config,
         });
-        let worker_shared = Arc::clone(&shared);
-        let worker = std::thread::Builder::new()
+        let catalog = Arc::new(RwLock::new(catalog));
+        let scheduler_shared = Arc::clone(&shared);
+        let scheduler_catalog = Arc::clone(&catalog);
+        let scheduler = std::thread::Builder::new()
             .name("kvmatch-serve-scheduler".into())
-            .spawn(move || scheduler(catalog, worker_shared))
+            .spawn(move || scheduler(scheduler_catalog, scheduler_shared))
             .expect("spawn scheduler thread");
-        Self { shared, worker: Some(worker) }
+        Self { shared, catalog: Some(catalog), scheduler: Some(scheduler) }
     }
 
     /// Non-blocking submission: admitted or immediately
@@ -336,11 +431,13 @@ where
         }
     }
 
-    /// Enqueues a streaming append; it executes in submission order
-    /// relative to queries (queries submitted after the append see the
-    /// new points). Shares the bounded queue — and therefore the
-    /// backpressure — with queries; a turned-away append hands the
-    /// points back ([`RejectedAppend`]) so the caller can retry.
+    /// Enqueues a streaming append. It is ordered with queries *on its
+    /// own series*: queries submitted after the append see its points,
+    /// while queries on other series keep flowing through the worker
+    /// pool during ingestion. Shares the bounded submission queue — and
+    /// therefore the backpressure — with queries; a turned-away append
+    /// hands the points back ([`RejectedAppend`]) so the caller can
+    /// retry.
     pub fn append(
         &self,
         series: SeriesId,
@@ -365,22 +462,33 @@ where
 
     /// A point-in-time metrics snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot(self.shared.queue.len())
+        self.shared.metrics.snapshot(self.shared.queue.len(), self.shared.ingest.len())
+    }
+
+    /// Executor workers in the dispatch pool.
+    pub fn workers(&self) -> usize {
+        self.shared.metrics.workers.len()
     }
 
     /// Graceful shutdown: stops admissions, serves everything already
-    /// queued, joins the scheduler and hands the catalog back.
+    /// queued (queries and appends), retires the worker pool and the
+    /// ingest lane, and hands the catalog back.
     pub fn shutdown(mut self) -> Catalog<B> {
         self.shared.queue.close();
-        self.worker.take().expect("shutdown runs once").join().expect("scheduler panicked")
+        self.scheduler.take().expect("shutdown runs once").join().expect("scheduler panicked");
+        let catalog = self.catalog.take().expect("shutdown runs once");
+        Arc::try_unwrap(catalog)
+            .ok()
+            .expect("all serving threads joined; no catalog borrow remains")
+            .into_inner()
     }
 }
 
 impl<B: CatalogBackend> Drop for QueryService<B> {
     fn drop(&mut self) {
-        if let Some(worker) = self.worker.take() {
+        if let Some(scheduler) = self.scheduler.take() {
             self.shared.queue.close();
-            let _ = worker.join();
+            let _ = scheduler.join();
         }
     }
 }
@@ -392,12 +500,47 @@ fn recover_request(cmd: Command) -> QueryRequest {
     }
 }
 
-/// The scheduler loop: drain → (expire, batch, dispatch) → fan back.
-fn scheduler<B>(mut catalog: Catalog<B>, shared: Arc<Shared>) -> Catalog<B>
+/// The front scheduler: bring the read path up, spawn the pool and the
+/// ingest lane, then loop drain → partition → hand off until the
+/// submission queue closes; finally retire the pipeline in dependency
+/// order (workers may wait on ingest epochs, so the lane outlives them).
+fn scheduler<B>(catalog: Arc<RwLock<Catalog<B>>>, shared: Arc<Shared>)
 where
-    B: CatalogBackend,
-    B::Data: Sync,
+    B: CatalogBackend + Send + Sync + 'static,
+    B::Store: Send + Sync + 'static,
+    B::Data: Send + Sync + 'static,
 {
+    // One materialization up front: workers execute through shared
+    // borrows and never materialize; the ingest lane keeps the catalog
+    // materialized from here on.
+    let _ = catalog.write().materialize();
+
+    let workers = shared.config.workers.max(1);
+    let handoff: Arc<Handoff<Shard>> = Arc::new(Handoff::new());
+    let pool: Vec<JoinHandle<()>> = (0..workers)
+        .map(|idx| {
+            let catalog = Arc::clone(&catalog);
+            let shared = Arc::clone(&shared);
+            let handoff = Arc::clone(&handoff);
+            std::thread::Builder::new()
+                .name(format!("kvmatch-serve-worker-{idx}"))
+                .spawn(move || worker_loop(idx, catalog, shared, handoff))
+                .expect("spawn executor worker")
+        })
+        .collect();
+    let ingest = {
+        let catalog = Arc::clone(&catalog);
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name("kvmatch-serve-ingest".into())
+            .spawn(move || ingest_loop(catalog, shared))
+            .expect("spawn ingest lane")
+    };
+
+    // Per-series count of appends routed down the ingest lane so far —
+    // the epoch a later query on that series must observe.
+    let mut issued: HashMap<u64, u64> = HashMap::new();
+
     while let Some(first) = shared.queue.pop_wait() {
         // Micro-batch formation: the first command opens the batch; keep
         // draining until it is full or its flush deadline passes,
@@ -411,29 +554,91 @@ where
             }
         }
 
-        // Process in submission order; maximal runs of consecutive
-        // queries form one executor batch, appends are barriers (a query
-        // submitted after an append must see its points).
-        let mut run: Vec<Job> = Vec::new();
+        // Partition in submission order: queries shard by (series,
+        // required ingest epoch) — so a query behind an append on its
+        // series lands in a *different* shard than one ahead of it —
+        // and appends go straight down the ingest lane.
+        let mut shards: BTreeMap<(u64, u64), Vec<Job>> = BTreeMap::new();
         for cmd in commands {
             match cmd {
-                Command::Query(job) => run.push(job),
+                Command::Query(job) => {
+                    let series = job.spec.series.raw();
+                    let epoch = issued.get(&series).copied().unwrap_or(0);
+                    shards.entry((series, epoch)).or_default().push(job);
+                }
                 Command::Append { series, points, tx } => {
-                    dispatch(&mut catalog, std::mem::take(&mut run), &shared);
-                    let outcome = catalog.append(series, &points).map_err(ServeError::Query);
-                    shared.metrics.appends.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    let _ = tx.send(outcome);
+                    let epoch = issued.entry(series.raw()).or_insert(0);
+                    *epoch += 1;
+                    let job = IngestJob { series, points, tx, epoch: *epoch };
+                    match shared.ingest.push_wait(job) {
+                        Ok(()) => {
+                            shared.metrics.ingest_depth_peak.fetch_max(
+                                shared.ingest.len() as u64,
+                                std::sync::atomic::Ordering::Relaxed,
+                            );
+                        }
+                        Err(PushError::Full(job) | PushError::Closed(job)) => {
+                            // Unreachable today (push_wait only fails
+                            // Closed, and the lane closes after this
+                            // loop) — but an issued epoch that never
+                            // reaches the lane MUST still be published,
+                            // or every later query on the series would
+                            // wait at the gate forever.
+                            shared.gate.publish(job.series.raw(), job.epoch);
+                            let _ = job.tx.send(Err(ServeError::ShutDown));
+                        }
+                    }
                 }
             }
         }
-        dispatch(&mut catalog, run, &shared);
+
+        // Hand each shard to an idle worker (the rendezvous blocks while
+        // the whole pool is busy — that is where upstream backpressure
+        // comes from).
+        for ((series, epoch), jobs) in shards {
+            if let Err(shard) = handoff.send(Shard { series, epoch, jobs }) {
+                for job in shard.jobs {
+                    let _ = job.tx.send(Err(ServeError::ShutDown));
+                }
+            }
+        }
     }
-    catalog
+
+    // Graceful drain: every admitted command is dispatched by now.
+    handoff.close();
+    for worker in pool {
+        let _ = worker.join();
+    }
+    shared.ingest.close();
+    let _ = ingest.join();
 }
 
-/// Executes one run of queries as a single batch and fans the results
-/// back onto each job's channel.
-fn dispatch<B>(catalog: &mut Catalog<B>, run: Vec<Job>, shared: &Shared)
+/// One executor worker: park at the hand-off, honour the shard's ingest
+/// barrier, then execute it from a catalog read guard.
+fn worker_loop<B>(
+    idx: usize,
+    catalog: Arc<RwLock<Catalog<B>>>,
+    shared: Arc<Shared>,
+    handoff: Arc<Handoff<Shard>>,
+) where
+    B: CatalogBackend,
+    B::Data: Sync,
+{
+    while let Some(shard) = handoff.recv() {
+        // The per-series ordering barrier: wait until the ingest lane
+        // has applied (and materialized) every append ordered before
+        // this shard on its series. Shards of other series pass straight
+        // through — an append never stalls the whole pool.
+        if shard.epoch > 0 {
+            shared.gate.wait_for(shard.series, shard.epoch);
+        }
+        execute_shard(idx, &catalog, shard.jobs, &shared);
+    }
+}
+
+/// Executes one shard as a single batch and fans the results back onto
+/// each job's channel.
+fn execute_shard<B>(idx: usize, catalog: &RwLock<Catalog<B>>, run: Vec<Job>, shared: &Shared)
 where
     B: CatalogBackend,
     B::Data: Sync,
@@ -444,13 +649,14 @@ where
         return;
     }
     // Per-request deadlines are enforced at dispatch: an expired job is
-    // answered without being executed (execution itself is not
-    // interruptible — the deadline bounds *queueing*, the dominant delay
-    // under load).
+    // answered without being executed. The deadline bounds *queueing* —
+    // including time spent behind an ingest barrier — and is re-checked
+    // once more after execution before the response is sent.
     let now = Instant::now();
+    let default_deadline = shared.config.default_deadline;
     let mut live = Vec::with_capacity(run.len());
     for job in run {
-        if job.expired(now, shared.config.default_deadline) {
+        if deadline_expired(job.submitted, job.deadline, now, default_deadline) {
             metrics.expired.fetch_add(1, Relaxed);
             let _ = job.tx.send(Err(ServeError::DeadlineExceeded));
         } else {
@@ -460,36 +666,87 @@ where
     if live.is_empty() {
         return;
     }
-    metrics.note_batch(live.len());
+    metrics.note_batch(idx, live.len());
+    let busy = Instant::now();
     // Move the specs out of the jobs instead of deep-cloning every query
-    // vector on the (single) scheduler thread — the batch and the jobs
-    // stay index-aligned, so the fan-back zips them straight together.
+    // vector — the batch and the jobs stay index-aligned, so the
+    // fan-back zips them straight together.
     let (specs, clients): (Vec<QuerySpec>, Vec<JobClient>) = live
         .into_iter()
-        .map(|job| (job.spec, JobClient { submitted: job.submitted, tx: job.tx }))
+        .map(|job| {
+            (job.spec, JobClient { submitted: job.submitted, deadline: job.deadline, tx: job.tx })
+        })
         .unzip();
-    match catalog.execute_batch(&specs) {
-        Ok(batch) => {
-            debug_assert_eq!(batch.outputs.len(), clients.len());
-            for (client, out) in clients.into_iter().zip(batch.outputs) {
-                respond(client, out, metrics);
+    {
+        let guard = catalog.read();
+        match guard.execute_batch_shared(&specs) {
+            Ok(batch) => {
+                debug_assert_eq!(batch.outputs.len(), clients.len());
+                for (client, out) in clients.into_iter().zip(batch.outputs) {
+                    respond(client, out, shared);
+                }
             }
-        }
-        // A batch fails as a unit (e.g. one invalid or misrouted spec).
-        // Isolate: re-run each request alone so only the offender fails.
-        Err(_) => {
-            for (spec, client) in specs.iter().zip(clients) {
-                match catalog.execute_batch(std::slice::from_ref(spec)) {
-                    Ok(mut batch) => {
-                        let out = batch.outputs.pop().expect("one spec yields one output");
-                        respond(client, out, metrics);
-                    }
-                    Err(e) => {
-                        metrics.failed.fetch_add(1, Relaxed);
-                        let _ = client.tx.send(Err(ServeError::Query(e)));
+            // A batch fails as a unit (e.g. one invalid or misrouted
+            // spec). Isolate: re-run each request alone so only the
+            // offender fails.
+            Err(_) => {
+                for (spec, client) in specs.iter().zip(clients) {
+                    match guard.execute_batch_shared(std::slice::from_ref(spec)) {
+                        Ok(mut batch) => {
+                            let out = batch.outputs.pop().expect("one spec yields one output");
+                            respond(client, out, shared);
+                        }
+                        Err(e) => {
+                            metrics.failed.fetch_add(1, Relaxed);
+                            let _ = client.tx.send(Err(ServeError::Query(e)));
+                        }
                     }
                 }
             }
+        }
+    }
+    if let Some(w) = metrics.workers.get(idx) {
+        w.note_busy(busy.elapsed());
+    }
+}
+
+/// The ingest lane: drain a burst of appends, apply them under one write
+/// guard with a single re-materialization, then publish their epochs so
+/// barrier-waiting shards proceed.
+fn ingest_loop<B>(catalog: Arc<RwLock<Catalog<B>>>, shared: Arc<Shared>)
+where
+    B: CatalogBackend,
+{
+    /// Appends absorbed into one write-guard scope (one materialization
+    /// amortized across the burst).
+    const INGEST_DRAIN: usize = 32;
+    while let Some(first) = shared.ingest.pop_wait() {
+        let mut jobs = vec![first];
+        while jobs.len() < INGEST_DRAIN {
+            // A deadline already in the past drains whatever is queued
+            // right now without waiting.
+            match shared.ingest.pop_before(Instant::now()) {
+                Some(job) => jobs.push(job),
+                None => break,
+            }
+        }
+        let mut acks = Vec::with_capacity(jobs.len());
+        {
+            let mut cat = catalog.write();
+            for job in jobs {
+                let outcome = cat.append(job.series, &job.points).map_err(ServeError::Query);
+                shared.metrics.appends.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                acks.push((job.tx, outcome, job.series.raw(), job.epoch));
+            }
+            // One rebuild for the whole burst, still inside the write
+            // guard: readers never observe appended-but-unmaterialized
+            // state. On failure the read path reports
+            // `CoreError::Unmaterialized` per query — loud, not wedged.
+            let _ = cat.materialize();
+        }
+        for (tx, outcome, series, epoch) in acks {
+            shared.gate.publish(series, epoch);
+            let _ = tx.send(outcome);
         }
     }
 }
@@ -498,12 +755,25 @@ where
 /// moved into the executor batch.
 struct JobClient {
     submitted: Instant,
+    deadline: Option<Duration>,
     tx: oneshot::Sender<Result<QueryResponse, ServeError>>,
 }
 
-fn respond(client: JobClient, out: QueryOutput, metrics: &Metrics) {
-    let latency = client.submitted.elapsed();
+fn respond(client: JobClient, out: QueryOutput, shared: &Shared) {
+    use std::sync::atomic::Ordering::Relaxed;
+    let metrics = &shared.metrics;
+    let now = Instant::now();
+    // The post-execution deadline check: a request whose deadline passed
+    // while it was executing is expired, not served — `expired_exec`
+    // stays separate from `completed` so operators can see work that was
+    // done but delivered too late.
+    if deadline_expired(client.submitted, client.deadline, now, shared.config.default_deadline) {
+        metrics.expired_exec.fetch_add(1, Relaxed);
+        let _ = client.tx.send(Err(ServeError::DeadlineExceeded));
+        return;
+    }
+    let latency = now.duration_since(client.submitted);
     metrics.latency.record(latency);
-    metrics.completed.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    metrics.completed.fetch_add(1, Relaxed);
     let _ = client.tx.send(Ok(QueryResponse { results: out.results, stats: out.stats, latency }));
 }

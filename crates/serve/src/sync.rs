@@ -11,8 +11,12 @@
 //! * [`BoundedQueue`] — a multi-producer bounded FIFO with blocking,
 //!   timed and non-blocking pushes. Its bounded capacity *is* the
 //!   admission-control mechanism: a full queue is backpressure.
+//! * [`Handoff`] — a rendezvous channel between the front scheduler and
+//!   the executor-worker pool: a send completes only once an *idle*
+//!   worker has been reserved for the item, so the scheduler can never
+//!   run ahead of the pool and buffering stays bounded end-to-end.
 //!
-//! Both are Mutex + Condvar underneath; no spinning, no unsafe.
+//! All are Mutex + Condvar underneath; no spinning, no unsafe.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -213,6 +217,25 @@ impl<T> BoundedQueue<T> {
         Ok(())
     }
 
+    /// Blocking push with no give-up: waits for space as long as it
+    /// takes (the ingest lane's admission — backpressure propagates to
+    /// the front scheduler instead of timing out). Only `Closed` fails.
+    pub fn push_wait(&self, item: T) -> Result<(), PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue mutex poisoned");
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed(item));
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                drop(inner);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("queue mutex poisoned");
+        }
+    }
+
     /// Blocking push: waits up to `timeout` for space, then gives up with
     /// `Full`.
     pub fn push_timeout(&self, item: T, timeout: Duration) -> Result<(), PushError<T>> {
@@ -289,6 +312,101 @@ impl<T> BoundedQueue<T> {
     }
 }
 
+struct HandoffInner<T> {
+    /// The item in flight; filled by a send only after an idle consumer
+    /// was reserved for it, so it is taken promptly.
+    slot: Option<T>,
+    /// Consumers parked in [`Handoff::recv`] with no item assigned yet.
+    idle: usize,
+    closed: bool,
+}
+
+/// A rendezvous hand-off between one producer (the front scheduler) and
+/// a pool of consumers (the executor workers).
+///
+/// Unlike a queue, [`Handoff::send`] blocks until a consumer is *idle*
+/// and reserved for the item — the producer can never buffer work at a
+/// busy pool. That property is what keeps the serving pipeline's
+/// query-side buffering bounded at `queue_capacity + max_batch`:
+/// commands the scheduler has drained but not handed off are the only
+/// in-flight extras (appends buffer separately in the ingest lane's own
+/// bounded queue).
+pub struct Handoff<T> {
+    inner: Mutex<HandoffInner<T>>,
+    /// Signalled when the slot is filled (or the hand-off closes).
+    item_ready: Condvar,
+    /// Signalled when a consumer goes idle or the slot frees up.
+    consumer_ready: Condvar,
+}
+
+impl<T> Default for Handoff<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Handoff<T> {
+    /// A fresh hand-off with no consumers yet.
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(HandoffInner { slot: None, idle: 0, closed: false }),
+            item_ready: Condvar::new(),
+            consumer_ready: Condvar::new(),
+        }
+    }
+
+    /// Blocks until an idle consumer is reserved for `item`, then hands
+    /// it over. Fails only when the hand-off was closed.
+    pub fn send(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("handoff mutex poisoned");
+        loop {
+            if inner.closed {
+                return Err(item);
+            }
+            if inner.slot.is_none() && inner.idle > 0 {
+                // Reserve the consumer now: a second send must wait for
+                // *another* idle consumer, not double-book this one.
+                inner.idle -= 1;
+                inner.slot = Some(item);
+                drop(inner);
+                self.item_ready.notify_all();
+                return Ok(());
+            }
+            inner = self.consumer_ready.wait(inner).expect("handoff mutex poisoned");
+        }
+    }
+
+    /// Parks the caller as an idle consumer until an item is assigned.
+    /// Returns `None` once the hand-off is closed and nothing is in
+    /// flight — the worker's exit signal.
+    pub fn recv(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("handoff mutex poisoned");
+        inner.idle += 1;
+        self.consumer_ready.notify_all();
+        loop {
+            if let Some(item) = inner.slot.take() {
+                // The producer already un-counted us when reserving.
+                drop(inner);
+                self.consumer_ready.notify_all();
+                return Some(item);
+            }
+            if inner.closed {
+                inner.idle -= 1;
+                return None;
+            }
+            inner = self.item_ready.wait(inner).expect("handoff mutex poisoned");
+        }
+    }
+
+    /// Closes the hand-off: parked consumers drain out with `None`,
+    /// subsequent sends fail.
+    pub fn close(&self) {
+        self.inner.lock().expect("handoff mutex poisoned").closed = true;
+        self.item_ready.notify_all();
+        self.consumer_ready.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -350,6 +468,59 @@ mod tests {
         assert!(matches!(q.try_push(2), Err(PushError::Closed(2))));
         assert_eq!(q.pop_wait(), Some(1), "admitted items survive close");
         assert_eq!(q.pop_wait(), None, "drained + closed ends the consumer");
+    }
+
+    #[test]
+    fn handoff_rendezvous_waits_for_an_idle_consumer() {
+        let h = Handoff::new();
+        let started = std::time::Instant::now();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(20));
+                assert_eq!(h.recv(), Some(1));
+            });
+            // No consumer is idle yet: send must block until one parks.
+            h.send(1).unwrap();
+            assert!(started.elapsed() >= Duration::from_millis(10), "send returned too early");
+        });
+    }
+
+    #[test]
+    fn handoff_fans_items_across_consumers_and_drains_on_close() {
+        let h = Handoff::new();
+        let served = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    while let Some(v) = h.recv() {
+                        served.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+            for v in 1..=10u64 {
+                h.send(v).unwrap();
+            }
+            h.close();
+        });
+        assert_eq!(served.load(std::sync::atomic::Ordering::Relaxed), 55);
+        assert_eq!(h.send(99), Err(99), "closed handoff refuses new work");
+        assert_eq!(h.recv(), None);
+    }
+
+    #[test]
+    fn push_wait_blocks_until_space_and_fails_closed() {
+        let q = BoundedQueue::new(1);
+        q.try_push(1).unwrap();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                std::thread::sleep(Duration::from_millis(10));
+                assert_eq!(q.pop_wait(), Some(1));
+            });
+            q.push_wait(2).unwrap();
+        });
+        assert_eq!(q.pop_wait(), Some(2));
+        q.close();
+        assert!(matches!(q.push_wait(3), Err(PushError::Closed(3))));
     }
 
     #[test]

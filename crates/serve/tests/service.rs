@@ -128,29 +128,37 @@ fn bad_request_does_not_fail_its_batchmates() {
 fn full_queue_rejects_with_backpressure() {
     let id = SeriesId::new(1);
     let xs = composite_series(41, 12_000);
+    // One worker, so the pipeline serializes: while the heavy query
+    // executes, the front scheduler holds at most one further shard in
+    // hand (blocked at the rendezvous hand-off waiting for the busy
+    // worker) — everything behind it stays in the bounded queue.
     let service = QueryService::spawn(
         catalog_with(&[(id, xs.clone())]),
         ServeConfig {
             queue_capacity: 2,
             max_batch: 1,
             max_batch_delay: Duration::ZERO,
+            workers: 1,
             ..ServeConfig::default()
         },
     );
-    // A verification-heavy query keeps the scheduler busy while the
+    // A verification-heavy query keeps the only worker busy while the
     // queue fills behind it.
     let heavy = QueryRequest::range(
         QuerySpec::rsm_dtw(xs[1_000..1_300].to_vec(), f64::INFINITY, 8).with_series(id),
     );
     let h_heavy = service.submit(heavy).expect_accepted();
-    // Let the scheduler pop it and enter execution.
+    // Let the scheduler hand it to the worker.
     std::thread::sleep(Duration::from_millis(100));
     let quick =
         || QueryRequest::range(QuerySpec::rsm_ed(xs[100..300].to_vec(), 1e-6).with_series(id));
+    // q1 is drained into the next shard, which blocks at the hand-off.
     let q1 = service.submit(quick()).expect_accepted();
-    let q2 = service.submit(quick()).expect_accepted();
-    // Queue (capacity 2) now holds q1 + q2 while the heavy query runs:
+    std::thread::sleep(Duration::from_millis(50));
+    // q2 + q3 now fill the 2-slot queue behind the blocked scheduler:
     // admission control must reject, handing the request back.
+    let q2 = service.submit(quick()).expect_accepted();
+    let q3 = service.submit(quick()).expect_accepted();
     match service.submit(quick()) {
         Submit::Rejected(returned) => assert_eq!(returned.spec.query.len(), 200),
         other => panic!("expected rejection, got {}", submit_name(&other)),
@@ -173,6 +181,7 @@ fn full_queue_rejects_with_backpressure() {
     assert!(h_heavy.wait().is_ok());
     assert!(q1.wait().is_ok());
     assert!(q2.wait().is_ok());
+    assert!(q3.wait().is_ok());
     service.shutdown();
 }
 

@@ -18,7 +18,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`core`] | `kvmatch-core` | KV-index, KV-match, KV-match_DP, catalog, top-k |
-//! | [`serve`] | `kvmatch-serve` | query service: micro-batching scheduler, backpressure, metrics |
+//! | [`serve`] | `kvmatch-serve` | query service: micro-batching front scheduler, series-partitioned worker pool, ingest lane, backpressure, metrics |
 //! | [`timeseries`] | `kvmatch-timeseries` | series container, statistics, generators |
 //! | [`distance`] | `kvmatch-distance` | ED, banded DTW, envelopes, lower bounds |
 //! | [`storage`] | `kvmatch-storage` | file/memory/sharded KV stores, series stores |
@@ -68,8 +68,8 @@ pub mod prelude {
     pub use kvmatch_distance::LpExponent;
     pub use kvmatch_lsm::{LsmCatalogBackend, LsmKvStore, LsmKvStoreBuilder, LsmOptions};
     pub use kvmatch_serve::{
-        QueryKind, QueryRequest, QueryResponse, QueryService, ResponseHandle, ServeConfig,
-        ServeError, Submit,
+        MetricsSnapshot, QueryKind, QueryRequest, QueryResponse, QueryService, ResponseHandle,
+        ServeConfig, ServeError, Submit, WorkerSnapshot,
     };
     pub use kvmatch_storage::memory::MemoryKvStoreBuilder;
     pub use kvmatch_storage::{

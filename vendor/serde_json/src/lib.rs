@@ -1,6 +1,8 @@
 //! Offline shim for `serde_json`: a JSON [`Value`] tree, an
 //! insertion-ordered [`Map`], the [`json!`] macro for scalar conversions,
-//! and a `Display` impl emitting compact JSON.
+//! a `Display` impl emitting compact JSON, and a [`from_str`] parser
+//! (into [`Value`] only — the one deserialization target the workspace
+//! uses; swap in the real crate for typed deserialization).
 
 use std::fmt;
 
@@ -190,6 +192,205 @@ impl fmt::Display for Value {
     }
 }
 
+/// A parse failure: what went wrong and the byte offset it was noticed
+/// at.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+    offset: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for Error {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, Error> {
+        Err(Error { message: message.to_string(), offset: self.pos })
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", byte as char))
+        }
+    }
+
+    fn eat_keyword(&mut self, keyword: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected `{keyword}`"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            // Surrogate pairs are not reassembled — the
+                            // workspace's own reports never emit them.
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("invalid \\u escape"),
+                            }
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy the full UTF-8 scalar, not just one byte.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error { message: "invalid UTF-8".into(), offset: self.pos })?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII digits");
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Value::Number(v)),
+            _ => self.err("invalid number"),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document into a [`Value`] tree. (The real crate's
+/// `from_str` is generic over `Deserialize`; the shim supports the
+/// `Value` target, which is what the workspace deserializes into.)
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser { bytes: input.as_bytes(), pos: 0 };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.err("trailing characters after the document");
+    }
+    Ok(value)
+}
+
 /// Builds a [`Value`] from a scalar expression (the only `json!` forms the
 /// workspace uses; arrays/objects literals are not supported by the shim).
 #[macro_export]
@@ -215,6 +416,35 @@ mod tests {
         assert_eq!(Value::Object(map).to_string(), r#"{"n":3,"x":2.75,"s":"a\"b"}"#);
         assert_eq!(json!(null).to_string(), "null");
         assert_eq!(Value::Array(vec![json!(1u8), json!(true)]).to_string(), "[1,true]");
+    }
+
+    #[test]
+    fn parses_what_it_renders() {
+        let text = r#"{"schema":"v4","n":3,"x":2.75,"neg":-1.5e2,"ok":true,
+                       "none":null,"s":"a\"b\\c\ndA","rows":[{"w":1},{"w":4}],"empty":[],"eo":{}}"#;
+        let v = from_str(text).unwrap();
+        let Value::Object(m) = &v else { panic!("object") };
+        assert_eq!(m.get("schema"), Some(&Value::from("v4")));
+        assert_eq!(m.get("n"), Some(&Value::from(3u8)));
+        assert_eq!(m.get("x"), Some(&Value::from(2.75)));
+        assert_eq!(m.get("neg"), Some(&Value::from(-150.0)));
+        assert_eq!(m.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(m.get("none"), Some(&Value::Null));
+        assert_eq!(m.get("s"), Some(&Value::from("a\"b\\c\ndA")));
+        let Some(Value::Array(rows)) = m.get("rows") else { panic!("rows") };
+        assert_eq!(rows.len(), 2);
+        assert_eq!(m.get("empty"), Some(&Value::Array(vec![])));
+        // Round-trip: rendering the parsed tree parses back equal.
+        assert_eq!(from_str(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "nul", "1 2", "\"open", "{\"a\" 1}"] {
+            assert!(from_str(bad).is_err(), "accepted malformed {bad:?}");
+        }
+        let err = from_str("{\"a\":!}").unwrap_err();
+        assert!(err.to_string().contains("at byte"));
     }
 
     #[test]
