@@ -2,19 +2,22 @@
 //!
 //! Runs every harness workload through the sequential `KvMatcher` and the
 //! batched `QueryExecutor` on the memory *and* sharded backends, runs the
-//! multi-series catalog ingest+query workload and the concurrent serving
-//! workload (headline run plus the workers = 1/2/4 scaling table), prints
-//! the comparison tables, validates the report schema, and writes
+//! multi-series catalog ingest+query workload, the concurrent serving
+//! workload (headline run plus the workers = 1/2/4 scaling table) and the
+//! streaming-ingest workload over the durable LSM backend, prints the
+//! comparison tables, validates the report schema, and writes
 //! `BENCH_exec.json` (override with `KVM_BENCH_OUT`).
 //!
 //! Knobs: `KVM_N`, `KVM_W`, `KVM_QUERIES`, `KVM_SEED`, `KVM_THREADS`
 //! (0 = auto), `KVM_REPEAT` (best-of timing), `KVM_SERIES` (catalog
-//! series), `KVM_SUBMITTERS` (serving-workload client threads),
-//! `KVM_WORKERS` (headline serving dispatch workers). With
-//! `KVM_BENCH_ENFORCE=1` the process exits non-zero when the batched
-//! executor is slower than the sequential matcher overall **or** when
-//! serving throughput fails to scale (served_rps at workers = 4 below
-//! workers = 1) — the CI `bench-smoke` gates.
+//! series), `KVM_SUBMITTERS` (serving-workload client threads, also the
+//! streaming queriers), `KVM_WORKERS` (headline serving dispatch
+//! workers). With `KVM_BENCH_ENFORCE=1` the process exits non-zero when
+//! the batched executor is slower than the sequential matcher overall,
+//! when serving throughput fails to scale (served_rps at workers = 4
+//! below workers = 1), **or** when an ingest burst stalls readers
+//! (burst-phase p99 read latency beyond 10× the quiet-phase p99, 5 ms
+//! floor) — the CI `bench-smoke` gates.
 //!
 //! `--compare <baseline.json>` additionally diffs this run's per-workload
 //! batched wall times against a committed trajectory point (the baseline
@@ -230,6 +233,34 @@ fn run() -> Result<(), String> {
     }
     table.print();
 
+    let st = &report.streaming;
+    println!();
+    println!("=== streaming ingest: reader latency under an LSM append burst ===");
+    println!(
+        "{} queriers over {} series; burst appended {} points in {:.1} ms ({:.0} points/s)",
+        st.queriers, st.series, st.burst_points, st.ingest_ms, st.points_per_sec
+    );
+    println!(
+        "read latency: quiet p95 {} µs / p99 {} µs ({} queries), \
+         burst p95 {} µs / p99 {} µs ({} queries), stall ratio {:.2}x",
+        st.quiet_p95_us,
+        st.quiet_p99_us,
+        st.quiet_queries,
+        st.burst_p95_us,
+        st.burst_p99_us,
+        st.burst_queries,
+        st.stall_ratio
+    );
+    println!(
+        "maintenance: {} runs sealed ({} delta), {} compactions, {} generations retired, \
+         {} materialize failures",
+        st.runs_sealed,
+        st.delta_runs_sealed,
+        st.compactions,
+        st.generations_retired,
+        st.materialize_failures
+    );
+
     let value = report.to_value();
     validate_schema(&value).map_err(|msg| format!("BENCH_exec.json schema violation: {msg}"))?;
     std::fs::write(&out_path, to_json(&report))
@@ -296,6 +327,13 @@ fn run() -> Result<(), String> {
              served_rps(workers=1) = {:.0}",
             rps(4),
             rps(1)
+        ));
+    }
+    if enforce && !report.streaming_stall_ok() {
+        return Err(format!(
+            "ingest burst stalled readers: burst p99 {} µs exceeds 10× quiet p99 {} µs \
+             (5 ms floor) — generation publishing must not block queries",
+            st.burst_p99_us, st.quiet_p99_us
         ));
     }
     Ok(())

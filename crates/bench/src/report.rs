@@ -27,8 +27,16 @@
 //!    section carries a **scaling table**: the identical workload rerun
 //!    at 1, 2 and 4 dispatch workers, whose served_rps rows back the CI
 //!    throughput-scaling gate.
+//! 5. **Streaming-ingest workload** — a `QueryService` over the durable
+//!    [`LsmCatalogBackend`](kvmatch_lsm::LsmCatalogBackend):
+//!    `KVM_SUBMITTERS` querier threads measure read latency during a
+//!    quiet phase, then again while an acked append burst drives
+//!    generation sealing, delta runs and size-tiered compaction on
+//!    another series. Reports burst ingest throughput, quiet vs burst
+//!    p95/p99, the stall ratio (the CI stall gate's metric) and the
+//!    backend's maintenance counters.
 //!
-//! The JSON schema is versioned (`kvmatch-bench-exec/v4`) and
+//! The JSON schema is versioned (`kvmatch-bench-exec/v5`) and
 //! machine-checked: [`validate_schema`] fails when any required field is
 //! dropped or renamed, and a bench-crate test enforces it on every
 //! `cargo test` run.
@@ -216,6 +224,51 @@ pub struct ServingScalingRow {
     pub latency_p99_us: u64,
 }
 
+/// The streaming-ingest section: reader latency while the durable
+/// backend seals, compacts and retires index generations under an
+/// append burst.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamingReport {
+    /// Catalog series served (series 1 takes the burst; queriers read
+    /// the others, so burst latencies measure reader stall rather than
+    /// the per-series ordering barrier).
+    pub series: usize,
+    /// Concurrent querier threads in both phases.
+    pub queriers: usize,
+    /// Points appended during the burst.
+    pub burst_points: u64,
+    /// Wall milliseconds of the acked burst (append → snapshot
+    /// published, per chunk).
+    pub ingest_ms: f64,
+    /// `burst_points / (ingest_ms / 1000)`.
+    pub points_per_sec: f64,
+    /// Reader queries measured in the quiet phase.
+    pub quiet_queries: u64,
+    /// Reader queries measured during the burst.
+    pub burst_queries: u64,
+    /// Quiet-phase 95th-percentile read latency, microseconds (exact,
+    /// client-side).
+    pub quiet_p95_us: u64,
+    /// Quiet-phase 99th-percentile read latency, microseconds.
+    pub quiet_p99_us: u64,
+    /// Burst-phase 95th-percentile read latency, microseconds.
+    pub burst_p95_us: u64,
+    /// Burst-phase 99th-percentile read latency, microseconds.
+    pub burst_p99_us: u64,
+    /// `burst_p99_us / quiet_p99_us` — what the CI stall gate bounds.
+    pub stall_ratio: f64,
+    /// Index runs the backend sealed (initial + burst generations).
+    pub runs_sealed: u64,
+    /// Runs sealed through the changed-suffix delta path.
+    pub delta_runs_sealed: u64,
+    /// Size-tiered folds performed while sealing.
+    pub compactions: u64,
+    /// Superseded generations retired (files deleted) during the run.
+    pub generations_retired: u64,
+    /// Failed snapshot rebuilds surfaced by the service (must be 0).
+    pub materialize_failures: u64,
+}
+
 /// The serving workload: offered load vs served throughput under
 /// admission control, with latency percentiles and the per-worker-count
 /// scaling table.
@@ -285,6 +338,8 @@ pub struct BenchReport {
     pub multi_series: MultiSeriesReport,
     /// The serving workload section.
     pub serving: ServingReport,
+    /// The streaming-ingest (LSM backend) section.
+    pub streaming: StreamingReport,
     /// Total sequential milliseconds across workloads.
     pub total_sequential_ms: f64,
     /// Total batched milliseconds across workloads.
@@ -294,7 +349,7 @@ pub struct BenchReport {
 }
 
 /// Schema tag of the current report format.
-pub const SCHEMA: &str = "kvmatch-bench-exec/v4";
+pub const SCHEMA: &str = "kvmatch-bench-exec/v5";
 
 /// Required top-level fields of `BENCH_exec.json`.
 pub const ROOT_FIELDS: &[&str] = &[
@@ -304,6 +359,7 @@ pub const ROOT_FIELDS: &[&str] = &[
     "workloads",
     "multi_series",
     "serving",
+    "streaming",
     "total_sequential_ms",
     "total_batched_ms",
     "overall_speedup",
@@ -394,6 +450,27 @@ pub const SCALING_FIELDS: &[&str] = &[
 /// Worker counts the scaling table must cover.
 pub const SCALING_WORKER_COUNTS: &[usize] = &[1, 2, 4];
 
+/// Required fields of the `streaming` object.
+pub const STREAMING_FIELDS: &[&str] = &[
+    "series",
+    "queriers",
+    "burst_points",
+    "ingest_ms",
+    "points_per_sec",
+    "quiet_queries",
+    "burst_queries",
+    "quiet_p95_us",
+    "quiet_p99_us",
+    "burst_p95_us",
+    "burst_p99_us",
+    "stall_ratio",
+    "runs_sealed",
+    "delta_runs_sealed",
+    "compactions",
+    "generations_retired",
+    "materialize_failures",
+];
+
 /// Required fields of every `multi_series.per_series` row.
 pub const SERIES_FIELDS: &[&str] = &[
     "series",
@@ -451,6 +528,8 @@ pub fn validate_schema(value: &Value) -> Result<(), String> {
     for (i, row) in rows.iter().enumerate() {
         need(&obj(row, "per-series row")?, SERIES_FIELDS, &format!("per_series[{i}]"))?;
     }
+    let streaming = obj(root.get("streaming").expect("checked"), "streaming")?;
+    need(&streaming, STREAMING_FIELDS, "streaming")?;
     let serving = obj(root.get("serving").expect("checked"), "serving")?;
     need(&serving, SERVING_FIELDS, "serving")?;
     let Some(Value::Array(rows)) = serving.get("scaling") else {
@@ -493,6 +572,16 @@ impl BenchReport {
             (Some(one), Some(four)) => four >= one,
             _ => false,
         }
+    }
+
+    /// True when an ingest burst did not stall readers: burst-phase p99
+    /// read latency stays within 10× the quiet-phase p99 (with a 5 ms
+    /// absolute floor so near-zero quiet latencies on fast boxes don't
+    /// turn scheduler noise into failures) — the CI stall gate
+    /// (enforced with `KVM_BENCH_ENFORCE=1`).
+    pub fn streaming_stall_ok(&self) -> bool {
+        let st = &self.streaming;
+        st.burst_p99_us <= (10 * st.quiet_p99_us).max(5_000)
     }
 
     /// The report as a JSON value tree (the `serde_json` shim renders it;
@@ -623,6 +712,27 @@ impl BenchReport {
             .collect();
         ins(&mut svm, "scaling", Value::Array(scaling_rows));
         ins(&mut root, "serving", Value::Object(svm));
+
+        let st = &self.streaming;
+        let mut stm = Map::new();
+        ins(&mut stm, "series", Value::from(st.series));
+        ins(&mut stm, "queriers", Value::from(st.queriers));
+        ins(&mut stm, "burst_points", Value::from(st.burst_points));
+        ins(&mut stm, "ingest_ms", Value::from(st.ingest_ms));
+        ins(&mut stm, "points_per_sec", Value::from(st.points_per_sec));
+        ins(&mut stm, "quiet_queries", Value::from(st.quiet_queries));
+        ins(&mut stm, "burst_queries", Value::from(st.burst_queries));
+        ins(&mut stm, "quiet_p95_us", Value::from(st.quiet_p95_us));
+        ins(&mut stm, "quiet_p99_us", Value::from(st.quiet_p99_us));
+        ins(&mut stm, "burst_p95_us", Value::from(st.burst_p95_us));
+        ins(&mut stm, "burst_p99_us", Value::from(st.burst_p99_us));
+        ins(&mut stm, "stall_ratio", Value::from(st.stall_ratio));
+        ins(&mut stm, "runs_sealed", Value::from(st.runs_sealed));
+        ins(&mut stm, "delta_runs_sealed", Value::from(st.delta_runs_sealed));
+        ins(&mut stm, "compactions", Value::from(st.compactions));
+        ins(&mut stm, "generations_retired", Value::from(st.generations_retired));
+        ins(&mut stm, "materialize_failures", Value::from(st.materialize_failures));
+        ins(&mut root, "streaming", Value::Object(stm));
 
         ins(&mut root, "total_sequential_ms", Value::from(self.total_sequential_ms));
         ins(&mut root, "total_batched_ms", Value::from(self.total_batched_ms));
@@ -1271,6 +1381,188 @@ fn run_serving(env: &ReportEnv) -> ServingReport {
     }
 }
 
+/// Exact percentile (nearest-rank) of a sorted microsecond sample.
+fn percentile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Submits one request (retrying past backpressure), waits for the
+/// response, and returns the service-measured latency in microseconds.
+fn streaming_query(
+    service: &kvmatch_serve::QueryService<kvmatch_lsm::LsmCatalogBackend>,
+    mut request: kvmatch_serve::QueryRequest,
+) -> u64 {
+    use kvmatch_serve::Submit;
+    let handle = loop {
+        match service.submit_timeout(request, std::time::Duration::from_secs(30)) {
+            Submit::Accepted(h) => break h,
+            Submit::Rejected(back) | Submit::Closed(back) => request = back,
+        }
+    };
+    let response = handle.wait().expect("streaming query served");
+    assert!(!response.results.is_empty(), "streaming workload lost a planted match");
+    response.latency.as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// The streaming-ingest workload: a `QueryService` over the durable
+/// [`LsmCatalogBackend`](kvmatch_lsm::LsmCatalogBackend) in a tempdir.
+/// `env.submitters` querier threads measure read latency twice — a quiet
+/// phase with no writes, then a burst phase while sequential acked
+/// appends to series 1 force a sealed delta generation per chunk (and
+/// with them size-tiered compaction folds and generation retirements).
+/// Queriers only read the *other* series, so the burst-phase latencies
+/// measure reader stall against the publish machinery rather than the
+/// per-series ordering barrier. The quiet-vs-burst p99 ratio is what the
+/// CI stall gate ([`BenchReport::streaming_stall_ok`]) bounds.
+fn run_streaming(env: &ReportEnv) -> StreamingReport {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    use kvmatch_core::catalog::CatalogBackend;
+    use kvmatch_lsm::{LsmCatalogBackend, LsmOptions};
+    use kvmatch_serve::{QueryRequest, QueryService, ServeConfig};
+
+    let series_count = env.series.max(2);
+    let n_per_series = (env.n / series_count).max(env.w * 20).min(16_000);
+    let ids: Vec<SeriesId> = (0..series_count).map(|i| SeriesId::new(i as u64 + 1)).collect();
+    let data: Vec<Vec<f64>> = (0..series_count)
+        .map(|i| make_series(n_per_series, env.seed.wrapping_add(52_361 * (i as u64 + 1))))
+        .collect();
+
+    let dir = tempfile::tempdir().expect("streaming tempdir");
+    let backend =
+        LsmCatalogBackend::open(dir.path(), LsmOptions::default()).expect("open LSM backend");
+    let mut catalog = Catalog::with_exec_config(
+        backend,
+        ExecutorConfig { threads: env.threads, ..ExecutorConfig::default() },
+    );
+    for (id, xs) in ids.iter().zip(&data) {
+        catalog.create_series(*id, IndexBuildConfig::new(env.w)).expect("create series");
+        catalog.append(*id, xs).expect("seed series");
+    }
+    catalog.materialize().expect("materialize");
+    let service = QueryService::spawn(
+        catalog,
+        ServeConfig { workers: env.workers.max(1), ..ServeConfig::default() },
+    );
+
+    // The reader pool queries every series EXCEPT the burst target.
+    let m = 128.min(n_per_series / 2);
+    let mut pool: Vec<QueryRequest> = Vec::new();
+    for (i, (id, xs)) in ids.iter().zip(&data).enumerate().skip(1) {
+        let qs =
+            sample_queries(xs, m, env.queries.max(2), 0.05, env.seed ^ (0xB4157_u64 + i as u64));
+        for (k, q) in qs.into_iter().enumerate() {
+            let spec = QuerySpec::rsm_ed(q, 10.0).with_series(*id);
+            pool.push(if k % 2 == 0 {
+                QueryRequest::range(spec)
+            } else {
+                QueryRequest::top_k(spec, 3)
+            });
+        }
+    }
+
+    // Quiet phase: fixed rounds, no concurrent writes.
+    let mut quiet_lat: Vec<u64> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..env.submitters)
+            .map(|t| {
+                let service = &service;
+                let pool = &pool;
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    for r in 0..pool.len() * 3 {
+                        lat.push(streaming_query(service, pool[(t * 7 + r) % pool.len()].clone()));
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for h in handles {
+            quiet_lat.extend(h.join().expect("quiet querier"));
+        }
+    });
+
+    // Burst phase: identical-length chunks (identical-length appends seal
+    // near-identical-size delta runs, which keeps them in one size tier
+    // and guarantees the compaction fanout trips) appended one acked
+    // write at a time while the queriers keep hammering the other series.
+    let burst_chunks: Vec<Vec<f64>> = (0..10)
+        .map(|i| make_series((n_per_series / 4).max(env.w * 4), env.seed.wrapping_add(900 + i)))
+        .collect();
+    let burst_points: u64 = burst_chunks.iter().map(|c| c.len() as u64).sum();
+    let stop = AtomicBool::new(false);
+    let mut burst_lat: Vec<u64> = Vec::new();
+    let mut ingest_ms = 0.0;
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..env.submitters)
+            .map(|t| {
+                let service = &service;
+                let pool = &pool;
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut lat = Vec::new();
+                    let mut r = 0usize;
+                    // At least one sample per reader even if the burst
+                    // outruns the first query.
+                    loop {
+                        lat.push(streaming_query(service, pool[(t * 7 + r) % pool.len()].clone()));
+                        r += 1;
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let t0 = Instant::now();
+        for chunk in &burst_chunks {
+            service
+                .append(ids[0], chunk.clone(), std::time::Duration::from_secs(60))
+                .expect("burst append admitted")
+                .wait()
+                .expect("burst append applied and snapshot published");
+        }
+        ingest_ms = t0.elapsed().as_secs_f64() * 1e3;
+        stop.store(true, Ordering::Relaxed);
+        for h in readers {
+            burst_lat.extend(h.join().expect("burst querier"));
+        }
+    });
+
+    quiet_lat.sort_unstable();
+    burst_lat.sort_unstable();
+    let quiet_p99 = percentile_us(&quiet_lat, 0.99);
+    let burst_p99 = percentile_us(&burst_lat, 0.99);
+    let metrics = service.metrics();
+    let catalog = service.shutdown();
+    let maint = catalog.backend().maintenance_stats();
+
+    StreamingReport {
+        series: series_count,
+        queriers: env.submitters,
+        burst_points,
+        ingest_ms,
+        points_per_sec: burst_points as f64 / (ingest_ms / 1e3).max(1e-9),
+        quiet_queries: quiet_lat.len() as u64,
+        burst_queries: burst_lat.len() as u64,
+        quiet_p95_us: percentile_us(&quiet_lat, 0.95),
+        quiet_p99_us: quiet_p99,
+        burst_p95_us: percentile_us(&burst_lat, 0.95),
+        burst_p99_us: burst_p99,
+        stall_ratio: burst_p99 as f64 / quiet_p99.max(1) as f64,
+        runs_sealed: maint.runs_sealed,
+        delta_runs_sealed: maint.delta_runs_sealed,
+        compactions: maint.compactions,
+        generations_retired: maint.generations_retired,
+        materialize_failures: metrics.materialize_failures,
+    }
+}
+
 /// Runs the comparison across backends plus the multi-series workload
 /// and assembles the report.
 ///
@@ -1327,6 +1619,7 @@ pub fn run_report(env: ReportEnv) -> BenchReport {
 
     let multi_series = run_multi_series(&env);
     let serving = run_serving(&env);
+    let streaming = run_streaming(&env);
 
     BenchReport {
         schema: SCHEMA.to_string(),
@@ -1335,6 +1628,7 @@ pub fn run_report(env: ReportEnv) -> BenchReport {
         workloads,
         multi_series,
         serving,
+        streaming,
         total_sequential_ms: total_seq,
         total_batched_ms: total_batch,
         overall_speedup: total_seq / total_batch.max(1e-9),
@@ -1443,6 +1737,33 @@ mod tests {
         assert!(sv.latency_p50_us <= sv.latency_p95_us);
         assert!(sv.latency_p95_us <= sv.latency_p99_us);
         assert!(sv.latency_p99_us <= sv.latency_max_us.max(sv.latency_p99_us));
+    }
+
+    /// The streaming section exercised the real generational machinery:
+    /// the burst sealed delta runs, compaction folded them, superseded
+    /// generations were retired, and no snapshot rebuild failed. The
+    /// stall *ratio* is the CI gate's business, not a test assertion —
+    /// a loaded test box must not flake on a latency bound.
+    #[test]
+    fn streaming_section_reports_burst_behaviour() {
+        let report = run_report(tiny_env());
+        let st = &report.streaming;
+        assert_eq!(st.series, 3);
+        assert_eq!(st.queriers, 4);
+        assert!(st.burst_points > 0);
+        assert!(st.ingest_ms > 0.0 && st.points_per_sec > 0.0);
+        assert!(st.quiet_queries > 0 && st.burst_queries > 0);
+        assert!(st.quiet_p95_us <= st.quiet_p99_us);
+        assert!(st.burst_p95_us <= st.burst_p99_us);
+        assert!(st.stall_ratio > 0.0);
+        assert!(st.runs_sealed > st.delta_runs_sealed, "initial seeds seal full runs");
+        assert!(st.delta_runs_sealed > 0, "the burst must take the delta-run path");
+        assert!(st.compactions > 0, "same-tier burst runs must trip size-tiered folds");
+        assert!(st.generations_retired > 0, "superseded generations must be reclaimed");
+        assert_eq!(st.materialize_failures, 0);
+        // The gate helper reads the section (whether it passes depends on
+        // machine load; here only exercise the plumbing).
+        let _ = report.streaming_stall_ok();
     }
 
     /// The scaling table covers workers = 1/2/4 and every row served its
@@ -1595,9 +1916,22 @@ mod tests {
         broken.insert("serving".into(), Value::Object(sv));
         assert!(validate_schema(&Value::Object(broken)).is_err());
 
-        // A renamed schema tag fails too (v3 reports are not v4 reports).
+        // A dropped streaming field — or the whole section — fails (the
+        // CI stall gate reads it).
         let mut broken = root.clone();
-        broken.insert("schema".into(), Value::from("kvmatch-bench-exec/v3"));
+        let Some(Value::Object(st)) = broken.get("streaming") else { panic!() };
+        let mut st = st.clone();
+        st.remove("stall_ratio");
+        broken.insert("streaming".into(), Value::Object(st));
+        assert!(validate_schema(&Value::Object(broken)).is_err());
+
+        let mut broken = root.clone();
+        broken.remove("streaming");
+        assert!(validate_schema(&Value::Object(broken)).is_err());
+
+        // A renamed schema tag fails too (v4 reports are not v5 reports).
+        let mut broken = root.clone();
+        broken.insert("schema".into(), Value::from("kvmatch-bench-exec/v4"));
         assert!(validate_schema(&Value::Object(broken)).is_err());
     }
 }

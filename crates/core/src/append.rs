@@ -35,6 +35,13 @@ pub struct IndexAppender {
     rolling: RollingStats,
     next_position: u64,
     series_len: usize,
+    /// Smallest row index touched (extended, or shifted by an insert)
+    /// since the last [`IndexAppender::mark_sealed`]. Rows below it are
+    /// byte-identical to the previously sealed generation: inserting at
+    /// `idx` only shifts indexes ≥ `idx`, and extensions mutate exactly
+    /// `rows[idx]`, so a running minimum over the touched `idx` values is
+    /// a sound (if conservative) first-changed bound.
+    first_changed: Option<usize>,
 }
 
 impl IndexAppender {
@@ -84,7 +91,14 @@ impl IndexAppender {
             rolling.push(v);
         }
         let next_position = (params.series_len + 1).saturating_sub(w) as u64;
-        Ok(Self { config, rows, rolling, next_position, series_len: params.series_len })
+        Ok(Self {
+            config,
+            rows,
+            rolling,
+            next_position,
+            series_len: params.series_len,
+            first_changed: None,
+        })
     }
 
     /// Starts from nothing (equivalent to building fresh, but through the
@@ -96,6 +110,7 @@ impl IndexAppender {
             rows: Vec::new(),
             next_position: 0,
             series_len: 0,
+            first_changed: None,
         }
     }
 
@@ -122,6 +137,21 @@ impl IndexAppender {
         &self.rows
     }
 
+    /// Index of the first row that changed since the last
+    /// [`IndexAppender::mark_sealed`]; every row below it is byte-identical
+    /// to the sealed state. `rows().len()` means no row changed (appends
+    /// that only grew `series_len` still change the meta row, which
+    /// generational backends always rewrite).
+    pub fn changed_rows_from(&self) -> usize {
+        self.first_changed.unwrap_or(self.rows.len())
+    }
+
+    /// Records that the current rows were sealed into a generation, so
+    /// change tracking restarts from here.
+    pub fn mark_sealed(&mut self) {
+        self.first_changed = None;
+    }
+
     /// Appends one sample.
     pub fn push(&mut self, v: f64) {
         self.rolling.push(v);
@@ -143,6 +173,7 @@ impl IndexAppender {
     fn insert_position(&mut self, mu: f64, pos: u64) {
         // First row whose range could contain or follow `mu`.
         let idx = self.rows.partition_point(|r| r.up <= mu);
+        self.first_changed = Some(self.first_changed.map_or(idx, |f| f.min(idx)));
         if let Some(row) = self.rows.get_mut(idx) {
             if row.low <= mu && mu < row.up {
                 row.intervals.extend_or_open(pos);

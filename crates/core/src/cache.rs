@@ -180,6 +180,30 @@ impl RowCache {
         }
         evicted
     }
+
+    /// A fresh cache (same bounds, fresh counters) seeded with every entry
+    /// whose row index is below `first_superseded_row` — the rows a new
+    /// generation left byte-identical, so their decoded interval sets stay
+    /// valid. Entries at or above the cutoff belong to superseded rows and
+    /// are not carried over. The source cache is untouched (older pinned
+    /// generations keep serving from it).
+    pub fn carry_forward(&self, first_superseded_row: usize) -> RowCache {
+        let fresh = RowCache::with_interval_budget(self.capacity, self.interval_budget);
+        let keep: Vec<(RowKey, Arc<IntervalSet>)> = {
+            let inner = self.inner.lock();
+            // Walk recency oldest → newest so LRU order survives the copy.
+            inner
+                .recency
+                .values()
+                .filter(|key| key.2 < first_superseded_row)
+                .map(|key| (*key, Arc::clone(&inner.map[key].0)))
+                .collect()
+        };
+        for (key, set) in keep {
+            fresh.insert(key, set);
+        }
+        fresh
+    }
 }
 
 #[cfg(test)]
@@ -322,5 +346,36 @@ mod tests {
         assert!(cache.len() <= 64);
         let s = cache.stats();
         assert_eq!(s.hits + s.misses, 2_000);
+    }
+
+    #[test]
+    fn carry_forward_keeps_only_unsuperseded_rows() {
+        let cache = RowCache::with_interval_budget(8, 100);
+        for row in 0..6usize {
+            cache.insert((7, 50, row), set(row as u64, row as u64 + 2));
+        }
+        // Touch row 1 so it is the most recent of the survivors.
+        cache.get((7, 50, 1)).expect("cached");
+        let next = cache.carry_forward(4);
+        assert_eq!(next.capacity(), 8);
+        assert_eq!(next.interval_budget(), 100);
+        assert_eq!(next.len(), 4, "rows 0..4 carried, 4..6 superseded");
+        for row in 0..4usize {
+            assert!(next.get((7, 50, row)).is_some(), "row {row} carried forward");
+        }
+        for row in 4..6usize {
+            assert!(next.get((7, 50, row)).is_none(), "row {row} superseded");
+        }
+        // Counters restart in the new generation's cache.
+        assert_eq!(next.stats().evictions, 0);
+        // The source cache is untouched for pinned older snapshots.
+        assert_eq!(cache.len(), 6);
+        // LRU order survived: inserting past capacity in the copy evicts
+        // the oldest surviving row (0), not the recently touched row 1.
+        for row in 10..15usize {
+            next.insert((7, 50, row), set(1, 2));
+        }
+        assert!(next.get((7, 50, 0)).is_none(), "oldest survivor evicted first");
+        assert!(next.get((7, 50, 1)).is_some(), "recently touched survivor kept");
     }
 }

@@ -1,25 +1,31 @@
-//! Multi-series catalog: many append-only series behind one store.
+//! Multi-series catalog: immutable per-series index generations behind
+//! copy-free reader snapshots.
 //!
 //! The paper's deployment target (§VII: data-center and IoT monitoring)
-//! serves *many* append-only series concurrently from one HBase table.
+//! serves *many* append-only series concurrently from one ordered store,
+//! with new points streaming in while subsequence queries keep running.
 //! [`Catalog`] is that layer: it owns one [`IndexAppender`] + data buffer
-//! per series, persists every series' index rows into **one** physical
-//! [`KvStore`] using the [`SeriesId`]-prefixed key encoding
-//! ([`KvIndex::append_series_rows`]), and serves mixed query batches
-//! through the multi-target [`QueryExecutor`].
+//! per series and seals each series' rows into an immutable
+//! [`SeriesGeneration`] — index store, phase-2 data store and row cache,
+//! all frozen together. Readers never touch the mutable side: they pin a
+//! [`CatalogSnapshot`] (an `Arc` per series generation) and run entire
+//! batches against it.
 //!
-//! ## Ingestion model
+//! ## Ingestion model: pin → build-aside → swap → retire
 //!
 //! [`Catalog::append`] streams live points through the series'
 //! [`IndexAppender`] (rolling-mean bucketing, O(1) per point) and hands
-//! them to the backend's durability hook ([`CatalogBackend::
-//! persist_points`] — the LSM backend routes them through its WAL +
-//! memtable). Appended data is immediately queryable: the next executor
-//! (or [`Catalog::execute_batch`]) call re-materializes the shared store
-//! from the current appender rows. Materialization is O(total rows) —
-//! the cost one bulk index build pays — and *clean* series keep their row
-//! caches: their rows and row indexes are unchanged by the rebuild, so
-//! only dirty series pay cold probes afterwards.
+//! them to the backend's durability hook
+//! ([`CatalogBackend::persist_points`] — the LSM backend routes them
+//! through its WAL + memtable). [`Catalog::materialize`] then seals the
+//! next generation of **only the dirty series** off to the side
+//! ([`CatalogBackend::seal_generation`]) and publishes it with a pointer
+//! swap, so a burst on one series costs O(that series' rows), not
+//! O(catalog). Clean series keep their generation (and warm row cache)
+//! by pointer; dirty series carry forward the cache entries of rows the
+//! new generation left byte-identical ([`RowCache::carry_forward`]).
+//! Superseded generations are retired only once provably unreachable —
+//! when no snapshot pins them any more.
 //!
 //! ## Backends
 //!
@@ -27,10 +33,12 @@
 //! "any ordered store" claim: [`MemoryCatalogBackend`] (tests, small
 //! data), [`ShardedCatalogBackend`] (the simulated HBase cluster +
 //! 1024-point block data rows), and `LsmCatalogBackend` in the
-//! `kvmatch-lsm` crate (bulk-ingested SSTables + WAL-durable points).
+//! `kvmatch-lsm` crate (per-series sorted runs with size-tiered
+//! compaction + WAL-durable points).
 //!
-//! Equivalence guarantee, enforced by randomized tests: a catalog answers
-//! every series' queries **bit-identically** to a dedicated single-series
+//! Equivalence guarantee, enforced by randomized tests: a generational
+//! catalog answers every series' queries **bit-identically** to a
+//! full-rebuild catalog and to a dedicated single-series
 //! [`KvMatcher`](crate::matcher::KvMatcher) over the same data.
 
 use std::collections::BTreeMap;
@@ -44,26 +52,60 @@ use kvmatch_storage::{
 use kvmatch_storage::memory::MemoryKvStoreBuilder;
 
 use crate::append::IndexAppender;
-use crate::build::IndexBuildConfig;
+use crate::build::{IndexBuildConfig, IndexRow};
 use crate::cache::RowCache;
 use crate::exec::{BatchOutput, ExecutorConfig, QueryExecutor};
 use crate::index::KvIndex;
 use crate::query::{CoreError, QuerySpec};
 
-/// Storage substrate of a [`Catalog`]: where index rows are persisted,
-/// where phase-2 verification reads series data from, and (optionally)
-/// where freshly ingested points go for durability.
+/// Everything a backend needs to seal one series' next index generation.
+pub struct GenerationInput<'a> {
+    /// The series being sealed.
+    pub series: SeriesId,
+    /// Catalog-unique, monotonically increasing generation number.
+    pub generation: u64,
+    /// The series' index configuration.
+    pub config: IndexBuildConfig,
+    /// Total series length the rows cover.
+    pub series_len: usize,
+    /// The complete current row set, sorted by `low`.
+    pub rows: &'a [IndexRow],
+    /// `Some(k)`: rows `..k` are byte-identical to this series' previous
+    /// sealed generation, so a run-structured backend may persist only
+    /// the delta `rows[k..]` (plus the meta row, which always changes).
+    /// `None`: no prior generation — persist everything.
+    pub changed_from: Option<usize>,
+}
+
+/// Counters a backend keeps about its own maintenance work (run seals,
+/// compactions, retired generations). Volatile backends report zeros.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackendMaintenanceStats {
+    /// Sorted runs sealed (full or delta).
+    pub runs_sealed: u64,
+    /// Of those, runs holding only a changed suffix of the row set.
+    pub delta_runs_sealed: u64,
+    /// Size-tiered compaction folds performed.
+    pub compactions: u64,
+    /// Generations whose files were reclaimed.
+    pub generations_retired: u64,
+}
+
+/// Storage substrate of a [`Catalog`]: where sealed index generations
+/// live, where phase-2 verification reads series data from, and
+/// (optionally) where freshly ingested points go for durability.
 pub trait CatalogBackend {
-    /// The physical store hosting every series' index rows.
+    /// The physical store hosting one sealed generation's index rows.
     type Store: KvStore;
-    /// Builder used by each materialization.
-    type Builder: KvStoreBuilder<Store = Self::Store>;
     /// Per-series data store serving phase-2 fetches.
     type Data: SeriesStore + Sync;
 
-    /// A fresh builder for one materialization of the whole catalog
-    /// (every series' rows stream through it in ascending id order).
-    fn index_builder(&mut self) -> Result<Self::Builder, CoreError>;
+    /// Seals one series' current rows into an immutable store — the next
+    /// generation of that series. Backends without run-structured
+    /// storage simply build a fresh store over the full row set
+    /// ([`seal_with_builder`]); run-structured backends may honour
+    /// [`GenerationInput::changed_from`] and persist only the delta.
+    fn seal_generation(&mut self, input: GenerationInput<'_>) -> Result<Self::Store, CoreError>;
 
     /// A data store over the series' current points.
     fn data_store(&mut self, series: SeriesId, xs: &[f64]) -> Result<Self::Data, CoreError>;
@@ -81,12 +123,18 @@ pub trait CatalogBackend {
         Ok(())
     }
 
-    /// Invoked after a materialization has committed and every series
-    /// view was reopened on the new store — the first point where any
-    /// previously-live store is provably superseded. Backends with
-    /// on-disk generations reclaim them here. Default: no-op.
-    fn retire_superseded(&mut self) -> Result<(), CoreError> {
+    /// Invoked once a superseded generation is provably unreachable — no
+    /// snapshot pins it any more — so backends with on-disk state can
+    /// reclaim exactly the files no live generation references. Default:
+    /// no-op (volatile backends free memory by dropping the store).
+    fn retire_generation(&mut self, series: SeriesId, generation: u64) -> Result<(), CoreError> {
+        let _ = (series, generation);
         Ok(())
+    }
+
+    /// The backend's maintenance counters. Default: all zero.
+    fn maintenance_stats(&self) -> BackendMaintenanceStats {
+        BackendMaintenanceStats::default()
     }
 
     /// Durability hook for a newly registered series' index
@@ -112,18 +160,34 @@ pub trait CatalogBackend {
     }
 }
 
+/// Seals a generation through any sorted-append [`KvStoreBuilder`] by
+/// writing the full row set — the one-store-per-generation path used by
+/// backends without run-structured storage.
+pub fn seal_with_builder<Bld: KvStoreBuilder>(
+    mut builder: Bld,
+    input: &GenerationInput<'_>,
+) -> Result<Bld::Store, CoreError> {
+    KvIndex::<Bld::Store>::append_series_rows(
+        &mut builder,
+        input.series,
+        input.rows,
+        input.config,
+        input.series_len,
+    )?;
+    Ok(builder.finish()?)
+}
+
 /// `BTreeMap`-store backend: everything in memory. The default for tests
 /// and moderate data sizes.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct MemoryCatalogBackend;
 
 impl CatalogBackend for MemoryCatalogBackend {
     type Store = MemoryKvStore;
-    type Builder = MemoryKvStoreBuilder;
     type Data = MemorySeriesStore;
 
-    fn index_builder(&mut self) -> Result<Self::Builder, CoreError> {
-        Ok(MemoryKvStoreBuilder::new())
+    fn seal_generation(&mut self, input: GenerationInput<'_>) -> Result<Self::Store, CoreError> {
+        seal_with_builder(MemoryKvStoreBuilder::new(), &input)
     }
 
     fn data_store(&mut self, _series: SeriesId, xs: &[f64]) -> Result<Self::Data, CoreError> {
@@ -131,9 +195,9 @@ impl CatalogBackend for MemoryCatalogBackend {
     }
 }
 
-/// Simulated-HBase backend: index rows range-partitioned over
-/// [`ShardedKvStore`] regions, data served from 1024-point
-/// [`BlockSeriesStore`] rows (§VII-B).
+/// Simulated-HBase backend: each generation's index rows
+/// range-partitioned over [`ShardedKvStore`] regions, data served from
+/// 1024-point [`BlockSeriesStore`] rows (§VII-B).
 #[derive(Clone, Debug)]
 pub struct ShardedCatalogBackend {
     /// Cluster shape and modelled per-region scan latency.
@@ -150,11 +214,10 @@ impl Default for ShardedCatalogBackend {
 
 impl CatalogBackend for ShardedCatalogBackend {
     type Store = ShardedKvStore;
-    type Builder = ShardedKvStoreBuilder;
     type Data = BlockSeriesStore;
 
-    fn index_builder(&mut self) -> Result<Self::Builder, CoreError> {
-        Ok(ShardedKvStoreBuilder::new(self.sharding.clone()))
+    fn seal_generation(&mut self, input: GenerationInput<'_>) -> Result<Self::Store, CoreError> {
+        seal_with_builder(ShardedKvStoreBuilder::new(self.sharding.clone()), &input)
     }
 
     fn data_store(&mut self, _series: SeriesId, xs: &[f64]) -> Result<Self::Data, CoreError> {
@@ -162,13 +225,109 @@ impl CatalogBackend for ShardedCatalogBackend {
     }
 }
 
-/// One series' live state inside the catalog.
+/// One immutable, sealed state of one series: index store, opened index
+/// view, phase-2 data store, and the row cache warmed for exactly this
+/// row set. Readers hold these by `Arc`; nothing in here ever mutates
+/// (the cache is interior-mutable but only ever caches rows of *this*
+/// generation, which are immutable).
+pub struct SeriesGeneration<B: CatalogBackend> {
+    generation: u64,
+    store: Arc<B::Store>,
+    index: KvIndex<Arc<B::Store>>,
+    data: B::Data,
+    cache: Arc<RowCache>,
+}
+
+impl<B: CatalogBackend> SeriesGeneration<B> {
+    /// The catalog-unique generation number.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The sealed index view.
+    pub fn index(&self) -> &KvIndex<Arc<B::Store>> {
+        &self.index
+    }
+
+    /// The sealed phase-2 data store.
+    pub fn data(&self) -> &B::Data {
+        &self.data
+    }
+
+    /// The physical store behind the index view.
+    pub fn store(&self) -> &Arc<B::Store> {
+        &self.store
+    }
+
+    /// This generation's row cache.
+    pub fn cache(&self) -> &Arc<RowCache> {
+        &self.cache
+    }
+}
+
+/// A consistent, immutable view of every series' current generation at
+/// one materialization point. Snapshots are what readers execute
+/// against: pinning one is an `Arc` clone, queries run without touching
+/// the catalog (or any lock), and concurrent ingestion can seal and
+/// publish new generations freely — the snapshot keeps serving the state
+/// it pinned.
+pub struct CatalogSnapshot<B: CatalogBackend> {
+    entries: BTreeMap<u64, Arc<SeriesGeneration<B>>>,
+    exec_config: ExecutorConfig,
+}
+
+impl<B: CatalogBackend> CatalogSnapshot<B> {
+    /// Series visible in this snapshot, ascending.
+    pub fn series(&self) -> Vec<SeriesId> {
+        self.entries.keys().map(|&raw| SeriesId::new(raw)).collect()
+    }
+
+    /// Number of series visible.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the snapshot holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The pinned generation of one series.
+    pub fn generation(&self, series: SeriesId) -> Option<&Arc<SeriesGeneration<B>>> {
+        self.entries.get(&series.raw())
+    }
+
+    /// Binds a batched executor over the pinned generations.
+    pub fn executor(&self) -> Result<QueryExecutor<'_, Arc<B::Store>, B::Data>, CoreError> {
+        if self.entries.is_empty() {
+            return Err(CoreError::InvalidQuery("catalog has no series".into()));
+        }
+        QueryExecutor::multi(
+            self.entries
+                .iter()
+                .map(|(&raw, g)| (SeriesId::new(raw), g.index(), g.data(), Arc::clone(g.cache()))),
+            self.exec_config,
+        )
+    }
+
+    /// One-shot convenience: bind an executor and run `specs`. Safe from
+    /// many threads at once — the snapshot is immutable and the row
+    /// caches are thread-safe.
+    pub fn execute_batch(&self, specs: &[QuerySpec]) -> Result<BatchOutput, CoreError>
+    where
+        B::Data: Sync,
+    {
+        self.executor()?.execute_batch(specs)
+    }
+}
+
+/// One series' live (mutable) state inside the catalog: the appender and
+/// point buffer absorbing ingestion, plus the currently published
+/// generation.
 struct SeriesEntry<B: CatalogBackend> {
     appender: IndexAppender,
     buffer: Vec<f64>,
-    index: Option<KvIndex<Arc<B::Store>>>,
-    data: Option<B::Data>,
-    cache: Arc<RowCache>,
+    current: Option<Arc<SeriesGeneration<B>>>,
     dirty: bool,
 }
 
@@ -179,8 +338,12 @@ pub struct CatalogStats {
     pub points_ingested: u64,
     /// Append calls served.
     pub append_calls: u64,
-    /// Shared-store materializations performed.
+    /// Materializations performed (each seals every dirty series once).
     pub materializations: u64,
+    /// Per-series generations sealed across all materializations.
+    pub generations_sealed: u64,
+    /// Superseded generations reclaimed (unpinned by every snapshot).
+    pub generations_retired: u64,
     /// Series replayed by [`Catalog::open`] from a durable backend.
     pub series_recovered: u64,
     /// Points those replays restored (not double-counted as ingested —
@@ -188,12 +351,17 @@ pub struct CatalogStats {
     pub points_recovered: u64,
 }
 
-/// A set of append-only series sharing one physical index store, served
-/// by one batched executor. See the module docs for the model.
+/// A set of append-only series served through immutable per-series
+/// generations and copy-free snapshots. See the module docs for the
+/// model.
 pub struct Catalog<B: CatalogBackend> {
     backend: B,
     entries: BTreeMap<u64, SeriesEntry<B>>,
-    shared: Option<Arc<B::Store>>,
+    snapshot: Option<Arc<CatalogSnapshot<B>>>,
+    next_generation: u64,
+    /// Superseded generations still awaiting retirement: each is held
+    /// until its `Arc` count proves no snapshot pins it any more.
+    retired: Vec<(SeriesId, Arc<SeriesGeneration<B>>)>,
     exec_config: ExecutorConfig,
     stats: CatalogStats,
 }
@@ -210,7 +378,9 @@ impl<B: CatalogBackend> Catalog<B> {
         Self {
             backend,
             entries: BTreeMap::new(),
-            shared: None,
+            snapshot: None,
+            next_generation: 1,
+            retired: Vec::new(),
             exec_config,
             stats: CatalogStats::default(),
         }
@@ -243,9 +413,7 @@ impl<B: CatalogBackend> Catalog<B> {
             let mut entry = SeriesEntry {
                 appender: IndexAppender::new(config),
                 buffer: Vec::new(),
-                index: None,
-                data: None,
-                cache: Arc::new(catalog.exec_config.new_cache()),
+                current: None,
                 dirty: true,
             };
             entry.appender.push_chunk(&points);
@@ -276,9 +444,7 @@ impl<B: CatalogBackend> Catalog<B> {
             SeriesEntry {
                 appender: IndexAppender::new(config),
                 buffer: Vec::new(),
-                index: None,
-                data: None,
-                cache: Arc::new(self.exec_config.new_cache()),
+                current: None,
                 dirty: true,
             },
         );
@@ -343,68 +509,121 @@ impl<B: CatalogBackend> Catalog<B> {
         self.stats
     }
 
-    /// The backend (e.g. to reach its durability store).
+    /// The backend (e.g. to reach its durability store or maintenance
+    /// counters).
     pub fn backend(&self) -> &B {
         &self.backend
     }
 
-    /// True when some series has appends the shared store has not yet
-    /// absorbed.
+    /// True when some series has appends no published snapshot has
+    /// absorbed yet.
     pub fn needs_materialize(&self) -> bool {
-        self.shared.is_none() || self.entries.values().any(|e| e.dirty)
+        self.snapshot.is_none() || self.entries.values().any(|e| e.dirty || e.current.is_none())
     }
 
-    /// Rebuilds the shared store from every series' current appender
-    /// rows (no-op when nothing changed). Dirty series get fresh data
-    /// stores and cleared row caches; clean series' caches stay warm —
-    /// their rows and row indexes are unchanged by the rebuild.
+    /// Seals the next generation of every dirty series off to the side,
+    /// then publishes a fresh [`CatalogSnapshot`] with a pointer swap
+    /// (no-op when nothing changed). Clean series keep their generation
+    /// — and warm row cache — by pointer; dirty series carry forward the
+    /// cache entries of rows the new generation left byte-identical.
+    /// Superseded generations are retired once no snapshot pins them.
     pub fn materialize(&mut self) -> Result<(), CoreError> {
         if !self.needs_materialize() {
             return Ok(());
         }
-        let mut builder = self.backend.index_builder()?;
-        for (&raw, entry) in &self.entries {
-            KvIndex::<B::Store>::append_series_rows(
-                &mut builder,
-                SeriesId::new(raw),
-                entry.appender.rows(),
-                entry.appender.config(),
-                entry.appender.series_len(),
-            )?;
-        }
-        let store = Arc::new(builder.finish()?);
-        for (&raw, entry) in self.entries.iter_mut() {
-            entry.index = Some(KvIndex::open_series(Arc::clone(&store), SeriesId::new(raw))?);
-            if entry.dirty || entry.data.is_none() {
-                entry.data = Some(self.backend.data_store(SeriesId::new(raw), &entry.buffer)?);
+        // Build aside: published state stays fully readable throughout.
+        let mut fresh: Vec<(u64, Arc<SeriesGeneration<B>>)> = Vec::new();
+        for (&raw, entry) in self.entries.iter() {
+            if entry.current.is_some() && !entry.dirty {
+                continue;
             }
-            if entry.dirty {
-                entry.cache.clear();
-                entry.dirty = false;
-            }
+            let series = SeriesId::new(raw);
+            let generation = self.next_generation;
+            self.next_generation += 1;
+            let changed_from = entry.current.is_some().then(|| entry.appender.changed_rows_from());
+            let store = Arc::new(self.backend.seal_generation(GenerationInput {
+                series,
+                generation,
+                config: entry.appender.config(),
+                series_len: entry.appender.series_len(),
+                rows: entry.appender.rows(),
+                changed_from,
+            })?);
+            let index = KvIndex::open_series(Arc::clone(&store), series)?;
+            let data = self.backend.data_store(series, &entry.buffer)?;
+            let cache = match (&entry.current, changed_from) {
+                (Some(cur), Some(k)) => Arc::new(cur.cache.carry_forward(k)),
+                _ => Arc::new(self.exec_config.new_cache()),
+            };
+            fresh.push((raw, Arc::new(SeriesGeneration { generation, store, index, data, cache })));
+            self.stats.generations_sealed += 1;
         }
-        self.shared = Some(store);
+        // Publish: per-series pointer swaps, then one snapshot swap.
+        for (raw, generation) in fresh {
+            let entry = self.entries.get_mut(&raw).expect("just sealed");
+            if let Some(old) = entry.current.replace(generation) {
+                self.retired.push((SeriesId::new(raw), old));
+            }
+            entry.dirty = false;
+            entry.appender.mark_sealed();
+        }
+        let snapshot = CatalogSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(&raw, e)| {
+                    (raw, Arc::clone(e.current.as_ref().expect("every series sealed")))
+                })
+                .collect(),
+            exec_config: self.exec_config,
+        };
+        self.snapshot = Some(Arc::new(snapshot));
         self.stats.materializations += 1;
-        // Every view now serves the new store; earlier generations are
-        // provably superseded and safe for the backend to reclaim.
-        self.backend.retire_superseded()?;
+        self.reclaim()
+    }
+
+    /// Retires every superseded generation no longer pinned by any
+    /// snapshot; still-pinned ones stay queued for the next pass.
+    fn reclaim(&mut self) -> Result<(), CoreError> {
+        let mut keep = Vec::new();
+        for (series, generation) in self.retired.drain(..) {
+            // A strong count of 1 means this queue holds the only
+            // reference: no snapshot (ours or a reader's pin) can reach
+            // the generation, and since clones only come from snapshots,
+            // none can appear later — it is provably unreachable.
+            if Arc::strong_count(&generation) == 1 {
+                let number = generation.generation;
+                drop(generation);
+                self.backend.retire_generation(series, number)?;
+                self.stats.generations_retired += 1;
+            } else {
+                keep.push((series, generation));
+            }
+        }
+        self.retired = keep;
         Ok(())
     }
 
-    /// The materialized index view of one series (None before the first
+    /// The current published snapshot — the handle readers pin. `None`
+    /// before the first materialization.
+    pub fn snapshot(&self) -> Option<Arc<CatalogSnapshot<B>>> {
+        self.snapshot.clone()
+    }
+
+    /// The published index view of one series (None before its first
     /// materialization or for unknown ids).
     pub fn index(&self, series: SeriesId) -> Option<&KvIndex<Arc<B::Store>>> {
-        self.entries.get(&series.raw()).and_then(|e| e.index.as_ref())
+        self.entries.get(&series.raw()).and_then(|e| e.current.as_deref()).map(|g| g.index())
     }
 
-    /// The materialized data store of one series.
+    /// The published data store of one series.
     pub fn data(&self, series: SeriesId) -> Option<&B::Data> {
-        self.entries.get(&series.raw()).and_then(|e| e.data.as_ref())
+        self.entries.get(&series.raw()).and_then(|e| e.current.as_deref()).map(|g| g.data())
     }
 
-    /// The shared physical store (after materialization).
-    pub fn shared_store(&self) -> Option<&Arc<B::Store>> {
-        self.shared.as_ref()
+    /// The physical store behind one series' published generation.
+    pub fn store(&self, series: SeriesId) -> Option<&Arc<B::Store>> {
+        self.entries.get(&series.raw()).and_then(|e| e.current.as_deref()).map(|g| g.store())
     }
 
     /// Materializes (if needed) and binds a batched executor over every
@@ -416,12 +635,12 @@ impl<B: CatalogBackend> Catalog<B> {
     }
 
     /// Binds a batched executor over the **already-materialized** state
-    /// through a shared (`&self`) borrow — the read path of concurrent
-    /// serving, where many executor workers hold read guards on one
-    /// catalog while a dedicated ingest lane owns the write side. Fails
-    /// with [`CoreError::Unmaterialized`] when any series has appends the
-    /// shared store has not absorbed: the caller (not this method) must
-    /// run [`Catalog::materialize`] under its exclusive borrow first.
+    /// through a shared (`&self`) borrow — the legacy read path of
+    /// concurrent serving under an `RwLock` read guard. Fails with
+    /// [`CoreError::Unmaterialized`] when any series has appends no
+    /// snapshot has absorbed: the caller (not this method) must run
+    /// [`Catalog::materialize`] under its exclusive borrow first.
+    /// Lock-free readers should pin [`Catalog::snapshot`] instead.
     pub fn executor_shared(&self) -> Result<QueryExecutor<'_, Arc<B::Store>, B::Data>, CoreError> {
         if self.needs_materialize() {
             return Err(CoreError::Unmaterialized);
@@ -429,17 +648,17 @@ impl<B: CatalogBackend> Catalog<B> {
         if self.entries.is_empty() {
             return Err(CoreError::InvalidQuery("catalog has no series".into()));
         }
-        let config = self.exec_config;
         QueryExecutor::multi(
             self.entries.iter().map(|(&raw, e)| {
+                let generation = e.current.as_deref().expect("materialized");
                 (
                     SeriesId::new(raw),
-                    e.index.as_ref().expect("materialized"),
-                    e.data.as_ref().expect("materialized"),
-                    Arc::clone(&e.cache),
+                    generation.index(),
+                    generation.data(),
+                    Arc::clone(generation.cache()),
                 )
             }),
-            config,
+            self.exec_config,
         )
     }
 
@@ -456,8 +675,8 @@ impl<B: CatalogBackend> Catalog<B> {
     }
 
     /// One-shot convenience: materialize, bind an executor, run `specs`.
-    /// Per-series row caches live in the catalog, so repeated calls keep
-    /// sharing probe work across batches.
+    /// Per-generation row caches survive across calls (clean series keep
+    /// their generation), so repeated calls keep sharing probe work.
     pub fn execute_batch(&mut self, specs: &[QuerySpec]) -> Result<BatchOutput, CoreError>
     where
         B::Data: Sync,
@@ -512,6 +731,7 @@ mod tests {
         }
         assert_eq!(batch.stats.series_touched, 3);
         assert_eq!(cat.stats().materializations, 1);
+        assert_eq!(cat.stats().generations_sealed, 3);
     }
 
     #[test]
@@ -558,11 +778,151 @@ mod tests {
         let spec_a = QuerySpec::rsm_ed(xa[500..750].to_vec(), 6.0).with_series(a);
         cat.execute_batch(std::slice::from_ref(&spec_a)).unwrap();
 
-        // Appending to b re-materializes but must keep a's cache warm.
+        // Appending to b seals b's next generation only: a keeps its
+        // generation (and warm cache) by pointer.
+        let a_before = Arc::clone(cat.snapshot().unwrap().generation(a).unwrap());
         cat.append(b, &seeded(23, 300)).unwrap();
         let batch = cat.execute_batch(std::slice::from_ref(&spec_a)).unwrap();
         assert_eq!(batch.stats.store_scans, 0, "a's probes should be fully cache-served");
         assert_eq!(batch.stats.probe_cache_hits, batch.stats.probes);
+        let snap = cat.snapshot().unwrap();
+        assert!(
+            Arc::ptr_eq(&a_before, snap.generation(a).unwrap()),
+            "clean series must keep its generation by pointer"
+        );
+        assert_eq!(cat.stats().generations_sealed, 3, "initial a+b, then b once more");
+    }
+
+    #[test]
+    fn same_series_append_carries_unsuperseded_cache_rows() {
+        // Base data bounded in [0, 1]: every window mean sits low.
+        let mut cat = Catalog::new(MemoryCatalogBackend);
+        let id = SeriesId::new(4);
+        let base: Vec<f64> = (0..4_000).map(|i| (i % 100) as f64 / 100.0).collect();
+        cat.create_series_with(id, IndexBuildConfig::new(50), &base).unwrap();
+        let spec = QuerySpec::rsm_ed(base[500..750].to_vec(), 0.5).with_series(id);
+        cat.execute_batch(std::slice::from_ref(&spec)).unwrap();
+
+        // Appended points push every new window mean far above the old
+        // rows, so the changed suffix starts past every row the earlier
+        // probes touched — those cache entries must carry forward.
+        let burst = vec![1_000.0; 400];
+        cat.append(id, &burst).unwrap();
+        let batch = cat.execute_batch(std::slice::from_ref(&spec)).unwrap();
+        assert_eq!(
+            batch.stats.store_scans, 0,
+            "probes below the changed suffix must stay cache-served"
+        );
+        // And the merged answer still matches a dedicated matcher over
+        // the full series.
+        let mut full = base.clone();
+        full.extend_from_slice(&burst);
+        let mut app = IndexAppender::new(IndexBuildConfig::new(50));
+        app.push_chunk(&full);
+        let (solo, _) =
+            app.finish_into(kvmatch_storage::memory::MemoryKvStoreBuilder::new()).unwrap();
+        let store = MemorySeriesStore::new(full);
+        let (want, _) = KvMatcher::new(&solo, &store).unwrap().execute(&spec).unwrap();
+        assert_eq!(batch.outputs[0].results, want);
+    }
+
+    #[test]
+    fn snapshots_pin_consistent_state_across_appends() {
+        let mut cat = Catalog::new(MemoryCatalogBackend);
+        let id = SeriesId::new(6);
+        let xs = seeded(81, 3_000);
+        cat.create_series_with(id, IndexBuildConfig::new(25), &xs).unwrap();
+        cat.materialize().unwrap();
+        let pinned = cat.snapshot().unwrap();
+        let spec = QuerySpec::rsm_ed(xs[100..300].to_vec(), 3.0).with_series(id);
+        let before =
+            pinned.execute_batch(std::slice::from_ref(&spec)).unwrap().outputs[0].results.clone();
+
+        // Ingest + publish a new generation; the pinned snapshot must
+        // keep serving exactly the state it pinned.
+        let more = seeded(82, 800);
+        cat.append(id, &more).unwrap();
+        cat.materialize().unwrap();
+        let again =
+            pinned.execute_batch(std::slice::from_ref(&spec)).unwrap().outputs[0].results.clone();
+        assert_eq!(before, again, "pinned snapshot drifted after a publish");
+
+        // The new snapshot sees the appended points.
+        let tail = QuerySpec::rsm_ed(more[200..500].to_vec(), 1e-9).with_series(id);
+        let fresh = cat.snapshot().unwrap();
+        assert!(fresh.execute_batch(std::slice::from_ref(&tail)).unwrap().outputs[0]
+            .results
+            .iter()
+            .any(|r| r.offset == 3_200));
+        // ... while the pinned one, over shorter data, must not.
+        assert!(!pinned.execute_batch(std::slice::from_ref(&tail)).unwrap().outputs[0]
+            .results
+            .iter()
+            .any(|r| r.offset == 3_200));
+
+        // The superseded generation is retired only once unpinned.
+        assert_eq!(cat.stats().generations_retired, 0);
+        drop(pinned);
+        drop(before);
+        cat.append(id, &seeded(83, 100)).unwrap();
+        cat.materialize().unwrap();
+        assert!(cat.stats().generations_retired >= 1, "unpinned generations must retire");
+    }
+
+    /// The tentpole equivalence guarantee: interleaved appends +
+    /// incremental (delta-tracked) materializations answer queries
+    /// bit-identically to a catalog built in one shot over the final
+    /// data — for both volatile backends.
+    #[test]
+    fn generational_materialize_matches_full_rebuild() {
+        fn check<B: CatalogBackend + Clone>(backend: B)
+        where
+            B::Data: Sync,
+        {
+            let a = SeriesId::new(1);
+            let b = SeriesId::new(2);
+            let xa = seeded(91, 3_000);
+            let xb = seeded(92, 2_500);
+
+            let mut incremental = Catalog::new(backend.clone());
+            incremental.create_series(a, IndexBuildConfig::new(40)).unwrap();
+            incremental.create_series(b, IndexBuildConfig::new(40)).unwrap();
+            // Interleave uneven chunks with materializations so delta
+            // tracking, carry-forward and generation reuse all engage.
+            for (i, chunk) in xa.chunks(700).enumerate() {
+                incremental.append(a, chunk).unwrap();
+                if i % 2 == 0 {
+                    incremental.materialize().unwrap();
+                }
+            }
+            for chunk in xb.chunks(450) {
+                incremental.append(b, chunk).unwrap();
+                incremental.materialize().unwrap();
+            }
+            incremental.materialize().unwrap();
+
+            let mut oneshot = Catalog::new(backend);
+            oneshot.create_series_with(a, IndexBuildConfig::new(40), &xa).unwrap();
+            oneshot.create_series_with(b, IndexBuildConfig::new(40), &xb).unwrap();
+
+            let specs = vec![
+                QuerySpec::rsm_ed(xa[200..420].to_vec(), 8.0).with_series(a),
+                QuerySpec::rsm_dtw(xa[2_600..2_800].to_vec(), 4.0, 6).with_series(a),
+                QuerySpec::cnsm_ed(xb[900..1_100].to_vec(), 2.0, 1.5, 3.0).with_series(b),
+                QuerySpec::rsm_ed(xb[2_300..2_480].to_vec(), 1e-9).with_series(b),
+            ];
+            let from_incremental = incremental.execute_batch(&specs).unwrap();
+            let from_oneshot = oneshot.execute_batch(&specs).unwrap();
+            for (x, y) in from_incremental.outputs.iter().zip(&from_oneshot.outputs) {
+                assert_eq!(x.results, y.results, "generational answer diverged from full rebuild");
+            }
+            assert!(incremental.stats().generations_sealed > 2);
+        }
+        check(MemoryCatalogBackend);
+        check(ShardedCatalogBackend {
+            sharding: ShardingConfig { regions: 3, latency_per_scan_ns: 0 },
+            block: 512,
+        });
     }
 
     #[test]
@@ -588,8 +948,8 @@ mod tests {
         for (x, y) in from_mem.outputs.iter().zip(&from_sharded.outputs) {
             assert_eq!(x.results, y.results, "backends must agree bit-identically");
         }
-        // The sharded store really is one multi-series store.
-        let store = sharded.shared_store().unwrap();
+        // Each sealed generation really is a range-partitioned store.
+        let store = sharded.store(sid[0]).unwrap();
         assert!(store.row_count() > 0);
         assert_eq!(store.region_row_counts().len(), 5);
     }

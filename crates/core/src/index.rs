@@ -180,7 +180,7 @@ impl<S: KvStore> KvIndex<S> {
     where
         B: KvStoreBuilder,
     {
-        let meta = Self::append_rows_prefixed(&mut builder, &[], &rows, config, series_len)?;
+        let meta = Self::append_rows_prefixed(&mut builder, &[], &rows, 0, config, series_len)?;
         let store = builder.finish()?;
         Ok(KvIndex { store, meta, series: SeriesId::DEFAULT, prefix: Vec::new() })
     }
@@ -201,13 +201,35 @@ impl<S: KvStore> KvIndex<S> {
     where
         B: KvStoreBuilder,
     {
-        Self::append_rows_prefixed(builder, &series.encode(), rows, config, series_len)
+        Self::append_rows_prefixed(builder, &series.encode(), rows, 0, config, series_len)
+    }
+
+    /// Like [`KvIndex::append_series_rows`], but writes only the rows at
+    /// index `from` onward — the *delta-run* path of generational backends.
+    /// The meta row still describes the complete row set; rows below `from`
+    /// must already exist byte-identically in an earlier run of the same
+    /// series so a newest-wins merge across runs reconstructs the full
+    /// index. (Appenders never remove rows or change a sealed row's `low`
+    /// bound, which is what makes the prefix reusable.)
+    pub fn append_series_rows_from<B>(
+        builder: &mut B,
+        series: SeriesId,
+        rows: &[IndexRow],
+        from: usize,
+        config: IndexBuildConfig,
+        series_len: usize,
+    ) -> Result<MetaTable, CoreError>
+    where
+        B: KvStoreBuilder,
+    {
+        Self::append_rows_prefixed(builder, &series.encode(), rows, from, config, series_len)
     }
 
     fn append_rows_prefixed<B>(
         builder: &mut B,
         prefix: &[u8],
         rows: &[IndexRow],
+        from: usize,
         config: IndexBuildConfig,
         series_len: usize,
     ) -> Result<MetaTable, CoreError>
@@ -219,7 +241,7 @@ impl<S: KvStore> KvIndex<S> {
         key.extend_from_slice(prefix);
         key.extend_from_slice(META_KEY);
         builder.append(&key, &meta.to_bytes())?;
-        for row in rows {
+        for row in &rows[from.min(rows.len())..] {
             key.truncate(prefix.len());
             key.extend_from_slice(&encode_f64(row.low));
             builder.append(&key, &encode_row(&row.intervals)?)?;

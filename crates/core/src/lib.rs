@@ -70,7 +70,8 @@ pub use append::IndexAppender;
 pub use build::{BuildStats, IndexBuildConfig, IndexRow, RowAccumulator};
 pub use cache::{RowCache, RowCacheStats};
 pub use catalog::{
-    Catalog, CatalogBackend, CatalogStats, MemoryCatalogBackend, ShardedCatalogBackend,
+    seal_with_builder, BackendMaintenanceStats, Catalog, CatalogBackend, CatalogSnapshot,
+    CatalogStats, GenerationInput, MemoryCatalogBackend, SeriesGeneration, ShardedCatalogBackend,
 };
 pub use dp::{DpMatcher, DpOptions, IndexSetConfig, MultiIndex, Segment};
 pub use exec::{

@@ -1,17 +1,24 @@
-//! LSM-backed [`CatalogBackend`]: durable multi-series serving.
+//! LSM-backed [`CatalogBackend`]: durable multi-series serving through
+//! per-series sorted runs with size-tiered compaction.
 //!
-//! Two stores under one root directory:
+//! Layout under one root directory:
 //!
 //! * `points/` — an [`LsmDb`] receiving every appended chunk through the
 //!   catalog's durability hook. Each chunk is one WAL-logged `put` keyed
 //!   `series.encode() ++ start_offset.to_be()`, so ingested points
 //!   survive a crash *before* the next index materialization and can be
 //!   replayed with [`LsmCatalogBackend::recover_points`].
-//! * `index-<generation>/` — one bulk-ingested [`LsmKvStore`] per
-//!   catalog materialization, hosting **all** series' index rows behind
-//!   the series-prefixed key encoding (level-1 SSTables, no WAL — the
-//!   rows are derived data, rebuildable from `points/`). Superseded
-//!   generations are deleted once the new store is committed.
+//! * `series-<id>/` — one directory of immutable index runs per series.
+//!   Sealing a generation writes **one** run: the full row set for a
+//!   first build, or just the changed suffix (plus the always-rewritten
+//!   meta row) for an incremental build — the newest-wins
+//!   [`merge`](crate::merge) across the generation's run list
+//!   reconstructs the complete index at read time
+//!   ([`SeriesRunStore`]). A size-tiered schedule
+//!   ([`plan_compaction`]) folds contiguous same-tier runs so read
+//!   fan-in stays bounded. The `RUNS` manifest in each directory records
+//!   every *live* generation's run list; retirement deletes exactly the
+//!   run files no live generation references.
 //! * `series.conf` — one line per registered series recording its index
 //!   configuration (float fields as exact bit patterns), rewritten
 //!   atomically on every
@@ -20,48 +27,154 @@
 //!   [`Catalog::open`](kvmatch_core::Catalog::open) replays every series
 //!   through [`CatalogBackend::recover_series`] with the caller doing
 //!   nothing.
+//!
+//! ## Crash safety
+//!
+//! Index runs are *derived* data: every row is rebuildable from the
+//! fsynced `points/` WAL. [`LsmCatalogBackend::open`] therefore wipes
+//! `series-*` (and legacy `index-*`) directories wholesale — a crash in
+//! any window of the seal → manifest-update → retire sequence (stray
+//! sealed run, manifest naming runs that were about to be retired, torn
+//! `RUNS` file) recovers to the same state as a clean shutdown: the
+//! next materialization rebuilds from replayed points, bit-identical to
+//! an in-order rebuild.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::path::{Path, PathBuf};
 
-use kvmatch_core::catalog::CatalogBackend;
-use kvmatch_core::{CoreError, IndexBuildConfig};
-use kvmatch_storage::{MemorySeriesStore, SeriesId, StorageError};
+use kvmatch_core::catalog::{BackendMaintenanceStats, CatalogBackend, GenerationInput};
+use kvmatch_core::{CoreError, IndexBuildConfig, KvIndex};
+use kvmatch_storage::{IoStats, MemorySeriesStore, SeriesId, StorageError};
 
 use crate::db::{LsmDb, LsmOptions};
-use crate::store::{LsmKvStore, LsmKvStoreBuilder};
+use crate::merge::{drop_tombstones, merge_runs};
+use crate::runs::{plan_compaction, RunMeta, SeriesRunBuilder, SeriesRunStore};
+use crate::sstable::{TableBuilder, TableReader};
 
 /// File recording every registered series' index configuration.
 const SERIES_CONF: &str = "series.conf";
+
+/// Per-series-directory manifest of live generations and their runs.
+const RUNS_MANIFEST: &str = "RUNS";
+
+/// Runs sharing a size tier fold once this many sit adjacent.
+const DEFAULT_COMPACTION_FANOUT: usize = 4;
+
+/// Live run-list state of one series.
+struct SeriesRunState {
+    dir: PathBuf,
+    next_run: u64,
+    /// The latest sealed generation's runs, newest first.
+    current: Vec<RunMeta>,
+    /// Every live (not yet retired) generation's run names, newest first.
+    generations: BTreeMap<u64, Vec<String>>,
+}
+
+impl SeriesRunState {
+    fn new(dir: PathBuf) -> Self {
+        Self { dir, next_run: 0, current: Vec::new(), generations: BTreeMap::new() }
+    }
+
+    fn run_name(&mut self) -> String {
+        let name = format!("run-{:06}.sst", self.next_run);
+        self.next_run += 1;
+        name
+    }
+
+    /// Folds `runs[span]` into one run file. The replaced files are NOT
+    /// deleted — older live generations may still reference them;
+    /// retirement reclaims them once nothing does.
+    fn fold(
+        &mut self,
+        runs: &mut Vec<RunMeta>,
+        span: std::ops::Range<usize>,
+        opts: &LsmOptions,
+    ) -> Result<(), StorageError> {
+        let inputs = runs[span.clone()]
+            .iter()
+            .map(|r| TableReader::open(&self.dir.join(&r.name), IoStats::new())?.scan_all())
+            .collect::<Result<Vec<_>, _>>()?;
+        // Span order == newest-first priority, so the merge keeps exactly
+        // the rows the unfolded list would serve.
+        let merged = drop_tombstones(merge_runs(inputs));
+        let name = self.run_name();
+        let mut table =
+            TableBuilder::create(&self.dir.join(&name), opts.block_bytes, opts.bloom_bits_per_key)?;
+        for entry in &merged {
+            table.add(&entry.key, entry.value.as_deref())?;
+        }
+        let meta = table.finish()?;
+        runs.splice(span, [RunMeta { name, entries: meta.entries, bytes: meta.file_bytes }]);
+        Ok(())
+    }
+
+    /// Atomically rewrites this series' `RUNS` manifest (same
+    /// temp + fsync + rename + dir-fsync discipline as `series.conf`).
+    fn write_manifest(&self) -> Result<(), StorageError> {
+        use std::io::Write;
+        let mut out = format!("next_run={}\n", self.next_run);
+        for (generation, names) in &self.generations {
+            out.push_str(&format!("generation={generation} runs={}\n", names.join(",")));
+        }
+        let tmp = self.dir.join(format!("{RUNS_MANIFEST}.tmp"));
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(out.as_bytes())?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&tmp, self.dir.join(RUNS_MANIFEST))?;
+        std::fs::File::open(&self.dir)?.sync_all()?;
+        Ok(())
+    }
+}
 
 /// Catalog substrate over the LSM engine. See the module docs.
 pub struct LsmCatalogBackend {
     root: PathBuf,
     opts: LsmOptions,
     points: LsmDb,
-    generation: u64,
     configs: BTreeMap<u64, IndexBuildConfig>,
+    series_state: BTreeMap<u64, SeriesRunState>,
+    maintenance: BackendMaintenanceStats,
+    compaction_fanout: usize,
 }
 
 impl LsmCatalogBackend {
     /// Opens (or creates) the backend under `root`. Reopening an existing
     /// root recovers the `points/` WAL and the series-configuration
-    /// manifest; index generations restart at the next unused number.
+    /// manifest; index runs are derived data and are wiped (see the
+    /// module docs on crash safety), so every crash window recovers to
+    /// the state a clean rebuild from points produces.
     pub fn open(root: &Path, opts: LsmOptions) -> Result<Self, StorageError> {
         std::fs::create_dir_all(root)?;
         let points = LsmDb::open(&root.join("points"), opts)?;
-        // Skip past any index generation a previous process left behind.
-        let mut generation = 0u64;
         for entry in std::fs::read_dir(root)? {
-            let name = entry?.file_name();
-            if let Some(n) = name.to_str().and_then(|s| s.strip_prefix("index-")) {
-                if let Ok(g) = n.parse::<u64>() {
-                    generation = generation.max(g + 1);
-                }
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            // `series-<id>` run directories plus legacy whole-store
+            // `index-<generation>` directories from earlier layouts.
+            if (name.starts_with("series-") || name.starts_with("index-"))
+                && entry.file_type()?.is_dir()
+            {
+                std::fs::remove_dir_all(entry.path())?;
             }
         }
         let configs = read_series_configs(&root.join(SERIES_CONF))?;
-        Ok(Self { root: root.to_path_buf(), opts, points, generation, configs })
+        Ok(Self {
+            root: root.to_path_buf(),
+            opts,
+            points,
+            configs,
+            series_state: BTreeMap::new(),
+            maintenance: BackendMaintenanceStats::default(),
+            compaction_fanout: DEFAULT_COMPACTION_FANOUT,
+        })
+    }
+
+    /// Overrides how many adjacent same-tier runs trigger a fold
+    /// (clamped to ≥ 2; default 4). Lower values compact more eagerly.
+    pub fn set_compaction_fanout(&mut self, fanout: usize) {
+        self.compaction_fanout = fanout.max(2);
     }
 
     /// The registered series and their index configurations (ascending).
@@ -103,6 +216,43 @@ impl LsmCatalogBackend {
         &self.points
     }
 
+    /// The directory holding one series' index runs.
+    pub fn series_dir(&self, series: SeriesId) -> PathBuf {
+        self.root.join(format!("series-{}", series.raw()))
+    }
+
+    /// Live (unretired) generation numbers of one series, ascending.
+    pub fn live_generations(&self, series: SeriesId) -> Vec<u64> {
+        self.series_state
+            .get(&series.raw())
+            .map(|s| s.generations.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Run count of the latest sealed generation of one series.
+    pub fn current_run_count(&self, series: SeriesId) -> usize {
+        self.series_state.get(&series.raw()).map_or(0, |s| s.current.len())
+    }
+
+    /// Run files currently on disk for one series, sorted by name.
+    pub fn run_files_on_disk(&self, series: SeriesId) -> Result<Vec<String>, StorageError> {
+        let dir = self.series_dir(series);
+        let mut out = Vec::new();
+        if !dir.exists() {
+            return Ok(out);
+        }
+        for entry in std::fs::read_dir(&dir)? {
+            let name = entry?.file_name();
+            if let Some(name) = name.to_str() {
+                if name.starts_with("run-") && name.ends_with(".sst") {
+                    out.push(name.to_string());
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
     /// Replays one series' WAL-durable points, in offset order — the
     /// recovery path a restarted catalog uses to rebuild its appenders.
     ///
@@ -140,10 +290,6 @@ impl LsmCatalogBackend {
             }
         }
         Ok(out)
-    }
-
-    fn generation_dir(&self, generation: u64) -> PathBuf {
-        self.root.join(format!("index-{generation}"))
     }
 }
 
@@ -183,37 +329,106 @@ fn read_series_configs(path: &Path) -> Result<BTreeMap<u64, IndexBuildConfig>, S
 }
 
 impl CatalogBackend for LsmCatalogBackend {
-    type Store = LsmKvStore;
-    type Builder = LsmKvStoreBuilder;
+    type Store = SeriesRunStore;
     type Data = MemorySeriesStore;
 
-    fn index_builder(&mut self) -> Result<Self::Builder, CoreError> {
-        let dir = self.generation_dir(self.generation);
-        self.generation += 1;
-        Ok(LsmKvStoreBuilder::create(&dir, self.opts)?)
-    }
+    fn seal_generation(&mut self, input: GenerationInput<'_>) -> Result<Self::Store, CoreError> {
+        let dir = self.root.join(format!("series-{}", input.series.raw()));
+        let state =
+            self.series_state.entry(input.series.raw()).or_insert_with(|| SeriesRunState::new(dir));
+        std::fs::create_dir_all(&state.dir).map_err(StorageError::from)?;
 
-    fn retire_superseded(&mut self) -> Result<(), CoreError> {
-        // Called only after the catalog committed generation
-        // `generation - 1` and moved every view onto it, so everything
-        // older (including half-built leftovers of failed builds) is
-        // reclaimable — the rows are derived data, rebuildable from
-        // `points/`.
-        let live = self.generation.saturating_sub(1);
-        for entry in std::fs::read_dir(&self.root).map_err(StorageError::from)? {
-            let entry = entry.map_err(StorageError::from)?;
-            let name = entry.file_name();
-            if let Some(g) = name
-                .to_str()
-                .and_then(|s| s.strip_prefix("index-"))
-                .and_then(|n| n.parse::<u64>().ok())
-            {
-                if g < live {
-                    std::fs::remove_dir_all(entry.path()).map_err(StorageError::from)?;
-                }
+        // Delta-seal only when a previous run list exists to shadow.
+        let delta_from = input.changed_from.filter(|_| !state.current.is_empty());
+
+        // 1. Seal the new run: full rows, or just the changed suffix
+        //    (the meta row always rewrites — series_len changed).
+        let name = state.run_name();
+        let mut builder = SeriesRunBuilder::create(
+            &state.dir.join(&name),
+            self.opts.block_bytes,
+            self.opts.bloom_bits_per_key,
+        )?;
+        match delta_from {
+            Some(from) => {
+                KvIndex::<SeriesRunStore>::append_series_rows_from(
+                    &mut builder,
+                    input.series,
+                    input.rows,
+                    from,
+                    input.config,
+                    input.series_len,
+                )?;
+                self.maintenance.delta_runs_sealed += 1;
+            }
+            None => {
+                KvIndex::<SeriesRunStore>::append_series_rows(
+                    &mut builder,
+                    input.series,
+                    input.rows,
+                    input.config,
+                    input.series_len,
+                )?;
             }
         }
+        let table = builder.finish_run()?;
+        self.maintenance.runs_sealed += 1;
+
+        // 2. The generation's run list: a delta shadows the previous
+        //    list; a full run replaces it outright.
+        let mut runs = vec![RunMeta { name, entries: table.entries, bytes: table.file_bytes }];
+        if delta_from.is_some() {
+            runs.extend(state.current.iter().cloned());
+        }
+
+        // 3. Size-tiered folds: while some tier has `fanout` adjacent
+        //    runs, merge them into one (each fold shrinks the list, so
+        //    this terminates).
+        loop {
+            let sizes: Vec<u64> = runs.iter().map(|r| r.bytes).collect();
+            let Some(span) = plan_compaction(&sizes, self.compaction_fanout) else { break };
+            state.fold(&mut runs, span, &self.opts)?;
+            self.maintenance.compactions += 1;
+        }
+
+        // 4. Record the generation and publish the manifest.
+        state.current = runs.clone();
+        state.generations.insert(input.generation, runs.iter().map(|r| r.name.clone()).collect());
+        state.write_manifest()?;
+
+        let paths: Vec<PathBuf> = runs.iter().map(|r| state.dir.join(&r.name)).collect();
+        // Live rows of the sealed generation: every index row + meta.
+        Ok(SeriesRunStore::open(&paths, input.rows.len() + 1)?)
+    }
+
+    fn retire_generation(&mut self, series: SeriesId, generation: u64) -> Result<(), CoreError> {
+        let Some(state) = self.series_state.get_mut(&series.raw()) else {
+            return Ok(());
+        };
+        if state.generations.remove(&generation).is_none() {
+            return Ok(());
+        }
+        // Delete exactly the run files no live generation references
+        // (this also sweeps crash leftovers of interrupted folds).
+        let referenced: HashSet<&String> = state.generations.values().flatten().collect();
+        for entry in std::fs::read_dir(&state.dir).map_err(StorageError::from)? {
+            let entry = entry.map_err(StorageError::from)?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("run-")
+                && name.ends_with(".sst")
+                && !referenced.contains(&name.to_string())
+            {
+                std::fs::remove_file(entry.path()).map_err(StorageError::from)?;
+            }
+        }
+        state.write_manifest()?;
+        self.maintenance.generations_retired += 1;
         Ok(())
+    }
+
+    fn maintenance_stats(&self) -> BackendMaintenanceStats {
+        self.maintenance
     }
 
     fn data_store(&mut self, _series: SeriesId, xs: &[f64]) -> Result<Self::Data, CoreError> {
@@ -288,7 +503,7 @@ impl CatalogBackend for LsmCatalogBackend {
 mod tests {
     use super::*;
     use kvmatch_core::catalog::Catalog;
-    use kvmatch_core::{IndexBuildConfig, QuerySpec};
+    use kvmatch_core::{IndexBuildConfig, MemoryCatalogBackend, QuerySpec};
     use kvmatch_storage::KvStore;
 
     fn wave(seed: u64, n: usize) -> Vec<f64> {
@@ -316,8 +531,8 @@ mod tests {
         }
         cat.append(b, &xb).unwrap();
 
-        // Queries over the ingested points answer through one shared
-        // LSM store.
+        // Queries over the ingested points answer through per-series
+        // run stores.
         let specs = vec![
             QuerySpec::rsm_ed(xa[800..1_050].to_vec(), 1e-9).with_series(a),
             QuerySpec::rsm_ed(xb[300..550].to_vec(), 1e-9).with_series(b),
@@ -325,7 +540,8 @@ mod tests {
         let batch = cat.execute_batch(&specs).unwrap();
         assert!(batch.outputs[0].results.iter().any(|r| r.offset == 800));
         assert!(batch.outputs[1].results.iter().any(|r| r.offset == 300));
-        assert!(cat.shared_store().unwrap().row_count() > 0);
+        assert!(cat.store(a).unwrap().row_count() > 0);
+        assert!(cat.store(b).unwrap().row_count() > 0);
 
         // Durability: every appended point is recoverable from the
         // points WAL/memtable path, even before any flush.
@@ -452,6 +668,169 @@ mod tests {
         assert_eq!(cat.series_len(a), Some(xa.len() + more.len()));
     }
 
+    /// Satellite: crash/restart mid-compaction. A process can die in any
+    /// window of the seal → manifest-update → retire sequence; whichever
+    /// leftovers it strands (a freshly sealed run no manifest names, a
+    /// manifest naming runs that were about to be retired, a torn `RUNS`
+    /// file), recovery must serve answers bit-identical to an in-order
+    /// rebuild over the same points.
+    #[test]
+    fn recovery_is_bit_identical_across_mid_compaction_crash_points() {
+        let id = SeriesId::new(5);
+        let chunks: Vec<Vec<f64>> = vec![wave(21, 900), wave(22, 700), wave(23, 500)];
+        let full: Vec<f64> = chunks.iter().flatten().copied().collect();
+        let spec = QuerySpec::rsm_ed(full[400..650].to_vec(), 3.0).with_series(id);
+
+        // In-order rebuild reference: the same appends, volatile backend.
+        let mut reference = Catalog::new(MemoryCatalogBackend);
+        reference.create_series(id, IndexBuildConfig::new(25)).unwrap();
+        for chunk in &chunks {
+            reference.append(id, chunk).unwrap();
+        }
+        let want = reference.execute_batch(std::slice::from_ref(&spec)).unwrap().outputs[0]
+            .results
+            .clone();
+
+        // `sabotage(dir)` plants one crash window's leftovers after a
+        // life of interleaved appends + materializations.
+        type Sabotage = Box<dyn Fn(&Path)>;
+        let scenarios: Vec<(&str, Sabotage)> = vec![
+            (
+                "crash after run-seal, before manifest update",
+                Box::new(|dir: &Path| {
+                    // A stray sealed run no manifest names.
+                    std::fs::write(dir.join("run-999999.sst"), b"torn half-written run").unwrap();
+                }),
+            ),
+            (
+                "crash after manifest update, before retirement",
+                Box::new(|dir: &Path| {
+                    // Retirement never ran: superseded runs linger on
+                    // disk alongside the manifest that no longer needs
+                    // them. Fabricate one such orphan.
+                    std::fs::write(dir.join("run-000000.sst.orphan"), b"").unwrap();
+                }),
+            ),
+            (
+                "crash mid manifest rewrite (torn RUNS file)",
+                Box::new(|dir: &Path| {
+                    std::fs::write(dir.join(RUNS_MANIFEST), b"next_run=").unwrap();
+                }),
+            ),
+        ];
+
+        for (label, sabotage) in scenarios {
+            let dir = tempfile::tempdir().unwrap();
+            {
+                let backend = LsmCatalogBackend::open(dir.path(), LsmOptions::tiny()).unwrap();
+                let mut cat = Catalog::open(backend).unwrap();
+                cat.create_series(id, IndexBuildConfig::new(25)).unwrap();
+                for chunk in &chunks {
+                    cat.append(id, chunk).unwrap();
+                    cat.materialize().unwrap(); // seals runs + manifest
+                }
+                let sdir = cat.backend().series_dir(id);
+                sabotage(&sdir);
+                // Process "dies" here: no clean shutdown.
+            }
+            let backend = LsmCatalogBackend::open(dir.path(), LsmOptions::tiny()).unwrap();
+            let mut cat = Catalog::open(backend).unwrap();
+            assert_eq!(cat.series_len(id), Some(full.len()), "{label}: points lost");
+            let got =
+                cat.execute_batch(std::slice::from_ref(&spec)).unwrap().outputs[0].results.clone();
+            assert_eq!(got, want, "{label}: recovered answers diverged from in-order rebuild");
+        }
+    }
+
+    /// The tentpole equivalence guarantee on the durable backend:
+    /// interleaved appends + incremental delta-run sealing (with
+    /// compaction engaged) answer bit-identically to a full rebuild.
+    #[test]
+    fn generational_lsm_matches_full_rebuild() {
+        let id = SeriesId::new(1);
+        let xs = wave(31, 4_000);
+        let lsm_dir = tempfile::tempdir().unwrap();
+        let mut backend = LsmCatalogBackend::open(lsm_dir.path(), LsmOptions::tiny()).unwrap();
+        backend.set_compaction_fanout(2); // compact eagerly
+        let mut incremental = Catalog::new(backend);
+        incremental.create_series(id, IndexBuildConfig::new(40)).unwrap();
+        for chunk in xs.chunks(500) {
+            incremental.append(id, chunk).unwrap();
+            incremental.materialize().unwrap();
+        }
+
+        let full_dir = tempfile::tempdir().unwrap();
+        let backend = LsmCatalogBackend::open(full_dir.path(), LsmOptions::tiny()).unwrap();
+        let mut oneshot = Catalog::new(backend);
+        oneshot.create_series_with(id, IndexBuildConfig::new(40), &xs).unwrap();
+
+        let specs = vec![
+            QuerySpec::rsm_ed(xs[100..340].to_vec(), 6.0).with_series(id),
+            QuerySpec::rsm_dtw(xs[3_600..3_840].to_vec(), 3.0, 5).with_series(id),
+            QuerySpec::rsm_ed(xs[3_700..3_950].to_vec(), 1e-9).with_series(id),
+        ];
+        let got = incremental.execute_batch(&specs).unwrap();
+        let want = oneshot.execute_batch(&specs).unwrap();
+        for (x, y) in got.outputs.iter().zip(&want.outputs) {
+            assert_eq!(x.results, y.results, "delta-run catalog diverged from full rebuild");
+        }
+        let maintenance = incremental.backend().maintenance_stats();
+        assert!(maintenance.delta_runs_sealed > 0, "delta path never engaged");
+        assert!(maintenance.compactions > 0, "size-tiered folds never engaged");
+        assert!(maintenance.generations_retired > 0, "superseded generations never retired");
+    }
+
+    #[test]
+    fn superseded_generations_are_retired_only_when_unpinned() {
+        let dir = tempfile::tempdir().unwrap();
+        let backend = LsmCatalogBackend::open(dir.path(), LsmOptions::tiny()).unwrap();
+        let mut cat = Catalog::new(backend);
+        let id = SeriesId::new(1);
+        cat.create_series_with(id, IndexBuildConfig::new(25), &wave(3, 1_000)).unwrap();
+        cat.materialize().unwrap();
+
+        // Pin the first generation, then publish two more.
+        let pinned = cat.snapshot().unwrap();
+        cat.append(id, &wave(4, 200)).unwrap();
+        cat.materialize().unwrap();
+        cat.append(id, &wave(5, 200)).unwrap();
+        cat.materialize().unwrap();
+
+        // The pinned generation's runs must still exist (and answer).
+        assert!(cat.backend().live_generations(id).len() >= 2, "pinned generation must stay live");
+        let spec = QuerySpec::rsm_ed(wave(3, 1_000)[100..300].to_vec(), 1e-9).with_series(id);
+        assert!(pinned.execute_batch(std::slice::from_ref(&spec)).unwrap().outputs[0]
+            .results
+            .iter()
+            .any(|r| r.offset == 100));
+
+        // Unpin and publish once more: everything superseded retires,
+        // leaving only the live generation's run files on disk.
+        drop(pinned);
+        cat.append(id, &wave(6, 200)).unwrap();
+        cat.materialize().unwrap();
+        let back = cat.backend();
+        assert_eq!(back.live_generations(id).len(), 1, "only the live generation remains");
+        let live: std::collections::BTreeSet<String> = {
+            let mut s = std::collections::BTreeSet::new();
+            // All on-disk run files must be referenced by the manifest.
+            let manifest = std::fs::read_to_string(back.series_dir(id).join(RUNS_MANIFEST))
+                .expect("RUNS manifest exists");
+            for line in manifest.lines() {
+                if let Some(rest) = line.split("runs=").nth(1) {
+                    for name in rest.split(',') {
+                        s.insert(name.trim().to_string());
+                    }
+                }
+            }
+            s
+        };
+        let on_disk: std::collections::BTreeSet<String> =
+            back.run_files_on_disk(id).unwrap().into_iter().collect();
+        assert_eq!(on_disk, live, "orphan run files survived retirement");
+        assert!(back.maintenance_stats().generations_retired >= 3);
+    }
+
     /// WAL points with no manifest entry (pre-manifest roots, torn
     /// manifests) must refuse recovery rather than silently dropping the
     /// series — re-creating it would append from offset 0 over the stale
@@ -474,25 +853,5 @@ mod tests {
             Ok(_) => panic!("unmanifested points must not vanish"),
         };
         assert!(err.to_string().contains("series.conf has no entry"), "unexpected error: {err}");
-    }
-
-    #[test]
-    fn superseded_index_generations_are_retired() {
-        let dir = tempfile::tempdir().unwrap();
-        let backend = LsmCatalogBackend::open(dir.path(), LsmOptions::tiny()).unwrap();
-        let mut cat = Catalog::new(backend);
-        let id = SeriesId::new(1);
-        cat.create_series_with(id, IndexBuildConfig::new(25), &wave(3, 1_000)).unwrap();
-        cat.materialize().unwrap();
-        cat.append(id, &wave(4, 200)).unwrap();
-        cat.materialize().unwrap();
-        cat.append(id, &wave(5, 200)).unwrap();
-        cat.materialize().unwrap();
-        let index_dirs: Vec<String> = std::fs::read_dir(dir.path())
-            .unwrap()
-            .filter_map(|e| e.unwrap().file_name().to_str().map(str::to_string))
-            .filter(|n| n.starts_with("index-"))
-            .collect();
-        assert_eq!(index_dirs, vec!["index-2".to_string()], "only the live generation remains");
     }
 }

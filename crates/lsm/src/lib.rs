@@ -40,6 +40,7 @@ pub mod db;
 pub mod manifest;
 pub mod memtable;
 pub mod merge;
+pub mod runs;
 pub mod sstable;
 pub mod store;
 pub mod wal;
@@ -49,4 +50,5 @@ pub use bloom::BloomFilter;
 pub use catalog_backend::LsmCatalogBackend;
 pub use db::{LsmDb, LsmOptions, LsmShape};
 pub use memtable::MemTable;
+pub use runs::{RunMeta, SeriesRunBuilder, SeriesRunStore};
 pub use store::{LsmKvStore, LsmKvStoreBuilder};

@@ -1,0 +1,276 @@
+//! Per-series sorted runs: the storage unit of generational index
+//! sealing.
+//!
+//! A *run* is one bloom-filtered SSTable holding a sorted slice of a
+//! series' index rows. A sealed generation is an ordered list of runs,
+//! newest first; reads merge them with the engine's newest-wins
+//! [`merge`](crate::merge) iterators, so a generation sealed as
+//! "yesterday's runs + today's delta" serves exactly the rows a full
+//! rebuild would. Runs are immutable — generations share them freely,
+//! and a size-tiered compaction schedule ([`plan_compaction`]) folds
+//! neighbouring same-tier runs into one to bound read fan-in.
+
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use kvmatch_storage::kv::Row;
+use kvmatch_storage::{IoStats, KvStore, KvStoreBuilder, StorageError};
+
+use crate::block::BlockEntry;
+use crate::merge::{drop_tombstones, merge_runs};
+use crate::sstable::{TableBuilder, TableMeta, TableReader};
+
+/// One immutable run on disk, as tracked by the generation manifest.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunMeta {
+    /// File name inside the series directory (e.g. `run-000004.sst`).
+    pub name: String,
+    /// Entries in the run (tombstones included).
+    pub entries: u64,
+    /// File size in bytes — what the size-tiered schedule bins on.
+    pub bytes: u64,
+}
+
+/// A read-only [`KvStore`] over one sealed generation's run list,
+/// merging newest-first at scan time.
+pub struct SeriesRunStore {
+    readers: Vec<TableReader>,
+    row_count: usize,
+    stats: IoStats,
+}
+
+impl SeriesRunStore {
+    /// Opens the generation's runs, newest first. `row_count` is the
+    /// number of *live* merged rows the generation serves (the sealing
+    /// path knows it without a merge: row count + meta row).
+    pub fn open(paths: &[PathBuf], row_count: usize) -> Result<Self, StorageError> {
+        let stats = IoStats::new();
+        let readers = paths
+            .iter()
+            .map(|p| TableReader::open(p, stats.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { readers, row_count, stats })
+    }
+
+    /// Number of runs merged at read time.
+    pub fn run_count(&self) -> usize {
+        self.readers.len()
+    }
+
+    fn merged(&self, per_run: Vec<Vec<BlockEntry>>) -> Vec<Row> {
+        drop_tombstones(merge_runs(per_run))
+            .into_iter()
+            .map(|e| Row { key: e.key, value: e.value.expect("tombstones dropped") })
+            .collect()
+    }
+}
+
+impl KvStore for SeriesRunStore {
+    fn scan(&self, start: &[u8], end: &[u8]) -> Result<Vec<Row>, StorageError> {
+        self.stats.record_scan();
+        let mut per_run = Vec::with_capacity(self.readers.len());
+        for reader in &self.readers {
+            let mut entries = Vec::new();
+            reader.scan_into(start, end, &mut entries)?;
+            per_run.push(entries);
+        }
+        let rows = self.merged(per_run);
+        let bytes = rows.iter().map(|r| (r.key.len() + r.value.len()) as u64).sum();
+        self.stats.record_read(rows.len() as u64, bytes);
+        Ok(rows)
+    }
+
+    fn scan_all(&self) -> Result<Vec<Row>, StorageError> {
+        self.stats.record_scan();
+        let per_run =
+            self.readers.iter().map(TableReader::scan_all).collect::<Result<Vec<_>, _>>()?;
+        let rows = self.merged(per_run);
+        let bytes = rows.iter().map(|r| (r.key.len() + r.value.len()) as u64).sum();
+        self.stats.record_read(rows.len() as u64, bytes);
+        Ok(rows)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Bytes>, StorageError> {
+        for reader in &self.readers {
+            match reader.get(key)? {
+                Some(Some(value)) => {
+                    self.stats.record_read(1, value.len() as u64);
+                    return Ok(Some(value));
+                }
+                Some(None) => return Ok(None), // newest-wins tombstone
+                None => continue,
+            }
+        }
+        Ok(None)
+    }
+
+    fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    fn io_stats(&self) -> IoStats {
+        self.stats.clone()
+    }
+}
+
+/// Sorted-append construction of a single run file. Implements
+/// [`KvStoreBuilder`] so the core index-sealing helpers can stream rows
+/// straight into a run; backends that assemble multi-run generations
+/// use [`SeriesRunBuilder::finish_run`] instead of the trait's
+/// [`finish`](KvStoreBuilder::finish).
+pub struct SeriesRunBuilder {
+    path: PathBuf,
+    table: TableBuilder,
+    last_key: Option<Vec<u8>>,
+}
+
+impl SeriesRunBuilder {
+    /// Starts a run at `path`.
+    pub fn create(
+        path: &Path,
+        block_bytes: usize,
+        bloom_bits_per_key: usize,
+    ) -> Result<Self, StorageError> {
+        Ok(Self {
+            path: path.to_path_buf(),
+            table: TableBuilder::create(path, block_bytes, bloom_bits_per_key)?,
+            last_key: None,
+        })
+    }
+
+    /// Seals the run file, returning its table metadata.
+    pub fn finish_run(self) -> Result<TableMeta, StorageError> {
+        self.table.finish()
+    }
+}
+
+impl KvStoreBuilder for SeriesRunBuilder {
+    type Store = SeriesRunStore;
+
+    fn append(&mut self, key: &[u8], value: &[u8]) -> Result<(), StorageError> {
+        if let Some(last) = &self.last_key {
+            if key <= last.as_slice() {
+                return Err(StorageError::KeyOrder { key: key.to_vec() });
+            }
+        }
+        self.table.add(key, Some(value))?;
+        self.last_key = Some(key.to_vec());
+        Ok(())
+    }
+
+    fn finish(self) -> Result<SeriesRunStore, StorageError> {
+        let path = self.path.clone();
+        let meta = self.table.finish()?;
+        SeriesRunStore::open(std::slice::from_ref(&path), meta.entries as usize)
+    }
+}
+
+/// The size class of a run: log₄ of its byte size. Runs within a factor
+/// of ~4 of each other land in the same tier.
+pub fn size_tier(bytes: u64) -> u32 {
+    let lg = 63 - bytes.max(1).leading_zeros();
+    lg / 2
+}
+
+/// Plans one size-tiered fold over a newest-first run list: the first
+/// (newest-side) contiguous span of at least `fanout` runs sharing a
+/// size tier, extended as far as the tier holds. Contiguity preserves
+/// the newest-wins shadowing order — folding a contiguous span into one
+/// run keeps every other run's priority relative to it. Returns `None`
+/// when no tier has accumulated `fanout` neighbours.
+pub fn plan_compaction(sizes: &[u64], fanout: usize) -> Option<std::ops::Range<usize>> {
+    let fanout = fanout.max(2);
+    let mut start = 0;
+    while start < sizes.len() {
+        let tier = size_tier(sizes[start]);
+        let mut end = start + 1;
+        while end < sizes.len() && size_tier(sizes[end]) == tier {
+            end += 1;
+        }
+        if end - start >= fanout {
+            return Some(start..end);
+        }
+        start = end;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_run(dir: &Path, name: &str, rows: &[(&[u8], &[u8])]) -> PathBuf {
+        let path = dir.join(name);
+        let mut b = SeriesRunBuilder::create(&path, 4 << 10, 10).unwrap();
+        for (k, v) in rows {
+            b.append(k, v).unwrap();
+        }
+        b.finish_run().unwrap();
+        path
+    }
+
+    #[test]
+    fn newest_run_shadows_older_rows() {
+        let dir = tempfile::tempdir().unwrap();
+        let old = write_run(dir.path(), "old.sst", &[(b"a", b"stale"), (b"b", b"kept")]);
+        let new = write_run(dir.path(), "new.sst", &[(b"a", b"fresh"), (b"c", b"added")]);
+        // Newest first: `new` shadows `old` on key `a`.
+        let store = SeriesRunStore::open(&[new, old], 3).unwrap();
+        assert_eq!(store.run_count(), 2);
+        assert_eq!(store.row_count(), 3);
+        let rows = store.scan_all().unwrap();
+        let got: Vec<(&[u8], &[u8])> = rows.iter().map(|r| (&r.key[..], &r.value[..])).collect();
+        assert_eq!(
+            got,
+            vec![
+                (b"a" as &[u8], b"fresh" as &[u8]),
+                (b"b" as &[u8], b"kept" as &[u8]),
+                (b"c" as &[u8], b"added" as &[u8]),
+            ]
+        );
+        // Range scans and gets merge identically.
+        let range = store.scan(b"a", b"b").unwrap();
+        assert_eq!(range.len(), 1);
+        assert_eq!(&range[0].value[..], b"fresh");
+        assert_eq!(store.get(b"a").unwrap().as_deref(), Some(b"fresh" as &[u8]));
+        assert_eq!(store.get(b"b").unwrap().as_deref(), Some(b"kept" as &[u8]));
+        assert_eq!(store.get(b"zz").unwrap(), None);
+        assert!(store.io_stats().scans() >= 2);
+    }
+
+    #[test]
+    fn builder_enforces_key_order() {
+        let dir = tempfile::tempdir().unwrap();
+        let mut b = SeriesRunBuilder::create(&dir.path().join("r.sst"), 4 << 10, 10).unwrap();
+        b.append(b"b", b"1").unwrap();
+        assert!(matches!(b.append(b"a", b"2"), Err(StorageError::KeyOrder { .. })));
+        assert!(matches!(b.append(b"b", b"2"), Err(StorageError::KeyOrder { .. })));
+        let store = b.finish().unwrap();
+        assert_eq!(store.row_count(), 1);
+    }
+
+    #[test]
+    fn size_tiers_bin_by_factor_of_four() {
+        assert_eq!(size_tier(1), 0);
+        assert_eq!(size_tier(3), 0);
+        assert_eq!(size_tier(4), 1);
+        assert_eq!(size_tier(15), 1);
+        assert_eq!(size_tier(16), 2);
+        assert_eq!(size_tier(1 << 20), 10);
+    }
+
+    #[test]
+    fn compaction_plans_contiguous_same_tier_spans() {
+        // Three small runs at the front: fold them.
+        assert_eq!(plan_compaction(&[10, 12, 9, 4_000], 3), Some(0..3));
+        // Small runs split by a big one are not contiguous.
+        assert_eq!(plan_compaction(&[10, 4_000, 12, 9], 3), None);
+        // A same-tier span deeper in the list is still found.
+        assert_eq!(plan_compaction(&[4_000, 10, 12, 9], 3), Some(1..4));
+        // Under the fanout: leave alone.
+        assert_eq!(plan_compaction(&[10, 12], 3), None);
+        assert_eq!(plan_compaction(&[], 3), None);
+        // Fanout is clamped to at least 2.
+        assert_eq!(plan_compaction(&[10, 12], 0), Some(0..2));
+    }
+}

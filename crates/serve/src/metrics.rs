@@ -118,6 +118,7 @@ pub struct Metrics {
     pub(crate) completed: AtomicU64,
     pub(crate) failed: AtomicU64,
     pub(crate) appends: AtomicU64,
+    pub(crate) materialize_failures: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batched_queries: AtomicU64,
     pub(crate) max_batch_occupancy: AtomicU64,
@@ -156,6 +157,7 @@ impl Metrics {
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             appends: self.appends.load(Ordering::Relaxed),
+            materialize_failures: self.materialize_failures.load(Ordering::Relaxed),
             batches,
             batched_queries,
             avg_batch_occupancy: if batches == 0 {
@@ -215,6 +217,11 @@ pub struct MetricsSnapshot {
     pub failed: u64,
     /// Append commands applied by the ingest lane.
     pub appends: u64,
+    /// Failed snapshot rebuilds (startup or post-append). Non-zero means
+    /// appends were acknowledged with
+    /// [`ServeError::Materialize`](crate::ServeError::Materialize) and
+    /// readers are serving the last good snapshot.
+    pub materialize_failures: u64,
     /// Executor shard batches dispatched across the worker pool.
     pub batches: u64,
     /// Queries summed across those batches.

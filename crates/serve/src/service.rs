@@ -6,9 +6,9 @@
 //!  clients              front scheduler                 executor workers
 //!  ───────              ───────────────                 ────────────────
 //!  submit ──► BoundedQueue ──► drain micro-batch        ┌─► worker 0 ─┐
-//!    │            │            partition by SeriesId ───┼─► worker 1  ├─► Catalog
-//!    │       full? Rejected    (rendezvous hand-off:    └─► worker N ─┘   (RwLock
-//!    │      (backpressure)      waits for an idle            read side)    read)
+//!    │            │            partition by SeriesId ───┼─► worker 1  ├─► pinned
+//!    │       full? Rejected    (rendezvous hand-off:    └─► worker N ─┘  snapshot
+//!    │      (backpressure)      waits for an idle           (lock-free)
 //!    │                          worker — never buffers)
 //!    │                              │
 //!    │                              └─ appends ──► ingest lane ──► Catalog
@@ -20,10 +20,14 @@
 //! micro-batches exactly like the single-threaded PR-4 scheduler did,
 //! but instead of executing inline it **partitions each batch by
 //! [`SeriesId`]** and hands the shards to a pool of executor workers.
-//! Each worker serves its shard from a read guard on the shared
-//! [`Catalog`] — index probes and verification for different series are
+//! Each worker **pins the latest published [`CatalogSnapshot`]** — one
+//! `Arc` clone under a briefly-held pointer lock — and executes against
+//! that immutable generation set with no catalog lock held at all.
+//! Index probes and verification for different series are
 //! embarrassingly parallel, so shards of one batch (and of consecutive
-//! batches) execute concurrently.
+//! batches) execute concurrently, and the ingest lane's catalog write
+//! guard (however long a rebuild or compaction takes) never blocks a
+//! reader for longer than the snapshot pointer swap.
 //!
 //! Appends never touch the worker pool: they are routed to a **dedicated
 //! ingest lane** that owns the catalog's write side. An append acts as an
@@ -42,7 +46,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use kvmatch_core::catalog::{Catalog, CatalogBackend};
+use kvmatch_core::catalog::{Catalog, CatalogBackend, CatalogSnapshot};
 use kvmatch_core::exec::QueryOutput;
 use kvmatch_core::{CoreError, MatchResult, MatchStats, QuerySpec, SeriesId};
 use parking_lot::RwLock;
@@ -165,6 +169,12 @@ pub enum ServeError {
     ShutDown,
     /// The query itself failed.
     Query(CoreError),
+    /// The append was applied, but rebuilding the published snapshot
+    /// failed afterwards — the points are ingested (and, on durable
+    /// backends, persisted) yet queries keep serving the previous
+    /// snapshot until a later materialization succeeds. Carries the
+    /// underlying error rendered as text.
+    Materialize(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -174,6 +184,9 @@ impl std::fmt::Display for ServeError {
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServeError::ShutDown => write!(f, "service shut down"),
             ServeError::Query(e) => write!(f, "query failed: {e}"),
+            ServeError::Materialize(e) => {
+                write!(f, "append applied but snapshot rebuild failed: {e}")
+            }
         }
     }
 }
@@ -510,30 +523,37 @@ where
     B::Store: Send + Sync + 'static,
     B::Data: Send + Sync + 'static,
 {
-    // One materialization up front: workers execute through shared
-    // borrows and never materialize; the ingest lane keeps the catalog
-    // materialized from here on.
-    let _ = catalog.write().materialize();
+    // Bring the read path up: one materialization, then publish the
+    // first snapshot into the `latest` slot every worker pins from. A
+    // startup failure is *surfaced* — counted, and queries answer
+    // `Unmaterialized` until the ingest lane publishes a good snapshot —
+    // never silently swallowed.
+    let latest: Arc<RwLock<Option<Arc<CatalogSnapshot<B>>>>> = Arc::new(RwLock::new(None));
+    if catalog.write().materialize().is_err() {
+        shared.metrics.materialize_failures.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    *latest.write() = catalog.read().snapshot();
 
     let workers = shared.config.workers.max(1);
     let handoff: Arc<Handoff<Shard>> = Arc::new(Handoff::new());
     let pool: Vec<JoinHandle<()>> = (0..workers)
         .map(|idx| {
-            let catalog = Arc::clone(&catalog);
+            let latest = Arc::clone(&latest);
             let shared = Arc::clone(&shared);
             let handoff = Arc::clone(&handoff);
             std::thread::Builder::new()
                 .name(format!("kvmatch-serve-worker-{idx}"))
-                .spawn(move || worker_loop(idx, catalog, shared, handoff))
+                .spawn(move || worker_loop(idx, latest, shared, handoff))
                 .expect("spawn executor worker")
         })
         .collect();
     let ingest = {
         let catalog = Arc::clone(&catalog);
+        let latest = Arc::clone(&latest);
         let shared = Arc::clone(&shared);
         std::thread::Builder::new()
             .name("kvmatch-serve-ingest".into())
-            .spawn(move || ingest_loop(catalog, shared))
+            .spawn(move || ingest_loop(catalog, latest, shared))
             .expect("spawn ingest lane")
     };
 
@@ -614,10 +634,10 @@ where
 }
 
 /// One executor worker: park at the hand-off, honour the shard's ingest
-/// barrier, then execute it from a catalog read guard.
+/// barrier, pin the latest published snapshot, then execute lock-free.
 fn worker_loop<B>(
     idx: usize,
-    catalog: Arc<RwLock<Catalog<B>>>,
+    latest: Arc<RwLock<Option<Arc<CatalogSnapshot<B>>>>>,
     shared: Arc<Shared>,
     handoff: Arc<Handoff<Shard>>,
 ) where
@@ -626,20 +646,29 @@ fn worker_loop<B>(
 {
     while let Some(shard) = handoff.recv() {
         // The per-series ordering barrier: wait until the ingest lane
-        // has applied (and materialized) every append ordered before
-        // this shard on its series. Shards of other series pass straight
-        // through — an append never stalls the whole pool.
+        // has applied (and published a snapshot covering) every append
+        // ordered before this shard on its series. Shards of other
+        // series pass straight through — an append never stalls the
+        // whole pool.
         if shard.epoch > 0 {
             shared.gate.wait_for(shard.series, shard.epoch);
         }
-        execute_shard(idx, &catalog, shard.jobs, &shared);
+        // Pin: one Arc clone under a pointer-sized lock. From here the
+        // shard runs against an immutable generation set — the ingest
+        // lane can rebuild, compact and publish freely underneath.
+        let snapshot = latest.read().clone();
+        execute_shard(idx, snapshot, shard.jobs, &shared);
     }
 }
 
-/// Executes one shard as a single batch and fans the results back onto
-/// each job's channel.
-fn execute_shard<B>(idx: usize, catalog: &RwLock<Catalog<B>>, run: Vec<Job>, shared: &Shared)
-where
+/// Executes one shard as a single batch against a pinned snapshot and
+/// fans the results back onto each job's channel.
+fn execute_shard<B>(
+    idx: usize,
+    snapshot: Option<Arc<CatalogSnapshot<B>>>,
+    run: Vec<Job>,
+    shared: &Shared,
+) where
     B: CatalogBackend,
     B::Data: Sync,
 {
@@ -677,9 +706,16 @@ where
             (job.spec, JobClient { submitted: job.submitted, deadline: job.deadline, tx: job.tx })
         })
         .unzip();
-    {
-        let guard = catalog.read();
-        match guard.execute_batch_shared(&specs) {
+    match &snapshot {
+        // No snapshot published yet (startup materialization failed and
+        // no append has succeeded since): answer loudly per query.
+        None => {
+            for client in clients {
+                metrics.failed.fetch_add(1, Relaxed);
+                let _ = client.tx.send(Err(ServeError::Query(CoreError::Unmaterialized)));
+            }
+        }
+        Some(snap) => match snap.execute_batch(&specs) {
             Ok(batch) => {
                 debug_assert_eq!(batch.outputs.len(), clients.len());
                 for (client, out) in clients.into_iter().zip(batch.outputs) {
@@ -691,7 +727,7 @@ where
             // offender fails.
             Err(_) => {
                 for (spec, client) in specs.iter().zip(clients) {
-                    match guard.execute_batch_shared(std::slice::from_ref(spec)) {
+                    match snap.execute_batch(std::slice::from_ref(spec)) {
                         Ok(mut batch) => {
                             let out = batch.outputs.pop().expect("one spec yields one output");
                             respond(client, out, shared);
@@ -703,7 +739,7 @@ where
                     }
                 }
             }
-        }
+        },
     }
     if let Some(w) = metrics.workers.get(idx) {
         w.note_busy(busy.elapsed());
@@ -711,10 +747,13 @@ where
 }
 
 /// The ingest lane: drain a burst of appends, apply them under one write
-/// guard with a single re-materialization, then publish their epochs so
-/// barrier-waiting shards proceed.
-fn ingest_loop<B>(catalog: Arc<RwLock<Catalog<B>>>, shared: Arc<Shared>)
-where
+/// guard with a single re-materialization, publish the fresh snapshot,
+/// then release their epochs so barrier-waiting shards proceed.
+fn ingest_loop<B>(
+    catalog: Arc<RwLock<Catalog<B>>>,
+    latest: Arc<RwLock<Option<Arc<CatalogSnapshot<B>>>>>,
+    shared: Arc<Shared>,
+) where
     B: CatalogBackend,
 {
     /// Appends absorbed into one write-guard scope (one materialization
@@ -738,12 +777,34 @@ where
                 shared.metrics.appends.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 acks.push((job.tx, outcome, job.series.raw(), job.epoch));
             }
-            // One rebuild for the whole burst, still inside the write
-            // guard: readers never observe appended-but-unmaterialized
-            // state. On failure the read path reports
-            // `CoreError::Unmaterialized` per query — loud, not wedged.
-            let _ = cat.materialize();
+            // One generation rebuild for the whole burst — the catalog
+            // builds the dirty series' next generations off to the side
+            // while workers keep serving pinned snapshots. Publication
+            // is the pointer swap below.
+            match cat.materialize() {
+                Ok(()) => *latest.write() = cat.snapshot(),
+                Err(e) => {
+                    // Surface, don't swallow: count the failure and turn
+                    // every would-be-successful ack of this burst into a
+                    // `Materialize` error — the caller's points are
+                    // ingested but not yet queryable. Readers keep the
+                    // last good snapshot.
+                    shared
+                        .metrics
+                        .materialize_failures
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    let msg = e.to_string();
+                    for (_, outcome, _, _) in &mut acks {
+                        if outcome.is_ok() {
+                            *outcome = Err(ServeError::Materialize(msg.clone()));
+                        }
+                    }
+                }
+            }
         }
+        // Epochs are published unconditionally — success or failure, the
+        // gate must advance or every later query on these series would
+        // wait forever.
         for (tx, outcome, series, epoch) in acks {
             shared.gate.publish(series, epoch);
             let _ = tx.send(outcome);
