@@ -3,21 +3,28 @@
 //! Runs every harness workload through the sequential `KvMatcher` and the
 //! batched `QueryExecutor` on the memory *and* sharded backends, runs the
 //! multi-series catalog ingest+query workload, the concurrent serving
-//! workload (headline run plus the workers = 1/2/4 scaling table) and the
-//! streaming-ingest workload over the durable LSM backend, prints the
-//! comparison tables, validates the report schema, and writes
-//! `BENCH_exec.json` (override with `KVM_BENCH_OUT`).
+//! workload (headline run plus the workers = 1/2/4 scaling table), the
+//! socket-measured network workload (a TCP load generator against a
+//! `kvmatch-server` at 1/2/4 connections) and the streaming-ingest
+//! workload over the durable LSM backend, prints the comparison tables,
+//! validates the report schema, and writes `BENCH_exec.json` (override
+//! with `KVM_BENCH_OUT`).
 //!
 //! Knobs: `KVM_N`, `KVM_W`, `KVM_QUERIES`, `KVM_SEED`, `KVM_THREADS`
 //! (0 = auto), `KVM_REPEAT` (best-of timing), `KVM_SERIES` (catalog
 //! series), `KVM_SUBMITTERS` (serving-workload client threads, also the
 //! streaming queriers), `KVM_WORKERS` (headline serving dispatch
-//! workers). With `KVM_BENCH_ENFORCE=1` the process exits non-zero when
-//! the batched executor is slower than the sequential matcher overall,
-//! when serving throughput fails to scale (served_rps at workers = 4
-//! below workers = 1), **or** when an ingest burst stalls readers
-//! (burst-phase p99 read latency beyond 10× the quiet-phase p99, 5 ms
-//! floor) — the CI `bench-smoke` gates.
+//! workers), `KVM_SERVER_ADDR` (network workload targets this external
+//! `kvmatch-server` — started with the same `KVM_*` knobs — instead of
+//! an in-process loopback server). With `KVM_BENCH_ENFORCE=1` the
+//! process exits non-zero when the batched executor is slower than the
+//! sequential matcher overall, when serving throughput fails to scale
+//! (served_rps at workers = 4 below workers = 1), when the wire stack
+//! eats more than 70% of in-process serving throughput (best socket
+//! served_rps below 30% of in-process served_rps at the same worker
+//! count), **or** when an ingest burst stalls readers (burst-phase p99
+//! read latency beyond 10× the quiet-phase p99, 5 ms floor) — the CI
+//! `bench-smoke` and `net-smoke` gates.
 //!
 //! `--compare <baseline.json>` additionally diffs this run's per-workload
 //! batched wall times against a committed trajectory point (the baseline
@@ -233,6 +240,44 @@ fn run() -> Result<(), String> {
     }
     table.print();
 
+    let nw = &report.network;
+    println!();
+    println!("=== network: socket-measured load against kvmatch-server ===");
+    println!(
+        "{} server at {} ({} workers); in-process reference {:.0} req/s",
+        if nw.external_server { "external" } else { "in-process" },
+        nw.addr,
+        nw.workers,
+        nw.inprocess_served_rps
+    );
+    let mut table = Table::new(&[
+        "conns",
+        "offered",
+        "served",
+        "rejected",
+        "transport_err",
+        "wall_ms",
+        "served_rps",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+    ]);
+    for row in &nw.per_connection {
+        table.push(Row::new(vec![
+            row.connections.into(),
+            row.offered_requests.into(),
+            row.served_requests.into(),
+            row.rejected_requests.into(),
+            row.transport_errors.into(),
+            row.wall_ms.into(),
+            row.served_rps.into(),
+            row.latency_p50_us.into(),
+            row.latency_p95_us.into(),
+            row.latency_p99_us.into(),
+        ]));
+    }
+    table.print();
+
     let st = &report.streaming;
     println!();
     println!("=== streaming ingest: reader latency under an LSM append burst ===");
@@ -327,6 +372,14 @@ fn run() -> Result<(), String> {
              served_rps(workers=1) = {:.0}",
             rps(4),
             rps(1)
+        ));
+    }
+    if enforce && !report.network_overhead_ok() {
+        let best = nw.per_connection.iter().map(|row| row.served_rps).fold(0.0, f64::max);
+        return Err(format!(
+            "wire stack too slow: best socket served_rps {:.0} is below 30% of the \
+             in-process served_rps {:.0} at the same worker count",
+            best, nw.inprocess_served_rps
         ));
     }
     if enforce && !report.streaming_stall_ok() {

@@ -1,0 +1,278 @@
+//! The socket-measured load generator: drives the serving fixture's
+//! query pool through a real `kvmatch-server` over TCP and reports
+//! client-observed throughput and latency per connection count.
+//!
+//! By default the server is spawned in-process on a loopback port over a
+//! catalog built from the exact fixture data, so the numbers isolate the
+//! wire stack (framing, socket round-trips, per-connection threads)
+//! against the in-process serving numbers of the same report. Setting
+//! `KVM_SERVER_ADDR` points the generator at an externally started
+//! `kvmatch-server` instead — that server must run with the same `KVM_*`
+//! scale knobs, because every response is still checked **bit-identical**
+//! against the sequential matcher's answer for the same request.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use kvmatch_client::{Client, ClientError};
+use kvmatch_core::exec::ExecutorConfig;
+use kvmatch_core::{Catalog, IndexBuildConfig, MemoryCatalogBackend};
+use kvmatch_proto::{code, Request};
+use kvmatch_serve::QueryService;
+use kvmatch_server::{Server, ServerOptions};
+
+use crate::report::{percentile_us, ReportEnv, ServingFixture};
+
+/// Connection counts the network table must cover.
+pub const NETWORK_CONNECTION_COUNTS: &[usize] = &[1, 2, 4];
+
+/// Requests pipelined per connection before the first collect.
+const PIPELINE_WINDOW: usize = 8;
+
+/// One connection-count row of the network section.
+#[derive(Clone, Debug)]
+pub struct NetworkRow {
+    /// Concurrent client connections (one pipelining thread each).
+    pub connections: usize,
+    /// Requests the generator intended to run end-to-end.
+    pub offered_requests: u64,
+    /// Requests answered with a bit-validated result.
+    pub served_requests: u64,
+    /// `REJECTED` error frames observed (admission backpressure crossing
+    /// the wire; every one was retried until served).
+    pub rejected_requests: u64,
+    /// Transport failures (connection drops mid-run; each forced a
+    /// reconnect and a replay of its pipeline window).
+    pub transport_errors: u64,
+    /// Wall milliseconds of the whole row.
+    pub wall_ms: f64,
+    /// `offered_requests / wall` — offered load, requests/s.
+    pub offered_rps: f64,
+    /// `served_requests / wall` — socket-measured throughput, requests/s.
+    pub served_rps: f64,
+    /// Median send→response latency measured at the socket, µs.
+    pub latency_p50_us: u64,
+    /// 95th-percentile socket latency, µs.
+    pub latency_p95_us: u64,
+    /// 99th-percentile socket latency, µs.
+    pub latency_p99_us: u64,
+    /// Worst socket latency, µs.
+    pub latency_max_us: u64,
+}
+
+/// The `network` section of the report.
+#[derive(Clone, Debug)]
+pub struct NetworkReport {
+    /// Address the load generator connected to.
+    pub addr: String,
+    /// True when `KVM_SERVER_ADDR` pointed at an external server (the
+    /// generator then measured a real process boundary, not loopback to
+    /// its own address space).
+    pub external_server: bool,
+    /// Serving workers behind the front door (the in-process spawn uses
+    /// the headline worker count; external servers report their env).
+    pub workers: usize,
+    /// The in-process serving section's served_rps at the same worker
+    /// count — the denominator of the network-overhead gate.
+    pub inprocess_served_rps: f64,
+    /// One row per connection count.
+    pub per_connection: Vec<NetworkRow>,
+}
+
+/// Runs the network workload: per connection count, that many client
+/// connections each pipeline the fixture's query pool over TCP and
+/// validate every answer bit-identically.
+pub(crate) fn run_network(
+    env: &ReportEnv,
+    fx: &ServingFixture,
+    inprocess_served_rps: f64,
+) -> NetworkReport {
+    let workers = env.workers.max(1);
+    match std::env::var("KVM_SERVER_ADDR") {
+        Ok(addr) => {
+            let per_connection = NETWORK_CONNECTION_COUNTS
+                .iter()
+                .map(|&connections| drive_connections(&addr, fx, connections))
+                .collect();
+            NetworkReport {
+                addr,
+                external_server: true,
+                workers,
+                inprocess_served_rps,
+                per_connection,
+            }
+        }
+        Err(_) => {
+            // In-process server over the fixture's own data — the same
+            // catalog construction as the in-process serving runs.
+            let mut catalog = Catalog::with_exec_config(
+                MemoryCatalogBackend,
+                ExecutorConfig { threads: env.threads, ..ExecutorConfig::default() },
+            );
+            for (id, xs) in fx.ids.iter().zip(&fx.data) {
+                catalog.create_series(*id, IndexBuildConfig::new(env.w)).unwrap();
+                catalog.append(*id, xs).unwrap();
+            }
+            catalog.materialize().expect("materialize network catalog");
+            let config = kvmatch_serve::ServeConfig {
+                queue_capacity: (env.submitters * 2).max(4),
+                max_batch: 16,
+                max_batch_delay: Duration::from_millis(1),
+                default_deadline: None,
+                workers,
+            };
+            let service = Arc::new(QueryService::spawn(catalog, config));
+            let server =
+                Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerOptions::default())
+                    .expect("bind loopback for the network workload");
+            let addr = server.local_addr().to_string();
+            let per_connection = NETWORK_CONNECTION_COUNTS
+                .iter()
+                .map(|&connections| drive_connections(&addr, fx, connections))
+                .collect();
+            server.shutdown();
+            if let Ok(service) = Arc::try_unwrap(service) {
+                service.shutdown();
+            }
+            NetworkReport {
+                addr,
+                external_server: false,
+                workers,
+                inprocess_served_rps,
+                per_connection,
+            }
+        }
+    }
+}
+
+/// One row: `connections` client threads, each cycling the pool
+/// [`ServingFixture::rounds`] times with a [`PIPELINE_WINDOW`]-deep
+/// in-flight window.
+fn drive_connections(addr: &str, fx: &ServingFixture, connections: usize) -> NetworkRow {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let per_conn = fx.pool.len() * fx.rounds;
+    let rejected = AtomicU64::new(0);
+    let transport = AtomicU64::new(0);
+    let t_row = Instant::now();
+    let latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|t| {
+                let rejected = &rejected;
+                let transport = &transport;
+                scope
+                    .spawn(move || drive_one_connection(addr, fx, t, per_conn, rejected, transport))
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("connection thread")).collect()
+    });
+    let wall_ms = t_row.elapsed().as_secs_f64() * 1e3;
+
+    let mut sorted = latencies.clone();
+    sorted.sort_unstable();
+    let offered = (connections * per_conn) as u64;
+    let served = latencies.len() as u64;
+    assert_eq!(served, offered, "every offered network request must be served");
+    NetworkRow {
+        connections,
+        offered_requests: offered,
+        served_requests: served,
+        rejected_requests: rejected.load(Ordering::Relaxed),
+        transport_errors: transport.load(Ordering::Relaxed),
+        wall_ms,
+        offered_rps: offered as f64 / (wall_ms / 1e3).max(1e-9),
+        served_rps: served as f64 / (wall_ms / 1e3).max(1e-9),
+        latency_p50_us: percentile_us(&sorted, 0.50),
+        latency_p95_us: percentile_us(&sorted, 0.95),
+        latency_p99_us: percentile_us(&sorted, 0.99),
+        latency_max_us: sorted.last().copied().unwrap_or(0),
+    }
+}
+
+fn elapsed_us(t0: Instant) -> u64 {
+    t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// One connection's whole run. Returns the socket-measured latency of
+/// every served request. A transport failure reconnects and replays the
+/// current window (its partial latencies are discarded, so served counts
+/// stay exact).
+fn drive_one_connection(
+    addr: &str,
+    fx: &ServingFixture,
+    t: usize,
+    per_conn: usize,
+    rejected: &std::sync::atomic::AtomicU64,
+    transport: &std::sync::atomic::AtomicU64,
+) -> Vec<u64> {
+    use std::sync::atomic::Ordering;
+
+    let picks: Vec<usize> = (0..per_conn).map(|r| (t * 11 + r) % fx.pool.len()).collect();
+    let mut client =
+        Client::connect_retry(addr, 40, Duration::from_millis(50)).expect("client connects");
+    let mut latencies = Vec::with_capacity(per_conn);
+    let mut at = 0;
+    while at < picks.len() {
+        let wave = &picks[at..(at + PIPELINE_WINDOW).min(picks.len())];
+        let mark = latencies.len();
+        match drive_wave(&client, fx, wave, &mut latencies, rejected) {
+            Ok(()) => at += wave.len(),
+            Err(_) => {
+                // Transport death: drop the partial window, reconnect,
+                // replay it in full.
+                transport.fetch_add(1, Ordering::Relaxed);
+                latencies.truncate(mark);
+                client = Client::connect_retry(addr, 40, Duration::from_millis(50))
+                    .expect("client reconnects");
+            }
+        }
+    }
+    latencies
+}
+
+/// Pipelines one window: all sends first, then collects (and validates)
+/// every response. `Err` means the connection is unusable.
+fn drive_wave(
+    client: &Client,
+    fx: &ServingFixture,
+    wave: &[usize],
+    latencies: &mut Vec<u64>,
+    rejected: &std::sync::atomic::AtomicU64,
+) -> Result<(), ClientError> {
+    use std::sync::atomic::Ordering;
+
+    let mut pending = Vec::with_capacity(wave.len());
+    for &which in wave {
+        let spec = fx.pool[which].spec.clone();
+        let t0 = Instant::now();
+        pending.push((which, t0, client.send(&Request::Query { spec, deadline_us: None })?));
+    }
+    for (which, t0, pending) in pending {
+        let mut outcome = pending.wait_query();
+        // Admission backpressure crosses the wire as a typed REJECTED
+        // frame; retry (synchronously) until served, like the in-process
+        // submitters do.
+        loop {
+            match outcome {
+                Ok(reply) => {
+                    assert_eq!(
+                        reply.results, fx.expected[which],
+                        "network workload: socket answer diverged from the sequential \
+                         matcher (pool #{which})"
+                    );
+                    latencies.push(elapsed_us(t0));
+                    break;
+                }
+                Err(ClientError::Server(err)) if err.code == code::REJECTED => {
+                    rejected.fetch_add(1, Ordering::Relaxed);
+                    outcome = client.query(fx.pool[which].spec.clone(), None);
+                }
+                Err(ClientError::Server(err)) => {
+                    panic!("network workload: unexpected server error {err:?}")
+                }
+                Err(transport) => return Err(transport),
+            }
+        }
+    }
+    Ok(())
+}

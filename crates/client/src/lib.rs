@@ -1,0 +1,317 @@
+//! Blocking TCP client for the KV-match serving protocol.
+//!
+//! [`Client`] owns one connection to a `kvmatch-server`. Requests are
+//! written under a writer lock and tagged with monotonically increasing
+//! request ids; a background reader thread demultiplexes response frames
+//! by id, so **any number of requests can be in flight on one connection**
+//! (pipelining) and threads can share a `Client` freely.
+//!
+//! Two calling styles:
+//!
+//! * Synchronous sugar — [`Client::query`], [`Client::append`],
+//!   [`Client::metrics`], [`Client::ping`]: send one request, block for
+//!   its response.
+//! * Pipelined — [`Client::send`] returns a [`Pending`] immediately;
+//!   [`Pending::wait`] blocks later. Issuing a window of sends before the
+//!   first wait keeps the server's scheduler fed across the network's
+//!   round-trip latency.
+//!
+//! Errors are typed: transport failures are [`ClientError::Io`] /
+//! [`ClientError::Disconnected`], protocol violations are
+//! [`ClientError::Proto`], and server-reported failures surface as
+//! [`ClientError::Server`] with the stable numeric code table from
+//! [`kvmatch_proto::code`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use kvmatch_core::{MatchResult, MatchStats, QuerySpec, SeriesId};
+use kvmatch_proto as proto;
+use kvmatch_proto::{ProtoError, Request, Response, WireError, WireMetrics};
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, write, or the reader thread died).
+    Io(std::io::Error),
+    /// The connection closed (or was already closed) before the response
+    /// arrived.
+    Disconnected,
+    /// The server sent bytes that do not parse as protocol frames.
+    Proto(ProtoError),
+    /// The server answered with an error frame; `code` is one of the
+    /// [`proto::code`] constants.
+    Server(WireError),
+    /// The server answered with a response of the wrong kind for the
+    /// request (e.g. `Pong` to a query) — a server bug, surfaced loudly.
+    UnexpectedResponse(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport failure: {e}"),
+            ClientError::Disconnected => write!(f, "connection closed before the response"),
+            ClientError::Proto(e) => write!(f, "protocol violation: {e}"),
+            ClientError::Server(e) => write!(f, "server error {}: {}", e.code, e.detail),
+            ClientError::UnexpectedResponse(what) => {
+                write!(f, "unexpected response kind: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<ProtoError> for ClientError {
+    fn from(err: ProtoError) -> Self {
+        match err {
+            ProtoError::Io(e) => ClientError::Io(e),
+            other => ClientError::Proto(other),
+        }
+    }
+}
+
+/// A successful query answer, as delivered over the wire.
+#[derive(Clone, Debug)]
+pub struct QueryReply {
+    /// Qualified subsequences (offset order for range, nearest-first for
+    /// top-k) — bit-identical to the in-process answer.
+    pub results: Vec<MatchResult>,
+    /// The executor's per-query statistics.
+    pub stats: MatchStats,
+    /// Submit→response latency measured inside the service, µs.
+    pub latency_us: u64,
+}
+
+/// Demux state shared between callers and the reader thread.
+struct Demux {
+    /// `request_id → slot`. A `None` slot means "awaited, not answered";
+    /// the reader fills it and notifies.
+    pending: Mutex<DemuxState>,
+    arrived: Condvar,
+}
+
+struct DemuxState {
+    slots: HashMap<u64, Option<Response>>,
+    /// Set once the reader exits; pending waits fail fast from then on.
+    dead: bool,
+}
+
+impl Demux {
+    fn fail_all(&self) {
+        let mut st = self.pending.lock().expect("demux lock poisoned");
+        st.dead = true;
+        drop(st);
+        self.arrived.notify_all();
+    }
+}
+
+/// One connection to a `kvmatch-server`.
+pub struct Client {
+    writer: Mutex<BufWriter<TcpStream>>,
+    demux: Arc<Demux>,
+    next_id: AtomicU64,
+    reader: Option<JoinHandle<()>>,
+    stream: TcpStream,
+}
+
+/// An in-flight request: wait for exactly one response.
+#[must_use = "an unawaited Pending leaks its demux slot until the connection closes"]
+pub struct Pending {
+    demux: Arc<Demux>,
+    id: u64,
+}
+
+impl Client {
+    /// Connects once.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
+        Self::from_stream(stream)
+    }
+
+    /// Connects with retries: `attempts` tries, `backoff` sleep between
+    /// them (the first try is immediate). Covers the races of a server
+    /// that is still binding its listener.
+    pub fn connect_retry<A: ToSocketAddrs + Clone>(
+        addr: A,
+        attempts: usize,
+        backoff: Duration,
+    ) -> Result<Self, ClientError> {
+        let mut last = None;
+        for attempt in 0..attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+            }
+            match Self::connect(addr.clone()) {
+                Ok(client) => return Ok(client),
+                Err(err) => last = Some(err),
+            }
+        }
+        Err(last.unwrap_or(ClientError::Disconnected))
+    }
+
+    fn from_stream(stream: TcpStream) -> Result<Self, ClientError> {
+        stream.set_nodelay(true).map_err(ClientError::Io)?;
+        let read_half = stream.try_clone().map_err(ClientError::Io)?;
+        let demux = Arc::new(Demux {
+            pending: Mutex::new(DemuxState { slots: HashMap::new(), dead: false }),
+            arrived: Condvar::new(),
+        });
+        let reader_demux = Arc::clone(&demux);
+        let reader = std::thread::Builder::new()
+            .name("kvmatch-client-reader".into())
+            .spawn(move || reader_loop(read_half, reader_demux))
+            .map_err(ClientError::Io)?;
+        Ok(Self {
+            writer: Mutex::new(BufWriter::new(stream.try_clone().map_err(ClientError::Io)?)),
+            demux,
+            next_id: AtomicU64::new(1),
+            reader: Some(reader),
+            stream,
+        })
+    }
+
+    /// Sends a request without waiting — the pipelined entry point. The
+    /// returned [`Pending`] resolves to this request's response, matched
+    /// by id regardless of arrival order.
+    pub fn send(&self, request: &Request) -> Result<Pending, ClientError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // Register the slot BEFORE the bytes leave: a response cannot
+        // race its own registration.
+        {
+            let mut st = self.demux.pending.lock().expect("demux lock poisoned");
+            if st.dead {
+                return Err(ClientError::Disconnected);
+            }
+            st.slots.insert(id, None);
+        }
+        let frame = request.encode(id);
+        let mut w = self.writer.lock().expect("writer lock poisoned");
+        if let Err(e) = w.write_all(&frame).and_then(|_| w.flush()) {
+            let mut st = self.demux.pending.lock().expect("demux lock poisoned");
+            st.slots.remove(&id);
+            return Err(ClientError::Io(e));
+        }
+        Ok(Pending { demux: Arc::clone(&self.demux), id })
+    }
+
+    /// Executes one query (range or top-k per `spec.limit`) and blocks
+    /// for the answer. `deadline_us` is the serving-side deadline.
+    pub fn query(
+        &self,
+        spec: QuerySpec,
+        deadline_us: Option<u64>,
+    ) -> Result<QueryReply, ClientError> {
+        self.send(&Request::Query { spec, deadline_us })?.wait_query()
+    }
+
+    /// Appends points to a series and blocks until they are applied.
+    pub fn append(&self, series: SeriesId, points: Vec<f64>) -> Result<(), ClientError> {
+        match self.send(&Request::Append { series, points })?.wait()? {
+            Response::Appended => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::UnexpectedResponse("append")),
+        }
+    }
+
+    /// Fetches the server's serving + network metrics snapshot.
+    pub fn metrics(&self) -> Result<WireMetrics, ClientError> {
+        match self.send(&Request::Metrics)?.wait()? {
+            Response::Metrics(m) => Ok(m),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::UnexpectedResponse("metrics")),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&self) -> Result<(), ClientError> {
+        match self.send(&Request::Ping)?.wait()? {
+            Response::Pong => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::UnexpectedResponse("ping")),
+        }
+    }
+
+    /// Asks the server to drain and exit. The acknowledgement arrives
+    /// before the drain completes.
+    pub fn shutdown_server(&self) -> Result<(), ClientError> {
+        match self.send(&Request::Shutdown)?.wait()? {
+            Response::ShutdownStarted => Ok(()),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::UnexpectedResponse("shutdown")),
+        }
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        // Shut the socket down so the reader thread's blocking read
+        // returns, then reap it.
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        self.demux.fail_all();
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
+    }
+}
+
+impl Pending {
+    /// Blocks until this request's response arrives.
+    pub fn wait(self) -> Result<Response, ClientError> {
+        let mut st = self.demux.pending.lock().expect("demux lock poisoned");
+        loop {
+            if let Some(Some(_)) = st.slots.get(&self.id) {
+                return Ok(st.slots.remove(&self.id).flatten().expect("slot was filled"));
+            }
+            if st.dead {
+                st.slots.remove(&self.id);
+                return Err(ClientError::Disconnected);
+            }
+            st = self.demux.arrived.wait(st).expect("demux lock poisoned");
+        }
+    }
+
+    /// Blocks for the response and decodes it as a query answer.
+    pub fn wait_query(self) -> Result<QueryReply, ClientError> {
+        match self.wait()? {
+            Response::Query { results, stats, latency_us } => {
+                Ok(QueryReply { results, stats, latency_us })
+            }
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::UnexpectedResponse("query")),
+        }
+    }
+}
+
+/// The reader thread: decode response frames, fill demux slots by id.
+/// Any transport or protocol failure (or clean EOF) kills the connection:
+/// every pending and future wait fails with [`ClientError::Disconnected`].
+fn reader_loop(stream: TcpStream, demux: Arc<Demux>) {
+    let mut reader = BufReader::new(stream);
+    loop {
+        match proto::read_response(&mut reader) {
+            Ok(Some(frame)) => {
+                let mut st = demux.pending.lock().expect("demux lock poisoned");
+                // An id nobody registered (server bug or a slot dropped
+                // by a failed send) is discarded; correctness rests on
+                // registered ids only.
+                if let Some(slot) = st.slots.get_mut(&frame.request_id) {
+                    *slot = Some(frame.message);
+                    drop(st);
+                    demux.arrived.notify_all();
+                }
+            }
+            Ok(None) | Err(_) => {
+                demux.fail_all();
+                return;
+            }
+        }
+    }
+}

@@ -55,7 +55,7 @@ pub struct Constraint {
 /// default it to [`SeriesId::DEFAULT`], which is what single-series
 /// matchers and executors serve. Use [`QuerySpec::with_series`] to target
 /// a catalog member.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct QuerySpec {
     /// The series this query runs against.
     pub series: SeriesId,

@@ -1,0 +1,346 @@
+//! Protocol codec guarantees: encode→decode identity for every `Request` /
+//! `Response` variant (including limit/deadline/error payloads), and typed —
+//! never panicking — rejection of malformed inputs.
+//!
+//! Round trips are asserted at the byte level (`encode(decode(encode(x)))
+//! == encode(x)`): byte equality is exactly the bit-identity the bench
+//! harness relies on, and it stays meaningful for NaN distances where
+//! `PartialEq` would lie.
+
+use kvmatch_core::{Constraint, MatchResult, MatchStats, Measure, QuerySpec, SeriesId};
+use kvmatch_distance::LpExponent;
+use kvmatch_proto::{
+    code, decode_request, decode_response, read_frame, ProtoError, Request, Response, WireError,
+    WireMetrics, WireRejected, MAX_FRAME, REJECT_KIND_BACKPRESSURE, REJECT_KIND_SHUTDOWN, VERSION,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn any_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        (-1.0e9..1.0e9).prop_map(|x: f64| x),
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::NAN),
+        Just(f64::from_bits(0x7ff8_dead_beef_0001)),
+    ]
+}
+
+fn measure_strat() -> impl Strategy<Value = Measure> {
+    prop_oneof![
+        Just(Measure::Ed),
+        (0usize..64).prop_map(|rho| Measure::Dtw { rho }),
+        (1u32..9).prop_map(|p| Measure::Lp { p: LpExponent::Finite(p) }),
+        Just(Measure::Lp { p: LpExponent::Infinity }),
+    ]
+}
+
+fn spec_strat() -> impl Strategy<Value = QuerySpec> {
+    (
+        0u64..1_000,
+        vec(any_f64(), 0..40),
+        any_f64(),
+        measure_strat(),
+        prop_oneof![
+            Just(None),
+            ((1.0..8.0), (0.0..16.0)).prop_map(|(alpha, beta)| Some(Constraint { alpha, beta })),
+        ],
+        prop_oneof![Just(None), (1u64..1_000).prop_map(|k| Some(k as usize))],
+    )
+        .prop_map(|(series, query, epsilon, measure, constraint, limit)| QuerySpec {
+            series: SeriesId::new(series),
+            query,
+            epsilon,
+            measure,
+            constraint,
+            limit,
+        })
+}
+
+fn request_strat() -> impl Strategy<Value = Request> {
+    prop_oneof![
+        (spec_strat(), prop_oneof![Just(None), (0u64..10_000_000).prop_map(Some)])
+            .prop_map(|(spec, deadline_us)| Request::Query { spec, deadline_us }),
+        (0u64..1_000, vec(any_f64(), 0..50))
+            .prop_map(|(s, points)| Request::Append { series: SeriesId::new(s), points }),
+        Just(Request::Metrics),
+        Just(Request::Ping),
+        Just(Request::Shutdown),
+    ]
+}
+
+fn stats_strat() -> impl Strategy<Value = MatchStats> {
+    (0u64..1 << 40).prop_map(|x| {
+        // One generator seed fans out deterministically over the 16 fields —
+        // full per-field independence buys nothing for a fixed-layout codec.
+        let mut s = MatchStats::default();
+        let fields: [&mut u64; 16] = [
+            &mut s.candidates,
+            &mut s.candidate_intervals,
+            &mut s.index_accesses,
+            &mut s.rows_scanned,
+            &mut s.rows_from_cache,
+            &mut s.intervals_collected,
+            &mut s.probe_cache_hits,
+            &mut s.cache_evictions,
+            &mut s.points_fetched,
+            &mut s.pruned_constraint,
+            &mut s.pruned_lb_kim,
+            &mut s.pruned_lb_keogh,
+            &mut s.full_distance_computations,
+            &mut s.matches,
+            &mut s.phase1_nanos,
+            &mut s.phase2_nanos,
+        ];
+        for (i, f) in fields.into_iter().enumerate() {
+            *f = x.rotate_left(i as u32 * 3) ^ (i as u64);
+        }
+        s
+    })
+}
+
+fn metrics_strat() -> impl Strategy<Value = WireMetrics> {
+    (0u64..1 << 40, any_f64()).prop_map(|(x, occ)| WireMetrics {
+        submitted: x,
+        rejected: x.rotate_left(3),
+        expired: x.rotate_left(5),
+        expired_exec: x.rotate_left(7),
+        completed: x.rotate_left(11),
+        failed: x.rotate_left(13),
+        appends: x.rotate_left(17),
+        materialize_failures: x.rotate_left(19),
+        batches: x.rotate_left(23),
+        batched_queries: x.rotate_left(29),
+        avg_batch_occupancy: occ,
+        max_batch_occupancy: x.rotate_left(31),
+        queue_depth: x.rotate_left(33),
+        queue_depth_peak: x.rotate_left(35),
+        ingest_depth: x.rotate_left(37),
+        ingest_depth_peak: x.rotate_left(39),
+        workers: x & 0xF,
+        latency_p50_us: x.rotate_left(41),
+        latency_p95_us: x.rotate_left(43),
+        latency_p99_us: x.rotate_left(45),
+        latency_max_us: x.rotate_left(47),
+        net_connections_accepted: x.rotate_left(49),
+        net_connections_active: x & 0xFF,
+        net_frames_in: x.rotate_left(51),
+        net_frames_out: x.rotate_left(53),
+        net_bytes_in: x.rotate_left(55),
+        net_bytes_out: x.rotate_left(57),
+        net_protocol_errors: x.rotate_left(59),
+    })
+}
+
+fn error_strat() -> impl Strategy<Value = WireError> {
+    (
+        prop_oneof![
+            Just(code::REJECTED),
+            Just(code::DEADLINE_EXCEEDED),
+            Just(code::SHUTTING_DOWN),
+            Just(code::MATERIALIZE_FAILED),
+            Just(code::INVALID_QUERY),
+            Just(code::QUERY_TOO_SHORT),
+            Just(code::UNKNOWN_SERIES),
+            Just(code::UNMATERIALIZED),
+            Just(code::STORAGE),
+            Just(code::CORRUPT_INDEX),
+            Just(code::MALFORMED_FRAME),
+            Just(code::UNSUPPORTED_VERSION),
+            Just(code::UNKNOWN_OPCODE),
+            Just(code::FRAME_TOO_LARGE),
+        ],
+        vec(32u8..127, 0..24),
+        prop_oneof![
+            Just(None),
+            (
+                prop_oneof![Just(REJECT_KIND_BACKPRESSURE), Just(REJECT_KIND_SHUTDOWN)],
+                0u64..4_096,
+                0u64..4_096
+            )
+                .prop_map(|(kind, capacity, depth)| Some(WireRejected {
+                    kind,
+                    capacity,
+                    depth
+                })),
+        ],
+    )
+        .prop_map(|(code, detail, rejected)| WireError {
+            code,
+            detail: String::from_utf8(detail).unwrap(),
+            rejected,
+        })
+}
+
+fn response_strat() -> impl Strategy<Value = Response> {
+    prop_oneof![
+        (vec((0u64..1 << 32, any_f64()), 0..30), stats_strat(), 0u64..10_000_000).prop_map(
+            |(rs, stats, latency_us)| Response::Query {
+                results: rs
+                    .into_iter()
+                    .map(|(offset, distance)| MatchResult { offset: offset as usize, distance })
+                    .collect(),
+                stats,
+                latency_us,
+            }
+        ),
+        Just(Response::Appended),
+        metrics_strat().prop_map(Response::Metrics),
+        Just(Response::Pong),
+        Just(Response::ShutdownStarted),
+        error_strat().prop_map(Response::Error),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// Byte-level encode→decode→encode identity for requests.
+    #[test]
+    fn request_round_trip((req, id) in (request_strat(), 0u64..u64::MAX)) {
+        let encoded = req.encode(id);
+        let frame = decode_request(&encoded[4..]).expect("valid frame must decode");
+        prop_assert_eq!(frame.request_id, id);
+        let reencoded = frame.message.encode(id);
+        prop_assert_eq!(&encoded, &reencoded);
+        // Structural equality holds too whenever no NaN is involved.
+        let has_nan = match &req {
+            Request::Query { spec, .. } => {
+                spec.query.iter().any(|x| x.is_nan()) || spec.epsilon.is_nan()
+            }
+            Request::Append { points, .. } => points.iter().any(|x| x.is_nan()),
+            _ => false,
+        };
+        if !has_nan {
+            prop_assert_eq!(frame.message, req);
+        }
+    }
+
+    /// Byte-level encode→decode→encode identity for responses.
+    #[test]
+    fn response_round_trip((resp, id) in (response_strat(), 0u64..u64::MAX)) {
+        let encoded = resp.encode(id);
+        let frame = decode_response(&encoded[4..]).expect("valid frame must decode");
+        prop_assert_eq!(frame.request_id, id);
+        let reencoded = frame.message.encode(id);
+        prop_assert_eq!(&encoded, &reencoded);
+    }
+
+    /// Every truncation of a valid request payload yields a typed error —
+    /// never a panic, never a bogus success.
+    #[test]
+    fn truncated_request_is_typed_error(req in request_strat()) {
+        let encoded = req.encode(9);
+        let payload = &encoded[4..];
+        for cut in 0..payload.len() {
+            match decode_request(&payload[..cut]) {
+                Err(_) => {}
+                Ok(frame) => {
+                    // A shorter prefix that still decodes must not silently
+                    // drop bytes; the codec rejects that as TrailingBytes,
+                    // so reaching here means the cut coincided with a valid
+                    // shorter frame — impossible for a fixed header + body.
+                    prop_assert!(false, "truncated payload decoded: {:?}", frame.message);
+                }
+            }
+        }
+    }
+
+    /// Arbitrary garbage never panics the response decoder.
+    #[test]
+    fn garbage_never_panics(bytes in vec(0u8..=255, 0..200)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_response(&bytes);
+    }
+}
+
+#[test]
+fn truncated_stream_is_truncated_error() {
+    let encoded = Request::Ping.encode(3);
+    for cut in 1..encoded.len() {
+        let mut stream = &encoded[..cut];
+        match read_frame(&mut stream) {
+            Err(ProtoError::Truncated) => {}
+            other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+    bytes.extend_from_slice(&[0u8; 16]);
+    let mut stream = bytes.as_slice();
+    match read_frame(&mut stream) {
+        Err(ProtoError::FrameTooLarge(len)) => assert_eq!(len, MAX_FRAME + 1),
+        other => panic!("expected FrameTooLarge, got {other:?}"),
+    }
+}
+
+#[test]
+fn declared_length_below_header_is_malformed() {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&3u32.to_le_bytes());
+    bytes.extend_from_slice(&[VERSION, 0x01, 0x00]);
+    let mut stream = bytes.as_slice();
+    assert!(matches!(read_frame(&mut stream), Err(ProtoError::Malformed(_))));
+}
+
+#[test]
+fn unknown_version_byte_is_rejected() {
+    let mut payload = Request::Ping.encode(1)[4..].to_vec();
+    payload[0] = 42;
+    match decode_request(&payload) {
+        Err(ProtoError::UnknownVersion(42)) => {}
+        other => panic!("expected UnknownVersion(42), got {other:?}"),
+    }
+    match decode_response(&payload) {
+        Err(ProtoError::UnknownVersion(42)) => {}
+        other => panic!("expected UnknownVersion(42), got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_opcode_is_rejected() {
+    let mut payload = Request::Ping.encode(1)[4..].to_vec();
+    payload[1] = 0x7E;
+    match decode_request(&payload) {
+        Err(ProtoError::UnknownOpcode(0x7E)) => {}
+        other => panic!("expected UnknownOpcode, got {other:?}"),
+    }
+    // Response decoding rejects request opcodes and vice versa.
+    match decode_response(&Request::Ping.encode(1)[4..]) {
+        Err(ProtoError::UnknownOpcode(0x04)) => {}
+        other => panic!("expected UnknownOpcode(0x04), got {other:?}"),
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut payload = Request::Metrics.encode(1)[4..].to_vec();
+    payload.push(0xAB);
+    assert!(matches!(decode_request(&payload), Err(ProtoError::TrailingBytes)));
+}
+
+#[test]
+fn error_code_table_is_stable() {
+    // The wire contract: these numbers never change. A failure here means
+    // an incompatible renumbering, not a bug in the test.
+    assert_eq!(code::REJECTED, 1);
+    assert_eq!(code::DEADLINE_EXCEEDED, 2);
+    assert_eq!(code::SHUTTING_DOWN, 3);
+    assert_eq!(code::MATERIALIZE_FAILED, 4);
+    assert_eq!(code::INVALID_QUERY, 10);
+    assert_eq!(code::QUERY_TOO_SHORT, 11);
+    assert_eq!(code::UNKNOWN_SERIES, 12);
+    assert_eq!(code::UNMATERIALIZED, 13);
+    assert_eq!(code::STORAGE, 14);
+    assert_eq!(code::CORRUPT_INDEX, 15);
+    assert_eq!(code::MALFORMED_FRAME, 30);
+    assert_eq!(code::UNSUPPORTED_VERSION, 31);
+    assert_eq!(code::UNKNOWN_OPCODE, 32);
+    assert_eq!(code::FRAME_TOO_LARGE, 33);
+}

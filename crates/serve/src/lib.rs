@@ -65,8 +65,8 @@
 //! // Top-3 nearest subsequences to a pattern, plus a plain range query.
 //! let topk = QueryRequest::top_k(QuerySpec::rsm_ed(xs[300..500].to_vec(), 5.0).with_series(id), 3);
 //! let range = QueryRequest::range(QuerySpec::rsm_ed(xs[900..1100].to_vec(), 1e-6).with_series(id));
-//! let topk = service.submit(topk).expect_accepted();
-//! let range = service.submit(range).expect_accepted();
+//! let topk = service.submit(topk).into_result().expect("queue has room");
+//! let range = service.submit(range).into_result().expect("queue has room");
 //!
 //! let response = topk.wait().unwrap();
 //! assert_eq!(response.results[0].offset, 300, "nearest-first: the self-match leads");
@@ -89,9 +89,10 @@
 pub mod metrics;
 pub mod service;
 pub mod sync;
+pub mod wire;
 
 pub use metrics::{LatencyHistogram, Metrics, MetricsSnapshot, WorkerSnapshot};
 pub use service::{
-    AppendHandle, QueryKind, QueryRequest, QueryResponse, QueryService, RejectedAppend,
-    ResponseHandle, ServeConfig, ServeError, Submit,
+    AppendHandle, QueryKind, QueryRequest, QueryResponse, QueryService, RejectKind, Rejected,
+    RejectedAppend, RejectedQuery, ResponseHandle, ServeConfig, ServeError, Submit,
 };

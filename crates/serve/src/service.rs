@@ -156,12 +156,50 @@ pub struct QueryResponse {
     pub latency: Duration,
 }
 
+/// Why admission control turned a command away. Shared by query and
+/// append rejections, and by the wire protocol's rejection payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RejectKind {
+    /// The bounded submission queue stayed full for the whole wait —
+    /// explicit backpressure; retrying after a backoff is expected.
+    Backpressure,
+    /// The service is shutting down; retrying cannot succeed.
+    ShuttingDown,
+}
+
+/// One admission rejection, with the queue state that caused it. The
+/// same shape covers queries ([`RejectedQuery`]), appends
+/// ([`RejectedAppend`]) and the wire protocol's `REJECTED` error
+/// payload, so every surface reports backpressure identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rejected {
+    /// Backpressure or shutdown.
+    pub kind: RejectKind,
+    /// The configured queue capacity
+    /// ([`ServeConfig::queue_capacity`]).
+    pub capacity: usize,
+    /// Queue depth observed at rejection time (≈ `capacity` for
+    /// backpressure; whatever remained for shutdown).
+    pub depth: usize,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            RejectKind::Backpressure => {
+                write!(f, "queue full ({}/{} queued)", self.depth, self.capacity)
+            }
+            RejectKind::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
 /// Serving-layer failures, delivered through the response channel.
 #[derive(Debug)]
 pub enum ServeError {
     /// Admission control turned the command away (queue full for the
-    /// whole wait).
-    Rejected,
+    /// whole wait, or the service is closing).
+    Rejected(Rejected),
     /// The request's deadline passed — before dispatch (the queueing
     /// bound) or during execution (checked again before fan-back).
     DeadlineExceeded,
@@ -180,7 +218,7 @@ pub enum ServeError {
 impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ServeError::Rejected => write!(f, "rejected by admission control (queue full)"),
+            ServeError::Rejected(r) => write!(f, "rejected by admission control: {r}"),
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServeError::ShutDown => write!(f, "service shut down"),
             ServeError::Query(e) => write!(f, "query failed: {e}"),
@@ -200,28 +238,46 @@ impl std::error::Error for ServeError {
     }
 }
 
+/// A turned-away query submission: the admission verdict plus the
+/// caller's request, handed back untouched so it can be retried or shed.
+#[derive(Debug)]
+pub struct RejectedQuery {
+    /// Why, and in what queue state.
+    pub rejected: Rejected,
+    /// The request, returned unconsumed.
+    pub request: QueryRequest,
+}
+
+impl RejectedQuery {
+    /// True when retrying after a backoff can succeed (backpressure);
+    /// false when the service is shutting down.
+    pub fn is_retryable(&self) -> bool {
+        self.rejected.kind == RejectKind::Backpressure
+    }
+}
+
 /// Admission-control outcome of a submission.
 #[must_use = "a rejected submission must be handled (retry, shed, or back off)"]
 pub enum Submit {
     /// Admitted — await the response on the handle.
     Accepted(ResponseHandle),
-    /// Bounded queue full: explicit backpressure. The request is handed
-    /// back untouched for retry/shedding.
-    Rejected(QueryRequest),
-    /// The service is shutting down; the request is handed back.
-    Closed(QueryRequest),
+    /// Not admitted — backpressure or shutdown, distinguished by
+    /// [`RejectedQuery::rejected`]`.kind`. The request rides back inside.
+    Rejected(RejectedQuery),
 }
 
 impl Submit {
-    /// Unwraps the accepted handle.
-    ///
-    /// # Panics
-    /// Panics when the submission was rejected or the service closed.
-    pub fn expect_accepted(self) -> ResponseHandle {
+    /// Converts the outcome into a `Result`, the non-panicking
+    /// replacement for the `expect_accepted()` pattern: callers either
+    /// propagate the rejection or match on
+    /// [`RejectedQuery::is_retryable`] to retry.
+    // The Err variant is deliberately large: the unconsumed request
+    // rides back by value so a retry needs no clone.
+    #[allow(clippy::result_large_err)]
+    pub fn into_result(self) -> Result<ResponseHandle, RejectedQuery> {
         match self {
-            Submit::Accepted(h) => h,
-            Submit::Rejected(_) => panic!("submission rejected (queue full)"),
-            Submit::Closed(_) => panic!("service closed"),
+            Submit::Accepted(h) => Ok(h),
+            Submit::Rejected(r) => Err(r),
         }
     }
 
@@ -242,13 +298,27 @@ impl ResponseHandle {
         self.rx.recv().unwrap_or(Err(ServeError::ShutDown))
     }
 
-    /// Blocks up to `timeout`; `None` means "not ready yet" (the handle
-    /// stays usable).
-    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<QueryResponse, ServeError>> {
+    /// Blocks up to `timeout`. Consumes the handle like [`wait`] does —
+    /// the two waiting APIs share one ownership story — and hands it
+    /// back as the `Err` arm when the response has not arrived yet, so
+    /// "not ready" keeps the handle usable without `&self` aliasing:
+    ///
+    /// ```ignore
+    /// handle = match handle.wait_timeout(tick) {
+    ///     Ok(response) => break response,
+    ///     Err(still_waiting) => still_waiting, // keep polling
+    /// };
+    /// ```
+    ///
+    /// [`wait`]: ResponseHandle::wait
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<QueryResponse, ServeError>, ResponseHandle> {
         match self.rx.recv_timeout(timeout) {
-            Ok(r) => Some(r),
-            Err(oneshot::RecvTimeoutError::Timeout) => None,
-            Err(oneshot::RecvTimeoutError::Disconnected) => Some(Err(ServeError::ShutDown)),
+            Ok(r) => Ok(r),
+            Err(oneshot::RecvTimeoutError::Timeout) => Err(self),
+            Err(oneshot::RecvTimeoutError::Disconnected) => Ok(Err(ServeError::ShutDown)),
         }
     }
 }
@@ -266,16 +336,22 @@ impl AppendHandle {
     }
 }
 
-/// A turned-away append: the error plus the caller's points, handed back
-/// untouched so they can be retried — the same contract as
-/// [`Submit::Rejected`] for queries.
+/// A turned-away append: the admission verdict plus the caller's points,
+/// handed back untouched so they can be retried — the same [`Rejected`]
+/// shape as [`RejectedQuery`] carries for queries.
 #[derive(Debug)]
 pub struct RejectedAppend {
-    /// Why the append was not admitted ([`ServeError::Rejected`] or
-    /// [`ServeError::ShutDown`]).
-    pub error: ServeError,
+    /// Why, and in what queue state.
+    pub rejected: Rejected,
     /// The points, returned unconsumed.
     pub points: Vec<f64>,
+}
+
+impl RejectedAppend {
+    /// True when retrying after a backoff can succeed (backpressure).
+    pub fn is_retryable(&self) -> bool {
+        self.rejected.kind == RejectKind::Backpressure
+    }
 }
 
 /// One queued command.
@@ -438,9 +514,24 @@ where
             }
             Err(PushError::Full(cmd)) => {
                 self.shared.metrics.rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                Submit::Rejected(recover_request(cmd))
+                Submit::Rejected(RejectedQuery {
+                    rejected: self.rejection(RejectKind::Backpressure),
+                    request: recover_request(cmd),
+                })
             }
-            Err(PushError::Closed(cmd)) => Submit::Closed(recover_request(cmd)),
+            Err(PushError::Closed(cmd)) => Submit::Rejected(RejectedQuery {
+                rejected: self.rejection(RejectKind::ShuttingDown),
+                request: recover_request(cmd),
+            }),
+        }
+    }
+
+    /// Stamps a rejection with the queue state observed right now.
+    fn rejection(&self, kind: RejectKind) -> Rejected {
+        Rejected {
+            kind,
+            capacity: self.shared.config.queue_capacity,
+            depth: self.shared.queue.len(),
         }
     }
 
@@ -462,10 +553,10 @@ where
             Ok(()) => Ok(AppendHandle { rx }),
             Err(PushError::Full(Command::Append { points, .. })) => {
                 self.shared.metrics.rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                Err(RejectedAppend { error: ServeError::Rejected, points })
+                Err(RejectedAppend { rejected: self.rejection(RejectKind::Backpressure), points })
             }
             Err(PushError::Closed(Command::Append { points, .. })) => {
-                Err(RejectedAppend { error: ServeError::ShutDown, points })
+                Err(RejectedAppend { rejected: self.rejection(RejectKind::ShuttingDown), points })
             }
             Err(PushError::Full(_) | PushError::Closed(_)) => {
                 unreachable!("append pushes come back as appends")

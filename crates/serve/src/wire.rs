@@ -1,0 +1,123 @@
+//! Conversions between the serving layer's types and their
+//! [`kvmatch_proto`] wire forms.
+//!
+//! The protocol crate stays transport- *and* service-independent (it only
+//! knows `kvmatch-core`), so the mapping between `ServeError` and stable
+//! wire codes, between [`Rejected`] and the `REJECTED` payload, and
+//! between [`MetricsSnapshot`] and the metrics frame lives here — next to
+//! the types whose evolution would break it.
+
+use std::time::Duration;
+
+use kvmatch_proto as proto;
+
+use crate::metrics::MetricsSnapshot;
+use crate::service::{QueryRequest, QueryResponse, RejectKind, Rejected, ServeError};
+
+/// Builds the in-process request a wire `Request::Query` asks for.
+pub fn query_request(spec: kvmatch_core::QuerySpec, deadline_us: Option<u64>) -> QueryRequest {
+    QueryRequest { spec, deadline: deadline_us.map(Duration::from_micros) }
+}
+
+/// Maps a rejection to its wire payload.
+pub fn wire_rejected(r: &Rejected) -> proto::WireRejected {
+    proto::WireRejected {
+        kind: match r.kind {
+            RejectKind::Backpressure => proto::REJECT_KIND_BACKPRESSURE,
+            RejectKind::ShuttingDown => proto::REJECT_KIND_SHUTDOWN,
+        },
+        capacity: r.capacity as u64,
+        depth: r.depth as u64,
+    }
+}
+
+/// Maps a serving-layer failure to its wire error (stable code + detail;
+/// rejections carry their queue-state payload).
+pub fn wire_error(err: &ServeError) -> proto::WireError {
+    let (code, rejected) = match err {
+        ServeError::Rejected(r) => (proto::code::REJECTED, Some(wire_rejected(r))),
+        ServeError::DeadlineExceeded => (proto::code::DEADLINE_EXCEEDED, None),
+        ServeError::ShutDown => (proto::code::SHUTTING_DOWN, None),
+        ServeError::Query(core) => (proto::core_error_code(core), None),
+        ServeError::Materialize(_) => (proto::code::MATERIALIZE_FAILED, None),
+    };
+    proto::WireError { code, detail: err.to_string(), rejected }
+}
+
+/// Maps a served answer to its wire response.
+pub fn wire_response(resp: &QueryResponse) -> proto::Response {
+    proto::Response::Query {
+        results: resp.results.clone(),
+        stats: resp.stats,
+        latency_us: resp.latency.as_micros() as u64,
+    }
+}
+
+/// Maps a metrics snapshot to the wire metrics frame. The `net_*` fields
+/// are zero here — the serving layer does not know about sockets; the
+/// server folds its connection accounting in on top.
+pub fn wire_metrics(m: &MetricsSnapshot) -> proto::WireMetrics {
+    proto::WireMetrics {
+        submitted: m.submitted,
+        rejected: m.rejected,
+        expired: m.expired,
+        expired_exec: m.expired_exec,
+        completed: m.completed,
+        failed: m.failed,
+        appends: m.appends,
+        materialize_failures: m.materialize_failures,
+        batches: m.batches,
+        batched_queries: m.batched_queries,
+        avg_batch_occupancy: m.avg_batch_occupancy,
+        max_batch_occupancy: m.max_batch_occupancy,
+        queue_depth: m.queue_depth as u64,
+        queue_depth_peak: m.queue_depth_peak,
+        ingest_depth: m.ingest_depth as u64,
+        ingest_depth_peak: m.ingest_depth_peak,
+        workers: m.workers.len() as u64,
+        latency_p50_us: m.latency_p50_us,
+        latency_p95_us: m.latency_p95_us,
+        latency_p99_us: m.latency_p99_us,
+        latency_max_us: m.latency_max_us,
+        ..proto::WireMetrics::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejection_payload_survives_the_mapping() {
+        let r = Rejected { kind: RejectKind::Backpressure, capacity: 256, depth: 256 };
+        let err = wire_error(&ServeError::Rejected(r));
+        assert_eq!(err.code, proto::code::REJECTED);
+        let payload = err.rejected.expect("rejections carry their payload");
+        assert_eq!(payload.kind, proto::REJECT_KIND_BACKPRESSURE);
+        assert_eq!(payload.capacity, 256);
+        assert_eq!(payload.depth, 256);
+
+        let shutdown = Rejected { kind: RejectKind::ShuttingDown, capacity: 8, depth: 3 };
+        let err = wire_error(&ServeError::Rejected(shutdown));
+        assert_eq!(err.rejected.unwrap().kind, proto::REJECT_KIND_SHUTDOWN);
+    }
+
+    #[test]
+    fn core_errors_keep_distinct_codes() {
+        use kvmatch_core::CoreError;
+        let cases = [
+            (ServeError::Query(CoreError::InvalidQuery("x".into())), proto::code::INVALID_QUERY),
+            (
+                ServeError::Query(CoreError::QueryTooShort { query_len: 3, window: 50 }),
+                proto::code::QUERY_TOO_SHORT,
+            ),
+            (ServeError::Query(CoreError::Unmaterialized), proto::code::UNMATERIALIZED),
+            (ServeError::DeadlineExceeded, proto::code::DEADLINE_EXCEEDED),
+            (ServeError::ShutDown, proto::code::SHUTTING_DOWN),
+            (ServeError::Materialize("boom".into()), proto::code::MATERIALIZE_FAILED),
+        ];
+        for (err, want) in cases {
+            assert_eq!(wire_error(&err).code, want, "{err}");
+        }
+    }
+}

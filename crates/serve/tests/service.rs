@@ -57,8 +57,10 @@ fn responses_preserve_request_identity() {
             requests.push((spec_key(&req), req));
         }
     }
-    let handles: Vec<_> =
-        requests.iter().map(|(_, req)| service.submit(req.clone()).expect_accepted()).collect();
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|(_, req)| service.submit(req.clone()).into_result().expect("submission accepted"))
+        .collect();
     for ((key, req), handle) in requests.iter().zip(handles) {
         let resp = handle.wait().expect("served");
         let i = ids.iter().position(|id| *id == req.spec.series).unwrap();
@@ -87,7 +89,7 @@ fn zero_deadline_expires_before_dispatch() {
     let service = QueryService::spawn(catalog_with(&[(id, xs.clone())]), ServeConfig::default());
     let req = QueryRequest::range(QuerySpec::rsm_ed(xs[100..300].to_vec(), 5.0).with_series(id))
         .with_deadline(Duration::ZERO);
-    let outcome = service.submit(req).expect_accepted().wait();
+    let outcome = service.submit(req).into_result().expect("submission accepted").wait();
     assert!(
         matches!(outcome, Err(ServeError::DeadlineExceeded)),
         "zero deadline must expire, got {outcome:?}"
@@ -112,9 +114,9 @@ fn bad_request_does_not_fail_its_batchmates() {
     let bad = QueryRequest::range(
         QuerySpec::rsm_ed(xs[500..700].to_vec(), 6.0).with_series(SeriesId::new(99)),
     );
-    let h_good1 = service.submit(good.clone()).expect_accepted();
-    let h_bad = service.submit(bad).expect_accepted();
-    let h_good2 = service.submit(good.clone()).expect_accepted();
+    let h_good1 = service.submit(good.clone()).into_result().expect("submission accepted");
+    let h_bad = service.submit(bad).into_result().expect("submission accepted");
+    let h_good2 = service.submit(good.clone()).into_result().expect("submission accepted");
     assert_eq!(h_good1.wait().expect("good request survives").results, expected(&xs, &good.spec));
     assert!(matches!(h_bad.wait(), Err(ServeError::Query(_))));
     assert_eq!(h_good2.wait().expect("good request survives").results, expected(&xs, &good.spec));
@@ -147,20 +149,25 @@ fn full_queue_rejects_with_backpressure() {
     let heavy = QueryRequest::range(
         QuerySpec::rsm_dtw(xs[1_000..1_300].to_vec(), f64::INFINITY, 8).with_series(id),
     );
-    let h_heavy = service.submit(heavy).expect_accepted();
+    let h_heavy = service.submit(heavy).into_result().expect("submission accepted");
     // Let the scheduler hand it to the worker.
     std::thread::sleep(Duration::from_millis(100));
     let quick =
         || QueryRequest::range(QuerySpec::rsm_ed(xs[100..300].to_vec(), 1e-6).with_series(id));
     // q1 is drained into the next shard, which blocks at the hand-off.
-    let q1 = service.submit(quick()).expect_accepted();
+    let q1 = service.submit(quick()).into_result().expect("submission accepted");
     std::thread::sleep(Duration::from_millis(50));
     // q2 + q3 now fill the 2-slot queue behind the blocked scheduler:
     // admission control must reject, handing the request back.
-    let q2 = service.submit(quick()).expect_accepted();
-    let q3 = service.submit(quick()).expect_accepted();
+    let q2 = service.submit(quick()).into_result().expect("submission accepted");
+    let q3 = service.submit(quick()).into_result().expect("submission accepted");
     match service.submit(quick()) {
-        Submit::Rejected(returned) => assert_eq!(returned.spec.query.len(), 200),
+        Submit::Rejected(r) => {
+            assert!(r.is_retryable(), "a full queue is backpressure, not shutdown");
+            assert_eq!(r.rejected.capacity, 2);
+            assert_eq!(r.rejected.depth, 2, "rejection reports the observed queue state");
+            assert_eq!(r.request.spec.query.len(), 200, "request comes back untouched");
+        }
         other => panic!("expected rejection, got {}", submit_name(&other)),
     }
     // A timed submission gives up too while the queue stays full.
@@ -173,7 +180,16 @@ fn full_queue_rejects_with_backpressure() {
         Err(rejected) => rejected,
         Ok(_) => panic!("append into a full queue must be rejected"),
     };
-    assert!(matches!(rejected.error, kvmatch_serve::ServeError::Rejected));
+    assert!(rejected.is_retryable());
+    assert_eq!(
+        rejected.rejected,
+        kvmatch_serve::Rejected {
+            kind: kvmatch_serve::RejectKind::Backpressure,
+            capacity: 2,
+            depth: 2
+        },
+        "append rejection carries the same shape as query rejection"
+    );
     assert_eq!(rejected.points, vec![1.0, 2.0, 3.0], "points come back for retry");
     assert_eq!(service.metrics().rejected, 3);
     assert_eq!(service.metrics().queue_depth, 2);
@@ -189,7 +205,6 @@ fn submit_name(s: &Submit) -> &'static str {
     match s {
         Submit::Accepted(_) => "Accepted",
         Submit::Rejected(_) => "Rejected",
-        Submit::Closed(_) => "Closed",
     }
 }
 
@@ -207,7 +222,7 @@ fn appends_are_ordered_with_queries() {
     let ack = service.append(id, fresh.clone(), Duration::from_secs(1)).unwrap();
     let probe =
         QueryRequest::range(QuerySpec::rsm_ed(fresh[50..300].to_vec(), 1e-9).with_series(id));
-    let h = service.submit(probe).expect_accepted();
+    let h = service.submit(probe).into_result().expect("submission accepted");
     ack.wait().unwrap();
     let resp = h.wait().unwrap();
     assert!(
@@ -227,7 +242,12 @@ fn shutdown_serves_admitted_requests_and_closes_admissions() {
     let service = QueryService::spawn(catalog_with(&[(id, xs.clone())]), ServeConfig::default());
     let spec = QuerySpec::rsm_ed(xs[200..400].to_vec(), 4.0).with_series(id);
     let handles: Vec<_> = (0..5)
-        .map(|_| service.submit(QueryRequest::range(spec.clone())).expect_accepted())
+        .map(|_| {
+            service
+                .submit(QueryRequest::range(spec.clone()))
+                .into_result()
+                .expect("submission accepted")
+        })
         .collect();
     let want = expected(&xs, &spec);
     let catalog = service.shutdown();

@@ -112,7 +112,8 @@ fn readers_flow_while_ingest_seals_a_generation() {
         QueryRequest::range(QuerySpec::rsm_ed(base_b[100..300].to_vec(), 1e-9).with_series(b));
     let resp = service
         .submit_timeout(warm, Duration::from_secs(10))
-        .expect_accepted()
+        .into_result()
+        .expect("submission accepted")
         .wait()
         .expect("warm-up served");
     assert!(resp.results.iter().any(|r| r.offset == 100));
@@ -142,10 +143,13 @@ fn readers_flow_while_ingest_seals_a_generation() {
     ];
     let started = Instant::now();
     for (i, probe) in stalled_probes.into_iter().enumerate() {
-        let handle = service.submit_timeout(probe, Duration::from_secs(10)).expect_accepted();
+        let handle = service
+            .submit_timeout(probe, Duration::from_secs(10))
+            .into_result()
+            .expect("submission accepted");
         let resp = handle
             .wait_timeout(Duration::from_secs(10))
-            .expect("query served during the stall")
+            .unwrap_or_else(|_| panic!("query not served during the stall"))
             .expect("query succeeded during the stall");
         assert!(!resp.results.is_empty(), "probe {i} lost its planted match");
     }
@@ -162,11 +166,16 @@ fn readers_flow_while_ingest_seals_a_generation() {
     // from flowing — and must see the new points once released.
     let behind =
         QueryRequest::range(QuerySpec::rsm_ed(tail[5_600..5_850].to_vec(), 1e-9).with_series(a));
-    let behind_handle = service.submit_timeout(behind, Duration::from_secs(10)).expect_accepted();
-    assert!(
-        behind_handle.wait_timeout(Duration::from_millis(200)).is_none(),
-        "the barriered query must wait for its append, not serve stale data"
-    );
+    let behind_handle = service
+        .submit_timeout(behind, Duration::from_secs(10))
+        .into_result()
+        .expect("submission accepted");
+    // "Not ready" hands the handle back — the consume-or-re-own contract
+    // of `wait_timeout`.
+    let behind_handle = match behind_handle.wait_timeout(Duration::from_millis(200)) {
+        Err(still_waiting) => still_waiting,
+        Ok(_) => panic!("the barriered query must wait for its append, not serve stale data"),
+    };
     assert!(gate.is_sealing(), "nothing should have released the seal");
 
     // Release: the ack lands Ok, and the barriered query sees the tail.
@@ -174,7 +183,7 @@ fn readers_flow_while_ingest_seals_a_generation() {
     ack.wait().expect("append applied and snapshot published");
     let resp = behind_handle
         .wait_timeout(Duration::from_secs(10))
-        .expect("barriered query served after release")
+        .unwrap_or_else(|_| panic!("barriered query not served after release"))
         .expect("barriered query succeeded");
     assert!(
         resp.results.iter().any(|r| r.offset == 4_000 + 5_600),
@@ -252,7 +261,8 @@ fn failed_materialization_is_surfaced_not_swallowed() {
         QueryRequest::range(QuerySpec::rsm_ed(base[400..600].to_vec(), 1e-9).with_series(a));
     let resp = service
         .submit_timeout(probe, Duration::from_secs(10))
-        .expect_accepted()
+        .into_result()
+        .expect("submission accepted")
         .wait()
         .expect("queries keep flowing after a failed materialization");
     assert!(resp.results.iter().any(|r| r.offset == 400));

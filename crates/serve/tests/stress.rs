@@ -102,19 +102,19 @@ fn eight_submitters_mixed_workload_bit_identical_with_backpressure() {
                     let handle = loop {
                         match service.submit(request) {
                             Submit::Accepted(h) => break h,
-                            Submit::Rejected(returned) => {
+                            Submit::Rejected(r) if r.is_retryable() => {
                                 local_rejections.fetch_add(1, Ordering::Relaxed);
-                                request = returned;
+                                request = r.request;
                             }
-                            Submit::Closed(_) => panic!("service closed mid-test"),
+                            Submit::Rejected(_) => panic!("service closed mid-test"),
                         }
                         match service.submit_timeout(request, Duration::from_millis(50)) {
                             Submit::Accepted(h) => break h,
-                            Submit::Rejected(returned) => {
+                            Submit::Rejected(r) if r.is_retryable() => {
                                 local_rejections.fetch_add(1, Ordering::Relaxed);
-                                request = returned;
+                                request = r.request;
                             }
-                            Submit::Closed(_) => panic!("service closed mid-test"),
+                            Submit::Rejected(_) => panic!("service closed mid-test"),
                         }
                     };
                     let response = handle.wait().expect("admitted requests are served");
@@ -186,7 +186,8 @@ fn concurrent_appends_and_queries_stay_consistent() {
                 for _ in 0..10 {
                     let resp = svc
                         .submit_timeout(QueryRequest::range(spec.clone()), Duration::from_secs(5))
-                        .expect_accepted()
+                        .into_result()
+                        .expect("submission accepted")
                         .wait()
                         .expect("query served");
                     assert!(

@@ -82,8 +82,8 @@ fn reference_answers(
             let handle = loop {
                 match service.submit_timeout(req.clone(), Duration::from_secs(5)) {
                     Submit::Accepted(h) => break h,
-                    Submit::Rejected(_) => continue,
-                    Submit::Closed(_) => panic!("service closed"),
+                    Submit::Rejected(r) if r.is_retryable() => continue,
+                    Submit::Rejected(_) => panic!("service closed"),
                 }
             };
             handle.wait().expect("reference request served").results
@@ -135,19 +135,19 @@ fn four_workers_bit_identical_with_single_worker() {
                     let handle = loop {
                         match service.submit(request) {
                             Submit::Accepted(h) => break h,
-                            Submit::Rejected(returned) => {
+                            Submit::Rejected(r) if r.is_retryable() => {
                                 local_rejections.fetch_add(1, Ordering::Relaxed);
-                                request = returned;
+                                request = r.request;
                             }
-                            Submit::Closed(_) => panic!("service closed mid-test"),
+                            Submit::Rejected(_) => panic!("service closed mid-test"),
                         }
                         match service.submit_timeout(request, Duration::from_millis(50)) {
                             Submit::Accepted(h) => break h,
-                            Submit::Rejected(returned) => {
+                            Submit::Rejected(r) if r.is_retryable() => {
                                 local_rejections.fetch_add(1, Ordering::Relaxed);
-                                request = returned;
+                                request = r.request;
                             }
-                            Submit::Closed(_) => panic!("service closed mid-test"),
+                            Submit::Rejected(_) => panic!("service closed mid-test"),
                         }
                     };
                     let response = handle.wait().expect("admitted requests are served");
@@ -216,8 +216,14 @@ fn appends_barrier_own_series_while_other_series_flow() {
         QueryRequest::range(QuerySpec::rsm_ed(last[9_700..9_950].to_vec(), 1e-9).with_series(a));
     let probe_b =
         QueryRequest::range(QuerySpec::rsm_ed(base_b[700..900].to_vec(), 1e-9).with_series(b));
-    let h_a = service.submit_timeout(probe_a, Duration::from_secs(10)).expect_accepted();
-    let h_b = service.submit_timeout(probe_b, Duration::from_secs(10)).expect_accepted();
+    let h_a = service
+        .submit_timeout(probe_a, Duration::from_secs(10))
+        .into_result()
+        .expect("submission accepted");
+    let h_b = service
+        .submit_timeout(probe_b, Duration::from_secs(10))
+        .into_result()
+        .expect("submission accepted");
 
     let resp_b = h_b.wait().expect("series-b query served");
     let resp_a = h_a.wait().expect("series-a query served");

@@ -1,0 +1,79 @@
+//! Stand-alone KV-match query server over the demo catalog.
+//!
+//! ```text
+//! kvmatch-server [--addr HOST:PORT]
+//! ```
+//!
+//! The catalog is a pure function of the `KVM_*` environment (`KVM_N`,
+//! `KVM_W`, `KVM_SERIES`, `KVM_SEED`, `KVM_THREADS`, `KVM_SUBMITTERS`,
+//! `KVM_WORKERS`) — see [`kvmatch_server::demo`] — so clients in other
+//! processes can reconstruct it and check answers bit-identically. The
+//! address comes from `--addr` or `KVM_ADDR` (default `127.0.0.1:7878`;
+//! use port 0 for an OS-assigned port, printed on startup).
+//!
+//! The process serves until a client sends a `Shutdown` request, then
+//! drains open connections and exits.
+
+use std::io::Write;
+use std::sync::Arc;
+
+use kvmatch_serve::QueryService;
+use kvmatch_server::demo::DemoSpec;
+use kvmatch_server::{Server, ServerOptions};
+
+fn main() {
+    let mut addr = std::env::var("KVM_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string());
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = args.next().unwrap_or_else(|| {
+                    eprintln!("--addr requires a HOST:PORT argument");
+                    std::process::exit(2);
+                });
+            }
+            "--help" | "-h" => {
+                println!("usage: kvmatch-server [--addr HOST:PORT]");
+                println!("catalog shape via KVM_N / KVM_W / KVM_SERIES / KVM_SEED;");
+                println!("service via KVM_WORKERS / KVM_SUBMITTERS / KVM_THREADS;");
+                println!("address via KVM_ADDR (default 127.0.0.1:7878)");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let spec = DemoSpec::from_env();
+    let workers = std::env::var("KVM_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
+    eprintln!(
+        "building demo catalog: {} series x {} points (w={}, seed={})",
+        spec.series,
+        spec.n_per_series(),
+        spec.w,
+        spec.seed
+    );
+    let catalog = spec.build_catalog();
+    let service = Arc::new(QueryService::spawn(catalog, spec.serve_config(workers)));
+
+    let server = match Server::bind(Arc::clone(&service), &addr, ServerOptions::default()) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("failed to bind {addr}: {err}");
+            std::process::exit(1);
+        }
+    };
+    // The READY line is the startup handshake scripts wait for — it
+    // carries the resolved port for `--addr ...:0` binds.
+    println!("READY {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+
+    server.wait_shutdown_requested();
+    eprintln!("shutdown requested; draining connections");
+    server.shutdown();
+    if let Ok(service) = Arc::try_unwrap(service) {
+        service.shutdown();
+    }
+}

@@ -19,6 +19,8 @@
 //! |---|---|---|
 //! | [`core`] | `kvmatch-core` | KV-index, KV-match, KV-match_DP, catalog, top-k |
 //! | [`serve`] | `kvmatch-serve` | query service: micro-batching front scheduler, series-partitioned worker pool, ingest lane, backpressure, metrics |
+//! | [`proto`] | `kvmatch-proto` | the wire protocol: versioned length-prefixed frames, request/response enums, stable error codes (`docs/WIRE.md`) |
+//! | [`client`] | `kvmatch-client` | blocking TCP client with request-id pipelining against a `kvmatch-server` |
 //! | [`timeseries`] | `kvmatch-timeseries` | series container, statistics, generators |
 //! | [`distance`] | `kvmatch-distance` | ED, banded DTW, envelopes, lower bounds |
 //! | [`storage`] | `kvmatch-storage` | file/memory/sharded KV stores, series stores |
@@ -49,9 +51,11 @@
 //! ```
 
 pub use kvmatch_baselines as baselines;
+pub use kvmatch_client as client;
 pub use kvmatch_core as core;
 pub use kvmatch_distance as distance;
 pub use kvmatch_lsm as lsm;
+pub use kvmatch_proto as proto;
 pub use kvmatch_rtree as rtree;
 pub use kvmatch_serve as serve;
 pub use kvmatch_storage as storage;
@@ -59,6 +63,7 @@ pub use kvmatch_timeseries as timeseries;
 
 /// One-stop imports for typical use.
 pub mod prelude {
+    pub use kvmatch_client::{Client, ClientError, QueryReply};
     pub use kvmatch_core::{
         select_top_k, Catalog, CatalogBackend, Constraint, CoreError, DpMatcher, DpOptions,
         ExecutorConfig, IndexAppender, IndexBuildConfig, IndexSetConfig, KvIndex, KvMatcher,
@@ -67,9 +72,10 @@ pub mod prelude {
     };
     pub use kvmatch_distance::LpExponent;
     pub use kvmatch_lsm::{LsmCatalogBackend, LsmKvStore, LsmKvStoreBuilder, LsmOptions};
+    pub use kvmatch_proto::{Request, Response, WireError, WireMetrics};
     pub use kvmatch_serve::{
-        MetricsSnapshot, QueryKind, QueryRequest, QueryResponse, QueryService, ResponseHandle,
-        ServeConfig, ServeError, Submit, WorkerSnapshot,
+        MetricsSnapshot, QueryKind, QueryRequest, QueryResponse, QueryService, Rejected,
+        RejectedQuery, ResponseHandle, ServeConfig, ServeError, Submit, WorkerSnapshot,
     };
     pub use kvmatch_storage::memory::MemoryKvStoreBuilder;
     pub use kvmatch_storage::{

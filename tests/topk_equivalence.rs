@@ -266,8 +266,10 @@ fn service_topk_is_bit_identical_end_to_end() {
             requests.push(QueryRequest::top_k(spec, *k));
         }
     }
-    let handles: Vec<_> =
-        requests.iter().map(|r| service.submit(r.clone()).expect_accepted()).collect();
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|r| service.submit(r.clone()).into_result().expect("submission accepted"))
+        .collect();
     for (req, handle) in requests.iter().zip(handles) {
         let resp = handle.wait().unwrap();
         let i = ids.iter().position(|id| *id == req.spec.series).unwrap();
