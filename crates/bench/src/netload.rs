@@ -131,8 +131,13 @@ pub(crate) fn run_network(
                 .map(|&connections| drive_connections(&addr, fx, connections))
                 .collect();
             server.shutdown();
-            if let Ok(service) = Arc::try_unwrap(service) {
-                service.shutdown();
+            match Arc::try_unwrap(service) {
+                Ok(service) => {
+                    service.shutdown();
+                }
+                // Server::shutdown joins every connection thread, so a
+                // surviving clone is a leak worth hearing about.
+                Err(_) => eprintln!("service still shared after drain; skipping worker shutdown"),
             }
             NetworkReport {
                 addr,

@@ -192,7 +192,16 @@ impl Client {
             }
             st.slots.insert(id, None);
         }
-        let frame = request.encode(id);
+        // Encode can fail (payload over MAX_FRAME): surface the typed
+        // error here instead of shipping a frame the server must reject.
+        let frame = match request.encode(id) {
+            Ok(frame) => frame,
+            Err(e) => {
+                let mut st = self.demux.pending.lock().expect("demux lock poisoned");
+                st.slots.remove(&id);
+                return Err(e.into());
+            }
+        };
         let mut w = self.writer.lock().expect("writer lock poisoned");
         if let Err(e) = w.write_all(&frame).and_then(|_| w.flush()) {
             let mut st = self.demux.pending.lock().expect("demux lock poisoned");

@@ -18,7 +18,9 @@
 //!
 //! * `payload_len` counts everything after itself (version byte through body
 //!   end) and is capped at [`MAX_FRAME`]; larger prefixes are rejected before
-//!   any allocation happens.
+//!   any allocation happens, and encoders refuse to *produce* such frames
+//!   ([`ProtoError::FrameTooLarge`]) so an oversized message surfaces as a
+//!   typed error on the sending side instead of a connection teardown.
 //! * `version` is [`VERSION`]. Decoders reject other values with
 //!   [`ProtoError::UnknownVersion`] so a server can answer an incompatible
 //!   client with [`code::UNSUPPORTED_VERSION`] instead of misparsing it.
@@ -26,7 +28,9 @@
 //!   opcodes have the high bit clear, response opcodes have it set).
 //! * `request_id` is chosen by the client and echoed verbatim in the
 //!   response; a connection may have many requests in flight (pipelining)
-//!   and ids are how responses are demultiplexed.
+//!   and ids are how responses are demultiplexed. Id 0 is **reserved** for
+//!   connection-scoped server error frames — request codecs reject it
+//!   ([`ProtoError::ReservedRequestId`]).
 //!
 //! All integers are little-endian; `f64` travels as `to_bits()` so values
 //! round-trip bit-identically (NaN payloads included) — the bench harness
@@ -265,6 +269,10 @@ pub enum ProtoError {
     Malformed(String),
     /// The body contained bytes beyond the declared structure.
     TrailingBytes,
+    /// A request frame used id 0, which is reserved for connection-scoped
+    /// server error frames (raised by `Request::encode` and
+    /// [`decode_request`]; responses may carry id 0).
+    ReservedRequestId,
     /// Transport failure while reading or writing a frame.
     Io(io::Error),
 }
@@ -282,6 +290,9 @@ impl fmt::Display for ProtoError {
             ProtoError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
             ProtoError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
             ProtoError::TrailingBytes => write!(f, "trailing bytes after frame body"),
+            ProtoError::ReservedRequestId => {
+                write!(f, "request id 0 is reserved for connection-scoped error frames")
+            }
             ProtoError::Io(err) => write!(f, "frame io: {err}"),
         }
     }
@@ -448,20 +459,38 @@ fn put_metrics(buf: &mut Vec<u8>, m: &WireMetrics) {
     }
 }
 
-fn frame(opcode: u8, request_id: u64, body: Vec<u8>) -> Vec<u8> {
-    let payload_len = (1 + 1 + 8 + body.len()) as u32;
-    let mut out = Vec::with_capacity(4 + payload_len as usize);
-    put_u32(&mut out, payload_len);
+/// Assembles one frame, enforcing on the way *out* the same bound
+/// [`read_frame`] enforces on the way in. The check runs on the final
+/// `usize` body length, so it also subsumes every `as u32` element-count
+/// cast above: a sequence long enough to wrap a `u32` count is orders of
+/// magnitude past [`MAX_FRAME`] in bytes, and the frame errors here
+/// before the truncated count could ever reach a peer.
+fn frame(opcode: u8, request_id: u64, body: Vec<u8>) -> Result<Vec<u8>, ProtoError> {
+    let payload_len = 1 + 1 + 8 + body.len();
+    if payload_len > MAX_FRAME as usize {
+        let reported = u32::try_from(payload_len).unwrap_or(u32::MAX);
+        return Err(ProtoError::FrameTooLarge(reported));
+    }
+    let mut out = Vec::with_capacity(4 + payload_len);
+    put_u32(&mut out, payload_len as u32);
     out.push(VERSION);
     out.push(opcode);
     put_u64(&mut out, request_id);
     out.extend_from_slice(&body);
-    out
+    Ok(out)
 }
 
 impl Request {
     /// Encodes this request as one complete frame (length prefix included).
-    pub fn encode(&self, request_id: u64) -> Vec<u8> {
+    ///
+    /// Fails with [`ProtoError::FrameTooLarge`] when the encoded payload
+    /// would exceed [`MAX_FRAME`] (a peer would reject it unread anyway),
+    /// and with [`ProtoError::ReservedRequestId`] for request id 0 —
+    /// that id is reserved for connection-scoped server error frames.
+    pub fn encode(&self, request_id: u64) -> Result<Vec<u8>, ProtoError> {
+        if request_id == 0 {
+            return Err(ProtoError::ReservedRequestId);
+        }
         let mut body = Vec::new();
         let op = match self {
             Request::Query { spec, deadline_us } => {
@@ -484,7 +513,12 @@ impl Request {
 
 impl Response {
     /// Encodes this response as one complete frame (length prefix included).
-    pub fn encode(&self, request_id: u64) -> Vec<u8> {
+    ///
+    /// Fails with [`ProtoError::FrameTooLarge`] when the encoded payload
+    /// would exceed [`MAX_FRAME`] — a query answer that large must be
+    /// replaced by an error frame, not sent to a peer that will reject it.
+    /// Request id 0 is legal here: it tags connection-scoped error frames.
+    pub fn encode(&self, request_id: u64) -> Result<Vec<u8>, ProtoError> {
         let mut body = Vec::new();
         let op = match self {
             Response::Query { results, stats, latency_us } => {
@@ -719,8 +753,14 @@ fn split_payload(payload: &[u8]) -> Result<(u8, u64, &[u8]), ProtoError> {
 }
 
 /// Decodes a request payload (the bytes after the length prefix).
+/// Request id 0 is rejected ([`ProtoError::ReservedRequestId`]) — it is
+/// reserved for the error frames a server sends when a request cannot be
+/// attributed, so accepting it would let a response be misattributed.
 pub fn decode_request(payload: &[u8]) -> Result<Frame<Request>, ProtoError> {
     let (op, request_id, body) = split_payload(payload)?;
+    if request_id == 0 {
+        return Err(ProtoError::ReservedRequestId);
+    }
     let mut c = Cursor::new(body);
     let message = match op {
         opcode::REQ_QUERY => {
@@ -864,17 +904,18 @@ mod tests {
     #[test]
     fn simple_round_trips() {
         for (req, id) in
-            [(Request::Metrics, 1u64), (Request::Ping, u64::MAX), (Request::Shutdown, 0)]
+            [(Request::Metrics, 1u64), (Request::Ping, u64::MAX), (Request::Shutdown, 2)]
         {
-            let enc = req.encode(id);
+            let enc = req.encode(id).unwrap();
             let frame = decode_request(strip_len(&enc)).unwrap();
             assert_eq!(frame.request_id, id);
             assert_eq!(frame.message, req);
         }
+        // Responses may carry the reserved id 0 (connection-scoped errors).
         for (resp, id) in
-            [(Response::Appended, 7u64), (Response::Pong, 8), (Response::ShutdownStarted, 9)]
+            [(Response::Appended, 7u64), (Response::Pong, 0), (Response::ShutdownStarted, 9)]
         {
-            let enc = resp.encode(id);
+            let enc = resp.encode(id).unwrap();
             let frame = decode_response(strip_len(&enc)).unwrap();
             assert_eq!(frame.request_id, id);
             assert_eq!(frame.message, resp);
@@ -889,7 +930,7 @@ mod tests {
             stats: MatchStats::default(),
             latency_us: 12,
         };
-        let enc = resp.encode(1);
+        let enc = resp.encode(1).unwrap();
         let frame = decode_response(strip_len(&enc)).unwrap();
         match frame.message {
             Response::Query { results, .. } => {
@@ -901,7 +942,7 @@ mod tests {
 
     #[test]
     fn stream_read_recovers_boundary_eof() {
-        let req = Request::Ping.encode(42);
+        let req = Request::Ping.encode(42).unwrap();
         let mut stream: &[u8] = &req;
         let frame = read_request(&mut stream).unwrap().unwrap();
         assert_eq!(frame.request_id, 42);

@@ -197,13 +197,14 @@ fn response_strat() -> impl Strategy<Value = Response> {
 proptest! {
     #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
 
-    /// Byte-level encode→decode→encode identity for requests.
+    /// Byte-level encode→decode→encode identity for requests. Id 0 is
+    /// excluded: it is reserved and both codec directions reject it.
     #[test]
-    fn request_round_trip((req, id) in (request_strat(), 0u64..u64::MAX)) {
-        let encoded = req.encode(id);
+    fn request_round_trip((req, id) in (request_strat(), 1u64..u64::MAX)) {
+        let encoded = req.encode(id).expect("in-range request must encode");
         let frame = decode_request(&encoded[4..]).expect("valid frame must decode");
         prop_assert_eq!(frame.request_id, id);
-        let reencoded = frame.message.encode(id);
+        let reencoded = frame.message.encode(id).expect("decoded request must re-encode");
         prop_assert_eq!(&encoded, &reencoded);
         // Structural equality holds too whenever no NaN is involved.
         let has_nan = match &req {
@@ -221,10 +222,10 @@ proptest! {
     /// Byte-level encode→decode→encode identity for responses.
     #[test]
     fn response_round_trip((resp, id) in (response_strat(), 0u64..u64::MAX)) {
-        let encoded = resp.encode(id);
+        let encoded = resp.encode(id).expect("in-range response must encode");
         let frame = decode_response(&encoded[4..]).expect("valid frame must decode");
         prop_assert_eq!(frame.request_id, id);
-        let reencoded = frame.message.encode(id);
+        let reencoded = frame.message.encode(id).expect("decoded response must re-encode");
         prop_assert_eq!(&encoded, &reencoded);
     }
 
@@ -232,7 +233,7 @@ proptest! {
     /// never a panic, never a bogus success.
     #[test]
     fn truncated_request_is_typed_error(req in request_strat()) {
-        let encoded = req.encode(9);
+        let encoded = req.encode(9).expect("in-range request must encode");
         let payload = &encoded[4..];
         for cut in 0..payload.len() {
             match decode_request(&payload[..cut]) {
@@ -258,7 +259,7 @@ proptest! {
 
 #[test]
 fn truncated_stream_is_truncated_error() {
-    let encoded = Request::Ping.encode(3);
+    let encoded = Request::Ping.encode(3).unwrap();
     for cut in 1..encoded.len() {
         let mut stream = &encoded[..cut];
         match read_frame(&mut stream) {
@@ -291,7 +292,7 @@ fn declared_length_below_header_is_malformed() {
 
 #[test]
 fn unknown_version_byte_is_rejected() {
-    let mut payload = Request::Ping.encode(1)[4..].to_vec();
+    let mut payload = Request::Ping.encode(1).unwrap()[4..].to_vec();
     payload[0] = 42;
     match decode_request(&payload) {
         Err(ProtoError::UnknownVersion(42)) => {}
@@ -305,14 +306,14 @@ fn unknown_version_byte_is_rejected() {
 
 #[test]
 fn unknown_opcode_is_rejected() {
-    let mut payload = Request::Ping.encode(1)[4..].to_vec();
+    let mut payload = Request::Ping.encode(1).unwrap()[4..].to_vec();
     payload[1] = 0x7E;
     match decode_request(&payload) {
         Err(ProtoError::UnknownOpcode(0x7E)) => {}
         other => panic!("expected UnknownOpcode, got {other:?}"),
     }
     // Response decoding rejects request opcodes and vice versa.
-    match decode_response(&Request::Ping.encode(1)[4..]) {
+    match decode_response(&Request::Ping.encode(1).unwrap()[4..]) {
         Err(ProtoError::UnknownOpcode(0x04)) => {}
         other => panic!("expected UnknownOpcode(0x04), got {other:?}"),
     }
@@ -320,9 +321,33 @@ fn unknown_opcode_is_rejected() {
 
 #[test]
 fn trailing_bytes_are_rejected() {
-    let mut payload = Request::Metrics.encode(1)[4..].to_vec();
+    let mut payload = Request::Metrics.encode(1).unwrap()[4..].to_vec();
     payload.push(0xAB);
     assert!(matches!(decode_request(&payload), Err(ProtoError::TrailingBytes)));
+}
+
+#[test]
+fn oversized_encode_is_a_typed_error_not_a_frame() {
+    // One point past the MAX_FRAME budget: encode must refuse (the peer
+    // would reject the frame unread, tearing down the connection).
+    let points = vec![0.0f64; MAX_FRAME as usize / 8 + 1];
+    match (Request::Append { series: SeriesId::new(1), points }).encode(1) {
+        Err(ProtoError::FrameTooLarge(_)) => {}
+        Err(other) => panic!("expected FrameTooLarge, got {other:?}"),
+        Ok(frame) => panic!("oversized request encoded to {} bytes", frame.len()),
+    }
+}
+
+#[test]
+fn request_id_zero_is_reserved() {
+    assert!(matches!(Request::Ping.encode(0), Err(ProtoError::ReservedRequestId)));
+    // A hand-built id-0 request frame is rejected on decode too.
+    let mut payload = Request::Ping.encode(1).unwrap()[4..].to_vec();
+    payload[2..10].fill(0);
+    assert!(matches!(decode_request(&payload), Err(ProtoError::ReservedRequestId)));
+    // Responses keep id 0 legal: connection-scoped error frames carry it.
+    let resp = Response::Pong.encode(0).unwrap();
+    assert_eq!(decode_response(&resp[4..]).unwrap().request_id, 0);
 }
 
 #[test]

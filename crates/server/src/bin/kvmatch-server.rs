@@ -73,7 +73,14 @@ fn main() {
     server.wait_shutdown_requested();
     eprintln!("shutdown requested; draining connections");
     server.shutdown();
-    if let Ok(service) = Arc::try_unwrap(service) {
-        service.shutdown();
+    match Arc::try_unwrap(service) {
+        Ok(service) => {
+            service.shutdown();
+        }
+        // After Server::shutdown joined every connection thread the
+        // binary's Arc must be the last one; a survivor means a leaked
+        // clone, and the worker threads it keeps alive die with the
+        // process — make that visible instead of silently exiting.
+        Err(_) => eprintln!("service still shared after drain; skipping worker shutdown"),
     }
 }

@@ -243,7 +243,7 @@ where
     B::Store: Send + Sync + 'static,
     B::Data: Send + Sync + 'static,
 {
-    let mut handles = Vec::new();
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
     let mut next_conn = 0u64;
     for stream in listener.incoming() {
         if shared.closing.load(Ordering::SeqCst) {
@@ -253,6 +253,17 @@ where
             Ok(s) => s,
             Err(_) => continue,
         };
+        // Reap connections that already ended so a long-running server
+        // holds one JoinHandle per *open* connection, not per connection
+        // ever accepted.
+        let mut i = 0;
+        while i < handles.len() {
+            if handles[i].is_finished() {
+                let _ = handles.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
         next_conn += 1;
         let conn_id = next_conn;
         shared.net.connections_accepted.fetch_add(1, Ordering::Relaxed);
@@ -423,15 +434,47 @@ where
                 Err(err) => (id, Response::Error(wire::wire_error(&err))),
             },
         };
-        let frame = response.encode(id);
+        // A response too large for one frame (encode enforces MAX_FRAME)
+        // degrades to an error frame the client can attribute and act on.
+        let frame = match response.encode(id) {
+            Ok(frame) => frame,
+            Err(err) => {
+                let wire_err = proto::WireError {
+                    code: err.wire_code(),
+                    detail: err.to_string(),
+                    rejected: None,
+                };
+                match Response::Error(wire_err).encode(id) {
+                    Ok(frame) => frame,
+                    Err(_) => {
+                        abort_outgoing(out);
+                        return;
+                    }
+                }
+            }
+        };
         if writer.write_all(&frame).is_err() {
+            abort_outgoing(out);
             return;
         }
         shared.net.frames_out.fetch_add(1, Ordering::Relaxed);
         shared.net.bytes_out.fetch_add(frame.len() as u64, Ordering::Relaxed);
         if out.is_empty() && writer.flush().is_err() {
+            abort_outgoing(out);
             return;
         }
     }
     let _ = writer.flush();
+}
+
+/// The write half died mid-stream: close the outgoing queue so the
+/// connection reader's `push_wait` fails with `Closed` instead of
+/// blocking forever on a queue nobody drains (a pipelining client that
+/// stopped reading would otherwise wedge the connection thread — and
+/// with it `Server::shutdown`'s join — indefinitely), then discard what
+/// was queued. Dropping unresolved handles is safe: they are oneshot
+/// receivers, the service completes the work regardless.
+fn abort_outgoing(out: &BoundedQueue<Outgoing>) {
+    out.close();
+    while out.pop_wait().is_some() {}
 }

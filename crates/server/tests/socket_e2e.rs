@@ -166,6 +166,54 @@ fn concurrent_connections_pipelined_bit_identical_with_in_process_service() {
     assert!(batch.outputs[0].results.iter().any(|r| r.offset == 400));
 }
 
+/// Regression: a pipelining client that stops reading and then dies must
+/// not wedge its connection thread. With the response path saturated the
+/// reader blocks pushing into the full outgoing queue; when the client's
+/// reset kills the writer, the writer must close that queue so the reader
+/// unblocks — otherwise `Server::shutdown` hangs forever in its joins.
+#[test]
+fn dead_pipelining_client_does_not_wedge_shutdown() {
+    use std::io::{ErrorKind, Write};
+
+    let spec = DemoSpec { n: 4_000, w: 50, series: 1, seed: 9, threads: 0, submitters: 2 };
+    let service = Arc::new(QueryService::spawn(spec.build_catalog(), spec.serve_config(1)));
+    // A tiny outgoing queue makes the reader block as soon as the writer
+    // stalls against our unread socket.
+    let options = ServerOptions {
+        out_queue: 2,
+        drain_timeout: Duration::from_secs(1),
+        ..ServerOptions::default()
+    };
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", options).expect("bind");
+    let addr = server.local_addr();
+
+    let raw = std::net::TcpStream::connect(addr).expect("raw connect");
+    raw.set_nonblocking(true).expect("nonblocking");
+    let ping = Request::Ping.encode(1).unwrap();
+    // Flood pings without reading a single pong. Pongs fill our receive
+    // buffer until the server's writer blocks, then its outgoing queue
+    // fills, then its reader blocks in push_wait, then our own writes
+    // stall. A full second of sustained WouldBlock means the connection
+    // is wedged end to end.
+    let mut stalled = 0u32;
+    while stalled < 40 {
+        match (&raw).write(&ping) {
+            Ok(_) => stalled = 0,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                stalled += 1;
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("unexpected socket error: {e}"),
+        }
+    }
+    // Closing with unread data in the receive buffer resets the
+    // connection, so the server's blocked write fails promptly.
+    drop(raw);
+
+    server.shutdown();
+    Arc::try_unwrap(service).ok().expect("all server references released").shutdown();
+}
+
 /// Malformed bytes on the socket are answered with a typed error frame
 /// (request id 0) and the connection is closed — the server never
 /// panics and other connections keep serving.
