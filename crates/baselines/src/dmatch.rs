@@ -175,7 +175,7 @@ impl DualMatcher {
         // Verification.
         let t2 = Instant::now();
         let prep = PreparedQuery::new(spec.clone())?;
-        let mut scratch = Vec::new();
+        let mut scratch = kvmatch_distance::KernelScratch::new();
         let mut results = Vec::new();
         let mut cstats = kvmatch_distance::CascadeStats::default();
         for o in candidates {

@@ -17,6 +17,7 @@ use kvmatch_distance::cascade::{CascadeStats, LbCascade};
 use kvmatch_distance::ed::{abandon_order, ed_early_abandon, ed_norm_early_abandon_ordered};
 use kvmatch_distance::lower_bounds::{lb_kim_fl_sq, lb_paa_sq};
 use kvmatch_distance::normalize::{mean_std, z_normalized};
+use kvmatch_distance::scratch::KernelScratch;
 use kvmatch_timeseries::PrefixStats;
 
 /// Statistics of one sequential scan.
@@ -175,7 +176,11 @@ pub(crate) fn scan_impl(
         None
     };
 
+    // `scratch` holds the normalized candidate (cNSM); `kernel_scratch`
+    // feeds the cascade's DP rows — warm after the first candidate, so
+    // the scan performs no per-candidate kernel allocations.
     let mut scratch: Vec<f64> = Vec::with_capacity(m);
+    let mut kernel_scratch = KernelScratch::with_query_capacity(m, rho);
     let mut paa_s = vec![0.0; f];
 
     for j in 0..=xs.len() - m {
@@ -240,7 +245,7 @@ pub(crate) fn scan_impl(
             }
             (None, true) => {
                 let c = cascade_raw.as_ref().expect("raw cascade exists");
-                c.verify_skip_kim(s, eps_sq, &mut cstats)
+                c.verify_skip_kim(s, eps_sq, &mut kernel_scratch, &mut cstats)
             }
             (Some(qn), false) => {
                 stats.full_distance_computations += 1;
@@ -252,7 +257,7 @@ pub(crate) fn scan_impl(
                 scratch.extend_from_slice(s);
                 kvmatch_distance::z_normalize(&mut scratch, mu_s, sigma_s);
                 let c = cascade_norm.as_ref().expect("normalized cascade exists");
-                c.verify_skip_kim(&scratch, eps_sq, &mut cstats)
+                c.verify_skip_kim(&scratch, eps_sq, &mut kernel_scratch, &mut cstats)
             }
         };
         if let Some(d_sq) = hit {

@@ -1,15 +1,22 @@
 //! Microbenchmarks of the distance kernels and lower bounds — the
 //! verification-phase cost model shared by KV-match and the baselines.
+//!
+//! Every optimized kernel is benchmarked next to its retained scalar
+//! oracle (`*_scalar` ids) so the raw-speed pass stays visible: compare
+//! `dtw_banded_5pct` against `dtw_banded_5pct_scalar`, and so on. The
+//! optimized DTW runs through one warm [`KernelScratch`], matching how
+//! an executor worker actually calls it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use kvmatch_bench::make_series;
-use kvmatch_distance::dtw::dtw_banded_early_abandon;
-use kvmatch_distance::ed::{ed_early_abandon, ed_norm_early_abandon};
+use kvmatch_distance::dtw::{dtw_banded_early_abandon_scalar, dtw_banded_early_abandon_scratch};
+use kvmatch_distance::ed::{ed_early_abandon, ed_early_abandon_scalar, ed_norm_early_abandon};
 use kvmatch_distance::envelope::keogh_envelope;
-use kvmatch_distance::lower_bounds::{lb_keogh_sq, lb_paa_sq};
+use kvmatch_distance::lower_bounds::{lb_keogh_sq, lb_keogh_sq_scalar, lb_paa_sq};
 use kvmatch_distance::normalize::{mean_std, z_normalized};
+use kvmatch_distance::scratch::KernelScratch;
 
 fn bench_kernels(c: &mut Criterion) {
     let xs = make_series(20_000, 7);
@@ -22,15 +29,22 @@ fn bench_kernels(c: &mut Criterion) {
         let (mu, sigma) = mean_std(a);
         let rho = m / 20;
         let (lo, hi) = keogh_envelope(b, rho);
+        let mut scratch = KernelScratch::with_query_capacity(m, rho);
 
         group.bench_with_input(BenchmarkId::new("ed_early_abandon", m), &m, |bch, _| {
             bch.iter(|| ed_early_abandon(black_box(a), black_box(b), 1e12))
+        });
+        group.bench_with_input(BenchmarkId::new("ed_early_abandon_scalar", m), &m, |bch, _| {
+            bch.iter(|| ed_early_abandon_scalar(black_box(a), black_box(b), 1e12))
         });
         group.bench_with_input(BenchmarkId::new("ed_norm_early_abandon", m), &m, |bch, _| {
             bch.iter(|| ed_norm_early_abandon(black_box(a), black_box(&b_norm), mu, sigma, 1e12))
         });
         group.bench_with_input(BenchmarkId::new("lb_keogh", m), &m, |bch, _| {
             bch.iter(|| lb_keogh_sq(black_box(a), black_box(&lo), black_box(&hi)))
+        });
+        group.bench_with_input(BenchmarkId::new("lb_keogh_scalar", m), &m, |bch, _| {
+            bch.iter(|| lb_keogh_sq_scalar(black_box(a), black_box(&lo), black_box(&hi)))
         });
         let seg = m / 8;
         let paa = |v: &[f64]| -> Vec<f64> {
@@ -41,10 +55,29 @@ fn bench_kernels(c: &mut Criterion) {
             bch.iter(|| lb_paa_sq(black_box(&pa), black_box(&pl), black_box(&pu), seg))
         });
         group.bench_with_input(BenchmarkId::new("dtw_banded_5pct", m), &m, |bch, _| {
-            bch.iter(|| dtw_banded_early_abandon(black_box(a), black_box(b), rho, f64::INFINITY))
+            bch.iter(|| {
+                dtw_banded_early_abandon_scratch(
+                    black_box(a),
+                    black_box(b),
+                    rho,
+                    f64::INFINITY,
+                    &mut scratch,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("dtw_banded_5pct_scalar", m), &m, |bch, _| {
+            bch.iter(|| {
+                dtw_banded_early_abandon_scalar(black_box(a), black_box(b), rho, f64::INFINITY)
+            })
         });
         group.bench_with_input(BenchmarkId::new("envelope", m), &m, |bch, _| {
             bch.iter(|| keogh_envelope(black_box(b), rho))
+        });
+        group.bench_with_input(BenchmarkId::new("envelope_scratch", m), &m, |bch, _| {
+            bch.iter(|| {
+                let (l, u) = scratch.envelope(black_box(b), rho);
+                (black_box(l.len()), black_box(u.len()))
+            })
         });
     }
     group.finish();

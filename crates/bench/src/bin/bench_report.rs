@@ -22,16 +22,22 @@
 //! (served_rps at workers = 4 below workers = 1), when the wire stack
 //! eats more than 70% of in-process serving throughput (best socket
 //! served_rps below 30% of in-process served_rps at the same worker
-//! count), **or** when an ingest burst stalls readers (burst-phase p99
-//! read latency beyond 10× the quiet-phase p99, 5 ms floor) — the CI
-//! `bench-smoke` and `net-smoke` gates.
+//! count), when an ingest burst stalls readers (burst-phase p99 read
+//! latency beyond 10× the quiet-phase p99, 5 ms floor), **or** when the
+//! kernel sweep breaks a kernel-pass contract (a result diverging from
+//! its scalar oracle, a warm scratch that allocated, or an optimized
+//! DTW slower than the scalar reference) — the CI `bench-smoke` and
+//! `net-smoke` gates.
 //!
 //! `--compare <baseline.json>` additionally diffs this run's per-workload
 //! batched wall times against a committed trajectory point (the baseline
-//! is read *before* the new report overwrites it), prints the deltas,
-//! writes `BENCH_delta.json` (override with `KVM_BENCH_DELTA_OUT`), and
-//! exits non-zero when any workload — or the total — regressed by more
-//! than 25%.
+//! is read *before* the new report overwrites it), prints the deltas —
+//! plus informational per-kernel ns/candidate deltas when the baseline
+//! carries the v7 `kernels` section — writes `BENCH_delta.json`
+//! (override with `KVM_BENCH_DELTA_OUT`), and exits non-zero when any
+//! workload — or the total — regressed by more than 25%. Kernel deltas
+//! never gate: smoke-scale nanosecond timings are too noisy to fail a
+//! PR on.
 //!
 //! Every failure path — schema violation, unwritable output, gate breach,
 //! wall-time regression — exits non-zero with a `FAIL:` line naming the
@@ -306,6 +312,43 @@ fn run() -> Result<(), String> {
         st.materialize_failures
     );
 
+    let k = &report.kernels;
+    println!();
+    println!("=== distance kernels: optimized vs scalar oracle (ns/candidate) ===");
+    println!(
+        "sweep: m = {}, rho = {}, {} candidates, best of {}",
+        k.m, k.rho, k.candidates, report.env.repeat
+    );
+    let mut table = Table::new(&["kernel", "scalar_ns", "opt_ns", "speedup"]);
+    table.push(Row::new(vec![
+        "dtw_banded".into(),
+        k.dtw_scalar_ns.into(),
+        k.dtw_opt_ns.into(),
+        k.dtw_speedup.into(),
+    ]));
+    table.push(Row::new(vec![
+        "ed".into(),
+        k.ed_scalar_ns.into(),
+        k.ed_opt_ns.into(),
+        (k.ed_scalar_ns / k.ed_opt_ns.max(1e-9)).into(),
+    ]));
+    table.push(Row::new(vec![
+        "lb_keogh".into(),
+        k.lb_keogh_scalar_ns.into(),
+        k.lb_keogh_opt_ns.into(),
+        (k.lb_keogh_scalar_ns / k.lb_keogh_opt_ns.max(1e-9)).into(),
+    ]));
+    table.print();
+    println!(
+        "envelope {:.0} ns/candidate; warm scratch allocations {}; adaptive skips \
+         {} lb_kim / {} lb_keogh; bit-identical: {}",
+        k.envelope_ns,
+        k.alloc_events_warm,
+        k.adaptive_skipped_lb_kim,
+        k.adaptive_skipped_lb_keogh,
+        k.bit_identical
+    );
+
     let value = report.to_value();
     validate_schema(&value).map_err(|msg| format!("BENCH_exec.json schema violation: {msg}"))?;
     std::fs::write(&out_path, to_json(&report))
@@ -336,6 +379,21 @@ fn run() -> Result<(), String> {
             "total: {:.1} ms -> {:.1} ms ({:+.1}%)",
             cmp.total_baseline_ms, cmp.total_current_ms, cmp.total_delta_pct
         );
+        if cmp.kernel_rows.is_empty() {
+            println!("note: baseline has no kernels section (pre-v7) — no kernel deltas");
+        } else {
+            let mut table = Table::new(&["kernel", "baseline_ns", "current_ns", "delta_%"]);
+            for row in &cmp.kernel_rows {
+                table.push(Row::new(vec![
+                    row.name.as_str().into(),
+                    row.baseline_ns.into(),
+                    row.current_ns.into(),
+                    row.delta_pct.into(),
+                ]));
+            }
+            table.print();
+            println!("(kernel deltas are informational — never gated)");
+        }
         for name in &cmp.unmatched {
             println!("note: workload {name} has no baseline row (new since the trajectory point)");
         }
@@ -387,6 +445,14 @@ fn run() -> Result<(), String> {
             "ingest burst stalled readers: burst p99 {} µs exceeds 10× quiet p99 {} µs \
              (5 ms floor) — generation publishing must not block queries",
             st.burst_p99_us, st.quiet_p99_us
+        ));
+    }
+    if enforce && !report.kernels_ok() {
+        return Err(format!(
+            "kernel pass contract broken: bit_identical = {}, warm scratch allocations = {}, \
+             optimized DTW {:.0} ns vs scalar oracle {:.0} ns — the optimized kernels must be \
+             exact, allocation-free and no slower than their references",
+            k.bit_identical, k.alloc_events_warm, k.dtw_opt_ns, k.dtw_scalar_ns
         ));
     }
     Ok(())

@@ -1,0 +1,259 @@
+//! Kernel-level measurements for the bench report's `kernels` section.
+//!
+//! Where the workload sections measure end-to-end query wall time, this
+//! section isolates the verification-phase distance kernels themselves:
+//! ns/candidate for banded DTW, ED, LB_Keogh and the Keogh envelope, each
+//! optimized kernel timed against its retained scalar oracle over the
+//! same candidate set. Alongside the timings it reports the two contracts
+//! the kernel pass makes:
+//!
+//! * **Zero warm allocations** — every optimized pass runs through one
+//!   pre-grown [`KernelScratch`]; `alloc_events_warm` is its growth
+//!   counter after all timed work and must be 0.
+//! * **Bit-identity** — every candidate's optimized result is compared to
+//!   the scalar oracle's through `f64::to_bits`; one ulp of divergence
+//!   flips `bit_identical` to false.
+//!
+//! The adaptive-cascade skip counters come from a cascade driven at an
+//! infinite threshold (nothing prunes, so both lower-bound stages demote
+//! deterministically) — they prove the demotion machinery engages, not
+//! that it helps this particular workload.
+//!
+//! Timings are best-of-`env.repeat` over the whole candidate sweep; DTW
+//! runs at threshold ∞ so both variants do identical full-band work
+//! (early abandoning would make the comparison depend on the threshold,
+//! not the loop shape).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use kvmatch_distance::cascade::{AdaptivePolicy, CascadeStats, LbCascade};
+use kvmatch_distance::dtw::{dtw_banded_early_abandon_scalar, dtw_banded_early_abandon_scratch};
+use kvmatch_distance::ed::{ed_early_abandon, ed_early_abandon_scalar};
+use kvmatch_distance::envelope::keogh_envelope;
+use kvmatch_distance::lower_bounds::{lb_keogh_sq, lb_keogh_sq_scalar};
+use kvmatch_distance::scratch::KernelScratch;
+
+use crate::report::ReportEnv;
+use crate::workload::make_series;
+
+/// Query length of the kernel sweep (the rsm_dtw workload's `m`).
+const KERNEL_M: usize = 192;
+/// Band radius of the kernel sweep (the rsm_dtw workload's ρ).
+const KERNEL_RHO: usize = 8;
+/// Candidates per timed pass.
+const KERNEL_CANDIDATES: usize = 256;
+/// Stride between candidate offsets (odd, so candidates stay unaligned).
+const KERNEL_STRIDE: usize = 7;
+
+/// The kernel-level section of the bench report.
+#[derive(Clone, Debug)]
+pub struct KernelReport {
+    /// Query length of the sweep.
+    pub m: usize,
+    /// DTW band radius ρ.
+    pub rho: usize,
+    /// Candidates per timed pass.
+    pub candidates: usize,
+    /// Scalar-oracle banded DTW, ns/candidate (threshold ∞).
+    pub dtw_scalar_ns: f64,
+    /// Optimized scratch-reusing banded DTW, ns/candidate (threshold ∞).
+    pub dtw_opt_ns: f64,
+    /// `dtw_scalar_ns / dtw_opt_ns`.
+    pub dtw_speedup: f64,
+    /// Scalar-oracle ED, ns/candidate (threshold ∞).
+    pub ed_scalar_ns: f64,
+    /// Chunked ED, ns/candidate (threshold ∞).
+    pub ed_opt_ns: f64,
+    /// Scalar-oracle LB_Keogh, ns/candidate.
+    pub lb_keogh_scalar_ns: f64,
+    /// Branch-free LB_Keogh, ns/candidate.
+    pub lb_keogh_opt_ns: f64,
+    /// Scratch-owned Keogh envelope of the candidate, ns/candidate.
+    pub envelope_ns: f64,
+    /// Scratch growth events across every optimized timed pass (the
+    /// scratch is pre-grown, so any value but 0 breaks the
+    /// zero-allocation contract).
+    pub alloc_events_warm: u64,
+    /// LB_Kim evaluations skipped by the adaptive cascade drive.
+    pub adaptive_skipped_lb_kim: u64,
+    /// LB_Keogh evaluations skipped by the adaptive cascade drive.
+    pub adaptive_skipped_lb_keogh: u64,
+    /// Every optimized result matched its scalar oracle bit-for-bit.
+    pub bit_identical: bool,
+}
+
+/// Best-of-`repeat` wall nanoseconds of `pass`, divided by `candidates`.
+fn best_ns_per_candidate<F: FnMut()>(repeat: usize, candidates: usize, mut pass: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeat.max(1) {
+        let t0 = Instant::now();
+        pass();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best / candidates as f64
+}
+
+/// Runs the kernel sweep at the report's seed and repeat count.
+pub fn run_kernels(env: &ReportEnv) -> KernelReport {
+    let (m, rho, candidates) = (KERNEL_M, KERNEL_RHO, KERNEL_CANDIDATES);
+    let xs = make_series((candidates - 1) * KERNEL_STRIDE + 2 * m, env.seed);
+    let q = xs[xs.len() - m..].to_vec();
+    let offsets: Vec<usize> = (0..candidates).map(|i| i * KERNEL_STRIDE).collect();
+    let (lower, upper) = keogh_envelope(&q, rho);
+
+    let mut scratch = KernelScratch::with_query_capacity(m, rho);
+
+    // Bit-identity sweep (untimed): optimized vs scalar on every
+    // candidate, at ∞ and at a per-candidate finite threshold so the
+    // early-abandon paths are compared too.
+    let mut bit_identical = true;
+    for &o in &offsets {
+        let s = &xs[o..o + m];
+        let exact = dtw_banded_early_abandon_scalar(s, &q, rho, f64::INFINITY)
+            .expect("infinite threshold always accepts");
+        for thr in [f64::INFINITY, exact * 0.5] {
+            let fast = dtw_banded_early_abandon_scratch(s, &q, rho, thr, &mut scratch);
+            let slow = dtw_banded_early_abandon_scalar(s, &q, rho, thr);
+            bit_identical &= fast.map(f64::to_bits) == slow.map(f64::to_bits);
+            let fast = ed_early_abandon(s, &q, thr);
+            let slow = ed_early_abandon_scalar(s, &q, thr);
+            bit_identical &= fast.map(f64::to_bits) == slow.map(f64::to_bits);
+        }
+        bit_identical &= lb_keogh_sq(s, &lower, &upper).to_bits()
+            == lb_keogh_sq_scalar(s, &lower, &upper).to_bits();
+    }
+
+    // Timed passes: each kernel over the full candidate set, best of
+    // `env.repeat`. DTW runs at threshold ∞ — full deterministic work.
+    let dtw_opt_ns = best_ns_per_candidate(env.repeat, candidates, || {
+        for &o in &offsets {
+            black_box(dtw_banded_early_abandon_scratch(
+                black_box(&xs[o..o + m]),
+                black_box(&q),
+                rho,
+                f64::INFINITY,
+                &mut scratch,
+            ));
+        }
+    });
+    let dtw_scalar_ns = best_ns_per_candidate(env.repeat, candidates, || {
+        for &o in &offsets {
+            black_box(dtw_banded_early_abandon_scalar(
+                black_box(&xs[o..o + m]),
+                black_box(&q),
+                rho,
+                f64::INFINITY,
+            ));
+        }
+    });
+    let ed_opt_ns = best_ns_per_candidate(env.repeat, candidates, || {
+        for &o in &offsets {
+            black_box(ed_early_abandon(black_box(&xs[o..o + m]), black_box(&q), f64::INFINITY));
+        }
+    });
+    let ed_scalar_ns = best_ns_per_candidate(env.repeat, candidates, || {
+        for &o in &offsets {
+            black_box(ed_early_abandon_scalar(
+                black_box(&xs[o..o + m]),
+                black_box(&q),
+                f64::INFINITY,
+            ));
+        }
+    });
+    let lb_keogh_opt_ns = best_ns_per_candidate(env.repeat, candidates, || {
+        for &o in &offsets {
+            black_box(lb_keogh_sq(black_box(&xs[o..o + m]), black_box(&lower), black_box(&upper)));
+        }
+    });
+    let lb_keogh_scalar_ns = best_ns_per_candidate(env.repeat, candidates, || {
+        for &o in &offsets {
+            black_box(lb_keogh_sq_scalar(
+                black_box(&xs[o..o + m]),
+                black_box(&lower),
+                black_box(&upper),
+            ));
+        }
+    });
+    let envelope_ns = best_ns_per_candidate(env.repeat, candidates, || {
+        for &o in &offsets {
+            black_box(scratch.envelope(black_box(&xs[o..o + m]), rho));
+        }
+    });
+    let alloc_events_warm = scratch.alloc_events();
+
+    // Adaptive drive: at threshold ∞ nothing prunes, so both lower-bound
+    // gates demote deterministically once their first window closes and
+    // the skip counters must engage.
+    let mut cascade = LbCascade::new(q.clone(), rho);
+    cascade.set_adaptive(Some(AdaptivePolicy { window: 32, min_prune_rate: 0.05, probation: 64 }));
+    let mut stats = CascadeStats::default();
+    for &o in &offsets {
+        let got = cascade.verify(&xs[o..o + m], f64::INFINITY, &mut scratch, &mut stats);
+        bit_identical &= got.map(f64::to_bits)
+            == dtw_banded_early_abandon_scalar(&xs[o..o + m], &q, rho, f64::INFINITY)
+                .map(f64::to_bits);
+    }
+
+    KernelReport {
+        m,
+        rho,
+        candidates,
+        dtw_scalar_ns,
+        dtw_opt_ns,
+        dtw_speedup: dtw_scalar_ns / dtw_opt_ns.max(1e-9),
+        ed_scalar_ns,
+        ed_opt_ns,
+        lb_keogh_scalar_ns,
+        lb_keogh_opt_ns,
+        envelope_ns,
+        alloc_events_warm,
+        adaptive_skipped_lb_kim: stats.adaptive_skipped_lb_kim,
+        adaptive_skipped_lb_keogh: stats.adaptive_skipped_lb_keogh,
+        bit_identical,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_sweep_upholds_both_contracts() {
+        let env = ReportEnv {
+            n: 8_000,
+            w: 50,
+            queries: 2,
+            seed: 7,
+            threads: 2,
+            repeat: 1,
+            series: 3,
+            submitters: 4,
+            workers: 2,
+        };
+        let k = run_kernels(&env);
+        assert_eq!(k.m, KERNEL_M);
+        assert_eq!(k.rho, KERNEL_RHO);
+        assert_eq!(k.candidates, KERNEL_CANDIDATES);
+        assert!(k.bit_identical, "optimized kernels diverged from their oracles");
+        assert_eq!(k.alloc_events_warm, 0, "warm kernel pass allocated");
+        // At threshold ∞ nothing prunes: both gates demote after their
+        // first 32-candidate window, so skips must engage. (How *fast*
+        // the kernels are is the CI gate's business, not a test's — a
+        // loaded box must not flake on a timing bound.)
+        assert!(k.adaptive_skipped_lb_kim > 0);
+        assert!(k.adaptive_skipped_lb_keogh > 0);
+        for ns in [
+            k.dtw_scalar_ns,
+            k.dtw_opt_ns,
+            k.ed_scalar_ns,
+            k.ed_opt_ns,
+            k.lb_keogh_scalar_ns,
+            k.lb_keogh_opt_ns,
+            k.envelope_ns,
+        ] {
+            assert!(ns > 0.0, "timed pass reported {ns} ns/candidate");
+        }
+        assert!(k.dtw_speedup > 0.0);
+    }
+}

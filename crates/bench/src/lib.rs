@@ -24,12 +24,14 @@
 
 pub mod calibrate;
 pub mod harness;
+pub mod kernels;
 pub mod netload;
 pub mod report;
 pub mod workload;
 
 pub use calibrate::{calibrate_epsilon, CalibrationTarget};
 pub use harness::{env_f64, env_usize, geo_mean, ExperimentEnv, Row, Table};
+pub use kernels::{run_kernels, KernelReport};
 pub use netload::{NetworkReport, NetworkRow, NETWORK_CONNECTION_COUNTS};
 pub use report::{run_report, BenchReport, ReportEnv, WorkloadReport};
 pub use workload::{make_series, sample_queries};

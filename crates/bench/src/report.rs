@@ -36,10 +36,16 @@
 //!    p95/p99, the stall ratio (the CI stall gate's metric) and the
 //!    backend's maintenance counters.
 //!
-//! The JSON schema is versioned (`kvmatch-bench-exec/v5`) and
-//! machine-checked: [`validate_schema`] fails when any required field is
-//! dropped or renamed, and a bench-crate test enforces it on every
-//! `cargo test` run.
+//! 6. **Kernel sweep** — [`run_kernels`] isolates the verification
+//!    kernels: ns/candidate for optimized vs
+//!    scalar-oracle DTW/ED/LB_Keogh (plus the scratch envelope), the
+//!    warm-scratch allocation counter, the adaptive-cascade skip
+//!    counters and a bit-identity flag — the CI kernel gate's section.
+//!
+//! The JSON schema is versioned ([`SCHEMA`]) and machine-checked:
+//! [`validate_schema`] fails when any required field is dropped or
+//! renamed, and a bench-crate test enforces it on every `cargo test`
+//! run.
 
 use std::time::Instant;
 
@@ -56,6 +62,7 @@ use kvmatch_storage::{
     ShardedKvStoreBuilder, ShardingConfig,
 };
 
+use crate::kernels::{run_kernels, KernelReport};
 use crate::netload::{run_network, NetworkReport, NETWORK_CONNECTION_COUNTS};
 use crate::workload::{make_series, sample_queries};
 
@@ -343,6 +350,9 @@ pub struct BenchReport {
     pub network: NetworkReport,
     /// The streaming-ingest (LSM backend) section.
     pub streaming: StreamingReport,
+    /// The kernel-level sweep (optimized vs scalar-oracle timings,
+    /// allocation and adaptive-skip counters, bit-identity flag).
+    pub kernels: KernelReport,
     /// Total sequential milliseconds across workloads.
     pub total_sequential_ms: f64,
     /// Total batched milliseconds across workloads.
@@ -352,7 +362,7 @@ pub struct BenchReport {
 }
 
 /// Schema tag of the current report format.
-pub const SCHEMA: &str = "kvmatch-bench-exec/v6";
+pub const SCHEMA: &str = "kvmatch-bench-exec/v7";
 
 /// Required top-level fields of `BENCH_exec.json`.
 pub const ROOT_FIELDS: &[&str] = &[
@@ -364,6 +374,7 @@ pub const ROOT_FIELDS: &[&str] = &[
     "serving",
     "network",
     "streaming",
+    "kernels",
     "total_sequential_ms",
     "total_batched_ms",
     "overall_speedup",
@@ -495,6 +506,25 @@ pub const STREAMING_FIELDS: &[&str] = &[
     "materialize_failures",
 ];
 
+/// Required fields of the `kernels` object.
+pub const KERNEL_FIELDS: &[&str] = &[
+    "m",
+    "rho",
+    "candidates",
+    "dtw_scalar_ns",
+    "dtw_opt_ns",
+    "dtw_speedup",
+    "ed_scalar_ns",
+    "ed_opt_ns",
+    "lb_keogh_scalar_ns",
+    "lb_keogh_opt_ns",
+    "envelope_ns",
+    "alloc_events_warm",
+    "adaptive_skipped_lb_kim",
+    "adaptive_skipped_lb_keogh",
+    "bit_identical",
+];
+
 /// Required fields of every `multi_series.per_series` row.
 pub const SERIES_FIELDS: &[&str] = &[
     "series",
@@ -594,6 +624,8 @@ pub fn validate_schema(value: &Value) -> Result<(), String> {
             return Err(format!("network.per_connection is missing the connections={want} row"));
         }
     }
+    let kernels = obj(root.get("kernels").expect("checked"), "kernels")?;
+    need(&kernels, KERNEL_FIELDS, "kernels")?;
     Ok(())
 }
 
@@ -638,6 +670,17 @@ impl BenchReport {
     pub fn streaming_stall_ok(&self) -> bool {
         let st = &self.streaming;
         st.burst_p99_us <= (10 * st.quiet_p99_us).max(5_000)
+    }
+
+    /// True when the kernel sweep holds every contract of the optimized
+    /// kernel pass: bit-identical results, a warm scratch that never
+    /// allocated, and an optimized DTW no slower than its scalar oracle
+    /// — the CI kernel gate (enforced with `KVM_BENCH_ENFORCE=1`;
+    /// informative on loaded boxes where timing noise can invert the
+    /// speed comparison).
+    pub fn kernels_ok(&self) -> bool {
+        let k = &self.kernels;
+        k.bit_identical && k.alloc_events_warm == 0 && k.dtw_opt_ns <= k.dtw_scalar_ns
     }
 
     /// The report as a JSON value tree (the `serde_json` shim renders it;
@@ -819,6 +862,25 @@ impl BenchReport {
         ins(&mut stm, "materialize_failures", Value::from(st.materialize_failures));
         ins(&mut root, "streaming", Value::Object(stm));
 
+        let k = &self.kernels;
+        let mut km = Map::new();
+        ins(&mut km, "m", Value::from(k.m));
+        ins(&mut km, "rho", Value::from(k.rho));
+        ins(&mut km, "candidates", Value::from(k.candidates));
+        ins(&mut km, "dtw_scalar_ns", Value::from(k.dtw_scalar_ns));
+        ins(&mut km, "dtw_opt_ns", Value::from(k.dtw_opt_ns));
+        ins(&mut km, "dtw_speedup", Value::from(k.dtw_speedup));
+        ins(&mut km, "ed_scalar_ns", Value::from(k.ed_scalar_ns));
+        ins(&mut km, "ed_opt_ns", Value::from(k.ed_opt_ns));
+        ins(&mut km, "lb_keogh_scalar_ns", Value::from(k.lb_keogh_scalar_ns));
+        ins(&mut km, "lb_keogh_opt_ns", Value::from(k.lb_keogh_opt_ns));
+        ins(&mut km, "envelope_ns", Value::from(k.envelope_ns));
+        ins(&mut km, "alloc_events_warm", Value::from(k.alloc_events_warm));
+        ins(&mut km, "adaptive_skipped_lb_kim", Value::from(k.adaptive_skipped_lb_kim));
+        ins(&mut km, "adaptive_skipped_lb_keogh", Value::from(k.adaptive_skipped_lb_keogh));
+        ins(&mut km, "bit_identical", Value::from(k.bit_identical));
+        ins(&mut root, "kernels", Value::Object(km));
+
         ins(&mut root, "total_sequential_ms", Value::from(self.total_sequential_ms));
         ins(&mut root, "total_batched_ms", Value::from(self.total_batched_ms));
         ins(&mut root, "overall_speedup", Value::from(self.overall_speedup));
@@ -848,6 +910,35 @@ impl WorkloadDelta {
     }
 }
 
+/// One kernel timing's delta against the committed baseline. Kernel
+/// deltas are informational — ns/candidate at smoke scale is too noisy
+/// to gate a PR on — so they never count as regressions; the speed
+/// *contract* (optimized DTW no slower than scalar) is
+/// [`BenchReport::kernels_ok`]'s business.
+#[derive(Clone, Debug)]
+pub struct KernelDelta {
+    /// Kernel metric name (a `KERNEL_FIELDS` timing entry).
+    pub name: String,
+    /// Baseline ns/candidate.
+    pub baseline_ns: f64,
+    /// This run's ns/candidate.
+    pub current_ns: f64,
+    /// `(current - baseline) / baseline`, percent (negative = faster).
+    pub delta_pct: f64,
+}
+
+/// Kernel metrics `--compare` diffs when the baseline carries a
+/// `kernels` section (v7 or later).
+pub const KERNEL_DELTA_METRICS: &[&str] = &[
+    "dtw_scalar_ns",
+    "dtw_opt_ns",
+    "ed_scalar_ns",
+    "ed_opt_ns",
+    "lb_keogh_scalar_ns",
+    "lb_keogh_opt_ns",
+    "envelope_ns",
+];
+
 /// The baseline comparison `bench_report --compare` produces: per-matched
 /// workload wall-time deltas plus the total, written to
 /// `BENCH_delta.json` and gated at a regression threshold.
@@ -855,6 +946,9 @@ impl WorkloadDelta {
 pub struct BaselineComparison {
     /// Rows matched by `(backend, name)` between baseline and current.
     pub rows: Vec<WorkloadDelta>,
+    /// Per-kernel ns/candidate deltas — informational, never regressions.
+    /// Empty when the baseline predates the v7 `kernels` section.
+    pub kernel_rows: Vec<KernelDelta>,
     /// Current workloads with no baseline row (new since the trajectory
     /// point was committed — informational, never a regression).
     pub unmatched: Vec<String>,
@@ -897,10 +991,11 @@ impl BaselineComparison {
         out
     }
 
-    /// The delta report as a JSON tree (`kvmatch-bench-delta/v1`).
+    /// The delta report as a JSON tree (`kvmatch-bench-delta/v2`; v2
+    /// added the informational `kernel_rows` array).
     pub fn to_value(&self, baseline_path: &str) -> Value {
         let mut root = Map::new();
-        root.insert("schema".into(), Value::from("kvmatch-bench-delta/v1"));
+        root.insert("schema".into(), Value::from("kvmatch-bench-delta/v2"));
         root.insert("baseline".into(), Value::from(baseline_path));
         root.insert("threshold_pct".into(), Value::from(self.threshold_pct));
         let rows = self
@@ -918,6 +1013,19 @@ impl BaselineComparison {
             })
             .collect();
         root.insert("rows".into(), Value::Array(rows));
+        let kernel_rows = self
+            .kernel_rows
+            .iter()
+            .map(|row| {
+                let mut r = Map::new();
+                r.insert("name".into(), Value::from(row.name.as_str()));
+                r.insert("baseline_ns".into(), Value::from(row.baseline_ns));
+                r.insert("current_ns".into(), Value::from(row.current_ns));
+                r.insert("delta_pct".into(), Value::from(row.delta_pct));
+                Value::Object(r)
+            })
+            .collect();
+        root.insert("kernel_rows".into(), Value::Array(kernel_rows));
         root.insert(
             "unmatched".into(),
             Value::Array(self.unmatched.iter().map(|s| Value::from(s.as_str())).collect()),
@@ -1008,8 +1116,39 @@ pub fn compare_to_baseline(
     if deltas.is_empty() {
         return Err("no workload of this run matches the baseline".into());
     }
+
+    // Kernel timings: diffed when the baseline carries the v7 `kernels`
+    // section; older trajectory points simply produce no kernel rows.
+    let metric = |k: &KernelReport, name: &str| -> f64 {
+        match name {
+            "dtw_scalar_ns" => k.dtw_scalar_ns,
+            "dtw_opt_ns" => k.dtw_opt_ns,
+            "ed_scalar_ns" => k.ed_scalar_ns,
+            "ed_opt_ns" => k.ed_opt_ns,
+            "lb_keogh_scalar_ns" => k.lb_keogh_scalar_ns,
+            "lb_keogh_opt_ns" => k.lb_keogh_opt_ns,
+            "envelope_ns" => k.envelope_ns,
+            other => unreachable!("unknown kernel metric {other}"),
+        }
+    };
+    let mut kernel_rows = Vec::new();
+    if let Some(Value::Object(bk)) = root.get("kernels") {
+        for name in KERNEL_DELTA_METRICS {
+            if let Some(Value::Number(base)) = bk.get(name) {
+                let cur = metric(&current.kernels, name);
+                kernel_rows.push(KernelDelta {
+                    name: (*name).to_string(),
+                    baseline_ns: *base,
+                    current_ns: cur,
+                    delta_pct: pct_delta(*base, cur),
+                });
+            }
+        }
+    }
+
     Ok(BaselineComparison {
         rows: deltas,
+        kernel_rows,
         unmatched,
         env_mismatch,
         total_baseline_ms: *total_baseline_ms,
@@ -1705,6 +1844,7 @@ pub fn run_report(env: ReportEnv) -> BenchReport {
     let serving = run_serving(&env, &fx);
     let network = run_network(&env, &fx, serving.served_rps);
     let streaming = run_streaming(&env);
+    let kernels = run_kernels(&env);
 
     BenchReport {
         schema: SCHEMA.to_string(),
@@ -1715,6 +1855,7 @@ pub fn run_report(env: ReportEnv) -> BenchReport {
         serving,
         network,
         streaming,
+        kernels,
         total_sequential_ms: total_seq,
         total_batched_ms: total_batch,
         overall_speedup: total_seq / total_batch.max(1e-9),
@@ -1769,9 +1910,14 @@ mod tests {
         assert_eq!(rows.len(), 8);
         let Value::Object(first) = &rows[0] else { panic!("workload row is an object") };
         assert!(matches!(first.get("speedup"), Some(Value::Number(v)) if *v > 0.0));
+        // The kernel sweep holds its two hard contracts; speed is the CI
+        // gate's business (a loaded test box must not flake on timing).
+        assert!(report.kernels.bit_identical);
+        assert_eq!(report.kernels.alloc_events_warm, 0);
         let json = to_json(&report);
         assert!(json.contains("\"total_batched_ms\""));
         assert!(json.contains("\"multi_series\""));
+        assert!(json.contains("\"kernels\""));
         assert!(json.ends_with('\n'));
     }
 
@@ -1914,13 +2060,36 @@ mod tests {
         let report = run_report(tiny_env());
         let baseline = report.to_value();
 
-        // Against itself: zero deltas, nothing regresses, same env.
+        // Against itself: zero deltas, nothing regresses, same env, and
+        // every kernel timing diffed at zero delta.
         let cmp = compare_to_baseline(&report, &baseline, 25.0).unwrap();
         assert_eq!(cmp.rows.len(), report.workloads.len());
         assert!(cmp.unmatched.is_empty());
         assert!(cmp.env_mismatch.is_empty());
         assert!(cmp.rows.iter().all(|row| row.delta_pct.abs() < 1e-9));
         assert!(cmp.regressions().is_empty());
+        assert_eq!(cmp.kernel_rows.len(), KERNEL_DELTA_METRICS.len());
+        assert!(cmp.kernel_rows.iter().all(|row| row.delta_pct.abs() < 1e-9));
+
+        // A pre-v7 baseline (no kernels section) yields no kernel rows —
+        // informational absence, never an error.
+        let Value::Object(mut pre_v7) = baseline.clone() else { panic!() };
+        pre_v7.remove("kernels");
+        let cmp = compare_to_baseline(&report, &Value::Object(pre_v7), 25.0).unwrap();
+        assert!(cmp.kernel_rows.is_empty());
+        assert!(cmp.regressions().is_empty());
+
+        // Kernel slowdowns never regress the comparison: ns/candidate at
+        // smoke scale is informational; the speed contract is kernels_ok.
+        let Value::Object(mut fast_kernels) = baseline.clone() else { panic!() };
+        let Some(Value::Object(bk)) = fast_kernels.get("kernels") else { panic!() };
+        let mut bk = bk.clone();
+        bk.insert("dtw_opt_ns".into(), Value::from(1e-3));
+        fast_kernels.insert("kernels".into(), Value::Object(bk));
+        let cmp = compare_to_baseline(&report, &Value::Object(fast_kernels), 25.0).unwrap();
+        let dtw = cmp.kernel_rows.iter().find(|row| row.name == "dtw_opt_ns").unwrap();
+        assert!(dtw.delta_pct > 25.0, "the synthetic baseline is far faster");
+        assert!(cmp.regressions().is_empty(), "kernel rows are report-only");
 
         // A baseline from a different scale gets its knobs flagged.
         let Value::Object(mut scaled) = baseline.clone() else { panic!() };
@@ -2089,9 +2258,22 @@ mod tests {
         broken.remove("streaming");
         assert!(validate_schema(&Value::Object(broken)).is_err());
 
-        // A renamed schema tag fails too (v5 reports are not v6 reports).
+        // A dropped kernel field — or the whole section — fails (the CI
+        // kernel gate reads it).
         let mut broken = root.clone();
-        broken.insert("schema".into(), Value::from("kvmatch-bench-exec/v5"));
+        let Some(Value::Object(k)) = broken.get("kernels") else { panic!() };
+        let mut k = k.clone();
+        k.remove("alloc_events_warm");
+        broken.insert("kernels".into(), Value::Object(k));
+        assert!(validate_schema(&Value::Object(broken)).is_err());
+
+        let mut broken = root.clone();
+        broken.remove("kernels");
+        assert!(validate_schema(&Value::Object(broken)).is_err());
+
+        // A renamed schema tag fails too (v6 reports are not v7 reports).
+        let mut broken = root.clone();
+        broken.insert("schema".into(), Value::from("kvmatch-bench-exec/v6"));
         assert!(validate_schema(&Value::Object(broken)).is_err());
     }
 }

@@ -44,7 +44,7 @@ use std::time::Instant;
 
 use kvmatch_storage::{KvStore, SeriesId, SeriesStore};
 
-use kvmatch_distance::BestSoFar;
+use kvmatch_distance::{AdaptivePolicy, BestSoFar, KernelScratch};
 use parking_lot::Mutex;
 
 use crate::cache::{RowCache, RowCacheStats};
@@ -67,11 +67,18 @@ pub struct ExecutorConfig {
     /// bounds cache memory even when individual rows are huge. Evictions
     /// it forces surface in [`MatchStats::cache_evictions`].
     pub cache_interval_budget: u64,
+    /// Adaptive cascade stage demotion for DTW verification (`None` = the
+    /// fixed LB_Kim-FL → LB_Keogh → DTW order, the default). When set,
+    /// each query's cascade demotes lower-bound stages whose observed
+    /// pruning rate falls below the policy's floor — results are always
+    /// bit-identical; only the per-stage work and
+    /// [`CascadeStats`](kvmatch_distance::CascadeStats) change.
+    pub adaptive_cascade: Option<AdaptivePolicy>,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
-        Self { threads: 0, cache_capacity: 4096, cache_interval_budget: 0 }
+        Self { threads: 0, cache_capacity: 4096, cache_interval_budget: 0, adaptive_cascade: None }
     }
 }
 
@@ -298,7 +305,8 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
                 .by_series
                 .get(&spec.series.raw())
                 .ok_or(CoreError::UnknownSeries(spec.series))?;
-            let prep = PreparedQuery::new(spec.clone())?;
+            let mut prep = PreparedQuery::new(spec.clone())?;
+            prep.set_adaptive(self.config.adaptive_cascade);
             let w = self.targets[target].index.window();
             if prep.m < w {
                 return Err(CoreError::QueryTooShort { query_len: prep.m, window: w });
@@ -383,8 +391,10 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
             Vec::new()
         } else if threads == 1 {
             // Single worker: run inline, skipping thread spawn/join cost.
+            // One scratch per worker: after the first item it is warm and
+            // verification performs no kernel heap allocations.
             let mut produced = Vec::with_capacity(items.len());
-            let mut scratch: Vec<f64> = Vec::new();
+            let mut scratch = KernelScratch::new();
             for (item_idx, item) in items.iter().enumerate() {
                 let plan = &plans[item.query];
                 let t = Instant::now();
@@ -413,7 +423,7 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
                     .map(|_| {
                         scope.spawn(move || {
                             let mut produced = Vec::new();
-                            let mut scratch: Vec<f64> = Vec::new();
+                            let mut scratch = KernelScratch::new();
                             loop {
                                 let item_idx = next_ref.fetch_add(1, Ordering::Relaxed);
                                 if item_idx >= items_ref.len() {
@@ -762,6 +772,41 @@ mod tests {
                     assert!(out.results.len() <= k);
                 }
             }
+        }
+    }
+
+    /// The adaptive cascade config knob must never change any result —
+    /// stage demotion only re-routes candidates between admissible lower
+    /// bounds and the exact kernel.
+    #[test]
+    fn adaptive_cascade_config_is_result_invariant() {
+        let xs = composite_series(127, 5_000);
+        let idx = build_index(&xs, 50);
+        let data = MemorySeriesStore::new(xs.clone());
+        let specs = vec![
+            QuerySpec::rsm_dtw(xs[900..1100].to_vec(), 8.0, 6),
+            QuerySpec::cnsm_dtw(xs[2000..2160].to_vec(), 3.0, 5, 1.5, 3.0),
+            QuerySpec::rsm_dtw(xs[3000..3200].to_vec(), 15.0, 6).top_k(3),
+        ];
+        let plain = QueryExecutor::new(&idx, &data).unwrap().execute_batch(&specs).unwrap();
+        let adaptive = QueryExecutor::with_config(
+            &idx,
+            &data,
+            ExecutorConfig {
+                threads: 2,
+                adaptive_cascade: Some(AdaptivePolicy {
+                    window: 8,
+                    min_prune_rate: 0.9, // demote as aggressively as possible
+                    probation: 32,
+                }),
+                ..ExecutorConfig::default()
+            },
+        )
+        .unwrap()
+        .execute_batch(&specs)
+        .unwrap();
+        for (a, b) in plain.outputs.iter().zip(&adaptive.outputs) {
+            assert_eq!(a.results, b.results, "adaptive cascade changed results");
         }
     }
 

@@ -14,10 +14,11 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
-use kvmatch_distance::cascade::{BestSoFar, CascadeStats, LbCascade};
+use kvmatch_distance::cascade::{AdaptivePolicy, BestSoFar, CascadeStats, LbCascade};
 use kvmatch_distance::ed::{abandon_order, ed_early_abandon, ed_norm_early_abandon_ordered};
 use kvmatch_distance::lp::{lp_norm_pow_early_abandon, lp_pow_early_abandon};
-use kvmatch_distance::normalize::{mean_std, z_normalized};
+use kvmatch_distance::normalize::{mean_std, z_normalize};
+use kvmatch_distance::scratch::KernelScratch;
 use kvmatch_distance::LpExponent;
 use kvmatch_storage::{KvStore, SeriesStore};
 use kvmatch_timeseries::PrefixStats;
@@ -80,7 +81,10 @@ impl PreparedQuery {
             None
         };
         let (q_norm, order, cascade_norm) = if spec.is_normalized() {
-            let q_norm = z_normalized(&spec.query);
+            // (µ, σ) are already in hand — clone and normalize in place
+            // instead of paying z_normalized's duplicate statistics pass.
+            let mut q_norm = spec.query.clone();
+            z_normalize(&mut q_norm, mu_q, sigma_q);
             let order = abandon_order(&q_norm);
             let cascade_norm =
                 spec.measure.is_dtw().then(|| LbCascade::new(q_norm.clone(), spec.measure.rho()));
@@ -89,6 +93,20 @@ impl PreparedQuery {
             (Vec::new(), Vec::new(), None)
         };
         Ok(Self { spec, m, mu_q, sigma_q, q_stats, cascade, q_norm, order, cascade_norm })
+    }
+
+    /// Enables (`Some`) or disables (`None`) adaptive cascade stage
+    /// demotion on every DTW cascade this query owns (raw and normalized
+    /// domain). Adaptive demotion never changes returned distances — only
+    /// which admissible lower bounds get evaluated. No-op for non-DTW
+    /// measures.
+    pub fn set_adaptive(&mut self, policy: Option<AdaptivePolicy>) {
+        if let Some(data) = &mut self.cascade {
+            data.cascade.set_adaptive(policy);
+        }
+        if let Some(cascade) = &mut self.cascade_norm {
+            cascade.set_adaptive(policy);
+        }
     }
 
     /// The lemma range `[LR, UR]` for the query window `Q(offset, w)`.
@@ -180,7 +198,7 @@ impl PreparedQuery {
         s: &[f64],
         mu_s: f64,
         sigma_s: f64,
-        scratch: &mut Vec<f64>,
+        scratch: &mut KernelScratch,
         stats: &mut CascadeStats,
     ) -> Option<f64> {
         self.verify_within(s, mu_s, sigma_s, self.threshold_ceiling(), scratch, stats)
@@ -204,7 +222,7 @@ impl PreparedQuery {
         mu_s: f64,
         sigma_s: f64,
         bound: f64,
-        scratch: &mut Vec<f64>,
+        scratch: &mut KernelScratch,
         stats: &mut CascadeStats,
     ) -> Option<f64> {
         if let Measure::Lp { p } = self.spec.measure {
@@ -217,7 +235,7 @@ impl PreparedQuery {
             }
             (None, true) => {
                 let cascade = &self.cascade.as_ref().expect("RSM-DTW has a cascade").cascade;
-                cascade.verify(s, bound, stats)
+                cascade.verify(s, bound, scratch, stats)
             }
             (Some(c), false) => {
                 if !self.constraint_ok(c, mu_s, sigma_s) {
@@ -232,12 +250,16 @@ impl PreparedQuery {
                     stats.pruned_constraint += 1;
                     return None;
                 }
-                // Materialize Ŝ once, reuse for every cascade stage.
-                scratch.clear();
-                scratch.extend_from_slice(s);
-                kvmatch_distance::z_normalize(scratch, mu_s, sigma_s);
+                // Materialize Ŝ once in the scratch's norm buffer, reuse
+                // it for every cascade stage. `take_norm` detaches the
+                // buffer so the cascade can borrow the scratch's DP rows
+                // alongside it; `restore_norm` hands the capacity back.
+                let mut s_norm = scratch.take_norm(s);
+                z_normalize(&mut s_norm, mu_s, sigma_s);
                 let cascade = self.cascade_norm.as_ref().expect("cNSM-DTW has a cascade");
-                cascade.verify(scratch, bound, stats)
+                let out = cascade.verify(&s_norm, bound, scratch, stats);
+                scratch.restore_norm(s_norm);
+                out
             }
         }
     }
@@ -309,7 +331,7 @@ pub(crate) fn verify_interval<D: SeriesStore>(
     data: &D,
     prep: &PreparedQuery,
     wi: WindowInterval,
-    scratch: &mut Vec<f64>,
+    scratch: &mut KernelScratch,
     best: Option<&Mutex<BestSoFar>>,
 ) -> Result<IntervalVerification, CoreError> {
     let m = prep.m;
@@ -377,7 +399,7 @@ pub(crate) fn verify_candidates<D: SeriesStore>(
 ) -> Result<Vec<MatchResult>, CoreError> {
     let best = prep.best_so_far();
     let mut results = Vec::new();
-    let mut scratch = Vec::with_capacity(prep.m);
+    let mut scratch = KernelScratch::with_query_capacity(prep.m, prep.spec.measure.rho());
     for wi in cs.intervals() {
         let iv = verify_interval(data, prep, *wi, &mut scratch, best.as_ref())?;
         stats.points_fetched += iv.points_fetched;
@@ -720,6 +742,74 @@ mod tests {
             matcher.execute(&QuerySpec::rsm_ed(q, 1.0).top_k(0)),
             Err(CoreError::InvalidQuery(_))
         ));
+    }
+
+    #[test]
+    fn warm_verify_interval_is_allocation_free() {
+        // The zero-allocation contract of the kernel pass: once a worker's
+        // KernelScratch has grown to a query's working-set size, repeated
+        // verify_interval calls perform no kernel heap allocations —
+        // KernelScratch counts every buffer growth, so a zero delta on the
+        // warm repetition proves it. Covers all four query classes
+        // (RSM/cNSM × ED/DTW); the cNSM-DTW case exercises the
+        // take_norm/restore_norm round trip.
+        let xs = composite_series(77, 2_000);
+        let q = xs[300..460].to_vec();
+        let data = MemorySeriesStore::new(xs.clone());
+        let specs = [
+            QuerySpec::rsm_ed(q.clone(), 25.0),
+            QuerySpec::rsm_dtw(q.clone(), 25.0, 7),
+            QuerySpec::cnsm_ed(q.clone(), 5.0, 1.5, 2.0),
+            QuerySpec::cnsm_dtw(q.clone(), 5.0, 7, 1.5, 2.0),
+        ];
+        for spec in specs {
+            let prep = PreparedQuery::new(spec.clone()).unwrap();
+            let wi = WindowInterval::new(200, 600);
+            let mut scratch = KernelScratch::new();
+            // Cold pass: the scratch grows to size.
+            verify_interval(&data, &prep, wi, &mut scratch, None).unwrap();
+            let warm = scratch.alloc_events();
+            // Warm passes: zero further kernel allocations.
+            for _ in 0..3 {
+                verify_interval(&data, &prep, wi, &mut scratch, None).unwrap();
+            }
+            assert_eq!(
+                scratch.alloc_events(),
+                warm,
+                "warm verify_interval allocated ({:?})",
+                spec.measure
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_cascade_same_results() {
+        // Adaptive stage demotion must never change which subsequences
+        // qualify or their distances — only the lower-bound work done.
+        let xs = composite_series(79, 2_500);
+        let q = xs[600..760].to_vec();
+        let data = MemorySeriesStore::new(xs.clone());
+        for spec in [
+            QuerySpec::rsm_dtw(q.clone(), 20.0, 6),
+            QuerySpec::cnsm_dtw(q.clone(), 4.0, 6, 1.5, 2.0),
+        ] {
+            let plain = PreparedQuery::new(spec.clone()).unwrap();
+            let mut adaptive = PreparedQuery::new(spec.clone()).unwrap();
+            adaptive.set_adaptive(Some(AdaptivePolicy {
+                window: 16,
+                min_prune_rate: 0.9, // demote aggressively
+                probation: 64,
+            }));
+            let wi = WindowInterval::new(100, 1200);
+            let mut scratch = KernelScratch::new();
+            let a = verify_interval(&data, &plain, wi, &mut scratch, None).unwrap();
+            let b = verify_interval(&data, &adaptive, wi, &mut scratch, None).unwrap();
+            let av: Vec<(usize, u64)> =
+                a.results.iter().map(|r| (r.offset, r.distance.to_bits())).collect();
+            let bv: Vec<(usize, u64)> =
+                b.results.iter().map(|r| (r.offset, r.distance.to_bits())).collect();
+            assert_eq!(av, bv, "adaptive changed results ({:?})", spec.measure);
+        }
     }
 
     #[test]

@@ -26,10 +26,31 @@
 //! For top-k and threshold queries the effective threshold tightens as
 //! results accumulate; [`BestSoFar`] threads that shrinking bound through
 //! the cascade so later candidates abandon earlier.
+//!
+//! # Adaptive stage demotion
+//!
+//! A lower bound only pays for itself while it prunes: on a workload where
+//! (say) LB_Kim-FL rejects nothing, every candidate still pays its O(1) —
+//! or LB_Keogh's O(m) — toll before reaching the kernel. When built with
+//! an [`AdaptivePolicy`], a cascade measures each stage's observed pruning
+//! rate over a sliding window of candidates and **demotes** (skips) a
+//! stage whose rate falls below the policy's floor. Demotion is bounded:
+//! after `probation` skipped candidates the stage is re-enabled and must
+//! re-earn its keep over a fresh window, so a workload shift re-activates
+//! it. Skipping an *admissible* bound can only let more candidates
+//! through to the exact DTW kernel — returned distances are bit-identical
+//! with the adaptive machinery on or off; only cost and
+//! [`CascadeStats`] change (the property suite pins this down). The state
+//! is shared across clones via relaxed atomics: workers race on window
+//! boundaries, which at worst blurs a window edge, never correctness.
 
-use crate::dtw::dtw_banded_early_abandon;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+
+use crate::dtw::dtw_banded_early_abandon_scratch;
 use crate::envelope::keogh_envelope;
 use crate::lower_bounds::{lb_keogh_sq_early_abandon, lb_kim_fl_sq};
+use crate::scratch::KernelScratch;
 
 /// Where candidates died along the cascade, plus how many survived to the
 /// full kernel. The constraint counter is incremented by callers that run
@@ -44,6 +65,10 @@ pub struct CascadeStats {
     pub pruned_lb_keogh: u64,
     /// Candidates that reached the full distance kernel.
     pub full_distance_computations: u64,
+    /// Candidates whose LB_Kim-FL stage was skipped by adaptive demotion.
+    pub adaptive_skipped_lb_kim: u64,
+    /// Candidates whose LB_Keogh stage was skipped by adaptive demotion.
+    pub adaptive_skipped_lb_keogh: u64,
 }
 
 impl CascadeStats {
@@ -53,6 +78,8 @@ impl CascadeStats {
         self.pruned_lb_kim += other.pruned_lb_kim;
         self.pruned_lb_keogh += other.pruned_lb_keogh;
         self.full_distance_computations += other.full_distance_computations;
+        self.adaptive_skipped_lb_kim += other.adaptive_skipped_lb_kim;
+        self.adaptive_skipped_lb_keogh += other.adaptive_skipped_lb_keogh;
     }
 
     /// Total candidates pruned before the full kernel.
@@ -61,25 +88,115 @@ impl CascadeStats {
     }
 }
 
+/// Tuning knobs of adaptive cascade stage demotion. See the module docs
+/// for the state machine; `Default` is a conservative setting (5% floor
+/// over 256-candidate windows, 2048-candidate probation).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AdaptivePolicy {
+    /// Candidates measured per decision window (clamped to ≥ 1 in use).
+    pub window: u32,
+    /// A stage whose pruning rate over a completed window falls below
+    /// this fraction is demoted.
+    pub min_prune_rate: f64,
+    /// Candidates a demoted stage skips before re-probation re-enables it.
+    pub probation: u32,
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> Self {
+        Self { window: 256, min_prune_rate: 0.05, probation: 2048 }
+    }
+}
+
+/// One stage's demotion gate: measuring (`skip_left == 0`, counting seen /
+/// pruned toward the current window) or demoted (`skip_left > 0`,
+/// draining toward re-probation). All counters are relaxed atomics — the
+/// gate is shared across worker threads through the cascade's `Arc`.
+#[derive(Debug, Default)]
+struct StageGate {
+    seen: AtomicU64,
+    pruned: AtomicU64,
+    skip_left: AtomicU64,
+}
+
+impl StageGate {
+    /// Consumes one skip token if the stage is demoted. The token that
+    /// reaches zero ends the probation: the next candidate runs the stage
+    /// again on a fresh window.
+    fn try_skip(&self) -> bool {
+        self.skip_left.fetch_update(Relaxed, Relaxed, |v| v.checked_sub(1)).is_ok()
+    }
+
+    /// Records one measured stage outcome; on a window boundary decides
+    /// whether to demote.
+    fn record(&self, pruned: bool, policy: &AdaptivePolicy) {
+        if pruned {
+            self.pruned.fetch_add(1, Relaxed);
+        }
+        let seen = self.seen.fetch_add(1, Relaxed) + 1;
+        let window = u64::from(policy.window.max(1));
+        if seen >= window {
+            // Close the window. Racing workers may split one window into
+            // slightly uneven pieces; the decision stays rate-based.
+            let pruned_w = self.pruned.swap(0, Relaxed);
+            self.seen.store(0, Relaxed);
+            if (pruned_w as f64) < policy.min_prune_rate * (seen as f64) {
+                self.skip_left.store(u64::from(policy.probation), Relaxed);
+            }
+        }
+    }
+}
+
+/// Shared adaptive state of one cascade instance (and all its clones).
+#[derive(Debug)]
+struct AdaptiveState {
+    policy: AdaptivePolicy,
+    kim: StageGate,
+    keogh: StageGate,
+}
+
 /// A query prepared for cascaded DTW verification: the query itself, its
 /// Keogh envelope and the Sakoe–Chiba band radius.
 ///
 /// Both the batched executor / KV-matcher (normalized or raw domain) and
 /// the UCR-Suite baseline verify through this one type.
+///
+/// Clones share the adaptive demotion state (when enabled): the executor's
+/// workers verify through `&self`, so one instance's pruning-rate windows
+/// aggregate observations from every thread.
 #[derive(Clone, Debug)]
 pub struct LbCascade {
     query: Vec<f64>,
     lower: Vec<f64>,
     upper: Vec<f64>,
     rho: usize,
+    adaptive: Option<Arc<AdaptiveState>>,
 }
 
 impl LbCascade {
     /// Prepares the cascade: computes the Keogh envelope of `query` for
-    /// band radius `rho`.
+    /// band radius `rho`. Adaptive demotion is off (the fixed stage
+    /// order); see [`LbCascade::set_adaptive`].
     pub fn new(query: Vec<f64>, rho: usize) -> Self {
         let (lower, upper) = keogh_envelope(&query, rho);
-        Self { query, lower, upper, rho }
+        Self { query, lower, upper, rho, adaptive: None }
+    }
+
+    /// Enables (`Some`) or disables (`None`) adaptive stage demotion,
+    /// resetting any accumulated gate state.
+    pub fn set_adaptive(&mut self, policy: Option<AdaptivePolicy>) {
+        self.adaptive = policy.map(|policy| {
+            Arc::new(AdaptiveState {
+                policy,
+                kim: StageGate::default(),
+                keogh: StageGate::default(),
+            })
+        });
+    }
+
+    /// Whether adaptive stage demotion is enabled.
+    pub fn adaptive_enabled(&self) -> bool {
+        self.adaptive.is_some()
     }
 
     /// The query sequence.
@@ -105,7 +222,9 @@ impl LbCascade {
     /// Stage 1 alone: returns `true` (and counts the prune) when LB_Kim-FL
     /// already exceeds `threshold_sq`. Callers that interleave their own
     /// cheap stages (e.g. FAST's PAA bound) run this first and finish with
-    /// [`LbCascade::verify_skip_kim`].
+    /// [`LbCascade::verify_skip_kim`]. Always runs the stage — adaptive
+    /// demotion applies only inside [`LbCascade::verify`], where the
+    /// cascade owns the stage order.
     #[inline]
     pub fn prune_kim(&self, s: &[f64], threshold_sq: f64, stats: &mut CascadeStats) -> bool {
         if lb_kim_fl_sq(s, &self.query) > threshold_sq {
@@ -119,11 +238,28 @@ impl LbCascade {
     /// The full cascade: LB_Kim-FL → LB_Keogh → banded DTW, all against the
     /// squared threshold. Returns `Some(dtw²)` iff the candidate qualifies.
     #[inline]
-    pub fn verify(&self, s: &[f64], threshold_sq: f64, stats: &mut CascadeStats) -> Option<f64> {
-        if self.prune_kim(s, threshold_sq, stats) {
+    pub fn verify(
+        &self,
+        s: &[f64],
+        threshold_sq: f64,
+        scratch: &mut KernelScratch,
+        stats: &mut CascadeStats,
+    ) -> Option<f64> {
+        if let Some(ad) = &self.adaptive {
+            if ad.kim.try_skip() {
+                stats.adaptive_skipped_lb_kim += 1;
+            } else {
+                let pruned = lb_kim_fl_sq(s, &self.query) > threshold_sq;
+                ad.kim.record(pruned, &ad.policy);
+                if pruned {
+                    stats.pruned_lb_kim += 1;
+                    return None;
+                }
+            }
+        } else if self.prune_kim(s, threshold_sq, stats) {
             return None;
         }
-        self.verify_skip_kim(s, threshold_sq, stats)
+        self.verify_skip_kim(s, threshold_sq, scratch, stats)
     }
 
     /// Stages 2–3 only (LB_Keogh → banded DTW), for callers that already
@@ -133,14 +269,29 @@ impl LbCascade {
         &self,
         s: &[f64],
         threshold_sq: f64,
+        scratch: &mut KernelScratch,
         stats: &mut CascadeStats,
     ) -> Option<f64> {
-        if lb_keogh_sq_early_abandon(s, &self.lower, &self.upper, threshold_sq).is_none() {
-            stats.pruned_lb_keogh += 1;
-            return None;
+        let run_keogh = match &self.adaptive {
+            Some(ad) if ad.keogh.try_skip() => {
+                stats.adaptive_skipped_lb_keogh += 1;
+                false
+            }
+            _ => true,
+        };
+        if run_keogh {
+            let pruned =
+                lb_keogh_sq_early_abandon(s, &self.lower, &self.upper, threshold_sq).is_none();
+            if let Some(ad) = &self.adaptive {
+                ad.keogh.record(pruned, &ad.policy);
+            }
+            if pruned {
+                stats.pruned_lb_keogh += 1;
+                return None;
+            }
         }
         stats.full_distance_computations += 1;
-        dtw_banded_early_abandon(s, &self.query, self.rho, threshold_sq)
+        dtw_banded_early_abandon_scratch(s, &self.query, self.rho, threshold_sq, scratch)
     }
 
     /// Top-k verification: runs the cascade against `best.threshold_sq()`
@@ -152,9 +303,10 @@ impl LbCascade {
         &self,
         s: &[f64],
         best: &mut BestSoFar,
+        scratch: &mut KernelScratch,
         stats: &mut CascadeStats,
     ) -> Option<f64> {
-        let d_sq = self.verify(s, best.threshold_sq(), stats)?;
+        let d_sq = self.verify(s, best.threshold_sq(), scratch, stats)?;
         best.offer(d_sq).then_some(d_sq)
     }
 }
@@ -256,6 +408,7 @@ mod tests {
 
     #[test]
     fn verify_matches_exact_dtw() {
+        let mut scratch = KernelScratch::new();
         for seed in 0..6u64 {
             let q = pseudo(64, 17 + seed, 3);
             let s = pseudo(64, 31 + seed, 7);
@@ -264,13 +417,13 @@ mod tests {
                 let exact = dtw_banded(&s, &q, rho);
                 let mut stats = CascadeStats::default();
                 // Loose threshold: must accept with the exact value.
-                let got = cascade.verify(&s, exact * exact + 1e-9, &mut stats);
+                let got = cascade.verify(&s, exact * exact + 1e-9, &mut scratch, &mut stats);
                 assert!(got.is_some(), "rho={rho} seed={seed}");
                 assert!((got.unwrap().sqrt() - exact).abs() < 1e-9);
                 // Tight threshold: must prune at some stage.
                 let mut stats = CascadeStats::default();
                 if exact > 0.0 {
-                    let out = cascade.verify(&s, exact * exact * 0.5, &mut stats);
+                    let out = cascade.verify(&s, exact * exact * 0.5, &mut scratch, &mut stats);
                     assert!(out.is_none());
                     assert!(stats.pruned_total() + stats.full_distance_computations >= 1);
                 }
@@ -284,33 +437,38 @@ mod tests {
         let s = pseudo(48, 19, 11);
         let cascade = LbCascade::new(q.clone(), 4);
         let thr = 1e9;
+        let mut scratch = KernelScratch::new();
         let mut a = CascadeStats::default();
         let mut b = CascadeStats::default();
         assert!(!cascade.prune_kim(&s, thr, &mut a));
-        assert_eq!(cascade.verify(&s, thr, &mut a), cascade.verify_skip_kim(&s, thr, &mut b));
+        assert_eq!(
+            cascade.verify(&s, thr, &mut scratch, &mut a),
+            cascade.verify_skip_kim(&s, thr, &mut scratch, &mut b)
+        );
     }
 
     #[test]
     fn stats_attribute_each_stage() {
         let q = vec![0.0; 32];
         let cascade = LbCascade::new(q, 2);
+        let mut scratch = KernelScratch::new();
         // Endpoint spike → killed by LB_Kim-FL.
         let mut s = vec![0.0; 32];
         s[0] = 100.0;
         let mut stats = CascadeStats::default();
-        assert!(cascade.verify(&s, 1.0, &mut stats).is_none());
+        assert!(cascade.verify(&s, 1.0, &mut scratch, &mut stats).is_none());
         assert_eq!(stats.pruned_lb_kim, 1);
         // Mid-sequence spike (outside any warped endpoint) → LB_Keogh.
         let mut s = vec![0.0; 32];
         s[16] = 100.0;
         let mut stats = CascadeStats::default();
-        assert!(cascade.verify(&s, 1.0, &mut stats).is_none());
+        assert!(cascade.verify(&s, 1.0, &mut scratch, &mut stats).is_none());
         assert_eq!(stats.pruned_lb_keogh, 1);
         assert_eq!(stats.pruned_lb_kim, 0);
         // Identical sequence → survives to the kernel and qualifies.
         let s = vec![0.0; 32];
         let mut stats = CascadeStats::default();
-        assert_eq!(cascade.verify(&s, 1.0, &mut stats), Some(0.0));
+        assert_eq!(cascade.verify(&s, 1.0, &mut scratch, &mut stats), Some(0.0));
         assert_eq!(stats.full_distance_computations, 1);
     }
 
@@ -321,16 +479,21 @@ mod tests {
             pruned_lb_kim: 2,
             pruned_lb_keogh: 3,
             full_distance_computations: 4,
+            adaptive_skipped_lb_kim: 5,
+            adaptive_skipped_lb_keogh: 6,
         };
         a.merge(&a.clone());
         assert_eq!(a.pruned_total(), 12);
         assert_eq!(a.full_distance_computations, 8);
+        assert_eq!(a.adaptive_skipped_lb_kim, 10);
+        assert_eq!(a.adaptive_skipped_lb_keogh, 12);
     }
 
     #[test]
     fn keogh_prune_is_sound_against_kernel() {
         // Whenever the cascade prunes at Keogh, the true DTW must exceed
         // the threshold (spot check; the property tests sweep this).
+        let mut scratch = KernelScratch::new();
         for seed in 0..8u64 {
             let q = pseudo(40, 23 + seed, 9);
             let s = pseudo(40, 29 + seed, 1);
@@ -340,12 +503,124 @@ mod tests {
             if keogh > 0.0 {
                 let thr = keogh * 0.9;
                 let mut stats = CascadeStats::default();
-                if cascade.verify(&s, thr, &mut stats).is_none() {
+                if cascade.verify(&s, thr, &mut scratch, &mut stats).is_none() {
                     let exact = dtw_banded(&s, &q, 3);
                     assert!(exact * exact > thr - 1e-9);
                 }
             }
         }
+    }
+
+    #[test]
+    fn adaptive_demotes_useless_stage_and_reprobates() {
+        // A cascade whose query equals every candidate: no stage ever
+        // prunes, so both gates demote after one window, skip for exactly
+        // `probation` candidates, then measure a fresh window.
+        let q = pseudo(32, 7, 1);
+        let mut cascade = LbCascade::new(q.clone(), 2);
+        let policy = AdaptivePolicy { window: 8, min_prune_rate: 0.05, probation: 16 };
+        cascade.set_adaptive(Some(policy));
+        assert!(cascade.adaptive_enabled());
+        let mut scratch = KernelScratch::new();
+        let mut stats = CascadeStats::default();
+        // Window 1: measured (no skips yet), zero prunes → demote.
+        for _ in 0..8 {
+            assert!(cascade.verify(&q, 1e9, &mut scratch, &mut stats).is_some());
+        }
+        assert_eq!(stats.adaptive_skipped_lb_kim, 0);
+        assert_eq!(stats.adaptive_skipped_lb_keogh, 0);
+        // Probation: the next 16 candidates skip both stages.
+        for _ in 0..16 {
+            assert!(cascade.verify(&q, 1e9, &mut scratch, &mut stats).is_some());
+        }
+        assert_eq!(stats.adaptive_skipped_lb_kim, 16);
+        assert_eq!(stats.adaptive_skipped_lb_keogh, 16);
+        // Re-probation: stages measure again (no further skips until the
+        // next window closes).
+        for _ in 0..7 {
+            assert!(cascade.verify(&q, 1e9, &mut scratch, &mut stats).is_some());
+        }
+        assert_eq!(stats.adaptive_skipped_lb_kim, 16);
+        assert_eq!(stats.adaptive_skipped_lb_keogh, 16);
+        assert_eq!(stats.full_distance_computations, 8 + 16 + 7);
+    }
+
+    #[test]
+    fn adaptive_keeps_pruning_stage_active() {
+        // Every candidate dies at LB_Kim-FL: a 100% pruning rate never
+        // demotes, so no skips accumulate.
+        let q = vec![0.0; 32];
+        let mut cascade = LbCascade::new(q, 2);
+        cascade.set_adaptive(Some(AdaptivePolicy {
+            window: 4,
+            min_prune_rate: 0.05,
+            probation: 32,
+        }));
+        let mut s = vec![0.0; 32];
+        s[0] = 100.0;
+        let mut scratch = KernelScratch::new();
+        let mut stats = CascadeStats::default();
+        for _ in 0..32 {
+            assert!(cascade.verify(&s, 1.0, &mut scratch, &mut stats).is_none());
+        }
+        assert_eq!(stats.pruned_lb_kim, 32);
+        assert_eq!(stats.adaptive_skipped_lb_kim, 0);
+    }
+
+    #[test]
+    fn adaptive_distances_bit_identical_to_plain() {
+        // Skipping admissible bounds can only route more candidates to the
+        // exact kernel — every returned distance must match the plain
+        // cascade bit for bit.
+        let q = pseudo(48, 13, 5);
+        let plain = LbCascade::new(q.clone(), 4);
+        let mut adaptive = LbCascade::new(q.clone(), 4);
+        adaptive.set_adaptive(Some(AdaptivePolicy {
+            window: 4,
+            min_prune_rate: 0.9, // absurd floor: demote as often as possible
+            probation: 8,
+        }));
+        let mut scratch = KernelScratch::new();
+        for seed in 0..40u64 {
+            let s = pseudo(48, 19 + seed, 11);
+            for thr in [1e9, 500.0, 50.0] {
+                let mut ap = CascadeStats::default();
+                let mut pp = CascadeStats::default();
+                let a = adaptive.verify(&s, thr, &mut scratch, &mut ap);
+                let p = plain.verify(&s, thr, &mut scratch, &mut pp);
+                match (a, p) {
+                    (Some(x), Some(y)) => assert_eq!(x.to_bits(), y.to_bits()),
+                    (None, None) => {}
+                    // A skipped bound may push the decision down to the
+                    // kernel, but the accept/reject verdict is identical
+                    // because every stage is admissible.
+                    (a, p) => panic!("adaptive {a:?} vs plain {p:?} (seed={seed}, thr={thr})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clones_share_adaptive_state() {
+        let q = pseudo(32, 7, 1);
+        let mut cascade = LbCascade::new(q.clone(), 2);
+        cascade.set_adaptive(Some(AdaptivePolicy {
+            window: 8,
+            min_prune_rate: 0.05,
+            probation: 16,
+        }));
+        let clone = cascade.clone();
+        let mut scratch = KernelScratch::new();
+        let mut stats = CascadeStats::default();
+        // Drive the shared gates to demotion through the original...
+        for _ in 0..8 {
+            cascade.verify(&q, 1e9, &mut scratch, &mut stats).unwrap();
+        }
+        // ...and observe the skip through the clone.
+        let mut stats = CascadeStats::default();
+        clone.verify(&q, 1e9, &mut scratch, &mut stats).unwrap();
+        assert_eq!(stats.adaptive_skipped_lb_kim, 1);
+        assert_eq!(stats.adaptive_skipped_lb_keogh, 1);
     }
 
     #[test]
@@ -379,10 +654,11 @@ mod tests {
         let candidates: Vec<Vec<f64>> =
             (0..6).map(|j| q.iter().map(|v| v + j as f64 * 0.5).collect::<Vec<f64>>()).collect();
         let mut best = BestSoFar::new(3, f64::INFINITY);
+        let mut scratch = KernelScratch::new();
         let mut stats = CascadeStats::default();
         let mut accepted = 0;
         for c in &candidates {
-            if cascade.verify_topk(c, &mut best, &mut stats).is_some() {
+            if cascade.verify_topk(c, &mut best, &mut scratch, &mut stats).is_some() {
                 accepted += 1;
             }
         }

@@ -23,10 +23,47 @@ pub fn ed(a: &[f64], b: &[f64]) -> f64 {
     ed_sq(a, b).sqrt()
 }
 
+/// Chunk width of the early-abandoning accumulation passes: the threshold
+/// is checked once per `LANES` elements instead of once per element. The
+/// verdict and any returned value are unchanged because the accumulator is
+/// non-decreasing — exceeding the threshold mid-chunk implies exceeding it
+/// at the chunk boundary too.
+const LANES: usize = 8;
+
 /// Early-abandoning squared ED: returns `Some(d²)` iff `d² ≤ threshold_sq`,
 /// abandoning the accumulation as soon as it exceeds the threshold.
+///
+/// Chunked accumulation (one threshold check per `LANES` elements);
+/// bit-identical to [`ed_early_abandon_scalar`].
 #[inline]
 pub fn ed_early_abandon(a: &[f64], b: &[f64], threshold_sq: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    let mut ac = a.chunks_exact(LANES);
+    let mut bc = b.chunks_exact(LANES);
+    for (ca, cb) in (&mut ac).zip(&mut bc) {
+        for (x, y) in ca.iter().zip(cb) {
+            let d = x - y;
+            acc += d * d;
+        }
+        if acc > threshold_sq {
+            return None;
+        }
+    }
+    for (x, y) in ac.remainder().iter().zip(bc.remainder()) {
+        let d = x - y;
+        acc += d * d;
+        if acc > threshold_sq {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// The pre-optimization per-element-check ED kernel, retained as the
+/// bit-identity oracle and the bench reporter's old-vs-new baseline.
+#[inline]
+pub fn ed_early_abandon_scalar(a: &[f64], b: &[f64], threshold_sq: f64) -> Option<f64> {
     debug_assert_eq!(a.len(), b.len());
     let mut acc = 0.0;
     for (x, y) in a.iter().zip(b.iter()) {
@@ -44,8 +81,64 @@ pub fn ed_early_abandon(a: &[f64], b: &[f64], threshold_sq: f64) -> Option<f64> 
 /// provided statistics (the UCR Suite trick: no materialized Ŝ).
 ///
 /// With `sigma_s == 0`, `s` normalizes to all-zeros.
+///
+/// Chunked accumulation (one threshold check per `LANES` elements);
+/// bit-identical to [`ed_norm_early_abandon_scalar`].
 #[inline]
 pub fn ed_norm_early_abandon(
+    s: &[f64],
+    q_norm: &[f64],
+    mu_s: f64,
+    sigma_s: f64,
+    threshold_sq: f64,
+) -> Option<f64> {
+    debug_assert_eq!(s.len(), q_norm.len());
+    let mut acc = 0.0;
+    if sigma_s == 0.0 {
+        let mut qc = q_norm.chunks_exact(LANES);
+        for cq in &mut qc {
+            for &q in cq {
+                acc += q * q;
+            }
+            if acc > threshold_sq {
+                return None;
+            }
+        }
+        for &q in qc.remainder() {
+            acc += q * q;
+            if acc > threshold_sq {
+                return None;
+            }
+        }
+        return Some(acc);
+    }
+    let inv = 1.0 / sigma_s;
+    let mut sc = s.chunks_exact(LANES);
+    let mut qc = q_norm.chunks_exact(LANES);
+    for (cs, cq) in (&mut sc).zip(&mut qc) {
+        for (x, q) in cs.iter().zip(cq) {
+            let d = (x - mu_s) * inv - q;
+            acc += d * d;
+        }
+        if acc > threshold_sq {
+            return None;
+        }
+    }
+    for (x, q) in sc.remainder().iter().zip(qc.remainder()) {
+        let d = (x - mu_s) * inv - q;
+        acc += d * d;
+        if acc > threshold_sq {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// The pre-optimization per-element-check normalize-on-the-fly ED kernel,
+/// retained as the bit-identity oracle and the bench reporter's old-vs-new
+/// baseline.
+#[inline]
+pub fn ed_norm_early_abandon_scalar(
     s: &[f64],
     q_norm: &[f64],
     mu_s: f64,
@@ -77,6 +170,11 @@ pub fn ed_norm_early_abandon(
 /// Early-abandoning normalized ED that visits coordinates in a caller-chosen
 /// `order` (UCR Suite reorders by `|q̂ᵢ|` descending so large contributions
 /// are accumulated first, abandoning sooner).
+///
+/// Deliberately *not* chunked: the gather-indexed access already defeats
+/// contiguous loads, and the reorder exists to abandon as early as
+/// possible — batching its threshold checks would trade away exactly the
+/// early exits it buys.
 #[inline]
 pub fn ed_norm_early_abandon_ordered(
     s: &[f64],

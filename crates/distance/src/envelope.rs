@@ -9,16 +9,40 @@ use std::collections::VecDeque;
 
 /// Computes the lower and upper envelope `(L, U)` of `q` for band radius
 /// `rho`. Indices near the boundary clamp the window to the series.
+///
+/// Allocates the output pair (and the deque queues) per call; the
+/// allocation-free path is
+/// [`KernelScratch::envelope`](crate::scratch::KernelScratch::envelope),
+/// which reuses scratch-owned buffers for all four.
 pub fn keogh_envelope(q: &[f64], rho: usize) -> (Vec<f64>, Vec<f64>) {
     let m = q.len();
     let mut lower = vec![0.0; m];
     let mut upper = vec![0.0; m];
-    if m == 0 {
-        return (lower, upper);
-    }
-    // Window for index i is [i-rho, i+rho] ∩ [0, m-1].
     let mut min_dq: VecDeque<usize> = VecDeque::new();
     let mut max_dq: VecDeque<usize> = VecDeque::new();
+    envelope_core(q, rho, &mut lower, &mut upper, &mut min_dq, &mut max_dq);
+    (lower, upper)
+}
+
+/// The monotonic-deque envelope pass over caller-provided buffers.
+/// `lower`/`upper` must be exactly `q.len()` long; the deques must be
+/// empty (their capacity is reused, which is the whole point).
+pub(crate) fn envelope_core(
+    q: &[f64],
+    rho: usize,
+    lower: &mut [f64],
+    upper: &mut [f64],
+    min_dq: &mut VecDeque<usize>,
+    max_dq: &mut VecDeque<usize>,
+) {
+    let m = q.len();
+    debug_assert_eq!(lower.len(), m);
+    debug_assert_eq!(upper.len(), m);
+    debug_assert!(min_dq.is_empty() && max_dq.is_empty());
+    if m == 0 {
+        return;
+    }
+    // Window for index i is [i-rho, i+rho] ∩ [0, m-1].
     // `t` walks the right edge; when the right edge reaches i+rho the
     // window for i is complete.
     let mut t = 0usize;
@@ -61,7 +85,6 @@ pub fn keogh_envelope(q: &[f64], rho: usize) -> (Vec<f64>, Vec<f64>) {
         lower[i] = q[*min_dq.front().expect("window non-empty")];
         upper[i] = q[*max_dq.front().expect("window non-empty")];
     }
-    (lower, upper)
 }
 
 /// Naive O(m·ρ) reference envelope for validation.

@@ -7,6 +7,9 @@
 //! (un-rooted) domain; callers that want a metric-style value apply the
 //! appropriate root themselves (e.g. `sqrt` for squared-ED points).
 
+use crate::dtw::banded_core;
+use crate::scratch::KernelScratch;
+
 /// Banded DTW with a caller-supplied point cost; returns the accumulated
 /// cost along the optimal path.
 ///
@@ -27,12 +30,32 @@ where
 /// Early-abandoning banded GDTW: `Some(cost)` iff the accumulated cost is
 /// `≤ threshold`; abandons once every cell of a row exceeds it (sound
 /// because non-negative point costs make paths monotone).
-#[allow(clippy::needless_range_loop)] // band-relative indexing reads clearer with explicit i/j
+///
+/// Allocates its DP rows per call; hot paths use
+/// [`gdtw_banded_early_abandon_scratch`] with a per-worker
+/// [`KernelScratch`].
 pub fn gdtw_banded_early_abandon<F>(
     a: &[f64],
     b: &[f64],
     rho: usize,
     threshold: f64,
+    point: F,
+) -> Option<f64>
+where
+    F: Fn(f64, f64) -> f64,
+{
+    gdtw_banded_early_abandon_scratch(a, b, rho, threshold, &mut KernelScratch::new(), point)
+}
+
+/// [`gdtw_banded_early_abandon`] over reusable scratch rows — the same
+/// branch-peeled DP core as the classic DTW kernel, just with the point
+/// cost abstracted.
+pub fn gdtw_banded_early_abandon_scratch<F>(
+    a: &[f64],
+    b: &[f64],
+    rho: usize,
+    threshold: f64,
+    scratch: &mut KernelScratch,
     point: F,
 ) -> Option<f64>
 where
@@ -45,40 +68,8 @@ where
     }
     let band = rho.min(m - 1);
     let width = 2 * band + 1;
-    let inf = f64::INFINITY;
-    let mut prev = vec![inf; width + 2];
-    let mut curr = vec![inf; width + 2];
-
-    for i in 0..m {
-        let j_lo = i.saturating_sub(band);
-        let j_hi = (i + band).min(m - 1);
-        let mut row_min = inf;
-        curr.iter_mut().for_each(|c| *c = inf);
-        for j in j_lo..=j_hi {
-            let k = j + band - i;
-            let d = point(a[i], b[j]);
-            debug_assert!(d >= 0.0, "negative point cost breaks early abandoning");
-            let best_prev = if i == 0 && j == 0 {
-                0.0
-            } else {
-                let up = if i > 0 && k + 1 < width + 1 { prev[k + 1] } else { inf };
-                let diag = if i > 0 && j > 0 { prev[k] } else { inf };
-                let left = if j > 0 && k > 0 { curr[k - 1] } else { inf };
-                up.min(diag).min(left)
-            };
-            let cost = best_prev + d;
-            curr[k] = cost;
-            if cost < row_min {
-                row_min = cost;
-            }
-        }
-        if row_min > threshold {
-            return None;
-        }
-        std::mem::swap(&mut prev, &mut curr);
-    }
-    let total = prev[band];
-    (total <= threshold).then_some(total)
+    let (prev, curr) = scratch.dp_rows(width + 2);
+    banded_core(a, b, band, threshold, prev, curr, point)
 }
 
 /// L1 (Manhattan) point cost.
@@ -169,5 +160,26 @@ mod tests {
     #[test]
     fn empty_inputs_cost_zero() {
         assert_eq!(gdtw_banded(&[], &[], 3, point_l1), 0.0);
+    }
+
+    #[test]
+    fn scratch_variant_matches_and_stays_allocation_free() {
+        let (a, b) = (series_a(), series_b());
+        let mut scratch = KernelScratch::new();
+        let _ = gdtw_banded_early_abandon_scratch(&a, &b, 5, f64::INFINITY, &mut scratch, point_l1);
+        let warm = scratch.alloc_events();
+        for rho in [0usize, 2, 5] {
+            let plain = gdtw_banded_early_abandon(&a, &b, rho, f64::INFINITY, point_l1);
+            let scr = gdtw_banded_early_abandon_scratch(
+                &a,
+                &b,
+                rho,
+                f64::INFINITY,
+                &mut scratch,
+                point_l1,
+            );
+            assert_eq!(plain.map(f64::to_bits), scr.map(f64::to_bits), "rho={rho}");
+        }
+        assert_eq!(scratch.alloc_events(), warm, "warm GDTW must be allocation-free");
     }
 }

@@ -19,30 +19,78 @@ pub fn lb_kim_fl_sq(s: &[f64], q: &[f64]) -> f64 {
     df * df + dl * dl
 }
 
+/// Per-point LB_Keogh excursion beyond the envelope, branch-free.
+///
+/// At most one of the two clamped deltas is non-zero, so their sum is the
+/// excursion; squaring it reproduces the branchy `(v − u)²` / `(v − l)²`
+/// cases bit-for-bit (`(l − v)² == (v − l)²` exactly, and adding `+0.0`
+/// to a non-negative accumulator is a no-op at the bit level).
+#[inline(always)]
+fn keogh_excursion(v: f64, l: f64, u: f64) -> f64 {
+    (v - u).max(0.0) + (l - v).max(0.0)
+}
+
 /// LB_Keogh squared: `Σᵢ (sᵢ − uᵢ)²` when `sᵢ > uᵢ`, `(sᵢ − lᵢ)²` when
 /// `sᵢ < lᵢ`, else 0 — against the query envelope `(lower, upper)`.
+///
+/// Branch-free body; bit-identical to [`lb_keogh_sq_scalar`].
 #[inline]
 pub fn lb_keogh_sq(s: &[f64], lower: &[f64], upper: &[f64]) -> f64 {
     debug_assert_eq!(s.len(), lower.len());
     debug_assert_eq!(s.len(), upper.len());
     let mut acc = 0.0;
-    for i in 0..s.len() {
-        let v = s[i];
-        if v > upper[i] {
-            let d = v - upper[i];
-            acc += d * d;
-        } else if v < lower[i] {
-            let d = v - lower[i];
-            acc += d * d;
-        }
+    for ((&v, &l), &u) in s.iter().zip(lower).zip(upper) {
+        let d = keogh_excursion(v, l, u);
+        acc += d * d;
     }
     acc
 }
 
 /// Early-abandoning LB_Keogh: `None` as soon as the accumulation exceeds
 /// `threshold_sq`.
+///
+/// Runs the branch-free body over fixed-width chunks, checking the
+/// threshold once per chunk instead of once per element — the verdict and
+/// the returned accumulation are unchanged because the accumulator is
+/// non-decreasing (bit-identical to [`lb_keogh_sq_early_abandon_scalar`]).
 #[inline]
 pub fn lb_keogh_sq_early_abandon(
+    s: &[f64],
+    lower: &[f64],
+    upper: &[f64],
+    threshold_sq: f64,
+) -> Option<f64> {
+    debug_assert_eq!(s.len(), lower.len());
+    debug_assert_eq!(s.len(), upper.len());
+    const LANES: usize = 8;
+    let mut acc = 0.0;
+    let mut sc = s.chunks_exact(LANES);
+    let mut lc = lower.chunks_exact(LANES);
+    let mut uc = upper.chunks_exact(LANES);
+    for ((cs, cl), cu) in (&mut sc).zip(&mut lc).zip(&mut uc) {
+        for ((&v, &l), &u) in cs.iter().zip(cl).zip(cu) {
+            let d = keogh_excursion(v, l, u);
+            acc += d * d;
+        }
+        if acc > threshold_sq {
+            return None;
+        }
+    }
+    for ((&v, &l), &u) in sc.remainder().iter().zip(lc.remainder()).zip(uc.remainder()) {
+        let d = keogh_excursion(v, l, u);
+        acc += d * d;
+        if acc > threshold_sq {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// The pre-optimization scalar LB_Keogh (branchy per-element cases and a
+/// per-element threshold check). Retained as the bit-identity oracle and
+/// the bench reporter's old-vs-new baseline.
+#[inline]
+pub fn lb_keogh_sq_early_abandon_scalar(
     s: &[f64],
     lower: &[f64],
     upper: &[f64],
@@ -65,6 +113,26 @@ pub fn lb_keogh_sq_early_abandon(
         }
     }
     Some(acc)
+}
+
+/// Branchy counterpart of [`lb_keogh_sq`], kept as its bit-identity
+/// oracle.
+#[inline]
+pub fn lb_keogh_sq_scalar(s: &[f64], lower: &[f64], upper: &[f64]) -> f64 {
+    debug_assert_eq!(s.len(), lower.len());
+    debug_assert_eq!(s.len(), upper.len());
+    let mut acc = 0.0;
+    for i in 0..s.len() {
+        let v = s[i];
+        if v > upper[i] {
+            let d = v - upper[i];
+            acc += d * d;
+        } else if v < lower[i] {
+            let d = v - lower[i];
+            acc += d * d;
+        }
+    }
+    acc
 }
 
 /// LB_PAA squared (Eq. 3 of the paper, from Zhu & Shasha): windows of width

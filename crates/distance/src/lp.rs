@@ -8,6 +8,14 @@
 //! compare in the **p-th-power domain** (mirroring the squared-domain
 //! convention of the ED kernels): pass `ε^p`, get `Σ|s_i − q_i|^p` back.
 //! Chebyshev (`L∞`) kernels work directly in the distance domain.
+//!
+//! # No scratch variants
+//!
+//! Every kernel in this module is a single streaming pass holding one
+//! scalar accumulator — none allocates, so there is nothing for a
+//! [`KernelScratch`](crate::scratch::KernelScratch) to reuse. The
+//! kernels' cost is dominated by `powi`/`powf` per element, not by
+//! memory traffic, which is also why they are left un-chunked.
 
 /// The exponent of an Lp norm: finite `p ≥ 1`, or `∞` (Chebyshev).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]

@@ -4,6 +4,10 @@
 //! (e.g. by the baselines) without pulling in the time-series container.
 
 /// Mean and population standard deviation in one pass.
+///
+/// Accumulates `Σx` and `Σx²` in input order with single accumulators —
+/// deliberately not lane-split, because reassociating the sums would
+/// change the rounding and break the repo's bit-identity discipline.
 pub fn mean_std(xs: &[f64]) -> (f64, f64) {
     if xs.is_empty() {
         return (0.0, 0.0);
@@ -24,6 +28,13 @@ pub fn mean_std(xs: &[f64]) -> (f64, f64) {
 /// With `sigma == 0` (constant input) the output is all-zero, matching the
 /// UCR Suite convention so that two constant sequences are identical after
 /// normalization.
+///
+/// Branch-free per element (one fused scale-and-shift pass rustc
+/// auto-vectorizes); this is the kernel behind the scratch-buffer
+/// normalization path — hot callers copy the candidate into a
+/// [`KernelScratch`](crate::scratch::KernelScratch) buffer and normalize
+/// in place instead of calling the allocating [`z_normalized`].
+#[inline]
 pub fn z_normalize(xs: &mut [f64], mu: f64, sigma: f64) {
     if sigma == 0.0 {
         xs.iter_mut().for_each(|v| *v = 0.0);
@@ -34,6 +45,12 @@ pub fn z_normalize(xs: &mut [f64], mu: f64, sigma: f64) {
 }
 
 /// Returns the z-normalized copy of `xs` (statistics computed internally).
+///
+/// A thin convenience that allocates the copy per call — fine for
+/// per-query preparation and tests, wrong for per-candidate paths. In-repo
+/// per-candidate callers go through [`z_normalize`] with a scratch buffer;
+/// per-query callers that already hold `(µ, σ)` clone and call
+/// [`z_normalize`] directly to skip the duplicate statistics pass.
 pub fn z_normalized(xs: &[f64]) -> Vec<f64> {
     let (mu, sigma) = mean_std(xs);
     let mut out = xs.to_vec();

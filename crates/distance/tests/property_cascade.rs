@@ -11,6 +11,7 @@ use kvmatch_distance::cascade::{BestSoFar, CascadeStats, LbCascade};
 use kvmatch_distance::dtw::dtw_banded;
 use kvmatch_distance::ed::ed;
 use kvmatch_distance::lower_bounds::{lb_keogh_sq, lb_kim_fl_sq};
+use kvmatch_distance::scratch::KernelScratch;
 
 fn series(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
     proptest::collection::vec(-100.0f64..100.0, len)
@@ -64,8 +65,9 @@ proptest! {
         let cascade = LbCascade::new(q.clone(), rho);
         let exact = dtw_banded(&s, &q, rho);
         let thr_sq = (exact * frac) * (exact * frac);
+        let mut scratch = KernelScratch::new();
         let mut stats = CascadeStats::default();
-        match cascade.verify(&s, thr_sq, &mut stats) {
+        match cascade.verify(&s, thr_sq, &mut scratch, &mut stats) {
             Some(d_sq) => {
                 prop_assert!((d_sq.sqrt() - exact).abs() < 1e-6);
                 prop_assert!(d_sq <= thr_sq + 1e-9);
@@ -91,10 +93,11 @@ proptest! {
         let thr_sq = (exact * frac) * (exact * frac);
         let mut a = CascadeStats::default();
         if !cascade.prune_kim(&s, thr_sq, &mut a) {
+            let mut scratch = KernelScratch::new();
             let mut b = CascadeStats::default();
             prop_assert_eq!(
-                cascade.verify(&s, thr_sq, &mut a),
-                cascade.verify_skip_kim(&s, thr_sq, &mut b)
+                cascade.verify(&s, thr_sq, &mut scratch, &mut a),
+                cascade.verify_skip_kim(&s, thr_sq, &mut scratch, &mut b)
             );
         }
     }

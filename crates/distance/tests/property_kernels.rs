@@ -1,0 +1,254 @@
+//! Bit-identity property suite for the optimized kernel pass.
+//!
+//! The optimized kernels (peeled/branch-free banded DTW, chunked ED and
+//! LB_Keogh) are only allowed to differ from their retained scalar twins
+//! in *speed*: every test here compares outputs through `f64::to_bits`,
+//! so even a one-ulp rounding divergence fails. The suite also pins down
+//! the edge cases the chunk/peel rewrites are most likely to break —
+//! empty inputs, length-1 series, bands at least as wide as the series,
+//! all-identical values — and that adaptive cascade demotion never
+//! changes any returned distance.
+
+use proptest::prelude::*;
+
+use kvmatch_distance::cascade::{AdaptivePolicy, CascadeStats, LbCascade};
+use kvmatch_distance::dtw::{dtw_banded_early_abandon_scalar, dtw_banded_early_abandon_scratch};
+use kvmatch_distance::ed::{
+    ed_early_abandon, ed_early_abandon_scalar, ed_norm_early_abandon, ed_norm_early_abandon_scalar,
+};
+use kvmatch_distance::envelope::keogh_envelope;
+use kvmatch_distance::gdtw::{gdtw_banded_early_abandon, gdtw_banded_early_abandon_scratch};
+use kvmatch_distance::lower_bounds::{
+    lb_keogh_sq, lb_keogh_sq_early_abandon, lb_keogh_sq_early_abandon_scalar, lb_keogh_sq_scalar,
+};
+use kvmatch_distance::normalize::mean_std;
+use kvmatch_distance::scratch::KernelScratch;
+
+fn series(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-100.0f64..100.0, len)
+}
+
+/// `Option<f64>` → comparable bits (abandon vs. accept must also agree).
+fn bits(v: Option<f64>) -> Option<u64> {
+    v.map(f64::to_bits)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn dtw_scratch_bit_identical_to_scalar(
+        pair in (1usize..48).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        rho in 0usize..60,
+        frac in 0.0f64..2.5,
+    ) {
+        let (a, b) = pair;
+        let mut scratch = KernelScratch::new();
+        // Derive thresholds around the exact value so both accept and
+        // abandon paths are exercised.
+        let exact = dtw_banded_early_abandon_scalar(&a, &b, rho, f64::INFINITY)
+            .expect("infinite threshold always accepts");
+        for thr in [exact * frac, 0.0, f64::INFINITY] {
+            let fast = dtw_banded_early_abandon_scratch(&a, &b, rho, thr, &mut scratch);
+            let slow = dtw_banded_early_abandon_scalar(&a, &b, rho, thr);
+            prop_assert_eq!(bits(fast), bits(slow), "rho={} thr={}", rho, thr);
+        }
+    }
+
+    #[test]
+    fn ed_chunked_bit_identical_to_scalar(
+        pair in (1usize..64).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        frac in 0.0f64..2.5,
+    ) {
+        let (a, b) = pair;
+        let exact = ed_early_abandon_scalar(&a, &b, f64::INFINITY).unwrap();
+        for thr in [exact * frac, 0.0, f64::INFINITY] {
+            prop_assert_eq!(
+                bits(ed_early_abandon(&a, &b, thr)),
+                bits(ed_early_abandon_scalar(&a, &b, thr))
+            );
+        }
+    }
+
+    #[test]
+    fn ed_norm_chunked_bit_identical_to_scalar(
+        pair in (1usize..64).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        frac in 0.0f64..2.5,
+        constant in proptest::bool::ANY,
+    ) {
+        let (s, q) = pair;
+        // Exercise both the σ = 0 (constant candidate) and general paths.
+        let (mu_s, sigma_s) = if constant { (3.0, 0.0) } else { mean_std(&s) };
+        let exact = ed_norm_early_abandon_scalar(&s, &q, mu_s, sigma_s, f64::INFINITY).unwrap();
+        for thr in [exact * frac, 0.0, f64::INFINITY] {
+            prop_assert_eq!(
+                bits(ed_norm_early_abandon(&s, &q, mu_s, sigma_s, thr)),
+                bits(ed_norm_early_abandon_scalar(&s, &q, mu_s, sigma_s, thr))
+            );
+        }
+    }
+
+    #[test]
+    fn lb_keogh_branch_free_bit_identical_to_scalar(
+        pair in (1usize..64).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        rho in 0usize..20,
+        frac in 0.0f64..2.5,
+    ) {
+        // Real envelopes only: the branch-free excursion is bit-identical
+        // exactly when lower ≤ upper, which every Keogh envelope satisfies.
+        let (s, q) = pair;
+        let (l, u) = keogh_envelope(&q, rho);
+        prop_assert_eq!(
+            lb_keogh_sq(&s, &l, &u).to_bits(),
+            lb_keogh_sq_scalar(&s, &l, &u).to_bits()
+        );
+        let exact = lb_keogh_sq_scalar(&s, &l, &u);
+        for thr in [exact * frac, 0.0, f64::INFINITY] {
+            prop_assert_eq!(
+                bits(lb_keogh_sq_early_abandon(&s, &l, &u, thr)),
+                bits(lb_keogh_sq_early_abandon_scalar(&s, &l, &u, thr))
+            );
+        }
+    }
+
+    #[test]
+    fn gdtw_scratch_bit_identical_to_allocating(
+        pair in (1usize..32).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        rho in 0usize..40,
+        frac in 0.0f64..2.5,
+    ) {
+        let (a, b) = pair;
+        let mut scratch = KernelScratch::new();
+        let point = |x: f64, y: f64| (x - y).abs();
+        let exact = gdtw_banded_early_abandon(&a, &b, rho, f64::INFINITY, point).unwrap();
+        for thr in [exact * frac, 0.0, f64::INFINITY] {
+            prop_assert_eq!(
+                bits(gdtw_banded_early_abandon_scratch(&a, &b, rho, thr, &mut scratch, point)),
+                bits(gdtw_banded_early_abandon(&a, &b, rho, thr, point))
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_cascade_distances_bit_identical(
+        pair in (2usize..40).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        rho in 0usize..8,
+        frac in 0.0f64..2.0,
+        window in 1u32..16,
+        probation in 1u32..32,
+    ) {
+        // Stage demotion may only change *which* admissible bounds run —
+        // the accept/abandon verdict and any returned distance are exact
+        // either way. Drive the adaptive cascade repeatedly so gates
+        // actually demote and re-probate mid-stream.
+        let (s, q) = pair;
+        let plain = LbCascade::new(q.clone(), rho);
+        let mut adaptive = LbCascade::new(q.clone(), rho);
+        adaptive.set_adaptive(Some(AdaptivePolicy {
+            window,
+            min_prune_rate: 0.9,
+            probation,
+        }));
+        let mut scratch = KernelScratch::new();
+        let exact = dtw_banded_early_abandon_scalar(&s, &q, rho, f64::INFINITY).unwrap();
+        let thr = exact * frac;
+        for _ in 0..48 {
+            let mut ap = CascadeStats::default();
+            let mut pp = CascadeStats::default();
+            prop_assert_eq!(
+                bits(adaptive.verify(&s, thr, &mut scratch, &mut ap)),
+                bits(plain.verify(&s, thr, &mut scratch, &mut pp))
+            );
+        }
+    }
+
+    #[test]
+    fn warm_scratch_runs_allocation_free(
+        pair in (1usize..48).prop_flat_map(|m| (series(m..m + 1), series(m..m + 1))),
+        rho in 0usize..20,
+    ) {
+        // The zero-allocation contract at the kernel level: a scratch
+        // pre-grown for (m, rho) never allocates, whatever the inputs.
+        let (a, b) = pair;
+        let mut scratch = KernelScratch::with_query_capacity(a.len(), rho);
+        for thr in [0.0, 1.0, f64::INFINITY] {
+            dtw_banded_early_abandon_scratch(&a, &b, rho, thr, &mut scratch);
+        }
+        prop_assert_eq!(scratch.alloc_events(), 0);
+    }
+}
+
+// ---- deterministic edge cases the strategies above can't force ----
+
+#[test]
+fn empty_series_bit_identical() {
+    let mut scratch = KernelScratch::new();
+    for thr in [0.0, 1.0, f64::INFINITY, -1.0] {
+        assert_eq!(
+            bits(dtw_banded_early_abandon_scratch(&[], &[], 3, thr, &mut scratch)),
+            bits(dtw_banded_early_abandon_scalar(&[], &[], 3, thr))
+        );
+        assert_eq!(
+            bits(ed_early_abandon(&[], &[], thr)),
+            bits(ed_early_abandon_scalar(&[], &[], thr))
+        );
+        assert_eq!(
+            bits(lb_keogh_sq_early_abandon(&[], &[], &[], thr)),
+            bits(lb_keogh_sq_early_abandon_scalar(&[], &[], &[], thr))
+        );
+    }
+}
+
+#[test]
+fn length_one_series_bit_identical() {
+    let mut scratch = KernelScratch::new();
+    for (a, b) in [([2.5], [7.0]), ([0.0], [0.0]), ([-3.0], [-3.0])] {
+        for rho in [0usize, 1, 10] {
+            for thr in [0.0, 20.0, f64::INFINITY] {
+                assert_eq!(
+                    bits(dtw_banded_early_abandon_scratch(&a, &b, rho, thr, &mut scratch)),
+                    bits(dtw_banded_early_abandon_scalar(&a, &b, rho, thr)),
+                    "rho={rho} thr={thr}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn band_wider_than_series_bit_identical() {
+    let a = [1.0, -2.0, 3.5, 0.25, -1.75];
+    let b = [0.5, 2.0, -3.0, 1.0, 4.0];
+    let mut scratch = KernelScratch::new();
+    for rho in [4usize, 5, 6, 100] {
+        for thr in [0.0, 10.0, 1e6, f64::INFINITY] {
+            assert_eq!(
+                bits(dtw_banded_early_abandon_scratch(&a, &b, rho, thr, &mut scratch)),
+                bits(dtw_banded_early_abandon_scalar(&a, &b, rho, thr)),
+                "rho={rho} thr={thr}"
+            );
+        }
+    }
+}
+
+#[test]
+fn all_identical_values_bit_identical() {
+    let a = [4.0; 24];
+    let b = [4.0; 24];
+    let c = [-4.0; 24];
+    let mut scratch = KernelScratch::new();
+    for rho in [0usize, 3, 23, 50] {
+        for thr in [0.0, 1.0, f64::INFINITY] {
+            assert_eq!(
+                bits(dtw_banded_early_abandon_scratch(&a, &b, rho, thr, &mut scratch)),
+                bits(dtw_banded_early_abandon_scalar(&a, &b, rho, thr))
+            );
+            assert_eq!(
+                bits(dtw_banded_early_abandon_scratch(&a, &c, rho, thr, &mut scratch)),
+                bits(dtw_banded_early_abandon_scalar(&a, &c, rho, thr))
+            );
+        }
+        let (l, u) = keogh_envelope(&b, rho);
+        assert_eq!(lb_keogh_sq(&a, &l, &u).to_bits(), lb_keogh_sq_scalar(&a, &l, &u).to_bits());
+    }
+}
