@@ -6,9 +6,11 @@
 //! workload (headline run plus the workers = 1/2/4 scaling table), the
 //! socket-measured network workload (a TCP load generator against a
 //! `kvmatch-server` at 1/2/4 connections) and the streaming-ingest
-//! workload over the durable LSM backend, prints the comparison tables,
-//! validates the report schema, and writes `BENCH_exec.json` (override
-//! with `KVM_BENCH_OUT`).
+//! workload over the durable LSM backend, runs the observability checks
+//! (wire-level EXPLAIN bit-identity, metrics exposition well-formedness,
+//! slow-query log depth), prints the comparison tables, validates the
+//! report schema, and writes `BENCH_exec.json` (override with
+//! `KVM_BENCH_OUT`).
 //!
 //! Knobs: `KVM_N`, `KVM_W`, `KVM_QUERIES`, `KVM_SEED`, `KVM_THREADS`
 //! (0 = auto), `KVM_REPEAT` (best-of timing), `KVM_SERIES` (catalog
@@ -26,14 +28,23 @@
 //! latency beyond 10× the quiet-phase p99, 5 ms floor), **or** when the
 //! kernel sweep breaks a kernel-pass contract (a result diverging from
 //! its scalar oracle, a warm scratch that allocated, or an optimized
-//! DTW slower than the scalar reference) — the CI `bench-smoke` and
-//! `net-smoke` gates.
+//! DTW slower than the scalar reference), **or** when the observability
+//! contract breaks (explain-on results not bit-identical, malformed
+//! metrics exposition, or a trace with fewer than 3 spans) — the CI
+//! `bench-smoke`, `net-smoke` and `obs-smoke` gates. `obs-smoke`
+//! additionally sets `KVM_OBS_OVERHEAD_MAX_PCT` (e.g. `3`): when a
+//! baseline comparison ran with matching env knobs, the total
+//! wall-time delta doubles as the tracing-disabled overhead (no report
+//! workload sets `explain`, so the hooks are the only new code on the
+//! hot path) and the run fails if it exceeds that bound.
 //!
 //! `--compare <baseline.json>` additionally diffs this run's per-workload
 //! batched wall times against a committed trajectory point (the baseline
-//! is read *before* the new report overwrites it), prints the deltas —
-//! plus informational per-kernel ns/candidate deltas when the baseline
-//! carries the v7 `kernels` section — writes `BENCH_delta.json`
+//! is read *before* the new report overwrites it, and the comparison is
+//! computed *before* the write so the measured total delta can be
+//! recorded as the report's `observability.disabled_overhead_pct`),
+//! prints the deltas — plus informational per-kernel ns/candidate deltas
+//! when the baseline carries a `kernels` section — writes `BENCH_delta.json`
 //! (override with `KVM_BENCH_DELTA_OUT`), and exits non-zero when any
 //! workload — or the total — regressed by more than 25%. Kernel deltas
 //! never gate: smoke-scale nanosecond timings are too noisy to fail a
@@ -105,7 +116,7 @@ fn run() -> Result<(), String> {
     );
     println!();
 
-    let report = run_report(env);
+    let mut report = run_report(env);
 
     let mut table = Table::new(&[
         "backend",
@@ -349,6 +360,38 @@ fn run() -> Result<(), String> {
         k.bit_identical
     );
 
+    // Baseline comparison (--compare) is computed *before* the report is
+    // written: the measured total wall-time delta is recorded as the
+    // report's `observability.disabled_overhead_pct` (no report workload
+    // sets `explain`, so the delta against a pre-observability baseline
+    // measures exactly the cost of the disabled hooks), and the written
+    // file must carry the patched number.
+    let comparison = match baseline {
+        None => None,
+        Some((baseline_path, baseline)) => {
+            let cmp = compare_to_baseline(&report, &baseline, REGRESSION_THRESHOLD_PCT)
+                .map_err(|e| format!("cannot compare against {baseline_path}: {e}"))?;
+            report.observability.disabled_overhead_pct = cmp.total_delta_pct;
+            Some((baseline_path, cmp))
+        }
+    };
+
+    let o = &report.observability;
+    println!();
+    println!("=== observability: wire-level EXPLAIN + metrics exposition ===");
+    println!(
+        "explain bit-identical: {}; exposition well-formed: {}; {} spans per trace; \
+         slow-query log depth {}",
+        o.explain_bit_identical, o.exposition_ok, o.explain_spans, o.slowlog_depth
+    );
+    match &comparison {
+        Some((baseline_path, cmp)) => println!(
+            "disabled-path overhead: {:+.1}% total wall vs {baseline_path}",
+            cmp.total_delta_pct
+        ),
+        None => println!("disabled-path overhead: not measured (no --compare baseline)"),
+    }
+
     let value = report.to_value();
     validate_schema(&value).map_err(|msg| format!("BENCH_exec.json schema violation: {msg}"))?;
     std::fs::write(&out_path, to_json(&report))
@@ -356,11 +399,9 @@ fn run() -> Result<(), String> {
     println!();
     println!("wrote {out_path}");
 
-    // Baseline comparison (--compare): print the per-workload deltas,
-    // persist the delta report, and gate on the regression threshold.
-    if let Some((baseline_path, baseline)) = baseline {
-        let cmp = compare_to_baseline(&report, &baseline, REGRESSION_THRESHOLD_PCT)
-            .map_err(|e| format!("cannot compare against {baseline_path}: {e}"))?;
+    // Print the per-workload deltas, persist the delta report, and gate
+    // on the regression threshold.
+    if let Some((baseline_path, cmp)) = &comparison {
         println!();
         println!("=== baseline comparison vs {baseline_path} ===");
         let mut table =
@@ -403,7 +444,7 @@ fn run() -> Result<(), String> {
                  with perf movement"
             );
         }
-        std::fs::write(&delta_path, format!("{}\n", cmp.to_value(&baseline_path)))
+        std::fs::write(&delta_path, format!("{}\n", cmp.to_value(baseline_path)))
             .map_err(|e| format!("cannot write {delta_path}: {e}"))?;
         println!("wrote {delta_path}");
         let regressions = cmp.regressions();
@@ -415,6 +456,13 @@ fn run() -> Result<(), String> {
         }
     }
 
+    // Re-borrow the sections the gates report on: the observability
+    // patch above mutated `report`, ending the pre-write borrows.
+    let sv = &report.serving;
+    let nw = &report.network;
+    let st = &report.streaming;
+    let k = &report.kernels;
+    let o = &report.observability;
     if enforce && !report.batched_not_slower() {
         return Err(format!(
             "batched executor slower than sequential matcher ({:.1} ms > {:.1} ms)",
@@ -454,6 +502,41 @@ fn run() -> Result<(), String> {
              exact, allocation-free and no slower than their references",
             k.bit_identical, k.alloc_events_warm, k.dtw_opt_ns, k.dtw_scalar_ns
         ));
+    }
+    if enforce && !report.observability_ok() {
+        return Err(format!(
+            "observability contract broken: explain_bit_identical = {}, exposition_ok = {}, \
+             explain_spans = {} — EXPLAIN must not change results, the metrics text must \
+             parse, and every trace must carry the queue/execute/request spans",
+            o.explain_bit_identical, o.exposition_ok, o.explain_spans
+        ));
+    }
+    // The overhead bound only makes sense against a baseline measured at
+    // the same workload scale: skip it when no comparison ran or when the
+    // env knobs differ (the delta would mix workload-size effects in).
+    if let Ok(raw) = std::env::var("KVM_OBS_OVERHEAD_MAX_PCT") {
+        let max_pct: f64 = raw
+            .parse()
+            .map_err(|e| format!("KVM_OBS_OVERHEAD_MAX_PCT={raw} is not a number: {e}"))?;
+        match &comparison {
+            Some((baseline_path, cmp)) if cmp.env_mismatch.is_empty() => {
+                if cmp.total_delta_pct > max_pct {
+                    return Err(format!(
+                        "disabled-path observability overhead {:+.1}% exceeds the \
+                         {max_pct}% bound vs {baseline_path} — the tracing hooks must be \
+                         (near) free when no query asks for EXPLAIN",
+                        cmp.total_delta_pct
+                    ));
+                }
+            }
+            Some((baseline_path, cmp)) => println!(
+                "note: overhead bound skipped — baseline {baseline_path} env differs \
+                 ({} mismatches), delta {:+.1}% is not a pure overhead measurement",
+                cmp.env_mismatch.len(),
+                cmp.total_delta_pct
+            ),
+            None => println!("note: overhead bound skipped — no --compare baseline"),
+        }
     }
     Ok(())
 }

@@ -17,11 +17,12 @@ use std::time::{Duration, Instant};
 use kvmatch_client::{Client, ClientError};
 use kvmatch_core::exec::ExecutorConfig;
 use kvmatch_core::{Catalog, IndexBuildConfig, MemoryCatalogBackend};
+use kvmatch_obs::Histogram;
 use kvmatch_proto::{code, Request};
 use kvmatch_serve::QueryService;
 use kvmatch_server::{Server, ServerOptions};
 
-use crate::report::{percentile_us, ReportEnv, ServingFixture};
+use crate::report::{ReportEnv, ServingFixture};
 
 /// Connection counts the network table must cover.
 pub const NETWORK_CONNECTION_COUNTS: &[usize] = &[1, 2, 4];
@@ -159,24 +160,29 @@ fn drive_connections(addr: &str, fx: &ServingFixture, connections: usize) -> Net
     let per_conn = fx.pool.len() * fx.rounds;
     let rejected = AtomicU64::new(0);
     let transport = AtomicU64::new(0);
+    // One shared quarter-log₂ histogram per row — the same bucketing the
+    // serving layer exposes, instead of a private sorted-sample scheme.
+    let hist = Histogram::new();
     let t_row = Instant::now();
-    let latencies: Vec<u64> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
             .map(|t| {
                 let rejected = &rejected;
                 let transport = &transport;
-                scope
-                    .spawn(move || drive_one_connection(addr, fx, t, per_conn, rejected, transport))
+                let hist = &hist;
+                scope.spawn(move || {
+                    drive_one_connection(addr, fx, t, per_conn, hist, rejected, transport)
+                })
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("connection thread")).collect()
+        for h in handles {
+            h.join().expect("connection thread");
+        }
     });
     let wall_ms = t_row.elapsed().as_secs_f64() * 1e3;
 
-    let mut sorted = latencies.clone();
-    sorted.sort_unstable();
     let offered = (connections * per_conn) as u64;
-    let served = latencies.len() as u64;
+    let served = hist.count();
     assert_eq!(served, offered, "every offered network request must be served");
     NetworkRow {
         connections,
@@ -187,10 +193,10 @@ fn drive_connections(addr: &str, fx: &ServingFixture, connections: usize) -> Net
         wall_ms,
         offered_rps: offered as f64 / (wall_ms / 1e3).max(1e-9),
         served_rps: served as f64 / (wall_ms / 1e3).max(1e-9),
-        latency_p50_us: percentile_us(&sorted, 0.50),
-        latency_p95_us: percentile_us(&sorted, 0.95),
-        latency_p99_us: percentile_us(&sorted, 0.99),
-        latency_max_us: sorted.last().copied().unwrap_or(0),
+        latency_p50_us: hist.quantile_us(0.50),
+        latency_p95_us: hist.quantile_us(0.95),
+        latency_p99_us: hist.quantile_us(0.99),
+        latency_max_us: hist.max_us(),
     }
 }
 
@@ -198,41 +204,45 @@ fn elapsed_us(t0: Instant) -> u64 {
     t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
 }
 
-/// One connection's whole run. Returns the socket-measured latency of
-/// every served request. A transport failure reconnects and replays the
-/// current window (its partial latencies are discarded, so served counts
-/// stay exact).
+/// One connection's whole run. Records the socket-measured latency of
+/// every served request into `hist` — a wave's latencies are flushed only
+/// after the whole wave succeeds, so a transport failure (reconnect plus
+/// full window replay) never double-counts and served counts stay exact.
 fn drive_one_connection(
     addr: &str,
     fx: &ServingFixture,
     t: usize,
     per_conn: usize,
+    hist: &Histogram,
     rejected: &std::sync::atomic::AtomicU64,
     transport: &std::sync::atomic::AtomicU64,
-) -> Vec<u64> {
+) {
     use std::sync::atomic::Ordering;
 
     let picks: Vec<usize> = (0..per_conn).map(|r| (t * 11 + r) % fx.pool.len()).collect();
     let mut client =
         Client::connect_retry(addr, 40, Duration::from_millis(50)).expect("client connects");
-    let mut latencies = Vec::with_capacity(per_conn);
+    let mut wave_lat = Vec::with_capacity(PIPELINE_WINDOW);
     let mut at = 0;
     while at < picks.len() {
         let wave = &picks[at..(at + PIPELINE_WINDOW).min(picks.len())];
-        let mark = latencies.len();
-        match drive_wave(&client, fx, wave, &mut latencies, rejected) {
-            Ok(()) => at += wave.len(),
+        wave_lat.clear();
+        match drive_wave(&client, fx, wave, &mut wave_lat, rejected) {
+            Ok(()) => {
+                for &us in &wave_lat {
+                    hist.record_us(us);
+                }
+                at += wave.len();
+            }
             Err(_) => {
                 // Transport death: drop the partial window, reconnect,
                 // replay it in full.
                 transport.fetch_add(1, Ordering::Relaxed);
-                latencies.truncate(mark);
                 client = Client::connect_retry(addr, 40, Duration::from_millis(50))
                     .expect("client reconnects");
             }
         }
     }
-    latencies
 }
 
 /// Pipelines one window: all sends first, then collects (and validates)

@@ -42,6 +42,17 @@
 //!    warm-scratch allocation counter, the adaptive-cascade skip
 //!    counters and a bit-identity flag — the CI kernel gate's section.
 //!
+//! 7. **Observability checks** — `run_observability` drives the
+//!    serving fixture through a real socket with and without the
+//!    `EXPLAIN` flag: results must be bit-identical, the wire-delivered
+//!    [`ExplainReport`](kvmatch_obs::ExplainReport) must mirror the
+//!    executor stats verbatim, and the text exposition scrape must be
+//!    well-formed — the CI `obs-smoke` gate's section. The
+//!    disabled-path overhead number is patched in by
+//!    `bench_report --compare` (the total workload delta vs the
+//!    committed baseline *is* the tracing-disabled overhead, because
+//!    no report workload ever sets the explain flag).
+//!
 //! The JSON schema is versioned ([`SCHEMA`]) and machine-checked:
 //! [`validate_schema`] fails when any required field is dropped or
 //! renamed, and a bench-crate test enforces it on every `cargo test`
@@ -331,6 +342,31 @@ pub struct ServingReport {
     pub scaling: Vec<ServingScalingRow>,
 }
 
+/// The `observability` section: deterministic contracts of the tracing,
+/// EXPLAIN and exposition machinery, checked over a real socket.
+#[derive(Clone, Debug)]
+pub struct ObservabilityReport {
+    /// Percent wall-time delta of this tracing-disabled run against the
+    /// committed baseline, patched in by `bench_report --compare`
+    /// (0.0 when no baseline was compared). No report workload sets the
+    /// explain flag, so the total workload delta *is* the overhead of
+    /// carrying the observability hooks while they are off.
+    pub disabled_overhead_pct: f64,
+    /// True when every probed explain query returned results
+    /// bit-identical to the same query without the flag, with a report
+    /// whose prune counts and stage timings mirror the executor stats
+    /// verbatim.
+    pub explain_bit_identical: bool,
+    /// True when the text exposition scraped over the wire is
+    /// well-formed and covers the serving + network metric families.
+    pub exposition_ok: bool,
+    /// `# slowlog` entries riding the scrape when it was taken.
+    pub slowlog_depth: u64,
+    /// Spans on the deepest wire-delivered explain report (serve.queue,
+    /// serve.execute and server.request at minimum, so ≥ 3).
+    pub explain_spans: u64,
+}
+
 /// The full report written to `BENCH_exec.json`.
 #[derive(Clone, Debug)]
 pub struct BenchReport {
@@ -353,6 +389,9 @@ pub struct BenchReport {
     /// The kernel-level sweep (optimized vs scalar-oracle timings,
     /// allocation and adaptive-skip counters, bit-identity flag).
     pub kernels: KernelReport,
+    /// The observability checks (explain bit-identity, exposition
+    /// well-formedness, slow-log depth, disabled-path overhead).
+    pub observability: ObservabilityReport,
     /// Total sequential milliseconds across workloads.
     pub total_sequential_ms: f64,
     /// Total batched milliseconds across workloads.
@@ -362,7 +401,7 @@ pub struct BenchReport {
 }
 
 /// Schema tag of the current report format.
-pub const SCHEMA: &str = "kvmatch-bench-exec/v7";
+pub const SCHEMA: &str = "kvmatch-bench-exec/v8";
 
 /// Required top-level fields of `BENCH_exec.json`.
 pub const ROOT_FIELDS: &[&str] = &[
@@ -375,6 +414,7 @@ pub const ROOT_FIELDS: &[&str] = &[
     "network",
     "streaming",
     "kernels",
+    "observability",
     "total_sequential_ms",
     "total_batched_ms",
     "overall_speedup",
@@ -525,6 +565,15 @@ pub const KERNEL_FIELDS: &[&str] = &[
     "bit_identical",
 ];
 
+/// Required fields of the `observability` object.
+pub const OBSERVABILITY_FIELDS: &[&str] = &[
+    "disabled_overhead_pct",
+    "explain_bit_identical",
+    "exposition_ok",
+    "slowlog_depth",
+    "explain_spans",
+];
+
 /// Required fields of every `multi_series.per_series` row.
 pub const SERIES_FIELDS: &[&str] = &[
     "series",
@@ -626,6 +675,8 @@ pub fn validate_schema(value: &Value) -> Result<(), String> {
     }
     let kernels = obj(root.get("kernels").expect("checked"), "kernels")?;
     need(&kernels, KERNEL_FIELDS, "kernels")?;
+    let obs = obj(root.get("observability").expect("checked"), "observability")?;
+    need(&obs, OBSERVABILITY_FIELDS, "observability")?;
     Ok(())
 }
 
@@ -681,6 +732,18 @@ impl BenchReport {
     pub fn kernels_ok(&self) -> bool {
         let k = &self.kernels;
         k.bit_identical && k.alloc_events_warm == 0 && k.dtw_opt_ns <= k.dtw_scalar_ns
+    }
+
+    /// True when the observability section's deterministic contracts
+    /// hold: explain-flagged queries bit-identical with verbatim stat
+    /// mirroring, a well-formed text exposition, and the full span
+    /// taxonomy on the wire — the CI `obs-smoke` gate (enforced with
+    /// `KVM_BENCH_ENFORCE=1`). The disabled-path overhead *bound* is
+    /// `bench_report --compare`'s business (`KVM_OBS_OVERHEAD_MAX_PCT`),
+    /// because it needs a committed baseline to diff against.
+    pub fn observability_ok(&self) -> bool {
+        let o = &self.observability;
+        o.explain_bit_identical && o.exposition_ok && o.explain_spans >= 3
     }
 
     /// The report as a JSON value tree (the `serde_json` shim renders it;
@@ -880,6 +943,15 @@ impl BenchReport {
         ins(&mut km, "adaptive_skipped_lb_keogh", Value::from(k.adaptive_skipped_lb_keogh));
         ins(&mut km, "bit_identical", Value::from(k.bit_identical));
         ins(&mut root, "kernels", Value::Object(km));
+
+        let o = &self.observability;
+        let mut om = Map::new();
+        ins(&mut om, "disabled_overhead_pct", Value::from(o.disabled_overhead_pct));
+        ins(&mut om, "explain_bit_identical", Value::from(o.explain_bit_identical));
+        ins(&mut om, "exposition_ok", Value::from(o.exposition_ok));
+        ins(&mut om, "slowlog_depth", Value::from(o.slowlog_depth));
+        ins(&mut om, "explain_spans", Value::from(o.explain_spans));
+        ins(&mut root, "observability", Value::Object(om));
 
         ins(&mut root, "total_sequential_ms", Value::from(self.total_sequential_ms));
         ins(&mut root, "total_batched_ms", Value::from(self.total_batched_ms));
@@ -1657,6 +1729,10 @@ fn run_streaming(env: &ReportEnv) -> StreamingReport {
     let dir = tempfile::tempdir().expect("streaming tempdir");
     let backend =
         LsmCatalogBackend::open(dir.path(), LsmOptions::default()).expect("open LSM backend");
+    // The durability engine's maintenance counters join the service's
+    // registry, so one scrape covers serving and storage.
+    let registry = std::sync::Arc::new(kvmatch_obs::Registry::new());
+    backend.points_db().publish_metrics(&registry);
     let mut catalog = Catalog::with_exec_config(
         backend,
         ExecutorConfig { threads: env.threads, ..ExecutorConfig::default() },
@@ -1666,9 +1742,10 @@ fn run_streaming(env: &ReportEnv) -> StreamingReport {
         catalog.append(*id, xs).expect("seed series");
     }
     catalog.materialize().expect("materialize");
-    let service = QueryService::spawn(
+    let service = QueryService::spawn_with_registry(
         catalog,
         ServeConfig { workers: env.workers.max(1), ..ServeConfig::default() },
+        registry,
     );
 
     // The reader pool queries every series EXCEPT the burst target.
@@ -1785,6 +1862,116 @@ fn run_streaming(env: &ReportEnv) -> StreamingReport {
     }
 }
 
+/// True when every sample line of a text exposition parses as
+/// `name[{labels}] value` with a numeric value, and the payload covers
+/// the serving and network metric families the scrape contract promises.
+fn exposition_well_formed(text: &str) -> bool {
+    let families = [
+        "# TYPE kvmatch_serve_submitted_total counter",
+        "# TYPE kvmatch_serve_completed_total counter",
+        "# TYPE kvmatch_serve_queue_depth gauge",
+        "# TYPE kvmatch_serve_latency_us summary",
+        "# TYPE kvmatch_net_frames_in_total counter",
+        "# TYPE kvmatch_net_connections_active gauge",
+    ];
+    if !families.iter().all(|f| text.contains(f)) {
+        return false;
+    }
+    text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).all(|line| {
+        match line.rsplit_once(' ') {
+            Some((name, value)) => !name.is_empty() && value.parse::<f64>().is_ok(),
+            None => false,
+        }
+    })
+}
+
+/// The observability checks: an in-process server over the serving
+/// fixture's catalog, probed through a real socket. Every probe runs
+/// twice — plain, then explain-flagged — and the results must be
+/// bit-identical (and equal to the fixture's sequential ground truth)
+/// with the wire-delivered report mirroring the executor stats verbatim.
+/// The text exposition is scraped once at the end, after the probes have
+/// populated the slow log.
+fn run_observability(env: &ReportEnv, fx: &ServingFixture) -> ObservabilityReport {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    use kvmatch_client::Client;
+    use kvmatch_serve::{QueryService, ServeConfig};
+    use kvmatch_server::{Server, ServerOptions};
+
+    let mut catalog = Catalog::with_exec_config(
+        MemoryCatalogBackend,
+        ExecutorConfig { threads: env.threads, ..ExecutorConfig::default() },
+    );
+    for (id, xs) in fx.ids.iter().zip(&fx.data) {
+        catalog.create_series(*id, IndexBuildConfig::new(env.w)).unwrap();
+        catalog.append(*id, xs).unwrap();
+    }
+    catalog.materialize().expect("materialize observability catalog");
+    let service = Arc::new(QueryService::spawn(
+        catalog,
+        ServeConfig { workers: env.workers.max(1), ..ServeConfig::default() },
+    ));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerOptions::default())
+        .expect("bind loopback for the observability checks");
+    let addr = server.local_addr().to_string();
+    let client =
+        Client::connect_retry(&addr, 40, Duration::from_millis(50)).expect("client connects");
+
+    let mut explain_bit_identical = true;
+    let mut explain_spans = 0u64;
+    for (which, req) in fx.pool.iter().enumerate() {
+        let plain = client.query(req.spec.clone(), None).expect("plain probe served");
+        let explained =
+            client.query(req.spec.clone().with_explain(true), None).expect("explain probe served");
+        if plain.explain.is_some()
+            || plain.results != fx.expected[which]
+            || explained.results != plain.results
+        {
+            explain_bit_identical = false;
+        }
+        match explained.explain.as_deref() {
+            Some(report) => {
+                let s = &explained.stats;
+                let mirrored = report.trace_id != 0
+                    && report.pruned_constraint == s.pruned_constraint
+                    && report.pruned_lb_kim == s.pruned_lb_kim
+                    && report.pruned_lb_keogh == s.pruned_lb_keogh
+                    && report.full_distance_computations == s.full_distance_computations
+                    && report.probe_nanos == s.phase1_nanos
+                    && report.alloc_events == s.alloc_events;
+                if !mirrored {
+                    explain_bit_identical = false;
+                }
+                explain_spans = explain_spans.max(report.spans.len() as u64);
+            }
+            None => explain_bit_identical = false,
+        }
+    }
+
+    let text = client.metrics_text().expect("metrics text scraped");
+    let exposition_ok = exposition_well_formed(&text);
+    let slowlog_depth = text.lines().filter(|l| l.starts_with("# slowlog rank=")).count() as u64;
+
+    drop(client);
+    server.shutdown();
+    match Arc::try_unwrap(service) {
+        Ok(service) => {
+            service.shutdown();
+        }
+        Err(_) => eprintln!("service still shared after drain; skipping worker shutdown"),
+    }
+
+    ObservabilityReport {
+        disabled_overhead_pct: 0.0,
+        explain_bit_identical,
+        exposition_ok,
+        slowlog_depth,
+        explain_spans,
+    }
+}
+
 /// Runs the comparison across backends plus the multi-series workload
 /// and assembles the report.
 ///
@@ -1843,6 +2030,7 @@ pub fn run_report(env: ReportEnv) -> BenchReport {
     let fx = serving_fixture(&env);
     let serving = run_serving(&env, &fx);
     let network = run_network(&env, &fx, serving.served_rps);
+    let observability = run_observability(&env, &fx);
     let streaming = run_streaming(&env);
     let kernels = run_kernels(&env);
 
@@ -1856,6 +2044,7 @@ pub fn run_report(env: ReportEnv) -> BenchReport {
         network,
         streaming,
         kernels,
+        observability,
         total_sequential_ms: total_seq,
         total_batched_ms: total_batch,
         overall_speedup: total_seq / total_batch.max(1e-9),
@@ -2271,9 +2460,37 @@ mod tests {
         broken.remove("kernels");
         assert!(validate_schema(&Value::Object(broken)).is_err());
 
-        // A renamed schema tag fails too (v6 reports are not v7 reports).
+        // A dropped observability field — or the whole section — fails
+        // (the CI obs-smoke gate reads it).
         let mut broken = root.clone();
-        broken.insert("schema".into(), Value::from("kvmatch-bench-exec/v6"));
+        let Some(Value::Object(o)) = broken.get("observability") else { panic!() };
+        let mut o = o.clone();
+        o.remove("explain_bit_identical");
+        broken.insert("observability".into(), Value::Object(o));
         assert!(validate_schema(&Value::Object(broken)).is_err());
+
+        let mut broken = root.clone();
+        broken.remove("observability");
+        assert!(validate_schema(&Value::Object(broken)).is_err());
+
+        // A renamed schema tag fails too (v7 reports are not v8 reports).
+        let mut broken = root.clone();
+        broken.insert("schema".into(), Value::from("kvmatch-bench-exec/v7"));
+        assert!(validate_schema(&Value::Object(broken)).is_err());
+    }
+
+    /// The observability section's contracts hold at smoke scale: these
+    /// are deterministic (no timing bounds), so the test asserts them
+    /// outright rather than deferring to the CI gate.
+    #[test]
+    fn observability_section_holds_its_contracts() {
+        let report = run_report(tiny_env());
+        let o = &report.observability;
+        assert!(o.explain_bit_identical, "explain must not perturb results or mis-mirror stats");
+        assert!(o.exposition_ok, "the scraped exposition must be well-formed");
+        assert!(o.explain_spans >= 3, "queue + execute + server spans at minimum: {o:?}");
+        assert!(o.slowlog_depth >= 1, "the probes must have populated the slow log");
+        assert_eq!(o.disabled_overhead_pct, 0.0, "no baseline compared inside run_report");
+        assert!(report.observability_ok());
     }
 }

@@ -29,9 +29,10 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use kvmatch_core::{MatchResult, MatchStats, QuerySpec, SeriesId};
+use kvmatch_obs::{ExplainReport, SpanRecord};
 use kvmatch_proto as proto;
 use kvmatch_proto::{ProtoError, Request, Response, WireError, WireMetrics};
 
@@ -88,6 +89,11 @@ pub struct QueryReply {
     pub stats: MatchStats,
     /// Submit→response latency measured inside the service, µs.
     pub latency_us: u64,
+    /// The structured trace, present iff the query's spec carried
+    /// [`QuerySpec::explain`](kvmatch_core::QuerySpec). Spans cover the
+    /// serving pipeline and the server's request handling; the blocking
+    /// [`Client::query`] sugar appends its own `client.rtt` span.
+    pub explain: Option<Box<ExplainReport>>,
 }
 
 /// Demux state shared between callers and the reader thread.
@@ -218,7 +224,18 @@ impl Client {
         spec: QuerySpec,
         deadline_us: Option<u64>,
     ) -> Result<QueryReply, ClientError> {
-        self.send(&Request::Query { spec, deadline_us })?.wait_query()
+        let sent = Instant::now();
+        let mut reply = self.send(&Request::Query { spec, deadline_us })?.wait_query()?;
+        // Close the loop on an explained query: the socket round trip as
+        // this client observed it, wrapping every server-side span.
+        if let Some(explain) = reply.explain.as_mut() {
+            explain.spans.push(SpanRecord {
+                name: "client.rtt".into(),
+                depth: 0,
+                nanos: sent.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            });
+        }
+        Ok(reply)
     }
 
     /// Appends points to a series and blocks until they are applied.
@@ -236,6 +253,17 @@ impl Client {
             Response::Metrics(m) => Ok(m),
             Response::Error(e) => Err(ClientError::Server(e)),
             _ => Err(ClientError::UnexpectedResponse("metrics")),
+        }
+    }
+
+    /// Fetches the server's Prometheus-style text exposition (the whole
+    /// shared registry plus the slow-query log). Requires protocol v2 —
+    /// every connection this client opens speaks v2.
+    pub fn metrics_text(&self) -> Result<String, ClientError> {
+        match self.send(&Request::MetricsText)?.wait()? {
+            Response::MetricsText(text) => Ok(text),
+            Response::Error(e) => Err(ClientError::Server(e)),
+            _ => Err(ClientError::UnexpectedResponse("metrics_text")),
         }
     }
 
@@ -290,8 +318,8 @@ impl Pending {
     /// Blocks for the response and decodes it as a query answer.
     pub fn wait_query(self) -> Result<QueryReply, ClientError> {
         match self.wait()? {
-            Response::Query { results, stats, latency_us } => {
-                Ok(QueryReply { results, stats, latency_us })
+            Response::Query { results, stats, latency_us, explain } => {
+                Ok(QueryReply { results, stats, latency_us, explain })
             }
             Response::Error(e) => Err(ClientError::Server(e)),
             _ => Err(ClientError::UnexpectedResponse("query")),

@@ -472,6 +472,7 @@ impl<'a, S: KvStore, D: SeriesStore> QueryExecutor<'a, S, D> {
             let iv = out.verification?;
             plan.stats.points_fetched += iv.points_fetched;
             plan.stats.absorb_cascade(&iv.cascade);
+            plan.stats.alloc_events += iv.alloc_events;
             plan.stats.phase2_nanos += out.nanos;
             merged[query].extend(iv.results);
         }

@@ -73,7 +73,8 @@ impl PreparedQuery {
         let (mu_q, sigma_q) = mean_std(&spec.query);
         let q_stats = PrefixStats::new(&spec.query);
         let cascade = if spec.measure.is_dtw() {
-            let cascade = LbCascade::new(spec.query.clone(), spec.measure.rho());
+            let mut cascade = LbCascade::new(spec.query.clone(), spec.measure.rho());
+            cascade.set_timed(spec.explain);
             let l_stats = PrefixStats::new(cascade.lower());
             let u_stats = PrefixStats::new(cascade.upper());
             Some(CascadeData { cascade, l_stats, u_stats })
@@ -86,8 +87,11 @@ impl PreparedQuery {
             let mut q_norm = spec.query.clone();
             z_normalize(&mut q_norm, mu_q, sigma_q);
             let order = abandon_order(&q_norm);
-            let cascade_norm =
-                spec.measure.is_dtw().then(|| LbCascade::new(q_norm.clone(), spec.measure.rho()));
+            let cascade_norm = spec.measure.is_dtw().then(|| {
+                let mut c = LbCascade::new(q_norm.clone(), spec.measure.rho());
+                c.set_timed(spec.explain);
+                c
+            });
             (q_norm, order, cascade_norm)
         } else {
             (Vec::new(), Vec::new(), None)
@@ -311,6 +315,9 @@ pub(crate) struct IntervalVerification {
     pub points_fetched: u64,
     /// Per-cascade-stage pruning counts.
     pub cascade: CascadeStats,
+    /// Kernel scratch buffer growths this interval forced (0 once the
+    /// worker's scratch is warm).
+    pub alloc_events: u64,
 }
 
 /// Verifies every subsequence of one candidate interval `wi` against the
@@ -338,6 +345,7 @@ pub(crate) fn verify_interval<D: SeriesStore>(
     let l = wi.left as usize;
     let count = wi.size() as usize;
     let fetch_len = count - 1 + m;
+    let allocs_before = scratch.alloc_events();
     let buf = data.fetch(l, fetch_len)?;
     // O(1) per-candidate statistics over the fetched block.
     let ps = prep.spec.is_normalized().then(|| PrefixStats::new(&buf));
@@ -374,7 +382,12 @@ pub(crate) fn verify_interval<D: SeriesStore>(
             }
         }
     }
-    Ok(IntervalVerification { results, points_fetched: fetch_len as u64, cascade })
+    Ok(IntervalVerification {
+        results,
+        points_fetched: fetch_len as u64,
+        cascade,
+        alloc_events: scratch.alloc_events() - allocs_before,
+    })
 }
 
 /// Converts a top-k result set's comparison-domain values into reported
@@ -404,6 +417,7 @@ pub(crate) fn verify_candidates<D: SeriesStore>(
         let iv = verify_interval(data, prep, *wi, &mut scratch, best.as_ref())?;
         stats.points_fetched += iv.points_fetched;
         stats.absorb_cascade(&iv.cascade);
+        stats.alloc_events += iv.alloc_events;
         results.extend(iv.results);
     }
     if let Some(k) = prep.spec.limit {

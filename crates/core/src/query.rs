@@ -75,6 +75,11 @@ pub struct QuerySpec {
     /// by lower offset), ordered nearest-first. `None` is the plain range
     /// semantics. Set via [`QuerySpec::top_k`].
     pub limit: Option<usize>,
+    /// When set, execution runs with per-stage wall-time tracing enabled
+    /// and the serving layer returns a structured trace (EXPLAIN) with
+    /// the response. Never changes results — only stats and cost. Set
+    /// via [`QuerySpec::with_explain`].
+    pub explain: bool,
 }
 
 impl QuerySpec {
@@ -87,6 +92,7 @@ impl QuerySpec {
             measure: Measure::Ed,
             constraint: None,
             limit: None,
+            explain: false,
         }
     }
 
@@ -99,6 +105,7 @@ impl QuerySpec {
             measure: Measure::Dtw { rho },
             constraint: None,
             limit: None,
+            explain: false,
         }
     }
 
@@ -111,6 +118,7 @@ impl QuerySpec {
             measure: Measure::Ed,
             constraint: Some(Constraint { alpha, beta }),
             limit: None,
+            explain: false,
         }
     }
 
@@ -123,6 +131,7 @@ impl QuerySpec {
             measure: Measure::Dtw { rho },
             constraint: Some(Constraint { alpha, beta }),
             limit: None,
+            explain: false,
         }
     }
 
@@ -136,6 +145,7 @@ impl QuerySpec {
             measure: Measure::Lp { p },
             constraint: None,
             limit: None,
+            explain: false,
         }
     }
 
@@ -148,6 +158,7 @@ impl QuerySpec {
             measure: Measure::Lp { p },
             constraint: Some(Constraint { alpha, beta }),
             limit: None,
+            explain: false,
         }
     }
 
@@ -204,6 +215,15 @@ impl QuerySpec {
     /// pruning for recall beyond ε.
     pub fn top_k(mut self, k: usize) -> Self {
         self.limit = Some(k);
+        self
+    }
+
+    /// Enables per-stage tracing for this query (builder style): the
+    /// cascade runs timed and the serving layer attaches an
+    /// `ExplainReport` to the response. Results are bit-identical with
+    /// the flag on or off.
+    pub fn with_explain(mut self, explain: bool) -> Self {
+        self.explain = explain;
         self
     }
 
@@ -277,6 +297,20 @@ pub struct MatchStats {
     /// execution this is the summed per-interval worker time attributed to
     /// the query, not wall-clock.
     pub phase2_nanos: u64,
+    /// Wall time inside LB_Kim-FL, nanoseconds. Zero unless the query
+    /// ran with [`QuerySpec::explain`] (stage timing is off otherwise).
+    pub lb_kim_nanos: u64,
+    /// Wall time inside LB_Keogh, nanoseconds (explain queries only).
+    pub lb_keogh_nanos: u64,
+    /// Wall time inside the exact distance kernel, nanoseconds (explain
+    /// queries only).
+    pub dtw_nanos: u64,
+    /// Kernel scratch buffer growths during verification (0 once warm).
+    pub alloc_events: u64,
+    /// LB_Kim evaluations skipped by adaptive stage demotion.
+    pub adaptive_skipped_lb_kim: u64,
+    /// LB_Keogh evaluations skipped by adaptive stage demotion.
+    pub adaptive_skipped_lb_keogh: u64,
 }
 
 impl MatchStats {
@@ -304,6 +338,11 @@ impl MatchStats {
         self.pruned_lb_kim += cascade.pruned_lb_kim;
         self.pruned_lb_keogh += cascade.pruned_lb_keogh;
         self.full_distance_computations += cascade.full_distance_computations;
+        self.adaptive_skipped_lb_kim += cascade.adaptive_skipped_lb_kim;
+        self.adaptive_skipped_lb_keogh += cascade.adaptive_skipped_lb_keogh;
+        self.lb_kim_nanos += cascade.lb_kim_nanos;
+        self.lb_keogh_nanos += cascade.lb_keogh_nanos;
+        self.dtw_nanos += cascade.dtw_nanos;
     }
 }
 

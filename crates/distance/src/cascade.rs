@@ -46,6 +46,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Arc;
+use std::time::Instant;
 
 use crate::dtw::dtw_banded_early_abandon_scratch;
 use crate::envelope::keogh_envelope;
@@ -69,6 +70,14 @@ pub struct CascadeStats {
     pub adaptive_skipped_lb_kim: u64,
     /// Candidates whose LB_Keogh stage was skipped by adaptive demotion.
     pub adaptive_skipped_lb_keogh: u64,
+    /// Wall time spent inside LB_Kim-FL, nanoseconds. Zero unless the
+    /// cascade runs timed ([`LbCascade::set_timed`]).
+    pub lb_kim_nanos: u64,
+    /// Wall time spent inside LB_Keogh, nanoseconds (timed cascades only).
+    pub lb_keogh_nanos: u64,
+    /// Wall time spent inside the exact kernel, nanoseconds (timed
+    /// cascades only).
+    pub dtw_nanos: u64,
 }
 
 impl CascadeStats {
@@ -80,6 +89,9 @@ impl CascadeStats {
         self.full_distance_computations += other.full_distance_computations;
         self.adaptive_skipped_lb_kim += other.adaptive_skipped_lb_kim;
         self.adaptive_skipped_lb_keogh += other.adaptive_skipped_lb_keogh;
+        self.lb_kim_nanos += other.lb_kim_nanos;
+        self.lb_keogh_nanos += other.lb_keogh_nanos;
+        self.dtw_nanos += other.dtw_nanos;
     }
 
     /// Total candidates pruned before the full kernel.
@@ -171,6 +183,10 @@ pub struct LbCascade {
     upper: Vec<f64>,
     rho: usize,
     adaptive: Option<Arc<AdaptiveState>>,
+    /// When set, each stage's wall time is accumulated into the
+    /// `*_nanos` fields of [`CascadeStats`] (one branch per stage when
+    /// off). Timing never changes verdicts or distances.
+    timed: bool,
 }
 
 impl LbCascade {
@@ -179,7 +195,19 @@ impl LbCascade {
     /// order); see [`LbCascade::set_adaptive`].
     pub fn new(query: Vec<f64>, rho: usize) -> Self {
         let (lower, upper) = keogh_envelope(&query, rho);
-        Self { query, lower, upper, rho, adaptive: None }
+        Self { query, lower, upper, rho, adaptive: None, timed: false }
+    }
+
+    /// Enables or disables per-stage wall-time accounting (the EXPLAIN
+    /// path). Off by default; when off, the only overhead is one branch
+    /// per stage.
+    pub fn set_timed(&mut self, timed: bool) {
+        self.timed = timed;
+    }
+
+    /// Whether per-stage wall-time accounting is on.
+    pub fn timed(&self) -> bool {
+        self.timed
     }
 
     /// Enables (`Some`) or disables (`None`) adaptive stage demotion,
@@ -245,18 +273,26 @@ impl LbCascade {
         scratch: &mut KernelScratch,
         stats: &mut CascadeStats,
     ) -> Option<f64> {
-        if let Some(ad) = &self.adaptive {
+        let t = self.timed.then(Instant::now);
+        let kim_pruned = if let Some(ad) = &self.adaptive {
             if ad.kim.try_skip() {
                 stats.adaptive_skipped_lb_kim += 1;
+                false
             } else {
                 let pruned = lb_kim_fl_sq(s, &self.query) > threshold_sq;
                 ad.kim.record(pruned, &ad.policy);
                 if pruned {
                     stats.pruned_lb_kim += 1;
-                    return None;
                 }
+                pruned
             }
-        } else if self.prune_kim(s, threshold_sq, stats) {
+        } else {
+            self.prune_kim(s, threshold_sq, stats)
+        };
+        if let Some(t) = t {
+            stats.lb_kim_nanos += t.elapsed().as_nanos() as u64;
+        }
+        if kim_pruned {
             return None;
         }
         self.verify_skip_kim(s, threshold_sq, scratch, stats)
@@ -280,10 +316,14 @@ impl LbCascade {
             _ => true,
         };
         if run_keogh {
+            let t = self.timed.then(Instant::now);
             let pruned =
                 lb_keogh_sq_early_abandon(s, &self.lower, &self.upper, threshold_sq).is_none();
             if let Some(ad) = &self.adaptive {
                 ad.keogh.record(pruned, &ad.policy);
+            }
+            if let Some(t) = t {
+                stats.lb_keogh_nanos += t.elapsed().as_nanos() as u64;
             }
             if pruned {
                 stats.pruned_lb_keogh += 1;
@@ -291,7 +331,12 @@ impl LbCascade {
             }
         }
         stats.full_distance_computations += 1;
-        dtw_banded_early_abandon_scratch(s, &self.query, self.rho, threshold_sq, scratch)
+        let t = self.timed.then(Instant::now);
+        let out = dtw_banded_early_abandon_scratch(s, &self.query, self.rho, threshold_sq, scratch);
+        if let Some(t) = t {
+            stats.dtw_nanos += t.elapsed().as_nanos() as u64;
+        }
+        out
     }
 
     /// Top-k verification: runs the cascade against `best.threshold_sq()`
@@ -481,12 +526,54 @@ mod tests {
             full_distance_computations: 4,
             adaptive_skipped_lb_kim: 5,
             adaptive_skipped_lb_keogh: 6,
+            lb_kim_nanos: 7,
+            lb_keogh_nanos: 8,
+            dtw_nanos: 9,
         };
         a.merge(&a.clone());
         assert_eq!(a.pruned_total(), 12);
         assert_eq!(a.full_distance_computations, 8);
         assert_eq!(a.adaptive_skipped_lb_kim, 10);
         assert_eq!(a.adaptive_skipped_lb_keogh, 12);
+        assert_eq!(a.lb_kim_nanos, 14);
+        assert_eq!(a.lb_keogh_nanos, 16);
+        assert_eq!(a.dtw_nanos, 18);
+    }
+
+    #[test]
+    fn timed_cascade_is_result_identical_and_fills_stage_nanos() {
+        let q = pseudo(48, 13, 5);
+        let plain = LbCascade::new(q.clone(), 4);
+        let mut timed = LbCascade::new(q.clone(), 4);
+        timed.set_timed(true);
+        assert!(timed.timed());
+        let mut scratch = KernelScratch::new();
+        let mut kernel_hits = 0u64;
+        for seed in 0..12u64 {
+            let s = pseudo(48, 19 + seed, 11);
+            for thr in [1e9, 500.0, 50.0] {
+                let mut tp = CascadeStats::default();
+                let mut pp = CascadeStats::default();
+                let t = timed.verify(&s, thr, &mut scratch, &mut tp);
+                let p = plain.verify(&s, thr, &mut scratch, &mut pp);
+                assert_eq!(t.map(f64::to_bits), p.map(f64::to_bits));
+                // Untimed cascades never touch the nanos fields.
+                assert_eq!(pp.lb_kim_nanos + pp.lb_keogh_nanos + pp.dtw_nanos, 0);
+                // Timing never changes the counter accounting.
+                assert_eq!(
+                    (tp.pruned_lb_kim, tp.pruned_lb_keogh),
+                    (pp.pruned_lb_kim, pp.pruned_lb_keogh)
+                );
+                kernel_hits += tp.full_distance_computations;
+                if tp.full_distance_computations > 0 {
+                    // Kim always ran; every stage that ran was clocked (a
+                    // fast stage may legitimately round to 0 ns, so only
+                    // the invariant "untimed stays zero" is strict).
+                    let _ = tp.lb_kim_nanos;
+                }
+            }
+        }
+        assert!(kernel_hits > 0, "workload never reached the kernel");
     }
 
     #[test]

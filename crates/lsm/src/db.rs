@@ -13,9 +13,10 @@
 
 use std::fs;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use bytes::Bytes;
+use kvmatch_obs::{Counter, Registry};
 use kvmatch_storage::{IoStats, StorageError};
 use parking_lot::RwLock;
 
@@ -92,12 +93,21 @@ struct Inner {
     tables: Vec<Vec<TableHandle>>,
 }
 
+/// Registry-backed maintenance counters, published lazily via
+/// [`LsmDb::publish_metrics`]. Until then the hooks are no-ops.
+struct LsmObs {
+    flushes: Arc<Counter>,
+    compactions: Arc<Counter>,
+    compaction_bytes: Arc<Counter>,
+}
+
 /// A single-directory LSM store.
 pub struct LsmDb {
     dir: PathBuf,
     opts: LsmOptions,
     inner: RwLock<Inner>,
     stats: IoStats,
+    obs: OnceLock<LsmObs>,
 }
 
 /// Counters describing the physical shape of the store.
@@ -166,7 +176,20 @@ impl LsmDb {
             opts,
             inner: RwLock::new(Inner { mem, wal, manifest, manifest_num, tables }),
             stats,
+            obs: OnceLock::new(),
         })
+    }
+
+    /// Registers this store's maintenance counters
+    /// (`kvmatch_lsm_flushes_total`, `kvmatch_lsm_compactions_total`,
+    /// `kvmatch_lsm_compaction_bytes_total`) on `registry`. Idempotent:
+    /// the first call wins; later calls keep the original handles.
+    pub fn publish_metrics(&self, registry: &Registry) {
+        self.obs.get_or_init(|| LsmObs {
+            flushes: registry.counter("kvmatch_lsm_flushes_total"),
+            compactions: registry.counter("kvmatch_lsm_compactions_total"),
+            compaction_bytes: registry.counter("kvmatch_lsm_compaction_bytes_total"),
+        });
     }
 
     /// Directory backing this store.
@@ -429,6 +452,9 @@ impl LsmDb {
         self.commit_locked(inner)?;
         let _ = fs::remove_file(manifest::wal_path(&self.dir, old_wal));
         inner.mem = MemTable::new();
+        if let Some(obs) = self.obs.get() {
+            obs.flushes.inc();
+        }
 
         self.maybe_compact_locked(inner)
     }
@@ -530,6 +556,10 @@ impl LsmDb {
         inner.tables[level].clear();
         inner.manifest.levels[level].clear();
         inner.tables[target] = new_handles;
+        if let Some(obs) = self.obs.get() {
+            obs.compactions.inc();
+            obs.compaction_bytes.add(new_entries.iter().map(|t| t.file_bytes).sum());
+        }
         inner.manifest.levels[target] = new_entries;
         self.commit_locked(inner)?;
         for num in dropped {
@@ -628,6 +658,38 @@ mod tests {
         let keys: Vec<String> =
             rows.iter().map(|(k, _)| String::from_utf8(k.to_vec()).unwrap()).collect();
         assert_eq!(keys.len(), 20, "only 290..300 and 400..410 survive: {keys:?}");
+    }
+
+    #[test]
+    fn published_metrics_count_flushes_and_compactions() {
+        let dir = tempfile::tempdir().unwrap();
+        let db = open_tiny(dir.path());
+        let registry = Registry::new();
+        db.publish_metrics(&registry);
+        // Second publish is a no-op (same handles survive).
+        db.publish_metrics(&registry);
+
+        let flushes = registry.counter("kvmatch_lsm_flushes_total");
+        let compactions = registry.counter("kvmatch_lsm_compactions_total");
+        let compaction_bytes = registry.counter("kvmatch_lsm_compaction_bytes_total");
+        assert_eq!(flushes.get(), 0);
+
+        for i in 0..3_000 {
+            let (k, v) = kv(i);
+            db.put(&k, &v).unwrap();
+        }
+        db.flush().unwrap();
+        assert!(flushes.get() >= 1, "tiny thresholds must have flushed");
+        db.compact_all().unwrap();
+        assert!(compactions.get() >= 1, "compact_all must merge at least one level");
+        assert!(compaction_bytes.get() > 0, "merged tables carry bytes");
+        // An empty flush is a no-op and must not count.
+        let before = flushes.get();
+        db.flush().unwrap();
+        assert_eq!(flushes.get(), before);
+
+        let text = registry.render_text();
+        assert!(text.contains("kvmatch_lsm_flushes_total"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! Observability for kvmatch: per-query tracing, a unified metrics
+//! registry with Prometheus-style text exposition, and a slow-query log.
+//!
+//! This crate is deliberately dependency-free and allocation-conscious:
+//! every hot-path operation is a relaxed atomic or a branch on a bool,
+//! so instrumentation can stay compiled in everywhere. The pieces:
+//!
+//! - [`TraceCtx`] / [`SpanRecord`] / [`ExplainReport`] — per-query
+//!   traces that travel with a job from the wire frame through the
+//!   scheduler into the cascade, and come back as a structured report
+//!   (`kvmatch_proto` encodes it as the protocol-v2 explain tail).
+//! - [`Registry`] / [`Counter`] / [`Gauge`] / [`Histogram`] — named
+//!   metrics with atomic hot paths and one text-exposition view
+//!   ([`Registry::render_text`]) served by the `MetricsText` opcode.
+//! - [`SlowLog`] — a lock-light bounded buffer of the K slowest recent
+//!   queries, appended to the exposition and dumped on graceful drain.
+//!
+//! See `docs/OBSERVABILITY.md` for the span taxonomy and the metric
+//! name registry.
+
+pub mod histogram;
+pub mod registry;
+pub mod slowlog;
+pub mod trace;
+
+pub use histogram::Histogram;
+pub use registry::{Counter, Gauge, Registry};
+pub use slowlog::{SlowLog, SlowLogEntry};
+pub use trace::{next_trace_id, ExplainReport, SpanRecord, TraceCtx};

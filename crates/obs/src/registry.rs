@@ -1,0 +1,295 @@
+//! The unified metrics registry.
+//!
+//! Counters, gauges and histograms are registered **by name** and
+//! handed back as `Arc` handles whose hot paths are single relaxed
+//! atomic operations — registration is the only locking operation, and
+//! it happens once per metric at startup. [`Registry::render_text`]
+//! walks every registered metric and emits Prometheus-style text
+//! exposition, so one scrape reads the whole system.
+//!
+//! Names are raw exposition keys and may embed labels, e.g.
+//! `kvmatch_serve_worker_batches_total{worker="0"}` — the renderer
+//! derives the metric family (everything before `{`) for `# TYPE`
+//! lines and groups same-family series together.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::histogram::Histogram;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (or track a running max).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the value to `v` if it is larger than the current one.
+    pub fn record_max(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (gauges may count live objects).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "summary",
+        }
+    }
+}
+
+/// A named collection of metrics with one text-exposition view.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<(String, Metric)>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry").field("metrics", &self.len()).finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or retrieves) the counter called `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind
+    /// — that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, || Metric::Counter(Arc::new(Counter::default()))) {
+            Metric::Counter(c) => c,
+            other => panic!("{name} is registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) the gauge called `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, || Metric::Gauge(Arc::new(Gauge::default()))) {
+            Metric::Gauge(g) => g,
+            other => panic!("{name} is registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or retrieves) the histogram called `name`.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        match self.get_or_insert(name, || Metric::Histogram(Arc::new(Histogram::default()))) {
+            Metric::Histogram(h) => h,
+            other => panic!("{name} is registered as a {}", other.kind()),
+        }
+    }
+
+    fn get_or_insert(&self, name: &str, make: impl FnOnce() -> Metric) -> Metric {
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        if let Some((_, m)) = entries.iter().find(|(n, _)| n == name) {
+            return m.clone();
+        }
+        let metric = make();
+        entries.push((name.to_string(), metric.clone()));
+        metric
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("registry poisoned").len()
+    }
+
+    /// Whether no metric is registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Renders every metric as Prometheus-style text exposition: one
+    /// `# TYPE` line per metric family (the name up to any `{`), then
+    /// one `name value` sample line per series. Histograms render as
+    /// summaries (p50/p95/p99 quantile series plus `_count` and `_max`).
+    /// Output is sorted by name, so scrapes are stable across runs.
+    pub fn render_text(&self) -> String {
+        let mut entries = self.entries.lock().expect("registry poisoned").clone();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (name, metric) in &entries {
+            let family = family_of(name);
+            if family != last_family {
+                out.push_str("# TYPE ");
+                out.push_str(family);
+                out.push(' ');
+                out.push_str(metric.kind());
+                out.push('\n');
+                last_family = family.to_string();
+            }
+            match metric {
+                Metric::Counter(c) => {
+                    sample(&mut out, name, c.get());
+                }
+                Metric::Gauge(g) => {
+                    sample(&mut out, name, g.get());
+                }
+                Metric::Histogram(h) => {
+                    for (q, label) in [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")] {
+                        sample(&mut out, &with_label(name, "quantile", label), h.quantile_us(q));
+                    }
+                    sample(&mut out, &suffixed(name, "_count"), h.count());
+                    sample(&mut out, &suffixed(name, "_max"), h.max_us());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The metric family of an exposition key: the name up to any `{`.
+fn family_of(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
+/// Splices `key="value"` into a (possibly already labelled) name.
+fn with_label(name: &str, key: &str, value: &str) -> String {
+    match name.strip_suffix('}') {
+        Some(head) => format!("{head},{key}=\"{value}\"}}"),
+        None => format!("{name}{{{key}=\"{value}\"}}"),
+    }
+}
+
+/// Appends `suffix` to the family part of a (possibly labelled) name.
+fn suffixed(name: &str, suffix: &str) -> String {
+    match name.find('{') {
+        Some(at) => format!("{}{suffix}{}", &name[..at], &name[at..]),
+        None => format!("{name}{suffix}"),
+    }
+}
+
+fn sample(out: &mut String, name: &str, value: u64) {
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn get_or_register_shares_one_handle() {
+        let r = Registry::new();
+        let a = r.counter("kvmatch_test_total");
+        let b = r.counter("kvmatch_test_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("kvmatch_test_total");
+        let _ = r.gauge("kvmatch_test_total");
+    }
+
+    #[test]
+    fn exposition_covers_every_kind_and_sorts() {
+        let r = Registry::new();
+        r.counter("kvmatch_b_total").add(7);
+        r.gauge("kvmatch_a_depth").set(3);
+        let h = r.histogram("kvmatch_c_latency_us");
+        h.record(Duration::from_micros(100));
+        let text = r.render_text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "# TYPE kvmatch_a_depth gauge");
+        assert_eq!(lines[1], "kvmatch_a_depth 3");
+        assert_eq!(lines[2], "# TYPE kvmatch_b_total counter");
+        assert_eq!(lines[3], "kvmatch_b_total 7");
+        assert_eq!(lines[4], "# TYPE kvmatch_c_latency_us summary");
+        assert!(lines[5].starts_with("kvmatch_c_latency_us{quantile=\"0.5\"}"));
+        assert!(text.contains("kvmatch_c_latency_us_count 1\n"));
+        assert!(text.contains("kvmatch_c_latency_us_max"));
+    }
+
+    #[test]
+    fn labelled_series_share_one_family_type_line() {
+        let r = Registry::new();
+        r.counter("kvmatch_worker_total{worker=\"0\"}").inc();
+        r.counter("kvmatch_worker_total{worker=\"1\"}").add(2);
+        let text = r.render_text();
+        assert_eq!(text.matches("# TYPE kvmatch_worker_total counter").count(), 1);
+        assert!(text.contains("kvmatch_worker_total{worker=\"0\"} 1\n"));
+        assert!(text.contains("kvmatch_worker_total{worker=\"1\"} 2\n"));
+    }
+
+    #[test]
+    fn label_splicing_handles_pre_labelled_names() {
+        assert_eq!(with_label("a_us", "quantile", "0.5"), "a_us{quantile=\"0.5\"}");
+        assert_eq!(
+            with_label("a_us{shard=\"3\"}", "quantile", "0.5"),
+            "a_us{shard=\"3\",quantile=\"0.5\"}"
+        );
+        assert_eq!(suffixed("a_us", "_count"), "a_us_count");
+        assert_eq!(suffixed("a_us{shard=\"3\"}", "_count"), "a_us_count{shard=\"3\"}");
+    }
+}

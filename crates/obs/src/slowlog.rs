@@ -1,0 +1,176 @@
+//! The slow-query log: a lock-light bounded buffer of the K slowest
+//! recent queries.
+//!
+//! The hot path is one relaxed atomic load: once the log is full, a
+//! query faster than the current K-th slowest entry is rejected without
+//! touching the lock at all. Only genuinely slow queries (and the warm-up
+//! phase) pay for the mutex, so recording is effectively free under
+//! steady load.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One slow query worth remembering.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SlowLogEntry {
+    /// The query's trace id (0 when the query was not explained).
+    pub trace_id: u64,
+    /// Target series (raw id).
+    pub series: u64,
+    /// End-to-end latency, microseconds.
+    pub latency_us: u64,
+    /// A short human description (query type, length, outcome).
+    pub detail: String,
+}
+
+/// A bounded log of the `capacity` slowest recent queries.
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    /// Admission floor: once full, entries at or below this latency are
+    /// rejected with a single relaxed load.
+    floor_us: AtomicU64,
+    /// Sorted slowest-first; length ≤ capacity.
+    entries: Mutex<Vec<SlowLogEntry>>,
+}
+
+impl SlowLog {
+    /// An empty log keeping the `capacity` slowest entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            floor_us: AtomicU64::new(0),
+            entries: Mutex::new(Vec::with_capacity(capacity.min(64))),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers one query; returns whether it was kept. The fast path for
+    /// fast queries is a single atomic load.
+    pub fn offer(&self, entry: SlowLogEntry) -> bool {
+        if self.capacity == 0 {
+            return false;
+        }
+        // Relaxed is fine: a stale (lower) floor only means one extra
+        // lock acquisition, never a wrongly dropped slow query.
+        if entry.latency_us <= self.floor_us.load(Ordering::Relaxed) {
+            return false;
+        }
+        let mut entries = self.entries.lock().expect("slowlog poisoned");
+        if entries.len() == self.capacity
+            && entry.latency_us <= entries.last().map_or(0, |e| e.latency_us)
+        {
+            return false;
+        }
+        let at = entries.partition_point(|e| e.latency_us > entry.latency_us);
+        entries.insert(at, entry);
+        if entries.len() > self.capacity {
+            entries.pop();
+        }
+        if entries.len() == self.capacity {
+            self.floor_us.store(entries.last().map_or(0, |e| e.latency_us), Ordering::Relaxed);
+        }
+        true
+    }
+
+    /// How many entries are held right now.
+    pub fn depth(&self) -> usize {
+        self.entries.lock().expect("slowlog poisoned").len()
+    }
+
+    /// A copy of the current entries, slowest first.
+    pub fn dump(&self) -> Vec<SlowLogEntry> {
+        self.entries.lock().expect("slowlog poisoned").clone()
+    }
+
+    /// Renders the log as exposition-safe comment lines (appended to the
+    /// metrics text so one scrape carries both).
+    pub fn render_into(&self, out: &mut String) {
+        for (rank, e) in self.dump().iter().enumerate() {
+            out.push_str(&format!(
+                "# slowlog rank={} trace_id={} series={} latency_us={} {}\n",
+                rank, e.trace_id, e.series, e.latency_us, e.detail
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(latency_us: u64) -> SlowLogEntry {
+        SlowLogEntry { trace_id: latency_us, series: 1, latency_us, detail: "q".into() }
+    }
+
+    #[test]
+    fn keeps_the_k_slowest() {
+        let log = SlowLog::new(3);
+        for v in [10, 50, 20, 40, 30, 60, 5] {
+            log.offer(entry(v));
+        }
+        let kept: Vec<u64> = log.dump().iter().map(|e| e.latency_us).collect();
+        assert_eq!(kept, vec![60, 50, 40]);
+        assert_eq!(log.depth(), 3);
+    }
+
+    #[test]
+    fn fast_queries_are_rejected_without_insertion() {
+        let log = SlowLog::new(2);
+        assert!(log.offer(entry(100)));
+        assert!(log.offer(entry(200)));
+        assert!(!log.offer(entry(50)), "below the floor once full");
+        assert!(!log.offer(entry(100)), "ties with the floor are rejected");
+        assert!(log.offer(entry(150)), "between floor and max is kept");
+        let kept: Vec<u64> = log.dump().iter().map(|e| e.latency_us).collect();
+        assert_eq!(kept, vec![200, 150]);
+    }
+
+    #[test]
+    fn zero_capacity_is_inert() {
+        let log = SlowLog::new(0);
+        assert!(!log.offer(entry(1_000)));
+        assert_eq!(log.depth(), 0);
+        assert!(log.dump().is_empty());
+    }
+
+    #[test]
+    fn render_produces_comment_lines_only() {
+        let log = SlowLog::new(2);
+        log.offer(SlowLogEntry {
+            trace_id: 7,
+            series: 3,
+            latency_us: 1234,
+            detail: "rsm_ed m=192".into(),
+        });
+        let mut out = String::new();
+        log.render_into(&mut out);
+        assert!(out.lines().all(|l| l.starts_with('#')));
+        assert!(out.contains("trace_id=7"));
+        assert!(out.contains("latency_us=1234"));
+    }
+
+    #[test]
+    fn concurrent_offers_never_exceed_capacity() {
+        let log = std::sync::Arc::new(SlowLog::new(8));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let log = std::sync::Arc::clone(&log);
+                scope.spawn(move || {
+                    for i in 0..500u64 {
+                        log.offer(entry(t * 1_000 + i));
+                    }
+                });
+            }
+        });
+        let kept = log.dump();
+        assert_eq!(kept.len(), 8);
+        // Sorted slowest first, and the global top entry survived.
+        assert!(kept.windows(2).all(|w| w[0].latency_us >= w[1].latency_us));
+        assert_eq!(kept[0].latency_us, 3_499);
+    }
+}

@@ -1,0 +1,314 @@
+//! Per-query trace contexts and the wire-level `ExplainReport`.
+//!
+//! A [`TraceCtx`] is created where a query enters the system (the serve
+//! front door, when the spec carries the `explain` flag), travels with
+//! the job through the scheduler and the executor worker, and is
+//! finished where the response is assembled. Each [`TraceCtx::begin`] /
+//! [`TraceCtx::end`] pair records one [`SpanRecord`] — a name, a nesting
+//! depth and a wall-time duration. Durations instead of absolute
+//! timestamps keep spans meaningful across processes: the server and the
+//! client append their own spans to a report that originated behind the
+//! scheduler, without sharing a clock base.
+//!
+//! The [`ExplainReport`] is the external face of a trace: the span list
+//! plus the cascade's per-stage wall times and every pruning/caching
+//! counter of the query, encoded onto the wire by `kvmatch_proto` as an
+//! optional response tail (protocol v2).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A process-unique trace id (monotonic, never 0).
+pub fn next_trace_id() -> u64 {
+    NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One completed span: a named piece of wall time at a nesting depth.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name, e.g. `serve.queue` (see `docs/OBSERVABILITY.md` for
+    /// the taxonomy).
+    pub name: String,
+    /// Nesting depth at which the span was opened (0 = root).
+    pub depth: u32,
+    /// Wall time the span covered, nanoseconds.
+    pub nanos: u64,
+}
+
+/// A live trace: an id plus a span stack over a cheap monotonic clock.
+///
+/// Not thread-safe by design — a trace follows one query, which is owned
+/// by exactly one thread at a time; ownership moves with the job.
+#[derive(Debug)]
+pub struct TraceCtx {
+    trace_id: u64,
+    started: Instant,
+    open: Vec<(&'static str, Instant)>,
+    spans: Vec<SpanRecord>,
+}
+
+impl TraceCtx {
+    /// A fresh trace with a newly allocated id.
+    pub fn new() -> Self {
+        Self::with_id(next_trace_id())
+    }
+
+    /// A trace continuing an existing id (cross-process propagation).
+    pub fn with_id(trace_id: u64) -> Self {
+        Self { trace_id, started: Instant::now(), open: Vec::new(), spans: Vec::new() }
+    }
+
+    /// The trace id.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Opens a span. Spans close in LIFO order via [`TraceCtx::end`].
+    pub fn begin(&mut self, name: &'static str) {
+        self.open.push((name, Instant::now()));
+    }
+
+    /// Closes the innermost open span, recording its duration. No-op if
+    /// no span is open.
+    pub fn end(&mut self) {
+        if let Some((name, at)) = self.open.pop() {
+            self.spans.push(SpanRecord {
+                name: name.to_string(),
+                depth: self.open.len() as u32,
+                nanos: at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+            });
+        }
+    }
+
+    /// Appends an externally measured span (e.g. the server's own
+    /// request-handling time, or a client-measured round trip).
+    pub fn push_span(&mut self, name: impl Into<String>, depth: u32, nanos: u64) {
+        self.spans.push(SpanRecord { name: name.into(), depth, nanos });
+    }
+
+    /// Wall time since the trace was created, nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Closes any still-open spans and returns the recorded list.
+    pub fn finish(mut self) -> Vec<SpanRecord> {
+        while !self.open.is_empty() {
+            self.end();
+        }
+        self.spans
+    }
+}
+
+impl Default for TraceCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The structured trace a query answered with `explain` returns: where
+/// the time went (per cascade stage and per pipeline span) and where the
+/// candidates were dropped. Counter fields mirror the executor's
+/// `MatchStats`; prune counts are defined to be equal to the cascade's
+/// own accounting.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExplainReport {
+    /// The query's trace id.
+    pub trace_id: u64,
+    /// Admission-to-dispatch wall time, nanoseconds.
+    pub queue_nanos: u64,
+    /// Dispatch-to-response wall time, nanoseconds.
+    pub execute_nanos: u64,
+    /// Phase-1 index probing wall time, nanoseconds.
+    pub probe_nanos: u64,
+    /// Wall time inside the LB_Kim-FL stage, nanoseconds.
+    pub lb_kim_nanos: u64,
+    /// Wall time inside the LB_Keogh stage, nanoseconds.
+    pub lb_keogh_nanos: u64,
+    /// Wall time inside exact verification (banded DTW / ED / Lp),
+    /// nanoseconds.
+    pub dtw_nanos: u64,
+    /// Index rows scanned from the store.
+    pub rows_scanned: u64,
+    /// Index rows served from the probe cache.
+    pub rows_from_cache: u64,
+    /// Whole probes served without a store scan.
+    pub probe_cache_hits: u64,
+    /// Row-cache evictions this query forced.
+    pub cache_evictions: u64,
+    /// Candidates dropped by the cNSM constraint check.
+    pub pruned_constraint: u64,
+    /// Candidates dropped by LB_Kim-FL.
+    pub pruned_lb_kim: u64,
+    /// Candidates dropped by LB_Keogh.
+    pub pruned_lb_keogh: u64,
+    /// Candidates that reached the exact kernel.
+    pub full_distance_computations: u64,
+    /// LB_Kim evaluations skipped by adaptive stage demotion.
+    pub adaptive_skipped_lb_kim: u64,
+    /// LB_Keogh evaluations skipped by adaptive stage demotion.
+    pub adaptive_skipped_lb_keogh: u64,
+    /// Kernel scratch buffer growths during this query (0 = warm).
+    pub alloc_events: u64,
+    /// The span list, in completion order.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl ExplainReport {
+    /// The fixed counter fields in wire order — shared by the codec, the
+    /// human rendering and the field-coverage tests, so they cannot
+    /// drift apart.
+    pub fn counters(&self) -> [(&'static str, u64); 18] {
+        [
+            ("trace_id", self.trace_id),
+            ("queue_nanos", self.queue_nanos),
+            ("execute_nanos", self.execute_nanos),
+            ("probe_nanos", self.probe_nanos),
+            ("lb_kim_nanos", self.lb_kim_nanos),
+            ("lb_keogh_nanos", self.lb_keogh_nanos),
+            ("dtw_nanos", self.dtw_nanos),
+            ("rows_scanned", self.rows_scanned),
+            ("rows_from_cache", self.rows_from_cache),
+            ("probe_cache_hits", self.probe_cache_hits),
+            ("cache_evictions", self.cache_evictions),
+            ("pruned_constraint", self.pruned_constraint),
+            ("pruned_lb_kim", self.pruned_lb_kim),
+            ("pruned_lb_keogh", self.pruned_lb_keogh),
+            ("full_distance_computations", self.full_distance_computations),
+            ("adaptive_skipped_lb_kim", self.adaptive_skipped_lb_kim),
+            ("adaptive_skipped_lb_keogh", self.adaptive_skipped_lb_keogh),
+            ("alloc_events", self.alloc_events),
+        ]
+    }
+
+    /// Writes a counter value by its wire-order index — the decode-side
+    /// twin of [`ExplainReport::counters`].
+    pub fn set_counter(&mut self, index: usize, value: u64) {
+        let slot = match index {
+            0 => &mut self.trace_id,
+            1 => &mut self.queue_nanos,
+            2 => &mut self.execute_nanos,
+            3 => &mut self.probe_nanos,
+            4 => &mut self.lb_kim_nanos,
+            5 => &mut self.lb_keogh_nanos,
+            6 => &mut self.dtw_nanos,
+            7 => &mut self.rows_scanned,
+            8 => &mut self.rows_from_cache,
+            9 => &mut self.probe_cache_hits,
+            10 => &mut self.cache_evictions,
+            11 => &mut self.pruned_constraint,
+            12 => &mut self.pruned_lb_kim,
+            13 => &mut self.pruned_lb_keogh,
+            14 => &mut self.full_distance_computations,
+            15 => &mut self.adaptive_skipped_lb_kim,
+            16 => &mut self.adaptive_skipped_lb_keogh,
+            17 => &mut self.alloc_events,
+            _ => return,
+        };
+        *slot = value;
+    }
+}
+
+impl fmt::Display for ExplainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "explain trace {}", self.trace_id)?;
+        for span in &self.spans {
+            writeln!(
+                f,
+                "  {:indent$}{} {:.3} ms",
+                "",
+                span.name,
+                span.nanos as f64 / 1e6,
+                indent = 2 * span.depth as usize
+            )?;
+        }
+        writeln!(
+            f,
+            "  stages: probe {:.3} ms, lb_kim {:.3} ms, lb_keogh {:.3} ms, verify {:.3} ms",
+            self.probe_nanos as f64 / 1e6,
+            self.lb_kim_nanos as f64 / 1e6,
+            self.lb_keogh_nanos as f64 / 1e6,
+            self.dtw_nanos as f64 / 1e6,
+        )?;
+        writeln!(
+            f,
+            "  pruned: constraint {}, lb_kim {}, lb_keogh {}; exact kernels {}",
+            self.pruned_constraint,
+            self.pruned_lb_kim,
+            self.pruned_lb_keogh,
+            self.full_distance_computations,
+        )?;
+        write!(
+            f,
+            "  rows: {} scanned, {} cached ({} probe hits, {} evictions); \
+             adaptive skips {}/{}; alloc events {}",
+            self.rows_scanned,
+            self.rows_from_cache,
+            self.probe_cache_hits,
+            self.cache_evictions,
+            self.adaptive_skipped_lb_kim,
+            self.adaptive_skipped_lb_keogh,
+            self.alloc_events,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_ids_are_unique_and_nonzero() {
+        let a = next_trace_id();
+        let b = next_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn spans_nest_and_close_in_lifo_order() {
+        let mut t = TraceCtx::new();
+        t.begin("outer");
+        t.begin("inner");
+        t.end();
+        t.end();
+        t.push_span("external", 0, 42);
+        let spans = t.finish();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "inner");
+        assert_eq!(spans[0].depth, 1);
+        assert_eq!(spans[1].name, "outer");
+        assert_eq!(spans[1].depth, 0);
+        assert_eq!(spans[2], SpanRecord { name: "external".into(), depth: 0, nanos: 42 });
+    }
+
+    #[test]
+    fn finish_closes_dangling_spans() {
+        let mut t = TraceCtx::new();
+        t.begin("a");
+        t.begin("b");
+        let spans = t.finish();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "b");
+        assert_eq!(spans[1].name, "a");
+    }
+
+    #[test]
+    fn counter_table_round_trips_every_field() {
+        let mut report = ExplainReport::default();
+        for (i, _) in ExplainReport::default().counters().iter().enumerate() {
+            report.set_counter(i, (i as u64 + 1) * 1_000);
+        }
+        for (i, (_, v)) in report.counters().iter().enumerate() {
+            assert_eq!(*v, (i as u64 + 1) * 1_000);
+        }
+        // Display renders without panicking and names the trace.
+        report.spans.push(SpanRecord { name: "serve.queue".into(), depth: 0, nanos: 5 });
+        let text = report.to_string();
+        assert!(text.contains("explain trace 1000"));
+        assert!(text.contains("serve.queue"));
+    }
+}

@@ -21,9 +21,15 @@
 //!   any allocation happens, and encoders refuse to *produce* such frames
 //!   ([`ProtoError::FrameTooLarge`]) so an oversized message surfaces as a
 //!   typed error on the sending side instead of a connection teardown.
-//! * `version` is [`VERSION`]. Decoders reject other values with
-//!   [`ProtoError::UnknownVersion`] so a server can answer an incompatible
-//!   client with [`code::UNSUPPORTED_VERSION`] instead of misparsing it.
+//! * `version` is any value in `MIN_VERSION..=VERSION`. Decoders reject
+//!   other values with [`ProtoError::UnknownVersion`] so a server can
+//!   answer an incompatible client with [`code::UNSUPPORTED_VERSION`]
+//!   instead of misparsing it. Version 2 adds the `explain` flag on query
+//!   specs, six extra [`MatchStats`] counters, the optional
+//!   [`ExplainReport`] response tail and the `MetricsText` opcode pair;
+//!   every version-1 frame decodes exactly as before, and a server echoes
+//!   each response in the version the request arrived in, so v1 peers
+//!   never see v2 bytes.
 //! * `opcode` selects the [`Request`] or [`Response`] variant (request
 //!   opcodes have the high bit clear, response opcodes have it set).
 //! * `request_id` is chosen by the client and echoed verbatim in the
@@ -45,9 +51,16 @@ use std::io::{self, Read, Write};
 
 use kvmatch_core::{Constraint, CoreError, MatchResult, MatchStats, Measure, QuerySpec, SeriesId};
 use kvmatch_distance::LpExponent;
+pub use kvmatch_obs::{ExplainReport, SpanRecord};
 
-/// Protocol version this crate encodes and accepts.
-pub const VERSION: u8 = 1;
+/// Newest protocol version this crate encodes and accepts (the default
+/// for [`Request::encode`] / [`Response::encode`]).
+pub const VERSION: u8 = 2;
+
+/// Oldest protocol version still accepted. Frames between
+/// [`MIN_VERSION`] and [`VERSION`] (inclusive) decode; a server answers
+/// each request in the version it arrived in.
+pub const MIN_VERSION: u8 = 1;
 
 /// Upper bound on `payload_len` (64 MiB). A length prefix beyond this is
 /// rejected as [`ProtoError::FrameTooLarge`] before any buffer is reserved,
@@ -100,11 +113,13 @@ mod opcode {
     pub const REQ_METRICS: u8 = 0x03;
     pub const REQ_PING: u8 = 0x04;
     pub const REQ_SHUTDOWN: u8 = 0x05;
+    pub const REQ_METRICS_TEXT: u8 = 0x06; // v2+
     pub const RESP_QUERY: u8 = 0x81;
     pub const RESP_APPENDED: u8 = 0x82;
     pub const RESP_METRICS: u8 = 0x83;
     pub const RESP_PONG: u8 = 0x84;
     pub const RESP_SHUTDOWN: u8 = 0x85;
+    pub const RESP_METRICS_TEXT: u8 = 0x86; // v2+
     pub const RESP_ERROR: u8 = 0xFF;
 }
 
@@ -130,6 +145,9 @@ pub enum Request {
     },
     /// Fetch a serving + network metrics snapshot.
     Metrics,
+    /// Fetch the full Prometheus-style text exposition (every registered
+    /// metric plus the slow-query log). Protocol v2+.
+    MetricsText,
     /// Liveness probe.
     Ping,
     /// Ask the server to drain in-flight work and exit.
@@ -147,11 +165,17 @@ pub enum Response {
         stats: MatchStats,
         /// Submit→response latency measured inside the service, µs.
         latency_us: u64,
+        /// The structured trace, present iff the request's spec set
+        /// `explain`. Only protocol v2 can carry it — a v1 encode drops
+        /// the tail (a v1 peer cannot have requested it).
+        explain: Option<Box<ExplainReport>>,
     },
     /// The append was applied.
     Appended,
     /// Metrics snapshot.
     Metrics(WireMetrics),
+    /// Prometheus-style text exposition. Protocol v2+.
+    MetricsText(String),
     /// Answer to [`Request::Ping`].
     Pong,
     /// Shutdown acknowledged; the server drains and exits.
@@ -253,6 +277,55 @@ pub struct WireMetrics {
     pub net_protocol_errors: u64,
 }
 
+impl fmt::Display for WireMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "serve: submitted {}, completed {}, failed {}, rejected {}, \
+             expired {}+{}, appends {} ({} materialize failures)",
+            self.submitted,
+            self.completed,
+            self.failed,
+            self.rejected,
+            self.expired,
+            self.expired_exec,
+            self.appends,
+            self.materialize_failures,
+        )?;
+        writeln!(
+            f,
+            "batch: {} batches / {} queries (avg {:.2}, max {}), workers {}",
+            self.batches,
+            self.batched_queries,
+            self.avg_batch_occupancy,
+            self.max_batch_occupancy,
+            self.workers,
+        )?;
+        writeln!(
+            f,
+            "queue: depth {} (peak {}), ingest {} (peak {})",
+            self.queue_depth, self.queue_depth_peak, self.ingest_depth, self.ingest_depth_peak,
+        )?;
+        writeln!(
+            f,
+            "latency_us: p50 {}, p95 {}, p99 {}, max {}",
+            self.latency_p50_us, self.latency_p95_us, self.latency_p99_us, self.latency_max_us,
+        )?;
+        write!(
+            f,
+            "net: {} accepted ({} active), frames {}/{} in/out, bytes {}/{} in/out, \
+             {} protocol errors",
+            self.net_connections_accepted,
+            self.net_connections_active,
+            self.net_frames_in,
+            self.net_frames_out,
+            self.net_bytes_in,
+            self.net_bytes_out,
+            self.net_protocol_errors,
+        )
+    }
+}
+
 /// Typed decode/IO failures. Decoding never panics; every malformed input
 /// maps to one of these.
 #[derive(Debug)]
@@ -261,7 +334,7 @@ pub enum ProtoError {
     Truncated,
     /// The length prefix exceeds [`MAX_FRAME`].
     FrameTooLarge(u32),
-    /// The version byte is not [`VERSION`].
+    /// The version byte is outside `MIN_VERSION..=VERSION`.
     UnknownVersion(u8),
     /// The opcode byte is not a known request/response opcode.
     UnknownOpcode(u8),
@@ -285,7 +358,7 @@ impl fmt::Display for ProtoError {
                 write!(f, "declared payload of {len} bytes exceeds MAX_FRAME ({MAX_FRAME})")
             }
             ProtoError::UnknownVersion(v) => {
-                write!(f, "unknown protocol version {v} (supported: {VERSION})")
+                write!(f, "unknown protocol version {v} (supported: {MIN_VERSION}..={VERSION})")
             }
             ProtoError::UnknownOpcode(op) => write!(f, "unknown opcode 0x{op:02x}"),
             ProtoError::Malformed(msg) => write!(f, "malformed frame: {msg}"),
@@ -365,7 +438,7 @@ fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
     }
 }
 
-fn put_spec(buf: &mut Vec<u8>, spec: &QuerySpec) {
+fn put_spec(buf: &mut Vec<u8>, spec: &QuerySpec, version: u8) {
     put_u64(buf, spec.series.raw());
     put_f64s(buf, &spec.query);
     put_f64(buf, spec.epsilon);
@@ -395,9 +468,14 @@ fn put_spec(buf: &mut Vec<u8>, spec: &QuerySpec) {
         }
     }
     put_opt_u64(buf, spec.limit.map(|k| k as u64));
+    if version >= 2 {
+        // v1 has no explain flag; a v1 peer's queries decode to
+        // explain = false.
+        buf.push(spec.explain as u8);
+    }
 }
 
-fn put_stats(buf: &mut Vec<u8>, s: &MatchStats) {
+fn put_stats(buf: &mut Vec<u8>, s: &MatchStats, version: u8) {
     for v in [
         s.candidates,
         s.candidate_intervals,
@@ -417,6 +495,30 @@ fn put_stats(buf: &mut Vec<u8>, s: &MatchStats) {
         s.phase2_nanos,
     ] {
         put_u64(buf, v);
+    }
+    if version >= 2 {
+        for v in [
+            s.lb_kim_nanos,
+            s.lb_keogh_nanos,
+            s.dtw_nanos,
+            s.alloc_events,
+            s.adaptive_skipped_lb_kim,
+            s.adaptive_skipped_lb_keogh,
+        ] {
+            put_u64(buf, v);
+        }
+    }
+}
+
+fn put_explain(buf: &mut Vec<u8>, report: &ExplainReport) {
+    for (_, v) in report.counters() {
+        put_u64(buf, v);
+    }
+    put_u32(buf, report.spans.len() as u32);
+    for span in &report.spans {
+        put_str(buf, &span.name);
+        put_u32(buf, span.depth);
+        put_u64(buf, span.nanos);
     }
 }
 
@@ -465,7 +567,7 @@ fn put_metrics(buf: &mut Vec<u8>, m: &WireMetrics) {
 /// cast above: a sequence long enough to wrap a `u32` count is orders of
 /// magnitude past [`MAX_FRAME`] in bytes, and the frame errors here
 /// before the truncated count could ever reach a peer.
-fn frame(opcode: u8, request_id: u64, body: Vec<u8>) -> Result<Vec<u8>, ProtoError> {
+fn frame(version: u8, opcode: u8, request_id: u64, body: Vec<u8>) -> Result<Vec<u8>, ProtoError> {
     let payload_len = 1 + 1 + 8 + body.len();
     if payload_len > MAX_FRAME as usize {
         let reported = u32::try_from(payload_len).unwrap_or(u32::MAX);
@@ -473,11 +575,19 @@ fn frame(opcode: u8, request_id: u64, body: Vec<u8>) -> Result<Vec<u8>, ProtoErr
     }
     let mut out = Vec::with_capacity(4 + payload_len);
     put_u32(&mut out, payload_len as u32);
-    out.push(VERSION);
+    out.push(version);
     out.push(opcode);
     put_u64(&mut out, request_id);
     out.extend_from_slice(&body);
     Ok(out)
+}
+
+fn check_version(version: u8) -> Result<(), ProtoError> {
+    if (MIN_VERSION..=VERSION).contains(&version) {
+        Ok(())
+    } else {
+        Err(ProtoError::UnknownVersion(version))
+    }
 }
 
 impl Request {
@@ -488,13 +598,22 @@ impl Request {
     /// and with [`ProtoError::ReservedRequestId`] for request id 0 —
     /// that id is reserved for connection-scoped server error frames.
     pub fn encode(&self, request_id: u64) -> Result<Vec<u8>, ProtoError> {
+        self.encode_v(request_id, VERSION)
+    }
+
+    /// [`Request::encode`] at an explicit protocol version (for talking
+    /// to older peers). Version-2 message types fail as
+    /// [`ProtoError::Malformed`] at version 1 — an old peer would answer
+    /// them with an unknown-opcode error anyway.
+    pub fn encode_v(&self, request_id: u64, version: u8) -> Result<Vec<u8>, ProtoError> {
+        check_version(version)?;
         if request_id == 0 {
             return Err(ProtoError::ReservedRequestId);
         }
         let mut body = Vec::new();
         let op = match self {
             Request::Query { spec, deadline_us } => {
-                put_spec(&mut body, spec);
+                put_spec(&mut body, spec, version);
                 put_opt_u64(&mut body, *deadline_us);
                 opcode::REQ_QUERY
             }
@@ -504,10 +623,18 @@ impl Request {
                 opcode::REQ_APPEND
             }
             Request::Metrics => opcode::REQ_METRICS,
+            Request::MetricsText => {
+                if version < 2 {
+                    return Err(ProtoError::Malformed(
+                        "MetricsText requires protocol version 2".into(),
+                    ));
+                }
+                opcode::REQ_METRICS_TEXT
+            }
             Request::Ping => opcode::REQ_PING,
             Request::Shutdown => opcode::REQ_SHUTDOWN,
         };
-        frame(op, request_id, body)
+        frame(version, op, request_id, body)
     }
 }
 
@@ -519,22 +646,50 @@ impl Response {
     /// replaced by an error frame, not sent to a peer that will reject it.
     /// Request id 0 is legal here: it tags connection-scoped error frames.
     pub fn encode(&self, request_id: u64) -> Result<Vec<u8>, ProtoError> {
+        self.encode_v(request_id, VERSION)
+    }
+
+    /// [`Response::encode`] at an explicit protocol version — the server
+    /// answers each request in the version it arrived in, so v1 peers
+    /// never see v2 bytes. At version 1 the query response omits the v2
+    /// stats counters and the explain tail (a v1 peer cannot have asked
+    /// for them), and `MetricsText` fails as [`ProtoError::Malformed`].
+    pub fn encode_v(&self, request_id: u64, version: u8) -> Result<Vec<u8>, ProtoError> {
+        check_version(version)?;
         let mut body = Vec::new();
         let op = match self {
-            Response::Query { results, stats, latency_us } => {
+            Response::Query { results, stats, latency_us, explain } => {
                 put_u32(&mut body, results.len() as u32);
                 for r in results {
                     put_u64(&mut body, r.offset as u64);
                     put_f64(&mut body, r.distance);
                 }
-                put_stats(&mut body, stats);
+                put_stats(&mut body, stats, version);
                 put_u64(&mut body, *latency_us);
+                if version >= 2 {
+                    match explain {
+                        None => body.push(0),
+                        Some(report) => {
+                            body.push(1);
+                            put_explain(&mut body, report);
+                        }
+                    }
+                }
                 opcode::RESP_QUERY
             }
             Response::Appended => opcode::RESP_APPENDED,
             Response::Metrics(m) => {
                 put_metrics(&mut body, m);
                 opcode::RESP_METRICS
+            }
+            Response::MetricsText(text) => {
+                if version < 2 {
+                    return Err(ProtoError::Malformed(
+                        "MetricsText requires protocol version 2".into(),
+                    ));
+                }
+                put_str(&mut body, text);
+                opcode::RESP_METRICS_TEXT
             }
             Response::Pong => opcode::RESP_PONG,
             Response::ShutdownStarted => opcode::RESP_SHUTDOWN,
@@ -553,7 +708,7 @@ impl Response {
                 opcode::RESP_ERROR
             }
         };
-        frame(op, request_id, body)
+        frame(version, op, request_id, body)
     }
 }
 
@@ -649,7 +804,7 @@ fn usize_from(v: u64, what: &str) -> Result<usize, ProtoError> {
     usize::try_from(v).map_err(|_| ProtoError::Malformed(format!("{what} overflows usize")))
 }
 
-fn take_spec(c: &mut Cursor<'_>) -> Result<QuerySpec, ProtoError> {
+fn take_spec(c: &mut Cursor<'_>, version: u8) -> Result<QuerySpec, ProtoError> {
     let series = SeriesId::new(c.u64()?);
     let query = c.f64s()?;
     let epsilon = c.f64()?;
@@ -672,11 +827,20 @@ fn take_spec(c: &mut Cursor<'_>) -> Result<QuerySpec, ProtoError> {
         None => None,
         Some(k) => Some(usize_from(k, "top-k limit")?),
     };
-    Ok(QuerySpec { series, query, epsilon, measure, constraint, limit })
+    let explain = if version >= 2 {
+        match c.u8()? {
+            0 => false,
+            1 => true,
+            tag => return Err(ProtoError::Malformed(format!("invalid explain tag {tag}"))),
+        }
+    } else {
+        false
+    };
+    Ok(QuerySpec { series, query, epsilon, measure, constraint, limit, explain })
 }
 
-fn take_stats(c: &mut Cursor<'_>) -> Result<MatchStats, ProtoError> {
-    Ok(MatchStats {
+fn take_stats(c: &mut Cursor<'_>, version: u8) -> Result<MatchStats, ProtoError> {
+    let mut s = MatchStats {
         candidates: c.u64()?,
         candidate_intervals: c.u64()?,
         index_accesses: c.u64()?,
@@ -693,7 +857,40 @@ fn take_stats(c: &mut Cursor<'_>) -> Result<MatchStats, ProtoError> {
         matches: c.u64()?,
         phase1_nanos: c.u64()?,
         phase2_nanos: c.u64()?,
-    })
+        ..MatchStats::default()
+    };
+    if version >= 2 {
+        s.lb_kim_nanos = c.u64()?;
+        s.lb_keogh_nanos = c.u64()?;
+        s.dtw_nanos = c.u64()?;
+        s.alloc_events = c.u64()?;
+        s.adaptive_skipped_lb_kim = c.u64()?;
+        s.adaptive_skipped_lb_keogh = c.u64()?;
+    }
+    Ok(s)
+}
+
+fn take_explain(c: &mut Cursor<'_>) -> Result<ExplainReport, ProtoError> {
+    let mut report = ExplainReport::default();
+    let fields = report.counters().len();
+    for i in 0..fields {
+        let v = c.u64()?;
+        report.set_counter(i, v);
+    }
+    let n = c.u32()? as usize;
+    // Each span is at least a 4-byte name length + depth + nanos.
+    if c.remaining() < n.saturating_mul(16) {
+        return Err(ProtoError::Truncated);
+    }
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = c.str()?;
+        let depth = c.u32()?;
+        let nanos = c.u64()?;
+        spans.push(SpanRecord { name, depth, nanos });
+    }
+    report.spans = spans;
+    Ok(report)
 }
 
 fn take_metrics(c: &mut Cursor<'_>) -> Result<WireMetrics, ProtoError> {
@@ -734,22 +931,24 @@ fn take_metrics(c: &mut Cursor<'_>) -> Result<WireMetrics, ProtoError> {
 pub struct Frame<T> {
     /// The pipelining id this frame belongs to.
     pub request_id: u64,
+    /// The protocol version the frame arrived in. Servers answer each
+    /// request in this version so old peers never see newer bytes.
+    pub version: u8,
     /// The decoded message.
     pub message: T,
 }
 
 /// Splits a payload (everything after the length prefix) into
-/// `(version, opcode, request_id, body)`, validating the version byte.
-fn split_payload(payload: &[u8]) -> Result<(u8, u64, &[u8]), ProtoError> {
+/// `(version, opcode, request_id, body)`, validating the version byte
+/// against the `MIN_VERSION..=VERSION` window.
+fn split_payload(payload: &[u8]) -> Result<(u8, u8, u64, &[u8]), ProtoError> {
     let mut c = Cursor::new(payload);
     let version = c.u8()?;
-    if version != VERSION {
-        return Err(ProtoError::UnknownVersion(version));
-    }
+    check_version(version)?;
     let op = c.u8()?;
     let request_id = c.u64()?;
     let body = &payload[c.pos..];
-    Ok((op, request_id, body))
+    Ok((version, op, request_id, body))
 }
 
 /// Decodes a request payload (the bytes after the length prefix).
@@ -757,14 +956,14 @@ fn split_payload(payload: &[u8]) -> Result<(u8, u64, &[u8]), ProtoError> {
 /// reserved for the error frames a server sends when a request cannot be
 /// attributed, so accepting it would let a response be misattributed.
 pub fn decode_request(payload: &[u8]) -> Result<Frame<Request>, ProtoError> {
-    let (op, request_id, body) = split_payload(payload)?;
+    let (version, op, request_id, body) = split_payload(payload)?;
     if request_id == 0 {
         return Err(ProtoError::ReservedRequestId);
     }
     let mut c = Cursor::new(body);
     let message = match op {
         opcode::REQ_QUERY => {
-            let spec = take_spec(&mut c)?;
+            let spec = take_spec(&mut c, version)?;
             let deadline_us = c.opt_u64()?;
             Request::Query { spec, deadline_us }
         }
@@ -774,17 +973,18 @@ pub fn decode_request(payload: &[u8]) -> Result<Frame<Request>, ProtoError> {
             Request::Append { series, points }
         }
         opcode::REQ_METRICS => Request::Metrics,
+        opcode::REQ_METRICS_TEXT if version >= 2 => Request::MetricsText,
         opcode::REQ_PING => Request::Ping,
         opcode::REQ_SHUTDOWN => Request::Shutdown,
         other => return Err(ProtoError::UnknownOpcode(other)),
     };
     c.finish()?;
-    Ok(Frame { request_id, message })
+    Ok(Frame { request_id, version, message })
 }
 
 /// Decodes a response payload (the bytes after the length prefix).
 pub fn decode_response(payload: &[u8]) -> Result<Frame<Response>, ProtoError> {
-    let (op, request_id, body) = split_payload(payload)?;
+    let (version, op, request_id, body) = split_payload(payload)?;
     let mut c = Cursor::new(body);
     let message = match op {
         opcode::RESP_QUERY => {
@@ -798,12 +998,22 @@ pub fn decode_response(payload: &[u8]) -> Result<Frame<Response>, ProtoError> {
                 let distance = c.f64()?;
                 results.push(MatchResult { offset, distance });
             }
-            let stats = take_stats(&mut c)?;
+            let stats = take_stats(&mut c, version)?;
             let latency_us = c.u64()?;
-            Response::Query { results, stats, latency_us }
+            let explain = if version >= 2 {
+                match c.u8()? {
+                    0 => None,
+                    1 => Some(Box::new(take_explain(&mut c)?)),
+                    tag => return Err(ProtoError::Malformed(format!("invalid explain tag {tag}"))),
+                }
+            } else {
+                None
+            };
+            Response::Query { results, stats, latency_us, explain }
         }
         opcode::RESP_APPENDED => Response::Appended,
         opcode::RESP_METRICS => Response::Metrics(take_metrics(&mut c)?),
+        opcode::RESP_METRICS_TEXT if version >= 2 => Response::MetricsText(c.str()?),
         opcode::RESP_PONG => Response::Pong,
         opcode::RESP_SHUTDOWN => Response::ShutdownStarted,
         opcode::RESP_ERROR => {
@@ -819,7 +1029,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Frame<Response>, ProtoError> {
         other => return Err(ProtoError::UnknownOpcode(other)),
     };
     c.finish()?;
-    Ok(Frame { request_id, message })
+    Ok(Frame { request_id, version, message })
 }
 
 // ---------------------------------------------------------------------------
@@ -929,6 +1139,7 @@ mod tests {
             results: vec![MatchResult { offset: 3, distance: weird }],
             stats: MatchStats::default(),
             latency_us: 12,
+            explain: None,
         };
         let enc = resp.encode(1).unwrap();
         let frame = decode_response(strip_len(&enc)).unwrap();

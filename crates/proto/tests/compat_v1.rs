@@ -1,0 +1,213 @@
+//! Backward compatibility with protocol version 1.
+//!
+//! A v1 peer must keep working against this crate unchanged: every
+//! request/response shape that existed in v1 still round-trips through
+//! `encode_v(id, 1)` → decode, the decoded frame reports `version == 1`,
+//! and the v1 byte layout is pinned down field by field so a codec
+//! refactor cannot silently reorder it. The v2-only surface (explain
+//! flag, extended stats, `MetricsText`) must degrade exactly as
+//! specified: absent from v1 bytes, rejected when a v1 frame smuggles a
+//! v2 opcode.
+
+use kvmatch_core::{MatchResult, MatchStats, QuerySpec, SeriesId};
+use kvmatch_proto::{
+    decode_request, decode_response, ExplainReport, ProtoError, Request, Response, WireError,
+    WireMetrics, WireRejected, MIN_VERSION, REJECT_KIND_BACKPRESSURE, VERSION,
+};
+
+fn strip_len(frame: &[u8]) -> &[u8] {
+    &frame[4..]
+}
+
+fn sample_spec() -> QuerySpec {
+    QuerySpec::cnsm_dtw(vec![1.0, 2.0, 3.5, -0.5], 2.5, 3, 1.5, 4.0).top_k(5)
+}
+
+#[test]
+fn version_window_is_1_to_2() {
+    assert_eq!(MIN_VERSION, 1);
+    assert_eq!(VERSION, 2);
+}
+
+#[test]
+fn every_v1_request_round_trips_at_v1() {
+    let requests = [
+        Request::Query { spec: sample_spec(), deadline_us: Some(1_000_000) },
+        Request::Query { spec: QuerySpec::rsm_ed(vec![0.0; 8], 1.0), deadline_us: None },
+        Request::Append { series: SeriesId::new(3), points: vec![1.0, -2.0, 3.0] },
+        Request::Metrics,
+        Request::Ping,
+        Request::Shutdown,
+    ];
+    for (i, req) in requests.iter().enumerate() {
+        let id = i as u64 + 1;
+        let enc = req.encode_v(id, 1).expect("v1 shape must encode at v1");
+        let frame = decode_request(strip_len(&enc)).expect("v1 frame must decode");
+        assert_eq!(frame.version, 1);
+        assert_eq!(frame.request_id, id);
+        assert_eq!(&frame.message, req);
+        // Byte-level identity: decode → re-encode at v1 reproduces the frame.
+        assert_eq!(frame.message.encode_v(id, 1).unwrap(), enc);
+    }
+}
+
+#[test]
+fn every_v1_response_round_trips_at_v1() {
+    let stats = MatchStats {
+        candidates: 7,
+        pruned_lb_keogh: 3,
+        phase2_nanos: 12345,
+        ..MatchStats::default()
+    };
+    let responses = [
+        Response::Query {
+            results: vec![MatchResult { offset: 42, distance: 1.25 }],
+            stats,
+            latency_us: 99,
+            explain: None,
+        },
+        Response::Appended,
+        Response::Metrics(WireMetrics { submitted: 5, completed: 4, ..WireMetrics::default() }),
+        Response::Pong,
+        Response::ShutdownStarted,
+        Response::Error(WireError {
+            code: kvmatch_proto::code::REJECTED,
+            detail: "queue full".into(),
+            rejected: Some(WireRejected { kind: REJECT_KIND_BACKPRESSURE, capacity: 8, depth: 8 }),
+        }),
+    ];
+    for (i, resp) in responses.iter().enumerate() {
+        let id = i as u64;
+        let enc = resp.encode_v(id, 1).expect("v1 shape must encode at v1");
+        let frame = decode_response(strip_len(&enc)).expect("v1 frame must decode");
+        assert_eq!(frame.version, 1);
+        assert_eq!(frame.request_id, id);
+        assert_eq!(&frame.message, resp);
+        assert_eq!(frame.message.encode_v(id, 1).unwrap(), enc);
+    }
+}
+
+#[test]
+fn v1_query_request_layout_is_pinned() {
+    // Hand-assemble the exact v1 bytes for a small query request; the
+    // codec must keep decoding them forever.
+    let spec = QuerySpec::rsm_ed(vec![2.0, -1.0], 0.5);
+    let mut payload = Vec::new();
+    payload.push(1u8); // version
+    payload.push(0x01); // REQ_QUERY
+    payload.extend_from_slice(&7u64.to_le_bytes()); // request id
+    payload.extend_from_slice(&0u64.to_le_bytes()); // series
+    payload.extend_from_slice(&2u32.to_le_bytes()); // |Q|
+    payload.extend_from_slice(&2.0f64.to_bits().to_le_bytes());
+    payload.extend_from_slice(&(-1.0f64).to_bits().to_le_bytes());
+    payload.extend_from_slice(&0.5f64.to_bits().to_le_bytes()); // epsilon
+    payload.push(0); // measure: ED
+    payload.push(0); // constraint: none
+    payload.push(0); // limit: none
+                     // v1 spec ends here — no explain byte.
+    payload.push(0); // deadline: none
+    let frame = decode_request(&payload).expect("pinned v1 layout must decode");
+    assert_eq!(frame.version, 1);
+    assert_eq!(frame.request_id, 7);
+    assert_eq!(frame.message, Request::Query { spec: spec.clone(), deadline_us: None });
+    assert!(
+        !matches!(&frame.message,
+        Request::Query { spec, .. } if spec.explain),
+        "v1 bytes can never request explain"
+    );
+    // And the encoder produces those exact bytes back.
+    let enc = Request::Query { spec, deadline_us: None }.encode_v(7, 1).unwrap();
+    assert_eq!(strip_len(&enc), payload.as_slice());
+}
+
+#[test]
+fn v1_query_response_carries_16_stat_fields_and_no_explain_tail() {
+    let stats = MatchStats {
+        candidates: 1,
+        phase1_nanos: 2,
+        lb_kim_nanos: 777, // v2-only field: must be dropped at v1
+        alloc_events: 9,
+        ..MatchStats::default()
+    };
+    let resp = Response::Query { results: vec![], stats, latency_us: 5, explain: None };
+    let v1 = resp.encode_v(1, 1).unwrap();
+    let v2 = resp.encode_v(1, 2).unwrap();
+    // v2 adds 6 u64 stats + 1 explain tag byte.
+    assert_eq!(v2.len(), v1.len() + 6 * 8 + 1);
+    let frame = decode_response(strip_len(&v1)).unwrap();
+    match frame.message {
+        Response::Query { stats: got, explain, .. } => {
+            assert_eq!(got.candidates, 1);
+            assert_eq!(got.phase1_nanos, 2);
+            assert_eq!(got.lb_kim_nanos, 0, "v2-only counter must not survive a v1 trip");
+            assert_eq!(got.alloc_events, 0);
+            assert!(explain.is_none());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn explaining_response_survives_v2_and_drops_tail_at_v1() {
+    let report = ExplainReport { trace_id: 33, pruned_lb_kim: 4, ..ExplainReport::default() };
+    let resp = Response::Query {
+        results: vec![],
+        stats: MatchStats::default(),
+        latency_us: 1,
+        explain: Some(Box::new(report.clone())),
+    };
+    // v2: the tail round-trips structurally.
+    let v2 = resp.encode_v(1, 2).unwrap();
+    match decode_response(strip_len(&v2)).unwrap().message {
+        Response::Query { explain: Some(got), .. } => assert_eq!(*got, report),
+        other => panic!("unexpected {other:?}"),
+    }
+    // v1: the tail is silently dropped, not an error — the server can
+    // always answer a v1 peer even if tracing was forced server-side.
+    let v1 = resp.encode_v(1, 1).unwrap();
+    match decode_response(strip_len(&v1)).unwrap().message {
+        Response::Query { explain, .. } => assert!(explain.is_none()),
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn v2_only_messages_refuse_v1_encoding() {
+    assert!(matches!(Request::MetricsText.encode_v(1, 1), Err(ProtoError::Malformed(_))));
+    assert!(matches!(
+        Response::MetricsText("x 1\n".into()).encode_v(1, 1),
+        Err(ProtoError::Malformed(_))
+    ));
+    // And both encode fine at v2.
+    assert!(Request::MetricsText.encode_v(1, 2).is_ok());
+    assert!(Response::MetricsText("x 1\n".into()).encode_v(1, 2).is_ok());
+}
+
+#[test]
+fn v1_frame_with_v2_opcode_is_unknown_opcode() {
+    // A frame claiming version 1 but carrying the v2 MetricsText opcode
+    // must be rejected the same way a v1-era server would reject it.
+    let v2 = Request::MetricsText.encode(9).unwrap();
+    let mut payload = v2[4..].to_vec();
+    payload[0] = 1; // rewrite version byte to 1
+    match decode_request(&payload) {
+        Err(ProtoError::UnknownOpcode(0x06)) => {}
+        other => panic!("expected UnknownOpcode(0x06), got {other:?}"),
+    }
+}
+
+#[test]
+fn default_encode_is_v2() {
+    let enc = Request::Ping.encode(1).unwrap();
+    assert_eq!(enc[4], VERSION);
+    assert_eq!(decode_request(strip_len(&enc)).unwrap().version, 2);
+}
+
+#[test]
+fn version_outside_window_refused_on_encode_and_decode() {
+    assert!(matches!(Request::Ping.encode_v(1, 0), Err(ProtoError::UnknownVersion(0))));
+    assert!(matches!(Request::Ping.encode_v(1, 3), Err(ProtoError::UnknownVersion(3))));
+    let mut payload = Request::Ping.encode(1).unwrap()[4..].to_vec();
+    payload[0] = 3;
+    assert!(matches!(decode_request(&payload), Err(ProtoError::UnknownVersion(3))));
+}

@@ -10,8 +10,9 @@
 use kvmatch_core::{Constraint, MatchResult, MatchStats, Measure, QuerySpec, SeriesId};
 use kvmatch_distance::LpExponent;
 use kvmatch_proto::{
-    code, decode_request, decode_response, read_frame, ProtoError, Request, Response, WireError,
-    WireMetrics, WireRejected, MAX_FRAME, REJECT_KIND_BACKPRESSURE, REJECT_KIND_SHUTDOWN, VERSION,
+    code, decode_request, decode_response, read_frame, ExplainReport, ProtoError, Request,
+    Response, SpanRecord, WireError, WireMetrics, WireRejected, MAX_FRAME,
+    REJECT_KIND_BACKPRESSURE, REJECT_KIND_SHUTDOWN, VERSION,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -48,14 +49,16 @@ fn spec_strat() -> impl Strategy<Value = QuerySpec> {
             ((1.0..8.0), (0.0..16.0)).prop_map(|(alpha, beta)| Some(Constraint { alpha, beta })),
         ],
         prop_oneof![Just(None), (1u64..1_000).prop_map(|k| Some(k as usize))],
+        any::<bool>(),
     )
-        .prop_map(|(series, query, epsilon, measure, constraint, limit)| QuerySpec {
+        .prop_map(|(series, query, epsilon, measure, constraint, limit, explain)| QuerySpec {
             series: SeriesId::new(series),
             query,
             epsilon,
             measure,
             constraint,
             limit,
+            explain,
         })
 }
 
@@ -66,6 +69,7 @@ fn request_strat() -> impl Strategy<Value = Request> {
         (0u64..1_000, vec(any_f64(), 0..50))
             .prop_map(|(s, points)| Request::Append { series: SeriesId::new(s), points }),
         Just(Request::Metrics),
+        Just(Request::MetricsText),
         Just(Request::Ping),
         Just(Request::Shutdown),
     ]
@@ -73,10 +77,10 @@ fn request_strat() -> impl Strategy<Value = Request> {
 
 fn stats_strat() -> impl Strategy<Value = MatchStats> {
     (0u64..1 << 40).prop_map(|x| {
-        // One generator seed fans out deterministically over the 16 fields —
+        // One generator seed fans out deterministically over the 22 fields —
         // full per-field independence buys nothing for a fixed-layout codec.
         let mut s = MatchStats::default();
-        let fields: [&mut u64; 16] = [
+        let fields: [&mut u64; 22] = [
             &mut s.candidates,
             &mut s.candidate_intervals,
             &mut s.index_accesses,
@@ -93,12 +97,39 @@ fn stats_strat() -> impl Strategy<Value = MatchStats> {
             &mut s.matches,
             &mut s.phase1_nanos,
             &mut s.phase2_nanos,
+            &mut s.lb_kim_nanos,
+            &mut s.lb_keogh_nanos,
+            &mut s.dtw_nanos,
+            &mut s.alloc_events,
+            &mut s.adaptive_skipped_lb_kim,
+            &mut s.adaptive_skipped_lb_keogh,
         ];
         for (i, f) in fields.into_iter().enumerate() {
             *f = x.rotate_left(i as u32 * 3) ^ (i as u64);
         }
         s
     })
+}
+
+fn explain_strat() -> impl Strategy<Value = ExplainReport> {
+    (0u64..1 << 40, vec((vec(97u8..123, 1..17), 0u32..5, 0u64..1 << 40), 0..8)).prop_map(
+        |(x, spans)| {
+            let mut report = ExplainReport::default();
+            let fields = report.counters().len();
+            for i in 0..fields {
+                report.set_counter(i, x.rotate_left(i as u32 * 5) ^ (i as u64));
+            }
+            report.spans = spans
+                .into_iter()
+                .map(|(name, depth, nanos)| SpanRecord {
+                    name: String::from_utf8(name).unwrap(),
+                    depth,
+                    nanos,
+                })
+                .collect();
+            report
+        },
+    )
 }
 
 fn metrics_strat() -> impl Strategy<Value = WireMetrics> {
@@ -176,18 +207,24 @@ fn error_strat() -> impl Strategy<Value = WireError> {
 
 fn response_strat() -> impl Strategy<Value = Response> {
     prop_oneof![
-        (vec((0u64..1 << 32, any_f64()), 0..30), stats_strat(), 0u64..10_000_000).prop_map(
-            |(rs, stats, latency_us)| Response::Query {
+        (
+            vec((0u64..1 << 32, any_f64()), 0..30),
+            stats_strat(),
+            0u64..10_000_000,
+            prop_oneof![Just(None), explain_strat().prop_map(|r| Some(Box::new(r)))],
+        )
+            .prop_map(|(rs, stats, latency_us, explain)| Response::Query {
                 results: rs
                     .into_iter()
                     .map(|(offset, distance)| MatchResult { offset: offset as usize, distance })
                     .collect(),
                 stats,
                 latency_us,
-            }
-        ),
+                explain,
+            }),
         Just(Response::Appended),
         metrics_strat().prop_map(Response::Metrics),
+        vec(32u8..127, 0..400).prop_map(|b| Response::MetricsText(String::from_utf8(b).unwrap())),
         Just(Response::Pong),
         Just(Response::ShutdownStarted),
         error_strat().prop_map(Response::Error),

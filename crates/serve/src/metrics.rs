@@ -1,163 +1,161 @@
-//! The serving-side metrics registry.
+//! The serving-side metrics, hosted on the unified
+//! [`kvmatch_obs::Registry`].
 //!
 //! Every counter a production front door needs to be operated: admission
 //! outcomes (submitted / rejected / expired), completion outcomes
 //! (completed / failed), scheduler behaviour (batches dispatched, batch
-//! occupancy), queue pressure (depth gauge + peak) and end-to-end
-//! latency percentiles (p50/p95/p99/max).
+//! occupancy), queue pressure (depth gauge + peak), end-to-end latency
+//! percentiles (p50/p95/p99/max) and the executor's kernel-level signals
+//! (scratch allocation events, adaptive cascade skips).
 //!
-//! Latencies land in a fixed 256-bucket quarter-log₂ histogram
-//! ([`LatencyHistogram`]): constant memory, lock-free recording, ≤ ~19 %
-//! relative error on reported percentiles — the HDR-histogram trade-off,
-//! sized for a service that must never let metrics grow with uptime.
+//! The counters live in a [`Registry`] under `kvmatch_serve_*` names, so
+//! one [`Registry::render_text`] scrape exposes the whole serving layer
+//! alongside whatever else (server, LSM) registered on the same
+//! registry. `Metrics::snapshot` still materializes the typed
+//! [`MetricsSnapshot`] the in-process and wire surfaces consume.
+//!
+//! Latencies land in the registry's fixed 256-bucket quarter-log₂
+//! histogram ([`LatencyHistogram`], re-exported from `kvmatch_obs`):
+//! constant memory, lock-free recording, ≤ ~19 % relative error on
+//! reported percentiles — the HDR-histogram trade-off, sized for a
+//! service that must never let metrics grow with uptime.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
 
-const BUCKETS: usize = 256;
+use kvmatch_obs::{Counter, Gauge, Registry, SlowLog};
 
-/// Fixed-size quarter-log₂ histogram over microsecond latencies.
+/// The quarter-log₂ latency histogram, now shared workspace-wide via
+/// `kvmatch_obs` (this alias keeps the serving layer's historical name).
+pub use kvmatch_obs::Histogram as LatencyHistogram;
+
+/// Traces kept by the slow-query log.
+pub(crate) const SLOWLOG_CAPACITY: usize = 8;
+
+/// Live counters of one executor worker in the dispatch pool, as
+/// labelled per-worker series on the shared registry.
 #[derive(Debug)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-    max_us: AtomicU64,
-}
-
-/// Bucket index of a microsecond value: exact below 4 µs, then four
-/// sub-buckets per power of two.
-fn bucket_of(v: u64) -> usize {
-    if v < 4 {
-        return v as usize;
-    }
-    let exp = 63 - v.leading_zeros() as u64; // ≥ 2
-    let sub = (v >> (exp - 2)) & 0b11;
-    ((4 * (exp - 1)) + sub).min(BUCKETS as u64 - 1) as usize
-}
-
-/// Lower edge of a bucket — the value a percentile query reports.
-fn bucket_floor(idx: usize) -> u64 {
-    if idx < 4 {
-        return idx as u64;
-    }
-    let exp = (idx as u64 / 4) + 1;
-    let sub = idx as u64 % 4;
-    (1 << exp) + (sub << (exp - 2))
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        Self { buckets: std::array::from_fn(|_| AtomicU64::new(0)), max_us: AtomicU64::new(0) }
-    }
-}
-
-impl LatencyHistogram {
-    /// Records one latency.
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.buckets[bucket_of(us)].fetch_add(1, Ordering::Relaxed);
-        self.max_us.fetch_max(us, Ordering::Relaxed);
-    }
-
-    /// Recorded samples.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// The `q`-quantile (`0 < q ≤ 1`) in microseconds, reported as the
-    /// lower edge of the covering bucket; `0` when nothing was recorded.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let counts: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
-        let mut seen = 0u64;
-        for (idx, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return bucket_floor(idx);
-            }
-        }
-        self.max_us.load(Ordering::Relaxed)
-    }
-
-    /// Largest recorded latency, microseconds.
-    pub fn max_us(&self) -> u64 {
-        self.max_us.load(Ordering::Relaxed)
-    }
-}
-
-/// Live counters of one executor worker in the dispatch pool.
-#[derive(Debug, Default)]
 pub struct WorkerMetrics {
-    pub(crate) batches: AtomicU64,
-    pub(crate) queries: AtomicU64,
-    pub(crate) busy_nanos: AtomicU64,
+    pub(crate) batches: Arc<Counter>,
+    pub(crate) queries: Arc<Counter>,
+    pub(crate) busy_nanos: Arc<Counter>,
 }
 
 impl WorkerMetrics {
+    fn on(registry: &Registry, idx: usize) -> Self {
+        Self {
+            batches: registry.counter(&worker_series("kvmatch_serve_worker_batches_total", idx)),
+            queries: registry.counter(&worker_series("kvmatch_serve_worker_queries_total", idx)),
+            busy_nanos: registry
+                .counter(&worker_series("kvmatch_serve_worker_busy_nanos_total", idx)),
+        }
+    }
+
     pub(crate) fn note_shard(&self, occupancy: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.queries.fetch_add(occupancy as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.queries.add(occupancy as u64);
     }
 
     pub(crate) fn note_busy(&self, busy: std::time::Duration) {
-        self.busy_nanos
-            .fetch_add(busy.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+        self.busy_nanos.add(busy.as_nanos().min(u128::from(u64::MAX)) as u64);
     }
 }
 
-/// Live counters of one [`QueryService`](crate::QueryService).
-#[derive(Debug, Default)]
+fn worker_series(family: &str, idx: usize) -> String {
+    format!("{family}{{worker=\"{idx}\"}}")
+}
+
+/// Live counters of one [`QueryService`](crate::QueryService): `Arc`
+/// handles into the shared registry, so the hot paths stay single
+/// relaxed atomics while the registry owns naming and exposition.
+#[derive(Debug)]
 pub struct Metrics {
-    pub(crate) submitted: AtomicU64,
-    pub(crate) rejected: AtomicU64,
-    pub(crate) expired: AtomicU64,
-    pub(crate) expired_exec: AtomicU64,
-    pub(crate) completed: AtomicU64,
-    pub(crate) failed: AtomicU64,
-    pub(crate) appends: AtomicU64,
-    pub(crate) materialize_failures: AtomicU64,
-    pub(crate) batches: AtomicU64,
-    pub(crate) batched_queries: AtomicU64,
-    pub(crate) max_batch_occupancy: AtomicU64,
-    pub(crate) queue_depth_peak: AtomicU64,
-    pub(crate) ingest_depth_peak: AtomicU64,
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) submitted: Arc<Counter>,
+    pub(crate) rejected: Arc<Counter>,
+    pub(crate) expired: Arc<Counter>,
+    pub(crate) expired_exec: Arc<Counter>,
+    pub(crate) completed: Arc<Counter>,
+    pub(crate) failed: Arc<Counter>,
+    pub(crate) appends: Arc<Counter>,
+    pub(crate) materialize_failures: Arc<Counter>,
+    pub(crate) batches: Arc<Counter>,
+    pub(crate) batched_queries: Arc<Counter>,
+    pub(crate) max_batch_occupancy: Arc<Gauge>,
+    pub(crate) queue_depth: Arc<Gauge>,
+    pub(crate) queue_depth_peak: Arc<Gauge>,
+    pub(crate) ingest_depth: Arc<Gauge>,
+    pub(crate) ingest_depth_peak: Arc<Gauge>,
+    pub(crate) alloc_events: Arc<Counter>,
+    pub(crate) adaptive_skipped_lb_kim: Arc<Counter>,
+    pub(crate) adaptive_skipped_lb_keogh: Arc<Counter>,
     pub(crate) workers: Vec<WorkerMetrics>,
-    pub(crate) latency: LatencyHistogram,
+    pub(crate) latency: Arc<LatencyHistogram>,
+    pub(crate) slowlog: SlowLog,
 }
 
 impl Metrics {
-    /// A registry tracking `workers` executor workers.
+    /// A registry tracking `workers` executor workers on a private
+    /// registry.
+    #[cfg(test)]
     pub(crate) fn with_workers(workers: usize) -> Self {
+        Self::on_registry(Arc::new(Registry::new()), workers)
+    }
+
+    /// Registers every serving metric on `registry` (shared with other
+    /// subsystems for a single-scrape exposition).
+    pub(crate) fn on_registry(registry: Arc<Registry>, workers: usize) -> Self {
+        let r = &registry;
         Self {
-            workers: (0..workers).map(|_| WorkerMetrics::default()).collect(),
-            ..Self::default()
+            submitted: r.counter("kvmatch_serve_submitted_total"),
+            rejected: r.counter("kvmatch_serve_rejected_total"),
+            expired: r.counter("kvmatch_serve_expired_total"),
+            expired_exec: r.counter("kvmatch_serve_expired_exec_total"),
+            completed: r.counter("kvmatch_serve_completed_total"),
+            failed: r.counter("kvmatch_serve_failed_total"),
+            appends: r.counter("kvmatch_serve_appends_total"),
+            materialize_failures: r.counter("kvmatch_serve_materialize_failures_total"),
+            batches: r.counter("kvmatch_serve_batches_total"),
+            batched_queries: r.counter("kvmatch_serve_batched_queries_total"),
+            max_batch_occupancy: r.gauge("kvmatch_serve_max_batch_occupancy"),
+            queue_depth: r.gauge("kvmatch_serve_queue_depth"),
+            queue_depth_peak: r.gauge("kvmatch_serve_queue_depth_peak"),
+            ingest_depth: r.gauge("kvmatch_serve_ingest_depth"),
+            ingest_depth_peak: r.gauge("kvmatch_serve_ingest_depth_peak"),
+            alloc_events: r.counter("kvmatch_serve_alloc_events_total"),
+            adaptive_skipped_lb_kim: r.counter("kvmatch_serve_adaptive_skipped_lb_kim_total"),
+            adaptive_skipped_lb_keogh: r.counter("kvmatch_serve_adaptive_skipped_lb_keogh_total"),
+            workers: (0..workers).map(|idx| WorkerMetrics::on(r, idx)).collect(),
+            latency: r.histogram("kvmatch_serve_latency_us"),
+            slowlog: SlowLog::new(SLOWLOG_CAPACITY),
+            registry,
         }
     }
 
     pub(crate) fn note_batch(&self, worker: usize, occupancy: usize) {
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_queries.fetch_add(occupancy as u64, Ordering::Relaxed);
-        self.max_batch_occupancy.fetch_max(occupancy as u64, Ordering::Relaxed);
+        self.batches.inc();
+        self.batched_queries.add(occupancy as u64);
+        self.max_batch_occupancy.record_max(occupancy as u64);
         if let Some(w) = self.workers.get(worker) {
             w.note_shard(occupancy);
         }
     }
 
     pub(crate) fn snapshot(&self, queue_depth: usize, ingest_depth: usize) -> MetricsSnapshot {
-        let batches = self.batches.load(Ordering::Relaxed);
-        let batched_queries = self.batched_queries.load(Ordering::Relaxed);
+        // Fold the live depths into their gauges so a text scrape taken
+        // off the registry alone reports them too.
+        self.queue_depth.set(queue_depth as u64);
+        self.ingest_depth.set(ingest_depth as u64);
+        let batches = self.batches.get();
+        let batched_queries = self.batched_queries.get();
         MetricsSnapshot {
-            submitted: self.submitted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            expired: self.expired.load(Ordering::Relaxed),
-            expired_exec: self.expired_exec.load(Ordering::Relaxed),
-            completed: self.completed.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            appends: self.appends.load(Ordering::Relaxed),
-            materialize_failures: self.materialize_failures.load(Ordering::Relaxed),
+            submitted: self.submitted.get(),
+            rejected: self.rejected.get(),
+            expired: self.expired.get(),
+            expired_exec: self.expired_exec.get(),
+            completed: self.completed.get(),
+            failed: self.failed.get(),
+            appends: self.appends.get(),
+            materialize_failures: self.materialize_failures.get(),
             batches,
             batched_queries,
             avg_batch_occupancy: if batches == 0 {
@@ -165,18 +163,21 @@ impl Metrics {
             } else {
                 batched_queries as f64 / batches as f64
             },
-            max_batch_occupancy: self.max_batch_occupancy.load(Ordering::Relaxed),
+            max_batch_occupancy: self.max_batch_occupancy.get(),
             queue_depth,
-            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.get(),
             ingest_depth,
-            ingest_depth_peak: self.ingest_depth_peak.load(Ordering::Relaxed),
+            ingest_depth_peak: self.ingest_depth_peak.get(),
+            alloc_events: self.alloc_events.get(),
+            adaptive_skipped_lb_kim: self.adaptive_skipped_lb_kim.get(),
+            adaptive_skipped_lb_keogh: self.adaptive_skipped_lb_keogh.get(),
             workers: self
                 .workers
                 .iter()
                 .map(|w| WorkerSnapshot {
-                    batches: w.batches.load(Ordering::Relaxed),
-                    queries: w.queries.load(Ordering::Relaxed),
-                    busy_us: w.busy_nanos.load(Ordering::Relaxed) / 1_000,
+                    batches: w.batches.get(),
+                    queries: w.queries.get(),
+                    busy_us: w.busy_nanos.get() / 1_000,
                 })
                 .collect(),
             latency_p50_us: self.latency.quantile_us(0.50),
@@ -184,6 +185,16 @@ impl Metrics {
             latency_p99_us: self.latency.quantile_us(0.99),
             latency_max_us: self.latency.max_us(),
         }
+    }
+
+    /// Text exposition of the registry plus the slow-query log, the body
+    /// served by the wire `MetricsText` request.
+    pub(crate) fn render_text(&self, queue_depth: usize, ingest_depth: usize) -> String {
+        self.queue_depth.set(queue_depth as u64);
+        self.ingest_depth.set(ingest_depth as u64);
+        let mut out = self.registry.render_text();
+        self.slowlog.render_into(&mut out);
+        out
     }
 }
 
@@ -238,6 +249,13 @@ pub struct MetricsSnapshot {
     pub ingest_depth: usize,
     /// Deepest the ingest lane has been.
     pub ingest_depth_peak: u64,
+    /// Kernel scratch buffer growths across served queries (0 = every
+    /// verification ran on warm scratch).
+    pub alloc_events: u64,
+    /// LB_Kim evaluations skipped by adaptive cascade demotion.
+    pub adaptive_skipped_lb_kim: u64,
+    /// LB_Keogh evaluations skipped by adaptive cascade demotion.
+    pub adaptive_skipped_lb_keogh: u64,
     /// Per-worker split of the dispatched load, indexed by worker id.
     pub workers: Vec<WorkerSnapshot>,
     /// Median submit→response latency, microseconds.
@@ -253,43 +271,7 @@ pub struct MetricsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn buckets_are_monotone_and_tight() {
-        let mut last = 0;
-        for v in [0u64, 1, 2, 3, 4, 5, 7, 8, 12, 100, 1_000, 65_536, 1 << 40] {
-            let idx = bucket_of(v);
-            assert!(idx >= last, "bucket index not monotone at {v}");
-            last = idx;
-            let floor = bucket_floor(idx);
-            assert!(floor <= v, "floor {floor} above value {v}");
-            // Quarter-log buckets: floor within 25% of the value (exact
-            // below 4).
-            assert!(v <= floor + floor.max(1) / 4 + 1, "bucket too wide at {v}: floor {floor}");
-        }
-    }
-
-    #[test]
-    fn quantiles_track_recorded_distribution() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.5), 0, "empty histogram reports 0");
-        // 90 fast (≈100 µs) + 10 slow (≈6.4 ms).
-        for _ in 0..90 {
-            h.record(Duration::from_micros(100));
-        }
-        for _ in 0..10 {
-            h.record(Duration::from_micros(6_400));
-        }
-        assert_eq!(h.count(), 100);
-        let p50 = h.quantile_us(0.50);
-        let p95 = h.quantile_us(0.95);
-        let p99 = h.quantile_us(0.99);
-        assert!((75..=100).contains(&p50), "p50 = {p50}");
-        assert!((4_800..=6_400).contains(&p95), "p95 = {p95}");
-        assert!((4_800..=6_400).contains(&p99), "p99 = {p99}");
-        assert!(p50 <= p95 && p95 <= p99);
-        assert!(h.max_us() >= 6_400);
-    }
+    use std::time::Duration;
 
     #[test]
     fn snapshot_derives_occupancy_and_worker_split() {
@@ -313,5 +295,34 @@ mod tests {
         // The per-worker split accounts for every dispatched shard.
         assert_eq!(s.workers.iter().map(|w| w.batches).sum::<u64>(), s.batches);
         assert_eq!(s.workers.iter().map(|w| w.queries).sum::<u64>(), s.batched_queries);
+    }
+
+    #[test]
+    fn exposition_covers_serving_families_and_live_depths() {
+        let m = Metrics::with_workers(2);
+        m.submitted.add(5);
+        m.note_batch(1, 3);
+        m.latency.record(Duration::from_micros(120));
+        let text = m.render_text(7, 2);
+        assert!(text.contains("# TYPE kvmatch_serve_submitted_total counter"));
+        assert!(text.contains("kvmatch_serve_submitted_total 5\n"));
+        assert!(text.contains("kvmatch_serve_queue_depth 7\n"));
+        assert!(text.contains("kvmatch_serve_ingest_depth 2\n"));
+        assert!(text.contains("kvmatch_serve_worker_batches_total{worker=\"1\"} 1\n"));
+        // Every worker series exists from startup, even before dispatch.
+        assert!(text.contains("kvmatch_serve_worker_batches_total{worker=\"0\"} 0\n"));
+        assert!(text.contains("kvmatch_serve_latency_us{quantile=\"0.5\"}"));
+        assert!(text.contains("kvmatch_serve_latency_us_count 1\n"));
+    }
+
+    #[test]
+    fn shared_registry_hosts_foreign_metrics_in_the_same_scrape() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("kvmatch_net_connections_total").add(3);
+        let m = Metrics::on_registry(Arc::clone(&registry), 1);
+        m.completed.inc();
+        let text = m.render_text(0, 0);
+        assert!(text.contains("kvmatch_net_connections_total 3\n"));
+        assert!(text.contains("kvmatch_serve_completed_total 1\n"));
     }
 }

@@ -49,6 +49,7 @@ use std::time::{Duration, Instant};
 use kvmatch_core::catalog::{Catalog, CatalogBackend, CatalogSnapshot};
 use kvmatch_core::exec::QueryOutput;
 use kvmatch_core::{CoreError, MatchResult, MatchStats, QuerySpec, SeriesId};
+use kvmatch_obs::{ExplainReport, Registry, SlowLogEntry, TraceCtx};
 use parking_lot::RwLock;
 
 use crate::metrics::{Metrics, MetricsSnapshot};
@@ -154,6 +155,11 @@ pub struct QueryResponse {
     pub stats: MatchStats,
     /// Submit→response latency as measured by the service.
     pub latency: Duration,
+    /// The structured trace, present iff the request's spec carried
+    /// [`QuerySpec::explain`](kvmatch_core::QuerySpec). Stage timings and
+    /// prune counts mirror [`QueryResponse::stats`]; the span list adds
+    /// where the request spent its queueing and execution wall time.
+    pub explain: Option<Box<ExplainReport>>,
 }
 
 /// Why admission control turned a command away. Shared by query and
@@ -364,6 +370,9 @@ struct Job {
     spec: QuerySpec,
     deadline: Option<Duration>,
     submitted: Instant,
+    /// Live trace, present iff `spec.explain`. Boxed so the common
+    /// untraced job stays one pointer wider, not a span stack wider.
+    trace: Option<Box<TraceCtx>>,
     tx: oneshot::Sender<Result<QueryResponse, ServeError>>,
 }
 
@@ -457,12 +466,24 @@ where
     /// front scheduler, `config.workers` executor workers and the ingest
     /// lane. [`QueryService::shutdown`] hands the catalog back.
     pub fn spawn(catalog: Catalog<B>, config: ServeConfig) -> Self {
+        Self::spawn_with_registry(catalog, config, Arc::new(Registry::new()))
+    }
+
+    /// Like [`QueryService::spawn`], but registers the serving metrics on
+    /// a caller-provided [`Registry`] — so the server (or a test) can
+    /// expose its own counters alongside the serving layer's in a single
+    /// text scrape.
+    pub fn spawn_with_registry(
+        catalog: Catalog<B>,
+        config: ServeConfig,
+        registry: Arc<Registry>,
+    ) -> Self {
         let workers = config.workers.max(1);
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_capacity),
             ingest: BoundedQueue::new(config.queue_capacity),
             gate: IngestGate::default(),
-            metrics: Metrics::with_workers(workers),
+            metrics: Metrics::on_registry(registry, workers),
             config,
         });
         let catalog = Arc::new(RwLock::new(catalog));
@@ -489,6 +510,13 @@ where
 
     fn submit_inner(&self, request: QueryRequest, wait: Option<Duration>) -> Submit {
         let (tx, rx) = oneshot::channel();
+        // An explain query opens its trace at admission — `serve.queue`
+        // covers everything from here to worker dispatch.
+        let trace = request.spec.explain.then(|| {
+            let mut trace = Box::new(TraceCtx::new());
+            trace.begin("serve.queue");
+            trace
+        });
         let job = Command::Query(Job {
             spec: request.spec,
             // Keep the request's own deadline (the service default is
@@ -496,6 +524,7 @@ where
             // request back truly untouched.
             deadline: request.deadline,
             submitted: Instant::now(),
+            trace,
             tx,
         });
         let pushed = match wait {
@@ -505,15 +534,12 @@ where
         match pushed {
             Ok(()) => {
                 let m = &self.shared.metrics;
-                m.submitted.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                m.queue_depth_peak.fetch_max(
-                    self.shared.queue.len() as u64,
-                    std::sync::atomic::Ordering::Relaxed,
-                );
+                m.submitted.inc();
+                m.queue_depth_peak.record_max(self.shared.queue.len() as u64);
                 Submit::Accepted(ResponseHandle { rx })
             }
             Err(PushError::Full(cmd)) => {
-                self.shared.metrics.rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.shared.metrics.rejected.inc();
                 Submit::Rejected(RejectedQuery {
                     rejected: self.rejection(RejectKind::Backpressure),
                     request: recover_request(cmd),
@@ -552,7 +578,7 @@ where
         match self.shared.queue.push_timeout(Command::Append { series, points, tx }, wait) {
             Ok(()) => Ok(AppendHandle { rx }),
             Err(PushError::Full(Command::Append { points, .. })) => {
-                self.shared.metrics.rejected.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.shared.metrics.rejected.inc();
                 Err(RejectedAppend { rejected: self.rejection(RejectKind::Backpressure), points })
             }
             Err(PushError::Closed(Command::Append { points, .. })) => {
@@ -567,6 +593,18 @@ where
     /// A point-in-time metrics snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.metrics.snapshot(self.shared.queue.len(), self.shared.ingest.len())
+    }
+
+    /// The registry every serving metric lives on — callers may register
+    /// their own metrics here to join the same exposition.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.metrics.registry)
+    }
+
+    /// Prometheus-style text exposition of the whole registry plus the
+    /// slow-query log — the body of the wire `MetricsText` response.
+    pub fn metrics_text(&self) -> String {
+        self.shared.metrics.render_text(self.shared.queue.len(), self.shared.ingest.len())
     }
 
     /// Executor workers in the dispatch pool.
@@ -621,7 +659,7 @@ where
     // never silently swallowed.
     let latest: Arc<RwLock<Option<Arc<CatalogSnapshot<B>>>>> = Arc::new(RwLock::new(None));
     if catalog.write().materialize().is_err() {
-        shared.metrics.materialize_failures.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        shared.metrics.materialize_failures.inc();
     }
     *latest.write() = catalog.read().snapshot();
 
@@ -683,10 +721,7 @@ where
                     let job = IngestJob { series, points, tx, epoch: *epoch };
                     match shared.ingest.push_wait(job) {
                         Ok(()) => {
-                            shared.metrics.ingest_depth_peak.fetch_max(
-                                shared.ingest.len() as u64,
-                                std::sync::atomic::Ordering::Relaxed,
-                            );
+                            shared.metrics.ingest_depth_peak.record_max(shared.ingest.len() as u64);
                         }
                         Err(PushError::Full(job) | PushError::Closed(job)) => {
                             // Unreachable today (push_wait only fails
@@ -722,6 +757,14 @@ where
     }
     shared.ingest.close();
     let _ = ingest.join();
+
+    // Dump the slow-query log on the way out — the last chance to see
+    // what hurt before the process forgets.
+    if shared.metrics.slowlog.depth() > 0 {
+        let mut out = String::new();
+        shared.metrics.slowlog.render_into(&mut out);
+        eprint!("{out}");
+    }
 }
 
 /// One executor worker: park at the hand-off, honour the shard's ingest
@@ -763,7 +806,6 @@ fn execute_shard<B>(
     B: CatalogBackend,
     B::Data: Sync,
 {
-    use std::sync::atomic::Ordering::Relaxed;
     let metrics = &shared.metrics;
     if run.is_empty() {
         return;
@@ -777,7 +819,7 @@ fn execute_shard<B>(
     let mut live = Vec::with_capacity(run.len());
     for job in run {
         if deadline_expired(job.submitted, job.deadline, now, default_deadline) {
-            metrics.expired.fetch_add(1, Relaxed);
+            metrics.expired.inc();
             let _ = job.tx.send(Err(ServeError::DeadlineExceeded));
         } else {
             live.push(job);
@@ -793,8 +835,23 @@ fn execute_shard<B>(
     // fan-back zips them straight together.
     let (specs, clients): (Vec<QuerySpec>, Vec<JobClient>) = live
         .into_iter()
-        .map(|job| {
-            (job.spec, JobClient { submitted: job.submitted, deadline: job.deadline, tx: job.tx })
+        .map(|mut job| {
+            // Dispatch is the queue/execute span boundary.
+            if let Some(trace) = job.trace.as_mut() {
+                trace.end();
+                trace.begin("serve.execute");
+            }
+            let series = job.spec.series.raw();
+            (
+                job.spec,
+                JobClient {
+                    submitted: job.submitted,
+                    deadline: job.deadline,
+                    series,
+                    trace: job.trace,
+                    tx: job.tx,
+                },
+            )
         })
         .unzip();
     match &snapshot {
@@ -802,7 +859,7 @@ fn execute_shard<B>(
         // no append has succeeded since): answer loudly per query.
         None => {
             for client in clients {
-                metrics.failed.fetch_add(1, Relaxed);
+                metrics.failed.inc();
                 let _ = client.tx.send(Err(ServeError::Query(CoreError::Unmaterialized)));
             }
         }
@@ -824,7 +881,7 @@ fn execute_shard<B>(
                             respond(client, out, shared);
                         }
                         Err(e) => {
-                            metrics.failed.fetch_add(1, Relaxed);
+                            metrics.failed.inc();
                             let _ = client.tx.send(Err(ServeError::Query(e)));
                         }
                     }
@@ -865,7 +922,7 @@ fn ingest_loop<B>(
             let mut cat = catalog.write();
             for job in jobs {
                 let outcome = cat.append(job.series, &job.points).map_err(ServeError::Query);
-                shared.metrics.appends.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                shared.metrics.appends.inc();
                 acks.push((job.tx, outcome, job.series.raw(), job.epoch));
             }
             // One generation rebuild for the whole burst — the catalog
@@ -880,10 +937,7 @@ fn ingest_loop<B>(
                     // `Materialize` error — the caller's points are
                     // ingested but not yet queryable. Readers keep the
                     // last good snapshot.
-                    shared
-                        .metrics
-                        .materialize_failures
-                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    shared.metrics.materialize_failures.inc();
                     let msg = e.to_string();
                     for (_, outcome, _, _) in &mut acks {
                         if outcome.is_ok() {
@@ -908,11 +962,12 @@ fn ingest_loop<B>(
 struct JobClient {
     submitted: Instant,
     deadline: Option<Duration>,
+    series: u64,
+    trace: Option<Box<TraceCtx>>,
     tx: oneshot::Sender<Result<QueryResponse, ServeError>>,
 }
 
 fn respond(client: JobClient, out: QueryOutput, shared: &Shared) {
-    use std::sync::atomic::Ordering::Relaxed;
     let metrics = &shared.metrics;
     let now = Instant::now();
     // The post-execution deadline check: a request whose deadline passed
@@ -920,12 +975,70 @@ fn respond(client: JobClient, out: QueryOutput, shared: &Shared) {
     // stays separate from `completed` so operators can see work that was
     // done but delivered too late.
     if deadline_expired(client.submitted, client.deadline, now, shared.config.default_deadline) {
-        metrics.expired_exec.fetch_add(1, Relaxed);
+        metrics.expired_exec.inc();
         let _ = client.tx.send(Err(ServeError::DeadlineExceeded));
         return;
     }
     let latency = now.duration_since(client.submitted);
     metrics.latency.record(latency);
-    metrics.completed.fetch_add(1, Relaxed);
-    let _ = client.tx.send(Ok(QueryResponse { results: out.results, stats: out.stats, latency }));
+    metrics.completed.inc();
+    let stats = out.stats;
+    // Kernel-level signals feed the registry regardless of tracing.
+    if stats.alloc_events > 0 {
+        metrics.alloc_events.add(stats.alloc_events);
+    }
+    if stats.adaptive_skipped_lb_kim > 0 {
+        metrics.adaptive_skipped_lb_kim.add(stats.adaptive_skipped_lb_kim);
+    }
+    if stats.adaptive_skipped_lb_keogh > 0 {
+        metrics.adaptive_skipped_lb_keogh.add(stats.adaptive_skipped_lb_keogh);
+    }
+    let explain = client.trace.map(|trace| Box::new(explain_report(*trace, &stats)));
+    // The slow-query log sees every served query; its fast path is one
+    // relaxed load for anything quicker than the current K-th slowest.
+    let latency_us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+    metrics.slowlog.offer(SlowLogEntry {
+        trace_id: explain.as_deref().map_or(0, |e| e.trace_id),
+        series: client.series,
+        latency_us,
+        detail: format!(
+            "results={} candidates={} exact={}",
+            out.results.len(),
+            stats.candidates,
+            stats.full_distance_computations
+        ),
+    });
+    let _ = client.tx.send(Ok(QueryResponse { results: out.results, stats, latency, explain }));
+}
+
+/// Assembles the wire-facing [`ExplainReport`] from a finished trace and
+/// the executor's statistics. Prune counts are copied verbatim from
+/// [`MatchStats`], so the report always agrees with the cascade's own
+/// accounting.
+fn explain_report(mut trace: TraceCtx, stats: &MatchStats) -> ExplainReport {
+    trace.end(); // close `serve.execute`
+    let trace_id = trace.trace_id();
+    let spans = trace.finish();
+    let span_nanos = |name: &str| spans.iter().find(|s| s.name == name).map_or(0, |s| s.nanos);
+    ExplainReport {
+        trace_id,
+        queue_nanos: span_nanos("serve.queue"),
+        execute_nanos: span_nanos("serve.execute"),
+        probe_nanos: stats.phase1_nanos,
+        lb_kim_nanos: stats.lb_kim_nanos,
+        lb_keogh_nanos: stats.lb_keogh_nanos,
+        dtw_nanos: stats.dtw_nanos,
+        rows_scanned: stats.rows_scanned,
+        rows_from_cache: stats.rows_from_cache,
+        probe_cache_hits: stats.probe_cache_hits,
+        cache_evictions: stats.cache_evictions,
+        pruned_constraint: stats.pruned_constraint,
+        pruned_lb_kim: stats.pruned_lb_kim,
+        pruned_lb_keogh: stats.pruned_lb_keogh,
+        full_distance_computations: stats.full_distance_computations,
+        adaptive_skipped_lb_kim: stats.adaptive_skipped_lb_kim,
+        adaptive_skipped_lb_keogh: stats.adaptive_skipped_lb_keogh,
+        alloc_events: stats.alloc_events,
+        spans,
+    }
 }

@@ -50,6 +50,7 @@ pub fn wire_response(resp: &QueryResponse) -> proto::Response {
         results: resp.results.clone(),
         stats: resp.stats,
         latency_us: resp.latency.as_micros() as u64,
+        explain: resp.explain.clone(),
     }
 }
 

@@ -236,6 +236,57 @@ fn appends_are_ordered_with_queries() {
 }
 
 #[test]
+fn explain_returns_spans_and_mirrors_stats_without_changing_results() {
+    let id = SeriesId::new(1);
+    let xs = composite_series(71, 6_000);
+    let service = QueryService::spawn(catalog_with(&[(id, xs.clone())]), ServeConfig::default());
+    let spec = QuerySpec::rsm_dtw(xs[700..950].to_vec(), 10.0, 5).with_series(id);
+
+    let plain = service
+        .submit(QueryRequest::range(spec.clone()))
+        .into_result()
+        .expect("submission accepted")
+        .wait()
+        .expect("served");
+    assert!(plain.explain.is_none(), "no explain flag, no report");
+
+    let explained = service
+        .submit(QueryRequest::range(spec.with_explain(true)))
+        .into_result()
+        .expect("submission accepted")
+        .wait()
+        .expect("served");
+    assert_eq!(explained.results, plain.results, "explain must not perturb results");
+
+    let report = explained.explain.as_deref().expect("explain flag yields a report");
+    assert_ne!(report.trace_id, 0);
+    let span = |name: &str| report.spans.iter().find(|s| s.name == name);
+    let queue = span("serve.queue").expect("queue span recorded");
+    let execute = span("serve.execute").expect("execute span recorded");
+    assert_eq!(report.queue_nanos, queue.nanos);
+    assert_eq!(report.execute_nanos, execute.nanos);
+    assert!(execute.nanos > 0, "execution takes measurable time");
+
+    // The report's prune accounting is the executor's, verbatim.
+    let stats = &explained.stats;
+    assert_eq!(report.probe_nanos, stats.phase1_nanos);
+    assert_eq!(report.pruned_constraint, stats.pruned_constraint);
+    assert_eq!(report.pruned_lb_kim, stats.pruned_lb_kim);
+    assert_eq!(report.pruned_lb_keogh, stats.pruned_lb_keogh);
+    assert_eq!(report.full_distance_computations, stats.full_distance_computations);
+    assert_eq!(report.rows_scanned, stats.rows_scanned);
+    assert_eq!(report.alloc_events, stats.alloc_events);
+
+    // The service scrape exposes the serving families and the slow log
+    // has seen both queries (capacity permitting).
+    let text = service.metrics_text();
+    assert!(text.contains("# TYPE kvmatch_serve_completed_total counter"), "{text}");
+    assert!(text.contains("kvmatch_serve_latency_us_count"), "{text}");
+    assert!(text.contains("# slowlog"), "{text}");
+    service.shutdown();
+}
+
+#[test]
 fn shutdown_serves_admitted_requests_and_closes_admissions() {
     let id = SeriesId::new(1);
     let xs = composite_series(61, 3_000);

@@ -33,12 +33,13 @@
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use kvmatch_core::catalog::CatalogBackend;
+use kvmatch_obs::{Counter, Gauge, Registry, SpanRecord};
 use kvmatch_proto as proto;
 use kvmatch_proto::{Request, Response};
 use kvmatch_serve::sync::BoundedQueue;
@@ -78,16 +79,31 @@ impl Default for ServerOptions {
 }
 
 /// Network-side counters, folded into the wire metrics response next to
-/// the serving snapshot.
-#[derive(Default)]
+/// the serving snapshot. Registered on the service's shared
+/// [`Registry`] under `kvmatch_net_*` names, so the text exposition
+/// covers sockets and scheduler in a single scrape.
 struct NetMetrics {
-    connections_accepted: AtomicU64,
-    connections_active: AtomicU64,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    protocol_errors: AtomicU64,
+    connections_accepted: Arc<Counter>,
+    connections_active: Arc<Gauge>,
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+}
+
+impl NetMetrics {
+    fn on_registry(r: &Registry) -> Self {
+        Self {
+            connections_accepted: r.counter("kvmatch_net_connections_accepted_total"),
+            connections_active: r.gauge("kvmatch_net_connections_active"),
+            frames_in: r.counter("kvmatch_net_frames_in_total"),
+            frames_out: r.counter("kvmatch_net_frames_out_total"),
+            bytes_in: r.counter("kvmatch_net_bytes_in_total"),
+            bytes_out: r.counter("kvmatch_net_bytes_out_total"),
+            protocol_errors: r.counter("kvmatch_net_protocol_errors_total"),
+        }
+    }
 }
 
 /// A point-in-time copy of the server's network counters.
@@ -112,13 +128,13 @@ pub struct NetSnapshot {
 impl NetMetrics {
     fn snapshot(&self) -> NetSnapshot {
         NetSnapshot {
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            connections_active: self.connections_active.load(Ordering::Relaxed),
-            frames_in: self.frames_in.load(Ordering::Relaxed),
-            frames_out: self.frames_out.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.get(),
+            connections_active: self.connections_active.get(),
+            frames_in: self.frames_in.get(),
+            frames_out: self.frames_out.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            protocol_errors: self.protocol_errors.get(),
         }
     }
 }
@@ -181,10 +197,11 @@ where
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let net = NetMetrics::on_registry(&service.registry());
         let shared = Arc::new(ServerShared {
             service,
             options,
-            net: NetMetrics::default(),
+            net,
             shutdown: ShutdownSignal::new(),
             closing: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
@@ -223,7 +240,7 @@ where
             self.acceptor.take().expect("shutdown runs once").join().expect("acceptor panicked");
         let deadline = Instant::now() + self.shared.options.drain_timeout;
         while Instant::now() < deadline {
-            if self.shared.net.connections_active.load(Ordering::Relaxed) == 0 {
+            if self.shared.net.connections_active.get() == 0 {
                 break;
             }
             std::thread::sleep(Duration::from_millis(10));
@@ -266,8 +283,8 @@ where
         }
         next_conn += 1;
         let conn_id = next_conn;
-        shared.net.connections_accepted.fetch_add(1, Ordering::Relaxed);
-        shared.net.connections_active.fetch_add(1, Ordering::Relaxed);
+        shared.net.connections_accepted.inc();
+        shared.net.connections_active.add(1);
         if let Ok(clone) = stream.try_clone() {
             shared.conns.lock().expect("conns poisoned").insert(conn_id, clone);
         }
@@ -276,27 +293,32 @@ where
             move || {
                 connection(stream, conn_id, &conn_shared);
                 conn_shared.conns.lock().expect("conns poisoned").remove(&conn_id);
-                conn_shared.net.connections_active.fetch_sub(1, Ordering::Relaxed);
+                conn_shared.net.connections_active.sub(1);
             },
         ) {
             Ok(handle) => handles.push(handle),
             Err(_) => {
                 shared.conns.lock().expect("conns poisoned").remove(&conn_id);
-                shared.net.connections_active.fetch_sub(1, Ordering::Relaxed);
+                shared.net.connections_active.sub(1);
             }
         }
     }
     handles
 }
 
-/// One response awaiting write, in request arrival order.
+/// One response awaiting write, in request arrival order. Every variant
+/// carries the protocol version its request arrived with — the response
+/// is encoded in that same version, so a v1 peer never sees v2 bytes on
+/// a connection it opened.
 enum Outgoing {
     /// Already resolved (errors, pongs, metrics, acks).
-    Ready(u64, Box<Response>),
-    /// A query in flight inside the service.
-    Query(u64, ResponseHandle),
+    Ready(u64, u8, Box<Response>),
+    /// A query in flight inside the service. The `Instant` is the
+    /// arrival time at the socket, for the `server.request` span an
+    /// explain response carries.
+    Query(u64, u8, ResponseHandle, Instant),
     /// An append in flight inside the ingest lane.
-    Append(u64, AppendHandle),
+    Append(u64, u8, AppendHandle),
 }
 
 /// One connection: this thread reads and admits; a sibling thread
@@ -335,40 +357,53 @@ where
                 // Transport death is silent; protocol violations get one
                 // explanatory error frame before the connection closes.
                 if !matches!(err, proto::ProtoError::Io(_)) {
-                    shared.net.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.net.protocol_errors.inc();
                     let wire_err = proto::WireError {
                         code: err.wire_code(),
                         detail: err.to_string(),
                         rejected: None,
                     };
-                    let _ = out.push_wait(Outgoing::Ready(0, Box::new(Response::Error(wire_err))));
+                    // No request version to echo — v1 error frames are
+                    // understood by every peer.
+                    let _ = out.push_wait(Outgoing::Ready(
+                        0,
+                        proto::MIN_VERSION,
+                        Box::new(Response::Error(wire_err)),
+                    ));
                 }
                 break;
             }
         };
-        shared.net.bytes_in.fetch_add(payload.len() as u64, Ordering::Relaxed);
+        shared.net.bytes_in.add(payload.len() as u64);
         let frame = match proto::decode_request(&payload) {
             Ok(frame) => frame,
             Err(err) => {
-                shared.net.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared.net.protocol_errors.inc();
                 let wire_err = proto::WireError {
                     code: err.wire_code(),
                     detail: err.to_string(),
                     rejected: None,
                 };
-                let _ = out.push_wait(Outgoing::Ready(0, Box::new(Response::Error(wire_err))));
+                let _ = out.push_wait(Outgoing::Ready(
+                    0,
+                    proto::MIN_VERSION,
+                    Box::new(Response::Error(wire_err)),
+                ));
                 break;
             }
         };
-        shared.net.frames_in.fetch_add(1, Ordering::Relaxed);
+        shared.net.frames_in.inc();
         let id = frame.request_id;
+        let version = frame.version;
         let item = match frame.message {
             Request::Query { spec, deadline_us } => {
+                let arrived = Instant::now();
                 let request = wire::query_request(spec, deadline_us);
                 match shared.service.submit_timeout(request, shared.options.admission_wait) {
-                    Submit::Accepted(handle) => Outgoing::Query(id, handle),
+                    Submit::Accepted(handle) => Outgoing::Query(id, version, handle, arrived),
                     Submit::Rejected(r) => Outgoing::Ready(
                         id,
+                        version,
                         Box::new(Response::Error(wire::wire_error(&ServeError::Rejected(
                             r.rejected,
                         )))),
@@ -377,9 +412,10 @@ where
             }
             Request::Append { series, points } => {
                 match shared.service.append(series, points, shared.options.append_wait) {
-                    Ok(handle) => Outgoing::Append(id, handle),
+                    Ok(handle) => Outgoing::Append(id, version, handle),
                     Err(rejected) => Outgoing::Ready(
                         id,
+                        version,
                         Box::new(Response::Error(wire::wire_error(&ServeError::Rejected(
                             rejected.rejected,
                         )))),
@@ -396,12 +432,18 @@ where
                 m.net_bytes_in = net.bytes_in;
                 m.net_bytes_out = net.bytes_out;
                 m.net_protocol_errors = net.protocol_errors;
-                Outgoing::Ready(id, Box::new(Response::Metrics(m)))
+                Outgoing::Ready(id, version, Box::new(Response::Metrics(m)))
             }
-            Request::Ping => Outgoing::Ready(id, Box::new(Response::Pong)),
+            Request::MetricsText => {
+                // The shared registry holds serving and network metrics
+                // alike; one render is the whole exposition.
+                let text = shared.service.metrics_text();
+                Outgoing::Ready(id, version, Box::new(Response::MetricsText(text)))
+            }
+            Request::Ping => Outgoing::Ready(id, version, Box::new(Response::Pong)),
             Request::Shutdown => {
                 shared.shutdown.raise();
-                Outgoing::Ready(id, Box::new(Response::ShutdownStarted))
+                Outgoing::Ready(id, version, Box::new(Response::ShutdownStarted))
             }
         };
         // A full outgoing queue blocks here — reader backpressure.
@@ -423,20 +465,32 @@ where
 {
     let mut writer = BufWriter::new(stream);
     while let Some(item) = out.pop_wait() {
-        let (id, response) = match item {
-            Outgoing::Ready(id, response) => (id, *response),
-            Outgoing::Query(id, handle) => match handle.wait() {
-                Ok(resp) => (id, wire::wire_response(&resp)),
-                Err(err) => (id, Response::Error(wire::wire_error(&err))),
+        let (id, version, response) = match item {
+            Outgoing::Ready(id, version, response) => (id, version, *response),
+            Outgoing::Query(id, version, handle, arrived) => match handle.wait() {
+                Ok(mut resp) => {
+                    // The server's own span: socket arrival to response
+                    // write, wrapping the service's queue/execute spans.
+                    if let Some(explain) = resp.explain.as_mut() {
+                        explain.spans.push(SpanRecord {
+                            name: "server.request".into(),
+                            depth: 0,
+                            nanos: arrived.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64,
+                        });
+                    }
+                    (id, version, wire::wire_response(&resp))
+                }
+                Err(err) => (id, version, Response::Error(wire::wire_error(&err))),
             },
-            Outgoing::Append(id, handle) => match handle.wait() {
-                Ok(()) => (id, Response::Appended),
-                Err(err) => (id, Response::Error(wire::wire_error(&err))),
+            Outgoing::Append(id, version, handle) => match handle.wait() {
+                Ok(()) => (id, version, Response::Appended),
+                Err(err) => (id, version, Response::Error(wire::wire_error(&err))),
             },
         };
         // A response too large for one frame (encode enforces MAX_FRAME)
         // degrades to an error frame the client can attribute and act on.
-        let frame = match response.encode(id) {
+        // Responses echo the version their request arrived with.
+        let frame = match response.encode_v(id, version) {
             Ok(frame) => frame,
             Err(err) => {
                 let wire_err = proto::WireError {
@@ -444,7 +498,7 @@ where
                     detail: err.to_string(),
                     rejected: None,
                 };
-                match Response::Error(wire_err).encode(id) {
+                match Response::Error(wire_err).encode_v(id, version) {
                     Ok(frame) => frame,
                     Err(_) => {
                         abort_outgoing(out);
@@ -457,8 +511,8 @@ where
             abort_outgoing(out);
             return;
         }
-        shared.net.frames_out.fetch_add(1, Ordering::Relaxed);
-        shared.net.bytes_out.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        shared.net.frames_out.inc();
+        shared.net.bytes_out.add(frame.len() as u64);
         if out.is_empty() && writer.flush().is_err() {
             abort_outgoing(out);
             return;

@@ -166,6 +166,79 @@ fn concurrent_connections_pipelined_bit_identical_with_in_process_service() {
     assert!(batch.outputs[0].results.iter().any(|r| r.offset == 400));
 }
 
+/// EXPLAIN over a real socket: the report crosses the wire with the
+/// serve-side spans plus the server- and client-added ones, its prune
+/// accounting equals the executor stats verbatim, results are
+/// bit-identical to the unexplained query, and the text exposition
+/// endpoint scrapes the full metric family set.
+#[test]
+fn explain_over_the_wire_carries_spans_and_exact_prune_counts() {
+    let spec = DemoSpec { n: 8_000, w: 50, series: 2, seed: 17, threads: 0, submitters: 2 };
+    let service = Arc::new(QueryService::spawn(spec.build_catalog(), spec.serve_config(2)));
+    let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerOptions::default())
+        .expect("bind loopback");
+    let addr = server.local_addr();
+    let client = Client::connect_retry(addr, 20, Duration::from_millis(50)).expect("connect");
+
+    let xs = spec.series_data(1);
+    let probe = QuerySpec::rsm_dtw(xs[500..750].to_vec(), 15.0, 5).with_series(SeriesId::new(2));
+
+    let plain = client.query(probe.clone(), None).expect("plain query served");
+    assert!(plain.explain.is_none(), "no explain flag, no report on the wire");
+
+    let explained = client.query(probe.with_explain(true), None).expect("explain query served");
+    assert_eq!(explained.results, plain.results, "explain must not perturb wire results");
+    let report = explained.explain.as_deref().expect("explain report crossed the wire");
+    assert_ne!(report.trace_id, 0);
+
+    // Span taxonomy: serve-side queue/execute, the server's socket span,
+    // and the client-side round trip appended locally.
+    let span = |name: &str| report.spans.iter().find(|s| s.name == name);
+    let execute = span("serve.execute").expect("execute span");
+    let request = span("server.request").expect("server span");
+    let rtt = span("client.rtt").expect("client span");
+    assert!(span("serve.queue").is_some(), "queue span");
+    assert!(request.nanos >= execute.nanos, "socket span covers execution");
+    assert!(rtt.nanos >= request.nanos, "round trip covers the server");
+
+    // Prune accounting must equal the cascade's own stats, verbatim.
+    let stats = &explained.stats;
+    assert_eq!(report.pruned_constraint, stats.pruned_constraint);
+    assert_eq!(report.pruned_lb_kim, stats.pruned_lb_kim);
+    assert_eq!(report.pruned_lb_keogh, stats.pruned_lb_keogh);
+    assert_eq!(report.full_distance_computations, stats.full_distance_computations);
+    assert_eq!(report.probe_nanos, stats.phase1_nanos);
+    assert_eq!(report.lb_kim_nanos, stats.lb_kim_nanos);
+    assert_eq!(report.lb_keogh_nanos, stats.lb_keogh_nanos);
+    assert_eq!(report.dtw_nanos, stats.dtw_nanos);
+    assert_eq!(report.alloc_events, stats.alloc_events);
+    assert_eq!(report.adaptive_skipped_lb_kim, stats.adaptive_skipped_lb_kim);
+    assert_eq!(report.adaptive_skipped_lb_keogh, stats.adaptive_skipped_lb_keogh);
+
+    // The text exposition endpoint serves a scrapeable payload covering
+    // serving, network and histogram families.
+    let text = client.metrics_text().expect("metrics text served");
+    for needle in [
+        "# TYPE kvmatch_serve_submitted_total counter",
+        "# TYPE kvmatch_serve_queue_depth gauge",
+        "# TYPE kvmatch_serve_latency_us summary",
+        "kvmatch_serve_latency_us_count",
+        "# TYPE kvmatch_net_frames_in_total counter",
+        "kvmatch_net_connections_active",
+        "kvmatch_serve_worker_batches_total{worker=\"0\"}",
+    ] {
+        assert!(text.contains(needle), "scrape missing {needle}:\n{text}");
+    }
+    // The slow log has entries by now and rides the same scrape.
+    assert!(text.contains("# slowlog rank="), "{text}");
+
+    client.shutdown_server().expect("shutdown acknowledged");
+    server.wait_shutdown_requested();
+    drop(client);
+    server.shutdown();
+    Arc::try_unwrap(service).ok().expect("all server references released").shutdown();
+}
+
 /// Regression: a pipelining client that stops reading and then dies must
 /// not wedge its connection thread. With the response path saturated the
 /// reader blocks pushing into the full outgoing queue; when the client's

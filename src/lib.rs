@@ -19,6 +19,7 @@
 //! |---|---|---|
 //! | [`core`] | `kvmatch-core` | KV-index, KV-match, KV-match_DP, catalog, top-k |
 //! | [`serve`] | `kvmatch-serve` | query service: micro-batching front scheduler, series-partitioned worker pool, ingest lane, backpressure, metrics |
+//! | [`obs`] | `kvmatch-obs` | observability: metrics registry + text exposition, per-query traces and `EXPLAIN` reports, slow-query log (`docs/OBSERVABILITY.md`) |
 //! | [`proto`] | `kvmatch-proto` | the wire protocol: versioned length-prefixed frames, request/response enums, stable error codes (`docs/WIRE.md`) |
 //! | [`client`] | `kvmatch-client` | blocking TCP client with request-id pipelining against a `kvmatch-server` |
 //! | [`timeseries`] | `kvmatch-timeseries` | series container, statistics, generators |
@@ -55,6 +56,7 @@ pub use kvmatch_client as client;
 pub use kvmatch_core as core;
 pub use kvmatch_distance as distance;
 pub use kvmatch_lsm as lsm;
+pub use kvmatch_obs as obs;
 pub use kvmatch_proto as proto;
 pub use kvmatch_rtree as rtree;
 pub use kvmatch_serve as serve;
@@ -72,6 +74,7 @@ pub mod prelude {
     };
     pub use kvmatch_distance::LpExponent;
     pub use kvmatch_lsm::{LsmCatalogBackend, LsmKvStore, LsmKvStoreBuilder, LsmOptions};
+    pub use kvmatch_obs::{ExplainReport, Registry, SpanRecord, TraceCtx};
     pub use kvmatch_proto::{Request, Response, WireError, WireMetrics};
     pub use kvmatch_serve::{
         MetricsSnapshot, QueryKind, QueryRequest, QueryResponse, QueryService, Rejected,

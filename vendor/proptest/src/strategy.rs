@@ -287,6 +287,8 @@ impl_tuple_strategy!(A: 0, B: 1, C: 2);
 impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
 impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
 impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, G: 5);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, G: 5, H: 6);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, G: 5, H: 6, I: 7);
 
 #[cfg(test)]
 mod tests {
