@@ -103,7 +103,7 @@ fn run() -> Result<(), String> {
     println!("=== bench_report: batched executor vs sequential matcher ===");
     println!(
         "n = {}, w = {}, {} queries/workload, seed {}, threads {} (0 = auto), best of {}, \
-         {} catalog series, {} submitters, {} serving workers",
+         {} catalog series, {} submitters, {} serving workers, {} shards",
         env.n,
         env.w,
         env.queries,
@@ -112,7 +112,8 @@ fn run() -> Result<(), String> {
         env.repeat,
         env.series,
         env.submitters,
-        env.workers
+        env.workers,
+        env.shards
     );
     println!();
 
@@ -248,6 +249,37 @@ fn run() -> Result<(), String> {
         table.push(Row::new(vec![
             row.workers.into(),
             row.served_requests.into(),
+            row.wall_ms.into(),
+            row.served_rps.into(),
+            row.latency_p50_us.into(),
+            row.latency_p95_us.into(),
+            row.latency_p99_us.into(),
+        ]));
+    }
+    table.print();
+
+    let sh = &report.sharding;
+    println!();
+    println!("=== sharding: wide keyspace at shards = 1/4 (4 workers per shard) ===");
+    println!(
+        "{} series × {} points, {} queries in the pool, {} submitters, bit-identical: {}",
+        sh.series, sh.n_per_series, sh.queries, sh.submitters, sh.bit_identical
+    );
+    let mut table = Table::new(&[
+        "shards",
+        "served",
+        "rejected",
+        "wall_ms",
+        "served_rps",
+        "p50_us",
+        "p95_us",
+        "p99_us",
+    ]);
+    for row in &sh.rows {
+        table.push(Row::new(vec![
+            row.shards.into(),
+            row.served_requests.into(),
+            row.rejected_requests.into(),
             row.wall_ms.into(),
             row.served_rps.into(),
             row.latency_p50_us.into(),
@@ -476,6 +508,22 @@ fn run() -> Result<(), String> {
         return Err(format!(
             "serving throughput does not scale: served_rps(workers=4) = {:.0} < \
              served_rps(workers=1) = {:.0}",
+            rps(4),
+            rps(1)
+        ));
+    }
+    if enforce && !report.sharding_scaling_ok() {
+        let rps = |s: usize| {
+            report
+                .sharding
+                .rows
+                .iter()
+                .find(|row| row.shards == s)
+                .map_or(0.0, |row| row.served_rps)
+        };
+        return Err(format!(
+            "sharded serving does not scale: served_rps(shards=4) = {:.0} < \
+             served_rps(shards=1) = {:.0} at 4 workers per shard",
             rps(4),
             rps(1)
         ));

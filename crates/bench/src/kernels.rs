@@ -230,6 +230,7 @@ mod tests {
             series: 3,
             submitters: 4,
             workers: 2,
+            shards: 1,
         };
         let k = run_kernels(&env);
         assert_eq!(k.m, KERNEL_M);

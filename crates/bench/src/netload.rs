@@ -115,14 +115,16 @@ pub(crate) fn run_network(
                 catalog.append(*id, xs).unwrap();
             }
             catalog.materialize().expect("materialize network catalog");
-            let config = kvmatch_serve::ServeConfig {
-                queue_capacity: (env.submitters * 2).max(4),
-                max_batch: 16,
-                max_batch_delay: Duration::from_millis(1),
-                default_deadline: None,
-                workers,
-            };
-            let service = Arc::new(QueryService::spawn(catalog, config));
+            let service = Arc::new(
+                QueryService::builder(catalog)
+                    .shards(env.shards)
+                    .workers(workers)
+                    .queue_capacity((env.submitters * 2).max(16))
+                    .max_batch(16)
+                    .max_batch_delay(Duration::from_millis(1))
+                    .build()
+                    .expect("network topology is valid by construction"),
+            );
             let server =
                 Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerOptions::default())
                     .expect("bind loopback for the network workload");

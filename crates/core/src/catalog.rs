@@ -158,6 +158,19 @@ pub trait CatalogBackend {
     fn recover_series(&mut self) -> Result<Vec<(SeriesId, IndexBuildConfig, Vec<f64>)>, CoreError> {
         Ok(Vec::new())
     }
+
+    /// A fresh, independent backend instance for shard-per-core catalog
+    /// scale-out ([`Catalog::split_routed`]): each shard owns its own
+    /// backend so shards never synchronize on storage. `None` — the
+    /// default — declares the backend unshardable (it owns exclusive
+    /// durable state, like an LSM directory) and restricts its catalogs
+    /// to single-shard serving.
+    fn shard_instance(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 /// Seals a generation through any sorted-append [`KvStoreBuilder`] by
@@ -193,6 +206,10 @@ impl CatalogBackend for MemoryCatalogBackend {
     fn data_store(&mut self, _series: SeriesId, xs: &[f64]) -> Result<Self::Data, CoreError> {
         Ok(MemorySeriesStore::new(xs.to_vec()))
     }
+
+    fn shard_instance(&self) -> Option<Self> {
+        Some(MemoryCatalogBackend)
+    }
 }
 
 /// Simulated-HBase backend: each generation's index rows
@@ -222,6 +239,12 @@ impl CatalogBackend for ShardedCatalogBackend {
 
     fn data_store(&mut self, _series: SeriesId, xs: &[f64]) -> Result<Self::Data, CoreError> {
         Ok(BlockSeriesStore::from_series(xs, self.block))
+    }
+
+    fn shard_instance(&self) -> Option<Self> {
+        // The "cluster" is simulated per process: every shard can model
+        // its own region set with the same sharding configuration.
+        Some(self.clone())
     }
 }
 
@@ -318,6 +341,49 @@ impl<B: CatalogBackend> CatalogSnapshot<B> {
         B::Data: Sync,
     {
         self.executor()?.execute_batch(specs)
+    }
+
+    /// True when `series` has a published generation in this snapshot.
+    pub fn contains(&self, series: SeriesId) -> bool {
+        self.entries.contains_key(&series.raw())
+    }
+}
+
+/// A consistent, lock-free read surface over materialized series state —
+/// the one trait both read paths implement, so callers stop reaching for
+/// the deprecated shared-borrow entry points
+/// ([`Catalog::executor_shared`]/[`Catalog::execute_batch_shared`]):
+///
+/// * [`CatalogSnapshot`] — the pinned, immutable view a
+///   [`Catalog::snapshot`] hands out;
+/// * a serving-layer shard handle (`kvmatch_serve`'s
+///   `QueryService::read_view`) — the same snapshot pinned through the
+///   shard that owns the series, without touching the catalog lock.
+///
+/// Everything here executes against immutable generations: no catalog
+/// borrow, no lock, safe from any number of threads.
+pub trait ReadView {
+    /// Series answerable through this view, ascending.
+    fn view_series(&self) -> Vec<SeriesId>;
+
+    /// True when `series` has a published generation in this view.
+    fn contains_series(&self, series: SeriesId) -> bool;
+
+    /// Executes `specs` as one batch; outputs come back in input order.
+    fn execute(&self, specs: &[QuerySpec]) -> Result<BatchOutput, CoreError>;
+}
+
+impl<B: CatalogBackend> ReadView for CatalogSnapshot<B> {
+    fn view_series(&self) -> Vec<SeriesId> {
+        self.series()
+    }
+
+    fn contains_series(&self, series: SeriesId) -> bool {
+        self.contains(series)
+    }
+
+    fn execute(&self, specs: &[QuerySpec]) -> Result<BatchOutput, CoreError> {
+        self.execute_batch(specs)
     }
 }
 
@@ -631,17 +697,12 @@ impl<B: CatalogBackend> Catalog<B> {
     /// need, then drop it before appending again.
     pub fn executor(&mut self) -> Result<QueryExecutor<'_, Arc<B::Store>, B::Data>, CoreError> {
         self.materialize()?;
-        self.executor_shared()
+        self.bind_shared_executor()
     }
 
-    /// Binds a batched executor over the **already-materialized** state
-    /// through a shared (`&self`) borrow — the legacy read path of
-    /// concurrent serving under an `RwLock` read guard. Fails with
-    /// [`CoreError::Unmaterialized`] when any series has appends no
-    /// snapshot has absorbed: the caller (not this method) must run
-    /// [`Catalog::materialize`] under its exclusive borrow first.
-    /// Lock-free readers should pin [`Catalog::snapshot`] instead.
-    pub fn executor_shared(&self) -> Result<QueryExecutor<'_, Arc<B::Store>, B::Data>, CoreError> {
+    /// The shared-borrow executor binding behind [`Catalog::executor`]
+    /// and the deprecated [`Catalog::executor_shared`].
+    fn bind_shared_executor(&self) -> Result<QueryExecutor<'_, Arc<B::Store>, B::Data>, CoreError> {
         if self.needs_materialize() {
             return Err(CoreError::Unmaterialized);
         }
@@ -662,16 +723,35 @@ impl<B: CatalogBackend> Catalog<B> {
         )
     }
 
-    /// One-shot shared-borrow convenience: bind a read-path executor
-    /// ([`Catalog::executor_shared`]) and run `specs`. Safe to call from
-    /// many threads at once (per-series row caches are thread-safe), as
-    /// long as the catalog is materialized and no appender runs
-    /// concurrently — exactly what an `RwLock` read guard provides.
+    /// Binds a batched executor over the **already-materialized** state
+    /// through a shared (`&self`) borrow — the legacy read path of
+    /// concurrent serving under an `RwLock` read guard. Fails with
+    /// [`CoreError::Unmaterialized`] when any series has appends no
+    /// snapshot has absorbed: the caller (not this method) must run
+    /// [`Catalog::materialize`] under its exclusive borrow first.
+    #[deprecated(
+        since = "0.10.0",
+        note = "pin Catalog::snapshot() and read through the ReadView trait — readers then \
+                never touch the catalog (or its lock) at all"
+    )]
+    pub fn executor_shared(&self) -> Result<QueryExecutor<'_, Arc<B::Store>, B::Data>, CoreError> {
+        self.bind_shared_executor()
+    }
+
+    /// One-shot shared-borrow convenience: bind a read-path executor and
+    /// run `specs`, as long as the catalog is materialized and no
+    /// appender runs concurrently — exactly what an `RwLock` read guard
+    /// provides.
+    #[deprecated(
+        since = "0.10.0",
+        note = "pin Catalog::snapshot() and call ReadView::execute — the snapshot needs no \
+                lock and keeps serving while the catalog ingests"
+    )]
     pub fn execute_batch_shared(&self, specs: &[QuerySpec]) -> Result<BatchOutput, CoreError>
     where
         B::Data: Sync,
     {
-        self.executor_shared()?.execute_batch(specs)
+        self.bind_shared_executor()?.execute_batch(specs)
     }
 
     /// One-shot convenience: materialize, bind an executor, run `specs`.
@@ -682,6 +762,106 @@ impl<B: CatalogBackend> Catalog<B> {
         B::Data: Sync,
     {
         self.executor()?.execute_batch(specs)
+    }
+
+    /// Splits the catalog into `shards` independently owned catalogs for
+    /// shard-per-core serving: every series entry (appender, buffer and
+    /// its current sealed generation, moved by pointer — nothing is
+    /// resealed) lands in the catalog `route(series)` names, so the
+    /// split is bit-identical to the original. Shard 0 keeps this
+    /// catalog's backend; every other shard gets a fresh
+    /// [`CatalogBackend::shard_instance`]. Hands the catalog back
+    /// unchanged as the `Err` arm when the backend is unshardable (or
+    /// `shards` is zero). Each shard's published snapshot starts empty —
+    /// materialize once (cheap: republishing moved generations seals
+    /// nothing) before serving reads.
+    // The `Err` arm IS the unchanged catalog — ownership must round-trip
+    // on failure, so its size is the point, not an accident.
+    #[allow(clippy::result_large_err)]
+    pub fn split_routed(
+        mut self,
+        shards: usize,
+        route: impl Fn(SeriesId) -> usize,
+    ) -> Result<Vec<Catalog<B>>, Catalog<B>> {
+        if shards == 0 {
+            return Err(self);
+        }
+        if shards == 1 {
+            self.snapshot = None;
+            return Ok(vec![self]);
+        }
+        let mut backends = Vec::with_capacity(shards - 1);
+        for _ in 1..shards {
+            match self.backend.shard_instance() {
+                Some(backend) => backends.push(backend),
+                None => return Err(self),
+            }
+        }
+        let mut out: Vec<Catalog<B>> = backends
+            .into_iter()
+            .map(|backend| {
+                let mut shard = Catalog::with_exec_config(backend, self.exec_config);
+                // Generation numbers stay unique within each shard's own
+                // backend; continuing from the parent's counter keeps
+                // them monotone across the split as well.
+                shard.next_generation = self.next_generation;
+                shard
+            })
+            .collect();
+        let entries = std::mem::take(&mut self.entries);
+        for (raw, entry) in entries {
+            let target = route(SeriesId::new(raw)).min(shards - 1);
+            match target {
+                0 => drop(self.entries.insert(raw, entry)),
+                t => drop(out[t - 1].entries.insert(raw, entry)),
+            }
+        }
+        // Superseded-but-pinned generations follow the series that owns
+        // them so each shard retires its own.
+        for (series, generation) in std::mem::take(&mut self.retired) {
+            let target = route(series).min(shards - 1);
+            match target {
+                0 => self.retired.push((series, generation)),
+                t => out[t - 1].retired.push((series, generation)),
+            }
+        }
+        // The pre-split snapshot spans series this catalog no longer
+        // owns; drop it so every shard republishes exactly its own set.
+        self.snapshot = None;
+        out.insert(0, self);
+        Ok(out)
+    }
+
+    /// Moves every series of `other` into this catalog — the inverse of
+    /// [`Catalog::split_routed`], used when a sharded service shuts down
+    /// and hands one catalog back. Generations move by pointer
+    /// (bit-identical); `other`'s backend is dropped, its ingest
+    /// counters are folded into this catalog's [`CatalogStats`], and the
+    /// published snapshot is invalidated (the next materialization
+    /// republishes the union without resealing anything). Fails on a
+    /// duplicate series id before anything moves, leaving this catalog
+    /// unchanged (`other` is consumed either way).
+    pub fn absorb(&mut self, other: Catalog<B>) -> Result<(), CoreError> {
+        if let Some(&raw) = other.entries.keys().find(|raw| self.entries.contains_key(raw)) {
+            return Err(CoreError::InvalidQuery(format!(
+                "cannot absorb catalog: {} exists on both sides",
+                SeriesId::new(raw)
+            )));
+        }
+        for (raw, entry) in other.entries {
+            self.entries.insert(raw, entry);
+        }
+        self.retired.extend(other.retired);
+        self.next_generation = self.next_generation.max(other.next_generation);
+        self.stats.points_ingested += other.stats.points_ingested;
+        self.stats.append_calls += other.stats.append_calls;
+        self.stats.materializations += other.stats.materializations;
+        self.stats.generations_sealed += other.stats.generations_sealed;
+        self.stats.generations_retired += other.stats.generations_retired;
+        self.stats.series_recovered += other.stats.series_recovered;
+        self.stats.points_recovered += other.stats.points_recovered;
+        self.snapshot = None;
+        Ok(())
     }
 }
 
@@ -974,8 +1154,11 @@ mod tests {
         assert!(empty.is_empty());
     }
 
-    /// The read path: a materialized catalog answers through `&self`
-    /// (concurrently), and refuses while appends are pending.
+    /// The legacy read path: a materialized catalog answers through
+    /// `&self` (concurrently), and refuses while appends are pending.
+    /// Deprecated in favor of [`ReadView`] over a pinned snapshot, but
+    /// the contract holds as long as the entry points exist.
+    #[allow(deprecated)]
     #[test]
     fn shared_executor_serves_materialized_state_only() {
         let mut cat = Catalog::new(MemoryCatalogBackend);
@@ -1047,5 +1230,110 @@ mod tests {
             cat.execute_batch(&[QuerySpec::rsm_ed(q, 5.0).with_series(b)]),
             Err(CoreError::QueryTooShort { window: 100, .. })
         ));
+    }
+
+    /// Runs a batch through any [`ReadView`] — the generic read path the
+    /// serving layer's shard handles share with plain snapshots.
+    fn through_read_view<V: ReadView>(view: &V, specs: &[QuerySpec]) -> BatchOutput {
+        view.execute(specs).unwrap()
+    }
+
+    #[test]
+    fn split_shards_serve_bit_identically_and_absorb_restores_the_union() {
+        let mut cat = Catalog::new(MemoryCatalogBackend);
+        let raws = [1u64, 2, 3, 6, 11];
+        let mut specs = Vec::new();
+        for (i, &raw) in raws.iter().enumerate() {
+            let xs = seeded(80 + i as u64, 3_000 + 500 * i);
+            cat.create_series_with(SeriesId::new(raw), IndexBuildConfig::new(50), &xs).unwrap();
+            specs.push(
+                QuerySpec::rsm_ed(xs[120..320].to_vec(), 9.0).with_series(SeriesId::new(raw)),
+            );
+        }
+        let want = cat.execute_batch(&specs).unwrap();
+        let ingested = cat.stats().points_ingested;
+
+        let route = |id: SeriesId| (id.raw() % 4) as usize;
+        let shards = match cat.split_routed(4, route) {
+            Ok(shards) => shards,
+            Err(_) => panic!("memory backend is shardable"),
+        };
+        assert_eq!(shards.len(), 4);
+        let mut merged = None;
+        for (idx, mut shard) in shards.into_iter().enumerate() {
+            // Republishing moved generations seals nothing new.
+            let sealed_before = shard.stats().generations_sealed;
+            shard.materialize().unwrap();
+            assert_eq!(shard.stats().generations_sealed, sealed_before);
+            let snap = shard.snapshot().unwrap();
+            let owned: Vec<u64> =
+                raws.iter().copied().filter(|&raw| route(SeriesId::new(raw)) == idx).collect();
+            assert_eq!(snap.view_series().iter().map(|s| s.raw()).collect::<Vec<_>>(), owned);
+            // Each shard answers its own series bit-identically to the
+            // pre-split catalog, through the ReadView trait.
+            for (&raw, (spec, want)) in raws.iter().zip(specs.iter().zip(&want.outputs)) {
+                assert_eq!(snap.contains_series(SeriesId::new(raw)), owned.contains(&raw));
+                if owned.contains(&raw) {
+                    let out = through_read_view(&*snap, std::slice::from_ref(spec));
+                    assert_eq!(out.outputs[0].results, want.results);
+                }
+            }
+            match &mut merged {
+                None => merged = Some(shard),
+                Some(base) => base.absorb(shard).unwrap(),
+            }
+        }
+        let mut merged = merged.unwrap();
+        assert_eq!(merged.len(), raws.len());
+        assert_eq!(merged.stats().points_ingested, ingested);
+        assert_eq!(merged.execute_batch(&specs).unwrap().outputs.len(), want.outputs.len());
+        for (got, want) in merged.execute_batch(&specs).unwrap().outputs.iter().zip(&want.outputs) {
+            assert_eq!(got.results, want.results);
+        }
+    }
+
+    #[test]
+    fn absorb_refuses_duplicate_series() {
+        let mut a = Catalog::new(MemoryCatalogBackend);
+        let mut b = Catalog::new(MemoryCatalogBackend);
+        a.create_series_with(SeriesId::new(7), IndexBuildConfig::new(25), &seeded(1, 500)).unwrap();
+        b.create_series_with(SeriesId::new(7), IndexBuildConfig::new(25), &seeded(2, 500)).unwrap();
+        assert!(a.absorb(b).is_err());
+        assert_eq!(a.len(), 1, "failed absorb leaves the receiver unchanged");
+    }
+
+    #[test]
+    fn split_hands_back_unshardable_catalogs_intact() {
+        /// A memory backend that *declines* shard scale-out — the shape
+        /// of backends owning exclusive durable state.
+        struct Unshardable(MemoryCatalogBackend);
+        impl CatalogBackend for Unshardable {
+            type Store = MemoryKvStore;
+            type Data = MemorySeriesStore;
+            fn seal_generation(
+                &mut self,
+                input: GenerationInput<'_>,
+            ) -> Result<Self::Store, CoreError> {
+                self.0.seal_generation(input)
+            }
+            fn data_store(
+                &mut self,
+                series: SeriesId,
+                xs: &[f64],
+            ) -> Result<Self::Data, CoreError> {
+                self.0.data_store(series, xs)
+            }
+        }
+
+        let mut cat = Catalog::new(Unshardable(MemoryCatalogBackend));
+        cat.create_series_with(SeriesId::new(3), IndexBuildConfig::new(25), &seeded(9, 800))
+            .unwrap();
+        let cat = match cat.split_routed(4, |id| (id.raw() % 4) as usize) {
+            Err(cat) => cat,
+            Ok(_) => panic!("an unshardable backend must refuse the split"),
+        };
+        assert_eq!(cat.len(), 1, "refused split hands the catalog back intact");
+        // shards = 0 is refused regardless of the backend.
+        assert!(Catalog::new(MemoryCatalogBackend).split_routed(0, |_| 0).is_err());
     }
 }

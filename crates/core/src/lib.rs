@@ -71,7 +71,8 @@ pub use build::{BuildStats, IndexBuildConfig, IndexRow, RowAccumulator};
 pub use cache::{RowCache, RowCacheStats};
 pub use catalog::{
     seal_with_builder, BackendMaintenanceStats, Catalog, CatalogBackend, CatalogSnapshot,
-    CatalogStats, GenerationInput, MemoryCatalogBackend, SeriesGeneration, ShardedCatalogBackend,
+    CatalogStats, GenerationInput, MemoryCatalogBackend, ReadView, SeriesGeneration,
+    ShardedCatalogBackend,
 };
 pub use dp::{DpMatcher, DpOptions, IndexSetConfig, MultiIndex, Segment};
 pub use exec::{

@@ -27,9 +27,11 @@
 //!   instead of misparsing it. Version 2 adds the `explain` flag on query
 //!   specs, six extra [`MatchStats`] counters, the optional
 //!   [`ExplainReport`] response tail and the `MetricsText` opcode pair;
-//!   every version-1 frame decodes exactly as before, and a server echoes
-//!   each response in the version the request arrived in, so v1 peers
-//!   never see v2 bytes.
+//!   version 3 adds the rejecting shard id to [`WireRejected`], so
+//!   clients of a sharded service can reason about per-shard
+//!   backpressure. Every older frame decodes exactly as before, and a
+//!   server echoes each response in the version the request arrived in,
+//!   so v1/v2 peers never see newer bytes.
 //! * `opcode` selects the [`Request`] or [`Response`] variant (request
 //!   opcodes have the high bit clear, response opcodes have it set).
 //! * `request_id` is chosen by the client and echoed verbatim in the
@@ -55,7 +57,7 @@ pub use kvmatch_obs::{ExplainReport, SpanRecord};
 
 /// Newest protocol version this crate encodes and accepts (the default
 /// for [`Request::encode`] / [`Response::encode`]).
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 
 /// Oldest protocol version still accepted. Frames between
 /// [`MIN_VERSION`] and [`VERSION`] (inclusive) decode; a server answers
@@ -206,6 +208,10 @@ pub struct WireRejected {
     pub capacity: u64,
     /// Queue depth observed at rejection time.
     pub depth: u64,
+    /// The rejecting shard's id (v3+ on the wire; decodes as 0 from
+    /// older peers, which is also the only shard a pre-sharding service
+    /// had).
+    pub shard: u64,
 }
 
 /// `WireRejected::kind` value for backpressure rejections.
@@ -703,6 +709,9 @@ impl Response {
                         body.push(r.kind);
                         put_u64(&mut body, r.capacity);
                         put_u64(&mut body, r.depth);
+                        if version >= 3 {
+                            put_u64(&mut body, r.shard);
+                        }
                     }
                 }
                 opcode::RESP_ERROR
@@ -1021,7 +1030,12 @@ pub fn decode_response(payload: &[u8]) -> Result<Frame<Response>, ProtoError> {
             let detail = c.str()?;
             let rejected = match c.u8()? {
                 0 => None,
-                1 => Some(WireRejected { kind: c.u8()?, capacity: c.u64()?, depth: c.u64()? }),
+                1 => Some(WireRejected {
+                    kind: c.u8()?,
+                    capacity: c.u64()?,
+                    depth: c.u64()?,
+                    shard: if version >= 3 { c.u64()? } else { 0 },
+                }),
                 tag => return Err(ProtoError::Malformed(format!("invalid rejection tag {tag}"))),
             };
             Response::Error(WireError { code, detail, rejected })

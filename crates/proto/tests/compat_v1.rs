@@ -24,9 +24,9 @@ fn sample_spec() -> QuerySpec {
 }
 
 #[test]
-fn version_window_is_1_to_2() {
+fn version_window_is_1_to_3() {
     assert_eq!(MIN_VERSION, 1);
-    assert_eq!(VERSION, 2);
+    assert_eq!(VERSION, 3);
 }
 
 #[test]
@@ -73,7 +73,14 @@ fn every_v1_response_round_trips_at_v1() {
         Response::Error(WireError {
             code: kvmatch_proto::code::REJECTED,
             detail: "queue full".into(),
-            rejected: Some(WireRejected { kind: REJECT_KIND_BACKPRESSURE, capacity: 8, depth: 8 }),
+            rejected: Some(WireRejected {
+                kind: REJECT_KIND_BACKPRESSURE,
+                capacity: 8,
+                depth: 8,
+                // v1 bytes carry no shard id; it must decode as 0 for the
+                // re-encode identity below to hold.
+                shard: 0,
+            }),
         }),
     ];
     for (i, resp) in responses.iter().enumerate() {
@@ -197,17 +204,49 @@ fn v1_frame_with_v2_opcode_is_unknown_opcode() {
 }
 
 #[test]
-fn default_encode_is_v2() {
+fn default_encode_is_v3() {
     let enc = Request::Ping.encode(1).unwrap();
     assert_eq!(enc[4], VERSION);
-    assert_eq!(decode_request(strip_len(&enc)).unwrap().version, 2);
+    assert_eq!(decode_request(strip_len(&enc)).unwrap().version, 3);
 }
 
 #[test]
 fn version_outside_window_refused_on_encode_and_decode() {
     assert!(matches!(Request::Ping.encode_v(1, 0), Err(ProtoError::UnknownVersion(0))));
-    assert!(matches!(Request::Ping.encode_v(1, 3), Err(ProtoError::UnknownVersion(3))));
+    assert!(matches!(Request::Ping.encode_v(1, 4), Err(ProtoError::UnknownVersion(4))));
     let mut payload = Request::Ping.encode(1).unwrap()[4..].to_vec();
-    payload[0] = 3;
-    assert!(matches!(decode_request(&payload), Err(ProtoError::UnknownVersion(3))));
+    payload[0] = 4;
+    assert!(matches!(decode_request(&payload), Err(ProtoError::UnknownVersion(4))));
+}
+
+#[test]
+fn rejection_shard_survives_v3_and_degrades_to_zero_below() {
+    let resp = Response::Error(WireError {
+        code: kvmatch_proto::code::REJECTED,
+        detail: "shard 2 queue full".into(),
+        rejected: Some(WireRejected {
+            kind: REJECT_KIND_BACKPRESSURE,
+            capacity: 16,
+            depth: 16,
+            shard: 2,
+        }),
+    });
+    // v3: the shard id round-trips.
+    let v3 = resp.encode_v(5, 3).unwrap();
+    match decode_response(strip_len(&v3)).unwrap().message {
+        Response::Error(e) => assert_eq!(e.rejected.unwrap().shard, 2),
+        other => panic!("unexpected {other:?}"),
+    }
+    // v2: the shard id is dropped on encode and decodes as 0 — older
+    // peers keep working, they just cannot see which shard pushed back.
+    let v2 = resp.encode_v(5, 2).unwrap();
+    assert_eq!(v3.len(), v2.len() + 8, "v3 adds exactly one u64 to the rejection payload");
+    match decode_response(strip_len(&v2)).unwrap().message {
+        Response::Error(e) => {
+            let r = e.rejected.unwrap();
+            assert_eq!(r.shard, 0);
+            assert_eq!((r.capacity, r.depth), (16, 16), "pre-v3 fields are untouched");
+        }
+        other => panic!("unexpected {other:?}"),
+    }
 }

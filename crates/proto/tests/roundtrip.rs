@@ -189,12 +189,14 @@ fn error_strat() -> impl Strategy<Value = WireError> {
             (
                 prop_oneof![Just(REJECT_KIND_BACKPRESSURE), Just(REJECT_KIND_SHUTDOWN)],
                 0u64..4_096,
-                0u64..4_096
+                0u64..4_096,
+                0u64..16
             )
-                .prop_map(|(kind, capacity, depth)| Some(WireRejected {
+                .prop_map(|(kind, capacity, depth, shard)| Some(WireRejected {
                     kind,
                     capacity,
-                    depth
+                    depth,
+                    shard
                 })),
         ],
     )

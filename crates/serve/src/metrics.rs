@@ -64,6 +64,40 @@ fn worker_series(family: &str, idx: usize) -> String {
     format!("{family}{{worker=\"{idx}\"}}")
 }
 
+fn shard_series(family: &str, idx: usize) -> String {
+    format!("{family}{{shard=\"{idx}\"}}")
+}
+
+/// Live counters of one catalog shard, as labelled
+/// `kvmatch_serve_shard_*` series on the shared registry. Cloning hands
+/// out more `Arc` handles onto the same registry-owned atomics, so the
+/// shard runtime can keep its own copy off the service.
+#[derive(Clone, Debug)]
+pub struct ShardMetrics {
+    pub(crate) submitted: Arc<Counter>,
+    pub(crate) completed: Arc<Counter>,
+    pub(crate) rejected: Arc<Counter>,
+    pub(crate) appends: Arc<Counter>,
+    pub(crate) batches: Arc<Counter>,
+    pub(crate) queue_depth: Arc<Gauge>,
+    pub(crate) queue_depth_peak: Arc<Gauge>,
+}
+
+impl ShardMetrics {
+    fn on(registry: &Registry, idx: usize) -> Self {
+        Self {
+            submitted: registry.counter(&shard_series("kvmatch_serve_shard_submitted_total", idx)),
+            completed: registry.counter(&shard_series("kvmatch_serve_shard_completed_total", idx)),
+            rejected: registry.counter(&shard_series("kvmatch_serve_shard_rejected_total", idx)),
+            appends: registry.counter(&shard_series("kvmatch_serve_shard_appends_total", idx)),
+            batches: registry.counter(&shard_series("kvmatch_serve_shard_batches_total", idx)),
+            queue_depth: registry.gauge(&shard_series("kvmatch_serve_shard_queue_depth", idx)),
+            queue_depth_peak: registry
+                .gauge(&shard_series("kvmatch_serve_shard_queue_depth_peak", idx)),
+        }
+    }
+}
+
 /// Live counters of one [`QueryService`](crate::QueryService): `Arc`
 /// handles into the shared registry, so the hot paths stay single
 /// relaxed atomics while the registry owns naming and exposition.
@@ -88,22 +122,28 @@ pub struct Metrics {
     pub(crate) alloc_events: Arc<Counter>,
     pub(crate) adaptive_skipped_lb_kim: Arc<Counter>,
     pub(crate) adaptive_skipped_lb_keogh: Arc<Counter>,
+    /// Per-shard labelled series, indexed by shard id.
+    pub(crate) shards: Vec<ShardMetrics>,
+    /// Per-worker labelled series, indexed by *global* worker id
+    /// (shard `s`, local worker `w` → `s * workers_per_shard + w`).
     pub(crate) workers: Vec<WorkerMetrics>,
     pub(crate) latency: Arc<LatencyHistogram>,
     pub(crate) slowlog: SlowLog,
 }
 
 impl Metrics {
-    /// A registry tracking `workers` executor workers on a private
-    /// registry.
+    /// A registry tracking `shards` shards of `workers` executor workers
+    /// each, on a private registry.
     #[cfg(test)]
-    pub(crate) fn with_workers(workers: usize) -> Self {
-        Self::on_registry(Arc::new(Registry::new()), workers)
+    pub(crate) fn with_shape(shards: usize, workers: usize) -> Self {
+        Self::on_registry(Arc::new(Registry::new()), shards, workers)
     }
 
     /// Registers every serving metric on `registry` (shared with other
-    /// subsystems for a single-scrape exposition).
-    pub(crate) fn on_registry(registry: Arc<Registry>, workers: usize) -> Self {
+    /// subsystems for a single-scrape exposition) for a topology of
+    /// `shards` shards running `workers` executor workers each.
+    pub(crate) fn on_registry(registry: Arc<Registry>, shards: usize, workers: usize) -> Self {
+        let total_workers = shards * workers;
         let r = &registry;
         Self {
             submitted: r.counter("kvmatch_serve_submitted_total"),
@@ -124,7 +164,8 @@ impl Metrics {
             alloc_events: r.counter("kvmatch_serve_alloc_events_total"),
             adaptive_skipped_lb_kim: r.counter("kvmatch_serve_adaptive_skipped_lb_kim_total"),
             adaptive_skipped_lb_keogh: r.counter("kvmatch_serve_adaptive_skipped_lb_keogh_total"),
-            workers: (0..workers).map(|idx| WorkerMetrics::on(r, idx)).collect(),
+            shards: (0..shards).map(|idx| ShardMetrics::on(r, idx)).collect(),
+            workers: (0..total_workers).map(|idx| WorkerMetrics::on(r, idx)).collect(),
             latency: r.histogram("kvmatch_serve_latency_us"),
             slowlog: SlowLog::new(SLOWLOG_CAPACITY),
             registry,
@@ -140,11 +181,11 @@ impl Metrics {
         }
     }
 
-    pub(crate) fn snapshot(&self, queue_depth: usize, ingest_depth: usize) -> MetricsSnapshot {
-        // Fold the live depths into their gauges so a text scrape taken
-        // off the registry alone reports them too.
-        self.queue_depth.set(queue_depth as u64);
-        self.ingest_depth.set(ingest_depth as u64);
+    /// Folds the per-shard live depths (`(queue, ingest)` pairs, indexed
+    /// by shard id) into their gauges — per-shard and summed service-wide
+    /// — and materializes the typed snapshot.
+    pub(crate) fn snapshot(&self, depths: &[(usize, usize)]) -> MetricsSnapshot {
+        let (queue_depth, ingest_depth) = self.fold_depths(depths);
         let batches = self.batches.get();
         let batched_queries = self.batched_queries.get();
         MetricsSnapshot {
@@ -171,6 +212,20 @@ impl Metrics {
             alloc_events: self.alloc_events.get(),
             adaptive_skipped_lb_kim: self.adaptive_skipped_lb_kim.get(),
             adaptive_skipped_lb_keogh: self.adaptive_skipped_lb_keogh.get(),
+            shards: self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(idx, sh)| ShardSnapshot {
+                    submitted: sh.submitted.get(),
+                    completed: sh.completed.get(),
+                    rejected: sh.rejected.get(),
+                    appends: sh.appends.get(),
+                    batches: sh.batches.get(),
+                    queue_depth: depths.get(idx).map_or(0, |d| d.0),
+                    queue_depth_peak: sh.queue_depth_peak.get(),
+                })
+                .collect(),
             workers: self
                 .workers
                 .iter()
@@ -189,12 +244,28 @@ impl Metrics {
 
     /// Text exposition of the registry plus the slow-query log, the body
     /// served by the wire `MetricsText` request.
-    pub(crate) fn render_text(&self, queue_depth: usize, ingest_depth: usize) -> String {
-        self.queue_depth.set(queue_depth as u64);
-        self.ingest_depth.set(ingest_depth as u64);
+    pub(crate) fn render_text(&self, depths: &[(usize, usize)]) -> String {
+        self.fold_depths(depths);
         let mut out = self.registry.render_text();
         self.slowlog.render_into(&mut out);
         out
+    }
+
+    /// Writes each shard's live queue depth into its labelled gauge and
+    /// the summed depths into the service-wide gauges; returns the sums.
+    fn fold_depths(&self, depths: &[(usize, usize)]) -> (usize, usize) {
+        let mut queue_depth = 0;
+        let mut ingest_depth = 0;
+        for (idx, &(queue, ingest)) in depths.iter().enumerate() {
+            if let Some(sh) = self.shards.get(idx) {
+                sh.queue_depth.set(queue as u64);
+            }
+            queue_depth += queue;
+            ingest_depth += ingest;
+        }
+        self.queue_depth.set(queue_depth as u64);
+        self.ingest_depth.set(ingest_depth as u64);
+        (queue_depth, ingest_depth)
     }
 }
 
@@ -208,6 +279,29 @@ pub struct WorkerSnapshot {
     /// Microseconds the worker spent executing (not parked idle, not
     /// waiting on an ingest barrier).
     pub busy_us: u64,
+}
+
+/// One catalog shard's share of the serving load — the typed face of the
+/// `kvmatch_serve_shard_*` labelled families.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Requests the router admitted into this shard's lane.
+    pub submitted: u64,
+    /// Requests this shard answered successfully.
+    pub completed: u64,
+    /// Requests turned away by this shard's admission control — a
+    /// rejection names its shard (see
+    /// [`Rejected::shard`](crate::Rejected::shard)), and this counter is
+    /// its aggregate view.
+    pub rejected: u64,
+    /// Appends applied by this shard's ingest lane.
+    pub appends: u64,
+    /// Executor batches dispatched to this shard's worker pool.
+    pub batches: u64,
+    /// Requests waiting on this shard's lane right now.
+    pub queue_depth: usize,
+    /// Deepest this shard's lane has been.
+    pub queue_depth_peak: u64,
 }
 
 /// A point-in-time copy of every serving metric.
@@ -256,7 +350,10 @@ pub struct MetricsSnapshot {
     pub adaptive_skipped_lb_kim: u64,
     /// LB_Keogh evaluations skipped by adaptive cascade demotion.
     pub adaptive_skipped_lb_keogh: u64,
-    /// Per-worker split of the dispatched load, indexed by worker id.
+    /// Per-shard split of the served load, indexed by shard id.
+    pub shards: Vec<ShardSnapshot>,
+    /// Per-worker split of the dispatched load, indexed by global worker
+    /// id (shard-major: shard 0's workers first).
     pub workers: Vec<WorkerSnapshot>,
     /// Median submit→response latency, microseconds.
     pub latency_p50_us: u64,
@@ -275,12 +372,12 @@ mod tests {
 
     #[test]
     fn snapshot_derives_occupancy_and_worker_split() {
-        let m = Metrics::with_workers(2);
+        let m = Metrics::with_shape(1, 2);
         m.note_batch(0, 4);
         m.note_batch(1, 8);
         m.note_batch(1, 2);
         m.workers[1].note_busy(Duration::from_micros(1_500));
-        let s = m.snapshot(3, 1);
+        let s = m.snapshot(&[(3, 1)]);
         assert_eq!(s.batches, 3);
         assert_eq!(s.batched_queries, 14);
         assert!((s.avg_batch_occupancy - 14.0 / 3.0).abs() < 1e-12);
@@ -299,11 +396,11 @@ mod tests {
 
     #[test]
     fn exposition_covers_serving_families_and_live_depths() {
-        let m = Metrics::with_workers(2);
+        let m = Metrics::with_shape(1, 2);
         m.submitted.add(5);
         m.note_batch(1, 3);
         m.latency.record(Duration::from_micros(120));
-        let text = m.render_text(7, 2);
+        let text = m.render_text(&[(7, 2)]);
         assert!(text.contains("# TYPE kvmatch_serve_submitted_total counter"));
         assert!(text.contains("kvmatch_serve_submitted_total 5\n"));
         assert!(text.contains("kvmatch_serve_queue_depth 7\n"));
@@ -319,10 +416,42 @@ mod tests {
     fn shared_registry_hosts_foreign_metrics_in_the_same_scrape() {
         let registry = Arc::new(Registry::new());
         registry.counter("kvmatch_net_connections_total").add(3);
-        let m = Metrics::on_registry(Arc::clone(&registry), 1);
+        let m = Metrics::on_registry(Arc::clone(&registry), 1, 1);
         m.completed.inc();
-        let text = m.render_text(0, 0);
+        let text = m.render_text(&[(0, 0)]);
         assert!(text.contains("kvmatch_net_connections_total 3\n"));
         assert!(text.contains("kvmatch_serve_completed_total 1\n"));
+    }
+
+    #[test]
+    fn shard_families_are_labelled_per_shard_and_summed_into_the_globals() {
+        let m = Metrics::with_shape(2, 2);
+        assert_eq!(m.workers.len(), 4, "worker ids are global across shards");
+        m.shards[0].submitted.add(3);
+        m.shards[1].submitted.add(5);
+        m.shards[1].rejected.inc();
+        m.shards[1].queue_depth_peak.record_max(6);
+
+        let s = m.snapshot(&[(2, 1), (4, 0)]);
+        assert_eq!(s.shards.len(), 2);
+        assert_eq!(s.shards[0].submitted, 3);
+        assert_eq!(s.shards[1].submitted, 5);
+        assert_eq!(s.shards[1].rejected, 1);
+        assert_eq!(s.shards[0].queue_depth, 2);
+        assert_eq!(s.shards[1].queue_depth, 4);
+        assert_eq!(s.shards[1].queue_depth_peak, 6);
+        // The service-wide depths are the sums of the per-shard lanes.
+        assert_eq!(s.queue_depth, 6);
+        assert_eq!(s.ingest_depth, 1);
+
+        let text = m.render_text(&[(2, 1), (4, 0)]);
+        assert!(text.contains("kvmatch_serve_shard_submitted_total{shard=\"0\"} 3\n"));
+        assert!(text.contains("kvmatch_serve_shard_submitted_total{shard=\"1\"} 5\n"));
+        assert!(text.contains("kvmatch_serve_shard_rejected_total{shard=\"1\"} 1\n"));
+        assert!(text.contains("kvmatch_serve_shard_queue_depth{shard=\"1\"} 4\n"));
+        assert!(text.contains("kvmatch_serve_shard_queue_depth_peak{shard=\"1\"} 6\n"));
+        // Every shard family exists from startup, even before traffic.
+        assert!(text.contains("kvmatch_serve_shard_batches_total{shard=\"0\"} 0\n"));
+        assert!(text.contains("kvmatch_serve_queue_depth 6\n"));
     }
 }

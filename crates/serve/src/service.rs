@@ -1,96 +1,291 @@
-//! The query service: submission handles, micro-batching front
-//! scheduler, series-partitioned worker dispatch, a dedicated ingest
-//! lane, admission control and fan-back.
+//! The query service: a [`Router`] scattering submissions across N
+//! [`CatalogShard`]s, each running the full
+//! micro-batching pipeline — bounded lane, front scheduler,
+//! series-partitioned worker dispatch, dedicated ingest lane — over its
+//! own catalog slice, with admission control and identity-preserving
+//! fan-back.
 //!
 //! ```text
-//!  clients              front scheduler                 executor workers
-//!  ───────              ───────────────                 ────────────────
-//!  submit ──► BoundedQueue ──► drain micro-batch        ┌─► worker 0 ─┐
-//!    │            │            partition by SeriesId ───┼─► worker 1  ├─► pinned
-//!    │       full? Rejected    (rendezvous hand-off:    └─► worker N ─┘  snapshot
-//!    │      (backpressure)      waits for an idle           (lock-free)
-//!    │                          worker — never buffers)
-//!    │                              │
-//!    │                              └─ appends ──► ingest lane ──► Catalog
-//!    ▼                                 (per-series epoch barrier)  (write side)
-//!  ResponseHandle ◄─────── oneshot per request ◄── fan-back (input order)
+//!  clients                router                       catalog shards
+//!  ───────                ──────                       ──────────────
+//!  submit ──► SeriesId → shard hash ──► shard 0: queue ► scheduler ► workers ► pinned
+//!    │                │               ► shard 1: queue ► scheduler ► workers   snapshot
+//!    │     full? Rejected{shard}      ► shard N: queue ► scheduler ► workers  (lock-free)
+//!    │    (per-shard backpressure)                 │
+//!    │                                             └─ appends ► shard's ingest lane
+//!    ▼                                                (per-series epoch barrier)
+//!  ResponseHandle ◄────────── oneshot per request ◄── fan-back (input order)
 //! ```
 //!
-//! The front scheduler drains the bounded submission queue into
-//! micro-batches exactly like the single-threaded PR-4 scheduler did,
-//! but instead of executing inline it **partitions each batch by
-//! [`SeriesId`]** and hands the shards to a pool of executor workers.
-//! Each worker **pins the latest published [`CatalogSnapshot`]** — one
-//! `Arc` clone under a briefly-held pointer lock — and executes against
-//! that immutable generation set with no catalog lock held at all.
-//! Index probes and verification for different series are
-//! embarrassingly parallel, so shards of one batch (and of consecutive
-//! batches) execute concurrently, and the ingest lane's catalog write
-//! guard (however long a rebuild or compaction takes) never blocks a
-//! reader for longer than the snapshot pointer swap.
+//! Routing happens at submission: the [`Router`] hashes the request's
+//! [`SeriesId`] to a shard and the request joins *that shard's* bounded
+//! lane. From there the shard's own scheduler drains micro-batches,
+//! partitions them by `(series, ingest epoch)` and hands runs to its
+//! worker pool, exactly as the single-catalog pipeline did — each worker
+//! **pins the shard's latest published
+//! [`CatalogSnapshot`]** (one
+//! `Arc` clone under a pointer-sized lock) and executes against that
+//! immutable generation set with no catalog lock held at all. Because a
+//! series lives on exactly one shard, the per-series epoch barriers and
+//! the submission-order guarantees of the one-catalog design carry over
+//! unchanged, while shards share *nothing*: no lock, no queue, no write
+//! guard. An ingest stall, a failing backend or a saturated lane on one
+//! shard leaves every other shard serving at full speed.
 //!
-//! Appends never touch the worker pool: they are routed to a **dedicated
-//! ingest lane** that owns the catalog's write side. An append acts as an
-//! ordering barrier *for its own series only* — the scheduler stamps
-//! every append with a per-series epoch and every query shard with the
-//! epoch it must observe, so a query submitted after an append waits for
-//! exactly that append while queries on other series keep flowing.
+//! Identity is preserved end-to-end: each request owns a oneshot
+//! channel, runs keep their jobs in submission order, and
+//! `execute_batch` returns outputs in input order, so the gather side
+//! can never cross wires — a mixed-series batch scattered over four
+//! shards returns bit-identical answers to the same batch on one shard.
 //!
-//! Identity is preserved end-to-end: each request owns a oneshot channel,
-//! shards keep their jobs in submission order, and `execute_batch`
-//! returns outputs in input order, so the zip back onto the per-request
-//! senders can never cross wires.
+//! Construction goes through the validating [`ServiceBuilder`]
+//! (`QueryService::builder(catalog).shards(4).build()?`); reads outside
+//! the request path go through [`QueryService::read_view`], which pins a
+//! shard's snapshot implementing
+//! [`ReadView`](kvmatch_core::catalog::ReadView).
 
-use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use kvmatch_core::catalog::{Catalog, CatalogBackend, CatalogSnapshot};
-use kvmatch_core::exec::QueryOutput;
 use kvmatch_core::{CoreError, MatchResult, MatchStats, QuerySpec, SeriesId};
-use kvmatch_obs::{ExplainReport, Registry, SlowLogEntry, TraceCtx};
-use parking_lot::RwLock;
+use kvmatch_obs::{ExplainReport, Registry, TraceCtx};
 
 use crate::metrics::{Metrics, MetricsSnapshot};
-use crate::sync::{oneshot, BoundedQueue, Handoff, PushError};
+use crate::shard::{CatalogShard, Command, Job, Router};
+use crate::sync::{oneshot, PushError};
 
-/// Tuning knobs of a [`QueryService`].
+/// The resolved, validated tuning of a [`QueryService`] — produced only
+/// by [`ServiceBuilder::build`], so every shard pipeline can trust its
+/// invariants (non-zero workers/batch, queue ≥ batch).
 #[derive(Clone, Copy, Debug)]
-pub struct ServeConfig {
-    /// Admission-control bound: requests queued at once. A full queue
-    /// rejects ([`Submit::Rejected`]) — that rejection *is* the
-    /// backpressure signal.
-    pub queue_capacity: usize,
+pub(crate) struct ServiceConfig {
+    /// Per-shard admission-control bound: requests queued on one shard's
+    /// lane at once.
+    pub(crate) queue_capacity: usize,
     /// Scheduler flush trigger 1: dispatch once this many commands are
     /// drained into the forming batch.
-    pub max_batch: usize,
+    pub(crate) max_batch: usize,
     /// Scheduler flush trigger 2: dispatch at latest this long after the
-    /// batch's first command arrived, full or not — bounds the latency
-    /// cost of waiting for batchmates.
-    pub max_batch_delay: Duration,
-    /// Deadline applied to requests that don't carry their own (`None` =
-    /// no default deadline).
-    pub default_deadline: Option<Duration>,
-    /// Executor workers in the dispatch pool (min 1). Shards of one
-    /// micro-batch — one per `(series, ingest epoch)` — run on distinct
-    /// workers concurrently; the front scheduler hands a shard only to
-    /// an *idle* worker, so query-side buffering stays bounded at
-    /// `queue_capacity + max_batch` regardless of the pool size (the
-    /// ingest lane's own bounded queue adds at most `queue_capacity`
-    /// admitted appends on top).
-    pub workers: usize,
+    /// batch's first command arrived, full or not.
+    pub(crate) max_batch_delay: Duration,
+    /// Deadline applied to requests that don't carry their own.
+    pub(crate) default_deadline: Option<Duration>,
+    /// Executor workers per shard.
+    pub(crate) workers: usize,
+    /// Catalog shards.
+    pub(crate) shards: usize,
 }
 
-impl Default for ServeConfig {
-    fn default() -> Self {
+/// A rejected [`ServiceBuilder`] configuration, naming the violated
+/// invariant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `shards(0)`: at least one catalog shard must exist.
+    ZeroShards,
+    /// `workers(0)`: every shard needs at least one executor worker.
+    ZeroWorkers,
+    /// `max_batch(0)`: the scheduler cannot form empty batches.
+    ZeroBatch,
+    /// The per-shard queue cannot hold even one full batch — the
+    /// scheduler would never reach `max_batch` occupancy.
+    QueueSmallerThanBatch {
+        /// The configured per-shard queue bound.
+        queue_capacity: usize,
+        /// The configured batch bound it cannot hold.
+        max_batch: usize,
+    },
+    /// More than one shard was requested over a backend that cannot
+    /// mint independent per-shard instances
+    /// ([`CatalogBackend::shard_instance`] returned `None` — e.g. a
+    /// single-directory LSM backend). Such catalogs serve at
+    /// `shards(1)`.
+    UnshardableBackend {
+        /// The requested shard count.
+        shards: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroShards => write!(f, "shards must be at least 1"),
+            ConfigError::ZeroWorkers => write!(f, "workers per shard must be at least 1"),
+            ConfigError::ZeroBatch => write!(f, "max_batch must be at least 1"),
+            ConfigError::QueueSmallerThanBatch { queue_capacity, max_batch } => write!(
+                f,
+                "queue_capacity ({queue_capacity}) must hold at least one full batch (max_batch = {max_batch})"
+            ),
+            ConfigError::UnshardableBackend { shards } => write!(
+                f,
+                "backend cannot provide independent shard instances (requested {shards} shards); serve it with shards(1)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating constructor of a [`QueryService`]: typed defaults,
+/// chainable setters, and a [`build`](ServiceBuilder::build) that
+/// rejects inconsistent topologies instead of spawning them.
+///
+/// ```no_run
+/// # use kvmatch_core::{Catalog, MemoryCatalogBackend};
+/// # use kvmatch_serve::QueryService;
+/// # let catalog = Catalog::new(MemoryCatalogBackend);
+/// let service = QueryService::builder(catalog)
+///     .shards(4)
+///     .workers(2)
+///     .queue_capacity(128)
+///     .build()
+///     .expect("valid topology");
+/// ```
+///
+/// Defaults: 1 shard, 2 workers per shard, per-shard queue of 256,
+/// batches of up to 32 commands flushed within 2 ms, no default
+/// deadline, a private metrics [`Registry`].
+pub struct ServiceBuilder<B: CatalogBackend> {
+    catalog: Catalog<B>,
+    shards: usize,
+    workers: usize,
+    queue_capacity: usize,
+    max_batch: usize,
+    max_batch_delay: Duration,
+    default_deadline: Option<Duration>,
+    registry: Option<Arc<Registry>>,
+}
+
+impl<B> ServiceBuilder<B>
+where
+    B: CatalogBackend + Send + Sync + 'static,
+    B::Store: Send + Sync + 'static,
+    B::Data: Send + Sync + 'static,
+{
+    /// A builder over `catalog` with the default topology (see the type
+    /// docs). Equivalent to [`QueryService::builder`].
+    pub fn new(catalog: Catalog<B>) -> Self {
         Self {
+            catalog,
+            shards: 1,
+            workers: 2,
             queue_capacity: 256,
             max_batch: 32,
             max_batch_delay: Duration::from_millis(2),
             default_deadline: None,
-            workers: 2,
+            registry: None,
         }
+    }
+
+    /// Catalog shards: independent `Catalog` + scheduler + worker-pool +
+    /// ingest-lane pipelines, one per core under load. Series are placed
+    /// by the [`Router`]; more than one shard requires a backend whose
+    /// [`CatalogBackend::shard_instance`] mints independent instances.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Executor workers *per shard* (the service runs `shards × workers`
+    /// workers in total). Runs of one micro-batch — one per `(series,
+    /// ingest epoch)` — execute on distinct workers concurrently; a
+    /// shard's scheduler hands a run only to an *idle* worker, so
+    /// query-side buffering stays bounded at `queue_capacity + max_batch`
+    /// per shard regardless of the pool size.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Per-shard admission-control bound: requests queued on one shard's
+    /// lane at once. A full lane rejects ([`Submit::Rejected`], stamped
+    /// with the shard id) — that rejection *is* the backpressure signal,
+    /// and it is per shard: one saturated shard does not reject traffic
+    /// routed elsewhere.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Scheduler flush trigger 1: dispatch once this many commands are
+    /// drained into the forming batch.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Scheduler flush trigger 2: dispatch at latest this long after the
+    /// batch's first command arrived, full or not — bounds the latency
+    /// cost of waiting for batchmates.
+    pub fn max_batch_delay(mut self, delay: Duration) -> Self {
+        self.max_batch_delay = delay;
+        self
+    }
+
+    /// Deadline applied to requests that don't carry their own (none by
+    /// default). Expired requests are answered
+    /// [`ServeError::DeadlineExceeded`] instead of their results.
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Registers the serving metrics on a caller-provided [`Registry`] —
+    /// so the server (or a test) can expose its own counters alongside
+    /// the serving layer's (including the per-shard
+    /// `kvmatch_serve_shard_*` families) in a single text scrape.
+    pub fn registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Validates the topology, splits the catalog across the shards and
+    /// starts every pipeline. The catalog is consumed either way; on
+    /// `Err` nothing was spawned.
+    pub fn build(self) -> Result<QueryService<B>, ConfigError> {
+        if self.shards == 0 {
+            return Err(ConfigError::ZeroShards);
+        }
+        if self.workers == 0 {
+            return Err(ConfigError::ZeroWorkers);
+        }
+        if self.max_batch == 0 {
+            return Err(ConfigError::ZeroBatch);
+        }
+        if self.queue_capacity < self.max_batch {
+            return Err(ConfigError::QueueSmallerThanBatch {
+                queue_capacity: self.queue_capacity,
+                max_batch: self.max_batch,
+            });
+        }
+        if self.shards > 1 && self.catalog.backend().shard_instance().is_none() {
+            return Err(ConfigError::UnshardableBackend { shards: self.shards });
+        }
+        let config = ServiceConfig {
+            queue_capacity: self.queue_capacity,
+            max_batch: self.max_batch,
+            max_batch_delay: self.max_batch_delay,
+            default_deadline: self.default_deadline,
+            workers: self.workers,
+            shards: self.shards,
+        };
+        let registry = self.registry.unwrap_or_else(|| Arc::new(Registry::new()));
+        let metrics = Arc::new(Metrics::on_registry(registry, config.shards, config.workers));
+        let router = Router::new(config.shards);
+        // Split the catalog along the exact placement the router will
+        // apply to every submission — same arithmetic, same totals —
+        // so a routed request always lands on the shard owning its
+        // series.
+        let slices = self
+            .catalog
+            .split_routed(config.shards, |series| router.route(series))
+            .map_err(|_| ConfigError::UnshardableBackend { shards: config.shards })?;
+        let shards = slices
+            .into_iter()
+            .enumerate()
+            .map(|(id, slice)| CatalogShard::spawn(id, slice, config, Arc::clone(&metrics)))
+            .collect();
+        Ok(QueryService { router, shards, metrics, config })
     }
 }
 
@@ -114,7 +309,7 @@ pub struct QueryRequest {
     /// [`QuerySpec::with_series`](kvmatch_core::QuerySpec::with_series).
     pub spec: QuerySpec,
     /// Per-request deadline; `None` falls back to
-    /// [`ServeConfig::default_deadline`].
+    /// [`ServiceBuilder::default_deadline`].
     pub deadline: Option<Duration>,
 }
 
@@ -166,34 +361,44 @@ pub struct QueryResponse {
 /// append rejections, and by the wire protocol's rejection payload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RejectKind {
-    /// The bounded submission queue stayed full for the whole wait —
+    /// The shard's bounded lane stayed full for the whole wait —
     /// explicit backpressure; retrying after a backoff is expected.
     Backpressure,
     /// The service is shutting down; retrying cannot succeed.
     ShuttingDown,
 }
 
-/// One admission rejection, with the queue state that caused it. The
+/// One admission rejection, with the lane state that caused it. The
 /// same shape covers queries ([`RejectedQuery`]), appends
 /// ([`RejectedAppend`]) and the wire protocol's `REJECTED` error
-/// payload, so every surface reports backpressure identically.
+/// payload, so every surface reports backpressure identically —
+/// including *which shard* pushed back, since backpressure is per shard:
+/// a client seeing rejections from shard 2 can keep its traffic for
+/// other shards flowing at full rate.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Rejected {
     /// Backpressure or shutdown.
     pub kind: RejectKind,
-    /// The configured queue capacity
-    /// ([`ServeConfig::queue_capacity`]).
+    /// The configured per-shard lane capacity
+    /// ([`ServiceBuilder::queue_capacity`]).
     pub capacity: usize,
-    /// Queue depth observed at rejection time (≈ `capacity` for
-    /// backpressure; whatever remained for shutdown).
+    /// The rejecting shard's lane depth observed at rejection time
+    /// (≈ `capacity` for backpressure; whatever remained for shutdown).
     pub depth: usize,
+    /// The shard whose lane rejected the command — the one the
+    /// [`Router`] places the command's series on.
+    pub shard: usize,
 }
 
 impl std::fmt::Display for Rejected {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self.kind {
             RejectKind::Backpressure => {
-                write!(f, "queue full ({}/{} queued)", self.depth, self.capacity)
+                write!(
+                    f,
+                    "shard {} queue full ({}/{} queued)",
+                    self.shard, self.depth, self.capacity
+                )
             }
             RejectKind::ShuttingDown => write!(f, "service shutting down"),
         }
@@ -203,8 +408,8 @@ impl std::fmt::Display for Rejected {
 /// Serving-layer failures, delivered through the response channel.
 #[derive(Debug)]
 pub enum ServeError {
-    /// Admission control turned the command away (queue full for the
-    /// whole wait, or the service is closing).
+    /// Admission control turned the command away (the routed shard's
+    /// lane full for the whole wait, or the service is closing).
     Rejected(Rejected),
     /// The request's deadline passed — before dispatch (the queueing
     /// bound) or during execution (checked again before fan-back).
@@ -248,7 +453,7 @@ impl std::error::Error for ServeError {
 /// caller's request, handed back untouched so it can be retried or shed.
 #[derive(Debug)]
 pub struct RejectedQuery {
-    /// Why, and in what queue state.
+    /// Why, and in what lane state (including the rejecting shard).
     pub rejected: Rejected,
     /// The request, returned unconsumed.
     pub request: QueryRequest,
@@ -347,7 +552,7 @@ impl AppendHandle {
 /// shape as [`RejectedQuery`] carries for queries.
 #[derive(Debug)]
 pub struct RejectedAppend {
-    /// Why, and in what queue state.
+    /// Why, and in what lane state (including the rejecting shard).
     pub rejected: Rejected,
     /// The points, returned unconsumed.
     pub points: Vec<f64>,
@@ -360,100 +565,16 @@ impl RejectedAppend {
     }
 }
 
-/// One queued command.
-enum Command {
-    Query(Job),
-    Append { series: SeriesId, points: Vec<f64>, tx: oneshot::Sender<Result<(), ServeError>> },
-}
-
-struct Job {
-    spec: QuerySpec,
-    deadline: Option<Duration>,
-    submitted: Instant,
-    /// Live trace, present iff `spec.explain`. Boxed so the common
-    /// untraced job stays one pointer wider, not a span stack wider.
-    trace: Option<Box<TraceCtx>>,
-    tx: oneshot::Sender<Result<QueryResponse, ServeError>>,
-}
-
-/// Whether an effective deadline — the job's own, falling back to the
-/// service default — passed before `now`.
-fn deadline_expired(
-    submitted: Instant,
-    deadline: Option<Duration>,
-    now: Instant,
-    default_deadline: Option<Duration>,
-) -> bool {
-    deadline.or(default_deadline).is_some_and(|d| now.duration_since(submitted) > d)
-}
-
-/// One unit of worker dispatch: a maximal run of queries on one series
-/// that must observe the same ingest epoch, in submission order.
-struct Shard {
-    /// Raw id of the series every job in the shard targets.
-    series: u64,
-    /// Ingest epoch the shard must wait for (0 = no append ordered
-    /// before it on this series).
-    epoch: u64,
-    jobs: Vec<Job>,
-}
-
-/// One append travelling down the ingest lane.
-struct IngestJob {
-    series: SeriesId,
-    points: Vec<f64>,
-    tx: oneshot::Sender<Result<(), ServeError>>,
-    /// This append's position in its series' append order.
-    epoch: u64,
-}
-
-/// The per-series ordering barrier between the ingest lane and the
-/// worker pool: the lane publishes each completed (and materialized)
-/// append's epoch; workers wait for the epochs their shards require.
-#[derive(Default)]
-struct IngestGate {
-    completed: std::sync::Mutex<HashMap<u64, u64>>,
-    advanced: std::sync::Condvar,
-}
-
-impl IngestGate {
-    fn publish(&self, series: u64, epoch: u64) {
-        let mut completed = self.completed.lock().expect("ingest gate poisoned");
-        let e = completed.entry(series).or_insert(0);
-        if epoch > *e {
-            *e = epoch;
-        }
-        drop(completed);
-        self.advanced.notify_all();
-    }
-
-    fn wait_for(&self, series: u64, epoch: u64) {
-        let mut completed = self.completed.lock().expect("ingest gate poisoned");
-        while completed.get(&series).copied().unwrap_or(0) < epoch {
-            completed = self.advanced.wait(completed).expect("ingest gate poisoned");
-        }
-    }
-}
-
-struct Shared {
-    /// The bounded submission queue — the admission-control surface.
-    queue: BoundedQueue<Command>,
-    /// The dedicated ingest lane's own bounded queue; a saturated lane
-    /// back-pressures the front scheduler, which in turn fills the
-    /// submission queue.
-    ingest: BoundedQueue<IngestJob>,
-    gate: IngestGate,
-    metrics: Metrics,
-    config: ServeConfig,
-}
-
-/// The serving front door over a [`Catalog`]: spawn it with the catalog,
-/// submit [`QueryRequest`]s from any number of threads, receive
-/// [`ResponseHandle`]s. See the [crate docs](crate) for the quick-start.
+/// The serving front door over a [`Catalog`]: build it with
+/// [`QueryService::builder`], submit [`QueryRequest`]s from any number
+/// of threads, receive [`ResponseHandle`]s. See the
+/// [crate docs](crate) for the quick-start and the
+/// [`shard` module](crate::shard) for the scale-out topology.
 pub struct QueryService<B: CatalogBackend> {
-    shared: Arc<Shared>,
-    catalog: Option<Arc<RwLock<Catalog<B>>>>,
-    scheduler: Option<JoinHandle<()>>,
+    router: Router,
+    shards: Vec<CatalogShard<B>>,
+    metrics: Arc<Metrics>,
+    config: ServiceConfig,
 }
 
 impl<B> QueryService<B>
@@ -462,53 +583,41 @@ where
     B::Store: Send + Sync + 'static,
     B::Data: Send + Sync + 'static,
 {
-    /// Takes ownership of `catalog` and starts the serving pipeline: the
-    /// front scheduler, `config.workers` executor workers and the ingest
-    /// lane. [`QueryService::shutdown`] hands the catalog back.
-    pub fn spawn(catalog: Catalog<B>, config: ServeConfig) -> Self {
-        Self::spawn_with_registry(catalog, config, Arc::new(Registry::new()))
+    /// A [`ServiceBuilder`] over `catalog` — the only way to construct a
+    /// service. `build()` takes ownership of the catalog, splits it
+    /// across the configured shards and starts every pipeline;
+    /// [`QueryService::shutdown`] reassembles and hands the catalog
+    /// back.
+    pub fn builder(catalog: Catalog<B>) -> ServiceBuilder<B> {
+        ServiceBuilder::new(catalog)
     }
 
-    /// Like [`QueryService::spawn`], but registers the serving metrics on
-    /// a caller-provided [`Registry`] — so the server (or a test) can
-    /// expose its own counters alongside the serving layer's in a single
-    /// text scrape.
-    pub fn spawn_with_registry(
-        catalog: Catalog<B>,
-        config: ServeConfig,
-        registry: Arc<Registry>,
-    ) -> Self {
-        let workers = config.workers.max(1);
-        let shared = Arc::new(Shared {
-            queue: BoundedQueue::new(config.queue_capacity),
-            ingest: BoundedQueue::new(config.queue_capacity),
-            gate: IngestGate::default(),
-            metrics: Metrics::on_registry(registry, workers),
-            config,
-        });
-        let catalog = Arc::new(RwLock::new(catalog));
-        let scheduler_shared = Arc::clone(&shared);
-        let scheduler_catalog = Arc::clone(&catalog);
-        let scheduler = std::thread::Builder::new()
-            .name("kvmatch-serve-scheduler".into())
-            .spawn(move || scheduler(scheduler_catalog, scheduler_shared))
-            .expect("spawn scheduler thread");
-        Self { shared, catalog: Some(catalog), scheduler: Some(scheduler) }
-    }
-
-    /// Non-blocking submission: admitted or immediately
-    /// [`Submit::Rejected`] when the bounded queue is full.
+    /// Non-blocking submission: routed to its series' shard, admitted or
+    /// immediately [`Submit::Rejected`] when that shard's lane is full.
     pub fn submit(&self, request: QueryRequest) -> Submit {
         self.submit_inner(request, None)
     }
 
-    /// Blocking submission: waits up to `wait` for queue space before
-    /// giving up with [`Submit::Rejected`].
+    /// Blocking submission: waits up to `wait` for space on the routed
+    /// shard's lane before giving up with [`Submit::Rejected`].
     pub fn submit_timeout(&self, request: QueryRequest, wait: Duration) -> Submit {
         self.submit_inner(request, Some(wait))
     }
 
+    /// Cross-shard scatter: submits a mixed-series batch in order, each
+    /// request to its series' shard, and returns the per-request
+    /// outcomes input-aligned. The gather side needs no extra API —
+    /// every accepted request fans back through its own
+    /// [`ResponseHandle`], so waiting on the handles in order yields
+    /// responses in submission order regardless of how the batch
+    /// scattered.
+    pub fn submit_batch(&self, requests: Vec<QueryRequest>) -> Vec<Submit> {
+        requests.into_iter().map(|request| self.submit(request)).collect()
+    }
+
     fn submit_inner(&self, request: QueryRequest, wait: Option<Duration>) -> Submit {
+        let shard_id = self.router.route(request.spec.series);
+        let shard = &self.shards[shard_id].shared;
         let (tx, rx) = oneshot::channel();
         // An explain query opens its trace at admission — `serve.queue`
         // covers everything from here to worker dispatch.
@@ -528,110 +637,176 @@ where
             tx,
         });
         let pushed = match wait {
-            None => self.shared.queue.try_push(job),
-            Some(d) => self.shared.queue.push_timeout(job, d),
+            None => shard.queue.try_push(job),
+            Some(d) => shard.queue.push_timeout(job, d),
         };
         match pushed {
             Ok(()) => {
-                let m = &self.shared.metrics;
-                m.submitted.inc();
-                m.queue_depth_peak.record_max(self.shared.queue.len() as u64);
+                let depth = shard.queue.len() as u64;
+                self.metrics.submitted.inc();
+                self.metrics.queue_depth_peak.record_max(depth);
+                shard.shard_metrics.submitted.inc();
+                shard.shard_metrics.queue_depth_peak.record_max(depth);
                 Submit::Accepted(ResponseHandle { rx })
             }
             Err(PushError::Full(cmd)) => {
-                self.shared.metrics.rejected.inc();
+                self.metrics.rejected.inc();
+                shard.shard_metrics.rejected.inc();
                 Submit::Rejected(RejectedQuery {
-                    rejected: self.rejection(RejectKind::Backpressure),
+                    rejected: self.rejection(RejectKind::Backpressure, shard_id),
                     request: recover_request(cmd),
                 })
             }
             Err(PushError::Closed(cmd)) => Submit::Rejected(RejectedQuery {
-                rejected: self.rejection(RejectKind::ShuttingDown),
+                rejected: self.rejection(RejectKind::ShuttingDown, shard_id),
                 request: recover_request(cmd),
             }),
         }
     }
 
-    /// Stamps a rejection with the queue state observed right now.
-    fn rejection(&self, kind: RejectKind) -> Rejected {
+    /// Stamps a rejection with the routed shard's lane state observed
+    /// right now.
+    fn rejection(&self, kind: RejectKind, shard: usize) -> Rejected {
         Rejected {
             kind,
-            capacity: self.shared.config.queue_capacity,
-            depth: self.shared.queue.len(),
+            capacity: self.config.queue_capacity,
+            depth: self.shards[shard].shared.queue.len(),
+            shard,
         }
     }
 
-    /// Enqueues a streaming append. It is ordered with queries *on its
-    /// own series*: queries submitted after the append see its points,
-    /// while queries on other series keep flowing through the worker
-    /// pool during ingestion. Shares the bounded submission queue — and
-    /// therefore the backpressure — with queries; a turned-away append
-    /// hands the points back ([`RejectedAppend`]) so the caller can
-    /// retry.
+    /// Enqueues a streaming append, routed to its series' shard. It is
+    /// ordered with queries *on its own series*: queries submitted after
+    /// the append see its points, while queries on other series keep
+    /// flowing through the worker pools during ingestion. Shares the
+    /// shard's bounded lane — and therefore the per-shard backpressure —
+    /// with queries; a turned-away append hands the points back
+    /// ([`RejectedAppend`]) so the caller can retry.
     pub fn append(
         &self,
         series: SeriesId,
         points: Vec<f64>,
         wait: Duration,
     ) -> Result<AppendHandle, RejectedAppend> {
+        let shard_id = self.router.route(series);
+        let shard = &self.shards[shard_id].shared;
         let (tx, rx) = oneshot::channel();
-        match self.shared.queue.push_timeout(Command::Append { series, points, tx }, wait) {
+        match shard.queue.push_timeout(Command::Append { series, points, tx }, wait) {
             Ok(()) => Ok(AppendHandle { rx }),
             Err(PushError::Full(Command::Append { points, .. })) => {
-                self.shared.metrics.rejected.inc();
-                Err(RejectedAppend { rejected: self.rejection(RejectKind::Backpressure), points })
+                self.metrics.rejected.inc();
+                shard.shard_metrics.rejected.inc();
+                Err(RejectedAppend {
+                    rejected: self.rejection(RejectKind::Backpressure, shard_id),
+                    points,
+                })
             }
-            Err(PushError::Closed(Command::Append { points, .. })) => {
-                Err(RejectedAppend { rejected: self.rejection(RejectKind::ShuttingDown), points })
-            }
+            Err(PushError::Closed(Command::Append { points, .. })) => Err(RejectedAppend {
+                rejected: self.rejection(RejectKind::ShuttingDown, shard_id),
+                points,
+            }),
             Err(PushError::Full(_) | PushError::Closed(_)) => {
                 unreachable!("append pushes come back as appends")
             }
         }
     }
 
-    /// A point-in-time metrics snapshot.
+    /// Pins the latest snapshot published by the shard hosting `series`
+    /// — the [`ReadView`](kvmatch_core::catalog::ReadView) read path for
+    /// callers outside the request pipeline (admin surfaces, tests,
+    /// sequential baselines). One `Arc` clone under a pointer-sized
+    /// lock; never the shard's catalog lock. `None` before the shard's
+    /// first materialization.
+    pub fn read_view(&self, series: SeriesId) -> Option<Arc<CatalogSnapshot<B>>> {
+        self.shards[self.router.route(series)].read_view()
+    }
+
+    /// The series→shard placement this service routes with.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Catalog shards serving this catalog.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A point-in-time metrics snapshot (service-wide counters plus the
+    /// per-shard and per-worker splits).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot(self.shared.queue.len(), self.shared.ingest.len())
+        self.metrics.snapshot(&self.live_depths())
     }
 
     /// The registry every serving metric lives on — callers may register
     /// their own metrics here to join the same exposition.
     pub fn registry(&self) -> Arc<Registry> {
-        Arc::clone(&self.shared.metrics.registry)
+        Arc::clone(&self.metrics.registry)
     }
 
     /// Prometheus-style text exposition of the whole registry plus the
     /// slow-query log — the body of the wire `MetricsText` response.
     pub fn metrics_text(&self) -> String {
-        self.shared.metrics.render_text(self.shared.queue.len(), self.shared.ingest.len())
+        self.metrics.render_text(&self.live_depths())
     }
 
-    /// Executor workers in the dispatch pool.
+    /// Executor workers across all shards.
     pub fn workers(&self) -> usize {
-        self.shared.metrics.workers.len()
+        self.metrics.workers.len()
     }
 
-    /// Graceful shutdown: stops admissions, serves everything already
-    /// queued (queries and appends), retires the worker pool and the
-    /// ingest lane, and hands the catalog back.
+    /// Each shard's live `(queue, ingest)` lane depths, indexed by
+    /// shard id.
+    fn live_depths(&self) -> Vec<(usize, usize)> {
+        self.shards.iter().map(|s| (s.shared.queue.len(), s.shared.ingest.len())).collect()
+    }
+
+    /// Graceful shutdown: stops admissions on every shard, serves
+    /// everything already queued (queries and appends), retires the
+    /// worker pools and ingest lanes, then reassembles the shards'
+    /// catalog slices and hands the whole catalog back.
     pub fn shutdown(mut self) -> Catalog<B> {
-        self.shared.queue.close();
-        self.scheduler.take().expect("shutdown runs once").join().expect("scheduler panicked");
-        let catalog = self.catalog.take().expect("shutdown runs once");
-        Arc::try_unwrap(catalog)
-            .ok()
-            .expect("all serving threads joined; no catalog borrow remains")
-            .into_inner()
+        for shard in &self.shards {
+            shard.close();
+        }
+        for shard in &mut self.shards {
+            shard.join();
+        }
+        dump_slowlog(&self.metrics);
+        let mut shards = std::mem::take(&mut self.shards).into_iter();
+        let mut catalog =
+            shards.next().expect("a built service has at least one shard").into_catalog();
+        for shard in shards {
+            catalog
+                .absorb(shard.into_catalog())
+                .expect("shard series sets are disjoint by construction");
+        }
+        catalog
     }
 }
 
 impl<B: CatalogBackend> Drop for QueryService<B> {
     fn drop(&mut self) {
-        if let Some(scheduler) = self.scheduler.take() {
-            self.shared.queue.close();
-            let _ = scheduler.join();
+        if self.shards.is_empty() {
+            return; // shutdown() already retired everything
         }
+        for shard in &self.shards {
+            shard.close();
+        }
+        for shard in &mut self.shards {
+            shard.join();
+        }
+        dump_slowlog(&self.metrics);
+    }
+}
+
+/// Dumps the slow-query log on the way out — the last chance to see what
+/// hurt before the process forgets. Runs once per service, after every
+/// shard pipeline has been joined.
+fn dump_slowlog(metrics: &Metrics) {
+    if metrics.slowlog.depth() > 0 {
+        let mut out = String::new();
+        metrics.slowlog.render_into(&mut out);
+        eprint!("{out}");
     }
 }
 
@@ -639,406 +814,5 @@ fn recover_request(cmd: Command) -> QueryRequest {
     match cmd {
         Command::Query(job) => QueryRequest { spec: job.spec, deadline: job.deadline },
         Command::Append { .. } => unreachable!("submissions only enqueue queries"),
-    }
-}
-
-/// The front scheduler: bring the read path up, spawn the pool and the
-/// ingest lane, then loop drain → partition → hand off until the
-/// submission queue closes; finally retire the pipeline in dependency
-/// order (workers may wait on ingest epochs, so the lane outlives them).
-fn scheduler<B>(catalog: Arc<RwLock<Catalog<B>>>, shared: Arc<Shared>)
-where
-    B: CatalogBackend + Send + Sync + 'static,
-    B::Store: Send + Sync + 'static,
-    B::Data: Send + Sync + 'static,
-{
-    // Bring the read path up: one materialization, then publish the
-    // first snapshot into the `latest` slot every worker pins from. A
-    // startup failure is *surfaced* — counted, and queries answer
-    // `Unmaterialized` until the ingest lane publishes a good snapshot —
-    // never silently swallowed.
-    let latest: Arc<RwLock<Option<Arc<CatalogSnapshot<B>>>>> = Arc::new(RwLock::new(None));
-    if catalog.write().materialize().is_err() {
-        shared.metrics.materialize_failures.inc();
-    }
-    *latest.write() = catalog.read().snapshot();
-
-    let workers = shared.config.workers.max(1);
-    let handoff: Arc<Handoff<Shard>> = Arc::new(Handoff::new());
-    let pool: Vec<JoinHandle<()>> = (0..workers)
-        .map(|idx| {
-            let latest = Arc::clone(&latest);
-            let shared = Arc::clone(&shared);
-            let handoff = Arc::clone(&handoff);
-            std::thread::Builder::new()
-                .name(format!("kvmatch-serve-worker-{idx}"))
-                .spawn(move || worker_loop(idx, latest, shared, handoff))
-                .expect("spawn executor worker")
-        })
-        .collect();
-    let ingest = {
-        let catalog = Arc::clone(&catalog);
-        let latest = Arc::clone(&latest);
-        let shared = Arc::clone(&shared);
-        std::thread::Builder::new()
-            .name("kvmatch-serve-ingest".into())
-            .spawn(move || ingest_loop(catalog, latest, shared))
-            .expect("spawn ingest lane")
-    };
-
-    // Per-series count of appends routed down the ingest lane so far —
-    // the epoch a later query on that series must observe.
-    let mut issued: HashMap<u64, u64> = HashMap::new();
-
-    while let Some(first) = shared.queue.pop_wait() {
-        // Micro-batch formation: the first command opens the batch; keep
-        // draining until it is full or its flush deadline passes,
-        // whichever comes first.
-        let mut commands = vec![first];
-        let flush_at = Instant::now() + shared.config.max_batch_delay;
-        while commands.len() < shared.config.max_batch {
-            match shared.queue.pop_before(flush_at) {
-                Some(cmd) => commands.push(cmd),
-                None => break,
-            }
-        }
-
-        // Partition in submission order: queries shard by (series,
-        // required ingest epoch) — so a query behind an append on its
-        // series lands in a *different* shard than one ahead of it —
-        // and appends go straight down the ingest lane.
-        let mut shards: BTreeMap<(u64, u64), Vec<Job>> = BTreeMap::new();
-        for cmd in commands {
-            match cmd {
-                Command::Query(job) => {
-                    let series = job.spec.series.raw();
-                    let epoch = issued.get(&series).copied().unwrap_or(0);
-                    shards.entry((series, epoch)).or_default().push(job);
-                }
-                Command::Append { series, points, tx } => {
-                    let epoch = issued.entry(series.raw()).or_insert(0);
-                    *epoch += 1;
-                    let job = IngestJob { series, points, tx, epoch: *epoch };
-                    match shared.ingest.push_wait(job) {
-                        Ok(()) => {
-                            shared.metrics.ingest_depth_peak.record_max(shared.ingest.len() as u64);
-                        }
-                        Err(PushError::Full(job) | PushError::Closed(job)) => {
-                            // Unreachable today (push_wait only fails
-                            // Closed, and the lane closes after this
-                            // loop) — but an issued epoch that never
-                            // reaches the lane MUST still be published,
-                            // or every later query on the series would
-                            // wait at the gate forever.
-                            shared.gate.publish(job.series.raw(), job.epoch);
-                            let _ = job.tx.send(Err(ServeError::ShutDown));
-                        }
-                    }
-                }
-            }
-        }
-
-        // Hand each shard to an idle worker (the rendezvous blocks while
-        // the whole pool is busy — that is where upstream backpressure
-        // comes from).
-        for ((series, epoch), jobs) in shards {
-            if let Err(shard) = handoff.send(Shard { series, epoch, jobs }) {
-                for job in shard.jobs {
-                    let _ = job.tx.send(Err(ServeError::ShutDown));
-                }
-            }
-        }
-    }
-
-    // Graceful drain: every admitted command is dispatched by now.
-    handoff.close();
-    for worker in pool {
-        let _ = worker.join();
-    }
-    shared.ingest.close();
-    let _ = ingest.join();
-
-    // Dump the slow-query log on the way out — the last chance to see
-    // what hurt before the process forgets.
-    if shared.metrics.slowlog.depth() > 0 {
-        let mut out = String::new();
-        shared.metrics.slowlog.render_into(&mut out);
-        eprint!("{out}");
-    }
-}
-
-/// One executor worker: park at the hand-off, honour the shard's ingest
-/// barrier, pin the latest published snapshot, then execute lock-free.
-fn worker_loop<B>(
-    idx: usize,
-    latest: Arc<RwLock<Option<Arc<CatalogSnapshot<B>>>>>,
-    shared: Arc<Shared>,
-    handoff: Arc<Handoff<Shard>>,
-) where
-    B: CatalogBackend,
-    B::Data: Sync,
-{
-    while let Some(shard) = handoff.recv() {
-        // The per-series ordering barrier: wait until the ingest lane
-        // has applied (and published a snapshot covering) every append
-        // ordered before this shard on its series. Shards of other
-        // series pass straight through — an append never stalls the
-        // whole pool.
-        if shard.epoch > 0 {
-            shared.gate.wait_for(shard.series, shard.epoch);
-        }
-        // Pin: one Arc clone under a pointer-sized lock. From here the
-        // shard runs against an immutable generation set — the ingest
-        // lane can rebuild, compact and publish freely underneath.
-        let snapshot = latest.read().clone();
-        execute_shard(idx, snapshot, shard.jobs, &shared);
-    }
-}
-
-/// Executes one shard as a single batch against a pinned snapshot and
-/// fans the results back onto each job's channel.
-fn execute_shard<B>(
-    idx: usize,
-    snapshot: Option<Arc<CatalogSnapshot<B>>>,
-    run: Vec<Job>,
-    shared: &Shared,
-) where
-    B: CatalogBackend,
-    B::Data: Sync,
-{
-    let metrics = &shared.metrics;
-    if run.is_empty() {
-        return;
-    }
-    // Per-request deadlines are enforced at dispatch: an expired job is
-    // answered without being executed. The deadline bounds *queueing* —
-    // including time spent behind an ingest barrier — and is re-checked
-    // once more after execution before the response is sent.
-    let now = Instant::now();
-    let default_deadline = shared.config.default_deadline;
-    let mut live = Vec::with_capacity(run.len());
-    for job in run {
-        if deadline_expired(job.submitted, job.deadline, now, default_deadline) {
-            metrics.expired.inc();
-            let _ = job.tx.send(Err(ServeError::DeadlineExceeded));
-        } else {
-            live.push(job);
-        }
-    }
-    if live.is_empty() {
-        return;
-    }
-    metrics.note_batch(idx, live.len());
-    let busy = Instant::now();
-    // Move the specs out of the jobs instead of deep-cloning every query
-    // vector — the batch and the jobs stay index-aligned, so the
-    // fan-back zips them straight together.
-    let (specs, clients): (Vec<QuerySpec>, Vec<JobClient>) = live
-        .into_iter()
-        .map(|mut job| {
-            // Dispatch is the queue/execute span boundary.
-            if let Some(trace) = job.trace.as_mut() {
-                trace.end();
-                trace.begin("serve.execute");
-            }
-            let series = job.spec.series.raw();
-            (
-                job.spec,
-                JobClient {
-                    submitted: job.submitted,
-                    deadline: job.deadline,
-                    series,
-                    trace: job.trace,
-                    tx: job.tx,
-                },
-            )
-        })
-        .unzip();
-    match &snapshot {
-        // No snapshot published yet (startup materialization failed and
-        // no append has succeeded since): answer loudly per query.
-        None => {
-            for client in clients {
-                metrics.failed.inc();
-                let _ = client.tx.send(Err(ServeError::Query(CoreError::Unmaterialized)));
-            }
-        }
-        Some(snap) => match snap.execute_batch(&specs) {
-            Ok(batch) => {
-                debug_assert_eq!(batch.outputs.len(), clients.len());
-                for (client, out) in clients.into_iter().zip(batch.outputs) {
-                    respond(client, out, shared);
-                }
-            }
-            // A batch fails as a unit (e.g. one invalid or misrouted
-            // spec). Isolate: re-run each request alone so only the
-            // offender fails.
-            Err(_) => {
-                for (spec, client) in specs.iter().zip(clients) {
-                    match snap.execute_batch(std::slice::from_ref(spec)) {
-                        Ok(mut batch) => {
-                            let out = batch.outputs.pop().expect("one spec yields one output");
-                            respond(client, out, shared);
-                        }
-                        Err(e) => {
-                            metrics.failed.inc();
-                            let _ = client.tx.send(Err(ServeError::Query(e)));
-                        }
-                    }
-                }
-            }
-        },
-    }
-    if let Some(w) = metrics.workers.get(idx) {
-        w.note_busy(busy.elapsed());
-    }
-}
-
-/// The ingest lane: drain a burst of appends, apply them under one write
-/// guard with a single re-materialization, publish the fresh snapshot,
-/// then release their epochs so barrier-waiting shards proceed.
-fn ingest_loop<B>(
-    catalog: Arc<RwLock<Catalog<B>>>,
-    latest: Arc<RwLock<Option<Arc<CatalogSnapshot<B>>>>>,
-    shared: Arc<Shared>,
-) where
-    B: CatalogBackend,
-{
-    /// Appends absorbed into one write-guard scope (one materialization
-    /// amortized across the burst).
-    const INGEST_DRAIN: usize = 32;
-    while let Some(first) = shared.ingest.pop_wait() {
-        let mut jobs = vec![first];
-        while jobs.len() < INGEST_DRAIN {
-            // A deadline already in the past drains whatever is queued
-            // right now without waiting.
-            match shared.ingest.pop_before(Instant::now()) {
-                Some(job) => jobs.push(job),
-                None => break,
-            }
-        }
-        let mut acks = Vec::with_capacity(jobs.len());
-        {
-            let mut cat = catalog.write();
-            for job in jobs {
-                let outcome = cat.append(job.series, &job.points).map_err(ServeError::Query);
-                shared.metrics.appends.inc();
-                acks.push((job.tx, outcome, job.series.raw(), job.epoch));
-            }
-            // One generation rebuild for the whole burst — the catalog
-            // builds the dirty series' next generations off to the side
-            // while workers keep serving pinned snapshots. Publication
-            // is the pointer swap below.
-            match cat.materialize() {
-                Ok(()) => *latest.write() = cat.snapshot(),
-                Err(e) => {
-                    // Surface, don't swallow: count the failure and turn
-                    // every would-be-successful ack of this burst into a
-                    // `Materialize` error — the caller's points are
-                    // ingested but not yet queryable. Readers keep the
-                    // last good snapshot.
-                    shared.metrics.materialize_failures.inc();
-                    let msg = e.to_string();
-                    for (_, outcome, _, _) in &mut acks {
-                        if outcome.is_ok() {
-                            *outcome = Err(ServeError::Materialize(msg.clone()));
-                        }
-                    }
-                }
-            }
-        }
-        // Epochs are published unconditionally — success or failure, the
-        // gate must advance or every later query on these series would
-        // wait forever.
-        for (tx, outcome, series, epoch) in acks {
-            shared.gate.publish(series, epoch);
-            let _ = tx.send(outcome);
-        }
-    }
-}
-
-/// The part of a [`Job`] needed to answer it once its spec has been
-/// moved into the executor batch.
-struct JobClient {
-    submitted: Instant,
-    deadline: Option<Duration>,
-    series: u64,
-    trace: Option<Box<TraceCtx>>,
-    tx: oneshot::Sender<Result<QueryResponse, ServeError>>,
-}
-
-fn respond(client: JobClient, out: QueryOutput, shared: &Shared) {
-    let metrics = &shared.metrics;
-    let now = Instant::now();
-    // The post-execution deadline check: a request whose deadline passed
-    // while it was executing is expired, not served — `expired_exec`
-    // stays separate from `completed` so operators can see work that was
-    // done but delivered too late.
-    if deadline_expired(client.submitted, client.deadline, now, shared.config.default_deadline) {
-        metrics.expired_exec.inc();
-        let _ = client.tx.send(Err(ServeError::DeadlineExceeded));
-        return;
-    }
-    let latency = now.duration_since(client.submitted);
-    metrics.latency.record(latency);
-    metrics.completed.inc();
-    let stats = out.stats;
-    // Kernel-level signals feed the registry regardless of tracing.
-    if stats.alloc_events > 0 {
-        metrics.alloc_events.add(stats.alloc_events);
-    }
-    if stats.adaptive_skipped_lb_kim > 0 {
-        metrics.adaptive_skipped_lb_kim.add(stats.adaptive_skipped_lb_kim);
-    }
-    if stats.adaptive_skipped_lb_keogh > 0 {
-        metrics.adaptive_skipped_lb_keogh.add(stats.adaptive_skipped_lb_keogh);
-    }
-    let explain = client.trace.map(|trace| Box::new(explain_report(*trace, &stats)));
-    // The slow-query log sees every served query; its fast path is one
-    // relaxed load for anything quicker than the current K-th slowest.
-    let latency_us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
-    metrics.slowlog.offer(SlowLogEntry {
-        trace_id: explain.as_deref().map_or(0, |e| e.trace_id),
-        series: client.series,
-        latency_us,
-        detail: format!(
-            "results={} candidates={} exact={}",
-            out.results.len(),
-            stats.candidates,
-            stats.full_distance_computations
-        ),
-    });
-    let _ = client.tx.send(Ok(QueryResponse { results: out.results, stats, latency, explain }));
-}
-
-/// Assembles the wire-facing [`ExplainReport`] from a finished trace and
-/// the executor's statistics. Prune counts are copied verbatim from
-/// [`MatchStats`], so the report always agrees with the cascade's own
-/// accounting.
-fn explain_report(mut trace: TraceCtx, stats: &MatchStats) -> ExplainReport {
-    trace.end(); // close `serve.execute`
-    let trace_id = trace.trace_id();
-    let spans = trace.finish();
-    let span_nanos = |name: &str| spans.iter().find(|s| s.name == name).map_or(0, |s| s.nanos);
-    ExplainReport {
-        trace_id,
-        queue_nanos: span_nanos("serve.queue"),
-        execute_nanos: span_nanos("serve.execute"),
-        probe_nanos: stats.phase1_nanos,
-        lb_kim_nanos: stats.lb_kim_nanos,
-        lb_keogh_nanos: stats.lb_keogh_nanos,
-        dtw_nanos: stats.dtw_nanos,
-        rows_scanned: stats.rows_scanned,
-        rows_from_cache: stats.rows_from_cache,
-        probe_cache_hits: stats.probe_cache_hits,
-        cache_evictions: stats.cache_evictions,
-        pruned_constraint: stats.pruned_constraint,
-        pruned_lb_kim: stats.pruned_lb_kim,
-        pruned_lb_keogh: stats.pruned_lb_keogh,
-        full_distance_computations: stats.full_distance_computations,
-        adaptive_skipped_lb_kim: stats.adaptive_skipped_lb_kim,
-        adaptive_skipped_lb_keogh: stats.adaptive_skipped_lb_keogh,
-        alloc_events: stats.alloc_events,
-        spans,
     }
 }

@@ -1,0 +1,684 @@
+//! Shard-per-core catalog scale-out: N [`CatalogShard`]s, each an owned
+//! [`Catalog`] with its own ingest lane and worker set, behind a
+//! [`Router`] that hashes `SeriesId → shard`.
+//!
+//! ```text
+//!            Router (series id hash)
+//!                 │ scatter
+//!   ┌─────────────┼──────────────┐
+//!   ▼             ▼              ▼
+//! shard 0       shard 1        shard N-1        each shard owns:
+//! ┌─────────┐  ┌─────────┐    ┌─────────┐       · a bounded command lane
+//! │ queue   │  │ queue   │    │ queue   │       · a micro-batch scheduler
+//! │ sched   │  │ sched   │    │ sched   │       · its worker pool
+//! │ workers │  │ workers │    │ workers │       · its ingest lane + epoch gate
+//! │ ingest  │  │ ingest  │    │ ingest  │       · its own Catalog + snapshot slot
+//! └────┬────┘  └────┬────┘    └────┬────┘
+//!      └────────────┼──────────────┘
+//!                   ▼ gather (per-request oneshot fan-back, input order)
+//! ```
+//!
+//! A series lives on exactly one shard, so nothing here synchronizes
+//! across shards: no shared lock, no shared queue, no shared epoch
+//! state. The per-series ingest barriers and the identity-preserving
+//! fan-back of the single-catalog pipeline carry over verbatim — they
+//! were per-series already, and a shard owns whole series. The only
+//! cross-shard structure is the [`Router`]'s arithmetic and the shared
+//! metrics registry (lock-free atomics).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use kvmatch_core::catalog::{Catalog, CatalogBackend, CatalogSnapshot};
+use kvmatch_core::exec::QueryOutput;
+use kvmatch_core::{CoreError, MatchStats, QuerySpec, SeriesId};
+use kvmatch_obs::{ExplainReport, SlowLogEntry, TraceCtx};
+use parking_lot::RwLock;
+
+use crate::metrics::{Metrics, ShardMetrics};
+use crate::service::{QueryResponse, ServeError, ServiceConfig};
+use crate::sync::{oneshot, BoundedQueue, Handoff, PushError};
+
+/// The series→shard placement function, applied identically at catalog
+/// split time and on every submission. The raw series id reduces
+/// modulo the shard count — the classic hash-table reduction, uniform
+/// for the dense sequential id spaces catalogs use in practice and
+/// trivially auditable ("series 7 of 4 shards → shard 3") when it
+/// matters operationally: a rejection carries its shard id precisely so
+/// an operator can reproduce the routing by hand.
+#[derive(Clone, Copy, Debug)]
+pub struct Router {
+    shards: usize,
+}
+
+impl Router {
+    /// A router over `shards` shards (min 1).
+    pub fn new(shards: usize) -> Self {
+        Self { shards: shards.max(1) }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard hosting `series`. Total: every id — known or not — maps
+    /// to a shard, so misrouted and unknown series fail *inside* their
+    /// shard (as `UnknownSeries`) instead of at the front door.
+    pub fn route(&self, series: SeriesId) -> usize {
+        (series.raw() % self.shards as u64) as usize
+    }
+}
+
+/// One queued command on a shard's lane.
+pub(crate) enum Command {
+    Query(Job),
+    Append { series: SeriesId, points: Vec<f64>, tx: oneshot::Sender<Result<(), ServeError>> },
+}
+
+pub(crate) struct Job {
+    pub(crate) spec: QuerySpec,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) submitted: Instant,
+    /// Live trace, present iff `spec.explain`. Boxed so the common
+    /// untraced job stays one pointer wider, not a span stack wider.
+    pub(crate) trace: Option<Box<TraceCtx>>,
+    pub(crate) tx: oneshot::Sender<Result<QueryResponse, ServeError>>,
+}
+
+/// Whether an effective deadline — the job's own, falling back to the
+/// service default — passed before `now`.
+fn deadline_expired(
+    submitted: Instant,
+    deadline: Option<Duration>,
+    now: Instant,
+    default_deadline: Option<Duration>,
+) -> bool {
+    deadline.or(default_deadline).is_some_and(|d| now.duration_since(submitted) > d)
+}
+
+/// One unit of worker dispatch: a maximal run of queries on one series
+/// that must observe the same ingest epoch, in submission order.
+struct SeriesRun {
+    /// Raw id of the series every job in the run targets.
+    series: u64,
+    /// Ingest epoch the run must wait for (0 = no append ordered before
+    /// it on this series).
+    epoch: u64,
+    jobs: Vec<Job>,
+}
+
+/// One append travelling down a shard's ingest lane.
+pub(crate) struct IngestJob {
+    pub(crate) series: SeriesId,
+    pub(crate) points: Vec<f64>,
+    pub(crate) tx: oneshot::Sender<Result<(), ServeError>>,
+    /// This append's position in its series' append order.
+    pub(crate) epoch: u64,
+}
+
+/// The per-series ordering barrier between a shard's ingest lane and its
+/// worker pool: the lane publishes each completed (and materialized)
+/// append's epoch; workers wait for the epochs their runs require. A
+/// series maps to exactly one shard, so each shard's gate covers its own
+/// series completely and no other shard's at all.
+#[derive(Default)]
+struct IngestGate {
+    completed: std::sync::Mutex<HashMap<u64, u64>>,
+    advanced: std::sync::Condvar,
+}
+
+impl IngestGate {
+    fn publish(&self, series: u64, epoch: u64) {
+        let mut completed = self.completed.lock().expect("ingest gate poisoned");
+        let e = completed.entry(series).or_insert(0);
+        if epoch > *e {
+            *e = epoch;
+        }
+        drop(completed);
+        self.advanced.notify_all();
+    }
+
+    fn wait_for(&self, series: u64, epoch: u64) {
+        let mut completed = self.completed.lock().expect("ingest gate poisoned");
+        while completed.get(&series).copied().unwrap_or(0) < epoch {
+            completed = self.advanced.wait(completed).expect("ingest gate poisoned");
+        }
+    }
+}
+
+/// State one shard's submission side and pipeline threads share.
+pub(crate) struct ShardShared {
+    /// This shard's bounded command lane — the admission-control
+    /// surface for every series routed here.
+    pub(crate) queue: BoundedQueue<Command>,
+    /// The shard's ingest lane's own bounded queue; a saturated lane
+    /// back-pressures the shard's scheduler, which in turn fills the
+    /// shard's command lane.
+    pub(crate) ingest: BoundedQueue<IngestJob>,
+    gate: IngestGate,
+    /// Service-wide counters (shared across shards, lock-free atomics).
+    pub(crate) metrics: Arc<Metrics>,
+    /// This shard's labelled `kvmatch_serve_shard_*` series.
+    pub(crate) shard_metrics: ShardMetrics,
+    pub(crate) config: ServiceConfig,
+    /// First global worker index of this shard's pool (shard `s` owns
+    /// worker ids `s*workers .. (s+1)*workers`).
+    worker_base: usize,
+}
+
+/// One catalog shard: an owned [`Catalog`] behind its own micro-batch
+/// scheduler, executor worker pool, ingest lane and snapshot slot — the
+/// whole single-catalog serving pipeline, instantiated per shard with
+/// nothing shared. Constructed only by the service builder; clients
+/// reach it through `QueryService`'s routing surface.
+pub struct CatalogShard<B: CatalogBackend> {
+    pub(crate) shared: Arc<ShardShared>,
+    latest: Arc<RwLock<Option<Arc<CatalogSnapshot<B>>>>>,
+    catalog: Option<Arc<RwLock<Catalog<B>>>>,
+    scheduler: Option<JoinHandle<()>>,
+}
+
+impl<B> CatalogShard<B>
+where
+    B: CatalogBackend + Send + Sync + 'static,
+    B::Store: Send + Sync + 'static,
+    B::Data: Send + Sync + 'static,
+{
+    /// Takes ownership of this shard's catalog slice and starts its
+    /// pipeline: scheduler, `config.workers` executor workers and the
+    /// ingest lane.
+    pub(crate) fn spawn(
+        shard_id: usize,
+        catalog: Catalog<B>,
+        config: ServiceConfig,
+        metrics: Arc<Metrics>,
+    ) -> Self {
+        let shard_metrics = metrics.shards[shard_id].clone();
+        let shared = Arc::new(ShardShared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            ingest: BoundedQueue::new(config.queue_capacity),
+            gate: IngestGate::default(),
+            metrics,
+            shard_metrics,
+            config,
+            worker_base: shard_id * config.workers,
+        });
+        let catalog = Arc::new(RwLock::new(catalog));
+        let latest: Arc<RwLock<Option<Arc<CatalogSnapshot<B>>>>> = Arc::new(RwLock::new(None));
+        let scheduler_shared = Arc::clone(&shared);
+        let scheduler_catalog = Arc::clone(&catalog);
+        let scheduler_latest = Arc::clone(&latest);
+        let scheduler = std::thread::Builder::new()
+            .name(format!("kvmatch-serve-{shard_id}-scheduler"))
+            .spawn(move || {
+                shard_scheduler(shard_id, scheduler_catalog, scheduler_latest, scheduler_shared)
+            })
+            .expect("spawn shard scheduler thread");
+        Self { shared, latest, catalog: Some(catalog), scheduler: Some(scheduler) }
+    }
+}
+
+impl<B: CatalogBackend> CatalogShard<B> {
+    /// The shard-handle read path: pins the latest snapshot this shard
+    /// published — an `Arc` clone under a pointer-sized lock, never the
+    /// catalog lock. `None` before the shard's first materialization.
+    pub(crate) fn read_view(&self) -> Option<Arc<CatalogSnapshot<B>>> {
+        self.latest.read().clone()
+    }
+
+    /// Stops admissions on this shard's lane.
+    pub(crate) fn close(&self) {
+        self.shared.queue.close();
+    }
+
+    /// Joins the shard's scheduler (which drains and joins the shard's
+    /// workers and ingest lane on its way out).
+    pub(crate) fn join(&mut self) {
+        if let Some(scheduler) = self.scheduler.take() {
+            let _ = scheduler.join();
+        }
+    }
+
+    /// Hands the shard's catalog back after [`close`](Self::close) +
+    /// [`join`](Self::join).
+    pub(crate) fn into_catalog(mut self) -> Catalog<B> {
+        let catalog = self.catalog.take().expect("shard shut down once");
+        Arc::try_unwrap(catalog)
+            .ok()
+            .expect("all shard threads joined; no catalog borrow remains")
+            .into_inner()
+    }
+}
+
+/// One shard's scheduler: bring the read path up, spawn the shard's pool
+/// and ingest lane, then loop drain → partition → hand off until the
+/// shard's lane closes; finally retire the pipeline in dependency order
+/// (workers may wait on ingest epochs, so the lane outlives them).
+fn shard_scheduler<B>(
+    shard_id: usize,
+    catalog: Arc<RwLock<Catalog<B>>>,
+    latest: Arc<RwLock<Option<Arc<CatalogSnapshot<B>>>>>,
+    shared: Arc<ShardShared>,
+) where
+    B: CatalogBackend + Send + Sync + 'static,
+    B::Store: Send + Sync + 'static,
+    B::Data: Send + Sync + 'static,
+{
+    // Bring the read path up: one materialization, then publish the
+    // first snapshot into the `latest` slot every worker pins from. A
+    // startup failure is *surfaced* — counted, and queries answer
+    // `Unmaterialized` until the ingest lane publishes a good snapshot —
+    // never silently swallowed. This (and the ingest lane) is the only
+    // code that ever takes the catalog's write lock; the steady-state
+    // query path below runs entirely on pinned snapshots.
+    if catalog.write().materialize().is_err() {
+        shared.metrics.materialize_failures.inc();
+    }
+    *latest.write() = catalog.read().snapshot();
+
+    let workers = shared.config.workers.max(1);
+    let handoff: Arc<Handoff<SeriesRun>> = Arc::new(Handoff::new());
+    let pool: Vec<JoinHandle<()>> = (0..workers)
+        .map(|idx| {
+            let latest = Arc::clone(&latest);
+            let shared = Arc::clone(&shared);
+            let handoff = Arc::clone(&handoff);
+            std::thread::Builder::new()
+                .name(format!("kvmatch-serve-{shard_id}-worker-{idx}"))
+                .spawn(move || worker_loop(idx, latest, shared, handoff))
+                .expect("spawn executor worker")
+        })
+        .collect();
+    let ingest = {
+        let catalog = Arc::clone(&catalog);
+        let latest = Arc::clone(&latest);
+        let shared = Arc::clone(&shared);
+        std::thread::Builder::new()
+            .name(format!("kvmatch-serve-{shard_id}-ingest"))
+            .spawn(move || ingest_loop(catalog, latest, shared))
+            .expect("spawn ingest lane")
+    };
+
+    // Per-series count of appends routed down the ingest lane so far —
+    // the epoch a later query on that series must observe. Series are
+    // shard-exclusive, so this map needs no cross-shard view.
+    let mut issued: HashMap<u64, u64> = HashMap::new();
+
+    while let Some(first) = shared.queue.pop_wait() {
+        // Micro-batch formation: the first command opens the batch; keep
+        // draining until it is full or its flush deadline passes,
+        // whichever comes first.
+        let mut commands = vec![first];
+        let flush_at = Instant::now() + shared.config.max_batch_delay;
+        while commands.len() < shared.config.max_batch {
+            match shared.queue.pop_before(flush_at) {
+                Some(cmd) => commands.push(cmd),
+                None => break,
+            }
+        }
+
+        // Partition in submission order: queries run by (series,
+        // required ingest epoch) — so a query behind an append on its
+        // series lands in a *different* run than one ahead of it — and
+        // appends go straight down the ingest lane.
+        let mut runs: BTreeMap<(u64, u64), Vec<Job>> = BTreeMap::new();
+        for cmd in commands {
+            match cmd {
+                Command::Query(job) => {
+                    let series = job.spec.series.raw();
+                    let epoch = issued.get(&series).copied().unwrap_or(0);
+                    runs.entry((series, epoch)).or_default().push(job);
+                }
+                Command::Append { series, points, tx } => {
+                    let epoch = issued.entry(series.raw()).or_insert(0);
+                    *epoch += 1;
+                    let job = IngestJob { series, points, tx, epoch: *epoch };
+                    match shared.ingest.push_wait(job) {
+                        Ok(()) => {
+                            shared.metrics.ingest_depth_peak.record_max(shared.ingest.len() as u64);
+                        }
+                        Err(PushError::Full(job) | PushError::Closed(job)) => {
+                            // Unreachable today (push_wait only fails
+                            // Closed, and the lane closes after this
+                            // loop) — but an issued epoch that never
+                            // reaches the lane MUST still be published,
+                            // or every later query on the series would
+                            // wait at the gate forever.
+                            shared.gate.publish(job.series.raw(), job.epoch);
+                            let _ = job.tx.send(Err(ServeError::ShutDown));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Hand each run to an idle worker (the rendezvous blocks while
+        // the shard's whole pool is busy — that is where this shard's
+        // upstream backpressure comes from; other shards keep accepting).
+        for ((series, epoch), jobs) in runs {
+            if let Err(run) = handoff.send(SeriesRun { series, epoch, jobs }) {
+                for job in run.jobs {
+                    let _ = job.tx.send(Err(ServeError::ShutDown));
+                }
+            }
+        }
+    }
+
+    // Graceful drain: every admitted command is dispatched by now.
+    handoff.close();
+    for worker in pool {
+        let _ = worker.join();
+    }
+    shared.ingest.close();
+    let _ = ingest.join();
+}
+
+/// One executor worker: park at the hand-off, honour the run's ingest
+/// barrier, pin the latest published snapshot, then execute lock-free.
+fn worker_loop<B>(
+    idx: usize,
+    latest: Arc<RwLock<Option<Arc<CatalogSnapshot<B>>>>>,
+    shared: Arc<ShardShared>,
+    handoff: Arc<Handoff<SeriesRun>>,
+) where
+    B: CatalogBackend,
+    B::Data: Sync,
+{
+    while let Some(run) = handoff.recv() {
+        // The per-series ordering barrier: wait until the ingest lane
+        // has applied (and published a snapshot covering) every append
+        // ordered before this run on its series. Runs of other series
+        // pass straight through — an append never stalls the whole pool.
+        if run.epoch > 0 {
+            shared.gate.wait_for(run.series, run.epoch);
+        }
+        // Pin: one Arc clone under a pointer-sized lock. From here the
+        // run executes against an immutable generation set — the ingest
+        // lane can rebuild, compact and publish freely underneath.
+        let snapshot = latest.read().clone();
+        execute_run(idx, snapshot, run.jobs, &shared);
+    }
+}
+
+/// Executes one series run as a single batch against a pinned snapshot
+/// and fans the results back onto each job's channel.
+fn execute_run<B>(
+    idx: usize,
+    snapshot: Option<Arc<CatalogSnapshot<B>>>,
+    run: Vec<Job>,
+    shared: &ShardShared,
+) where
+    B: CatalogBackend,
+    B::Data: Sync,
+{
+    let metrics = &shared.metrics;
+    if run.is_empty() {
+        return;
+    }
+    // Per-request deadlines are enforced at dispatch: an expired job is
+    // answered without being executed. The deadline bounds *queueing* —
+    // including time spent behind an ingest barrier — and is re-checked
+    // once more after execution before the response is sent.
+    let now = Instant::now();
+    let default_deadline = shared.config.default_deadline;
+    let mut live = Vec::with_capacity(run.len());
+    for job in run {
+        if deadline_expired(job.submitted, job.deadline, now, default_deadline) {
+            metrics.expired.inc();
+            let _ = job.tx.send(Err(ServeError::DeadlineExceeded));
+        } else {
+            live.push(job);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    metrics.note_batch(shared.worker_base + idx, live.len());
+    shared.shard_metrics.batches.inc();
+    let busy = Instant::now();
+    // Move the specs out of the jobs instead of deep-cloning every query
+    // vector — the batch and the jobs stay index-aligned, so the
+    // fan-back zips them straight together.
+    let (specs, clients): (Vec<QuerySpec>, Vec<JobClient>) = live
+        .into_iter()
+        .map(|mut job| {
+            // Dispatch is the queue/execute span boundary.
+            if let Some(trace) = job.trace.as_mut() {
+                trace.end();
+                trace.begin("serve.execute");
+            }
+            let series = job.spec.series.raw();
+            (
+                job.spec,
+                JobClient {
+                    submitted: job.submitted,
+                    deadline: job.deadline,
+                    series,
+                    trace: job.trace,
+                    tx: job.tx,
+                },
+            )
+        })
+        .unzip();
+    match &snapshot {
+        // No snapshot published yet (startup materialization failed and
+        // no append has succeeded since): answer loudly per query.
+        None => {
+            for client in clients {
+                metrics.failed.inc();
+                let _ = client.tx.send(Err(ServeError::Query(CoreError::Unmaterialized)));
+            }
+        }
+        Some(snap) => match snap.execute_batch(&specs) {
+            Ok(batch) => {
+                debug_assert_eq!(batch.outputs.len(), clients.len());
+                for (client, out) in clients.into_iter().zip(batch.outputs) {
+                    respond(client, out, shared);
+                }
+            }
+            // A batch fails as a unit (e.g. one invalid or misrouted
+            // spec). Isolate: re-run each request alone — on this same
+            // worker, against this same pinned snapshot, so the blast
+            // radius of a poisoned batch stays inside its shard — and
+            // only the offender fails.
+            Err(_) => {
+                for (spec, client) in specs.iter().zip(clients) {
+                    match snap.execute_batch(std::slice::from_ref(spec)) {
+                        Ok(mut batch) => {
+                            let out = batch.outputs.pop().expect("one spec yields one output");
+                            respond(client, out, shared);
+                        }
+                        Err(e) => {
+                            metrics.failed.inc();
+                            let _ = client.tx.send(Err(ServeError::Query(e)));
+                        }
+                    }
+                }
+            }
+        },
+    }
+    if let Some(w) = metrics.workers.get(shared.worker_base + idx) {
+        w.note_busy(busy.elapsed());
+    }
+}
+
+/// One shard's ingest lane: drain a burst of appends, apply them under
+/// one write guard with a single re-materialization, publish the fresh
+/// snapshot, then release their epochs so barrier-waiting runs proceed.
+/// The write guard is this shard's alone — an ingest stall here cannot
+/// touch another shard's lane, workers or catalog.
+fn ingest_loop<B>(
+    catalog: Arc<RwLock<Catalog<B>>>,
+    latest: Arc<RwLock<Option<Arc<CatalogSnapshot<B>>>>>,
+    shared: Arc<ShardShared>,
+) where
+    B: CatalogBackend,
+{
+    /// Appends absorbed into one write-guard scope (one materialization
+    /// amortized across the burst).
+    const INGEST_DRAIN: usize = 32;
+    while let Some(first) = shared.ingest.pop_wait() {
+        let mut jobs = vec![first];
+        while jobs.len() < INGEST_DRAIN {
+            // A deadline already in the past drains whatever is queued
+            // right now without waiting.
+            match shared.ingest.pop_before(Instant::now()) {
+                Some(job) => jobs.push(job),
+                None => break,
+            }
+        }
+        let mut acks = Vec::with_capacity(jobs.len());
+        {
+            let mut cat = catalog.write();
+            for job in jobs {
+                let outcome = cat.append(job.series, &job.points).map_err(ServeError::Query);
+                shared.metrics.appends.inc();
+                shared.shard_metrics.appends.inc();
+                acks.push((job.tx, outcome, job.series.raw(), job.epoch));
+            }
+            // One generation rebuild for the whole burst — the catalog
+            // builds the dirty series' next generations off to the side
+            // while workers keep serving pinned snapshots. Publication
+            // is the pointer swap below.
+            match cat.materialize() {
+                Ok(()) => *latest.write() = cat.snapshot(),
+                Err(e) => {
+                    // Surface, don't swallow: count the failure and turn
+                    // every would-be-successful ack of this burst into a
+                    // `Materialize` error — the caller's points are
+                    // ingested but not yet queryable. Readers keep the
+                    // last good snapshot.
+                    shared.metrics.materialize_failures.inc();
+                    let msg = e.to_string();
+                    for (_, outcome, _, _) in &mut acks {
+                        if outcome.is_ok() {
+                            *outcome = Err(ServeError::Materialize(msg.clone()));
+                        }
+                    }
+                }
+            }
+        }
+        // Epochs are published unconditionally — success or failure, the
+        // gate must advance or every later query on these series would
+        // wait forever.
+        for (tx, outcome, series, epoch) in acks {
+            shared.gate.publish(series, epoch);
+            let _ = tx.send(outcome);
+        }
+    }
+}
+
+/// The part of a [`Job`] needed to answer it once its spec has been
+/// moved into the executor batch.
+struct JobClient {
+    submitted: Instant,
+    deadline: Option<Duration>,
+    series: u64,
+    trace: Option<Box<TraceCtx>>,
+    tx: oneshot::Sender<Result<QueryResponse, ServeError>>,
+}
+
+fn respond(client: JobClient, out: QueryOutput, shared: &ShardShared) {
+    let metrics = &shared.metrics;
+    let now = Instant::now();
+    // The post-execution deadline check: a request whose deadline passed
+    // while it was executing is expired, not served — `expired_exec`
+    // stays separate from `completed` so operators can see work that was
+    // done but delivered too late.
+    if deadline_expired(client.submitted, client.deadline, now, shared.config.default_deadline) {
+        metrics.expired_exec.inc();
+        let _ = client.tx.send(Err(ServeError::DeadlineExceeded));
+        return;
+    }
+    let latency = now.duration_since(client.submitted);
+    metrics.latency.record(latency);
+    metrics.completed.inc();
+    shared.shard_metrics.completed.inc();
+    let stats = out.stats;
+    // Kernel-level signals feed the registry regardless of tracing.
+    if stats.alloc_events > 0 {
+        metrics.alloc_events.add(stats.alloc_events);
+    }
+    if stats.adaptive_skipped_lb_kim > 0 {
+        metrics.adaptive_skipped_lb_kim.add(stats.adaptive_skipped_lb_kim);
+    }
+    if stats.adaptive_skipped_lb_keogh > 0 {
+        metrics.adaptive_skipped_lb_keogh.add(stats.adaptive_skipped_lb_keogh);
+    }
+    let explain = client.trace.map(|trace| Box::new(explain_report(*trace, &stats)));
+    // The slow-query log sees every served query; its fast path is one
+    // relaxed load for anything quicker than the current K-th slowest.
+    let latency_us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+    metrics.slowlog.offer(SlowLogEntry {
+        trace_id: explain.as_deref().map_or(0, |e| e.trace_id),
+        series: client.series,
+        latency_us,
+        detail: format!(
+            "results={} candidates={} exact={}",
+            out.results.len(),
+            stats.candidates,
+            stats.full_distance_computations
+        ),
+    });
+    let _ = client.tx.send(Ok(QueryResponse { results: out.results, stats, latency, explain }));
+}
+
+/// Assembles the wire-facing [`ExplainReport`] from a finished trace and
+/// the executor's statistics. Prune counts are copied verbatim from
+/// [`MatchStats`], so the report always agrees with the cascade's own
+/// accounting.
+fn explain_report(mut trace: TraceCtx, stats: &MatchStats) -> ExplainReport {
+    trace.end(); // close `serve.execute`
+    let trace_id = trace.trace_id();
+    let spans = trace.finish();
+    let span_nanos = |name: &str| spans.iter().find(|s| s.name == name).map_or(0, |s| s.nanos);
+    ExplainReport {
+        trace_id,
+        queue_nanos: span_nanos("serve.queue"),
+        execute_nanos: span_nanos("serve.execute"),
+        probe_nanos: stats.phase1_nanos,
+        lb_kim_nanos: stats.lb_kim_nanos,
+        lb_keogh_nanos: stats.lb_keogh_nanos,
+        dtw_nanos: stats.dtw_nanos,
+        rows_scanned: stats.rows_scanned,
+        rows_from_cache: stats.rows_from_cache,
+        probe_cache_hits: stats.probe_cache_hits,
+        cache_evictions: stats.cache_evictions,
+        pruned_constraint: stats.pruned_constraint,
+        pruned_lb_kim: stats.pruned_lb_kim,
+        pruned_lb_keogh: stats.pruned_lb_keogh,
+        full_distance_computations: stats.full_distance_computations,
+        adaptive_skipped_lb_kim: stats.adaptive_skipped_lb_kim,
+        adaptive_skipped_lb_keogh: stats.adaptive_skipped_lb_keogh,
+        alloc_events: stats.alloc_events,
+        spans,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_is_total_and_stable() {
+        let router = Router::new(4);
+        assert_eq!(router.shards(), 4);
+        for raw in 0..64u64 {
+            let shard = router.route(SeriesId::new(raw));
+            assert!(shard < 4);
+            assert_eq!(shard, router.route(SeriesId::new(raw)), "routing is deterministic");
+        }
+        // Dense sequential ids spread perfectly.
+        let hits: Vec<usize> = (1..=8u64).map(|raw| router.route(SeriesId::new(raw))).collect();
+        for shard in 0..4 {
+            assert_eq!(hits.iter().filter(|&&s| s == shard).count(), 2);
+        }
+        // A single shard routes everything to itself, and shards = 0 is
+        // clamped rather than dividing by zero.
+        assert_eq!(Router::new(1).route(SeriesId::new(u64::MAX)), 0);
+        assert_eq!(Router::new(0).shards(), 1);
+    }
+}

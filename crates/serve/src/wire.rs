@@ -28,6 +28,7 @@ pub fn wire_rejected(r: &Rejected) -> proto::WireRejected {
         },
         capacity: r.capacity as u64,
         depth: r.depth as u64,
+        shard: r.shard as u64,
     }
 }
 
@@ -90,15 +91,16 @@ mod tests {
 
     #[test]
     fn rejection_payload_survives_the_mapping() {
-        let r = Rejected { kind: RejectKind::Backpressure, capacity: 256, depth: 256 };
+        let r = Rejected { kind: RejectKind::Backpressure, capacity: 256, depth: 256, shard: 2 };
         let err = wire_error(&ServeError::Rejected(r));
         assert_eq!(err.code, proto::code::REJECTED);
         let payload = err.rejected.expect("rejections carry their payload");
         assert_eq!(payload.kind, proto::REJECT_KIND_BACKPRESSURE);
         assert_eq!(payload.capacity, 256);
         assert_eq!(payload.depth, 256);
+        assert_eq!(payload.shard, 2, "the rejecting shard rides along");
 
-        let shutdown = Rejected { kind: RejectKind::ShuttingDown, capacity: 8, depth: 3 };
+        let shutdown = Rejected { kind: RejectKind::ShuttingDown, capacity: 8, depth: 3, shard: 0 };
         let err = wire_error(&ServeError::Rejected(shutdown));
         assert_eq!(err.rejected.unwrap().kind, proto::REJECT_KIND_SHUTDOWN);
     }

@@ -7,7 +7,7 @@ use std::time::Duration;
 use kvmatch_core::{
     Catalog, IndexAppender, IndexBuildConfig, KvMatcher, MemoryCatalogBackend, QuerySpec, SeriesId,
 };
-use kvmatch_serve::{QueryKind, QueryRequest, QueryService, ServeConfig, ServeError, Submit};
+use kvmatch_serve::{QueryKind, QueryRequest, QueryService, ServeError, Submit};
 use kvmatch_storage::memory::MemoryKvStoreBuilder;
 use kvmatch_storage::MemorySeriesStore;
 use kvmatch_timeseries::generator::composite_series;
@@ -37,10 +37,10 @@ fn responses_preserve_request_identity() {
     let series: Vec<Vec<f64>> = vec![composite_series(11, 5_000), composite_series(12, 4_000)];
     let cat = catalog_with(&[(ids[0], series[0].clone()), (ids[1], series[1].clone())]);
     // A generous batching window so every submission lands in one batch.
-    let service = QueryService::spawn(
-        cat,
-        ServeConfig { max_batch_delay: Duration::from_millis(50), ..ServeConfig::default() },
-    );
+    let service = QueryService::builder(cat)
+        .max_batch_delay(Duration::from_millis(50))
+        .build()
+        .expect("valid topology");
 
     // Distinct queries with distinct answers, interleaved across series
     // and kinds.
@@ -86,7 +86,8 @@ fn spec_key(req: &QueryRequest) -> String {
 fn zero_deadline_expires_before_dispatch() {
     let id = SeriesId::new(1);
     let xs = composite_series(21, 3_000);
-    let service = QueryService::spawn(catalog_with(&[(id, xs.clone())]), ServeConfig::default());
+    let service =
+        QueryService::builder(catalog_with(&[(id, xs.clone())])).build().expect("valid topology");
     let req = QueryRequest::range(QuerySpec::rsm_ed(xs[100..300].to_vec(), 5.0).with_series(id))
         .with_deadline(Duration::ZERO);
     let outcome = service.submit(req).into_result().expect("submission accepted").wait();
@@ -104,10 +105,10 @@ fn zero_deadline_expires_before_dispatch() {
 fn bad_request_does_not_fail_its_batchmates() {
     let id = SeriesId::new(1);
     let xs = composite_series(31, 4_000);
-    let service = QueryService::spawn(
-        catalog_with(&[(id, xs.clone())]),
-        ServeConfig { max_batch_delay: Duration::from_millis(50), ..ServeConfig::default() },
-    );
+    let service = QueryService::builder(catalog_with(&[(id, xs.clone())]))
+        .max_batch_delay(Duration::from_millis(50))
+        .build()
+        .expect("valid topology");
     let good = QueryRequest::range(QuerySpec::rsm_ed(xs[500..700].to_vec(), 6.0).with_series(id));
     // Routed at a series the catalog does not host — fails the executor
     // batch as a unit, so the scheduler must isolate it.
@@ -134,16 +135,13 @@ fn full_queue_rejects_with_backpressure() {
     // executes, the front scheduler holds at most one further shard in
     // hand (blocked at the rendezvous hand-off waiting for the busy
     // worker) — everything behind it stays in the bounded queue.
-    let service = QueryService::spawn(
-        catalog_with(&[(id, xs.clone())]),
-        ServeConfig {
-            queue_capacity: 2,
-            max_batch: 1,
-            max_batch_delay: Duration::ZERO,
-            workers: 1,
-            ..ServeConfig::default()
-        },
-    );
+    let service = QueryService::builder(catalog_with(&[(id, xs.clone())]))
+        .queue_capacity(2)
+        .max_batch(1)
+        .max_batch_delay(Duration::ZERO)
+        .workers(1)
+        .build()
+        .expect("valid topology");
     // A verification-heavy query keeps the only worker busy while the
     // queue fills behind it.
     let heavy = QueryRequest::range(
@@ -186,7 +184,8 @@ fn full_queue_rejects_with_backpressure() {
         kvmatch_serve::Rejected {
             kind: kvmatch_serve::RejectKind::Backpressure,
             capacity: 2,
-            depth: 2
+            depth: 2,
+            shard: 0
         },
         "append rejection carries the same shape as query rejection"
     );
@@ -212,10 +211,10 @@ fn submit_name(s: &Submit) -> &'static str {
 fn appends_are_ordered_with_queries() {
     let id = SeriesId::new(1);
     let xs = composite_series(51, 3_000);
-    let service = QueryService::spawn(
-        catalog_with(&[(id, xs.clone())]),
-        ServeConfig { max_batch_delay: Duration::from_millis(20), ..ServeConfig::default() },
-    );
+    let service = QueryService::builder(catalog_with(&[(id, xs.clone())]))
+        .max_batch_delay(Duration::from_millis(20))
+        .build()
+        .expect("valid topology");
     let fresh = composite_series(52, 400);
     // Submit an append and, behind it, a query for the appended points —
     // the append is a barrier, so the query must see them.
@@ -239,7 +238,8 @@ fn appends_are_ordered_with_queries() {
 fn explain_returns_spans_and_mirrors_stats_without_changing_results() {
     let id = SeriesId::new(1);
     let xs = composite_series(71, 6_000);
-    let service = QueryService::spawn(catalog_with(&[(id, xs.clone())]), ServeConfig::default());
+    let service =
+        QueryService::builder(catalog_with(&[(id, xs.clone())])).build().expect("valid topology");
     let spec = QuerySpec::rsm_dtw(xs[700..950].to_vec(), 10.0, 5).with_series(id);
 
     let plain = service
@@ -290,7 +290,8 @@ fn explain_returns_spans_and_mirrors_stats_without_changing_results() {
 fn shutdown_serves_admitted_requests_and_closes_admissions() {
     let id = SeriesId::new(1);
     let xs = composite_series(61, 3_000);
-    let service = QueryService::spawn(catalog_with(&[(id, xs.clone())]), ServeConfig::default());
+    let service =
+        QueryService::builder(catalog_with(&[(id, xs.clone())])).build().expect("valid topology");
     let spec = QuerySpec::rsm_ed(xs[200..400].to_vec(), 4.0).with_series(id);
     let handles: Vec<_> = (0..5)
         .map(|_| {

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use kvmatch_core::catalog::{CatalogBackend, GenerationInput};
 use kvmatch_core::{Catalog, CoreError, IndexBuildConfig, MemoryCatalogBackend, QuerySpec};
-use kvmatch_serve::{QueryRequest, QueryService, ServeConfig};
+use kvmatch_serve::{QueryRequest, QueryService};
 use kvmatch_storage::SeriesId;
 use kvmatch_timeseries::generator::composite_series;
 
@@ -104,8 +104,7 @@ fn readers_flow_while_ingest_seals_a_generation() {
         Catalog::new(GatedBackend { inner: MemoryCatalogBackend, gate: Arc::clone(&gate) });
     catalog.create_series_with(a, IndexBuildConfig::new(50), &base_a).unwrap();
     catalog.create_series_with(b, IndexBuildConfig::new(50), &base_b).unwrap();
-    let service =
-        QueryService::spawn(catalog, ServeConfig { workers: 2, ..ServeConfig::default() });
+    let service = QueryService::builder(catalog).workers(2).build().expect("valid topology");
 
     // Warm-up proves the service is up before the gate arms.
     let warm =
@@ -237,7 +236,7 @@ fn failed_materialization_is_surfaced_not_swallowed() {
         fail_after: 1, // the initial create_series_with seal succeeds
     });
     catalog.create_series_with(a, IndexBuildConfig::new(50), &base).unwrap();
-    let service = QueryService::spawn(catalog, ServeConfig::default());
+    let service = QueryService::builder(catalog).build().expect("valid topology");
 
     // The append lands in the catalog, but its snapshot rebuild fails.
     let err = service

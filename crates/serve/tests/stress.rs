@@ -17,7 +17,7 @@ use kvmatch_core::{
     Catalog, IndexAppender, IndexBuildConfig, KvMatcher, MatchResult, MemoryCatalogBackend,
     QuerySpec, SeriesId,
 };
-use kvmatch_serve::{QueryRequest, QueryService, ServeConfig, Submit};
+use kvmatch_serve::{QueryRequest, QueryService, Submit};
 use kvmatch_storage::memory::MemoryKvStoreBuilder;
 use kvmatch_storage::MemorySeriesStore;
 use kvmatch_timeseries::generator::composite_series;
@@ -75,15 +75,12 @@ fn eight_submitters_mixed_workload_bit_identical_with_backpressure() {
 
     // Undersized queue: 8 threads × 24 requests against 4 slots — the
     // non-blocking first attempt must hit a full queue somewhere.
-    let service = QueryService::spawn(
-        catalog,
-        ServeConfig {
-            queue_capacity: 4,
-            max_batch: 8,
-            max_batch_delay: Duration::from_millis(1),
-            ..ServeConfig::default()
-        },
-    );
+    let service = QueryService::builder(catalog)
+        .queue_capacity(4)
+        .max_batch(4)
+        .max_batch_delay(Duration::from_millis(1))
+        .build()
+        .expect("valid topology");
 
     let local_rejections = AtomicU64::new(0);
     std::thread::scope(|scope| {
@@ -142,7 +139,7 @@ fn eight_submitters_mixed_workload_bit_identical_with_backpressure() {
         "service rejection counter must agree with the submitters' tally"
     );
     assert!(m.batches >= 1 && m.avg_batch_occupancy >= 1.0);
-    assert!(m.max_batch_occupancy <= 8, "scheduler must honour max_batch");
+    assert!(m.max_batch_occupancy <= 4, "scheduler must honour max_batch");
     assert_eq!(m.failed, 0);
     assert_eq!(m.expired, 0);
     assert!(m.latency_p50_us <= m.latency_p95_us && m.latency_p95_us <= m.latency_p99_us);
@@ -159,7 +156,7 @@ fn concurrent_appends_and_queries_stay_consistent() {
     let mut catalog = Catalog::new(MemoryCatalogBackend);
     catalog.create_series_with(id, IndexBuildConfig::new(50), &base).unwrap();
     let service =
-        QueryService::spawn(catalog, ServeConfig { queue_capacity: 64, ..ServeConfig::default() });
+        QueryService::builder(catalog).queue_capacity(64).build().expect("valid topology");
 
     // The probe targets base data only: its answer must be a superset-
     // stable prefix regardless of how much of the tail has landed. Use a

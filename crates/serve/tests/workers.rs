@@ -14,7 +14,7 @@ use kvmatch_core::{
     Catalog, IndexAppender, IndexBuildConfig, KvMatcher, MatchResult, MemoryCatalogBackend,
     QuerySpec, SeriesId,
 };
-use kvmatch_serve::{QueryRequest, QueryService, ServeConfig, Submit};
+use kvmatch_serve::{QueryRequest, QueryService, Submit};
 use kvmatch_storage::memory::MemoryKvStoreBuilder;
 use kvmatch_storage::MemorySeriesStore;
 use kvmatch_timeseries::generator::composite_series;
@@ -59,16 +59,13 @@ fn catalog_over(
     for (id, xs) in ids.iter().zip(series) {
         catalog.create_series_with(*id, IndexBuildConfig::new(50), xs).unwrap();
     }
-    QueryService::spawn(
-        catalog,
-        ServeConfig {
-            queue_capacity: 8,
-            max_batch: 8,
-            max_batch_delay: Duration::from_millis(1),
-            workers,
-            ..ServeConfig::default()
-        },
-    )
+    QueryService::builder(catalog)
+        .queue_capacity(8)
+        .max_batch(8)
+        .max_batch_delay(Duration::from_millis(1))
+        .workers(workers)
+        .build()
+        .expect("valid topology")
 }
 
 /// Drives the whole pool through `service` once per entry, serially, and
@@ -192,16 +189,13 @@ fn appends_barrier_own_series_while_other_series_flow() {
     let mut catalog = Catalog::new(MemoryCatalogBackend);
     catalog.create_series_with(a, IndexBuildConfig::new(50), &base_a).unwrap();
     catalog.create_series_with(b, IndexBuildConfig::new(50), &base_b).unwrap();
-    let service = QueryService::spawn(
-        catalog,
-        ServeConfig {
-            // A generous batching window so the append, the query behind
-            // it and the other-series query land in one micro-batch.
-            max_batch_delay: Duration::from_millis(25),
-            workers: 2,
-            ..ServeConfig::default()
-        },
-    );
+    // A generous batching window so the append, the query behind it and
+    // the other-series query land in one micro-batch.
+    let service = QueryService::builder(catalog)
+        .max_batch_delay(Duration::from_millis(25))
+        .workers(2)
+        .build()
+        .expect("valid topology");
 
     // A heavy ingest burst on series a...
     let tail: Vec<Vec<f64>> = (0..8).map(|i| composite_series(410 + i, 10_000)).collect();

@@ -17,7 +17,6 @@
 use std::io::Write;
 use std::sync::Arc;
 
-use kvmatch_serve::QueryService;
 use kvmatch_server::demo::DemoSpec;
 use kvmatch_server::{Server, ServerOptions};
 
@@ -35,7 +34,7 @@ fn main() {
             "--help" | "-h" => {
                 println!("usage: kvmatch-server [--addr HOST:PORT]");
                 println!("catalog shape via KVM_N / KVM_W / KVM_SERIES / KVM_SEED;");
-                println!("service via KVM_WORKERS / KVM_SUBMITTERS / KVM_THREADS;");
+                println!("service via KVM_SHARDS / KVM_WORKERS / KVM_SUBMITTERS / KVM_THREADS;");
                 println!("address via KVM_ADDR (default 127.0.0.1:7878)");
                 return;
             }
@@ -49,14 +48,14 @@ fn main() {
     let spec = DemoSpec::from_env();
     let workers = std::env::var("KVM_WORKERS").ok().and_then(|v| v.parse().ok()).unwrap_or(2);
     eprintln!(
-        "building demo catalog: {} series x {} points (w={}, seed={})",
+        "building demo catalog: {} series x {} points (w={}, seed={}, shards={})",
         spec.series,
         spec.n_per_series(),
         spec.w,
-        spec.seed
+        spec.seed,
+        spec.shards
     );
-    let catalog = spec.build_catalog();
-    let service = Arc::new(QueryService::spawn(catalog, spec.serve_config(workers)));
+    let service = Arc::new(spec.spawn_service(workers));
 
     let server = match Server::bind(Arc::clone(&service), &addr, ServerOptions::default()) {
         Ok(server) => server,

@@ -10,7 +10,7 @@
 
 use kvmatch_core::exec::ExecutorConfig;
 use kvmatch_core::{Catalog, IndexBuildConfig, MemoryCatalogBackend, SeriesId};
-use kvmatch_serve::ServeConfig;
+use kvmatch_serve::QueryService;
 use kvmatch_timeseries::generator::composite_series;
 
 /// The shape of the demo catalog: sizes and the seed everything derives
@@ -29,11 +29,13 @@ pub struct DemoSpec {
     pub threads: usize,
     /// Sizes the admission queue, mirroring the bench's serving config.
     pub submitters: usize,
+    /// Catalog shards (each with its own lane + worker set).
+    pub shards: usize,
 }
 
 impl Default for DemoSpec {
     fn default() -> Self {
-        Self { n: 120_000, w: 50, series: 4, seed: 42, threads: 0, submitters: 8 }
+        Self { n: 120_000, w: 50, series: 4, seed: 42, threads: 0, submitters: 8, shards: 1 }
     }
 }
 
@@ -42,9 +44,10 @@ fn env_usize(name: &str, default: usize) -> usize {
 }
 
 impl DemoSpec {
-    /// Reads `KVM_N`, `KVM_W`, `KVM_SERIES`, `KVM_SEED`, `KVM_THREADS`
-    /// and `KVM_SUBMITTERS` — the same knobs (same defaults) the bench
-    /// report reads, so server and load generator agree by construction.
+    /// Reads `KVM_N`, `KVM_W`, `KVM_SERIES`, `KVM_SEED`, `KVM_THREADS`,
+    /// `KVM_SUBMITTERS` and `KVM_SHARDS` — the same knobs (same
+    /// defaults) the bench report reads, so server and load generator
+    /// agree by construction.
     pub fn from_env() -> Self {
         let d = Self::default();
         Self {
@@ -54,6 +57,7 @@ impl DemoSpec {
             seed: std::env::var("KVM_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(d.seed),
             threads: env_usize("KVM_THREADS", d.threads),
             submitters: env_usize("KVM_SUBMITTERS", d.submitters).max(1),
+            shards: env_usize("KVM_SHARDS", d.shards).max(1),
         }
     }
 
@@ -86,15 +90,19 @@ impl DemoSpec {
         catalog
     }
 
-    /// The serving configuration the bench report uses for its serving
-    /// runs, at the given worker count.
-    pub fn serve_config(&self, workers: usize) -> ServeConfig {
-        ServeConfig {
-            queue_capacity: (self.submitters * 2).max(4),
-            max_batch: 16,
-            max_batch_delay: std::time::Duration::from_millis(1),
-            default_deadline: None,
-            workers,
-        }
+    /// Spawns the demo service with the bench report's serving
+    /// topology at the given per-shard worker count: catalog split
+    /// across `self.shards`, admission queue sized from the expected
+    /// submitter count.
+    pub fn spawn_service(&self, workers: usize) -> QueryService<MemoryCatalogBackend> {
+        let queue = (self.submitters * 2).max(4).max(16);
+        QueryService::builder(self.build_catalog())
+            .shards(self.shards)
+            .workers(workers)
+            .queue_capacity(queue)
+            .max_batch(16)
+            .max_batch_delay(std::time::Duration::from_millis(1))
+            .build()
+            .expect("demo topology is valid by construction")
     }
 }

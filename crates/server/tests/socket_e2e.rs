@@ -10,14 +10,14 @@ use std::time::Duration;
 use kvmatch_client::Client;
 use kvmatch_core::{MatchResult, QuerySpec, SeriesId};
 use kvmatch_proto::{code, Request};
-use kvmatch_serve::{QueryRequest, QueryService, Submit};
+use kvmatch_serve::{QueryRequest, Submit};
 use kvmatch_server::demo::DemoSpec;
 use kvmatch_server::{Server, ServerOptions};
 use kvmatch_timeseries::generator::composite_series;
 
 /// A small but non-trivial demo shape (4 series × 5 000 points).
 fn spec() -> DemoSpec {
-    DemoSpec { n: 20_000, w: 50, series: 4, seed: 42, threads: 0, submitters: 8 }
+    DemoSpec { n: 20_000, w: 50, series: 4, seed: 42, threads: 0, submitters: 8, shards: 1 }
 }
 
 /// The query pool over the non-append series (indices 1..4): per series,
@@ -47,7 +47,7 @@ fn concurrent_connections_pipelined_bit_identical_with_in_process_service() {
 
     // The in-process reference: the same catalog, the same serving
     // pipeline, no sockets.
-    let reference = QueryService::spawn(spec.build_catalog(), spec.serve_config(2));
+    let reference = spec.spawn_service(2);
     let expected: Vec<Vec<MatchResult>> = pool
         .iter()
         .map(|req| {
@@ -61,7 +61,7 @@ fn concurrent_connections_pipelined_bit_identical_with_in_process_service() {
     reference.shutdown();
 
     // The system under test: the same catalog behind a TCP server.
-    let service = Arc::new(QueryService::spawn(spec.build_catalog(), spec.serve_config(2)));
+    let service = Arc::new(spec.spawn_service(2));
     let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerOptions::default())
         .expect("bind loopback");
     let addr = server.local_addr();
@@ -173,8 +173,9 @@ fn concurrent_connections_pipelined_bit_identical_with_in_process_service() {
 /// endpoint scrapes the full metric family set.
 #[test]
 fn explain_over_the_wire_carries_spans_and_exact_prune_counts() {
-    let spec = DemoSpec { n: 8_000, w: 50, series: 2, seed: 17, threads: 0, submitters: 2 };
-    let service = Arc::new(QueryService::spawn(spec.build_catalog(), spec.serve_config(2)));
+    let spec =
+        DemoSpec { n: 8_000, w: 50, series: 2, seed: 17, threads: 0, submitters: 2, shards: 1 };
+    let service = Arc::new(spec.spawn_service(2));
     let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerOptions::default())
         .expect("bind loopback");
     let addr = server.local_addr();
@@ -248,8 +249,9 @@ fn explain_over_the_wire_carries_spans_and_exact_prune_counts() {
 fn dead_pipelining_client_does_not_wedge_shutdown() {
     use std::io::{ErrorKind, Write};
 
-    let spec = DemoSpec { n: 4_000, w: 50, series: 1, seed: 9, threads: 0, submitters: 2 };
-    let service = Arc::new(QueryService::spawn(spec.build_catalog(), spec.serve_config(1)));
+    let spec =
+        DemoSpec { n: 4_000, w: 50, series: 1, seed: 9, threads: 0, submitters: 2, shards: 1 };
+    let service = Arc::new(spec.spawn_service(1));
     // A tiny outgoing queue makes the reader block as soon as the writer
     // stalls against our unread socket.
     let options = ServerOptions {
@@ -292,8 +294,9 @@ fn dead_pipelining_client_does_not_wedge_shutdown() {
 /// panics and other connections keep serving.
 #[test]
 fn protocol_violation_closes_only_the_offending_connection() {
-    let spec = DemoSpec { n: 4_000, w: 50, series: 1, seed: 7, threads: 0, submitters: 2 };
-    let service = Arc::new(QueryService::spawn(spec.build_catalog(), spec.serve_config(1)));
+    let spec =
+        DemoSpec { n: 4_000, w: 50, series: 1, seed: 7, threads: 0, submitters: 2, shards: 1 };
+    let service = Arc::new(spec.spawn_service(1));
     let server = Server::bind(Arc::clone(&service), "127.0.0.1:0", ServerOptions::default())
         .expect("bind loopback");
     let addr = server.local_addr();

@@ -17,7 +17,7 @@
 use kvmatch::core::naive::naive_search;
 use kvmatch::prelude::*;
 use kvmatch::timeseries::generator::composite_series;
-use kvmatch_serve::{QueryRequest, QueryService, ServeConfig};
+use kvmatch_serve::{QueryRequest, QueryService};
 use kvmatch_storage::memory::MemoryKvStoreBuilder;
 
 fn build(xs: &[f64], w: usize) -> KvIndex<MemoryKvStore> {
@@ -257,7 +257,7 @@ fn service_topk_is_bit_identical_end_to_end() {
     for (id, xs) in ids.iter().zip(&series) {
         catalog.create_series_with(*id, IndexBuildConfig::new(50), xs).unwrap();
     }
-    let service = QueryService::spawn(catalog, ServeConfig::default());
+    let service = QueryService::builder(catalog).shards(2).build().expect("valid topology");
     let mut requests = Vec::new();
     for (id, xs) in ids.iter().zip(&series) {
         for (i, k) in [1usize, 3, 8].iter().enumerate() {
